@@ -1,0 +1,194 @@
+//! Ablations of the reproduction's own design knobs:
+//!
+//! * `projection_pushdown` — the referenced-path analysis of §4.1's
+//!   partial-retrieval demand, on vs off, for a narrow query over large
+//!   objects;
+//! * `page_size` — whole-object read across page sizes (MD navigation
+//!   amortizes over fewer, larger pages);
+//! * `buffer_frames` — cold scans under shrinking buffer pools
+//!   (file-backed, so misses cost real I/O).
+
+use aim2_bench::{gen_departments, loaded_store, StoreProvider, WorkloadSpec};
+use aim2_exec::Evaluator;
+use aim2_lang::parser::parse_query;
+use aim2_model::fixtures;
+use aim2_storage::buffer::BufferPool;
+use aim2_storage::disk::FileDisk;
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::{ClusterPolicy, ObjectStore};
+use aim2_storage::segment::Segment;
+use aim2_storage::stats::Stats;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn projection_pushdown(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&WorkloadSpec {
+        departments: 48,
+        projects_per_dept: 8,
+        members_per_project: 10,
+        equip_per_dept: 3,
+        seed: 21,
+    });
+    let (store, _) = loaded_store(
+        LayoutKind::Ss3,
+        ClusterPolicy::Clustered,
+        4096,
+        1024,
+        &schema,
+        &value,
+    );
+    let mut provider = StoreProvider {
+        name: "DEPARTMENTS".into(),
+        schema,
+        store,
+    };
+    let q = parse_query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS e IN x.EQUIP : e.QU > 3",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("projection_pushdown");
+    for on in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if on { "on" } else { "off" }),
+            &on,
+            |b, &on| {
+                b.iter(|| {
+                    let mut ev = Evaluator::new(&mut provider);
+                    ev.projection_pushdown = on;
+                    black_box(ev.eval_query(&q).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn page_size(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&WorkloadSpec {
+        departments: 32,
+        projects_per_dept: 6,
+        members_per_project: 8,
+        equip_per_dept: 4,
+        seed: 22,
+    });
+    let mut group = c.benchmark_group("page_size_object_read");
+    for ps in [512usize, 2048, 8192] {
+        let (mut os, handles) = loaded_store(
+            LayoutKind::Ss3,
+            ClusterPolicy::Clustered,
+            ps,
+            1024,
+            &schema,
+            &value,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(ps), &(), |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                let h = handles[i % handles.len()];
+                i += 1;
+                black_box(os.read_object(&schema, h).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn buffer_frames(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&WorkloadSpec {
+        departments: 64,
+        projects_per_dept: 5,
+        members_per_project: 8,
+        equip_per_dept: 3,
+        seed: 23,
+    });
+    let dir = std::env::temp_dir().join(format!("aim2_bench_bp_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut group = c.benchmark_group("buffer_frames_scan");
+    group.sample_size(10);
+    for frames in [4usize, 32, 512] {
+        let file = dir.join(format!("frames_{frames}.seg"));
+        let _ = std::fs::remove_file(&file);
+        let disk = FileDisk::open(&file, 1024).unwrap();
+        let pool = BufferPool::new(Box::new(disk), frames, Stats::new());
+        let mut os = ObjectStore::new(Segment::new(pool), LayoutKind::Ss3);
+        let handles: Vec<_> = value
+            .tuples
+            .iter()
+            .map(|t| os.insert_object(&schema, t).unwrap())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(frames), &(), |b, _| {
+            b.iter(|| {
+                let mut n = 0usize;
+                for h in &handles {
+                    n += os.read_object(&schema, *h).unwrap().arity();
+                }
+                black_box(n)
+            })
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn index_maintenance(c: &mut Criterion) {
+    // Cost of keeping an attribute index consistent through object
+    // mutations (the facade unindexes + re-indexes the touched object).
+    use aim2_index::address::Scheme;
+    use aim2_index::index::NfIndex;
+    use aim2_model::Path;
+
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&WorkloadSpec {
+        departments: 64,
+        projects_per_dept: 5,
+        members_per_project: 8,
+        equip_per_dept: 3,
+        seed: 31,
+    });
+    let mut group = c.benchmark_group("index_maintenance");
+    for scheme in [Scheme::RootTid, Scheme::Hierarchical] {
+        let (mut store, handles) = loaded_store(
+            LayoutKind::Ss3,
+            ClusterPolicy::Clustered,
+            4096,
+            1024,
+            &schema,
+            &value,
+        );
+        let mut idx = NfIndex::create(
+            aim2_bench::fresh_segment(4096, 256),
+            &schema,
+            &Path::parse("PROJECTS.MEMBERS.FUNCTION"),
+            scheme,
+        )
+        .unwrap();
+        idx.build(&mut store, &schema).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("reindex_one_object", scheme.name()),
+            &(),
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let h = handles[i % handles.len()];
+                    i += 1;
+                    idx.unindex_object(&mut store, &schema, h).unwrap();
+                    idx.index_object(&mut store, &schema, h).unwrap();
+                    black_box(h)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    projection_pushdown,
+    page_size,
+    buffer_frames,
+    index_maintenance
+);
+criterion_main!(benches);

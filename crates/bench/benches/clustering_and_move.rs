@@ -1,0 +1,134 @@
+//! Experiments CLU, MOVE, LOR — the §4.1 storage claims.
+//!
+//! * `clustering_cold_read` — cold whole-object read with a cleared
+//!   buffer pool: the clustered (page-list) policy touches ~object-size
+//!   pages; the scattered baseline faults once per subtuple region.
+//! * `object_move` — page-level move (MD) vs record-by-record move with
+//!   pointer rewriting (Lorie /LP83/).
+//! * `lorie_partial` — reading ONE subtable: the MD store navigates the
+//!   directory; the Lorie store chases the whole child chain through
+//!   data records.
+
+use aim2_bench::{fresh_segment, gen_departments, loaded_store, WorkloadSpec};
+use aim2_model::{fixtures, Path};
+use aim2_storage::lorie::LorieStore;
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::{ClusterPolicy, ObjectStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        departments: 32,
+        projects_per_dept: 5,
+        members_per_project: 8,
+        equip_per_dept: 4,
+        seed: 3,
+    }
+}
+
+fn clustering_cold_read(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&spec());
+    let mut group = c.benchmark_group("clustering_cold_read");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("clustered", ClusterPolicy::Clustered),
+        ("scattered", ClusterPolicy::Scattered),
+    ] {
+        let (mut os, handles) = loaded_store(LayoutKind::Ss3, policy, 512, 1024, &schema, &value);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            let mut i = 0;
+            b.iter(|| {
+                os.segment_mut().pool_mut().clear_cache().unwrap();
+                let h = handles[i % handles.len()];
+                i += 1;
+                black_box(os.read_object(&schema, h).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn object_move(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let dept = fixtures::department_314();
+    let mut group = c.benchmark_group("object_move");
+    group.sample_size(10);
+
+    group.bench_function("md_page_list", |b| {
+        let mut os = ObjectStore::new(fresh_segment(512, 256), LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &dept).unwrap();
+        b.iter(|| {
+            os.move_object(h).unwrap();
+            black_box(h)
+        })
+    });
+
+    group.bench_function("lorie_chains", |b| {
+        let mut ls = LorieStore::new(fresh_segment(512, 256));
+        let mut root = ls.insert_object(&schema, &dept).unwrap();
+        b.iter(|| {
+            root = ls.move_object(&schema, root).unwrap();
+            black_box(root)
+        })
+    });
+    group.finish();
+}
+
+fn partial_subtable_read(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    // Large objects: many projects, tiny EQUIP — "it should not be
+    // necessary to scan a complex object more or less entirely if only
+    // one piece of data is needed" (§4.1). The Lorie layout must chase
+    // the whole first-level child chain (40 projects + equipment); the
+    // MD layout follows one C pointer.
+    let value = gen_departments(&WorkloadSpec {
+        departments: 16,
+        projects_per_dept: 40,
+        members_per_project: 6,
+        equip_per_dept: 3,
+        seed: 5,
+    });
+    let equip = Path::parse("EQUIP");
+    let mut group = c.benchmark_group("one_subtable_read");
+
+    let (mut os, handles) = loaded_store(
+        LayoutKind::Ss3,
+        ClusterPolicy::Clustered,
+        512,
+        1024,
+        &schema,
+        &value,
+    );
+    group.bench_function("md_directory", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let h = handles[i % handles.len()];
+            i += 1;
+            black_box(
+                os.read_object_projected(&schema, h, &|p| equip.is_prefix_of(p))
+                    .unwrap(),
+            )
+        })
+    });
+
+    let mut ls = LorieStore::new(fresh_segment(512, 1024));
+    let roots: Vec<_> = value
+        .tuples
+        .iter()
+        .map(|t| ls.insert_object(&schema, t).unwrap())
+        .collect();
+    group.bench_function("lorie_child_chain", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let r = roots[i % roots.len()];
+            i += 1;
+            black_box(ls.read_subtable(&schema, r, "EQUIP").unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, clustering_cold_read, object_move, partial_subtable_read);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Experiment F7 / Q-EX — §4.2's three queries under each address
+//! scheme, at scale.
+//!
+//! Expected shape (the paper's argument, measured):
+//! * query 1 (objects with key): data-TID falls back to a full scan —
+//!   slowest by far; root-TID and hierarchical are index-speed;
+//! * query 2 (subobjects with key): hierarchical answers from the index;
+//!   root-TID must walk each candidate object's subtables;
+//! * query 3 (conjunctive): only hierarchical (Fig 7b) joins `P2 = F2`
+//!   in the index; the others verify a superset by scanning.
+
+use aim2_bench::{fresh_segment, gen_departments, loaded_store, WorkloadSpec};
+use aim2_exec::planner::Sec42Planner;
+use aim2_index::address::Scheme;
+use aim2_index::index::NfIndex;
+use aim2_model::{fixtures, Atom, Path};
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::ClusterPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn setup(
+    scheme: Scheme,
+) -> (
+    aim2_model::TableSchema,
+    aim2_storage::object::ObjectStore,
+    NfIndex,
+    NfIndex,
+) {
+    let schema = fixtures::departments_schema();
+    let spec = WorkloadSpec {
+        departments: 200,
+        projects_per_dept: 5,
+        members_per_project: 8,
+        equip_per_dept: 3,
+        seed: 7,
+    };
+    let value = gen_departments(&spec);
+    let (mut os, _) = loaded_store(
+        LayoutKind::Ss3,
+        ClusterPolicy::Clustered,
+        4096,
+        1024,
+        &schema,
+        &value,
+    );
+    let mut f_idx = NfIndex::create(
+        fresh_segment(4096, 256),
+        &schema,
+        &Path::parse("PROJECTS.MEMBERS.FUNCTION"),
+        scheme,
+    )
+    .unwrap();
+    f_idx.build(&mut os, &schema).unwrap();
+    let mut p_idx = NfIndex::create(
+        fresh_segment(4096, 256),
+        &schema,
+        &Path::parse("PROJECTS.PNO"),
+        scheme,
+    )
+    .unwrap();
+    p_idx.build(&mut os, &schema).unwrap();
+    (schema, os, f_idx, p_idx)
+}
+
+fn q1_objects_with(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec42_q1_departments_with_consultant");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        let (schema, mut os, mut f_idx, _) = setup(scheme);
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &(), |b, _| {
+            b.iter(|| {
+                let mut planner = Sec42Planner::new(&mut os, &schema);
+                black_box(
+                    planner
+                        .objects_with(&mut f_idx, &Atom::Str("Consultant".into()))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn q2_subobjects_with(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec42_q2_projects_with_consultant");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        let (schema, mut os, mut f_idx, _) = setup(scheme);
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &(), |b, _| {
+            b.iter(|| {
+                let mut planner = Sec42Planner::new(&mut os, &schema);
+                black_box(
+                    planner
+                        .subobjects_with(&mut f_idx, &Atom::Str("Consultant".into()))
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn q3_conjunctive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sec42_q3_conjunctive_pno_and_function");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        let (schema, mut os, mut f_idx, mut p_idx) = setup(scheme);
+        group.bench_with_input(BenchmarkId::from_parameter(scheme.name()), &(), |b, _| {
+            b.iter(|| {
+                let mut planner = Sec42Planner::new(&mut os, &schema);
+                black_box(
+                    planner
+                        .conjunctive(
+                            &mut p_idx,
+                            &Atom::Int(17),
+                            &mut f_idx,
+                            &Atom::Str("Consultant".into()),
+                        )
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, q1_objects_with, q2_subobjects_with, q3_conjunctive);
+criterion_main!(benches);

@@ -1,0 +1,159 @@
+//! Experiments MAT, F3/T7, F1 — hierarchies as materialized joins.
+//!
+//! * `materialized_join` — Example 4's observation: "hierarchical tables
+//!   can be used to store pre-computed (materialized) joins". Unnesting
+//!   the stored hierarchy vs re-computing the 3-way flat join, at
+//!   growing scale. Expected: the NF² unnest wins by a growing factor.
+//! * `nest_unnest` — the algebra operators themselves (Fig 3 / Table 7).
+//! * `ims_vs_nf2` — Fig 1: record-at-a-time GN navigation over the full
+//!   database vs one declarative query through the evaluator.
+
+use aim2_bench::{flatten_departments, fresh_segment, gen_departments, WorkloadSpec};
+use aim2_exec::algebra::{equijoin, nest, unnest, unnest_path};
+use aim2_exec::{Evaluator, MemProvider};
+use aim2_lang::parser::parse_query;
+use aim2_model::{fixtures, AtomType, TableSchema};
+use aim2_storage::ims::{Cursor, ImsStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn members_schema() -> TableSchema {
+    TableSchema::relation("MEMBERS-1NF")
+        .with_atom("EMPNO", AtomType::Int)
+        .with_atom("PNO", AtomType::Int)
+        .with_atom("DNO", AtomType::Int)
+        .with_atom("FUNCTION", AtomType::Str)
+}
+
+fn materialized_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialized_join");
+    group.sample_size(10);
+    for depts in [10usize, 50, 200] {
+        let spec = WorkloadSpec {
+            departments: depts,
+            projects_per_dept: 5,
+            members_per_project: 8,
+            equip_per_dept: 3,
+            seed: 1,
+        };
+        let schema = fixtures::departments_schema();
+        let nf2 = gen_departments(&spec);
+        let (d1, p1, m1) = flatten_departments(&nf2);
+        let ds = fixtures::departments_1nf_schema();
+        let ps = fixtures::projects_1nf_schema();
+        let ms = members_schema();
+
+        // --- Target: the GROUPED (hierarchical) result — the CAD access
+        // pattern. The stored NF² hierarchy IS the materialized join.
+        group.bench_with_input(
+            BenchmarkId::new("grouped_nf2_stored", depts),
+            &(),
+            |b, _| b.iter(|| black_box(nf2.clone())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("grouped_flat_join_nest", depts),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    // Rebuild members-per-project from the flat tables:
+                    // join members to projects, then nest twice (Fig 3's
+                    // work, which the NF² table has pre-computed).
+                    let (js, jv) = equijoin(&ms, &m1, "PNO", &ps, &p1, "PNO").unwrap();
+                    let (ns, nv) =
+                        nest(&js, &jv, &["EMPNO", "FUNCTION"], "MEMBERS").unwrap();
+                    let (js2, jv2) = equijoin(&ns, &nv, "DNO", &ds, &d1, "DNO").unwrap();
+                    black_box(
+                        nest(&js2, &jv2, &["PNO", "PNAME", "MEMBERS"], "PROJECTS").unwrap(),
+                    )
+                })
+            },
+        );
+
+        // --- Target: the FLAT result (Example 4 / Table 7). The fused
+        // unnest walks the hierarchy once; the flat side recomputes the
+        // 3-way join.
+        let keep = ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"];
+        group.bench_with_input(BenchmarkId::new("flat_nf2_unnest", depts), &(), |b, _| {
+            b.iter(|| {
+                black_box(
+                    unnest_path(&schema, &nf2, &["PROJECTS", "MEMBERS"], &keep).unwrap(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("flat_3way_join", depts), &(), |b, _| {
+            b.iter(|| {
+                let (js, jv) = equijoin(&ps, &p1, "DNO", &ds, &d1, "DNO").unwrap();
+                black_box(equijoin(&ms, &m1, "PNO", &js, &jv, "PNO").unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn nest_unnest(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        departments: 100,
+        projects_per_dept: 5,
+        members_per_project: 8,
+        equip_per_dept: 3,
+        seed: 2,
+    };
+    let nf2 = gen_departments(&spec);
+    let (_, _, m1) = flatten_departments(&nf2);
+    let schema = fixtures::departments_schema();
+    let ms = members_schema();
+    let mut group = c.benchmark_group("nest_unnest");
+    group.bench_function("unnest_projects", |b| {
+        b.iter(|| black_box(unnest(&schema, &nf2, "PROJECTS").unwrap()))
+    });
+    group.bench_function("nest_members_by_project", |b| {
+        b.iter(|| black_box(nest(&ms, &m1, &["EMPNO", "FUNCTION"], "MS").unwrap()))
+    });
+    group.finish();
+}
+
+fn ims_vs_nf2(c: &mut Criterion) {
+    let spec = WorkloadSpec {
+        departments: 50,
+        projects_per_dept: 4,
+        members_per_project: 6,
+        equip_per_dept: 3,
+        seed: 4,
+    };
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&spec);
+    let mut group = c.benchmark_group("ims_vs_nf2");
+    group.sample_size(10);
+
+    let mut ims = ImsStore::from_schema(fresh_segment(1024, 512), &schema);
+    for t in &value.tuples {
+        ims.load_record(&schema, t).unwrap();
+    }
+    group.bench_function("ims_gn_full_traversal", |b| {
+        b.iter(|| {
+            let mut cur = Cursor::default();
+            let mut n = 0u32;
+            while ims.gn(&mut cur).unwrap().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    let mut provider = MemProvider::new();
+    provider.add(schema.clone(), value.clone());
+    let q = parse_query(
+        "SELECT x.DNO, x.MGRNO, y.PNO, z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+    )
+    .unwrap();
+    group.bench_function("nf2_declarative_query", |b| {
+        b.iter(|| {
+            let mut ev = Evaluator::new(&mut provider);
+            black_box(ev.eval_query(&q).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, materialized_join, nest_unnest, ims_vs_nf2);
+criterion_main!(benches);

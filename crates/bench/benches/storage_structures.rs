@@ -1,0 +1,119 @@
+//! Experiment F6 — the storage-structure alternatives of Fig 6.
+//!
+//! Measures what §4.1 argues qualitatively: SS1/SS2/SS3 trade Mini
+//! Directory size against access characteristics. Groups:
+//! * `ss_insert`  — building complex objects under each layout;
+//! * `ss_read`    — whole-object materialization;
+//! * `ss_partial` — partial retrieval of one subtable (EQUIP), where
+//!   structure/data separation pays off.
+//!
+//! Expected shape: SS2 builds the fewest MD subtuples (fastest insert);
+//! reads are close across layouts; partial reads touch a small fraction
+//! of the full-read cost under every layout.
+
+use aim2_bench::{gen_departments, loaded_store, WorkloadSpec};
+use aim2_model::{fixtures, Path};
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::{ClusterPolicy, ObjectStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        departments: 64,
+        projects_per_dept: 6,
+        members_per_project: 10,
+        equip_per_dept: 5,
+        seed: 42,
+    }
+}
+
+fn ss_insert(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&spec());
+    let mut group = c.benchmark_group("ss_insert");
+    group.sample_size(10);
+    for layout in LayoutKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.name()),
+            &layout,
+            |b, &layout| {
+                b.iter(|| {
+                    let mut os = ObjectStore::new(
+                        aim2_bench::fresh_segment(4096, 512),
+                        layout,
+                    );
+                    for t in &value.tuples {
+                        black_box(os.insert_object(&schema, t).unwrap());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ss_read(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&spec());
+    let mut group = c.benchmark_group("ss_read");
+    for layout in LayoutKind::ALL {
+        let (mut os, handles) = loaded_store(
+            layout,
+            ClusterPolicy::Clustered,
+            4096,
+            512,
+            &schema,
+            &value,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.name()),
+            &layout,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let h = handles[i % handles.len()];
+                    i += 1;
+                    black_box(os.read_object(&schema, h).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ss_partial(c: &mut Criterion) {
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&spec());
+    let equip = Path::parse("EQUIP");
+    let mut group = c.benchmark_group("ss_partial_equip_only");
+    for layout in LayoutKind::ALL {
+        let (mut os, handles) = loaded_store(
+            layout,
+            ClusterPolicy::Clustered,
+            4096,
+            512,
+            &schema,
+            &value,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(layout.name()),
+            &layout,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let h = handles[i % handles.len()];
+                    i += 1;
+                    black_box(
+                        os.read_object_projected(&schema, h, &|p| equip.is_prefix_of(p))
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ss_insert, ss_read, ss_partial);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Experiments TXT and ASOF — the §5 extras.
+//!
+//! * `text_search` — the word-fragment index vs a full scan for the
+//!   paper's `*comput*` mask, at growing document counts. Expected: the
+//!   index cost grows with the *result*, the scan with the *corpus*.
+//! * `asof_reconstruction` — ASOF reads against version chains of
+//!   growing length. Expected: point lookups stay cheap (binary search
+//!   per chain).
+
+use aim2_model::value::build::{a, rel, tup};
+use aim2_model::{Date, TableKind};
+use aim2_storage::object::ObjectHandle;
+use aim2_storage::tid::{PageId, SlotNo, Tid};
+use aim2_text::{Pattern, TextIndex};
+use aim2_time::VersionedTable;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const WORDS: [&str; 12] = [
+    "database", "system", "storage", "relation", "hierarchy", "computer", "index", "query",
+    "minicomputer", "optimization", "recovery", "concurrency",
+];
+
+fn corpus(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let w1 = WORDS[i % WORDS.len()];
+            let w2 = WORDS[(i * 5 + 1) % WORDS.len()];
+            let w3 = WORDS[(i * 7 + 3) % WORDS.len()];
+            format!("report {i} on {w1} and {w2} for {w3} engineering")
+        })
+        .collect()
+}
+
+fn text_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text_search_comput");
+    let pattern = Pattern::parse("*comput*");
+    for n in [100usize, 1000, 10_000] {
+        let docs = corpus(n);
+        let mut idx = TextIndex::new();
+        for (i, d) in docs.iter().enumerate() {
+            idx.add_document(i as u64, d);
+        }
+        group.bench_with_input(BenchmarkId::new("fragment_index", n), &(), |b, _| {
+            b.iter(|| black_box(idx.search(&pattern)))
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan", n), &(), |b, _| {
+            b.iter(|| black_box(idx.scan_search(&pattern)))
+        });
+    }
+    group.finish();
+}
+
+fn asof_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("asof_reconstruction");
+    for versions in [2usize, 16, 128] {
+        let mut vt = VersionedTable::new(TableKind::Relation);
+        // 50 objects, each with `versions` states.
+        for obj in 0..50u32 {
+            let h = ObjectHandle(Tid::new(PageId(obj), SlotNo(0)));
+            for v in 0..versions {
+                let day = Date::from_ymd(1980, 1, 1).unwrap();
+                let t = Date(day.0 + (v as i32) * 30);
+                vt.record_state(
+                    h,
+                    t,
+                    tup(vec![a(obj as i64), a(v as i64), rel(vec![])]),
+                );
+            }
+        }
+        let probe = Date::from_ymd(1981, 6, 15).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(versions),
+            &(),
+            |b, _| b.iter(|| black_box(vt.table_asof(probe))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, text_search, asof_reconstruction);
+criterion_main!(benches);

@@ -1,0 +1,240 @@
+//! `aim2` — the interactive shell for the AIM-II reproduction.
+//!
+//! ```text
+//! cargo run -p aim2 --bin aim2                 # in-memory session
+//! cargo run -p aim2 --bin aim2 -- --data DIR   # file-backed (reopens a
+//!                                              # checkpointed catalog)
+//! cargo run -p aim2 --bin aim2 -- script.sql   # run a script, then exit
+//! ```
+//!
+//! Statements end with `;`. Dot-commands:
+//! `.help`, `.tables`, `.schema NAME`, `.stats`, `.today YYYY-MM-DD`,
+//! `.checkpoint`, `.load demo`, `.quit`.
+
+use aim2::{Database, DbConfig};
+use aim2_model::{fixtures, render, Date};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut script: Option<String> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--data" => data_dir = args.next().map(Into::into),
+            "--help" | "-h" => {
+                println!("usage: aim2 [--data DIR] [script.sql]");
+                return;
+            }
+            other => script = Some(other.to_string()),
+        }
+    }
+
+    let mut db = match &data_dir {
+        Some(dir) if dir.join(aim2::persist::CATALOG_FILE).exists() => {
+            let cfg = DbConfig {
+                data_dir: data_dir.clone(),
+                ..DbConfig::default()
+            };
+            match Database::open(cfg) {
+                Ok(db) => {
+                    eprintln!("reopened database in {}", dir.display());
+                    db
+                }
+                Err(e) => {
+                    eprintln!("cannot open {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(_) => Database::with_config(DbConfig {
+            data_dir: data_dir.clone(),
+            ..DbConfig::default()
+        }),
+        None => Database::in_memory(),
+    };
+
+    if let Some(path) = script {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = run_script(&mut db, &text) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    eprintln!("AIM-II extended NF² DBMS — .help for commands, ; ends statements");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("aim2> ");
+        } else {
+            eprint!("  ..> ");
+        }
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !dot_command(&mut db, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let stmt = std::mem::take(&mut buffer);
+            execute_and_print(&mut db, &stmt);
+        }
+    }
+}
+
+fn run_script(db: &mut Database, text: &str) -> Result<(), String> {
+    for stmt in split_script(text) {
+        execute_and_print(db, &stmt);
+    }
+    Ok(())
+}
+
+fn split_script(text: &str) -> Vec<String> {
+    // Reuse the engine's statement splitting by deferring to
+    // execute_script semantics: split on ; outside strings.
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in text.chars() {
+        match ch {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ';' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                } else {
+                    cur.clear();
+                }
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn execute_and_print(db: &mut Database, sql: &str) {
+    let sql = sql.trim().trim_end_matches(';');
+    if sql.is_empty() {
+        return;
+    }
+    match db.execute(sql) {
+        Ok(aim2::database::ExecResult::Table(schema, value)) => {
+            print!("{}", render::render_table(&schema, &value));
+            println!("({} row(s))", value.len());
+        }
+        Ok(aim2::database::ExecResult::Count(n)) => println!("({n} affected)"),
+        Ok(aim2::database::ExecResult::Ok(msg)) => println!("{msg}"),
+        Err(aim2::DbError::Parse(e)) => eprintln!("{}", e.render(sql)),
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+/// Returns false to quit.
+fn dot_command(db: &mut Database, cmd: &str) -> bool {
+    let mut parts = cmd.splitn(2, ' ');
+    match parts.next().unwrap_or("") {
+        ".quit" | ".exit" | ".q" => return false,
+        ".help" => {
+            println!(
+                ".tables              list tables\n\
+                 .schema NAME         show a table's structure\n\
+                 .stats               access counters (buffer, subtuples)\n\
+                 .today [YYYY-MM-DD]  show/set the logical date (versions)\n\
+                 .checkpoint          flush + write the catalog (file-backed)\n\
+                 .load demo           load the paper's Tables 1-8\n\
+                 .quit                leave\n\
+                 Statements (end with ;): SELECT, EXPLAIN SELECT, CREATE TABLE/LIST,\n\
+                 CREATE [TEXT] INDEX, INSERT, UPDATE, DELETE, DROP TABLE"
+            );
+        }
+        ".tables" => {
+            for t in db.table_names() {
+                println!("{t}");
+            }
+        }
+        ".schema" => match parts.next() {
+            Some(name) => match db.schema(name.trim()) {
+                Ok(s) => println!("{}", render::render_header(&s)),
+                Err(e) => eprintln!("{e}"),
+            },
+            None => eprintln!("usage: .schema NAME"),
+        },
+        ".stats" => println!("{}", db.stats().snapshot()),
+        ".today" => match parts.next() {
+            Some(d) => match Date::parse_iso(d.trim()) {
+                Ok(d) => {
+                    db.set_today(d);
+                    println!("today = {d}");
+                }
+                Err(e) => eprintln!("{e}"),
+            },
+            None => println!("today = {}", db.today()),
+        },
+        ".checkpoint" => match db.checkpoint() {
+            Ok(()) => println!("checkpointed"),
+            Err(e) => eprintln!("{e}"),
+        },
+        ".load" if parts.next().map(str::trim) == Some("demo") => match load_demo(db) {
+            Ok(()) => println!("loaded the paper's DEPARTMENTS / 1NF tables / REPORTS"),
+            Err(e) => eprintln!("{e}"),
+        },
+        other => eprintln!("unknown command {other}; try .help"),
+    }
+    true
+}
+
+fn load_demo(db: &mut Database) -> aim2::Result<()> {
+    db.execute_script(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } );
+         CREATE TABLE DEPARTMENTS-1NF ( DNO INTEGER, MGRNO INTEGER, BUDGET INTEGER );
+         CREATE TABLE PROJECTS-1NF ( PNO INTEGER, PNAME STRING, DNO INTEGER );
+         CREATE TABLE MEMBERS-1NF ( EMPNO INTEGER, PNO INTEGER, DNO INTEGER, FUNCTION STRING );
+         CREATE TABLE EQUIP-1NF ( DNO INTEGER, QU INTEGER, TYPE STRING );
+         CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING );
+         CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                                DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } )",
+    )?;
+    for (table, value) in [
+        ("DEPARTMENTS", fixtures::departments_value()),
+        ("DEPARTMENTS-1NF", fixtures::departments_1nf_value()),
+        ("PROJECTS-1NF", fixtures::projects_1nf_value()),
+        ("MEMBERS-1NF", fixtures::members_1nf_value()),
+        ("EQUIP-1NF", fixtures::equip_1nf_value()),
+        ("EMPLOYEES-1NF", fixtures::employees_1nf_value()),
+        ("REPORTS", fixtures::reports_value()),
+    ] {
+        for t in value.tuples {
+            db.insert_tuple(table, t)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! The catalog: per-table storage, indexes, and version stores.
+
+use crate::error::DbError;
+use crate::Result;
+use aim2_index::NfIndex;
+use aim2_model::{Path, TableSchema};
+use aim2_storage::flatstore::FlatStore;
+use aim2_storage::object::ObjectStore;
+use aim2_text::TextIndex;
+use aim2_time::VersionedTable;
+
+/// Physical storage of one table. Flat (1NF) tables get heap storage
+/// with no Mini Directories at all (§4.1); NF² tables get complex-object
+/// storage under their declared layout.
+pub enum TableStorage {
+    Nf2(ObjectStore),
+    Flat(FlatStore),
+}
+
+/// One attribute index registered on a table.
+pub struct IndexEntry {
+    pub name: String,
+    pub index: NfIndex,
+    /// Segment file name (file-backed databases; persisted in the
+    /// catalog checkpoint).
+    pub seg_file: Option<String>,
+}
+
+/// One text index registered on a table (§5).
+pub struct TextIndexEntry {
+    pub name: String,
+    /// The indexed TEXT attribute (first-level).
+    pub attr: Path,
+    pub index: TextIndex,
+}
+
+/// Everything the database knows about one table.
+pub struct TableEntry {
+    pub schema: TableSchema,
+    pub storage: TableStorage,
+    pub indexes: Vec<IndexEntry>,
+    pub text_indexes: Vec<TextIndexEntry>,
+    /// Present when declared `WITH VERSIONS`.
+    pub versions: Option<VersionedTable>,
+    /// Storage layout declared at creation (meaningful for NF² tables).
+    pub layout: aim2_storage::minidir::LayoutKind,
+    /// Segment file name (file-backed databases).
+    pub seg_file: Option<String>,
+}
+
+impl TableEntry {
+    /// The NF² object store, or an error for flat tables.
+    pub fn nf2_mut(&mut self) -> Result<&mut ObjectStore> {
+        match &mut self.storage {
+            TableStorage::Nf2(os) => Ok(os),
+            TableStorage::Flat(_) => Err(DbError::Catalog(format!(
+                "table {} is flat (1NF); operation requires an NF² table",
+                self.schema.name
+            ))),
+        }
+    }
+}
+
+/// The catalog proper.
+#[derive(Default)]
+pub struct Catalog {
+    tables: Vec<TableEntry>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a new table; errors on duplicate names.
+    pub fn add(&mut self, entry: TableEntry) -> Result<()> {
+        if self.get(&entry.schema.name).is_some() {
+            return Err(DbError::Catalog(format!(
+                "table {} already exists",
+                entry.schema.name
+            )));
+        }
+        self.tables.push(entry);
+        Ok(())
+    }
+
+    /// Remove a table, returning its entry (DROP TABLE).
+    pub fn remove(&mut self, name: &str) -> Result<TableEntry> {
+        let idx = self
+            .tables
+            .iter()
+            .position(|t| t.schema.name == name)
+            .ok_or_else(|| DbError::Catalog(format!("no such table: {name}")))?;
+        Ok(self.tables.remove(idx))
+    }
+
+    /// Look up a table by name.
+    pub fn get(&self, name: &str) -> Option<&TableEntry> {
+        self.tables.iter().find(|t| t.schema.name == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut TableEntry> {
+        self.tables.iter_mut().find(|t| t.schema.name == name)
+    }
+
+    /// Mutable lookup that errors with a clear message when absent.
+    pub fn require_mut(&mut self, name: &str) -> Result<&mut TableEntry> {
+        self.get_mut(name)
+            .ok_or_else(|| DbError::Catalog(format!("no such table: {name}")))
+    }
+
+    /// All table names, in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.iter().map(|t| t.schema.name.clone()).collect()
+    }
+}

@@ -1,0 +1,1382 @@
+//! The [`Database`] facade.
+
+use crate::catalog::{Catalog, IndexEntry, TableEntry, TableStorage, TextIndexEntry};
+use crate::error::DbError;
+use crate::Result;
+use aim2_exec::provider::TableProvider;
+use aim2_exec::Evaluator;
+use aim2_index::address::Scheme;
+use aim2_index::NfIndex;
+use aim2_lang::ast::{self, AttrDecl, Binding, Source, Stmt};
+use aim2_lang::parser::parse_stmt;
+use aim2_model::{
+    Atom, AtomType, AttrKind, Date, Path, TableKind, TableSchema, TableValue, Tuple, Value,
+};
+use aim2_storage::buffer::BufferPool;
+use aim2_storage::disk::{Disk, FileDisk, MemDisk};
+use aim2_storage::flatstore::FlatStore;
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::{ElemLoc, ObjectHandle, ObjectStore};
+use aim2_storage::segment::Segment;
+use aim2_storage::stats::Stats;
+use aim2_storage::tid::Tid;
+use aim2_text::TextIndex;
+use aim2_time::VersionedTable;
+use std::path::PathBuf;
+
+/// Database configuration.
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// Page size in bytes (AIM-II era: small pages; default 4096).
+    pub page_size: usize,
+    /// Buffer pool frames per segment.
+    pub buffer_frames: usize,
+    /// Storage structure for new NF² tables without a `USING` clause —
+    /// SS3, as AIM-II chose.
+    pub default_layout: LayoutKind,
+    /// When set, segments are files under this directory; else memory.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for DbConfig {
+    fn default() -> DbConfig {
+        DbConfig {
+            page_size: 4096,
+            buffer_frames: 256,
+            default_layout: LayoutKind::Ss3,
+            data_dir: None,
+        }
+    }
+}
+
+/// Result of [`Database::execute`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// A query result.
+    Table(TableSchema, TableValue),
+    /// Rows/objects affected by DML.
+    Count(usize),
+    /// DDL acknowledgement.
+    Ok(String),
+}
+
+impl ExecResult {
+    /// The result table, if this was a query.
+    pub fn into_table(self) -> Result<(TableSchema, TableValue)> {
+        match self {
+            ExecResult::Table(s, v) => Ok((s, v)),
+            other => Err(DbError::Catalog(format!("not a query result: {other:?}"))),
+        }
+    }
+
+    /// The affected-count, if this was DML.
+    pub fn count(&self) -> Option<usize> {
+        match self {
+            ExecResult::Count(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// The integrated DBMS.
+pub struct Database {
+    config: DbConfig,
+    catalog: Catalog,
+    stats: Stats,
+    /// Logical clock for version recording (the prototype's transaction
+    /// timestamps; tests and examples advance it explicitly).
+    today: Date,
+    seg_counter: u32,
+    /// Human-readable description of the last query's access path.
+    last_plan: String,
+}
+
+/// One qualified DML target combination.
+struct DmlMatch {
+    handle: Option<ObjectHandle>,
+    flat_tid: Option<Tid>,
+    frames: Vec<(String, TableSchema, Tuple)>,
+    locs: Vec<(String, ElemLoc)>,
+}
+
+impl Database {
+    /// An in-memory database with default configuration.
+    pub fn in_memory() -> Database {
+        Database::with_config(DbConfig::default())
+    }
+
+    /// A database with explicit configuration.
+    pub fn with_config(config: DbConfig) -> Database {
+        Database {
+            config,
+            catalog: Catalog::new(),
+            stats: Stats::new(),
+            today: Date::from_ymd(1986, 5, 28).expect("valid date"), // SIGMOD '86
+            seg_counter: 0,
+            last_plan: String::new(),
+        }
+    }
+
+    /// Shared access counters (buffer hits/misses, subtuple traffic, ...).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The logical date used for version recording.
+    pub fn today(&self) -> Date {
+        self.today
+    }
+
+    /// Advance the logical clock (versioned tables timestamp mutations
+    /// with this).
+    pub fn set_today(&mut self, d: Date) {
+        self.today = d;
+    }
+
+    /// Table names in creation order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+
+    fn make_segment(&mut self, hint: &str) -> Result<(Segment, Option<String>)> {
+        self.seg_counter += 1;
+        let mut file_name = None;
+        let disk: Box<dyn Disk> = match &self.config.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(aim2_storage::StorageError::Io)?;
+                let name = format!("{:04}_{}.seg", self.seg_counter, sanitize(hint));
+                let file = dir.join(&name);
+                file_name = Some(name);
+                Box::new(FileDisk::open(file, self.config.page_size)?)
+            }
+            None => Box::new(MemDisk::new(self.config.page_size)),
+        };
+        Ok((
+            Segment::new(BufferPool::new(
+                disk,
+                self.config.buffer_frames,
+                self.stats.clone(),
+            )),
+            file_name,
+        ))
+    }
+
+    /// Open an existing segment file (catalog reload).
+    fn open_segment(&self, name: &str) -> Result<Segment> {
+        let dir = self.config.data_dir.as_ref().ok_or_else(|| {
+            DbError::Catalog("reopening segments requires a data_dir".into())
+        })?;
+        let disk = FileDisk::open(dir.join(name), self.config.page_size)?;
+        Ok(Segment::new(BufferPool::new(
+            Box::new(disk),
+            self.config.buffer_frames,
+            self.stats.clone(),
+        )))
+    }
+
+    // =================================================================
+    // Statement execution
+    // =================================================================
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        let stmt = parse_stmt(sql)?;
+        self.execute_stmt(&stmt)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_stmt(&mut self, stmt: &Stmt) -> Result<ExecResult> {
+        match stmt {
+            Stmt::Query(q) => {
+                let (schema, value) = self.run_query(q)?;
+                Ok(ExecResult::Table(schema, value))
+            }
+            Stmt::Explain(q) => Ok(ExecResult::Ok(self.explain_query(q)?)),
+            Stmt::CreateTable(ct) => self.create_table_stmt(ct),
+            Stmt::CreateIndex(ci) => self.create_index_stmt(ci),
+            Stmt::DropTable(name) => {
+                self.catalog.remove(name)?;
+                Ok(ExecResult::Ok(format!("dropped table {name}")))
+            }
+            Stmt::Insert(ins) => self.insert_stmt(ins),
+            Stmt::Update(up) => self.update_stmt(up),
+            Stmt::Delete(del) => self.delete_stmt(del),
+        }
+    }
+
+    /// Run several `;`-separated statements; returns the last result.
+    pub fn execute_script(&mut self, sql: &str) -> Result<ExecResult> {
+        let mut last = ExecResult::Ok("empty script".into());
+        for stmt in split_statements(sql) {
+            last = self.execute(&stmt)?;
+        }
+        Ok(last)
+    }
+
+    /// Convenience: run a query and get its result table.
+    pub fn query(&mut self, sql: &str) -> Result<(TableSchema, TableValue)> {
+        self.execute(sql)?.into_table()
+    }
+
+    // =================================================================
+    // DDL
+    // =================================================================
+
+    fn create_table_stmt(&mut self, ct: &ast::CreateTable) -> Result<ExecResult> {
+        let (schema, layout, versioned) = self.schema_from_create(ct)?;
+        self.create_table(schema, layout, versioned)?;
+        Ok(ExecResult::Ok(format!("created table {}", ct.name)))
+    }
+
+    /// Derive `(schema, layout, versioned)` from a CREATE TABLE AST
+    /// (shared by execution and catalog reload).
+    pub(crate) fn schema_from_create(
+        &self,
+        ct: &ast::CreateTable,
+    ) -> Result<(TableSchema, LayoutKind, bool)> {
+        let kind = if ct.ordered {
+            TableKind::List
+        } else {
+            TableKind::Relation
+        };
+        let schema = build_schema(&ct.name, kind, &ct.attrs)?;
+        let layout = match ct.using.as_deref() {
+            None => self.config.default_layout,
+            Some("SS1") | Some("ss1") => LayoutKind::Ss1,
+            Some("SS2") | Some("ss2") => LayoutKind::Ss2,
+            Some("SS3") | Some("ss3") => LayoutKind::Ss3,
+            Some(other) => {
+                return Err(DbError::Catalog(format!(
+                    "unknown storage structure `{other}` (expected SS1, SS2 or SS3)"
+                )))
+            }
+        };
+        Ok((schema, layout, ct.versioned))
+    }
+
+    /// Programmatic table creation.
+    pub fn create_table(
+        &mut self,
+        schema: TableSchema,
+        layout: LayoutKind,
+        versioned: bool,
+    ) -> Result<()> {
+        let (seg, seg_file) = self.make_segment(&schema.name)?;
+        // §4.1: flat (1NF) tables have no Mini Directories at all — they
+        // get plain heap storage; NF² tables get complex-object storage.
+        let storage = if schema.is_flat() {
+            TableStorage::Flat(FlatStore::new(seg))
+        } else {
+            TableStorage::Nf2(ObjectStore::new(seg, layout))
+        };
+        let versions = versioned.then(|| VersionedTable::new(schema.kind));
+        self.catalog.add(TableEntry {
+            schema,
+            storage,
+            indexes: Vec::new(),
+            text_indexes: Vec::new(),
+            versions,
+            layout,
+            seg_file,
+        })
+    }
+
+    fn create_index_stmt(&mut self, ci: &ast::CreateIndex) -> Result<ExecResult> {
+        if ci.text {
+            return self.create_text_index(&ci.name, &ci.table, &ci.path);
+        }
+        let scheme = match ci.using.as_deref().map(str::to_ascii_uppercase).as_deref() {
+            None | Some("HIERARCHICAL") => Scheme::Hierarchical,
+            Some("ROOTTID") => Scheme::RootTid,
+            Some("DATATID") => Scheme::DataTid,
+            Some("MDPATH") => Scheme::MdPath,
+            Some(other) => {
+                return Err(DbError::Catalog(format!(
+                    "unknown address scheme `{other}`"
+                )))
+            }
+        };
+        let (seg, seg_file) = self.make_segment(&format!("idx_{}", ci.name))?;
+        let entry = self.catalog.require_mut(&ci.table)?;
+        let schema = entry.schema.clone();
+        let os = entry.nf2_mut()?;
+        let mut index = NfIndex::create(seg, &schema, &ci.path, scheme)?;
+        index.build(os, &schema)?;
+        entry.indexes.push(IndexEntry {
+            name: ci.name.clone(),
+            index,
+            seg_file,
+        });
+        Ok(ExecResult::Ok(format!(
+            "created index {} on {} ({})",
+            ci.name, ci.table, ci.path
+        )))
+    }
+
+    fn create_text_index(&mut self, name: &str, table: &str, attr: &Path) -> Result<ExecResult> {
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        if attr.len() != 1 {
+            return Err(DbError::Catalog(
+                "text indexes cover first-level TEXT attributes".into(),
+            ));
+        }
+        let def = schema
+            .attr(&attr.segments()[0])
+            .ok_or_else(|| DbError::Catalog(format!("no attribute {attr} on {table}")))?;
+        match def.kind {
+            AttrKind::Atomic(AtomType::Text) | AttrKind::Atomic(AtomType::Str) => {}
+            _ => {
+                return Err(DbError::Catalog(format!(
+                    "attribute {attr} is not text-indexable"
+                )))
+            }
+        }
+        let mut index = TextIndex::new();
+        // Index existing rows.
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => {
+                for h in os.handles()? {
+                    let atoms = os.read_first_level_atoms(h)?;
+                    if let Some(text) = text_of(&schema, attr, &atoms) {
+                        index.add_document(doc_id(h.0), &text);
+                    }
+                }
+            }
+            TableStorage::Flat(fs) => {
+                for tid in fs.tids().to_vec() {
+                    let t = fs.read(tid)?;
+                    let atoms: Vec<Atom> = t
+                        .fields
+                        .iter()
+                        .filter_map(|v| v.as_atom().cloned())
+                        .collect();
+                    if let Some(text) = text_of(&schema, attr, &atoms) {
+                        index.add_document(doc_id(tid), &text);
+                    }
+                }
+            }
+        }
+        entry.text_indexes.push(TextIndexEntry {
+            name: name.to_string(),
+            attr: attr.clone(),
+            index,
+        });
+        Ok(ExecResult::Ok(format!(
+            "created text index {name} on {table} ({attr})"
+        )))
+    }
+
+    /// Masked text search via a table's text index (§5); returns the
+    /// matching objects' first-level atoms plus the number of candidates
+    /// verified (the bench metric).
+    pub fn text_search(
+        &mut self,
+        table: &str,
+        attr: &Path,
+        mask: &str,
+    ) -> Result<(Vec<Vec<Atom>>, usize)> {
+        let entry = self.catalog.require_mut(table)?;
+        let tix = entry
+            .text_indexes
+            .iter()
+            .find(|t| &t.attr == attr)
+            .ok_or_else(|| DbError::Catalog(format!("no text index on {table}({attr})")))?;
+        let pattern = aim2_text::Pattern::parse(mask);
+        let (hits, verified) = tix.index.search(&pattern);
+        let mut out = Vec::with_capacity(hits.len());
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => {
+                for h in os.handles()? {
+                    if hits.contains(&doc_id(h.0)) {
+                        out.push(os.read_first_level_atoms(h)?);
+                    }
+                }
+            }
+            TableStorage::Flat(fs) => {
+                for tid in fs.tids().to_vec() {
+                    if hits.contains(&doc_id(tid)) {
+                        let t = fs.read(tid)?;
+                        out.push(t.fields.iter().filter_map(|v| v.as_atom().cloned()).collect());
+                    }
+                }
+            }
+        }
+        Ok((out, verified))
+    }
+
+    // =================================================================
+    // DML
+    // =================================================================
+
+    fn insert_stmt(&mut self, ins: &ast::Insert) -> Result<ExecResult> {
+        match &ins.target {
+            Source::Table(table) => {
+                let schema = self
+                    .catalog
+                    .get(table)
+                    .ok_or_else(|| DbError::Catalog(format!("no such table: {table}")))?
+                    .schema
+                    .clone();
+                let tuple = aim2_exec::value::lit_tuple(&schema, &ins.values)?;
+                self.insert_tuple(table, tuple)?;
+                Ok(ExecResult::Count(1))
+            }
+            Source::PathOf { var, path } => {
+                // Partial insert: add an element to a subtable of every
+                // qualifying object (§5: insert parts of complex tuples).
+                let matches = self.collect_matches(&ins.from, ins.where_.as_ref())?;
+                let root_table = root_table_name(&ins.from)?;
+                let mut count = 0;
+                for m in matches {
+                    let (_, _, loc, level_schema) = locate_var(&m, var)?;
+                    let attr_idx = level_schema
+                        .attr_index(&single_segment(path)?)
+                        .ok_or_else(|| {
+                            DbError::Catalog(format!("no attribute {path} at {var}"))
+                        })?;
+                    let sub_schema = level_schema.attrs[attr_idx]
+                        .kind
+                        .as_table()
+                        .ok_or_else(|| DbError::Catalog(format!("{path} is not a subtable")))?
+                        .clone();
+                    let elem = aim2_exec::value::lit_tuple(&sub_schema, &ins.values)?;
+                    let handle = m.handle.ok_or_else(|| {
+                        DbError::Catalog("partial insert requires an NF² table".into())
+                    })?;
+                    self.mutate_object(&root_table, handle, |schema, os| {
+                        os.insert_element(schema, handle, &loc, attr_idx, &elem)
+                            .map_err(Into::into)
+                    })?;
+                    count += 1;
+                }
+                Ok(ExecResult::Count(count))
+            }
+        }
+    }
+
+    /// Programmatic whole-tuple insert.
+    pub fn insert_tuple(&mut self, table: &str, tuple: Tuple) -> Result<ObjectHandleOrTid> {
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        let value_for_versions = tuple.clone();
+        let key = match &mut entry.storage {
+            TableStorage::Nf2(os) => {
+                let h = os.insert_object(&schema, &tuple)?;
+                ObjectHandleOrTid::Handle(h)
+            }
+            TableStorage::Flat(fs) => ObjectHandleOrTid::Tid(fs.insert(&tuple)?),
+        };
+        // Maintain indexes and text indexes.
+        if let ObjectHandleOrTid::Handle(h) = key {
+            Self::index_all(entry, &schema, h)?;
+        }
+        Self::text_index_row(entry, &schema, key, Some(&value_for_versions));
+        // Version recording (flat rows version under their TID-derived
+        // handle — a TID is exactly as stable as an object handle here).
+        if let Some(v) = &mut entry.versions {
+            let h = match key {
+                ObjectHandleOrTid::Handle(h) => h,
+                ObjectHandleOrTid::Tid(tid) => ObjectHandle(tid),
+            };
+            v.record_state(h, self.today, value_for_versions);
+        }
+        Ok(key)
+    }
+
+    fn update_stmt(&mut self, up: &ast::Update) -> Result<ExecResult> {
+        let matches = self.collect_matches(&up.from, up.where_.as_ref())?;
+        let root_table = root_table_name(&up.from)?;
+        let mut count = 0;
+        for m in &matches {
+            // Group SET items per target variable so multiple assignments
+            // to the same (sub)object compose instead of clobbering each
+            // other's writes.
+            let mut var_order: Vec<&String> = Vec::new();
+            for (var, _, _) in &up.set {
+                if !var_order.contains(&var) {
+                    var_order.push(var);
+                }
+            }
+            for var in var_order {
+                let (_, frame_tuple, loc, level_schema) = locate_var(m, var)?;
+                match (m.handle, m.flat_tid) {
+                    (Some(handle), _) => {
+                        let mut atoms: Vec<Atom> = frame_tuple
+                            .atomic_fields(&level_schema)
+                            .into_iter()
+                            .cloned()
+                            .collect();
+                        for (v, path, lit) in &up.set {
+                            if v != var {
+                                continue;
+                            }
+                            let (pos, new_atom) =
+                                set_item(&level_schema, var, path, lit)?;
+                            atoms[pos] = new_atom;
+                            count += 1;
+                        }
+                        let loc = loc.clone();
+                        self.mutate_object(&root_table, handle, |schema, os| {
+                            os.update_atoms(schema, handle, &loc, &atoms)
+                                .map_err(Into::into)
+                        })?;
+                    }
+                    (None, Some(tid)) => {
+                        let mut t = frame_tuple.clone();
+                        for (v, path, lit) in &up.set {
+                            if v != var {
+                                continue;
+                            }
+                            let attr = single_segment(path)?;
+                            let attr_idx =
+                                level_schema.attr_index(&attr).ok_or_else(|| {
+                                    DbError::Catalog(format!("no attribute {attr} at {var}"))
+                                })?;
+                            let (_, new_atom) = set_item(&level_schema, var, path, lit)?;
+                            t.fields[attr_idx] = Value::Atom(new_atom);
+                            count += 1;
+                        }
+                        let today = self.today;
+                        let entry = self.catalog.require_mut(&root_table)?;
+                        match &mut entry.storage {
+                            TableStorage::Flat(fs) => fs.update(tid, &t)?,
+                            TableStorage::Nf2(_) => unreachable!(),
+                        }
+                        if let Some(v) = &mut entry.versions {
+                            v.record_state(ObjectHandle(tid), today, t);
+                        }
+                    }
+                    _ => unreachable!("match has a key"),
+                }
+            }
+        }
+        Ok(ExecResult::Count(count))
+    }
+
+    fn delete_stmt(&mut self, del: &ast::Delete) -> Result<ExecResult> {
+        let matches = self.collect_matches(&del.from, del.where_.as_ref())?;
+        let root_table = root_table_name(&del.from)?;
+        let root_var = &del.from[0].var;
+        let mut count = 0;
+        if &del.var == root_var {
+            // Whole-object deletes; deduplicate handles (a multi-binding
+            // FROM can qualify the same object repeatedly).
+            let mut seen = Vec::new();
+            for m in &matches {
+                match (m.handle, m.flat_tid) {
+                    (Some(h), _) if !seen.contains(&h.0) => {
+                        seen.push(h.0);
+                        self.delete_object(&root_table, h)?;
+                        count += 1;
+                    }
+                    (None, Some(tid)) if !seen.contains(&tid) => {
+                        seen.push(tid);
+                        let today = self.today;
+                        let entry = self.catalog.require_mut(&root_table)?;
+                        if let TableStorage::Flat(fs) = &mut entry.storage {
+                            fs.delete(tid)?;
+                        }
+                        if let Some(v) = &mut entry.versions {
+                            v.record_delete(ObjectHandle(tid), today);
+                        }
+                        count += 1;
+                    }
+                    _ => {}
+                }
+            }
+        } else {
+            // Element deletes: group by (handle, parent loc, attr) and
+            // delete in descending element order so ordinals stay valid.
+            let mut targets: Vec<(ObjectHandle, ElemLoc, usize, usize)> = Vec::new();
+            for m in &matches {
+                let (_, _, loc, _) = locate_var(m, &del.var)?;
+                let handle = m.handle.ok_or_else(|| {
+                    DbError::Catalog("element delete requires an NF² table".into())
+                })?;
+                let Some(&(attr_idx, elem_idx)) = loc.steps.last() else {
+                    return Err(DbError::Catalog(format!(
+                        "`{}` does not identify a subtable element",
+                        del.var
+                    )));
+                };
+                let parent = ElemLoc {
+                    steps: loc.steps[..loc.steps.len() - 1].to_vec(),
+                };
+                if !targets
+                    .iter()
+                    .any(|(h, p, a, e)| *h == handle && p == &parent && *a == attr_idx && *e == elem_idx)
+                {
+                    targets.push((handle, parent, attr_idx, elem_idx));
+                }
+            }
+            targets.sort_by_key(|t| std::cmp::Reverse(t.3)); // descending elem idx
+            for (handle, parent, attr_idx, elem_idx) in targets {
+                self.mutate_object(&root_table, handle, |schema, os| {
+                    os.delete_element(schema, handle, &parent, attr_idx, elem_idx)
+                        .map_err(Into::into)
+                })?;
+                count += 1;
+            }
+        }
+        Ok(ExecResult::Count(count))
+    }
+
+    /// Delete one whole object, maintaining indexes, text docs, and
+    /// versions.
+    pub fn delete_object(&mut self, table: &str, handle: ObjectHandle) -> Result<()> {
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        Self::unindex_all(entry, &schema, handle)?;
+        for tix in &mut entry.text_indexes {
+            tix.index.remove_document(doc_id(handle.0));
+        }
+        let os = entry.nf2_mut()?;
+        os.delete_object(handle)?;
+        if let Some(v) = &mut entry.versions {
+            v.record_delete(handle, self.today);
+        }
+        Ok(())
+    }
+
+    /// Apply a mutation to one object with index/text/version
+    /// maintenance wrapped around it.
+    fn mutate_object(
+        &mut self,
+        table: &str,
+        handle: ObjectHandle,
+        f: impl FnOnce(&TableSchema, &mut ObjectStore) -> Result<()>,
+    ) -> Result<()> {
+        let today = self.today;
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        Self::unindex_all(entry, &schema, handle)?;
+        {
+            let os = entry.nf2_mut()?;
+            f(&schema, os)?;
+        }
+        Self::index_all(entry, &schema, handle)?;
+        let new_state = entry.nf2_mut()?.read_object(&schema, handle)?;
+        Self::text_index_row(
+            entry,
+            &schema,
+            ObjectHandleOrTid::Handle(handle),
+            Some(&new_state),
+        );
+        if let Some(v) = &mut entry.versions {
+            v.record_state(handle, today, new_state);
+        }
+        Ok(())
+    }
+
+    fn unindex_all(entry: &mut TableEntry, schema: &TableSchema, h: ObjectHandle) -> Result<()> {
+        let TableEntry {
+            storage, indexes, ..
+        } = entry;
+        if let TableStorage::Nf2(os) = storage {
+            for ie in indexes {
+                ie.index.unindex_object(os, schema, h)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn index_all(entry: &mut TableEntry, schema: &TableSchema, h: ObjectHandle) -> Result<()> {
+        let TableEntry {
+            storage, indexes, ..
+        } = entry;
+        if let TableStorage::Nf2(os) = storage {
+            for ie in indexes {
+                ie.index.index_object(os, schema, h)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn text_index_row(
+        entry: &mut TableEntry,
+        schema: &TableSchema,
+        key: ObjectHandleOrTid,
+        state: Option<&Tuple>,
+    ) {
+        if entry.text_indexes.is_empty() {
+            return;
+        }
+        let id = match key {
+            ObjectHandleOrTid::Handle(h) => doc_id(h.0),
+            ObjectHandleOrTid::Tid(t) => doc_id(t),
+        };
+        for tix in &mut entry.text_indexes {
+            match state {
+                Some(tuple) => {
+                    let atoms: Vec<Atom> = tuple.atomic_fields(schema).into_iter().cloned().collect();
+                    if let Some(text) = text_of(schema, &tix.attr, &atoms) {
+                        tix.index.add_document(id, &text);
+                    }
+                }
+                None => tix.index.remove_document(id),
+            }
+        }
+    }
+
+    // =================================================================
+    // DML binding enumeration
+    // =================================================================
+
+    /// Enumerate qualifying binding combinations for DML.
+    fn collect_matches(
+        &mut self,
+        from: &[Binding],
+        where_: Option<&ast::Expr>,
+    ) -> Result<Vec<DmlMatch>> {
+        if from.is_empty() {
+            return Err(DbError::Catalog("DML requires a FROM binding".into()));
+        }
+        let root = &from[0];
+        let Source::Table(table) = &root.source else {
+            return Err(DbError::Catalog(
+                "the first DML binding must range over a stored table".into(),
+            ));
+        };
+        if from.iter().any(|b| b.asof.is_some()) {
+            return Err(DbError::Catalog("DML cannot target ASOF states".into()));
+        }
+        for (i, b) in from.iter().enumerate() {
+            if from[..i].iter().any(|p| p.var == b.var) {
+                return Err(DbError::Catalog(format!(
+                    "duplicate DML binding variable `{}`",
+                    b.var
+                )));
+            }
+        }
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        // Materialize root rows with their identities.
+        let mut roots: Vec<(Option<ObjectHandle>, Option<Tid>, Tuple)> = Vec::new();
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => {
+                for h in os.handles()? {
+                    roots.push((Some(h), None, os.read_object(&schema, h)?));
+                }
+            }
+            TableStorage::Flat(fs) => {
+                for tid in fs.tids().to_vec() {
+                    roots.push((None, Some(tid), fs.read(tid)?));
+                }
+            }
+        }
+        // Expand the binding chain into combinations with element locs.
+        let mut combos: Vec<DmlMatch> = Vec::new();
+        for (handle, flat_tid, tuple) in roots {
+            let seed = DmlMatch {
+                handle,
+                flat_tid,
+                frames: vec![(root.var.clone(), schema.clone(), tuple)],
+                locs: vec![(root.var.clone(), ElemLoc::object())],
+            };
+            expand_bindings(&from[1..], seed, &mut combos)?;
+        }
+        // Filter by predicate.
+        match where_ {
+            None => Ok(combos),
+            Some(pred) => {
+                let mut out = Vec::new();
+                for m in combos {
+                    let keep = Evaluator::new(self).eval_predicate(&m.frames, pred)?;
+                    if keep {
+                        out.push(m);
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Identity of an inserted row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectHandleOrTid {
+    Handle(ObjectHandle),
+    Tid(Tid),
+}
+
+impl ObjectHandleOrTid {
+    /// The NF² object handle, if applicable.
+    pub fn handle(self) -> Option<ObjectHandle> {
+        match self {
+            ObjectHandleOrTid::Handle(h) => Some(h),
+            ObjectHandleOrTid::Tid(_) => None,
+        }
+    }
+}
+
+fn expand_bindings(
+    rest: &[Binding],
+    m: DmlMatch,
+    out: &mut Vec<DmlMatch>,
+) -> Result<()> {
+    let Some((b, tail)) = rest.split_first() else {
+        out.push(m);
+        return Ok(());
+    };
+    let Source::PathOf { var, path } = &b.source else {
+        return Err(DbError::Catalog(
+            "secondary DML bindings must range over attributes of earlier variables".into(),
+        ));
+    };
+    let (_, level_schema, tuple, loc) = {
+        let (v, t, l, s) = locate_var(&m, var)?;
+        (v, s, t.clone(), l)
+    };
+    let attr = single_segment(path)?;
+    let attr_idx = level_schema
+        .attr_index(&attr)
+        .ok_or_else(|| DbError::Catalog(format!("no attribute {attr} at {var}")))?;
+    let sub_schema = level_schema.attrs[attr_idx]
+        .kind
+        .as_table()
+        .ok_or_else(|| DbError::Catalog(format!("{attr} is not a subtable")))?
+        .clone();
+    let Some(Value::Table(tv)) = tuple.fields.get(attr_idx) else {
+        return Err(DbError::Catalog("schema/value mismatch".into()));
+    };
+    for (i, elem) in tv.tuples.iter().enumerate() {
+        let mut next = DmlMatch {
+            handle: m.handle,
+            flat_tid: m.flat_tid,
+            frames: m.frames.clone(),
+            locs: m.locs.clone(),
+        };
+        next.frames
+            .push((b.var.clone(), sub_schema.clone(), elem.clone()));
+        next.locs
+            .push((b.var.clone(), loc.clone().then(attr_idx, i)));
+        expand_bindings(tail, next, out)?;
+    }
+    Ok(())
+}
+
+/// Find a variable's frame, loc, and schema level within a match.
+fn locate_var<'m>(
+    m: &'m DmlMatch,
+    var: &str,
+) -> Result<(String, &'m Tuple, ElemLoc, TableSchema)> {
+    let frame = m
+        .frames
+        .iter()
+        .find(|(v, _, _)| v == var)
+        .ok_or_else(|| DbError::Catalog(format!("unknown variable `{var}` in DML")))?;
+    let loc = m
+        .locs
+        .iter()
+        .find(|(v, _)| v == var)
+        .map(|(_, l)| l.clone())
+        .expect("frame implies loc");
+    Ok((var.to_string(), &frame.2, loc, frame.1.clone()))
+}
+
+/// Resolve one SET item against a schema level: the position of the
+/// target attribute among the level's atomic attributes, and the coerced
+/// new atom.
+fn set_item(
+    level_schema: &TableSchema,
+    var: &str,
+    path: &Path,
+    lit: &ast::Lit,
+) -> Result<(usize, Atom)> {
+    let attr = single_segment(path)?;
+    let attr_idx = level_schema
+        .attr_index(&attr)
+        .ok_or_else(|| DbError::Catalog(format!("no attribute {attr} at {var}")))?;
+    let AttrKind::Atomic(ty) = level_schema.attrs[attr_idx].kind else {
+        return Err(DbError::Catalog(format!(
+            "SET targets atomic attributes; {attr} is a subtable"
+        )));
+    };
+    let new_atom = match (lit, ty) {
+        (ast::Lit::Str(s), AtomType::Date) => Atom::Date(Date::parse_iso(s)?),
+        (ast::Lit::Str(s), AtomType::Text) => Atom::Text(s.clone()),
+        _ => aim2_exec::value::lit_atom(lit)?,
+    }
+    .coerce(ty)?;
+    let pos = level_schema
+        .atomic_indices()
+        .iter()
+        .position(|&i| i == attr_idx)
+        .expect("atomic attr");
+    Ok((pos, new_atom))
+}
+
+fn single_segment(path: &Path) -> Result<String> {
+    match path.segments() {
+        [one] => Ok(one.clone()),
+        _ => Err(DbError::Catalog(format!(
+            "`{path}`: bind intermediate subtables with their own variables"
+        ))),
+    }
+}
+
+fn root_table_name(from: &[Binding]) -> Result<String> {
+    match from.first().map(|b| &b.source) {
+        Some(Source::Table(t)) => Ok(t.clone()),
+        _ => Err(DbError::Catalog(
+            "the first DML binding must range over a stored table".into(),
+        )),
+    }
+}
+
+fn text_of(schema: &TableSchema, attr: &Path, first_level_atoms: &[Atom]) -> Option<String> {
+    let idx = schema.attr_index(&attr.segments()[0])?;
+    let pos = schema.atomic_indices().iter().position(|&i| i == idx)?;
+    first_level_atoms
+        .get(pos)
+        .and_then(|a| a.as_str())
+        .map(str::to_string)
+}
+
+fn doc_id(tid: Tid) -> u64 {
+    ((tid.page.0 as u64) << 16) | tid.slot.0 as u64
+}
+
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn split_statements(sql: &str) -> Vec<String> {
+    // Split on `;` outside string literals.
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for ch in sql.chars() {
+        match ch {
+            '\'' => {
+                in_str = !in_str;
+                cur.push(ch);
+            }
+            ';' if !in_str => {
+                if !cur.trim().is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                } else {
+                    cur.clear();
+                }
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn build_schema(name: &str, kind: TableKind, decls: &[AttrDecl]) -> Result<TableSchema> {
+    let mut attrs = Vec::with_capacity(decls.len());
+    for d in decls {
+        match d {
+            AttrDecl::Atomic { name, ty } => {
+                let ty = AtomType::parse_keyword(ty)
+                    .ok_or_else(|| DbError::Catalog(format!("unknown type `{ty}`")))?;
+                attrs.push(aim2_model::AttrDef::atomic(name.clone(), ty));
+            }
+            AttrDecl::Table {
+                name,
+                ordered,
+                attrs: inner,
+            } => {
+                let sub_kind = if *ordered {
+                    TableKind::List
+                } else {
+                    TableKind::Relation
+                };
+                let sub = build_schema(name, sub_kind, inner)?;
+                attrs.push(aim2_model::AttrDef::table(name.clone(), sub));
+            }
+        }
+    }
+    TableSchema::new(name, kind, attrs).map_err(DbError::Model)
+}
+
+// =====================================================================
+// Access-path selection (the §4.2 machinery applied to whole queries)
+// =====================================================================
+
+impl Database {
+    /// A description of the access path chosen for the last query
+    /// ("full scan of DEPARTMENTS" / "index f: 3 candidates of 200").
+    pub fn last_plan(&self) -> &str {
+        &self.last_plan
+    }
+
+    /// Describe the access path a query would take, without running it:
+    /// the chosen index restriction (if any) and, per stored-table
+    /// binding, which subtable paths partial retrieval will skip.
+    pub fn explain_query(&mut self, q: &ast::Query) -> Result<String> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match self.pick_index_restriction(q)? {
+            Some((_, _, plan)) => {
+                let _ = writeln!(out, "access path: {plan}");
+            }
+            None => {
+                let _ = writeln!(out, "access path: full scan");
+            }
+        }
+        let refs = aim2_exec::analysis::referenced_paths(q);
+        for b in &q.from {
+            let Source::Table(table) = &b.source else {
+                continue;
+            };
+            let Ok(schema) = self.schema(table) else {
+                continue;
+            };
+            let Some(r) = refs.get(&b.var) else { continue };
+            let mut kept = Vec::new();
+            let mut pruned = Vec::new();
+            for (path, _) in schema.walk_subtables() {
+                if path.is_root() {
+                    continue;
+                }
+                if r.keep(&path) {
+                    kept.push(path.to_string());
+                } else {
+                    pruned.push(path.to_string());
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{} IN {table}: reads [{}]{}",
+                b.var,
+                kept.join(", "),
+                if pruned.is_empty() {
+                    String::new()
+                } else {
+                    format!("; partial retrieval skips [{}]", pruned.join(", "))
+                }
+            );
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    /// Evaluate a query, using an attribute index to pre-restrict the
+    /// candidate objects when one applies (§4.2's point: hierarchical
+    /// index addresses identify the qualifying objects; the evaluator
+    /// then re-checks the full predicate on that superset).
+    fn run_query(&mut self, q: &ast::Query) -> Result<(TableSchema, TableValue)> {
+        self.last_plan = "full scan".to_string();
+        if let Some((table, handles, plan)) = self.pick_index_restriction(q)? {
+            self.last_plan = plan;
+            let mut provider = RestrictedProvider {
+                db: self,
+                table,
+                handles,
+            };
+            let out = Evaluator::new(&mut provider).eval_query(q)?;
+            return Ok(out);
+        }
+        Ok(Evaluator::new(self).eval_query(q)?)
+    }
+
+    /// If the query has a single stored-table binding whose WHERE
+    /// contains an indexed equality condition, return the candidate
+    /// handles from the index (a superset of the qualifying objects).
+    fn pick_index_restriction(
+        &mut self,
+        q: &ast::Query,
+    ) -> Result<Option<(String, Vec<ObjectHandle>, String)>> {
+        // Exactly one stored-table binding (no ASOF), so every condition
+        // unambiguously constrains that table's objects.
+        let mut table_bindings = q
+            .from
+            .iter()
+            .filter(|b| matches!(b.source, Source::Table(_)));
+        let (Some(first), None) = (table_bindings.next(), table_bindings.next()) else {
+            return Ok(None);
+        };
+        if first.asof.is_some() {
+            return Ok(None);
+        }
+        let Source::Table(table) = &first.source else {
+            unreachable!()
+        };
+        let Some(where_) = &q.where_ else {
+            return Ok(None);
+        };
+        let conditions = aim2_exec::planner::indexable_conditions(where_);
+        let text_conditions = contains_conditions(where_, &first.var);
+        if conditions.is_empty() && text_conditions.is_empty() {
+            return Ok(None);
+        }
+        let Some(entry) = self.catalog.get_mut(table) else {
+            return Ok(None);
+        };
+        let total = match &mut entry.storage {
+            TableStorage::Nf2(os) => os.handles()?.len(),
+            TableStorage::Flat(_) => return Ok(None),
+        };
+        for (path, key) in &conditions {
+            for ie in &mut entry.indexes {
+                if &ie.index.attr_path() == path {
+                    let addrs = ie.index.lookup(key)?;
+                    let mut handles: Vec<ObjectHandle> = addrs
+                        .iter()
+                        .filter_map(|a| a.root().map(ObjectHandle))
+                        .collect();
+                    if handles.len() != addrs.len() {
+                        continue; // data-TID scheme: roots unknown
+                    }
+                    handles.sort();
+                    handles.dedup();
+                    let plan = format!(
+                        "index {} on {table}({path}) = {key}: {} candidate object(s) of {total}",
+                        ie.name,
+                        handles.len()
+                    );
+                    return Ok(Some((table.clone(), handles, plan)));
+                }
+            }
+        }
+        // §5: "(the query) will be supported by the text index in case
+        // that one has been created on TITLE" — a top-level CONTAINS
+        // conjunct restricts candidates via the word-fragment index.
+        for (attr, mask) in &text_conditions {
+            let Some(tix) = entry.text_indexes.iter().find(|t| &t.attr == attr) else {
+                continue;
+            };
+            let pattern = aim2_text::Pattern::parse(mask);
+            let (hits, _) = tix.index.search(&pattern);
+            let TableStorage::Nf2(os) = &mut entry.storage else {
+                continue;
+            };
+            let mut handles: Vec<ObjectHandle> = Vec::new();
+            for h in os.handles()? {
+                if hits.contains(&doc_id(h.0)) {
+                    handles.push(h);
+                }
+            }
+            let plan = format!(
+                "text index {} on {table}({attr}) CONTAINS '{mask}': {} candidate object(s) of {total}",
+                tix.name,
+                handles.len()
+            );
+            return Ok(Some((table.clone(), handles, plan)));
+        }
+        Ok(None)
+    }
+}
+
+/// Top-level `var.attr CONTAINS 'mask'` conjuncts of a WHERE clause.
+fn contains_conditions(expr: &ast::Expr, root_var: &str) -> Vec<(Path, String)> {
+    fn rec(e: &ast::Expr, root_var: &str, out: &mut Vec<(Path, String)>) {
+        match e {
+            ast::Expr::And(a, b) => {
+                rec(a, root_var, out);
+                rec(b, root_var, out);
+            }
+            ast::Expr::Contains { expr, pattern } => {
+                if let ast::Expr::PathRef { var, path } = expr.as_ref() {
+                    if var == root_var && path.len() == 1 {
+                        out.push((path.clone(), pattern.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = Vec::new();
+    rec(expr, root_var, &mut out);
+    out
+}
+
+/// Provider that restricts one table's scan to candidate objects chosen
+/// by an index (everything else delegates to the database).
+struct RestrictedProvider<'a> {
+    db: &'a mut Database,
+    table: String,
+    handles: Vec<ObjectHandle>,
+}
+
+impl TableProvider for RestrictedProvider<'_> {
+    fn table_schema(&mut self, name: &str) -> aim2_exec::Result<TableSchema> {
+        self.db.table_schema(name)
+    }
+
+    fn scan_table(
+        &mut self,
+        name: &str,
+        asof: Option<Date>,
+        keep: Option<&dyn Fn(&Path) -> bool>,
+    ) -> aim2_exec::Result<TableValue> {
+        if name != self.table || asof.is_some() {
+            return self.db.scan_table(name, asof, keep);
+        }
+        let entry = self
+            .db
+            .catalog
+            .get_mut(name)
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))?;
+        let schema = entry.schema.clone();
+        let os = match &mut entry.storage {
+            TableStorage::Nf2(os) => os,
+            TableStorage::Flat(_) => {
+                return Err(aim2_exec::ExecError::Semantic(
+                    "restricted scan over flat table".into(),
+                ))
+            }
+        };
+        let mut tuples = Vec::with_capacity(self.handles.len());
+        for h in &self.handles {
+            let t = match keep {
+                Some(pred) => os.read_object_projected(&schema, *h, pred),
+                None => os.read_object(&schema, *h),
+            }
+            .map_err(aim2_exec::ExecError::Storage)?;
+            tuples.push(t);
+        }
+        Ok(TableValue {
+            kind: schema.kind,
+            tuples,
+        })
+    }
+}
+
+// =====================================================================
+// The evaluator's table provider
+// =====================================================================
+
+impl TableProvider for Database {
+    fn table_schema(&mut self, name: &str) -> aim2_exec::Result<TableSchema> {
+        self.catalog
+            .get(name)
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))
+    }
+
+    fn scan_table(
+        &mut self,
+        name: &str,
+        asof: Option<Date>,
+        keep: Option<&dyn Fn(&Path) -> bool>,
+    ) -> aim2_exec::Result<TableValue> {
+        let entry = self
+            .catalog
+            .get_mut(name)
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))?;
+        if let Some(t) = asof {
+            let versions = entry.versions.as_ref().ok_or_else(|| {
+                aim2_exec::ExecError::Semantic(format!(
+                    "table {name} was not declared WITH VERSIONS"
+                ))
+            })?;
+            return Ok(versions.table_asof(t));
+        }
+        let schema = entry.schema.clone();
+        match &mut entry.storage {
+            TableStorage::Flat(fs) => fs.scan(&schema).map_err(Into::into),
+            TableStorage::Nf2(os) => {
+                let mut tuples = Vec::new();
+                for h in os.handles().map_err(aim2_exec::ExecError::Storage)? {
+                    let t = match keep {
+                        Some(pred) => os.read_object_projected(&schema, h, pred),
+                        None => os.read_object(&schema, h),
+                    }
+                    .map_err(aim2_exec::ExecError::Storage)?;
+                    tuples.push(t);
+                }
+                Ok(TableValue {
+                    kind: schema.kind,
+                    tuples,
+                })
+            }
+        }
+    }
+}
+
+impl Database {
+    /// The active configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    pub(crate) fn seg_counter(&self) -> u32 {
+        self.seg_counter
+    }
+
+    pub(crate) fn set_seg_counter(&mut self, v: u32) {
+        self.seg_counter = v;
+    }
+
+    pub(crate) fn open_segment_pub(&self, name: &str) -> Result<Segment> {
+        self.open_segment(name)
+    }
+
+    /// Flush one table's buffer pools (table segment + its indexes).
+    pub(crate) fn flush_table(&mut self, name: &str) -> Result<()> {
+        let entry = self.catalog.require_mut(name)?;
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => os.segment_mut().pool_mut().flush_all()?,
+            TableStorage::Flat(fs) => fs.segment_mut().pool_mut().flush_all()?,
+        }
+        for ie in &mut entry.indexes {
+            ie.index.segment_mut().pool_mut().flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// (Re)build a text index over a table's current rows (catalog
+    /// reload; text indexes are derived state).
+    pub(crate) fn rebuild_text_index(
+        &mut self,
+        table: &str,
+        name: &str,
+        attr: &Path,
+    ) -> Result<()> {
+        self.create_text_index(name, table, attr)?;
+        Ok(())
+    }
+
+    /// Direct access to a table's NF² object store (benches, planner).
+    pub fn object_store_mut(&mut self, table: &str) -> Result<&mut ObjectStore> {
+        self.catalog.require_mut(table)?.nf2_mut()
+    }
+
+    /// Direct access to a named attribute index (benches, planner).
+    pub fn index_mut(&mut self, table: &str, index_name: &str) -> Result<&mut NfIndex> {
+        let entry = self.catalog.require_mut(table)?;
+        entry
+            .indexes
+            .iter_mut()
+            .find(|i| i.name == index_name)
+            .map(|i| &mut i.index)
+            .ok_or_else(|| DbError::Catalog(format!("no such index: {index_name}")))
+    }
+
+    /// A table's schema.
+    pub fn schema(&self, table: &str) -> Result<TableSchema> {
+        self.catalog
+            .get(table)
+            .map(|t| t.schema.clone())
+            .ok_or_else(|| DbError::Catalog(format!("no such table: {table}")))
+    }
+
+    /// Handles of an NF² table's objects.
+    pub fn handles(&mut self, table: &str) -> Result<Vec<ObjectHandle>> {
+        Ok(self.catalog.require_mut(table)?.nf2_mut()?.handles()?)
+    }
+
+    /// The version store of a versioned table (walk-through-time lives
+    /// at this API level, as in the paper).
+    pub fn versions(&self, table: &str) -> Result<&VersionedTable> {
+        self.catalog
+            .get(table)
+            .ok_or_else(|| DbError::Catalog(format!("no such table: {table}")))?
+            .versions
+            .as_ref()
+            .ok_or_else(|| DbError::Catalog(format!("table {table} is not versioned")))
+    }
+}

@@ -1,0 +1,77 @@
+//! Facade-level errors.
+
+use std::fmt;
+
+/// Anything that can go wrong executing a statement.
+#[derive(Debug)]
+pub enum DbError {
+    Parse(aim2_lang::ParseError),
+    Exec(aim2_exec::ExecError),
+    Storage(aim2_storage::StorageError),
+    Index(aim2_index::IndexError),
+    Model(aim2_model::ModelError),
+    /// Catalog-level problems (duplicate table, unknown table, bad DDL
+    /// option, mutating a read path, ...).
+    Catalog(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "{e}"),
+            DbError::Exec(e) => write!(f, "{e}"),
+            DbError::Storage(e) => write!(f, "{e}"),
+            DbError::Index(e) => write!(f, "{e}"),
+            DbError::Model(e) => write!(f, "{e}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Parse(e) => Some(e),
+            DbError::Exec(e) => Some(e),
+            DbError::Storage(e) => Some(e),
+            DbError::Index(e) => Some(e),
+            DbError::Model(e) => Some(e),
+            DbError::Catalog(_) => None,
+        }
+    }
+}
+
+impl From<aim2_lang::ParseError> for DbError {
+    fn from(e: aim2_lang::ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+impl From<aim2_exec::ExecError> for DbError {
+    fn from(e: aim2_exec::ExecError) -> Self {
+        DbError::Exec(e)
+    }
+}
+impl From<aim2_storage::StorageError> for DbError {
+    fn from(e: aim2_storage::StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+impl From<aim2_index::IndexError> for DbError {
+    fn from(e: aim2_index::IndexError) -> Self {
+        DbError::Index(e)
+    }
+}
+impl From<aim2_model::ModelError> for DbError {
+    fn from(e: aim2_model::ModelError) -> Self {
+        DbError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display_catalog() {
+        let e = super::DbError::Catalog("duplicate table T".into());
+        assert!(e.to_string().contains("duplicate table"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # aim2 — the integrated AIM-II DBMS facade
+//!
+//! Ties the reproduction together the way the prototype's run-time
+//! system did: a [`Database`] owns the catalog and, per table, its
+//! storage (an SS1/SS2/SS3 [`aim2_storage::object::ObjectStore`] for NF²
+//! tables, a flat heap for 1NF tables), its attribute indexes
+//! ([`aim2_index::NfIndex`], hierarchical addressing by default), its
+//! text indexes (§5), and its version store (`WITH VERSIONS`, §5).
+//!
+//! The whole language runs through [`Database::execute`]:
+//!
+//! ```
+//! use aim2::Database;
+//! let mut db = Database::in_memory();
+//! db.execute("CREATE TABLE DEPTS ( DNO INTEGER, \
+//!             PROJECTS { PNO INTEGER, PNAME STRING } )").unwrap();
+//! db.execute("INSERT INTO DEPTS VALUES (314, {(17, 'CGA')})").unwrap();
+//! let result = db.execute("SELECT x.DNO FROM x IN DEPTS \
+//!                          WHERE EXISTS y IN x.PROJECTS : y.PNO = 17").unwrap();
+//! assert_eq!(result.into_table().unwrap().1.len(), 1);
+//! ```
+
+pub mod catalog;
+pub mod database;
+pub mod error;
+pub mod persist;
+
+pub use database::{Database, DbConfig, ExecResult};
+pub use error::DbError;
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DbError>;

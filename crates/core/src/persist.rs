@@ -1,0 +1,409 @@
+//! Catalog persistence: checkpoint and reopen file-backed databases.
+//!
+//! [`Database::checkpoint`] flushes every buffer pool and writes a
+//! catalog file (`catalog.aim2`) into the data directory; a later
+//! [`Database::open`] re-attaches the stores, indexes, and version
+//! chains. Schemas are persisted as their own DDL text (the language
+//! roundtrips, so the DDL *is* the catalog's schema record); runtime
+//! state (directory pages, free pages, flat TID lists, B+-tree roots,
+//! version chains) is written in the engine's own binary encoding. Text
+//! indexes are rebuilt from stored data at open (they are derived
+//! state).
+//!
+//! Consistency model: the checkpoint is taken with mutations quiesced
+//! (the engine is single-user, like the 1986 prototype). The catalog
+//! file is replaced atomically (write + rename); a crash between data
+//! flushes and the rename leaves the previous catalog in charge, whose
+//! roots remain readable because slots are tombstoned, never reused for
+//! different records within a checkpoint epoch. Objects deleted after
+//! the last checkpoint surface as dangling handles on such a reopen —
+//! recovering from mid-epoch crashes beyond this (a WAL) is outside the
+//! paper's scope.
+
+use crate::catalog::{IndexEntry, TableEntry, TableStorage};
+use crate::database::{Database, DbConfig};
+use crate::error::DbError;
+use crate::Result;
+use aim2_index::address::Scheme;
+use aim2_index::NfIndex;
+use aim2_lang::ast::Stmt;
+use aim2_lang::parser::parse_stmt;
+use aim2_model::encode::{decode_tuple, encode_tuple};
+use aim2_model::{AttrKind, Date, Path, TableKind, TableSchema};
+use aim2_storage::flatstore::FlatStore;
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::{ObjectHandle, ObjectStore};
+use aim2_storage::tid::{PageId, SlotNo, Tid};
+use aim2_time::{VersionChain, VersionedTable};
+
+const MAGIC: &[u8; 8] = b"AIM2CAT1";
+
+/// The catalog file name inside the data directory.
+pub const CATALOG_FILE: &str = "catalog.aim2";
+
+// ---------------------------------------------------------------------
+// Byte-level helpers
+// ---------------------------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_tid(out: &mut Vec<u8>, t: Tid) {
+    t.encode(out);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn err(msg: &str) -> DbError {
+        DbError::Catalog(format!("corrupt catalog file: {msg}"))
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| Self::err("truncated"))?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let b = self.bytes(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| Self::err("bad UTF-8"))
+    }
+
+    fn tid(&mut self) -> Result<Tid> {
+        let b = self.bytes(Tid::ENCODED_LEN)?;
+        let mut pos = 0;
+        Tid::decode(b, &mut pos).ok_or_else(|| Self::err("bad TID"))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+fn scheme_code(s: Scheme) -> u8 {
+    match s {
+        Scheme::DataTid => 0,
+        Scheme::RootTid => 1,
+        Scheme::MdPath => 2,
+        Scheme::Hierarchical => 3,
+    }
+}
+
+fn scheme_from(c: u8) -> Result<Scheme> {
+    Ok(match c {
+        0 => Scheme::DataTid,
+        1 => Scheme::RootTid,
+        2 => Scheme::MdPath,
+        3 => Scheme::Hierarchical,
+        _ => return Err(Reader::err("bad scheme code")),
+    })
+}
+
+/// Render a schema back to the DDL that creates it (the parser/printer
+/// roundtrip makes the DDL the canonical schema serialization).
+pub fn schema_to_ddl(schema: &TableSchema, layout: LayoutKind, versioned: bool) -> String {
+    fn attrs(s: &TableSchema, out: &mut String) {
+        for (i, a) in s.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match &a.kind {
+                AttrKind::Atomic(ty) => {
+                    out.push_str(&a.name);
+                    out.push(' ');
+                    out.push_str(&ty.to_string());
+                }
+                AttrKind::Table(sub) => {
+                    out.push_str(&a.name);
+                    out.push_str(if sub.kind == TableKind::List { " < " } else { " { " });
+                    attrs(sub, out);
+                    out.push_str(if sub.kind == TableKind::List { " >" } else { " }" });
+                }
+            }
+        }
+    }
+    let mut out = format!(
+        "CREATE {} {} ( ",
+        if schema.kind == TableKind::List {
+            "LIST"
+        } else {
+            "TABLE"
+        },
+        schema.name
+    );
+    attrs(schema, &mut out);
+    out.push_str(" )");
+    out.push_str(match layout {
+        LayoutKind::Ss1 => " USING SS1",
+        LayoutKind::Ss2 => " USING SS2",
+        LayoutKind::Ss3 => " USING SS3",
+    });
+    if versioned {
+        out.push_str(" WITH VERSIONS");
+    }
+    out
+}
+
+impl Database {
+    /// Flush all buffer pools and write the catalog file. Requires a
+    /// file-backed database (a `data_dir`).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        let dir = self
+            .config()
+            .data_dir
+            .clone()
+            .ok_or_else(|| DbError::Catalog("checkpoint requires a data_dir".into()))?;
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, self.seg_counter());
+        let names = self.table_names();
+        put_u32(&mut out, names.len() as u32);
+        for name in &names {
+            self.flush_table(name)?;
+            let entry = self.catalog_mut().require_mut(name)?;
+            put_str(&mut out, &schema_to_ddl(&entry.schema, entry.layout, entry.versions.is_some()));
+            put_str(
+                &mut out,
+                entry
+                    .seg_file
+                    .as_deref()
+                    .ok_or_else(|| DbError::Catalog("table segment has no file".into()))?,
+            );
+            match &entry.storage {
+                TableStorage::Flat(fs) => {
+                    out.push(0);
+                    put_u32(&mut out, fs.tids().len() as u32);
+                    for t in fs.tids() {
+                        put_tid(&mut out, *t);
+                    }
+                }
+                TableStorage::Nf2(os) => {
+                    out.push(1);
+                    put_u32(&mut out, os.dir_pages().len() as u32);
+                    for p in os.dir_pages() {
+                        put_u32(&mut out, p.0);
+                    }
+                    put_u32(&mut out, os.free_pages().len() as u32);
+                    for p in os.free_pages() {
+                        put_u32(&mut out, p.0);
+                    }
+                }
+            }
+            // Version chains.
+            match &entry.versions {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    let chains: Vec<_> = v.chains().collect();
+                    put_u32(&mut out, chains.len() as u32);
+                    for (h, chain) in chains {
+                        put_tid(&mut out, h.0);
+                        put_u32(&mut out, chain.entries().len() as u32);
+                        for (d, state) in chain.entries() {
+                            out.extend_from_slice(&d.0.to_le_bytes());
+                            match state {
+                                None => out.push(0),
+                                Some(t) => {
+                                    out.push(1);
+                                    let mut tb = Vec::new();
+                                    encode_tuple(t, &mut tb);
+                                    put_u32(&mut out, tb.len() as u32);
+                                    out.extend_from_slice(&tb);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Attribute indexes.
+            put_u32(&mut out, entry.indexes.len() as u32);
+            for ie in &entry.indexes {
+                put_str(&mut out, &ie.name);
+                put_str(&mut out, &ie.index.attr_path().to_string());
+                out.push(scheme_code(ie.index.scheme()));
+                put_str(
+                    &mut out,
+                    ie.seg_file
+                        .as_deref()
+                        .ok_or_else(|| DbError::Catalog("index segment has no file".into()))?,
+                );
+                let (root, order) = ie.index.tree_root();
+                put_tid(&mut out, root);
+                put_u32(&mut out, order as u32);
+            }
+            // Text indexes (rebuilt at open; persist definitions only).
+            put_u32(&mut out, entry.text_indexes.len() as u32);
+            for tix in &entry.text_indexes {
+                put_str(&mut out, &tix.name);
+                put_str(&mut out, &tix.attr.to_string());
+            }
+        }
+        // Atomic write: temp file then rename.
+        let tmp = dir.join(format!("{CATALOG_FILE}.tmp"));
+        std::fs::write(&tmp, &out).map_err(aim2_storage::StorageError::Io)?;
+        std::fs::rename(&tmp, dir.join(CATALOG_FILE)).map_err(aim2_storage::StorageError::Io)?;
+        Ok(())
+    }
+
+    /// Open a previously checkpointed database from `config.data_dir`.
+    pub fn open(config: DbConfig) -> Result<Database> {
+        let dir = config
+            .data_dir
+            .clone()
+            .ok_or_else(|| DbError::Catalog("open requires a data_dir".into()))?;
+        let bytes = std::fs::read(dir.join(CATALOG_FILE)).map_err(aim2_storage::StorageError::Io)?;
+        let mut db = Database::with_config(config);
+        let mut r = Reader::new(&bytes);
+        if r.bytes(8)? != MAGIC {
+            return Err(Reader::err("bad magic"));
+        }
+        let seg_counter = r.u32()?;
+        let ntables = r.u32()?;
+        for _ in 0..ntables {
+            let ddl = r.str()?;
+            let seg_file = r.str()?;
+            let Stmt::CreateTable(ct) = parse_stmt(&ddl)? else {
+                return Err(Reader::err("catalog DDL is not CREATE TABLE"));
+            };
+            let (schema, layout, versioned) = db.schema_from_create(&ct)?;
+            let seg = db.open_segment_pub(&seg_file)?;
+            let storage = match r.u8()? {
+                0 => {
+                    let n = r.u32()? as usize;
+                    let mut tids = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        tids.push(r.tid()?);
+                    }
+                    TableStorage::Flat(FlatStore::reopen(seg, tids))
+                }
+                1 => {
+                    let n = r.u32()? as usize;
+                    let mut dir_pages = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        dir_pages.push(PageId(r.u32()?));
+                    }
+                    let n = r.u32()? as usize;
+                    let mut free_pages = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        free_pages.push(PageId(r.u32()?));
+                    }
+                    TableStorage::Nf2(ObjectStore::reopen(seg, layout, dir_pages, free_pages))
+                }
+                _ => return Err(Reader::err("bad storage kind")),
+            };
+            // Version chains.
+            let versions = match r.u8()? {
+                0 => None,
+                1 => {
+                    let mut vt = VersionedTable::new(schema.kind);
+                    let nchains = r.u32()? as usize;
+                    for _ in 0..nchains {
+                        let handle = ObjectHandle(r.tid()?);
+                        let nentries = r.u32()? as usize;
+                        let mut entries = Vec::with_capacity(nentries);
+                        for _ in 0..nentries {
+                            let d = Date(r.i32()?);
+                            let state = match r.u8()? {
+                                0 => None,
+                                1 => {
+                                    let len = r.u32()? as usize;
+                                    let tb = r.bytes(len)?;
+                                    let mut pos = 0;
+                                    Some(decode_tuple(tb, &mut pos).map_err(DbError::Model)?)
+                                }
+                                _ => return Err(Reader::err("bad chain entry flag")),
+                            };
+                            entries.push((d, state));
+                        }
+                        vt.set_chain(handle, VersionChain::from_entries(entries));
+                    }
+                    Some(vt)
+                }
+                _ => return Err(Reader::err("bad versions flag")),
+            };
+            if !versioned && versions.is_some() {
+                return Err(Reader::err("versions present for unversioned table"));
+            }
+            // Attribute indexes.
+            let nindexes = r.u32()? as usize;
+            let mut indexes = Vec::with_capacity(nindexes);
+            for _ in 0..nindexes {
+                let name = r.str()?;
+                let path = Path::parse(&r.str()?);
+                let scheme = scheme_from(r.u8()?)?;
+                let iseg_file = r.str()?;
+                let root = r.tid()?;
+                let order = r.u32()? as usize;
+                let iseg = db.open_segment_pub(&iseg_file)?;
+                let index = NfIndex::reopen(iseg, &schema, &path, scheme, root, order)?;
+                indexes.push(IndexEntry {
+                    name,
+                    index,
+                    seg_file: Some(iseg_file),
+                });
+            }
+            // Text index definitions.
+            let ntext = r.u32()? as usize;
+            let mut text_defs = Vec::with_capacity(ntext);
+            for _ in 0..ntext {
+                let name = r.str()?;
+                let attr = Path::parse(&r.str()?);
+                text_defs.push((name, attr));
+            }
+            db.catalog_mut().add(TableEntry {
+                schema: schema.clone(),
+                storage,
+                indexes,
+                text_indexes: Vec::new(),
+                versions,
+                layout,
+                seg_file: Some(seg_file),
+            })?;
+            // Rebuild derived text indexes from the stored rows.
+            for (name, attr) in text_defs {
+                db.rebuild_text_index(&schema.name, &name, &attr)?;
+            }
+        }
+        if !r.done() {
+            return Err(Reader::err("trailing bytes"));
+        }
+        db.set_seg_counter(seg_counter);
+        Ok(db)
+    }
+}
+
+#[allow(dead_code)]
+fn _assert_tid_slot_roundtrip() {
+    // Compile-time reminder that handles persist as TIDs.
+    let _ = (PageId(0), SlotNo(0));
+}

@@ -1,0 +1,178 @@
+//! Facade-level access-path selection: queries automatically use an
+//! applicable attribute index to restrict the candidate objects, with
+//! identical results and measurably less work.
+
+use aim2::Database;
+use aim2_bench::{gen_departments, WorkloadSpec};
+
+fn db_with_workload() -> Database {
+    let mut db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } )",
+    )
+    .unwrap();
+    let spec = WorkloadSpec {
+        departments: 60,
+        projects_per_dept: 4,
+        members_per_project: 6,
+        equip_per_dept: 3,
+        seed: 11,
+    };
+    for t in gen_departments(&spec).tuples {
+        db.insert_tuple("DEPARTMENTS", t).unwrap();
+    }
+    db
+}
+
+const QUERY: &str = "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.PROJECTS : y.PNO = 17 AND
+           EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'";
+
+#[test]
+fn index_assisted_query_agrees_with_full_scan() {
+    let mut db = db_with_workload();
+    let (_, scan_result) = db.query(QUERY).unwrap();
+    assert!(db.last_plan().contains("full scan"), "{}", db.last_plan());
+
+    db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+        .unwrap();
+    let (_, indexed_result) = db.query(QUERY).unwrap();
+    assert!(
+        db.last_plan().contains("index f"),
+        "plan: {}",
+        db.last_plan()
+    );
+    assert!(indexed_result.semantically_eq(&scan_result));
+}
+
+#[test]
+fn index_reduces_subtuple_reads() {
+    let mut db = db_with_workload();
+    db.execute("CREATE INDEX p ON DEPARTMENTS (PROJECTS.PNO)").unwrap();
+    let stats = db.stats().clone();
+
+    // Indexed: PNO = 17 exists in exactly one department.
+    stats.reset();
+    let (_, v) = db
+        .query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : y.PNO = 17")
+        .unwrap();
+    let indexed_reads = stats.snapshot().subtuple_reads;
+    assert_eq!(v.len(), 1);
+    assert!(db.last_plan().contains("1 candidate object(s) of 60"), "{}", db.last_plan());
+
+    // Unindexed equivalent (no matching index on PNAME).
+    stats.reset();
+    let (_, v2) = db
+        .query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS : y.PNAME = 'P00017'",
+        )
+        .unwrap();
+    let scan_reads = stats.snapshot().subtuple_reads;
+    assert_eq!(v2.len(), 1);
+    assert!(
+        indexed_reads * 5 < scan_reads,
+        "indexed {indexed_reads} vs scan {scan_reads}"
+    );
+}
+
+#[test]
+fn restriction_is_only_a_prefilter_predicate_still_applies() {
+    // The index matches objects *containing* the key anywhere; the
+    // evaluator must still reject combinations where the conjunct binds
+    // differently. Duplicate PNOs across departments exercise this.
+    let mut db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE T ( K INTEGER, S { P INTEGER, M { F STRING } } )",
+    )
+    .unwrap();
+    db.execute("INSERT INTO T VALUES (1, {(7, {('yes')})})").unwrap();
+    db.execute("INSERT INTO T VALUES (2, {(7, {('no')})})").unwrap();
+    db.execute("INSERT INTO T VALUES (3, {(8, {('yes')})})").unwrap();
+    db.execute("CREATE INDEX sp ON T (S.P)").unwrap();
+    let (_, v) = db
+        .query(
+            "SELECT x.K FROM x IN T
+             WHERE EXISTS y IN x.S : y.P = 7 AND EXISTS z IN y.M : z.F = 'yes'",
+        )
+        .unwrap();
+    assert!(db.last_plan().contains("index sp"), "{}", db.last_plan());
+    let ks: Vec<i64> = v
+        .tuples
+        .iter()
+        .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+        .collect();
+    assert_eq!(ks, vec![1], "K=2 is in the index superset but fails the predicate");
+}
+
+#[test]
+fn multi_table_queries_fall_back_to_scan() {
+    let mut db = db_with_workload();
+    db.execute("CREATE TABLE OTHER ( DNO INTEGER, NOTE { X STRING } )").unwrap();
+    db.execute("INSERT INTO OTHER VALUES (100, {})").unwrap();
+    db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+        .unwrap();
+    let _ = db
+        .query(
+            "SELECT x.DNO, OTHERS = o.DNO FROM x IN DEPARTMENTS, o IN OTHER
+             WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        )
+        .unwrap();
+    assert!(db.last_plan().contains("full scan"), "{}", db.last_plan());
+}
+
+#[test]
+fn explain_describes_plan_and_pruning() {
+    let mut db = db_with_workload();
+    let r = db
+        .execute(&format!("EXPLAIN {QUERY}"))
+        .unwrap();
+    let aim2::database::ExecResult::Ok(plan) = r else {
+        panic!("EXPLAIN returns a description")
+    };
+    assert!(plan.contains("full scan"), "{plan}");
+    assert!(
+        plan.contains("partial retrieval skips [EQUIP]"),
+        "{plan}"
+    );
+    db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+        .unwrap();
+    let aim2::database::ExecResult::Ok(plan) = db.execute(&format!("EXPLAIN {QUERY}")).unwrap()
+    else {
+        panic!()
+    };
+    assert!(plan.contains("index f"), "{plan}");
+    assert!(plan.contains("candidate object(s)"), "{plan}");
+}
+
+#[test]
+fn contains_uses_the_text_index_when_present() {
+    // §5: the CONTAINS query "will be supported by the text index in
+    // case that one has been created on TITLE".
+    let mut db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                                DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } )",
+    )
+    .unwrap();
+    for t in aim2_model::fixtures::reports_value().tuples {
+        db.insert_tuple("REPORTS", t).unwrap();
+    }
+    let q = "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS
+             WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'";
+    let (_, without) = db.query(q).unwrap();
+    assert!(db.last_plan().contains("full scan"), "{}", db.last_plan());
+
+    db.execute("CREATE TEXT INDEX tix ON REPORTS (TITLE)").unwrap();
+    let (_, with) = db.query(q).unwrap();
+    assert!(
+        db.last_plan().contains("text index tix"),
+        "{}",
+        db.last_plan()
+    );
+    assert!(db.last_plan().contains("1 candidate object(s) of 3"), "{}", db.last_plan());
+    assert!(with.semantically_eq(&without));
+    assert_eq!(with.len(), 1);
+}

@@ -1,0 +1,439 @@
+//! End-to-end tests of the integrated database: DDL, DML (whole objects
+//! and parts), queries, index maintenance, text search, time versions,
+//! and file-backed operation.
+
+use aim2::database::ExecResult;
+use aim2::{Database, DbConfig};
+use aim2_model::{fixtures, Atom, Date, Path};
+use aim2_storage::minidir::LayoutKind;
+
+/// DDL for the paper's schema, Tables 1–8.
+const DDL: &str = "
+CREATE TABLE DEPARTMENTS (
+  DNO INTEGER, MGRNO INTEGER,
+  PROJECTS { PNO INTEGER, PNAME STRING,
+             MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+  BUDGET INTEGER,
+  EQUIP { QU INTEGER, TYPE STRING } ) USING SS3;
+CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING );
+CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                       DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } );
+";
+
+fn load_paper_db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute_script(DDL).unwrap();
+    for t in &fixtures::departments_value().tuples {
+        db.insert_tuple("DEPARTMENTS", t.clone()).unwrap();
+    }
+    for t in &fixtures::employees_1nf_value().tuples {
+        db.insert_tuple("EMPLOYEES-1NF", t.clone()).unwrap();
+    }
+    for t in &fixtures::reports_value().tuples {
+        db.insert_tuple("REPORTS", t.clone()).unwrap();
+    }
+    db
+}
+
+#[test]
+fn ddl_creates_paper_schema() {
+    let db = load_paper_db();
+    let s = db.schema("DEPARTMENTS").unwrap();
+    assert_eq!(s.depth(), 3);
+    assert_eq!(s, fixtures::departments_schema());
+    let r = db.schema("REPORTS").unwrap();
+    assert_eq!(r, fixtures::reports_schema());
+    let e = db.schema("EMPLOYEES-1NF").unwrap();
+    assert!(e.is_flat());
+}
+
+#[test]
+fn select_star_roundtrips_table5() {
+    let mut db = load_paper_db();
+    let (_, v) = db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert!(v.semantically_eq(&fixtures::departments_value()));
+}
+
+#[test]
+fn insert_via_language() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE T ( A INTEGER, S { B STRING } )").unwrap();
+    let r = db
+        .execute("INSERT INTO T VALUES (1, {('x'), ('y')})")
+        .unwrap();
+    assert_eq!(r.count(), Some(1));
+    let (_, v) = db.query("SELECT * FROM T").unwrap();
+    assert_eq!(v.len(), 1);
+    assert_eq!(v.tuples[0].fields[1].as_table().unwrap().len(), 2);
+}
+
+#[test]
+fn example5_and_example8_through_the_facade() {
+    let mut db = load_paper_db();
+    let (_, v) = db
+        .query(
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+        )
+        .unwrap();
+    assert_eq!(v.len(), 2);
+    let (_, v) = db
+        .query("SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'")
+        .unwrap();
+    assert_eq!(v.len(), 1);
+}
+
+#[test]
+fn partial_insert_update_delete() {
+    let mut db = load_paper_db();
+    // Add a project to department 314 (§5: insert parts of complex
+    // tuples).
+    let r = db
+        .execute(
+            "INSERT INTO x.PROJECTS FROM x IN DEPARTMENTS WHERE x.DNO = 314 \
+             VALUES (99, 'AIM', {(11111, 'Leader')})",
+        )
+        .unwrap();
+    assert_eq!(r.count(), Some(1));
+    let (_, v) = db
+        .query("SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = 314")
+        .unwrap();
+    assert_eq!(v.len(), 3);
+
+    // Add a member to project 99.
+    db.execute(
+        "INSERT INTO y.MEMBERS FROM x IN DEPARTMENTS, y IN x.PROJECTS \
+         WHERE x.DNO = 314 AND y.PNO = 99 VALUES (22222, 'Staff')",
+    )
+    .unwrap();
+
+    // Rename the project and raise the budget.
+    let r = db
+        .execute(
+            "UPDATE x IN DEPARTMENTS, y IN x.PROJECTS \
+             SET y.PNAME = 'AIM-II', x.BUDGET = 999000 \
+             WHERE x.DNO = 314 AND y.PNO = 99",
+        )
+        .unwrap();
+    assert_eq!(r.count(), Some(2));
+    let (_, v) = db
+        .query(
+            "SELECT y.PNAME, x.BUDGET FROM x IN DEPARTMENTS, y IN x.PROJECTS \
+             WHERE y.PNO = 99",
+        )
+        .unwrap();
+    assert_eq!(
+        v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+        Some("AIM-II")
+    );
+    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_int(), Some(999_000));
+
+    // Delete the project element again.
+    let r = db
+        .execute("DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 99")
+        .unwrap();
+    assert_eq!(r.count(), Some(1));
+    let (_, v) = db
+        .query("SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = 314")
+        .unwrap();
+    assert_eq!(v.len(), 2, "back to projects 17 and 23");
+}
+
+#[test]
+fn delete_whole_object() {
+    let mut db = load_paper_db();
+    let r = db
+        .execute("DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 417")
+        .unwrap();
+    assert_eq!(r.count(), Some(1));
+    let (_, v) = db.query("SELECT x.DNO FROM x IN DEPARTMENTS").unwrap();
+    assert_eq!(v.len(), 2);
+}
+
+#[test]
+fn delete_multiple_elements_of_one_subtable() {
+    let mut db = load_paper_db();
+    // Delete ALL Staff members of dept 218's project (two of them) —
+    // exercises descending-ordinal deletion.
+    let r = db
+        .execute(
+            "DELETE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS \
+             WHERE x.DNO = 218 AND z.FUNCTION = 'Staff'",
+        )
+        .unwrap();
+    assert_eq!(r.count(), Some(2));
+    let (_, v) = db
+        .query(
+            "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS \
+             WHERE x.DNO = 218",
+        )
+        .unwrap();
+    assert_eq!(v.len(), 4, "6 members - 2 staff");
+}
+
+#[test]
+fn index_maintenance_through_dml() {
+    let mut db = load_paper_db();
+    db.execute("CREATE INDEX fidx ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION) USING HIERARCHICAL")
+        .unwrap();
+    let check = |db: &mut Database, expect: usize| {
+        let idx = db.index_mut("DEPARTMENTS", "fidx").unwrap();
+        assert_eq!(
+            idx.lookup(&Atom::Str("Consultant".into())).unwrap().len(),
+            expect
+        );
+    };
+    check(&mut db, 3);
+    // A new consultant joins project 23.
+    db.execute(
+        "INSERT INTO y.MEMBERS FROM x IN DEPARTMENTS, y IN x.PROJECTS \
+         WHERE y.PNO = 23 VALUES (55555, 'Consultant')",
+    )
+    .unwrap();
+    check(&mut db, 4);
+    // One is promoted away.
+    db.execute(
+        "UPDATE x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS \
+         SET z.FUNCTION = 'Leader' WHERE z.EMPNO = 44512",
+    )
+    .unwrap();
+    check(&mut db, 3);
+    // A whole department goes.
+    db.execute("DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 218")
+        .unwrap();
+    check(&mut db, 2); // 56019 (314) + 55555 (314/23)
+}
+
+#[test]
+fn text_index_answers_sec5_query() {
+    let mut db = load_paper_db();
+    db.execute("CREATE TEXT INDEX tix ON REPORTS (TITLE)").unwrap();
+    let (hits, verified) = db
+        .text_search("REPORTS", &Path::parse("TITLE"), "*comput*")
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0][0].as_str(), Some("0291"));
+    assert_eq!(verified, 1, "fragments pruned the other two reports");
+    // The evaluator's CONTAINS agrees (index-free path).
+    let (_, v) = db
+        .query("SELECT x.REPNO FROM x IN REPORTS WHERE x.TITLE CONTAINS '*comput*'")
+        .unwrap();
+    assert_eq!(v.len(), 1);
+    // Text index follows DML.
+    db.execute("INSERT INTO REPORTS VALUES ('0300', <('Turing A.')>, 'Computable Numbers', {})")
+        .unwrap();
+    let (hits, _) = db
+        .text_search("REPORTS", &Path::parse("TITLE"), "*comput*")
+        .unwrap();
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn versioned_table_asof_query() {
+    let mut db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER, \
+           PROJECTS { PNO INTEGER, PNAME STRING, \
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } }, \
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } ) WITH VERSIONS",
+    )
+    .unwrap();
+    // 1984-01-01: department 314 exists with projects 17 and 11.
+    db.set_today(Date::parse_iso("1984-01-01").unwrap());
+    db.execute(
+        "INSERT INTO DEPARTMENTS VALUES (314, 56194, \
+           {(17, 'CGA', {(39582, 'Leader'), (56019, 'Consultant')}), \
+            (11, 'DOC', {(69011, 'Leader')})}, 280000, {(2, '3278')})",
+    )
+    .unwrap();
+    // 1984-06-01: project 11 cancelled, 23 started.
+    db.set_today(Date::parse_iso("1984-06-01").unwrap());
+    db.execute("DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 11")
+        .unwrap();
+    db.execute(
+        "INSERT INTO x.PROJECTS FROM x IN DEPARTMENTS WHERE x.DNO = 314 \
+         VALUES (23, 'HEAP', {(58912, 'Staff')})",
+    )
+    .unwrap();
+    // The paper's ASOF query.
+    let (_, v) = db
+        .query(
+            "SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS ASOF '1984-01-15', y IN x.PROJECTS \
+             WHERE x.DNO = 314",
+        )
+        .unwrap();
+    let pnos: Vec<i64> = v
+        .tuples
+        .iter()
+        .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+        .collect();
+    assert_eq!(pnos, vec![17, 11], "projects as of January 15th, 1984");
+    // Today's state differs.
+    let (_, now) = db
+        .query("SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = 314")
+        .unwrap();
+    assert_eq!(now.len(), 2);
+    // Walk-through-time is available below the language (as in the
+    // paper).
+    // (Same-date mutations coalesce into one version per date.)
+    let versions = db.versions("DEPARTMENTS").unwrap();
+    assert_eq!(versions.version_count(), 2);
+    let h = db.handles("DEPARTMENTS").unwrap()[0];
+    let hist = db
+        .versions("DEPARTMENTS")
+        .unwrap()
+        .object_history(h, Date::MIN, Date::MAX);
+    assert_eq!(hist.len(), 2, "two validity intervals");
+    // Querying a non-versioned table ASOF errors.
+    let mut db2 = load_paper_db();
+    assert!(db2
+        .query("SELECT x.DNO FROM x IN DEPARTMENTS ASOF '1984-01-15'")
+        .is_err());
+}
+
+#[test]
+fn file_backed_database() {
+    let dir = std::env::temp_dir().join(format!("aim2_db_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Database::with_config(DbConfig {
+        data_dir: Some(dir.clone()),
+        page_size: 512,
+        buffer_frames: 16,
+        default_layout: LayoutKind::Ss3,
+    });
+    db.execute_script(DDL).unwrap();
+    for t in &fixtures::departments_value().tuples {
+        db.insert_tuple("DEPARTMENTS", t.clone()).unwrap();
+    }
+    let (_, v) = db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert!(v.semantically_eq(&fixtures::departments_value()));
+    assert!(
+        std::fs::read_dir(&dir).unwrap().count() >= 3,
+        "segment files on disk"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partial_retrieval_saves_page_accesses() {
+    let mut db = load_paper_db();
+    let stats = db.stats().clone();
+    stats.reset();
+    // Query touching only BUDGET — PROJECTS/MEMBERS/EQUIP must be
+    // pruned by the referenced-path analysis.
+    let _ = db
+        .query("SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314")
+        .unwrap();
+    let narrow = stats.snapshot().subtuple_reads;
+    stats.reset();
+    let _ = db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    let full = stats.snapshot().subtuple_reads;
+    assert!(
+        narrow < full,
+        "partial retrieval reads fewer subtuples ({narrow} < {full})"
+    );
+}
+
+#[test]
+fn layouts_selectable_per_table() {
+    for layout in ["SS1", "SS2", "SS3"] {
+        let mut db = Database::in_memory();
+        db.execute(&format!(
+            "CREATE TABLE T ( A INTEGER, S {{ B INTEGER, U {{ C INTEGER }} }} ) USING {layout}"
+        ))
+        .unwrap();
+        db.execute("INSERT INTO T VALUES (1, {(2, {(3)})})").unwrap();
+        let (_, v) = db.query("SELECT * FROM T").unwrap();
+        assert_eq!(v.len(), 1, "layout {layout}");
+    }
+    let mut db = Database::in_memory();
+    assert!(db
+        .execute("CREATE TABLE T ( A INTEGER, S { B INTEGER } ) USING SS9")
+        .is_err());
+}
+
+#[test]
+fn errors_surface_cleanly() {
+    let mut db = Database::in_memory();
+    assert!(db.execute("SELECT x.A FROM x IN NOPE").is_err());
+    assert!(db.execute("CREATE TABLE T ( A BLOB )").is_err());
+    db.execute("CREATE TABLE T ( A INTEGER )").unwrap();
+    assert!(db.execute("CREATE TABLE T ( B INTEGER )").is_err(), "duplicate");
+    assert!(db.execute("INSERT INTO T VALUES ('wrong')").is_err());
+    assert!(db.execute("DROP TABLE NOPE").is_err());
+    db.execute("DROP TABLE T").unwrap();
+    assert!(db.execute("SELECT x.A FROM x IN T").is_err());
+    // Attribute indexes require NF² tables (flat tables have no MDs).
+    db.execute("CREATE TABLE F ( A INTEGER )").unwrap();
+    assert!(db.execute("CREATE INDEX i ON F (A)").is_err());
+}
+
+#[test]
+fn execute_returns_proper_variants() {
+    let mut db = Database::in_memory();
+    let r = db.execute("CREATE TABLE T ( A INTEGER, S { B INTEGER } )").unwrap();
+    assert!(matches!(r, ExecResult::Ok(_)));
+    let r = db.execute("INSERT INTO T VALUES (1, {})").unwrap();
+    assert_eq!(r.count(), Some(1));
+    let r = db.execute("SELECT * FROM T").unwrap();
+    assert!(matches!(r, ExecResult::Table(..)));
+}
+
+#[test]
+fn flat_table_dml() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE E ( EMPNO INTEGER, NAME STRING )").unwrap();
+    db.execute("INSERT INTO E VALUES (1, 'Ada')").unwrap();
+    db.execute("INSERT INTO E VALUES (2, 'Bob')").unwrap();
+    db.execute("UPDATE x IN E SET x.NAME = 'Alan' WHERE x.EMPNO = 2").unwrap();
+    let (_, v) = db.query("SELECT x.NAME FROM x IN E WHERE x.EMPNO = 2").unwrap();
+    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("Alan"));
+    db.execute("DELETE x FROM x IN E WHERE x.EMPNO = 1").unwrap();
+    let (_, v) = db.query("SELECT x.EMPNO FROM x IN E").unwrap();
+    assert_eq!(v.len(), 1);
+}
+
+#[test]
+fn multiple_set_items_on_one_variable_compose() {
+    // Regression: `SET x.A = 1, x.B = 2` must apply BOTH; naively
+    // rebuilding the atom vector per item from the pre-update snapshot
+    // silently undoes the first write.
+    let mut db = load_paper_db();
+    db.execute("UPDATE x IN DEPARTMENTS SET x.MGRNO = 11111, x.BUDGET = 222222 WHERE x.DNO = 314")
+        .unwrap();
+    let (_, v) = db
+        .query("SELECT x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314")
+        .unwrap();
+    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(11111));
+    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_int(), Some(222_222));
+    // Same at element level (and mixed with a flat-table update shape).
+    db.execute(
+        "UPDATE x IN DEPARTMENTS, y IN x.PROJECTS SET y.PNO = 18, y.PNAME = 'CGB'
+         WHERE x.DNO = 314 AND y.PNO = 17",
+    )
+    .unwrap();
+    let (_, v) = db
+        .query("SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 18")
+        .unwrap();
+    assert_eq!(v.len(), 1);
+    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_str(), Some("CGB"));
+    // Flat tables too.
+    db.execute("UPDATE e IN EMPLOYEES-1NF SET e.FNAME = 'Max', e.SEX = 'male' WHERE e.EMPNO = 56019")
+        .unwrap();
+    let (_, v) = db
+        .query("SELECT e.FNAME, e.SEX FROM e IN EMPLOYEES-1NF WHERE e.EMPNO = 56019")
+        .unwrap();
+    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("Max"));
+    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_str(), Some("male"));
+}
+
+#[test]
+fn dml_rejects_duplicate_binding_vars_and_asof_targets() {
+    let mut db = load_paper_db();
+    assert!(db
+        .execute("UPDATE x IN DEPARTMENTS, x IN x.PROJECTS SET x.PNAME = 'X'")
+        .is_err());
+    assert!(db
+        .execute("DELETE x FROM x IN DEPARTMENTS ASOF '1984-01-15' WHERE x.DNO = 314")
+        .is_err());
+}

@@ -1,0 +1,242 @@
+//! Checkpoint / reopen: a file-backed database survives a restart with
+//! its objects, indexes, text indexes, and version history intact.
+
+use aim2::{Database, DbConfig};
+use aim2_model::{fixtures, Atom, Date, Path};
+use aim2_storage::minidir::LayoutKind;
+
+fn config(dir: &std::path::Path) -> DbConfig {
+    DbConfig {
+        data_dir: Some(dir.to_path_buf()),
+        page_size: 1024,
+        buffer_frames: 32,
+        default_layout: LayoutKind::Ss3,
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("aim2_persist_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn checkpoint_and_reopen_full_database() {
+    let dir = temp_dir("full");
+    {
+        let mut db = Database::with_config(config(&dir));
+        db.execute(
+            "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+               PROJECTS { PNO INTEGER, PNAME STRING,
+                          MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+               BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } ) WITH VERSIONS",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING )")
+            .unwrap();
+        db.execute(
+            "CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                                    DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } )",
+        )
+        .unwrap();
+        db.set_today(Date::parse_iso("1984-01-01").unwrap());
+        for t in fixtures::departments_value().tuples {
+            db.insert_tuple("DEPARTMENTS", t).unwrap();
+        }
+        for t in fixtures::employees_1nf_value().tuples {
+            db.insert_tuple("EMPLOYEES-1NF", t).unwrap();
+        }
+        for t in fixtures::reports_value().tuples {
+            db.insert_tuple("REPORTS", t).unwrap();
+        }
+        db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+            .unwrap();
+        db.execute("CREATE TEXT INDEX t ON REPORTS (TITLE)").unwrap();
+        // Some history.
+        db.set_today(Date::parse_iso("1985-01-01").unwrap());
+        db.execute("UPDATE x IN DEPARTMENTS SET x.BUDGET = 777000 WHERE x.DNO = 314")
+            .unwrap();
+        db.checkpoint().unwrap();
+    } // drop: everything leaves memory
+
+    let mut db = Database::open(config(&dir)).unwrap();
+    assert_eq!(
+        db.table_names(),
+        vec!["DEPARTMENTS", "EMPLOYEES-1NF", "REPORTS"]
+    );
+    // Objects intact (including the update).
+    let (_, v) = db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert_eq!(v.len(), 3);
+    let (_, b) = db
+        .query("SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314")
+        .unwrap();
+    assert_eq!(b.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(777_000));
+    // Flat table intact.
+    let (_, e) = db.query("SELECT * FROM EMPLOYEES-1NF").unwrap();
+    assert_eq!(e.len(), 20);
+    // The attribute index answers without a rebuild.
+    let idx = db.index_mut("DEPARTMENTS", "f").unwrap();
+    assert_eq!(idx.lookup(&Atom::Str("Consultant".into())).unwrap().len(), 3);
+    // The text index was rebuilt.
+    let (hits, _) = db
+        .text_search("REPORTS", &Path::parse("TITLE"), "*comput*")
+        .unwrap();
+    assert_eq!(hits.len(), 1);
+    // The version history survived — the ASOF query still answers.
+    let (_, old) = db
+        .query("SELECT x.BUDGET FROM x IN DEPARTMENTS ASOF '1984-06-01' WHERE x.DNO = 314")
+        .unwrap();
+    assert_eq!(old.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(320_000));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn reopened_database_remains_fully_usable() {
+    let dir = temp_dir("usable");
+    {
+        let mut db = Database::with_config(config(&dir));
+        db.execute(
+            "CREATE TABLE T ( K INTEGER, S { V INTEGER, U { W STRING } } ) USING SS3",
+        )
+        .unwrap();
+        for k in 0..20i64 {
+            db.execute(&format!(
+                "INSERT INTO T VALUES ({k}, {{({}, {{('w{k}')}}), ({}, {{}})}})",
+                k * 2,
+                k * 2 + 1
+            ))
+            .unwrap();
+        }
+        db.checkpoint().unwrap();
+    }
+    let mut db = Database::open(config(&dir)).unwrap();
+    // DML continues after reopen: inserts, element DML, deletes.
+    db.execute("INSERT INTO T VALUES (100, {})").unwrap();
+    db.execute("INSERT INTO x.S FROM x IN T WHERE x.K = 3 VALUES (99, {})")
+        .unwrap();
+    db.execute("DELETE x FROM x IN T WHERE x.K = 0").unwrap();
+    let (_, v) = db.query("SELECT x.K FROM x IN T").unwrap();
+    assert_eq!(v.len(), 20, "20 - 1 + 1");
+    let (_, s) = db
+        .query("SELECT y.V FROM x IN T, y IN x.S WHERE x.K = 3")
+        .unwrap();
+    assert_eq!(s.len(), 3);
+    // Checkpoint again and reopen once more.
+    db.checkpoint().unwrap();
+    drop(db);
+    let mut db = Database::open(config(&dir)).unwrap();
+    let (_, v) = db.query("SELECT x.K FROM x IN T").unwrap();
+    assert_eq!(v.len(), 20);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checkpoint_requires_data_dir() {
+    let mut db = Database::in_memory();
+    assert!(db.checkpoint().is_err());
+}
+
+#[test]
+fn open_missing_catalog_errors() {
+    let dir = temp_dir("missing");
+    std::fs::create_dir_all(&dir).unwrap();
+    assert!(Database::open(config(&dir)).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupt_catalog_rejected() {
+    let dir = temp_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(aim2::persist::CATALOG_FILE), b"garbage!").unwrap();
+    assert!(Database::open(config(&dir)).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ddl_roundtrip_via_schema_to_ddl() {
+    let schema = fixtures::departments_schema();
+    let ddl = aim2::persist::schema_to_ddl(&schema, LayoutKind::Ss1, true);
+    let mut db = Database::in_memory();
+    db.execute(&ddl).unwrap();
+    assert_eq!(db.schema("DEPARTMENTS").unwrap(), schema);
+    let reports_ddl =
+        aim2::persist::schema_to_ddl(&fixtures::reports_schema(), LayoutKind::Ss3, false);
+    db.execute(&reports_ddl).unwrap();
+    assert_eq!(db.schema("REPORTS").unwrap(), fixtures::reports_schema());
+}
+
+#[test]
+fn random_dml_then_checkpoint_reopen_preserves_state() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    for seed in 0..3u64 {
+        let dir = temp_dir(&format!("rand{seed}"));
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let expected;
+        {
+            let mut db = Database::with_config(config(&dir));
+            db.execute(
+                "CREATE TABLE T ( K INTEGER, B INTEGER, S { P INTEGER, M { F STRING } } )",
+            )
+            .unwrap();
+            db.execute("CREATE INDEX sp ON T (S.P)").unwrap();
+            let mut next_k = 0i64;
+            for step in 0..40 {
+                match rng.gen_range(0..5) {
+                    0 | 1 => {
+                        let k = next_k;
+                        next_k += 1;
+                        db.execute(&format!(
+                            "INSERT INTO T VALUES ({k}, {}, {{({}, {{('f{k}')}})}})",
+                            k * 3,
+                            k * 10
+                        ))
+                        .unwrap();
+                    }
+                    2 if next_k > 0 => {
+                        let pick = rng.gen_range(0..next_k);
+                        db.execute(&format!(
+                            "UPDATE x IN T SET x.B = {} WHERE x.K = {pick}",
+                            step * 7
+                        ))
+                        .unwrap();
+                    }
+                    3 if next_k > 0 => {
+                        let pick = rng.gen_range(0..next_k);
+                        db.execute(&format!(
+                            "INSERT INTO x.S FROM x IN T WHERE x.K = {pick} VALUES ({}, {{}})",
+                            100_000 + step
+                        ))
+                        .unwrap();
+                    }
+                    4 if next_k > 0 => {
+                        let pick = rng.gen_range(0..next_k);
+                        db.execute(&format!("DELETE x FROM x IN T WHERE x.K = {pick}"))
+                            .unwrap();
+                    }
+                    _ => {}
+                }
+            }
+            expected = db.query("SELECT * FROM T").unwrap().1.tuples;
+            db.checkpoint().unwrap();
+        }
+        let mut db = Database::open(config(&dir)).unwrap();
+        let (_, got) = db.query("SELECT * FROM T").unwrap();
+        let want = aim2_model::TableValue {
+            kind: aim2_model::TableKind::Relation,
+            tuples: expected,
+        };
+        assert!(got.semantically_eq(&want), "seed {seed} diverged after reopen");
+        // The persisted attribute index still answers consistently.
+        let (_, via_query) = db.query("SELECT y.P FROM x IN T, y IN x.S").unwrap();
+        let indexed = db
+            .index_mut("T", "sp")
+            .unwrap()
+            .lookup_range(None, None)
+            .unwrap()
+            .len();
+        assert_eq!(indexed, via_query.len(), "seed {seed}: index out of sync");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,470 @@
+//! NF² algebra operators: nest and unnest.
+//!
+//! /Jae85a, Jae85b, JS82/ define the algebra for relations with
+//! relation-valued attributes; the paper's Examples 3 and 4 express
+//! `nest` and `unnest` in the query language. These standalone operators
+//! give the benches a direct, language-independent implementation to
+//! measure (and tests a second implementation to cross-check the
+//! evaluator against).
+
+use crate::error::ExecError;
+use crate::Result;
+use aim2_model::{
+    Atom, AttrDef, AttrKind, TableKind, TableSchema, TableValue, Tuple, Value,
+};
+
+/// `unnest(v, attr)`: flatten the table-valued attribute `attr` — one
+/// output tuple per element, the attribute's columns spliced in place of
+/// the attribute. Parent tuples with empty subtables produce no output
+/// (the operator's classical semantics).
+pub fn unnest(
+    schema: &TableSchema,
+    value: &TableValue,
+    attr: &str,
+) -> Result<(TableSchema, TableValue)> {
+    let idx = schema
+        .attr_index(attr)
+        .ok_or_else(|| ExecError::Semantic(format!("no attribute {attr}")))?;
+    let sub = schema.attrs[idx]
+        .kind
+        .as_table()
+        .ok_or_else(|| ExecError::Type(format!("{attr} is not table-valued")))?;
+    let mut attrs: Vec<AttrDef> = Vec::new();
+    for (i, a) in schema.attrs.iter().enumerate() {
+        if i == idx {
+            attrs.extend(sub.attrs.iter().cloned());
+        } else {
+            attrs.push(a.clone());
+        }
+    }
+    let out_schema = TableSchema::new(
+        format!("unnest_{}_{}", schema.name, attr),
+        TableKind::Relation,
+        attrs,
+    )
+    .map_err(|e| ExecError::Semantic(e.to_string()))?;
+    let mut tuples = Vec::new();
+    for t in &value.tuples {
+        let Some(inner) = t.fields[idx].as_table() else {
+            return Err(ExecError::Type("value/schema mismatch".into()));
+        };
+        for elem in &inner.tuples {
+            let mut fields = Vec::with_capacity(out_schema.attrs.len());
+            for (i, f) in t.fields.iter().enumerate() {
+                if i == idx {
+                    fields.extend(elem.fields.iter().cloned());
+                } else {
+                    fields.push(f.clone());
+                }
+            }
+            tuples.push(Tuple::new(fields));
+        }
+    }
+    Ok((
+        out_schema,
+        TableValue {
+            kind: TableKind::Relation,
+            tuples,
+        },
+    ))
+}
+
+/// `nest(v, group_attrs -> name)`: group by all attributes *not* in
+/// `nested_attrs`; the `nested_attrs` columns of each group become a
+/// relation-valued attribute `name`.
+pub fn nest(
+    schema: &TableSchema,
+    value: &TableValue,
+    nested_attrs: &[&str],
+    name: &str,
+) -> Result<(TableSchema, TableValue)> {
+    let mut nested_idx = Vec::with_capacity(nested_attrs.len());
+    for a in nested_attrs {
+        nested_idx.push(
+            schema
+                .attr_index(a)
+                .ok_or_else(|| ExecError::Semantic(format!("no attribute {a}")))?,
+        );
+    }
+    let group_idx: Vec<usize> = (0..schema.attrs.len())
+        .filter(|i| !nested_idx.contains(i))
+        .collect();
+    // Result schema: group attrs in order, then the nested table.
+    let sub_schema = TableSchema::new(
+        name,
+        TableKind::Relation,
+        nested_idx
+            .iter()
+            .map(|&i| schema.attrs[i].clone())
+            .collect(),
+    )
+    .map_err(|e| ExecError::Semantic(e.to_string()))?;
+    let mut attrs: Vec<AttrDef> = group_idx
+        .iter()
+        .map(|&i| schema.attrs[i].clone())
+        .collect();
+    attrs.push(AttrDef {
+        name: name.to_string(),
+        kind: AttrKind::Table(sub_schema),
+    });
+    let out_schema = TableSchema::new(
+        format!("nest_{}", schema.name),
+        TableKind::Relation,
+        attrs,
+    )
+    .map_err(|e| ExecError::Semantic(e.to_string()))?;
+    // Group (order-preserving on first occurrence). When every group
+    // attribute is atomic — the common case — grouping hashes; table-
+    // valued group keys fall back to pairwise semantic comparison.
+    let all_atomic = group_idx
+        .iter()
+        .all(|&i| schema.attrs[i].kind.is_atomic());
+    let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
+    if all_atomic {
+        use std::collections::HashMap;
+        let mut by_key: HashMap<Vec<Atom>, usize> = HashMap::new();
+        for t in &value.tuples {
+            let hkey: Vec<Atom> = group_idx
+                .iter()
+                .map(|&i| {
+                    t.fields[i]
+                        .as_atom()
+                        .cloned()
+                        .ok_or_else(|| ExecError::Type("value/schema mismatch".into()))
+                })
+                .collect::<Result<_>>()?;
+            let elem = Tuple::new(nested_idx.iter().map(|&i| t.fields[i].clone()).collect());
+            match by_key.get(&hkey) {
+                Some(&g) => groups[g].1.push(elem),
+                None => {
+                    by_key.insert(hkey, groups.len());
+                    let key: Vec<Value> =
+                        group_idx.iter().map(|&i| t.fields[i].clone()).collect();
+                    groups.push((key, vec![elem]));
+                }
+            }
+        }
+    } else {
+        for t in &value.tuples {
+            let key: Vec<Value> = group_idx.iter().map(|&i| t.fields[i].clone()).collect();
+            let elem = Tuple::new(nested_idx.iter().map(|&i| t.fields[i].clone()).collect());
+            match groups.iter_mut().find(|(k, _)| values_eq(k, &key)) {
+                Some((_, elems)) => elems.push(elem),
+                None => groups.push((key, vec![elem])),
+            }
+        }
+    }
+    let tuples = groups
+        .into_iter()
+        .map(|(mut key, elems)| {
+            key.push(Value::Table(TableValue {
+                kind: TableKind::Relation,
+                tuples: elems,
+            }));
+            Tuple::new(key)
+        })
+        .collect();
+    Ok((
+        out_schema,
+        TableValue {
+            kind: TableKind::Relation,
+            tuples,
+        },
+    ))
+}
+
+/// Fused multi-level unnest with projection: flattens along `path`
+/// (e.g. `["PROJECTS", "MEMBERS"]`) and keeps only `keep` columns (named
+/// against any level), without materializing intermediate relations or
+/// copying untouched subtables — what a real executor runs for
+/// Example 4.
+pub fn unnest_path(
+    schema: &TableSchema,
+    value: &TableValue,
+    path: &[&str],
+    keep: &[&str],
+) -> Result<(TableSchema, TableValue)> {
+    // Resolve the chain of subtable attribute indices.
+    let mut levels: Vec<&TableSchema> = vec![schema];
+    let mut attr_idx = Vec::with_capacity(path.len());
+    for seg in path {
+        let level = *levels.last().unwrap();
+        let idx = level
+            .attr_index(seg)
+            .ok_or_else(|| ExecError::Semantic(format!("no attribute {seg}")))?;
+        let sub = level.attrs[idx]
+            .kind
+            .as_table()
+            .ok_or_else(|| ExecError::Type(format!("{seg} is not table-valued")))?;
+        attr_idx.push(idx);
+        levels.push(sub);
+    }
+    // Locate each kept column: (level, field index).
+    let mut cols = Vec::with_capacity(keep.len());
+    let mut attrs = Vec::with_capacity(keep.len());
+    for k in keep {
+        let (lvl, idx) = levels
+            .iter()
+            .enumerate()
+            .find_map(|(l, s)| s.attr_index(k).map(|i| (l, i)))
+            .ok_or_else(|| ExecError::Semantic(format!("no attribute {k} on the path")))?;
+        cols.push((lvl, idx));
+        attrs.push(levels[lvl].attrs[idx].clone());
+    }
+    let out_schema = TableSchema::new(
+        format!("unnest_path_{}", schema.name),
+        TableKind::Relation,
+        attrs,
+    )
+    .map_err(|e| ExecError::Semantic(e.to_string()))?;
+    // Walk the hierarchy once, emitting projected rows at the deepest
+    // level. `stack` holds the current tuple per level.
+    let mut tuples = Vec::new();
+    fn rec<'a>(
+        depth: usize,
+        attr_idx: &[usize],
+        stack: &mut Vec<&'a Tuple>,
+        cols: &[(usize, usize)],
+        tv: &'a TableValue,
+        out: &mut Vec<Tuple>,
+    ) -> Result<()> {
+        for t in &tv.tuples {
+            stack.push(t);
+            if depth == attr_idx.len() {
+                let fields = cols
+                    .iter()
+                    .map(|&(lvl, idx)| stack[lvl].fields[idx].clone())
+                    .collect();
+                out.push(Tuple::new(fields));
+            } else {
+                let Some(next) = t.fields[attr_idx[depth]].as_table() else {
+                    return Err(ExecError::Type("value/schema mismatch".into()));
+                };
+                rec(depth + 1, attr_idx, stack, cols, next, out)?;
+            }
+            stack.pop();
+        }
+        Ok(())
+    }
+    let mut stack = Vec::with_capacity(path.len() + 1);
+    rec(0, &attr_idx, &mut stack, &cols, value, &mut tuples)?;
+    Ok((
+        out_schema,
+        TableValue {
+            kind: TableKind::Relation,
+            tuples,
+        },
+    ))
+}
+
+fn values_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Value::Atom(p), Value::Atom(q)) => p == q,
+            (Value::Table(p), Value::Table(q)) => p.semantically_eq(q),
+            _ => false,
+        })
+}
+
+/// Natural equijoin on one attribute pair (helper for the MAT bench's
+/// flat-join baseline).
+pub fn equijoin(
+    left_schema: &TableSchema,
+    left: &TableValue,
+    left_attr: &str,
+    right_schema: &TableSchema,
+    right: &TableValue,
+    right_attr: &str,
+) -> Result<(TableSchema, TableValue)> {
+    let li = left_schema
+        .attr_index(left_attr)
+        .ok_or_else(|| ExecError::Semantic(format!("no attribute {left_attr}")))?;
+    let ri = right_schema
+        .attr_index(right_attr)
+        .ok_or_else(|| ExecError::Semantic(format!("no attribute {right_attr}")))?;
+    let mut attrs = left_schema.attrs.clone();
+    for a in &right_schema.attrs {
+        if left_schema.attr_index(&a.name).is_none() {
+            attrs.push(a.clone());
+        } else if a.name != right_schema.attrs[ri].name || left_attr != right_attr {
+            let mut renamed = a.clone();
+            renamed.name = format!("{}_{}", right_schema.name, a.name);
+            attrs.push(renamed);
+        }
+    }
+    let out_schema = TableSchema::new(
+        format!("join_{}_{}", left_schema.name, right_schema.name),
+        TableKind::Relation,
+        attrs,
+    )
+    .map_err(|e| ExecError::Semantic(e.to_string()))?;
+    // Hash join on atom keys.
+    use std::collections::HashMap;
+    let mut table: HashMap<Atom, Vec<&Tuple>> = HashMap::new();
+    for rt in &right.tuples {
+        if let Value::Atom(a) = &rt.fields[ri] {
+            table.entry(a.clone()).or_default().push(rt);
+        }
+    }
+    let mut tuples = Vec::new();
+    for lt in &left.tuples {
+        let Value::Atom(key) = &lt.fields[li] else {
+            continue;
+        };
+        if let Some(matches) = table.get(key) {
+            for rt in matches {
+                let mut fields = lt.fields.clone();
+                for (j, f) in rt.fields.iter().enumerate() {
+                    let name = &right_schema.attrs[j].name;
+                    let keep = left_schema.attr_index(name).is_none()
+                        || name != &right_schema.attrs[ri].name
+                        || left_attr != right_attr;
+                    if keep {
+                        fields.push(f.clone());
+                    }
+                }
+                tuples.push(Tuple::new(fields));
+            }
+        }
+    }
+    Ok((
+        out_schema,
+        TableValue {
+            kind: TableKind::Relation,
+            tuples,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_model::fixtures;
+    use aim2_model::Path;
+
+    #[test]
+    fn unnest_table5_twice_projects_to_table7() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        let (s1, v1) = unnest(&schema, &value, "PROJECTS").unwrap();
+        let (s2, v2) = unnest(&s1, &v1, "MEMBERS").unwrap();
+        // Project away BUDGET and EQUIP → exactly Table 7's columns.
+        let keep = ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"];
+        let idx: Vec<usize> = keep.iter().map(|a| s2.attr_index(a).unwrap()).collect();
+        let projected = TableValue {
+            kind: TableKind::Relation,
+            tuples: v2
+                .tuples
+                .iter()
+                .map(|t| Tuple::new(idx.iter().map(|&i| t.fields[i].clone()).collect()))
+                .collect(),
+        };
+        assert!(projected.semantically_eq(&fixtures::table7_value()));
+    }
+
+    #[test]
+    fn nest_then_unnest_is_identity_here() {
+        // MEMBERS-1NF: nest (EMPNO, FUNCTION) by (PNO, DNO), then unnest.
+        let schema = fixtures::members_1nf_schema();
+        let value = fixtures::members_1nf_value();
+        let (ns, nv) = nest(&schema, &value, &["EMPNO", "FUNCTION"], "MS").unwrap();
+        assert_eq!(nv.len(), 4, "one group per (PNO, DNO) project");
+        let (us, uv) = unnest(&ns, &nv, "MS").unwrap();
+        // Column order differs (group attrs first); compare as sets of
+        // (EMPNO, PNO, DNO, FUNCTION).
+        let reorder = |s: &TableSchema, v: &TableValue| {
+            let idx: Vec<usize> = ["EMPNO", "PNO", "DNO", "FUNCTION"]
+                .iter()
+                .map(|a| s.attr_index(a).unwrap())
+                .collect();
+            TableValue {
+                kind: TableKind::Relation,
+                tuples: v
+                    .tuples
+                    .iter()
+                    .map(|t| Tuple::new(idx.iter().map(|&i| t.fields[i].clone()).collect()))
+                    .collect(),
+            }
+        };
+        assert!(reorder(&us, &uv).semantically_eq(&reorder(&schema, &value)));
+    }
+
+    #[test]
+    fn nest_builds_projects_with_members_like_fig3() {
+        // nest MEMBERS-1NF by project, join-free shape check.
+        let schema = fixtures::members_1nf_schema();
+        let value = fixtures::members_1nf_value();
+        let (ns, nv) = nest(&schema, &value, &["EMPNO", "FUNCTION"], "MEMBERS").unwrap();
+        assert!(ns.resolve_subtable(&Path::parse("MEMBERS")).is_ok());
+        let p17 = nv
+            .tuples
+            .iter()
+            .find(|t| t.fields[0].as_atom().unwrap().as_int() == Some(17))
+            .unwrap();
+        assert_eq!(p17.fields[2].as_table().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unnest_drops_parents_with_empty_subtables() {
+        use aim2_model::value::build::{a, rel, tup};
+        let schema = TableSchema::relation("T")
+            .with_atom("K", aim2_model::AtomType::Int)
+            .with_table(TableSchema::relation("S").with_atom("V", aim2_model::AtomType::Int));
+        let v = TableValue {
+            kind: TableKind::Relation,
+            tuples: vec![
+                tup(vec![a(1), rel(vec![tup(vec![a(10)])])]),
+                tup(vec![a(2), rel(vec![])]),
+            ],
+        };
+        let (_, out) = unnest(&schema, &v, "S").unwrap();
+        assert_eq!(out.len(), 1, "K=2 vanished — classical unnest semantics");
+    }
+
+    #[test]
+    fn equijoin_members_with_employees() {
+        let (ms, mv) = (fixtures::members_1nf_schema(), fixtures::members_1nf_value());
+        let (es, ev) = (
+            fixtures::employees_1nf_schema(),
+            fixtures::employees_1nf_value(),
+        );
+        let (js, jv) = equijoin(&ms, &mv, "EMPNO", &es, &ev, "EMPNO").unwrap();
+        assert_eq!(jv.len(), 17, "every member has an employee row");
+        assert!(js.attr_index("LNAME").is_some());
+    }
+
+    #[test]
+    fn unnest_path_fused_equals_two_step() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        let keep = ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"];
+        let (_, fused) =
+            unnest_path(&schema, &value, &["PROJECTS", "MEMBERS"], &keep).unwrap();
+        assert!(fused.semantically_eq(&fixtures::table7_value()), "Table 7 again");
+    }
+
+    #[test]
+    fn unnest_path_projects_any_level() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        // Only leaf columns.
+        let (s, v) = unnest_path(&schema, &value, &["PROJECTS", "MEMBERS"], &["EMPNO"]).unwrap();
+        assert_eq!(s.attrs.len(), 1);
+        assert_eq!(v.len(), 17);
+        // Only root columns (one row per member still).
+        let (_, v) = unnest_path(&schema, &value, &["PROJECTS", "MEMBERS"], &["DNO"]).unwrap();
+        assert_eq!(v.len(), 17);
+        // Errors.
+        assert!(unnest_path(&schema, &value, &["NOPE"], &["DNO"]).is_err());
+        assert!(unnest_path(&schema, &value, &["PROJECTS"], &["NOPE"]).is_err());
+    }
+
+    #[test]
+    fn operators_reject_bad_attributes() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        assert!(unnest(&schema, &value, "DNO").is_err());
+        assert!(unnest(&schema, &value, "NOPE").is_err());
+        assert!(nest(&schema, &value, &["NOPE"], "X").is_err());
+    }
+}

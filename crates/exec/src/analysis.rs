@@ -1,0 +1,259 @@
+//! Referenced-path analysis for projection pushdown (partial retrieval).
+//!
+//! §4.1 demands "fast processing of arbitrary parts of complex objects —
+//! it should not be necessary to scan a complex object more or less
+//! entirely if only one piece of data is needed". The executor realizes
+//! this by telling the provider which subtable paths a query can touch;
+//! the object store then never descends into the others' MD subtrees.
+//!
+//! For each *stored-table* binding variable we collect:
+//! * **deep** paths — value references (`x.DNO`, `SELECT x.PROJECTS`,
+//!   `x.EQUIP = y.EQUIP`): everything below them may be needed;
+//! * **shallow** paths — subtable paths only *ranged over* (`y IN
+//!   x.PROJECTS`): their element tuples are needed, but their own
+//!   subtables only if referenced deeper.
+
+use aim2_lang::ast::{Binding, Expr, NamedValue, Query, SelectItem, Source};
+use aim2_model::Path;
+use std::collections::HashMap;
+
+/// The paths one table binding's variable can reach.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Referenced {
+    pub shallow: Vec<Path>,
+    pub deep: Vec<Path>,
+}
+
+impl Referenced {
+    fn add_shallow(&mut self, p: Path) {
+        if !self.shallow.contains(&p) {
+            self.shallow.push(p);
+        }
+    }
+
+    fn add_deep(&mut self, p: Path) {
+        if !self.deep.contains(&p) {
+            self.deep.push(p);
+        }
+    }
+
+    /// Should the subtable at `p` be materialized?
+    pub fn keep(&self, p: &Path) -> bool {
+        self.shallow.iter().any(|s| p.is_prefix_of(s))
+            || self
+                .deep
+                .iter()
+                .any(|d| p.is_prefix_of(d) || d.is_prefix_of(p))
+    }
+}
+
+/// Variable scope entry: which root variable and prefix a var reaches.
+#[derive(Clone)]
+struct ScopeEntry {
+    var: String,
+    root: Option<(String, Path)>,
+}
+
+struct Walker {
+    scope: Vec<ScopeEntry>,
+    out: HashMap<String, Referenced>,
+}
+
+impl Walker {
+    fn resolve(&self, var: &str) -> Option<(String, Path)> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|e| e.var == var)
+            .and_then(|e| e.root.clone())
+    }
+
+    fn note_deep(&mut self, var: &str, path: &Path) {
+        if let Some((root, prefix)) = self.resolve(var) {
+            self.out
+                .entry(root)
+                .or_default()
+                .add_deep(prefix.join(path));
+        }
+    }
+
+    fn push_binding(&mut self, b: &Binding) {
+        let root = match &b.source {
+            Source::Table(_) => {
+                self.out.entry(b.var.clone()).or_default();
+                Some((b.var.clone(), Path::root()))
+            }
+            Source::PathOf { var, path } => match self.resolve(var) {
+                Some((root, prefix)) => {
+                    let full = prefix.join(path);
+                    self.out.entry(root.clone()).or_default().add_shallow(full.clone());
+                    Some((root, full))
+                }
+                None => None,
+            },
+        };
+        self.scope.push(ScopeEntry {
+            var: b.var.clone(),
+            root,
+        });
+    }
+
+    fn walk_query(&mut self, q: &Query) {
+        let depth = self.scope.len();
+        for b in &q.from {
+            self.push_binding(b);
+        }
+        for item in &q.select {
+            match item {
+                SelectItem::Star => {
+                    if let Some(b) = q.from.first() {
+                        self.note_deep(&b.var, &Path::root());
+                    }
+                }
+                SelectItem::Expr(e) => self.walk_expr(e),
+                SelectItem::Named { value, .. } => match value {
+                    NamedValue::Expr(e) => self.walk_expr(e),
+                    NamedValue::Subquery(sub) => self.walk_query(sub),
+                },
+            }
+        }
+        if let Some(w) = &q.where_ {
+            self.walk_expr(w);
+        }
+        self.scope.truncate(depth);
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::PathRef { var, path } => self.note_deep(var, path),
+            Expr::Subscript {
+                var, path, rest, ..
+            } => self.note_deep(var, &path.join(rest)),
+            Expr::Lit(_) => {}
+            Expr::Cmp { lhs, rhs, .. } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                self.walk_expr(a);
+                self.walk_expr(b);
+            }
+            Expr::Not(x) => self.walk_expr(x),
+            Expr::Exists { binding, pred } => {
+                let depth = self.scope.len();
+                self.push_binding(binding);
+                if let Some(p) = pred {
+                    self.walk_expr(p);
+                }
+                self.scope.truncate(depth);
+            }
+            Expr::Forall { binding, pred } => {
+                let depth = self.scope.len();
+                self.push_binding(binding);
+                self.walk_expr(pred);
+                self.scope.truncate(depth);
+            }
+            Expr::Contains { expr, .. } => self.walk_expr(expr),
+        }
+    }
+}
+
+/// Compute, per stored-table binding variable, the paths the query may
+/// touch.
+pub fn referenced_paths(q: &Query) -> HashMap<String, Referenced> {
+    let mut w = Walker {
+        scope: Vec::new(),
+        out: HashMap::new(),
+    };
+    w.walk_query(q);
+    w.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_lang::parser::parse_query;
+
+    fn refs(src: &str) -> HashMap<String, Referenced> {
+        referenced_paths(&parse_query(src).unwrap())
+    }
+
+    #[test]
+    fn example_5_prunes_projects() {
+        let r = refs(
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+        );
+        let x = &r["x"];
+        assert!(x.keep(&Path::parse("EQUIP")));
+        assert!(!x.keep(&Path::parse("PROJECTS")), "PROJECTS never touched");
+        assert!(!x.keep(&Path::parse("PROJECTS.MEMBERS")));
+    }
+
+    #[test]
+    fn binding_is_shallow_inner_subtables_pruned() {
+        let r = refs(
+            "SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.PROJECTS : y.PNO = 17",
+        );
+        let x = &r["x"];
+        assert!(x.keep(&Path::parse("PROJECTS")), "elements are scanned");
+        assert!(
+            !x.keep(&Path::parse("PROJECTS.MEMBERS")),
+            "members never referenced"
+        );
+    }
+
+    #[test]
+    fn deep_reference_keeps_whole_subtree() {
+        let r = refs("SELECT x.DNO, x.PROJECTS FROM x IN DEPARTMENTS");
+        let x = &r["x"];
+        assert!(x.keep(&Path::parse("PROJECTS")));
+        assert!(
+            x.keep(&Path::parse("PROJECTS.MEMBERS")),
+            "whole PROJECTS value is returned"
+        );
+        assert!(!x.keep(&Path::parse("EQUIP")));
+    }
+
+    #[test]
+    fn star_keeps_everything() {
+        let r = refs("SELECT * FROM DEPARTMENTS");
+        let x = &r["DEPARTMENTS"];
+        assert!(x.keep(&Path::parse("PROJECTS")));
+        assert!(x.keep(&Path::parse("PROJECTS.MEMBERS")));
+        assert!(x.keep(&Path::parse("EQUIP")));
+    }
+
+    #[test]
+    fn transitive_bindings_reach_the_root_var() {
+        let r = refs(
+            "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+        );
+        let x = &r["x"];
+        assert!(x.keep(&Path::parse("PROJECTS")));
+        assert!(x.keep(&Path::parse("PROJECTS.MEMBERS")));
+        assert!(!x.keep(&Path::parse("EQUIP")));
+    }
+
+    #[test]
+    fn named_subqueries_count() {
+        let r = refs(
+            "SELECT x.DNO, E = (SELECT v.QU FROM v IN x.EQUIP) FROM x IN DEPARTMENTS",
+        );
+        let x = &r["x"];
+        assert!(x.keep(&Path::parse("EQUIP")));
+        assert!(!x.keep(&Path::parse("PROJECTS")));
+    }
+
+    #[test]
+    fn multiple_roots_tracked_separately() {
+        let r = refs(
+            "SELECT x.DNO, m.LNAME FROM x IN DEPARTMENTS, m IN EMPLOYEES-1NF \
+             WHERE x.MGRNO = m.EMPNO",
+        );
+        assert!(r.contains_key("x"));
+        assert!(r.contains_key("m"));
+        assert!(!r["x"].keep(&Path::parse("PROJECTS")));
+    }
+}

@@ -1,0 +1,92 @@
+//! Execution errors.
+
+use std::fmt;
+
+/// Errors raised while binding or evaluating a statement.
+#[derive(Debug)]
+pub enum ExecError {
+    /// No such stored table.
+    NoSuchTable(String),
+    /// Unknown tuple variable.
+    UnknownVar(String),
+    /// A path did not resolve against a variable's schema.
+    BadPath { var: String, path: String },
+    /// Navigating *through* a table-valued attribute without binding it.
+    ThroughTable { var: String, attr: String },
+    /// Type error in a predicate or SELECT item.
+    Type(String),
+    /// `SELECT *` with other items / multiple bindings, bad subscript,
+    /// malformed ASOF date, ... — semantic errors.
+    Semantic(String),
+    /// Model-level failure.
+    Model(aim2_model::ModelError),
+    /// Storage-level failure surfaced through a provider.
+    Storage(aim2_storage::StorageError),
+    /// Index-level failure surfaced through the planner.
+    Index(aim2_index::IndexError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            ExecError::UnknownVar(v) => write!(f, "unknown tuple variable `{v}`"),
+            ExecError::BadPath { var, path } => {
+                write!(f, "`{var}.{path}` does not resolve")
+            }
+            ExecError::ThroughTable { var, attr } => write!(
+                f,
+                "cannot navigate through table-valued attribute `{var}.{attr}`; bind it with a tuple variable (e.g. `y IN {var}.{attr}`)"
+            ),
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::Semantic(m) => write!(f, "semantic error: {m}"),
+            ExecError::Model(e) => write!(f, "model error: {e}"),
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::Index(e) => write!(f, "index error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Model(e) => Some(e),
+            ExecError::Storage(e) => Some(e),
+            ExecError::Index(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aim2_model::ModelError> for ExecError {
+    fn from(e: aim2_model::ModelError) -> Self {
+        ExecError::Model(e)
+    }
+}
+
+impl From<aim2_storage::StorageError> for ExecError {
+    fn from(e: aim2_storage::StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+impl From<aim2_index::IndexError> for ExecError {
+    fn from(e: aim2_index::IndexError) -> Self {
+        ExecError::Index(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(ExecError::NoSuchTable("T".into()).to_string().contains('T'));
+        let e = ExecError::ThroughTable {
+            var: "x".into(),
+            attr: "PROJECTS".into(),
+        };
+        assert!(e.to_string().contains("bind it"));
+    }
+}

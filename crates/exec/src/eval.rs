@@ -1,0 +1,752 @@
+//! The reference evaluator.
+//!
+//! Nested-loop evaluation of SELECT-FROM-WHERE: FROM bindings are
+//! enumerated left to right (later bindings may range over attributes of
+//! earlier variables — "a good mental model ... is to associate them
+//! with a loop which runs over all tuples of the relation they are bound
+//! to", §3); WHERE filters each combination; SELECT items (including
+//! correlated subqueries) build each result tuple.
+
+use crate::analysis::{referenced_paths, Referenced};
+use crate::error::ExecError;
+use crate::infer::{infer_query_schema, SchemaEnv};
+use crate::provider::TableProvider;
+use crate::value::{compare, resolve, EvalValue};
+use crate::Result;
+use aim2_lang::ast::{Binding, Expr, NamedValue, Query, SelectItem, Source};
+use aim2_model::{Atom, AttrKind, Date, Path, TableKind, TableSchema, TableValue, Tuple, Value};
+use aim2_text::Pattern;
+use std::collections::HashMap;
+
+/// One bound tuple variable.
+#[derive(Debug, Clone)]
+struct Frame {
+    var: String,
+    schema: TableSchema,
+    tuple: Tuple,
+}
+
+/// The evaluation environment: a stack of frames.
+#[derive(Debug, Clone, Default)]
+struct Env {
+    frames: Vec<Frame>,
+}
+
+impl Env {
+    fn lookup(&self, var: &str) -> Option<&Frame> {
+        self.frames.iter().rev().find(|f| f.var == var)
+    }
+}
+
+/// Key of one cached stored-table scan: table name, ASOF date, and —
+/// for pruned scans — the binding variable whose referenced paths
+/// shaped the projection.
+type ScanKey = (String, Option<Date>, Option<String>);
+
+/// Query evaluator over a [`TableProvider`].
+pub struct Evaluator<'p, P: TableProvider> {
+    provider: &'p mut P,
+    /// Per-query cache of stored-table scans, so a join binding does not
+    /// rescan per outer combination. Pruned (projected) scans are keyed
+    /// by the binding variable as well, so a partial materialization is
+    /// never served to a binding (e.g. in a subquery) that needs more of
+    /// the table.
+    scan_cache: HashMap<ScanKey, (TableSchema, TableValue)>,
+    /// Whether to push projection down into the provider (partial
+    /// retrieval). On by default; benches toggle it to measure the gain.
+    pub projection_pushdown: bool,
+}
+
+impl<'p, P: TableProvider> Evaluator<'p, P> {
+    pub fn new(provider: &'p mut P) -> Evaluator<'p, P> {
+        Evaluator {
+            provider,
+            scan_cache: HashMap::new(),
+            projection_pushdown: true,
+        }
+    }
+
+    /// Evaluate a predicate against explicit variable bindings — the
+    /// entry point DML uses to qualify objects and elements (the frames
+    /// are the UPDATE/DELETE binding chain).
+    pub fn eval_predicate(
+        &mut self,
+        frames: &[(String, TableSchema, Tuple)],
+        e: &Expr,
+    ) -> Result<bool> {
+        let mut env = Env {
+            frames: frames
+                .iter()
+                .map(|(var, schema, tuple)| Frame {
+                    var: var.clone(),
+                    schema: schema.clone(),
+                    tuple: tuple.clone(),
+                })
+                .collect(),
+        };
+        self.eval_pred(e, &mut env)
+    }
+
+    /// Evaluate a whole query; returns the inferred result schema and
+    /// the result table.
+    pub fn eval_query(&mut self, q: &Query) -> Result<(TableSchema, TableValue)> {
+        self.scan_cache.clear();
+        let schema = infer_query_schema(q, self.provider, &mut SchemaEnv::new(), "RESULT")?;
+        let keep_paths = if self.projection_pushdown {
+            Some(referenced_paths(q))
+        } else {
+            None
+        };
+        let mut env = Env::default();
+        let value = self.eval_query_env(q, &mut env, keep_paths.as_ref())?;
+        Ok((schema, value))
+    }
+
+    fn eval_query_env(
+        &mut self,
+        q: &Query,
+        env: &mut Env,
+        keep: Option<&HashMap<String, Referenced>>,
+    ) -> Result<TableValue> {
+        // `SELECT *` keeps the source's kind (a list stays a list).
+        let star = q.select.iter().any(|i| matches!(i, SelectItem::Star));
+        let mut kind = TableKind::Relation;
+        if star
+            && (q.select.len() != 1 || q.from.len() != 1) {
+                return Err(ExecError::Semantic(
+                    "`SELECT *` requires exactly one item and one binding".into(),
+                ));
+            }
+        let mut tuples = Vec::new();
+        self.for_each_combination(q.from.as_slice(), env, keep, &mut |me, env| {
+            if let Some(w) = &q.where_ {
+                if !me.eval_pred(w, env)? {
+                    return Ok(());
+                }
+            }
+            let mut fields = Vec::with_capacity(q.select.len());
+            for item in &q.select {
+                match item {
+                    SelectItem::Star => {
+                        let f = env.lookup(&q.from[0].var).expect("bound");
+                        tuples.push(f.tuple.clone());
+                        return Ok(());
+                    }
+                    SelectItem::Expr(e) => {
+                        fields.push(me.eval_value(e, env)?.simplified().into_value()?);
+                    }
+                    SelectItem::Named { value, .. } => match value {
+                        NamedValue::Expr(e) => {
+                            fields.push(me.eval_value(e, env)?.simplified().into_value()?)
+                        }
+                        NamedValue::Subquery(sub) => {
+                            let tv = me.eval_query_env(sub, env, None)?;
+                            fields.push(Value::Table(tv));
+                        }
+                    },
+                }
+            }
+            tuples.push(Tuple::new(fields));
+            Ok(())
+        })?;
+        if star {
+            // Kind follows the source table.
+            let (schema, _) = self.binding_table(&q.from[0], env, keep)?;
+            kind = schema.kind;
+        }
+        Ok(TableValue { kind, tuples })
+    }
+
+    /// The table a binding ranges over, in the current environment.
+    fn binding_table(
+        &mut self,
+        b: &Binding,
+        env: &Env,
+        keep: Option<&HashMap<String, Referenced>>,
+    ) -> Result<(TableSchema, TableValue)> {
+        match &b.source {
+            Source::Table(name) => {
+                let asof = match &b.asof {
+                    Some(s) => Some(Date::parse_iso(s).map_err(|e| {
+                        ExecError::Semantic(format!("bad ASOF date '{s}': {e}"))
+                    })?),
+                    None => None,
+                };
+                // Projection pushdown: tell the provider which subtable
+                // paths this query will touch via variable `b.var`.
+                let refs = keep.and_then(|k| k.get(&b.var)).cloned();
+                let key = (
+                    name.clone(),
+                    asof,
+                    refs.as_ref().map(|_| b.var.clone()),
+                );
+                if let Some(hit) = self.scan_cache.get(&key) {
+                    return Ok(hit.clone());
+                }
+                let schema = self.provider.table_schema(name)?;
+                let value = match refs {
+                    Some(refs) => {
+                        let pred = move |p: &Path| refs.keep(p);
+                        self.provider.scan_table(name, asof, Some(&pred))?
+                    }
+                    None => self.provider.scan_table(name, asof, None)?,
+                };
+                self.scan_cache
+                    .insert(key, (schema.clone(), value.clone()));
+                Ok((schema, value))
+            }
+            Source::PathOf { var, path } => {
+                if b.asof.is_some() {
+                    return Err(ExecError::Semantic(
+                        "ASOF applies to stored tables, not inner tables".into(),
+                    ));
+                }
+                let frame = env
+                    .lookup(var)
+                    .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
+                let (value, kind) = resolve(&frame.schema, &frame.tuple, path, var)?;
+                match (value, kind) {
+                    (Value::Table(tv), AttrKind::Table(sub)) => Ok((sub.clone(), tv.clone())),
+                    _ => Err(ExecError::Type(format!(
+                        "`{var}.{path}` is not table-valued"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Enumerate all combinations of the bindings, invoking `f` per
+    /// combination.
+    fn for_each_combination(
+        &mut self,
+        bindings: &[Binding],
+        env: &mut Env,
+        keep: Option<&HashMap<String, Referenced>>,
+        f: &mut dyn FnMut(&mut Self, &mut Env) -> Result<()>,
+    ) -> Result<()> {
+        match bindings.split_first() {
+            None => f(self, env),
+            Some((b, rest)) => {
+                let (schema, value) = self.binding_table(b, env, keep)?;
+                for t in value.tuples {
+                    env.frames.push(Frame {
+                        var: b.var.clone(),
+                        schema: schema.clone(),
+                        tuple: t,
+                    });
+                    let r = self.for_each_combination(rest, env, keep, f);
+                    env.frames.pop();
+                    r?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Evaluate a predicate to a boolean.
+    fn eval_pred(&mut self, e: &Expr, env: &mut Env) -> Result<bool> {
+        match e {
+            Expr::And(a, b) => Ok(self.eval_pred(a, env)? && self.eval_pred(b, env)?),
+            Expr::Or(a, b) => Ok(self.eval_pred(a, env)? || self.eval_pred(b, env)?),
+            Expr::Not(x) => Ok(!self.eval_pred(x, env)?),
+            Expr::Cmp { op, lhs, rhs } => {
+                let l = self.eval_value(lhs, env)?;
+                let r = self.eval_value(rhs, env)?;
+                compare(*op, l, r)
+            }
+            Expr::Exists { binding, pred } => {
+                let (schema, value) = self.binding_table(binding, env, None)?;
+                for t in value.tuples {
+                    env.frames.push(Frame {
+                        var: binding.var.clone(),
+                        schema: schema.clone(),
+                        tuple: t,
+                    });
+                    let hit = match pred {
+                        Some(p) => self.eval_pred(p, env)?,
+                        None => true,
+                    };
+                    env.frames.pop();
+                    if hit {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Expr::Forall { binding, pred } => {
+                let (schema, value) = self.binding_table(binding, env, None)?;
+                for t in value.tuples {
+                    env.frames.push(Frame {
+                        var: binding.var.clone(),
+                        schema: schema.clone(),
+                        tuple: t,
+                    });
+                    let ok = self.eval_pred(pred, env)?;
+                    env.frames.pop();
+                    if !ok {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Expr::Contains { expr, pattern } => {
+                let v = self.eval_value(expr, env)?.simplified();
+                let EvalValue::Atom(a) = v else {
+                    return Err(ExecError::Type("CONTAINS requires a text value".into()));
+                };
+                let Some(text) = a.as_str() else {
+                    return Err(ExecError::Type(format!(
+                        "CONTAINS requires a text value, got {}",
+                        a.atom_type()
+                    )));
+                };
+                let p = Pattern::parse(pattern);
+                Ok(aim2_text::tokenize(text).iter().any(|w| p.matches(w)))
+            }
+            Expr::Lit(l) => match crate::value::lit_atom(l)? {
+                Atom::Bool(b) => Ok(b),
+                other => Err(ExecError::Type(format!(
+                    "predicate must be boolean, got {}",
+                    other.atom_type()
+                ))),
+            },
+            Expr::PathRef { .. } | Expr::Subscript { .. } => {
+                match self.eval_value(e, env)?.simplified() {
+                    EvalValue::Atom(Atom::Bool(b)) => Ok(b),
+                    other => Err(ExecError::Type(format!(
+                        "predicate must be boolean, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    }
+
+    /// Evaluate a value expression.
+    fn eval_value(&mut self, e: &Expr, env: &mut Env) -> Result<EvalValue> {
+        match e {
+            Expr::Lit(l) => Ok(EvalValue::Atom(crate::value::lit_atom(l)?)),
+            Expr::PathRef { var, path } => {
+                let frame = env
+                    .lookup(var)
+                    .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
+                if path.is_root() {
+                    return Ok(EvalValue::Row(frame.tuple.clone(), frame.schema.clone()));
+                }
+                let (value, _) = resolve(&frame.schema, &frame.tuple, path, var)?;
+                Ok(match value {
+                    Value::Atom(a) => EvalValue::Atom(a.clone()),
+                    Value::Table(t) => EvalValue::Table(t.clone()),
+                })
+            }
+            Expr::Subscript {
+                var,
+                path,
+                index,
+                rest,
+            } => {
+                let frame = env
+                    .lookup(var)
+                    .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
+                let (value, kind) = resolve(&frame.schema, &frame.tuple, path, var)?;
+                let (Value::Table(tv), AttrKind::Table(sub)) = (value, kind) else {
+                    return Err(ExecError::Type(format!(
+                        "`{var}.{path}` is not a list"
+                    )));
+                };
+                let row = match tv.subscript(*index) {
+                    Ok(r) => r,
+                    // Out of range on a list: the row has no such
+                    // element — comparisons treat this as non-matching.
+                    Err(aim2_model::ModelError::BadSubscript { .. })
+                        if tv.kind == aim2_model::TableKind::List && *index >= 1 =>
+                    {
+                        return Ok(EvalValue::Missing)
+                    }
+                    // Subscripting a relation (or [0]) is a misuse.
+                    Err(e) => return Err(ExecError::Semantic(e.to_string())),
+                };
+                if rest.is_root() {
+                    Ok(EvalValue::Row(row.clone(), sub.clone()))
+                } else {
+                    let (v, _) = resolve(sub, row, rest, var)?;
+                    Ok(match v {
+                        Value::Atom(a) => EvalValue::Atom(a.clone()),
+                        Value::Table(t) => EvalValue::Table(t.clone()),
+                    })
+                }
+            }
+            // Predicates used in value position evaluate to booleans.
+            other => Ok(EvalValue::Atom(Atom::Bool(self.eval_pred(other, env)?))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::MemProvider;
+    use aim2_lang::parser::parse_query;
+    use aim2_model::fixtures;
+
+    fn run(src: &str) -> (TableSchema, TableValue) {
+        let q = parse_query(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let mut p = MemProvider::with_paper_fixtures();
+        Evaluator::new(&mut p)
+            .eval_query(&q)
+            .unwrap_or_else(|e| panic!("{src}\n→ {e}"))
+    }
+
+    #[test]
+    fn example_1_star_returns_table5() {
+        let (_, v) = run("SELECT * FROM DEPARTMENTS");
+        assert!(v.semantically_eq(&fixtures::departments_value()));
+    }
+
+    #[test]
+    fn example_1_long_form_equals_star() {
+        let (_, v) =
+            run("SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP FROM x IN DEPARTMENTS");
+        assert!(v.semantically_eq(&fixtures::departments_value()));
+    }
+
+    #[test]
+    fn example_2_explicit_structure_returns_table5() {
+        let (schema, v) = run(
+            "SELECT x.DNO, x.MGRNO, \
+               PROJECTS = (SELECT y.PNO, y.PNAME, \
+                 MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS) \
+                 FROM y IN x.PROJECTS), \
+               x.BUDGET, \
+               EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP) \
+             FROM x IN DEPARTMENTS",
+        );
+        assert_eq!(schema.depth(), 3);
+        assert!(v.semantically_eq(&fixtures::departments_value()));
+    }
+
+    #[test]
+    fn example_3_nest_from_flat_tables_builds_table5() {
+        let (_, v) = run(
+            "SELECT x.DNO, x.MGRNO, \
+               PROJECTS = (SELECT y.PNO, y.PNAME, \
+                 MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN MEMBERS-1NF \
+                            WHERE z.PNO = y.PNO AND z.DNO = y.DNO) \
+                 FROM y IN PROJECTS-1NF WHERE y.DNO = x.DNO), \
+               x.BUDGET, \
+               EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP-1NF WHERE v.DNO = x.DNO) \
+             FROM x IN DEPARTMENTS-1NF",
+        );
+        assert!(
+            v.semantically_eq(&fixtures::departments_value()),
+            "nest(Tables 1-4) = Table 5"
+        );
+    }
+
+    #[test]
+    fn example_4_unnest_returns_table7() {
+        let (schema, v) = run(
+            "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+             FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+        );
+        assert!(schema.is_flat());
+        assert!(v.semantically_eq(&fixtures::table7_value()), "Table 7");
+    }
+
+    #[test]
+    fn example_4_flat_join_form_agrees() {
+        let (_, v) = run(
+            "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+             FROM x IN DEPARTMENTS-1NF, y IN PROJECTS-1NF, z IN MEMBERS-1NF \
+             WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO",
+        );
+        assert!(v.semantically_eq(&fixtures::table7_value()));
+    }
+
+    #[test]
+    fn example_5_exists_pc_at() {
+        let (_, v) = run(
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+        );
+        let mut dnos: Vec<i64> = v
+            .tuples
+            .iter()
+            .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+            .collect();
+        dnos.sort_unstable();
+        assert_eq!(dnos, vec![218, 314]);
+    }
+
+    #[test]
+    fn example_6_all_consultants_is_empty() {
+        let (_, v) = run(
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        );
+        assert!(v.is_empty(), "the paper: the result set is empty");
+    }
+
+    #[test]
+    fn all_is_vacuously_true_on_empty_subtables() {
+        // A department with no projects satisfies the ALL condition.
+        let mut p = MemProvider::with_paper_fixtures();
+        use aim2_model::value::build::{a, rel, tup};
+        let mut depts = fixtures::departments_value();
+        depts
+            .tuples
+            .push(tup(vec![a(999), a(1), rel(vec![]), a(0), rel(vec![])]));
+        p.add(fixtures::departments_schema(), depts);
+        let q = parse_query(
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        )
+        .unwrap();
+        let (_, v) = Evaluator::new(&mut p).eval_query(&q).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(999));
+    }
+
+    #[test]
+    fn sec42_query_1_departments_with_consultant() {
+        let (_, v) = run(
+            "SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        );
+        let mut dnos: Vec<i64> = v
+            .tuples
+            .iter()
+            .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+            .collect();
+        dnos.sort_unstable();
+        assert_eq!(dnos, vec![218, 314], "§4.2: DNOs 314 and 218");
+    }
+
+    #[test]
+    fn sec42_query_2_projects_with_consultant() {
+        let (_, v) = run(
+            "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS \
+             WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        );
+        let mut pnos: Vec<i64> = v
+            .tuples
+            .iter()
+            .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+            .collect();
+        pnos.sort_unstable();
+        assert_eq!(pnos, vec![17, 25], "§4.2: PNOs 17 and 25");
+    }
+
+    #[test]
+    fn sec42_query_3_conjunctive() {
+        let (_, v) = run(
+            "SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.PROJECTS : y.PNO = 17 AND \
+                   EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        );
+        let dnos: Vec<i64> = v
+            .tuples
+            .iter()
+            .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(dnos, vec![314]);
+    }
+
+    #[test]
+    fn example_7_fig4_join_groups_by_department() {
+        let (_, v) = run(
+            "SELECT x.DNO, x.MGRNO, \
+               EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION \
+                            FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF \
+                            WHERE z.EMPNO = u.EMPNO) \
+             FROM x IN DEPARTMENTS",
+        );
+        assert_eq!(v.len(), 3, "one row per department");
+        // Dept 314 has 7 members, all resolved with names.
+        let d314 = v
+            .tuples
+            .iter()
+            .find(|t| t.fields[0].as_atom().unwrap().as_int() == Some(314))
+            .unwrap();
+        let emps = d314.fields[2].as_table().unwrap();
+        assert_eq!(emps.len(), 7);
+        let krause = emps
+            .tuples
+            .iter()
+            .find(|t| t.fields[0].as_atom().unwrap().as_int() == Some(39582))
+            .unwrap();
+        assert_eq!(krause.fields[1].as_atom().unwrap().as_str(), Some("Krause"));
+        assert_eq!(
+            krause.fields[4].as_atom().unwrap().as_str(),
+            Some("Leader")
+        );
+    }
+
+    #[test]
+    fn fig5_manager_join_instead_of_mgrno() {
+        let (_, v) = run(
+            "SELECT x.DNO, m.LNAME, m.SEX, \
+               EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION \
+                            FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF \
+                            WHERE z.EMPNO = u.EMPNO) \
+             FROM x IN DEPARTMENTS, m IN EMPLOYEES-1NF \
+             WHERE x.MGRNO = m.EMPNO",
+        );
+        assert_eq!(v.len(), 3);
+        let d314 = v
+            .tuples
+            .iter()
+            .find(|t| t.fields[0].as_atom().unwrap().as_int() == Some(314))
+            .unwrap();
+        assert_eq!(d314.fields[1].as_atom().unwrap().as_str(), Some("Schmidt"));
+        assert_eq!(d314.fields[2].as_atom().unwrap().as_str(), Some("male"));
+    }
+
+    #[test]
+    fn example_8_first_author_subscript() {
+        let (schema, v) = run(
+            "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
+        );
+        assert_eq!(v.len(), 1, "only report 0179 has Jones as FIRST author");
+        assert_eq!(
+            v.tuples[0].fields[1].as_atom().unwrap().as_str(),
+            Some("Concurrency and Concurrency Control")
+        );
+        // "the resulting table is not flat because AUTHORS is non-atomic"
+        assert!(!schema.is_flat());
+        let authors = v.tuples[0].fields[0].as_table().unwrap();
+        assert_eq!(authors.kind, TableKind::List);
+    }
+
+    #[test]
+    fn sec5_text_query() {
+        let (_, v) = run(
+            "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS \
+             WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("0291"));
+    }
+
+    #[test]
+    fn sec5_asof_query() {
+        let mut p = MemProvider::with_paper_fixtures();
+        // History: on 1984-01-01 dept 314 had projects {17 CGA, 11 DOC}.
+        use aim2_model::value::build::{a, rel, tup};
+        let old = TableValue {
+            kind: TableKind::Relation,
+            tuples: vec![tup(vec![
+                a(314),
+                a(56194),
+                aim2_model::Value::Table(fixtures::departments_314_projects_asof_1984()),
+                a(280_000),
+                rel(vec![tup(vec![a(2), a("3278")])]),
+            ])],
+        };
+        p.add_snapshot("DEPARTMENTS", Date::parse_iso("1984-01-01").unwrap(), old);
+        let q = parse_query(
+            "SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS ASOF '1984-01-15', y IN x.PROJECTS \
+             WHERE x.DNO = 314",
+        )
+        .unwrap();
+        let (_, v) = Evaluator::new(&mut p).eval_query(&q).unwrap();
+        let pnos: Vec<i64> = v
+            .tuples
+            .iter()
+            .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(pnos, vec![17, 11], "projects of dept 314 on 1984-01-15");
+    }
+
+    #[test]
+    fn exists_without_predicate_means_nonempty() {
+        let (_, v) = run(
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS",
+        );
+        assert_eq!(v.len(), 3, "every department has projects");
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET >= 360000");
+        assert_eq!(v.len(), 2);
+        let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET < 360000");
+        assert_eq!(v.len(), 1);
+        let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO <> 314");
+        assert_eq!(v.len(), 2);
+        let (_, v) = run(
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE NOT (x.DNO = 314 OR x.DNO = 218)",
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn table_equality_in_predicates() {
+        // Departments whose EQUIP equals dept 314's EQUIP: only 314.
+        let (_, v) = run(
+            "SELECT x.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS \
+             WHERE y.DNO = 314 AND x.EQUIP = y.EQUIP",
+        );
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let q = parse_query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO = 'abc'").unwrap();
+        let mut p = MemProvider::with_paper_fixtures();
+        assert!(matches!(
+            Evaluator::new(&mut p).eval_query(&q),
+            Err(ExecError::Type(_))
+        ));
+        let q =
+            parse_query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.EQUIP CONTAINS '*x*'").unwrap();
+        assert!(Evaluator::new(&mut p).eval_query(&q).is_err());
+    }
+
+    #[test]
+    fn subscript_in_select_position() {
+        // AUTHORS[1] simplifies to its NAME atom (infer and eval agree).
+        let (schema, v) = run("SELECT x.AUTHORS[1], x.REPNO FROM x IN REPORTS");
+        assert!(schema.is_flat());
+        assert_eq!(v.len(), 3);
+        let first_authors: Vec<&str> = v
+            .tuples
+            .iter()
+            .map(|t| t.fields[0].as_atom().unwrap().as_str().unwrap())
+            .collect();
+        assert!(first_authors.contains(&"Jones A."));
+        // Rest-path form evaluates too.
+        let (_, v) = run(
+            "SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[2].NAME = 'Meyer P.'",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("0291"));
+    }
+
+    #[test]
+    fn subscript_on_relation_is_an_error() {
+        let q =
+            parse_query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.PROJECTS[1] = 17").unwrap();
+        let mut p = MemProvider::with_paper_fixtures();
+        assert!(matches!(
+            Evaluator::new(&mut p).eval_query(&q),
+            Err(ExecError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn subscript_out_of_range_semantics() {
+        // In a predicate: rows without a 9th author simply don't match.
+        let (_, v) = run("SELECT x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[9] = 'X'");
+        assert!(v.is_empty());
+        // Mixed arities: only 0291 has a 3rd author.
+        let (_, v) = run("SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[3] = 'Jones A.'");
+        assert_eq!(v.len(), 1);
+        // In SELECT position an out-of-range subscript is an error.
+        let q = parse_query("SELECT x.AUTHORS[9] FROM x IN REPORTS").unwrap();
+        let mut p = MemProvider::with_paper_fixtures();
+        assert!(matches!(
+            Evaluator::new(&mut p).eval_query(&q),
+            Err(ExecError::Semantic(_))
+        ));
+    }
+}

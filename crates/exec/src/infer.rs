@@ -1,0 +1,305 @@
+//! Result-structure inference.
+//!
+//! The NF² SELECT clause *describes the structure of the result table*
+//! (§3): nested named subqueries build subtables, path items copy atomic
+//! or table-valued attributes. This module computes the result
+//! [`TableSchema`] of a query before execution — used for validation,
+//! DDL-less result display, and the facade's column headers.
+
+use crate::error::ExecError;
+use crate::provider::TableProvider;
+use crate::Result;
+use aim2_lang::ast::{Binding, Expr, Lit, NamedValue, Query, SelectItem, Source};
+use aim2_model::{AtomType, AttrDef, AttrKind, TableKind, TableSchema};
+
+/// Schema bindings visible at some query level.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaEnv {
+    frames: Vec<(String, TableSchema)>,
+}
+
+impl SchemaEnv {
+    pub fn new() -> SchemaEnv {
+        SchemaEnv::default()
+    }
+
+    /// Bind `var` to a table level (innermost wins on lookup).
+    pub fn push(&mut self, var: String, schema: TableSchema) {
+        self.frames.push((var, schema));
+    }
+
+    /// Remove the innermost binding.
+    pub fn pop(&mut self) {
+        self.frames.pop();
+    }
+
+    /// Innermost binding of `var`.
+    pub fn lookup(&self, var: &str) -> Option<&TableSchema> {
+        self.frames
+            .iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|(_, s)| s)
+    }
+}
+
+/// Schema a binding's variable ranges over.
+pub fn binding_schema(
+    env: &SchemaEnv,
+    binding: &Binding,
+    provider: &mut dyn TableProvider,
+) -> Result<TableSchema> {
+    match &binding.source {
+        Source::Table(name) => provider.table_schema(name),
+        Source::PathOf { var, path } => {
+            let outer = env
+                .lookup(var)
+                .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
+            outer
+                .resolve_subtable(path).cloned()
+                .map_err(|_| ExecError::BadPath {
+                    var: var.clone(),
+                    path: path.to_string(),
+                })
+        }
+    }
+}
+
+/// Kind of a path/subscript expression, as a result attribute.
+fn expr_attr_kind(env: &SchemaEnv, e: &Expr) -> Result<AttrKind> {
+    match e {
+        Expr::PathRef { var, path } => {
+            let schema = env
+                .lookup(var)
+                .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
+            if path.is_root() {
+                return Err(ExecError::Semantic(format!(
+                    "`{var}` alone is not a result attribute; project its fields"
+                )));
+            }
+            let def = schema.resolve_path(path).map_err(|_| ExecError::BadPath {
+                var: var.clone(),
+                path: path.to_string(),
+            })?;
+            if path.len() > 1 {
+                return Err(ExecError::ThroughTable {
+                    var: var.clone(),
+                    attr: path.segments()[0].clone(),
+                });
+            }
+            Ok(def.kind.clone())
+        }
+        Expr::Subscript {
+            var, path, rest, ..
+        } => {
+            let schema = env
+                .lookup(var)
+                .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
+            let list = schema
+                .resolve_subtable(path)
+                .map_err(|_| ExecError::BadPath {
+                    var: var.clone(),
+                    path: path.to_string(),
+                })?;
+            if rest.is_root() {
+                // Single-attribute list rows simplify to their atom.
+                if list.attrs.len() == 1 {
+                    Ok(list.attrs[0].kind.clone())
+                } else {
+                    Err(ExecError::Semantic(format!(
+                        "subscript on multi-attribute list {}: name the attribute (e.g. [1].{})",
+                        list.name, list.attrs[0].name
+                    )))
+                }
+            } else {
+                let def = list.resolve_path(rest).map_err(|_| ExecError::BadPath {
+                    var: var.clone(),
+                    path: rest.to_string(),
+                })?;
+                Ok(def.kind.clone())
+            }
+        }
+        Expr::Lit(l) => Ok(AttrKind::Atomic(match l {
+            Lit::Int(_) => AtomType::Int,
+            Lit::Float(_) => AtomType::Double,
+            Lit::Str(_) => AtomType::Str,
+            Lit::Bool(_) => AtomType::Bool,
+            _ => return Err(ExecError::Type("table literal in SELECT".into())),
+        })),
+        other => Err(ExecError::Semantic(format!(
+            "expression {other:?} is not a projectable SELECT item"
+        ))),
+    }
+}
+
+fn derived_name(e: &Expr, pos: usize) -> String {
+    match e {
+        Expr::PathRef { path, .. } if !path.is_root() => {
+            path.segments().last().unwrap().clone()
+        }
+        Expr::Subscript { rest, .. } if !rest.is_root() => {
+            rest.segments().last().unwrap().clone()
+        }
+        Expr::Subscript { path, .. } if !path.is_root() => {
+            path.segments().last().unwrap().clone()
+        }
+        _ => format!("COL{}", pos + 1),
+    }
+}
+
+/// Infer the result schema of `q` in environment `env`.
+pub fn infer_query_schema(
+    q: &Query,
+    provider: &mut dyn TableProvider,
+    env: &mut SchemaEnv,
+    result_name: &str,
+) -> Result<TableSchema> {
+    let mut pushed = 0;
+    let out = (|| {
+        for b in &q.from {
+            let s = binding_schema(env, b, provider)?;
+            env.push(b.var.clone(), s);
+            pushed += 1;
+        }
+        // `SELECT *`: copy the (single) source structure (Example 1).
+        if q.select.iter().any(|i| matches!(i, SelectItem::Star)) {
+            if q.select.len() != 1 {
+                return Err(ExecError::Semantic("`*` cannot be mixed with other SELECT items".into()));
+            }
+            if q.from.len() != 1 {
+                return Err(ExecError::Semantic("`SELECT *` requires exactly one FROM binding".into()));
+            }
+            let src = env.lookup(&q.from[0].var).unwrap().clone();
+            return Ok(TableSchema { name: result_name.to_string(), ..src });
+        }
+        let mut attrs = Vec::with_capacity(q.select.len());
+        for (i, item) in q.select.iter().enumerate() {
+            let (name, kind) = match item {
+                SelectItem::Star => unreachable!("handled above"),
+                SelectItem::Expr(e) => (derived_name(e, i), expr_attr_kind(env, e)?),
+                SelectItem::Named { name, value } => match value {
+                    NamedValue::Expr(e) => (name.clone(), expr_attr_kind(env, e)?),
+                    NamedValue::Subquery(sub) => {
+                        let sub_schema = infer_query_schema(sub, provider, env, name)?;
+                        (name.clone(), AttrKind::Table(sub_schema))
+                    }
+                },
+            };
+            attrs.push(AttrDef { name, kind });
+        }
+        TableSchema::new(result_name, TableKind::Relation, attrs).map_err(|e| {
+            ExecError::Semantic(format!(
+                "bad result structure: {e}; rename items with `NAME = expr`"
+            ))
+        })
+    })();
+    for _ in 0..pushed {
+        env.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::provider::MemProvider;
+    use aim2_lang::parser::parse_query;
+
+    fn infer(src: &str) -> Result<TableSchema> {
+        let q = parse_query(src).unwrap();
+        let mut p = MemProvider::with_paper_fixtures();
+        infer_query_schema(&q, &mut p, &mut SchemaEnv::new(), "RESULT")
+    }
+
+    #[test]
+    fn star_copies_source_structure() {
+        let s = infer("SELECT * FROM DEPARTMENTS").unwrap();
+        assert_eq!(s.depth(), 3);
+        assert_eq!(s.name, "RESULT");
+        assert_eq!(s.attrs.len(), 5);
+    }
+
+    #[test]
+    fn example_2_rebuilds_table5_structure() {
+        let s = infer(
+            "SELECT x.DNO, x.MGRNO, \
+               PROJECTS = (SELECT y.PNO, y.PNAME, \
+                 MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS) \
+                 FROM y IN x.PROJECTS), \
+               x.BUDGET, \
+               EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP) \
+             FROM x IN DEPARTMENTS",
+        )
+        .unwrap();
+        // Same structure as the stored DEPARTMENTS (names and nesting).
+        let names: Vec<&str> = s.attrs.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["DNO", "MGRNO", "PROJECTS", "BUDGET", "EQUIP"]);
+        assert_eq!(s.depth(), 3);
+        let members = s
+            .resolve_subtable(&aim2_model::Path::parse("PROJECTS.MEMBERS"))
+            .unwrap();
+        assert_eq!(members.attrs.len(), 2);
+    }
+
+    #[test]
+    fn unnest_produces_flat_schema() {
+        let s = infer(
+            "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+             FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+        )
+        .unwrap();
+        assert!(s.is_flat());
+        assert_eq!(s.attrs.len(), 6);
+    }
+
+    #[test]
+    fn table_valued_item_keeps_subtable_schema() {
+        // Example 8's SELECT keeps AUTHORS nested — "the resulting table
+        // is not flat because AUTHORS is a non-atomic attribute".
+        let s = infer("SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS").unwrap();
+        assert!(!s.is_flat());
+        let authors = s.attr("AUTHORS").unwrap().kind.as_table().unwrap();
+        assert_eq!(authors.kind, TableKind::List);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            infer("SELECT x.NOPE FROM x IN DEPARTMENTS"),
+            Err(ExecError::BadPath { .. })
+        ));
+        assert!(matches!(
+            infer("SELECT x.PROJECTS.PNO FROM x IN DEPARTMENTS"),
+            Err(ExecError::ThroughTable { .. })
+        ));
+        assert!(matches!(
+            infer("SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.NOPE"),
+            Err(ExecError::BadPath { .. })
+        ));
+        assert!(matches!(
+            infer("SELECT *, x.DNO FROM x IN DEPARTMENTS"),
+            Err(ExecError::Semantic(_))
+        ));
+        assert!(matches!(
+            infer("SELECT x.DNO, y.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS"),
+            Err(ExecError::Semantic(_)),
+        ));
+    }
+
+    #[test]
+    fn duplicate_names_fixable_by_renaming() {
+        let s = infer(
+            "SELECT x.DNO, THEIRS = y.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS",
+        )
+        .unwrap();
+        assert_eq!(s.attrs[1].name, "THEIRS");
+    }
+
+    #[test]
+    fn subscript_kinds() {
+        let s = infer("SELECT x.AUTHORS[1], x.TITLE FROM x IN REPORTS").unwrap();
+        // AUTHORS[1] simplifies to NAME's type.
+        assert!(matches!(s.attrs[0].kind, AttrKind::Atomic(AtomType::Str)));
+        assert_eq!(s.attrs[0].name, "AUTHORS");
+    }
+}

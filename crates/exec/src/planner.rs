@@ -1,0 +1,619 @@
+//! Access-path selection for NF² indexes — the §4.2 demonstration.
+//!
+//! The paper develops index addressing through three queries over
+//! DEPARTMENTS (all reproduced generically here):
+//!
+//! 1. *departments with at least one Consultant* —
+//!    [`Sec42Planner::objects_with`]: the data-TID scheme cannot reach
+//!    DNO at all (falls back to a scan); root-TID and hierarchical
+//!    schemes answer it, and because duplicate addresses are visible in
+//!    the index, "multiple access to the same complex object can be
+//!    avoided";
+//! 2. *projects with at least one Consultant* —
+//!    [`Sec42Planner::subobjects_with`]: root-TID addresses lose the
+//!    inner position ("all projects of this department have to be
+//!    scanned to find the right one"); hierarchical addresses carry the
+//!    project component directly;
+//! 3. *the conjunctive query* (`PNO = 17 AND FUNCTION = 'Consultant'`) —
+//!    [`Sec42Planner::conjunctive`]: only final-form hierarchical
+//!    addresses decide `P2 = F2` from the index alone; the naive MD-path
+//!    form and the root-TID form "can only be used to determine a
+//!    superset of the final result set, and this superset must be
+//!    scanned".
+
+use crate::error::ExecError;
+use crate::Result;
+use aim2_index::address::{IndexAddress, Scheme};
+use aim2_index::index::NfIndex;
+use aim2_model::{Atom, Path, TableSchema};
+use aim2_storage::object::{ObjectHandle, ObjectStore};
+use aim2_storage::tid::Tid;
+use std::collections::BTreeMap;
+
+/// How a query was answered, with the §4.2-relevant counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// The requested atoms (e.g. DNOs / PNOs), sorted and deduplicated.
+    pub result: Vec<Atom>,
+    /// Whole or partial complex-object materializations performed.
+    pub objects_fetched: usize,
+    /// Redundant object visits the index's visible duplicates avoided.
+    pub duplicate_refs_avoided: usize,
+    /// True when the qualifying (sub)objects were identified purely from
+    /// index information (no subtable scanned).
+    pub index_only: bool,
+    /// True when the scheme could not answer and a full table scan ran.
+    pub fallback_scan: bool,
+}
+
+/// Planner over one NF² table and its indexes.
+pub struct Sec42Planner<'a> {
+    pub os: &'a mut ObjectStore,
+    pub schema: &'a TableSchema,
+}
+
+fn sort_dedup(mut atoms: Vec<Atom>) -> Vec<Atom> {
+    atoms.sort_by(|a, b| {
+        a.partial_cmp_same(b)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    atoms.dedup();
+    atoms
+}
+
+impl<'a> Sec42Planner<'a> {
+    pub fn new(os: &'a mut ObjectStore, schema: &'a TableSchema) -> Sec42Planner<'a> {
+        Sec42Planner { os, schema }
+    }
+
+    fn first_level_atom(&mut self, root: Tid) -> Result<Atom> {
+        let atoms = self.os.read_first_level_atoms(ObjectHandle(root))?;
+        atoms
+            .into_iter()
+            .next()
+            .ok_or_else(|| ExecError::Semantic("object has no atomic attributes".into()))
+    }
+
+    /// Group addresses by root, counting duplicates.
+    fn roots_of(addrs: &[IndexAddress]) -> (BTreeMap<Tid, usize>, bool) {
+        let mut map = BTreeMap::new();
+        let mut all_known = true;
+        for a in addrs {
+            match a.root() {
+                Some(r) => *map.entry(r).or_insert(0) += 1,
+                None => all_known = false,
+            }
+        }
+        (map, all_known)
+    }
+
+    /// Full-table fallback: evaluate `attr_path = key` by materializing
+    /// every object (what a scheme that cannot reach the objects forces).
+    fn fallback_scan(&mut self, attr_path: &Path, key: &Atom) -> Result<Outcome> {
+        let handles = self.os.handles()?;
+        let mut result = Vec::new();
+        let mut fetched = 0;
+        for h in handles {
+            let walk = self.os.walk_data(self.schema, h)?;
+            fetched += 1;
+            let (parent, attr) = attr_path
+                .split_last()
+                .ok_or_else(|| ExecError::Semantic("empty attr path".into()))?;
+            let pos = atom_pos(self.schema, &parent, attr)?;
+            if walk
+                .iter()
+                .any(|e| e.attr_path == parent && e.atoms.get(pos) == Some(key))
+            {
+                result.push(self.first_level_atom(h.0)?);
+            }
+        }
+        Ok(Outcome {
+            result: sort_dedup(result),
+            objects_fetched: fetched,
+            duplicate_refs_avoided: 0,
+            index_only: false,
+            fallback_scan: true,
+        })
+    }
+
+    /// §4.2 query 1: first-level atoms (DNOs) of the objects containing
+    /// `key` under the indexed attribute.
+    pub fn objects_with(&mut self, idx: &mut NfIndex, key: &Atom) -> Result<Outcome> {
+        let addrs = idx.lookup(key)?;
+        let (roots, all_known) = Self::roots_of(&addrs);
+        if !all_known {
+            // Data-TID scheme: the member data subtuples are reachable,
+            // "access to the respective department numbers cannot be
+            // done" — full scan.
+            return self.fallback_scan(&idx.attr_path(), key);
+        }
+        let mut result = Vec::new();
+        let mut dup_avoided = 0;
+        for (root, count) in &roots {
+            dup_avoided += count - 1;
+            result.push(self.first_level_atom(*root)?);
+        }
+        Ok(Outcome {
+            objects_fetched: roots.len(),
+            result: sort_dedup(result),
+            duplicate_refs_avoided: dup_avoided,
+            index_only: true,
+            fallback_scan: false,
+        })
+    }
+
+    /// §4.2 query 2: first atoms (PNOs) of the depth-1 complex
+    /// *subobjects* containing `key` under the indexed attribute.
+    pub fn subobjects_with(&mut self, idx: &mut NfIndex, key: &Atom) -> Result<Outcome> {
+        let addrs = idx.lookup(key)?;
+        match idx.scheme() {
+            Scheme::Hierarchical => {
+                // The ancestor component identifies the project directly.
+                let mut result = Vec::new();
+                let mut fetched = 0;
+                for a in &addrs {
+                    let IndexAddress::Hier(h) = a else {
+                        return Err(ExecError::Semantic("scheme mismatch".into()));
+                    };
+                    let Some(&anc) = h.ancestors().first() else {
+                        continue;
+                    };
+                    let atoms = self.os.read_data_subtuple(ObjectHandle(h.root), anc)?;
+                    fetched += 1;
+                    if let Some(a0) = atoms.into_iter().next() {
+                        result.push(a0);
+                    }
+                }
+                Ok(Outcome {
+                    result: sort_dedup(result),
+                    objects_fetched: fetched,
+                    duplicate_refs_avoided: 0,
+                    index_only: true,
+                    fallback_scan: false,
+                })
+            }
+            Scheme::RootTid | Scheme::MdPath => {
+                // "From a pointer to the root MD subtuple ... it cannot
+                // be seen whether a consultant is working in project 17
+                // or in project 23. Therefore, all projects of this
+                // department have to be scanned."
+                let (roots, _) = Self::roots_of(&addrs);
+                let (parent, attr) = idx
+                    .attr_path()
+                    .split_last()
+                    .map(|(p, a)| (p, a.to_string()))
+                    .ok_or_else(|| ExecError::Semantic("empty attr path".into()))?;
+                let pos = atom_pos(self.schema, &parent, &attr)?;
+                let mut result = Vec::new();
+                for root in roots.keys() {
+                    let walk = self.os.walk_data(self.schema, ObjectHandle(*root))?;
+                    // Identify depth-1 subobjects owning a matching entry.
+                    for e in walk.iter() {
+                        if e.attr_path == parent && e.atoms.get(pos) == Some(key) {
+                            if let Some(&anc) = e.ancestors.first() {
+                                let atoms =
+                                    self.os.read_data_subtuple(ObjectHandle(*root), anc)?;
+                                if let Some(a0) = atoms.into_iter().next() {
+                                    result.push(a0);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(Outcome {
+                    result: sort_dedup(result),
+                    objects_fetched: roots.len(),
+                    duplicate_refs_avoided: 0,
+                    index_only: false,
+                    fallback_scan: false,
+                })
+            }
+            Scheme::DataTid => self.subobjects_fallback(idx, key),
+        }
+    }
+
+    fn subobjects_fallback(&mut self, idx: &mut NfIndex, key: &Atom) -> Result<Outcome> {
+        let (parent, attr) = idx
+            .attr_path()
+            .split_last()
+            .map(|(p, a)| (p, a.to_string()))
+            .ok_or_else(|| ExecError::Semantic("empty attr path".into()))?;
+        let pos = atom_pos(self.schema, &parent, &attr)?;
+        let handles = self.os.handles()?;
+        let mut result = Vec::new();
+        let mut fetched = 0;
+        for h in handles {
+            fetched += 1;
+            for e in self.os.walk_data(self.schema, h)? {
+                if e.attr_path == parent && e.atoms.get(pos) == Some(key) {
+                    if let Some(&anc) = e.ancestors.first() {
+                        let atoms = self.os.read_data_subtuple(h, anc)?;
+                        if let Some(a0) = atoms.into_iter().next() {
+                            result.push(a0);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Outcome {
+            result: sort_dedup(result),
+            objects_fetched: fetched,
+            duplicate_refs_avoided: 0,
+            index_only: false,
+            fallback_scan: true,
+        })
+    }
+
+    /// §4.2 query 3 (conjunctive): first-level atoms of objects having a
+    /// depth-1 subobject that both carries `a_key` (via `a_idx`, e.g.
+    /// PNO=17) and contains `b_key` below it (via `b_idx`, e.g.
+    /// FUNCTION='Consultant').
+    pub fn conjunctive(
+        &mut self,
+        a_idx: &mut NfIndex,
+        a_key: &Atom,
+        b_idx: &mut NfIndex,
+        b_key: &Atom,
+    ) -> Result<Outcome> {
+        let a_addrs = a_idx.lookup(a_key)?;
+        let b_addrs = b_idx.lookup(b_key)?;
+        match (a_idx.scheme(), b_idx.scheme()) {
+            (Scheme::Hierarchical, Scheme::Hierarchical) => {
+                // Fig 7b: P and F refer to the same project iff the
+                // project data-subtuple components match — decided from
+                // the index alone ("without having to scan the data").
+                let mut roots = Vec::new();
+                for a in &a_addrs {
+                    let IndexAddress::Hier(p) = a else { continue };
+                    for b in &b_addrs {
+                        let IndexAddress::Hier(f) = b else { continue };
+                        if p.root == f.root && f.ancestors().first() == p.target().as_ref() {
+                            roots.push(p.root);
+                        }
+                    }
+                }
+                roots.sort();
+                roots.dedup();
+                let mut result = Vec::new();
+                for r in &roots {
+                    result.push(self.first_level_atom(*r)?);
+                }
+                Ok(Outcome {
+                    result: sort_dedup(result),
+                    objects_fetched: roots.len(),
+                    duplicate_refs_avoided: 0,
+                    index_only: true,
+                    fallback_scan: false,
+                })
+            }
+            _ => {
+                // Root-TID and MD-path forms: "the index information can
+                // only be used to determine a superset of the final
+                // result set, and this superset must be scanned".
+                let (a_roots, a_known) = Self::roots_of(&a_addrs);
+                let (b_roots, b_known) = Self::roots_of(&b_addrs);
+                let candidates: Vec<Tid> = if a_known && b_known {
+                    a_roots
+                        .keys()
+                        .filter(|r| b_roots.contains_key(r))
+                        .copied()
+                        .collect()
+                } else {
+                    // Data-TID: not even candidate objects are known.
+                    self.os.handles()?.into_iter().map(|h| h.0).collect()
+                };
+                let verified = self.verify_conjunctive(&candidates, a_idx, a_key, b_idx, b_key)?;
+                Ok(Outcome {
+                    result: sort_dedup(verified),
+                    objects_fetched: candidates.len(),
+                    duplicate_refs_avoided: 0,
+                    index_only: false,
+                    fallback_scan: !(a_known && b_known),
+                })
+            }
+        }
+    }
+
+    fn verify_conjunctive(
+        &mut self,
+        candidates: &[Tid],
+        a_idx: &mut NfIndex,
+        a_key: &Atom,
+        b_idx: &mut NfIndex,
+        b_key: &Atom,
+    ) -> Result<Vec<Atom>> {
+        let (a_parent, a_attr) = a_idx
+            .attr_path()
+            .split_last()
+            .map(|(p, a)| (p, a.to_string()))
+            .ok_or_else(|| ExecError::Semantic("empty attr path".into()))?;
+        let (b_parent, b_attr) = b_idx
+            .attr_path()
+            .split_last()
+            .map(|(p, a)| (p, a.to_string()))
+            .ok_or_else(|| ExecError::Semantic("empty attr path".into()))?;
+        let a_pos = atom_pos(self.schema, &a_parent, &a_attr)?;
+        let b_pos = atom_pos(self.schema, &b_parent, &b_attr)?;
+        let mut result = Vec::new();
+        for root in candidates {
+            let h = ObjectHandle(*root);
+            let walk = self.os.walk_data(self.schema, h)?;
+            // Depth-1 subobjects matching the A condition...
+            let a_matches: Vec<_> = walk
+                .iter()
+                .filter(|e| e.attr_path == a_parent && e.atoms.get(a_pos) == Some(a_key))
+                .map(|e| e.data)
+                .collect();
+            // ...that contain a B match below them.
+            let hit = walk.iter().any(|e| {
+                e.attr_path == b_parent
+                    && e.atoms.get(b_pos) == Some(b_key)
+                    && e.ancestors
+                        .first()
+                        .is_some_and(|anc| a_matches.contains(anc))
+            });
+            if hit {
+                result.push(self.first_level_atom(*root)?);
+            }
+        }
+        Ok(result)
+    }
+}
+
+/// Position of atomic attribute `attr` within the data subtuples of the
+/// level at `parent`.
+fn atom_pos(schema: &TableSchema, parent: &Path, attr: &str) -> Result<usize> {
+    let level = if parent.is_root() {
+        schema
+    } else {
+        schema
+            .resolve_subtable(parent)
+            .map_err(|e| ExecError::Semantic(e.to_string()))?
+    };
+    let idx = level
+        .attr_index(attr)
+        .ok_or_else(|| ExecError::Semantic(format!("no attribute {attr}")))?;
+    level
+        .atomic_indices()
+        .iter()
+        .position(|&i| i == idx)
+        .ok_or_else(|| ExecError::Semantic(format!("{attr} is not atomic")))
+}
+
+/// Extract a conjunctive-EXISTS equality condition usable by the
+/// planner from a parsed WHERE clause (the shape of all three §4.2
+/// queries): returns `(attr_path, key)` pairs found along a nested
+/// EXISTS chain.
+pub fn indexable_conditions(expr: &aim2_lang::ast::Expr) -> Vec<(Path, Atom)> {
+    use aim2_lang::ast::{CmpOp, Expr, Source};
+    let mut out = Vec::new();
+    fn lit_atom(l: &aim2_lang::ast::Lit) -> Option<Atom> {
+        crate::value::lit_atom(l).ok()
+    }
+    fn rec(e: &Expr, var_paths: &mut Vec<(String, Path)>, out: &mut Vec<(Path, Atom)>) {
+        match e {
+            Expr::And(a, b) => {
+                rec(a, var_paths, out);
+                rec(b, var_paths, out);
+            }
+            Expr::Exists { binding, pred } => {
+                if let Source::PathOf { var, path } = &binding.source {
+                    if let Some((_, prefix)) =
+                        var_paths.iter().rev().find(|(v, _)| v == var).cloned()
+                    {
+                        var_paths.push((binding.var.clone(), prefix.join(path)));
+                        if let Some(p) = pred {
+                            rec(p, var_paths, out);
+                        }
+                        var_paths.pop();
+                    }
+                }
+            }
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } => {
+                if let (Expr::PathRef { var, path }, Expr::Lit(l)) = (lhs.as_ref(), rhs.as_ref())
+                {
+                    if let Some((_, prefix)) =
+                        var_paths.iter().rev().find(|(v, _)| v == var).cloned()
+                    {
+                        if let Some(atom) = lit_atom(l) {
+                            out.push((prefix.join(path), atom));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // The root variable is whichever PathRef chains bottom out at; the
+    // caller binds it — we assume a single root var named by the first
+    // EXISTS chain encountered. Seed with every variable at the root
+    // path (the caller's FROM variable).
+    let mut vars: Vec<(String, Path)> = Vec::new();
+    // Collect candidate root vars from the expression itself.
+    let mut free = Vec::new();
+    expr.free_vars(&mut free);
+    for v in free {
+        vars.push((v, Path::root()));
+    }
+    rec(expr, &mut vars, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_index::address::Scheme;
+    use aim2_model::fixtures;
+    use aim2_storage::buffer::BufferPool;
+    use aim2_storage::disk::MemDisk;
+    use aim2_storage::minidir::LayoutKind;
+    use aim2_storage::segment::Segment;
+    use aim2_storage::stats::Stats;
+
+    fn seg() -> Segment {
+        Segment::new(BufferPool::new(
+            Box::new(MemDisk::new(1024)),
+            128,
+            Stats::new(),
+        ))
+    }
+
+    fn setup() -> (TableSchema, ObjectStore) {
+        let schema = fixtures::departments_schema();
+        let mut os = ObjectStore::new(seg(), LayoutKind::Ss3);
+        for t in &fixtures::departments_value().tuples {
+            os.insert_object(&schema, t).unwrap();
+        }
+        (schema, os)
+    }
+
+    fn idx(
+        os: &mut ObjectStore,
+        schema: &TableSchema,
+        path: &str,
+        scheme: Scheme,
+    ) -> NfIndex {
+        let mut i = NfIndex::create(seg(), schema, &Path::parse(path), scheme).unwrap();
+        i.build(os, schema).unwrap();
+        i
+    }
+
+    #[test]
+    fn query1_all_schemes_agree_on_result() {
+        let (schema, mut os) = setup();
+        let key = Atom::Str("Consultant".into());
+        let mut outcomes = Vec::new();
+        for scheme in Scheme::ALL {
+            let mut i = idx(&mut os, &schema, "PROJECTS.MEMBERS.FUNCTION", scheme);
+            let mut planner = Sec42Planner::new(&mut os, &schema);
+            outcomes.push((scheme, planner.objects_with(&mut i, &key).unwrap()));
+        }
+        for (scheme, o) in &outcomes {
+            assert_eq!(
+                o.result,
+                vec![Atom::Int(218), Atom::Int(314)],
+                "scheme {scheme}"
+            );
+        }
+        // Data-TID cannot answer from the index.
+        let data = &outcomes[0].1;
+        assert!(data.fallback_scan);
+        assert_eq!(data.objects_fetched, 3, "scanned every department");
+        // Root-TID avoids the duplicate visit to dept 218.
+        let root = &outcomes[1].1;
+        assert!(!root.fallback_scan);
+        assert_eq!(root.objects_fetched, 2);
+        assert_eq!(root.duplicate_refs_avoided, 1, "dept 218 listed twice");
+    }
+
+    #[test]
+    fn query2_hierarchical_answers_from_index() {
+        let (schema, mut os) = setup();
+        let key = Atom::Str("Consultant".into());
+        let mut hier = idx(
+            &mut os,
+            &schema,
+            "PROJECTS.MEMBERS.FUNCTION",
+            Scheme::Hierarchical,
+        );
+        let stats = os.stats();
+        let mut planner = Sec42Planner::new(&mut os, &schema);
+        let before = stats.snapshot();
+        let h = planner.subobjects_with(&mut hier, &key).unwrap();
+        let hier_reads = before.delta(&stats.snapshot()).subtuple_reads;
+        assert_eq!(h.result, vec![Atom::Int(17), Atom::Int(25)], "§4.2: PNOs 17 and 25");
+        assert!(h.index_only);
+
+        let mut root = idx(&mut os, &schema, "PROJECTS.MEMBERS.FUNCTION", Scheme::RootTid);
+        let mut planner = Sec42Planner::new(&mut os, &schema);
+        let before = stats.snapshot();
+        let r = planner.subobjects_with(&mut root, &key).unwrap();
+        let root_reads = before.delta(&stats.snapshot()).subtuple_reads;
+        assert_eq!(r.result, h.result);
+        assert!(!r.index_only, "root scheme must scan the projects");
+        assert!(
+            root_reads > hier_reads,
+            "root-TID scanned more ({root_reads}) than hierarchical ({hier_reads})"
+        );
+    }
+
+    #[test]
+    fn query3_only_fig7b_is_index_only() {
+        let (schema, mut os) = setup();
+        let pno = Atom::Int(17);
+        let func = Atom::Str("Consultant".into());
+        let expected = vec![Atom::Int(314)];
+        for scheme in Scheme::ALL {
+            let mut a = idx(&mut os, &schema, "PROJECTS.PNO", scheme);
+            let mut b = idx(&mut os, &schema, "PROJECTS.MEMBERS.FUNCTION", scheme);
+            let mut planner = Sec42Planner::new(&mut os, &schema);
+            let o = planner.conjunctive(&mut a, &pno, &mut b, &func).unwrap();
+            assert_eq!(o.result, expected, "scheme {scheme}");
+            assert_eq!(
+                o.index_only,
+                scheme == Scheme::Hierarchical,
+                "only the final Fig 7b form decides P2 = F2 from the index (scheme {scheme})"
+            );
+        }
+    }
+
+    #[test]
+    fn conjunctive_with_nonunique_project_numbers() {
+        // §2: "project numbers need not be unique". Give dept 417 a
+        // project also numbered 17 — without a consultant. The
+        // hierarchical join must NOT return 417.
+        let schema = fixtures::departments_schema();
+        let mut os = ObjectStore::new(seg(), LayoutKind::Ss3);
+        for t in &fixtures::departments_value().tuples {
+            os.insert_object(&schema, t).unwrap();
+        }
+        use aim2_model::value::build::{a, rel, tup};
+        let h417 = os.handles().unwrap()[2];
+        os.insert_element(
+            &schema,
+            h417,
+            &aim2_storage::object::ElemLoc::object(),
+            2,
+            &tup(vec![
+                a(17),
+                a("CLONE"),
+                rel(vec![tup(vec![a(77777), a("Staff")])]),
+            ]),
+        )
+        .unwrap();
+        let mut a_idx = idx(&mut os, &schema, "PROJECTS.PNO", Scheme::Hierarchical);
+        let mut b_idx = idx(
+            &mut os,
+            &schema,
+            "PROJECTS.MEMBERS.FUNCTION",
+            Scheme::Hierarchical,
+        );
+        let mut planner = Sec42Planner::new(&mut os, &schema);
+        let o = planner
+            .conjunctive(&mut a_idx, &Atom::Int(17), &mut b_idx, &Atom::Str("Consultant".into()))
+            .unwrap();
+        assert_eq!(o.result, vec![Atom::Int(314)], "417's clone has no consultant");
+        assert!(o.index_only);
+    }
+
+    #[test]
+    fn indexable_conditions_extracted() {
+        use aim2_lang::parser::parse_query;
+        let q = parse_query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.PROJECTS : y.PNO = 17 AND \
+                   EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        )
+        .unwrap();
+        let conds = indexable_conditions(q.where_.as_ref().unwrap());
+        assert!(conds.contains(&(Path::parse("PROJECTS.PNO"), Atom::Int(17))));
+        assert!(conds.contains(&(
+            Path::parse("PROJECTS.MEMBERS.FUNCTION"),
+            Atom::Str("Consultant".into())
+        )));
+    }
+}

@@ -1,0 +1,147 @@
+//! Table access abstraction.
+//!
+//! The evaluator fetches tables through a [`TableProvider`]; the database
+//! facade implements it over object stores (with projection pushdown),
+//! while [`MemProvider`] serves the executor's own tests and the algebra
+//! benches.
+
+use crate::error::ExecError;
+use crate::Result;
+use aim2_model::{Date, Path, TableSchema, TableValue};
+use std::collections::HashMap;
+
+/// What the evaluator needs from the storage layer.
+pub trait TableProvider {
+    /// Schema of a stored table.
+    fn table_schema(&mut self, name: &str) -> Result<TableSchema>;
+
+    /// Materialize a stored table, optionally as of a past date (§5) and
+    /// optionally *projected*: when `keep` is given, subtable attributes
+    /// whose path fails the predicate may be returned empty — the
+    /// evaluator only asks for paths it will never touch, realizing the
+    /// paper's partial retrieval.
+    fn scan_table(
+        &mut self,
+        name: &str,
+        asof: Option<Date>,
+        keep: Option<&dyn Fn(&Path) -> bool>,
+    ) -> Result<TableValue>;
+}
+
+/// In-memory provider backed by `TableValue`s.
+#[derive(Default)]
+pub struct MemProvider {
+    tables: HashMap<String, (TableSchema, TableValue)>,
+    /// Historical snapshots per table, date-ascending.
+    history: HashMap<String, Vec<(Date, TableValue)>>,
+}
+
+impl MemProvider {
+    /// An empty provider (register tables with [`MemProvider::add`]).
+    pub fn new() -> MemProvider {
+        MemProvider::default()
+    }
+
+    /// Register a table.
+    pub fn add(&mut self, schema: TableSchema, value: TableValue) -> &mut Self {
+        self.tables.insert(schema.name.clone(), (schema, value));
+        self
+    }
+
+    /// Register a historical snapshot (for ASOF tests).
+    pub fn add_snapshot(&mut self, table: &str, at: Date, value: TableValue) -> &mut Self {
+        let v = self.history.entry(table.to_string()).or_default();
+        v.push((at, value));
+        v.sort_by_key(|(d, _)| *d);
+        self
+    }
+
+    /// Load all paper fixtures (Tables 1–8).
+    pub fn with_paper_fixtures() -> MemProvider {
+        use aim2_model::fixtures as fx;
+        let mut p = MemProvider::new();
+        p.add(fx::departments_schema(), fx::departments_value());
+        p.add(fx::departments_1nf_schema(), fx::departments_1nf_value());
+        p.add(fx::projects_1nf_schema(), fx::projects_1nf_value());
+        p.add(fx::members_1nf_schema(), fx::members_1nf_value());
+        p.add(fx::equip_1nf_schema(), fx::equip_1nf_value());
+        p.add(fx::employees_1nf_schema(), fx::employees_1nf_value());
+        p.add(fx::reports_schema(), fx::reports_value());
+        p
+    }
+}
+
+impl TableProvider for MemProvider {
+    fn table_schema(&mut self, name: &str) -> Result<TableSchema> {
+        self.tables
+            .get(name)
+            .map(|(s, _)| s.clone())
+            .ok_or_else(|| ExecError::NoSuchTable(name.to_string()))
+    }
+
+    fn scan_table(
+        &mut self,
+        name: &str,
+        asof: Option<Date>,
+        _keep: Option<&dyn Fn(&Path) -> bool>,
+    ) -> Result<TableValue> {
+        if let Some(t) = asof {
+            let snaps = self
+                .history
+                .get(name)
+                .ok_or_else(|| ExecError::Semantic(format!("table {name} is not versioned")))?;
+            let idx = snaps.partition_point(|(d, _)| *d <= t);
+            if idx == 0 {
+                return Ok(TableValue {
+                    kind: self.tables[name].1.kind,
+                    tuples: Vec::new(),
+                });
+            }
+            return Ok(snaps[idx - 1].1.clone());
+        }
+        self.tables
+            .get(name)
+            .map(|(_, v)| v.clone())
+            .ok_or_else(|| ExecError::NoSuchTable(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_load() {
+        let mut p = MemProvider::with_paper_fixtures();
+        assert_eq!(p.table_schema("DEPARTMENTS").unwrap().depth(), 3);
+        assert_eq!(p.scan_table("REPORTS", None, None).unwrap().len(), 3);
+        assert!(p.table_schema("NOPE").is_err());
+    }
+
+    #[test]
+    fn asof_snapshots() {
+        let mut p = MemProvider::with_paper_fixtures();
+        let old = aim2_model::fixtures::departments_value();
+        p.add_snapshot(
+            "DEPARTMENTS",
+            Date::parse_iso("1984-01-01").unwrap(),
+            old.clone(),
+        );
+        let got = p
+            .scan_table(
+                "DEPARTMENTS",
+                Some(Date::parse_iso("1984-01-15").unwrap()),
+                None,
+            )
+            .unwrap();
+        assert_eq!(got, old);
+        let before = p
+            .scan_table(
+                "DEPARTMENTS",
+                Some(Date::parse_iso("1983-01-01").unwrap()),
+                None,
+            )
+            .unwrap();
+        assert!(before.is_empty());
+    }
+}

@@ -1,0 +1,348 @@
+//! Runtime values and path navigation.
+
+use crate::error::ExecError;
+use crate::Result;
+use aim2_lang::ast::{CmpOp, Lit};
+use aim2_model::{Atom, AttrKind, Path, TableKind, TableSchema, TableValue, Tuple, Value};
+use std::cmp::Ordering;
+
+/// Resolve `path` against a tuple of `schema`: returns the value and the
+/// attribute's kind. Intermediate segments may not cross table-valued
+/// attributes (bind a variable instead — exactly the language's rule).
+pub fn resolve<'a>(
+    schema: &'a TableSchema,
+    tuple: &'a Tuple,
+    path: &Path,
+    var: &str,
+) -> Result<(&'a Value, &'a AttrKind)> {
+    // In NF², every valid path from a tuple variable is exactly one
+    // segment long: deeper structure is reached by *binding* a variable
+    // to the subtable (`y IN x.PROJECTS`), never by dotted navigation
+    // through it. Longer paths therefore produce the guided error.
+    let segs = path.segments();
+    let [seg] = segs else {
+        if segs.is_empty() {
+            return Err(ExecError::BadPath {
+                var: var.to_string(),
+                path: String::new(),
+            });
+        }
+        let first = &segs[0];
+        return match schema.attr(first) {
+            Some(a) if !a.kind.is_atomic() => Err(ExecError::ThroughTable {
+                var: var.to_string(),
+                attr: first.to_string(),
+            }),
+            _ => Err(ExecError::BadPath {
+                var: var.to_string(),
+                path: path.to_string(),
+            }),
+        };
+    };
+    let idx = schema.attr_index(seg).ok_or_else(|| ExecError::BadPath {
+        var: var.to_string(),
+        path: path.to_string(),
+    })?;
+    Ok((&tuple.fields[idx], &schema.attrs[idx].kind))
+}
+
+/// A value produced during evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalValue {
+    Atom(Atom),
+    Table(TableValue),
+    /// A whole row (e.g. `x.AUTHORS[1]`), with its schema level for
+    /// further navigation.
+    Row(Tuple, TableSchema),
+    /// An out-of-range list subscript: comparisons with it are false
+    /// (the row simply does not qualify — report 0179 has no second
+    /// author); projecting it is an error.
+    Missing,
+}
+
+impl EvalValue {
+    /// Unwrap single-attribute rows to their atom — the coercion that
+    /// makes `x.AUTHORS[1] = 'Jones A.'` (Example 8) typecheck: AUTHORS
+    /// has the single attribute NAME.
+    pub fn simplified(self) -> EvalValue {
+        match self {
+            EvalValue::Row(t, s) if t.arity() == 1 && s.attrs[0].kind.is_atomic() => {
+                match &t.fields[0] {
+                    Value::Atom(a) => EvalValue::Atom(a.clone()),
+                    Value::Table(_) => EvalValue::Row(t, s),
+                }
+            }
+            v => v,
+        }
+    }
+
+    /// Convert to a model `Value` for result construction.
+    pub fn into_value(self) -> Result<Value> {
+        match self {
+            EvalValue::Atom(a) => Ok(Value::Atom(a)),
+            EvalValue::Table(t) => Ok(Value::Table(t)),
+            EvalValue::Row(..) => Err(ExecError::Type(
+                "a whole tuple cannot be a result attribute; project its fields".into(),
+            )),
+            EvalValue::Missing => Err(ExecError::Semantic(
+                "subscript out of range in SELECT position".into(),
+            )),
+        }
+    }
+}
+
+/// Convert a literal to an atom (scalar literals only).
+pub fn lit_atom(l: &Lit) -> Result<Atom> {
+    match l {
+        Lit::Int(v) => Ok(Atom::Int(*v)),
+        Lit::Float(v) => Ok(Atom::Double(*v)),
+        Lit::Str(s) => Ok(Atom::Str(s.clone())),
+        Lit::Bool(b) => Ok(Atom::Bool(*b)),
+        Lit::Relation(_) | Lit::List(_) => Err(ExecError::Type(
+            "table literal used where a scalar is required".into(),
+        )),
+    }
+}
+
+/// Convert a literal tuple to a model [`Tuple`] conforming to `schema`
+/// (recursively; atoms are coerced, `DATE` attributes accept ISO
+/// strings).
+pub fn lit_tuple(schema: &TableSchema, lits: &[Lit]) -> Result<Tuple> {
+    if lits.len() != schema.attrs.len() {
+        return Err(ExecError::Type(format!(
+            "table {} expects {} attributes, got {}",
+            schema.name,
+            schema.attrs.len(),
+            lits.len()
+        )));
+    }
+    let mut fields = Vec::with_capacity(lits.len());
+    for (lit, attr) in lits.iter().zip(&schema.attrs) {
+        match (&attr.kind, lit) {
+            (AttrKind::Atomic(ty), l) => {
+                let atom = match (l, ty) {
+                    (Lit::Str(s), aim2_model::AtomType::Date) => {
+                        Atom::Date(aim2_model::Date::parse_iso(s)?)
+                    }
+                    (Lit::Str(s), aim2_model::AtomType::Text) => Atom::Text(s.clone()),
+                    _ => lit_atom(l)?,
+                };
+                if !atom.conforms_to(*ty) {
+                    return Err(ExecError::Type(format!(
+                        "attribute {} expects {}, got {}",
+                        attr.name,
+                        ty,
+                        atom.atom_type()
+                    )));
+                }
+                fields.push(Value::Atom(atom.coerce(*ty)?));
+            }
+            (AttrKind::Table(sub), Lit::Relation(tuples)) => {
+                if sub.kind != TableKind::Relation {
+                    return Err(ExecError::Type(format!(
+                        "attribute {} is a list; use < > brackets",
+                        attr.name
+                    )));
+                }
+                fields.push(Value::Table(lit_table(sub, tuples)?));
+            }
+            (AttrKind::Table(sub), Lit::List(tuples)) => {
+                if sub.kind != TableKind::List {
+                    return Err(ExecError::Type(format!(
+                        "attribute {} is a relation; use {{ }} brackets",
+                        attr.name
+                    )));
+                }
+                fields.push(Value::Table(lit_table(sub, tuples)?));
+            }
+            (AttrKind::Table(_), _) => {
+                return Err(ExecError::Type(format!(
+                    "attribute {} expects a table literal",
+                    attr.name
+                )))
+            }
+        }
+    }
+    Ok(Tuple::new(fields))
+}
+
+fn lit_table(schema: &TableSchema, tuples: &[Vec<Lit>]) -> Result<TableValue> {
+    let mut out = Vec::with_capacity(tuples.len());
+    for t in tuples {
+        out.push(lit_tuple(schema, t)?);
+    }
+    Ok(TableValue {
+        kind: schema.kind,
+        tuples: out,
+    })
+}
+
+/// Compare two runtime values under `op`.
+pub fn compare(op: CmpOp, lhs: EvalValue, rhs: EvalValue) -> Result<bool> {
+    let l = lhs.simplified();
+    let r = rhs.simplified();
+    match (&l, &r) {
+        (EvalValue::Atom(a), EvalValue::Atom(b)) => {
+            let ord = a.partial_cmp_same(b).ok_or_else(|| {
+                ExecError::Type(format!(
+                    "cannot compare {} with {}",
+                    a.atom_type(),
+                    b.atom_type()
+                ))
+            })?;
+            Ok(match op {
+                CmpOp::Eq => ord == Ordering::Equal,
+                CmpOp::Ne => ord != Ordering::Equal,
+                CmpOp::Lt => ord == Ordering::Less,
+                CmpOp::Le => ord != Ordering::Greater,
+                CmpOp::Gt => ord == Ordering::Greater,
+                CmpOp::Ge => ord != Ordering::Less,
+            })
+        }
+        (EvalValue::Table(a), EvalValue::Table(b)) => match op {
+            CmpOp::Eq => Ok(a.semantically_eq(b)),
+            CmpOp::Ne => Ok(!a.semantically_eq(b)),
+            _ => Err(ExecError::Type(
+                "tables support only = and <> comparisons".into(),
+            )),
+        },
+        (EvalValue::Row(a, _), EvalValue::Row(b, _)) => match op {
+            CmpOp::Eq => Ok(a == b),
+            CmpOp::Ne => Ok(a != b),
+            _ => Err(ExecError::Type(
+                "tuples support only = and <> comparisons".into(),
+            )),
+        },
+        (EvalValue::Missing, _) | (_, EvalValue::Missing) => Ok(false),
+        _ => Err(ExecError::Type(format!(
+            "incomparable operands: {l:?} vs {r:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_model::fixtures;
+    use aim2_model::value::build::a;
+
+    #[test]
+    fn resolve_first_level() {
+        let schema = fixtures::departments_schema();
+        let t = fixtures::department_314();
+        let (v, k) = resolve(&schema, &t, &Path::parse("DNO"), "x").unwrap();
+        assert!(k.is_atomic());
+        assert_eq!(v.as_atom().unwrap().as_int(), Some(314));
+        let (v, k) = resolve(&schema, &t, &Path::parse("PROJECTS"), "x").unwrap();
+        assert!(!k.is_atomic());
+        assert_eq!(v.as_table().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn resolve_through_table_is_a_guided_error() {
+        let schema = fixtures::departments_schema();
+        let t = fixtures::department_314();
+        let e = resolve(&schema, &t, &Path::parse("PROJECTS.PNO"), "x").unwrap_err();
+        assert!(matches!(e, ExecError::ThroughTable { .. }));
+        let e = resolve(&schema, &t, &Path::parse("NOPE"), "x").unwrap_err();
+        assert!(matches!(e, ExecError::BadPath { .. }));
+    }
+
+    #[test]
+    fn single_attr_row_simplifies_to_atom() {
+        let s = TableSchema::relation("AUTHORS").with_atom("NAME", aim2_model::AtomType::Str);
+        let row = EvalValue::Row(Tuple::new(vec![a("Jones A.")]), s);
+        assert_eq!(
+            row.simplified(),
+            EvalValue::Atom(Atom::Str("Jones A.".into()))
+        );
+    }
+
+    #[test]
+    fn compare_coerces_int_double_and_str_text() {
+        assert!(compare(
+            CmpOp::Lt,
+            EvalValue::Atom(Atom::Int(3)),
+            EvalValue::Atom(Atom::Double(3.5))
+        )
+        .unwrap());
+        assert!(compare(
+            CmpOp::Eq,
+            EvalValue::Atom(Atom::Text("x".into())),
+            EvalValue::Atom(Atom::Str("x".into()))
+        )
+        .unwrap());
+        assert!(compare(
+            CmpOp::Eq,
+            EvalValue::Atom(Atom::Int(1)),
+            EvalValue::Atom(Atom::Bool(true))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn lit_tuple_validates_against_schema() {
+        let schema = fixtures::equip_1nf_schema();
+        let t = lit_tuple(
+            &schema,
+            &[Lit::Int(314), Lit::Int(2), Lit::Str("3278".into())],
+        )
+        .unwrap();
+        assert_eq!(t.arity(), 3);
+        assert!(lit_tuple(&schema, &[Lit::Int(1)]).is_err(), "arity");
+        assert!(
+            lit_tuple(
+                &schema,
+                &[Lit::Str("x".into()), Lit::Int(2), Lit::Str("y".into())]
+            )
+            .is_err(),
+            "type"
+        );
+    }
+
+    #[test]
+    fn lit_tuple_nested() {
+        let schema = fixtures::departments_schema();
+        let t = lit_tuple(
+            &schema,
+            &[
+                Lit::Int(999),
+                Lit::Int(1),
+                Lit::Relation(vec![vec![
+                    Lit::Int(5),
+                    Lit::Str("P".into()),
+                    Lit::Relation(vec![]),
+                ]]),
+                Lit::Int(0),
+                Lit::Relation(vec![]),
+            ],
+        )
+        .unwrap();
+        t.atomic_fields(&schema);
+        let projects = t.fields[2].as_table().unwrap();
+        assert_eq!(projects.len(), 1);
+        // Wrong bracket kind rejected.
+        assert!(lit_tuple(
+            &schema,
+            &[
+                Lit::Int(999),
+                Lit::Int(1),
+                Lit::List(vec![]),
+                Lit::Int(0),
+                Lit::Relation(vec![]),
+            ],
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn date_literals_from_strings() {
+        let schema = TableSchema::relation("T").with_atom("D", aim2_model::AtomType::Date);
+        let t = lit_tuple(&schema, &[Lit::Str("1984-01-15".into())]).unwrap();
+        assert!(matches!(
+            t.fields[0].as_atom().unwrap(),
+            Atom::Date(_)
+        ));
+        assert!(lit_tuple(&schema, &[Lit::Str("not-a-date".into())]).is_err());
+    }
+}

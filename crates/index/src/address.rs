@@ -1,0 +1,337 @@
+//! Index address schemes (§4.2).
+//!
+//! "Conceptually, an index entry is an ordered pair `<key, address
+//! list>`." The paper walks through three choices for what the addresses
+//! should be, and shows only the last one suffices:
+//!
+//! 1. [`Scheme::DataTid`] — TIDs of data subtuples. The value is found,
+//!    but "access to the respective department numbers cannot be done"
+//!    (data subtuples carry no structural information) and duplicate
+//!    objects cannot be recognized.
+//! 2. [`Scheme::RootTid`] — TIDs of root MD subtuples. Objects are
+//!    reachable and de-duplicatable, but inner positions are lost:
+//!    "all projects of this department have to be scanned".
+//! 3. Hierarchical addresses:
+//!    * naive form [`Scheme::MdPath`] (Fig 7a) — components are MD
+//!      subtuple pointers; useless for conjunctive queries because the
+//!      shared components "refer to an MD subtuple of a *subtable*
+//!      and not ... a complex subobject";
+//!    * final form [`Scheme::Hierarchical`] (Fig 7b) — "the rest refers
+//!      to data subtuples on a path from this root MD subtuple down to a
+//!      certain data subtuple"; components identify complex subobjects,
+//!      so `P2 = F2` decides the §4.2 query from the index alone.
+//!
+//! In AIM-II "the first component of an address is always a TID whereas
+//! all other components are Mini TIDs" — encoded here verbatim.
+
+use crate::error::IndexError;
+use crate::Result;
+use aim2_storage::tid::{MiniTid, Tid};
+use std::fmt;
+
+/// Which address representation an index stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// TIDs of data subtuples (first, insufficient approach).
+    DataTid,
+    /// TIDs of root MD subtuples (second, still insufficient approach).
+    RootTid,
+    /// Naive hierarchical addresses over MD pointers (Fig 7a).
+    MdPath,
+    /// Final hierarchical addresses over data subtuples (Fig 7b) — what
+    /// AIM-II implements.
+    Hierarchical,
+}
+
+impl Scheme {
+    /// Every scheme, in the order the paper discusses them.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::DataTid,
+        Scheme::RootTid,
+        Scheme::MdPath,
+        Scheme::Hierarchical,
+    ];
+
+    /// Human-readable scheme name for bench labels and plans.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::DataTid => "data-TID",
+            Scheme::RootTid => "root-TID",
+            Scheme::MdPath => "MD-path (Fig 7a)",
+            Scheme::Hierarchical => "hierarchical (Fig 7b)",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A final-form hierarchical address (Fig 7b): root MD subtuple TID plus
+/// the data subtuples of the complex subobjects on the path, ending at
+/// the data subtuple holding the indexed value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct HierAddr {
+    pub root: Tid,
+    pub comps: Vec<MiniTid>,
+}
+
+impl HierAddr {
+    /// The target data subtuple (last component).
+    pub fn target(&self) -> Option<MiniTid> {
+        self.comps.last().copied()
+    }
+
+    /// The ancestor components (all but the target) — e.g. the project
+    /// a member belongs to. Two addresses with equal roots and a shared
+    /// ancestor prefix refer to the same complex subobject; this is the
+    /// `P2 = F2` test of §4.2.
+    pub fn ancestors(&self) -> &[MiniTid] {
+        match self.comps.len() {
+            0 => &[],
+            n => &self.comps[..n - 1],
+        }
+    }
+}
+
+impl fmt::Display for HierAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)?;
+        for c in &self.comps {
+            write!(f, ".{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A naive hierarchical address (Fig 7a): root TID plus the MD subtuples
+/// on the pointer path, ending at the data subtuple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MdPathAddr {
+    pub root: Tid,
+    pub md_path: Vec<MiniTid>,
+    pub data: MiniTid,
+}
+
+impl fmt::Display for MdPathAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)?;
+        for c in &self.md_path {
+            write!(f, ".{c}")?;
+        }
+        write!(f, ".{}", self.data)
+    }
+}
+
+/// One address in an index posting list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum IndexAddress {
+    Data(Tid),
+    Root(Tid),
+    MdPath(MdPathAddr),
+    Hier(HierAddr),
+}
+
+impl IndexAddress {
+    /// The scheme this address belongs to.
+    pub fn scheme(&self) -> Scheme {
+        match self {
+            IndexAddress::Data(_) => Scheme::DataTid,
+            IndexAddress::Root(_) => Scheme::RootTid,
+            IndexAddress::MdPath(_) => Scheme::MdPath,
+            IndexAddress::Hier(_) => Scheme::Hierarchical,
+        }
+    }
+
+    /// The object's root TID, if this scheme knows it (the data-TID
+    /// scheme famously does not — that is its §4.2 flaw).
+    pub fn root(&self) -> Option<Tid> {
+        match self {
+            IndexAddress::Data(_) => None,
+            IndexAddress::Root(t) => Some(*t),
+            IndexAddress::MdPath(a) => Some(a.root),
+            IndexAddress::Hier(a) => Some(a.root),
+        }
+    }
+
+    fn tag(&self) -> u8 {
+        match self {
+            IndexAddress::Data(_) => 0,
+            IndexAddress::Root(_) => 1,
+            IndexAddress::MdPath(_) => 2,
+            IndexAddress::Hier(_) => 3,
+        }
+    }
+
+    /// Serialize into a posting list.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        match self {
+            IndexAddress::Data(t) | IndexAddress::Root(t) => t.encode(out),
+            IndexAddress::MdPath(a) => {
+                a.root.encode(out);
+                out.extend_from_slice(&(a.md_path.len() as u16).to_le_bytes());
+                for m in &a.md_path {
+                    m.encode(out);
+                }
+                a.data.encode(out);
+            }
+            IndexAddress::Hier(a) => {
+                a.root.encode(out);
+                out.extend_from_slice(&(a.comps.len() as u16).to_le_bytes());
+                for m in &a.comps {
+                    m.encode(out);
+                }
+            }
+        }
+    }
+
+    /// Deserialize from a posting list.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<IndexAddress> {
+        let err = |m: &str| IndexError::Corrupt(m.to_string());
+        let tag = *buf.get(*pos).ok_or_else(|| err("empty address"))?;
+        *pos += 1;
+        let take_tid =
+            |pos: &mut usize| Tid::decode(buf, pos).ok_or_else(|| err("truncated TID"));
+        match tag {
+            0 => Ok(IndexAddress::Data(take_tid(pos)?)),
+            1 => Ok(IndexAddress::Root(take_tid(pos)?)),
+            2 => {
+                let root = take_tid(pos)?;
+                let n = u16::from_le_bytes(
+                    buf.get(*pos..*pos + 2)
+                        .ok_or_else(|| err("truncated count"))?
+                        .try_into()
+                        .unwrap(),
+                ) as usize;
+                *pos += 2;
+                let mut md_path = Vec::with_capacity(n);
+                for _ in 0..n {
+                    md_path
+                        .push(MiniTid::decode(buf, pos).ok_or_else(|| err("truncated MiniTid"))?);
+                }
+                let data = MiniTid::decode(buf, pos).ok_or_else(|| err("truncated MiniTid"))?;
+                Ok(IndexAddress::MdPath(MdPathAddr {
+                    root,
+                    md_path,
+                    data,
+                }))
+            }
+            3 => {
+                let root = take_tid(pos)?;
+                let n = u16::from_le_bytes(
+                    buf.get(*pos..*pos + 2)
+                        .ok_or_else(|| err("truncated count"))?
+                        .try_into()
+                        .unwrap(),
+                ) as usize;
+                *pos += 2;
+                let mut comps = Vec::with_capacity(n);
+                for _ in 0..n {
+                    comps.push(MiniTid::decode(buf, pos).ok_or_else(|| err("truncated MiniTid"))?);
+                }
+                Ok(IndexAddress::Hier(HierAddr { root, comps }))
+            }
+            t => Err(err(&format!("bad address tag {t}"))),
+        }
+    }
+
+    /// Encode a whole posting list.
+    pub fn encode_list(addrs: &[IndexAddress]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + addrs.len() * 8);
+        out.extend_from_slice(&(addrs.len() as u32).to_le_bytes());
+        for a in addrs {
+            a.encode(&mut out);
+        }
+        out
+    }
+
+    /// Decode a whole posting list.
+    pub fn decode_list(buf: &[u8]) -> Result<Vec<IndexAddress>> {
+        let err = |m: &str| IndexError::Corrupt(m.to_string());
+        let n = u32::from_le_bytes(
+            buf.get(0..4)
+                .ok_or_else(|| err("truncated posting list"))?
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        let mut pos = 4;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(IndexAddress::decode(buf, &mut pos)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_storage::tid::{PageId, SlotNo};
+
+    fn tid(p: u32, s: u16) -> Tid {
+        Tid::new(PageId(p), SlotNo(s))
+    }
+    fn mt(l: u16, s: u16) -> MiniTid {
+        MiniTid::new(l, SlotNo(s))
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let addrs = vec![
+            IndexAddress::Data(tid(1, 2)),
+            IndexAddress::Root(tid(3, 4)),
+            IndexAddress::MdPath(MdPathAddr {
+                root: tid(5, 6),
+                md_path: vec![mt(0, 1), mt(1, 0)],
+                data: mt(2, 3),
+            }),
+            IndexAddress::Hier(HierAddr {
+                root: tid(7, 8),
+                comps: vec![mt(0, 2), mt(1, 1)],
+            }),
+        ];
+        let bytes = IndexAddress::encode_list(&addrs);
+        assert_eq!(IndexAddress::decode_list(&bytes).unwrap(), addrs);
+    }
+
+    #[test]
+    fn hier_addr_parts() {
+        let a = HierAddr {
+            root: tid(1, 1),
+            comps: vec![mt(0, 5), mt(1, 2)],
+        };
+        assert_eq!(a.target(), Some(mt(1, 2)));
+        assert_eq!(a.ancestors(), &[mt(0, 5)]);
+        let short = HierAddr {
+            root: tid(1, 1),
+            comps: vec![],
+        };
+        assert_eq!(short.target(), None);
+        assert!(short.ancestors().is_empty());
+    }
+
+    #[test]
+    fn roots_known_except_data_scheme() {
+        assert_eq!(IndexAddress::Data(tid(1, 1)).root(), None);
+        assert_eq!(IndexAddress::Root(tid(2, 2)).root(), Some(tid(2, 2)));
+    }
+
+    #[test]
+    fn corrupt_lists_rejected() {
+        assert!(IndexAddress::decode_list(&[1, 0]).is_err());
+        assert!(IndexAddress::decode_list(&[1, 0, 0, 0, 99]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        let a = HierAddr {
+            root: tid(12, 0),
+            comps: vec![mt(0, 1)],
+        };
+        assert_eq!(a.to_string(), "P12.s0.p0.s1");
+        assert_eq!(Scheme::Hierarchical.to_string(), "hierarchical (Fig 7b)");
+    }
+}

@@ -1,0 +1,499 @@
+//! A persistent B+-tree over segment records.
+//!
+//! Index entries are `<key, value>` pairs with byte-string keys (see
+//! [`crate::keyenc`]) and opaque values (the address lists of §4.2).
+//! Nodes are segment records addressed by TID; record forwarding keeps
+//! node TIDs stable across splits and growth, so parent links never need
+//! rewriting. The tree splits on overflow; underflow is tolerated
+//! (single-user prototype — reorganization would be an offline rebuild,
+//! as was common for the era's systems).
+
+use crate::error::IndexError;
+use crate::Result;
+use aim2_storage::segment::Segment;
+use aim2_storage::tid::Tid;
+
+const LEAF: u8 = 0;
+const INTERNAL: u8 = 1;
+
+/// Maximum entries per node before a split.
+const DEFAULT_ORDER: usize = 32;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Node {
+    Leaf {
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+    },
+    Internal {
+        /// `seps[i]` is the smallest key reachable under `children[i+1]`.
+        seps: Vec<Vec<u8>>,
+        children: Vec<Tid>,
+    },
+}
+
+impl Node {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Node::Leaf { entries } => {
+                out.push(LEAF);
+                out.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                for (k, v) in entries {
+                    out.extend_from_slice(&(k.len() as u16).to_le_bytes());
+                    out.extend_from_slice(k);
+                    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                    out.extend_from_slice(v);
+                }
+            }
+            Node::Internal { seps, children } => {
+                out.push(INTERNAL);
+                out.extend_from_slice(&(children.len() as u16).to_le_bytes());
+                for c in children {
+                    c.encode(&mut out);
+                }
+                for s in seps {
+                    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+                    out.extend_from_slice(s);
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let err = |m: &str| IndexError::Corrupt(m.to_string());
+        let kind = *buf.first().ok_or_else(|| err("empty node"))?;
+        let mut pos = 1;
+        let take_u16 = |pos: &mut usize| -> Result<u16> {
+            let b = buf
+                .get(*pos..*pos + 2)
+                .ok_or_else(|| err("truncated node"))?;
+            *pos += 2;
+            Ok(u16::from_le_bytes(b.try_into().unwrap()))
+        };
+        match kind {
+            LEAF => {
+                let n = take_u16(&mut pos)? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen = take_u16(&mut pos)? as usize;
+                    let k = buf
+                        .get(pos..pos + klen)
+                        .ok_or_else(|| err("truncated key"))?
+                        .to_vec();
+                    pos += klen;
+                    let vlen = u32::from_le_bytes(
+                        buf.get(pos..pos + 4)
+                            .ok_or_else(|| err("truncated vlen"))?
+                            .try_into()
+                            .unwrap(),
+                    ) as usize;
+                    pos += 4;
+                    let v = buf
+                        .get(pos..pos + vlen)
+                        .ok_or_else(|| err("truncated value"))?
+                        .to_vec();
+                    pos += vlen;
+                    entries.push((k, v));
+                }
+                Ok(Node::Leaf { entries })
+            }
+            INTERNAL => {
+                let n = take_u16(&mut pos)? as usize;
+                let mut children = Vec::with_capacity(n);
+                for _ in 0..n {
+                    children
+                        .push(Tid::decode(buf, &mut pos).ok_or_else(|| err("truncated child"))?);
+                }
+                let mut seps = Vec::with_capacity(n.saturating_sub(1));
+                for _ in 0..n.saturating_sub(1) {
+                    let klen = take_u16(&mut pos)? as usize;
+                    let k = buf
+                        .get(pos..pos + klen)
+                        .ok_or_else(|| err("truncated separator"))?
+                        .to_vec();
+                    pos += klen;
+                    seps.push(k);
+                }
+                Ok(Node::Internal { seps, children })
+            }
+            other => Err(err(&format!("bad node kind {other}"))),
+        }
+    }
+}
+
+/// A persistent B+-tree living in a [`Segment`].
+pub struct BTree {
+    root: Tid,
+    order: usize,
+}
+
+impl BTree {
+    /// Create an empty tree in `seg`.
+    pub fn create(seg: &mut Segment) -> Result<BTree> {
+        Self::create_with_order(seg, DEFAULT_ORDER)
+    }
+
+    /// Create with an explicit split threshold (tests use small orders to
+    /// force deep trees).
+    pub fn create_with_order(seg: &mut Segment, order: usize) -> Result<BTree> {
+        assert!(order >= 4, "order must be at least 4");
+        let root_node = Node::Leaf {
+            entries: Vec::new(),
+        };
+        let root = seg.insert(&root_node.encode(), None)?;
+        Ok(BTree { root, order })
+    }
+
+    /// TID of the root node (persist this to reopen the tree).
+    pub fn root(&self) -> Tid {
+        self.root
+    }
+
+    /// Re-attach to an existing tree.
+    pub fn open(root: Tid, order: usize) -> BTree {
+        BTree { root, order }
+    }
+
+    /// The split threshold (persist alongside the root to reopen).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    fn load(&self, seg: &mut Segment, tid: Tid) -> Result<Node> {
+        Node::decode(&seg.read(tid)?)
+    }
+
+    fn store(&self, seg: &mut Segment, tid: Tid, node: &Node) -> Result<()> {
+        seg.update(tid, &node.encode())?;
+        Ok(())
+    }
+
+    /// Look up `key`; returns its value if present.
+    pub fn get(&self, seg: &mut Segment, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut tid = self.root;
+        loop {
+            match self.load(seg, tid)? {
+                Node::Leaf { entries } => {
+                    return Ok(entries
+                        .iter()
+                        .find(|(k, _)| k.as_slice() == key)
+                        .map(|(_, v)| v.clone()));
+                }
+                Node::Internal { seps, children } => {
+                    let idx = seps.partition_point(|s| s.as_slice() <= key);
+                    tid = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Insert or replace `key` with `value`.
+    pub fn put(&mut self, seg: &mut Segment, key: &[u8], value: &[u8]) -> Result<()> {
+        if let Some((sep, right)) = self.insert_rec(seg, self.root, key, value)? {
+            // Root split: create a new root above.
+            let old_root_node = self.load(seg, self.root)?;
+            let left = seg.insert(&old_root_node.encode(), None)?;
+            let new_root = Node::Internal {
+                seps: vec![sep],
+                children: vec![left, right],
+            };
+            self.store(seg, self.root, &new_root)?;
+        }
+        Ok(())
+    }
+
+    /// Returns `Some((separator, new right node))` if the child split.
+    fn insert_rec(
+        &self,
+        seg: &mut Segment,
+        tid: Tid,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<(Vec<u8>, Tid)>> {
+        match self.load(seg, tid)? {
+            Node::Leaf { mut entries } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => entries[i].1 = value.to_vec(),
+                    Err(i) => entries.insert(i, (key.to_vec(), value.to_vec())),
+                }
+                if entries.len() <= self.order {
+                    self.store(seg, tid, &Node::Leaf { entries })?;
+                    return Ok(None);
+                }
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right = seg.insert(
+                    &Node::Leaf {
+                        entries: right_entries,
+                    }
+                    .encode(),
+                    Some(tid.page),
+                )?;
+                self.store(seg, tid, &Node::Leaf { entries })?;
+                Ok(Some((sep, right)))
+            }
+            Node::Internal {
+                mut seps,
+                mut children,
+            } => {
+                let idx = seps.partition_point(|s| s.as_slice() <= key);
+                if let Some((sep, right)) = self.insert_rec(seg, children[idx], key, value)? {
+                    seps.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                }
+                if children.len() <= self.order {
+                    self.store(seg, tid, &Node::Internal { seps, children })?;
+                    return Ok(None);
+                }
+                let mid = children.len() / 2;
+                let right_children = children.split_off(mid);
+                let sep_up = seps.remove(mid - 1);
+                let right_seps = seps.split_off(mid - 1);
+                let right = seg.insert(
+                    &Node::Internal {
+                        seps: right_seps,
+                        children: right_children,
+                    }
+                    .encode(),
+                    Some(tid.page),
+                )?;
+                self.store(seg, tid, &Node::Internal { seps, children })?;
+                Ok(Some((sep_up, right)))
+            }
+        }
+    }
+
+    /// Remove `key`; returns true if it was present. (No rebalancing —
+    /// see module docs.)
+    pub fn remove(&mut self, seg: &mut Segment, key: &[u8]) -> Result<bool> {
+        let mut tid = self.root;
+        loop {
+            match self.load(seg, tid)? {
+                Node::Leaf { mut entries } => {
+                    return match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                        Ok(i) => {
+                            entries.remove(i);
+                            self.store(seg, tid, &Node::Leaf { entries })?;
+                            Ok(true)
+                        }
+                        Err(_) => Ok(false),
+                    };
+                }
+                Node::Internal { seps, children } => {
+                    let idx = seps.partition_point(|s| s.as_slice() <= key);
+                    tid = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Collect all `(key, value)` pairs with `lo <= key <= hi` in key
+    /// order.
+    pub fn range(
+        &self,
+        seg: &mut Segment,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.range_rec(seg, self.root, lo, hi, &mut out)?;
+        Ok(out)
+    }
+
+    fn range_rec(
+        &self,
+        seg: &mut Segment,
+        tid: Tid,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        out: &mut Vec<(Vec<u8>, Vec<u8>)>,
+    ) -> Result<()> {
+        match self.load(seg, tid)? {
+            Node::Leaf { entries } => {
+                for (k, v) in entries {
+                    if lo.is_some_and(|lo| k.as_slice() < lo) {
+                        continue;
+                    }
+                    if hi.is_some_and(|hi| k.as_slice() > hi) {
+                        break;
+                    }
+                    out.push((k, v));
+                }
+            }
+            Node::Internal { seps, children } => {
+                let start = match lo {
+                    Some(lo) => seps.partition_point(|s| s.as_slice() <= lo),
+                    None => 0,
+                };
+                let end = match hi {
+                    Some(hi) => seps.partition_point(|s| s.as_slice() <= hi),
+                    None => children.len() - 1,
+                };
+                for child in &children[start..=end] {
+                    self.range_rec(seg, *child, lo, hi, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of entries (full scan; for tests and stats).
+    pub fn len(&self, seg: &mut Segment) -> Result<usize> {
+        Ok(self.range(seg, None, None)?.len())
+    }
+
+    /// True if the tree has no entries.
+    pub fn is_empty(&self, seg: &mut Segment) -> Result<bool> {
+        Ok(self.len(seg)? == 0)
+    }
+
+    /// Tree height (1 = just a leaf).
+    pub fn height(&self, seg: &mut Segment) -> Result<usize> {
+        let mut h = 1;
+        let mut tid = self.root;
+        loop {
+            match self.load(seg, tid)? {
+                Node::Leaf { .. } => return Ok(h),
+                Node::Internal { children, .. } => {
+                    h += 1;
+                    tid = children[0];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_storage::buffer::BufferPool;
+    use aim2_storage::disk::MemDisk;
+    use aim2_storage::stats::Stats;
+
+    fn seg() -> Segment {
+        Segment::new(BufferPool::new(
+            Box::new(MemDisk::new(1024)),
+            64,
+            Stats::new(),
+        ))
+    }
+
+    #[test]
+    fn put_get_small() {
+        let mut s = seg();
+        let mut t = BTree::create(&mut s).unwrap();
+        t.put(&mut s, b"b", b"2").unwrap();
+        t.put(&mut s, b"a", b"1").unwrap();
+        t.put(&mut s, b"c", b"3").unwrap();
+        assert_eq!(t.get(&mut s, b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.get(&mut s, b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.get(&mut s, b"zz").unwrap(), None);
+    }
+
+    #[test]
+    fn replace_value() {
+        let mut s = seg();
+        let mut t = BTree::create(&mut s).unwrap();
+        t.put(&mut s, b"k", b"old").unwrap();
+        t.put(&mut s, b"k", b"new").unwrap();
+        assert_eq!(t.get(&mut s, b"k").unwrap(), Some(b"new".to_vec()));
+        assert_eq!(t.len(&mut s).unwrap(), 1);
+    }
+
+    #[test]
+    fn thousand_keys_sorted_iteration() {
+        let mut s = seg();
+        let mut t = BTree::create_with_order(&mut s, 6).unwrap();
+        // Insert in pseudo-random order.
+        let mut keys: Vec<u32> = (0..1000).map(|i| (i * 619) % 1000).collect();
+        keys.dedup();
+        for k in &keys {
+            t.put(&mut s, &k.to_be_bytes(), &k.to_le_bytes()).unwrap();
+        }
+        assert!(t.height(&mut s).unwrap() >= 3, "deep tree exercised");
+        let all = t.range(&mut s, None, None).unwrap();
+        assert_eq!(all.len(), 1000);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(k.as_slice(), (i as u32).to_be_bytes());
+            assert_eq!(v.as_slice(), (i as u32).to_le_bytes());
+        }
+        // Point lookups all answer.
+        for k in [0u32, 1, 499, 998, 999] {
+            assert_eq!(
+                t.get(&mut s, &k.to_be_bytes()).unwrap(),
+                Some(k.to_le_bytes().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut s = seg();
+        let mut t = BTree::create_with_order(&mut s, 4).unwrap();
+        for k in 0u32..100 {
+            t.put(&mut s, &k.to_be_bytes(), b"v").unwrap();
+        }
+        let lo = 10u32.to_be_bytes();
+        let hi = 20u32.to_be_bytes();
+        let hits = t.range(&mut s, Some(&lo), Some(&hi)).unwrap();
+        assert_eq!(hits.len(), 11);
+        assert_eq!(hits[0].0, lo.to_vec());
+        assert_eq!(hits[10].0, hi.to_vec());
+        // Open-ended ranges.
+        assert_eq!(t.range(&mut s, Some(&lo), None).unwrap().len(), 90);
+        assert_eq!(t.range(&mut s, None, Some(&hi)).unwrap().len(), 21);
+    }
+
+    #[test]
+    fn remove_keys() {
+        let mut s = seg();
+        let mut t = BTree::create_with_order(&mut s, 4).unwrap();
+        for k in 0u32..50 {
+            t.put(&mut s, &k.to_be_bytes(), b"v").unwrap();
+        }
+        for k in (0u32..50).step_by(2) {
+            assert!(t.remove(&mut s, &k.to_be_bytes()).unwrap());
+        }
+        assert!(!t.remove(&mut s, &0u32.to_be_bytes()).unwrap());
+        assert_eq!(t.len(&mut s).unwrap(), 25);
+        for k in 0u32..50 {
+            let present = t.get(&mut s, &k.to_be_bytes()).unwrap().is_some();
+            assert_eq!(present, k % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn root_tid_stable_across_splits() {
+        let mut s = seg();
+        let mut t = BTree::create_with_order(&mut s, 4).unwrap();
+        let root_before = t.root();
+        for k in 0u32..500 {
+            t.put(&mut s, &k.to_be_bytes(), b"v").unwrap();
+        }
+        assert_eq!(t.root(), root_before, "root handle never changes");
+        // Reopen from the root TID.
+        let t2 = BTree::open(root_before, 4);
+        assert_eq!(t2.len(&mut s).unwrap(), 500);
+    }
+
+    #[test]
+    fn large_values_supported() {
+        let mut s = seg();
+        let mut t = BTree::create(&mut s).unwrap();
+        let big = vec![7u8; 5000]; // posting list bigger than a page
+        t.put(&mut s, b"k", &big).unwrap();
+        assert_eq!(t.get(&mut s, b"k").unwrap(), Some(big));
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let mut s = seg();
+        let mut t = BTree::create(&mut s).unwrap();
+        assert!(t.is_empty(&mut s).unwrap());
+        assert_eq!(t.get(&mut s, b"x").unwrap(), None);
+        assert!(!t.remove(&mut s, b"x").unwrap());
+        assert!(t.range(&mut s, None, None).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the index crate.
+
+use std::fmt;
+
+/// Errors raised by index structures and address resolution.
+#[derive(Debug)]
+pub enum IndexError {
+    /// Underlying storage failed.
+    Storage(aim2_storage::StorageError),
+    /// A stored index node failed to decode.
+    Corrupt(String),
+    /// The indexed attribute path does not exist / is not atomic.
+    BadAttribute(String),
+    /// An address of the wrong scheme was handed to a resolver, or a
+    /// subtable t-name was used as an index address (§4.3 forbids this).
+    SchemeMismatch(&'static str),
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::Storage(e) => write!(f, "storage error: {e}"),
+            IndexError::Corrupt(m) => write!(f, "corrupt index structure: {m}"),
+            IndexError::BadAttribute(p) => write!(f, "cannot index attribute `{p}`"),
+            IndexError::SchemeMismatch(m) => write!(f, "address scheme mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IndexError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aim2_storage::StorageError> for IndexError {
+    fn from(e: aim2_storage::StorageError) -> Self {
+        IndexError::Storage(e)
+    }
+}
+
+impl From<aim2_model::ModelError> for IndexError {
+    fn from(e: aim2_model::ModelError) -> Self {
+        IndexError::Storage(aim2_storage::StorageError::Model(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = IndexError::BadAttribute("PROJECTS".into());
+        assert!(e.to_string().contains("PROJECTS"));
+    }
+}

@@ -1,0 +1,542 @@
+//! NF² attribute indexes.
+//!
+//! An [`NfIndex`] indexes one atomic attribute of an NF² table at any
+//! nesting depth — e.g. `PROJECTS.MEMBERS.FUNCTION` on DEPARTMENTS, the
+//! running example of §4.2. Entries are `<key, address list>` pairs in a
+//! [`crate::btree::BTree`]; the address representation is the chosen
+//! [`Scheme`], letting benches and the optimizer contrast what each
+//! scheme can and cannot answer.
+
+use crate::address::{HierAddr, IndexAddress, MdPathAddr, Scheme};
+use crate::btree::BTree;
+use crate::error::IndexError;
+use crate::keyenc::encode_key;
+use crate::Result;
+use aim2_model::{Atom, Path, TableSchema};
+use aim2_storage::object::{ObjectHandle, ObjectStore};
+use aim2_storage::segment::Segment;
+
+/// An index on one (possibly deeply nested) atomic attribute.
+pub struct NfIndex {
+    seg: Segment,
+    tree: BTree,
+    scheme: Scheme,
+    /// Path of the subtable level holding the attribute (empty for
+    /// first-level attributes).
+    parent_path: Path,
+    /// The indexed attribute's name.
+    attr: String,
+    /// Its position among the atomic attributes of that level (the
+    /// position inside the data subtuple).
+    atom_pos: usize,
+}
+
+impl NfIndex {
+    /// Create an empty index on `attr_path` (e.g.
+    /// `PROJECTS.MEMBERS.FUNCTION`) of `schema`, storing addresses in
+    /// `scheme`.
+    pub fn create(
+        mut seg: Segment,
+        schema: &TableSchema,
+        attr_path: &Path,
+        scheme: Scheme,
+    ) -> Result<NfIndex> {
+        let (parent_path, attr, atom_pos) = Self::resolve_attr(schema, attr_path)?;
+        let tree = BTree::create(&mut seg)?;
+        Ok(NfIndex {
+            seg,
+            tree,
+            scheme,
+            parent_path,
+            attr,
+            atom_pos,
+        })
+    }
+
+    /// Validate `attr_path` against `schema` and locate the attribute's
+    /// data-subtuple position.
+    fn resolve_attr(
+        schema: &TableSchema,
+        attr_path: &Path,
+    ) -> Result<(Path, String, usize)> {
+        let (parent_path, attr) = attr_path
+            .split_last()
+            .ok_or_else(|| IndexError::BadAttribute("<empty path>".into()))?;
+        let level = if parent_path.is_root() {
+            schema
+        } else {
+            schema
+                .resolve_subtable(&parent_path)
+                .map_err(|_| IndexError::BadAttribute(attr_path.to_string()))?
+        };
+        let attr_idx = level
+            .attr_index(attr)
+            .ok_or_else(|| IndexError::BadAttribute(attr_path.to_string()))?;
+        if !level.attrs[attr_idx].kind.is_atomic() {
+            return Err(IndexError::BadAttribute(format!(
+                "{attr_path} is table-valued; only atomic attributes are indexable"
+            )));
+        }
+        let atom_pos = level
+            .atomic_indices()
+            .iter()
+            .position(|&i| i == attr_idx)
+            .expect("atomic attr must appear in atomic_indices");
+        Ok((parent_path, attr.to_string(), atom_pos))
+    }
+
+    /// Re-attach to an existing index (database restart): `root` and
+    /// `order` come from the persisted catalog; the entries live in the
+    /// segment's pages already.
+    pub fn reopen(
+        seg: Segment,
+        schema: &TableSchema,
+        attr_path: &Path,
+        scheme: Scheme,
+        root: aim2_storage::tid::Tid,
+        order: usize,
+    ) -> Result<NfIndex> {
+        let (parent_path, attr, atom_pos) = Self::resolve_attr(schema, attr_path)?;
+        Ok(NfIndex {
+            seg,
+            tree: BTree::open(root, order),
+            scheme,
+            parent_path,
+            attr,
+            atom_pos,
+        })
+    }
+
+    /// Root TID and order of the underlying B+-tree (persist these to
+    /// reopen the index).
+    pub fn tree_root(&self) -> (aim2_storage::tid::Tid, usize) {
+        (self.tree.root(), self.tree.order())
+    }
+
+    /// The indexed attribute path.
+    pub fn attr_path(&self) -> Path {
+        self.parent_path.child(&self.attr)
+    }
+
+    /// The address scheme in use.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The index's own segment (for I/O accounting).
+    pub fn segment_mut(&mut self) -> &mut Segment {
+        &mut self.seg
+    }
+
+    /// Build entries for every object currently in `os`.
+    pub fn build(&mut self, os: &mut ObjectStore, schema: &TableSchema) -> Result<()> {
+        for handle in os.handles()? {
+            self.index_object(os, schema, handle)?;
+        }
+        Ok(())
+    }
+
+    /// Collect `(key atom, address)` pairs for one object under the
+    /// index's scheme.
+    fn entries_for(
+        &self,
+        os: &mut ObjectStore,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+    ) -> Result<Vec<(Atom, IndexAddress)>> {
+        let mut out = Vec::new();
+        match self.scheme {
+            Scheme::MdPath => {
+                for e in os.walk_data_md_paths(schema, handle)? {
+                    if e.attr_path == self.parent_path {
+                        let key = e
+                            .atoms
+                            .get(self.atom_pos)
+                            .ok_or_else(|| {
+                                IndexError::Corrupt("data subtuple short on atoms".into())
+                            })?
+                            .clone();
+                        out.push((
+                            key,
+                            IndexAddress::MdPath(MdPathAddr {
+                                root: handle.0,
+                                md_path: e.md_path,
+                                data: e.data,
+                            }),
+                        ));
+                    }
+                }
+            }
+            _ => {
+                for e in os.walk_data(schema, handle)? {
+                    if e.attr_path == self.parent_path {
+                        let key = e
+                            .atoms
+                            .get(self.atom_pos)
+                            .ok_or_else(|| {
+                                IndexError::Corrupt("data subtuple short on atoms".into())
+                            })?
+                            .clone();
+                        let addr = match self.scheme {
+                            Scheme::DataTid => {
+                                IndexAddress::Data(os.data_subtuple_tid(handle, e.data)?)
+                            }
+                            Scheme::RootTid => IndexAddress::Root(handle.0),
+                            Scheme::Hierarchical => {
+                                let mut comps = e.ancestors.clone();
+                                comps.push(e.data);
+                                IndexAddress::Hier(HierAddr {
+                                    root: handle.0,
+                                    comps,
+                                })
+                            }
+                            Scheme::MdPath => unreachable!(),
+                        };
+                        out.push((key, addr));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Add all of one object's values to the index.
+    pub fn index_object(
+        &mut self,
+        os: &mut ObjectStore,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+    ) -> Result<()> {
+        for (key, addr) in self.entries_for(os, schema, handle)? {
+            self.add_entry(&key, addr)?;
+        }
+        Ok(())
+    }
+
+    /// Remove all of one object's values from the index (call *before*
+    /// deleting or rewriting the object).
+    pub fn unindex_object(
+        &mut self,
+        os: &mut ObjectStore,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+    ) -> Result<()> {
+        for (key, addr) in self.entries_for(os, schema, handle)? {
+            self.remove_entry(&key, &addr)?;
+        }
+        Ok(())
+    }
+
+    /// Insert one `<key, address>` pair. Duplicate addresses are kept:
+    /// the paper's root-TID discussion relies on the index *showing*
+    /// that "department 218 is referenced twice" so the query processor
+    /// can avoid multiple accesses — deduplication is query-side.
+    pub fn add_entry(&mut self, key: &Atom, addr: IndexAddress) -> Result<()> {
+        let kb = encode_key(key);
+        let mut list = match self.tree.get(&mut self.seg, &kb)? {
+            Some(bytes) => IndexAddress::decode_list(&bytes)?,
+            None => Vec::new(),
+        };
+        list.push(addr);
+        self.tree
+            .put(&mut self.seg, &kb, &IndexAddress::encode_list(&list))?;
+        Ok(())
+    }
+
+    /// Remove one occurrence of a `<key, address>` pair; returns true if
+    /// one was present.
+    pub fn remove_entry(&mut self, key: &Atom, addr: &IndexAddress) -> Result<bool> {
+        let kb = encode_key(key);
+        let Some(bytes) = self.tree.get(&mut self.seg, &kb)? else {
+            return Ok(false);
+        };
+        let mut list = IndexAddress::decode_list(&bytes)?;
+        let before = list.len();
+        if let Some(i) = list.iter().position(|a| a == addr) {
+            list.remove(i);
+        }
+        if list.len() == before {
+            return Ok(false);
+        }
+        if list.is_empty() {
+            self.tree.remove(&mut self.seg, &kb)?;
+        } else {
+            self.tree
+                .put(&mut self.seg, &kb, &IndexAddress::encode_list(&list))?;
+        }
+        Ok(true)
+    }
+
+    /// All addresses for exactly `key`.
+    pub fn lookup(&mut self, key: &Atom) -> Result<Vec<IndexAddress>> {
+        let kb = encode_key(key);
+        match self.tree.get(&mut self.seg, &kb)? {
+            Some(bytes) => IndexAddress::decode_list(&bytes),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// All addresses for keys in `[lo, hi]` (either bound optional).
+    pub fn lookup_range(
+        &mut self,
+        lo: Option<&Atom>,
+        hi: Option<&Atom>,
+    ) -> Result<Vec<IndexAddress>> {
+        let lob = lo.map(encode_key);
+        let hib = hi.map(encode_key);
+        let hits = self
+            .tree
+            .range(&mut self.seg, lob.as_deref(), hib.as_deref())?;
+        let mut out = Vec::new();
+        for (_, bytes) in hits {
+            out.extend(IndexAddress::decode_list(&bytes)?);
+        }
+        Ok(out)
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&mut self) -> Result<usize> {
+        self.tree.len(&mut self.seg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_model::fixtures;
+    use aim2_storage::buffer::BufferPool;
+    use aim2_storage::disk::MemDisk;
+    use aim2_storage::minidir::LayoutKind;
+    use aim2_storage::stats::Stats;
+
+    fn seg() -> Segment {
+        Segment::new(BufferPool::new(
+            Box::new(MemDisk::new(1024)),
+            64,
+            Stats::new(),
+        ))
+    }
+
+    fn departments_store() -> (TableSchema, ObjectStore, Vec<ObjectHandle>) {
+        let schema = fixtures::departments_schema();
+        let mut os = ObjectStore::new(seg(), LayoutKind::Ss3);
+        let handles = fixtures::departments_value()
+            .tuples
+            .iter()
+            .map(|t| os.insert_object(&schema, t).unwrap())
+            .collect();
+        (schema, os, handles)
+    }
+
+    fn function_index(scheme: Scheme, os: &mut ObjectStore, schema: &TableSchema) -> NfIndex {
+        let mut idx = NfIndex::create(
+            seg(),
+            schema,
+            &Path::parse("PROJECTS.MEMBERS.FUNCTION"),
+            scheme,
+        )
+        .unwrap();
+        idx.build(os, schema).unwrap();
+        idx
+    }
+
+    #[test]
+    fn consultant_lookup_finds_three_members() {
+        let (schema, mut os, _) = departments_store();
+        for scheme in Scheme::ALL {
+            let mut idx = function_index(scheme, &mut os, &schema);
+            let hits = idx.lookup(&Atom::Str("Consultant".into())).unwrap();
+            assert_eq!(hits.len(), 3, "scheme {scheme}");
+        }
+    }
+
+    #[test]
+    fn root_scheme_shows_dept_218_referenced_twice() {
+        let (schema, mut os, handles) = departments_store();
+        let mut idx = function_index(Scheme::RootTid, &mut os, &schema);
+        let hits = idx.lookup(&Atom::Str("Consultant".into())).unwrap();
+        // §4.2: "it can be seen from the addresses in the index that
+        // department 218 is referenced twice" — multiplicity preserved.
+        assert_eq!(hits.len(), 3);
+        let dup = hits
+            .iter()
+            .filter(|a| a.root() == Some(handles[1].0))
+            .count();
+        assert_eq!(dup, 2, "dept 218 twice");
+        // Query-side dedup yields exactly {314, 218}.
+        let mut roots: Vec<_> = hits.iter().filter_map(|a| a.root()).collect();
+        roots.sort();
+        roots.dedup();
+        assert_eq!(roots, vec![handles[0].0, handles[1].0]);
+    }
+
+    #[test]
+    fn data_scheme_reaches_values_but_not_objects() {
+        let (schema, mut os, _) = departments_store();
+        let mut idx = function_index(Scheme::DataTid, &mut os, &schema);
+        let hits = idx.lookup(&Atom::Str("Consultant".into())).unwrap();
+        for h in &hits {
+            assert_eq!(h.root(), None, "data-TID scheme cannot reach DNO (§4.2)");
+        }
+        // But the member data itself is reachable directly.
+        if let IndexAddress::Data(tid) = &hits[0] {
+            let bytes = os.segment_mut().read(*tid).unwrap();
+            let atoms = aim2_model::encode::decode_atoms(&bytes[..]).unwrap();
+            assert_eq!(atoms[1], Atom::Str("Consultant".into()));
+        } else {
+            panic!("wrong address kind");
+        }
+    }
+
+    #[test]
+    fn hierarchical_scheme_decides_p2_eq_f2_from_index_alone() {
+        // §4.2's conjunctive query: PNO=17 AND FUNCTION='Consultant'.
+        let (schema, mut os, handles) = departments_store();
+        let mut f_idx = function_index(Scheme::Hierarchical, &mut os, &schema);
+        let mut p_idx = NfIndex::create(
+            seg(),
+            &schema,
+            &Path::parse("PROJECTS.PNO"),
+            Scheme::Hierarchical,
+        )
+        .unwrap();
+        p_idx.build(&mut os, &schema).unwrap();
+
+        let ps = p_idx.lookup(&Atom::Int(17)).unwrap();
+        let fs = f_idx.lookup(&Atom::Str("Consultant".into())).unwrap();
+        assert_eq!(ps.len(), 1);
+        // The join on (root, subobject component): P's target must equal
+        // F's ancestor — no data subtuple scanned.
+        let mut matched_roots = Vec::new();
+        for p in &ps {
+            let IndexAddress::Hier(p) = p else { panic!() };
+            for f in &fs {
+                let IndexAddress::Hier(f) = f else { panic!() };
+                if p.root == f.root && f.ancestors().first() == p.target().as_ref() {
+                    matched_roots.push(p.root);
+                }
+            }
+        }
+        assert_eq!(matched_roots, vec![handles[0].0], "department 314 only");
+    }
+
+    #[test]
+    fn md_path_scheme_cannot_distinguish_projects() {
+        // The Fig 7a flaw: members of project 17 and project 23 share
+        // the same PROJECTS-subtable MD component.
+        let (schema, mut os, _) = departments_store();
+        let mut f_idx = function_index(Scheme::MdPath, &mut os, &schema);
+        let mut leaders = f_idx.lookup(&Atom::Str("Leader".into())).unwrap();
+        leaders.retain(|a| matches!(a, IndexAddress::MdPath(_)));
+        // Leaders 39582 (proj 17) and 90011 (proj 23) in dept 314: their
+        // first md-path component (the PROJECTS subtable MD) is equal
+        // although they belong to different projects.
+        let dept314: Vec<&MdPathAddr> = leaders
+            .iter()
+            .filter_map(|a| match a {
+                IndexAddress::MdPath(m) => Some(m),
+                _ => None,
+            })
+            .filter(|m| {
+                // dept 314's two leaders share a root
+                leaders
+                    .iter()
+                    .filter(|b| matches!(b, IndexAddress::MdPath(x) if x.root == m.root))
+                    .count()
+                    >= 2
+            })
+            .collect();
+        assert!(dept314.len() >= 2);
+        assert_eq!(
+            dept314[0].md_path[0], dept314[1].md_path[0],
+            "same PROJECTS MD component despite different projects — Fig 7a's flaw"
+        );
+        assert_ne!(dept314[0].data, dept314[1].data);
+    }
+
+    #[test]
+    fn int_index_and_range_lookup() {
+        let (schema, mut os, _) = departments_store();
+        let mut idx = NfIndex::create(
+            seg(),
+            &schema,
+            &Path::parse("BUDGET"),
+            Scheme::RootTid,
+        )
+        .unwrap();
+        idx.build(&mut os, &schema).unwrap();
+        assert_eq!(idx.key_count().unwrap(), 3);
+        let mid = idx
+            .lookup_range(Some(&Atom::Int(330_000)), Some(&Atom::Int(450_000)))
+            .unwrap();
+        assert_eq!(mid.len(), 2, "budgets 360k and 440k");
+        let all = idx.lookup_range(None, None).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn maintenance_add_and_remove() {
+        let (schema, mut os, handles) = departments_store();
+        let mut idx = function_index(Scheme::Hierarchical, &mut os, &schema);
+        // Remove department 218's entries (as a delete would).
+        idx.unindex_object(&mut os, &schema, handles[1]).unwrap();
+        let hits = idx.lookup(&Atom::Str("Consultant".into())).unwrap();
+        assert_eq!(hits.len(), 1, "only 56019 in dept 314 remains");
+        // Re-add.
+        idx.index_object(&mut os, &schema, handles[1]).unwrap();
+        assert_eq!(idx.lookup(&Atom::Str("Consultant".into())).unwrap().len(), 3);
+        // Remove a non-existent entry is a no-op signal.
+        let bogus = IndexAddress::Root(handles[0].0);
+        assert!(!idx
+            .remove_entry(&Atom::Str("Nobody".into()), &bogus)
+            .unwrap());
+    }
+
+    #[test]
+    fn reindex_roundtrip_is_idempotent_via_unindex() {
+        let (schema, mut os, handles) = departments_store();
+        let mut idx = function_index(Scheme::RootTid, &mut os, &schema);
+        let before = idx.lookup(&Atom::Str("Leader".into())).unwrap().len();
+        // The maintenance protocol: unindex, (mutate), re-index.
+        idx.unindex_object(&mut os, &schema, handles[0]).unwrap();
+        idx.index_object(&mut os, &schema, handles[0]).unwrap();
+        assert_eq!(idx.lookup(&Atom::Str("Leader".into())).unwrap().len(), before);
+    }
+
+    #[test]
+    fn create_rejects_bad_attributes() {
+        let schema = fixtures::departments_schema();
+        assert!(matches!(
+            NfIndex::create(seg(), &schema, &Path::parse("PROJECTS"), Scheme::RootTid),
+            Err(IndexError::BadAttribute(_))
+        ));
+        assert!(matches!(
+            NfIndex::create(seg(), &schema, &Path::parse("NOPE.X"), Scheme::RootTid),
+            Err(IndexError::BadAttribute(_))
+        ));
+        assert!(NfIndex::create(seg(), &schema, &Path::parse("DNO"), Scheme::RootTid).is_ok());
+    }
+
+    #[test]
+    fn first_level_attribute_hier_addresses() {
+        let (schema, mut os, handles) = departments_store();
+        let mut idx = NfIndex::create(
+            seg(),
+            &schema,
+            &Path::parse("DNO"),
+            Scheme::Hierarchical,
+        )
+        .unwrap();
+        idx.build(&mut os, &schema).unwrap();
+        let hits = idx.lookup(&Atom::Int(314)).unwrap();
+        assert_eq!(hits.len(), 1);
+        let IndexAddress::Hier(h) = &hits[0] else { panic!() };
+        assert_eq!(h.root, handles[0].0);
+        assert_eq!(h.comps.len(), 1, "object's own data subtuple only");
+        // Resolvable back to the object's atoms.
+        let t = os
+            .materialize_by_data_path(&schema, handles[0], &h.comps)
+            .unwrap();
+        assert_eq!(t.fields[0].as_atom().unwrap().as_int(), Some(314));
+    }
+}

@@ -1,0 +1,174 @@
+//! Order-preserving key encoding.
+//!
+//! B+-tree keys are raw byte strings compared with `memcmp`; this module
+//! encodes [`Atom`] values such that byte order equals value order.
+//! Atoms of different types sort by a leading type tag (ints and doubles
+//! share a numeric class and are encoded as doubles when mixed indexes
+//! are built — here each index covers exactly one attribute, so one type
+//! tag per index in practice).
+//!
+//! Encodings:
+//! * `Int` — tag `0x10`, then `(v XOR i64::MIN)` big-endian (flips the
+//!   sign bit so negative < positive in unsigned byte order);
+//! * `Double` — tag `0x10` (numeric class, comparable with ints), value
+//!   mapped through the classic IEEE-754 total-order trick;
+//! * `Str`/`Text` — tag `0x20`, then the UTF-8 bytes (one key per
+//!   entry — no terminator needed; prefix order is byte order);
+//! * `Bool` — tag `0x08`, byte 0/1;
+//! * `Date` — tag `0x18`, `(d XOR i32::MIN)` big-endian.
+
+use aim2_model::{Atom, Date};
+
+const TAG_BOOL: u8 = 0x08;
+const TAG_NUM: u8 = 0x10;
+const TAG_DATE: u8 = 0x18;
+const TAG_STR: u8 = 0x20;
+
+/// Map an `f64` to a `u64` whose unsigned order equals the double's
+/// total order.
+fn f64_key(v: f64) -> u64 {
+    let b = v.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b ^ (1u64 << 63)
+    }
+}
+
+/// Encode an atom into order-preserving bytes.
+pub fn encode_key(atom: &Atom) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10);
+    match atom {
+        Atom::Bool(b) => {
+            out.push(TAG_BOOL);
+            out.push(*b as u8);
+        }
+        Atom::Int(v) => {
+            out.push(TAG_NUM);
+            // Encode through the double path so Int(3) and Double(3.0)
+            // land on the same key (the model treats them comparable).
+            // i64 values beyond 2^53 lose precision in f64; disambiguate
+            // by appending the exact integer bytes.
+            out.extend_from_slice(&f64_key(*v as f64).to_be_bytes());
+            out.extend_from_slice(&((*v as u64) ^ (1u64 << 63)).to_be_bytes());
+        }
+        Atom::Double(v) => {
+            out.push(TAG_NUM);
+            out.extend_from_slice(&f64_key(*v).to_be_bytes());
+            // Midpoint marker so a double sorts stably among equal-value
+            // ints: reuse the rounded integer when representable.
+            let round = *v as i64;
+            out.extend_from_slice(&((round as u64) ^ (1u64 << 63)).to_be_bytes());
+        }
+        Atom::Date(Date(d)) => {
+            out.push(TAG_DATE);
+            out.extend_from_slice(&((*d as u32) ^ (1u32 << 31)).to_be_bytes());
+        }
+        Atom::Str(s) | Atom::Text(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn cmp(a: &Atom, b: &Atom) -> Ordering {
+        encode_key(a).cmp(&encode_key(b))
+    }
+
+    #[test]
+    fn int_order_preserved() {
+        let vals = [i64::MIN, -1_000_000, -1, 0, 1, 42, 1_000_000, i64::MAX];
+        for w in vals.windows(2) {
+            assert_eq!(
+                cmp(&Atom::Int(w[0]), &Atom::Int(w[1])),
+                Ordering::Less,
+                "{} !< {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn double_order_preserved() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            1.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            let o = cmp(&Atom::Double(w[0]), &Atom::Double(w[1]));
+            // -0.0 and 0.0 may compare Equal-ish via total order: accept <=.
+            assert_ne!(o, Ordering::Greater, "{} > {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn int_and_double_interleave() {
+        assert_eq!(cmp(&Atom::Int(3), &Atom::Double(3.5)), Ordering::Less);
+        assert_eq!(cmp(&Atom::Double(2.5), &Atom::Int(3)), Ordering::Less);
+        assert_eq!(cmp(&Atom::Int(4), &Atom::Double(3.5)), Ordering::Greater);
+    }
+
+    #[test]
+    fn int_equals_its_double() {
+        assert_eq!(cmp(&Atom::Int(7), &Atom::Double(7.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn string_order_preserved() {
+        let vals = ["", "Consultant", "Leader", "Secretary", "Staff", "staff"];
+        for w in vals.windows(2) {
+            assert_eq!(
+                cmp(&Atom::Str(w[0].into()), &Atom::Str(w[1].into())),
+                Ordering::Less
+            );
+        }
+        // Str and Text encode identically.
+        assert_eq!(
+            encode_key(&Atom::Str("x".into())),
+            encode_key(&Atom::Text("x".into()))
+        );
+    }
+
+    #[test]
+    fn date_order_preserved() {
+        let a = Atom::Date(Date::parse_iso("1984-01-15").unwrap());
+        let b = Atom::Date(Date::parse_iso("1986-05-28").unwrap());
+        assert_eq!(cmp(&a, &b), Ordering::Less);
+        let neg = Atom::Date(Date::from_ymd(1900, 1, 1).unwrap());
+        assert_eq!(cmp(&neg, &a), Ordering::Less);
+    }
+
+    #[test]
+    fn types_partition_by_tag() {
+        assert_eq!(
+            cmp(&Atom::Bool(true), &Atom::Int(i64::MIN)),
+            Ordering::Less
+        );
+        assert_eq!(
+            cmp(&Atom::Int(i64::MAX), &Atom::Str("".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn large_ints_beyond_f64_precision_stay_distinct() {
+        let a = Atom::Int(i64::MAX - 1);
+        let b = Atom::Int(i64::MAX);
+        assert_eq!(cmp(&a, &b), Ordering::Less);
+        assert_ne!(encode_key(&a), encode_key(&b));
+    }
+}

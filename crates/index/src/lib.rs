@@ -1,0 +1,35 @@
+//! # aim2-index — access paths for NF² tables
+//!
+//! Implements Sections 4.2 and 4.3 of Dadam et al., SIGMOD 1986:
+//!
+//! * a persistent B+-tree ([`btree`]) over order-preserving key bytes
+//!   ([`keyenc`]), storing `<key, address list>` entries exactly as the
+//!   paper describes ("conceptually, an index entry is an ordered pair
+//!   <key, address list>");
+//! * the three **address schemes** the paper analyzes ([`address`]):
+//!   data-subtuple TIDs, root-MD-subtuple TIDs, and *hierarchical
+//!   addresses* — in both the naive MD-pointer-path form (Fig 7a) and
+//!   the final data-subtuple-path form (Fig 7b) whose components
+//!   "identify complex subobjects, not subtables";
+//! * [`index::NfIndex`], which builds and maintains an index on any
+//!   attribute path of an NF² table under a chosen scheme, and resolves
+//!   lookups with the access counters that make the paper's
+//!   duplicate-visit and scan arguments measurable;
+//! * **tuple names** ([`tname`]): system-generated hierarchical keys for
+//!   complex objects, subobjects *and subtables* (§4.3), implemented
+//!   "very similar to the implementation of addresses in index entries".
+
+pub mod address;
+pub mod btree;
+pub mod error;
+pub mod index;
+pub mod keyenc;
+pub mod tname;
+
+pub use address::{HierAddr, IndexAddress, MdPathAddr, Scheme};
+pub use error::IndexError;
+pub use index::NfIndex;
+pub use tname::TupleName;
+
+/// Result alias for index operations.
+pub type Result<T> = std::result::Result<T, IndexError>;

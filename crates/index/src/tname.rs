@@ -1,0 +1,300 @@
+//! Tuple names (§4.3): system-generated hierarchical keys.
+//!
+//! AIM-II extends the NF² model with *tuple names* — system keys for
+//! "subtuple or data sharing" across hierarchies and for handing stable
+//! references to application programs. The paper plans to implement them
+//! "very similar to the implementation of addresses in index entries"
+//! (hierarchical addresses), with one deliberate difference: there are
+//! also t-names **for subtables** (W and X in Fig 8), and "these
+//! 'special' t-names are not allowed as i-addresses".
+//!
+//! (The paper notes t-names were *not yet implemented* in the 1986
+//! prototype; this module realizes the design it sketches.)
+
+use crate::address::{HierAddr, IndexAddress};
+use crate::error::IndexError;
+use crate::Result;
+use aim2_storage::object::{ElemLoc, ObjectHandle, ObjectStore};
+use aim2_storage::tid::{MiniTid, Tid};
+use aim2_model::{TableSchema, TableValue, Tuple};
+use std::fmt;
+
+/// A system-generated tuple name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TupleName {
+    /// A whole complex object: "simply the address of the root MD
+    /// subtuple" (U in Fig 8).
+    Object { root: Tid },
+    /// A (complex or flat) subobject: the hierarchical address of the
+    /// data subtuple holding its first-level atomic values (V and T in
+    /// Fig 8).
+    Subobject { root: Tid, comps: Vec<MiniTid> },
+    /// A subtable: the address of its MD subtuple beneath the addressed
+    /// element (W and X in Fig 8). **Not** a valid index address.
+    Subtable {
+        root: Tid,
+        comps: Vec<MiniTid>,
+        md: MiniTid,
+    },
+}
+
+impl TupleName {
+    /// T-name of a whole complex object.
+    pub fn of_object(handle: ObjectHandle) -> TupleName {
+        TupleName::Object { root: handle.0 }
+    }
+
+    /// T-name of the (sub)object at `loc` inside `handle`.
+    pub fn of_subobject(
+        os: &mut ObjectStore,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+    ) -> Result<TupleName> {
+        if loc.steps.is_empty() {
+            return Ok(TupleName::of_object(handle));
+        }
+        let (data, mut comps) = os.resolve_elem_addr(schema, handle, loc)?;
+        comps.push(data);
+        Ok(TupleName::Subobject {
+            root: handle.0,
+            comps,
+        })
+    }
+
+    /// T-name of the subtable `attr_idx` of the (sub)object at `loc`.
+    pub fn of_subtable(
+        os: &mut ObjectStore,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+        attr_idx: usize,
+    ) -> Result<TupleName> {
+        let md = os.resolve_subtable_md(schema, handle, loc, attr_idx)?;
+        let comps = if loc.steps.is_empty() {
+            Vec::new()
+        } else {
+            let (data, mut anc) = os.resolve_elem_addr(schema, handle, loc)?;
+            anc.push(data);
+            anc
+        };
+        Ok(TupleName::Subtable {
+            root: handle.0,
+            comps,
+            md,
+        })
+    }
+
+    /// The root MD subtuple TID every t-name begins with.
+    pub fn root(&self) -> Tid {
+        match self {
+            TupleName::Object { root }
+            | TupleName::Subobject { root, .. }
+            | TupleName::Subtable { root, .. } => *root,
+        }
+    }
+
+    /// Convert to an index address — allowed for objects and subobjects;
+    /// subtable t-names are rejected, as §4.3 requires ("these special
+    /// t-names are not allowed as i-addresses").
+    pub fn as_index_address(&self) -> Result<IndexAddress> {
+        match self {
+            TupleName::Object { root } => Ok(IndexAddress::Root(*root)),
+            TupleName::Subobject { root, comps } => Ok(IndexAddress::Hier(HierAddr {
+                root: *root,
+                comps: comps.clone(),
+            })),
+            TupleName::Subtable { .. } => Err(IndexError::SchemeMismatch(
+                "subtable tuple names are not valid index addresses (§4.3)",
+            )),
+        }
+    }
+}
+
+/// What a tuple name dereferences to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resolved {
+    /// An object or subobject.
+    Tuple(Tuple),
+    /// A subtable.
+    Table(TableValue),
+}
+
+impl TupleName {
+    /// Dereference this t-name against the store that issued it.
+    pub fn resolve(
+        &self,
+        os: &mut ObjectStore,
+        schema: &TableSchema,
+    ) -> Result<Resolved> {
+        match self {
+            TupleName::Object { root } => Ok(Resolved::Tuple(
+                os.read_object(schema, ObjectHandle(*root))?,
+            )),
+            TupleName::Subobject { root, comps } => Ok(Resolved::Tuple(
+                os.materialize_by_data_path(schema, ObjectHandle(*root), comps)?,
+            )),
+            TupleName::Subtable { root, comps, md } => Ok(Resolved::Table(
+                os.materialize_subtable_md(schema, ObjectHandle(*root), comps, *md)?,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for TupleName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleName::Object { root } => write!(f, "t:{root}"),
+            TupleName::Subobject { root, comps } => {
+                write!(f, "t:{root}")?;
+                for c in comps {
+                    write!(f, ".{c}")?;
+                }
+                Ok(())
+            }
+            TupleName::Subtable { root, comps, md } => {
+                write!(f, "t:{root}")?;
+                for c in comps {
+                    write!(f, ".{c}")?;
+                }
+                write!(f, ".[{md}]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_model::fixtures;
+    use aim2_model::Atom;
+    use aim2_storage::buffer::BufferPool;
+    use aim2_storage::disk::MemDisk;
+    use aim2_storage::minidir::LayoutKind;
+    use aim2_storage::segment::Segment;
+    use aim2_storage::stats::Stats;
+
+    fn setup() -> (TableSchema, ObjectStore, ObjectHandle) {
+        let schema = fixtures::departments_schema();
+        let pool = BufferPool::new(Box::new(MemDisk::new(1024)), 64, Stats::new());
+        let mut os = ObjectStore::new(Segment::new(pool), LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &fixtures::department_314()).unwrap();
+        (schema, os, h)
+    }
+
+    #[test]
+    fn fig8_u_object_tname() {
+        let (schema, mut os, h) = setup();
+        let u = TupleName::of_object(h);
+        assert_eq!(u.root(), h.0);
+        let Resolved::Tuple(t) = u.resolve(&mut os, &schema).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t, fixtures::department_314());
+    }
+
+    #[test]
+    fn fig8_v_complex_subobject_tname() {
+        // V = t-name for project 17 (element 0 of PROJECTS, attr 2).
+        let (schema, mut os, h) = setup();
+        let v = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0))
+            .unwrap();
+        let TupleName::Subobject { comps, .. } = &v else {
+            panic!()
+        };
+        assert_eq!(comps.len(), 1, "V = V1.V2: root TID + one data subtuple");
+        let Resolved::Tuple(t) = v.resolve(&mut os, &schema).unwrap() else {
+            panic!()
+        };
+        assert_eq!(t.fields[0].as_atom().unwrap().as_int(), Some(17));
+        assert_eq!(t.fields[1].as_atom().unwrap().as_str(), Some("CGA"));
+        // The whole subobject, members included.
+        assert_eq!(t.fields[2].as_table().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fig8_t_flat_subobject_tname() {
+        // T = t-name for the '56019 Consultant' member (project 17,
+        // member element 1).
+        let (schema, mut os, h) = setup();
+        let loc = ElemLoc::object().then(2, 0).then(2, 1);
+        let t = TupleName::of_subobject(&mut os, &schema, h, &loc).unwrap();
+        let TupleName::Subobject { comps, .. } = &t else {
+            panic!()
+        };
+        assert_eq!(comps.len(), 2, "T = T1.T2.T3");
+        let Resolved::Tuple(tu) = t.resolve(&mut os, &schema).unwrap() else {
+            panic!()
+        };
+        assert_eq!(tu.fields[0].as_atom().unwrap(), &Atom::Int(56019));
+        assert_eq!(
+            tu.fields[1].as_atom().unwrap(),
+            &Atom::Str("Consultant".into())
+        );
+    }
+
+    #[test]
+    fn fig8_w_and_x_subtable_tnames() {
+        let (schema, mut os, h) = setup();
+        // W = t-name for the PROJECTS subtable of dept 314.
+        let w = TupleName::of_subtable(&mut os, &schema, h, &ElemLoc::object(), 2).unwrap();
+        let Resolved::Table(projects) = w.resolve(&mut os, &schema).unwrap() else {
+            panic!()
+        };
+        assert_eq!(projects.len(), 2);
+        // X = t-name for the MEMBERS subtable of project 17.
+        let x = TupleName::of_subtable(
+            &mut os,
+            &schema,
+            h,
+            &ElemLoc::object().then(2, 0),
+            2,
+        )
+        .unwrap();
+        let Resolved::Table(members) = x.resolve(&mut os, &schema).unwrap() else {
+            panic!()
+        };
+        assert_eq!(members.len(), 3);
+        assert_ne!(w, x);
+    }
+
+    #[test]
+    fn subtable_tnames_rejected_as_index_addresses() {
+        let (schema, mut os, h) = setup();
+        let w = TupleName::of_subtable(&mut os, &schema, h, &ElemLoc::object(), 2).unwrap();
+        assert!(matches!(
+            w.as_index_address(),
+            Err(IndexError::SchemeMismatch(_))
+        ));
+        // Object and subobject t-names convert fine.
+        assert!(TupleName::of_object(h).as_index_address().is_ok());
+        let v = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0))
+            .unwrap();
+        assert!(v.as_index_address().is_ok());
+    }
+
+    #[test]
+    fn tnames_survive_object_move() {
+        // Mini-TID-based names must stay valid across page-level moves.
+        let (schema, mut os, h) = setup();
+        let loc = ElemLoc::object().then(2, 0).then(2, 1);
+        let t = TupleName::of_subobject(&mut os, &schema, h, &loc).unwrap();
+        os.move_object(h).unwrap();
+        let Resolved::Tuple(tu) = t.resolve(&mut os, &schema).unwrap() else {
+            panic!()
+        };
+        assert_eq!(tu.fields[0].as_atom().unwrap(), &Atom::Int(56019));
+    }
+
+    #[test]
+    fn display_forms() {
+        let (schema, mut os, h) = setup();
+        let v = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0))
+            .unwrap();
+        let s = v.to_string();
+        assert!(s.starts_with("t:P"), "{s}");
+        let w = TupleName::of_subtable(&mut os, &schema, h, &ElemLoc::object(), 2).unwrap();
+        assert!(w.to_string().contains('['), "subtable marker");
+        let _ = schema;
+    }
+}

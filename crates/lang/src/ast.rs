@@ -1,0 +1,307 @@
+//! Abstract syntax of the NF² language.
+
+use aim2_model::Path;
+
+/// A literal value in queries and DML.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    /// A nested table literal (DML VALUES): `{ (..), .. }` or `< (..) >`.
+    Relation(Vec<Vec<Lit>>),
+    List(Vec<Vec<Lit>>),
+}
+
+/// What a tuple variable ranges over.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Source {
+    /// A stored table: `x IN DEPARTMENTS`.
+    Table(String),
+    /// A table-valued attribute of another variable: `y IN x.PROJECTS`.
+    PathOf { var: String, path: Path },
+}
+
+/// One FROM-clause binding, optionally time-travelled (§5):
+/// `x IN DEPARTMENTS ASOF '1984-01-15'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Binding {
+    pub var: String,
+    pub source: Source,
+    pub asof: Option<String>,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator's source-text spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Expressions (paths, literals, predicates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `x` or `x.PROJECTS.MEMBERS` — a variable plus attribute path.
+    PathRef { var: String, path: Path },
+    /// `x.AUTHORS[1]` (+ optional trailing path `x.AUTHORS[1].NAME`) —
+    /// 1-based list subscript (Example 8).
+    Subscript {
+        var: String,
+        path: Path,
+        index: usize,
+        rest: Path,
+    },
+    Lit(Lit),
+    Cmp {
+        op: CmpOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// `EXISTS y IN x.EQUIP : pred` (Example 5). The predicate is
+    /// optional (`EXISTS y IN x.PROJECTS` = non-emptiness).
+    Exists {
+        binding: Box<Binding>,
+        pred: Option<Box<Expr>>,
+    },
+    /// `ALL z IN y.MEMBERS : pred` (Example 6).
+    Forall {
+        binding: Box<Binding>,
+        pred: Box<Expr>,
+    },
+    /// `x.TITLE CONTAINS '*comput*'` (§5).
+    Contains { expr: Box<Expr>, pattern: String },
+}
+
+/// One SELECT-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — take over the source structure (Example 1).
+    Star,
+    /// `x.DNO` — result attribute named after the last path segment.
+    Expr(Expr),
+    /// `NAME = expr` or `NAME = (SELECT ...)` — an explicitly named
+    /// result attribute; the subquery form builds nested structure
+    /// (Figures 2–5).
+    Named { name: String, value: NamedValue },
+}
+
+/// Value of a named SELECT item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamedValue {
+    Expr(Expr),
+    Subquery(Box<Query>),
+}
+
+/// A SELECT-FROM-WHERE query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub select: Vec<SelectItem>,
+    pub from: Vec<Binding>,
+    pub where_: Option<Expr>,
+}
+
+/// DDL: attribute declarations (possibly nested).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrDecl {
+    /// `DNO INTEGER`
+    Atomic { name: String, ty: String },
+    /// `PROJECTS { ... }` (relation) / `AUTHORS < ... >` (list).
+    Table {
+        name: String,
+        ordered: bool,
+        attrs: Vec<AttrDecl>,
+    },
+}
+
+/// `CREATE TABLE` / `CREATE LIST` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    pub name: String,
+    /// True for `CREATE LIST` (top-level ordered table).
+    pub ordered: bool,
+    pub attrs: Vec<AttrDecl>,
+    /// `USING SS1|SS2|SS3` — storage structure (default SS3, as AIM-II).
+    pub using: Option<String>,
+    /// `WITH VERSIONS` — time-version support (§5).
+    pub versioned: bool,
+}
+
+/// `CREATE [TEXT] INDEX name ON table (path) [USING scheme]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateIndex {
+    pub name: String,
+    pub table: String,
+    pub path: Path,
+    pub text: bool,
+    /// `USING HIERARCHICAL|ROOTTID|DATATID|MDPATH` (default hierarchical,
+    /// the Fig 7b form AIM-II uses).
+    pub using: Option<String>,
+}
+
+/// `INSERT INTO <target> [FROM bindings WHERE pred] VALUES (...)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Insert {
+    /// Either a stored table name or `var.path` into a bound variable's
+    /// subtable (partial insert).
+    pub target: Source,
+    /// Bindings + filter locating the parent object(s) for partial
+    /// inserts.
+    pub from: Vec<Binding>,
+    pub where_: Option<Expr>,
+    /// The tuple to insert.
+    pub values: Vec<Lit>,
+}
+
+/// `UPDATE bindings SET var.path = lit, ... [WHERE pred]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Update {
+    pub from: Vec<Binding>,
+    pub set: Vec<(String, Path, Lit)>,
+    pub where_: Option<Expr>,
+}
+
+/// `DELETE var FROM bindings [WHERE pred]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delete {
+    pub var: String,
+    pub from: Vec<Binding>,
+    pub where_: Option<Expr>,
+}
+
+/// Any statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Query(Query),
+    /// `EXPLAIN SELECT ...` — describe the access path without running.
+    Explain(Query),
+    CreateTable(CreateTable),
+    CreateIndex(CreateIndex),
+    DropTable(String),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+}
+
+impl Expr {
+    /// Convenience: `lhs AND rhs` folding an optional accumulator.
+    pub fn and_opt(acc: Option<Expr>, e: Expr) -> Expr {
+        match acc {
+            Some(a) => Expr::And(Box::new(a), Box::new(e)),
+            None => e,
+        }
+    }
+
+    /// All free tuple variables referenced by this expression.
+    pub fn free_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::PathRef { var, .. } | Expr::Subscript { var, .. } => {
+                if !out.contains(var) {
+                    out.push(var.clone());
+                }
+            }
+            Expr::Lit(_) => {}
+            Expr::Cmp { lhs, rhs, .. } => {
+                lhs.free_vars(out);
+                rhs.free_vars(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.free_vars(out);
+                b.free_vars(out);
+            }
+            Expr::Not(e) => e.free_vars(out),
+            Expr::Exists { binding, pred } => {
+                if let Source::PathOf { var, .. } = &binding.source {
+                    if !out.contains(var) {
+                        out.push(var.clone());
+                    }
+                }
+                if let Some(p) = pred {
+                    let mut inner = Vec::new();
+                    p.free_vars(&mut inner);
+                    for v in inner {
+                        if v != binding.var && !out.contains(&v) {
+                            out.push(v);
+                        }
+                    }
+                }
+            }
+            Expr::Forall { binding, pred } => {
+                if let Source::PathOf { var, .. } = &binding.source {
+                    if !out.contains(var) {
+                        out.push(var.clone());
+                    }
+                }
+                let mut inner = Vec::new();
+                pred.free_vars(&mut inner);
+                for v in inner {
+                    if v != binding.var && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Expr::Contains { expr, .. } => expr.free_vars(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_vars_skip_bound() {
+        // EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT' — free: {x}.
+        let e = Expr::Exists {
+            binding: Box::new(Binding {
+                var: "y".into(),
+                source: Source::PathOf {
+                    var: "x".into(),
+                    path: Path::parse("EQUIP"),
+                },
+                asof: None,
+            }),
+            pred: Some(Box::new(Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs: Box::new(Expr::PathRef {
+                    var: "y".into(),
+                    path: Path::parse("TYPE"),
+                }),
+                rhs: Box::new(Expr::Lit(Lit::Str("PC/AT".into()))),
+            })),
+        };
+        let mut vars = Vec::new();
+        e.free_vars(&mut vars);
+        assert_eq!(vars, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn and_opt_folds() {
+        let a = Expr::Lit(Lit::Bool(true));
+        let folded = Expr::and_opt(None, a.clone());
+        assert_eq!(folded, a);
+        let both = Expr::and_opt(Some(a.clone()), Expr::Lit(Lit::Bool(false)));
+        assert!(matches!(both, Expr::And(_, _)));
+    }
+}

@@ -1,0 +1,63 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// A lexing or parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source text.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub fn new(offset: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    /// Render with a caret into the offending source line.
+    pub fn render(&self, src: &str) -> String {
+        let upto = &src[..self.offset.min(src.len())];
+        let line_no = upto.matches('\n').count() + 1;
+        let line_start = upto.rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let line_end = src[line_start..]
+            .find('\n')
+            .map(|i| line_start + i)
+            .unwrap_or(src.len());
+        let col = self.offset.saturating_sub(line_start);
+        format!(
+            "parse error at line {line_no}, column {}: {}\n  {}\n  {}^",
+            col + 1,
+            self.message,
+            &src[line_start..line_end],
+            " ".repeat(col)
+        )
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "SELECT *\nFROM ???";
+        let e = ParseError::new(14, "unexpected character");
+        let r = e.render(src);
+        assert!(r.contains("line 2"), "{r}");
+        assert!(r.contains("FROM ???"));
+        assert!(r.lines().last().unwrap().contains('^'));
+    }
+}

@@ -1,0 +1,397 @@
+//! The lexer.
+//!
+//! Identifiers may contain `-` (the paper's table names are
+//! `DEPARTMENTS-1NF`, `EMPLOYEES-1NF`, ...); the language has no
+//! arithmetic, so there is no ambiguity with subtraction. Keywords are
+//! case-insensitive; identifiers are case-sensitive as written. String
+//! literals use single quotes with `''` as the escape for a quote.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    /// Keyword, normalized to uppercase.
+    Kw(&'static str),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `.` `,` `(` `)` `[` `]` `{` `}` `:` `;`
+    Punct(char),
+    /// `=` `<>` `<` `<=` `>` `>=`
+    Op(&'static str),
+    Star,
+    Eof,
+}
+
+/// Token plus its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub offset: usize,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "IN", "EXISTS", "ALL", "AND", "OR", "NOT", "CONTAINS", "ASOF",
+    "CREATE", "DROP", "TABLE", "LIST", "INDEX", "TEXT", "ON", "USING", "INSERT", "INTO", "VALUES",
+    "UPDATE", "SET", "DELETE", "TRUE", "FALSE", "WITH", "VERSIONS", "DATE", "EXPLAIN",
+];
+
+fn keyword(s: &str) -> Option<&'static str> {
+    let upper = s.to_ascii_uppercase();
+    KEYWORDS.iter().find(|&&k| k == upper).copied()
+}
+
+/// Tokenize `src` fully.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Dispatch on the real (possibly multi-byte) character — NOT the
+        // first byte cast to char, which would mis-enter the identifier
+        // arm for bytes like 0xC2 and loop without consuming anything.
+        let c = src[i..].chars().next().expect("i is a char boundary");
+        if c.is_whitespace() {
+            i += c.len_utf8();
+            continue;
+        }
+        // Comments: `--` to end of line.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        match c {
+            '\'' => {
+                // String literal with '' escape.
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ParseError::new(start, "unterminated string literal"))
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(_) => {
+                            // Advance one UTF-8 char.
+                            let ch = src[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
+            }
+            '0'..='9' => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let mut is_float = false;
+                // Fraction — only if followed by a digit ('.' is also the
+                // path separator).
+                if bytes.get(j) == Some(&b'.')
+                    && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                // Numbers with embedded separators like 320,000 are NOT
+                // supported (commas separate list items); the fixtures
+                // write 320000.
+                let text = &src[i..j];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("bad float literal `{text}`"))
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("bad integer literal `{text}`"))
+                    })?)
+                };
+                i = j;
+                out.push(Spanned { tok, offset: start });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = src[j..].chars().next().unwrap();
+                    if ch.is_alphanumeric() || ch == '_' {
+                        j += ch.len_utf8();
+                    } else if ch == '-'
+                        && src[j + 1..]
+                            .chars()
+                            .next()
+                            .is_some_and(|n| n.is_alphanumeric())
+                    {
+                        // Hyphen inside an identifier (DEPARTMENTS-1NF),
+                        // but not a trailing `-` or `--` comment.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                debug_assert!(j > i, "identifier arm must consume");
+                let word = &src[i..j];
+                i = j;
+                let tok = match keyword(word) {
+                    Some(kw) => Tok::Kw(kw),
+                    None => Tok::Ident(word.to_string()),
+                };
+                out.push(Spanned { tok, offset: start });
+            }
+            '=' => {
+                i += 1;
+                out.push(Spanned {
+                    tok: Tok::Op("="),
+                    offset: start,
+                });
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    i += 2;
+                    out.push(Spanned {
+                        tok: Tok::Op("<>"),
+                        offset: start,
+                    });
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    out.push(Spanned {
+                        tok: Tok::Op("<="),
+                        offset: start,
+                    });
+                } else {
+                    i += 1;
+                    out.push(Spanned {
+                        tok: Tok::Op("<"),
+                        offset: start,
+                    });
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    i += 2;
+                    out.push(Spanned {
+                        tok: Tok::Op(">="),
+                        offset: start,
+                    });
+                } else {
+                    i += 1;
+                    out.push(Spanned {
+                        tok: Tok::Op(">"),
+                        offset: start,
+                    });
+                }
+            }
+            '*' => {
+                i += 1;
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    offset: start,
+                });
+            }
+            '.' | ',' | '(' | ')' | '[' | ']' | '{' | '}' | ':' | ';' => {
+                i += 1;
+                out.push(Spanned {
+                    tok: Tok::Punct(c),
+                    offset: start,
+                });
+            }
+            '-' => {
+                // Unary minus for numeric literals.
+                if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let mut j = i + 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let mut is_float = false;
+                    if bytes.get(j) == Some(&b'.')
+                        && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
+                    {
+                        is_float = true;
+                        j += 1;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                    let text = &src[i..j];
+                    let tok = if is_float {
+                        Tok::Float(text.parse().map_err(|_| {
+                            ParseError::new(start, format!("bad float literal `{text}`"))
+                        })?)
+                    } else {
+                        Tok::Int(text.parse().map_err(|_| {
+                            ParseError::new(start, format!("bad integer literal `{text}`"))
+                        })?)
+                    };
+                    i = j;
+                    out.push(Spanned { tok, offset: start });
+                } else {
+                    return Err(ParseError::new(start, "unexpected `-`"));
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ))
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        offset: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select Select SELECT"),
+            vec![Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        assert_eq!(
+            toks("DEPARTMENTS-1NF MEMBERS-1NF"),
+            vec![
+                Tok::Ident("DEPARTMENTS-1NF".into()),
+                Tok::Ident("MEMBERS-1NF".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn paths_and_numbers() {
+        assert_eq!(
+            toks("x.DNO 320000 0.6 -5 -2.5"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct('.'),
+                Tok::Ident("DNO".into()),
+                Tok::Int(320000),
+                Tok::Float(0.6),
+                Tok::Int(-5),
+                Tok::Float(-2.5),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_special_chars() {
+        assert_eq!(
+            toks("'PC/AT' 'O''Hara' '*comput*'"),
+            vec![
+                Tok::Str("PC/AT".into()),
+                Tok::Str("O'Hara".into()),
+                Tok::Str("*comput*".into()),
+                Tok::Eof
+            ]
+        );
+        assert!(lex("'unterminated").is_err());
+    }
+
+    #[test]
+    fn operators_and_brackets() {
+        assert_eq!(
+            toks("= <> < <= > >= { } [ ] ( ) : * ,"),
+            vec![
+                Tok::Op("="),
+                Tok::Op("<>"),
+                Tok::Op("<"),
+                Tok::Op("<="),
+                Tok::Op(">"),
+                Tok::Op(">="),
+                Tok::Punct('{'),
+                Tok::Punct('}'),
+                Tok::Punct('['),
+                Tok::Punct(']'),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+                Tok::Punct(':'),
+                Tok::Star,
+                Tok::Punct(','),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("SELECT -- the works\n x"),
+            vec![Tok::Kw("SELECT"), Tok::Ident("x".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn bad_chars_rejected_with_offset() {
+        let e = lex("SELECT @").unwrap_err();
+        assert_eq!(e.offset, 7);
+    }
+
+    #[test]
+    fn multibyte_nonletters_error_instead_of_looping() {
+        // Regression: the MIDDLE DOT begins with byte 0xC2; dispatching
+        // on that byte cast to char entered the identifier arm and
+        // looped forever emitting empty identifiers.
+        for src in ["\u{B7}", "x \u{B7} y", "\u{F7}", "\u{20AC}", "SELECT \u{B7}"] {
+            assert!(lex(src).is_err(), "{src:?} must be a lex error");
+        }
+        // Real multi-byte letters still lex as identifiers.
+        let toks = lex("Gr\u{F6}\u{DF}e \u{E9}tudes \u{5317}\u{4EAC}").unwrap();
+        assert_eq!(toks.len(), 4, "3 identifiers + EOF");
+        // Multi-byte whitespace (NBSP) is skipped.
+        let toks = lex("a\u{A0}b").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn subscript_example_8() {
+        // x.AUTHORS[1] = 'Jones A.'
+        assert_eq!(
+            toks("x.AUTHORS[1] = 'Jones A.'"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Punct('.'),
+                Tok::Ident("AUTHORS".into()),
+                Tok::Punct('['),
+                Tok::Int(1),
+                Tok::Punct(']'),
+                Tok::Op("="),
+                Tok::Str("Jones A.".into()),
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! # aim2-lang — the NF² query language
+//!
+//! Section 3 of Dadam et al. (SIGMOD 1986) generalizes SEQUEL/SQL to
+//! extended NF² tables: SELECT-FROM-WHERE where
+//!
+//! * the **SELECT clause** may contain *named subqueries* that build
+//!   nested result structure — `PROJECTS = (SELECT ... FROM y IN
+//!   x.PROJECTS)` (Figures 2–5);
+//! * the **FROM clause** binds tuple variables to stored tables *or to
+//!   table-valued attributes of other variables* — `y IN x.PROJECTS`;
+//! * the **WHERE clause** supports EXISTS / ALL quantifiers over
+//!   subtables (Examples 5–6), cross-level join predicates (Example 7),
+//!   1-based list subscripts — `x.AUTHORS[1] = 'Jones A.'` (Example 8),
+//!   masked text search — `x.TITLE CONTAINS '*comput*'` (§5), and the
+//!   temporal `ASOF` clause on FROM bindings (§5).
+//!
+//! DDL declares nested structure positionally with the paper's bracket
+//! convention: `{ ... }` for unordered subtables (relations), `< ... >`
+//! for ordered subtables (lists). DML covers whole complex objects and
+//! arbitrary parts of them, per the paper's §5 summary.
+//!
+//! The crate provides the [`lexer`], the [`ast`], a recursive-descent
+//! [`parser`], and a [`printer`] that renders ASTs back to canonical
+//! text (parse ∘ print = identity — property-tested).
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{Binding, Expr, Query, SelectItem, Source, Stmt};
+pub use error::ParseError;
+pub use parser::parse_stmt;

@@ -1,0 +1,1050 @@
+//! Recursive-descent parser for the NF² language.
+
+use crate::ast::*;
+use crate::error::ParseError;
+use crate::lexer::{lex, Spanned, Tok};
+use aim2_model::Path;
+
+/// Parse one statement (a trailing `;` is allowed).
+pub fn parse_stmt(src: &str) -> Result<Stmt, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = p.stmt()?;
+    p.eat_punct(';');
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a query (shorthand used by tests and the facade).
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    match parse_stmt(src)? {
+        Stmt::Query(q) => Ok(q),
+        _ => Err(ParseError::new(0, "expected a SELECT query")),
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError::new(self.offset(), msg))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Kw(k) if *k == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{kw}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Tok::Punct(p) if *p == c) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{c}`, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Tok::Op(o) if *o == op) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            // Non-reserved keywords usable as identifiers in name
+            // position (attribute called TEXT, DATE, ...).
+            Tok::Kw(k @ ("TEXT" | "DATE" | "LIST" | "INDEX" | "VERSIONS" | "ON" | "SET")) => {
+                self.bump();
+                Ok(k.to_string())
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Statements
+    // -----------------------------------------------------------------
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Tok::Kw("SELECT") => Ok(Stmt::Query(self.query()?)),
+            Tok::Kw("EXPLAIN") => {
+                self.bump();
+                Ok(Stmt::Explain(self.query()?))
+            }
+            Tok::Kw("CREATE") => self.create(),
+            Tok::Kw("DROP") => {
+                self.bump();
+                self.expect_kw("TABLE")?;
+                Ok(Stmt::DropTable(self.ident()?))
+            }
+            Tok::Kw("INSERT") => self.insert(),
+            Tok::Kw("UPDATE") => self.update(),
+            Tok::Kw("DELETE") => self.delete(),
+            other => self.err(format!("expected a statement, found {other:?}")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("SELECT")?;
+        let mut select = Vec::new();
+        loop {
+            select.push(self.select_item()?);
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.binding()?);
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if matches!(self.peek(), Tok::Star) {
+            self.bump();
+            return Ok(SelectItem::Star);
+        }
+        // `NAME = (SELECT ...)` or `NAME = expr`?
+        if matches!(self.peek(), Tok::Ident(_) | Tok::Kw(_))
+            && matches!(self.peek2(), Tok::Op("="))
+        {
+            let name = self.ident()?;
+            self.bump(); // `=`
+            if self.eat_punct('(') {
+                if matches!(self.peek(), Tok::Kw("SELECT")) {
+                    let q = self.query()?;
+                    self.expect_punct(')')?;
+                    return Ok(SelectItem::Named {
+                        name,
+                        value: NamedValue::Subquery(Box::new(q)),
+                    });
+                }
+                let e = self.expr_atom()?;
+                self.expect_punct(')')?;
+                return Ok(SelectItem::Named {
+                    name,
+                    value: NamedValue::Expr(e),
+                });
+            }
+            let e = self.expr_atom()?;
+            return Ok(SelectItem::Named {
+                name,
+                value: NamedValue::Expr(e),
+            });
+        }
+        Ok(SelectItem::Expr(self.expr_atom()?))
+    }
+
+    fn binding(&mut self) -> Result<Binding, ParseError> {
+        let var = self.ident()?;
+        if !matches!(self.peek(), Tok::Kw("IN")) {
+            // Shorthand of Example 1: `FROM DEPARTMENTS` — the table name
+            // doubles as the tuple variable.
+            let asof = if self.eat_kw("ASOF") {
+                match self.bump() {
+                    Tok::Str(s) => Some(s),
+                    other => {
+                        return self
+                            .err(format!("expected date string after ASOF, got {other:?}"))
+                    }
+                }
+            } else {
+                None
+            };
+            return Ok(Binding {
+                var: var.clone(),
+                source: Source::Table(var),
+                asof,
+            });
+        }
+        self.expect_kw("IN")?;
+        let source = self.source()?;
+        let asof = if self.eat_kw("ASOF") {
+            match self.bump() {
+                Tok::Str(s) => Some(s),
+                other => return self.err(format!("expected date string after ASOF, got {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(Binding { var, source, asof })
+    }
+
+    fn source(&mut self) -> Result<Source, ParseError> {
+        let first = self.ident()?;
+        if self.eat_punct('.') {
+            let mut segs = vec![self.ident()?];
+            while matches!(self.peek(), Tok::Punct('.')) {
+                self.bump();
+                segs.push(self.ident()?);
+            }
+            Ok(Source::PathOf {
+                var: first,
+                path: Path::new(segs),
+            })
+        } else {
+            Ok(Source::Table(first))
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Expressions
+    // -----------------------------------------------------------------
+
+    /// Full predicate grammar: OR < AND < NOT < comparison < atom.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.expr_and()?;
+        while self.eat_kw("OR") {
+            let rhs = self.expr_and()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.expr_unary()?;
+        while self.eat_kw("AND") {
+            let rhs = self.expr_unary()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn expr_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.expr_unary()?)));
+        }
+        if matches!(self.peek(), Tok::Kw("EXISTS")) {
+            return self.exists();
+        }
+        if matches!(self.peek(), Tok::Kw("ALL")) {
+            return self.forall();
+        }
+        if self.eat_punct('(') {
+            let e = self.expr()?;
+            self.expect_punct(')')?;
+            return Ok(e);
+        }
+        self.comparison()
+    }
+
+    fn exists(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("EXISTS")?;
+        let binding = self.binding()?;
+        // Optional predicate after `:` (or juxtaposed EXISTS/ALL chain,
+        // as the paper writes it).
+        let pred = if self.eat_punct(':') {
+            Some(Box::new(self.expr()?))
+        } else if matches!(self.peek(), Tok::Kw("EXISTS") | Tok::Kw("ALL")) {
+            Some(Box::new(self.expr_unary()?))
+        } else {
+            None
+        };
+        Ok(Expr::Exists {
+            binding: Box::new(binding),
+            pred,
+        })
+    }
+
+    fn forall(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw("ALL")?;
+        let binding = self.binding()?;
+        let pred = if self.eat_punct(':') {
+            self.expr()?
+        } else {
+            // Juxtaposed form: `ALL z IN y.MEMBERS z.FUNCTION = ...` /
+            // nested `ALL ... ALL ...`.
+            self.expr_unary()?
+        };
+        Ok(Expr::Forall {
+            binding: Box::new(binding),
+            pred: Box::new(pred),
+        })
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.expr_atom()?;
+        if self.eat_kw("CONTAINS") {
+            match self.bump() {
+                Tok::Str(pattern) => {
+                    return Ok(Expr::Contains {
+                        expr: Box::new(lhs),
+                        pattern,
+                    })
+                }
+                other => {
+                    return self.err(format!("expected pattern string, found {other:?}"))
+                }
+            }
+        }
+        let op = match self.peek() {
+            Tok::Op("=") => CmpOp::Eq,
+            Tok::Op("<>") => CmpOp::Ne,
+            Tok::Op("<") => CmpOp::Lt,
+            Tok::Op("<=") => CmpOp::Le,
+            Tok::Op(">") => CmpOp::Gt,
+            Tok::Op(">=") => CmpOp::Ge,
+            _ => return Ok(lhs), // bare expression (used by SELECT items)
+        };
+        self.bump();
+        let rhs = self.expr_atom()?;
+        Ok(Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    /// Atom: literal | var[.path][[n][.path]]
+    fn expr_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Int(v)))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Float(v)))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Str(s)))
+            }
+            Tok::Kw("TRUE") => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Bool(true)))
+            }
+            Tok::Kw("FALSE") => {
+                self.bump();
+                Ok(Expr::Lit(Lit::Bool(false)))
+            }
+            Tok::Ident(_) | Tok::Kw(_) => {
+                let var = self.ident()?;
+                let mut segs: Vec<String> = Vec::new();
+                loop {
+                    if self.eat_punct('.') {
+                        segs.push(self.ident()?);
+                    } else if matches!(self.peek(), Tok::Punct('[')) {
+                        self.bump();
+                        let idx = match self.bump() {
+                            Tok::Int(i) if i >= 1 => i as usize,
+                            other => {
+                                return self.err(format!(
+                                    "expected 1-based subscript, found {other:?}"
+                                ))
+                            }
+                        };
+                        self.expect_punct(']')?;
+                        // Optional trailing path after the subscript.
+                        let mut rest = Vec::new();
+                        while self.eat_punct('.') {
+                            rest.push(self.ident()?);
+                        }
+                        return Ok(Expr::Subscript {
+                            var,
+                            path: Path::new(segs),
+                            index: idx,
+                            rest: Path::new(rest),
+                        });
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Expr::PathRef {
+                    var,
+                    path: Path::new(segs),
+                })
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // DDL
+    // -----------------------------------------------------------------
+
+    fn create(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("CREATE")?;
+        if self.eat_kw("TABLE") {
+            return self.create_table(false);
+        }
+        if self.eat_kw("LIST") {
+            return self.create_table(true);
+        }
+        let text = self.eat_kw("TEXT");
+        if self.eat_kw("INDEX") {
+            return self.create_index(text);
+        }
+        self.err("expected TABLE, LIST, or [TEXT] INDEX after CREATE")
+    }
+
+    fn create_table(&mut self, ordered: bool) -> Result<Stmt, ParseError> {
+        let name = self.ident()?;
+        self.expect_punct('(')?;
+        let attrs = self.attr_decls(')')?;
+        let using = if self.eat_kw("USING") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let versioned = if self.eat_kw("WITH") {
+            self.expect_kw("VERSIONS")?;
+            true
+        } else {
+            false
+        };
+        Ok(Stmt::CreateTable(CreateTable {
+            name,
+            ordered,
+            attrs,
+            using,
+            versioned,
+        }))
+    }
+
+    /// Parse attribute declarations up to (and consuming) the closing
+    /// delimiter `close` (one of `)`, `}`, or the `>` operator).
+    fn attr_decls(&mut self, close: char) -> Result<Vec<AttrDecl>, ParseError> {
+        let mut attrs = Vec::new();
+        loop {
+            let name = self.ident()?;
+            if self.eat_punct('{') {
+                let inner = self.attr_decls('}')?;
+                attrs.push(AttrDecl::Table {
+                    name,
+                    ordered: false,
+                    attrs: inner,
+                });
+            } else if self.eat_op("<") {
+                let inner = self.attr_decls('>')?;
+                attrs.push(AttrDecl::Table {
+                    name,
+                    ordered: true,
+                    attrs: inner,
+                });
+            } else {
+                let ty = self.ident()?;
+                attrs.push(AttrDecl::Atomic { name, ty });
+            }
+            if self.eat_punct(',') {
+                continue;
+            }
+            // Closing delimiter.
+            let ok = match close {
+                ')' => self.eat_punct(')'),
+                '}' => self.eat_punct('}'),
+                '>' => self.eat_op(">"),
+                _ => false,
+            };
+            if ok {
+                return Ok(attrs);
+            }
+            return self.err(format!("expected `,` or `{close}`, found {:?}", self.peek()));
+        }
+    }
+
+    fn create_index(&mut self, text: bool) -> Result<Stmt, ParseError> {
+        let name = self.ident()?;
+        self.expect_kw("ON")?;
+        let table = self.ident()?;
+        self.expect_punct('(')?;
+        let mut segs = vec![self.ident()?];
+        while self.eat_punct('.') {
+            segs.push(self.ident()?);
+        }
+        self.expect_punct(')')?;
+        let using = if self.eat_kw("USING") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(Stmt::CreateIndex(CreateIndex {
+            name,
+            table,
+            path: Path::new(segs),
+            text,
+            using,
+        }))
+    }
+
+    // -----------------------------------------------------------------
+    // DML
+    // -----------------------------------------------------------------
+
+    fn insert(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let target = self.source()?;
+        let (from, where_) = if self.eat_kw("FROM") {
+            let mut from = Vec::new();
+            loop {
+                from.push(self.binding()?);
+                if !self.eat_punct(',') {
+                    break;
+                }
+            }
+            let where_ = if self.eat_kw("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            (from, where_)
+        } else {
+            (Vec::new(), None)
+        };
+        self.expect_kw("VALUES")?;
+        self.expect_punct('(')?;
+        let values = self.lit_tuple_body()?;
+        Ok(Stmt::Insert(Insert {
+            target,
+            from,
+            where_,
+            values,
+        }))
+    }
+
+    /// Literal tuple: assumes `(` consumed; consumes through `)`.
+    fn lit_tuple_body(&mut self) -> Result<Vec<Lit>, ParseError> {
+        let mut items = Vec::new();
+        if self.eat_punct(')') {
+            return Ok(items);
+        }
+        loop {
+            items.push(self.lit()?);
+            if self.eat_punct(',') {
+                continue;
+            }
+            self.expect_punct(')')?;
+            return Ok(items);
+        }
+    }
+
+    fn lit(&mut self) -> Result<Lit, ParseError> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Lit::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Lit::Float(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Lit::Str(s))
+            }
+            Tok::Kw("TRUE") => {
+                self.bump();
+                Ok(Lit::Bool(true))
+            }
+            Tok::Kw("FALSE") => {
+                self.bump();
+                Ok(Lit::Bool(false))
+            }
+            Tok::Punct('{') => {
+                self.bump();
+                Ok(Lit::Relation(self.lit_table_body('}')?))
+            }
+            Tok::Op("<") => {
+                self.bump();
+                Ok(Lit::List(self.lit_table_body('>')?))
+            }
+            // `<>` lexes as one operator token; as a literal it is the
+            // empty list.
+            Tok::Op("<>") => {
+                self.bump();
+                Ok(Lit::List(Vec::new()))
+            }
+            other => self.err(format!("expected literal, found {other:?}")),
+        }
+    }
+
+    /// Table literal body: `(tuple), (tuple), ...` up to `close`.
+    fn lit_table_body(&mut self, close: char) -> Result<Vec<Vec<Lit>>, ParseError> {
+        let mut tuples = Vec::new();
+        let closed = |p: &mut Self| match close {
+            '}' => p.eat_punct('}'),
+            '>' => p.eat_op(">"),
+            _ => false,
+        };
+        if closed(self) {
+            return Ok(tuples);
+        }
+        loop {
+            self.expect_punct('(')?;
+            tuples.push(self.lit_tuple_body()?);
+            if self.eat_punct(',') {
+                continue;
+            }
+            if closed(self) {
+                return Ok(tuples);
+            }
+            return self.err(format!("expected `,` or `{close}` in table literal"));
+        }
+    }
+
+    fn update(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("UPDATE")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.binding()?);
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        self.expect_kw("SET")?;
+        let mut set = Vec::new();
+        loop {
+            let var = self.ident()?;
+            self.expect_punct('.')?;
+            let mut segs = vec![self.ident()?];
+            while self.eat_punct('.') {
+                segs.push(self.ident()?);
+            }
+            if !self.eat_op("=") {
+                return self.err("expected `=` in SET clause");
+            }
+            let value = self.lit()?;
+            set.push((var, Path::new(segs), value));
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update(Update { from, set, where_ }))
+    }
+
+    fn delete(&mut self) -> Result<Stmt, ParseError> {
+        self.expect_kw("DELETE")?;
+        let var = self.ident()?;
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.binding()?);
+            if !self.eat_punct(',') {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete(Delete { var, from, where_ }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(src: &str) -> Query {
+        parse_query(src).unwrap_or_else(|e| panic!("{}", e.render(src)))
+    }
+
+    #[test]
+    fn example_1_star() {
+        let query = q("SELECT * FROM DEPARTMENTS"); // shorthand binding? no: var required
+        let _ = query;
+    }
+
+    #[test]
+    fn example_1_both_forms() {
+        // Long form.
+        let long = q("SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP FROM x IN DEPARTMENTS");
+        assert_eq!(long.select.len(), 5);
+        assert_eq!(long.from.len(), 1);
+        // Shorthand.
+        let short = q("SELECT * FROM DEPARTMENTS");
+        assert_eq!(short.select, vec![SelectItem::Star]);
+        match &short.from[0].source {
+            Source::Table(t) => assert_eq!(t, "DEPARTMENTS"),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn example_2_nested_select() {
+        let query = q("SELECT x.DNO, x.MGRNO, \
+              PROJECTS = (SELECT y.PNO, y.PNAME, \
+                          MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS) \
+                          FROM y IN x.PROJECTS), \
+              x.BUDGET, \
+              EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP) \
+              FROM x IN DEPARTMENTS");
+        assert_eq!(query.select.len(), 5);
+        let SelectItem::Named { name, value } = &query.select[2] else {
+            panic!()
+        };
+        assert_eq!(name, "PROJECTS");
+        let NamedValue::Subquery(sub) = value else {
+            panic!()
+        };
+        assert_eq!(sub.select.len(), 3);
+        let Source::PathOf { var, path } = &sub.from[0].source else {
+            panic!()
+        };
+        assert_eq!(var, "x");
+        assert_eq!(path.to_string(), "PROJECTS");
+    }
+
+    #[test]
+    fn example_4_unnest() {
+        let query = q("SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+             FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS");
+        assert_eq!(query.from.len(), 3);
+        assert!(query.where_.is_none());
+    }
+
+    #[test]
+    fn example_4_flat_with_joins() {
+        let query = q("SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+             FROM x IN DEPARTMENTS-1NF, y IN PROJECTS-1NF, z IN MEMBERS-1NF \
+             WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO");
+        let w = query.where_.unwrap();
+        // Two ANDs.
+        assert!(matches!(w, Expr::And(_, _)));
+    }
+
+    #[test]
+    fn example_5_exists() {
+        let query = q("SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'");
+        let Some(Expr::Exists { binding, pred }) = query.where_ else {
+            panic!()
+        };
+        assert_eq!(binding.var, "y");
+        assert!(pred.is_some());
+    }
+
+    #[test]
+    fn example_6_nested_all() {
+        let query = q("SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'");
+        let Some(Expr::Forall { ref pred, .. }) = query.where_ else {
+            panic!()
+        };
+        assert!(matches!(**pred, Expr::Forall { .. }));
+        // The paper's juxtaposed form (no colons) parses identically.
+        let query2 = q("SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE ALL y IN x.PROJECTS ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'");
+        assert_eq!(query2.where_, query.where_);
+    }
+
+    #[test]
+    fn sec42_nested_exists() {
+        let query = q("SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'");
+        let Some(Expr::Exists { pred, .. }) = query.where_ else {
+            panic!()
+        };
+        assert!(matches!(pred.as_deref(), Some(Expr::Exists { .. })));
+    }
+
+    #[test]
+    fn example_7_fig4_join() {
+        let query = q("SELECT x.DNO, x.MGRNO, \
+               EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION \
+                            FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF \
+                            WHERE z.EMPNO = u.EMPNO) \
+             FROM x IN DEPARTMENTS");
+        let SelectItem::Named { value, .. } = &query.select[2] else {
+            panic!()
+        };
+        let NamedValue::Subquery(sub) = value else {
+            panic!()
+        };
+        assert_eq!(sub.from.len(), 3);
+    }
+
+    #[test]
+    fn example_8_subscript() {
+        let query =
+            q("SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'");
+        let Some(Expr::Cmp { lhs, .. }) = query.where_ else {
+            panic!()
+        };
+        let Expr::Subscript {
+            var, path, index, ..
+        } = *lhs
+        else {
+            panic!()
+        };
+        assert_eq!(var, "x");
+        assert_eq!(path.to_string(), "AUTHORS");
+        assert_eq!(index, 1);
+    }
+
+    #[test]
+    fn subscript_with_rest_path() {
+        let query = q("SELECT x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[2].NAME = 'Meyer P.'");
+        let Some(Expr::Cmp { lhs, .. }) = query.where_ else {
+            panic!()
+        };
+        let Expr::Subscript { index, rest, .. } = *lhs else {
+            panic!()
+        };
+        assert_eq!(index, 2);
+        assert_eq!(rest.to_string(), "NAME");
+    }
+
+    #[test]
+    fn sec5_contains_and_exists() {
+        let query = q("SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS \
+             WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'");
+        let Some(Expr::And(l, r)) = query.where_ else {
+            panic!()
+        };
+        assert!(matches!(*l, Expr::Contains { .. }));
+        assert!(matches!(*r, Expr::Exists { .. }));
+    }
+
+    #[test]
+    fn sec5_asof() {
+        let query = q("SELECT y.PNO, y.PNAME \
+             FROM x IN DEPARTMENTS ASOF '1984-01-15', y IN x.PROJECTS \
+             WHERE x.DNO = 314");
+        assert_eq!(query.from[0].asof.as_deref(), Some("1984-01-15"));
+        assert_eq!(query.from[1].asof, None);
+    }
+
+    #[test]
+    fn create_table_departments() {
+        let stmt = parse_stmt(
+            "CREATE TABLE DEPARTMENTS ( \
+               DNO INTEGER, MGRNO INTEGER, \
+               PROJECTS { PNO INTEGER, PNAME STRING, \
+                          MEMBERS { EMPNO INTEGER, FUNCTION STRING } }, \
+               BUDGET INTEGER, \
+               EQUIP { QU INTEGER, TYPE STRING } ) USING SS3",
+        )
+        .unwrap();
+        let Stmt::CreateTable(ct) = stmt else { panic!() };
+        assert_eq!(ct.name, "DEPARTMENTS");
+        assert!(!ct.ordered);
+        assert_eq!(ct.attrs.len(), 5);
+        assert_eq!(ct.using.as_deref(), Some("SS3"));
+        let AttrDecl::Table { name, attrs, .. } = &ct.attrs[2] else {
+            panic!()
+        };
+        assert_eq!(name, "PROJECTS");
+        assert!(matches!(&attrs[2], AttrDecl::Table { name, .. } if name == "MEMBERS"));
+    }
+
+    #[test]
+    fn create_table_reports_with_list() {
+        let stmt = parse_stmt(
+            "CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, \
+             TITLE TEXT, DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } ) WITH VERSIONS",
+        )
+        .unwrap();
+        let Stmt::CreateTable(ct) = stmt else { panic!() };
+        assert!(ct.versioned);
+        let AttrDecl::Table { name, ordered, .. } = &ct.attrs[1] else {
+            panic!()
+        };
+        assert_eq!(name, "AUTHORS");
+        assert!(*ordered, "AUTHORS is a list");
+        assert!(matches!(&ct.attrs[2], AttrDecl::Atomic { ty, .. } if ty == "TEXT"));
+    }
+
+    #[test]
+    fn create_indexes() {
+        let s = parse_stmt(
+            "CREATE INDEX fidx ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION) USING HIERARCHICAL",
+        )
+        .unwrap();
+        let Stmt::CreateIndex(ci) = s else { panic!() };
+        assert!(!ci.text);
+        assert_eq!(ci.path.to_string(), "PROJECTS.MEMBERS.FUNCTION");
+        assert_eq!(ci.using.as_deref(), Some("HIERARCHICAL"));
+        let s = parse_stmt("CREATE TEXT INDEX tix ON REPORTS (TITLE)").unwrap();
+        let Stmt::CreateIndex(ci) = s else { panic!() };
+        assert!(ci.text);
+    }
+
+    #[test]
+    fn insert_whole_object() {
+        let s = parse_stmt(
+            "INSERT INTO DEPARTMENTS VALUES (314, 56194, \
+               {(17, 'CGA', {(39582, 'Leader')})}, 320000, {(2, '3278'), (1, 'PC')})",
+        )
+        .unwrap();
+        let Stmt::Insert(ins) = s else { panic!() };
+        assert!(matches!(ins.target, Source::Table(ref t) if t == "DEPARTMENTS"));
+        assert_eq!(ins.values.len(), 5);
+        let Lit::Relation(projects) = &ins.values[2] else {
+            panic!()
+        };
+        assert_eq!(projects.len(), 1);
+        let Lit::Relation(members) = &projects[0][2] else {
+            panic!()
+        };
+        assert_eq!(members[0][1], Lit::Str("Leader".into()));
+    }
+
+    #[test]
+    fn insert_partial_into_subtable() {
+        let s = parse_stmt(
+            "INSERT INTO x.PROJECTS FROM x IN DEPARTMENTS WHERE x.DNO = 314 \
+             VALUES (99, 'AIM', {})",
+        )
+        .unwrap();
+        let Stmt::Insert(ins) = s else { panic!() };
+        assert!(matches!(ins.target, Source::PathOf { .. }));
+        assert_eq!(ins.from.len(), 1);
+        assert!(ins.where_.is_some());
+        assert_eq!(ins.values[2], Lit::Relation(vec![]));
+    }
+
+    #[test]
+    fn insert_list_literal() {
+        let s = parse_stmt(
+            "INSERT INTO REPORTS VALUES ('0300', <('Ada A.'), ('Babbage C.')>, 'On Engines', {})",
+        )
+        .unwrap();
+        let Stmt::Insert(ins) = s else { panic!() };
+        let Lit::List(authors) = &ins.values[1] else {
+            panic!()
+        };
+        assert_eq!(authors.len(), 2);
+    }
+
+    #[test]
+    fn update_nested() {
+        let s = parse_stmt(
+            "UPDATE x IN DEPARTMENTS, y IN x.PROJECTS \
+             SET y.PNAME = 'CGA-2', x.BUDGET = 999000 \
+             WHERE x.DNO = 314 AND y.PNO = 17",
+        )
+        .unwrap();
+        let Stmt::Update(up) = s else { panic!() };
+        assert_eq!(up.from.len(), 2);
+        assert_eq!(up.set.len(), 2);
+        assert_eq!(up.set[0].0, "y");
+        assert_eq!(up.set[0].1.to_string(), "PNAME");
+    }
+
+    #[test]
+    fn delete_element_and_object() {
+        let s = parse_stmt(
+            "DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 23",
+        )
+        .unwrap();
+        let Stmt::Delete(del) = s else { panic!() };
+        assert_eq!(del.var, "y");
+        let s = parse_stmt("DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 417").unwrap();
+        assert!(matches!(s, Stmt::Delete(_)));
+    }
+
+    #[test]
+    fn drop_table() {
+        assert_eq!(
+            parse_stmt("DROP TABLE DEPARTMENTS").unwrap(),
+            Stmt::DropTable("DEPARTMENTS".into())
+        );
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let e = parse_query("SELECT x.DNO FORM x IN T").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(parse_stmt("SELECT").is_err());
+        assert!(parse_stmt("CREATE TABLE T ()").is_err());
+        assert!(parse_stmt("INSERT INTO T VALUES (1,)").is_err());
+        assert!(parse_query("SELECT * FROM x IN T WHERE x.A[0] = 1").is_err(), "subscripts are 1-based");
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        assert!(parse_stmt("SELECT * FROM DEPARTMENTS;").is_ok());
+    }
+
+    #[test]
+    fn parenthesized_and_not_predicates() {
+        let query = q("SELECT x.DNO FROM x IN T WHERE NOT (x.A = 1 OR x.B = 2) AND x.C <> 3");
+        assert!(matches!(query.where_, Some(Expr::And(_, _))));
+    }
+}

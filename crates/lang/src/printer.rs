@@ -1,0 +1,345 @@
+//! Render ASTs back to canonical language text.
+//!
+//! `parse(print(stmt)) == stmt` — checked by unit tests here and a
+//! property test in `tests/prop_lang.rs`. The printer is also used by
+//! the facade's EXPLAIN-style diagnostics.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Print any statement.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    match stmt {
+        Stmt::Query(q) => print_query(q),
+        Stmt::Explain(q) => format!("EXPLAIN {}", print_query(q)),
+        Stmt::CreateTable(ct) => print_create_table(ct),
+        Stmt::CreateIndex(ci) => print_create_index(ci),
+        Stmt::DropTable(t) => format!("DROP TABLE {t}"),
+        Stmt::Insert(i) => print_insert(i),
+        Stmt::Update(u) => print_update(u),
+        Stmt::Delete(d) => print_delete(d),
+    }
+}
+
+/// Print a query.
+pub fn print_query(q: &Query) -> String {
+    let mut s = String::from("SELECT ");
+    for (i, item) in q.select.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match item {
+            SelectItem::Star => s.push('*'),
+            SelectItem::Expr(e) => s.push_str(&print_expr(e)),
+            SelectItem::Named { name, value } => match value {
+                NamedValue::Expr(e) => {
+                    let _ = write!(s, "{name} = {}", print_expr(e));
+                }
+                NamedValue::Subquery(sub) => {
+                    let _ = write!(s, "{name} = ({})", print_query(sub));
+                }
+            },
+        }
+    }
+    s.push_str(" FROM ");
+    for (i, b) in q.from.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&print_binding(b));
+    }
+    if let Some(w) = &q.where_ {
+        let _ = write!(s, " WHERE {}", print_expr(w));
+    }
+    s
+}
+
+fn print_binding(b: &Binding) -> String {
+    let mut s = match &b.source {
+        Source::Table(t) if *t == b.var => t.clone(),
+        Source::Table(t) => format!("{} IN {t}", b.var),
+        Source::PathOf { var, path } => format!("{} IN {var}.{path}", b.var),
+    };
+    if let Some(d) = &b.asof {
+        let _ = write!(s, " ASOF '{d}'");
+    }
+    s
+}
+
+/// Print an expression (fully parenthesizing AND/OR/NOT for an
+/// unambiguous roundtrip).
+pub fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::PathRef { var, path } => {
+            if path.is_root() {
+                var.clone()
+            } else {
+                format!("{var}.{path}")
+            }
+        }
+        Expr::Subscript {
+            var,
+            path,
+            index,
+            rest,
+        } => {
+            let mut s = if path.is_root() {
+                var.clone()
+            } else {
+                format!("{var}.{path}")
+            };
+            let _ = write!(s, "[{index}]");
+            if !rest.is_root() {
+                let _ = write!(s, ".{rest}");
+            }
+            s
+        }
+        Expr::Lit(l) => print_lit(l),
+        Expr::Cmp { op, lhs, rhs } => {
+            format!("{} {} {}", print_expr(lhs), op.symbol(), print_expr(rhs))
+        }
+        Expr::And(a, b) => format!("({} AND {})", print_expr(a), print_expr(b)),
+        Expr::Or(a, b) => format!("({} OR {})", print_expr(a), print_expr(b)),
+        Expr::Not(x) => format!("NOT ({})", print_expr(x)),
+        // The `:` predicate is deliberately greedy when parsing (the
+        // §4.2 conjunctive query needs `y.PNO = 17 AND EXISTS z ...`
+        // inside y's scope), so the printer parenthesizes the WHOLE
+        // quantifier to delimit its scope inside AND/OR chains.
+        Expr::Exists { binding, pred } => match pred {
+            Some(p) => format!("(EXISTS {} : {})", print_binding(binding), print_expr(p)),
+            None => format!("EXISTS {}", print_binding(binding)),
+        },
+        Expr::Forall { binding, pred } => {
+            format!("(ALL {} : {})", print_binding(binding), print_expr(pred))
+        }
+        Expr::Contains { expr, pattern } => {
+            format!("{} CONTAINS '{}'", print_expr(expr), escape(pattern))
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\'', "''")
+}
+
+fn print_lit(l: &Lit) -> String {
+    match l {
+        Lit::Int(v) => v.to_string(),
+        Lit::Float(v) => {
+            // Keep a `.` so the value re-lexes as a float.
+            let s = v.to_string();
+            if s.contains('.') || s.contains('e') {
+                s
+            } else {
+                format!("{s}.0")
+            }
+        }
+        Lit::Str(s) => format!("'{}'", escape(s)),
+        Lit::Bool(true) => "TRUE".into(),
+        Lit::Bool(false) => "FALSE".into(),
+        Lit::Relation(tuples) => print_table_lit(tuples, '{', '}'),
+        Lit::List(tuples) => print_table_lit(tuples, '<', '>'),
+    }
+}
+
+fn print_table_lit(tuples: &[Vec<Lit>], open: char, close: char) -> String {
+    let mut s = String::new();
+    s.push(open);
+    for (i, t) in tuples.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push('(');
+        for (j, l) in t.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&print_lit(l));
+        }
+        s.push(')');
+    }
+    s.push(close);
+    s
+}
+
+fn print_attr_decls(attrs: &[AttrDecl]) -> String {
+    let mut s = String::new();
+    for (i, a) in attrs.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match a {
+            AttrDecl::Atomic { name, ty } => {
+                let _ = write!(s, "{name} {ty}");
+            }
+            AttrDecl::Table {
+                name,
+                ordered,
+                attrs,
+            } => {
+                let (o, c) = if *ordered { ('<', '>') } else { ('{', '}') };
+                let _ = write!(s, "{name} {o} {} {c}", print_attr_decls(attrs));
+            }
+        }
+    }
+    s
+}
+
+fn print_create_table(ct: &CreateTable) -> String {
+    let mut s = format!(
+        "CREATE {} {} ( {} )",
+        if ct.ordered { "LIST" } else { "TABLE" },
+        ct.name,
+        print_attr_decls(&ct.attrs)
+    );
+    if let Some(u) = &ct.using {
+        let _ = write!(s, " USING {u}");
+    }
+    if ct.versioned {
+        s.push_str(" WITH VERSIONS");
+    }
+    s
+}
+
+fn print_create_index(ci: &CreateIndex) -> String {
+    let mut s = format!(
+        "CREATE {}INDEX {} ON {} ({})",
+        if ci.text { "TEXT " } else { "" },
+        ci.name,
+        ci.table,
+        ci.path
+    );
+    if let Some(u) = &ci.using {
+        let _ = write!(s, " USING {u}");
+    }
+    s
+}
+
+fn print_insert(i: &Insert) -> String {
+    let mut s = String::from("INSERT INTO ");
+    match &i.target {
+        Source::Table(t) => s.push_str(t),
+        Source::PathOf { var, path } => {
+            let _ = write!(s, "{var}.{path}");
+        }
+    }
+    if !i.from.is_empty() {
+        s.push_str(" FROM ");
+        for (k, b) in i.from.iter().enumerate() {
+            if k > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&print_binding(b));
+        }
+        if let Some(w) = &i.where_ {
+            let _ = write!(s, " WHERE {}", print_expr(w));
+        }
+    }
+    let _ = write!(
+        s,
+        " VALUES ({})",
+        i.values
+            .iter()
+            .map(print_lit)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    s
+}
+
+fn print_update(u: &Update) -> String {
+    let mut s = String::from("UPDATE ");
+    for (k, b) in u.from.iter().enumerate() {
+        if k > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&print_binding(b));
+    }
+    s.push_str(" SET ");
+    for (k, (var, path, lit)) in u.set.iter().enumerate() {
+        if k > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{var}.{path} = {}", print_lit(lit));
+    }
+    if let Some(w) = &u.where_ {
+        let _ = write!(s, " WHERE {}", print_expr(w));
+    }
+    s
+}
+
+fn print_delete(d: &Delete) -> String {
+    let mut s = format!("DELETE {} FROM ", d.var);
+    for (k, b) in d.from.iter().enumerate() {
+        if k > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&print_binding(b));
+    }
+    if let Some(w) = &d.where_ {
+        let _ = write!(s, " WHERE {}", print_expr(w));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_stmt;
+
+    fn roundtrip(src: &str) {
+        let ast = parse_stmt(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        let printed = print_stmt(&ast);
+        let again = parse_stmt(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {}\nprinted: {printed}", e.render(&printed)));
+        assert_eq!(ast, again, "printed: {printed}");
+    }
+
+    #[test]
+    fn roundtrip_paper_examples() {
+        for src in [
+            "SELECT * FROM DEPARTMENTS",
+            "SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP FROM x IN DEPARTMENTS",
+            "SELECT x.DNO, x.MGRNO, PROJECTS = (SELECT y.PNO, y.PNAME, MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS) FROM y IN x.PROJECTS), x.BUDGET, EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP) FROM x IN DEPARTMENTS",
+            "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+            "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
+            "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'",
+            "SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS ASOF '1984-01-15', y IN x.PROJECTS WHERE x.DNO = 314",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn roundtrip_ddl_dml() {
+        for src in [
+            "CREATE TABLE DEPARTMENTS ( DNO INTEGER, PROJECTS { PNO INTEGER, MEMBERS { EMPNO INTEGER } }, EQUIP { QU INTEGER } ) USING SS1",
+            "CREATE LIST QUEUE ( ITEM STRING ) WITH VERSIONS",
+            "CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT )",
+            "CREATE INDEX i ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION) USING ROOTTID",
+            "CREATE TEXT INDEX t ON REPORTS (TITLE)",
+            "DROP TABLE X",
+            "INSERT INTO DEPARTMENTS VALUES (1, {(2, 'x', {})}, <(3)>)",
+            "INSERT INTO x.PROJECTS FROM x IN DEPARTMENTS WHERE x.DNO = 314 VALUES (99, 'AIM', {})",
+            "UPDATE x IN DEPARTMENTS, y IN x.PROJECTS SET y.PNAME = 'CGA-2' WHERE (x.DNO = 314 AND y.PNO = 17)",
+            "DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 23",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn string_escaping_survives() {
+        roundtrip("SELECT x.A FROM x IN T WHERE x.NAME = 'O''Hara'");
+    }
+
+    #[test]
+    fn float_literals_stay_floats() {
+        let src = "INSERT INTO T VALUES (0.6, 2.0)";
+        let ast = parse_stmt(src).unwrap();
+        let printed = print_stmt(&ast);
+        assert_eq!(parse_stmt(&printed).unwrap(), ast, "{printed}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Robustness: the lexer and parser must never panic — arbitrary input
+//! yields `Ok` or a positioned `ParseError`, and error offsets always
+//! lie within the source.
+
+use aim2_lang::lexer::lex;
+use aim2_lang::parser::parse_stmt;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn lexer_never_panics(src in "\\PC{0,120}") {
+        match lex(&src) {
+            Ok(toks) => prop_assert!(!toks.is_empty(), "EOF token expected"),
+            Err(e) => prop_assert!(e.offset <= src.len()),
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_noise(src in "\\PC{0,120}") {
+        if let Err(e) = parse_stmt(&src) {
+            prop_assert!(e.offset <= src.len());
+            // Rendering the error against its own source is also safe.
+            let _ = e.render(&src);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_sqlish_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT".to_string()), Just("FROM".to_string()),
+                Just("WHERE".to_string()), Just("IN".to_string()),
+                Just("EXISTS".to_string()), Just("ALL".to_string()),
+                Just("INSERT".to_string()), Just("VALUES".to_string()),
+                Just("UPDATE".to_string()), Just("SET".to_string()),
+                Just("DELETE".to_string()), Just("CREATE".to_string()),
+                Just("TABLE".to_string()), Just("(".to_string()),
+                Just(")".to_string()), Just("{".to_string()),
+                Just("}".to_string()), Just("<".to_string()),
+                Just(">".to_string()), Just(",".to_string()),
+                Just(".".to_string()), Just(":".to_string()),
+                Just("=".to_string()), Just("*".to_string()),
+                Just("x".to_string()), Just("T".to_string()),
+                Just("'s'".to_string()), Just("42".to_string()),
+            ],
+            0..25
+        )
+    ) {
+        let src = words.join(" ");
+        if let Err(e) = parse_stmt(&src) {
+            prop_assert!(e.offset <= src.len());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Property test: `parse(print(stmt)) == stmt` over randomly generated
+//! statements — the printer and parser are exact inverses on the whole
+//! AST space the generator covers (queries with nested subqueries,
+//! quantifiers, subscripts, CONTAINS, ASOF; DDL; DML).
+
+use aim2_lang::ast::*;
+use aim2_lang::parser::parse_stmt;
+use aim2_lang::printer::print_stmt;
+use aim2_model::Path;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Uppercase-ish identifiers, avoiding keywords by prefixing.
+    "[A-Z0-9]{0,6}".prop_map(|s| format!("Z{s}")) // no keyword starts with Z
+}
+
+fn var_name() -> impl Strategy<Value = String> {
+    "[a-w]".prop_map(|s| s.to_string())
+}
+
+fn lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Lit::Int(v as i64)),
+        (-1000i32..1000).prop_map(|v| Lit::Float(v as f64 / 8.0)),
+        "[a-zA-Z0-9 /.']{0,12}".prop_map(Lit::Str),
+        any::<bool>().prop_map(Lit::Bool),
+    ]
+}
+
+fn path() -> impl Strategy<Value = Path> {
+    prop::collection::vec(ident(), 1..3).prop_map(Path::new)
+}
+
+fn source() -> impl Strategy<Value = Source> {
+    prop_oneof![
+        ident().prop_map(Source::Table),
+        (var_name(), path()).prop_map(|(var, path)| Source::PathOf { var, path }),
+    ]
+}
+
+fn binding() -> impl Strategy<Value = Binding> {
+    (source(), var_name(), prop::option::of(Just("1984-01-15".to_string()))).prop_map(
+        |(source, var, asof)| {
+            // The shorthand form (var == table name) prints without IN;
+            // keep var distinct to stay canonical... unless we make it
+            // equal deliberately, which the printer also handles.
+            Binding { var, source, asof }
+        },
+    )
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn atom_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (var_name(), path()).prop_map(|(var, path)| Expr::PathRef { var, path }),
+        lit().prop_map(Expr::Lit),
+        (var_name(), path(), 1usize..5, prop::option::of(path())).prop_map(
+            |(var, path, index, rest)| Expr::Subscript {
+                var,
+                path,
+                index,
+                rest: rest.unwrap_or_else(Path::root),
+            }
+        ),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (cmp_op(), atom_expr(), atom_expr()).prop_map(|(op, lhs, rhs)| Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }),
+        (atom_expr(), "[a-z*?]{1,8}").prop_map(|(e, pattern)| Expr::Contains {
+            expr: Box::new(e),
+            pattern,
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (binding(), prop::option::of(inner.clone())).prop_map(|(b, p)| Expr::Exists {
+                binding: Box::new(b),
+                pred: p.map(Box::new),
+            }),
+            (binding(), inner).prop_map(|(b, p)| Expr::Forall {
+                binding: Box::new(b),
+                pred: Box::new(p),
+            }),
+        ]
+    })
+}
+
+fn select_item(q: BoxedStrategy<Query>) -> impl Strategy<Value = SelectItem> {
+    prop_oneof![
+        atom_expr().prop_map(SelectItem::Expr),
+        (ident(), atom_expr()).prop_map(|(name, e)| SelectItem::Named {
+            name,
+            value: NamedValue::Expr(e),
+        }),
+        (ident(), q).prop_map(|(name, sub)| SelectItem::Named {
+            name,
+            value: NamedValue::Subquery(Box::new(sub)),
+        }),
+    ]
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    let flat = (
+        prop::collection::vec(atom_expr().prop_map(SelectItem::Expr), 1..4),
+        prop::collection::vec(binding(), 1..3),
+        prop::option::of(expr()),
+    )
+        .prop_map(|(select, from, where_)| Query {
+            select,
+            from,
+            where_,
+        })
+        .boxed();
+    // One nesting level of named subqueries.
+    (
+        prop::collection::vec(select_item(flat.clone()), 1..4),
+        prop::collection::vec(binding(), 1..3),
+        prop::option::of(expr()),
+    )
+        .prop_map(|(select, from, where_)| Query {
+            select,
+            from,
+            where_,
+        })
+}
+
+fn table_lit() -> impl Strategy<Value = Lit> {
+    let tuple = || prop::collection::vec(lit(), 0..3);
+    prop_oneof![
+        prop::collection::vec(tuple(), 0..3).prop_map(Lit::Relation),
+        prop::collection::vec(tuple(), 0..3).prop_map(Lit::List),
+    ]
+}
+
+fn stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        query().prop_map(Stmt::Query),
+        ident().prop_map(Stmt::DropTable),
+        (
+            ident(),
+            prop::collection::vec(prop_oneof![lit(), table_lit()], 1..4)
+        )
+            .prop_map(|(t, values)| Stmt::Insert(Insert {
+                target: Source::Table(t),
+                from: vec![],
+                where_: None,
+                values,
+            })),
+        (
+            prop::collection::vec(binding(), 1..3),
+            prop::collection::vec((var_name(), path(), lit()), 1..3),
+            prop::option::of(expr())
+        )
+            .prop_map(|(from, set, where_)| Stmt::Update(Update { from, set, where_ })),
+        (var_name(), prop::collection::vec(binding(), 1..3), prop::option::of(expr()))
+            .prop_map(|(var, from, where_)| Stmt::Delete(Delete { var, from, where_ })),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_roundtrip(s in stmt()) {
+        let printed = print_stmt(&s);
+        let reparsed = parse_stmt(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{}\nprinted: {printed}", e.render(&printed))))?;
+        prop_assert_eq!(reparsed, s, "printed: {}", printed);
+    }
+}

@@ -1,0 +1,381 @@
+//! Atomic values and their types.
+//!
+//! The paper's examples use integers (DNO, EMPNO, BUDGET, QU), strings
+//! (PNAME, FUNCTION, TYPE, NAME), free text with masked search support
+//! (TITLE — Section 5), doubles (DESCRIPTORS.WEIGHT in Table 6), and dates
+//! (the ASOF clause). `Text` is a distinct type from `Str` because only
+//! `Text` attributes participate in text indexing (`CONTAINS` — /Sch78,
+//! KW81/); both carry a Rust `String`.
+
+use crate::error::ModelError;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of an atomic attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (total order via `f64::total_cmp`).
+    Double,
+    /// Short character string (identifier-like; not text-indexed).
+    Str,
+    /// Long text; eligible for the word-fragment text index (§5).
+    Text,
+    /// Boolean.
+    Bool,
+    /// Calendar date, day precision (used by ASOF time-version queries).
+    Date,
+}
+
+impl fmt::Display for AtomType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AtomType::Int => "INTEGER",
+            AtomType::Double => "DOUBLE",
+            AtomType::Str => "STRING",
+            AtomType::Text => "TEXT",
+            AtomType::Bool => "BOOLEAN",
+            AtomType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+impl AtomType {
+    /// Parse a DDL type keyword (case-insensitive).
+    pub fn parse_keyword(kw: &str) -> Option<AtomType> {
+        match kw.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" => Some(AtomType::Int),
+            "DOUBLE" | "FLOAT" | "REAL" => Some(AtomType::Double),
+            "STRING" | "CHAR" | "VARCHAR" => Some(AtomType::Str),
+            "TEXT" => Some(AtomType::Text),
+            "BOOLEAN" | "BOOL" => Some(AtomType::Bool),
+            "DATE" => Some(AtomType::Date),
+            _ => None,
+        }
+    }
+}
+
+/// A calendar date with day precision, stored as days since 1970-01-01
+/// (proleptic Gregorian). Supports the `ASOF January 15th 1984` style
+/// queries of Section 5 via [`Date::from_ymd`] / [`Date::parse_iso`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// The smallest representable date (used as "beginning of time" in the
+    /// version store).
+    pub const MIN: Date = Date(i32::MIN);
+    /// The largest representable date ("end of time" / still current).
+    pub const MAX: Date = Date(i32::MAX);
+
+    /// Construct from a year/month/day triple. Returns `None` for invalid
+    /// calendar dates.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Option<Date> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        // Days from civil algorithm (Howard Hinnant's `days_from_civil`).
+        let y = if month <= 2 { year - 1 } else { year };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = (y - era * 400) as i64; // [0, 399]
+        let mp = ((month + 9) % 12) as i64; // [0, 11], Mar=0
+        let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        Some(Date((era as i64 * 146097 + doe - 719468) as i32))
+    }
+
+    /// Inverse of [`Date::from_ymd`].
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        // `civil_from_days` (Hinnant).
+        let z = self.0 as i64 + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+        let year = if m <= 2 { y + 1 } else { y } as i32;
+        (year, m, d)
+    }
+
+    /// Parse an ISO `YYYY-MM-DD` date string.
+    pub fn parse_iso(s: &str) -> Result<Date, ModelError> {
+        let bad = || ModelError::BadLiteral {
+            kind: "DATE",
+            text: s.to_string(),
+        };
+        let mut parts = s.splitn(3, '-');
+        let y: i32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let m: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        let d: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+        Date::from_ymd(y, m, d).ok_or_else(bad)
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Date::MIN {
+            return f.write_str("-infinity");
+        }
+        if *self == Date::MAX {
+            return f.write_str("+infinity");
+        }
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// An atomic value. Total ordering exists within one [`AtomType`];
+/// comparisons across types return `None` from [`Atom::partial_cmp_same`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Atom {
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Text(String),
+    Bool(bool),
+    Date(Date),
+}
+
+impl Eq for Atom {}
+
+impl std::hash::Hash for Atom {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Atom::Int(v) => v.hash(state),
+            Atom::Double(v) => v.to_bits().hash(state),
+            Atom::Str(v) | Atom::Text(v) => v.hash(state),
+            Atom::Bool(v) => v.hash(state),
+            Atom::Date(v) => v.hash(state),
+        }
+    }
+}
+
+impl Atom {
+    /// The type of this atom.
+    pub fn atom_type(&self) -> AtomType {
+        match self {
+            Atom::Int(_) => AtomType::Int,
+            Atom::Double(_) => AtomType::Double,
+            Atom::Str(_) => AtomType::Str,
+            Atom::Text(_) => AtomType::Text,
+            Atom::Bool(_) => AtomType::Bool,
+            Atom::Date(_) => AtomType::Date,
+        }
+    }
+
+    /// Whether this atom's type is compatible with `ty` (exact match, with
+    /// `Str`/`Text` interchangeable and `Int` promotable to `Double`).
+    pub fn conforms_to(&self, ty: AtomType) -> bool {
+        match (self.atom_type(), ty) {
+            (a, b) if a == b => true,
+            (AtomType::Str, AtomType::Text) | (AtomType::Text, AtomType::Str) => true,
+            (AtomType::Int, AtomType::Double) => true,
+            _ => false,
+        }
+    }
+
+    /// Coerce to exactly `ty` where [`Atom::conforms_to`] holds.
+    pub fn coerce(self, ty: AtomType) -> Result<Atom, ModelError> {
+        if self.atom_type() == ty {
+            return Ok(self);
+        }
+        match (self, ty) {
+            (Atom::Str(s), AtomType::Text) => Ok(Atom::Text(s)),
+            (Atom::Text(s), AtomType::Str) => Ok(Atom::Str(s)),
+            (Atom::Int(i), AtomType::Double) => Ok(Atom::Double(i as f64)),
+            (a, ty) => Err(ModelError::TypeMismatch {
+                expected: ty.to_string(),
+                got: a.atom_type().to_string(),
+            }),
+        }
+    }
+
+    /// Compare two atoms of comparable types; `None` if incomparable.
+    /// `Str` and `Text` compare as strings; `Int` and `Double` compare
+    /// numerically.
+    pub fn partial_cmp_same(&self, other: &Atom) -> Option<Ordering> {
+        match (self, other) {
+            (Atom::Int(a), Atom::Int(b)) => Some(a.cmp(b)),
+            (Atom::Double(a), Atom::Double(b)) => Some(a.total_cmp(b)),
+            (Atom::Int(a), Atom::Double(b)) => Some((*a as f64).total_cmp(b)),
+            (Atom::Double(a), Atom::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Atom::Str(a) | Atom::Text(a), Atom::Str(b) | Atom::Text(b)) => Some(a.cmp(b)),
+            (Atom::Bool(a), Atom::Bool(b)) => Some(a.cmp(b)),
+            (Atom::Date(a), Atom::Date(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a `Str` or `Text` atom.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Atom::Str(s) | Atom::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an `Int` atom.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Atom::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Int(v) => write!(f, "{v}"),
+            Atom::Double(v) => write!(f, "{v}"),
+            Atom::Str(v) | Atom::Text(v) => write!(f, "{v}"),
+            Atom::Bool(v) => write!(f, "{v}"),
+            Atom::Date(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Atom {
+    fn from(v: i64) -> Self {
+        Atom::Int(v)
+    }
+}
+impl From<i32> for Atom {
+    fn from(v: i32) -> Self {
+        Atom::Int(v as i64)
+    }
+}
+impl From<f64> for Atom {
+    fn from(v: f64) -> Self {
+        Atom::Double(v)
+    }
+}
+impl From<&str> for Atom {
+    fn from(v: &str) -> Self {
+        Atom::Str(v.to_string())
+    }
+}
+impl From<String> for Atom {
+    fn from(v: String) -> Self {
+        Atom::Str(v)
+    }
+}
+impl From<bool> for Atom {
+    fn from(v: bool) -> Self {
+        Atom::Bool(v)
+    }
+}
+impl From<Date> for Atom {
+    fn from(v: Date) -> Self {
+        Atom::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_known_values() {
+        assert_eq!(Date::from_ymd(1970, 1, 1), Some(Date(0)));
+        assert_eq!(Date::from_ymd(1970, 1, 2), Some(Date(1)));
+        assert_eq!(Date::from_ymd(1969, 12, 31), Some(Date(-1)));
+        // The paper's ASOF example date.
+        let d = Date::from_ymd(1984, 1, 15).unwrap();
+        assert_eq!(d.to_ymd(), (1984, 1, 15));
+        assert_eq!(d.to_string(), "1984-01-15");
+    }
+
+    #[test]
+    fn date_rejects_invalid() {
+        assert_eq!(Date::from_ymd(1984, 2, 30), None);
+        assert_eq!(Date::from_ymd(1984, 13, 1), None);
+        assert_eq!(Date::from_ymd(1984, 0, 1), None);
+        assert_eq!(Date::from_ymd(1900, 2, 29), None); // 1900 not a leap year
+        assert!(Date::from_ymd(2000, 2, 29).is_some()); // 2000 is
+    }
+
+    #[test]
+    fn date_parse_iso() {
+        assert_eq!(
+            Date::parse_iso("1984-01-15").unwrap(),
+            Date::from_ymd(1984, 1, 15).unwrap()
+        );
+        assert!(Date::parse_iso("1984/01/15").is_err());
+        assert!(Date::parse_iso("not-a-date").is_err());
+    }
+
+    #[test]
+    fn date_ordering_matches_calendar() {
+        let a = Date::from_ymd(1984, 1, 15).unwrap();
+        let b = Date::from_ymd(1984, 1, 16).unwrap();
+        let c = Date::from_ymd(1985, 1, 1).unwrap();
+        assert!(a < b && b < c);
+        assert!(Date::MIN < a && a < Date::MAX);
+    }
+
+    #[test]
+    fn atom_cross_type_compare() {
+        assert_eq!(
+            Atom::Int(3).partial_cmp_same(&Atom::Double(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Atom::Str("a".into()).partial_cmp_same(&Atom::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Atom::Int(1).partial_cmp_same(&Atom::Bool(true)), None);
+    }
+
+    #[test]
+    fn atom_conformance_and_coercion() {
+        assert!(Atom::Int(1).conforms_to(AtomType::Double));
+        assert!(Atom::Str("x".into()).conforms_to(AtomType::Text));
+        assert!(!Atom::Bool(true).conforms_to(AtomType::Int));
+        assert_eq!(
+            Atom::Int(2).coerce(AtomType::Double).unwrap(),
+            Atom::Double(2.0)
+        );
+        assert!(Atom::Bool(true).coerce(AtomType::Int).is_err());
+    }
+
+    #[test]
+    fn atom_type_keywords() {
+        assert_eq!(AtomType::parse_keyword("integer"), Some(AtomType::Int));
+        assert_eq!(AtomType::parse_keyword("TEXT"), Some(AtomType::Text));
+        assert_eq!(AtomType::parse_keyword("blob"), None);
+    }
+
+    #[test]
+    fn atom_hash_consistent_with_eq() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        s.insert(Atom::Str("Consultant".into()));
+        assert!(s.contains(&Atom::Str("Consultant".into())));
+    }
+}

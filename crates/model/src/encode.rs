@@ -1,0 +1,333 @@
+//! Compact binary encoding of atoms and data-subtuple payloads.
+//!
+//! The storage layer stores a complex (sub)object's first-level atomic
+//! attribute values in one *data subtuple* (paper §4.1). This module
+//! defines that byte format. The encoding is self-describing per field
+//! (1 tag byte + payload) so that a data subtuple can be decoded without
+//! the schema, which is what lets the subtuple manager stay
+//! structure-agnostic — "data subtuples do not contain any structural
+//! information about the complex objects they belong to" (§4.1), only
+//! their own field values.
+//!
+//! Format per atom:
+//! - tag `0x01` Int: 8-byte little-endian i64
+//! - tag `0x02` Double: 8-byte LE f64 bits
+//! - tag `0x03` Str / `0x04` Text: u32 LE length + UTF-8 bytes
+//! - tag `0x05` Bool: 1 byte
+//! - tag `0x06` Date: 4-byte LE i32
+//!
+//! A payload is simply the concatenation of its atoms' encodings.
+
+use crate::atom::{Atom, Date};
+use crate::error::ModelError;
+
+const TAG_INT: u8 = 0x01;
+const TAG_DOUBLE: u8 = 0x02;
+const TAG_STR: u8 = 0x03;
+const TAG_TEXT: u8 = 0x04;
+const TAG_BOOL: u8 = 0x05;
+const TAG_DATE: u8 = 0x06;
+
+/// Append the encoding of `atom` to `out`.
+pub fn encode_atom(atom: &Atom, out: &mut Vec<u8>) {
+    match atom {
+        Atom::Int(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Atom::Double(v) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Atom::Str(s) => {
+            out.push(TAG_STR);
+            encode_str(s, out);
+        }
+        Atom::Text(s) => {
+            out.push(TAG_TEXT);
+            encode_str(s, out);
+        }
+        Atom::Bool(v) => {
+            out.push(TAG_BOOL);
+            out.push(*v as u8);
+        }
+        Atom::Date(d) => {
+            out.push(TAG_DATE);
+            out.extend_from_slice(&d.0.to_le_bytes());
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a sequence of atoms as one data-subtuple payload.
+pub fn encode_atoms<'a>(atoms: impl IntoIterator<Item = &'a Atom>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    for a in atoms {
+        encode_atom(a, &mut out);
+    }
+    out
+}
+
+/// Decode one atom from `buf` starting at `*pos`; advances `*pos`.
+pub fn decode_atom(buf: &[u8], pos: &mut usize) -> Result<Atom, ModelError> {
+    let err = |msg: &str| ModelError::Decode(msg.to_string());
+    let tag = *buf.get(*pos).ok_or_else(|| err("truncated: no tag"))?;
+    *pos += 1;
+    let take = |pos: &mut usize, n: usize| -> Result<&[u8], ModelError> {
+        let slice = buf
+            .get(*pos..*pos + n)
+            .ok_or_else(|| err("truncated payload"))?;
+        *pos += n;
+        Ok(slice)
+    };
+    match tag {
+        TAG_INT => {
+            let b: [u8; 8] = take(pos, 8)?.try_into().unwrap();
+            Ok(Atom::Int(i64::from_le_bytes(b)))
+        }
+        TAG_DOUBLE => {
+            let b: [u8; 8] = take(pos, 8)?.try_into().unwrap();
+            Ok(Atom::Double(f64::from_bits(u64::from_le_bytes(b))))
+        }
+        TAG_STR | TAG_TEXT => {
+            let lb: [u8; 4] = take(pos, 4)?.try_into().unwrap();
+            let len = u32::from_le_bytes(lb) as usize;
+            let bytes = take(pos, len)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| err("invalid UTF-8"))?
+                .to_string();
+            Ok(if tag == TAG_STR {
+                Atom::Str(s)
+            } else {
+                Atom::Text(s)
+            })
+        }
+        TAG_BOOL => {
+            let b = take(pos, 1)?[0];
+            Ok(Atom::Bool(b != 0))
+        }
+        TAG_DATE => {
+            let b: [u8; 4] = take(pos, 4)?.try_into().unwrap();
+            Ok(Atom::Date(Date(i32::from_le_bytes(b))))
+        }
+        t => Err(ModelError::Decode(format!("unknown atom tag 0x{t:02x}"))),
+    }
+}
+
+/// Decode a whole payload back into atoms.
+pub fn decode_atoms(buf: &[u8]) -> Result<Vec<Atom>, ModelError> {
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < buf.len() {
+        out.push(decode_atom(buf, &mut pos)?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Self-describing encoding of whole nested values (catalog checkpoints,
+// version stores). Data subtuples inside objects keep using the plain
+// atom encoding above.
+// ---------------------------------------------------------------------
+
+const TAG_TABLE_REL: u8 = 0x10;
+const TAG_TABLE_LIST: u8 = 0x11;
+
+use crate::value::{TableValue, Tuple, Value};
+use crate::TableKind;
+
+/// Append the encoding of a (possibly nested) value.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Atom(a) => encode_atom(a, out),
+        Value::Table(t) => encode_table(t, out),
+    }
+}
+
+/// Append the encoding of a table value.
+pub fn encode_table(t: &TableValue, out: &mut Vec<u8>) {
+    out.push(match t.kind {
+        TableKind::Relation => TAG_TABLE_REL,
+        TableKind::List => TAG_TABLE_LIST,
+    });
+    out.extend_from_slice(&(t.tuples.len() as u32).to_le_bytes());
+    for tuple in &t.tuples {
+        encode_tuple(tuple, out);
+    }
+}
+
+/// Append the encoding of a whole tuple (field count + fields).
+pub fn encode_tuple(t: &Tuple, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(t.fields.len() as u16).to_le_bytes());
+    for f in &t.fields {
+        encode_value(f, out);
+    }
+}
+
+/// Decode one (possibly nested) value.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value, ModelError> {
+    let err = |m: &str| ModelError::Decode(m.to_string());
+    match buf.get(*pos) {
+        Some(&t @ (TAG_TABLE_REL | TAG_TABLE_LIST)) => {
+            *pos += 1;
+            let n = u32::from_le_bytes(
+                buf.get(*pos..*pos + 4)
+                    .ok_or_else(|| err("truncated table header"))?
+                    .try_into()
+                    .unwrap(),
+            ) as usize;
+            *pos += 4;
+            let mut tuples = Vec::with_capacity(n);
+            for _ in 0..n {
+                tuples.push(decode_tuple(buf, pos)?);
+            }
+            Ok(Value::Table(TableValue {
+                kind: if t == TAG_TABLE_REL {
+                    TableKind::Relation
+                } else {
+                    TableKind::List
+                },
+                tuples,
+            }))
+        }
+        Some(_) => Ok(Value::Atom(decode_atom(buf, pos)?)),
+        None => Err(err("empty value")),
+    }
+}
+
+/// Decode one whole tuple.
+pub fn decode_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple, ModelError> {
+    let err = |m: &str| ModelError::Decode(m.to_string());
+    let n = u16::from_le_bytes(
+        buf.get(*pos..*pos + 2)
+            .ok_or_else(|| err("truncated tuple header"))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    *pos += 2;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        fields.push(decode_value(buf, pos)?);
+    }
+    Ok(Tuple::new(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(atoms: Vec<Atom>) {
+        let bytes = encode_atoms(&atoms);
+        let back = decode_atoms(&bytes).unwrap();
+        assert_eq!(atoms, back);
+    }
+
+    #[test]
+    fn roundtrip_all_types() {
+        roundtrip(vec![
+            Atom::Int(314),
+            Atom::Int(-1),
+            Atom::Int(i64::MAX),
+            Atom::Double(3.25),
+            Atom::Double(f64::NEG_INFINITY),
+            Atom::Str("CGA".into()),
+            Atom::Str(String::new()),
+            Atom::Text("Concurrency and Concurrency Control".into()),
+            Atom::Bool(true),
+            Atom::Bool(false),
+            Atom::Date(Date::parse_iso("1984-01-15").unwrap()),
+        ]);
+    }
+
+    #[test]
+    fn roundtrip_unicode() {
+        roundtrip(vec![Atom::Str("Heidelberg — Tiergartenstraße 15".into())]);
+    }
+
+    #[test]
+    fn str_and_text_keep_distinct_tags() {
+        let b1 = encode_atoms(&[Atom::Str("x".into())]);
+        let b2 = encode_atoms(&[Atom::Text("x".into())]);
+        assert_ne!(b1, b2);
+        assert_eq!(decode_atoms(&b2).unwrap(), vec![Atom::Text("x".into())]);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let bytes = encode_atoms(&[Atom::Int(7), Atom::Str("hello".into())]);
+        for cut in 0..bytes.len() {
+            // Every strict prefix must either decode to a shorter atom
+            // list (if the cut falls on an atom boundary) or error.
+            match decode_atoms(&bytes[..cut]) {
+                Ok(atoms) => assert!(atoms.len() < 2),
+                Err(ModelError::Decode(_)) => {}
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            decode_atoms(&[0xff, 0, 0]),
+            Err(ModelError::Decode(_))
+        ));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut buf = vec![0x03];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xc3, 0x28]); // invalid UTF-8
+        assert!(matches!(decode_atoms(&buf), Err(ModelError::Decode(_))));
+    }
+
+    #[test]
+    fn empty_payload_decodes_to_no_atoms() {
+        assert_eq!(decode_atoms(&[]).unwrap(), Vec::<Atom>::new());
+    }
+
+    #[test]
+    fn nested_tuple_roundtrip() {
+        let t = crate::fixtures::department_314();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        let mut pos = 0;
+        let back = decode_tuple(&buf, &mut pos).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn nested_table_roundtrip_preserves_kinds() {
+        let v = crate::fixtures::reports_value();
+        let mut buf = Vec::new();
+        encode_table(&v, &mut buf);
+        let mut pos = 0;
+        let back = decode_value(&buf, &mut pos).unwrap();
+        let crate::value::Value::Table(back) = back else {
+            panic!()
+        };
+        assert_eq!(back, v);
+        // AUTHORS stayed a list.
+        assert_eq!(
+            back.tuples[0].fields[1].as_table().unwrap().kind,
+            crate::TableKind::List
+        );
+    }
+
+    #[test]
+    fn truncated_nested_errors() {
+        let t = crate::fixtures::department_314();
+        let mut buf = Vec::new();
+        encode_tuple(&t, &mut buf);
+        for cut in [0, 1, 5, buf.len() / 2, buf.len() - 1] {
+            let mut pos = 0;
+            assert!(decode_tuple(&buf[..cut], &mut pos).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the model crate.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating NF² schemas and values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An attribute name was used twice within one table level.
+    DuplicateAttribute(String),
+    /// A table schema was declared with no attributes.
+    EmptySchema(String),
+    /// A path component did not name an attribute of the schema level it
+    /// was applied to.
+    NoSuchAttribute { table: String, attr: String },
+    /// A path descended into an atomic attribute.
+    NotATable { attr: String },
+    /// A value did not conform to the schema (wrong arity, wrong atom type,
+    /// atom where table expected, ...).
+    TypeMismatch { expected: String, got: String },
+    /// An atom literal could not be parsed (bad date, bad number, ...).
+    BadLiteral { kind: &'static str, text: String },
+    /// A byte buffer could not be decoded as the expected atoms.
+    Decode(String),
+    /// A list subscript was out of range or applied to a relation.
+    BadSubscript { index: usize, len: usize },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateAttribute(a) => {
+                write!(f, "duplicate attribute name `{a}` in table schema")
+            }
+            ModelError::EmptySchema(t) => write!(f, "table `{t}` declared with no attributes"),
+            ModelError::NoSuchAttribute { table, attr } => {
+                write!(f, "table `{table}` has no attribute `{attr}`")
+            }
+            ModelError::NotATable { attr } => {
+                write!(f, "attribute `{attr}` is atomic; cannot descend into it")
+            }
+            ModelError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            ModelError::BadLiteral { kind, text } => {
+                write!(f, "cannot parse `{text}` as {kind}")
+            }
+            ModelError::Decode(msg) => write!(f, "decode error: {msg}"),
+            ModelError::BadSubscript { index, len } => {
+                write!(f, "subscript [{index}] out of range for list of length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ModelError::NoSuchAttribute {
+            table: "DEPARTMENTS".into(),
+            attr: "FOO".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("DEPARTMENTS"));
+        assert!(s.contains("FOO"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ModelError::EmptySchema("T".into()));
+        assert!(e.to_string().contains('T'));
+    }
+}

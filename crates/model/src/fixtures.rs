@@ -1,0 +1,628 @@
+//! The paper's example data: Tables 1–8 of Dadam et al., SIGMOD 1986.
+//!
+//! These fixtures are the ground truth for the whole reproduction: the
+//! `reproduce` binary prints them, integration tests run the paper's
+//! Examples 1–8 against them, and the storage tests build department 314
+//! under SS1/SS2/SS3 exactly as Figures 6a–6c do.
+//!
+//! ## Fidelity notes
+//!
+//! The available scan renders the (rotated) tables with OCR damage; all
+//! values that are stated in the running text are reproduced exactly:
+//!
+//! * dept 314 = (DNO 314, MGRNO 56194, BUDGET 320,000), projects 17 "CGA"
+//!   and 23 "HEAP", project-17 members 39582 Leader / 56019 Consultant /
+//!   69011 Secretary, EQUIP items (2, 3278), (3, PC/AT), (1, PC)
+//!   (§2, §4.1 data-subtuple examples);
+//! * the three consultants are 56019, 89921, 44512 (§4.2 index example);
+//! * departments with a consultant are 314 and 218; projects with a
+//!   consultant are 17 and 25 (§4.2);
+//! * department numbers 314, 218, 417; project numbers unique *in this
+//!   instance* but not required to be (§2).
+//!
+//! Cells illegible in the scan (some EQUIP items of departments 218/417,
+//! some employee names, report titles/descriptors) are synthesized
+//! consistently and marked `// synthesized` below. Department 417
+//! deliberately owns no PC/AT so that Example 5 answers {314, 218},
+//! parallel to the §4.2 consultant query.
+
+use crate::atom::{Atom, AtomType};
+use crate::schema::TableSchema;
+use crate::value::build::{a, list, rel, tup};
+use crate::value::{TableValue, Tuple};
+use crate::TableKind;
+
+// ---------------------------------------------------------------------
+// Schemas
+// ---------------------------------------------------------------------
+
+/// Table 5 schema: the DEPARTMENTS NF² table.
+///
+/// `{DEPARTMENTS: DNO, MGRNO, {PROJECTS: PNO, PNAME, {MEMBERS: EMPNO,
+/// FUNCTION}}, BUDGET, {EQUIP: QU, TYPE}}`
+pub fn departments_schema() -> TableSchema {
+    TableSchema::relation("DEPARTMENTS")
+        .with_atom("DNO", AtomType::Int)
+        .with_atom("MGRNO", AtomType::Int)
+        .with_table(
+            TableSchema::relation("PROJECTS")
+                .with_atom("PNO", AtomType::Int)
+                .with_atom("PNAME", AtomType::Str)
+                .with_table(
+                    TableSchema::relation("MEMBERS")
+                        .with_atom("EMPNO", AtomType::Int)
+                        .with_atom("FUNCTION", AtomType::Str),
+                ),
+        )
+        .with_atom("BUDGET", AtomType::Int)
+        .with_table(
+            TableSchema::relation("EQUIP")
+                .with_atom("QU", AtomType::Int)
+                .with_atom("TYPE", AtomType::Str),
+        )
+}
+
+/// Table 1 schema: DEPARTMENTS-1NF (DNO, MGRNO, BUDGET).
+pub fn departments_1nf_schema() -> TableSchema {
+    TableSchema::relation("DEPARTMENTS-1NF")
+        .with_atom("DNO", AtomType::Int)
+        .with_atom("MGRNO", AtomType::Int)
+        .with_atom("BUDGET", AtomType::Int)
+}
+
+/// Table 2 schema: PROJECTS-1NF (PNO, PNAME, DNO).
+pub fn projects_1nf_schema() -> TableSchema {
+    TableSchema::relation("PROJECTS-1NF")
+        .with_atom("PNO", AtomType::Int)
+        .with_atom("PNAME", AtomType::Str)
+        .with_atom("DNO", AtomType::Int)
+}
+
+/// Table 3 schema: MEMBERS-1NF (EMPNO, PNO, DNO, FUNCTION).
+pub fn members_1nf_schema() -> TableSchema {
+    TableSchema::relation("MEMBERS-1NF")
+        .with_atom("EMPNO", AtomType::Int)
+        .with_atom("PNO", AtomType::Int)
+        .with_atom("DNO", AtomType::Int)
+        .with_atom("FUNCTION", AtomType::Str)
+}
+
+/// Table 4 schema: EQUIP-1NF (DNO, QU, TYPE).
+pub fn equip_1nf_schema() -> TableSchema {
+    TableSchema::relation("EQUIP-1NF")
+        .with_atom("DNO", AtomType::Int)
+        .with_atom("QU", AtomType::Int)
+        .with_atom("TYPE", AtomType::Str)
+}
+
+/// Table 8 schema: EMPLOYEES-1NF (EMPNO, LNAME, FNAME, SEX).
+pub fn employees_1nf_schema() -> TableSchema {
+    TableSchema::relation("EMPLOYEES-1NF")
+        .with_atom("EMPNO", AtomType::Int)
+        .with_atom("LNAME", AtomType::Str)
+        .with_atom("FNAME", AtomType::Str)
+        .with_atom("SEX", AtomType::Str)
+}
+
+/// Table 6 schema: REPORTS with an **ordered** AUTHORS list and an
+/// unordered DESCRIPTORS relation; TITLE is `TEXT` (text-indexable, §5).
+pub fn reports_schema() -> TableSchema {
+    TableSchema::relation("REPORTS")
+        .with_atom("REPNO", AtomType::Str)
+        .with_table(TableSchema::list("AUTHORS").with_atom("NAME", AtomType::Str))
+        .with_atom("TITLE", AtomType::Text)
+        .with_table(
+            TableSchema::relation("DESCRIPTORS")
+                .with_atom("WORD", AtomType::Str)
+                .with_atom("WEIGHT", AtomType::Double),
+        )
+}
+
+/// Table 7 schema: the flat result of Example 4 (unnest of Table 5,
+/// projecting away BUDGET and EQUIP).
+pub fn table7_schema() -> TableSchema {
+    TableSchema::relation("TABLE7")
+        .with_atom("DNO", AtomType::Int)
+        .with_atom("MGRNO", AtomType::Int)
+        .with_atom("PNO", AtomType::Int)
+        .with_atom("PNAME", AtomType::Str)
+        .with_atom("EMPNO", AtomType::Int)
+        .with_atom("FUNCTION", AtomType::Str)
+}
+
+// ---------------------------------------------------------------------
+// Raw row data (single source of truth for both NF² and 1NF fixtures)
+// ---------------------------------------------------------------------
+
+/// (DNO, MGRNO, BUDGET)
+pub const DEPARTMENT_ROWS: [(i64, i64, i64); 3] = [
+    (314, 56194, 320_000),
+    (218, 71349, 440_000),
+    (417, 90193, 360_000),
+];
+
+/// (PNO, PNAME, DNO)
+pub const PROJECT_ROWS: [(i64, &str, i64); 4] = [
+    (17, "CGA", 314),
+    (23, "HEAP", 314),
+    (25, "TEXT", 218),
+    (37, "NEAS", 417),
+];
+
+/// (EMPNO, PNO, DNO, FUNCTION) — 17 project members.
+pub const MEMBER_ROWS: [(i64, i64, i64, &str); 17] = [
+    (39582, 17, 314, "Leader"),
+    (56019, 17, 314, "Consultant"),
+    (69011, 17, 314, "Secretary"),
+    (58912, 23, 314, "Staff"),
+    (90011, 23, 314, "Leader"),
+    (78218, 23, 314, "Secretary"),
+    (98902, 23, 314, "Staff"),
+    (92100, 25, 218, "Leader"),
+    (89211, 25, 218, "Staff"),
+    (34422, 25, 218, "Staff"), // synthesized EMPNO (illegible in scan)
+    (99023, 25, 218, "Secretary"),
+    (89921, 25, 218, "Consultant"),
+    (44512, 25, 218, "Consultant"),
+    (87710, 37, 417, "Secretary"),
+    (81193, 37, 417, "Leader"),
+    (75913, 37, 417, "Staff"),
+    (96001, 37, 417, "Staff"),
+];
+
+/// (DNO, QU, TYPE) — department equipment.
+pub const EQUIP_ROWS: [(i64, i64, &str); 14] = [
+    (314, 2, "3278"),
+    (314, 3, "PC/AT"),
+    (314, 1, "PC"),
+    (218, 2, "3278"),
+    (218, 2, "PC/AT"),
+    (218, 1, "3179"),
+    (218, 1, "PC"),       // synthesized TYPE
+    (417, 2, "3278"),     // synthesized below this line except 4361/PC/XT
+    (417, 1, "3270"),
+    (417, 1, "3179"),
+    (417, 1, "PC"),
+    (417, 3, "PC/XT"),
+    (417, 1, "4361"),
+    (417, 1, "3290"),
+];
+
+/// (EMPNO, LNAME, FNAME, SEX) — one row per project member *and* manager
+/// (the text's specification of Table 8). The five rows the scan shows
+/// are kept; the rest are synthesized deterministic names.
+pub const EMPLOYEE_ROWS: [(i64, &str, &str, &str); 20] = [
+    // Rows visible in the paper's Table 8:
+    (56194, "Schmidt", "Horst", "male"),
+    (39582, "Krause", "Klaus", "male"),
+    (56019, "Mayer", "Rosi", "female"),
+    (69011, "Andre", "Andrea", "female"),
+    (96001, "Bauer", "Doris", "female"),
+    // Synthesized rows (members + managers not shown in the scan):
+    (58912, "Fischer", "Jan", "male"),
+    (90011, "Weber", "Ute", "female"),
+    (78218, "Wagner", "Eva", "female"),
+    (98902, "Becker", "Tom", "male"),
+    (92100, "Hoffmann", "Ralf", "male"),
+    (89211, "Koch", "Ilse", "female"),
+    (34422, "Richter", "Udo", "male"),
+    (99023, "Klein", "Rita", "female"),
+    (89921, "Wolf", "Hans", "male"),
+    (44512, "Neumann", "Karin", "female"),
+    (87710, "Schwarz", "Lisa", "female"),
+    (81193, "Zimmer", "Paul", "male"),
+    (75913, "Braun", "Nils", "male"),
+    (71349, "Krueger", "Anna", "female"), // manager 218
+    (90193, "Lange", "Otto", "male"),     // manager 417
+];
+
+// ---------------------------------------------------------------------
+// 1NF values (Tables 1-4, 8)
+// ---------------------------------------------------------------------
+
+/// Table 1: DEPARTMENTS-1NF.
+pub fn departments_1nf_value() -> TableValue {
+    TableValue::with_tuples(
+        TableKind::Relation,
+        DEPARTMENT_ROWS
+            .iter()
+            .map(|&(dno, mgr, bud)| tup(vec![a(dno), a(mgr), a(bud)]))
+            .collect(),
+    )
+}
+
+/// Table 2: PROJECTS-1NF.
+pub fn projects_1nf_value() -> TableValue {
+    TableValue::with_tuples(
+        TableKind::Relation,
+        PROJECT_ROWS
+            .iter()
+            .map(|&(pno, pname, dno)| tup(vec![a(pno), a(pname), a(dno)]))
+            .collect(),
+    )
+}
+
+/// Table 3: MEMBERS-1NF.
+pub fn members_1nf_value() -> TableValue {
+    TableValue::with_tuples(
+        TableKind::Relation,
+        MEMBER_ROWS
+            .iter()
+            .map(|&(emp, pno, dno, func)| tup(vec![a(emp), a(pno), a(dno), a(func)]))
+            .collect(),
+    )
+}
+
+/// Table 4: EQUIP-1NF.
+pub fn equip_1nf_value() -> TableValue {
+    TableValue::with_tuples(
+        TableKind::Relation,
+        EQUIP_ROWS
+            .iter()
+            .map(|&(dno, qu, ty)| tup(vec![a(dno), a(qu), a(ty)]))
+            .collect(),
+    )
+}
+
+/// Table 8: EMPLOYEES-1NF.
+pub fn employees_1nf_value() -> TableValue {
+    TableValue::with_tuples(
+        TableKind::Relation,
+        EMPLOYEE_ROWS
+            .iter()
+            .map(|&(emp, ln, fnm, sex)| tup(vec![a(emp), a(ln), a(fnm), a(sex)]))
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table 5: DEPARTMENTS (NF²)
+// ---------------------------------------------------------------------
+
+fn members_of(pno: i64) -> Vec<Tuple> {
+    MEMBER_ROWS
+        .iter()
+        .filter(|&&(_, p, _, _)| p == pno)
+        .map(|&(emp, _, _, func)| tup(vec![a(emp), a(func)]))
+        .collect()
+}
+
+fn projects_of(dno: i64) -> Vec<Tuple> {
+    PROJECT_ROWS
+        .iter()
+        .filter(|&&(_, _, d)| d == dno)
+        .map(|&(pno, pname, _)| tup(vec![a(pno), a(pname), rel(members_of(pno))]))
+        .collect()
+}
+
+fn equip_of(dno: i64) -> Vec<Tuple> {
+    EQUIP_ROWS
+        .iter()
+        .filter(|&&(d, _, _)| d == dno)
+        .map(|&(_, qu, ty)| tup(vec![a(qu), a(ty)]))
+        .collect()
+}
+
+/// Table 5: the DEPARTMENTS NF² table, with PROJECTS/MEMBERS/EQUIP nested
+/// exactly as the paper shows. This is the *same information* as Tables
+/// 1–4 (Example 3 nests the flat tables into this shape; Example 4
+/// unnests it back).
+pub fn departments_value() -> TableValue {
+    TableValue::with_tuples(
+        TableKind::Relation,
+        DEPARTMENT_ROWS
+            .iter()
+            .map(|&(dno, mgr, bud)| {
+                tup(vec![
+                    a(dno),
+                    a(mgr),
+                    rel(projects_of(dno)),
+                    a(bud),
+                    rel(equip_of(dno)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Just department 314 (the complex object used by Figures 6–8).
+pub fn department_314() -> Tuple {
+    departments_value().tuples.swap_remove(0)
+}
+
+// ---------------------------------------------------------------------
+// Table 6: REPORTS
+// ---------------------------------------------------------------------
+
+/// Table 6: the REPORTS NF² table with an ordered AUTHORS list.
+/// Report 0179 has 'Jones A.' as *first* author (Example 8 must return
+/// exactly this report); 0291 is co-authored by Jones (third) and has
+/// "Minicomputers" in the title so the §5 text query `*comput*` AND
+/// author Jones returns exactly 0291.
+pub fn reports_value() -> TableValue {
+    let report = |repno: &str, authors: &[&str], title: &str, descr: &[(&str, f64)]| {
+        tup(vec![
+            a(repno),
+            list(authors.iter().map(|&n| tup(vec![a(n)])).collect()),
+            crate::value::Value::Atom(Atom::Text(title.to_string())),
+            rel(descr
+                .iter()
+                .map(|&(w, wt)| tup(vec![a(w), a(wt)]))
+                .collect()),
+        ])
+    };
+    TableValue::with_tuples(
+        TableKind::Relation,
+        vec![
+            report(
+                "0179",
+                &["Jones A."],
+                "Concurrency and Concurrency Control",
+                &[
+                    ("Concurrency", 0.6),
+                    ("Recovery", 0.3),
+                    ("Distribution", 0.1),
+                ],
+            ),
+            report(
+                "0189",
+                &["Tevla H.", "Abraham C."],
+                "Text Editing and String Search",
+                &[("Editing", 0.7), ("Formatting", 0.3)],
+            ),
+            report(
+                "0291",
+                &["Pool A.V.", "Meyer P.", "Jones A."],
+                "Branch and Bound Optimization on Minicomputers",
+                &[("Optimization", 0.6), ("Garbage Collection", 0.4)],
+            ),
+        ],
+    )
+}
+
+// ---------------------------------------------------------------------
+// Table 7: expected result of Example 4
+// ---------------------------------------------------------------------
+
+/// Table 7: the flat table produced by Example 4's unnest query —
+/// (DNO, MGRNO, PNO, PNAME, EMPNO, FUNCTION), one row per member.
+pub fn table7_value() -> TableValue {
+    let mgr_of = |dno: i64| {
+        DEPARTMENT_ROWS
+            .iter()
+            .find(|&&(d, _, _)| d == dno)
+            .map(|&(_, m, _)| m)
+            .expect("department exists")
+    };
+    let proj_of = |pno: i64| {
+        PROJECT_ROWS
+            .iter()
+            .find(|&&(p, _, _)| p == pno)
+            .map(|&(_, n, _)| n)
+            .expect("project exists")
+    };
+    TableValue::with_tuples(
+        TableKind::Relation,
+        MEMBER_ROWS
+            .iter()
+            .map(|&(emp, pno, dno, func)| {
+                tup(vec![
+                    a(dno),
+                    a(mgr_of(dno)),
+                    a(pno),
+                    a(proj_of(pno)),
+                    a(emp),
+                    a(func),
+                ])
+            })
+            .collect(),
+    )
+}
+
+// ---------------------------------------------------------------------
+// Historical state for the ASOF example (§5)
+// ---------------------------------------------------------------------
+
+/// The projects department 314 had on 1984-01-15, per the paper's ASOF
+/// example — a historical state that differs from the current Table 5:
+/// project 23 "HEAP" did not exist yet, and a since-cancelled project
+/// 11 "DOC" was still running. (The paper gives the query but not the
+/// historical data; this fixture makes the query's answer observable.)
+pub fn departments_314_projects_asof_1984() -> TableValue {
+    TableValue::with_tuples(
+        TableKind::Relation,
+        vec![
+            tup(vec![
+                a(17),
+                a("CGA"),
+                rel(vec![
+                    tup(vec![a(39582), a("Leader")]),
+                    tup(vec![a(56019), a("Consultant")]),
+                ]),
+            ]),
+            tup(vec![
+                a(11),
+                a("DOC"),
+                rel(vec![tup(vec![a(69011), a("Leader")])]),
+            ]),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::Path;
+
+    #[test]
+    fn department_314_matches_paper_text() {
+        let d314 = department_314();
+        // (DNO 314, MGRNO 56194, BUDGET 320000)
+        assert_eq!(d314.fields[0].as_atom().unwrap().as_int(), Some(314));
+        assert_eq!(d314.fields[1].as_atom().unwrap().as_int(), Some(56194));
+        assert_eq!(d314.fields[3].as_atom().unwrap().as_int(), Some(320_000));
+        // two projects: 17 CGA (3 members), 23 HEAP (4 members)
+        let projects = d314.fields[2].as_table().unwrap();
+        assert_eq!(projects.len(), 2);
+        let p17 = &projects.tuples[0];
+        assert_eq!(p17.fields[0].as_atom().unwrap().as_int(), Some(17));
+        assert_eq!(p17.fields[1].as_atom().unwrap().as_str(), Some("CGA"));
+        assert_eq!(p17.fields[2].as_table().unwrap().len(), 3);
+        // EQUIP: three flat subobjects — 3278, PC/AT, PC (§4.1)
+        let equip = d314.fields[4].as_table().unwrap();
+        let types: Vec<&str> = equip
+            .tuples
+            .iter()
+            .map(|t| t.fields[1].as_atom().unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(types, vec!["3278", "PC/AT", "PC"]);
+    }
+
+    #[test]
+    fn exactly_three_consultants_as_in_sec42() {
+        let consultants: Vec<i64> = MEMBER_ROWS
+            .iter()
+            .filter(|r| r.3 == "Consultant")
+            .map(|r| r.0)
+            .collect();
+        assert_eq!(consultants, vec![56019, 89921, 44512]);
+    }
+
+    #[test]
+    fn departments_with_consultant_are_314_and_218() {
+        let mut dnos: Vec<i64> = MEMBER_ROWS
+            .iter()
+            .filter(|r| r.3 == "Consultant")
+            .map(|r| r.2)
+            .collect();
+        dnos.sort_unstable();
+        dnos.dedup();
+        assert_eq!(dnos, vec![218, 314]);
+    }
+
+    #[test]
+    fn projects_with_consultant_are_17_and_25() {
+        let mut pnos: Vec<i64> = MEMBER_ROWS
+            .iter()
+            .filter(|r| r.3 == "Consultant")
+            .map(|r| r.1)
+            .collect();
+        pnos.sort_unstable();
+        pnos.dedup();
+        assert_eq!(pnos, vec![17, 25]);
+    }
+
+    #[test]
+    fn departments_with_pc_at_are_314_and_218() {
+        let mut dnos: Vec<i64> = EQUIP_ROWS
+            .iter()
+            .filter(|r| r.2 == "PC/AT")
+            .map(|r| r.0)
+            .collect();
+        dnos.sort_unstable();
+        assert_eq!(dnos, vec![218, 314]);
+    }
+
+    #[test]
+    fn every_member_and_manager_has_an_employee_row() {
+        for (emp, _, _, _) in MEMBER_ROWS {
+            assert!(
+                EMPLOYEE_ROWS.iter().any(|r| r.0 == emp),
+                "member {emp} missing from EMPLOYEES-1NF"
+            );
+        }
+        for (_, mgr, _) in DEPARTMENT_ROWS {
+            assert!(
+                EMPLOYEE_ROWS.iter().any(|r| r.0 == mgr),
+                "manager {mgr} missing from EMPLOYEES-1NF"
+            );
+        }
+        assert_eq!(EMPLOYEE_ROWS.len(), MEMBER_ROWS.len() + 3);
+    }
+
+    #[test]
+    fn employee_numbers_unique_as_paper_assumes() {
+        let mut emps: Vec<i64> = EMPLOYEE_ROWS.iter().map(|r| r.0).collect();
+        emps.sort_unstable();
+        let before = emps.len();
+        emps.dedup();
+        assert_eq!(before, emps.len());
+    }
+
+    #[test]
+    fn table7_has_one_row_per_member() {
+        let t7 = table7_value();
+        assert_eq!(t7.len(), MEMBER_ROWS.len());
+        t7.validate(&table7_schema()).unwrap();
+    }
+
+    #[test]
+    fn reports_jones_first_author_only_in_0179() {
+        let reports = reports_value();
+        let firsts: Vec<(&str, &str)> = reports
+            .tuples
+            .iter()
+            .map(|t| {
+                (
+                    t.fields[0].as_atom().unwrap().as_str().unwrap(),
+                    t.fields[1].as_table().unwrap().tuples[0].fields[0]
+                        .as_atom()
+                        .unwrap()
+                        .as_str()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let jones_first: Vec<&str> = firsts
+            .iter()
+            .filter(|(_, n)| *n == "Jones A.")
+            .map(|(r, _)| *r)
+            .collect();
+        assert_eq!(jones_first, vec!["0179"]);
+    }
+
+    #[test]
+    fn text_query_fixture_supports_sec5_example() {
+        // `*comput*` in TITLE AND Jones an author → exactly 0291.
+        let reports = reports_value();
+        let hits: Vec<&str> = reports
+            .tuples
+            .iter()
+            .filter(|t| {
+                let title = t.fields[2].as_atom().unwrap().as_str().unwrap();
+                let authors = t.fields[1].as_table().unwrap();
+                title.to_lowercase().contains("comput")
+                    && authors.tuples.iter().any(|at| {
+                        at.fields[0].as_atom().unwrap().as_str() == Some("Jones A.")
+                    })
+            })
+            .map(|t| t.fields[0].as_atom().unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(hits, vec!["0291"]);
+    }
+
+    #[test]
+    fn nested_schema_paths_resolve() {
+        let s = departments_schema();
+        assert!(s.resolve_subtable(&Path::parse("PROJECTS.MEMBERS")).is_ok());
+        assert!(s.resolve_subtable(&Path::parse("EQUIP")).is_ok());
+        assert_eq!(s.depth(), 3);
+    }
+
+    #[test]
+    fn asof_fixture_differs_from_current() {
+        let old = departments_314_projects_asof_1984();
+        let cur = departments_value();
+        let cur_projects = cur.tuples[0].fields[2].as_table().unwrap();
+        assert!(!old.semantically_eq(cur_projects));
+        // Old state has project 11 "DOC"; current does not.
+        assert!(old
+            .tuples
+            .iter()
+            .any(|t| t.fields[0].as_atom().unwrap().as_int() == Some(11)));
+        assert!(!cur_projects
+            .tuples
+            .iter()
+            .any(|t| t.fields[0].as_atom().unwrap().as_int() == Some(11)));
+    }
+}

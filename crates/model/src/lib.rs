@@ -1,0 +1,30 @@
+//! # aim2-model — the extended NF² data model
+//!
+//! This crate implements the logical data model of the AIM-II prototype
+//! (Dadam et al., SIGMOD 1986, Section 2): **extended NF² relations**, a
+//! generalization of the relational model in which attribute values may
+//! themselves be *tables* — either unordered (**relations**, written `{ }`)
+//! or ordered (**lists**, written `< >`) — nested to arbitrary depth.
+//! Flat first-normal-form (1NF) tables are the special case with only
+//! atomic attributes.
+//!
+//! The crate is deliberately free of any storage concern: it defines
+//! [`schema::TableSchema`] (structure), [`value::Value`] /
+//! [`value::TableValue`] (instances), atom encoding used by the storage
+//! layer, the paper's bracket-notation rendering, and the exact fixture
+//! data of the paper's Tables 1–8.
+
+pub mod atom;
+pub mod encode;
+pub mod error;
+pub mod fixtures;
+pub mod path;
+pub mod render;
+pub mod schema;
+pub mod value;
+
+pub use atom::{Atom, AtomType, Date};
+pub use error::ModelError;
+pub use path::Path;
+pub use schema::{AttrDef, AttrKind, TableKind, TableSchema};
+pub use value::{TableValue, Tuple, Value};

@@ -1,0 +1,155 @@
+//! Attribute paths.
+//!
+//! A [`Path`] names a (sub)attribute relative to a table level, e.g.
+//! `PROJECTS.MEMBERS.FUNCTION` relative to DEPARTMENTS. Paths are how the
+//! query language's dotted expressions (`x.PROJECTS`, `y.MEMBERS`) and the
+//! storage layer's subtable addressing refer to structure.
+
+use std::fmt;
+
+/// A (possibly empty) sequence of attribute names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Path {
+    segs: Vec<String>,
+}
+
+impl Path {
+    /// The empty path, denoting the table level itself.
+    pub fn root() -> Path {
+        Path::default()
+    }
+
+    /// Build from segments.
+    pub fn new<S: Into<String>>(segs: impl IntoIterator<Item = S>) -> Path {
+        Path {
+            segs: segs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Parse a dotted path: `"PROJECTS.MEMBERS"`. An empty string parses
+    /// to the root path.
+    pub fn parse(s: &str) -> Path {
+        if s.is_empty() {
+            return Path::root();
+        }
+        Path {
+            segs: s.split('.').map(str::to_string).collect(),
+        }
+    }
+
+    /// The segments.
+    pub fn segments(&self) -> &[String] {
+        &self.segs
+    }
+
+    /// True for the root path.
+    pub fn is_root(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// True if no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Extend with one more segment.
+    pub fn child(&self, seg: &str) -> Path {
+        let mut segs = self.segs.clone();
+        segs.push(seg.to_string());
+        Path { segs }
+    }
+
+    /// Append another path.
+    pub fn join(&self, other: &Path) -> Path {
+        let mut segs = self.segs.clone();
+        segs.extend(other.segs.iter().cloned());
+        Path { segs }
+    }
+
+    /// Drop the last segment; `None` on the root path. Returns
+    /// `(parent, last)`.
+    pub fn split_last(&self) -> Option<(Path, &str)> {
+        let (last, init) = self.segs.split_last()?;
+        Some((
+            Path {
+                segs: init.to_vec(),
+            },
+            last.as_str(),
+        ))
+    }
+
+    /// First segment plus remainder, for recursive descent.
+    pub fn split_first(&self) -> Option<(&str, Path)> {
+        let (first, rest) = self.segs.split_first()?;
+        Some((
+            first.as_str(),
+            Path {
+                segs: rest.to_vec(),
+            },
+        ))
+    }
+
+    /// True if `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Path) -> bool {
+        other.segs.len() >= self.segs.len() && other.segs[..self.segs.len()] == self.segs[..]
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.segs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            f.write_str(s)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let p = Path::parse("PROJECTS.MEMBERS.FUNCTION");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.to_string(), "PROJECTS.MEMBERS.FUNCTION");
+        assert_eq!(Path::parse("").to_string(), "");
+        assert!(Path::parse("").is_root());
+    }
+
+    #[test]
+    fn child_and_join() {
+        let p = Path::root().child("PROJECTS").child("MEMBERS");
+        assert_eq!(p, Path::parse("PROJECTS.MEMBERS"));
+        let q = Path::parse("PROJECTS").join(&Path::parse("MEMBERS.EMPNO"));
+        assert_eq!(q, Path::parse("PROJECTS.MEMBERS.EMPNO"));
+    }
+
+    #[test]
+    fn splits() {
+        let p = Path::parse("A.B.C");
+        let (parent, last) = p.split_last().unwrap();
+        assert_eq!(parent, Path::parse("A.B"));
+        assert_eq!(last, "C");
+        let (first, rest) = p.split_first().unwrap();
+        assert_eq!(first, "A");
+        assert_eq!(rest, Path::parse("B.C"));
+        assert!(Path::root().split_last().is_none());
+    }
+
+    #[test]
+    fn prefixes() {
+        assert!(Path::parse("A").is_prefix_of(&Path::parse("A.B")));
+        assert!(Path::root().is_prefix_of(&Path::parse("A")));
+        assert!(!Path::parse("A.B").is_prefix_of(&Path::parse("A")));
+        assert!(!Path::parse("X").is_prefix_of(&Path::parse("A.B")));
+    }
+}

@@ -1,0 +1,122 @@
+//! Rendering NF² tables in the paper's notation.
+//!
+//! Two renderers:
+//! * [`render_inline`] — one-line bracket notation, `{(314, 56194, {...},
+//!   320000, {...}), ...}`, with `{}` for relations and `<>` for lists;
+//! * [`render_table`] — an indented multi-line layout in the spirit of the
+//!   paper's Table 5 figure, showing attribute headers per level. Used by
+//!   the `reproduce` binary to print each paper table.
+
+use crate::schema::{AttrKind, TableSchema};
+use crate::value::{TableValue, Tuple, Value};
+use std::fmt::Write as _;
+
+/// One-line bracket rendering (schema-independent).
+pub fn render_inline(value: &TableValue) -> String {
+    value.to_string()
+}
+
+/// Render the header line for a schema level: atomic attribute names plus
+/// bracketed subtable headers, e.g.
+/// `DNO MGRNO {PROJECTS: PNO PNAME {MEMBERS: EMPNO FUNCTION}} BUDGET ...`.
+pub fn render_header(schema: &TableSchema) -> String {
+    let mut s = String::new();
+    header_rec(schema, &mut s);
+    s
+}
+
+fn header_rec(schema: &TableSchema, out: &mut String) {
+    let (open, close) = schema.kind.brackets();
+    let _ = write!(out, "{open}{}: ", schema.name);
+    for (i, attr) in schema.attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        match &attr.kind {
+            AttrKind::Atomic(_) => out.push_str(&attr.name),
+            AttrKind::Table(sub) => header_rec(sub, out),
+        }
+    }
+    out.push(close);
+}
+
+/// Multi-line indented rendering of a table instance with its schema.
+pub fn render_table(schema: &TableSchema, value: &TableValue) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", render_header(schema));
+    for t in &value.tuples {
+        render_tuple(schema, t, 1, &mut out);
+    }
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn render_tuple(schema: &TableSchema, tuple: &Tuple, depth: usize, out: &mut String) {
+    // First line: all atomic values of this tuple.
+    indent(out, depth);
+    let mut first = true;
+    for (attr, v) in schema.attrs.iter().zip(&tuple.fields) {
+        if let (AttrKind::Atomic(_), Value::Atom(a)) = (&attr.kind, v) {
+            if !first {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{}={}", attr.name, a);
+            first = false;
+        }
+    }
+    if first {
+        out.push_str("(no atomic attributes)");
+    }
+    out.push('\n');
+    // Then each subtable, indented.
+    for (attr, v) in schema.attrs.iter().zip(&tuple.fields) {
+        if let (AttrKind::Table(sub), Value::Table(tv)) = (&attr.kind, v) {
+            indent(out, depth + 1);
+            let (open, close) = sub.kind.brackets();
+            let _ = writeln!(out, "{open}{}{close} ({} tuple(s))", sub.name, tv.len());
+            for t in &tv.tuples {
+                render_tuple(sub, t, depth + 2, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    #[test]
+    fn header_shows_nesting_and_brackets() {
+        let h = render_header(&fixtures::departments_schema());
+        assert_eq!(
+            h,
+            "{DEPARTMENTS: DNO MGRNO {PROJECTS: PNO PNAME {MEMBERS: EMPNO FUNCTION}} BUDGET {EQUIP: QU TYPE}}"
+        );
+        let r = render_header(&fixtures::reports_schema());
+        assert!(r.contains("<AUTHORS: NAME>"));
+    }
+
+    #[test]
+    fn table5_renders_all_departments() {
+        let s = render_table(&fixtures::departments_schema(), &fixtures::departments_value());
+        assert!(s.contains("DNO=314"));
+        assert!(s.contains("DNO=218"));
+        assert!(s.contains("DNO=417"));
+        assert!(s.contains("PNAME=CGA"));
+        assert!(s.contains("FUNCTION=Consultant"));
+        assert!(s.contains("{MEMBERS}"));
+    }
+
+    #[test]
+    fn inline_render_is_compact() {
+        let s = render_inline(&fixtures::equip_1nf_value());
+        assert!(s.starts_with('{'));
+        assert!(s.contains("(314, 2, 3278)"));
+    }
+}

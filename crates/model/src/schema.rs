@@ -1,0 +1,400 @@
+//! NF² table schemas.
+//!
+//! A [`TableSchema`] describes one table level: whether the table is a
+//! *relation* (unordered, `{ }`) or a *list* (ordered, `< >`), and its
+//! attributes in declaration order. Each attribute is either atomic or
+//! again a table ([`AttrKind::Table`]) — this recursion is exactly the NF²
+//! generalization of Section 2 of the paper.
+
+use crate::atom::AtomType;
+use crate::error::ModelError;
+use crate::path::Path;
+use std::fmt;
+
+/// Whether a table is an unordered relation or an ordered list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TableKind {
+    /// Unordered table — a *relation*; rendered with `{ }` in the paper.
+    #[default]
+    Relation,
+    /// Ordered table — a *list*; rendered with `< >`. The storage layer
+    /// represents the order by the sequence of entries in MD subtuples
+    /// (paper §4.1).
+    List,
+}
+
+impl TableKind {
+    /// Opening/closing bracket characters used by the paper's notation.
+    pub fn brackets(self) -> (char, char) {
+        match self {
+            TableKind::Relation => ('{', '}'),
+            TableKind::List => ('<', '>'),
+        }
+    }
+}
+
+/// What kind of value an attribute holds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrKind {
+    /// An atomic value of the given type.
+    Atomic(AtomType),
+    /// A nested table (relation or list) — the defining feature of NF².
+    Table(TableSchema),
+}
+
+impl AttrKind {
+    /// True if this attribute is atomic.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, AttrKind::Atomic(_))
+    }
+
+    /// The nested schema, if table-valued.
+    pub fn as_table(&self) -> Option<&TableSchema> {
+        match self {
+            AttrKind::Table(t) => Some(t),
+            AttrKind::Atomic(_) => None,
+        }
+    }
+}
+
+/// One attribute of a table level: a name plus an [`AttrKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrDef {
+    pub name: String,
+    pub kind: AttrKind,
+}
+
+impl AttrDef {
+    /// An atomic attribute.
+    pub fn atomic(name: impl Into<String>, ty: AtomType) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            kind: AttrKind::Atomic(ty),
+        }
+    }
+
+    /// A table-valued attribute.
+    pub fn table(name: impl Into<String>, schema: TableSchema) -> AttrDef {
+        AttrDef {
+            name: name.into(),
+            kind: AttrKind::Table(schema),
+        }
+    }
+}
+
+/// Schema of one (sub)table: its kind and attributes.
+///
+/// Constructed via [`TableSchema::relation`] / [`TableSchema::list`] plus
+/// the builder methods, or all at once with [`TableSchema::new`]:
+///
+/// ```
+/// use aim2_model::{TableSchema, AtomType};
+/// let equip = TableSchema::relation("EQUIP")
+///     .with_atom("QU", AtomType::Int)
+///     .with_atom("TYPE", AtomType::Str);
+/// assert!(equip.is_flat());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Name of the table (top level) or of the attribute holding it.
+    pub name: String,
+    pub kind: TableKind,
+    pub attrs: Vec<AttrDef>,
+}
+
+impl TableSchema {
+    /// Build a schema, checking attribute-name uniqueness and non-emptiness.
+    pub fn new(
+        name: impl Into<String>,
+        kind: TableKind,
+        attrs: Vec<AttrDef>,
+    ) -> Result<TableSchema, ModelError> {
+        let name = name.into();
+        if attrs.is_empty() {
+            return Err(ModelError::EmptySchema(name));
+        }
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(ModelError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(TableSchema { name, kind, attrs })
+    }
+
+    /// Start an (initially empty) unordered-table schema; add attributes
+    /// with [`TableSchema::with_atom`] / [`TableSchema::with_table`].
+    pub fn relation(name: impl Into<String>) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            kind: TableKind::Relation,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Start an (initially empty) ordered-table schema.
+    pub fn list(name: impl Into<String>) -> TableSchema {
+        TableSchema {
+            name: name.into(),
+            kind: TableKind::List,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Builder: append an atomic attribute. Panics on duplicate names —
+    /// builder use is for statically known schemas; use
+    /// [`TableSchema::new`] for dynamic construction.
+    pub fn with_atom(mut self, name: impl Into<String>, ty: AtomType) -> TableSchema {
+        let name = name.into();
+        assert!(
+            self.attr_index(&name).is_none(),
+            "duplicate attribute `{name}`"
+        );
+        self.attrs.push(AttrDef::atomic(name, ty));
+        self
+    }
+
+    /// Builder: append a table-valued attribute.
+    pub fn with_table(mut self, schema: TableSchema) -> TableSchema {
+        assert!(
+            self.attr_index(&schema.name).is_none(),
+            "duplicate attribute `{}`",
+            schema.name
+        );
+        let name = schema.name.clone();
+        self.attrs.push(AttrDef::table(name, schema));
+        self
+    }
+
+    /// Position of the attribute named `name` at this level.
+    pub fn attr_index(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == name)
+    }
+
+    /// The attribute named `name` at this level.
+    pub fn attr(&self, name: &str) -> Option<&AttrDef> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// Indices of all atomic attributes at this level, in declaration
+    /// order. These are exactly the values stored in one *data subtuple*
+    /// by the storage layer (paper §4.1: "all first-level atomic attribute
+    /// values ... are stored in one data subtuple").
+    pub fn atomic_indices(&self) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind.is_atomic())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all table-valued attributes at this level.
+    pub fn table_indices(&self) -> Vec<usize> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !a.kind.is_atomic())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True if every attribute is atomic — a flat (1NF) table, the special
+    /// case the paper integrates ("normal tables are just special cases of
+    /// NF² tables", §2).
+    pub fn is_flat(&self) -> bool {
+        self.attrs.iter().all(|a| a.kind.is_atomic())
+    }
+
+    /// Nesting depth: 1 for flat tables, 1 + max over subtables otherwise.
+    /// DEPARTMENTS (Table 5) has depth 3.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .attrs
+            .iter()
+            .filter_map(|a| a.kind.as_table())
+            .map(TableSchema::depth)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total number of (sub)table schemas including this one.
+    /// DEPARTMENTS has 4: itself, PROJECTS, MEMBERS, EQUIP.
+    pub fn table_count(&self) -> usize {
+        1 + self
+            .attrs
+            .iter()
+            .filter_map(|a| a.kind.as_table())
+            .map(TableSchema::table_count)
+            .sum::<usize>()
+    }
+
+    /// Resolve an attribute [`Path`] starting at this level; returns the
+    /// `AttrDef` it denotes. `resolve_path(["PROJECTS","MEMBERS"])` on
+    /// DEPARTMENTS yields the MEMBERS subtable definition.
+    pub fn resolve_path(&self, path: &Path) -> Result<&AttrDef, ModelError> {
+        let mut level = self;
+        let mut last: Option<&AttrDef> = None;
+        for (i, seg) in path.segments().iter().enumerate() {
+            if let Some(prev) = last {
+                level = prev.kind.as_table().ok_or_else(|| ModelError::NotATable {
+                    attr: prev.name.clone(),
+                })?;
+            }
+            let _ = i;
+            last = Some(level.attr(seg).ok_or_else(|| ModelError::NoSuchAttribute {
+                table: level.name.clone(),
+                attr: seg.to_string(),
+            })?);
+        }
+        last.ok_or_else(|| ModelError::NoSuchAttribute {
+            table: self.name.clone(),
+            attr: String::from("<empty path>"),
+        })
+    }
+
+    /// Resolve a path that must end at a subtable; returns its schema.
+    pub fn resolve_subtable(&self, path: &Path) -> Result<&TableSchema, ModelError> {
+        let def = self.resolve_path(path)?;
+        def.kind.as_table().ok_or_else(|| ModelError::NotATable {
+            attr: def.name.clone(),
+        })
+    }
+
+    /// Iterate over `(path, schema)` for this table and every subtable,
+    /// pre-order. The path of `self` is empty.
+    pub fn walk_subtables(&self) -> Vec<(Path, &TableSchema)> {
+        let mut out = Vec::new();
+        fn rec<'a>(s: &'a TableSchema, prefix: &Path, out: &mut Vec<(Path, &'a TableSchema)>) {
+            out.push((prefix.clone(), s));
+            for a in &s.attrs {
+                if let AttrKind::Table(t) = &a.kind {
+                    rec(t, &prefix.child(&a.name), out);
+                }
+            }
+        }
+        rec(self, &Path::root(), &mut out);
+        out
+    }
+}
+
+impl fmt::Display for TableSchema {
+    /// Render in the paper's DDL-ish notation:
+    /// `{DEPARTMENTS: DNO INTEGER, ..., PROJECTS {…}}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (open, close) = self.kind.brackets();
+        write!(f, "{open}{}: ", self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match &a.kind {
+                AttrKind::Atomic(ty) => write!(f, "{} {}", a.name, ty)?,
+                AttrKind::Table(t) => write!(f, "{t}")?,
+            }
+        }
+        write!(f, "{close}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+
+    fn departments() -> TableSchema {
+        fixtures::departments_schema()
+    }
+
+    #[test]
+    fn departments_shape() {
+        let d = departments();
+        assert_eq!(d.kind, TableKind::Relation);
+        assert_eq!(d.attrs.len(), 5);
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.table_count(), 4);
+        assert!(!d.is_flat());
+        assert_eq!(d.atomic_indices(), vec![0, 1, 3]); // DNO, MGRNO, BUDGET
+        assert_eq!(d.table_indices(), vec![2, 4]); // PROJECTS, EQUIP
+    }
+
+    #[test]
+    fn reports_has_ordered_authors() {
+        let r = fixtures::reports_schema();
+        let authors = r.resolve_subtable(&Path::parse("AUTHORS")).unwrap();
+        assert_eq!(authors.kind, TableKind::List);
+        let desc = r.resolve_subtable(&Path::parse("DESCRIPTORS")).unwrap();
+        assert_eq!(desc.kind, TableKind::Relation);
+    }
+
+    #[test]
+    fn path_resolution() {
+        let d = departments();
+        let members = d.resolve_subtable(&Path::parse("PROJECTS.MEMBERS")).unwrap();
+        assert_eq!(members.name, "MEMBERS");
+        assert!(members.is_flat());
+
+        let err = d.resolve_path(&Path::parse("PROJECTS.NOPE")).unwrap_err();
+        assert!(matches!(err, ModelError::NoSuchAttribute { .. }));
+
+        let err = d.resolve_path(&Path::parse("DNO.X")).unwrap_err();
+        assert!(matches!(err, ModelError::NotATable { .. }));
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err = TableSchema::new(
+            "T",
+            TableKind::Relation,
+            vec![
+                AttrDef::atomic("A", AtomType::Int),
+                AttrDef::atomic("A", AtomType::Str),
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, ModelError::DuplicateAttribute("A".into()));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(matches!(
+            TableSchema::new("T", TableKind::Relation, vec![]),
+            Err(ModelError::EmptySchema(_))
+        ));
+    }
+
+    #[test]
+    fn walk_subtables_preorder() {
+        let d = departments();
+        let walked: Vec<String> = d
+            .walk_subtables()
+            .iter()
+            .map(|(p, s)| format!("{}:{}", p, s.name))
+            .collect();
+        assert_eq!(
+            walked,
+            vec![
+                ":DEPARTMENTS",
+                "PROJECTS:PROJECTS",
+                "PROJECTS.MEMBERS:MEMBERS",
+                "EQUIP:EQUIP"
+            ]
+        );
+    }
+
+    #[test]
+    fn display_uses_paper_brackets() {
+        let d = departments().to_string();
+        assert!(d.starts_with("{DEPARTMENTS:"));
+        assert!(d.contains("{PROJECTS:"));
+        let r = fixtures::reports_schema().to_string();
+        assert!(r.contains("<AUTHORS:"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute")]
+    fn builder_panics_on_duplicate() {
+        let _ = TableSchema::relation("T")
+            .with_atom("A", AtomType::Int)
+            .with_atom("A", AtomType::Int);
+    }
+}

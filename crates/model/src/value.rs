@@ -1,0 +1,515 @@
+//! NF² values: atoms, tuples, and (nested) table values.
+//!
+//! A [`TableValue`] is an instance of a [`TableSchema`]: a sequence of
+//! [`Tuple`]s, each of whose fields is a [`Value`] — either an atom or a
+//! nested `TableValue`. For unordered tables (relations) the tuple order
+//! is not semantically meaningful; [`TableValue::semantically_eq`]
+//! implements the paper-faithful comparison (bag semantics for relations,
+//! sequence semantics for lists, recursively).
+
+use crate::atom::Atom;
+use crate::error::ModelError;
+use crate::schema::{AttrKind, TableKind, TableSchema};
+use std::fmt;
+
+/// A value of one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Atom(Atom),
+    Table(TableValue),
+}
+
+impl Value {
+    /// The atom, if atomic.
+    pub fn as_atom(&self) -> Option<&Atom> {
+        match self {
+            Value::Atom(a) => Some(a),
+            Value::Table(_) => None,
+        }
+    }
+
+    /// The table value, if table-valued.
+    pub fn as_table(&self) -> Option<&TableValue> {
+        match self {
+            Value::Table(t) => Some(t),
+            Value::Atom(_) => None,
+        }
+    }
+
+    /// Mutable table value, if table-valued.
+    pub fn as_table_mut(&mut self) -> Option<&mut TableValue> {
+        match self {
+            Value::Table(t) => Some(t),
+            Value::Atom(_) => None,
+        }
+    }
+
+    /// Convenience constructor from anything atom-convertible.
+    pub fn atom(a: impl Into<Atom>) -> Value {
+        Value::Atom(a.into())
+    }
+
+    /// One-line description of the value's shape, for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Value::Atom(a) => a.atom_type().to_string(),
+            Value::Table(t) => format!(
+                "{} with {} tuple(s)",
+                match t.kind {
+                    TableKind::Relation => "relation",
+                    TableKind::List => "list",
+                },
+                t.tuples.len()
+            ),
+        }
+    }
+}
+
+/// One tuple: values for each attribute of a table level, in schema order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    pub fields: Vec<Value>,
+}
+
+impl Tuple {
+    pub fn new(fields: Vec<Value>) -> Tuple {
+        Tuple { fields }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Field by position.
+    pub fn field(&self, i: usize) -> Option<&Value> {
+        self.fields.get(i)
+    }
+
+    /// Project this tuple's atomic fields per the schema — exactly the
+    /// payload of one *data subtuple* in the storage layer (paper §4.1).
+    pub fn atomic_fields<'a>(&'a self, schema: &TableSchema) -> Vec<&'a Atom> {
+        schema
+            .atomic_indices()
+            .into_iter()
+            .filter_map(|i| self.fields.get(i).and_then(Value::as_atom))
+            .collect()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match v {
+                Value::Atom(a) => write!(f, "{a}")?,
+                Value::Table(t) => write!(f, "{t}")?,
+            }
+        }
+        f.write_str(")")
+    }
+}
+
+/// An instance of a table (or subtable): its kind plus tuples.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableValue {
+    pub kind: TableKindValue,
+    pub tuples: Vec<Tuple>,
+}
+
+/// `TableKind` for values. Separate type alias kept simple: we reuse the
+/// schema's [`TableKind`].
+pub type TableKindValue = TableKind;
+
+impl TableValue {
+    /// An empty relation.
+    pub fn relation() -> TableValue {
+        TableValue {
+            kind: TableKind::Relation,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// An empty list.
+    pub fn list() -> TableValue {
+        TableValue {
+            kind: TableKind::List,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Build from tuples.
+    pub fn with_tuples(kind: TableKind, tuples: Vec<Tuple>) -> TableValue {
+        TableValue { kind, tuples }
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// 1-based list subscript, as in the paper's `x.AUTHORS[1]`
+    /// (Example 8). Errors on relations — subscripts are only meaningful
+    /// on ordered tables — and on out-of-range indices.
+    pub fn subscript(&self, index_1based: usize) -> Result<&Tuple, ModelError> {
+        if self.kind != TableKind::List || index_1based == 0 || index_1based > self.tuples.len() {
+            return Err(ModelError::BadSubscript {
+                index: index_1based,
+                len: self.tuples.len(),
+            });
+        }
+        Ok(&self.tuples[index_1based - 1])
+    }
+
+    /// Validate this value against `schema`, recursively: arity, atom
+    /// types (with the coercions of [`Atom::conforms_to`]), table kinds.
+    pub fn validate(&self, schema: &TableSchema) -> Result<(), ModelError> {
+        if self.kind != schema.kind {
+            return Err(ModelError::TypeMismatch {
+                expected: format!("{:?} {}", schema.kind, schema.name),
+                got: format!("{:?}", self.kind),
+            });
+        }
+        for t in &self.tuples {
+            validate_tuple(t, schema)?;
+        }
+        Ok(())
+    }
+
+    /// Paper-faithful equality: lists compare as sequences, relations as
+    /// bags (order-insensitive, duplicate-sensitive), recursively.
+    pub fn semantically_eq(&self, other: &TableValue) -> bool {
+        if self.kind != other.kind || self.tuples.len() != other.tuples.len() {
+            return false;
+        }
+        match self.kind {
+            TableKind::List => self
+                .tuples
+                .iter()
+                .zip(&other.tuples)
+                .all(|(a, b)| tuple_sem_eq(a, b)),
+            TableKind::Relation => {
+                // Bag comparison via matching with used-flags (n is small
+                // in tests; benches never call this).
+                let mut used = vec![false; other.tuples.len()];
+                'outer: for a in &self.tuples {
+                    for (i, b) in other.tuples.iter().enumerate() {
+                        if !used[i] && tuple_sem_eq(a, b) {
+                            used[i] = true;
+                            continue 'outer;
+                        }
+                    }
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    /// Sort tuples of this relation (recursively) by a canonical key, so
+    /// two semantically equal relations render identically. Lists keep
+    /// their order. Used by the render module and the `reproduce` binary.
+    pub fn canonicalize(&mut self) {
+        for t in &mut self.tuples {
+            for v in &mut t.fields {
+                if let Value::Table(sub) = v {
+                    sub.canonicalize();
+                }
+            }
+        }
+        if self.kind == TableKind::Relation {
+            self.tuples.sort_by(canonical_cmp);
+        }
+    }
+}
+
+fn validate_tuple(t: &Tuple, schema: &TableSchema) -> Result<(), ModelError> {
+    if t.arity() != schema.attrs.len() {
+        return Err(ModelError::TypeMismatch {
+            expected: format!("{}-ary tuple for {}", schema.attrs.len(), schema.name),
+            got: format!("{}-ary tuple", t.arity()),
+        });
+    }
+    for (v, a) in t.fields.iter().zip(&schema.attrs) {
+        match (&a.kind, v) {
+            (AttrKind::Atomic(ty), Value::Atom(atom)) => {
+                if !atom.conforms_to(*ty) {
+                    return Err(ModelError::TypeMismatch {
+                        expected: format!("{} for attribute {}", ty, a.name),
+                        got: atom.atom_type().to_string(),
+                    });
+                }
+            }
+            (AttrKind::Table(sub), Value::Table(tv)) => tv.validate(sub)?,
+            (AttrKind::Atomic(ty), Value::Table(_)) => {
+                return Err(ModelError::TypeMismatch {
+                    expected: format!("{} for attribute {}", ty, a.name),
+                    got: "table".into(),
+                })
+            }
+            (AttrKind::Table(_), Value::Atom(atom)) => {
+                return Err(ModelError::TypeMismatch {
+                    expected: format!("table for attribute {}", a.name),
+                    got: atom.atom_type().to_string(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
+fn tuple_sem_eq(a: &Tuple, b: &Tuple) -> bool {
+    a.fields.len() == b.fields.len()
+        && a.fields.iter().zip(&b.fields).all(|(x, y)| match (x, y) {
+            (Value::Atom(p), Value::Atom(q)) => p == q,
+            (Value::Table(p), Value::Table(q)) => p.semantically_eq(q),
+            _ => false,
+        })
+}
+
+/// Arbitrary-but-total ordering over tuples for canonicalization.
+fn canonical_cmp(a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    for (x, y) in a.fields.iter().zip(&b.fields) {
+        let o = match (x, y) {
+            (Value::Atom(p), Value::Atom(q)) => p
+                .partial_cmp_same(q)
+                .unwrap_or_else(|| format!("{p:?}").cmp(&format!("{q:?}"))),
+            (Value::Table(p), Value::Table(q)) => {
+                let mut o = p.tuples.len().cmp(&q.tuples.len());
+                if o == Ordering::Equal {
+                    for (s, t) in p.tuples.iter().zip(&q.tuples) {
+                        o = canonical_cmp(s, t);
+                        if o != Ordering::Equal {
+                            break;
+                        }
+                    }
+                }
+                o
+            }
+            (Value::Atom(_), Value::Table(_)) => Ordering::Less,
+            (Value::Table(_), Value::Atom(_)) => Ordering::Greater,
+        };
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    a.fields.len().cmp(&b.fields.len())
+}
+
+impl fmt::Display for TableValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (open, close) = self.kind.brackets();
+        write!(f, "{open}")?;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "{close}")
+    }
+}
+
+/// Shorthand builders used heavily by fixtures and tests.
+pub mod build {
+    use super::*;
+
+    /// Build a tuple from values.
+    pub fn tup(fields: Vec<Value>) -> Tuple {
+        Tuple::new(fields)
+    }
+
+    /// Atom value.
+    pub fn a(v: impl Into<Atom>) -> Value {
+        Value::Atom(v.into())
+    }
+
+    /// Relation value from tuples.
+    pub fn rel(tuples: Vec<Tuple>) -> Value {
+        Value::Table(TableValue::with_tuples(TableKind::Relation, tuples))
+    }
+
+    /// List value from tuples.
+    pub fn list(tuples: Vec<Tuple>) -> Value {
+        Value::Table(TableValue::with_tuples(TableKind::List, tuples))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+    use crate::atom::AtomType;
+    use crate::fixtures;
+
+    #[test]
+    fn fixture_validates_against_schema() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        value.validate(&schema).unwrap();
+        assert_eq!(value.len(), 3); // departments 314, 218, 417
+    }
+
+    #[test]
+    fn reports_fixture_validates() {
+        fixtures::reports_value()
+            .validate(&fixtures::reports_schema())
+            .unwrap();
+    }
+
+    #[test]
+    fn all_flat_fixtures_validate() {
+        for (schema, value) in [
+            (fixtures::departments_1nf_schema(), fixtures::departments_1nf_value()),
+            (fixtures::projects_1nf_schema(), fixtures::projects_1nf_value()),
+            (fixtures::members_1nf_schema(), fixtures::members_1nf_value()),
+            (fixtures::equip_1nf_schema(), fixtures::equip_1nf_value()),
+            (fixtures::employees_1nf_schema(), fixtures::employees_1nf_value()),
+        ] {
+            assert!(schema.is_flat());
+            value.validate(&schema).unwrap();
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let schema = fixtures::equip_1nf_schema();
+        let bad = TableValue::with_tuples(TableKind::Relation, vec![tup(vec![a(1)])]);
+        assert!(matches!(
+            bad.validate(&schema),
+            Err(ModelError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn atom_type_mismatch_detected() {
+        let schema = crate::schema::TableSchema::relation("T").with_atom("A", AtomType::Int);
+        let bad = TableValue::with_tuples(TableKind::Relation, vec![tup(vec![a("x")])]);
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn table_vs_atom_mismatch_detected() {
+        let schema = crate::schema::TableSchema::relation("T").with_atom("A", AtomType::Int);
+        let bad = TableValue::with_tuples(TableKind::Relation, vec![tup(vec![rel(vec![])])]);
+        assert!(bad.validate(&schema).is_err());
+        let schema2 = crate::schema::TableSchema::relation("T")
+            .with_table(crate::schema::TableSchema::relation("S").with_atom("B", AtomType::Int));
+        let bad2 = TableValue::with_tuples(TableKind::Relation, vec![tup(vec![a(1)])]);
+        assert!(bad2.validate(&schema2).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let schema = fixtures::equip_1nf_schema(); // relation
+        let bad = TableValue::with_tuples(TableKind::List, vec![]);
+        assert!(bad.validate(&schema).is_err());
+    }
+
+    #[test]
+    fn subscript_is_one_based_and_lists_only() {
+        let reports = fixtures::reports_value();
+        // AUTHORS of report 0179 is <Jones A.> — first author Jones (Ex. 8).
+        let authors = reports.tuples[0].fields[1].as_table().unwrap();
+        assert_eq!(authors.kind, TableKind::List);
+        let first = authors.subscript(1).unwrap();
+        assert_eq!(first.fields[0].as_atom().unwrap().as_str(), Some("Jones A."));
+        assert!(authors.subscript(0).is_err());
+        assert!(authors.subscript(99).is_err());
+        let rel = TableValue::relation();
+        assert!(rel.subscript(1).is_err());
+    }
+
+    #[test]
+    fn semantic_eq_relations_ignore_order() {
+        let t1 = TableValue::with_tuples(
+            TableKind::Relation,
+            vec![tup(vec![a(1)]), tup(vec![a(2)])],
+        );
+        let t2 = TableValue::with_tuples(
+            TableKind::Relation,
+            vec![tup(vec![a(2)]), tup(vec![a(1)])],
+        );
+        assert!(t1.semantically_eq(&t2));
+        assert_ne!(t1, t2); // structural eq is order-sensitive
+    }
+
+    #[test]
+    fn semantic_eq_lists_respect_order() {
+        let t1 = TableValue::with_tuples(TableKind::List, vec![tup(vec![a(1)]), tup(vec![a(2)])]);
+        let t2 = TableValue::with_tuples(TableKind::List, vec![tup(vec![a(2)]), tup(vec![a(1)])]);
+        assert!(!t1.semantically_eq(&t2));
+    }
+
+    #[test]
+    fn semantic_eq_is_duplicate_sensitive() {
+        let t1 = TableValue::with_tuples(
+            TableKind::Relation,
+            vec![tup(vec![a(1)]), tup(vec![a(1)]), tup(vec![a(2)])],
+        );
+        let t2 = TableValue::with_tuples(
+            TableKind::Relation,
+            vec![tup(vec![a(1)]), tup(vec![a(2)]), tup(vec![a(2)])],
+        );
+        assert!(!t1.semantically_eq(&t2));
+    }
+
+    #[test]
+    fn semantic_eq_recurses_into_subtables() {
+        let mk = |x: i64, inner: Vec<i64>| {
+            tup(vec![
+                a(x),
+                rel(inner.into_iter().map(|i| tup(vec![a(i)])).collect()),
+            ])
+        };
+        let t1 = TableValue::with_tuples(TableKind::Relation, vec![mk(1, vec![10, 20])]);
+        let t2 = TableValue::with_tuples(TableKind::Relation, vec![mk(1, vec![20, 10])]);
+        let t3 = TableValue::with_tuples(TableKind::Relation, vec![mk(1, vec![20, 30])]);
+        assert!(t1.semantically_eq(&t2));
+        assert!(!t1.semantically_eq(&t3));
+    }
+
+    #[test]
+    fn canonicalize_sorts_relations_not_lists() {
+        let mut r = TableValue::with_tuples(
+            TableKind::Relation,
+            vec![tup(vec![a(2)]), tup(vec![a(1)])],
+        );
+        r.canonicalize();
+        assert_eq!(r.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(1));
+        let mut l =
+            TableValue::with_tuples(TableKind::List, vec![tup(vec![a(2)]), tup(vec![a(1)])]);
+        l.canonicalize();
+        assert_eq!(l.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn display_nested() {
+        let v = TableValue::with_tuples(
+            TableKind::Relation,
+            vec![tup(vec![a(1), list(vec![tup(vec![a("x")])])])],
+        );
+        assert_eq!(v.to_string(), "{(1, <(x)>)}");
+    }
+
+    #[test]
+    fn atomic_fields_follow_schema() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        let atoms = value.tuples[0].atomic_fields(&schema);
+        // DNO=314, MGRNO=56194, BUDGET=320000
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(atoms[0].as_int(), Some(314));
+        assert_eq!(atoms[1].as_int(), Some(56194));
+        assert_eq!(atoms[2].as_int(), Some(320_000));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type for the storage engine.
+
+use crate::tid::{MiniTid, PageId, Tid};
+use std::fmt;
+
+/// Errors raised by the storage engine.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(std::io::Error),
+    /// A page number beyond the segment's extent was addressed.
+    PageOutOfRange(PageId),
+    /// A TID's slot does not exist or has been deleted.
+    BadTid(Tid),
+    /// A Mini-TID's local page index is a gap or beyond the page list.
+    BadMiniTid(MiniTid),
+    /// A record was too large to ever fit a page.
+    RecordTooLarge { len: usize, max: usize },
+    /// A stored byte structure failed to decode (corruption or bug).
+    Corrupt(String),
+    /// Model-level error surfaced through storage (encoding atoms etc.).
+    Model(aim2_model::ModelError),
+    /// The operation does not apply to this object shape (e.g. subtable
+    /// path does not exist in the stored schema).
+    BadPath(String),
+    /// An element index within a subtable was out of range.
+    BadElementIndex { index: usize, len: usize },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::PageOutOfRange(p) => write!(f, "page {p} out of range"),
+            StorageError::BadTid(t) => write!(f, "invalid TID {t}"),
+            StorageError::BadMiniTid(t) => write!(f, "invalid Mini-TID {t}"),
+            StorageError::RecordTooLarge { len, max } => {
+                write!(f, "record of {len} bytes exceeds page capacity {max}")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage structure: {msg}"),
+            StorageError::Model(e) => write!(f, "model error: {e}"),
+            StorageError::BadPath(p) => write!(f, "no such subtable path: {p}"),
+            StorageError::BadElementIndex { index, len } => {
+                write!(f, "element index {index} out of range (subtable has {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<aim2_model::ModelError> for StorageError {
+    fn from(e: aim2_model::ModelError) -> Self {
+        StorageError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid::{PageId, SlotNo, Tid};
+
+    #[test]
+    fn display_and_source() {
+        let e = StorageError::BadTid(Tid::new(PageId(3), SlotNo(7)));
+        assert!(e.to_string().contains("3"));
+        let io = StorageError::Io(std::io::Error::other("x"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

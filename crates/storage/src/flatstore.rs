@@ -1,0 +1,177 @@
+//! Flat (1NF) table storage.
+//!
+//! "A flat (1NF) table does not have Mini Directories for its objects at
+//! all" (§4.1): each tuple is exactly one data subtuple in the heap,
+//! addressed by TID. This is the degenerate case the extended NF² model
+//! integrates — and the storage used for the paper's Tables 1–4 and 8.
+
+use crate::segment::Segment;
+use crate::tid::Tid;
+use crate::Result;
+use aim2_model::encode::{decode_atoms, encode_atoms};
+use aim2_model::{Atom, TableSchema, TableValue, Tuple, Value};
+
+/// Heap storage for one flat table.
+pub struct FlatStore {
+    seg: Segment,
+    tids: Vec<Tid>,
+}
+
+impl FlatStore {
+    /// Create a flat store over its own segment.
+    pub fn new(seg: Segment) -> FlatStore {
+        FlatStore {
+            seg,
+            tids: Vec::new(),
+        }
+    }
+
+    /// Re-attach to an existing store (database restart) with the
+    /// persisted TID list.
+    pub fn reopen(seg: Segment, tids: Vec<Tid>) -> FlatStore {
+        FlatStore { seg, tids }
+    }
+
+    /// The underlying segment (stats / buffer control).
+    pub fn segment_mut(&mut self) -> &mut Segment {
+        &mut self.seg
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// True if no tuples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// Insert one tuple (all fields must be atoms); returns its TID.
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<Tid> {
+        let atoms: Vec<&Atom> = tuple
+            .fields
+            .iter()
+            .map(|v| {
+                v.as_atom().ok_or_else(|| {
+                    crate::StorageError::Corrupt("flat store got a table-valued field".into())
+                })
+            })
+            .collect::<Result<_>>()?;
+        let payload = encode_atoms(atoms);
+        let near = self.tids.last().map(|t| t.page);
+        let tid = self.seg.insert(&payload, near)?;
+        self.tids.push(tid);
+        Ok(tid)
+    }
+
+    /// Read the tuple at `tid`.
+    pub fn read(&mut self, tid: Tid) -> Result<Tuple> {
+        let bytes = self.seg.read(tid)?;
+        let atoms = decode_atoms(&bytes)?;
+        Ok(Tuple::new(atoms.into_iter().map(Value::Atom).collect()))
+    }
+
+    /// Update the tuple at `tid` in place (TID stays valid).
+    pub fn update(&mut self, tid: Tid, tuple: &Tuple) -> Result<()> {
+        let atoms: Vec<&Atom> = tuple.fields.iter().filter_map(|v| v.as_atom()).collect();
+        let payload = encode_atoms(atoms);
+        self.seg.update(tid, &payload)
+    }
+
+    /// Delete the tuple at `tid`.
+    pub fn delete(&mut self, tid: Tid) -> Result<()> {
+        self.seg.delete(tid)?;
+        self.tids.retain(|&t| t != tid);
+        Ok(())
+    }
+
+    /// All live TIDs in insertion order.
+    pub fn tids(&self) -> &[Tid] {
+        &self.tids
+    }
+
+    /// Scan the whole table into a `TableValue` conforming to `schema`.
+    pub fn scan(&mut self, schema: &TableSchema) -> Result<TableValue> {
+        let mut tuples = Vec::with_capacity(self.tids.len());
+        for &tid in &self.tids.clone() {
+            tuples.push(self.read(tid)?);
+        }
+        Ok(TableValue {
+            kind: schema.kind,
+            tuples,
+        })
+    }
+
+    /// Bulk-load a table value; returns the TIDs.
+    pub fn load(&mut self, value: &TableValue) -> Result<Vec<Tid>> {
+        let mut out = Vec::with_capacity(value.tuples.len());
+        for t in &value.tuples {
+            out.push(self.insert(t)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::disk::MemDisk;
+    use crate::stats::Stats;
+    use aim2_model::fixtures;
+    use aim2_model::value::build::{a, tup};
+
+    fn store() -> FlatStore {
+        let pool = BufferPool::new(Box::new(MemDisk::new(512)), 16, Stats::new());
+        FlatStore::new(Segment::new(pool))
+    }
+
+    #[test]
+    fn load_and_scan_paper_tables() {
+        for (schema, value) in [
+            (fixtures::departments_1nf_schema(), fixtures::departments_1nf_value()),
+            (fixtures::projects_1nf_schema(), fixtures::projects_1nf_value()),
+            (fixtures::members_1nf_schema(), fixtures::members_1nf_value()),
+            (fixtures::equip_1nf_schema(), fixtures::equip_1nf_value()),
+            (fixtures::employees_1nf_schema(), fixtures::employees_1nf_value()),
+        ] {
+            let mut fs = store();
+            fs.load(&value).unwrap();
+            let back = fs.scan(&schema).unwrap();
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut fs = store();
+        let t1 = fs.insert(&tup(vec![a(1), a("x")])).unwrap();
+        let t2 = fs.insert(&tup(vec![a(2), a("y")])).unwrap();
+        fs.update(t1, &tup(vec![a(1), a("a longer replacement value")]))
+            .unwrap();
+        assert_eq!(
+            fs.read(t1).unwrap().fields[1].as_atom().unwrap().as_str(),
+            Some("a longer replacement value")
+        );
+        fs.delete(t2).unwrap();
+        assert_eq!(fs.len(), 1);
+        assert!(fs.read(t2).is_err());
+    }
+
+    #[test]
+    fn rejects_nested_values() {
+        let mut fs = store();
+        let nested = tup(vec![a(1), aim2_model::value::build::rel(vec![])]);
+        assert!(fs.insert(&nested).is_err());
+    }
+
+    #[test]
+    fn long_text_tuples_roundtrip() {
+        let mut fs = store();
+        let long = "x".repeat(5000); // spans multiple 512-byte pages
+        let tid = fs.insert(&tup(vec![a(1), a(long.as_str())])).unwrap();
+        let back = fs.read(tid).unwrap();
+        assert_eq!(back.fields[1].as_atom().unwrap().as_str(), Some(&long[..]));
+    }
+}

@@ -1,0 +1,299 @@
+//! IMS-style baseline: segment hierarchies with navigational access.
+//!
+//! Figure 1 of the paper models DEPARTMENTS as an IMS database: segment
+//! types DEPARTMENTS / PROJECTS / MEMBERS / EQUIP with parent-child
+//! relations, retrieved with "navigational language constructs like
+//! 'get next' (GN) and 'get next within parent' (GNP)" (/Da81/). This
+//! module implements an HSAM-like store — segment occurrences laid out
+//! in hierarchical sequence over our heap pages — plus the GU / GN / GNP
+//! calls, so the `reproduce` binary and the `ims_vs_nf2` bench can
+//! contrast record-at-a-time navigation with the NF² query interface.
+
+use crate::segment::Segment;
+use crate::tid::Tid;
+use crate::Result;
+use aim2_model::encode::{decode_atoms, encode_atoms};
+use aim2_model::{Atom, TableSchema, Tuple};
+
+/// One segment *type* in the IMS sense: a name plus which atoms it has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentType {
+    pub name: String,
+    /// Parent segment type index; `None` for the root type.
+    pub parent: Option<usize>,
+}
+
+/// An IMS-like hierarchical database: a fixed segment-type hierarchy and
+/// occurrences stored in hierarchical sequence.
+pub struct ImsStore {
+    seg: Segment,
+    types: Vec<SegmentType>,
+    /// Occurrences in hierarchical sequence: (type idx, parent occurrence
+    /// idx, TID).
+    occurrences: Vec<(usize, Option<usize>, Tid)>,
+}
+
+/// A navigation cursor (IMS "position").
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cursor {
+    /// Index into the hierarchical sequence of the *next* occurrence GN
+    /// would deliver.
+    pos: usize,
+    /// Parentage for GNP: only occurrences under this subtree qualify.
+    parent: Option<usize>,
+}
+
+impl ImsStore {
+    /// Derive the segment-type hierarchy from an NF² schema (Fig 1 does
+    /// exactly this for DEPARTMENTS) and create an empty store.
+    pub fn from_schema(seg: Segment, schema: &TableSchema) -> ImsStore {
+        let mut types = Vec::new();
+        fn rec(s: &TableSchema, parent: Option<usize>, types: &mut Vec<SegmentType>) {
+            types.push(SegmentType {
+                name: s.name.clone(),
+                parent,
+            });
+            let me = types.len() - 1;
+            for a in &s.attrs {
+                if let aim2_model::AttrKind::Table(sub) = &a.kind {
+                    rec(sub, Some(me), types);
+                }
+            }
+        }
+        rec(schema, None, &mut types);
+        ImsStore {
+            seg,
+            types,
+            occurrences: Vec::new(),
+        }
+    }
+
+    /// The segment types, root first (hierarchical definition order).
+    pub fn types(&self) -> &[SegmentType] {
+        &self.types
+    }
+
+    /// The underlying segment.
+    pub fn segment_mut(&mut self) -> &mut Segment {
+        &mut self.seg
+    }
+
+    /// Number of stored segment occurrences.
+    pub fn len(&self) -> usize {
+        self.occurrences.len()
+    }
+
+    /// True if no occurrences are stored.
+    pub fn is_empty(&self) -> bool {
+        self.occurrences.is_empty()
+    }
+
+    fn type_of_schema(&self, path_names: &[&str]) -> Option<usize> {
+        // Types were pushed in pre-order; find by name (names unique in
+        // the paper's hierarchy).
+        let last = path_names.last()?;
+        self.types.iter().position(|t| &t.name == last)
+    }
+
+    /// Load one NF² tuple (and its subtables) as segment occurrences in
+    /// hierarchical sequence — one IMS "database record".
+    pub fn load_record(&mut self, schema: &TableSchema, tuple: &Tuple) -> Result<()> {
+        self.load_rec(schema, tuple, None)
+    }
+
+    fn load_rec(
+        &mut self,
+        schema: &TableSchema,
+        tuple: &Tuple,
+        parent: Option<usize>,
+    ) -> Result<()> {
+        let ty = self
+            .type_of_schema(&[schema.name.as_str()])
+            .ok_or_else(|| crate::StorageError::BadPath(schema.name.clone()))?;
+        let atoms = tuple.atomic_fields(schema);
+        let payload = encode_atoms(atoms);
+        let near = self.occurrences.last().map(|(_, _, t)| t.page);
+        let tid = self.seg.insert(&payload, near)?;
+        self.occurrences.push((ty, parent, tid));
+        let me = self.occurrences.len() - 1;
+        for attr_idx in schema.table_indices() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table");
+            let sub_value = tuple.fields[attr_idx]
+                .as_table()
+                .ok_or_else(|| crate::StorageError::Corrupt("expected table value".into()))?;
+            for elem in &sub_value.tuples {
+                self.load_rec(sub_schema, elem, Some(me))?;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_occurrence(&mut self, idx: usize) -> Result<(String, Vec<Atom>)> {
+        let (ty, _, tid) = self.occurrences[idx];
+        let bytes = self.seg.read(tid)?;
+        Ok((self.types[ty].name.clone(), decode_atoms(&bytes)?))
+    }
+
+    /// GU — "get unique": position at the first occurrence of segment
+    /// type `ty_name` whose first atom equals `key` (when given), reading
+    /// sequentially from the start (HSAM semantics).
+    pub fn gu(&mut self, cursor: &mut Cursor, ty_name: &str, key: Option<&Atom>) -> Result<Option<(String, Vec<Atom>)>> {
+        cursor.pos = 0;
+        cursor.parent = None;
+        loop {
+            match self.gn(cursor)? {
+                Some((name, atoms)) => {
+                    if name == ty_name && key.is_none_or(|k| atoms.first() == Some(k)) {
+                        cursor.parent = Some(cursor.pos - 1);
+                        return Ok(Some((name, atoms)));
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// GN — "get next": deliver the next occurrence in hierarchical
+    /// sequence, whatever its type.
+    pub fn gn(&mut self, cursor: &mut Cursor) -> Result<Option<(String, Vec<Atom>)>> {
+        if cursor.pos >= self.occurrences.len() {
+            return Ok(None);
+        }
+        let out = self.read_occurrence(cursor.pos)?;
+        cursor.pos += 1;
+        Ok(Some(out))
+    }
+
+    /// GNP — "get next within parent": the next occurrence that is a
+    /// (transitive) descendant of the occurrence GU established.
+    pub fn gnp(&mut self, cursor: &mut Cursor) -> Result<Option<(String, Vec<Atom>)>> {
+        let anchor = match cursor.parent {
+            Some(a) => a,
+            None => return Ok(None),
+        };
+        if cursor.pos >= self.occurrences.len() {
+            return Ok(None);
+        }
+        let idx = cursor.pos;
+        cursor.pos += 1;
+        if self.is_descendant_of(idx, anchor) {
+            return Ok(Some(self.read_occurrence(idx)?));
+        }
+        // Hierarchical sequence: all of the anchor's descendants directly
+        // follow it, so the first non-descendant ends the subtree.
+        Ok(None)
+    }
+
+    fn is_descendant_of(&self, idx: usize, anchor: usize) -> bool {
+        let mut cur = self.occurrences[idx].1;
+        while let Some(p) = cur {
+            if p == anchor {
+                return true;
+            }
+            cur = self.occurrences[p].1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::disk::MemDisk;
+    use crate::stats::Stats;
+    use aim2_model::fixtures;
+
+    fn store() -> ImsStore {
+        let pool = BufferPool::new(Box::new(MemDisk::new(512)), 32, Stats::new());
+        ImsStore::from_schema(
+            Segment::new(pool),
+            &fixtures::departments_schema(),
+        )
+    }
+
+    #[test]
+    fn fig1_segment_hierarchy() {
+        let ims = store();
+        let names: Vec<&str> = ims.types().iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, vec!["DEPARTMENTS", "PROJECTS", "MEMBERS", "EQUIP"]);
+        assert_eq!(ims.types()[0].parent, None);
+        assert_eq!(ims.types()[1].parent, Some(0)); // PROJECTS under DEPARTMENTS
+        assert_eq!(ims.types()[2].parent, Some(1)); // MEMBERS under PROJECTS
+        assert_eq!(ims.types()[3].parent, Some(0)); // EQUIP under DEPARTMENTS
+    }
+
+    #[test]
+    fn load_and_navigate_gn() {
+        let mut ims = store();
+        let schema = fixtures::departments_schema();
+        for t in &fixtures::departments_value().tuples {
+            ims.load_record(&schema, t).unwrap();
+        }
+        // 3 depts + 4 projects + 17 members + 14 equip = 38 occurrences.
+        assert_eq!(ims.len(), 38);
+        let mut c = Cursor::default();
+        let mut count = 0;
+        let mut first_types = Vec::new();
+        while let Some((name, _)) = ims.gn(&mut c).unwrap() {
+            if count < 6 {
+                first_types.push(name);
+            }
+            count += 1;
+        }
+        assert_eq!(count, 38);
+        // Hierarchical sequence for dept 314: dept, project 17, its 3
+        // members, project 23...
+        assert_eq!(
+            first_types,
+            vec![
+                "DEPARTMENTS",
+                "PROJECTS",
+                "MEMBERS",
+                "MEMBERS",
+                "MEMBERS",
+                "PROJECTS"
+            ]
+        );
+    }
+
+    #[test]
+    fn gu_and_gnp_retrieve_one_departments_children() {
+        let mut ims = store();
+        let schema = fixtures::departments_schema();
+        for t in &fixtures::departments_value().tuples {
+            ims.load_record(&schema, t).unwrap();
+        }
+        let mut c = Cursor::default();
+        let hit = ims
+            .gu(&mut c, "DEPARTMENTS", Some(&Atom::Int(218)))
+            .unwrap()
+            .expect("department 218 found");
+        assert_eq!(hit.1[0], Atom::Int(218));
+        // GNP iterates exactly dept 218's subtree: 1 project + 6 members
+        // + 4 equipment items = 11 occurrences.
+        let mut n = 0;
+        let mut members = 0;
+        while let Some((name, _)) = ims.gnp(&mut c).unwrap() {
+            n += 1;
+            if name == "MEMBERS" {
+                members += 1;
+            }
+        }
+        assert_eq!(n, 11);
+        assert_eq!(members, 6);
+    }
+
+    #[test]
+    fn gu_miss_returns_none() {
+        let mut ims = store();
+        let schema = fixtures::departments_schema();
+        ims.load_record(&schema, &fixtures::department_314()).unwrap();
+        let mut c = Cursor::default();
+        assert!(ims
+            .gu(&mut c, "DEPARTMENTS", Some(&Atom::Int(999)))
+            .unwrap()
+            .is_none());
+        assert!(ims.gnp(&mut c).unwrap().is_none(), "no position → no GNP");
+    }
+}

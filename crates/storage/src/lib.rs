@@ -1,0 +1,50 @@
+//! # aim2-storage — the AIM-II storage engine
+//!
+//! A from-scratch page-based storage engine implementing Section 4.1 of
+//! Dadam et al., SIGMOD 1986:
+//!
+//! * slotted pages, TIDs, a file- or memory-backed [`disk`], and a
+//!   [`buffer`] pool with hit/miss accounting (the substrate — "in the
+//!   AIM-II project we had the opportunity to build a totally new DBMS
+//!   from scratch");
+//! * a [`segment`]-level record manager whose records are the paper's
+//!   *subtuples* ("the basic storage unit, like a tuple or a record in
+//!   traditional database systems"), with TID-stable forwarding;
+//! * **Mini Directories** ([`minidir`]): the paper's separation of
+//!   structural information from data, in all three layout alternatives
+//!   SS1 / SS2 / SS3 (Figures 6a–6c);
+//! * **local address spaces** ([`pagelist`]): a page list in the root MD
+//!   subtuple, Mini-TIDs interpreted relative to it, gap-preserving
+//!   deletion so existing Mini-TIDs never move;
+//! * the complex [`object`] manager: insert / full and partial retrieval /
+//!   update / delete of complex objects and arbitrary parts of them, plus
+//!   page-level object move ("check-out") that rewrites no pointers;
+//! * [`flatstore`]: flat 1NF tables as the degenerate case (one data
+//!   subtuple per tuple, no Mini Directory at all);
+//! * two baselines the paper compares against: [`lorie`] (complex objects
+//!   chained with hidden child/sibling/father/root pointers on top of
+//!   flat tables, /LP83/) and [`ims`] (segment hierarchies with GN / GNP
+//!   navigation, Figure 1).
+
+pub mod buffer;
+pub mod disk;
+pub mod error;
+pub mod flatstore;
+pub mod ims;
+pub mod lorie;
+pub mod minidir;
+pub mod object;
+pub mod page;
+pub mod pagelist;
+pub mod segment;
+pub mod stats;
+pub mod tid;
+
+pub use error::StorageError;
+pub use minidir::LayoutKind;
+pub use object::{ClusterPolicy, ElemLoc, ObjectHandle, ObjectStore};
+pub use stats::Stats;
+pub use tid::{MiniTid, PageId, SlotNo, Tid};
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

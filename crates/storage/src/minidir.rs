@@ -1,0 +1,418 @@
+//! Mini Directories: the structural half of a complex object.
+//!
+//! AIM-II separates *structural information* from *data* (§4.1): each
+//! complex object has a **Mini Directory (MD)** — a tree of MD subtuples
+//! linked by pointers — holding the structure, while the values live in
+//! *data subtuples*. An MD subtuple's entries are `D` pointers (MD →
+//! data subtuple) and `C` pointers (MD → MD subtuple); the paper's root
+//! entry "DCC" for department 314 is literally one [`MdGroup`] with a
+//! data pointer followed by two child pointers.
+//!
+//! Three layout alternatives are implemented, exactly Figures 6a–6c:
+//!
+//! * [`LayoutKind::Ss1`] — one MD subtuple per subtable **and** per
+//!   complex subobject (symmetric, most nodes);
+//! * [`LayoutKind::Ss2`] — MD subtuples only for complex subobjects
+//!   (subtable membership lists folded upward; fewest nodes);
+//! * [`LayoutKind::Ss3`] — MD subtuples only for subtables (subobject
+//!   entries folded upward; **AIM-II's choice**).
+//!
+//! For every object the invariant SS1 > SS3 > SS2 on MD-subtuple counts
+//! holds (§4.1); `reproduce` prints the counts for department 314 and a
+//! property test in the object manager checks the ordering on random
+//! objects.
+//!
+//! Ordered subtables (lists) need no extra machinery: "the integration of
+//! ordered subtables can be done easily just by using the sequence of
+//! entries in the MD subtuples" — entry order *is* list order.
+
+use crate::error::StorageError;
+use crate::pagelist::PageList;
+use crate::tid::MiniTid;
+use std::fmt;
+
+/// Which storage structure (Fig 6a/6b/6c) a table's objects use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// SS1 — MD subtuples for subtables and complex subobjects (Fig 6a).
+    Ss1,
+    /// SS2 — MD subtuples only for complex subobjects (Fig 6b).
+    Ss2,
+    /// SS3 — MD subtuples only for subtables (Fig 6c); AIM-II default.
+    Ss3,
+}
+
+impl LayoutKind {
+    /// All three alternatives, for comparison benches.
+    pub const ALL: [LayoutKind; 3] = [LayoutKind::Ss1, LayoutKind::Ss2, LayoutKind::Ss3];
+
+    /// Paper name ("SS1" ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::Ss1 => "SS1",
+            LayoutKind::Ss2 => "SS2",
+            LayoutKind::Ss3 => "SS3",
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            LayoutKind::Ss1 => 1,
+            LayoutKind::Ss2 => 2,
+            LayoutKind::Ss3 => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<LayoutKind> {
+        match c {
+            1 => Some(LayoutKind::Ss1),
+            2 => Some(LayoutKind::Ss2),
+            3 => Some(LayoutKind::Ss3),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What role an MD subtuple plays in the MD tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdNodeKind {
+    /// The root MD subtuple (one per complex object; also carries the
+    /// page list).
+    Root,
+    /// An MD subtuple representing a subtable (SS1, SS3).
+    Subtable,
+    /// An MD subtuple representing a complex subobject (SS1, SS2).
+    Subobject,
+}
+
+impl MdNodeKind {
+    fn code(self) -> u8 {
+        match self {
+            MdNodeKind::Root => 0,
+            MdNodeKind::Subtable => 1,
+            MdNodeKind::Subobject => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<MdNodeKind> {
+        match c {
+            0 => Some(MdNodeKind::Root),
+            1 => Some(MdNodeKind::Subtable),
+            2 => Some(MdNodeKind::Subobject),
+            _ => None,
+        }
+    }
+}
+
+/// Entry-kind code for a `D` (data) pointer.
+pub const ENTRY_DATA: u8 = 0;
+
+/// One pointer entry in an MD subtuple: a `D` pointer (`kind ==
+/// ENTRY_DATA`) or a `C` pointer whose kind byte encodes which
+/// table-valued attribute it belongs to (`kind == 1 + attr_slot`, where
+/// `attr_slot` is the position among the level's table-valued
+/// attributes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdEntry {
+    pub kind: u8,
+    pub tid: MiniTid,
+}
+
+impl MdEntry {
+    /// A `D` pointer to a data subtuple.
+    pub fn data(tid: MiniTid) -> MdEntry {
+        MdEntry {
+            kind: ENTRY_DATA,
+            tid,
+        }
+    }
+
+    /// A `C` pointer for the `attr_slot`-th table-valued attribute.
+    pub fn child(attr_slot: u8, tid: MiniTid) -> MdEntry {
+        MdEntry {
+            kind: 1 + attr_slot,
+            tid,
+        }
+    }
+
+    /// True for `D` pointers.
+    pub fn is_data(&self) -> bool {
+        self.kind == ENTRY_DATA
+    }
+
+    /// The attribute slot of a `C` pointer; `None` for `D` pointers.
+    pub fn child_slot(&self) -> Option<u8> {
+        (self.kind > 0).then(|| self.kind - 1)
+    }
+}
+
+/// A group of entries within an MD subtuple.
+///
+/// * object-shaped nodes (root / subobject) have **one** group — the
+///   paper's "DCC"-style entry: own data pointer then child pointers;
+/// * SS2 object nodes have one *additional* group per table-valued
+///   attribute carrying the folded-in subtable membership list (`tag` =
+///   attribute slot);
+/// * SS3 subtable nodes have one group **per element**: the element's
+///   data pointer plus child pointers to its own subtables;
+/// * SS1 subtable nodes have one group listing all elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdGroup {
+    /// Group meaning depends on the node shape (see above); for SS2
+    /// membership groups this is the attribute slot.
+    pub tag: u16,
+    pub entries: Vec<MdEntry>,
+}
+
+impl MdGroup {
+    pub fn new(tag: u16) -> MdGroup {
+        MdGroup {
+            tag,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The group's `D` entry, if present (element groups, object groups).
+    pub fn data_entry(&self) -> Option<MiniTid> {
+        self.entries.iter().find(|e| e.is_data()).map(|e| e.tid)
+    }
+
+    /// The `C` entry for `attr_slot`, if present.
+    pub fn child_for(&self, attr_slot: u8) -> Option<MiniTid> {
+        self.entries
+            .iter()
+            .find(|e| e.child_slot() == Some(attr_slot))
+            .map(|e| e.tid)
+    }
+}
+
+/// One MD subtuple, decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MdNode {
+    pub kind: MdNodeKind,
+    pub groups: Vec<MdGroup>,
+}
+
+impl MdNode {
+    pub fn new(kind: MdNodeKind) -> MdNode {
+        MdNode {
+            kind,
+            groups: Vec::new(),
+        }
+    }
+
+    /// Serialized byte size (to plan page placement).
+    pub fn encoded_len(&self) -> usize {
+        let mut n = 1 + 2; // kind + group count
+        for g in &self.groups {
+            n += 2 + 2 + g.entries.len() * (1 + MiniTid::ENCODED_LEN);
+        }
+        n
+    }
+
+    /// Serialize.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.kind.code());
+        out.extend_from_slice(&(self.groups.len() as u16).to_le_bytes());
+        for g in &self.groups {
+            out.extend_from_slice(&g.tag.to_le_bytes());
+            out.extend_from_slice(&(g.entries.len() as u16).to_le_bytes());
+            for e in &g.entries {
+                out.push(e.kind);
+                e.tid.encode(out);
+            }
+        }
+    }
+
+    /// Deserialize from `buf[*pos..]`, advancing `*pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<MdNode, StorageError> {
+        let err = || StorageError::Corrupt("truncated MD subtuple".into());
+        let kind = MdNodeKind::from_code(*buf.get(*pos).ok_or_else(err)?)
+            .ok_or_else(|| StorageError::Corrupt("bad MD node kind".into()))?;
+        *pos += 1;
+        let ngroups =
+            u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(err)?.try_into().unwrap());
+        *pos += 2;
+        let mut groups = Vec::with_capacity(ngroups as usize);
+        for _ in 0..ngroups {
+            let tag =
+                u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(err)?.try_into().unwrap());
+            *pos += 2;
+            let nent =
+                u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(err)?.try_into().unwrap());
+            *pos += 2;
+            let mut entries = Vec::with_capacity(nent as usize);
+            for _ in 0..nent {
+                let kind = *buf.get(*pos).ok_or_else(err)?;
+                *pos += 1;
+                let tid = MiniTid::decode(buf, pos).ok_or_else(err)?;
+                entries.push(MdEntry { kind, tid });
+            }
+            groups.push(MdGroup { tag, entries });
+        }
+        Ok(MdNode { kind, groups })
+    }
+}
+
+/// The payload of a **root** MD subtuple: layout tag, the object's page
+/// list (its local address space), and the root node's pointer groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RootMd {
+    pub layout: LayoutKind,
+    pub page_list: PageList,
+    pub node: MdNode,
+}
+
+impl RootMd {
+    /// Serialize the root MD subtuple payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.node.encoded_len());
+        out.push(self.layout.code());
+        self.page_list.encode(&mut out);
+        self.node.encode(&mut out);
+        out
+    }
+
+    /// Deserialize a root MD subtuple payload.
+    pub fn decode(buf: &[u8]) -> Result<RootMd, StorageError> {
+        let mut pos = 0;
+        let layout = LayoutKind::from_code(
+            *buf.get(pos)
+                .ok_or_else(|| StorageError::Corrupt("empty root MD".into()))?,
+        )
+        .ok_or_else(|| StorageError::Corrupt("bad layout code".into()))?;
+        pos += 1;
+        let page_list = PageList::decode(buf, &mut pos)?;
+        let node = MdNode::decode(buf, &mut pos)?;
+        if node.kind != MdNodeKind::Root {
+            return Err(StorageError::Corrupt("root MD node has wrong kind".into()));
+        }
+        Ok(RootMd {
+            layout,
+            page_list,
+            node,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tid::{PageId, SlotNo};
+
+    fn mt(l: u16, s: u16) -> MiniTid {
+        MiniTid::new(l, SlotNo(s))
+    }
+
+    #[test]
+    fn entry_kinds() {
+        let d = MdEntry::data(mt(0, 1));
+        assert!(d.is_data());
+        assert_eq!(d.child_slot(), None);
+        let c = MdEntry::child(2, mt(1, 0));
+        assert!(!c.is_data());
+        assert_eq!(c.child_slot(), Some(2));
+    }
+
+    #[test]
+    fn group_lookups() {
+        let mut g = MdGroup::new(0);
+        g.entries.push(MdEntry::data(mt(0, 0)));
+        g.entries.push(MdEntry::child(0, mt(0, 1)));
+        g.entries.push(MdEntry::child(1, mt(0, 2)));
+        assert_eq!(g.data_entry(), Some(mt(0, 0)));
+        assert_eq!(g.child_for(0), Some(mt(0, 1)));
+        assert_eq!(g.child_for(1), Some(mt(0, 2)));
+        assert_eq!(g.child_for(2), None);
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        // The paper's root "DCC" entry for department 314.
+        let mut node = MdNode::new(MdNodeKind::Root);
+        let mut g = MdGroup::new(0);
+        g.entries.push(MdEntry::data(mt(0, 0))); // D → '314 56194 320000'
+        g.entries.push(MdEntry::child(0, mt(0, 1))); // C → PROJECTS
+        g.entries.push(MdEntry::child(1, mt(1, 0))); // C → EQUIP
+        node.groups.push(g);
+        let mut buf = Vec::new();
+        node.encode(&mut buf);
+        assert_eq!(buf.len(), node.encoded_len());
+        let mut pos = 0;
+        let back = MdNode::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, node);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn multi_group_node_roundtrip() {
+        // An SS3 subtable node: one group per element.
+        let mut node = MdNode::new(MdNodeKind::Subtable);
+        for i in 0..5u16 {
+            let mut g = MdGroup::new(0);
+            g.entries.push(MdEntry::data(mt(i, 0)));
+            if i % 2 == 0 {
+                g.entries.push(MdEntry::child(0, mt(i, 1)));
+            }
+            node.groups.push(g);
+        }
+        let mut buf = Vec::new();
+        node.encode(&mut buf);
+        let mut pos = 0;
+        assert_eq!(MdNode::decode(&buf, &mut pos).unwrap(), node);
+    }
+
+    #[test]
+    fn root_md_roundtrip() {
+        let mut pl = PageList::new();
+        pl.add(PageId(12));
+        pl.add(PageId(99));
+        pl.remove_at(0);
+        let mut node = MdNode::new(MdNodeKind::Root);
+        node.groups.push(MdGroup::new(0));
+        let root = RootMd {
+            layout: LayoutKind::Ss3,
+            page_list: pl,
+            node,
+        };
+        let bytes = root.encode();
+        let back = RootMd::decode(&bytes).unwrap();
+        assert_eq!(back, root);
+    }
+
+    #[test]
+    fn root_md_rejects_non_root_node() {
+        let mut pl = PageList::new();
+        pl.add(PageId(1));
+        let root = RootMd {
+            layout: LayoutKind::Ss1,
+            page_list: pl,
+            node: MdNode::new(MdNodeKind::Subtable),
+        };
+        let bytes = root.encode();
+        assert!(RootMd::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_garbage_errors() {
+        assert!(RootMd::decode(&[]).is_err());
+        assert!(RootMd::decode(&[9, 9, 9]).is_err());
+        let mut pos = 0;
+        assert!(MdNode::decode(&[7], &mut pos).is_err());
+    }
+
+    #[test]
+    fn layout_names() {
+        assert_eq!(LayoutKind::Ss1.name(), "SS1");
+        assert_eq!(LayoutKind::Ss3.to_string(), "SS3");
+        for l in LayoutKind::ALL {
+            assert_eq!(LayoutKind::from_code(l.code()), Some(l));
+        }
+    }
+}

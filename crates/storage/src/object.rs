@@ -1,0 +1,2275 @@
+//! The complex-object manager.
+//!
+//! An [`ObjectStore`] is the storage of one NF² table: it stores each
+//! tuple of the table as one *complex object* — its data subtuples plus a
+//! Mini Directory in the table's chosen [`LayoutKind`] — inside the
+//! object's own local address space (page list). It implements the
+//! paper's three demands (§4.1):
+//!
+//! 1. **clustering on the complex-object level**: new subtuples go to
+//!    pages already in the object's page list before a fresh page is
+//!    taken;
+//! 2. **separation of structure and data**: navigation (partial reads,
+//!    element addressing, the data walks used by indexes) touches MD
+//!    subtuples only, fetching data subtuples only when their values are
+//!    needed;
+//! 3. **fast processing of arbitrary parts**: whole objects, single
+//!    subtables, single subobjects and single data subtuples are all
+//!    directly addressable.
+//!
+//! Object *move* (check-out / reorganization) copies pages and rewrites
+//! the page list only — no `D`/`C` pointer changes, observable through
+//! [`crate::stats::Stats::pointer_rewrites`] staying at zero.
+//!
+//! Mutating operations (update atoms, insert/delete elements) are
+//! provided for **SS3**, the layout AIM-II chose; SS1/SS2 support
+//! insert / read / partial read / walk / move / delete — everything the
+//! Figure-6 comparison needs.
+
+use crate::error::StorageError;
+use crate::minidir::{LayoutKind, MdEntry, MdGroup, MdNode, MdNodeKind, RootMd};
+use crate::pagelist::PageList;
+use crate::segment::{
+    Segment, MINITID_SENTINEL, REC_FWD_LOCAL, REC_HEAD_LOCAL, REC_INLINE, REC_OVFL_LOCAL,
+};
+use crate::tid::{MiniTid, PageId, Tid};
+use crate::Result;
+use aim2_model::encode::{decode_atoms, encode_atoms};
+use aim2_model::{Atom, AttrKind, Path, TableSchema, TableValue, Tuple, Value};
+
+/// Group tag marking a node's *own* entry group (the paper's "DCC"-style
+/// group: own data pointer followed by child pointers).
+const OWN_GROUP: u16 = u16::MAX;
+
+/// Navigation result of `ObjectStore::locate`: the subtable-node chain
+/// taken, the element group reached, and its schema level.
+type Located<'s> = (Vec<(MiniTid, usize)>, MdGroup, &'s TableSchema);
+
+/// Handle of a stored complex object: the TID of its root MD subtuple.
+/// Stable across updates *and* page-level object moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectHandle(pub Tid);
+
+/// How subtuples are placed on pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterPolicy {
+    /// The paper's strategy: scan the object's page list for free space,
+    /// take a fresh page only when none fits.
+    Clustered,
+    /// Anti-clustering baseline for the CLU bench: subtuples are spread
+    /// round-robin over a shared page pool, interleaving objects — the
+    /// "distributed among too many database pages" failure mode the
+    /// paper warns about. Move/delete are not supported under this
+    /// policy (pages are shared).
+    Scattered,
+}
+
+/// Size/shape statistics of one stored object (Fig 6 comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MdProfile {
+    /// Number of MD subtuples, root included.
+    pub md_subtuples: usize,
+    /// Number of data subtuples.
+    pub data_subtuples: usize,
+    /// Total encoded bytes of MD subtuples (root payload included).
+    pub md_bytes: usize,
+    /// Total encoded bytes of data subtuples.
+    pub data_bytes: usize,
+    /// Live pages in the object's local address space.
+    pub pages: usize,
+}
+
+/// One data subtuple found by [`ObjectStore::walk_data`], together with
+/// the information needed to build hierarchical index addresses (§4.2).
+#[derive(Debug, Clone)]
+pub struct DataWalkEntry {
+    /// Subtable attribute path from the table level to the subtuple's
+    /// level (empty for the object's own data subtuple).
+    pub attr_path: Path,
+    /// Data subtuples of the complex subobjects on the path, top-down,
+    /// **excluding** the object itself and the target.
+    pub ancestors: Vec<MiniTid>,
+    /// The data subtuple itself.
+    pub data: MiniTid,
+    /// Its decoded atomic values (in schema order of that level).
+    pub atoms: Vec<Atom>,
+}
+
+/// One data subtuple with its **MD-pointer path** (the naive Fig 7a
+/// address form): the chain of non-root MD subtuples traversed from the
+/// root to the data subtuple.
+#[derive(Debug, Clone)]
+pub struct MdPathEntry {
+    pub attr_path: Path,
+    /// MD subtuples on the pointer path (subtable/subobject nodes).
+    pub md_path: Vec<MiniTid>,
+    pub data: MiniTid,
+    pub atoms: Vec<Atom>,
+}
+
+/// Addresses one (sub)object inside a stored complex object by element
+/// ordinals: `steps` is a sequence of (table-valued attribute index at
+/// that level, element ordinal). Empty = the object itself.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ElemLoc {
+    pub steps: Vec<(usize, usize)>,
+}
+
+impl ElemLoc {
+    /// The object itself.
+    pub fn object() -> ElemLoc {
+        ElemLoc::default()
+    }
+
+    /// Descend into element `elem` of the subtable at `attr_idx`.
+    pub fn then(mut self, attr_idx: usize, elem: usize) -> ElemLoc {
+        self.steps.push((attr_idx, elem));
+        self
+    }
+}
+
+/// Storage for one NF² table's complex objects.
+pub struct ObjectStore {
+    seg: Segment,
+    layout: LayoutKind,
+    policy: ClusterPolicy,
+    /// Directory pages holding root MD subtuples (outside any object's
+    /// local address space, so page-level moves never relocate a root).
+    dir_pages: Vec<PageId>,
+    /// Pages freed by object deletion, reusable for new objects.
+    free_pages: Vec<PageId>,
+    /// Shared spread pool for [`ClusterPolicy::Scattered`].
+    spread_pages: Vec<PageId>,
+    spread_cursor: usize,
+}
+
+impl ObjectStore {
+    /// Create an object store over a segment using `layout` (AIM-II used
+    /// SS3) and the clustered placement policy.
+    pub fn new(seg: Segment, layout: LayoutKind) -> ObjectStore {
+        ObjectStore {
+            seg,
+            layout,
+            policy: ClusterPolicy::Clustered,
+            dir_pages: Vec::new(),
+            free_pages: Vec::new(),
+            spread_pages: Vec::new(),
+            spread_cursor: 0,
+        }
+    }
+
+    /// Re-attach to an existing store (database restart): the segment's
+    /// pages already hold the objects; `dir_pages` / `free_pages` come
+    /// from the persisted catalog.
+    pub fn reopen(
+        seg: Segment,
+        layout: LayoutKind,
+        dir_pages: Vec<PageId>,
+        free_pages: Vec<PageId>,
+    ) -> ObjectStore {
+        ObjectStore {
+            seg,
+            layout,
+            policy: ClusterPolicy::Clustered,
+            dir_pages,
+            free_pages,
+            spread_pages: Vec::new(),
+            spread_cursor: 0,
+        }
+    }
+
+    /// Directory pages holding root MD subtuples (persisted by the
+    /// catalog checkpoint).
+    pub fn dir_pages(&self) -> &[PageId] {
+        &self.dir_pages
+    }
+
+    /// Pages reclaimed from deleted objects (persisted by the catalog
+    /// checkpoint).
+    pub fn free_pages(&self) -> &[PageId] {
+        &self.free_pages
+    }
+
+    /// Override the placement policy (benches use `Scattered`).
+    pub fn with_policy(mut self, policy: ClusterPolicy) -> ObjectStore {
+        self.policy = policy;
+        self
+    }
+
+    /// The layout this table's objects use.
+    pub fn layout(&self) -> LayoutKind {
+        self.layout
+    }
+
+    /// The underlying segment (for stats / buffer control).
+    pub fn segment_mut(&mut self) -> &mut Segment {
+        &mut self.seg
+    }
+
+    /// Shared statistics block.
+    pub fn stats(&self) -> crate::stats::Stats {
+        self.seg.stats().clone()
+    }
+
+    // =================================================================
+    // Local-space record primitives
+    // =================================================================
+
+    fn fresh_page(&mut self) -> Result<PageId> {
+        if let Some(p) = self.free_pages.pop() {
+            return Ok(p);
+        }
+        self.seg.allocate_page()
+    }
+
+    /// Fan-out of the Scattered anti-clustering policy: consecutive
+    /// subtuples cycle over at least this many pages.
+    const SCATTER_FANOUT: usize = 16;
+
+    /// Place one physical record in the object's local address space,
+    /// growing the page list as needed. Returns its Mini-TID.
+    fn place_local(&mut self, pl: &mut PageList, flag: u8, payload: &[u8]) -> Result<MiniTid> {
+        match self.policy {
+            ClusterPolicy::Clustered => {
+                // §4.1: scan the page list for a page with enough space.
+                for (lpage, pid) in pl.iter().collect::<Vec<_>>() {
+                    if self.seg.page_free(pid)? > payload.len() {
+                        if let Some(slot) = self.seg.rec_insert_in(pid, flag, payload)? {
+                            return Ok(MiniTid::new(lpage, slot));
+                        }
+                    }
+                }
+                // No page in the local address space fits: take a new one
+                // and add it to the page list.
+                let pid = self.fresh_page()?;
+                let lpage = pl.add(pid);
+                let slot = self.seg.rec_insert_in(pid, flag, payload)?.ok_or(
+                    StorageError::RecordTooLarge {
+                        len: payload.len(),
+                        max: self.seg.max_single(),
+                    },
+                )?;
+                Ok(MiniTid::new(lpage, slot))
+            }
+            ClusterPolicy::Scattered => {
+                // Keep a pool of at least SCATTER_FANOUT shared pages and
+                // advance the cursor on every placement, so consecutive
+                // subtuples (and different objects) interleave across
+                // pages — the paper's anti-pattern.
+                if self.spread_pages.len() < Self::SCATTER_FANOUT {
+                    let pid = self.seg.allocate_page()?;
+                    self.spread_pages.push(pid);
+                }
+                let n = self.spread_pages.len();
+                for _ in 0..n {
+                    let pid = self.spread_pages[self.spread_cursor % n];
+                    self.spread_cursor += 1;
+                    if self.seg.page_free(pid)? > payload.len() {
+                        if let Some(slot) = self.seg.rec_insert_in(pid, flag, payload)? {
+                            let lpage = match pl.position_of(pid) {
+                                Some(l) => l,
+                                None => pl.add(pid),
+                            };
+                            return Ok(MiniTid::new(lpage, slot));
+                        }
+                    }
+                }
+                let pid = self.seg.allocate_page()?;
+                self.spread_pages.push(pid);
+                self.spread_cursor += 1;
+                let slot = self.seg.rec_insert_in(pid, flag, payload)?.ok_or(
+                    StorageError::RecordTooLarge {
+                        len: payload.len(),
+                        max: self.seg.max_single(),
+                    },
+                )?;
+                let lpage = pl.add(pid);
+                Ok(MiniTid::new(lpage, slot))
+            }
+        }
+    }
+
+    fn translate(&self, pl: &PageList, mt: MiniTid) -> Result<PageId> {
+        pl.translate(mt.lpage).ok_or(StorageError::BadMiniTid(mt))
+    }
+
+    /// Largest chunk of a local overflow record.
+    fn max_chunk_local(&self) -> usize {
+        self.seg.max_single() - MiniTid::ENCODED_LEN
+    }
+
+    /// Store `data` as a chain of local overflow records; returns the
+    /// chain head.
+    fn store_ovfl_local(&mut self, pl: &mut PageList, data: &[u8]) -> Result<MiniTid> {
+        let chunk = self.max_chunk_local();
+        let mut next = MINITID_SENTINEL;
+        let mut chunks: Vec<&[u8]> = data.chunks(chunk).collect();
+        if chunks.is_empty() {
+            chunks.push(&[]);
+        }
+        for piece in chunks.iter().rev() {
+            let mut payload = Vec::with_capacity(MiniTid::ENCODED_LEN + piece.len());
+            next.encode(&mut payload);
+            payload.extend_from_slice(piece);
+            next = self.place_local(pl, REC_OVFL_LOCAL, &payload)?;
+        }
+        Ok(next)
+    }
+
+    fn read_ovfl_local(&mut self, pl: &PageList, head: MiniTid, out: &mut Vec<u8>) -> Result<()> {
+        let mut cur = head;
+        loop {
+            let pid = self.translate(pl, cur)?;
+            let (flag, payload) = self.seg.rec_read(pid, cur.slot)?;
+            if flag != REC_OVFL_LOCAL {
+                return Err(StorageError::Corrupt(format!(
+                    "local overflow chain hit flag {flag}"
+                )));
+            }
+            let mut pos = 0;
+            let nxt = MiniTid::decode(&payload, &mut pos)
+                .ok_or_else(|| StorageError::Corrupt("truncated local overflow header".into()))?;
+            out.extend_from_slice(&payload[pos..]);
+            if nxt == MINITID_SENTINEL {
+                return Ok(());
+            }
+            cur = nxt;
+        }
+    }
+
+    fn free_ovfl_local(&mut self, pl: &PageList, head: MiniTid) -> Result<()> {
+        let mut cur = head;
+        loop {
+            let pid = self.translate(pl, cur)?;
+            let (flag, payload) = self.seg.rec_read(pid, cur.slot)?;
+            if flag != REC_OVFL_LOCAL {
+                return Err(StorageError::Corrupt(format!(
+                    "local overflow chain hit flag {flag}"
+                )));
+            }
+            self.seg.rec_delete(pid, cur.slot)?;
+            let mut pos = 0;
+            let nxt = MiniTid::decode(&payload, &mut pos)
+                .ok_or_else(|| StorageError::Corrupt("truncated local overflow header".into()))?;
+            if nxt == MINITID_SENTINEL {
+                return Ok(());
+            }
+            cur = nxt;
+        }
+    }
+
+    /// Store a subtuple of any length in the local address space.
+    fn store_local(&mut self, pl: &mut PageList, payload: &[u8]) -> Result<MiniTid> {
+        if payload.len() <= self.seg.max_single() {
+            return self.place_local(pl, REC_INLINE, payload);
+        }
+        let chunk = self.max_chunk_local();
+        let tail = self.store_ovfl_local(pl, &payload[chunk..])?;
+        let mut head = Vec::with_capacity(MiniTid::ENCODED_LEN + chunk);
+        tail.encode(&mut head);
+        head.extend_from_slice(&payload[..chunk]);
+        self.place_local(pl, REC_HEAD_LOCAL, &head)
+    }
+
+    /// Read a subtuple by Mini-TID, whatever its physical layout.
+    fn read_local_payload(&mut self, pl: &PageList, mt: MiniTid) -> Result<Vec<u8>> {
+        let pid = self.translate(pl, mt)?;
+        let (flag, payload) = self.seg.rec_read(pid, mt.slot)?;
+        match flag {
+            REC_INLINE => Ok(payload),
+            REC_FWD_LOCAL => {
+                let mut pos = 0;
+                let target = MiniTid::decode(&payload, &mut pos)
+                    .ok_or_else(|| StorageError::Corrupt("bad local forward".into()))?;
+                // The forward target is itself a full blob (inline or
+                // chunked) — one hop, never a chain of forwards.
+                let tpid = self.translate(pl, target)?;
+                let (tflag, tpayload) = self.seg.rec_read(tpid, target.slot)?;
+                match tflag {
+                    REC_INLINE => Ok(tpayload),
+                    REC_HEAD_LOCAL => self.read_head_local(pl, tpayload),
+                    other => Err(StorageError::Corrupt(format!(
+                        "local forward target has flag {other}"
+                    ))),
+                }
+            }
+            REC_HEAD_LOCAL => self.read_head_local(pl, payload),
+            REC_OVFL_LOCAL => Err(StorageError::BadMiniTid(mt)),
+            other => Err(StorageError::Corrupt(format!("unexpected flag {other}"))),
+        }
+    }
+
+    fn read_head_local(&mut self, pl: &PageList, payload: Vec<u8>) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let next = MiniTid::decode(&payload, &mut pos)
+            .ok_or_else(|| StorageError::Corrupt("bad local head header".into()))?;
+        let mut out = payload[pos..].to_vec();
+        if next != MINITID_SENTINEL {
+            self.read_ovfl_local(pl, next, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    /// Free any storage a subtuple holds beyond its home record.
+    fn free_local_extras(&mut self, pl: &PageList, mt: MiniTid) -> Result<()> {
+        let pid = self.translate(pl, mt)?;
+        let (flag, payload) = self.seg.rec_read(pid, mt.slot)?;
+        match flag {
+            REC_INLINE => Ok(()),
+            REC_HEAD_LOCAL => {
+                let mut pos = 0;
+                let next = MiniTid::decode(&payload, &mut pos)
+                    .ok_or_else(|| StorageError::Corrupt("bad local head header".into()))?;
+                if next != MINITID_SENTINEL {
+                    self.free_ovfl_local(pl, next)?;
+                }
+                Ok(())
+            }
+            REC_FWD_LOCAL => {
+                let mut pos = 0;
+                let target = MiniTid::decode(&payload, &mut pos)
+                    .ok_or_else(|| StorageError::Corrupt("bad local forward".into()))?;
+                self.free_local_extras(pl, target)?;
+                let tpid = self.translate(pl, target)?;
+                self.seg.rec_delete(tpid, target.slot)
+            }
+            REC_OVFL_LOCAL => Err(StorageError::BadMiniTid(mt)),
+            other => Err(StorageError::Corrupt(format!("unexpected flag {other}"))),
+        }
+    }
+
+    /// Update the subtuple at `mt`, keeping the Mini-TID valid (home
+    /// record becomes a local forward when the value no longer fits).
+    fn update_local(&mut self, pl: &mut PageList, mt: MiniTid, payload: &[u8]) -> Result<()> {
+        self.free_local_extras(pl, mt)?;
+        let pid = self.translate(pl, mt)?;
+        if payload.len() <= self.seg.max_single()
+            && self.seg.rec_update(pid, mt.slot, REC_INLINE, payload)?
+        {
+            return Ok(());
+        }
+        let target = self.store_local(pl, payload)?;
+        let mut fwd = Vec::with_capacity(MiniTid::ENCODED_LEN);
+        target.encode(&mut fwd);
+        let pid = self.translate(pl, mt)?;
+        if !self.seg.rec_update(pid, mt.slot, REC_FWD_LOCAL, &fwd)? {
+            return Err(StorageError::Corrupt(
+                "page too full to place a local forward pointer".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Delete the subtuple at `mt` including any overflow storage.
+    fn delete_local(&mut self, pl: &PageList, mt: MiniTid) -> Result<()> {
+        self.free_local_extras(pl, mt)?;
+        let pid = self.translate(pl, mt)?;
+        self.seg.rec_delete(pid, mt.slot)
+    }
+
+
+    fn read_md_node(&mut self, pl: &PageList, mt: MiniTid) -> Result<MdNode> {
+        let payload = self.read_local_payload(pl, mt)?;
+        let mut pos = 0;
+        MdNode::decode(&payload, &mut pos)
+    }
+
+    fn read_data_atoms(&mut self, pl: &PageList, mt: MiniTid) -> Result<Vec<Atom>> {
+        let payload = self.read_local_payload(pl, mt)?;
+        Ok(decode_atoms(&payload)?)
+    }
+
+    // =================================================================
+    // Root MD subtuples (object directory)
+    // =================================================================
+
+    fn store_root(&mut self, root: &RootMd) -> Result<ObjectHandle> {
+        let bytes = root.encode();
+        for &pid in &self.dir_pages {
+            if self.seg.page_free(pid)? > bytes.len() {
+                if let Some(slot) = self.seg.rec_insert_in(pid, REC_INLINE, &bytes)? {
+                    return Ok(ObjectHandle(Tid::new(pid, slot)));
+                }
+            }
+        }
+        let pid = self.seg.allocate_page()?;
+        self.dir_pages.push(pid);
+        let slot = self
+            .seg
+            .rec_insert_in(pid, REC_INLINE, &bytes)?
+            .ok_or(StorageError::RecordTooLarge {
+                len: bytes.len(),
+                max: crate::page::Page::max_record_len(self.seg.page_size()) - 1,
+            })?;
+        Ok(ObjectHandle(Tid::new(pid, slot)))
+    }
+
+    /// Read the root MD subtuple of `handle`.
+    pub fn root_md(&mut self, handle: ObjectHandle) -> Result<RootMd> {
+        let bytes = self.seg.read(handle.0)?;
+        RootMd::decode(&bytes)
+    }
+
+    fn write_root(&mut self, handle: ObjectHandle, root: &RootMd) -> Result<()> {
+        self.seg.update(handle.0, &root.encode())
+    }
+
+    /// All object handles in this store, in directory order.
+    pub fn handles(&mut self) -> Result<Vec<ObjectHandle>> {
+        let mut out = Vec::new();
+        for &pid in &self.dir_pages.clone() {
+            let slots: Vec<crate::tid::SlotNo> = self.seg.pool_mut().with_page(pid, |buf| {
+                crate::page::PageRef::new(buf)
+                    .live_records()
+                    .map(|(s, _)| s)
+                    .collect()
+            })?;
+            for slot in slots {
+                out.push(ObjectHandle(Tid::new(pid, slot)));
+            }
+        }
+        Ok(out)
+    }
+
+    // =================================================================
+    // Insert
+    // =================================================================
+
+    /// Store `tuple` (one row of `schema`) as a complex object; returns
+    /// its handle. The caller is expected to have validated the tuple
+    /// against the schema.
+    pub fn insert_object(&mut self, schema: &TableSchema, tuple: &Tuple) -> Result<ObjectHandle> {
+        let mut pl = PageList::new();
+        let node = match self.layout {
+            LayoutKind::Ss1 => self.build_ss1(&mut pl, schema, tuple, MdNodeKind::Root)?,
+            LayoutKind::Ss2 => self.build_ss2(&mut pl, schema, tuple, MdNodeKind::Root)?,
+            LayoutKind::Ss3 => self.build_ss3_object(&mut pl, schema, tuple)?,
+        };
+        let root = RootMd {
+            layout: self.layout,
+            page_list: pl,
+            node,
+        };
+        self.store_root(&root)
+    }
+
+    fn store_data_subtuple(
+        &mut self,
+        pl: &mut PageList,
+        schema: &TableSchema,
+        tuple: &Tuple,
+    ) -> Result<MiniTid> {
+        let atoms = tuple.atomic_fields(schema);
+        let payload = encode_atoms(atoms);
+        self.store_local(pl, &payload)
+    }
+
+    /// SS1 (Fig 6a): MD subtuple per subtable *and* per complex
+    /// subobject.
+    fn build_ss1(
+        &mut self,
+        pl: &mut PageList,
+        schema: &TableSchema,
+        tuple: &Tuple,
+        kind: MdNodeKind,
+    ) -> Result<MdNode> {
+        let data = self.store_data_subtuple(pl, schema, tuple)?;
+        let mut own = MdGroup::new(OWN_GROUP);
+        own.entries.push(MdEntry::data(data));
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table attr");
+            let sub_value = tuple.fields[attr_idx].as_table().ok_or_else(|| {
+                StorageError::Corrupt("schema/value mismatch: expected table".into())
+            })?;
+            // Build the subtable MD subtuple: one entry per element.
+            let mut st_group = MdGroup::new(0);
+            for elem in &sub_value.tuples {
+                if sub_schema.is_flat() {
+                    let d = self.store_data_subtuple(pl, sub_schema, elem)?;
+                    st_group.entries.push(MdEntry::data(d));
+                } else {
+                    let child = self.build_ss1(pl, sub_schema, elem, MdNodeKind::Subobject)?;
+                    let mut bytes = Vec::with_capacity(child.encoded_len());
+                    child.encode(&mut bytes);
+                    let c = self.store_local(pl, &bytes)?;
+                    st_group.entries.push(MdEntry::child(0, c));
+                }
+            }
+            let mut st_node = MdNode::new(MdNodeKind::Subtable);
+            st_node.groups.push(st_group);
+            let mut bytes = Vec::with_capacity(st_node.encoded_len());
+            st_node.encode(&mut bytes);
+            let st_mt = self.store_local(pl, &bytes)?;
+            own.entries.push(MdEntry::child(slot as u8, st_mt));
+        }
+        let mut node = MdNode::new(kind);
+        node.groups.push(own);
+        Ok(node)
+    }
+
+    /// SS2 (Fig 6b): MD subtuples only per complex subobject; subtable
+    /// membership lists folded into the parent object's node.
+    fn build_ss2(
+        &mut self,
+        pl: &mut PageList,
+        schema: &TableSchema,
+        tuple: &Tuple,
+        kind: MdNodeKind,
+    ) -> Result<MdNode> {
+        let data = self.store_data_subtuple(pl, schema, tuple)?;
+        let mut node = MdNode::new(kind);
+        let mut own = MdGroup::new(OWN_GROUP);
+        own.entries.push(MdEntry::data(data));
+        node.groups.push(own);
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table attr");
+            let sub_value = tuple.fields[attr_idx].as_table().ok_or_else(|| {
+                StorageError::Corrupt("schema/value mismatch: expected table".into())
+            })?;
+            let mut membership = MdGroup::new(slot as u16);
+            for elem in &sub_value.tuples {
+                if sub_schema.is_flat() {
+                    let d = self.store_data_subtuple(pl, sub_schema, elem)?;
+                    membership.entries.push(MdEntry::data(d));
+                } else {
+                    let child = self.build_ss2(pl, sub_schema, elem, MdNodeKind::Subobject)?;
+                    let mut bytes = Vec::with_capacity(child.encoded_len());
+                    child.encode(&mut bytes);
+                    let c = self.store_local(pl, &bytes)?;
+                    membership.entries.push(MdEntry::child(slot as u8, c));
+                }
+            }
+            node.groups.push(membership);
+        }
+        Ok(node)
+    }
+
+    /// SS3 (Fig 6c, AIM-II's choice): MD subtuples only per subtable;
+    /// each element is one group inside the subtable node.
+    fn build_ss3_object(
+        &mut self,
+        pl: &mut PageList,
+        schema: &TableSchema,
+        tuple: &Tuple,
+    ) -> Result<MdNode> {
+        let data = self.store_data_subtuple(pl, schema, tuple)?;
+        let mut own = MdGroup::new(OWN_GROUP);
+        own.entries.push(MdEntry::data(data));
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table attr");
+            let sub_value = tuple.fields[attr_idx].as_table().ok_or_else(|| {
+                StorageError::Corrupt("schema/value mismatch: expected table".into())
+            })?;
+            let st_mt = self.build_ss3_subtable(pl, sub_schema, sub_value)?;
+            own.entries.push(MdEntry::child(slot as u8, st_mt));
+        }
+        let mut node = MdNode::new(MdNodeKind::Root);
+        node.groups.push(own);
+        Ok(node)
+    }
+
+    /// Build and store one SS3 subtable node; returns its Mini-TID.
+    fn build_ss3_subtable(
+        &mut self,
+        pl: &mut PageList,
+        sub_schema: &TableSchema,
+        value: &TableValue,
+    ) -> Result<MiniTid> {
+        let mut node = MdNode::new(MdNodeKind::Subtable);
+        for elem in &value.tuples {
+            node.groups.push(self.build_ss3_elem(pl, sub_schema, elem)?);
+        }
+        let mut bytes = Vec::with_capacity(node.encoded_len());
+        node.encode(&mut bytes);
+        self.store_local(pl, &bytes)
+    }
+
+    /// Build one SS3 element group (data pointer + child pointers to the
+    /// element's own subtable nodes).
+    fn build_ss3_elem(
+        &mut self,
+        pl: &mut PageList,
+        sub_schema: &TableSchema,
+        elem: &Tuple,
+    ) -> Result<MdGroup> {
+        let d = self.store_data_subtuple(pl, sub_schema, elem)?;
+        let mut group = MdGroup::new(0);
+        group.entries.push(MdEntry::data(d));
+        for (slot, attr_idx) in sub_schema.table_indices().into_iter().enumerate() {
+            let nested_schema = sub_schema.attrs[attr_idx]
+                .kind
+                .as_table()
+                .expect("table attr");
+            let nested_value = elem.fields[attr_idx].as_table().ok_or_else(|| {
+                StorageError::Corrupt("schema/value mismatch: expected table".into())
+            })?;
+            let st = self.build_ss3_subtable(pl, nested_schema, nested_value)?;
+            group.entries.push(MdEntry::child(slot as u8, st));
+        }
+        Ok(group)
+    }
+
+    // =================================================================
+    // Read (full and partial)
+    // =================================================================
+
+    /// Materialize the whole object.
+    pub fn read_object(&mut self, schema: &TableSchema, handle: ObjectHandle) -> Result<Tuple> {
+        self.read_object_projected(schema, handle, &|_| true)
+    }
+
+    /// Materialize the object, descending only into subtable attributes
+    /// for which `keep(path)` is true; pruned subtables come back as
+    /// empty tables. This is the paper's *partial retrieval*: pruned
+    /// subtrees cost no page accesses at all.
+    pub fn read_object_projected(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        keep: &dyn Fn(&Path) -> bool,
+    ) -> Result<Tuple> {
+        let root = self.root_md(handle)?;
+        self.seg.stats().inc_object_visit();
+        let pl = root.page_list.clone();
+        match root.layout {
+            LayoutKind::Ss1 => {
+                self.assemble_ss1(&pl, &root.node, schema, &Path::root(), keep)
+            }
+            LayoutKind::Ss2 => {
+                self.assemble_ss2(&pl, &root.node, schema, &Path::root(), keep)
+            }
+            LayoutKind::Ss3 => {
+                self.assemble_ss3_object(&pl, &root.node, schema, &Path::root(), keep)
+            }
+        }
+    }
+
+    /// Read only the first-level atomic attribute values of the object —
+    /// exactly one data-subtuple access after the root.
+    pub fn read_first_level_atoms(&mut self, handle: ObjectHandle) -> Result<Vec<Atom>> {
+        let root = self.root_md(handle)?;
+        let own = root
+            .node
+            .groups
+            .iter()
+            .find(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("root node lacks own group".into()))?;
+        let data = own
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("root own group lacks D entry".into()))?;
+        self.read_data_atoms(&root.page_list, data)
+    }
+
+    /// Decode the data subtuple at `mt` inside `handle`'s local space
+    /// (used by index lookups resolving hierarchical addresses).
+    pub fn read_data_subtuple(&mut self, handle: ObjectHandle, mt: MiniTid) -> Result<Vec<Atom>> {
+        let root = self.root_md(handle)?;
+        self.read_data_atoms(&root.page_list, mt)
+    }
+
+    fn atoms_to_tuple(
+        schema: &TableSchema,
+        atoms: Vec<Atom>,
+        mut subtables: Vec<TableValue>,
+    ) -> Result<Tuple> {
+        let mut fields = Vec::with_capacity(schema.attrs.len());
+        let mut atom_it = atoms.into_iter();
+        let mut sub_it = subtables.drain(..);
+        for attr in &schema.attrs {
+            match &attr.kind {
+                AttrKind::Atomic(_) => {
+                    let a = atom_it.next().ok_or_else(|| {
+                        StorageError::Corrupt("data subtuple has too few atoms".into())
+                    })?;
+                    fields.push(Value::Atom(a));
+                }
+                AttrKind::Table(_) => {
+                    let t = sub_it
+                        .next()
+                        .ok_or_else(|| StorageError::Corrupt("missing subtable value".into()))?;
+                    fields.push(Value::Table(t));
+                }
+            }
+        }
+        Ok(Tuple::new(fields))
+    }
+
+    fn empty_table(schema: &TableSchema) -> TableValue {
+        TableValue {
+            kind: schema.kind,
+            tuples: Vec::new(),
+        }
+    }
+
+    fn assemble_ss1(
+        &mut self,
+        pl: &PageList,
+        node: &MdNode,
+        schema: &TableSchema,
+        at: &Path,
+        keep: &dyn Fn(&Path) -> bool,
+    ) -> Result<Tuple> {
+        let own = node
+            .groups
+            .first()
+            .filter(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("SS1 node lacks own group".into()))?
+            .clone();
+        let data = own
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("SS1 node lacks D entry".into()))?;
+        let atoms = self.read_data_atoms(pl, data)?;
+        let mut subtables = Vec::new();
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table");
+            let sub_path = at.child(&schema.attrs[attr_idx].name);
+            if !keep(&sub_path) {
+                subtables.push(Self::empty_table(sub_schema));
+                continue;
+            }
+            let st_mt = own.child_for(slot as u8).ok_or_else(|| {
+                StorageError::Corrupt(format!("SS1 node lacks C entry for slot {slot}"))
+            })?;
+            let st_node = self.read_md_node(pl, st_mt)?;
+            let st_group = st_node
+                .groups
+                .first()
+                .ok_or_else(|| StorageError::Corrupt("SS1 subtable node empty".into()))?;
+            let mut tuples = Vec::with_capacity(st_group.entries.len());
+            for e in &st_group.entries {
+                if e.is_data() {
+                    let atoms = self.read_data_atoms(pl, e.tid)?;
+                    tuples.push(Self::atoms_to_tuple(sub_schema, atoms, Vec::new())?);
+                } else {
+                    let child = self.read_md_node(pl, e.tid)?;
+                    tuples.push(self.assemble_ss1(pl, &child, sub_schema, &sub_path, keep)?);
+                }
+            }
+            subtables.push(TableValue {
+                kind: sub_schema.kind,
+                tuples,
+            });
+        }
+        Self::atoms_to_tuple(schema, atoms, subtables)
+    }
+
+    fn assemble_ss2(
+        &mut self,
+        pl: &PageList,
+        node: &MdNode,
+        schema: &TableSchema,
+        at: &Path,
+        keep: &dyn Fn(&Path) -> bool,
+    ) -> Result<Tuple> {
+        let own = node
+            .groups
+            .iter()
+            .find(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("SS2 node lacks own group".into()))?;
+        let data = own
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("SS2 node lacks D entry".into()))?;
+        let atoms = self.read_data_atoms(pl, data)?;
+        let mut subtables = Vec::new();
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table");
+            let sub_path = at.child(&schema.attrs[attr_idx].name);
+            if !keep(&sub_path) {
+                subtables.push(Self::empty_table(sub_schema));
+                continue;
+            }
+            let membership = node
+                .groups
+                .iter()
+                .find(|g| g.tag == slot as u16)
+                .cloned()
+                .unwrap_or_else(|| MdGroup::new(slot as u16));
+            let mut tuples = Vec::with_capacity(membership.entries.len());
+            for e in &membership.entries {
+                if e.is_data() {
+                    let atoms = self.read_data_atoms(pl, e.tid)?;
+                    tuples.push(Self::atoms_to_tuple(sub_schema, atoms, Vec::new())?);
+                } else {
+                    let child = self.read_md_node(pl, e.tid)?;
+                    tuples.push(self.assemble_ss2(pl, &child, sub_schema, &sub_path, keep)?);
+                }
+            }
+            subtables.push(TableValue {
+                kind: sub_schema.kind,
+                tuples,
+            });
+        }
+        Self::atoms_to_tuple(schema, atoms, subtables)
+    }
+
+    fn assemble_ss3_object(
+        &mut self,
+        pl: &PageList,
+        node: &MdNode,
+        schema: &TableSchema,
+        at: &Path,
+        keep: &dyn Fn(&Path) -> bool,
+    ) -> Result<Tuple> {
+        let own = node
+            .groups
+            .first()
+            .filter(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("SS3 object node lacks own group".into()))?
+            .clone();
+        let data = own
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("SS3 object node lacks D entry".into()))?;
+        let atoms = self.read_data_atoms(pl, data)?;
+        let mut subtables = Vec::new();
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table");
+            let sub_path = at.child(&schema.attrs[attr_idx].name);
+            if !keep(&sub_path) {
+                subtables.push(Self::empty_table(sub_schema));
+                continue;
+            }
+            let st_mt = own.child_for(slot as u8).ok_or_else(|| {
+                StorageError::Corrupt(format!("SS3 object node lacks C for slot {slot}"))
+            })?;
+            subtables.push(self.assemble_ss3_subtable(pl, st_mt, sub_schema, &sub_path, keep)?);
+        }
+        Self::atoms_to_tuple(schema, atoms, subtables)
+    }
+
+    fn assemble_ss3_subtable(
+        &mut self,
+        pl: &PageList,
+        st_mt: MiniTid,
+        sub_schema: &TableSchema,
+        at: &Path,
+        keep: &dyn Fn(&Path) -> bool,
+    ) -> Result<TableValue> {
+        let st_node = self.read_md_node(pl, st_mt)?;
+        let mut tuples = Vec::with_capacity(st_node.groups.len());
+        for group in &st_node.groups {
+            tuples.push(self.assemble_ss3_elem(pl, group, sub_schema, at, keep)?);
+        }
+        Ok(TableValue {
+            kind: sub_schema.kind,
+            tuples,
+        })
+    }
+
+    fn assemble_ss3_elem(
+        &mut self,
+        pl: &PageList,
+        group: &MdGroup,
+        sub_schema: &TableSchema,
+        at: &Path,
+        keep: &dyn Fn(&Path) -> bool,
+    ) -> Result<Tuple> {
+        let data = group
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("SS3 element lacks D entry".into()))?;
+        let atoms = self.read_data_atoms(pl, data)?;
+        let mut subtables = Vec::new();
+        for (slot, attr_idx) in sub_schema.table_indices().into_iter().enumerate() {
+            let nested = sub_schema.attrs[attr_idx].kind.as_table().expect("table");
+            let nested_path = at.child(&sub_schema.attrs[attr_idx].name);
+            if !keep(&nested_path) {
+                subtables.push(Self::empty_table(nested));
+                continue;
+            }
+            let st = group.child_for(slot as u8).ok_or_else(|| {
+                StorageError::Corrupt(format!("SS3 element lacks C for slot {slot}"))
+            })?;
+            subtables.push(self.assemble_ss3_subtable(pl, st, nested, &nested_path, keep)?);
+        }
+        Self::atoms_to_tuple(sub_schema, atoms, subtables)
+    }
+
+    // =================================================================
+    // Data walks (index building, §4.2) and MD profiling (Fig 6)
+    // =================================================================
+
+    /// Enumerate every data subtuple of the object with its hierarchical
+    /// context: `ancestors` are the data subtuples of the complex
+    /// subobjects on the path (the components of a final-form Fig-7b
+    /// hierarchical address).
+    pub fn walk_data(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+    ) -> Result<Vec<DataWalkEntry>> {
+        let root = self.root_md(handle)?;
+        let pl = root.page_list.clone();
+        let mut out = Vec::new();
+        self.walk_node(
+            &pl,
+            root.layout,
+            &root.node,
+            schema,
+            &Path::root(),
+            &mut Vec::new(),
+            &mut out,
+        )?;
+        Ok(out)
+    }
+
+    /// Walk an object-shaped node (SS1/SS2/SS3 root, SS1/SS2 subobject).
+    #[allow(clippy::too_many_arguments)]
+    fn walk_node(
+        &mut self,
+        pl: &PageList,
+        layout: LayoutKind,
+        node: &MdNode,
+        schema: &TableSchema,
+        at: &Path,
+        ancestors: &mut Vec<MiniTid>,
+        out: &mut Vec<DataWalkEntry>,
+    ) -> Result<()> {
+        let own = node
+            .groups
+            .iter()
+            .find(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("node lacks own group".into()))?
+            .clone();
+        let data = own
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("node lacks D entry".into()))?;
+        let atoms = self.read_data_atoms(pl, data)?;
+        out.push(DataWalkEntry {
+            attr_path: at.clone(),
+            ancestors: ancestors.clone(),
+            data,
+            atoms,
+        });
+        let is_root = at.is_root();
+        if !is_root {
+            ancestors.push(data);
+        }
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table");
+            let sub_path = at.child(&schema.attrs[attr_idx].name);
+            match layout {
+                LayoutKind::Ss1 => {
+                    let st_mt = own.child_for(slot as u8).ok_or_else(|| {
+                        StorageError::Corrupt("SS1 missing subtable child".into())
+                    })?;
+                    let st_node = self.read_md_node(pl, st_mt)?;
+                    let entries = st_node
+                        .groups
+                        .first()
+                        .map(|g| g.entries.clone())
+                        .unwrap_or_default();
+                    for e in entries {
+                        if e.is_data() {
+                            let atoms = self.read_data_atoms(pl, e.tid)?;
+                            out.push(DataWalkEntry {
+                                attr_path: sub_path.clone(),
+                                ancestors: ancestors.clone(),
+                                data: e.tid,
+                                atoms,
+                            });
+                        } else {
+                            let child = self.read_md_node(pl, e.tid)?;
+                            self.walk_node(pl, layout, &child, sub_schema, &sub_path, ancestors, out)?;
+                        }
+                    }
+                }
+                LayoutKind::Ss2 => {
+                    let membership = node
+                        .groups
+                        .iter()
+                        .find(|g| g.tag == slot as u16)
+                        .cloned()
+                        .unwrap_or_else(|| MdGroup::new(slot as u16));
+                    for e in membership.entries {
+                        if e.is_data() {
+                            let atoms = self.read_data_atoms(pl, e.tid)?;
+                            out.push(DataWalkEntry {
+                                attr_path: sub_path.clone(),
+                                ancestors: ancestors.clone(),
+                                data: e.tid,
+                                atoms,
+                            });
+                        } else {
+                            let child = self.read_md_node(pl, e.tid)?;
+                            self.walk_node(pl, layout, &child, sub_schema, &sub_path, ancestors, out)?;
+                        }
+                    }
+                }
+                LayoutKind::Ss3 => {
+                    let st_mt = own.child_for(slot as u8).ok_or_else(|| {
+                        StorageError::Corrupt("SS3 missing subtable child".into())
+                    })?;
+                    self.walk_ss3_subtable(pl, st_mt, sub_schema, &sub_path, ancestors, out)?;
+                }
+            }
+        }
+        if !is_root {
+            ancestors.pop();
+        }
+        Ok(())
+    }
+
+    fn walk_ss3_subtable(
+        &mut self,
+        pl: &PageList,
+        st_mt: MiniTid,
+        sub_schema: &TableSchema,
+        at: &Path,
+        ancestors: &mut Vec<MiniTid>,
+        out: &mut Vec<DataWalkEntry>,
+    ) -> Result<()> {
+        let st_node = self.read_md_node(pl, st_mt)?;
+        for group in &st_node.groups {
+            let data = group
+                .data_entry()
+                .ok_or_else(|| StorageError::Corrupt("SS3 element lacks D".into()))?;
+            let atoms = self.read_data_atoms(pl, data)?;
+            out.push(DataWalkEntry {
+                attr_path: at.clone(),
+                ancestors: ancestors.clone(),
+                data,
+                atoms,
+            });
+            if !sub_schema.is_flat() {
+                ancestors.push(data);
+                for (slot, attr_idx) in sub_schema.table_indices().into_iter().enumerate() {
+                    let nested = sub_schema.attrs[attr_idx].kind.as_table().expect("table");
+                    let nested_path = at.child(&sub_schema.attrs[attr_idx].name);
+                    let nested_mt = group.child_for(slot as u8).ok_or_else(|| {
+                        StorageError::Corrupt("SS3 element missing C".into())
+                    })?;
+                    self.walk_ss3_subtable(pl, nested_mt, nested, &nested_path, ancestors, out)?;
+                }
+                ancestors.pop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Enumerate data subtuples with their **MD-pointer paths** — the
+    /// naive Fig-7a hierarchical address form, whose components identify
+    /// subtables rather than subobjects. Only meaningful for SS3 (the
+    /// layout Fig 7 is drawn for).
+    pub fn walk_data_md_paths(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+    ) -> Result<Vec<MdPathEntry>> {
+        let root = self.root_md(handle)?;
+        if root.layout != LayoutKind::Ss3 {
+            return Err(StorageError::Corrupt(
+                "MD-path walk is defined for SS3 (Fig 7)".into(),
+            ));
+        }
+        let pl = root.page_list.clone();
+        let own = root
+            .node
+            .groups
+            .first()
+            .filter(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("root lacks own group".into()))?
+            .clone();
+        let mut out = Vec::new();
+        let data = own
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("root lacks D".into()))?;
+        let atoms = self.read_data_atoms(&pl, data)?;
+        out.push(MdPathEntry {
+            attr_path: Path::root(),
+            md_path: Vec::new(),
+            data,
+            atoms,
+        });
+        for (slot, attr_idx) in schema.table_indices().into_iter().enumerate() {
+            let sub_schema = schema.attrs[attr_idx].kind.as_table().expect("table");
+            let sub_path = Path::root().child(&schema.attrs[attr_idx].name);
+            let st_mt = own
+                .child_for(slot as u8)
+                .ok_or_else(|| StorageError::Corrupt("root missing C".into()))?;
+            self.walk_md_paths_subtable(&pl, st_mt, sub_schema, &sub_path, &mut vec![st_mt], &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn walk_md_paths_subtable(
+        &mut self,
+        pl: &PageList,
+        st_mt: MiniTid,
+        sub_schema: &TableSchema,
+        at: &Path,
+        md_path: &mut Vec<MiniTid>,
+        out: &mut Vec<MdPathEntry>,
+    ) -> Result<()> {
+        let st_node = self.read_md_node(pl, st_mt)?;
+        for group in &st_node.groups {
+            let data = group
+                .data_entry()
+                .ok_or_else(|| StorageError::Corrupt("element lacks D".into()))?;
+            let atoms = self.read_data_atoms(pl, data)?;
+            out.push(MdPathEntry {
+                attr_path: at.clone(),
+                md_path: md_path.clone(),
+                data,
+                atoms,
+            });
+            for (slot, attr_idx) in sub_schema.table_indices().into_iter().enumerate() {
+                let nested = sub_schema.attrs[attr_idx].kind.as_table().expect("table");
+                let nested_path = at.child(&sub_schema.attrs[attr_idx].name);
+                let nested_mt = group
+                    .child_for(slot as u8)
+                    .ok_or_else(|| StorageError::Corrupt("element missing C".into()))?;
+                md_path.push(nested_mt);
+                self.walk_md_paths_subtable(pl, nested_mt, nested, &nested_path, md_path, out)?;
+                md_path.pop();
+            }
+        }
+        Ok(())
+    }
+
+    /// Count MD / data subtuples and bytes (Fig 6 comparison; the §4.1
+    /// claim SS1 > SS3 > SS2 is about `md_subtuples`).
+    pub fn md_profile(&mut self, handle: ObjectHandle) -> Result<MdProfile> {
+        let root = self.root_md(handle)?;
+        let pl = root.page_list.clone();
+        let mut prof = MdProfile {
+            md_subtuples: 1, // the root MD subtuple
+            md_bytes: root.encode().len(),
+            pages: pl.page_count(),
+            ..MdProfile::default()
+        };
+        self.profile_groups(&pl, &root.node, &mut prof)?;
+        Ok(prof)
+    }
+
+    fn profile_groups(&mut self, pl: &PageList, node: &MdNode, prof: &mut MdProfile) -> Result<()> {
+        for g in &node.groups {
+            for e in &g.entries {
+                if e.is_data() {
+                    let payload = self.read_local_payload(pl, e.tid)?;
+                    prof.data_subtuples += 1;
+                    prof.data_bytes += payload.len();
+                } else {
+                    let child = self.read_md_node(pl, e.tid)?;
+                    let mut bytes = Vec::new();
+                    child.encode(&mut bytes);
+                    prof.md_subtuples += 1;
+                    prof.md_bytes += bytes.len();
+                    self.profile_groups(pl, &child, prof)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the MD tree as indented text in the style of Fig 6 — the
+    /// `reproduce` binary prints this for department 314 under all three
+    /// layouts.
+    pub fn dump_md_tree(&mut self, handle: ObjectHandle) -> Result<String> {
+        use std::fmt::Write as _;
+        let root = self.root_md(handle)?;
+        let pl = root.page_list.clone();
+        let mut out = String::new();
+        let letters: String = root
+            .node
+            .groups
+            .iter()
+            .flat_map(|g| g.entries.iter())
+            .map(|e| if e.is_data() { 'D' } else { 'C' })
+            .collect();
+        let _ = writeln!(
+            out,
+            "root MD subtuple [{letters}] (layout {}, {} page(s) in local address space)",
+            root.layout,
+            pl.page_count()
+        );
+        self.dump_groups(&pl, &root.node, 1, &mut out)?;
+        Ok(out)
+    }
+
+    fn dump_groups(
+        &mut self,
+        pl: &PageList,
+        node: &MdNode,
+        depth: usize,
+        out: &mut String,
+    ) -> Result<()> {
+        use std::fmt::Write as _;
+        for g in &node.groups {
+            for e in &g.entries {
+                for _ in 0..depth {
+                    out.push_str("  ");
+                }
+                if e.is_data() {
+                    let atoms = self.read_data_atoms(pl, e.tid)?;
+                    let vals: Vec<String> = atoms.iter().map(|a| a.to_string()).collect();
+                    let _ = writeln!(out, "D @{} -> data subtuple '{}'", e.tid, vals.join(" "));
+                } else {
+                    let child = self.read_md_node(pl, e.tid)?;
+                    let kind = match child.kind {
+                        MdNodeKind::Root => "root",
+                        MdNodeKind::Subtable => "subtable",
+                        MdNodeKind::Subobject => "subobject",
+                    };
+                    let letters: String = child
+                        .groups
+                        .iter()
+                        .flat_map(|g| g.entries.iter())
+                        .map(|e| if e.is_data() { 'D' } else { 'C' })
+                        .collect();
+                    let _ = writeln!(out, "C @{} -> {kind} MD subtuple [{letters}]", e.tid);
+                    self.dump_groups(pl, &child, depth + 1, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // =================================================================
+    // Mutations (SS3 — the layout AIM-II chose)
+    // =================================================================
+
+    fn require_ss3(&self) -> Result<()> {
+        if self.layout != LayoutKind::Ss3 {
+            return Err(StorageError::Corrupt(format!(
+                "mutation supported on SS3 only (store uses {})",
+                self.layout
+            )));
+        }
+        Ok(())
+    }
+
+    /// Navigate to the element group addressed by `loc`. Returns the
+    /// chain of `(subtable node Mini-TID, group index)` taken, the final
+    /// element group, and the schema level reached.
+    fn locate<'s>(
+        &mut self,
+        pl: &PageList,
+        root_node: &MdNode,
+        schema: &'s TableSchema,
+        loc: &ElemLoc,
+    ) -> Result<Located<'s>> {
+        let mut level_schema = schema;
+        let mut group = root_node
+            .groups
+            .first()
+            .filter(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("root lacks own group".into()))?
+            .clone();
+        let mut chain = Vec::new();
+        for &(attr_idx, elem) in &loc.steps {
+            let sub_schema = level_schema
+                .attrs
+                .get(attr_idx)
+                .and_then(|a| a.kind.as_table())
+                .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+            let slot = level_schema
+                .table_indices()
+                .iter()
+                .position(|&i| i == attr_idx)
+                .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+            let st_mt = group
+                .child_for(slot as u8)
+                .ok_or_else(|| StorageError::Corrupt("missing subtable child".into()))?;
+            let st_node = self.read_md_node(pl, st_mt)?;
+            let g = st_node
+                .groups
+                .get(elem)
+                .ok_or(StorageError::BadElementIndex {
+                    index: elem,
+                    len: st_node.groups.len(),
+                })?
+                .clone();
+            chain.push((st_mt, elem));
+            group = g;
+            level_schema = sub_schema;
+        }
+        Ok((chain, group, level_schema))
+    }
+
+    /// Overwrite the atomic attribute values of the (sub)object at `loc`
+    /// — rewrites exactly one data subtuple; all pointers stay valid.
+    pub fn update_atoms(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+        atoms: &[Atom],
+    ) -> Result<()> {
+        // Object-level atom updates (empty loc) touch only the root's own
+        // data subtuple and work under every layout; element-level
+        // updates navigate SS3 structure (the AIM-II layout).
+        if !loc.steps.is_empty() {
+            self.require_ss3()?;
+        }
+        let root = self.root_md(handle)?;
+        let mut pl = root.page_list.clone();
+        let (_, group, level_schema) = self.locate(&pl, &root.node, schema, loc)?;
+        if atoms.len() != level_schema.atomic_indices().len() {
+            return Err(StorageError::Corrupt(format!(
+                "expected {} atoms, got {}",
+                level_schema.atomic_indices().len(),
+                atoms.len()
+            )));
+        }
+        let data = group
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("element lacks D".into()))?;
+        let payload = encode_atoms(atoms.iter());
+        self.update_local(&mut pl, data, &payload)?;
+        if pl != root.page_list {
+            let mut new_root = root;
+            new_root.page_list = pl;
+            self.write_root(handle, &new_root)?;
+        }
+        Ok(())
+    }
+
+    /// Insert a new element `tuple` into the subtable `attr_idx` of the
+    /// (sub)object at `loc`. For ordered subtables the element is
+    /// appended (entry order is list order).
+    pub fn insert_element(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+        attr_idx: usize,
+        tuple: &Tuple,
+    ) -> Result<()> {
+        self.require_ss3()?;
+        let root = self.root_md(handle)?;
+        let mut pl = root.page_list.clone();
+        let (_, group, level_schema) = self.locate(&pl, &root.node, schema, loc)?;
+        let sub_schema = level_schema
+            .attrs
+            .get(attr_idx)
+            .and_then(|a| a.kind.as_table())
+            .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+        let slot = level_schema
+            .table_indices()
+            .iter()
+            .position(|&i| i == attr_idx)
+            .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+        let st_mt = group
+            .child_for(slot as u8)
+            .ok_or_else(|| StorageError::Corrupt("missing subtable child".into()))?;
+        // Build the new element's subtree, then append its group to the
+        // subtable node.
+        let new_group = self.build_ss3_elem(&mut pl, sub_schema, tuple)?;
+        let mut st_node = self.read_md_node(&pl, st_mt)?;
+        st_node.groups.push(new_group);
+        let mut bytes = Vec::with_capacity(st_node.encoded_len());
+        st_node.encode(&mut bytes);
+        self.update_local(&mut pl, st_mt, &bytes)?;
+        if pl != root.page_list {
+            let mut new_root = root;
+            new_root.page_list = pl;
+            self.write_root(handle, &new_root)?;
+        }
+        Ok(())
+    }
+
+    /// Delete element `elem_idx` (and its entire subtree) from the
+    /// subtable `attr_idx` of the (sub)object at `loc`.
+    pub fn delete_element(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+        attr_idx: usize,
+        elem_idx: usize,
+    ) -> Result<()> {
+        self.require_ss3()?;
+        let root = self.root_md(handle)?;
+        let mut pl = root.page_list.clone();
+        let (_, group, level_schema) = self.locate(&pl, &root.node, schema, loc)?;
+        let slot = level_schema
+            .table_indices()
+            .iter()
+            .position(|&i| i == attr_idx)
+            .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+        let st_mt = group
+            .child_for(slot as u8)
+            .ok_or_else(|| StorageError::Corrupt("missing subtable child".into()))?;
+        let mut st_node = self.read_md_node(&pl, st_mt)?;
+        if elem_idx >= st_node.groups.len() {
+            return Err(StorageError::BadElementIndex {
+                index: elem_idx,
+                len: st_node.groups.len(),
+            });
+        }
+        let removed = st_node.groups.remove(elem_idx);
+        // Free the element's subtree (data + nested subtable nodes).
+        self.free_group(&pl, &removed)?;
+        let mut bytes = Vec::with_capacity(st_node.encoded_len());
+        st_node.encode(&mut bytes);
+        self.update_local(&mut pl, st_mt, &bytes)?;
+        if pl != root.page_list {
+            let mut new_root = root;
+            new_root.page_list = pl;
+            self.write_root(handle, &new_root)?;
+        }
+        Ok(())
+    }
+
+    /// Recursively delete every subtuple reachable from a group.
+    fn free_group(&mut self, pl: &PageList, group: &MdGroup) -> Result<()> {
+        for e in &group.entries {
+            if e.is_data() {
+                self.delete_local(pl, e.tid)?;
+            } else {
+                let child = self.read_md_node(pl, e.tid)?;
+                for g in &child.groups {
+                    self.free_group(pl, g)?;
+                }
+                self.delete_local(pl, e.tid)?;
+            }
+        }
+        Ok(())
+    }
+
+    // =================================================================
+    // Whole-object operations
+    // =================================================================
+
+    /// Delete the whole object: every subtuple, the pages of its local
+    /// address space (returned to the store's free list), and the root
+    /// MD subtuple.
+    pub fn delete_object(&mut self, handle: ObjectHandle) -> Result<()> {
+        if self.policy == ClusterPolicy::Scattered {
+            return Err(StorageError::Corrupt(
+                "delete_object not supported under the Scattered bench policy".into(),
+            ));
+        }
+        let root = self.root_md(handle)?;
+        // Pages of the local address space belong to this object alone:
+        // reclaim them wholesale — no per-subtuple deletes needed.
+        for (_, pid) in root.page_list.iter() {
+            self.seg.pool_mut().with_page_mut(pid, |buf| {
+                crate::page::Page::init(buf);
+            })?;
+            // Refresh the free-space estimate for the re-initialized page.
+            let _ = self.seg.page_free(pid)?;
+            self.free_pages.push(pid);
+        }
+        self.seg.delete(handle.0)
+    }
+
+    /// Move the object to a fresh page set ("check-out" / relocation,
+    /// §4.1): pages are copied wholesale, the page list is updated — and
+    /// **no `D`/`C` pointer is touched**, because Mini-TIDs address page
+    /// list positions. The handle (root TID) is unchanged.
+    pub fn move_object(&mut self, handle: ObjectHandle) -> Result<()> {
+        if self.policy == ClusterPolicy::Scattered {
+            return Err(StorageError::Corrupt(
+                "move_object not supported under the Scattered bench policy".into(),
+            ));
+        }
+        let mut root = self.root_md(handle)?;
+        let live: Vec<(u16, PageId)> = root.page_list.iter().collect();
+        for (lpage, old_pid) in live {
+            let new_pid = self.fresh_page()?;
+            self.seg.copy_page_raw(old_pid, new_pid)?;
+            root.page_list.replace(lpage, new_pid)?;
+            // The vacated page is reusable.
+            self.seg.pool_mut().with_page_mut(old_pid, |buf| {
+                crate::page::Page::init(buf);
+            })?;
+            let _ = self.seg.page_free(old_pid)?;
+            self.free_pages.push(old_pid);
+        }
+        self.write_root(handle, &root)
+    }
+
+    /// Physical pages currently holding the object (for clustering
+    /// measurements).
+    pub fn object_pages(&mut self, handle: ObjectHandle) -> Result<Vec<PageId>> {
+        let root = self.root_md(handle)?;
+        Ok(root.page_list.iter().map(|(_, p)| p).collect())
+    }
+
+    // =================================================================
+    // Address resolution (used by indexes and tuple names, §4.2/§4.3)
+    // =================================================================
+
+    /// Physical (global) TID of the data subtuple at `mt` — the paper's
+    /// first address scheme ("TIDs of data subtuples as addresses").
+    /// Note the fragility this scheme carries: these TIDs dangle after a
+    /// page-level object move, unlike hierarchical addresses whose first
+    /// component is the (stable) root TID.
+    pub fn data_subtuple_tid(&mut self, handle: ObjectHandle, mt: MiniTid) -> Result<Tid> {
+        let root = self.root_md(handle)?;
+        let pid = self.translate(&root.page_list, mt)?;
+        Ok(Tid::new(pid, mt.slot))
+    }
+
+    /// Data-subtuple Mini-TID and ancestor data Mini-TIDs of the
+    /// (sub)object at `loc` (SS3) — the building blocks of hierarchical
+    /// addresses and subobject tuple names.
+    pub fn resolve_elem_addr(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+    ) -> Result<(MiniTid, Vec<MiniTid>)> {
+        self.require_ss3()?;
+        let root = self.root_md(handle)?;
+        let pl = root.page_list.clone();
+        let mut level_schema = schema;
+        let mut group = root
+            .node
+            .groups
+            .first()
+            .filter(|g| g.tag == OWN_GROUP)
+            .ok_or_else(|| StorageError::Corrupt("root lacks own group".into()))?
+            .clone();
+        let mut ancestors = Vec::new();
+        for (i, &(attr_idx, elem)) in loc.steps.iter().enumerate() {
+            if i > 0 {
+                // The previous level's element (a complex subobject) is
+                // an ancestor of everything below it.
+                ancestors.push(group.data_entry().ok_or_else(|| {
+                    StorageError::Corrupt("element lacks D entry".into())
+                })?);
+            }
+            let sub_schema = level_schema
+                .attrs
+                .get(attr_idx)
+                .and_then(|a| a.kind.as_table())
+                .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+            let slot = level_schema
+                .table_indices()
+                .iter()
+                .position(|&i| i == attr_idx)
+                .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+            let st_mt = group
+                .child_for(slot as u8)
+                .ok_or_else(|| StorageError::Corrupt("missing subtable child".into()))?;
+            let st_node = self.read_md_node(&pl, st_mt)?;
+            group = st_node
+                .groups
+                .get(elem)
+                .ok_or(StorageError::BadElementIndex {
+                    index: elem,
+                    len: st_node.groups.len(),
+                })?
+                .clone();
+            level_schema = sub_schema;
+        }
+        let data = group
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("element lacks D entry".into()))?;
+        Ok((data, ancestors))
+    }
+
+    /// Mini-TID of the MD subtuple representing the subtable `attr_idx`
+    /// of the (sub)object at `loc` (SS3) — the basis of *subtable* tuple
+    /// names (W and X in Fig 8).
+    pub fn resolve_subtable_md(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+        attr_idx: usize,
+    ) -> Result<MiniTid> {
+        self.require_ss3()?;
+        let root = self.root_md(handle)?;
+        let pl = root.page_list.clone();
+        let (_, group, level_schema) = self.locate(&pl, &root.node, schema, loc)?;
+        let slot = level_schema
+            .table_indices()
+            .iter()
+            .position(|&i| i == attr_idx)
+            .ok_or_else(|| StorageError::BadPath(format!("attr index {attr_idx}")))?;
+        group
+            .child_for(slot as u8)
+            .ok_or_else(|| StorageError::Corrupt("missing subtable child".into()))
+    }
+
+    /// Find the element group whose level-by-level data subtuples match
+    /// `comps` (ancestors then target), starting from the root's own
+    /// group; returns the group and its schema level. Only MD subtuples
+    /// are read — no unrelated data is scanned (§4.2's goal).
+    fn find_by_data_path<'s>(
+        &mut self,
+        pl: &PageList,
+        own: MdGroup,
+        schema: &'s TableSchema,
+        comps: &[MiniTid],
+    ) -> Result<(MdGroup, &'s TableSchema)> {
+        let mut group = own;
+        let mut level_schema = schema;
+        for (depth, &want) in comps.iter().enumerate() {
+            let mut found = None;
+            'search: for (slot, attr_idx) in level_schema.table_indices().into_iter().enumerate() {
+                let sub_schema = level_schema.attrs[attr_idx].kind.as_table().expect("table");
+                let st_mt = match group.child_for(slot as u8) {
+                    Some(mt) => mt,
+                    None => continue,
+                };
+                let st_node = self.read_md_node(pl, st_mt)?;
+                for g in &st_node.groups {
+                    if g.data_entry() == Some(want) {
+                        found = Some((g.clone(), sub_schema));
+                        break 'search;
+                    }
+                }
+            }
+            let (g, s) = found.ok_or_else(|| {
+                StorageError::Corrupt(format!(
+                    "address component {depth} ({want}) not found under its parent"
+                ))
+            })?;
+            group = g;
+            level_schema = s;
+        }
+        Ok((group, level_schema))
+    }
+
+    fn strip_own_component<'c>(own: &MdGroup, comps: &'c [MiniTid]) -> &'c [MiniTid] {
+        // The object's own data subtuple may lead the component list
+        // (addresses for first-level atomic values do this).
+        match comps.first() {
+            Some(&first) if own.data_entry() == Some(first) => &comps[1..],
+            _ => comps,
+        }
+    }
+
+    fn root_own_group(root: &RootMd) -> Result<MdGroup> {
+        root.node
+            .groups
+            .first()
+            .filter(|g| g.tag == OWN_GROUP)
+            .cloned()
+            .ok_or_else(|| StorageError::Corrupt("root lacks own group".into()))
+    }
+
+    /// Materialize the (sub)object a hierarchical address / subobject
+    /// tuple name refers to (SS3).
+    pub fn materialize_by_data_path(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        comps: &[MiniTid],
+    ) -> Result<Tuple> {
+        self.require_ss3()?;
+        let root = self.root_md(handle)?;
+        let pl = root.page_list.clone();
+        let own = Self::root_own_group(&root)?;
+        let comps = Self::strip_own_component(&own, comps);
+        if comps.is_empty() {
+            return self.read_object(schema, handle);
+        }
+        let (group, level_schema) = self.find_by_data_path(&pl, own, schema, comps)?;
+        self.assemble_ss3_elem(&pl, &group, level_schema, &Path::root(), &|_| true)
+    }
+
+    /// Materialize the subtable whose MD subtuple is `md` beneath the
+    /// element addressed by `comps` (SS3) — dereferences *subtable*
+    /// tuple names.
+    pub fn materialize_subtable_md(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        comps: &[MiniTid],
+        md: MiniTid,
+    ) -> Result<TableValue> {
+        self.require_ss3()?;
+        let root = self.root_md(handle)?;
+        let pl = root.page_list.clone();
+        let own = Self::root_own_group(&root)?;
+        let comps = Self::strip_own_component(&own, comps);
+        let (group, level_schema) = self.find_by_data_path(&pl, own, schema, comps)?;
+        for (slot, attr_idx) in level_schema.table_indices().into_iter().enumerate() {
+            if group.child_for(slot as u8) == Some(md) {
+                let sub_schema = level_schema.attrs[attr_idx].kind.as_table().expect("table");
+                return self.assemble_ss3_subtable(&pl, md, sub_schema, &Path::root(), &|_| true);
+            }
+        }
+        Err(StorageError::Corrupt(
+            "subtable MD subtuple not found at addressed element".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::disk::MemDisk;
+    use crate::stats::Stats;
+    use aim2_model::fixtures;
+    use aim2_model::value::build::{a, rel, tup};
+
+    fn store(layout: LayoutKind) -> ObjectStore {
+        store_sized(layout, 4096, 64)
+    }
+
+    fn store_sized(layout: LayoutKind, page_size: usize, frames: usize) -> ObjectStore {
+        let pool = BufferPool::new(Box::new(MemDisk::new(page_size)), frames, Stats::new());
+        ObjectStore::new(Segment::new(pool), layout)
+    }
+
+    fn dept_314() -> (TableSchema, Tuple) {
+        (fixtures::departments_schema(), fixtures::department_314())
+    }
+
+    #[test]
+    fn roundtrip_all_layouts() {
+        let (schema, t) = dept_314();
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &t).unwrap();
+            let back = os.read_object(&schema, h).unwrap();
+            assert_eq!(back, t, "layout {layout} roundtrip");
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_departments_all_layouts() {
+        let schema = fixtures::departments_schema();
+        let all = fixtures::departments_value();
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let mut handles = Vec::new();
+            for t in &all.tuples {
+                handles.push(os.insert_object(&schema, t).unwrap());
+            }
+            assert_eq!(os.handles().unwrap(), handles);
+            for (h, t) in handles.iter().zip(&all.tuples) {
+                assert_eq!(&os.read_object(&schema, *h).unwrap(), t);
+            }
+        }
+    }
+
+    #[test]
+    fn md_subtuple_counts_match_fig6_for_dept_314() {
+        // Dept 314: PROJECTS (2 complex elements) + EQUIP (flat),
+        // project members are flat.
+        // SS1: root + PROJECTS + 2 subobjects + 2 MEMBERS + EQUIP = 7
+        // SS2: root + 2 project subobjects = 3
+        // SS3: root + PROJECTS + 2 MEMBERS + EQUIP = 5
+        let (schema, t) = dept_314();
+        let mut counts = Vec::new();
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &t).unwrap();
+            counts.push(os.md_profile(h).unwrap().md_subtuples);
+        }
+        assert_eq!(counts, vec![7, 3, 5], "SS1, SS2, SS3 MD subtuple counts");
+        // §4.1 ordering: SS1 > SS3 > SS2.
+        assert!(counts[0] > counts[2] && counts[2] > counts[1]);
+    }
+
+    #[test]
+    fn data_subtuple_count_is_layout_independent() {
+        // Dept 314: 1 (dept) + 2 (projects) + 7 (members) + 3 (equip) = 13.
+        let (schema, t) = dept_314();
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &t).unwrap();
+            let prof = os.md_profile(h).unwrap();
+            assert_eq!(prof.data_subtuples, 13, "layout {layout}");
+        }
+    }
+
+    #[test]
+    fn flat_object_has_no_md_nodes_beyond_root() {
+        // A flat (1NF) table's objects: root carries only a D pointer —
+        // "a flat table does not have Mini Directories ... at all"; the
+        // root here is just the object directory entry.
+        let schema = fixtures::equip_1nf_schema();
+        let mut os = store(LayoutKind::Ss3);
+        let h = os
+            .insert_object(&schema, &tup(vec![a(314), a(2), a("3278")]))
+            .unwrap();
+        let prof = os.md_profile(h).unwrap();
+        assert_eq!(prof.md_subtuples, 1);
+        assert_eq!(prof.data_subtuples, 1);
+    }
+
+    #[test]
+    fn partial_read_prunes_subtables_and_saves_accesses() {
+        let (schema, t) = dept_314();
+        let mut os = store(LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &t).unwrap();
+        let stats = os.stats();
+        let before = stats.snapshot();
+        let partial = os
+            .read_object_projected(&schema, h, &|p| p.to_string() == "EQUIP")
+            .unwrap();
+        let after_partial = stats.snapshot();
+        // PROJECTS pruned → empty; EQUIP present.
+        assert!(partial.fields[2].as_table().unwrap().is_empty());
+        assert_eq!(partial.fields[4].as_table().unwrap().len(), 3);
+        let full = os.read_object(&schema, h).unwrap();
+        let after_full = stats.snapshot();
+        assert_eq!(full, t);
+        let partial_reads = before.delta(&after_partial).subtuple_reads;
+        let full_reads = after_partial.delta(&after_full).subtuple_reads;
+        assert!(
+            partial_reads < full_reads,
+            "partial {partial_reads} !< full {full_reads}"
+        );
+    }
+
+    #[test]
+    fn first_level_atoms_cheap_read() {
+        let (schema, t) = dept_314();
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &t).unwrap();
+            let atoms = os.read_first_level_atoms(h).unwrap();
+            assert_eq!(
+                atoms,
+                vec![Atom::Int(314), Atom::Int(56194), Atom::Int(320_000)]
+            );
+        }
+    }
+
+    #[test]
+    fn walk_data_produces_hierarchical_context() {
+        let (schema, t) = dept_314();
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &t).unwrap();
+            let walk = os.walk_data(&schema, h).unwrap();
+            assert_eq!(walk.len(), 13, "one entry per data subtuple");
+            // The object's own data subtuple: empty path, no ancestors.
+            assert!(walk[0].attr_path.is_root());
+            assert!(walk[0].ancestors.is_empty());
+            // Find the '56019 Consultant' member.
+            let member = walk
+                .iter()
+                .find(|e| e.atoms.first() == Some(&Atom::Int(56019)))
+                .expect("member 56019 present");
+            assert_eq!(member.attr_path.to_string(), "PROJECTS.MEMBERS");
+            assert_eq!(
+                member.ancestors.len(),
+                1,
+                "one complex-subobject ancestor (project 17)"
+            );
+            // The ancestor is project 17's data subtuple.
+            let anc_atoms = os.read_data_subtuple(h, member.ancestors[0]).unwrap();
+            assert_eq!(anc_atoms[0], Atom::Int(17));
+            // Paper §4.2: P2 = F2 — the PNO address component for project
+            // 17 equals the member's ancestor component.
+            let pno17 = walk
+                .iter()
+                .find(|e| e.attr_path.to_string() == "PROJECTS" && e.atoms[0] == Atom::Int(17))
+                .unwrap();
+            assert_eq!(pno17.data, member.ancestors[0]);
+            // EQUIP entries: flat subobjects, no ancestors.
+            let equip = walk
+                .iter()
+                .filter(|e| e.attr_path.to_string() == "EQUIP")
+                .count();
+            assert_eq!(equip, 3);
+            assert!(walk
+                .iter()
+                .filter(|e| e.attr_path.to_string() == "EQUIP")
+                .all(|e| e.ancestors.is_empty()));
+        }
+    }
+
+    #[test]
+    fn walk_md_paths_is_the_naive_fig7a_form() {
+        let (schema, t) = dept_314();
+        let mut os = store(LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &t).unwrap();
+        let walk = os.walk_data_md_paths(&schema, h).unwrap();
+        // P (PNO=17): root + PROJECTS-MD, data '17 CGA' → md_path len 1.
+        let p = walk
+            .iter()
+            .find(|e| e.attr_path.to_string() == "PROJECTS" && e.atoms[0] == Atom::Int(17))
+            .unwrap();
+        assert_eq!(p.md_path.len(), 1);
+        // F (56019 Consultant): root + PROJECTS-MD + MEMBERS-MD → len 2.
+        let f = walk
+            .iter()
+            .find(|e| e.atoms.first() == Some(&Atom::Int(56019)))
+            .unwrap();
+        assert_eq!(f.md_path.len(), 2);
+        // The naive form's "P2 = F2" compares subtable MDs: equal but
+        // useless — it's the same PROJECTS node for members of project 17
+        // AND project 23.
+        assert_eq!(p.md_path[0], f.md_path[0]);
+        let f23 = walk
+            .iter()
+            .find(|e| e.atoms.first() == Some(&Atom::Int(58912)))
+            .unwrap(); // member of project 23
+        assert_eq!(
+            p.md_path[0], f23.md_path[0],
+            "naive P2=F2 also matches members of OTHER projects — Fig 7a's flaw"
+        );
+        // MD-path walk is SS3-only.
+        let mut os1 = store(LayoutKind::Ss1);
+        let h1 = os1.insert_object(&schema, &t).unwrap();
+        assert!(os1.walk_data_md_paths(&schema, h1).is_err());
+    }
+
+    #[test]
+    fn update_atoms_rewrites_one_data_subtuple() {
+        let (schema, t) = dept_314();
+        let mut os = store(LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &t).unwrap();
+        // Raise the budget (object level).
+        os.update_atoms(
+            &schema,
+            h,
+            &ElemLoc::object(),
+            &[Atom::Int(314), Atom::Int(56194), Atom::Int(999_000)],
+        )
+        .unwrap();
+        // Rename project 17 (element 0 of PROJECTS = attr 2).
+        os.update_atoms(
+            &schema,
+            h,
+            &ElemLoc::object().then(2, 0),
+            &[Atom::Int(17), Atom::Str("CGA-2".into())],
+        )
+        .unwrap();
+        let back = os.read_object(&schema, h).unwrap();
+        assert_eq!(back.fields[3].as_atom().unwrap().as_int(), Some(999_000));
+        let projects = back.fields[2].as_table().unwrap();
+        assert_eq!(
+            projects.tuples[0].fields[1].as_atom().unwrap().as_str(),
+            Some("CGA-2")
+        );
+        // Members untouched.
+        assert_eq!(projects.tuples[0].fields[2].as_table().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn update_atoms_wrong_arity_rejected() {
+        let (schema, t) = dept_314();
+        let mut os = store(LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &t).unwrap();
+        assert!(os
+            .update_atoms(&schema, h, &ElemLoc::object(), &[Atom::Int(1)])
+            .is_err());
+    }
+
+    #[test]
+    fn insert_and_delete_elements() {
+        let (schema, t) = dept_314();
+        let mut os = store(LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &t).unwrap();
+        // Add a new project with one member (PROJECTS is attr index 2).
+        let new_project = tup(vec![
+            a(99),
+            a("AIM"),
+            rel(vec![tup(vec![a(11111), a("Leader")])]),
+        ]);
+        os.insert_element(&schema, h, &ElemLoc::object(), 2, &new_project)
+            .unwrap();
+        // Add a member to project 17 (MEMBERS is attr index 2 of PROJECTS
+        // level).
+        os.insert_element(
+            &schema,
+            h,
+            &ElemLoc::object().then(2, 0),
+            2,
+            &tup(vec![a(22222), a("Staff")]),
+        )
+        .unwrap();
+        let back = os.read_object(&schema, h).unwrap();
+        let projects = back.fields[2].as_table().unwrap();
+        assert_eq!(projects.len(), 3);
+        assert_eq!(projects.tuples[2].fields[0].as_atom().unwrap().as_int(), Some(99));
+        assert_eq!(projects.tuples[0].fields[2].as_table().unwrap().len(), 4);
+        // Delete project 23 (element 1).
+        os.delete_element(&schema, h, &ElemLoc::object(), 2, 1)
+            .unwrap();
+        let back = os.read_object(&schema, h).unwrap();
+        let projects = back.fields[2].as_table().unwrap();
+        assert_eq!(projects.len(), 2);
+        let pnos: Vec<i64> = projects
+            .tuples
+            .iter()
+            .map(|p| p.fields[0].as_atom().unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(pnos, vec![17, 99]);
+        // Deleting out of range errors.
+        assert!(matches!(
+            os.delete_element(&schema, h, &ElemLoc::object(), 2, 9),
+            Err(StorageError::BadElementIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn element_mutations_rejected_on_ss1_ss2_but_object_updates_work() {
+        let (schema, t) = dept_314();
+        for layout in [LayoutKind::Ss1, LayoutKind::Ss2] {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &t).unwrap();
+            // Element-level mutation requires SS3 (the AIM-II layout).
+            assert!(os
+                .update_atoms(
+                    &schema,
+                    h,
+                    &ElemLoc::object().then(2, 0),
+                    &[Atom::Int(17), Atom::Str("X".into())]
+                )
+                .is_err());
+            // Object-level atom updates work under every layout.
+            os.update_atoms(
+                &schema,
+                h,
+                &ElemLoc::object(),
+                &[Atom::Int(314), Atom::Int(56194), Atom::Int(1)],
+            )
+            .unwrap();
+            let back = os.read_object(&schema, h).unwrap();
+            assert_eq!(back.fields[3].as_atom().unwrap().as_int(), Some(1));
+        }
+    }
+
+    #[test]
+    fn many_elements_grow_md_across_pages() {
+        // A subtable far larger than one page forces the MD node through
+        // the local-forwarding path and the page list to grow; Mini-TIDs
+        // must stay valid throughout.
+        let schema = TableSchema::relation("BIG")
+            .with_atom("ID", aim2_model::AtomType::Int)
+            .with_table(
+                TableSchema::relation("ITEMS")
+                    .with_atom("K", aim2_model::AtomType::Int)
+                    .with_atom("V", aim2_model::AtomType::Str),
+            );
+        let mut os = store_sized(LayoutKind::Ss3, 512, 32);
+        let h = os
+            .insert_object(
+                &schema,
+                &tup(vec![a(1), rel(vec![tup(vec![a(0), a("v0")])])]),
+            )
+            .unwrap();
+        for i in 1..300i64 {
+            os.insert_element(
+                &schema,
+                h,
+                &ElemLoc::object(),
+                1,
+                &tup(vec![a(i), a(format!("value-{i}"))]),
+            )
+            .unwrap();
+        }
+        let back = os.read_object(&schema, h).unwrap();
+        let items = back.fields[1].as_table().unwrap();
+        assert_eq!(items.len(), 300);
+        for (i, t) in items.tuples.iter().enumerate() {
+            assert_eq!(t.fields[0].as_atom().unwrap().as_int(), Some(i as i64));
+        }
+        assert!(os.object_pages(h).unwrap().len() > 3);
+    }
+
+    #[test]
+    fn move_object_rewrites_no_pointers() {
+        let (schema, t) = dept_314();
+        let mut os = store_sized(LayoutKind::Ss3, 512, 32);
+        let h = os.insert_object(&schema, &t).unwrap();
+        let pages_before = os.object_pages(h).unwrap();
+        let stats = os.stats();
+        let before = stats.snapshot();
+        os.move_object(h).unwrap();
+        let after = stats.snapshot();
+        assert_eq!(
+            before.delta(&after).pointer_rewrites,
+            0,
+            "page-level move touches no D/C pointers (§4.1)"
+        );
+        let pages_after = os.object_pages(h).unwrap();
+        assert_ne!(pages_before, pages_after, "object relocated");
+        // Everything still reads back — Mini-TIDs valid, handle unchanged.
+        assert_eq!(os.read_object(&schema, h).unwrap(), t);
+    }
+
+    #[test]
+    fn delete_object_reclaims_pages_for_new_objects() {
+        let (schema, t) = dept_314();
+        let mut os = store_sized(LayoutKind::Ss3, 512, 32);
+        let h = os.insert_object(&schema, &t).unwrap();
+        let freed = os.object_pages(h).unwrap();
+        os.delete_object(h).unwrap();
+        assert!(os.root_md(h).is_err(), "handle invalid after delete");
+        // A new object reuses the freed pages.
+        let h2 = os.insert_object(&schema, &t).unwrap();
+        let reused = os.object_pages(h2).unwrap();
+        assert!(
+            reused.iter().any(|p| freed.contains(p)),
+            "freed pages reused"
+        );
+        assert_eq!(os.read_object(&schema, h2).unwrap(), t);
+    }
+
+    #[test]
+    fn clustered_objects_touch_few_pages_scattered_many() {
+        let (schema, t) = dept_314();
+        let mut clustered = store_sized(LayoutKind::Ss3, 512, 256);
+        let mut scattered =
+            store_sized(LayoutKind::Ss3, 512, 256).with_policy(ClusterPolicy::Scattered);
+        // Interleave several objects so the scattered store mixes them.
+        let mut ch = Vec::new();
+        let mut sh = Vec::new();
+        for _ in 0..8 {
+            ch.push(clustered.insert_object(&schema, &t).unwrap());
+            sh.push(scattered.insert_object(&schema, &t).unwrap());
+        }
+        let cp = clustered.object_pages(ch[0]).unwrap().len();
+        let sp = scattered.object_pages(sh[0]).unwrap().len();
+        assert!(
+            cp < sp,
+            "clustered object on {cp} pages vs scattered on {sp}"
+        );
+        // Both still read correctly.
+        assert_eq!(clustered.read_object(&schema, ch[0]).unwrap(), t);
+        assert_eq!(scattered.read_object(&schema, sh[0]).unwrap(), t);
+    }
+
+    #[test]
+    fn dump_md_tree_shows_fig6_shape() {
+        let (schema, t) = dept_314();
+        let mut os = store(LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &t).unwrap();
+        let dump = os.dump_md_tree(h).unwrap();
+        // Root entry is "DCC" — exactly the paper's Fig 6 annotation.
+        assert!(dump.contains("[DCC]"), "dump:\n{dump}");
+        assert!(dump.contains("314 56194 320000"));
+        assert!(dump.contains("17 CGA"));
+        assert!(dump.contains("subtable MD subtuple"));
+    }
+
+    #[test]
+    fn ordered_subtable_preserves_order_via_entry_sequence() {
+        let schema = fixtures::reports_schema();
+        let reports = fixtures::reports_value();
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &reports.tuples[2]).unwrap();
+            let back = os.read_object(&schema, h).unwrap();
+            let authors = back.fields[1].as_table().unwrap();
+            let names: Vec<&str> = authors
+                .tuples
+                .iter()
+                .map(|t| t.fields[0].as_atom().unwrap().as_str().unwrap())
+                .collect();
+            assert_eq!(
+                names,
+                vec!["Pool A.V.", "Meyer P.", "Jones A."],
+                "list order kept under {layout}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_subtables_roundtrip() {
+        let (schema, _) = dept_314();
+        let empty_dept = tup(vec![a(999), a(1), rel(vec![]), a(0), rel(vec![])]);
+        for layout in LayoutKind::ALL {
+            let mut os = store(layout);
+            let h = os.insert_object(&schema, &empty_dept).unwrap();
+            let back = os.read_object(&schema, h).unwrap();
+            assert_eq!(back, empty_dept, "layout {layout}");
+            let walk = os.walk_data(&schema, h).unwrap();
+            assert_eq!(walk.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,478 @@
+//! Slotted pages.
+//!
+//! Classic System-R-style slotted page layout (/As76/), operating over a
+//! borrowed byte buffer so the same code serves the buffer pool's frames
+//! directly:
+//!
+//! ```text
+//! +--------+---------------------------------+-----------------+
+//! | header | records (grow →)        ... gap | ← slot array    |
+//! +--------+---------------------------------+-----------------+
+//! ```
+//!
+//! * header: `slot_count: u16`, `free_start: u16`, `dead_bytes: u16`;
+//! * slot `i` lives at the page tail: `(offset: u16, len: u16)`; offset
+//!   `0xFFFF` marks a free (tombstoned) slot — slot numbers are **never**
+//!   reused for a different record while live, which is what keeps TIDs
+//!   and Mini-TIDs stable (§4.1);
+//! * deleted / shrunk records leave dead bytes that [`Page::compact`]
+//!   reclaims without changing any slot number.
+
+use crate::tid::SlotNo;
+
+const HEADER_LEN: usize = 6;
+const SLOT_LEN: usize = 4;
+const FREE_OFF: u16 = 0xFFFF;
+
+/// A slotted-page view over a page-sized byte buffer.
+pub struct Page<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> Page<'a> {
+    /// Wrap an existing, already-initialized page buffer.
+    pub fn new(buf: &'a mut [u8]) -> Page<'a> {
+        debug_assert!(buf.len() >= 64, "page too small");
+        Page { buf }
+    }
+
+    /// Initialize an all-zero buffer as an empty page.
+    pub fn init(buf: &'a mut [u8]) -> Page<'a> {
+        let mut p = Page { buf };
+        p.set_slot_count(0);
+        p.set_free_start(HEADER_LEN as u16);
+        p.set_dead(0);
+        p
+    }
+
+    /// Largest record that could ever be stored in an empty page of
+    /// `page_size` bytes.
+    pub fn max_record_len(page_size: usize) -> usize {
+        page_size - HEADER_LEN - SLOT_LEN
+    }
+
+    fn get_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes(self.buf[at..at + 2].try_into().unwrap())
+    }
+
+    fn set_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Number of slots ever allocated (live + tombstoned).
+    pub fn slot_count(&self) -> u16 {
+        self.get_u16(0)
+    }
+    fn set_slot_count(&mut self, v: u16) {
+        self.set_u16(0, v)
+    }
+    fn free_start(&self) -> u16 {
+        self.get_u16(2)
+    }
+    fn set_free_start(&mut self, v: u16) {
+        self.set_u16(2, v)
+    }
+    /// Bytes occupied by deleted / shrunk records, reclaimable by compact.
+    pub fn dead_bytes(&self) -> u16 {
+        self.get_u16(4)
+    }
+    fn set_dead(&mut self, v: u16) {
+        self.set_u16(4, v)
+    }
+
+    fn slot_pos(&self, slot: u16) -> usize {
+        self.buf.len() - SLOT_LEN * (slot as usize + 1)
+    }
+
+    fn slot(&self, slot: u16) -> (u16, u16) {
+        let p = self.slot_pos(slot);
+        (self.get_u16(p), self.get_u16(p + 2))
+    }
+
+    fn set_slot(&mut self, slot: u16, off: u16, len: u16) {
+        let p = self.slot_pos(slot);
+        self.set_u16(p, off);
+        self.set_u16(p + 2, len);
+    }
+
+    fn slot_area_start(&self) -> usize {
+        self.buf.len() - SLOT_LEN * self.slot_count() as usize
+    }
+
+    /// Contiguous free bytes between record area and slot array.
+    fn contiguous_free(&self) -> usize {
+        self.slot_area_start() - self.free_start() as usize
+    }
+
+    /// Whether `slot` currently holds a live record.
+    pub fn is_live(&self, slot: SlotNo) -> bool {
+        slot.0 < self.slot_count() && self.slot(slot.0).0 != FREE_OFF
+    }
+
+    /// Bytes available for inserting one new record (accounting for a
+    /// possibly needed new slot entry and reclaimable dead space).
+    pub fn free_for_insert(&self) -> usize {
+        let slot_cost = if self.first_free_slot().is_some() {
+            0
+        } else {
+            SLOT_LEN
+        };
+        (self.contiguous_free() + self.dead_bytes() as usize).saturating_sub(slot_cost)
+    }
+
+    fn first_free_slot(&self) -> Option<u16> {
+        (0..self.slot_count()).find(|&i| self.slot(i).0 == FREE_OFF)
+    }
+
+    /// Insert a record; `None` if it does not fit even after compaction.
+    pub fn insert(&mut self, data: &[u8]) -> Option<SlotNo> {
+        if data.len() > u16::MAX as usize {
+            return None;
+        }
+        let reuse = self.first_free_slot();
+        let needed = data.len() + if reuse.is_some() { 0 } else { SLOT_LEN };
+        if self.contiguous_free() < needed {
+            if self.contiguous_free() + self.dead_bytes() as usize >= needed {
+                self.compact();
+            }
+            if self.contiguous_free() < needed {
+                return None;
+            }
+        }
+        let slot = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.slot_count();
+                self.set_slot_count(s + 1);
+                s
+            }
+        };
+        let off = self.free_start();
+        self.buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+        self.set_slot(slot, off, data.len() as u16);
+        self.set_free_start(off + data.len() as u16);
+        Some(SlotNo(slot))
+    }
+
+    /// Read the record in `slot`; `None` if the slot is free/invalid.
+    pub fn read(&self, slot: SlotNo) -> Option<&[u8]> {
+        if !self.is_live(slot) {
+            return None;
+        }
+        let (off, len) = self.slot(slot.0);
+        Some(&self.buf[off as usize..(off + len) as usize])
+    }
+
+    /// Delete the record in `slot` (tombstoning the slot). Returns false
+    /// if the slot was not live.
+    pub fn delete(&mut self, slot: SlotNo) -> bool {
+        if !self.is_live(slot) {
+            return false;
+        }
+        let (_, len) = self.slot(slot.0);
+        self.set_slot(slot.0, FREE_OFF, 0);
+        self.set_dead(self.dead_bytes() + len);
+        true
+    }
+
+    /// Replace the record in `slot` with `data`. Returns false if it
+    /// cannot fit in this page (record left unchanged — the caller
+    /// forwards it to another page, keeping the TID stable).
+    pub fn update(&mut self, slot: SlotNo, data: &[u8]) -> bool {
+        if !self.is_live(slot) || data.len() > u16::MAX as usize {
+            return false;
+        }
+        let (off, len) = self.slot(slot.0);
+        if data.len() <= len as usize {
+            self.buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+            self.set_slot(slot.0, off, data.len() as u16);
+            self.set_dead(self.dead_bytes() + (len - data.len() as u16));
+            return true;
+        }
+        // Needs more space: the old record's bytes count as reclaimable.
+        let total_free = self.contiguous_free() + self.dead_bytes() as usize + len as usize;
+        if total_free < data.len() {
+            return false;
+        }
+        self.set_slot(slot.0, FREE_OFF, 0);
+        self.set_dead(self.dead_bytes() + len);
+        if self.contiguous_free() < data.len() {
+            self.compact();
+        }
+        let off = self.free_start();
+        self.buf[off as usize..off as usize + data.len()].copy_from_slice(data);
+        self.set_slot(slot.0, off, data.len() as u16);
+        self.set_free_start(off + data.len() as u16);
+        true
+    }
+
+    /// Slide all live records together at the front of the record area,
+    /// reclaiming dead bytes. Slot numbers are unchanged.
+    pub fn compact(&mut self) {
+        let mut live: Vec<(u16, u16, u16)> = (0..self.slot_count())
+            .filter_map(|i| {
+                let (off, len) = self.slot(i);
+                (off != FREE_OFF).then_some((i, off, len))
+            })
+            .collect();
+        live.sort_by_key(|&(_, off, _)| off);
+        let mut write = HEADER_LEN as u16;
+        for (slot, off, len) in live {
+            if off != write {
+                self.buf
+                    .copy_within(off as usize..(off + len) as usize, write as usize);
+                self.set_slot(slot, write, len);
+            }
+            write += len;
+        }
+        self.set_free_start(write);
+        self.set_dead(0);
+    }
+
+    /// Iterate over live slots as `(SlotNo, record bytes)`.
+    pub fn live_records(&self) -> impl Iterator<Item = (SlotNo, &[u8])> {
+        (0..self.slot_count()).filter_map(move |i| {
+            let (off, len) = self.slot(i);
+            (off != FREE_OFF)
+                .then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
+        })
+    }
+}
+
+/// Read-only slotted-page view — used on the buffer pool's read path so
+/// no page copy is needed.
+pub struct PageRef<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PageRef<'a> {
+    pub fn new(buf: &'a [u8]) -> PageRef<'a> {
+        PageRef { buf }
+    }
+
+    fn get_u16(&self, at: usize) -> u16 {
+        u16::from_le_bytes(self.buf[at..at + 2].try_into().unwrap())
+    }
+
+    /// Number of slots ever allocated.
+    pub fn slot_count(&self) -> u16 {
+        self.get_u16(0)
+    }
+
+    fn free_start(&self) -> u16 {
+        self.get_u16(2)
+    }
+
+    /// Reclaimable dead bytes.
+    pub fn dead_bytes(&self) -> u16 {
+        self.get_u16(4)
+    }
+
+    fn slot(&self, slot: u16) -> (u16, u16) {
+        let p = self.buf.len() - SLOT_LEN * (slot as usize + 1);
+        (self.get_u16(p), self.get_u16(p + 2))
+    }
+
+    /// Whether `slot` holds a live record.
+    pub fn is_live(&self, slot: SlotNo) -> bool {
+        slot.0 < self.slot_count() && self.slot(slot.0).0 != FREE_OFF
+    }
+
+    /// Read the record in `slot`.
+    pub fn read(&self, slot: SlotNo) -> Option<&'a [u8]> {
+        if !self.is_live(slot) {
+            return None;
+        }
+        let (off, len) = self.slot(slot.0);
+        Some(&self.buf[off as usize..(off + len) as usize])
+    }
+
+    /// Bytes available for one new record (mirrors [`Page::free_for_insert`]).
+    pub fn free_for_insert(&self) -> usize {
+        let slot_area_start = self.buf.len() - SLOT_LEN * self.slot_count() as usize;
+        let contiguous = slot_area_start - self.free_start() as usize;
+        let has_free_slot = (0..self.slot_count()).any(|i| self.slot(i).0 == FREE_OFF);
+        let slot_cost = if has_free_slot { 0 } else { SLOT_LEN };
+        (contiguous + self.dead_bytes() as usize).saturating_sub(slot_cost)
+    }
+
+    /// Iterate live records.
+    pub fn live_records(&self) -> impl Iterator<Item = (SlotNo, &'a [u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |i| {
+            let (off, len) = self.slot(i);
+            (off != FREE_OFF)
+                .then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: usize = 256;
+
+    fn fresh() -> Vec<u8> {
+        vec![0u8; PAGE]
+    }
+
+    #[test]
+    fn insert_read_roundtrip() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let s1 = p.insert(b"hello").unwrap();
+        let s2 = p.insert(b"world!").unwrap();
+        assert_eq!(p.read(s1), Some(&b"hello"[..]));
+        assert_eq!(p.read(s2), Some(&b"world!"[..]));
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.read(s), Some(&b""[..]));
+    }
+
+    #[test]
+    fn delete_tombstones_and_slot_reused_for_new_insert() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let s1 = p.insert(b"aaa").unwrap();
+        let s2 = p.insert(b"bbb").unwrap();
+        assert!(p.delete(s1));
+        assert!(!p.delete(s1), "double delete is a no-op");
+        assert_eq!(p.read(s1), None);
+        assert_eq!(p.read(s2), Some(&b"bbb"[..]));
+        // New insert reuses the tombstoned slot number.
+        let s3 = p.insert(b"ccc").unwrap();
+        assert_eq!(s3, s1);
+        assert_eq!(p.read(s3), Some(&b"ccc"[..]));
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let s = p.insert(b"short").unwrap();
+        let keep = p.insert(b"other").unwrap();
+        assert!(p.update(s, b"abc")); // shrink
+        assert_eq!(p.read(s), Some(&b"abc"[..]));
+        assert!(p.update(s, b"a much longer record body")); // grow
+        assert_eq!(p.read(s), Some(&b"a much longer record body"[..]));
+        assert_eq!(p.read(keep), Some(&b"other"[..]), "neighbour intact");
+    }
+
+    #[test]
+    fn page_fills_then_rejects() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let mut count = 0;
+        while p.insert(&[7u8; 10]).is_some() {
+            count += 1;
+            assert!(count < 100);
+        }
+        assert!(count >= (PAGE - HEADER_LEN) / (10 + SLOT_LEN) - 1);
+        // Still can insert something smaller? No contiguous space left for
+        // 10+slot; but a 0-byte record may fit. Just assert no panic.
+        let _ = p.insert(b"");
+    }
+
+    #[test]
+    fn compaction_recovers_dead_space() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let mut slots = Vec::new();
+        while let Some(s) = p.insert(&[1u8; 20]) {
+            slots.push(s);
+        }
+        // Delete every other record, then insert one big record that only
+        // fits after compaction.
+        for (i, s) in slots.iter().enumerate() {
+            if i % 2 == 0 {
+                p.delete(*s);
+            }
+        }
+        let survivors: Vec<SlotNo> = slots
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 2 == 1)
+            .map(|(_, s)| *s)
+            .collect();
+        let big = vec![9u8; 60];
+        let s = p.insert(&big).expect("fits after compaction");
+        assert_eq!(p.read(s), Some(&big[..]));
+        for s in survivors {
+            assert_eq!(p.read(s), Some(&[1u8; 20][..]), "survivor moved intact");
+        }
+    }
+
+    #[test]
+    fn update_grow_beyond_page_fails_and_preserves_record() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let s = p.insert(b"data").unwrap();
+        let too_big = vec![0u8; PAGE];
+        assert!(!p.update(s, &too_big));
+        assert_eq!(p.read(s), Some(&b"data"[..]), "failed update left record");
+    }
+
+    #[test]
+    fn read_invalid_slot_is_none() {
+        let mut buf = fresh();
+        let p = Page::init(&mut buf);
+        assert_eq!(p.read(SlotNo(0)), None);
+        assert_eq!(p.read(SlotNo(42)), None);
+    }
+
+    #[test]
+    fn live_records_iterates_only_live() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        let c = p.insert(b"c").unwrap();
+        p.delete(b);
+        let recs: Vec<(SlotNo, Vec<u8>)> = p
+            .live_records()
+            .map(|(s, r)| (s, r.to_vec()))
+            .collect();
+        assert_eq!(recs, vec![(a, b"a".to_vec()), (c, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn free_for_insert_is_honest() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        p.insert(&[1u8; 50]).unwrap();
+        let free = p.free_for_insert();
+        // A record exactly as big as advertised must fit...
+        assert!(p.insert(&vec![3u8; free]).is_some());
+        // ...and afterwards the page is exactly full.
+        assert_eq!(p.free_for_insert(), 0);
+        assert!(p.insert(&[1u8]).is_none());
+    }
+
+    #[test]
+    fn free_for_insert_counts_dead_space_and_free_slots() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let s = p.insert(&[1u8; 100]).unwrap();
+        let before = p.free_for_insert();
+        p.delete(s);
+        // Deleting returns the record bytes AND a reusable slot.
+        assert_eq!(p.free_for_insert(), before + 100 + SLOT_LEN);
+    }
+
+    #[test]
+    fn max_record_len_fits_exactly() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let max = Page::max_record_len(PAGE);
+        assert!(p.insert(&vec![5u8; max]).is_some());
+        let mut buf2 = fresh();
+        let mut p2 = Page::init(&mut buf2);
+        assert!(p2.insert(&vec![5u8; max + 1]).is_none());
+    }
+}

@@ -1,0 +1,236 @@
+//! Local address spaces: the page list.
+//!
+//! "Each complex object gets its own local address space ... represented
+//! by a page list stored in the root MD subtuple" (§4.1). A [`PageList`]
+//! maps a Mini-TID's *local* page index to the physical [`PageId`].
+//!
+//! Two stability rules from the paper are enforced here:
+//! * removing a page leaves a **gap** — "the gap in the list caused by
+//!   the deletion is not closed immediately", so surviving entries never
+//!   change position and existing Mini-TIDs stay valid;
+//! * adding a page first reuses a gap, else appends at the end.
+//!
+//! Moving a complex object (check-out, reorganization) only **replaces**
+//! physical page numbers at the same local positions — "no changes are
+//! required for D and C pointers since Mini TIDs refer to positions in
+//! the page list".
+
+use crate::error::StorageError;
+use crate::tid::PageId;
+
+const GAP: u32 = u32::MAX;
+
+/// The page list of one complex object.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PageList {
+    entries: Vec<u32>, // physical page numbers; GAP marks a hole
+}
+
+impl PageList {
+    /// An empty page list.
+    pub fn new() -> PageList {
+        PageList::default()
+    }
+
+    /// Number of entries including gaps (the local address space size).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of live (non-gap) pages.
+    pub fn page_count(&self) -> usize {
+        self.entries.iter().filter(|&&e| e != GAP).count()
+    }
+
+    /// Translate a local page index to the physical page.
+    pub fn translate(&self, lpage: u16) -> Option<PageId> {
+        match self.entries.get(lpage as usize) {
+            Some(&e) if e != GAP => Some(PageId(e)),
+            _ => None,
+        }
+    }
+
+    /// Local index of a physical page, if present.
+    pub fn position_of(&self, pid: PageId) -> Option<u16> {
+        self.entries
+            .iter()
+            .position(|&e| e == pid.0)
+            .map(|i| i as u16)
+    }
+
+    /// True if the physical page belongs to this local address space.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.position_of(pid).is_some()
+    }
+
+    /// Add a physical page: reuse the first gap, else append. Returns the
+    /// local index.
+    pub fn add(&mut self, pid: PageId) -> u16 {
+        debug_assert!(!self.contains(pid), "page already in list");
+        if let Some(i) = self.entries.iter().position(|&e| e == GAP) {
+            self.entries[i] = pid.0;
+            i as u16
+        } else {
+            self.entries.push(pid.0);
+            (self.entries.len() - 1) as u16
+        }
+    }
+
+    /// Remove the entry at `lpage`, leaving a gap (Mini-TID stability).
+    pub fn remove_at(&mut self, lpage: u16) -> Option<PageId> {
+        let e = self.entries.get_mut(lpage as usize)?;
+        if *e == GAP {
+            return None;
+        }
+        let pid = PageId(*e);
+        *e = GAP;
+        Some(pid)
+    }
+
+    /// Replace the physical page at `lpage` (object move): Mini-TIDs
+    /// pointing at this local index are untouched.
+    pub fn replace(&mut self, lpage: u16, new_pid: PageId) -> Result<PageId, StorageError> {
+        match self.entries.get_mut(lpage as usize) {
+            Some(e) if *e != GAP => {
+                let old = PageId(*e);
+                *e = new_pid.0;
+                Ok(old)
+            }
+            _ => Err(StorageError::Corrupt(format!(
+                "page list has no live entry at local index {lpage}"
+            ))),
+        }
+    }
+
+    /// Iterate live `(local index, physical page)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, PageId)> + '_ {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e != GAP)
+            .map(|(i, &e)| (i as u16, PageId(e)))
+    }
+
+    /// Serialize: `u16` entry count then `u32` per entry (GAP included).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.entries.len() as u16).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+
+    /// Deserialize from `buf[*pos..]`, advancing `*pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Result<PageList, StorageError> {
+        let err = || StorageError::Corrupt("truncated page list".into());
+        let n =
+            u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(err)?.try_into().unwrap())
+                as usize;
+        *pos += 2;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let e =
+                u32::from_le_bytes(buf.get(*pos..*pos + 4).ok_or_else(err)?.try_into().unwrap());
+            *pos += 4;
+            entries.push(e);
+        }
+        Ok(PageList { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_translate() {
+        let mut pl = PageList::new();
+        let l0 = pl.add(PageId(100));
+        let l1 = pl.add(PageId(200));
+        assert_eq!((l0, l1), (0, 1));
+        assert_eq!(pl.translate(0), Some(PageId(100)));
+        assert_eq!(pl.translate(1), Some(PageId(200)));
+        assert_eq!(pl.translate(2), None);
+        assert_eq!(pl.page_count(), 2);
+    }
+
+    #[test]
+    fn remove_leaves_gap_and_later_entries_stable() {
+        let mut pl = PageList::new();
+        pl.add(PageId(10));
+        pl.add(PageId(20));
+        pl.add(PageId(30));
+        assert_eq!(pl.remove_at(1), Some(PageId(20)));
+        // The paper's stability rule: entry 2 still translates the same.
+        assert_eq!(pl.translate(2), Some(PageId(30)));
+        assert_eq!(pl.translate(1), None);
+        assert_eq!(pl.page_count(), 2);
+        assert_eq!(pl.len(), 3, "gap retained");
+        // Double remove is a no-op signal.
+        assert_eq!(pl.remove_at(1), None);
+    }
+
+    #[test]
+    fn add_reuses_gap_before_extending() {
+        let mut pl = PageList::new();
+        pl.add(PageId(10));
+        pl.add(PageId(20));
+        pl.remove_at(0);
+        let l = pl.add(PageId(99));
+        assert_eq!(l, 0, "gap reused");
+        assert_eq!(pl.len(), 2);
+        let l2 = pl.add(PageId(77));
+        assert_eq!(l2, 2, "no gap left — extended at the end");
+    }
+
+    #[test]
+    fn replace_for_object_move() {
+        let mut pl = PageList::new();
+        pl.add(PageId(10));
+        pl.add(PageId(20));
+        let old = pl.replace(1, PageId(555)).unwrap();
+        assert_eq!(old, PageId(20));
+        assert_eq!(pl.translate(1), Some(PageId(555)));
+        assert!(pl.replace(9, PageId(1)).is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_with_gaps() {
+        let mut pl = PageList::new();
+        pl.add(PageId(1));
+        pl.add(PageId(2));
+        pl.add(PageId(3));
+        pl.remove_at(1);
+        let mut buf = vec![0xAA]; // leading noise to test offsets
+        pl.encode(&mut buf);
+        let mut pos = 1;
+        let back = PageList::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, pl);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn decode_truncated_errors() {
+        let mut buf = Vec::new();
+        let mut pl = PageList::new();
+        pl.add(PageId(7));
+        pl.encode(&mut buf);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(PageList::decode(&buf[..cut], &mut pos).is_err());
+        }
+    }
+
+    #[test]
+    fn position_and_contains() {
+        let mut pl = PageList::new();
+        pl.add(PageId(42));
+        assert!(pl.contains(PageId(42)));
+        assert_eq!(pl.position_of(PageId(42)), Some(0));
+        assert!(!pl.contains(PageId(43)));
+    }
+}

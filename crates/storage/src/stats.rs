@@ -1,0 +1,179 @@
+//! Access counters.
+//!
+//! The paper's Section 4 arguments are all *access-count* arguments:
+//! clustering keeps a complex object on "a relatively small page set",
+//! navigation on the Mini Directory avoids touching data subtuples,
+//! wrong index address schemes cause objects to be "(unnecessarily)
+//! accessed more than once". [`Stats`] makes every one of those effects
+//! measurable; benches and the `reproduce` binary report them.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Shared, cheaply clonable counter block (single-threaded engine —
+/// `Cell` suffices, no atomics needed).
+#[derive(Clone, Default)]
+pub struct Stats {
+    inner: Rc<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Buffer pool hits (page found in memory).
+    buf_hits: Cell<u64>,
+    /// Buffer pool misses (page read from disk).
+    buf_misses: Cell<u64>,
+    /// Pages written back to disk (evictions + flushes).
+    page_writes: Cell<u64>,
+    /// Records (subtuples) read.
+    subtuple_reads: Cell<u64>,
+    /// Records (subtuples) written (insert + update).
+    subtuple_writes: Cell<u64>,
+    /// Pointer fields rewritten (Lorie baseline move/reorg cost).
+    pointer_rewrites: Cell<u64>,
+    /// Whole complex objects visited (for the §4.2 duplicate-visit
+    /// argument).
+    object_visits: Cell<u64>,
+}
+
+macro_rules! counter {
+    ($inc:ident, $get:ident, $field:ident) => {
+        #[doc = concat!("Increment the `", stringify!($field), "` counter.")]
+        pub fn $inc(&self) {
+            self.inner.$field.set(self.inner.$field.get() + 1);
+        }
+        #[doc = concat!("Current value of the `", stringify!($field), "` counter.")]
+        pub fn $get(&self) -> u64 {
+            self.inner.$field.get()
+        }
+    };
+}
+
+impl Stats {
+    /// A fresh, zeroed counter block.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    counter!(inc_buf_hit, buf_hits, buf_hits);
+    counter!(inc_buf_miss, buf_misses, buf_misses);
+    counter!(inc_page_write, page_writes, page_writes);
+    counter!(inc_subtuple_read, subtuple_reads, subtuple_reads);
+    counter!(inc_subtuple_write, subtuple_writes, subtuple_writes);
+    counter!(inc_pointer_rewrite, pointer_rewrites, pointer_rewrites);
+    counter!(inc_object_visit, object_visits, object_visits);
+
+    /// Total page accesses (hits + misses).
+    pub fn page_accesses(&self) -> u64 {
+        self.buf_hits() + self.buf_misses()
+    }
+
+    /// Reset all counters to zero (shared across clones).
+    pub fn reset(&self) {
+        self.inner.buf_hits.set(0);
+        self.inner.buf_misses.set(0);
+        self.inner.page_writes.set(0);
+        self.inner.subtuple_reads.set(0);
+        self.inner.subtuple_writes.set(0);
+        self.inner.pointer_rewrites.set(0);
+        self.inner.object_visits.set(0);
+    }
+
+    /// Snapshot of all counters, for delta computations in benches.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            buf_hits: self.buf_hits(),
+            buf_misses: self.buf_misses(),
+            page_writes: self.page_writes(),
+            subtuple_reads: self.subtuple_reads(),
+            subtuple_writes: self.subtuple_writes(),
+            pointer_rewrites: self.pointer_rewrites(),
+            object_visits: self.object_visits(),
+        }
+    }
+}
+
+/// Immutable copy of the counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub buf_hits: u64,
+    pub buf_misses: u64,
+    pub page_writes: u64,
+    pub subtuple_reads: u64,
+    pub subtuple_writes: u64,
+    pub pointer_rewrites: u64,
+    pub object_visits: u64,
+}
+
+impl StatsSnapshot {
+    /// Per-counter difference `later - self`.
+    pub fn delta(&self, later: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            buf_hits: later.buf_hits - self.buf_hits,
+            buf_misses: later.buf_misses - self.buf_misses,
+            page_writes: later.page_writes - self.page_writes,
+            subtuple_reads: later.subtuple_reads - self.subtuple_reads,
+            subtuple_writes: later.subtuple_writes - self.subtuple_writes,
+            pointer_rewrites: later.pointer_rewrites - self.pointer_rewrites,
+            object_visits: later.object_visits - self.object_visits,
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} pwrites={} sreads={} swrites={} ptr-rewrites={} obj-visits={}",
+            self.buf_hits,
+            self.buf_misses,
+            self.page_writes,
+            self.subtuple_reads,
+            self.subtuple_writes,
+            self.pointer_rewrites,
+            self.object_visits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_shared_across_clones() {
+        let s = Stats::new();
+        let s2 = s.clone();
+        s.inc_buf_hit();
+        s2.inc_buf_hit();
+        s2.inc_buf_miss();
+        assert_eq!(s.buf_hits(), 2);
+        assert_eq!(s.buf_misses(), 1);
+        assert_eq!(s.page_accesses(), 3);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let s = Stats::new();
+        s.inc_subtuple_read();
+        let before = s.snapshot();
+        s.inc_subtuple_read();
+        s.inc_subtuple_read();
+        s.inc_object_visit();
+        let after = s.snapshot();
+        let d = before.delta(&after);
+        assert_eq!(d.subtuple_reads, 2);
+        assert_eq!(d.object_visits, 1);
+        assert_eq!(d.buf_hits, 0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = Stats::new();
+        s.inc_pointer_rewrite();
+        s.inc_page_write();
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

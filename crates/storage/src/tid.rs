@@ -1,0 +1,155 @@
+//! TIDs and Mini-TIDs.
+//!
+//! A [`Tid`] is the classic tuple identifier of /As76/ (System R): a page
+//! number interpreted relative to the beginning of the database segment,
+//! plus a slot number.
+//!
+//! A [`MiniTid`] is the paper's *local* pointer (§4.1): its page number is
+//! interpreted **relative to the complex object's page list** ("the page
+//! number in a Mini TID is always interpreted relatively to the beginning
+//! of the complex object's local address space"). Mini-TIDs are smaller
+//! than TIDs (4 vs 6 bytes here) — the paper notes this saves Mini
+//! Directory space — and, crucially, they survive page-level object moves
+//! unchanged, because only the page list must be updated.
+
+use std::fmt;
+
+/// Physical page number within a segment (u32 — segments up to 2^32
+/// pages).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Slot number within a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotNo(pub u16);
+
+impl fmt::Display for SlotNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Segment-global tuple identifier: (page number, slot number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tid {
+    pub page: PageId,
+    pub slot: SlotNo,
+}
+
+impl Tid {
+    /// Serialized size in bytes.
+    pub const ENCODED_LEN: usize = 6;
+
+    pub fn new(page: PageId, slot: SlotNo) -> Tid {
+        Tid { page, slot }
+    }
+
+    /// Serialize to 6 bytes (LE page, LE slot).
+    pub fn encode(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.page.0.to_le_bytes());
+        out.extend_from_slice(&self.slot.0.to_le_bytes());
+    }
+
+    /// Deserialize from 6 bytes at `buf[*pos..]`, advancing `*pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<Tid> {
+        let b = buf.get(*pos..*pos + Self::ENCODED_LEN)?;
+        *pos += Self::ENCODED_LEN;
+        Some(Tid {
+            page: PageId(u32::from_le_bytes(b[0..4].try_into().unwrap())),
+            slot: SlotNo(u16::from_le_bytes(b[4..6].try_into().unwrap())),
+        })
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.page, self.slot)
+    }
+}
+
+/// Object-local tuple identifier: (index into the object's page list,
+/// slot number). 4 bytes encoded — smaller than a TID, as §4.1 notes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MiniTid {
+    /// Index into the owning object's page list (*not* a physical page).
+    pub lpage: u16,
+    pub slot: SlotNo,
+}
+
+impl MiniTid {
+    /// Serialized size in bytes (smaller than a TID — §4.1).
+    pub const ENCODED_LEN: usize = 4;
+
+    pub fn new(lpage: u16, slot: SlotNo) -> MiniTid {
+        MiniTid { lpage, slot }
+    }
+
+    /// Serialize to 4 bytes.
+    pub fn encode(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.lpage.to_le_bytes());
+        out.extend_from_slice(&self.slot.0.to_le_bytes());
+    }
+
+    /// Deserialize from 4 bytes at `buf[*pos..]`, advancing `*pos`.
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<MiniTid> {
+        let b = buf.get(*pos..*pos + Self::ENCODED_LEN)?;
+        *pos += Self::ENCODED_LEN;
+        Some(MiniTid {
+            lpage: u16::from_le_bytes(b[0..2].try_into().unwrap()),
+            slot: SlotNo(u16::from_le_bytes(b[2..4].try_into().unwrap())),
+        })
+    }
+}
+
+impl fmt::Display for MiniTid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}.{}", self.lpage, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_roundtrip() {
+        let t = Tid::new(PageId(0xDEADBE), SlotNo(0x1234));
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        assert_eq!(buf.len(), Tid::ENCODED_LEN);
+        let mut pos = 0;
+        assert_eq!(Tid::decode(&buf, &mut pos), Some(t));
+        assert_eq!(pos, Tid::ENCODED_LEN);
+    }
+
+    #[test]
+    fn mini_tid_roundtrip_and_smaller() {
+        let m = MiniTid::new(7, SlotNo(3));
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert_eq!(buf.len(), MiniTid::ENCODED_LEN);
+        const { assert!(MiniTid::ENCODED_LEN < Tid::ENCODED_LEN) } // §4.1 space claim
+        let mut pos = 0;
+        assert_eq!(MiniTid::decode(&buf, &mut pos), Some(m));
+    }
+
+    #[test]
+    fn decode_truncated_returns_none() {
+        let mut pos = 0;
+        assert_eq!(Tid::decode(&[1, 2, 3], &mut pos), None);
+        assert_eq!(pos, 0);
+        assert_eq!(MiniTid::decode(&[1], &mut pos), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Tid::new(PageId(3), SlotNo(1)).to_string(), "P3.s1");
+        assert_eq!(MiniTid::new(0, SlotNo(2)).to_string(), "p0.s2");
+    }
+}

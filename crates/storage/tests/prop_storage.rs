@@ -1,0 +1,233 @@
+//! Property-based tests for the storage engine's core invariants:
+//! random nested objects roundtrip under all three storage structures,
+//! the §4.1 MD-count ordering SS1 ≥ SS3 ≥ SS2 holds universally, page
+//! records survive arbitrary op sequences, and object moves never break
+//! Mini-TIDs.
+
+use aim2_model::value::build::{a, tup};
+use aim2_model::{AtomType, TableKind, TableSchema, TableValue, Tuple};
+use aim2_storage::buffer::BufferPool;
+use aim2_storage::disk::MemDisk;
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::ObjectStore;
+use aim2_storage::page::Page;
+use aim2_storage::segment::Segment;
+use aim2_storage::stats::Stats;
+use aim2_storage::tid::SlotNo;
+use proptest::prelude::*;
+
+fn fresh_store(layout: LayoutKind, page_size: usize) -> ObjectStore {
+    let pool = BufferPool::new(Box::new(MemDisk::new(page_size)), 64, Stats::new());
+    ObjectStore::new(Segment::new(pool), layout)
+}
+
+/// Random 3-level schema shaped like DEPARTMENTS: atoms at each level,
+/// one or two subtables at the top, one nested subtable.
+fn dept_like_schema() -> TableSchema {
+    TableSchema::relation("R")
+        .with_atom("A", AtomType::Int)
+        .with_atom("B", AtomType::Str)
+        .with_table(
+            TableSchema::relation("S")
+                .with_atom("C", AtomType::Int)
+                .with_table(
+                    TableSchema::list("T")
+                        .with_atom("D", AtomType::Int)
+                        .with_atom("E", AtomType::Str),
+                ),
+        )
+        .with_table(TableSchema::relation("U").with_atom("F", AtomType::Int))
+}
+
+/// Strategy producing a random tuple for `dept_like_schema`, with
+/// controllable fan-outs.
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    let inner_t = prop::collection::vec((any::<i32>(), "[a-z]{0,12}"), 0..6);
+    let s_elems = prop::collection::vec((any::<i32>(), inner_t), 0..5);
+    let u_elems = prop::collection::vec(any::<i32>(), 0..7);
+    (any::<i32>(), "[a-z]{0,16}", s_elems, u_elems).prop_map(|(x, y, ss, us)| {
+        let s_tuples: Vec<Tuple> = ss
+            .into_iter()
+            .map(|(c, ts)| {
+                let t_tuples: Vec<Tuple> = ts
+                    .into_iter()
+                    .map(|(d, e)| tup(vec![a(d as i64), a(e)]))
+                    .collect();
+                tup(vec![
+                    a(c as i64),
+                    aim2_model::Value::Table(TableValue::with_tuples(TableKind::List, t_tuples)),
+                ])
+            })
+            .collect();
+        let u_tuples: Vec<Tuple> = us.into_iter().map(|f| tup(vec![a(f as i64)])).collect();
+        tup(vec![
+            a(x as i64),
+            a(y),
+            aim2_model::Value::Table(TableValue::with_tuples(TableKind::Relation, s_tuples)),
+            aim2_model::Value::Table(TableValue::with_tuples(TableKind::Relation, u_tuples)),
+        ])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn object_roundtrips_under_all_layouts(t in arb_tuple()) {
+        let schema = dept_like_schema();
+        for layout in LayoutKind::ALL {
+            let mut os = fresh_store(layout, 512);
+            let h = os.insert_object(&schema, &t).unwrap();
+            prop_assert_eq!(&os.read_object(&schema, h).unwrap(), &t);
+        }
+    }
+
+    #[test]
+    fn md_count_ordering_ss1_ge_ss3_ge_ss2(t in arb_tuple()) {
+        let schema = dept_like_schema();
+        let mut counts = Vec::new();
+        for layout in LayoutKind::ALL {
+            let mut os = fresh_store(layout, 512);
+            let h = os.insert_object(&schema, &t).unwrap();
+            counts.push(os.md_profile(h).unwrap().md_subtuples);
+        }
+        // §4.1: "an order SS1 > SS3 > SS2 can be established" (weakly,
+        // since degenerate objects can tie).
+        prop_assert!(counts[0] >= counts[2], "SS1 {} < SS3 {}", counts[0], counts[2]);
+        prop_assert!(counts[2] >= counts[1], "SS3 {} < SS2 {}", counts[2], counts[1]);
+    }
+
+    #[test]
+    fn data_subtuple_count_layout_invariant(t in arb_tuple()) {
+        let schema = dept_like_schema();
+        let mut counts = Vec::new();
+        for layout in LayoutKind::ALL {
+            let mut os = fresh_store(layout, 512);
+            let h = os.insert_object(&schema, &t).unwrap();
+            counts.push(os.md_profile(h).unwrap().data_subtuples);
+        }
+        prop_assert_eq!(counts[0], counts[1]);
+        prop_assert_eq!(counts[1], counts[2]);
+    }
+
+    #[test]
+    fn move_preserves_object_and_rewrites_nothing(t in arb_tuple()) {
+        let schema = dept_like_schema();
+        let mut os = fresh_store(LayoutKind::Ss3, 256);
+        let h = os.insert_object(&schema, &t).unwrap();
+        let stats = os.stats();
+        let before = stats.snapshot();
+        os.move_object(h).unwrap();
+        prop_assert_eq!(before.delta(&stats.snapshot()).pointer_rewrites, 0);
+        prop_assert_eq!(&os.read_object(&schema, h).unwrap(), &t);
+    }
+
+    #[test]
+    fn walk_data_covers_every_data_subtuple(t in arb_tuple()) {
+        let schema = dept_like_schema();
+        for layout in LayoutKind::ALL {
+            let mut os = fresh_store(layout, 512);
+            let h = os.insert_object(&schema, &t).unwrap();
+            let expected = os.md_profile(h).unwrap().data_subtuples;
+            let walk = os.walk_data(&schema, h).unwrap();
+            prop_assert_eq!(walk.len(), expected);
+        }
+    }
+
+    #[test]
+    fn page_survives_random_op_sequence(ops in prop::collection::vec((0u8..3, any::<u16>(), 0usize..120), 1..80)) {
+        // A model-based test: mirror page ops against a HashMap and check
+        // full agreement after every step.
+        let mut buf = vec![0u8; 1024];
+        let mut page = Page::init(&mut buf);
+        let mut model: std::collections::HashMap<u16, Vec<u8>> = Default::default();
+        for (op, pick, len) in ops {
+            match op {
+                0 => {
+                    let data = vec![(pick % 251) as u8; len];
+                    if let Some(slot) = page.insert(&data) {
+                        model.insert(slot.0, data);
+                    }
+                }
+                1 => {
+                    if !model.is_empty() {
+                        let keys: Vec<u16> = model.keys().copied().collect();
+                        let k = keys[pick as usize % keys.len()];
+                        page.delete(SlotNo(k));
+                        model.remove(&k);
+                    }
+                }
+                _ => {
+                    if !model.is_empty() {
+                        let keys: Vec<u16> = model.keys().copied().collect();
+                        let k = keys[pick as usize % keys.len()];
+                        let data = vec![(pick % 13) as u8; len];
+                        if page.update(SlotNo(k), &data) {
+                            model.insert(k, data);
+                        }
+                    }
+                }
+            }
+            // Agreement check.
+            for (k, v) in &model {
+                prop_assert_eq!(page.read(SlotNo(*k)), Some(v.as_slice()));
+            }
+            let live = page.live_records().count();
+            prop_assert_eq!(live, model.len());
+        }
+    }
+}
+
+#[test]
+fn segment_heap_random_workload_model_check() {
+    // Deterministic pseudo-random heap workload against a model map —
+    // covers forwarding and overflow chains with a tiny page size.
+    use std::collections::HashMap;
+    let pool = BufferPool::new(Box::new(MemDisk::new(128)), 8, Stats::new());
+    let mut seg = Segment::new(pool);
+    let mut model: HashMap<aim2_storage::tid::Tid, Vec<u8>> = HashMap::new();
+    let mut state = 0x12345678u64;
+    let mut rng = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for _ in 0..400 {
+        let r = rng();
+        match r % 3 {
+            0 => {
+                let len = (rng() % 300) as usize;
+                let data = vec![(r % 251) as u8; len];
+                let tid = seg.insert(&data, None).unwrap();
+                model.insert(tid, data);
+            }
+            1 if !model.is_empty() => {
+                let keys: Vec<_> = model.keys().copied().collect();
+                let k = keys[(rng() as usize) % keys.len()];
+                let len = (rng() % 400) as usize;
+                let data = vec![(r % 17) as u8; len];
+                seg.update(k, &data).unwrap();
+                model.insert(k, data);
+            }
+            2 if !model.is_empty() => {
+                let keys: Vec<_> = model.keys().copied().collect();
+                let k = keys[(rng() as usize) % keys.len()];
+                seg.delete(k).unwrap();
+                model.remove(&k);
+            }
+            _ => {}
+        }
+    }
+    for (tid, data) in &model {
+        assert_eq!(&seg.read(*tid).unwrap(), data);
+    }
+    // Scan agreement: every live record seen exactly once.
+    let mut seen = 0;
+    seg.for_each(|tid, body| {
+        assert_eq!(model.get(&tid).map(|v| v.as_slice()), Some(body));
+        seen += 1;
+    })
+    .unwrap();
+    assert_eq!(seen, model.len());
+}

@@ -1,0 +1,271 @@
+//! The word-fragment index.
+//!
+//! Every word is bracketed with sentinels (`^word$`) and decomposed into
+//! trigrams; each trigram's posting list records the documents whose
+//! text contains a word with that fragment. A masked pattern is
+//! evaluated by:
+//!
+//! 1. deriving trigrams from the mask's literal runs (anchored runs also
+//!    produce sentinel trigrams, so `comput*` prunes by `^co` too);
+//! 2. intersecting posting lists → a candidate superset;
+//! 3. verifying each candidate's words against the full mask.
+//!
+//! Patterns whose literal runs are too short to form any trigram
+//! degenerate to verification over all documents — exactly the behaviour
+//! fragment indexes of the era had for very unselective masks.
+
+use crate::pattern::Pattern;
+use crate::tokenizer::tokenize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies an indexed document (e.g. a tuple's ordinal or TID hash).
+pub type DocId = u64;
+
+const START: char = '\u{2}';
+const END: char = '\u{3}';
+
+/// In-memory word-fragment text index with a forward index for
+/// verification. (The 1986 prototype's text index lived on disk; this
+/// reproduction keeps it memory-resident and rebuilds it at load time —
+/// the *query* behaviour, fragment pruning + verification, is what the
+/// paper exercises.)
+#[derive(Debug, Default)]
+pub struct TextIndex {
+    postings: BTreeMap<String, BTreeSet<DocId>>,
+    docs: BTreeMap<DocId, Vec<String>>,
+}
+
+fn bracket(word: &str) -> String {
+    let mut s = String::with_capacity(word.len() + 2);
+    s.push(START);
+    s.push_str(word);
+    s.push(END);
+    s
+}
+
+fn trigrams(s: &str) -> Vec<String> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 3 {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(3).map(|w| w.iter().collect()).collect()
+}
+
+impl TextIndex {
+    /// An empty index.
+    pub fn new() -> TextIndex {
+        TextIndex::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Number of distinct fragments (index size metric).
+    pub fn fragment_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Index (or re-index) a document's text.
+    pub fn add_document(&mut self, id: DocId, text: &str) {
+        self.remove_document(id);
+        let words = tokenize(text);
+        for w in &words {
+            for frag in trigrams(&bracket(w)) {
+                self.postings.entry(frag).or_default().insert(id);
+            }
+        }
+        self.docs.insert(id, words);
+    }
+
+    /// Remove a document from the index.
+    pub fn remove_document(&mut self, id: DocId) {
+        if let Some(words) = self.docs.remove(&id) {
+            for w in &words {
+                for frag in trigrams(&bracket(w)) {
+                    if let Some(set) = self.postings.get_mut(&frag) {
+                        set.remove(&id);
+                        if set.is_empty() {
+                            self.postings.remove(&frag);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fragment-derived candidate superset for `pattern` (before
+    /// verification). `None` means the pattern was too unselective to
+    /// prune — all documents are candidates.
+    pub fn candidates(&self, pattern: &Pattern) -> Option<BTreeSet<DocId>> {
+        let mut result: Option<BTreeSet<DocId>> = None;
+        for (run, first, last) in pattern.literal_runs() {
+            let mut padded = String::new();
+            if first && pattern.anchored_start() {
+                padded.push(START);
+            }
+            padded.push_str(&run);
+            if last && pattern.anchored_end() {
+                padded.push(END);
+            }
+            if padded.chars().count() < 3 {
+                continue; // too short to form a trigram
+            }
+            for frag in trigrams(&padded) {
+                let posting = self.postings.get(&frag).cloned().unwrap_or_default();
+                result = Some(match result {
+                    None => posting,
+                    Some(r) => r.intersection(&posting).copied().collect(),
+                });
+                if result.as_ref().is_some_and(BTreeSet::is_empty) {
+                    return result; // early out — empty intersection
+                }
+            }
+        }
+        result
+    }
+
+    /// Masked search: returns the documents containing a word matching
+    /// `pattern`, plus how many candidates were verified (bench metric).
+    pub fn search(&self, pattern: &Pattern) -> (Vec<DocId>, usize) {
+        let candidates: Vec<DocId> = match self.candidates(pattern) {
+            Some(set) => set.into_iter().collect(),
+            None => self.docs.keys().copied().collect(),
+        };
+        let verified = candidates.len();
+        let hits = candidates
+            .into_iter()
+            .filter(|id| {
+                self.docs
+                    .get(id)
+                    .is_some_and(|words| words.iter().any(|w| pattern.matches(w)))
+            })
+            .collect();
+        (hits, verified)
+    }
+
+    /// Brute-force search over the forward index (the "no text index"
+    /// baseline for the TXT bench).
+    pub fn scan_search(&self, pattern: &Pattern) -> Vec<DocId> {
+        self.docs
+            .iter()
+            .filter(|(_, words)| words.iter().any(|w| pattern.matches(w)))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_index() -> TextIndex {
+        let mut idx = TextIndex::new();
+        idx.add_document(179, "Concurrency and Concurrency Control");
+        idx.add_document(189, "Text Editing and String Search");
+        idx.add_document(291, "Branch and Bound Optimization on Minicomputers");
+        idx
+    }
+
+    #[test]
+    fn paper_query_comput() {
+        let idx = paper_index();
+        let (hits, _) = idx.search(&Pattern::parse("*comput*"));
+        assert_eq!(hits, vec![291]);
+    }
+
+    #[test]
+    fn candidates_prune_before_verification() {
+        let idx = paper_index();
+        let cands = idx.candidates(&Pattern::parse("*comput*")).unwrap();
+        assert_eq!(cands.len(), 1, "only the minicomputers title survives");
+        // An unselective mask cannot prune.
+        assert!(idx.candidates(&Pattern::parse("*a*")).is_none());
+    }
+
+    #[test]
+    fn anchored_masks_use_sentinel_fragments() {
+        let idx = paper_index();
+        // 'concurrency' starts with 'con'; 'control' too — but only as
+        // word starts. "*con*" also matches inside words; "con*" only at
+        // starts.
+        let (prefix_hits, _) = idx.search(&Pattern::parse("con*"));
+        assert_eq!(prefix_hits, vec![179]);
+        let (suffix_hits, _) = idx.search(&Pattern::parse("*ing"));
+        assert_eq!(suffix_hits, vec![189]); // editing
+    }
+
+    #[test]
+    fn exact_word_search() {
+        let idx = paper_index();
+        let (hits, _) = idx.search(&Pattern::parse("bound"));
+        assert_eq!(hits, vec![291]);
+        let (miss, _) = idx.search(&Pattern::parse("boundary"));
+        assert!(miss.is_empty());
+    }
+
+    #[test]
+    fn short_words_still_findable() {
+        let mut idx = TextIndex::new();
+        idx.add_document(1, "an ox");
+        let (hits, _) = idx.search(&Pattern::parse("ox"));
+        assert_eq!(hits, vec![1]);
+        let (hits2, _) = idx.search(&Pattern::parse("o?"));
+        assert_eq!(hits2, vec![1]);
+    }
+
+    #[test]
+    fn index_matches_scan_on_many_patterns() {
+        let idx = paper_index();
+        for mask in [
+            "*comput*", "con*", "*ing", "*o*", "b?und", "text", "*and*", "??", "*",
+            "*string*search*", "xyz*",
+        ] {
+            let p = Pattern::parse(mask);
+            let (mut a, _) = idx.search(&p);
+            let mut b = idx.scan_search(&p);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "mask {mask}");
+        }
+    }
+
+    #[test]
+    fn remove_document() {
+        let mut idx = paper_index();
+        idx.remove_document(291);
+        let (hits, _) = idx.search(&Pattern::parse("*comput*"));
+        assert!(hits.is_empty());
+        assert_eq!(idx.len(), 2);
+        // Re-adding works.
+        idx.add_document(291, "Minicomputers Strike Back");
+        let (hits, _) = idx.search(&Pattern::parse("*comput*"));
+        assert_eq!(hits, vec![291]);
+    }
+
+    #[test]
+    fn reindex_replaces_old_words() {
+        let mut idx = TextIndex::new();
+        idx.add_document(5, "old words here");
+        idx.add_document(5, "completely new content");
+        let (hits, _) = idx.search(&Pattern::parse("old"));
+        assert!(hits.is_empty());
+        let (hits, _) = idx.search(&Pattern::parse("new"));
+        assert_eq!(hits, vec![5]);
+    }
+
+    #[test]
+    fn verification_counter_reports_candidates() {
+        let idx = paper_index();
+        let (_, verified_indexed) = idx.search(&Pattern::parse("*comput*"));
+        assert_eq!(verified_indexed, 1, "fragment pruning left 1 candidate");
+        let (_, verified_all) = idx.search(&Pattern::parse("*a*"));
+        assert_eq!(verified_all, 3, "unselective mask verifies everything");
+    }
+}

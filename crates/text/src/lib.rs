@@ -1,0 +1,29 @@
+//! # aim2-text — word-fragment text indexing with masked search
+//!
+//! Section 5 of Dadam et al. (SIGMOD 1986) describes AIM-II's integrated
+//! text support: `TEXT` attributes can carry a *text index* that supports
+//! "masked search operations in a quite powerful way", e.g.
+//!
+//! ```text
+//! WHERE x.TITLE CONTAINS '*comput*'
+//! ```
+//!
+//! matching "computational", "minicomputer", "computer", ... The
+//! technique references /Sch78/ (reference-string indexing) and /KW81/
+//! (a word-fragment index): words are decomposed into short fragments;
+//! a masked pattern is answered by intersecting the posting lists of the
+//! fragments derivable from its literal parts, then verifying the
+//! surviving candidates.
+//!
+//! This crate implements that contract with boundary-anchored trigram
+//! fragments: each word `w` is indexed as the trigrams of `⟨w⟩` (with
+//! start/end sentinels), so prefix- and suffix-anchored masks also prune
+//! via fragments.
+
+pub mod fragment;
+pub mod pattern;
+pub mod tokenizer;
+
+pub use fragment::{DocId, TextIndex};
+pub use pattern::Pattern;
+pub use tokenizer::tokenize;

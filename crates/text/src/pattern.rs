@@ -1,0 +1,213 @@
+//! Masked search patterns.
+//!
+//! The paper's example is `'*comput*'`; we support the classical mask
+//! alphabet: `*` (any sequence, including empty) and `?` (exactly one
+//! character). A pattern with no wildcards is an exact word match.
+
+use std::fmt;
+
+/// One element of a parsed mask.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Part {
+    /// A literal character sequence (lowercased).
+    Literal(String),
+    /// `*` — any (possibly empty) sequence.
+    Any,
+    /// `?` — exactly one character.
+    One,
+}
+
+/// A parsed masked-search pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    parts: Vec<Part>,
+}
+
+impl Pattern {
+    /// Parse a mask. Adjacent `*`s collapse; literals are lowercased
+    /// (matching is case-insensitive, like the tokenizer).
+    pub fn parse(mask: &str) -> Pattern {
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        for ch in mask.chars() {
+            match ch {
+                '*' => {
+                    if !lit.is_empty() {
+                        parts.push(Part::Literal(std::mem::take(&mut lit)));
+                    }
+                    if parts.last() != Some(&Part::Any) {
+                        parts.push(Part::Any);
+                    }
+                }
+                '?' => {
+                    if !lit.is_empty() {
+                        parts.push(Part::Literal(std::mem::take(&mut lit)));
+                    }
+                    parts.push(Part::One);
+                }
+                c => lit.extend(c.to_lowercase()),
+            }
+        }
+        if !lit.is_empty() {
+            parts.push(Part::Literal(lit));
+        }
+        Pattern { parts }
+    }
+
+    /// The parsed parts.
+    pub fn parts(&self) -> &[Part] {
+        &self.parts
+    }
+
+    /// True if the pattern has no wildcards (exact word match).
+    pub fn is_exact(&self) -> bool {
+        self.parts.len() == 1 && matches!(self.parts[0], Part::Literal(_))
+    }
+
+    /// True if the pattern starts with a literal (prefix-anchored).
+    pub fn anchored_start(&self) -> bool {
+        matches!(self.parts.first(), Some(Part::Literal(_)))
+    }
+
+    /// True if the pattern ends with a literal (suffix-anchored).
+    pub fn anchored_end(&self) -> bool {
+        matches!(self.parts.last(), Some(Part::Literal(_)))
+    }
+
+    /// The literal runs, with flags (is_first_and_anchored,
+    /// is_last_and_anchored) — the fragment index derives trigrams from
+    /// these.
+    pub fn literal_runs(&self) -> Vec<(String, bool, bool)> {
+        let n = self.parts.len();
+        self.parts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Part::Literal(s) => Some((s.clone(), i == 0, i == n - 1)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Match a (lowercased) word against the mask.
+    pub fn matches(&self, word: &str) -> bool {
+        fn rec(parts: &[Part], word: &str) -> bool {
+            match parts.split_first() {
+                None => word.is_empty(),
+                Some((Part::Literal(lit), rest)) => word
+                    .strip_prefix(lit.as_str())
+                    .is_some_and(|w| rec(rest, w)),
+                Some((Part::One, rest)) => {
+                    let mut chars = word.chars();
+                    chars.next().is_some() && rec(rest, chars.as_str())
+                }
+                Some((Part::Any, rest)) => {
+                    if rec(rest, word) {
+                        return true;
+                    }
+                    let mut w = word;
+                    while let Some((i, _)) = w.char_indices().nth(1).or(None) {
+                        w = &w[i..];
+                        if rec(rest, w) {
+                            return true;
+                        }
+                    }
+                    // Also the empty remainder.
+                    rec(rest, "")
+                }
+            }
+        }
+        rec(&self.parts, &word.to_lowercase())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.parts {
+            match p {
+                Part::Literal(s) => f.write_str(s)?,
+                Part::Any => f.write_str("*")?,
+                Part::One => f.write_str("?")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_collapses_stars() {
+        let p = Pattern::parse("**comput**");
+        assert_eq!(p.parts().len(), 3);
+        assert_eq!(p.to_string(), "*comput*");
+    }
+
+    #[test]
+    fn paper_mask_matches_paper_words() {
+        let p = Pattern::parse("*comput*");
+        for w in ["computational", "minicomputer", "computer", "comput"] {
+            assert!(p.matches(w), "{w}");
+        }
+        assert!(!p.matches("compete"));
+        assert!(!p.matches(""));
+    }
+
+    #[test]
+    fn anchored_masks() {
+        let p = Pattern::parse("comput*");
+        assert!(p.anchored_start() && !p.anchored_end());
+        assert!(p.matches("computer"));
+        assert!(!p.matches("minicomputer"));
+        let s = Pattern::parse("*ing");
+        assert!(!s.anchored_start() && s.anchored_end());
+        assert!(s.matches("editing"));
+        assert!(!s.matches("ingest"));
+    }
+
+    #[test]
+    fn exact_pattern() {
+        let p = Pattern::parse("jones");
+        assert!(p.is_exact());
+        assert!(p.matches("Jones"));
+        assert!(!p.matches("jonese"));
+    }
+
+    #[test]
+    fn question_mark() {
+        let p = Pattern::parse("b?und");
+        assert!(p.matches("bound"));
+        assert!(!p.matches("bund"));
+        assert!(!p.matches("boound"));
+        let q = Pattern::parse("?*");
+        assert!(q.matches("a"));
+        assert!(q.matches("abc"));
+        assert!(!q.matches(""));
+    }
+
+    #[test]
+    fn multi_run_masks() {
+        let p = Pattern::parse("*data*base*");
+        assert!(p.matches("databases"));
+        assert!(p.matches("metadatabase"));
+        assert!(!p.matches("database".replace("base", "bank").as_str()));
+        assert_eq!(p.literal_runs().len(), 2);
+    }
+
+    #[test]
+    fn star_only_matches_everything() {
+        let p = Pattern::parse("*");
+        assert!(p.matches(""));
+        assert!(p.matches("anything"));
+        assert!(p.literal_runs().is_empty());
+    }
+
+    #[test]
+    fn unicode_safe_matching() {
+        let p = Pattern::parse("*öß*");
+        assert!(p.matches("größe"));
+        assert!(!p.matches("grosse"));
+    }
+}

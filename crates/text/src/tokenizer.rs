@@ -1,0 +1,55 @@
+//! Word tokenization for text attributes.
+//!
+//! The masked-search semantics of the paper's `CONTAINS` are
+//! word-granular: a `TEXT` value matches `'*comput*'` when some *word*
+//! in it matches the mask. Words are maximal alphanumeric runs,
+//! lowercased (matching is case-insensitive, as befits a search index).
+
+/// Split `text` into lowercased words (maximal alphanumeric runs).
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_splitting() {
+        assert_eq!(
+            tokenize("Concurrency and Concurrency Control"),
+            vec!["concurrency", "and", "concurrency", "control"]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_digits() {
+        assert_eq!(
+            tokenize("Branch-and-Bound: 2nd edition (1986)!"),
+            vec!["branch", "and", "bound", "2nd", "edition", "1986"]
+        );
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(tokenize("Größe"), vec!["größe"]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Version chains: the subtuple-manager-level temporal machinery.
+//!
+//! A [`VersionChain`] records the timestamped history of one item. Each
+//! entry `(t, Some(v))` means "from `t` on, the value is `v`"; `(t,
+//! None)` is a deletion tombstone. [`VersionChain::asof`] answers the
+//! paper's ASOF point queries; [`VersionChain::history`] answers
+//! walk-through-time interval queries (which the paper supports at this
+//! level but deliberately not in the query language — we do the same).
+
+use aim2_model::Date;
+
+/// Timestamped history of one item.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionChain<T> {
+    /// Sorted by date ascending; at most one entry per date (a later
+    /// write on the same date replaces the earlier).
+    entries: Vec<(Date, Option<T>)>,
+}
+
+impl<T: Clone> VersionChain<T> {
+    /// An empty chain (item never existed).
+    pub fn new() -> VersionChain<T> {
+        VersionChain {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record that the value became `v` at date `t` (None = deleted).
+    /// Histories may be built out of order; entries stay date-sorted.
+    pub fn record(&mut self, t: Date, v: Option<T>) {
+        match self.entries.binary_search_by_key(&t, |(d, _)| *d) {
+            Ok(i) => self.entries[i].1 = v,
+            Err(i) => self.entries.insert(i, (t, v)),
+        }
+    }
+
+    /// The value as of date `t` (the paper's ASOF): the latest version
+    /// with timestamp `<= t`, unless that version is a tombstone.
+    pub fn asof(&self, t: Date) -> Option<&T> {
+        let idx = self.entries.partition_point(|(d, _)| *d <= t);
+        if idx == 0 {
+            return None;
+        }
+        self.entries[idx - 1].1.as_ref()
+    }
+
+    /// The current value (as of the end of time).
+    pub fn current(&self) -> Option<&T> {
+        self.asof(Date::MAX)
+    }
+
+    /// Walk-through-time: the validity intervals overlapping `[from,
+    /// to]`, as `(valid_from, valid_to_exclusive, value)` triples.
+    /// `valid_to_exclusive` is `Date::MAX` for the open current version.
+    pub fn history(&self, from: Date, to: Date) -> Vec<(Date, Date, &T)> {
+        let mut out = Vec::new();
+        for (i, (start, v)) in self.entries.iter().enumerate() {
+            let Some(v) = v else { continue };
+            let end = self
+                .entries
+                .get(i + 1)
+                .map(|(d, _)| *d)
+                .unwrap_or(Date::MAX);
+            // Interval [start, end) overlaps [from, to]?
+            if *start <= to && end > from {
+                out.push((*start, end, v));
+            }
+        }
+        out
+    }
+
+    /// Number of recorded versions (tombstones included).
+    pub fn version_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The raw entries, date-ascending (catalog checkpoints).
+    pub fn entries(&self) -> &[(Date, Option<T>)] {
+        &self.entries
+    }
+
+    /// Rebuild from persisted entries (must be date-ascending).
+    pub fn from_entries(entries: Vec<(Date, Option<T>)>) -> VersionChain<T> {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        VersionChain { entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Date {
+        Date::parse_iso(s).unwrap()
+    }
+
+    #[test]
+    fn asof_between_versions() {
+        let mut c = VersionChain::new();
+        c.record(d("1984-01-01"), Some("v1"));
+        c.record(d("1984-06-01"), Some("v2"));
+        assert_eq!(c.asof(d("1983-12-31")), None, "before creation");
+        assert_eq!(c.asof(d("1984-01-01")), Some(&"v1"), "inclusive start");
+        assert_eq!(c.asof(d("1984-01-15")), Some(&"v1"));
+        assert_eq!(c.asof(d("1984-06-01")), Some(&"v2"));
+        assert_eq!(c.current(), Some(&"v2"));
+    }
+
+    #[test]
+    fn tombstones_delete() {
+        let mut c = VersionChain::new();
+        c.record(d("1984-01-01"), Some(1));
+        c.record(d("1984-03-01"), None);
+        c.record(d("1984-09-01"), Some(2));
+        assert_eq!(c.asof(d("1984-02-01")), Some(&1));
+        assert_eq!(c.asof(d("1984-04-01")), None, "deleted");
+        assert_eq!(c.asof(d("1985-01-01")), Some(&2), "re-created");
+    }
+
+    #[test]
+    fn out_of_order_recording() {
+        let mut c = VersionChain::new();
+        c.record(d("1984-06-01"), Some("late"));
+        c.record(d("1984-01-01"), Some("early"));
+        assert_eq!(c.asof(d("1984-02-01")), Some(&"early"));
+        // Same-date overwrite.
+        c.record(d("1984-01-01"), Some("early2"));
+        assert_eq!(c.asof(d("1984-02-01")), Some(&"early2"));
+        assert_eq!(c.version_count(), 2);
+    }
+
+    #[test]
+    fn walk_through_time_intervals() {
+        let mut c = VersionChain::new();
+        c.record(d("1984-01-01"), Some("a"));
+        c.record(d("1984-03-01"), Some("b"));
+        c.record(d("1984-05-01"), None);
+        c.record(d("1984-07-01"), Some("c"));
+        let h = c.history(d("1984-02-01"), d("1984-08-01"));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[0], (d("1984-01-01"), d("1984-03-01"), &"a"));
+        assert_eq!(h[1], (d("1984-03-01"), d("1984-05-01"), &"b"));
+        assert_eq!(h[2], (d("1984-07-01"), Date::MAX, &"c"));
+        // A window entirely inside one version.
+        let inside = c.history(d("1984-03-10"), d("1984-03-20"));
+        assert_eq!(inside.len(), 1);
+        assert_eq!(inside[0].2, &"b");
+        // A window before everything.
+        assert!(c.history(d("1983-01-01"), d("1983-12-31")).is_empty());
+    }
+
+    #[test]
+    fn empty_chain() {
+        let c: VersionChain<u8> = VersionChain::new();
+        assert!(c.is_empty());
+        assert_eq!(c.asof(Date::MAX), None);
+        assert!(c.history(Date::MIN, Date::MAX).is_empty());
+    }
+}

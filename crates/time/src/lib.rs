@@ -1,0 +1,29 @@
+//! # aim2-time — time versions and ASOF queries
+//!
+//! Section 5 of Dadam et al. (SIGMOD 1986): AIM-II has "integrated
+//! temporal support, also called time version support" (/DLW84, Lu84/).
+//! The 1986 prototype exposes **ASOF** queries at the language level
+//! ("see a table or subtable as it looked like at a fixed point in time
+//! in the past") while *walk-through-time* interval queries "are
+//! supported at lower system levels (subtuple manager) but have not been
+//! brought up to the language interface". This crate mirrors that split:
+//!
+//! * [`chain::VersionChain`] — timestamped version chains with point
+//!   ([`chain::VersionChain::asof`]) and interval
+//!   ([`chain::VersionChain::history`]) access: the lower-system-level
+//!   machinery, walk-through-time included;
+//! * [`versioned::VersionedTable`] — per-object version recording for a
+//!   "versioned table", driving the language-level ASOF clause.
+//!
+//! Substitution note (documented in DESIGN.md): the paper versions at
+//! the subtuple level for space efficiency; this reproduction records
+//! one version entry per *object mutation*. ASOF query semantics —
+//! what the paper actually exposes — are identical.
+
+pub mod chain;
+pub mod subtuple;
+pub mod versioned;
+
+pub use chain::VersionChain;
+pub use subtuple::SubtupleVersions;
+pub use versioned::VersionedTable;

@@ -1,0 +1,159 @@
+//! Subtuple-granular version chains — the "lower system level" of §5.
+//!
+//! The paper keeps time versions at the *subtuple* level (/DLW84/) and
+//! states that walk-through-time queries "are supported at lower system
+//! levels (subtuple manager) but have not been brought up to the
+//! language interface". This module is that lower level: per-data-
+//! subtuple chains keyed by the subtuple's stable Mini-TID (stable by
+//! the §4.1 page-list rules, including across object moves), recording
+//! the atom vector each time it changes.
+//!
+//! The language-level ASOF clause runs off the object-granular
+//! [`crate::VersionedTable`] (see DESIGN.md for the substitution note);
+//! this API serves programmatic history inspection, exactly the split
+//! the paper describes.
+
+use crate::chain::VersionChain;
+use aim2_model::{Atom, Date};
+use aim2_storage::object::ObjectHandle;
+use aim2_storage::tid::MiniTid;
+use std::collections::BTreeMap;
+
+/// Version chains for the data subtuples of one table.
+#[derive(Debug, Clone, Default)]
+pub struct SubtupleVersions {
+    chains: BTreeMap<(ObjectHandle, MiniTid), VersionChain<Vec<Atom>>>,
+}
+
+impl SubtupleVersions {
+    /// An empty store.
+    pub fn new() -> SubtupleVersions {
+        SubtupleVersions::default()
+    }
+
+    /// Record that the data subtuple `(handle, mt)` holds `atoms` from
+    /// date `t` on.
+    pub fn record(&mut self, handle: ObjectHandle, mt: MiniTid, t: Date, atoms: Vec<Atom>) {
+        self.chains
+            .entry((handle, mt))
+            .or_default()
+            .record(t, Some(atoms));
+    }
+
+    /// Record the subtuple's deletion at `t`.
+    pub fn record_delete(&mut self, handle: ObjectHandle, mt: MiniTid, t: Date) {
+        self.chains.entry((handle, mt)).or_default().record(t, None);
+    }
+
+    /// The subtuple's atoms as of `t`.
+    pub fn asof(&self, handle: ObjectHandle, mt: MiniTid, t: Date) -> Option<&Vec<Atom>> {
+        self.chains.get(&(handle, mt))?.asof(t)
+    }
+
+    /// Walk-through-time over one subtuple: validity intervals
+    /// overlapping `[from, to]`.
+    pub fn history(
+        &self,
+        handle: ObjectHandle,
+        mt: MiniTid,
+        from: Date,
+        to: Date,
+    ) -> Vec<(Date, Date, &Vec<Atom>)> {
+        self.chains
+            .get(&(handle, mt))
+            .map(|c| c.history(from, to))
+            .unwrap_or_default()
+    }
+
+    /// All versioned subtuples of one object.
+    pub fn subtuples_of(&self, handle: ObjectHandle) -> Vec<MiniTid> {
+        self.chains
+            .keys()
+            .filter(|(h, _)| *h == handle)
+            .map(|(_, mt)| *mt)
+            .collect()
+    }
+
+    /// Total version entries (space metric).
+    pub fn version_count(&self) -> usize {
+        self.chains.values().map(VersionChain::version_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_model::fixtures;
+    use aim2_storage::buffer::BufferPool;
+    use aim2_storage::disk::MemDisk;
+    use aim2_storage::minidir::LayoutKind;
+    use aim2_storage::object::{ElemLoc, ObjectStore};
+    use aim2_storage::segment::Segment;
+    use aim2_storage::stats::Stats;
+
+    fn d(s: &str) -> Date {
+        Date::parse_iso(s).unwrap()
+    }
+
+    /// End-to-end with real storage: version the '17 CGA' project data
+    /// subtuple through updates and an object move.
+    #[test]
+    fn subtuple_chains_track_updates_and_survive_moves() {
+        let schema = fixtures::departments_schema();
+        let pool = BufferPool::new(Box::new(MemDisk::new(1024)), 64, Stats::new());
+        let mut os = ObjectStore::new(Segment::new(pool), LayoutKind::Ss3);
+        let h = os.insert_object(&schema, &fixtures::department_314()).unwrap();
+        let mut sv = SubtupleVersions::new();
+
+        // Seed chains for every data subtuple at load time.
+        for e in os.walk_data(&schema, h).unwrap() {
+            sv.record(h, e.data, d("1984-01-01"), e.atoms);
+        }
+        let loc = ElemLoc::object().then(2, 0); // project 17
+        let (mt, _) = os.resolve_elem_addr(&schema, h, &loc).unwrap();
+
+        // Rename the project mid-year.
+        let new_atoms = vec![Atom::Int(17), Atom::Str("CGA-II".into())];
+        os.update_atoms(&schema, h, &loc, &new_atoms).unwrap();
+        sv.record(h, mt, d("1984-06-01"), new_atoms.clone());
+
+        // ASOF at the subtuple level.
+        assert_eq!(
+            sv.asof(h, mt, d("1984-03-01")).unwrap()[1],
+            Atom::Str("CGA".into())
+        );
+        assert_eq!(sv.asof(h, mt, d("1984-07-01")).unwrap()[1], Atom::Str("CGA-II".into()));
+
+        // Walk-through-time: two validity intervals.
+        let hist = sv.history(h, mt, Date::MIN, Date::MAX);
+        assert_eq!(hist.len(), 2);
+        assert_eq!(hist[0].1, d("1984-06-01"), "first interval closed by the rename");
+
+        // The chain key survives a page-level object move (Mini-TID
+        // stability, §4.1): the same key still addresses the subtuple.
+        os.move_object(h).unwrap();
+        let (mt_after, _) = os.resolve_elem_addr(&schema, h, &loc).unwrap();
+        assert_eq!(mt, mt_after, "Mini-TID unchanged by the move");
+        assert_eq!(
+            os.read_data_subtuple(h, mt).unwrap()[1],
+            Atom::Str("CGA-II".into())
+        );
+        assert!(sv.asof(h, mt, d("1985-01-01")).is_some());
+    }
+
+    #[test]
+    fn deletion_tombstones_at_subtuple_level() {
+        let mut sv = SubtupleVersions::new();
+        let h = ObjectHandle(aim2_storage::tid::Tid::new(
+            aim2_storage::tid::PageId(1),
+            aim2_storage::tid::SlotNo(0),
+        ));
+        let mt = MiniTid::new(0, aim2_storage::tid::SlotNo(3));
+        sv.record(h, mt, d("1984-01-01"), vec![Atom::Int(1)]);
+        sv.record_delete(h, mt, d("1984-05-01"));
+        assert!(sv.asof(h, mt, d("1984-02-01")).is_some());
+        assert!(sv.asof(h, mt, d("1984-06-01")).is_none());
+        assert_eq!(sv.subtuples_of(h), vec![mt]);
+        assert_eq!(sv.version_count(), 2);
+    }
+}

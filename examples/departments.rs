@@ -1,0 +1,126 @@
+//! The paper's office-automation walkthrough: loads Tables 1–5 and 8 and
+//! runs every example query of Section 3 (Examples 1–8, Figures 2–5),
+//! printing each result.
+//!
+//! ```text
+//! cargo run --example departments
+//! ```
+
+use aim2::Database;
+use aim2_model::{fixtures, render};
+
+fn run(db: &mut Database, title: &str, sql: &str) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== {title} ==");
+    println!("{}", sql.trim());
+    let (schema, rows) = db.query(sql)?;
+    print!("{}", render::render_table(&schema, &rows));
+    println!();
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::in_memory();
+    db.execute_script(
+        "CREATE TABLE DEPARTMENTS (
+           DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER,
+           EQUIP { QU INTEGER, TYPE STRING } );
+         CREATE TABLE DEPARTMENTS-1NF ( DNO INTEGER, MGRNO INTEGER, BUDGET INTEGER );
+         CREATE TABLE PROJECTS-1NF ( PNO INTEGER, PNAME STRING, DNO INTEGER );
+         CREATE TABLE MEMBERS-1NF ( EMPNO INTEGER, PNO INTEGER, DNO INTEGER, FUNCTION STRING );
+         CREATE TABLE EQUIP-1NF ( DNO INTEGER, QU INTEGER, TYPE STRING );
+         CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING )",
+    )?;
+
+    // Load the paper's fixture data (Tables 1–5 and 8).
+    for (table, value) in [
+        ("DEPARTMENTS", fixtures::departments_value()),
+        ("DEPARTMENTS-1NF", fixtures::departments_1nf_value()),
+        ("PROJECTS-1NF", fixtures::projects_1nf_value()),
+        ("MEMBERS-1NF", fixtures::members_1nf_value()),
+        ("EQUIP-1NF", fixtures::equip_1nf_value()),
+        ("EMPLOYEES-1NF", fixtures::employees_1nf_value()),
+    ] {
+        for t in value.tuples {
+            db.insert_tuple(table, t)?;
+        }
+    }
+
+    run(
+        &mut db,
+        "Example 1 — implicit result structure",
+        "SELECT * FROM DEPARTMENTS",
+    )?;
+
+    run(
+        &mut db,
+        "Example 2 / Fig 2 — explicit result structure",
+        "SELECT x.DNO, x.MGRNO,
+                PROJECTS = (SELECT y.PNO, y.PNAME,
+                                   MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS)
+                            FROM y IN x.PROJECTS),
+                x.BUDGET,
+                EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+         FROM x IN DEPARTMENTS",
+    )?;
+
+    run(
+        &mut db,
+        "Example 3 / Fig 3 — nest: Table 5 from Tables 1-4",
+        "SELECT x.DNO, x.MGRNO,
+                PROJECTS = (SELECT y.PNO, y.PNAME,
+                                   MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN MEMBERS-1NF
+                                              WHERE z.PNO = y.PNO AND z.DNO = y.DNO)
+                            FROM y IN PROJECTS-1NF WHERE y.DNO = x.DNO),
+                x.BUDGET,
+                EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP-1NF WHERE v.DNO = x.DNO)
+         FROM x IN DEPARTMENTS-1NF",
+    )?;
+
+    run(
+        &mut db,
+        "Example 4 — unnest: Table 7",
+        "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+         FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+    )?;
+
+    run(
+        &mut db,
+        "Example 5 — EXISTS: departments using a PC/AT",
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+         WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+    )?;
+
+    run(
+        &mut db,
+        "Example 6 — ALL: departments with only consultants (empty)",
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+         WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    )?;
+
+    run(
+        &mut db,
+        "Example 7 / Fig 4 — join MEMBERS with EMPLOYEES-1NF, grouped by department",
+        "SELECT x.DNO, x.MGRNO,
+                EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION
+                             FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF
+                             WHERE z.EMPNO = u.EMPNO)
+         FROM x IN DEPARTMENTS",
+    )?;
+
+    run(
+        &mut db,
+        "Fig 5 — two joins: manager name and sex instead of MGRNO",
+        "SELECT x.DNO, m.LNAME, m.SEX,
+                EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION
+                             FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF
+                             WHERE z.EMPNO = u.EMPNO)
+         FROM x IN DEPARTMENTS, m IN EMPLOYEES-1NF
+         WHERE x.MGRNO = m.EMPNO",
+    )?;
+
+    println!("(Example 8 needs the REPORTS table — see the reports_text_time example.)");
+    Ok(())
+}

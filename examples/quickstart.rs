@@ -1,0 +1,55 @@
+//! Quickstart: create an extended NF² table, store nested data, query it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use aim2::Database;
+use aim2_model::render;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut db = Database::in_memory();
+
+    // An NF² table: attribute values may themselves be tables.
+    // `{ ... }` declares an unordered subtable (relation),
+    // `< ... >` an ordered one (list).
+    db.execute(
+        "CREATE TABLE DEPARTMENTS (
+           DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER,
+           EQUIP { QU INTEGER, TYPE STRING } ) USING SS3",
+    )?;
+
+    // Insert a whole complex object — the paper's department 314.
+    db.execute(
+        "INSERT INTO DEPARTMENTS VALUES (314, 56194,
+           {(17, 'CGA',  {(39582, 'Leader'), (56019, 'Consultant'), (69011, 'Secretary')}),
+            (23, 'HEAP', {(58912, 'Staff'), (90011, 'Leader')})},
+           320000,
+           {(2, '3278'), (3, 'PC/AT'), (1, 'PC')})",
+    )?;
+
+    // Query with a tuple variable ranging over an *inner* table.
+    let (schema, rows) = db.query(
+        "SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS, y IN x.PROJECTS
+         WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    )?;
+    println!("projects with a consultant:");
+    print!("{}", render::render_table(&schema, &rows));
+
+    // Partial updates address parts of complex objects directly.
+    db.execute(
+        "INSERT INTO y.MEMBERS FROM x IN DEPARTMENTS, y IN x.PROJECTS
+         WHERE y.PNO = 23 VALUES (77777, 'Consultant')",
+    )?;
+    let (_, rows) = db.query(
+        "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS
+         WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    )?;
+    println!("\nafter hiring one more consultant: {} projects match", rows.len());
+    assert_eq!(rows.len(), 2);
+
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! AIM-II reproduction — root crate.
+//!
+//! Re-exports the public API of the whole workspace so integration tests
+//! and examples depend on a single crate. See the README for the map.
+
+pub use aim2::{Database, DbConfig, DbError};
+pub use aim2_exec as exec;
+pub use aim2_index as index;
+pub use aim2_lang as lang;
+pub use aim2_model as model;
+pub use aim2_storage as storage;
+pub use aim2_text as text;
+pub use aim2_time as time;

@@ -1,0 +1,221 @@
+//! Cross-crate integration tests at scale: the planner agrees with the
+//! evaluator on synthetic workloads, storage layouts are interchangeable
+//! behind the facade, indexes track heavy DML, objects survive
+//! check-out, and a file-backed database behaves like the in-memory one.
+
+use aim2::{Database, DbConfig};
+use aim2_bench::{gen_departments, WorkloadSpec};
+use aim2_exec::planner::Sec42Planner;
+use aim2_index::address::Scheme;
+use aim2_index::index::NfIndex;
+use aim2_model::{Atom, Path};
+use aim2_storage::minidir::LayoutKind;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec {
+        departments: 40,
+        projects_per_dept: 4,
+        members_per_project: 6,
+        equip_per_dept: 3,
+        seed: 99,
+    }
+}
+
+fn db_with_workload(layout: &str) -> Database {
+    let mut db = Database::in_memory();
+    db.execute(&format!(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS {{ PNO INTEGER, PNAME STRING,
+                      MEMBERS {{ EMPNO INTEGER, FUNCTION STRING }} }},
+           BUDGET INTEGER, EQUIP {{ QU INTEGER, TYPE STRING }} ) USING {layout}"
+    ))
+    .unwrap();
+    for t in gen_departments(&spec()).tuples {
+        db.insert_tuple("DEPARTMENTS", t).unwrap();
+    }
+    db
+}
+
+#[test]
+fn all_layouts_answer_queries_identically() {
+    let queries = [
+        "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET > 500000",
+        "SELECT x.DNO FROM x IN DEPARTMENTS
+         WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        "SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS, y IN x.PROJECTS
+         WHERE ALL z IN y.MEMBERS : z.FUNCTION = 'Staff'",
+    ];
+    let mut reference: Option<Vec<aim2_model::TableValue>> = None;
+    for layout in ["SS1", "SS2", "SS3"] {
+        let mut db = db_with_workload(layout);
+        let results: Vec<_> = queries
+            .iter()
+            .map(|q| db.query(q).unwrap().1)
+            .collect();
+        match &reference {
+            None => reference = Some(results),
+            Some(expect) => {
+                for (got, want) in results.iter().zip(expect) {
+                    assert!(got.semantically_eq(want), "layout {layout} diverged");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn planner_agrees_with_evaluator_at_scale() {
+    let mut db = db_with_workload("SS3");
+    // Evaluator answer for §4.2 query 1.
+    let (_, v) = db
+        .query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS
+             WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        )
+        .unwrap();
+    let mut expect: Vec<i64> = v
+        .tuples
+        .iter()
+        .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+        .collect();
+    expect.sort_unstable();
+    expect.dedup();
+    // Planner answer under every scheme.
+    let schema = db.schema("DEPARTMENTS").unwrap();
+    for scheme in Scheme::ALL {
+        let os = db.object_store_mut("DEPARTMENTS").unwrap();
+        let mut idx = NfIndex::create(
+            aim2_bench::fresh_segment(4096, 256),
+            &schema,
+            &Path::parse("PROJECTS.MEMBERS.FUNCTION"),
+            scheme,
+        )
+        .unwrap();
+        idx.build(os, &schema).unwrap();
+        let mut planner = Sec42Planner::new(os, &schema);
+        let out = planner
+            .objects_with(&mut idx, &Atom::Str("Consultant".into()))
+            .unwrap();
+        let got: Vec<i64> = out.result.iter().map(|a| a.as_int().unwrap()).collect();
+        assert_eq!(got, expect, "scheme {scheme} diverged from evaluator");
+    }
+}
+
+#[test]
+fn heavy_dml_with_live_index() {
+    let mut db = db_with_workload("SS3");
+    db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+        .unwrap();
+    let count_via_index = |db: &mut Database| {
+        let idx = db.index_mut("DEPARTMENTS", "f").unwrap();
+        idx.lookup(&Atom::Str("Intern".into())).unwrap().len()
+    };
+    assert_eq!(count_via_index(&mut db), 0);
+    // Hire interns into every project of departments with DNO < 110.
+    let r = db
+        .execute(
+            "INSERT INTO y.MEMBERS FROM x IN DEPARTMENTS, y IN x.PROJECTS
+             WHERE x.DNO < 110 VALUES (1, 'Intern')",
+        )
+        .unwrap();
+    let hired = r.count().unwrap();
+    assert_eq!(hired, 10 * spec().projects_per_dept);
+    assert_eq!(count_via_index(&mut db), hired);
+    // Fire them all again.
+    let r = db
+        .execute(
+            "DELETE z FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS
+             WHERE z.FUNCTION = 'Intern'",
+        )
+        .unwrap();
+    assert_eq!(r.count().unwrap(), hired);
+    assert_eq!(count_via_index(&mut db), 0);
+    // Language and index agree afterwards.
+    let (_, v) = db
+        .query(
+            "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS
+             WHERE z.FUNCTION = 'Intern'",
+        )
+        .unwrap();
+    assert!(v.is_empty());
+}
+
+#[test]
+fn checkout_all_objects_and_requery() {
+    let mut db = db_with_workload("SS3");
+    let (_, before) = db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    let handles = db.handles("DEPARTMENTS").unwrap();
+    let stats = db.stats().clone();
+    let snap = stats.snapshot();
+    {
+        let os = db.object_store_mut("DEPARTMENTS").unwrap();
+        for h in handles {
+            os.move_object(h).unwrap();
+        }
+    }
+    assert_eq!(
+        snap.delta(&stats.snapshot()).pointer_rewrites,
+        0,
+        "moving every object rewrites no pointers"
+    );
+    let (_, after) = db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert!(after.semantically_eq(&before));
+}
+
+#[test]
+fn file_backed_equals_memory() {
+    let dir = std::env::temp_dir().join(format!("aim2_full_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut mem = db_with_workload("SS3");
+    let mut file_db = Database::with_config(DbConfig {
+        data_dir: Some(dir.clone()),
+        page_size: 1024,
+        buffer_frames: 8, // tiny pool: force real page traffic
+        default_layout: LayoutKind::Ss3,
+    });
+    file_db
+        .execute(
+            "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+               PROJECTS { PNO INTEGER, PNAME STRING,
+                          MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+               BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } )",
+        )
+        .unwrap();
+    for t in gen_departments(&spec()).tuples {
+        file_db.insert_tuple("DEPARTMENTS", t).unwrap();
+    }
+    for q in [
+        "SELECT * FROM DEPARTMENTS",
+        "SELECT x.DNO FROM x IN DEPARTMENTS
+         WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Leader'",
+    ] {
+        let a = mem.query(q).unwrap().1;
+        let b = file_db.query(q).unwrap().1;
+        assert!(a.semantically_eq(&b), "file-backed diverged on {q}");
+    }
+    assert!(file_db.stats().buf_misses() > 0, "tiny pool produced real I/O");
+    drop(file_db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn projection_pushdown_scales() {
+    // The §4.1 partial-retrieval claim at scale: a query touching only
+    // EQUIP must read far fewer subtuples than SELECT *.
+    let mut db = db_with_workload("SS3");
+    let stats = db.stats().clone();
+    stats.reset();
+    let _ = db
+        .query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS e IN x.EQUIP : e.QU > 3",
+        )
+        .unwrap();
+    let narrow = stats.snapshot().subtuple_reads;
+    stats.reset();
+    let _ = db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    let full = stats.snapshot().subtuple_reads;
+    assert!(
+        narrow * 2 < full,
+        "expected at least 2x fewer reads: narrow={narrow} full={full}"
+    );
+}

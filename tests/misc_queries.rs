@@ -1,0 +1,144 @@
+//! Assorted language corners through the facade: `SELECT *` in
+//! subqueries, ASOF inside named subqueries, OR across quantifiers,
+//! CONTAINS with `?`, empty results with intact schemas.
+
+use aim2::Database;
+use aim2_model::{fixtures, Date};
+
+fn db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } )",
+    )
+    .unwrap();
+    for t in fixtures::departments_value().tuples {
+        db.insert_tuple("DEPARTMENTS", t).unwrap();
+    }
+    db
+}
+
+#[test]
+fn star_inside_named_subquery() {
+    let mut d = db();
+    let (schema, v) = d
+        .query(
+            "SELECT x.DNO, PS = (SELECT * FROM y IN x.PROJECTS) FROM x IN DEPARTMENTS
+             WHERE x.DNO = 314",
+        )
+        .unwrap();
+    let ps = schema.attr("PS").unwrap().kind.as_table().unwrap();
+    assert_eq!(ps.depth(), 2, "PROJECTS structure copied wholesale");
+    let projects = v.tuples[0].fields[1].as_table().unwrap();
+    assert_eq!(projects.len(), 2);
+    assert_eq!(
+        projects.tuples[0].fields[2].as_table().unwrap().len(),
+        3,
+        "MEMBERS came along"
+    );
+}
+
+#[test]
+fn or_across_quantifiers() {
+    let mut d = db();
+    let (_, v) = d
+        .query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS
+             WHERE (EXISTS e IN x.EQUIP : e.TYPE = '4361')
+                OR (EXISTS y IN x.PROJECTS : y.PNO = 17)",
+        )
+        .unwrap();
+    // 417 has the 4361; 314 has project 17.
+    assert_eq!(v.len(), 2);
+}
+
+#[test]
+fn empty_result_keeps_schema() {
+    let mut d = db();
+    let (schema, v) = d
+        .query("SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 999")
+        .unwrap();
+    assert!(v.is_empty());
+    assert_eq!(schema.attrs.len(), 2);
+    assert_eq!(schema.attrs[1].name, "BUDGET");
+}
+
+#[test]
+fn asof_inside_named_subquery() {
+    let mut d = Database::in_memory();
+    d.execute("CREATE TABLE SNAP ( K INTEGER, V INTEGER ) WITH VERSIONS")
+        .unwrap();
+    d.set_today(Date::parse_iso("1984-01-01").unwrap());
+    d.execute("INSERT INTO SNAP VALUES (1, 10)").unwrap();
+    d.set_today(Date::parse_iso("1985-01-01").unwrap());
+    d.execute("UPDATE s IN SNAP SET s.V = 20 WHERE s.K = 1").unwrap();
+    // Correlated subquery over the historical state.
+    let (_, v) = d
+        .query(
+            "SELECT now.K, OLD = (SELECT old.V FROM old IN SNAP ASOF '1984-06-01'
+                                  WHERE old.K = now.K)
+             FROM now IN SNAP",
+        )
+        .unwrap();
+    let old = v.tuples[0].fields[1].as_table().unwrap();
+    assert_eq!(old.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(10));
+}
+
+#[test]
+fn contains_question_mark_through_language() {
+    let mut d = Database::in_memory();
+    d.execute("CREATE TABLE NOTES ( ID INTEGER, BODY TEXT, TAGS { T STRING } )")
+        .unwrap();
+    d.execute("INSERT INTO NOTES VALUES (1, 'the heap and the hoop', {})")
+        .unwrap();
+    d.execute("INSERT INTO NOTES VALUES (2, 'nothing here', {})").unwrap();
+    let (_, v) = d
+        .query("SELECT x.ID FROM x IN NOTES WHERE x.BODY CONTAINS 'h??p'")
+        .unwrap();
+    assert_eq!(v.len(), 1, "heap and hoop both match but in note 1 only");
+}
+
+#[test]
+fn comparisons_between_two_attributes() {
+    let mut d = db();
+    // Attribute-to-attribute comparison (no literal involved).
+    let (_, v) = d
+        .query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO < x.MGRNO")
+        .unwrap();
+    assert_eq!(v.len(), 3, "all DNOs are smaller than MGRNOs");
+    let (_, v) = d
+        .query(
+            "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS
+             WHERE EXISTS z IN y.MEMBERS : z.EMPNO > x.MGRNO",
+        )
+        .unwrap();
+    assert!(!v.is_empty());
+}
+
+#[test]
+fn pruned_scan_not_served_to_fuller_binding() {
+    // Regression for the evaluator's scan cache: the outer binding only
+    // touches DNO (every subtable pruned by partial retrieval); the
+    // correlated subquery rebinds the SAME stored table and quantifies
+    // over EQUIP. A cache keyed only on the table name would hand the
+    // subquery the pruned, EQUIP-less materialization. This must run
+    // against real storage (the in-memory test provider ignores
+    // pruning).
+    let mut d = db();
+    let (_, v) = d
+        .query(
+            "SELECT x.DNO, HAS = (SELECT o.BUDGET FROM o IN DEPARTMENTS
+                                  WHERE o.DNO = x.DNO AND
+                                        EXISTS e IN o.EQUIP : e.TYPE = 'PC/AT')
+             FROM x IN DEPARTMENTS",
+        )
+        .unwrap();
+    let non_empty = v
+        .tuples
+        .iter()
+        .filter(|t| !t.fields[1].as_table().unwrap().is_empty())
+        .count();
+    assert_eq!(non_empty, 2, "departments 314 and 218 own a PC/AT");
+}

@@ -1,0 +1,114 @@
+//! Ordered tables (lists) end-to-end: the extended NF² model's second
+//! extension. Top-level `CREATE LIST`, ordered subtables, subscripts,
+//! and order preservation through storage, DML, checkpoint/reopen.
+
+use aim2::{Database, DbConfig};
+use aim2_model::TableKind;
+use aim2_storage::minidir::LayoutKind;
+
+#[test]
+fn create_list_preserves_top_level_order() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE LIST QUEUE ( ITEM STRING, PRIO INTEGER )").unwrap();
+    let schema = db.schema("QUEUE").unwrap();
+    assert_eq!(schema.kind, TableKind::List);
+    for (i, item) in ["first", "second", "third", "fourth"].iter().enumerate() {
+        db.execute(&format!("INSERT INTO QUEUE VALUES ('{item}', {i})"))
+            .unwrap();
+    }
+    let (_, v) = db.query("SELECT * FROM QUEUE").unwrap();
+    assert_eq!(v.kind, TableKind::List, "SELECT * keeps the source kind");
+    let items: Vec<&str> = v
+        .tuples
+        .iter()
+        .map(|t| t.fields[0].as_atom().unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(items, vec!["first", "second", "third", "fourth"]);
+}
+
+#[test]
+fn ordered_subtable_order_survives_dml_and_restart() {
+    let dir = std::env::temp_dir().join(format!("aim2_ordered_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || DbConfig {
+        data_dir: Some(dir.clone()),
+        page_size: 1024,
+        buffer_frames: 16,
+        default_layout: LayoutKind::Ss3,
+    };
+    {
+        let mut db = Database::with_config(cfg());
+        db.execute(
+            "CREATE TABLE PLAYLISTS ( PID INTEGER, TRACKS < TITLE STRING, SECS INTEGER > )",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO PLAYLISTS VALUES (1, <('Opening', 210), ('Middle', 180)>)",
+        )
+        .unwrap();
+        // Appending via partial insert keeps list order (entry order IS
+        // list order in the MD subtuple, §4.1).
+        db.execute(
+            "INSERT INTO x.TRACKS FROM x IN PLAYLISTS WHERE x.PID = 1 VALUES ('Finale', 300)",
+        )
+        .unwrap();
+        let (_, v) = db
+            .query("SELECT x.TRACKS[3].TITLE FROM x IN PLAYLISTS WHERE x.PID = 1")
+            .unwrap();
+        assert_eq!(
+            v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+            Some("Finale")
+        );
+        db.checkpoint().unwrap();
+    }
+    // Order intact after reopen.
+    let mut db = Database::open(cfg()).unwrap();
+    let (_, v) = db
+        .query("SELECT t.TITLE FROM x IN PLAYLISTS, t IN x.TRACKS WHERE x.PID = 1")
+        .unwrap();
+    let titles: Vec<&str> = v
+        .tuples
+        .iter()
+        .map(|t| t.fields[0].as_atom().unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(titles, vec!["Opening", "Middle", "Finale"]);
+    // Deleting the middle element preserves the remaining order.
+    db.execute("DELETE t FROM x IN PLAYLISTS, t IN x.TRACKS WHERE t.TITLE = 'Middle'")
+        .unwrap();
+    let (_, v) = db
+        .query("SELECT t.TITLE FROM x IN PLAYLISTS, t IN x.TRACKS")
+        .unwrap();
+    let titles: Vec<&str> = v
+        .tuples
+        .iter()
+        .map(|t| t.fields[0].as_atom().unwrap().as_str().unwrap())
+        .collect();
+    assert_eq!(titles, vec!["Opening", "Finale"]);
+    // Subscripts re-resolve against the new order.
+    let (_, v) = db
+        .query("SELECT x.TRACKS[2].TITLE FROM x IN PLAYLISTS")
+        .unwrap();
+    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("Finale"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn lists_under_every_layout() {
+    for layout in ["SS1", "SS2", "SS3"] {
+        let mut db = Database::in_memory();
+        db.execute(&format!(
+            "CREATE TABLE R ( K INTEGER, L < V INTEGER > ) USING {layout}"
+        ))
+        .unwrap();
+        db.execute("INSERT INTO R VALUES (1, <(30), (10), (20)>)").unwrap();
+        let (_, v) = db
+            .query("SELECT e.V FROM x IN R, e IN x.L")
+            .unwrap();
+        let vals: Vec<i64> = v
+            .tuples
+            .iter()
+            .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![30, 10, 20], "insertion order kept under {layout}");
+    }
+}

@@ -1,0 +1,266 @@
+//! System-level property tests:
+//!
+//! * the language evaluator and the standalone algebra operators agree
+//!   on nest/unnest over random hierarchies (two independent
+//!   implementations cross-check each other);
+//! * a random DML sequence applied through the SQL layer produces
+//!   exactly the state an in-memory model predicts (index maintenance
+//!   and storage layouts included).
+
+use aim2::Database;
+use aim2_bench::{gen_departments, WorkloadSpec};
+use aim2_exec::algebra::unnest;
+use aim2_exec::{Evaluator, MemProvider};
+use aim2_lang::parser::parse_query;
+use aim2_model::value::build::{a, rel, tup};
+use aim2_model::{fixtures, Atom, TableKind, TableValue, Tuple, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn evaluator_unnest_equals_algebra_unnest(seed in 0u64..5000) {
+        let spec = WorkloadSpec {
+            departments: 6,
+            projects_per_dept: 3,
+            members_per_project: 4,
+            equip_per_dept: 2,
+            seed,
+        };
+        let schema = fixtures::departments_schema();
+        let value = gen_departments(&spec);
+
+        // Path A: the query language.
+        let mut provider = MemProvider::new();
+        provider.add(schema.clone(), value.clone());
+        let q = parse_query(
+            "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+             FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+        )
+        .unwrap();
+        let (_, via_language) = Evaluator::new(&mut provider).eval_query(&q).unwrap();
+
+        // Path B: the algebra, plus projection.
+        let (s1, v1) = unnest(&schema, &value, "PROJECTS").unwrap();
+        let (s2, v2) = unnest(&s1, &v1, "MEMBERS").unwrap();
+        let keep = ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"];
+        let idx: Vec<usize> = keep.iter().map(|k| s2.attr_index(k).unwrap()).collect();
+        let via_algebra = TableValue {
+            kind: TableKind::Relation,
+            tuples: v2
+                .tuples
+                .iter()
+                .map(|t| Tuple::new(idx.iter().map(|&i| t.fields[i].clone()).collect()))
+                .collect(),
+        };
+        prop_assert!(via_language.semantically_eq(&via_algebra));
+    }
+}
+
+/// In-memory model of the table under random DML.
+struct Model {
+    rows: Vec<Tuple>, // (K, S{P, M{F}})
+    next_k: i64,
+}
+
+impl Model {
+    fn find(&mut self, k: i64) -> Option<&mut Tuple> {
+        self.rows
+            .iter_mut()
+            .find(|t| t.fields[0].as_atom().unwrap().as_int() == Some(k))
+    }
+}
+
+#[test]
+fn random_dml_matches_model_under_all_layouts() {
+    for layout in ["SS1", "SS2", "SS3"] {
+        // SS1/SS2 support whole-object DML; element DML requires SS3 (the
+        // AIM-II layout). The op mix adapts.
+        let element_dml = layout == "SS3";
+        for seed in 0..4u64 {
+            run_dml_model(layout, element_dml, seed);
+        }
+    }
+}
+
+fn run_dml_model(layout: &str, element_dml: bool, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD31);
+    let mut db = Database::in_memory();
+    db.execute(&format!(
+        "CREATE TABLE T ( K INTEGER, B INTEGER, S {{ P INTEGER, M {{ F STRING }} }} ) USING {layout}"
+    ))
+    .unwrap();
+    // Keep an attribute index live through all mutations (SS3 only —
+    // index maintenance walks are layout-independent but element DML is
+    // what stresses it).
+    if element_dml {
+        db.execute("CREATE INDEX sp ON T (S.P)").unwrap();
+    }
+    let mut model = Model {
+        rows: Vec::new(),
+        next_k: 0,
+    };
+    for step in 0..60 {
+        match rng.gen_range(0..6) {
+            // Insert a fresh object.
+            0 | 1 => {
+                let k = model.next_k;
+                model.next_k += 1;
+                let nsub = rng.gen_range(0..3);
+                let subs: Vec<(i64, Vec<String>)> = (0..nsub)
+                    .map(|i| {
+                        let nm = rng.gen_range(0..3);
+                        (
+                            k * 10 + i,
+                            (0..nm).map(|j| format!("f{k}_{i}_{j}")).collect(),
+                        )
+                    })
+                    .collect();
+                let lit_subs: Vec<String> = subs
+                    .iter()
+                    .map(|(p, ms)| {
+                        let mlits: Vec<String> =
+                            ms.iter().map(|m| format!("('{m}')")).collect();
+                        format!("({p}, {{{}}})", mlits.join(", "))
+                    })
+                    .collect();
+                db.execute(&format!(
+                    "INSERT INTO T VALUES ({k}, {}, {{{}}})",
+                    k * 100,
+                    lit_subs.join(", ")
+                ))
+                .unwrap();
+                model.rows.push(tup(vec![
+                    a(k),
+                    a(k * 100),
+                    rel(subs
+                        .iter()
+                        .map(|(p, ms)| {
+                            tup(vec![
+                                a(*p),
+                                rel(ms.iter().map(|m| tup(vec![a(m.as_str())])).collect()),
+                            ])
+                        })
+                        .collect()),
+                ]));
+            }
+            // Update an object's budget.
+            2 => {
+                if model.rows.is_empty() {
+                    continue;
+                }
+                let pick = rng.gen_range(0..model.next_k);
+                let newb = step * 7;
+                let n = db
+                    .execute(&format!(
+                        "UPDATE x IN T SET x.B = {newb} WHERE x.K = {pick}"
+                    ))
+                    .unwrap()
+                    .count()
+                    .unwrap();
+                if let Some(row) = model.find(pick) {
+                    assert_eq!(n, 1);
+                    row.fields[1] = Value::Atom(Atom::Int(newb));
+                } else {
+                    assert_eq!(n, 0);
+                }
+            }
+            // Delete an object.
+            3 => {
+                if model.rows.is_empty() {
+                    continue;
+                }
+                let pick = rng.gen_range(0..model.next_k);
+                let n = db
+                    .execute(&format!("DELETE x FROM x IN T WHERE x.K = {pick}"))
+                    .unwrap()
+                    .count()
+                    .unwrap();
+                let before = model.rows.len();
+                model
+                    .rows
+                    .retain(|t| t.fields[0].as_atom().unwrap().as_int() != Some(pick));
+                assert_eq!(n, before - model.rows.len());
+            }
+            // Insert an element into every matching object's subtable.
+            4 if element_dml => {
+                if model.rows.is_empty() {
+                    continue;
+                }
+                let pick = rng.gen_range(0..model.next_k);
+                let p = 100_000 + step;
+                let n = db
+                    .execute(&format!(
+                        "INSERT INTO x.S FROM x IN T WHERE x.K = {pick} VALUES ({p}, {{}})"
+                    ))
+                    .unwrap()
+                    .count()
+                    .unwrap();
+                if let Some(row) = model.find(pick) {
+                    assert_eq!(n, 1);
+                    let Value::Table(s) = &mut row.fields[2] else {
+                        unreachable!()
+                    };
+                    s.tuples.push(tup(vec![a(p), rel(vec![])]));
+                } else {
+                    assert_eq!(n, 0);
+                }
+            }
+            // Delete elements by predicate.
+            5 if element_dml => {
+                let cutoff = rng.gen_range(0..(model.next_k.max(1) * 10));
+                let n = db
+                    .execute(&format!(
+                        "DELETE y FROM x IN T, y IN x.S WHERE y.P < {cutoff}"
+                    ))
+                    .unwrap()
+                    .count()
+                    .unwrap();
+                let mut removed = 0;
+                for row in &mut model.rows {
+                    let Value::Table(s) = &mut row.fields[2] else {
+                        unreachable!()
+                    };
+                    let before = s.tuples.len();
+                    s.tuples
+                        .retain(|e| e.fields[0].as_atom().unwrap().as_int().unwrap() >= cutoff);
+                    removed += before - s.tuples.len();
+                }
+                assert_eq!(n, removed, "layout {layout} seed {seed} step {step}");
+            }
+            _ => continue,
+        }
+        // Full agreement check every few steps (and at the end).
+        if step % 10 == 9 || step == 59 {
+            let (_, got) = db.query("SELECT * FROM T").unwrap();
+            let want = TableValue {
+                kind: TableKind::Relation,
+                tuples: model.rows.clone(),
+            };
+            assert!(
+                got.semantically_eq(&want),
+                "divergence at layout {layout} seed {seed} step {step}:\n got {got}\nwant {want}"
+            );
+        }
+    }
+    // The index survived everything consistent with the data.
+    if element_dml {
+        let expected: usize = model
+            .rows
+            .iter()
+            .map(|t| t.fields[2].as_table().unwrap().len())
+            .sum();
+        let (_, v) = db
+            .query("SELECT y.P FROM x IN T, y IN x.S")
+            .unwrap();
+        assert_eq!(v.len(), expected);
+        let total_indexed: usize = {
+            let idx = db.index_mut("T", "sp").unwrap();
+            idx.lookup_range(None, None).unwrap().len()
+        };
+        assert_eq!(total_indexed, expected, "index consistent after DML");
+    }
+}

@@ -1,0 +1,190 @@
+//! Query fuzzing with a cross-implementation oracle: randomly assembled
+//! (but well-formed) queries over the DEPARTMENTS schema must return
+//! identical results when evaluated
+//!
+//! * over the pure in-memory provider, and
+//! * over real object storage under SS1, SS2, and SS3
+//!   (with projection pushdown on and off).
+//!
+//! Any divergence is a bug in storage, partial retrieval, or the
+//! evaluator; any panic is a robustness bug.
+
+use aim2::Database;
+use aim2_bench::{gen_departments, WorkloadSpec};
+use aim2_exec::{Evaluator, MemProvider};
+use aim2_lang::parser::parse_query;
+use aim2_model::fixtures;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assemble a random well-formed query against DEPARTMENTS.
+fn gen_query(rng: &mut StdRng) -> String {
+    // Projections over x (dept), y (project), z (member), e (equip).
+    let depth = rng.gen_range(0..4); // how many inner bindings
+    let mut from = vec!["x IN DEPARTMENTS".to_string()];
+    let mut vars: Vec<(&str, Vec<&str>)> = vec![("x", vec!["DNO", "MGRNO", "BUDGET"])];
+    if depth >= 1 {
+        from.push("y IN x.PROJECTS".into());
+        vars.push(("y", vec!["PNO", "PNAME"]));
+    }
+    if depth >= 2 {
+        from.push("z IN y.MEMBERS".into());
+        vars.push(("z", vec!["EMPNO", "FUNCTION"]));
+    }
+    if depth == 3 {
+        from.push("e IN x.EQUIP".into());
+        vars.push(("e", vec!["QU", "TYPE"]));
+    }
+    // 1-3 select items from bound vars (renamed to avoid collisions).
+    let nsel = rng.gen_range(1..4);
+    let mut select = Vec::new();
+    for i in 0..nsel {
+        let (v, attrs) = &vars[rng.gen_range(0..vars.len())];
+        let a = attrs[rng.gen_range(0..attrs.len())];
+        select.push(format!("C{i} = {v}.{a}"));
+    }
+    // Optional predicate from a pool, adapted to bound vars.
+    let mut preds: Vec<String> = vec![
+        format!("x.BUDGET >= {}", rng.gen_range(100..900) * 1000),
+        format!("x.DNO <> {}", 100 + rng.gen_range(0..30)),
+        "EXISTS e2 IN x.EQUIP : e2.QU > 2".into(),
+        "EXISTS p2 IN x.PROJECTS EXISTS m2 IN p2.MEMBERS : m2.FUNCTION = 'Consultant'".into(),
+        "ALL p3 IN x.PROJECTS : ALL m3 IN p3.MEMBERS : m3.FUNCTION <> 'Intern'".into(),
+        "NOT (x.BUDGET < 200000)".into(),
+    ];
+    if depth >= 1 {
+        preds.push(format!("y.PNO >= {}", rng.gen_range(0..150)));
+        preds.push("EXISTS m4 IN y.MEMBERS : m4.FUNCTION = 'Leader'".into());
+    }
+    if depth >= 2 {
+        preds.push("z.FUNCTION = 'Staff'".into());
+        preds.push(format!("z.EMPNO > {}", 10_000 + rng.gen_range(0..900)));
+    }
+    if depth == 3 {
+        preds.push("e.TYPE = 'PC/AT'".into());
+    }
+    let npred = rng.gen_range(0..3);
+    let mut where_ = Vec::new();
+    for _ in 0..npred {
+        where_.push(format!("({})", preds[rng.gen_range(0..preds.len())]));
+    }
+    let mut q = format!("SELECT {} FROM {}", select.join(", "), from.join(", "));
+    if !where_.is_empty() {
+        q.push_str(" WHERE ");
+        q.push_str(&where_.join(if rng.gen_bool(0.7) { " AND " } else { " OR " }));
+    }
+    q
+}
+
+#[test]
+fn random_queries_agree_across_backends() {
+    let spec = WorkloadSpec {
+        departments: 12,
+        projects_per_dept: 3,
+        members_per_project: 4,
+        equip_per_dept: 3,
+        seed: 77,
+    };
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&spec);
+
+    // Oracle: pure in-memory evaluation.
+    let mut mem = MemProvider::new();
+    mem.add(schema.clone(), value.clone());
+
+    // Real storage under each layout.
+    let mut dbs: Vec<(String, Database)> = ["SS1", "SS2", "SS3"]
+        .iter()
+        .map(|layout| {
+            let mut db = Database::in_memory();
+            db.execute(&format!(
+                "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+                   PROJECTS {{ PNO INTEGER, PNAME STRING,
+                              MEMBERS {{ EMPNO INTEGER, FUNCTION STRING }} }},
+                   BUDGET INTEGER, EQUIP {{ QU INTEGER, TYPE STRING }} ) USING {layout}"
+            ))
+            .unwrap();
+            for t in value.tuples.clone() {
+                db.insert_tuple("DEPARTMENTS", t).unwrap();
+            }
+            (layout.to_string(), db)
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(0xF422);
+    for case in 0..120 {
+        let sql = gen_query(&mut rng);
+        let q = parse_query(&sql).unwrap_or_else(|e| panic!("{}", e.render(&sql)));
+        let (_, expect) = Evaluator::new(&mut mem)
+            .eval_query(&q)
+            .unwrap_or_else(|e| panic!("case {case} oracle failed: {e}\n{sql}"));
+        // Oracle without pushdown must agree with itself with pushdown.
+        {
+            let mut ev = Evaluator::new(&mut mem);
+            ev.projection_pushdown = false;
+            let (_, nopush) = ev.eval_query(&q).unwrap();
+            assert!(
+                nopush.semantically_eq(&expect),
+                "case {case}: pushdown changed the answer\n{sql}"
+            );
+        }
+        for (layout, db) in &mut dbs {
+            let (_, got) = db
+                .query(&sql)
+                .unwrap_or_else(|e| panic!("case {case} {layout} failed: {e}\n{sql}"));
+            assert!(
+                got.semantically_eq(&expect),
+                "case {case}: {layout} diverged from oracle\n{sql}\n got: {got}\nwant: {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+fn random_queries_agree_with_indexes_installed() {
+    // Same oracle, but the storage database carries attribute indexes so
+    // the facade's access-path selection may kick in — results must not
+    // change.
+    let spec = WorkloadSpec {
+        departments: 12,
+        projects_per_dept: 3,
+        members_per_project: 4,
+        equip_per_dept: 3,
+        seed: 78,
+    };
+    let schema = fixtures::departments_schema();
+    let value = gen_departments(&spec);
+    let mut mem = MemProvider::new();
+    mem.add(schema.clone(), value.clone());
+
+    let mut db = Database::in_memory();
+    db.execute(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } )",
+    )
+    .unwrap();
+    for t in value.tuples.clone() {
+        db.insert_tuple("DEPARTMENTS", t).unwrap();
+    }
+    db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
+        .unwrap();
+    db.execute("CREATE INDEX p ON DEPARTMENTS (PROJECTS.PNO)").unwrap();
+    db.execute("CREATE INDEX b ON DEPARTMENTS (BUDGET)").unwrap();
+
+    let mut rng = StdRng::seed_from_u64(0xBEE5);
+    for case in 0..120 {
+        let sql = gen_query(&mut rng);
+        let q = parse_query(&sql).unwrap();
+        let (_, expect) = Evaluator::new(&mut mem).eval_query(&q).unwrap();
+        let (_, got) = db
+            .query(&sql)
+            .unwrap_or_else(|e| panic!("case {case} failed: {e}\n{sql}"));
+        assert!(
+            got.semantically_eq(&expect),
+            "case {case}: indexed path diverged\n{sql}\nplan: {}",
+            db.last_plan()
+        );
+    }
+}

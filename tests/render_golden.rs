@@ -1,0 +1,61 @@
+//! Golden-output checks: the bracket-notation rendering of the paper's
+//! tables is stable (the `reproduce` binary's output format is part of
+//! the reproduction contract).
+
+use aim2_model::{fixtures, render};
+
+#[test]
+fn table5_header_golden() {
+    assert_eq!(
+        render::render_header(&fixtures::departments_schema()),
+        "{DEPARTMENTS: DNO MGRNO {PROJECTS: PNO PNAME {MEMBERS: EMPNO FUNCTION}} BUDGET {EQUIP: QU TYPE}}"
+    );
+}
+
+#[test]
+fn reports_header_golden() {
+    assert_eq!(
+        render::render_header(&fixtures::reports_schema()),
+        "{REPORTS: REPNO <AUTHORS: NAME> TITLE {DESCRIPTORS: WORD WEIGHT}}"
+    );
+}
+
+#[test]
+fn department_314_rendering_golden() {
+    let schema = fixtures::departments_schema();
+    let mut one = fixtures::departments_value();
+    one.tuples.truncate(1);
+    let text = render::render_table(&schema, &one);
+    let expected = "\
+{DEPARTMENTS: DNO MGRNO {PROJECTS: PNO PNAME {MEMBERS: EMPNO FUNCTION}} BUDGET {EQUIP: QU TYPE}}
+  DNO=314  MGRNO=56194  BUDGET=320000
+    {PROJECTS} (2 tuple(s))
+      PNO=17  PNAME=CGA
+        {MEMBERS} (3 tuple(s))
+          EMPNO=39582  FUNCTION=Leader
+          EMPNO=56019  FUNCTION=Consultant
+          EMPNO=69011  FUNCTION=Secretary
+      PNO=23  PNAME=HEAP
+        {MEMBERS} (4 tuple(s))
+          EMPNO=58912  FUNCTION=Staff
+          EMPNO=90011  FUNCTION=Leader
+          EMPNO=78218  FUNCTION=Secretary
+          EMPNO=98902  FUNCTION=Staff
+    {EQUIP} (3 tuple(s))
+      QU=2  TYPE=3278
+      QU=3  TYPE=PC/AT
+      QU=1  TYPE=PC
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn inline_rendering_golden() {
+    let reports = fixtures::reports_value();
+    let first = &reports.tuples[0];
+    assert_eq!(
+        first.to_string(),
+        "(0179, <(Jones A.)>, Concurrency and Concurrency Control, \
+         {(Concurrency, 0.6), (Recovery, 0.3), (Distribution, 0.1)})"
+    );
+}
