@@ -43,10 +43,8 @@ fn projection_pushdown(c: &mut Criterion) {
         schema,
         store,
     };
-    let q = parse_query(
-        "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS e IN x.EQUIP : e.QU > 3",
-    )
-    .unwrap();
+    let q = parse_query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS e IN x.EQUIP : e.QU > 3")
+        .unwrap();
     let mut group = c.benchmark_group("projection_pushdown");
     for on in [true, false] {
         group.bench_with_input(

@@ -130,5 +130,10 @@ fn partial_subtable_read(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, clustering_cold_read, object_move, partial_subtable_read);
+criterion_group!(
+    benches,
+    clustering_cold_read,
+    object_move,
+    partial_subtable_read
+);
 criterion_main!(benches);

@@ -59,12 +59,9 @@ fn materialized_join(c: &mut Criterion) {
                     // join members to projects, then nest twice (Fig 3's
                     // work, which the NF² table has pre-computed).
                     let (js, jv) = equijoin(&ms, &m1, "PNO", &ps, &p1, "PNO").unwrap();
-                    let (ns, nv) =
-                        nest(&js, &jv, &["EMPNO", "FUNCTION"], "MEMBERS").unwrap();
+                    let (ns, nv) = nest(&js, &jv, &["EMPNO", "FUNCTION"], "MEMBERS").unwrap();
                     let (js2, jv2) = equijoin(&ns, &nv, "DNO", &ds, &d1, "DNO").unwrap();
-                    black_box(
-                        nest(&js2, &jv2, &["PNO", "PNAME", "MEMBERS"], "PROJECTS").unwrap(),
-                    )
+                    black_box(nest(&js2, &jv2, &["PNO", "PNAME", "MEMBERS"], "PROJECTS").unwrap())
                 })
             },
         );
@@ -75,9 +72,7 @@ fn materialized_join(c: &mut Criterion) {
         let keep = ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"];
         group.bench_with_input(BenchmarkId::new("flat_nf2_unnest", depts), &(), |b, _| {
             b.iter(|| {
-                black_box(
-                    unnest_path(&schema, &nf2, &["PROJECTS", "MEMBERS"], &keep).unwrap(),
-                )
+                black_box(unnest_path(&schema, &nf2, &["PROJECTS", "MEMBERS"], &keep).unwrap())
             })
         });
         group.bench_with_input(BenchmarkId::new("flat_3way_join", depts), &(), |b, _| {

@@ -39,10 +39,7 @@ fn ss_insert(c: &mut Criterion) {
             &layout,
             |b, &layout| {
                 b.iter(|| {
-                    let mut os = ObjectStore::new(
-                        aim2_bench::fresh_segment(4096, 512),
-                        layout,
-                    );
+                    let mut os = ObjectStore::new(aim2_bench::fresh_segment(4096, 512), layout);
                     for t in &value.tuples {
                         black_box(os.insert_object(&schema, t).unwrap());
                     }
@@ -58,14 +55,8 @@ fn ss_read(c: &mut Criterion) {
     let value = gen_departments(&spec());
     let mut group = c.benchmark_group("ss_read");
     for layout in LayoutKind::ALL {
-        let (mut os, handles) = loaded_store(
-            layout,
-            ClusterPolicy::Clustered,
-            4096,
-            512,
-            &schema,
-            &value,
-        );
+        let (mut os, handles) =
+            loaded_store(layout, ClusterPolicy::Clustered, 4096, 512, &schema, &value);
         group.bench_with_input(
             BenchmarkId::from_parameter(layout.name()),
             &layout,
@@ -88,14 +79,8 @@ fn ss_partial(c: &mut Criterion) {
     let equip = Path::parse("EQUIP");
     let mut group = c.benchmark_group("ss_partial_equip_only");
     for layout in LayoutKind::ALL {
-        let (mut os, handles) = loaded_store(
-            layout,
-            ClusterPolicy::Clustered,
-            4096,
-            512,
-            &schema,
-            &value,
-        );
+        let (mut os, handles) =
+            loaded_store(layout, ClusterPolicy::Clustered, 4096, 512, &schema, &value);
         group.bench_with_input(
             BenchmarkId::from_parameter(layout.name()),
             &layout,

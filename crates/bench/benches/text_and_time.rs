@@ -17,8 +17,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 const WORDS: [&str; 12] = [
-    "database", "system", "storage", "relation", "hierarchy", "computer", "index", "query",
-    "minicomputer", "optimization", "recovery", "concurrency",
+    "database",
+    "system",
+    "storage",
+    "relation",
+    "hierarchy",
+    "computer",
+    "index",
+    "query",
+    "minicomputer",
+    "optimization",
+    "recovery",
+    "concurrency",
 ];
 
 fn corpus(n: usize) -> Vec<String> {
@@ -61,19 +71,13 @@ fn asof_reconstruction(c: &mut Criterion) {
             for v in 0..versions {
                 let day = Date::from_ymd(1980, 1, 1).unwrap();
                 let t = Date(day.0 + (v as i32) * 30);
-                vt.record_state(
-                    h,
-                    t,
-                    tup(vec![a(obj as i64), a(v as i64), rel(vec![])]),
-                );
+                vt.record_state(h, t, tup(vec![a(obj as i64), a(v as i64), rel(vec![])]));
             }
         }
         let probe = Date::from_ymd(1981, 6, 15).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(versions),
-            &(),
-            |b, _| b.iter(|| black_box(vt.table_asof(probe))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(versions), &(), |b, _| {
+            b.iter(|| black_box(vt.table_asof(probe)))
+        });
     }
     group.finish();
 }

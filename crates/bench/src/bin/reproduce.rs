@@ -8,17 +8,20 @@
 //! (the process exits non-zero if any reproduction check fails).
 //! EXPERIMENTS.md records the paper-vs-measured summary.
 
-use aim2::Database;
+use aim2::{Database, DbConfig};
+use aim2_bench::{fresh_segment, gen_departments, loaded_store, WorkloadSpec};
 use aim2_exec::planner::Sec42Planner;
 use aim2_index::address::Scheme;
 use aim2_index::index::NfIndex;
 use aim2_index::tname::{Resolved, TupleName};
 use aim2_model::{fixtures, render, Atom, Date, Path};
+use aim2_storage::faultdisk::FaultInjector;
 use aim2_storage::ims::{Cursor, ImsStore};
 use aim2_storage::lorie::LorieStore;
 use aim2_storage::minidir::LayoutKind;
 use aim2_storage::object::{ClusterPolicy, ElemLoc, ObjectStore};
-use aim2_bench::{fresh_segment, gen_departments, loaded_store, WorkloadSpec};
+use aim2_storage::wal::{read_wal, Wal};
+use aim2_storage::{PageId, Stats, StorageError};
 
 fn heading(s: &str) {
     println!("\n================================================================");
@@ -42,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sec5_asof()?;
     clustering()?;
     object_move()?;
+    durability()?;
     println!("\nAll reproduction checks passed.");
     Ok(())
 }
@@ -80,11 +84,23 @@ fn paper_database() -> Result<Database, Box<dyn std::error::Error>> {
 fn tables_1_to_4_and_8() {
     heading("Tables 1-4 and 8 — the flat (1NF) representation");
     for (schema, value) in [
-        (fixtures::departments_1nf_schema(), fixtures::departments_1nf_value()),
-        (fixtures::projects_1nf_schema(), fixtures::projects_1nf_value()),
-        (fixtures::members_1nf_schema(), fixtures::members_1nf_value()),
+        (
+            fixtures::departments_1nf_schema(),
+            fixtures::departments_1nf_value(),
+        ),
+        (
+            fixtures::projects_1nf_schema(),
+            fixtures::projects_1nf_value(),
+        ),
+        (
+            fixtures::members_1nf_schema(),
+            fixtures::members_1nf_value(),
+        ),
         (fixtures::equip_1nf_schema(), fixtures::equip_1nf_value()),
-        (fixtures::employees_1nf_schema(), fixtures::employees_1nf_value()),
+        (
+            fixtures::employees_1nf_schema(),
+            fixtures::employees_1nf_value(),
+        ),
     ] {
         println!();
         print!("{}", render::render_table(&schema, &value));
@@ -207,9 +223,8 @@ fn examples_1_to_8(db: &mut Database) -> Result<(), Box<dyn std::error::Error>> 
     assert_eq!(v.len(), 3);
     println!("Fig 5 (two join conditions — manager name and sex): OK");
     // Example 8.
-    let (schema, v) = db.query(
-        "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
-    )?;
+    let (schema, v) =
+        db.query("SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'")?;
     assert_eq!(v.len(), 1);
     assert!(!schema.is_flat());
     println!("Example 8 (list subscript AUTHORS[1]): report 0179 only; result not flat: OK");
@@ -235,7 +250,9 @@ fn figure_1() -> Result<(), Box<dyn std::error::Error>> {
     // "GN/GNP ... are completely different from the high level language
     // constructs used in relational database systems").
     let mut c = Cursor::default();
-    let hit = ims.gu(&mut c, "DEPARTMENTS", Some(&Atom::Int(218)))?.unwrap();
+    let hit = ims
+        .gu(&mut c, "DEPARTMENTS", Some(&Atom::Int(218)))?
+        .unwrap();
     println!("GU DEPARTMENTS(218) -> {:?}", hit.1);
     let mut gnp_calls = 0;
     while ims.gnp(&mut c)?.is_some() {
@@ -307,8 +324,14 @@ fn figure_7() -> Result<(), Box<dyn std::error::Error>> {
         .find(|e| e.atoms.first() == Some(&Atom::Int(56019)))
         .unwrap()
         .clone();
-    println!("naive P (PNO=17):            root + MD path {:?} + data {}", p.md_path, p.data);
-    println!("naive F (56019 Consultant):  root + MD path {:?} + data {}", f.md_path, f.data);
+    println!(
+        "naive P (PNO=17):            root + MD path {:?} + data {}",
+        p.md_path, p.data
+    );
+    println!(
+        "naive F (56019 Consultant):  root + MD path {:?} + data {}",
+        f.md_path, f.data
+    );
     let f23 = md_walk
         .iter()
         .find(|e| e.atoms.first() == Some(&Atom::Int(58912)))
@@ -352,7 +375,12 @@ fn figure_8() -> Result<(), Box<dyn std::error::Error>> {
     let h = os.insert_object(&schema, &fixtures::department_314())?;
     let u = TupleName::of_object(h);
     let v = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0))?;
-    let t = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0).then(2, 1))?;
+    let t = TupleName::of_subobject(
+        &mut os,
+        &schema,
+        h,
+        &ElemLoc::object().then(2, 0).then(2, 1),
+    )?;
     let w = TupleName::of_subtable(&mut os, &schema, h, &ElemLoc::object(), 2)?;
     let x = TupleName::of_subtable(&mut os, &schema, h, &ElemLoc::object().then(2, 0), 2)?;
     println!("U (dept 314 as a whole):        {u}");
@@ -360,13 +388,19 @@ fn figure_8() -> Result<(), Box<dyn std::error::Error>> {
     println!("T ('56019 Consultant' tuple):   {t}");
     println!("W (PROJECTS subtable):          {w}");
     println!("X (MEMBERS subtable of p17):    {x}");
-    let Resolved::Tuple(vt) = v.resolve(&mut os, &schema)? else { unreachable!() };
+    let Resolved::Tuple(vt) = v.resolve(&mut os, &schema)? else {
+        unreachable!()
+    };
     assert_eq!(vt.fields[0].as_atom().unwrap(), &Atom::Int(17));
-    let Resolved::Table(xt) = x.resolve(&mut os, &schema)? else { unreachable!() };
+    let Resolved::Table(xt) = x.resolve(&mut os, &schema)? else {
+        unreachable!()
+    };
     assert_eq!(xt.len(), 3);
     assert!(w.as_index_address().is_err());
     println!("subtable t-names are rejected as index addresses (§4.3): OK");
-    println!("(the 1986 prototype had t-names designed but unimplemented; this realizes the design)");
+    println!(
+        "(the 1986 prototype had t-names designed but unimplemented; this realizes the design)"
+    );
     Ok(())
 }
 
@@ -440,7 +474,10 @@ fn sec5_text(db: &mut Database) -> Result<(), Box<dyn std::error::Error>> {
          WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'",
     )?;
     assert_eq!(v.len(), 1);
-    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("0291"));
+    assert_eq!(
+        v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+        Some("0291")
+    );
     println!("the paper's query (CONTAINS + co-author Jones) returns report 0291: OK");
     Ok(())
 }
@@ -481,7 +518,10 @@ fn sec5_asof() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(v.len(), 2);
     let (_, now) =
         db.query("SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE x.DNO = 314")?;
-    println!("(today the department has {} projects: 17 and 23)", now.len());
+    println!(
+        "(today the department has {} projects: 17 and 23)",
+        now.len()
+    );
     println!("walk-through-time stays below the language interface, as in the paper: OK");
     Ok(())
 }
@@ -501,8 +541,7 @@ fn clustering() -> Result<(), Box<dyn std::error::Error>> {
         ("clustered (page list)", ClusterPolicy::Clustered),
         ("scattered (round-robin)", ClusterPolicy::Scattered),
     ] {
-        let (mut os, handles) =
-            loaded_store(LayoutKind::Ss3, policy, 512, 512, &schema, &value);
+        let (mut os, handles) = loaded_store(LayoutKind::Ss3, policy, 512, 512, &schema, &value);
         let pages: usize = handles
             .iter()
             .map(|h| os.object_pages(*h).unwrap().len())
@@ -547,5 +586,125 @@ fn object_move() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(md_rewrites, 0);
     assert!(lorie_rewrites >= 12);
     println!("\"only the page list must be updated\" (§4.1): OK");
+    Ok(())
+}
+
+const DUR_DDL: &str = "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+    PROJECTS { PNO INTEGER, PNAME STRING,
+               MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+    BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } )";
+
+/// The durability demo workload: load DEPARTMENTS, commit a checkpoint,
+/// then mutate without ever committing again. Returns the committed
+/// row set and the injector's write count at the commit point.
+fn durability_workload(
+    cfg: DbConfig,
+) -> Result<(aim2_model::TableValue, u64), Box<dyn std::error::Error>> {
+    let inj = cfg.fault.clone();
+    let mut db = Database::with_config(cfg);
+    db.execute(DUR_DDL)?;
+    for t in fixtures::departments_value().tuples {
+        db.insert_tuple("DEPARTMENTS", t)?;
+    }
+    db.checkpoint()?;
+    let at_commit = inj.map(|i| i.writes()).unwrap_or(0);
+    let (_, committed) = db.query("SELECT * FROM DEPARTMENTS")?;
+    // Mid-epoch mutations — lost to the crash, and that's the point.
+    db.execute("UPDATE x IN DEPARTMENTS SET x.BUDGET = 1 WHERE x.DNO = 218")?;
+    db.execute("DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 314")?;
+    Ok((committed, at_commit))
+}
+
+fn durability() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Durability — write-ahead log, crash recovery, fault injection");
+    let base = std::env::temp_dir().join(format!("aim2_repro_dur_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cfg = |fault: Option<FaultInjector>| DbConfig {
+        page_size: 1024,
+        buffer_frames: 2, // tiny pool: mid-epoch evictions reach the disk
+        data_dir: Some(base.clone()),
+        fault,
+        ..DbConfig::default()
+    };
+
+    // A process death with an epoch in flight: dirty evictions have
+    // overwritten committed pages, the before-images are in the WAL.
+    let (committed, _) = durability_workload(cfg(None))?;
+    let mut db = Database::open(cfg(None))?;
+    let (_, after) = db.query("SELECT * FROM DEPARTMENTS")?;
+    assert!(after.semantically_eq(&committed));
+    println!(
+        "process crash mid-epoch: recovery replayed {} before-image(s); \
+         DEPARTMENTS equals the last checkpoint: OK",
+        db.stats().wal_replays()
+    );
+    println!("recovery stats: {}", db.stats().snapshot());
+    drop(db);
+
+    // Deterministic power cuts: count every write the workload issues,
+    // then re-run it with the disk dying at chosen points after the
+    // checkpoint committed. (tests/crash_consistency.rs sweeps EVERY
+    // point across all storage layouts; this is the demo cut.)
+    let _ = std::fs::remove_dir_all(&base);
+    let probe = FaultInjector::observer();
+    durability_workload(cfg(Some(probe.clone())))?;
+    let (at_commit, total) = {
+        let _ = std::fs::remove_dir_all(&base);
+        let p2 = FaultInjector::observer();
+        let (_, at_commit) = durability_workload(cfg(Some(p2.clone())))?;
+        (at_commit, p2.writes())
+    };
+    for cut in [at_commit + 1, (at_commit + total) / 2, total] {
+        let _ = std::fs::remove_dir_all(&base);
+        let inj = FaultInjector::stop_after(cut);
+        let res = durability_workload(cfg(Some(inj.clone())));
+        assert!(
+            res.is_err() || cut >= total,
+            "a write past the cut must fail"
+        );
+        let mut db = Database::open(cfg(None))?;
+        let (_, v) = db.query("SELECT * FROM DEPARTMENTS")?;
+        assert!(v.semantically_eq(&committed));
+        println!("power cut after write {cut:>2} of {total}: reopened at the last checkpoint: OK");
+    }
+
+    // Torn writes are *detected*, not silently read: a torn tail (the
+    // crash interrupting the final append) is dropped and counted; a bad
+    // checksum mid-log is a typed error.
+    let wdir = base.join("torn_demo");
+    std::fs::create_dir_all(&wdir)?;
+    let wal_path = wdir.join("demo.wal");
+    let stats = Stats::new();
+    let mut wal = Wal::create(&wal_path, 1, 64, stats.clone(), None)?;
+    wal.append_before_image("a.seg", PageId(0), &[0xAA; 64])?;
+    wal.append_before_image("a.seg", PageId(1), &[0xBB; 64])?;
+    wal.sync()?;
+    let len = std::fs::metadata(&wal_path)?.len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&wal_path)?
+        .set_len(len - 7)?; // tear the final frame
+    let c = read_wal(&wal_path, &stats)?.expect("log readable");
+    assert!(c.torn_tail);
+    assert_eq!(c.frames.len(), 1);
+    println!(
+        "torn WAL tail: checksum catches it, {} intact frame(s) kept, torn-detected={}",
+        c.frames.len(),
+        stats.torn_pages_detected()
+    );
+    let mut wal = Wal::create(&wal_path, 1, 64, stats.clone(), None)?;
+    wal.append_before_image("a.seg", PageId(0), &[0xAA; 64])?;
+    wal.append_before_image("a.seg", PageId(1), &[0xBB; 64])?;
+    wal.sync()?;
+    let mut bytes = std::fs::read(&wal_path)?;
+    bytes[40] ^= 0xFF; // corrupt the FIRST frame — not a crash artifact
+    std::fs::write(&wal_path, &bytes)?;
+    match read_wal(&wal_path, &stats) {
+        Err(StorageError::ChecksumMismatch(_)) => {
+            println!("mid-log corruption: surfaced as a typed ChecksumMismatch error: OK")
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&base);
     Ok(())
 }

@@ -73,11 +73,7 @@ pub fn gen_departments(spec: &WorkloadSpec) -> TableValue {
                 let func = FUNCTIONS[rng.gen_range(0..FUNCTIONS.len())];
                 members.push(tup(vec![a(empno), a(func)]));
             }
-            projects.push(tup(vec![
-                a(pno),
-                a(format!("P{pno:05}")),
-                rel(members),
-            ]));
+            projects.push(tup(vec![a(pno), a(format!("P{pno:05}")), rel(members)]));
         }
         let mut equip = Vec::with_capacity(spec.equip_per_dept);
         for _ in 0..spec.equip_per_dept {
@@ -150,8 +146,7 @@ pub fn loaded_store(
     schema: &TableSchema,
     value: &TableValue,
 ) -> (ObjectStore, Vec<aim2_storage::object::ObjectHandle>) {
-    let mut os =
-        ObjectStore::new(fresh_segment(page_size, frames), layout).with_policy(policy);
+    let mut os = ObjectStore::new(fresh_segment(page_size, frames), layout).with_policy(policy);
     let handles = value
         .tuples
         .iter()

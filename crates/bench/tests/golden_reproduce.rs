@@ -1,0 +1,56 @@
+//! Golden-file test: the `reproduce` binary's full output is compared
+//! byte-for-byte against a checked-in transcript. Any drift in the
+//! paper-reproduction numbers — page counts, fault counts, pointer
+//! rewrites, recovery stats — shows up as a readable diff.
+//!
+//! To bless a new golden after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p aim2-bench --test golden_reproduce
+//! ```
+
+use std::process::Command;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/reproduce.txt");
+
+#[test]
+fn reproduce_output_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .output()
+        .expect("run reproduce");
+    let combined = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        out.status.success(),
+        "reproduce exited with {:?}:\n{combined}",
+        out.status
+    );
+
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &combined).expect("bless golden file");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN).expect("read golden file");
+    if combined != golden {
+        let diff: Vec<String> = golden
+            .lines()
+            .zip(combined.lines())
+            .enumerate()
+            .filter(|(_, (want, got))| want != got)
+            .take(20)
+            .map(|(i, (want, got))| format!("line {}:\n  want: {want}\n  got:  {got}", i + 1))
+            .collect();
+        panic!(
+            "reproduce output drifted from tests/golden/reproduce.txt \
+             ({} golden lines, {} actual). First differing lines:\n{}\n\
+             If the change is intentional, re-bless with BLESS=1.",
+            golden.lines().count(),
+            combined.lines().count(),
+            diff.join("\n")
+        );
+    }
+}

@@ -14,15 +14,19 @@ use aim2_model::{
 };
 use aim2_storage::buffer::BufferPool;
 use aim2_storage::disk::{Disk, FileDisk, MemDisk};
+use aim2_storage::faultdisk::{FaultDisk, FaultInjector};
 use aim2_storage::flatstore::FlatStore;
 use aim2_storage::minidir::LayoutKind;
 use aim2_storage::object::{ElemLoc, ObjectHandle, ObjectStore};
 use aim2_storage::segment::Segment;
 use aim2_storage::stats::Stats;
 use aim2_storage::tid::Tid;
+use aim2_storage::wal::{Wal, WAL_FILE};
 use aim2_text::TextIndex;
 use aim2_time::VersionedTable;
+use std::cell::RefCell;
 use std::path::PathBuf;
+use std::rc::Rc;
 
 /// Database configuration.
 #[derive(Debug, Clone)]
@@ -36,6 +40,10 @@ pub struct DbConfig {
     pub default_layout: LayoutKind,
     /// When set, segments are files under this directory; else memory.
     pub data_dir: Option<PathBuf>,
+    /// When set, every write (data pages, WAL appends, the catalog temp
+    /// file) is routed through this deterministic fault injector — the
+    /// crash-consistency harness's handle on the database.
+    pub fault: Option<FaultInjector>,
 }
 
 impl Default for DbConfig {
@@ -45,6 +53,7 @@ impl Default for DbConfig {
             buffer_frames: 256,
             default_layout: LayoutKind::Ss3,
             data_dir: None,
+            fault: None,
         }
     }
 }
@@ -89,6 +98,11 @@ pub struct Database {
     seg_counter: u32,
     /// Human-readable description of the last query's access path.
     last_plan: String,
+    /// Write-ahead log shared by every buffer pool (file-backed only).
+    wal: Option<Rc<RefCell<Wal>>>,
+    /// Checkpoint epoch currently in progress. The on-disk catalog
+    /// always records the previously committed epoch (`epoch - 1`).
+    epoch: u32,
 }
 
 /// One qualified DML target combination.
@@ -114,6 +128,8 @@ impl Database {
             today: Date::from_ymd(1986, 5, 28).expect("valid date"), // SIGMOD '86
             seg_counter: 0,
             last_plan: String::new(),
+            wal: None,
+            epoch: 1,
         }
     }
 
@@ -138,7 +154,37 @@ impl Database {
         self.catalog.table_names()
     }
 
+    /// Lazily create the write-ahead log (file-backed databases only).
+    /// Must happen before any segment exists so every pool can attach.
+    pub(crate) fn ensure_wal(&mut self) -> Result<()> {
+        if self.wal.is_some() {
+            return Ok(());
+        }
+        let Some(dir) = &self.config.data_dir else {
+            return Ok(());
+        };
+        std::fs::create_dir_all(dir).map_err(aim2_storage::StorageError::Io)?;
+        let wal = Wal::create(
+            dir.join(WAL_FILE),
+            self.epoch,
+            self.config.page_size,
+            self.stats.clone(),
+            self.config.fault.clone(),
+        )?;
+        self.wal = Some(Rc::new(RefCell::new(wal)));
+        Ok(())
+    }
+
+    /// Wrap a raw disk in the configured fault injector, if any.
+    fn maybe_faulted(&self, disk: Box<dyn Disk>) -> Box<dyn Disk> {
+        match &self.config.fault {
+            Some(inj) => Box::new(FaultDisk::new(disk, inj.clone())),
+            None => disk,
+        }
+    }
+
     fn make_segment(&mut self, hint: &str) -> Result<(Segment, Option<String>)> {
+        self.ensure_wal()?;
         self.seg_counter += 1;
         let mut file_name = None;
         let disk: Box<dyn Disk> = match &self.config.data_dir {
@@ -151,27 +197,34 @@ impl Database {
             }
             None => Box::new(MemDisk::new(self.config.page_size)),
         };
-        Ok((
-            Segment::new(BufferPool::new(
-                disk,
-                self.config.buffer_frames,
-                self.stats.clone(),
-            )),
-            file_name,
-        ))
+        let mut pool = BufferPool::new(
+            self.maybe_faulted(disk),
+            self.config.buffer_frames,
+            self.stats.clone(),
+        );
+        if let (Some(wal), Some(name)) = (&self.wal, &file_name) {
+            pool.attach_wal(wal.clone(), name.clone());
+        }
+        Ok((Segment::new(pool), file_name))
     }
 
     /// Open an existing segment file (catalog reload).
     fn open_segment(&self, name: &str) -> Result<Segment> {
-        let dir = self.config.data_dir.as_ref().ok_or_else(|| {
-            DbError::Catalog("reopening segments requires a data_dir".into())
-        })?;
+        let dir = self
+            .config
+            .data_dir
+            .as_ref()
+            .ok_or_else(|| DbError::Catalog("reopening segments requires a data_dir".into()))?;
         let disk = FileDisk::open(dir.join(name), self.config.page_size)?;
-        Ok(Segment::new(BufferPool::new(
-            Box::new(disk),
+        let mut pool = BufferPool::new(
+            self.maybe_faulted(Box::new(disk)),
             self.config.buffer_frames,
             self.stats.clone(),
-        )))
+        );
+        if let Some(wal) = &self.wal {
+            pool.attach_wal(wal.clone(), name);
+        }
+        Ok(Segment::new(pool))
     }
 
     // =================================================================
@@ -397,7 +450,12 @@ impl Database {
                 for tid in fs.tids().to_vec() {
                     if hits.contains(&doc_id(tid)) {
                         let t = fs.read(tid)?;
-                        out.push(t.fields.iter().filter_map(|v| v.as_atom().cloned()).collect());
+                        out.push(
+                            t.fields
+                                .iter()
+                                .filter_map(|v| v.as_atom().cloned())
+                                .collect(),
+                        );
                     }
                 }
             }
@@ -432,9 +490,7 @@ impl Database {
                     let (_, _, loc, level_schema) = locate_var(&m, var)?;
                     let attr_idx = level_schema
                         .attr_index(&single_segment(path)?)
-                        .ok_or_else(|| {
-                            DbError::Catalog(format!("no attribute {path} at {var}"))
-                        })?;
+                        .ok_or_else(|| DbError::Catalog(format!("no attribute {path} at {var}")))?;
                     let sub_schema = level_schema.attrs[attr_idx]
                         .kind
                         .as_table()
@@ -511,8 +567,7 @@ impl Database {
                             if v != var {
                                 continue;
                             }
-                            let (pos, new_atom) =
-                                set_item(&level_schema, var, path, lit)?;
+                            let (pos, new_atom) = set_item(&level_schema, var, path, lit)?;
                             atoms[pos] = new_atom;
                             count += 1;
                         }
@@ -529,10 +584,9 @@ impl Database {
                                 continue;
                             }
                             let attr = single_segment(path)?;
-                            let attr_idx =
-                                level_schema.attr_index(&attr).ok_or_else(|| {
-                                    DbError::Catalog(format!("no attribute {attr} at {var}"))
-                                })?;
+                            let attr_idx = level_schema.attr_index(&attr).ok_or_else(|| {
+                                DbError::Catalog(format!("no attribute {attr} at {var}"))
+                            })?;
                             let (_, new_atom) = set_item(&level_schema, var, path, lit)?;
                             t.fields[attr_idx] = Value::Atom(new_atom);
                             count += 1;
@@ -603,10 +657,9 @@ impl Database {
                 let parent = ElemLoc {
                     steps: loc.steps[..loc.steps.len() - 1].to_vec(),
                 };
-                if !targets
-                    .iter()
-                    .any(|(h, p, a, e)| *h == handle && p == &parent && *a == attr_idx && *e == elem_idx)
-                {
+                if !targets.iter().any(|(h, p, a, e)| {
+                    *h == handle && p == &parent && *a == attr_idx && *e == elem_idx
+                }) {
                     targets.push((handle, parent, attr_idx, elem_idx));
                 }
             }
@@ -709,7 +762,8 @@ impl Database {
         for tix in &mut entry.text_indexes {
             match state {
                 Some(tuple) => {
-                    let atoms: Vec<Atom> = tuple.atomic_fields(schema).into_iter().cloned().collect();
+                    let atoms: Vec<Atom> =
+                        tuple.atomic_fields(schema).into_iter().cloned().collect();
                     if let Some(text) = text_of(schema, &tix.attr, &atoms) {
                         tix.index.add_document(id, &text);
                     }
@@ -810,11 +864,7 @@ impl ObjectHandleOrTid {
     }
 }
 
-fn expand_bindings(
-    rest: &[Binding],
-    m: DmlMatch,
-    out: &mut Vec<DmlMatch>,
-) -> Result<()> {
+fn expand_bindings(rest: &[Binding], m: DmlMatch, out: &mut Vec<DmlMatch>) -> Result<()> {
     let Some((b, tail)) = rest.split_first() else {
         out.push(m);
         return Ok(());
@@ -857,10 +907,7 @@ fn expand_bindings(
 }
 
 /// Find a variable's frame, loc, and schema level within a match.
-fn locate_var<'m>(
-    m: &'m DmlMatch,
-    var: &str,
-) -> Result<(String, &'m Tuple, ElemLoc, TableSchema)> {
+fn locate_var<'m>(m: &'m DmlMatch, var: &str) -> Result<(String, &'m Tuple, ElemLoc, TableSchema)> {
     let frame = m
         .frames
         .iter()
@@ -1313,6 +1360,39 @@ impl Database {
 
     pub(crate) fn open_segment_pub(&self, name: &str) -> Result<Segment> {
         self.open_segment(name)
+    }
+
+    /// The checkpoint epoch currently in progress. The on-disk catalog
+    /// always records `epoch() - 1` (the last committed one).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    pub(crate) fn set_epoch(&mut self, e: u32) {
+        self.epoch = e;
+    }
+
+    pub(crate) fn wal_handle(&self) -> Option<Rc<RefCell<Wal>>> {
+        self.wal.clone()
+    }
+
+    /// Run `f` over every buffer pool of the database: each table's data
+    /// segment and all of its index segments.
+    pub(crate) fn for_each_pool(
+        &mut self,
+        mut f: impl FnMut(&mut BufferPool) -> aim2_storage::Result<()>,
+    ) -> Result<()> {
+        for name in self.catalog.table_names() {
+            let entry = self.catalog.require_mut(&name)?;
+            match &mut entry.storage {
+                TableStorage::Nf2(os) => f(os.segment_mut().pool_mut())?,
+                TableStorage::Flat(fs) => f(fs.segment_mut().pool_mut())?,
+            }
+            for ie in &mut entry.indexes {
+                f(ie.index.segment_mut().pool_mut())?;
+            }
+        }
+        Ok(())
     }
 
     /// Flush one table's buffer pools (table segment + its indexes).

@@ -11,14 +11,21 @@
 //! state).
 //!
 //! Consistency model: the checkpoint is taken with mutations quiesced
-//! (the engine is single-user, like the 1986 prototype). The catalog
-//! file is replaced atomically (write + rename); a crash between data
-//! flushes and the rename leaves the previous catalog in charge, whose
-//! roots remain readable because slots are tombstoned, never reused for
-//! different records within a checkpoint epoch. Objects deleted after
-//! the last checkpoint surface as dangling handles on such a reopen —
-//! recovering from mid-epoch crashes beyond this (a WAL) is outside the
-//! paper's scope.
+//! (the engine is single-user, like the 1986 prototype) and is **atomic
+//! under crashes**. Work between checkpoints forms an *epoch*: every
+//! page write-back during epoch `N` first logs the page's before-image
+//! to the shared write-ahead log (`wal.aim2`, see
+//! [`aim2_storage::wal`]). The checkpoint then flushes all pools, syncs
+//! the segment files, and commits by atomically renaming a fresh
+//! catalog file stamped with epoch `N`; only after that commit point is
+//! the WAL reset to epoch `N + 1`. [`Database::open`] compares the two
+//! epochs: a WAL one ahead of the catalog means the crash hit mid-epoch
+//! and every logged before-image is written back (rolling the segments
+//! to exactly the committed checkpoint); a WAL at or behind the catalog
+//! is a stale leftover of a committed epoch and is discarded. WAL
+//! frames are CRC-checksummed — a torn tail (the crash interrupting the
+//! final append) is detected, counted, and safely dropped, while
+//! corruption mid-log surfaces as a typed checksum error.
 
 use crate::catalog::{IndexEntry, TableEntry, TableStorage};
 use crate::database::{Database, DbConfig};
@@ -34,9 +41,12 @@ use aim2_storage::flatstore::FlatStore;
 use aim2_storage::minidir::LayoutKind;
 use aim2_storage::object::{ObjectHandle, ObjectStore};
 use aim2_storage::tid::{PageId, SlotNo, Tid};
+use aim2_storage::wal::{read_wal, WAL_FILE};
+use aim2_storage::StorageError;
 use aim2_time::{VersionChain, VersionedTable};
+use std::io::{Seek, SeekFrom, Write};
 
-const MAGIC: &[u8; 8] = b"AIM2CAT1";
+const MAGIC: &[u8; 8] = b"AIM2CAT2";
 
 /// The catalog file name inside the data directory.
 pub const CATALOG_FILE: &str = "catalog.aim2";
@@ -145,9 +155,17 @@ pub fn schema_to_ddl(schema: &TableSchema, layout: LayoutKind, versioned: bool) 
                 }
                 AttrKind::Table(sub) => {
                     out.push_str(&a.name);
-                    out.push_str(if sub.kind == TableKind::List { " < " } else { " { " });
+                    out.push_str(if sub.kind == TableKind::List {
+                        " < "
+                    } else {
+                        " { "
+                    });
                     attrs(sub, out);
-                    out.push_str(if sub.kind == TableKind::List { " >" } else { " }" });
+                    out.push_str(if sub.kind == TableKind::List {
+                        " >"
+                    } else {
+                        " }"
+                    });
                 }
             }
         }
@@ -175,23 +193,30 @@ pub fn schema_to_ddl(schema: &TableSchema, layout: LayoutKind, versioned: bool) 
 }
 
 impl Database {
-    /// Flush all buffer pools and write the catalog file. Requires a
-    /// file-backed database (a `data_dir`).
+    /// Flush all buffer pools and write the catalog file, atomically
+    /// committing the current epoch. Requires a file-backed database
+    /// (a `data_dir`).
     pub fn checkpoint(&mut self) -> Result<()> {
         let dir = self
             .config()
             .data_dir
             .clone()
             .ok_or_else(|| DbError::Catalog("checkpoint requires a data_dir".into()))?;
+        self.ensure_wal()?;
+        let epoch = self.epoch();
         let mut out = Vec::with_capacity(4096);
         out.extend_from_slice(MAGIC);
+        put_u32(&mut out, epoch);
         put_u32(&mut out, self.seg_counter());
         let names = self.table_names();
         put_u32(&mut out, names.len() as u32);
         for name in &names {
             self.flush_table(name)?;
             let entry = self.catalog_mut().require_mut(name)?;
-            put_str(&mut out, &schema_to_ddl(&entry.schema, entry.layout, entry.versions.is_some()));
+            put_str(
+                &mut out,
+                &schema_to_ddl(&entry.schema, entry.layout, entry.versions.is_some()),
+            );
             put_str(
                 &mut out,
                 entry
@@ -268,30 +293,99 @@ impl Database {
                 put_str(&mut out, &tix.attr.to_string());
             }
         }
-        // Atomic write: temp file then rename.
+        // Everything is flushed (with before-images safely logged);
+        // force the segment files to stable storage before committing.
+        self.for_each_pool(|p| p.sync_disk())?;
+        // Commit point: temp file then atomic rename. The temp write
+        // goes through the fault injector like any other write, so the
+        // harness can crash the checkpoint itself — a torn or missing
+        // temp file is never renamed and the previous epoch stays
+        // committed.
         let tmp = dir.join(format!("{CATALOG_FILE}.tmp"));
-        std::fs::write(&tmp, &out).map_err(aim2_storage::StorageError::Io)?;
-        std::fs::rename(&tmp, dir.join(CATALOG_FILE)).map_err(aim2_storage::StorageError::Io)?;
+        if let Some(inj) = &self.config().fault {
+            if let Some(torn) = inj.plan_write(out.len()).map_err(DbError::Storage)? {
+                let _ = std::fs::write(&tmp, &out[..torn]);
+                return Err(DbError::Storage(StorageError::Io(std::io::Error::other(
+                    "fault injection: catalog write torn, disk stopped",
+                ))));
+            }
+        }
+        std::fs::write(&tmp, &out).map_err(StorageError::Io)?;
+        std::fs::rename(&tmp, dir.join(CATALOG_FILE)).map_err(StorageError::Io)?;
+        // The epoch is durable: retire its before-images and start the
+        // next one. (A crash inside `reset` leaves a header-less WAL,
+        // which recovery correctly treats as "nothing to replay".)
+        if let Some(wal) = self.wal_handle() {
+            wal.borrow_mut()
+                .reset(epoch + 1)
+                .map_err(DbError::Storage)?;
+        }
+        self.for_each_pool(|p| {
+            p.note_checkpoint();
+            Ok(())
+        })?;
+        self.set_epoch(epoch + 1);
         Ok(())
     }
 
-    /// Open a previously checkpointed database from `config.data_dir`.
+    /// Open a previously checkpointed database from `config.data_dir`,
+    /// running crash recovery first if the write-ahead log shows an
+    /// epoch that never committed.
     pub fn open(config: DbConfig) -> Result<Database> {
         let dir = config
             .data_dir
             .clone()
             .ok_or_else(|| DbError::Catalog("open requires a data_dir".into()))?;
-        let bytes = std::fs::read(dir.join(CATALOG_FILE)).map_err(aim2_storage::StorageError::Io)?;
+        let bytes = std::fs::read(dir.join(CATALOG_FILE)).map_err(StorageError::Io)?;
         let mut db = Database::with_config(config);
         let mut r = Reader::new(&bytes);
         if r.bytes(8)? != MAGIC {
             return Err(Reader::err("bad magic"));
         }
+        let cat_epoch = r.u32()?;
+        // Recovery happens on the raw segment files, before any of them
+        // is opened through a buffer pool.
+        match read_wal(dir.join(WAL_FILE), db.stats()).map_err(DbError::Storage)? {
+            Some(c) if c.epoch == cat_epoch + 1 => {
+                // The crash hit mid-epoch: the catalog's epoch committed
+                // but `c.epoch` did not. Roll every logged page back to
+                // its checkpoint image.
+                for fr in &c.frames {
+                    let mut f = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(dir.join(&fr.seg))
+                        .map_err(StorageError::Io)?;
+                    f.seek(SeekFrom::Start(fr.pid.0 as u64 * c.page_size as u64))
+                        .map_err(StorageError::Io)?;
+                    f.write_all(&fr.data).map_err(StorageError::Io)?;
+                    f.sync_data().map_err(StorageError::Io)?;
+                    db.stats().inc_wal_replay();
+                }
+            }
+            Some(c) if c.epoch <= cat_epoch => {
+                // Stale log of an epoch that committed (the crash fell
+                // between the catalog rename and the WAL reset): the
+                // segments already hold the committed state.
+            }
+            Some(c) => {
+                return Err(Reader::err(&format!(
+                    "WAL epoch {} is more than one ahead of catalog epoch {cat_epoch}",
+                    c.epoch
+                )));
+            }
+            None => {} // no log, or a header torn mid-create: nothing ran
+        }
+        // Start the next epoch with a fresh log; segment pools attach to
+        // it as they open below.
+        db.set_epoch(cat_epoch + 1);
+        db.ensure_wal()?;
         let seg_counter = r.u32()?;
         let ntables = r.u32()?;
+        let mut referenced = std::collections::HashSet::new();
         for _ in 0..ntables {
             let ddl = r.str()?;
             let seg_file = r.str()?;
+            referenced.insert(seg_file.clone());
             let Stmt::CreateTable(ct) = parse_stmt(&ddl)? else {
                 return Err(Reader::err("catalog DDL is not CREATE TABLE"));
             };
@@ -362,6 +456,7 @@ impl Database {
                 let path = Path::parse(&r.str()?);
                 let scheme = scheme_from(r.u8()?)?;
                 let iseg_file = r.str()?;
+                referenced.insert(iseg_file.clone());
                 let root = r.tid()?;
                 let order = r.u32()? as usize;
                 let iseg = db.open_segment_pub(&iseg_file)?;
@@ -396,6 +491,19 @@ impl Database {
         }
         if !r.done() {
             return Err(Reader::err("trailing bytes"));
+        }
+        // Remove segment files the committed catalog does not reference:
+        // leftovers of tables or indexes created in an epoch that never
+        // committed. Their pages were all allocated mid-epoch (hence
+        // never before-imaged), so recovery cannot restore them — and a
+        // later segment of the same generated name must not inherit
+        // their stale bytes.
+        for entry in std::fs::read_dir(&dir).map_err(StorageError::Io)? {
+            let entry = entry.map_err(StorageError::Io)?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".seg") && !referenced.contains(&name) {
+                let _ = std::fs::remove_file(entry.path());
+            }
         }
         db.set_seg_counter(seg_counter);
         Ok(db)

@@ -51,7 +51,8 @@ fn index_assisted_query_agrees_with_full_scan() {
 #[test]
 fn index_reduces_subtuple_reads() {
     let mut db = db_with_workload();
-    db.execute("CREATE INDEX p ON DEPARTMENTS (PROJECTS.PNO)").unwrap();
+    db.execute("CREATE INDEX p ON DEPARTMENTS (PROJECTS.PNO)")
+        .unwrap();
     let stats = db.stats().clone();
 
     // Indexed: PNO = 17 exists in exactly one department.
@@ -61,7 +62,11 @@ fn index_reduces_subtuple_reads() {
         .unwrap();
     let indexed_reads = stats.snapshot().subtuple_reads;
     assert_eq!(v.len(), 1);
-    assert!(db.last_plan().contains("1 candidate object(s) of 60"), "{}", db.last_plan());
+    assert!(
+        db.last_plan().contains("1 candidate object(s) of 60"),
+        "{}",
+        db.last_plan()
+    );
 
     // Unindexed equivalent (no matching index on PNAME).
     stats.reset();
@@ -84,13 +89,14 @@ fn restriction_is_only_a_prefilter_predicate_still_applies() {
     // evaluator must still reject combinations where the conjunct binds
     // differently. Duplicate PNOs across departments exercise this.
     let mut db = Database::in_memory();
-    db.execute(
-        "CREATE TABLE T ( K INTEGER, S { P INTEGER, M { F STRING } } )",
-    )
-    .unwrap();
-    db.execute("INSERT INTO T VALUES (1, {(7, {('yes')})})").unwrap();
-    db.execute("INSERT INTO T VALUES (2, {(7, {('no')})})").unwrap();
-    db.execute("INSERT INTO T VALUES (3, {(8, {('yes')})})").unwrap();
+    db.execute("CREATE TABLE T ( K INTEGER, S { P INTEGER, M { F STRING } } )")
+        .unwrap();
+    db.execute("INSERT INTO T VALUES (1, {(7, {('yes')})})")
+        .unwrap();
+    db.execute("INSERT INTO T VALUES (2, {(7, {('no')})})")
+        .unwrap();
+    db.execute("INSERT INTO T VALUES (3, {(8, {('yes')})})")
+        .unwrap();
     db.execute("CREATE INDEX sp ON T (S.P)").unwrap();
     let (_, v) = db
         .query(
@@ -104,13 +110,18 @@ fn restriction_is_only_a_prefilter_predicate_still_applies() {
         .iter()
         .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
         .collect();
-    assert_eq!(ks, vec![1], "K=2 is in the index superset but fails the predicate");
+    assert_eq!(
+        ks,
+        vec![1],
+        "K=2 is in the index superset but fails the predicate"
+    );
 }
 
 #[test]
 fn multi_table_queries_fall_back_to_scan() {
     let mut db = db_with_workload();
-    db.execute("CREATE TABLE OTHER ( DNO INTEGER, NOTE { X STRING } )").unwrap();
+    db.execute("CREATE TABLE OTHER ( DNO INTEGER, NOTE { X STRING } )")
+        .unwrap();
     db.execute("INSERT INTO OTHER VALUES (100, {})").unwrap();
     db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
         .unwrap();
@@ -126,17 +137,12 @@ fn multi_table_queries_fall_back_to_scan() {
 #[test]
 fn explain_describes_plan_and_pruning() {
     let mut db = db_with_workload();
-    let r = db
-        .execute(&format!("EXPLAIN {QUERY}"))
-        .unwrap();
+    let r = db.execute(&format!("EXPLAIN {QUERY}")).unwrap();
     let aim2::database::ExecResult::Ok(plan) = r else {
         panic!("EXPLAIN returns a description")
     };
     assert!(plan.contains("full scan"), "{plan}");
-    assert!(
-        plan.contains("partial retrieval skips [EQUIP]"),
-        "{plan}"
-    );
+    assert!(plan.contains("partial retrieval skips [EQUIP]"), "{plan}");
     db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
         .unwrap();
     let aim2::database::ExecResult::Ok(plan) = db.execute(&format!("EXPLAIN {QUERY}")).unwrap()
@@ -165,14 +171,19 @@ fn contains_uses_the_text_index_when_present() {
     let (_, without) = db.query(q).unwrap();
     assert!(db.last_plan().contains("full scan"), "{}", db.last_plan());
 
-    db.execute("CREATE TEXT INDEX tix ON REPORTS (TITLE)").unwrap();
+    db.execute("CREATE TEXT INDEX tix ON REPORTS (TITLE)")
+        .unwrap();
     let (_, with) = db.query(q).unwrap();
     assert!(
         db.last_plan().contains("text index tix"),
         "{}",
         db.last_plan()
     );
-    assert!(db.last_plan().contains("1 candidate object(s) of 3"), "{}", db.last_plan());
+    assert!(
+        db.last_plan().contains("1 candidate object(s) of 3"),
+        "{}",
+        db.last_plan()
+    );
     assert!(with.semantically_eq(&without));
     assert_eq!(with.len(), 1);
 }

@@ -57,7 +57,8 @@ fn select_star_roundtrips_table5() {
 #[test]
 fn insert_via_language() {
     let mut db = Database::in_memory();
-    db.execute("CREATE TABLE T ( A INTEGER, S { B STRING } )").unwrap();
+    db.execute("CREATE TABLE T ( A INTEGER, S { B STRING } )")
+        .unwrap();
     let r = db
         .execute("INSERT INTO T VALUES (1, {('x'), ('y')})")
         .unwrap();
@@ -126,7 +127,10 @@ fn partial_insert_update_delete() {
         v.tuples[0].fields[0].as_atom().unwrap().as_str(),
         Some("AIM-II")
     );
-    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_int(), Some(999_000));
+    assert_eq!(
+        v.tuples[0].fields[1].as_atom().unwrap().as_int(),
+        Some(999_000)
+    );
 
     // Delete the project element again.
     let r = db
@@ -207,7 +211,8 @@ fn index_maintenance_through_dml() {
 #[test]
 fn text_index_answers_sec5_query() {
     let mut db = load_paper_db();
-    db.execute("CREATE TEXT INDEX tix ON REPORTS (TITLE)").unwrap();
+    db.execute("CREATE TEXT INDEX tix ON REPORTS (TITLE)")
+        .unwrap();
     let (hits, verified) = db
         .text_search("REPORTS", &Path::parse("TITLE"), "*comput*")
         .unwrap();
@@ -300,6 +305,7 @@ fn file_backed_database() {
         page_size: 512,
         buffer_frames: 16,
         default_layout: LayoutKind::Ss3,
+        ..DbConfig::default()
     });
     db.execute_script(DDL).unwrap();
     for t in &fixtures::departments_value().tuples {
@@ -342,7 +348,8 @@ fn layouts_selectable_per_table() {
             "CREATE TABLE T ( A INTEGER, S {{ B INTEGER, U {{ C INTEGER }} }} ) USING {layout}"
         ))
         .unwrap();
-        db.execute("INSERT INTO T VALUES (1, {(2, {(3)})})").unwrap();
+        db.execute("INSERT INTO T VALUES (1, {(2, {(3)})})")
+            .unwrap();
         let (_, v) = db.query("SELECT * FROM T").unwrap();
         assert_eq!(v.len(), 1, "layout {layout}");
     }
@@ -358,7 +365,10 @@ fn errors_surface_cleanly() {
     assert!(db.execute("SELECT x.A FROM x IN NOPE").is_err());
     assert!(db.execute("CREATE TABLE T ( A BLOB )").is_err());
     db.execute("CREATE TABLE T ( A INTEGER )").unwrap();
-    assert!(db.execute("CREATE TABLE T ( B INTEGER )").is_err(), "duplicate");
+    assert!(
+        db.execute("CREATE TABLE T ( B INTEGER )").is_err(),
+        "duplicate"
+    );
     assert!(db.execute("INSERT INTO T VALUES ('wrong')").is_err());
     assert!(db.execute("DROP TABLE NOPE").is_err());
     db.execute("DROP TABLE T").unwrap();
@@ -371,7 +381,9 @@ fn errors_surface_cleanly() {
 #[test]
 fn execute_returns_proper_variants() {
     let mut db = Database::in_memory();
-    let r = db.execute("CREATE TABLE T ( A INTEGER, S { B INTEGER } )").unwrap();
+    let r = db
+        .execute("CREATE TABLE T ( A INTEGER, S { B INTEGER } )")
+        .unwrap();
     assert!(matches!(r, ExecResult::Ok(_)));
     let r = db.execute("INSERT INTO T VALUES (1, {})").unwrap();
     assert_eq!(r.count(), Some(1));
@@ -382,13 +394,21 @@ fn execute_returns_proper_variants() {
 #[test]
 fn flat_table_dml() {
     let mut db = Database::in_memory();
-    db.execute("CREATE TABLE E ( EMPNO INTEGER, NAME STRING )").unwrap();
+    db.execute("CREATE TABLE E ( EMPNO INTEGER, NAME STRING )")
+        .unwrap();
     db.execute("INSERT INTO E VALUES (1, 'Ada')").unwrap();
     db.execute("INSERT INTO E VALUES (2, 'Bob')").unwrap();
-    db.execute("UPDATE x IN E SET x.NAME = 'Alan' WHERE x.EMPNO = 2").unwrap();
-    let (_, v) = db.query("SELECT x.NAME FROM x IN E WHERE x.EMPNO = 2").unwrap();
-    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("Alan"));
-    db.execute("DELETE x FROM x IN E WHERE x.EMPNO = 1").unwrap();
+    db.execute("UPDATE x IN E SET x.NAME = 'Alan' WHERE x.EMPNO = 2")
+        .unwrap();
+    let (_, v) = db
+        .query("SELECT x.NAME FROM x IN E WHERE x.EMPNO = 2")
+        .unwrap();
+    assert_eq!(
+        v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+        Some("Alan")
+    );
+    db.execute("DELETE x FROM x IN E WHERE x.EMPNO = 1")
+        .unwrap();
     let (_, v) = db.query("SELECT x.EMPNO FROM x IN E").unwrap();
     assert_eq!(v.len(), 1);
 }
@@ -404,8 +424,14 @@ fn multiple_set_items_on_one_variable_compose() {
     let (_, v) = db
         .query("SELECT x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314")
         .unwrap();
-    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(11111));
-    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_int(), Some(222_222));
+    assert_eq!(
+        v.tuples[0].fields[0].as_atom().unwrap().as_int(),
+        Some(11111)
+    );
+    assert_eq!(
+        v.tuples[0].fields[1].as_atom().unwrap().as_int(),
+        Some(222_222)
+    );
     // Same at element level (and mixed with a flat-table update shape).
     db.execute(
         "UPDATE x IN DEPARTMENTS, y IN x.PROJECTS SET y.PNO = 18, y.PNAME = 'CGB'
@@ -416,15 +442,26 @@ fn multiple_set_items_on_one_variable_compose() {
         .query("SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 18")
         .unwrap();
     assert_eq!(v.len(), 1);
-    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_str(), Some("CGB"));
+    assert_eq!(
+        v.tuples[0].fields[1].as_atom().unwrap().as_str(),
+        Some("CGB")
+    );
     // Flat tables too.
-    db.execute("UPDATE e IN EMPLOYEES-1NF SET e.FNAME = 'Max', e.SEX = 'male' WHERE e.EMPNO = 56019")
-        .unwrap();
+    db.execute(
+        "UPDATE e IN EMPLOYEES-1NF SET e.FNAME = 'Max', e.SEX = 'male' WHERE e.EMPNO = 56019",
+    )
+    .unwrap();
     let (_, v) = db
         .query("SELECT e.FNAME, e.SEX FROM e IN EMPLOYEES-1NF WHERE e.EMPNO = 56019")
         .unwrap();
-    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("Max"));
-    assert_eq!(v.tuples[0].fields[1].as_atom().unwrap().as_str(), Some("male"));
+    assert_eq!(
+        v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+        Some("Max")
+    );
+    assert_eq!(
+        v.tuples[0].fields[1].as_atom().unwrap().as_str(),
+        Some("male")
+    );
 }
 
 #[test]

@@ -11,6 +11,7 @@ fn config(dir: &std::path::Path) -> DbConfig {
         page_size: 1024,
         buffer_frames: 32,
         default_layout: LayoutKind::Ss3,
+        ..DbConfig::default()
     }
 }
 
@@ -32,8 +33,10 @@ fn checkpoint_and_reopen_full_database() {
                BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } ) WITH VERSIONS",
         )
         .unwrap();
-        db.execute("CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING )")
-            .unwrap();
+        db.execute(
+            "CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING )",
+        )
+        .unwrap();
         db.execute(
             "CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
                                     DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } )",
@@ -51,7 +54,8 @@ fn checkpoint_and_reopen_full_database() {
         }
         db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
             .unwrap();
-        db.execute("CREATE TEXT INDEX t ON REPORTS (TITLE)").unwrap();
+        db.execute("CREATE TEXT INDEX t ON REPORTS (TITLE)")
+            .unwrap();
         // Some history.
         db.set_today(Date::parse_iso("1985-01-01").unwrap());
         db.execute("UPDATE x IN DEPARTMENTS SET x.BUDGET = 777000 WHERE x.DNO = 314")
@@ -70,13 +74,19 @@ fn checkpoint_and_reopen_full_database() {
     let (_, b) = db
         .query("SELECT x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 314")
         .unwrap();
-    assert_eq!(b.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(777_000));
+    assert_eq!(
+        b.tuples[0].fields[0].as_atom().unwrap().as_int(),
+        Some(777_000)
+    );
     // Flat table intact.
     let (_, e) = db.query("SELECT * FROM EMPLOYEES-1NF").unwrap();
     assert_eq!(e.len(), 20);
     // The attribute index answers without a rebuild.
     let idx = db.index_mut("DEPARTMENTS", "f").unwrap();
-    assert_eq!(idx.lookup(&Atom::Str("Consultant".into())).unwrap().len(), 3);
+    assert_eq!(
+        idx.lookup(&Atom::Str("Consultant".into())).unwrap().len(),
+        3
+    );
     // The text index was rebuilt.
     let (hits, _) = db
         .text_search("REPORTS", &Path::parse("TITLE"), "*comput*")
@@ -86,7 +96,10 @@ fn checkpoint_and_reopen_full_database() {
     let (_, old) = db
         .query("SELECT x.BUDGET FROM x IN DEPARTMENTS ASOF '1984-06-01' WHERE x.DNO = 314")
         .unwrap();
-    assert_eq!(old.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(320_000));
+    assert_eq!(
+        old.tuples[0].fields[0].as_atom().unwrap().as_int(),
+        Some(320_000)
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -95,10 +108,8 @@ fn reopened_database_remains_fully_usable() {
     let dir = temp_dir("usable");
     {
         let mut db = Database::with_config(config(&dir));
-        db.execute(
-            "CREATE TABLE T ( K INTEGER, S { V INTEGER, U { W STRING } } ) USING SS3",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE T ( K INTEGER, S { V INTEGER, U { W STRING } } ) USING SS3")
+            .unwrap();
         for k in 0..20i64 {
             db.execute(&format!(
                 "INSERT INTO T VALUES ({k}, {{({}, {{('w{k}')}}), ({}, {{}})}})",
@@ -176,10 +187,8 @@ fn random_dml_then_checkpoint_reopen_preserves_state() {
         let expected;
         {
             let mut db = Database::with_config(config(&dir));
-            db.execute(
-                "CREATE TABLE T ( K INTEGER, B INTEGER, S { P INTEGER, M { F STRING } } )",
-            )
-            .unwrap();
+            db.execute("CREATE TABLE T ( K INTEGER, B INTEGER, S { P INTEGER, M { F STRING } } )")
+                .unwrap();
             db.execute("CREATE INDEX sp ON T (S.P)").unwrap();
             let mut next_k = 0i64;
             for step in 0..40 {
@@ -227,7 +236,10 @@ fn random_dml_then_checkpoint_reopen_preserves_state() {
             kind: aim2_model::TableKind::Relation,
             tuples: expected,
         };
-        assert!(got.semantically_eq(&want), "seed {seed} diverged after reopen");
+        assert!(
+            got.semantically_eq(&want),
+            "seed {seed} diverged after reopen"
+        );
         // The persisted attribute index still answers consistently.
         let (_, via_query) = db.query("SELECT y.P FROM x IN T, y IN x.S").unwrap();
         let indexed = db

@@ -9,9 +9,7 @@
 
 use crate::error::ExecError;
 use crate::Result;
-use aim2_model::{
-    Atom, AttrDef, AttrKind, TableKind, TableSchema, TableValue, Tuple, Value,
-};
+use aim2_model::{Atom, AttrDef, AttrKind, TableKind, TableSchema, TableValue, Tuple, Value};
 
 /// `unnest(v, attr)`: flatten the table-valued attribute `attr` — one
 /// output tuple per element, the attribute's columns spliced in place of
@@ -99,26 +97,17 @@ pub fn nest(
             .collect(),
     )
     .map_err(|e| ExecError::Semantic(e.to_string()))?;
-    let mut attrs: Vec<AttrDef> = group_idx
-        .iter()
-        .map(|&i| schema.attrs[i].clone())
-        .collect();
+    let mut attrs: Vec<AttrDef> = group_idx.iter().map(|&i| schema.attrs[i].clone()).collect();
     attrs.push(AttrDef {
         name: name.to_string(),
         kind: AttrKind::Table(sub_schema),
     });
-    let out_schema = TableSchema::new(
-        format!("nest_{}", schema.name),
-        TableKind::Relation,
-        attrs,
-    )
-    .map_err(|e| ExecError::Semantic(e.to_string()))?;
+    let out_schema = TableSchema::new(format!("nest_{}", schema.name), TableKind::Relation, attrs)
+        .map_err(|e| ExecError::Semantic(e.to_string()))?;
     // Group (order-preserving on first occurrence). When every group
     // attribute is atomic — the common case — grouping hashes; table-
     // valued group keys fall back to pairwise semantic comparison.
-    let all_atomic = group_idx
-        .iter()
-        .all(|&i| schema.attrs[i].kind.is_atomic());
+    let all_atomic = group_idx.iter().all(|&i| schema.attrs[i].kind.is_atomic());
     let mut groups: Vec<(Vec<Value>, Vec<Tuple>)> = Vec::new();
     if all_atomic {
         use std::collections::HashMap;
@@ -138,8 +127,7 @@ pub fn nest(
                 Some(&g) => groups[g].1.push(elem),
                 None => {
                     by_key.insert(hkey, groups.len());
-                    let key: Vec<Value> =
-                        group_idx.iter().map(|&i| t.fields[i].clone()).collect();
+                    let key: Vec<Value> = group_idx.iter().map(|&i| t.fields[i].clone()).collect();
                     groups.push((key, vec![elem]));
                 }
             }
@@ -423,7 +411,10 @@ mod tests {
 
     #[test]
     fn equijoin_members_with_employees() {
-        let (ms, mv) = (fixtures::members_1nf_schema(), fixtures::members_1nf_value());
+        let (ms, mv) = (
+            fixtures::members_1nf_schema(),
+            fixtures::members_1nf_value(),
+        );
         let (es, ev) = (
             fixtures::employees_1nf_schema(),
             fixtures::employees_1nf_value(),
@@ -438,9 +429,11 @@ mod tests {
         let schema = fixtures::departments_schema();
         let value = fixtures::departments_value();
         let keep = ["DNO", "MGRNO", "PNO", "PNAME", "EMPNO", "FUNCTION"];
-        let (_, fused) =
-            unnest_path(&schema, &value, &["PROJECTS", "MEMBERS"], &keep).unwrap();
-        assert!(fused.semantically_eq(&fixtures::table7_value()), "Table 7 again");
+        let (_, fused) = unnest_path(&schema, &value, &["PROJECTS", "MEMBERS"], &keep).unwrap();
+        assert!(
+            fused.semantically_eq(&fixtures::table7_value()),
+            "Table 7 again"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl Walker {
             Source::PathOf { var, path } => match self.resolve(var) {
                 Some((root, prefix)) => {
                     let full = prefix.join(path);
-                    self.out.entry(root.clone()).or_default().add_shallow(full.clone());
+                    self.out
+                        .entry(root.clone())
+                        .or_default()
+                        .add_shallow(full.clone());
                     Some((root, full))
                 }
                 None => None,
@@ -227,9 +230,7 @@ mod tests {
 
     #[test]
     fn transitive_bindings_reach_the_root_var() {
-        let r = refs(
-            "SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
-        );
+        let r = refs("SELECT z.EMPNO FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS");
         let x = &r["x"];
         assert!(x.keep(&Path::parse("PROJECTS")));
         assert!(x.keep(&Path::parse("PROJECTS.MEMBERS")));
@@ -238,9 +239,7 @@ mod tests {
 
     #[test]
     fn named_subqueries_count() {
-        let r = refs(
-            "SELECT x.DNO, E = (SELECT v.QU FROM v IN x.EQUIP) FROM x IN DEPARTMENTS",
-        );
+        let r = refs("SELECT x.DNO, E = (SELECT v.QU FROM v IN x.EQUIP) FROM x IN DEPARTMENTS");
         let x = &r["x"];
         assert!(x.keep(&Path::parse("EQUIP")));
         assert!(!x.keep(&Path::parse("PROJECTS")));

@@ -111,12 +111,11 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         // `SELECT *` keeps the source's kind (a list stays a list).
         let star = q.select.iter().any(|i| matches!(i, SelectItem::Star));
         let mut kind = TableKind::Relation;
-        if star
-            && (q.select.len() != 1 || q.from.len() != 1) {
-                return Err(ExecError::Semantic(
-                    "`SELECT *` requires exactly one item and one binding".into(),
-                ));
-            }
+        if star && (q.select.len() != 1 || q.from.len() != 1) {
+            return Err(ExecError::Semantic(
+                "`SELECT *` requires exactly one item and one binding".into(),
+            ));
+        }
         let mut tuples = Vec::new();
         self.for_each_combination(q.from.as_slice(), env, keep, &mut |me, env| {
             if let Some(w) = &q.where_ {
@@ -166,20 +165,17 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
     ) -> Result<(TableSchema, TableValue)> {
         match &b.source {
             Source::Table(name) => {
-                let asof = match &b.asof {
-                    Some(s) => Some(Date::parse_iso(s).map_err(|e| {
-                        ExecError::Semantic(format!("bad ASOF date '{s}': {e}"))
-                    })?),
-                    None => None,
-                };
+                let asof =
+                    match &b.asof {
+                        Some(s) => Some(Date::parse_iso(s).map_err(|e| {
+                            ExecError::Semantic(format!("bad ASOF date '{s}': {e}"))
+                        })?),
+                        None => None,
+                    };
                 // Projection pushdown: tell the provider which subtable
                 // paths this query will touch via variable `b.var`.
                 let refs = keep.and_then(|k| k.get(&b.var)).cloned();
-                let key = (
-                    name.clone(),
-                    asof,
-                    refs.as_ref().map(|_| b.var.clone()),
-                );
+                let key = (name.clone(), asof, refs.as_ref().map(|_| b.var.clone()));
                 if let Some(hit) = self.scan_cache.get(&key) {
                     return Ok(hit.clone());
                 }
@@ -191,8 +187,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                     }
                     None => self.provider.scan_table(name, asof, None)?,
                 };
-                self.scan_cache
-                    .insert(key, (schema.clone(), value.clone()));
+                self.scan_cache.insert(key, (schema.clone(), value.clone()));
                 Ok((schema, value))
             }
             Source::PathOf { var, path } => {
@@ -349,9 +344,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                     .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
                 let (value, kind) = resolve(&frame.schema, &frame.tuple, path, var)?;
                 let (Value::Table(tv), AttrKind::Table(sub)) = (value, kind) else {
-                    return Err(ExecError::Type(format!(
-                        "`{var}.{path}` is not a list"
-                    )));
+                    return Err(ExecError::Type(format!("`{var}.{path}` is not a list")));
                 };
                 let row = match tv.subscript(*index) {
                     Ok(r) => r,
@@ -411,31 +404,27 @@ mod tests {
 
     #[test]
     fn example_2_explicit_structure_returns_table5() {
-        let (schema, v) = run(
-            "SELECT x.DNO, x.MGRNO, \
+        let (schema, v) = run("SELECT x.DNO, x.MGRNO, \
                PROJECTS = (SELECT y.PNO, y.PNAME, \
                  MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS) \
                  FROM y IN x.PROJECTS), \
                x.BUDGET, \
                EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP) \
-             FROM x IN DEPARTMENTS",
-        );
+             FROM x IN DEPARTMENTS");
         assert_eq!(schema.depth(), 3);
         assert!(v.semantically_eq(&fixtures::departments_value()));
     }
 
     #[test]
     fn example_3_nest_from_flat_tables_builds_table5() {
-        let (_, v) = run(
-            "SELECT x.DNO, x.MGRNO, \
+        let (_, v) = run("SELECT x.DNO, x.MGRNO, \
                PROJECTS = (SELECT y.PNO, y.PNAME, \
                  MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN MEMBERS-1NF \
                             WHERE z.PNO = y.PNO AND z.DNO = y.DNO) \
                  FROM y IN PROJECTS-1NF WHERE y.DNO = x.DNO), \
                x.BUDGET, \
                EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP-1NF WHERE v.DNO = x.DNO) \
-             FROM x IN DEPARTMENTS-1NF",
-        );
+             FROM x IN DEPARTMENTS-1NF");
         assert!(
             v.semantically_eq(&fixtures::departments_value()),
             "nest(Tables 1-4) = Table 5"
@@ -464,10 +453,8 @@ mod tests {
 
     #[test]
     fn example_5_exists_pc_at() {
-        let (_, v) = run(
-            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
-             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
-        );
+        let (_, v) = run("SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'");
         let mut dnos: Vec<i64> = v
             .tuples
             .iter()
@@ -479,10 +466,8 @@ mod tests {
 
     #[test]
     fn example_6_all_consultants_is_empty() {
-        let (_, v) = run(
-            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
-             WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
-        );
+        let (_, v) = run("SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS \
+             WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'");
         assert!(v.is_empty(), "the paper: the result set is empty");
     }
 
@@ -508,10 +493,8 @@ mod tests {
 
     #[test]
     fn sec42_query_1_departments_with_consultant() {
-        let (_, v) = run(
-            "SELECT x.DNO FROM x IN DEPARTMENTS \
-             WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
-        );
+        let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'");
         let mut dnos: Vec<i64> = v
             .tuples
             .iter()
@@ -523,10 +506,8 @@ mod tests {
 
     #[test]
     fn sec42_query_2_projects_with_consultant() {
-        let (_, v) = run(
-            "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS \
-             WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
-        );
+        let (_, v) = run("SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS \
+             WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'");
         let mut pnos: Vec<i64> = v
             .tuples
             .iter()
@@ -538,11 +519,9 @@ mod tests {
 
     #[test]
     fn sec42_query_3_conjunctive() {
-        let (_, v) = run(
-            "SELECT x.DNO FROM x IN DEPARTMENTS \
+        let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS \
              WHERE EXISTS y IN x.PROJECTS : y.PNO = 17 AND \
-                   EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
-        );
+                   EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'");
         let dnos: Vec<i64> = v
             .tuples
             .iter()
@@ -553,13 +532,11 @@ mod tests {
 
     #[test]
     fn example_7_fig4_join_groups_by_department() {
-        let (_, v) = run(
-            "SELECT x.DNO, x.MGRNO, \
+        let (_, v) = run("SELECT x.DNO, x.MGRNO, \
                EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION \
                             FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF \
                             WHERE z.EMPNO = u.EMPNO) \
-             FROM x IN DEPARTMENTS",
-        );
+             FROM x IN DEPARTMENTS");
         assert_eq!(v.len(), 3, "one row per department");
         // Dept 314 has 7 members, all resolved with names.
         let d314 = v
@@ -575,22 +552,17 @@ mod tests {
             .find(|t| t.fields[0].as_atom().unwrap().as_int() == Some(39582))
             .unwrap();
         assert_eq!(krause.fields[1].as_atom().unwrap().as_str(), Some("Krause"));
-        assert_eq!(
-            krause.fields[4].as_atom().unwrap().as_str(),
-            Some("Leader")
-        );
+        assert_eq!(krause.fields[4].as_atom().unwrap().as_str(), Some("Leader"));
     }
 
     #[test]
     fn fig5_manager_join_instead_of_mgrno() {
-        let (_, v) = run(
-            "SELECT x.DNO, m.LNAME, m.SEX, \
+        let (_, v) = run("SELECT x.DNO, m.LNAME, m.SEX, \
                EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION \
                             FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF \
                             WHERE z.EMPNO = u.EMPNO) \
              FROM x IN DEPARTMENTS, m IN EMPLOYEES-1NF \
-             WHERE x.MGRNO = m.EMPNO",
-        );
+             WHERE x.MGRNO = m.EMPNO");
         assert_eq!(v.len(), 3);
         let d314 = v
             .tuples
@@ -603,9 +575,8 @@ mod tests {
 
     #[test]
     fn example_8_first_author_subscript() {
-        let (schema, v) = run(
-            "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
-        );
+        let (schema, v) =
+            run("SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'");
         assert_eq!(v.len(), 1, "only report 0179 has Jones as FIRST author");
         assert_eq!(
             v.tuples[0].fields[1].as_atom().unwrap().as_str(),
@@ -619,12 +590,13 @@ mod tests {
 
     #[test]
     fn sec5_text_query() {
-        let (_, v) = run(
-            "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS \
-             WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'",
-        );
+        let (_, v) = run("SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS \
+             WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'");
         assert_eq!(v.len(), 1);
-        assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("0291"));
+        assert_eq!(
+            v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+            Some("0291")
+        );
     }
 
     #[test]
@@ -659,9 +631,7 @@ mod tests {
 
     #[test]
     fn exists_without_predicate_means_nonempty() {
-        let (_, v) = run(
-            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS",
-        );
+        let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS y IN x.PROJECTS");
         assert_eq!(v.len(), 3, "every department has projects");
     }
 
@@ -673,19 +643,16 @@ mod tests {
         assert_eq!(v.len(), 1);
         let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO <> 314");
         assert_eq!(v.len(), 2);
-        let (_, v) = run(
-            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE NOT (x.DNO = 314 OR x.DNO = 218)",
-        );
+        let (_, v) =
+            run("SELECT x.DNO FROM x IN DEPARTMENTS WHERE NOT (x.DNO = 314 OR x.DNO = 218)");
         assert_eq!(v.len(), 1);
     }
 
     #[test]
     fn table_equality_in_predicates() {
         // Departments whose EQUIP equals dept 314's EQUIP: only 314.
-        let (_, v) = run(
-            "SELECT x.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS \
-             WHERE y.DNO = 314 AND x.EQUIP = y.EQUIP",
-        );
+        let (_, v) = run("SELECT x.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS \
+             WHERE y.DNO = 314 AND x.EQUIP = y.EQUIP");
         assert_eq!(v.len(), 1);
     }
 
@@ -715,17 +682,17 @@ mod tests {
             .collect();
         assert!(first_authors.contains(&"Jones A."));
         // Rest-path form evaluates too.
-        let (_, v) = run(
-            "SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[2].NAME = 'Meyer P.'",
-        );
+        let (_, v) = run("SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[2].NAME = 'Meyer P.'");
         assert_eq!(v.len(), 1);
-        assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("0291"));
+        assert_eq!(
+            v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+            Some("0291")
+        );
     }
 
     #[test]
     fn subscript_on_relation_is_an_error() {
-        let q =
-            parse_query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.PROJECTS[1] = 17").unwrap();
+        let q = parse_query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.PROJECTS[1] = 17").unwrap();
         let mut p = MemProvider::with_paper_fixtures();
         assert!(matches!(
             Evaluator::new(&mut p).eval_query(&q),

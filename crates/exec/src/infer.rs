@@ -56,7 +56,8 @@ pub fn binding_schema(
                 .lookup(var)
                 .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
             outer
-                .resolve_subtable(path).cloned()
+                .resolve_subtable(path)
+                .cloned()
                 .map_err(|_| ExecError::BadPath {
                     var: var.clone(),
                     path: path.to_string(),
@@ -134,15 +135,9 @@ fn expr_attr_kind(env: &SchemaEnv, e: &Expr) -> Result<AttrKind> {
 
 fn derived_name(e: &Expr, pos: usize) -> String {
     match e {
-        Expr::PathRef { path, .. } if !path.is_root() => {
-            path.segments().last().unwrap().clone()
-        }
-        Expr::Subscript { rest, .. } if !rest.is_root() => {
-            rest.segments().last().unwrap().clone()
-        }
-        Expr::Subscript { path, .. } if !path.is_root() => {
-            path.segments().last().unwrap().clone()
-        }
+        Expr::PathRef { path, .. } if !path.is_root() => path.segments().last().unwrap().clone(),
+        Expr::Subscript { rest, .. } if !rest.is_root() => rest.segments().last().unwrap().clone(),
+        Expr::Subscript { path, .. } if !path.is_root() => path.segments().last().unwrap().clone(),
         _ => format!("COL{}", pos + 1),
     }
 }
@@ -164,13 +159,20 @@ pub fn infer_query_schema(
         // `SELECT *`: copy the (single) source structure (Example 1).
         if q.select.iter().any(|i| matches!(i, SelectItem::Star)) {
             if q.select.len() != 1 {
-                return Err(ExecError::Semantic("`*` cannot be mixed with other SELECT items".into()));
+                return Err(ExecError::Semantic(
+                    "`*` cannot be mixed with other SELECT items".into(),
+                ));
             }
             if q.from.len() != 1 {
-                return Err(ExecError::Semantic("`SELECT *` requires exactly one FROM binding".into()));
+                return Err(ExecError::Semantic(
+                    "`SELECT *` requires exactly one FROM binding".into(),
+                ));
             }
             let src = env.lookup(&q.from[0].var).unwrap().clone();
-            return Ok(TableSchema { name: result_name.to_string(), ..src });
+            return Ok(TableSchema {
+                name: result_name.to_string(),
+                ..src
+            });
         }
         let mut attrs = Vec::with_capacity(q.select.len());
         for (i, item) in q.select.iter().enumerate() {
@@ -288,10 +290,8 @@ mod tests {
 
     #[test]
     fn duplicate_names_fixable_by_renaming() {
-        let s = infer(
-            "SELECT x.DNO, THEIRS = y.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS",
-        )
-        .unwrap();
+        let s =
+            infer("SELECT x.DNO, THEIRS = y.DNO FROM x IN DEPARTMENTS, y IN DEPARTMENTS").unwrap();
         assert_eq!(s.attrs[1].name, "THEIRS");
     }
 

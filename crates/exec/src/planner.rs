@@ -53,10 +53,7 @@ pub struct Sec42Planner<'a> {
 }
 
 fn sort_dedup(mut atoms: Vec<Atom>) -> Vec<Atom> {
-    atoms.sort_by(|a, b| {
-        a.partial_cmp_same(b)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    atoms.sort_by(|a, b| a.partial_cmp_same(b).unwrap_or(std::cmp::Ordering::Equal));
     atoms.dedup();
     atoms
 }
@@ -191,8 +188,7 @@ impl<'a> Sec42Planner<'a> {
                     for e in walk.iter() {
                         if e.attr_path == parent && e.atoms.get(pos) == Some(key) {
                             if let Some(&anc) = e.ancestors.first() {
-                                let atoms =
-                                    self.os.read_data_subtuple(ObjectHandle(*root), anc)?;
+                                let atoms = self.os.read_data_subtuple(ObjectHandle(*root), anc)?;
                                 if let Some(a0) = atoms.into_iter().next() {
                                     result.push(a0);
                                 }
@@ -414,8 +410,7 @@ pub fn indexable_conditions(expr: &aim2_lang::ast::Expr) -> Vec<(Path, Atom)> {
                 lhs,
                 rhs,
             } => {
-                if let (Expr::PathRef { var, path }, Expr::Lit(l)) = (lhs.as_ref(), rhs.as_ref())
-                {
+                if let (Expr::PathRef { var, path }, Expr::Lit(l)) = (lhs.as_ref(), rhs.as_ref()) {
                     if let Some((_, prefix)) =
                         var_paths.iter().rev().find(|(v, _)| v == var).cloned()
                     {
@@ -471,12 +466,7 @@ mod tests {
         (schema, os)
     }
 
-    fn idx(
-        os: &mut ObjectStore,
-        schema: &TableSchema,
-        path: &str,
-        scheme: Scheme,
-    ) -> NfIndex {
+    fn idx(os: &mut ObjectStore, schema: &TableSchema, path: &str, scheme: Scheme) -> NfIndex {
         let mut i = NfIndex::create(seg(), schema, &Path::parse(path), scheme).unwrap();
         i.build(os, schema).unwrap();
         i
@@ -525,10 +515,19 @@ mod tests {
         let before = stats.snapshot();
         let h = planner.subobjects_with(&mut hier, &key).unwrap();
         let hier_reads = before.delta(&stats.snapshot()).subtuple_reads;
-        assert_eq!(h.result, vec![Atom::Int(17), Atom::Int(25)], "§4.2: PNOs 17 and 25");
+        assert_eq!(
+            h.result,
+            vec![Atom::Int(17), Atom::Int(25)],
+            "§4.2: PNOs 17 and 25"
+        );
         assert!(h.index_only);
 
-        let mut root = idx(&mut os, &schema, "PROJECTS.MEMBERS.FUNCTION", Scheme::RootTid);
+        let mut root = idx(
+            &mut os,
+            &schema,
+            "PROJECTS.MEMBERS.FUNCTION",
+            Scheme::RootTid,
+        );
         let mut planner = Sec42Planner::new(&mut os, &schema);
         let before = stats.snapshot();
         let r = planner.subobjects_with(&mut root, &key).unwrap();
@@ -594,9 +593,18 @@ mod tests {
         );
         let mut planner = Sec42Planner::new(&mut os, &schema);
         let o = planner
-            .conjunctive(&mut a_idx, &Atom::Int(17), &mut b_idx, &Atom::Str("Consultant".into()))
+            .conjunctive(
+                &mut a_idx,
+                &Atom::Int(17),
+                &mut b_idx,
+                &Atom::Str("Consultant".into()),
+            )
             .unwrap();
-        assert_eq!(o.result, vec![Atom::Int(314)], "417's clone has no consultant");
+        assert_eq!(
+            o.result,
+            vec![Atom::Int(314)],
+            "417's clone has no consultant"
+        );
         assert!(o.index_only);
     }
 

@@ -339,10 +339,7 @@ mod tests {
     fn date_literals_from_strings() {
         let schema = TableSchema::relation("T").with_atom("D", aim2_model::AtomType::Date);
         let t = lit_tuple(&schema, &[Lit::Str("1984-01-15".into())]).unwrap();
-        assert!(matches!(
-            t.fields[0].as_atom().unwrap(),
-            Atom::Date(_)
-        ));
+        assert!(matches!(t.fields[0].as_atom().unwrap(), Atom::Date(_)));
         assert!(lit_tuple(&schema, &[Lit::Str("not-a-date".into())]).is_err());
     }
 }

@@ -193,8 +193,7 @@ impl IndexAddress {
         let err = |m: &str| IndexError::Corrupt(m.to_string());
         let tag = *buf.get(*pos).ok_or_else(|| err("empty address"))?;
         *pos += 1;
-        let take_tid =
-            |pos: &mut usize| Tid::decode(buf, pos).ok_or_else(|| err("truncated TID"));
+        let take_tid = |pos: &mut usize| Tid::decode(buf, pos).ok_or_else(|| err("truncated TID"));
         match tag {
             0 => Ok(IndexAddress::Data(take_tid(pos)?)),
             1 => Ok(IndexAddress::Root(take_tid(pos)?)),

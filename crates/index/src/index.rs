@@ -55,10 +55,7 @@ impl NfIndex {
 
     /// Validate `attr_path` against `schema` and locate the attribute's
     /// data-subtuple position.
-    fn resolve_attr(
-        schema: &TableSchema,
-        attr_path: &Path,
-    ) -> Result<(Path, String, usize)> {
+    fn resolve_attr(schema: &TableSchema, attr_path: &Path) -> Result<(Path, String, usize)> {
         let (parent_path, attr) = attr_path
             .split_last()
             .ok_or_else(|| IndexError::BadAttribute("<empty path>".into()))?;
@@ -457,13 +454,8 @@ mod tests {
     #[test]
     fn int_index_and_range_lookup() {
         let (schema, mut os, _) = departments_store();
-        let mut idx = NfIndex::create(
-            seg(),
-            &schema,
-            &Path::parse("BUDGET"),
-            Scheme::RootTid,
-        )
-        .unwrap();
+        let mut idx =
+            NfIndex::create(seg(), &schema, &Path::parse("BUDGET"), Scheme::RootTid).unwrap();
         idx.build(&mut os, &schema).unwrap();
         assert_eq!(idx.key_count().unwrap(), 3);
         let mid = idx
@@ -484,7 +476,10 @@ mod tests {
         assert_eq!(hits.len(), 1, "only 56019 in dept 314 remains");
         // Re-add.
         idx.index_object(&mut os, &schema, handles[1]).unwrap();
-        assert_eq!(idx.lookup(&Atom::Str("Consultant".into())).unwrap().len(), 3);
+        assert_eq!(
+            idx.lookup(&Atom::Str("Consultant".into())).unwrap().len(),
+            3
+        );
         // Remove a non-existent entry is a no-op signal.
         let bogus = IndexAddress::Root(handles[0].0);
         assert!(!idx
@@ -500,7 +495,10 @@ mod tests {
         // The maintenance protocol: unindex, (mutate), re-index.
         idx.unindex_object(&mut os, &schema, handles[0]).unwrap();
         idx.index_object(&mut os, &schema, handles[0]).unwrap();
-        assert_eq!(idx.lookup(&Atom::Str("Leader".into())).unwrap().len(), before);
+        assert_eq!(
+            idx.lookup(&Atom::Str("Leader".into())).unwrap().len(),
+            before
+        );
     }
 
     #[test]
@@ -520,17 +518,14 @@ mod tests {
     #[test]
     fn first_level_attribute_hier_addresses() {
         let (schema, mut os, handles) = departments_store();
-        let mut idx = NfIndex::create(
-            seg(),
-            &schema,
-            &Path::parse("DNO"),
-            Scheme::Hierarchical,
-        )
-        .unwrap();
+        let mut idx =
+            NfIndex::create(seg(), &schema, &Path::parse("DNO"), Scheme::Hierarchical).unwrap();
         idx.build(&mut os, &schema).unwrap();
         let hits = idx.lookup(&Atom::Int(314)).unwrap();
         assert_eq!(hits.len(), 1);
-        let IndexAddress::Hier(h) = &hits[0] else { panic!() };
+        let IndexAddress::Hier(h) = &hits[0] else {
+            panic!()
+        };
         assert_eq!(h.root, handles[0].0);
         assert_eq!(h.comps.len(), 1, "object's own data subtuple only");
         // Resolvable back to the object's atoms.

@@ -154,10 +154,7 @@ mod tests {
 
     #[test]
     fn types_partition_by_tag() {
-        assert_eq!(
-            cmp(&Atom::Bool(true), &Atom::Int(i64::MIN)),
-            Ordering::Less
-        );
+        assert_eq!(cmp(&Atom::Bool(true), &Atom::Int(i64::MIN)), Ordering::Less);
         assert_eq!(
             cmp(&Atom::Int(i64::MAX), &Atom::Str("".into())),
             Ordering::Less

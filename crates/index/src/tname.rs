@@ -14,9 +14,9 @@
 use crate::address::{HierAddr, IndexAddress};
 use crate::error::IndexError;
 use crate::Result;
+use aim2_model::{TableSchema, TableValue, Tuple};
 use aim2_storage::object::{ElemLoc, ObjectHandle, ObjectStore};
 use aim2_storage::tid::{MiniTid, Tid};
-use aim2_model::{TableSchema, TableValue, Tuple};
 use std::fmt;
 
 /// A system-generated tuple name.
@@ -122,11 +122,7 @@ pub enum Resolved {
 
 impl TupleName {
     /// Dereference this t-name against the store that issued it.
-    pub fn resolve(
-        &self,
-        os: &mut ObjectStore,
-        schema: &TableSchema,
-    ) -> Result<Resolved> {
+    pub fn resolve(&self, os: &mut ObjectStore, schema: &TableSchema) -> Result<Resolved> {
         match self {
             TupleName::Object { root } => Ok(Resolved::Tuple(
                 os.read_object(schema, ObjectHandle(*root))?,
@@ -178,7 +174,9 @@ mod tests {
         let schema = fixtures::departments_schema();
         let pool = BufferPool::new(Box::new(MemDisk::new(1024)), 64, Stats::new());
         let mut os = ObjectStore::new(Segment::new(pool), LayoutKind::Ss3);
-        let h = os.insert_object(&schema, &fixtures::department_314()).unwrap();
+        let h = os
+            .insert_object(&schema, &fixtures::department_314())
+            .unwrap();
         (schema, os, h)
     }
 
@@ -197,8 +195,8 @@ mod tests {
     fn fig8_v_complex_subobject_tname() {
         // V = t-name for project 17 (element 0 of PROJECTS, attr 2).
         let (schema, mut os, h) = setup();
-        let v = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0))
-            .unwrap();
+        let v =
+            TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0)).unwrap();
         let TupleName::Subobject { comps, .. } = &v else {
             panic!()
         };
@@ -243,14 +241,8 @@ mod tests {
         };
         assert_eq!(projects.len(), 2);
         // X = t-name for the MEMBERS subtable of project 17.
-        let x = TupleName::of_subtable(
-            &mut os,
-            &schema,
-            h,
-            &ElemLoc::object().then(2, 0),
-            2,
-        )
-        .unwrap();
+        let x =
+            TupleName::of_subtable(&mut os, &schema, h, &ElemLoc::object().then(2, 0), 2).unwrap();
         let Resolved::Table(members) = x.resolve(&mut os, &schema).unwrap() else {
             panic!()
         };
@@ -268,8 +260,8 @@ mod tests {
         ));
         // Object and subobject t-names convert fine.
         assert!(TupleName::of_object(h).as_index_address().is_ok());
-        let v = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0))
-            .unwrap();
+        let v =
+            TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0)).unwrap();
         assert!(v.as_index_address().is_ok());
     }
 
@@ -289,8 +281,8 @@ mod tests {
     #[test]
     fn display_forms() {
         let (schema, mut os, h) = setup();
-        let v = TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0))
-            .unwrap();
+        let v =
+            TupleName::of_subobject(&mut os, &schema, h, &ElemLoc::object().then(2, 0)).unwrap();
         let s = v.to_string();
         assert!(s.starts_with("t:P"), "{s}");
         let w = TupleName::of_subtable(&mut os, &schema, h, &ElemLoc::object(), 2).unwrap();

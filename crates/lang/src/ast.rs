@@ -61,7 +61,10 @@ impl CmpOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// `x` or `x.PROJECTS.MEMBERS` — a variable plus attribute path.
-    PathRef { var: String, path: Path },
+    PathRef {
+        var: String,
+        path: Path,
+    },
     /// `x.AUTHORS[1]` (+ optional trailing path `x.AUTHORS[1].NAME`) —
     /// 1-based list subscript (Example 8).
     Subscript {
@@ -91,7 +94,10 @@ pub enum Expr {
         pred: Box<Expr>,
     },
     /// `x.TITLE CONTAINS '*comput*'` (§5).
-    Contains { expr: Box<Expr>, pattern: String },
+    Contains {
+        expr: Box<Expr>,
+        pattern: String,
+    },
 }
 
 /// One SELECT-clause item.

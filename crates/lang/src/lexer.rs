@@ -72,9 +72,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 let mut s = String::new();
                 loop {
                     match bytes.get(i) {
-                        None => {
-                            return Err(ParseError::new(start, "unterminated string literal"))
-                        }
+                        None => return Err(ParseError::new(start, "unterminated string literal")),
                         Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
                             s.push('\'');
                             i += 2;
@@ -104,9 +102,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 let mut is_float = false;
                 // Fraction — only if followed by a digit ('.' is also the
                 // path separator).
-                if bytes.get(j) == Some(&b'.')
-                    && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)
-                {
+                if bytes.get(j) == Some(&b'.') && bytes.get(j + 1).is_some_and(u8::is_ascii_digit) {
                     is_float = true;
                     j += 1;
                     while j < bytes.len() && bytes[j].is_ascii_digit() {
@@ -274,7 +270,12 @@ mod tests {
     fn keywords_case_insensitive() {
         assert_eq!(
             toks("select Select SELECT"),
-            vec![Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Eof]
+            vec![
+                Tok::Kw("SELECT"),
+                Tok::Kw("SELECT"),
+                Tok::Kw("SELECT"),
+                Tok::Eof
+            ]
         );
     }
 
@@ -365,7 +366,13 @@ mod tests {
         // Regression: the MIDDLE DOT begins with byte 0xC2; dispatching
         // on that byte cast to char entered the identifier arm and
         // looped forever emitting empty identifiers.
-        for src in ["\u{B7}", "x \u{B7} y", "\u{F7}", "\u{20AC}", "SELECT \u{B7}"] {
+        for src in [
+            "\u{B7}",
+            "x \u{B7} y",
+            "\u{F7}",
+            "\u{20AC}",
+            "SELECT \u{B7}",
+        ] {
             assert!(lex(src).is_err(), "{src:?} must be a lex error");
         }
         // Real multi-byte letters still lex as identifiers.

@@ -183,8 +183,7 @@ impl Parser {
             return Ok(SelectItem::Star);
         }
         // `NAME = (SELECT ...)` or `NAME = expr`?
-        if matches!(self.peek(), Tok::Ident(_) | Tok::Kw(_))
-            && matches!(self.peek2(), Tok::Op("="))
+        if matches!(self.peek(), Tok::Ident(_) | Tok::Kw(_)) && matches!(self.peek2(), Tok::Op("="))
         {
             let name = self.ident()?;
             self.bump(); // `=`
@@ -222,8 +221,7 @@ impl Parser {
                 match self.bump() {
                     Tok::Str(s) => Some(s),
                     other => {
-                        return self
-                            .err(format!("expected date string after ASOF, got {other:?}"))
+                        return self.err(format!("expected date string after ASOF, got {other:?}"))
                     }
                 }
             } else {
@@ -240,7 +238,9 @@ impl Parser {
         let asof = if self.eat_kw("ASOF") {
             match self.bump() {
                 Tok::Str(s) => Some(s),
-                other => return self.err(format!("expected date string after ASOF, got {other:?}")),
+                other => {
+                    return self.err(format!("expected date string after ASOF, got {other:?}"))
+                }
             }
         } else {
             None
@@ -350,9 +350,7 @@ impl Parser {
                         pattern,
                     })
                 }
-                other => {
-                    return self.err(format!("expected pattern string, found {other:?}"))
-                }
+                other => return self.err(format!("expected pattern string, found {other:?}")),
             }
         }
         let op = match self.peek() {
@@ -407,9 +405,8 @@ impl Parser {
                         let idx = match self.bump() {
                             Tok::Int(i) if i >= 1 => i as usize,
                             other => {
-                                return self.err(format!(
-                                    "expected 1-based subscript, found {other:?}"
-                                ))
+                                return self
+                                    .err(format!("expected 1-based subscript, found {other:?}"))
                             }
                         };
                         self.expect_punct(']')?;
@@ -517,7 +514,10 @@ impl Parser {
             if ok {
                 return Ok(attrs);
             }
-            return self.err(format!("expected `,` or `{close}`, found {:?}", self.peek()));
+            return self.err(format!(
+                "expected `,` or `{close}`, found {:?}",
+                self.peek()
+            ));
         }
     }
 
@@ -772,17 +772,21 @@ mod tests {
 
     #[test]
     fn example_4_unnest() {
-        let query = q("SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
-             FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS");
+        let query = q(
+            "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+             FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+        );
         assert_eq!(query.from.len(), 3);
         assert!(query.where_.is_none());
     }
 
     #[test]
     fn example_4_flat_with_joins() {
-        let query = q("SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
+        let query = q(
+            "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION \
              FROM x IN DEPARTMENTS-1NF, y IN PROJECTS-1NF, z IN MEMBERS-1NF \
-             WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO");
+             WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO",
+        );
         let w = query.where_.unwrap();
         // Two ANDs.
         assert!(matches!(w, Expr::And(_, _)));
@@ -901,7 +905,9 @@ mod tests {
                EQUIP { QU INTEGER, TYPE STRING } ) USING SS3",
         )
         .unwrap();
-        let Stmt::CreateTable(ct) = stmt else { panic!() };
+        let Stmt::CreateTable(ct) = stmt else {
+            panic!()
+        };
         assert_eq!(ct.name, "DEPARTMENTS");
         assert!(!ct.ordered);
         assert_eq!(ct.attrs.len(), 5);
@@ -920,7 +926,9 @@ mod tests {
              TITLE TEXT, DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } ) WITH VERSIONS",
         )
         .unwrap();
-        let Stmt::CreateTable(ct) = stmt else { panic!() };
+        let Stmt::CreateTable(ct) = stmt else {
+            panic!()
+        };
         assert!(ct.versioned);
         let AttrDecl::Table { name, ordered, .. } = &ct.attrs[1] else {
             panic!()
@@ -1009,10 +1017,8 @@ mod tests {
 
     #[test]
     fn delete_element_and_object() {
-        let s = parse_stmt(
-            "DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 23",
-        )
-        .unwrap();
+        let s =
+            parse_stmt("DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 23").unwrap();
         let Stmt::Delete(del) = s else { panic!() };
         assert_eq!(del.var, "y");
         let s = parse_stmt("DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 417").unwrap();
@@ -1034,7 +1040,10 @@ mod tests {
         assert!(parse_stmt("SELECT").is_err());
         assert!(parse_stmt("CREATE TABLE T ()").is_err());
         assert!(parse_stmt("INSERT INTO T VALUES (1,)").is_err());
-        assert!(parse_query("SELECT * FROM x IN T WHERE x.A[0] = 1").is_err(), "subscripts are 1-based");
+        assert!(
+            parse_query("SELECT * FROM x IN T WHERE x.A[0] = 1").is_err(),
+            "subscripts are 1-based"
+        );
     }
 
     #[test]

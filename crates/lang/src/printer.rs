@@ -290,8 +290,9 @@ mod tests {
     fn roundtrip(src: &str) {
         let ast = parse_stmt(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
         let printed = print_stmt(&ast);
-        let again = parse_stmt(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {}\nprinted: {printed}", e.render(&printed)));
+        let again = parse_stmt(&printed).unwrap_or_else(|e| {
+            panic!("reparse failed: {}\nprinted: {printed}", e.render(&printed))
+        });
         assert_eq!(ast, again, "printed: {printed}");
     }
 

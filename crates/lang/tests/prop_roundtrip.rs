@@ -39,14 +39,17 @@ fn source() -> impl Strategy<Value = Source> {
 }
 
 fn binding() -> impl Strategy<Value = Binding> {
-    (source(), var_name(), prop::option::of(Just("1984-01-15".to_string()))).prop_map(
-        |(source, var, asof)| {
+    (
+        source(),
+        var_name(),
+        prop::option::of(Just("1984-01-15".to_string())),
+    )
+        .prop_map(|(source, var, asof)| {
             // The shorthand form (var == table name) prints without IN;
             // keep var distinct to stay canonical... unless we make it
             // equal deliberately, which the printer also handles.
             Binding { var, source, asof }
-        },
-    )
+        })
 }
 
 fn cmp_op() -> impl Strategy<Value = CmpOp> {
@@ -89,10 +92,8 @@ fn expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
             (binding(), prop::option::of(inner.clone())).prop_map(|(b, p)| Expr::Exists {
                 binding: Box::new(b),
@@ -173,7 +174,11 @@ fn stmt() -> impl Strategy<Value = Stmt> {
             prop::option::of(expr())
         )
             .prop_map(|(from, set, where_)| Stmt::Update(Update { from, set, where_ })),
-        (var_name(), prop::collection::vec(binding(), 1..3), prop::option::of(expr()))
+        (
+            var_name(),
+            prop::collection::vec(binding(), 1..3),
+            prop::option::of(expr())
+        )
             .prop_map(|(var, from, where_)| Stmt::Delete(Delete { var, from, where_ })),
     ]
 }

@@ -46,7 +46,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::Decode(msg) => write!(f, "decode error: {msg}"),
             ModelError::BadSubscript { index, len } => {
-                write!(f, "subscript [{index}] out of range for list of length {len}")
+                write!(
+                    f,
+                    "subscript [{index}] out of range for list of length {len}"
+                )
             }
         }
     }

@@ -178,8 +178,8 @@ pub const EQUIP_ROWS: [(i64, i64, &str); 14] = [
     (218, 2, "3278"),
     (218, 2, "PC/AT"),
     (218, 1, "3179"),
-    (218, 1, "PC"),       // synthesized TYPE
-    (417, 2, "3278"),     // synthesized below this line except 4361/PC/XT
+    (218, 1, "PC"),   // synthesized TYPE
+    (417, 2, "3278"), // synthesized below this line except 4361/PC/XT
     (417, 1, "3270"),
     (417, 1, "3179"),
     (417, 1, "PC"),
@@ -592,9 +592,10 @@ mod tests {
                 let title = t.fields[2].as_atom().unwrap().as_str().unwrap();
                 let authors = t.fields[1].as_table().unwrap();
                 title.to_lowercase().contains("comput")
-                    && authors.tuples.iter().any(|at| {
-                        at.fields[0].as_atom().unwrap().as_str() == Some("Jones A.")
-                    })
+                    && authors
+                        .tuples
+                        .iter()
+                        .any(|at| at.fields[0].as_atom().unwrap().as_str() == Some("Jones A."))
             })
             .map(|t| t.fields[0].as_atom().unwrap().as_str().unwrap())
             .collect();

@@ -104,7 +104,10 @@ mod tests {
 
     #[test]
     fn table5_renders_all_departments() {
-        let s = render_table(&fixtures::departments_schema(), &fixtures::departments_value());
+        let s = render_table(
+            &fixtures::departments_schema(),
+            &fixtures::departments_value(),
+        );
         assert!(s.contains("DNO=314"));
         assert!(s.contains("DNO=218"));
         assert!(s.contains("DNO=417"));

@@ -329,7 +329,9 @@ mod tests {
     #[test]
     fn path_resolution() {
         let d = departments();
-        let members = d.resolve_subtable(&Path::parse("PROJECTS.MEMBERS")).unwrap();
+        let members = d
+            .resolve_subtable(&Path::parse("PROJECTS.MEMBERS"))
+            .unwrap();
         assert_eq!(members.name, "MEMBERS");
         assert!(members.is_flat());
 

@@ -369,11 +369,23 @@ mod tests {
     #[test]
     fn all_flat_fixtures_validate() {
         for (schema, value) in [
-            (fixtures::departments_1nf_schema(), fixtures::departments_1nf_value()),
-            (fixtures::projects_1nf_schema(), fixtures::projects_1nf_value()),
-            (fixtures::members_1nf_schema(), fixtures::members_1nf_value()),
+            (
+                fixtures::departments_1nf_schema(),
+                fixtures::departments_1nf_value(),
+            ),
+            (
+                fixtures::projects_1nf_schema(),
+                fixtures::projects_1nf_value(),
+            ),
+            (
+                fixtures::members_1nf_schema(),
+                fixtures::members_1nf_value(),
+            ),
             (fixtures::equip_1nf_schema(), fixtures::equip_1nf_value()),
-            (fixtures::employees_1nf_schema(), fixtures::employees_1nf_value()),
+            (
+                fixtures::employees_1nf_schema(),
+                fixtures::employees_1nf_value(),
+            ),
         ] {
             assert!(schema.is_flat());
             value.validate(&schema).unwrap();
@@ -422,7 +434,10 @@ mod tests {
         let authors = reports.tuples[0].fields[1].as_table().unwrap();
         assert_eq!(authors.kind, TableKind::List);
         let first = authors.subscript(1).unwrap();
-        assert_eq!(first.fields[0].as_atom().unwrap().as_str(), Some("Jones A."));
+        assert_eq!(
+            first.fields[0].as_atom().unwrap().as_str(),
+            Some("Jones A.")
+        );
         assert!(authors.subscript(0).is_err());
         assert!(authors.subscript(99).is_err());
         let rel = TableValue::relation();
@@ -431,14 +446,10 @@ mod tests {
 
     #[test]
     fn semantic_eq_relations_ignore_order() {
-        let t1 = TableValue::with_tuples(
-            TableKind::Relation,
-            vec![tup(vec![a(1)]), tup(vec![a(2)])],
-        );
-        let t2 = TableValue::with_tuples(
-            TableKind::Relation,
-            vec![tup(vec![a(2)]), tup(vec![a(1)])],
-        );
+        let t1 =
+            TableValue::with_tuples(TableKind::Relation, vec![tup(vec![a(1)]), tup(vec![a(2)])]);
+        let t2 =
+            TableValue::with_tuples(TableKind::Relation, vec![tup(vec![a(2)]), tup(vec![a(1)])]);
         assert!(t1.semantically_eq(&t2));
         assert_ne!(t1, t2); // structural eq is order-sensitive
     }
@@ -480,10 +491,8 @@ mod tests {
 
     #[test]
     fn canonicalize_sorts_relations_not_lists() {
-        let mut r = TableValue::with_tuples(
-            TableKind::Relation,
-            vec![tup(vec![a(2)]), tup(vec![a(1)])],
-        );
+        let mut r =
+            TableValue::with_tuples(TableKind::Relation, vec![tup(vec![a(2)]), tup(vec![a(1)])]);
         r.canonicalize();
         assert_eq!(r.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(1));
         let mut l =

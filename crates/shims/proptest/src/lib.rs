@@ -1,0 +1,831 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build container has no crates.io access, so this crate implements
+//! the subset of proptest the workspace's property tests use, on top of a
+//! deterministic seed-driven runner:
+//!
+//! * the [`Strategy`] trait with `prop_map`, `boxed`, and
+//!   `prop_recursive`;
+//! * strategies for integer/float/bool primitives ([`any`]), half-open
+//!   ranges, tuples, `&'static str` regex-ish character classes,
+//!   [`prop::collection::vec`], [`prop::option::of`], [`Just`], and
+//!   [`prop_oneof!`];
+//! * the [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`], and
+//!   [`ProptestConfig::with_cases`];
+//! * a regression-seed mechanism compatible in spirit with upstream:
+//!   `proptest-regressions/<test-file-stem>.txt` files holding `seed N`
+//!   lines are replayed *first* on every run, and the `PROPTEST_CASES`
+//!   environment variable overrides the per-test case count (CI pins it
+//!   for deterministic runtime).
+//!
+//! There is no shrinking: a failing case reports the seed that produced
+//! it, which can be pinned in a regression file to reproduce exactly.
+
+use std::cell::RefCell;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRunner,
+    };
+}
+
+// =====================================================================
+// Deterministic RNG
+// =====================================================================
+
+/// The runner's deterministic generator (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator reproducing exactly the stream of `seed`.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+// =====================================================================
+// Strategy
+// =====================================================================
+
+/// Recursion budget: strategies built by `prop_recursive` stop expanding
+/// once `depth` reaches this many levels.
+const MAX_DEPTH: u32 = 8;
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value. `depth` tracks recursive-strategy nesting.
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a cheaply clonable strategy handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategies: `recurse` receives a handle generating the
+    /// *inner* levels and returns the strategy for one outer level; the
+    /// result nests to roughly `depth` levels over `self` as the leaves.
+    /// (`desired_size` and `expected_branch_size` are accepted for API
+    /// compatibility and ignored — the shim bounds recursion by depth.)
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            levels: depth.min(MAX_DEPTH),
+            expand: Rc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng, depth: u32) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng, depth: u32) -> S::Value {
+        self.generate(rng, depth)
+    }
+}
+
+/// Type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+        self.0.dyn_generate(rng, depth)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRng, _: u32) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> O {
+        (self.f)(self.inner.generate(rng, depth))
+    }
+}
+
+/// Uniform choice among alternatives (the [`prop_oneof!`] macro).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Choose uniformly among `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> OneOf<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one branch");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng, depth)
+    }
+}
+
+/// `prop_recursive` adapter: a tower of `levels` expansions over `base`.
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    levels: u32,
+    #[allow(clippy::type_complexity)]
+    expand: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+}
+
+impl<T: 'static> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, depth: u32) -> T {
+        // Build leaf-up: each level is a 50/50 mix of the base strategy
+        // and one more expansion layer, so generated values have varied
+        // nesting depth but never exceed `levels`.
+        let mut s = self.base.clone();
+        let levels = self.levels.saturating_sub(depth);
+        for _ in 0..levels {
+            if rng.below(2) == 0 {
+                s = (self.expand)(s);
+            }
+        }
+        s.generate(rng, depth + 1)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies
+// ---------------------------------------------------------------------
+
+/// Strategy for "any value of `T`" — see [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// Types with a default full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// One arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The full-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng, _: u32) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix edge values in generously: property tests live on
+                // boundaries.
+                match rng.below(8) {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 0
+    }
+}
+
+macro_rules! impl_arbitrary_float {
+    ($t:ty, $bits:ty) => {
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Upstream's default float domain excludes NaN (tests
+                // unwrap `partial_cmp`); mirror that.
+                loop {
+                    let v = match rng.below(8) {
+                        0 => 0.0,
+                        1 => -0.0,
+                        2 => <$t>::INFINITY,
+                        3 => <$t>::NEG_INFINITY,
+                        4 => <$t>::MIN_POSITIVE,
+                        _ => <$t>::from_bits(rng.next_u64() as $bits),
+                    };
+                    if !v.is_nan() {
+                        return v;
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_arbitrary_float!(f32, u32);
+impl_arbitrary_float!(f64, u64);
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _: u32) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng, _: u32) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 high bits give a uniform unit double.
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                let v = (self.start as f64 + unit * (self.end as f64 - self.start as f64)) as $t;
+                // Float rounding can land exactly on `end`; keep half-open.
+                if v >= self.end { self.start } else { v.max(self.start) }
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng, depth: u32) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng, depth),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------
+// String strategies from regex-ish patterns
+// ---------------------------------------------------------------------
+
+/// One parsed `[class]{m,n}` element of a string pattern.
+#[derive(Debug, Clone)]
+struct PatternPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the pattern subset the workspace uses: character classes
+/// (`[a-z0-9 /.']`), the printable-class escape `\PC`, literal
+/// characters, and the quantifiers `{n}`, `{m,n}`, `*`, `+`, `?`.
+fn parse_pattern(pat: &str) -> Vec<PatternPart> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut parts = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                // Only `\PC` (printable char) is supported — it is the
+                // one escape the tests use.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    (' '..='~').collect()
+                } else {
+                    panic!("unsupported escape in pattern {pat:?}");
+                }
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("pattern quantifier"),
+                        n.trim().parse().expect("pattern quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("pattern quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        assert!(!set.is_empty(), "empty character class in pattern {pat:?}");
+        parts.push(PatternPart {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    parts
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng, _: u32) -> String {
+        let mut out = String::new();
+        for part in parse_pattern(self) {
+            let n = part.min + rng.below(part.max - part.min + 1);
+            for _ in 0..n {
+                out.push(part.chars[rng.below(part.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// prop:: namespace (collection, option)
+// ---------------------------------------------------------------------
+
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Strategy for vectors with lengths drawn from `len`.
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: Range<usize>,
+        }
+
+        /// `vec(elem, m..n)`: vectors of `m..n` elements of `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng, depth: u32) -> Vec<S::Value> {
+                let span = self.len.end.saturating_sub(self.len.start).max(1);
+                let n = self.len.start + rng.below(span);
+                (0..n).map(|_| self.elem.generate(rng, depth)).collect()
+            }
+        }
+    }
+
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Strategy for `Option` values.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `of(s)`: `None` or `Some` of `s` (3:1 in favour of `Some`,
+        /// matching upstream's default weighting).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng, depth: u32) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng, depth))
+                }
+            }
+        }
+    }
+}
+
+// =====================================================================
+// Runner
+// =====================================================================
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run (before the `PROPTEST_CASES`
+    /// environment override, which wins when set).
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+
+    /// Case count after the `PROPTEST_CASES` environment override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// A test-case failure (what `prop_assert!` raises).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Drives one property test: regression seeds first, then `cases`
+/// deterministically derived fresh seeds.
+pub struct TestRunner {
+    name: String,
+    regression_file: PathBuf,
+    seeds: Vec<(u64, bool)>, // (seed, is_regression)
+}
+
+impl TestRunner {
+    /// Build the seed schedule for test `name` defined in `file` of the
+    /// crate at `manifest_dir`.
+    pub fn new(name: &str, manifest_dir: &str, file: &str, cases: u32) -> TestRunner {
+        let stem = Path::new(file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unknown".into());
+        let regression_file = Path::new(manifest_dir)
+            .join("proptest-regressions")
+            .join(format!("{stem}.txt"));
+        let mut seeds = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(&regression_file) {
+            for line in text.lines() {
+                let line = line.trim();
+                if let Some(rest) = line.strip_prefix("seed ") {
+                    if let Ok(s) = rest.trim().parse::<u64>() {
+                        seeds.push((s, true));
+                    }
+                }
+            }
+        }
+        // Base seed: stable hash of the test name, so different tests in
+        // one file explore different streams but every run is identical.
+        let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            base ^= b as u64;
+            base = base.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        for i in 0..cases {
+            seeds.push((base.wrapping_add(i as u64), false));
+        }
+        TestRunner {
+            name: name.to_string(),
+            regression_file,
+            seeds,
+        }
+    }
+
+    /// Run `f` once per scheduled seed; panics with the seed on the first
+    /// failing case.
+    pub fn run(&self, f: impl Fn(&mut TestRng) -> Result<(), TestCaseError>) {
+        for &(seed, is_regression) in &self.seeds {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut rng = TestRng::from_seed(seed);
+                f(&mut rng)
+            }));
+            let kind = if is_regression {
+                "regression"
+            } else {
+                "random"
+            };
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => panic!(
+                    "[{}] {kind} case failed (seed {seed}): {e}\n\
+                     pin it by adding `seed {seed}` to {}",
+                    self.name,
+                    self.regression_file.display()
+                ),
+                Err(payload) => {
+                    eprintln!(
+                        "[{}] {kind} case panicked (seed {seed}); \
+                         pin it by adding `seed {seed}` to {}",
+                        self.name,
+                        self.regression_file.display()
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Set while a `proptest!`-generated test body runs (lets nested
+    /// helpers know the active seed for diagnostics).
+    pub static ACTIVE_SEED: RefCell<Option<u64>> = const { RefCell::new(None) };
+}
+
+// =====================================================================
+// Macros
+// =====================================================================
+
+/// Declare property tests. Supports the upstream surface the workspace
+/// uses: an optional `#![proptest_config(...)]` header followed by
+/// `#[test] fn name(bindings in strategies) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $(#[test] fn $name:ident($($pat:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let runner = $crate::TestRunner::new(
+                    stringify!($name),
+                    env!("CARGO_MANIFEST_DIR"),
+                    file!(),
+                    cfg.resolved_cases(),
+                );
+                runner.run(|__rng: &mut $crate::TestRng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $pat = $crate::Strategy::generate(&($strat), __rng, 0);)*
+                    { $body }
+                    Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Assert a condition inside a `proptest!` body (fails the case, with the
+/// seed reported, instead of panicking outright).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => $crate::prop_assert!(
+                *__l == *__r,
+                "assertion failed: {:?} == {:?}",
+                __l,
+                __r
+            ),
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (__l, __r) => $crate::prop_assert!(
+                *__l == *__r,
+                "assertion failed: {:?} == {:?} — {}",
+                __l,
+                __r,
+                format!($($fmt)*)
+            ),
+        }
+    };
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l != *__r, "assertion failed: {:?} != {:?}", __l, __r)
+            }
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = super::TestRng::from_seed(1);
+        let s = prop::collection::vec(0u8..10, 2..5);
+        for _ in 0..100 {
+            let v = Strategy::generate(&s, &mut rng, 0);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn pattern_strategies_match_their_class() {
+        let mut rng = super::TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{2,4}", &mut rng, 0);
+            assert!((2..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let p = Strategy::generate(&"\\PC{0,6}", &mut rng, 0);
+            assert!(p.len() <= 6);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_recursive_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum E {
+            Leaf(i32),
+            Pair(Box<E>, Box<E>),
+        }
+        fn leaf() -> impl Strategy<Value = E> {
+            (0i32..50).prop_map(E::Leaf)
+        }
+        let strat = leaf().prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| E::Pair(Box::new(a), Box::new(b)))
+        });
+        let mut rng = super::TestRng::from_seed(3);
+        let mut saw_pair = false;
+        for _ in 0..100 {
+            if let E::Pair(..) = Strategy::generate(&strat, &mut rng, 0) {
+                saw_pair = true;
+            }
+        }
+        assert!(saw_pair, "recursion must actually recurse sometimes");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0i64..100, s in "[a-z]{1,3}") {
+            prop_assert!(x >= 0);
+            prop_assert!(!s.is_empty() && s.len() <= 3, "bad len: {}", s.len());
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The container this repo builds in has no crates.io access, so the
+//! workspace vendors the *tiny* subset of `rand` it actually uses:
+//! [`rngs::StdRng`] seeded through [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] / [`Rng::gen_bool`] over half-open integer ranges.
+//!
+//! The generator is splitmix64 (public domain, Vigna): statistically fine
+//! for workload generation and — crucially for the benches and the
+//! seeded tests — fully deterministic for a given seed. It does *not*
+//! match upstream `StdRng`'s stream (upstream never guaranteed stream
+//! stability across versions either), and it is not cryptographic.
+
+use std::ops::Range;
+
+/// Minimal core-RNG trait: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that `gen_range` can sample uniformly from a `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform sample from `[low, high)`.
+    fn sample_range(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(rng: &mut dyn FnMut() -> u64, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range");
+                // Modulo bias is irrelevant for test workloads; spans here
+                // are tiny compared to 2^64.
+                let span = (high as i128 - low as i128) as u128;
+                let off = (rng() as u128) % span;
+                (low as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing convenience methods, as in `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        let mut f = || self.next_u64();
+        T::sample_range(&mut f, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // 53 high bits give a uniform double in [0, 1).
+        let x = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        x < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic splitmix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Vigna, public domain).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+            let u = r.gen_range(3..4usize);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(9);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let heads = (0..2000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((600..1400).contains(&heads), "roughly fair: {heads}");
+    }
+}

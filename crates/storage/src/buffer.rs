@@ -13,8 +13,11 @@
 use crate::disk::Disk;
 use crate::stats::Stats;
 use crate::tid::PageId;
+use crate::wal::Wal;
 use crate::Result;
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 struct Frame {
     pid: PageId,
@@ -27,6 +30,13 @@ struct Frame {
 }
 
 /// Clock-sweep (second-chance) write-back buffer pool over a [`Disk`].
+///
+/// When a [`Wal`] is attached (file-backed databases), the pool enforces
+/// the write-ahead rule: before any dirty page's first write-back of the
+/// current checkpoint epoch, its on-disk *before-image* is appended to
+/// the log and the log is synced. Pages allocated within the epoch have
+/// no committed before-image and are exempt — after a crash they are
+/// unreferenced by the restored catalog.
 pub struct BufferPool {
     disk: Box<dyn Disk>,
     capacity: usize,
@@ -34,6 +44,14 @@ pub struct BufferPool {
     map: HashMap<PageId, usize>,
     hand: usize,
     stats: Stats,
+    /// Write-ahead log shared with the database's other pools.
+    wal: Option<Rc<RefCell<Wal>>>,
+    /// Segment file name recorded in this pool's WAL frames.
+    seg_name: String,
+    /// Pages whose before-image is already logged this epoch.
+    logged: HashSet<PageId>,
+    /// Pages allocated this epoch (no before-image exists yet).
+    fresh: HashSet<PageId>,
 }
 
 impl BufferPool {
@@ -47,7 +65,31 @@ impl BufferPool {
             map: HashMap::new(),
             hand: 0,
             stats,
+            wal: None,
+            seg_name: String::new(),
+            logged: HashSet::new(),
+            fresh: HashSet::new(),
         }
+    }
+
+    /// Attach a write-ahead log. `seg_name` identifies this pool's
+    /// segment file in log frames (recovery maps frames back to files).
+    pub fn attach_wal(&mut self, wal: Rc<RefCell<Wal>>, seg_name: impl Into<String>) {
+        self.wal = Some(wal);
+        self.seg_name = seg_name.into();
+    }
+
+    /// A checkpoint has committed: the on-disk images are the new
+    /// recovery baseline, so every page needs fresh logging before its
+    /// next write-back.
+    pub fn note_checkpoint(&mut self) {
+        self.logged.clear();
+        self.fresh.clear();
+    }
+
+    /// Flush the underlying disk's volatile buffers to stable storage.
+    pub fn sync_disk(&mut self) -> Result<()> {
+        self.disk.sync()
     }
 
     /// Page size of the underlying disk.
@@ -69,6 +111,9 @@ impl BufferPool {
     /// read.
     pub fn allocate_page(&mut self) -> Result<PageId> {
         let pid = self.disk.allocate()?;
+        if self.wal.is_some() {
+            self.fresh.insert(pid);
+        }
         let idx = self.free_frame()?;
         let ps = self.disk.page_size();
         let f = &mut self.frames[idx];
@@ -98,14 +143,53 @@ impl BufferPool {
         Ok(f(&mut frame.data))
     }
 
-    /// Write all dirty frames back to disk.
+    /// Write all dirty frames back to disk. With a WAL attached this is
+    /// a *group flush*: every needed before-image is appended first,
+    /// the log is synced once, and only then do the page writes start.
     pub fn flush_all(&mut self) -> Result<()> {
-        for f in &mut self.frames {
-            if f.dirty {
-                self.disk.write_page(f.pid, &f.data)?;
-                f.dirty = false;
+        if self.wal.is_some() {
+            let dirty: Vec<PageId> = self
+                .frames
+                .iter()
+                .filter(|f| f.dirty)
+                .map(|f| f.pid)
+                .collect();
+            for pid in dirty {
+                self.log_before_image(pid)?;
+            }
+            self.wal_sync()?;
+        }
+        for i in 0..self.frames.len() {
+            if self.frames[i].dirty {
+                self.disk
+                    .write_page(self.frames[i].pid, &self.frames[i].data)?;
+                self.frames[i].dirty = false;
                 self.stats.inc_page_write();
             }
+        }
+        Ok(())
+    }
+
+    /// Log `pid`'s on-disk content as a before-image, once per epoch.
+    /// The on-disk image still equals the last checkpoint's because all
+    /// writes flow through this pool's (logging) write-back paths.
+    fn log_before_image(&mut self, pid: PageId) -> Result<()> {
+        if self.logged.contains(&pid) || self.fresh.contains(&pid) {
+            return Ok(());
+        }
+        let mut before = vec![0u8; self.disk.page_size()];
+        self.disk.read_page(pid, &mut before)?;
+        if let Some(wal) = &self.wal {
+            wal.borrow_mut()
+                .append_before_image(&self.seg_name, pid, &before)?;
+        }
+        self.logged.insert(pid);
+        Ok(())
+    }
+
+    fn wal_sync(&mut self) -> Result<()> {
+        if let Some(wal) = &self.wal {
+            wal.borrow_mut().sync()?;
         }
         Ok(())
     }
@@ -159,13 +243,18 @@ impl BufferPool {
                 break i;
             }
         };
-        let victim = &mut self.frames[idx];
-        if victim.dirty {
-            self.disk.write_page(victim.pid, &victim.data)?;
-            victim.dirty = false;
+        if self.frames[idx].dirty {
+            let pid = self.frames[idx].pid;
+            if self.wal.is_some() {
+                // Write-ahead: before-image on stable storage first.
+                self.log_before_image(pid)?;
+                self.wal_sync()?;
+            }
+            self.disk.write_page(pid, &self.frames[idx].data)?;
+            self.frames[idx].dirty = false;
             self.stats.inc_page_write();
         }
-        self.map.remove(&victim.pid);
+        self.map.remove(&self.frames[idx].pid);
         Ok(idx)
     }
 }
@@ -235,7 +324,7 @@ mod tests {
         bp.with_page(p0, |_| ()).unwrap();
         bp.with_page(p1, |_| ()).unwrap();
         let p2 = bp.allocate_page().unwrap(); // one of p0/p1 evicted
-        // All three pages remain readable (the evicted one via re-fetch).
+                                              // All three pages remain readable (the evicted one via re-fetch).
         for p in [p0, p1, p2] {
             bp.with_page(p, |_| ()).unwrap();
         }

@@ -26,6 +26,11 @@ pub trait Disk {
     fn read_page(&mut self, pid: PageId, buf: &mut [u8]) -> Result<()>;
     /// Write `buf` to page `pid`.
     fn write_page(&mut self, pid: PageId, buf: &[u8]) -> Result<()>;
+    /// Flush any buffered writes to stable storage. A no-op for disks
+    /// with no volatile layer underneath (e.g. [`MemDisk`]).
+    fn sync(&mut self) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// In-memory disk.
@@ -54,7 +59,8 @@ impl Disk for MemDisk {
 
     fn allocate(&mut self) -> Result<PageId> {
         let id = PageId(self.pages.len() as u32);
-        self.pages.push(vec![0u8; self.page_size].into_boxed_slice());
+        self.pages
+            .push(vec![0u8; self.page_size].into_boxed_slice());
         Ok(id)
     }
 
@@ -151,6 +157,10 @@ impl Disk for FileDisk {
             .seek(SeekFrom::Start(pid.0 as u64 * self.page_size as u64))?;
         self.file.write_all(buf)?;
         Ok(())
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        FileDisk::sync(self)
     }
 }
 

@@ -18,6 +18,9 @@ pub enum StorageError {
     RecordTooLarge { len: usize, max: usize },
     /// A stored byte structure failed to decode (corruption or bug).
     Corrupt(String),
+    /// A checksummed structure (WAL frame) failed verification — a torn
+    /// or corrupted write was *detected*, as opposed to silently read.
+    ChecksumMismatch(String),
     /// Model-level error surfaced through storage (encoding atoms etc.).
     Model(aim2_model::ModelError),
     /// The operation does not apply to this object shape (e.g. subtable
@@ -38,6 +41,9 @@ impl fmt::Display for StorageError {
                 write!(f, "record of {len} bytes exceeds page capacity {max}")
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt storage structure: {msg}"),
+            StorageError::ChecksumMismatch(msg) => {
+                write!(f, "checksum mismatch (torn or corrupt write): {msg}")
+            }
             StorageError::Model(e) => write!(f, "model error: {e}"),
             StorageError::BadPath(p) => write!(f, "no such subtable path: {p}"),
             StorageError::BadElementIndex { index, len } => {

@@ -1,0 +1,308 @@
+//! Deterministic fault injection for crash-consistency testing.
+//!
+//! [`FaultInjector`] is a small shared state machine that decides, for
+//! every write anywhere in the database (data pages, WAL appends, the
+//! catalog temp file), whether that write succeeds, is *torn* (only a
+//! prefix reaches the platter before the simulated power cut), or fails
+//! transiently. It is seed-driven and fully deterministic: the same
+//! plan over the same workload injects the same fault at the same byte.
+//!
+//! [`FaultDisk`] composes over any [`Disk`] (file- or memory-backed) and
+//! routes its writes through an injector. The crash-consistency suite
+//! builds its sweep on top: run a workload once to count writes `N`,
+//! then for every `k ≤ N` re-run with `stop_after(k)` and verify the
+//! reopened database equals its last checkpoint.
+
+use crate::disk::Disk;
+use crate::error::StorageError;
+use crate::tid::PageId;
+use crate::Result;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What the injector decided about one write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write goes through untouched.
+    Full,
+    /// Only the first `n` bytes persist, then the disk stops — the torn
+    /// write *and* the power cut in one event.
+    Torn(usize),
+    /// The write fails and nothing persists; the disk keeps running
+    /// (transient) or has stopped (post-crash).
+    Fail,
+}
+
+#[derive(Debug)]
+struct State {
+    seed: u64,
+    plan: Plan,
+    writes: u64,
+    stopped: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Plan {
+    /// Count writes, never inject.
+    Observe,
+    /// Write number `n` (1-based) completes; every later write fails.
+    StopAfter(u64),
+    /// Write number `n` is torn at a seed-derived offset; every later
+    /// write fails.
+    TearAt(u64),
+    /// Write number `n` fails once; everything else succeeds.
+    TransientAt(u64),
+}
+
+/// Shared, clonable fault-decision state. One injector is typically
+/// threaded through a whole database so the write counter is global
+/// across all its segments, the WAL, and the catalog.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    state: Rc<RefCell<State>>,
+}
+
+impl FaultInjector {
+    fn with_plan(seed: u64, plan: Plan) -> FaultInjector {
+        FaultInjector {
+            state: Rc::new(RefCell::new(State {
+                seed,
+                plan,
+                writes: 0,
+                stopped: false,
+            })),
+        }
+    }
+
+    /// Count writes without ever injecting — the sweep's reference run.
+    pub fn observer() -> FaultInjector {
+        FaultInjector::with_plan(0, Plan::Observe)
+    }
+
+    /// The disk dies cleanly after the `n`-th write (1-based) completes.
+    pub fn stop_after(n: u64) -> FaultInjector {
+        FaultInjector::with_plan(0, Plan::StopAfter(n))
+    }
+
+    /// The `n`-th write (1-based) is torn at a `seed`-derived byte
+    /// offset, then the disk dies.
+    pub fn tear_at(n: u64, seed: u64) -> FaultInjector {
+        FaultInjector::with_plan(seed, Plan::TearAt(n))
+    }
+
+    /// The `n`-th write (1-based) fails with an I/O error; the disk
+    /// keeps working afterwards.
+    pub fn transient_at(n: u64) -> FaultInjector {
+        FaultInjector::with_plan(0, Plan::TransientAt(n))
+    }
+
+    /// Total writes observed so far (including the failed ones).
+    pub fn writes(&self) -> u64 {
+        self.state.borrow().writes
+    }
+
+    /// Whether the simulated power cut has happened.
+    pub fn stopped(&self) -> bool {
+        self.state.borrow().stopped
+    }
+
+    /// Decide the fate of a `len`-byte write. Callers must honour the
+    /// outcome: persist everything, persist exactly the torn prefix, or
+    /// persist nothing.
+    pub fn check_write(&self, len: usize) -> WriteOutcome {
+        let mut s = self.state.borrow_mut();
+        if s.stopped {
+            return WriteOutcome::Fail;
+        }
+        s.writes += 1;
+        let n = s.writes;
+        match s.plan {
+            Plan::Observe => WriteOutcome::Full,
+            Plan::StopAfter(k) => {
+                if n == k {
+                    s.stopped = true;
+                }
+                WriteOutcome::Full
+            }
+            Plan::TearAt(k) if n == k => {
+                s.stopped = true;
+                // Deterministic torn length in 1..len (never empty,
+                // never complete); a 1-byte write can only vanish.
+                if len <= 1 {
+                    WriteOutcome::Fail
+                } else {
+                    let h = splitmix64(s.seed ^ n);
+                    WriteOutcome::Torn(1 + (h % (len as u64 - 1)) as usize)
+                }
+            }
+            Plan::TearAt(_) => WriteOutcome::Full,
+            Plan::TransientAt(k) if n == k => WriteOutcome::Fail,
+            Plan::TransientAt(_) => WriteOutcome::Full,
+        }
+    }
+
+    /// [`FaultInjector::check_write`] folded into the shape raw-file
+    /// writers want: `Ok(None)` = write fully, `Ok(Some(k))` = persist
+    /// the first `k` bytes then report the crash, `Err` = nothing
+    /// persisted.
+    pub fn plan_write(&self, len: usize) -> Result<Option<usize>> {
+        match self.check_write(len) {
+            WriteOutcome::Full => Ok(None),
+            WriteOutcome::Torn(k) => Ok(Some(k)),
+            WriteOutcome::Fail => Err(StorageError::Io(std::io::Error::other(
+                "fault injection: write failed",
+            ))),
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A [`Disk`] that routes every mutation through a [`FaultInjector`].
+/// Reads are never faulted (the harness models write-path crashes);
+/// allocation counts as a write of one zero page.
+pub struct FaultDisk {
+    inner: Box<dyn Disk>,
+    inj: FaultInjector,
+}
+
+impl FaultDisk {
+    pub fn new(inner: Box<dyn Disk>, inj: FaultInjector) -> FaultDisk {
+        FaultDisk { inner, inj }
+    }
+}
+
+impl Disk for FaultDisk {
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn allocate(&mut self) -> Result<PageId> {
+        match self.inj.check_write(self.inner.page_size()) {
+            WriteOutcome::Full => self.inner.allocate(),
+            // A torn extension of the file is modelled as the
+            // allocation never happening — the segment's committed
+            // extent is unaffected either way.
+            WriteOutcome::Torn(_) | WriteOutcome::Fail => Err(StorageError::Io(
+                std::io::Error::other("fault injection: allocation failed, disk stopped"),
+            )),
+        }
+    }
+
+    fn read_page(&mut self, pid: PageId, buf: &mut [u8]) -> Result<()> {
+        self.inner.read_page(pid, buf)
+    }
+
+    fn write_page(&mut self, pid: PageId, buf: &[u8]) -> Result<()> {
+        match self.inj.check_write(buf.len()) {
+            WriteOutcome::Full => self.inner.write_page(pid, buf),
+            WriteOutcome::Torn(k) => {
+                // New prefix + old suffix persist: exactly what a torn
+                // sector write leaves behind.
+                let mut torn = vec![0u8; buf.len()];
+                self.inner.read_page(pid, &mut torn)?;
+                torn[..k].copy_from_slice(&buf[..k]);
+                self.inner.write_page(pid, &torn)?;
+                Err(StorageError::Io(std::io::Error::other(
+                    "fault injection: page write torn, disk stopped",
+                )))
+            }
+            WriteOutcome::Fail => Err(StorageError::Io(std::io::Error::other(
+                "fault injection: page write failed",
+            ))),
+        }
+    }
+
+    fn sync(&mut self) -> Result<()> {
+        if self.inj.stopped() {
+            return Err(StorageError::Io(std::io::Error::other(
+                "fault injection: sync failed, disk stopped",
+            )));
+        }
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn faulted(inj: &FaultInjector) -> FaultDisk {
+        FaultDisk::new(Box::new(MemDisk::new(64)), inj.clone())
+    }
+
+    #[test]
+    fn observer_counts_and_never_faults() {
+        let inj = FaultInjector::observer();
+        let mut d = faulted(&inj);
+        let p = d.allocate().unwrap();
+        d.write_page(p, &[7u8; 64]).unwrap();
+        d.write_page(p, &[8u8; 64]).unwrap();
+        assert_eq!(inj.writes(), 3, "allocation counts as a write");
+        assert!(!inj.stopped());
+    }
+
+    #[test]
+    fn stop_after_kills_later_writes_but_not_reads() {
+        let inj = FaultInjector::stop_after(2);
+        let mut d = faulted(&inj);
+        let p = d.allocate().unwrap();
+        d.write_page(p, &[7u8; 64]).unwrap(); // write #2 — last to land
+        assert!(d.write_page(p, &[9u8; 64]).is_err());
+        assert!(d.sync().is_err());
+        assert!(inj.stopped());
+        let mut buf = [0u8; 64];
+        d.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 64], "pre-crash state still readable");
+    }
+
+    #[test]
+    fn tear_leaves_new_prefix_old_suffix() {
+        let inj = FaultInjector::tear_at(3, 42);
+        let mut d = faulted(&inj);
+        let p = d.allocate().unwrap();
+        d.write_page(p, &[1u8; 64]).unwrap();
+        assert!(d.write_page(p, &[2u8; 64]).is_err(), "write #3 is torn");
+        let mut buf = [0u8; 64];
+        d.read_page(p, &mut buf).unwrap();
+        let cut = buf
+            .iter()
+            .position(|&b| b == 1)
+            .expect("old suffix remains");
+        assert!(cut >= 1, "some new bytes landed");
+        assert!(buf[..cut].iter().all(|&b| b == 2));
+        assert!(buf[cut..].iter().all(|&b| b == 1));
+        // Deterministic: same seed, same cut.
+        let inj2 = FaultInjector::tear_at(3, 42);
+        let mut d2 = faulted(&inj2);
+        let p2 = d2.allocate().unwrap();
+        d2.write_page(p2, &[1u8; 64]).unwrap();
+        let _ = d2.write_page(p2, &[2u8; 64]);
+        let mut buf2 = [0u8; 64];
+        d2.read_page(p2, &mut buf2).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn transient_fails_once_then_recovers() {
+        let inj = FaultInjector::transient_at(2);
+        let mut d = faulted(&inj);
+        let p = d.allocate().unwrap();
+        assert!(d.write_page(p, &[5u8; 64]).is_err(), "write #2 fails");
+        assert!(!inj.stopped());
+        d.write_page(p, &[5u8; 64]).unwrap();
+        let mut buf = [0u8; 64];
+        d.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf, [5u8; 64]);
+    }
+}

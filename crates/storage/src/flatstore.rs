@@ -130,11 +130,23 @@ mod tests {
     #[test]
     fn load_and_scan_paper_tables() {
         for (schema, value) in [
-            (fixtures::departments_1nf_schema(), fixtures::departments_1nf_value()),
-            (fixtures::projects_1nf_schema(), fixtures::projects_1nf_value()),
-            (fixtures::members_1nf_schema(), fixtures::members_1nf_value()),
+            (
+                fixtures::departments_1nf_schema(),
+                fixtures::departments_1nf_value(),
+            ),
+            (
+                fixtures::projects_1nf_schema(),
+                fixtures::projects_1nf_value(),
+            ),
+            (
+                fixtures::members_1nf_schema(),
+                fixtures::members_1nf_value(),
+            ),
             (fixtures::equip_1nf_schema(), fixtures::equip_1nf_value()),
-            (fixtures::employees_1nf_schema(), fixtures::employees_1nf_value()),
+            (
+                fixtures::employees_1nf_schema(),
+                fixtures::employees_1nf_value(),
+            ),
         ] {
             let mut fs = store();
             fs.load(&value).unwrap();

@@ -137,7 +137,12 @@ impl ImsStore {
     /// GU — "get unique": position at the first occurrence of segment
     /// type `ty_name` whose first atom equals `key` (when given), reading
     /// sequentially from the start (HSAM semantics).
-    pub fn gu(&mut self, cursor: &mut Cursor, ty_name: &str, key: Option<&Atom>) -> Result<Option<(String, Vec<Atom>)>> {
+    pub fn gu(
+        &mut self,
+        cursor: &mut Cursor,
+        ty_name: &str,
+        key: Option<&Atom>,
+    ) -> Result<Option<(String, Vec<Atom>)>> {
         cursor.pos = 0;
         cursor.parent = None;
         loop {
@@ -206,10 +211,7 @@ mod tests {
 
     fn store() -> ImsStore {
         let pool = BufferPool::new(Box::new(MemDisk::new(512)), 32, Stats::new());
-        ImsStore::from_schema(
-            Segment::new(pool),
-            &fixtures::departments_schema(),
-        )
+        ImsStore::from_schema(Segment::new(pool), &fixtures::departments_schema())
     }
 
     #[test]
@@ -288,7 +290,8 @@ mod tests {
     fn gu_miss_returns_none() {
         let mut ims = store();
         let schema = fixtures::departments_schema();
-        ims.load_record(&schema, &fixtures::department_314()).unwrap();
+        ims.load_record(&schema, &fixtures::department_314())
+            .unwrap();
         let mut c = Cursor::default();
         assert!(ims
             .gu(&mut c, "DEPARTMENTS", Some(&Atom::Int(999)))

@@ -29,6 +29,7 @@
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod faultdisk;
 pub mod flatstore;
 pub mod ims;
 pub mod lorie;
@@ -39,12 +40,15 @@ pub mod pagelist;
 pub mod segment;
 pub mod stats;
 pub mod tid;
+pub mod wal;
 
 pub use error::StorageError;
+pub use faultdisk::{FaultDisk, FaultInjector, WriteOutcome};
 pub use minidir::LayoutKind;
 pub use object::{ClusterPolicy, ElemLoc, ObjectHandle, ObjectStore};
 pub use stats::Stats;
 pub use tid::{MiniTid, PageId, SlotNo, Tid};
+pub use wal::{read_wal, Wal, WalContents, WalFrame};
 
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -108,7 +108,12 @@ impl LorieStore {
         &self.roots
     }
 
-    fn write_record(&mut self, hidden: &Hidden, atoms: &[&Atom], near: Option<PageId>) -> Result<Tid> {
+    fn write_record(
+        &mut self,
+        hidden: &Hidden,
+        atoms: &[&Atom],
+        near: Option<PageId>,
+    ) -> Result<Tid> {
         let mut payload = Vec::with_capacity(HDR_LEN + 32);
         hidden.encode(&mut payload);
         payload.extend_from_slice(&encode_atoms(atoms.iter().copied()));
@@ -117,15 +122,15 @@ impl LorieStore {
 
     fn read_record(&mut self, tid: Tid) -> Result<(Hidden, Vec<Atom>)> {
         let bytes = self.seg.read(tid)?;
-        let (hidden, rest) =
-            Hidden::decode(&bytes).ok_or_else(|| crate::StorageError::Corrupt("short Lorie record".into()))?;
+        let (hidden, rest) = Hidden::decode(&bytes)
+            .ok_or_else(|| crate::StorageError::Corrupt("short Lorie record".into()))?;
         Ok((hidden, decode_atoms(rest)?))
     }
 
     fn patch_pointer(&mut self, tid: Tid, f: impl FnOnce(&mut Hidden)) -> Result<()> {
         let bytes = self.seg.read(tid)?;
-        let (mut hidden, rest) =
-            Hidden::decode(&bytes).ok_or_else(|| crate::StorageError::Corrupt("short Lorie record".into()))?;
+        let (mut hidden, rest) = Hidden::decode(&bytes)
+            .ok_or_else(|| crate::StorageError::Corrupt("short Lorie record".into()))?;
         f(&mut hidden);
         let mut payload = Vec::with_capacity(bytes.len());
         hidden.encode(&mut payload);
@@ -158,7 +163,11 @@ impl LorieStore {
             child: NIL,
             sibling: NIL,
         };
-        let near = if father == NIL { None } else { Some(father.page) };
+        let near = if father == NIL {
+            None
+        } else {
+            Some(father.page)
+        };
         let me = self.write_record(&hidden, &atoms, near)?;
         let my_root = if root == NIL { me } else { root };
         if root == NIL {
@@ -300,18 +309,26 @@ impl LorieStore {
     }
 }
 
-fn assemble(schema: &TableSchema, atoms: Vec<Atom>, mut subtables: Vec<TableValue>) -> Result<Tuple> {
+fn assemble(
+    schema: &TableSchema,
+    atoms: Vec<Atom>,
+    mut subtables: Vec<TableValue>,
+) -> Result<Tuple> {
     let mut fields = Vec::with_capacity(schema.attrs.len());
     let mut atom_it = atoms.into_iter();
     let mut sub_it = subtables.drain(..);
     for attr in &schema.attrs {
         match &attr.kind {
-            aim2_model::AttrKind::Atomic(_) => fields.push(Value::Atom(atom_it.next().ok_or_else(
-                || crate::StorageError::Corrupt("Lorie record short on atoms".into()),
-            )?)),
-            aim2_model::AttrKind::Table(_) => fields.push(Value::Table(sub_it.next().ok_or_else(
-                || crate::StorageError::Corrupt("missing subtable".into()),
-            )?)),
+            aim2_model::AttrKind::Atomic(_) => {
+                fields.push(Value::Atom(atom_it.next().ok_or_else(|| {
+                    crate::StorageError::Corrupt("Lorie record short on atoms".into())
+                })?))
+            }
+            aim2_model::AttrKind::Table(_) => {
+                fields.push(Value::Table(sub_it.next().ok_or_else(|| {
+                    crate::StorageError::Corrupt("missing subtable".into())
+                })?))
+            }
         }
     }
     Ok(Tuple::new(fields))

@@ -467,7 +467,6 @@ impl ObjectStore {
         self.seg.rec_delete(pid, mt.slot)
     }
 
-
     fn read_md_node(&mut self, pl: &PageList, mt: MiniTid) -> Result<MdNode> {
         let payload = self.read_local_payload(pl, mt)?;
         let mut pos = 0;
@@ -494,13 +493,12 @@ impl ObjectStore {
         }
         let pid = self.seg.allocate_page()?;
         self.dir_pages.push(pid);
-        let slot = self
-            .seg
-            .rec_insert_in(pid, REC_INLINE, &bytes)?
-            .ok_or(StorageError::RecordTooLarge {
+        let slot = self.seg.rec_insert_in(pid, REC_INLINE, &bytes)?.ok_or(
+            StorageError::RecordTooLarge {
                 len: bytes.len(),
                 max: crate::page::Page::max_record_len(self.seg.page_size()) - 1,
-            })?;
+            },
+        )?;
         Ok(ObjectHandle(Tid::new(pid, slot)))
     }
 
@@ -732,12 +730,8 @@ impl ObjectStore {
         self.seg.stats().inc_object_visit();
         let pl = root.page_list.clone();
         match root.layout {
-            LayoutKind::Ss1 => {
-                self.assemble_ss1(&pl, &root.node, schema, &Path::root(), keep)
-            }
-            LayoutKind::Ss2 => {
-                self.assemble_ss2(&pl, &root.node, schema, &Path::root(), keep)
-            }
+            LayoutKind::Ss1 => self.assemble_ss1(&pl, &root.node, schema, &Path::root(), keep),
+            LayoutKind::Ss2 => self.assemble_ss2(&pl, &root.node, schema, &Path::root(), keep),
             LayoutKind::Ss3 => {
                 self.assemble_ss3_object(&pl, &root.node, schema, &Path::root(), keep)
             }
@@ -1068,7 +1062,9 @@ impl ObjectStore {
                             });
                         } else {
                             let child = self.read_md_node(pl, e.tid)?;
-                            self.walk_node(pl, layout, &child, sub_schema, &sub_path, ancestors, out)?;
+                            self.walk_node(
+                                pl, layout, &child, sub_schema, &sub_path, ancestors, out,
+                            )?;
                         }
                     }
                 }
@@ -1090,7 +1086,9 @@ impl ObjectStore {
                             });
                         } else {
                             let child = self.read_md_node(pl, e.tid)?;
-                            self.walk_node(pl, layout, &child, sub_schema, &sub_path, ancestors, out)?;
+                            self.walk_node(
+                                pl, layout, &child, sub_schema, &sub_path, ancestors, out,
+                            )?;
                         }
                     }
                 }
@@ -1134,9 +1132,9 @@ impl ObjectStore {
                 for (slot, attr_idx) in sub_schema.table_indices().into_iter().enumerate() {
                     let nested = sub_schema.attrs[attr_idx].kind.as_table().expect("table");
                     let nested_path = at.child(&sub_schema.attrs[attr_idx].name);
-                    let nested_mt = group.child_for(slot as u8).ok_or_else(|| {
-                        StorageError::Corrupt("SS3 element missing C".into())
-                    })?;
+                    let nested_mt = group
+                        .child_for(slot as u8)
+                        .ok_or_else(|| StorageError::Corrupt("SS3 element missing C".into()))?;
                     self.walk_ss3_subtable(pl, nested_mt, nested, &nested_path, ancestors, out)?;
                 }
                 ancestors.pop();
@@ -1185,7 +1183,14 @@ impl ObjectStore {
             let st_mt = own
                 .child_for(slot as u8)
                 .ok_or_else(|| StorageError::Corrupt("root missing C".into()))?;
-            self.walk_md_paths_subtable(&pl, st_mt, sub_schema, &sub_path, &mut vec![st_mt], &mut out)?;
+            self.walk_md_paths_subtable(
+                &pl,
+                st_mt,
+                sub_schema,
+                &sub_path,
+                &mut vec![st_mt],
+                &mut out,
+            )?;
         }
         Ok(out)
     }
@@ -1626,9 +1631,11 @@ impl ObjectStore {
             if i > 0 {
                 // The previous level's element (a complex subobject) is
                 // an ancestor of everything below it.
-                ancestors.push(group.data_entry().ok_or_else(|| {
-                    StorageError::Corrupt("element lacks D entry".into())
-                })?);
+                ancestors.push(
+                    group
+                        .data_entry()
+                        .ok_or_else(|| StorageError::Corrupt("element lacks D entry".into()))?,
+                );
             }
             let sub_schema = level_schema
                 .attrs
@@ -2074,7 +2081,10 @@ mod tests {
         let back = os.read_object(&schema, h).unwrap();
         let projects = back.fields[2].as_table().unwrap();
         assert_eq!(projects.len(), 3);
-        assert_eq!(projects.tuples[2].fields[0].as_atom().unwrap().as_int(), Some(99));
+        assert_eq!(
+            projects.tuples[2].fields[0].as_atom().unwrap().as_int(),
+            Some(99)
+        );
         assert_eq!(projects.tuples[0].fields[2].as_table().unwrap().len(), 4);
         // Delete project 23 (element 1).
         os.delete_element(&schema, h, &ElemLoc::object(), 2, 1)

@@ -24,6 +24,18 @@ const HEADER_LEN: usize = 6;
 const SLOT_LEN: usize = 4;
 const FREE_OFF: u16 = 0xFFFF;
 
+/// Minimum record-area span a live slot owns, even for shorter records.
+/// A slot must always be able to take a segment forward record (1 flag
+/// byte + 6-byte TID) *in place*, or a tiny record on a full page could
+/// never grow — its TID-stable relocation path would have nowhere to put
+/// the forward pointer.
+pub const MIN_RECORD_SPACE: u16 = 7;
+
+/// Bytes of record area a record of `len` bytes occupies.
+fn footprint(len: u16) -> u16 {
+    len.max(MIN_RECORD_SPACE)
+}
+
 /// A slotted-page view over a page-sized byte buffer.
 pub struct Page<'a> {
     buf: &'a mut [u8],
@@ -117,7 +129,14 @@ impl<'a> Page<'a> {
         } else {
             SLOT_LEN
         };
-        (self.contiguous_free() + self.dead_bytes() as usize).saturating_sub(slot_cost)
+        let raw = (self.contiguous_free() + self.dead_bytes() as usize).saturating_sub(slot_cost);
+        // Below the minimum footprint no record fits at all; reporting the
+        // raw residue would overpromise for sub-footprint records.
+        if raw < MIN_RECORD_SPACE as usize {
+            0
+        } else {
+            raw
+        }
     }
 
     fn first_free_slot(&self) -> Option<u16> {
@@ -130,7 +149,8 @@ impl<'a> Page<'a> {
             return None;
         }
         let reuse = self.first_free_slot();
-        let needed = data.len() + if reuse.is_some() { 0 } else { SLOT_LEN };
+        let span = footprint(data.len() as u16) as usize;
+        let needed = span + if reuse.is_some() { 0 } else { SLOT_LEN };
         if self.contiguous_free() < needed {
             if self.contiguous_free() + self.dead_bytes() as usize >= needed {
                 self.compact();
@@ -150,7 +170,7 @@ impl<'a> Page<'a> {
         let off = self.free_start();
         self.buf[off as usize..off as usize + data.len()].copy_from_slice(data);
         self.set_slot(slot, off, data.len() as u16);
-        self.set_free_start(off + data.len() as u16);
+        self.set_free_start(off + span as u16);
         Some(SlotNo(slot))
     }
 
@@ -171,7 +191,7 @@ impl<'a> Page<'a> {
         }
         let (_, len) = self.slot(slot.0);
         self.set_slot(slot.0, FREE_OFF, 0);
-        self.set_dead(self.dead_bytes() + len);
+        self.set_dead(self.dead_bytes() + footprint(len));
         true
     }
 
@@ -183,26 +203,29 @@ impl<'a> Page<'a> {
             return false;
         }
         let (off, len) = self.slot(slot.0);
-        if data.len() <= len as usize {
+        let (old_span, new_span) = (footprint(len), footprint(data.len() as u16));
+        if new_span <= old_span {
+            // Fits in the span the slot already owns (which is at least
+            // the minimum footprint, so e.g. 3 → 6 bytes stays in place).
             self.buf[off as usize..off as usize + data.len()].copy_from_slice(data);
             self.set_slot(slot.0, off, data.len() as u16);
-            self.set_dead(self.dead_bytes() + (len - data.len() as u16));
+            self.set_dead(self.dead_bytes() + (old_span - new_span));
             return true;
         }
-        // Needs more space: the old record's bytes count as reclaimable.
-        let total_free = self.contiguous_free() + self.dead_bytes() as usize + len as usize;
-        if total_free < data.len() {
+        // Needs more space: the old record's span counts as reclaimable.
+        let total_free = self.contiguous_free() + self.dead_bytes() as usize + old_span as usize;
+        if total_free < new_span as usize {
             return false;
         }
         self.set_slot(slot.0, FREE_OFF, 0);
-        self.set_dead(self.dead_bytes() + len);
-        if self.contiguous_free() < data.len() {
+        self.set_dead(self.dead_bytes() + old_span);
+        if self.contiguous_free() < new_span as usize {
             self.compact();
         }
         let off = self.free_start();
         self.buf[off as usize..off as usize + data.len()].copy_from_slice(data);
         self.set_slot(slot.0, off, data.len() as u16);
-        self.set_free_start(off + data.len() as u16);
+        self.set_free_start(off + new_span);
         true
     }
 
@@ -223,7 +246,7 @@ impl<'a> Page<'a> {
                     .copy_within(off as usize..(off + len) as usize, write as usize);
                 self.set_slot(slot, write, len);
             }
-            write += len;
+            write += footprint(len);
         }
         self.set_free_start(write);
         self.set_dead(0);
@@ -233,8 +256,7 @@ impl<'a> Page<'a> {
     pub fn live_records(&self) -> impl Iterator<Item = (SlotNo, &[u8])> {
         (0..self.slot_count()).filter_map(move |i| {
             let (off, len) = self.slot(i);
-            (off != FREE_OFF)
-                .then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
+            (off != FREE_OFF).then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
         })
     }
 }
@@ -293,15 +315,19 @@ impl<'a> PageRef<'a> {
         let contiguous = slot_area_start - self.free_start() as usize;
         let has_free_slot = (0..self.slot_count()).any(|i| self.slot(i).0 == FREE_OFF);
         let slot_cost = if has_free_slot { 0 } else { SLOT_LEN };
-        (contiguous + self.dead_bytes() as usize).saturating_sub(slot_cost)
+        let raw = (contiguous + self.dead_bytes() as usize).saturating_sub(slot_cost);
+        if raw < MIN_RECORD_SPACE as usize {
+            0
+        } else {
+            raw
+        }
     }
 
     /// Iterate live records.
     pub fn live_records(&self) -> impl Iterator<Item = (SlotNo, &'a [u8])> + '_ {
         (0..self.slot_count()).filter_map(move |i| {
             let (off, len) = self.slot(i);
-            (off != FREE_OFF)
-                .then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
+            (off != FREE_OFF).then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
         })
     }
 }
@@ -434,10 +460,7 @@ mod tests {
         let b = p.insert(b"b").unwrap();
         let c = p.insert(b"c").unwrap();
         p.delete(b);
-        let recs: Vec<(SlotNo, Vec<u8>)> = p
-            .live_records()
-            .map(|(s, r)| (s, r.to_vec()))
-            .collect();
+        let recs: Vec<(SlotNo, Vec<u8>)> = p.live_records().map(|(s, r)| (s, r.to_vec())).collect();
         assert_eq!(recs, vec![(a, b"a".to_vec()), (c, b"c".to_vec())]);
     }
 
@@ -463,6 +486,24 @@ mod tests {
         p.delete(s);
         // Deleting returns the record bytes AND a reusable slot.
         assert_eq!(p.free_for_insert(), before + 100 + SLOT_LEN);
+    }
+
+    #[test]
+    fn tiny_record_on_full_page_can_still_take_a_forward_stub() {
+        // Regression: a sub-footprint record on an otherwise full page
+        // must still be replaceable in place by a 7-byte forward record
+        // (flag + TID), or TID-stable relocation breaks.
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let tiny = p.insert(&[1u8; 2]).unwrap();
+        while p.insert(&[2u8; 16]).is_some() {}
+        while p.insert(&[3u8; 1]).is_some() {}
+        assert_eq!(p.free_for_insert(), 0);
+        assert!(
+            p.update(tiny, &[9u8; MIN_RECORD_SPACE as usize]),
+            "forward stub must fit in the slot's reserved span"
+        );
+        assert_eq!(p.read(tiny), Some(&[9u8; MIN_RECORD_SPACE as usize][..]));
     }
 
     #[test]

@@ -127,9 +127,8 @@ impl PageList {
     /// Deserialize from `buf[*pos..]`, advancing `*pos`.
     pub fn decode(buf: &[u8], pos: &mut usize) -> Result<PageList, StorageError> {
         let err = || StorageError::Corrupt("truncated page list".into());
-        let n =
-            u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(err)?.try_into().unwrap())
-                as usize;
+        let n = u16::from_le_bytes(buf.get(*pos..*pos + 2).ok_or_else(err)?.try_into().unwrap())
+            as usize;
         *pos += 2;
         let mut entries = Vec::with_capacity(n);
         for _ in 0..n {

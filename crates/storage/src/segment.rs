@@ -131,7 +131,8 @@ impl Segment {
         // The cast is safe: free space never exceeds the page size, which
         // is in u16 range for our page sizes.
         self.pool
-            .with_page(pid, |buf| PageRef::new(buf).free_for_insert() as u16)}
+            .with_page(pid, |buf| PageRef::new(buf).free_for_insert() as u16)
+    }
 
     fn set_free_from_page(free: &mut Vec<u16>, pid: PageId, page: &Page<'_>) {
         let idx = pid.0 as usize;
@@ -184,7 +185,13 @@ impl Segment {
 
     /// Update the record at `(pid, slot)` in place; false if it no longer
     /// fits this page (record unchanged).
-    pub fn rec_update(&mut self, pid: PageId, slot: SlotNo, flag: u8, payload: &[u8]) -> Result<bool> {
+    pub fn rec_update(
+        &mut self,
+        pid: PageId,
+        slot: SlotNo,
+        flag: u8,
+        payload: &[u8],
+    ) -> Result<bool> {
         let mut rec = Vec::with_capacity(payload.len() + 1);
         rec.push(flag);
         rec.extend_from_slice(payload);
@@ -367,12 +374,12 @@ impl Segment {
                 return Ok(Tid::new(pid, slot));
             }
             let pid = self.allocate_page()?;
-            let slot = self
-                .rec_insert_in(pid, REC_INLINE, data)?
-                .ok_or(StorageError::RecordTooLarge {
-                    len: data.len(),
-                    max: self.max_single(),
-                })?;
+            let slot =
+                self.rec_insert_in(pid, REC_INLINE, data)?
+                    .ok_or(StorageError::RecordTooLarge {
+                        len: data.len(),
+                        max: self.max_single(),
+                    })?;
             return Ok(Tid::new(pid, slot));
         }
         // Long record: head chunk + overflow chain.
@@ -389,12 +396,12 @@ impl Segment {
             return Ok(Tid::new(pid, slot));
         }
         let pid = self.allocate_page()?;
-        let slot = self
-            .rec_insert_in(pid, REC_HEAD, &payload)?
-            .ok_or(StorageError::RecordTooLarge {
-                len: payload.len(),
-                max: self.max_single(),
-            })?;
+        let slot =
+            self.rec_insert_in(pid, REC_HEAD, &payload)?
+                .ok_or(StorageError::RecordTooLarge {
+                    len: payload.len(),
+                    max: self.max_single(),
+                })?;
         Ok(Tid::new(pid, slot))
     }
 
@@ -445,7 +452,9 @@ impl Segment {
             other => return Err(StorageError::Corrupt(format!("unexpected flag {other}"))),
         }
         // Try to store the new value inline at home.
-        if data.len() <= self.max_single() && self.rec_update(tid.page, tid.slot, REC_INLINE, data)? {
+        if data.len() <= self.max_single()
+            && self.rec_update(tid.page, tid.slot, REC_INLINE, data)?
+        {
             return Ok(());
         }
         // Move the value to an overflow chain; home becomes a forward

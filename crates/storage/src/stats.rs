@@ -35,6 +35,13 @@ struct Inner {
     /// Whole complex objects visited (for the §4.2 duplicate-visit
     /// argument).
     object_visits: Cell<u64>,
+    /// Before-image records appended to the write-ahead log.
+    wal_appends: Cell<u64>,
+    /// WAL records replayed (pages rolled back) during recovery.
+    wal_replays: Cell<u64>,
+    /// Torn (partially written) structures detected by checksum during
+    /// recovery.
+    torn_pages_detected: Cell<u64>,
 }
 
 macro_rules! counter {
@@ -63,6 +70,13 @@ impl Stats {
     counter!(inc_subtuple_write, subtuple_writes, subtuple_writes);
     counter!(inc_pointer_rewrite, pointer_rewrites, pointer_rewrites);
     counter!(inc_object_visit, object_visits, object_visits);
+    counter!(inc_wal_append, wal_appends, wal_appends);
+    counter!(inc_wal_replay, wal_replays, wal_replays);
+    counter!(
+        inc_torn_page_detected,
+        torn_pages_detected,
+        torn_pages_detected
+    );
 
     /// Total page accesses (hits + misses).
     pub fn page_accesses(&self) -> u64 {
@@ -78,6 +92,9 @@ impl Stats {
         self.inner.subtuple_writes.set(0);
         self.inner.pointer_rewrites.set(0);
         self.inner.object_visits.set(0);
+        self.inner.wal_appends.set(0);
+        self.inner.wal_replays.set(0);
+        self.inner.torn_pages_detected.set(0);
     }
 
     /// Snapshot of all counters, for delta computations in benches.
@@ -90,6 +107,9 @@ impl Stats {
             subtuple_writes: self.subtuple_writes(),
             pointer_rewrites: self.pointer_rewrites(),
             object_visits: self.object_visits(),
+            wal_appends: self.wal_appends(),
+            wal_replays: self.wal_replays(),
+            torn_pages_detected: self.torn_pages_detected(),
         }
     }
 }
@@ -104,6 +124,9 @@ pub struct StatsSnapshot {
     pub subtuple_writes: u64,
     pub pointer_rewrites: u64,
     pub object_visits: u64,
+    pub wal_appends: u64,
+    pub wal_replays: u64,
+    pub torn_pages_detected: u64,
 }
 
 impl StatsSnapshot {
@@ -117,6 +140,9 @@ impl StatsSnapshot {
             subtuple_writes: later.subtuple_writes - self.subtuple_writes,
             pointer_rewrites: later.pointer_rewrites - self.pointer_rewrites,
             object_visits: later.object_visits - self.object_visits,
+            wal_appends: later.wal_appends - self.wal_appends,
+            wal_replays: later.wal_replays - self.wal_replays,
+            torn_pages_detected: later.torn_pages_detected - self.torn_pages_detected,
         }
     }
 }
@@ -125,14 +151,18 @@ impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "hits={} misses={} pwrites={} sreads={} swrites={} ptr-rewrites={} obj-visits={}",
+            "hits={} misses={} pwrites={} sreads={} swrites={} ptr-rewrites={} obj-visits={} \
+             wal-appends={} wal-replays={} torn-detected={}",
             self.buf_hits,
             self.buf_misses,
             self.page_writes,
             self.subtuple_reads,
             self.subtuple_writes,
             self.pointer_rewrites,
-            self.object_visits
+            self.object_visits,
+            self.wal_appends,
+            self.wal_replays,
+            self.torn_pages_detected
         )
     }
 }

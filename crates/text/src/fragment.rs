@@ -224,8 +224,17 @@ mod tests {
     fn index_matches_scan_on_many_patterns() {
         let idx = paper_index();
         for mask in [
-            "*comput*", "con*", "*ing", "*o*", "b?und", "text", "*and*", "??", "*",
-            "*string*search*", "xyz*",
+            "*comput*",
+            "con*",
+            "*ing",
+            "*o*",
+            "b?und",
+            "text",
+            "*and*",
+            "??",
+            "*",
+            "*string*search*",
+            "xyz*",
         ] {
             let p = Pattern::parse(mask);
             let (mut a, _) = idx.search(&p);

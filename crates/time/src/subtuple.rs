@@ -102,7 +102,9 @@ mod tests {
         let schema = fixtures::departments_schema();
         let pool = BufferPool::new(Box::new(MemDisk::new(1024)), 64, Stats::new());
         let mut os = ObjectStore::new(Segment::new(pool), LayoutKind::Ss3);
-        let h = os.insert_object(&schema, &fixtures::department_314()).unwrap();
+        let h = os
+            .insert_object(&schema, &fixtures::department_314())
+            .unwrap();
         let mut sv = SubtupleVersions::new();
 
         // Seed chains for every data subtuple at load time.
@@ -122,12 +124,19 @@ mod tests {
             sv.asof(h, mt, d("1984-03-01")).unwrap()[1],
             Atom::Str("CGA".into())
         );
-        assert_eq!(sv.asof(h, mt, d("1984-07-01")).unwrap()[1], Atom::Str("CGA-II".into()));
+        assert_eq!(
+            sv.asof(h, mt, d("1984-07-01")).unwrap()[1],
+            Atom::Str("CGA-II".into())
+        );
 
         // Walk-through-time: two validity intervals.
         let hist = sv.history(h, mt, Date::MIN, Date::MAX);
         assert_eq!(hist.len(), 2);
-        assert_eq!(hist[0].1, d("1984-06-01"), "first interval closed by the rename");
+        assert_eq!(
+            hist[0].1,
+            d("1984-06-01"),
+            "first interval closed by the rename"
+        );
 
         // The chain key survives a page-level object move (Mini-TID
         // stability, §4.1): the same key still addresses the subtuple.

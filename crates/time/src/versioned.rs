@@ -36,7 +36,10 @@ impl VersionedTable {
 
     /// Record an object's state at `t` (insert or full-object update).
     pub fn record_state(&mut self, handle: ObjectHandle, t: Date, state: Tuple) {
-        self.chains.entry(handle).or_default().record(t, Some(state));
+        self.chains
+            .entry(handle)
+            .or_default()
+            .record(t, Some(state));
     }
 
     /// Record an object's deletion at `t`.

@@ -72,8 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let os = db.object_store_mut("ASSEMBLIES")?;
 
     // A t-name for the servo part (part element 1 of PARTS = attr 3).
-    let servo =
-        TupleName::of_subobject(os, &table_schema, handle, &ElemLoc::object().then(3, 1))?;
+    let servo = TupleName::of_subobject(os, &table_schema, handle, &ElemLoc::object().then(3, 1))?;
     println!("tuple name of the servo part: {servo}");
 
     let pages_before = os.object_pages(handle)?;
@@ -104,9 +103,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "UPDATE x IN ASSEMBLIES, p IN x.PARTS SET p.QTY = 6
          WHERE x.ANO = 1001 AND p.PNO = 57",
     )?;
-    let (_, rows) = db.query(
-        "SELECT p.PNO, p.QTY FROM x IN ASSEMBLIES, p IN x.PARTS WHERE x.ANO = 1001",
-    )?;
+    let (_, rows) =
+        db.query("SELECT p.PNO, p.QTY FROM x IN ASSEMBLIES, p IN x.PARTS WHERE x.ANO = 1001")?;
     println!("\nafter the engineering change:");
     for t in &rows.tuples {
         println!(

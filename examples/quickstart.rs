@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS
          WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
     )?;
-    println!("\nafter hiring one more consultant: {} projects match", rows.len());
+    println!(
+        "\nafter hiring one more consultant: {} projects match",
+        rows.len()
+    );
     assert_eq!(rows.len(), 2);
 
     Ok(())

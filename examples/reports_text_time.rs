@@ -26,9 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Example 8: ordered lists are first-class — AUTHORS[1] is the FIRST
     // author, and the result keeps AUTHORS nested (it is not flat).
-    let (schema, rows) = db.query(
-        "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
-    )?;
+    let (schema, rows) =
+        db.query("SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'")?;
     println!("== Example 8: reports with Jones as first author ==");
     print!("{}", render::render_table(&schema, &rows));
 
@@ -64,12 +63,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let (_, now) = db.query("SELECT x.TITLE FROM x IN REPORTS WHERE x.REPNO = '0179'")?;
-    let (_, then) = db.query(
-        "SELECT x.TITLE FROM x IN REPORTS ASOF '1986-01-01' WHERE x.REPNO = '0179'",
-    )?;
+    let (_, then) =
+        db.query("SELECT x.TITLE FROM x IN REPORTS ASOF '1986-01-01' WHERE x.REPNO = '0179'")?;
     println!("\n== ASOF ==");
-    println!("title today:      {}", now.tuples[0].fields[0].as_atom().unwrap());
-    println!("title 1986-01-01: {}", then.tuples[0].fields[0].as_atom().unwrap());
+    println!(
+        "title today:      {}",
+        now.tuples[0].fields[0].as_atom().unwrap()
+    );
+    println!(
+        "title 1986-01-01: {}",
+        then.tuples[0].fields[0].as_atom().unwrap()
+    );
     assert_ne!(now, then);
 
     // Walk-through-time lives below the language (as in the paper):

@@ -1,0 +1,120 @@
+//! Buffer-pool stress: a starved pool must behave identically to a
+//! generous one. Capacity 1 and 2 force an eviction on almost every
+//! page touch, exercising clock-sweep victim selection, dirty
+//! write-back, and pin bookkeeping under maximum pressure.
+
+use aim2::{Database, DbConfig};
+use aim2_model::{fixtures, TableValue};
+use aim2_storage::minidir::LayoutKind;
+
+/// A mixed workload over nested and flat tables; returns the observable
+/// results every configuration must agree on.
+fn run(frames: usize, layout: LayoutKind) -> Vec<TableValue> {
+    let mut db = Database::with_config(DbConfig {
+        page_size: 512, // small pages: more of them, more evictions
+        buffer_frames: frames,
+        default_layout: layout,
+        ..DbConfig::default()
+    });
+    db.execute(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } )",
+    )
+    .unwrap();
+    for t in fixtures::departments_value().tuples {
+        db.insert_tuple("DEPARTMENTS", t).unwrap();
+    }
+    db.execute("CREATE TABLE NUMS ( K INTEGER, V INTEGER )")
+        .unwrap();
+    for k in 0..200i64 {
+        db.execute(&format!("INSERT INTO NUMS VALUES ({k}, {})", k * k % 97))
+            .unwrap();
+    }
+    db.execute("CREATE INDEX pidx ON DEPARTMENTS (PROJECTS.PNO)")
+        .unwrap();
+    db.execute("UPDATE x IN DEPARTMENTS SET x.BUDGET = 123456 WHERE x.DNO = 218")
+        .unwrap();
+    db.execute("DELETE x FROM x IN NUMS WHERE x.V = 0").unwrap();
+    if layout == LayoutKind::Ss3 {
+        db.execute(
+            "INSERT INTO x.PROJECTS FROM x IN DEPARTMENTS WHERE x.DNO = 417
+             VALUES (88, 'POOL', {(90193, 'Leader')})",
+        )
+        .unwrap();
+        db.execute("DELETE y FROM x IN DEPARTMENTS, y IN x.PROJECTS WHERE y.PNO = 25")
+            .unwrap();
+    }
+    vec![
+        db.query("SELECT * FROM DEPARTMENTS").unwrap().1,
+        db.query("SELECT * FROM NUMS").unwrap().1,
+        db.query("SELECT y.PNO, y.PNAME FROM x IN DEPARTMENTS, y IN x.PROJECTS")
+            .unwrap()
+            .1,
+        db.query("SELECT x.K FROM x IN NUMS WHERE x.V = 1")
+            .unwrap()
+            .1,
+    ]
+}
+
+fn assert_identical(layout: LayoutKind) {
+    let reference = run(64, layout);
+    for frames in [1usize, 2] {
+        let got = run(frames, layout);
+        assert_eq!(got.len(), reference.len());
+        for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+            assert!(
+                g.semantically_eq(r),
+                "{layout:?}: query {i} diverged with a {frames}-frame pool"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_and_two_frame_pools_match_large_pool_ss1() {
+    assert_identical(LayoutKind::Ss1);
+}
+
+#[test]
+fn one_and_two_frame_pools_match_large_pool_ss2() {
+    assert_identical(LayoutKind::Ss2);
+}
+
+#[test]
+fn one_and_two_frame_pools_match_large_pool_ss3() {
+    assert_identical(LayoutKind::Ss3);
+}
+
+#[test]
+fn starved_pool_also_survives_checkpoint_reopen() {
+    // Persistence path under a 1-frame pool: eviction write-back and the
+    // WAL's before-image logging run constantly; the reopened state must
+    // still match an in-memory reference.
+    let dir = std::env::temp_dir().join(format!("aim2_bufstress_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = |frames: usize| DbConfig {
+        page_size: 512,
+        buffer_frames: frames,
+        default_layout: LayoutKind::Ss3,
+        data_dir: Some(dir.clone()),
+        ..DbConfig::default()
+    };
+    let expected = {
+        let mut db = Database::with_config(config(1));
+        db.execute("CREATE TABLE T ( K INTEGER, S { V INTEGER } )")
+            .unwrap();
+        for k in 0..60i64 {
+            db.execute(&format!("INSERT INTO T VALUES ({k}, {{({})}})", k * 7))
+                .unwrap();
+        }
+        db.execute("DELETE x FROM x IN T WHERE x.K = 30").unwrap();
+        db.checkpoint().unwrap();
+        db.query("SELECT * FROM T").unwrap().1
+    };
+    let mut db = Database::open(config(64)).unwrap();
+    let (_, got) = db.query("SELECT * FROM T").unwrap();
+    assert!(got.semantically_eq(&expected), "reopen diverged");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

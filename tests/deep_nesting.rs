@@ -26,11 +26,7 @@ fn build(db: &mut Database, plants: usize) {
                 for m in 0..2 {
                     let mid = ((p * 8 + l * 4 + c * 2 + m) * 10) as i64;
                     let kind = if (p + m) % 3 == 0 { "mill" } else { "lathe" };
-                    let sensors = format!(
-                        "({}, 'celsius'), ({}, 'rpm')",
-                        mid + 1,
-                        mid + 2
-                    );
+                    let sensors = format!("({}, 'celsius'), ({}, 'rpm')", mid + 1, mid + 2);
                     machines.push_str(&format!("({mid}, '{kind}', {{{sensors}}}),"));
                 }
                 machines.pop();
@@ -117,10 +113,9 @@ fn five_level_schema_end_to_end() {
     assert_eq!(v.len(), 8, "only the rpm sensors remain in plant 5");
 
     // Partial retrieval prunes the deep subtree when untouched.
-    let plan = db.explain_query(
-        &aim2_lang::parser::parse_query("SELECT x.SITE FROM x IN PLANTS").unwrap(),
-    )
-    .unwrap();
+    let plan = db
+        .explain_query(&aim2_lang::parser::parse_query("SELECT x.SITE FROM x IN PLANTS").unwrap())
+        .unwrap();
     assert!(plan.contains("skips [LINES"), "{plan}");
 }
 
@@ -154,7 +149,10 @@ fn md_counts_scale_with_depth_per_layout() {
     let sensors = || rel(vec![tup(vec![a(1)]), tup(vec![a(2)])]);
     let machines = || rel(vec![tup(vec![a(1), sensors()]), tup(vec![a(2), sensors()])]);
     let cells = || rel(vec![tup(vec![a(1), machines()])]);
-    let plant = tup(vec![a(1), rel(vec![tup(vec![a(1), cells()]), tup(vec![a(2), cells()])])]);
+    let plant = tup(vec![
+        a(1),
+        rel(vec![tup(vec![a(1), cells()]), tup(vec![a(2), cells()])]),
+    ]);
 
     let mut counts = Vec::new();
     for layout in LayoutKind::ALL {

@@ -145,7 +145,10 @@ fn example_6_all_quantifier() {
              WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
         )
         .unwrap();
-    assert!(v.is_empty(), "the paper: the result set of this query is empty");
+    assert!(
+        v.is_empty(),
+        "the paper: the result set of this query is empty"
+    );
 }
 
 #[test]
@@ -189,7 +192,10 @@ fn example_8_ordered_list_subscript() {
         .query("SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'")
         .unwrap();
     assert_eq!(v.len(), 1, "0179 only — 0291 has Jones third, not first");
-    assert!(!schema.is_flat(), "result is not flat: AUTHORS is non-atomic");
+    assert!(
+        !schema.is_flat(),
+        "result is not flat: AUTHORS is non-atomic"
+    );
     let authors = v.tuples[0].fields[0].as_table().unwrap();
     assert_eq!(authors.kind, TableKind::List);
     assert_eq!(

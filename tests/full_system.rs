@@ -48,10 +48,7 @@ fn all_layouts_answer_queries_identically() {
     let mut reference: Option<Vec<aim2_model::TableValue>> = None;
     for layout in ["SS1", "SS2", "SS3"] {
         let mut db = db_with_workload(layout);
-        let results: Vec<_> = queries
-            .iter()
-            .map(|q| db.query(q).unwrap().1)
-            .collect();
+        let results: Vec<_> = queries.iter().map(|q| db.query(q).unwrap().1).collect();
         match &reference {
             None => reference = Some(results),
             Some(expect) => {
@@ -172,6 +169,7 @@ fn file_backed_equals_memory() {
         page_size: 1024,
         buffer_frames: 8, // tiny pool: force real page traffic
         default_layout: LayoutKind::Ss3,
+        ..DbConfig::default()
     });
     file_db
         .execute(
@@ -193,7 +191,10 @@ fn file_backed_equals_memory() {
         let b = file_db.query(q).unwrap().1;
         assert!(a.semantically_eq(&b), "file-backed diverged on {q}");
     }
-    assert!(file_db.stats().buf_misses() > 0, "tiny pool produced real I/O");
+    assert!(
+        file_db.stats().buf_misses() > 0,
+        "tiny pool produced real I/O"
+    );
     drop(file_db);
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -206,9 +207,7 @@ fn projection_pushdown_scales() {
     let stats = db.stats().clone();
     stats.reset();
     let _ = db
-        .query(
-            "SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS e IN x.EQUIP : e.QU > 3",
-        )
+        .query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS e IN x.EQUIP : e.QU > 3")
         .unwrap();
     let narrow = stats.snapshot().subtuple_reads;
     stats.reset();

@@ -73,7 +73,8 @@ fn asof_inside_named_subquery() {
     d.set_today(Date::parse_iso("1984-01-01").unwrap());
     d.execute("INSERT INTO SNAP VALUES (1, 10)").unwrap();
     d.set_today(Date::parse_iso("1985-01-01").unwrap());
-    d.execute("UPDATE s IN SNAP SET s.V = 20 WHERE s.K = 1").unwrap();
+    d.execute("UPDATE s IN SNAP SET s.V = 20 WHERE s.K = 1")
+        .unwrap();
     // Correlated subquery over the historical state.
     let (_, v) = d
         .query(
@@ -83,7 +84,10 @@ fn asof_inside_named_subquery() {
         )
         .unwrap();
     let old = v.tuples[0].fields[1].as_table().unwrap();
-    assert_eq!(old.tuples[0].fields[0].as_atom().unwrap().as_int(), Some(10));
+    assert_eq!(
+        old.tuples[0].fields[0].as_atom().unwrap().as_int(),
+        Some(10)
+    );
 }
 
 #[test]
@@ -93,7 +97,8 @@ fn contains_question_mark_through_language() {
         .unwrap();
     d.execute("INSERT INTO NOTES VALUES (1, 'the heap and the hoop', {})")
         .unwrap();
-    d.execute("INSERT INTO NOTES VALUES (2, 'nothing here', {})").unwrap();
+    d.execute("INSERT INTO NOTES VALUES (2, 'nothing here', {})")
+        .unwrap();
     let (_, v) = d
         .query("SELECT x.ID FROM x IN NOTES WHERE x.BODY CONTAINS 'h??p'")
         .unwrap();

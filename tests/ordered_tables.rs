@@ -9,7 +9,8 @@ use aim2_storage::minidir::LayoutKind;
 #[test]
 fn create_list_preserves_top_level_order() {
     let mut db = Database::in_memory();
-    db.execute("CREATE LIST QUEUE ( ITEM STRING, PRIO INTEGER )").unwrap();
+    db.execute("CREATE LIST QUEUE ( ITEM STRING, PRIO INTEGER )")
+        .unwrap();
     let schema = db.schema("QUEUE").unwrap();
     assert_eq!(schema.kind, TableKind::List);
     for (i, item) in ["first", "second", "third", "fourth"].iter().enumerate() {
@@ -35,17 +36,14 @@ fn ordered_subtable_order_survives_dml_and_restart() {
         page_size: 1024,
         buffer_frames: 16,
         default_layout: LayoutKind::Ss3,
+        ..DbConfig::default()
     };
     {
         let mut db = Database::with_config(cfg());
-        db.execute(
-            "CREATE TABLE PLAYLISTS ( PID INTEGER, TRACKS < TITLE STRING, SECS INTEGER > )",
-        )
-        .unwrap();
-        db.execute(
-            "INSERT INTO PLAYLISTS VALUES (1, <('Opening', 210), ('Middle', 180)>)",
-        )
-        .unwrap();
+        db.execute("CREATE TABLE PLAYLISTS ( PID INTEGER, TRACKS < TITLE STRING, SECS INTEGER > )")
+            .unwrap();
+        db.execute("INSERT INTO PLAYLISTS VALUES (1, <('Opening', 210), ('Middle', 180)>)")
+            .unwrap();
         // Appending via partial insert keeps list order (entry order IS
         // list order in the MD subtuple, §4.1).
         db.execute(
@@ -88,7 +86,10 @@ fn ordered_subtable_order_survives_dml_and_restart() {
     let (_, v) = db
         .query("SELECT x.TRACKS[2].TITLE FROM x IN PLAYLISTS")
         .unwrap();
-    assert_eq!(v.tuples[0].fields[0].as_atom().unwrap().as_str(), Some("Finale"));
+    assert_eq!(
+        v.tuples[0].fields[0].as_atom().unwrap().as_str(),
+        Some("Finale")
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -100,15 +101,18 @@ fn lists_under_every_layout() {
             "CREATE TABLE R ( K INTEGER, L < V INTEGER > ) USING {layout}"
         ))
         .unwrap();
-        db.execute("INSERT INTO R VALUES (1, <(30), (10), (20)>)").unwrap();
-        let (_, v) = db
-            .query("SELECT e.V FROM x IN R, e IN x.L")
+        db.execute("INSERT INTO R VALUES (1, <(30), (10), (20)>)")
             .unwrap();
+        let (_, v) = db.query("SELECT e.V FROM x IN R, e IN x.L").unwrap();
         let vals: Vec<i64> = v
             .tuples
             .iter()
             .map(|t| t.fields[0].as_atom().unwrap().as_int().unwrap())
             .collect();
-        assert_eq!(vals, vec![30, 10, 20], "insertion order kept under {layout}");
+        assert_eq!(
+            vals,
+            vec![30, 10, 20],
+            "insertion order kept under {layout}"
+        );
     }
 }

@@ -122,8 +122,7 @@ fn run_dml_model(layout: &str, element_dml: bool, seed: u64) {
                 let lit_subs: Vec<String> = subs
                     .iter()
                     .map(|(p, ms)| {
-                        let mlits: Vec<String> =
-                            ms.iter().map(|m| format!("('{m}')")).collect();
+                        let mlits: Vec<String> = ms.iter().map(|m| format!("('{m}')")).collect();
                         format!("({p}, {{{}}})", mlits.join(", "))
                     })
                     .collect();
@@ -253,9 +252,7 @@ fn run_dml_model(layout: &str, element_dml: bool, seed: u64) {
             .iter()
             .map(|t| t.fields[2].as_table().unwrap().len())
             .sum();
-        let (_, v) = db
-            .query("SELECT y.P FROM x IN T, y IN x.S")
-            .unwrap();
+        let (_, v) = db.query("SELECT y.P FROM x IN T, y IN x.S").unwrap();
         assert_eq!(v.len(), expected);
         let total_indexed: usize = {
             let idx = db.index_mut("T", "sp").unwrap();

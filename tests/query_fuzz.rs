@@ -170,8 +170,10 @@ fn random_queries_agree_with_indexes_installed() {
     }
     db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")
         .unwrap();
-    db.execute("CREATE INDEX p ON DEPARTMENTS (PROJECTS.PNO)").unwrap();
-    db.execute("CREATE INDEX b ON DEPARTMENTS (BUDGET)").unwrap();
+    db.execute("CREATE INDEX p ON DEPARTMENTS (PROJECTS.PNO)")
+        .unwrap();
+    db.execute("CREATE INDEX b ON DEPARTMENTS (BUDGET)")
+        .unwrap();
 
     let mut rng = StdRng::seed_from_u64(0xBEE5);
     for case in 0..120 {
