@@ -1,0 +1,278 @@
+//! Concurrent-session throughput over the transaction layer.
+//!
+//! Two questions the lock manager must answer well:
+//! * `concurrent_read_scaling` — read-only sessions take compatible S
+//!   table locks, so aggregate throughput should scale as threads grow
+//!   from 1 to 8 (each sample runs a fixed total number of queries,
+//!   split across the threads; falling wall-time = scaling).
+//! * `mixed_writers_readers` — N writers transferring between objects
+//!   (IX table + X object locks) while M readers sum balances under S,
+//!   per storage layout (SS1/SS2/SS3) and the flat 1NF heap. This is
+//!   the check-out workload of §4.1 under contention.
+//!
+//! Everything is seeded and thread counts are fixed, so the work per
+//! sample is identical across runs; only the interleaving varies.
+
+use aim2::{Database, DbConfig};
+use aim2_model::{Atom, Value};
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::ElemLoc;
+use aim2_txn::{Session, SharedDatabase};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+
+const ACCOUNTS: i64 = 24;
+const INITIAL: i64 = 1000;
+const TOTAL_READS: usize = 64; // per sample, split across reader threads
+const WRITER_TXNS: usize = 8; // per writer per sample
+const SEED: u64 = 0xC0FFEE;
+
+#[derive(Clone, Copy)]
+enum Variant {
+    Nf2(LayoutKind),
+    Flat,
+}
+
+impl Variant {
+    const ALL: [Variant; 4] = [
+        Variant::Nf2(LayoutKind::Ss1),
+        Variant::Nf2(LayoutKind::Ss2),
+        Variant::Nf2(LayoutKind::Ss3),
+        Variant::Flat,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Variant::Nf2(LayoutKind::Ss1) => "ss1",
+            Variant::Nf2(LayoutKind::Ss2) => "ss2",
+            Variant::Nf2(LayoutKind::Ss3) => "ss3",
+            Variant::Flat => "flat",
+        }
+    }
+}
+
+struct Lcg(u64);
+
+impl Lcg {
+    fn range(&mut self, n: u64) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (self.0 >> 33) % n
+    }
+}
+
+fn setup(v: Variant) -> SharedDatabase {
+    let mut db = Database::with_config(DbConfig::default());
+    match v {
+        Variant::Nf2(layout) => {
+            let using = match layout {
+                LayoutKind::Ss1 => "SS1",
+                LayoutKind::Ss2 => "SS2",
+                LayoutKind::Ss3 => "SS3",
+            };
+            db.execute(&format!(
+                "CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER, \
+                 HIST {{ SEQ INTEGER }} ) USING {using}"
+            ))
+            .unwrap();
+            for i in 0..ACCOUNTS {
+                db.execute(&format!(
+                    "INSERT INTO ACCOUNTS VALUES ({i}, {INITIAL}, {{(0)}})"
+                ))
+                .unwrap();
+            }
+        }
+        Variant::Flat => {
+            db.execute("CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER )")
+                .unwrap();
+            for i in 0..ACCOUNTS {
+                db.execute(&format!("INSERT INTO ACCOUNTS VALUES ({i}, {INITIAL})"))
+                    .unwrap();
+            }
+        }
+    }
+    SharedDatabase::new(db)
+}
+
+fn int_atom(v: &Value) -> i64 {
+    match v {
+        Value::Atom(Atom::Int(i)) => *i,
+        other => panic!("expected integer atom, got {other:?}"),
+    }
+}
+
+fn sum_balances(s: &mut Session) -> i64 {
+    let (_, rows) = s.query("SELECT x.BAL FROM x IN ACCOUNTS").unwrap();
+    rows.tuples.iter().map(|t| int_atom(&t.fields[0])).sum()
+}
+
+/// One object-granularity transfer, retried until it commits.
+fn transfer_nf2(shared: &SharedDatabase, from: usize, to: usize, amount: i64) {
+    loop {
+        let mut s = shared.session();
+        let run = (|| {
+            let handles = s.handles("ACCOUNTS")?;
+            let (hf, ht) = (handles[from], handles[to]);
+            let tf = s.checkout("ACCOUNTS", hf)?;
+            let tt = s.checkout("ACCOUNTS", ht)?;
+            let bf = int_atom(&tf.fields[1]);
+            let bt = int_atom(&tt.fields[1]);
+            s.update_atoms(
+                "ACCOUNTS",
+                hf,
+                &ElemLoc::object(),
+                &[Atom::Int(from as i64), Atom::Int(bf - amount)],
+            )?;
+            s.update_atoms(
+                "ACCOUNTS",
+                ht,
+                &ElemLoc::object(),
+                &[Atom::Int(to as i64), Atom::Int(bt + amount)],
+            )?;
+            s.commit()
+        })();
+        match run {
+            Ok(()) => return,
+            Err(e) if e.is_retryable() => {
+                if s.txn_id().is_some() {
+                    s.rollback().unwrap();
+                }
+            }
+            Err(e) => panic!("transfer failed: {e}"),
+        }
+    }
+}
+
+/// One statement-level transfer (S → X upgrade), retried until commit.
+fn transfer_flat(shared: &SharedDatabase, from: usize, to: usize, amount: i64) {
+    loop {
+        let mut s = shared.session();
+        let run = (|| {
+            let (_, rows) = s.query(&format!(
+                "SELECT x.ANO, x.BAL FROM x IN ACCOUNTS \
+                 WHERE x.ANO = {from} OR x.ANO = {to}"
+            ))?;
+            let bal = |ano: i64| {
+                rows.tuples
+                    .iter()
+                    .find(|t| int_atom(&t.fields[0]) == ano)
+                    .map(|t| int_atom(&t.fields[1]))
+                    .unwrap()
+            };
+            let (bf, bt) = (bal(from as i64), bal(to as i64));
+            s.execute(&format!(
+                "UPDATE x IN ACCOUNTS SET x.BAL = {} WHERE x.ANO = {from}",
+                bf - amount
+            ))?;
+            s.execute(&format!(
+                "UPDATE x IN ACCOUNTS SET x.BAL = {} WHERE x.ANO = {to}",
+                bt + amount
+            ))?;
+            s.commit()
+        })();
+        match run {
+            Ok(()) => return,
+            Err(e) if e.is_retryable() => {
+                if s.txn_id().is_some() {
+                    s.rollback().unwrap();
+                }
+            }
+            Err(e) => panic!("transfer failed: {e}"),
+        }
+    }
+}
+
+/// Fixed total work split over `threads` readers; wall-time per sample
+/// drops as S-lock parallelism pays off.
+fn concurrent_read_scaling(c: &mut Criterion) {
+    let shared = setup(Variant::Nf2(LayoutKind::Ss3));
+    let mut group = c.benchmark_group("concurrent_read_scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("t{threads}")),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let barrier = Arc::new(Barrier::new(threads));
+                    let joins: Vec<_> = (0..threads)
+                        .map(|_| {
+                            let shared = shared.clone();
+                            let barrier = barrier.clone();
+                            std::thread::spawn(move || {
+                                barrier.wait();
+                                let mut acc = 0i64;
+                                for _ in 0..TOTAL_READS / threads {
+                                    let mut s = shared.session();
+                                    acc += sum_balances(&mut s);
+                                    s.commit().unwrap();
+                                }
+                                acc
+                            })
+                        })
+                        .collect();
+                    let total: i64 = joins.into_iter().map(|j| j.join().unwrap()).sum();
+                    black_box(total)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// 2 writers × 2 readers per layout: object check-out writes against
+/// statement reads under the multi-granularity protocol.
+fn mixed_writers_readers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mixed_writers_readers");
+    group.sample_size(10);
+    for v in Variant::ALL {
+        let shared = setup(v);
+        group.bench_with_input(BenchmarkId::from_parameter(v.name()), &v, |b, &v| {
+            b.iter(|| {
+                const WRITERS: usize = 2;
+                const READERS: usize = 2;
+                let barrier = Arc::new(Barrier::new(WRITERS + READERS));
+                let mut joins = Vec::new();
+                for w in 0..WRITERS {
+                    let shared = shared.clone();
+                    let barrier = barrier.clone();
+                    joins.push(std::thread::spawn(move || {
+                        let mut rng = Lcg(SEED ^ (w as u64 + 1));
+                        barrier.wait();
+                        for _ in 0..WRITER_TXNS {
+                            let from = rng.range(ACCOUNTS as u64) as usize;
+                            let to = ((from + 1) as u64 + rng.range(ACCOUNTS as u64 - 1)) as usize
+                                % ACCOUNTS as usize;
+                            match v {
+                                Variant::Nf2(_) => transfer_nf2(&shared, from, to, 1),
+                                Variant::Flat => transfer_flat(&shared, from, to, 1),
+                            }
+                        }
+                    }));
+                }
+                for _ in 0..READERS {
+                    let shared = shared.clone();
+                    let barrier = barrier.clone();
+                    joins.push(std::thread::spawn(move || {
+                        barrier.wait();
+                        for _ in 0..WRITER_TXNS {
+                            let mut s = shared.session();
+                            black_box(sum_balances(&mut s));
+                            s.commit().unwrap();
+                        }
+                    }));
+                }
+                for j in joins {
+                    j.join().unwrap();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, concurrent_read_scaling, mixed_writers_readers);
+criterion_main!(benches);

@@ -21,12 +21,11 @@ use aim2_storage::object::{ElemLoc, ObjectHandle, ObjectStore};
 use aim2_storage::segment::Segment;
 use aim2_storage::stats::Stats;
 use aim2_storage::tid::Tid;
-use aim2_storage::wal::{Wal, WAL_FILE};
+use aim2_storage::wal::{SharedWal, Wal, WAL_FILE};
 use aim2_text::TextIndex;
 use aim2_time::VersionedTable;
-use std::cell::RefCell;
 use std::path::PathBuf;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Database configuration.
 #[derive(Debug, Clone)]
@@ -99,7 +98,7 @@ pub struct Database {
     /// Human-readable description of the last query's access path.
     last_plan: String,
     /// Write-ahead log shared by every buffer pool (file-backed only).
-    wal: Option<Rc<RefCell<Wal>>>,
+    wal: Option<SharedWal>,
     /// Checkpoint epoch currently in progress. The on-disk catalog
     /// always records the previously committed epoch (`epoch - 1`).
     epoch: u32,
@@ -171,7 +170,7 @@ impl Database {
             self.stats.clone(),
             self.config.fault.clone(),
         )?;
-        self.wal = Some(Rc::new(RefCell::new(wal)));
+        self.wal = Some(Arc::new(Mutex::new(wal)));
         Ok(())
     }
 
@@ -197,7 +196,7 @@ impl Database {
             }
             None => Box::new(MemDisk::new(self.config.page_size)),
         };
-        let mut pool = BufferPool::new(
+        let pool = BufferPool::new(
             self.maybe_faulted(disk),
             self.config.buffer_frames,
             self.stats.clone(),
@@ -216,7 +215,7 @@ impl Database {
             .as_ref()
             .ok_or_else(|| DbError::Catalog("reopening segments requires a data_dir".into()))?;
         let disk = FileDisk::open(dir.join(name), self.config.page_size)?;
-        let mut pool = BufferPool::new(
+        let pool = BufferPool::new(
             self.maybe_faulted(Box::new(disk)),
             self.config.buffer_frames,
             self.stats.clone(),
@@ -1372,7 +1371,13 @@ impl Database {
         self.epoch = e;
     }
 
-    pub(crate) fn wal_handle(&self) -> Option<Rc<RefCell<Wal>>> {
+    pub(crate) fn wal_handle(&self) -> Option<SharedWal> {
+        self.wal.clone()
+    }
+
+    /// The shared write-ahead log, if this database is file-backed (the
+    /// transaction layer's group committer batches syncs on it).
+    pub fn shared_wal(&self) -> Option<SharedWal> {
         self.wal.clone()
     }
 
@@ -1406,6 +1411,31 @@ impl Database {
             ie.index.segment_mut().pool_mut().flush_all()?;
         }
         Ok(())
+    }
+
+    /// Append WAL before-images for one table's dirty pages (table
+    /// segment + its indexes) with the log sync *deferred*: returns the
+    /// highest WAL sequence appended, which a committing transaction
+    /// hands to [`aim2_storage::wal::GroupCommit::sync_through`] so
+    /// concurrent commits share one physical `fsync`. The pages
+    /// themselves stay in the buffer pools and reach disk through the
+    /// WAL-safe eviction and checkpoint paths.
+    pub fn log_table_dirty(&mut self, name: &str) -> Result<Option<u64>> {
+        let mut max_seq = None;
+        let entry = self.catalog.require_mut(name)?;
+        let mut bump = |seq: Option<u64>| {
+            if let Some(s) = seq {
+                max_seq = Some(max_seq.map_or(s, |m: u64| m.max(s)));
+            }
+        };
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => bump(os.segment_mut().pool_mut().log_dirty()?),
+            TableStorage::Flat(fs) => bump(fs.segment_mut().pool_mut().log_dirty()?),
+        }
+        for ie in &mut entry.indexes {
+            bump(ie.index.segment_mut().pool_mut().log_dirty()?);
+        }
+        Ok(max_seq)
     }
 
     /// (Re)build a text index over a table's current rows (catalog
@@ -1449,6 +1479,115 @@ impl Database {
         Ok(self.catalog.require_mut(table)?.nf2_mut()?.handles()?)
     }
 
+    /// Read one whole object of an NF² table — the "check-out" read the
+    /// paper's local address spaces (§4.1) enable, and the unit the
+    /// transaction layer locks on.
+    pub fn read_object(&mut self, table: &str, handle: ObjectHandle) -> Result<Tuple> {
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        Ok(entry.nf2_mut()?.read_object(&schema, handle)?)
+    }
+
+    /// Read just the atomic attributes at `loc` inside an object — the
+    /// before-image the transaction layer records so an aborted update
+    /// can be undone *in place* (the handle stays stable for waiters).
+    pub fn read_object_atoms(
+        &mut self,
+        table: &str,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+    ) -> Result<Vec<Atom>> {
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        Ok(entry.nf2_mut()?.read_atoms_at(&schema, handle, loc)?)
+    }
+
+    /// Update the atomic attributes of one (sub)tuple of an object, with
+    /// index/text/version maintenance — the object-granularity write the
+    /// transaction layer exposes through checked-out sessions.
+    pub fn update_object_atoms(
+        &mut self,
+        table: &str,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+        atoms: &[Atom],
+    ) -> Result<()> {
+        self.mutate_object(table, handle, |schema, os| {
+            os.update_atoms(schema, handle, loc, atoms)
+                .map_err(Into::into)
+        })
+    }
+
+    /// The logical contents of a table (whole tuples, storage-agnostic)
+    /// — the transaction layer's undo snapshot.
+    pub fn snapshot_table(&mut self, table: &str) -> Result<Vec<Tuple>> {
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => {
+                let mut out = Vec::new();
+                for h in os.handles()? {
+                    out.push(os.read_object(&schema, h)?);
+                }
+                Ok(out)
+            }
+            TableStorage::Flat(fs) => {
+                let mut out = Vec::new();
+                for tid in fs.tids().to_vec() {
+                    out.push(fs.read(tid)?);
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Replace a table's contents with a previous [`Database::snapshot_table`]
+    /// — transaction rollback. Every current row/object is deleted and
+    /// the snapshot reinserted through the regular maintenance paths, so
+    /// attribute indexes and text indexes stay consistent. NF² object
+    /// handles are reassigned; on versioned tables the restored states
+    /// re-record under the current date, overwriting the aborted same-date
+    /// entries.
+    pub fn restore_table(&mut self, table: &str, tuples: Vec<Tuple>) -> Result<()> {
+        let entry = self.catalog.require_mut(table)?;
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => {
+                for h in os.handles()? {
+                    self.delete_object(table, h)?;
+                }
+            }
+            TableStorage::Flat(fs) => {
+                let tids = fs.tids().to_vec();
+                let today = self.today;
+                for tid in tids {
+                    fs.delete(tid)?;
+                    if let Some(v) = &mut entry.versions {
+                        v.record_delete(ObjectHandle(tid), today);
+                    }
+                }
+            }
+        }
+        for t in tuples {
+            self.insert_tuple(table, t)?;
+        }
+        Ok(())
+    }
+
+    /// Restore one NF² object to a previous state (object-granularity
+    /// rollback): the current object is deleted and the old state
+    /// reinserted, yielding a fresh handle.
+    pub fn restore_object(
+        &mut self,
+        table: &str,
+        handle: ObjectHandle,
+        old: Tuple,
+    ) -> Result<ObjectHandle> {
+        self.delete_object(table, handle)?;
+        let key = self.insert_tuple(table, old)?;
+        key.handle()
+            .ok_or_else(|| DbError::Catalog("restore_object on a flat table".into()))
+    }
+
     /// The version store of a versioned table (walk-through-time lives
     /// at this API level, as in the paper).
     pub fn versions(&self, table: &str) -> Result<&VersionedTable> {
@@ -1458,5 +1597,17 @@ impl Database {
             .versions
             .as_ref()
             .ok_or_else(|| DbError::Catalog(format!("table {table} is not versioned")))
+    }
+}
+
+#[cfg(test)]
+mod send_tests {
+    /// The transaction layer wraps `Database` in `Mutex` inside an `Arc`
+    /// and hands sessions to worker threads — that only works if the
+    /// whole object graph (pools, disks, WAL handle) is `Send`.
+    #[test]
+    fn database_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<super::Database>();
     }
 }

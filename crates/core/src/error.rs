@@ -1,6 +1,7 @@
 //! Facade-level errors.
 
 use std::fmt;
+use std::path::PathBuf;
 
 /// Anything that can go wrong executing a statement.
 #[derive(Debug)]
@@ -13,6 +14,12 @@ pub enum DbError {
     /// Catalog-level problems (duplicate table, unknown table, bad DDL
     /// option, mutating a read path, ...).
     Catalog(String),
+    /// [`Database::open`](crate::Database::open) was pointed at a data
+    /// directory that does not exist.
+    DataDirMissing(PathBuf),
+    /// The data directory exists but holds no catalog file — it is not
+    /// (yet) a database.
+    NotADatabase(PathBuf),
 }
 
 impl fmt::Display for DbError {
@@ -24,6 +31,14 @@ impl fmt::Display for DbError {
             DbError::Index(e) => write!(f, "{e}"),
             DbError::Model(e) => write!(f, "{e}"),
             DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::DataDirMissing(p) => {
+                write!(f, "data directory does not exist: {}", p.display())
+            }
+            DbError::NotADatabase(p) => write!(
+                f,
+                "no database found in {} (missing catalog file)",
+                p.display()
+            ),
         }
     }
 }
@@ -36,7 +51,7 @@ impl std::error::Error for DbError {
             DbError::Storage(e) => Some(e),
             DbError::Index(e) => Some(e),
             DbError::Model(e) => Some(e),
-            DbError::Catalog(_) => None,
+            DbError::Catalog(_) | DbError::DataDirMissing(_) | DbError::NotADatabase(_) => None,
         }
     }
 }

@@ -316,7 +316,8 @@ impl Database {
         // next one. (A crash inside `reset` leaves a header-less WAL,
         // which recovery correctly treats as "nothing to replay".)
         if let Some(wal) = self.wal_handle() {
-            wal.borrow_mut()
+            wal.lock()
+                .expect("wal mutex poisoned")
                 .reset(epoch + 1)
                 .map_err(DbError::Storage)?;
         }
@@ -328,15 +329,36 @@ impl Database {
         Ok(())
     }
 
+    /// Open a previously checkpointed database from a data directory
+    /// with default configuration — the `AsRef<Path>` convenience over
+    /// [`Database::open`].
+    pub fn open_dir(dir: impl AsRef<std::path::Path>) -> Result<Database> {
+        Database::open(DbConfig {
+            data_dir: Some(dir.as_ref().to_path_buf()),
+            ..DbConfig::default()
+        })
+    }
+
     /// Open a previously checkpointed database from `config.data_dir`,
     /// running crash recovery first if the write-ahead log shows an
-    /// epoch that never committed.
+    /// epoch that never committed. A missing directory or catalog file
+    /// is a typed error ([`DbError::DataDirMissing`] /
+    /// [`DbError::NotADatabase`]), never a panic.
     pub fn open(config: DbConfig) -> Result<Database> {
         let dir = config
             .data_dir
             .clone()
             .ok_or_else(|| DbError::Catalog("open requires a data_dir".into()))?;
-        let bytes = std::fs::read(dir.join(CATALOG_FILE)).map_err(StorageError::Io)?;
+        if !dir.is_dir() {
+            return Err(DbError::DataDirMissing(dir));
+        }
+        let bytes = match std::fs::read(dir.join(CATALOG_FILE)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(DbError::NotADatabase(dir));
+            }
+            Err(e) => return Err(DbError::Storage(StorageError::Io(e))),
+        };
         let mut db = Database::with_config(config);
         let mut r = Reader::new(&bytes);
         if r.bytes(8)? != MAGIC {

@@ -1,23 +1,25 @@
 //! Buffer pool.
 //!
-//! A fixed number of in-memory frames cache disk pages with LRU
+//! A fixed number of in-memory frames cache disk pages with clock-sweep
 //! replacement and write-back of dirty frames. All page traffic of the
 //! engine flows through here, so the [`Stats`] hit/miss counters measure
 //! exactly the "number of database pages accessed" that the paper's
 //! clustering and navigation arguments are about.
 //!
-//! The engine is single-user (as the AIM-II prototype was, §5), so the
-//! pool exposes a simple `&mut self` closure-based API and needs no
-//! latches or pin counts: no reference escapes a call.
+//! The pool is `Send + Sync`: its whole state sits behind one internal
+//! mutex (a *pool latch*), so page reads and writes from concurrent
+//! sessions serialize at page-access granularity while the transaction
+//! layer above provides logical isolation via object/table locks. No
+//! reference to a frame ever escapes a call (the closure API), so no
+//! per-frame pin counts are needed.
 
 use crate::disk::Disk;
 use crate::stats::Stats;
 use crate::tid::PageId;
-use crate::wal::Wal;
+use crate::wal::SharedWal;
 use crate::Result;
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Mutex;
 
 struct Frame {
     pid: PageId,
@@ -31,13 +33,17 @@ struct Frame {
 
 /// Clock-sweep (second-chance) write-back buffer pool over a [`Disk`].
 ///
-/// When a [`Wal`] is attached (file-backed databases), the pool enforces
-/// the write-ahead rule: before any dirty page's first write-back of the
-/// current checkpoint epoch, its on-disk *before-image* is appended to
-/// the log and the log is synced. Pages allocated within the epoch have
-/// no committed before-image and are exempt — after a crash they are
-/// unreferenced by the restored catalog.
+/// When a [`Wal`](crate::wal::Wal) is attached (file-backed databases),
+/// the pool enforces the write-ahead rule: before any dirty page's first
+/// write-back of the current checkpoint epoch, its on-disk
+/// *before-image* is appended to the log and the log is synced. Pages
+/// allocated within the epoch have no committed before-image and are
+/// exempt — after a crash they are unreferenced by the restored catalog.
 pub struct BufferPool {
+    state: Mutex<PoolState>,
+}
+
+struct PoolState {
     disk: Box<dyn Disk>,
     capacity: usize,
     frames: Vec<Frame>,
@@ -45,7 +51,7 @@ pub struct BufferPool {
     hand: usize,
     stats: Stats,
     /// Write-ahead log shared with the database's other pools.
-    wal: Option<Rc<RefCell<Wal>>>,
+    wal: Option<SharedWal>,
     /// Segment file name recorded in this pool's WAL frames.
     seg_name: String,
     /// Pages whose before-image is already logged this epoch.
@@ -59,85 +65,96 @@ impl BufferPool {
     pub fn new(disk: Box<dyn Disk>, capacity: usize, stats: Stats) -> BufferPool {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         BufferPool {
-            disk,
-            capacity,
-            frames: Vec::new(),
-            map: HashMap::new(),
-            hand: 0,
-            stats,
-            wal: None,
-            seg_name: String::new(),
-            logged: HashSet::new(),
-            fresh: HashSet::new(),
+            state: Mutex::new(PoolState {
+                disk,
+                capacity,
+                frames: Vec::new(),
+                map: HashMap::new(),
+                hand: 0,
+                stats,
+                wal: None,
+                seg_name: String::new(),
+                logged: HashSet::new(),
+                fresh: HashSet::new(),
+            }),
         }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PoolState> {
+        self.state.lock().expect("buffer pool latch poisoned")
     }
 
     /// Attach a write-ahead log. `seg_name` identifies this pool's
     /// segment file in log frames (recovery maps frames back to files).
-    pub fn attach_wal(&mut self, wal: Rc<RefCell<Wal>>, seg_name: impl Into<String>) {
-        self.wal = Some(wal);
-        self.seg_name = seg_name.into();
+    pub fn attach_wal(&self, wal: SharedWal, seg_name: impl Into<String>) {
+        let mut s = self.lock();
+        s.wal = Some(wal);
+        s.seg_name = seg_name.into();
     }
 
     /// A checkpoint has committed: the on-disk images are the new
     /// recovery baseline, so every page needs fresh logging before its
     /// next write-back.
-    pub fn note_checkpoint(&mut self) {
-        self.logged.clear();
-        self.fresh.clear();
+    pub fn note_checkpoint(&self) {
+        let mut s = self.lock();
+        s.logged.clear();
+        s.fresh.clear();
     }
 
     /// Flush the underlying disk's volatile buffers to stable storage.
-    pub fn sync_disk(&mut self) -> Result<()> {
-        self.disk.sync()
+    pub fn sync_disk(&self) -> Result<()> {
+        self.lock().disk.sync()
     }
 
     /// Page size of the underlying disk.
     pub fn page_size(&self) -> usize {
-        self.disk.page_size()
+        self.lock().disk.page_size()
     }
 
     /// Number of pages allocated on disk.
     pub fn num_pages(&self) -> u32 {
-        self.disk.num_pages()
+        self.lock().disk.num_pages()
     }
 
     /// The shared stats block.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    pub fn stats(&self) -> Stats {
+        self.lock().stats.clone()
     }
 
     /// Allocate a fresh zeroed page; it enters the pool without a disk
     /// read.
-    pub fn allocate_page(&mut self) -> Result<PageId> {
-        let pid = self.disk.allocate()?;
-        if self.wal.is_some() {
-            self.fresh.insert(pid);
+    pub fn allocate_page(&self) -> Result<PageId> {
+        let mut s = self.lock();
+        let pid = s.disk.allocate()?;
+        if s.wal.is_some() {
+            s.fresh.insert(pid);
         }
-        let idx = self.free_frame()?;
-        let ps = self.disk.page_size();
-        let f = &mut self.frames[idx];
+        let idx = s.free_frame()?;
+        let ps = s.disk.page_size();
+        let f = &mut s.frames[idx];
         f.pid = pid;
         f.data.iter_mut().for_each(|b| *b = 0);
         debug_assert_eq!(f.data.len(), ps);
         f.dirty = false;
         f.referenced = true;
-        self.map.insert(pid, idx);
+        s.map.insert(pid, idx);
         Ok(pid)
     }
 
     /// Run `f` over the (read-only) contents of page `pid`.
-    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
-        let idx = self.fetch(pid)?;
-        self.frames[idx].referenced = true;
-        Ok(f(&self.frames[idx].data))
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
+        let mut s = self.lock();
+        let idx = s.fetch(pid)?;
+        s.frames[idx].referenced = true;
+        Ok(f(&s.frames[idx].data))
     }
 
     /// Run `f` over the mutable contents of page `pid`; the frame is
     /// marked dirty.
-    pub fn with_page_mut<R>(&mut self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
-        let idx = self.fetch(pid)?;
-        let frame = &mut self.frames[idx];
+    pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
+        let mut s = self.lock();
+        let idx = s.fetch(pid)?;
+        let frame = &mut s.frames[idx];
         frame.referenced = true;
         frame.dirty = true;
         Ok(f(&mut frame.data))
@@ -146,7 +163,46 @@ impl BufferPool {
     /// Write all dirty frames back to disk. With a WAL attached this is
     /// a *group flush*: every needed before-image is appended first,
     /// the log is synced once, and only then do the page writes start.
-    pub fn flush_all(&mut self) -> Result<()> {
+    pub fn flush_all(&self) -> Result<()> {
+        self.lock().flush_all()
+    }
+
+    /// Append before-images for every dirty frame — without writing the
+    /// frames back and without syncing the log. This is the transaction
+    /// layer's commit barrier: the caller batches the sync through
+    /// [`crate::wal::GroupCommit`], and the pages themselves stay in
+    /// the pool, reaching disk later through the WAL-safe eviction and
+    /// checkpoint paths (which always sync before a page write).
+    /// Returns the log's append sequence number after the appends, or
+    /// `None` when no WAL is attached.
+    pub fn log_dirty(&self) -> Result<Option<u64>> {
+        let mut s = self.lock();
+        if s.wal.is_none() {
+            return Ok(None);
+        }
+        let dirty: Vec<PageId> = s.frames.iter().filter(|f| f.dirty).map(|f| f.pid).collect();
+        for pid in dirty {
+            s.log_before_image(pid)?;
+        }
+        let wal = s.wal.as_ref().expect("checked above");
+        let seq = wal.lock().expect("wal mutex poisoned").appended_seq();
+        Ok(Some(seq))
+    }
+
+    /// Drop every cached frame (flushing dirty ones) — used by benches to
+    /// measure cold-cache behaviour deterministically.
+    pub fn clear_cache(&self) -> Result<()> {
+        let mut s = self.lock();
+        s.flush_all()?;
+        s.frames.clear();
+        s.map.clear();
+        s.hand = 0;
+        Ok(())
+    }
+}
+
+impl PoolState {
+    fn flush_all(&mut self) -> Result<()> {
         if self.wal.is_some() {
             let dirty: Vec<PageId> = self
                 .frames
@@ -157,6 +213,7 @@ impl BufferPool {
             for pid in dirty {
                 self.log_before_image(pid)?;
             }
+            // Write-ahead: the log hits stable storage before any page.
             self.wal_sync()?;
         }
         for i in 0..self.frames.len() {
@@ -180,7 +237,8 @@ impl BufferPool {
         let mut before = vec![0u8; self.disk.page_size()];
         self.disk.read_page(pid, &mut before)?;
         if let Some(wal) = &self.wal {
-            wal.borrow_mut()
+            wal.lock()
+                .expect("wal mutex poisoned")
                 .append_before_image(&self.seg_name, pid, &before)?;
         }
         self.logged.insert(pid);
@@ -189,18 +247,8 @@ impl BufferPool {
 
     fn wal_sync(&mut self) -> Result<()> {
         if let Some(wal) = &self.wal {
-            wal.borrow_mut().sync()?;
+            wal.lock().expect("wal mutex poisoned").sync()?;
         }
-        Ok(())
-    }
-
-    /// Drop every cached frame (flushing dirty ones) — used by benches to
-    /// measure cold-cache behaviour deterministically.
-    pub fn clear_cache(&mut self) -> Result<()> {
-        self.flush_all()?;
-        self.frames.clear();
-        self.map.clear();
-        self.hand = 0;
         Ok(())
     }
 
@@ -254,7 +302,8 @@ impl BufferPool {
             self.frames[idx].dirty = false;
             self.stats.inc_page_write();
         }
-        self.map.remove(&self.frames[idx].pid);
+        let old = self.frames[idx].pid;
+        self.map.remove(&old);
         Ok(idx)
     }
 }
@@ -270,7 +319,7 @@ mod tests {
 
     #[test]
     fn read_your_writes() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let p = bp.allocate_page().unwrap();
         bp.with_page_mut(p, |b| b[10] = 0x7F).unwrap();
         let v = bp.with_page(p, |b| b[10]).unwrap();
@@ -279,7 +328,7 @@ mod tests {
 
     #[test]
     fn hit_miss_accounting() {
-        let mut bp = pool(2);
+        let bp = pool(2);
         let p0 = bp.allocate_page().unwrap();
         let p1 = bp.allocate_page().unwrap();
         let p2 = bp.allocate_page().unwrap(); // evicts p0 (LRU)
@@ -293,7 +342,7 @@ mod tests {
 
     #[test]
     fn eviction_preserves_dirty_data() {
-        let mut bp = pool(1); // pathological pool: every switch evicts
+        let bp = pool(1); // pathological pool: every switch evicts
         let p0 = bp.allocate_page().unwrap();
         bp.with_page_mut(p0, |b| b[0] = 1).unwrap();
         let p1 = bp.allocate_page().unwrap(); // evicts dirty p0
@@ -305,7 +354,7 @@ mod tests {
 
     #[test]
     fn flush_then_cold_read() {
-        let mut bp = pool(4);
+        let bp = pool(4);
         let p = bp.allocate_page().unwrap();
         bp.with_page_mut(p, |b| b[3] = 9).unwrap();
         bp.clear_cache().unwrap();
@@ -318,7 +367,7 @@ mod tests {
     fn clock_sweep_gives_second_chances() {
         // With 2 frames, the clock must evict SOME page on overflow and
         // keep the pool usable; referenced frames survive one sweep.
-        let mut bp = pool(2);
+        let bp = pool(2);
         let p0 = bp.allocate_page().unwrap();
         let p1 = bp.allocate_page().unwrap();
         bp.with_page(p0, |_| ()).unwrap();
@@ -343,13 +392,45 @@ mod tests {
     fn clear_cache_resets_the_clock_hand() {
         // Regression: a stale sweep hand past the (re)filled frame table
         // must not index out of bounds.
-        let mut bp = pool(2);
+        let bp = pool(2);
         for _ in 0..5 {
             let _ = bp.allocate_page().unwrap(); // advance the hand
         }
         bp.clear_cache().unwrap();
         for _ in 0..5 {
             let _ = bp.allocate_page().unwrap(); // refill + evict again
+        }
+    }
+
+    #[test]
+    fn concurrent_page_traffic_is_safe() {
+        use std::sync::Arc;
+        let bp = Arc::new(pool(8));
+        let mut pids = Vec::new();
+        for _ in 0..16 {
+            pids.push(bp.allocate_page().unwrap());
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let bp = bp.clone();
+                let pids = pids.clone();
+                std::thread::spawn(move || {
+                    for (i, &p) in pids.iter().enumerate() {
+                        if i % 4 == t {
+                            bp.with_page_mut(p, |b| b[0] = t as u8 + 1).unwrap();
+                        } else {
+                            bp.with_page(p, |_| ()).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        for (i, &p) in pids.iter().enumerate() {
+            let owner = (i % 4) as u8 + 1;
+            assert_eq!(bp.with_page(p, |b| b[0]).unwrap(), owner);
         }
     }
 

@@ -14,8 +14,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
-/// Page-granular storage.
-pub trait Disk {
+/// Page-granular storage. `Send` so that buffer pools (and the tables
+/// built on them) can move between and be shared across session threads.
+pub trait Disk: Send {
     /// Size of every page in bytes.
     fn page_size(&self) -> usize;
     /// Number of allocated pages.

@@ -17,8 +17,7 @@ use crate::disk::Disk;
 use crate::error::StorageError;
 use crate::tid::PageId;
 use crate::Result;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// What the injector decided about one write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,16 +55,18 @@ enum Plan {
 
 /// Shared, clonable fault-decision state. One injector is typically
 /// threaded through a whole database so the write counter is global
-/// across all its segments, the WAL, and the catalog.
+/// across all its segments, the WAL, and the catalog. `Send + Sync`:
+/// concurrent sessions share one injector, and the write numbering is
+/// then whatever order the writes actually reached the (locked) state.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
-    state: Rc<RefCell<State>>,
+    state: Arc<Mutex<State>>,
 }
 
 impl FaultInjector {
     fn with_plan(seed: u64, plan: Plan) -> FaultInjector {
         FaultInjector {
-            state: Rc::new(RefCell::new(State {
+            state: Arc::new(Mutex::new(State {
                 seed,
                 plan,
                 writes: 0,
@@ -98,19 +99,19 @@ impl FaultInjector {
 
     /// Total writes observed so far (including the failed ones).
     pub fn writes(&self) -> u64 {
-        self.state.borrow().writes
+        self.state.lock().unwrap().writes
     }
 
     /// Whether the simulated power cut has happened.
     pub fn stopped(&self) -> bool {
-        self.state.borrow().stopped
+        self.state.lock().unwrap().stopped
     }
 
     /// Decide the fate of a `len`-byte write. Callers must honour the
     /// outcome: persist everything, persist exactly the torn prefix, or
     /// persist nothing.
     pub fn check_write(&self, len: usize) -> WriteOutcome {
-        let mut s = self.state.borrow_mut();
+        let mut s = self.state.lock().unwrap();
         if s.stopped {
             return WriteOutcome::Fail;
         }

@@ -1392,6 +1392,26 @@ impl ObjectStore {
 
     /// Overwrite the atomic attribute values of the (sub)object at `loc`
     /// — rewrites exactly one data subtuple; all pointers stay valid.
+    /// Read just the atomic attribute values of the (sub)object at
+    /// `loc` — the before-image a transactional in-place undo records
+    /// ahead of [`ObjectStore::update_atoms`].
+    pub fn read_atoms_at(
+        &mut self,
+        schema: &TableSchema,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+    ) -> Result<Vec<Atom>> {
+        if !loc.steps.is_empty() {
+            self.require_ss3()?;
+        }
+        let root = self.root_md(handle)?;
+        let (_, group, _) = self.locate(&root.page_list, &root.node, schema, loc)?;
+        let data = group
+            .data_entry()
+            .ok_or_else(|| StorageError::Corrupt("element lacks D".into()))?;
+        self.read_data_atoms(&root.page_list, data)
+    }
+
     pub fn update_atoms(
         &mut self,
         schema: &TableSchema,

@@ -6,53 +6,65 @@
 //! wrong index address schemes cause objects to be "(unnecessarily)
 //! accessed more than once". [`Stats`] makes every one of those effects
 //! measurable; benches and the `reproduce` binary report them.
+//!
+//! The block is shared across threads (sessions, the lock manager, the
+//! group committer all increment it concurrently), so the counters are
+//! relaxed atomics behind an `Arc` — `Stats` is `Send + Sync` and stays
+//! cheaply clonable.
 
-use std::cell::Cell;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-/// Shared, cheaply clonable counter block (single-threaded engine —
-/// `Cell` suffices, no atomics needed).
+/// Shared, cheaply clonable counter block (`Send + Sync`; every counter
+/// is a relaxed atomic — they are statistics, not synchronization).
 #[derive(Clone, Default)]
 pub struct Stats {
-    inner: Rc<Inner>,
+    inner: Arc<Inner>,
 }
 
 #[derive(Default)]
 struct Inner {
     /// Buffer pool hits (page found in memory).
-    buf_hits: Cell<u64>,
+    buf_hits: AtomicU64,
     /// Buffer pool misses (page read from disk).
-    buf_misses: Cell<u64>,
+    buf_misses: AtomicU64,
     /// Pages written back to disk (evictions + flushes).
-    page_writes: Cell<u64>,
+    page_writes: AtomicU64,
     /// Records (subtuples) read.
-    subtuple_reads: Cell<u64>,
+    subtuple_reads: AtomicU64,
     /// Records (subtuples) written (insert + update).
-    subtuple_writes: Cell<u64>,
+    subtuple_writes: AtomicU64,
     /// Pointer fields rewritten (Lorie baseline move/reorg cost).
-    pointer_rewrites: Cell<u64>,
+    pointer_rewrites: AtomicU64,
     /// Whole complex objects visited (for the §4.2 duplicate-visit
     /// argument).
-    object_visits: Cell<u64>,
+    object_visits: AtomicU64,
     /// Before-image records appended to the write-ahead log.
-    wal_appends: Cell<u64>,
+    wal_appends: AtomicU64,
     /// WAL records replayed (pages rolled back) during recovery.
-    wal_replays: Cell<u64>,
+    wal_replays: AtomicU64,
     /// Torn (partially written) structures detected by checksum during
     /// recovery.
-    torn_pages_detected: Cell<u64>,
+    torn_pages_detected: AtomicU64,
+    /// Lock requests that had to block behind a conflicting holder.
+    lock_waits: AtomicU64,
+    /// Transactions aborted as deadlock victims.
+    deadlocks_aborted: AtomicU64,
+    /// Physical WAL syncs issued by the group committer (each batch
+    /// makes every commit appended before it durable at once).
+    group_commit_batches: AtomicU64,
 }
 
 macro_rules! counter {
     ($inc:ident, $get:ident, $field:ident) => {
         #[doc = concat!("Increment the `", stringify!($field), "` counter.")]
         pub fn $inc(&self) {
-            self.inner.$field.set(self.inner.$field.get() + 1);
+            self.inner.$field.fetch_add(1, Ordering::Relaxed);
         }
         #[doc = concat!("Current value of the `", stringify!($field), "` counter.")]
         pub fn $get(&self) -> u64 {
-            self.inner.$field.get()
+            self.inner.$field.load(Ordering::Relaxed)
         }
     };
 }
@@ -77,6 +89,13 @@ impl Stats {
         torn_pages_detected,
         torn_pages_detected
     );
+    counter!(inc_lock_wait, lock_waits, lock_waits);
+    counter!(inc_deadlock_aborted, deadlocks_aborted, deadlocks_aborted);
+    counter!(
+        inc_group_commit_batch,
+        group_commit_batches,
+        group_commit_batches
+    );
 
     /// Total page accesses (hits + misses).
     pub fn page_accesses(&self) -> u64 {
@@ -85,16 +104,24 @@ impl Stats {
 
     /// Reset all counters to zero (shared across clones).
     pub fn reset(&self) {
-        self.inner.buf_hits.set(0);
-        self.inner.buf_misses.set(0);
-        self.inner.page_writes.set(0);
-        self.inner.subtuple_reads.set(0);
-        self.inner.subtuple_writes.set(0);
-        self.inner.pointer_rewrites.set(0);
-        self.inner.object_visits.set(0);
-        self.inner.wal_appends.set(0);
-        self.inner.wal_replays.set(0);
-        self.inner.torn_pages_detected.set(0);
+        let i = &self.inner;
+        for c in [
+            &i.buf_hits,
+            &i.buf_misses,
+            &i.page_writes,
+            &i.subtuple_reads,
+            &i.subtuple_writes,
+            &i.pointer_rewrites,
+            &i.object_visits,
+            &i.wal_appends,
+            &i.wal_replays,
+            &i.torn_pages_detected,
+            &i.lock_waits,
+            &i.deadlocks_aborted,
+            &i.group_commit_batches,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot of all counters, for delta computations in benches.
@@ -110,6 +137,9 @@ impl Stats {
             wal_appends: self.wal_appends(),
             wal_replays: self.wal_replays(),
             torn_pages_detected: self.torn_pages_detected(),
+            lock_waits: self.lock_waits(),
+            deadlocks_aborted: self.deadlocks_aborted(),
+            group_commit_batches: self.group_commit_batches(),
         }
     }
 }
@@ -127,6 +157,9 @@ pub struct StatsSnapshot {
     pub wal_appends: u64,
     pub wal_replays: u64,
     pub torn_pages_detected: u64,
+    pub lock_waits: u64,
+    pub deadlocks_aborted: u64,
+    pub group_commit_batches: u64,
 }
 
 impl StatsSnapshot {
@@ -143,6 +176,9 @@ impl StatsSnapshot {
             wal_appends: later.wal_appends - self.wal_appends,
             wal_replays: later.wal_replays - self.wal_replays,
             torn_pages_detected: later.torn_pages_detected - self.torn_pages_detected,
+            lock_waits: later.lock_waits - self.lock_waits,
+            deadlocks_aborted: later.deadlocks_aborted - self.deadlocks_aborted,
+            group_commit_batches: later.group_commit_batches - self.group_commit_batches,
         }
     }
 }
@@ -152,7 +188,8 @@ impl fmt::Display for StatsSnapshot {
         write!(
             f,
             "hits={} misses={} pwrites={} sreads={} swrites={} ptr-rewrites={} obj-visits={} \
-             wal-appends={} wal-replays={} torn-detected={}",
+             wal-appends={} wal-replays={} torn-detected={} lock-waits={} deadlocks-aborted={} \
+             group-commit-batches={}",
             self.buf_hits,
             self.buf_misses,
             self.page_writes,
@@ -162,7 +199,10 @@ impl fmt::Display for StatsSnapshot {
             self.object_visits,
             self.wal_appends,
             self.wal_replays,
-            self.torn_pages_detected
+            self.torn_pages_detected,
+            self.lock_waits,
+            self.deadlocks_aborted,
+            self.group_commit_batches
         )
     }
 }
@@ -203,7 +243,29 @@ mod tests {
         let s = Stats::new();
         s.inc_pointer_rewrite();
         s.inc_page_write();
+        s.inc_lock_wait();
+        s.inc_deadlock_aborted();
+        s.inc_group_commit_batch();
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn counters_shared_across_threads() {
+        let s = Stats::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.inc_lock_wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.lock_waits(), 4000);
     }
 }

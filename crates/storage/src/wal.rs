@@ -38,12 +38,17 @@ use crate::Result;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
 
 const WAL_MAGIC: &[u8; 8] = b"AIM2WAL1";
 const HEADER_LEN: usize = 16;
 
 /// The conventional WAL file name inside a data directory.
 pub const WAL_FILE: &str = "wal.aim2";
+
+/// The shared handle every buffer pool (and the transaction layer)
+/// holds on the database's single log.
+pub type SharedWal = Arc<Mutex<Wal>>;
 
 /// An open write-ahead log (append side).
 pub struct Wal {
@@ -55,6 +60,13 @@ pub struct Wal {
     fault: Option<FaultInjector>,
     /// Appends since the last [`Wal::sync`] — lets callers group-flush.
     unsynced: bool,
+    /// Monotonic count of appends over the log's lifetime (not reset by
+    /// [`Wal::reset`]); the group committer's "how far must be durable"
+    /// coordinate.
+    appended_seq: u64,
+    /// The append sequence number through which the log is known to be
+    /// on stable storage.
+    synced_seq: u64,
 }
 
 impl Wal {
@@ -81,6 +93,8 @@ impl Wal {
             stats,
             fault,
             unsynced: false,
+            appended_seq: 0,
+            synced_seq: 0,
         };
         wal.write_header()?;
         Ok(wal)
@@ -118,8 +132,19 @@ impl Wal {
         self.file.seek(SeekFrom::End(0))?;
         self.raw_write(&frame)?;
         self.unsynced = true;
+        self.appended_seq += 1;
         self.stats.inc_wal_append();
         Ok(())
+    }
+
+    /// Lifetime append count (the latest append's sequence number).
+    pub fn appended_seq(&self) -> u64 {
+        self.appended_seq
+    }
+
+    /// Sequence number through which appends are durable.
+    pub fn synced_seq(&self) -> u64 {
+        self.synced_seq
     }
 
     /// Flush appended frames to stable storage (the write-ahead barrier).
@@ -129,6 +154,7 @@ impl Wal {
             self.file.sync_data()?;
             self.unsynced = false;
         }
+        self.synced_seq = self.appended_seq;
         Ok(())
     }
 
@@ -138,6 +164,7 @@ impl Wal {
         self.file.set_len(0)?;
         self.epoch = epoch;
         self.unsynced = false;
+        self.synced_seq = self.appended_seq;
         self.write_header()?;
         Ok(())
     }
@@ -168,6 +195,82 @@ impl Wal {
                     Ok(())
                 }
             },
+        }
+    }
+}
+
+/// Leader-based group commit over a [`SharedWal`].
+///
+/// A committing session appends its log frames (under whatever storage
+/// locks it already holds), notes the log's `appended_seq`, and calls
+/// [`GroupCommit::sync_through`]. The first arrival becomes the *leader*
+/// and issues one physical sync covering **every** append made so far —
+/// including commits that piled up behind it; the others ride the batch
+/// and return without touching the disk. One fsync thus makes many
+/// commits durable: `wal_appends` grows per commit, the
+/// `group_commit_batches` counter only per physical sync.
+pub struct GroupCommit {
+    state: Mutex<GcState>,
+    cv: Condvar,
+    stats: Stats,
+}
+
+struct GcState {
+    /// A leader is currently inside `Wal::sync`.
+    syncing: bool,
+}
+
+impl GroupCommit {
+    /// A fresh group committer reporting into `stats`.
+    pub fn new(stats: Stats) -> GroupCommit {
+        GroupCommit {
+            state: Mutex::new(GcState { syncing: false }),
+            cv: Condvar::new(),
+            stats,
+        }
+    }
+
+    /// Block until append sequence number `seq` is durable, batching the
+    /// physical sync with every other commit that reached the log first.
+    pub fn sync_through(&self, wal: &SharedWal, seq: u64) -> Result<()> {
+        loop {
+            if wal.lock().unwrap().synced_seq() >= seq {
+                return Ok(()); // rode an earlier leader's batch
+            }
+            {
+                let st = self.state.lock().unwrap();
+                if st.syncing {
+                    // A leader is at work; wait for its batch, then
+                    // re-check whether it covered us.
+                    let _guard = self.cv.wait(st).unwrap();
+                    continue;
+                }
+            }
+            let mut st = self.state.lock().unwrap();
+            if st.syncing {
+                continue; // lost the election race, wait again
+            }
+            st.syncing = true;
+            drop(st);
+            // Leader: one sync covers every append made up to now, not
+            // just our own `seq`.
+            let res = {
+                let mut w = wal.lock().unwrap();
+                if w.synced_seq() >= seq {
+                    Ok(())
+                } else {
+                    let r = w.sync();
+                    if r.is_ok() {
+                        self.stats.inc_group_commit_batch();
+                    }
+                    r
+                }
+            };
+            let mut st = self.state.lock().unwrap();
+            st.syncing = false;
+            self.cv.notify_all();
+            drop(st);
+            return res;
         }
     }
 }
@@ -443,6 +546,42 @@ mod tests {
             Err(StorageError::ChecksumMismatch(_)) => {}
             other => panic!("expected ChecksumMismatch, got {other:?}"),
         }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_syncs() {
+        let path = tmp("group_commit.wal");
+        let stats = Stats::new();
+        let wal: SharedWal = Arc::new(Mutex::new(
+            Wal::create(&path, 1, 32, stats.clone(), None).unwrap(),
+        ));
+        let gc = Arc::new(GroupCommit::new(stats.clone()));
+        // 8 committers append one frame each, then ask for durability.
+        let mut handles = Vec::new();
+        for i in 0..8u32 {
+            let wal = wal.clone();
+            let gc = gc.clone();
+            handles.push(std::thread::spawn(move || {
+                let seq = {
+                    let mut w = wal.lock().unwrap();
+                    w.append_before_image("t.seg", PageId(i), &[i as u8; 32])
+                        .unwrap();
+                    w.appended_seq()
+                };
+                gc.sync_through(&wal, seq).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.wal_appends(), 8);
+        let batches = stats.group_commit_batches();
+        assert!(
+            (1..=8).contains(&batches),
+            "8 commits need 1..=8 physical syncs, got {batches}"
+        );
+        assert!(wal.lock().unwrap().synced_seq() >= 8);
         std::fs::remove_file(&path).unwrap();
     }
 

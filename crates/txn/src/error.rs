@@ -1,0 +1,77 @@
+//! Transaction-layer errors.
+
+use std::fmt;
+
+/// Anything that can go wrong inside a transaction.
+#[derive(Debug)]
+pub enum TxnError {
+    /// The requested lock would close a cycle in the wait-for graph.
+    /// The requester is the deterministic victim: it is the only
+    /// transaction in the cycle that is still running (everyone else is
+    /// parked waiting), so aborting it always breaks the cycle. The
+    /// caller should roll back and retry.
+    Deadlock {
+        /// The transaction that was chosen as victim (the requester).
+        victim: u64,
+        /// The cycle found in the wait-for graph, starting and ending
+        /// at the victim.
+        cycle: Vec<u64>,
+    },
+    /// A lock wait exceeded the manager's timeout — a safety valve so a
+    /// lost wakeup can never hang the test suite; treated like a
+    /// deadlock victim by callers (roll back and retry).
+    LockTimeout { txn: u64 },
+    /// The session has no open transaction for an operation that needs
+    /// one (commit/abort), or has one where it must not (nested begin).
+    State(String),
+    /// An error from the database below (execution, storage, ...). The
+    /// transaction is still open; the caller decides whether to roll
+    /// back or continue.
+    Db(aim2::DbError),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Deadlock { victim, cycle } => {
+                write!(f, "deadlock: txn {victim} aborted (cycle")?;
+                for t in cycle {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ")")
+            }
+            TxnError::LockTimeout { txn } => write!(f, "lock wait timeout: txn {txn}"),
+            TxnError::State(m) => write!(f, "transaction state error: {m}"),
+            TxnError::Db(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxnError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aim2::DbError> for TxnError {
+    fn from(e: aim2::DbError) -> Self {
+        TxnError::Db(e)
+    }
+}
+
+impl TxnError {
+    /// True for errors where the canonical reaction is "roll back and
+    /// retry the whole transaction" (deadlock victim, lock timeout).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TxnError::Deadlock { .. } | TxnError::LockTimeout { .. }
+        )
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, TxnError>;

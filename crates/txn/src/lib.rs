@@ -1,0 +1,40 @@
+//! # aim2-txn — concurrent sessions for the AIM-II reproduction
+//!
+//! The prototype's run-time system multiplexed several application
+//! programs over one database process: flat SQL requests and complex
+//! objects checked out into application workspaces (§4.1). This crate
+//! reproduces that for threads:
+//!
+//! * [`SharedDatabase`] — one [`aim2::Database`] behind a mutex, handing
+//!   out cheap per-thread [`Session`]s;
+//! * [`LockManager`] — multi-granularity (table / object) strict-2PL
+//!   reader–writer locks keyed on root TIDs, FIFO-fair, with wait-for
+//!   graph deadlock detection and a deterministic victim (the
+//!   requester: [`TxnError::Deadlock`]);
+//! * transactions — logical before-image undo (table snapshots for
+//!   statement writes, in-place atom images for object writes) and
+//!   group-committed WAL syncs ([`aim2_storage::wal::GroupCommit`]) so
+//!   concurrent commits share one `fsync`.
+//!
+//! ```
+//! use aim2_txn::SharedDatabase;
+//! let shared = SharedDatabase::new(aim2::Database::in_memory());
+//! shared.with_db(|db| {
+//!     db.execute("CREATE TABLE T ( A INTEGER, B { C INTEGER } )").unwrap();
+//! });
+//! let mut s = shared.session();
+//! s.execute("INSERT INTO T VALUES (1, {(2)})").unwrap();
+//! s.commit().unwrap();
+//! let mut r = shared.session();
+//! let (_, rows) = r.query("SELECT x.A FROM x IN T").unwrap();
+//! assert_eq!(rows.len(), 1);
+//! r.commit().unwrap();
+//! ```
+
+pub mod error;
+pub mod lock;
+pub mod session;
+
+pub use error::{Result, TxnError};
+pub use lock::{LockKey, LockManager, LockMode, TxnId};
+pub use session::{Session, SharedDatabase};

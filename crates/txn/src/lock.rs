@@ -1,0 +1,525 @@
+//! Object-granularity lock manager.
+//!
+//! The paper's check-out model (§4.1) hands a complex object to an
+//! application as a unit, through its root TID. The lock manager mirrors
+//! that: locks are keyed on a *table* or on one *object* (root TID)
+//! inside a table, with the classic multi-granularity modes — a session
+//! that checks an object out for writing takes IX on the table and X on
+//! the object, so whole-table readers (S) conflict with it while
+//! sessions working on *other* objects of the same table pass freely.
+//!
+//! Policy decisions, all deterministic:
+//!
+//! * **Strict 2PL** — locks are held until commit/abort and released in
+//!   one batch ([`LockManager::release_all`]).
+//! * **FIFO fairness** — a fresh request is granted only if it is
+//!   compatible with every granted holder *and* every earlier waiter, so
+//!   a stream of readers can never starve a waiting writer.
+//! * **Upgrades jump the queue** — a holder strengthening its own lock
+//!   (S→X, IS→IX, ...) only has to be compatible with the *other*
+//!   holders; making it queue behind fresh requests would deadlock it
+//!   against itself.
+//! * **Deadlock = requester aborts** — at the moment a request would
+//!   park, the wait-for graph (derived on demand from the queues) is
+//!   searched for a cycle through the requester. Only an actively
+//!   acquiring transaction can close a cycle (parked waiters never gain
+//!   outgoing edges), so the requester is always a valid victim and the
+//!   choice is deterministic: the caller gets [`TxnError::Deadlock`] and
+//!   rolls back.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use aim2_storage::object::ObjectHandle;
+use aim2_storage::stats::Stats;
+
+use crate::error::{Result, TxnError};
+
+/// Transaction identifier (assigned by the session layer).
+pub type TxnId = u64;
+
+/// Classic multi-granularity lock modes (no SIX; an S+IX combination is
+/// promoted straight to X).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Intention shared — will take S on objects below.
+    IntentShared,
+    /// Intention exclusive — will take X on objects below.
+    IntentExclusive,
+    /// Shared — whole-granule read.
+    Shared,
+    /// Exclusive — whole-granule write.
+    Exclusive,
+}
+
+use LockMode::*;
+
+impl LockMode {
+    /// Standard compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        match (self, other) {
+            (IntentShared, Exclusive) | (Exclusive, IntentShared) => false,
+            (IntentShared, _) | (_, IntentShared) => true,
+            (IntentExclusive, IntentExclusive) => true,
+            (Shared, Shared) => true,
+            _ => false,
+        }
+    }
+
+    /// Does holding `self` already satisfy a request for `other`?
+    pub fn covers(self, other: LockMode) -> bool {
+        matches!(
+            (self, other),
+            (Exclusive, _)
+                | (Shared, Shared)
+                | (Shared, IntentShared)
+                | (IntentExclusive, IntentExclusive)
+                | (IntentExclusive, IntentShared)
+                | (IntentShared, IntentShared)
+        )
+    }
+
+    /// Least mode that covers both (upgrade target). The lattice is
+    /// IS < IX < X and IS < S < X, with sup(IX, S) = X.
+    pub fn lub(self, other: LockMode) -> LockMode {
+        if self.covers(other) {
+            self
+        } else if other.covers(self) {
+            other
+        } else {
+            // {IX, S} — the only incomparable pair without SIX.
+            Exclusive
+        }
+    }
+}
+
+/// What a lock protects: a whole table, or one complex object (root
+/// TID) inside it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LockKey {
+    pub table: String,
+    pub object: Option<ObjectHandle>,
+}
+
+impl LockKey {
+    /// Table-granule key.
+    pub fn table(name: &str) -> LockKey {
+        LockKey {
+            table: name.to_string(),
+            object: None,
+        }
+    }
+
+    /// Object-granule key (root TID inside `name`).
+    pub fn object(name: &str, handle: ObjectHandle) -> LockKey {
+        LockKey {
+            table: name.to_string(),
+            object: Some(handle),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Request {
+    txn: TxnId,
+    mode: LockMode,
+}
+
+/// Per-key queue: granted holders (one entry per txn, strongest mode),
+/// transactions waiting to *upgrade* a lock they already hold, and
+/// fresh requests in FIFO order.
+#[derive(Default)]
+struct Queue {
+    granted: Vec<Request>,
+    upgrading: Vec<Request>, // mode = upgrade *target*
+    waiting: VecDeque<Request>,
+}
+
+impl Queue {
+    fn granted_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.granted.iter().find(|r| r.txn == txn).map(|r| r.mode)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.granted.is_empty() && self.upgrading.is_empty() && self.waiting.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct LmState {
+    queues: HashMap<LockKey, Queue>,
+    /// Keys on which each transaction holds a granted lock (release_all).
+    held: HashMap<TxnId, HashSet<LockKey>>,
+}
+
+impl LmState {
+    /// Can `txn`'s pending upgrade to `target` on `key` be applied now?
+    fn upgrade_grantable(&self, key: &LockKey, txn: TxnId, target: LockMode) -> bool {
+        let q = &self.queues[key];
+        q.granted
+            .iter()
+            .all(|g| g.txn == txn || g.mode.compatible(target))
+    }
+
+    /// Can the fresh request `(txn, mode)` on `key` be granted now?
+    /// Fairness: it must get along with every granted holder, every
+    /// pending upgrade target, and every waiter queued before it.
+    fn fresh_grantable(&self, key: &LockKey, txn: TxnId, mode: LockMode) -> bool {
+        let q = &self.queues[key];
+        q.granted.iter().all(|g| g.mode.compatible(mode))
+            && q.upgrading.iter().all(|u| u.mode.compatible(mode))
+            && q.waiting
+                .iter()
+                .take_while(|w| w.txn != txn)
+                .all(|w| w.mode.compatible(mode))
+    }
+
+    fn apply_upgrade(&mut self, key: &LockKey, txn: TxnId, target: LockMode) {
+        let q = self.queues.get_mut(key).expect("queue exists");
+        q.upgrading.retain(|u| u.txn != txn);
+        let g = q
+            .granted
+            .iter_mut()
+            .find(|g| g.txn == txn)
+            .expect("upgrader holds the lock");
+        g.mode = target;
+    }
+
+    fn apply_fresh(&mut self, key: &LockKey, txn: TxnId, mode: LockMode) {
+        let q = self.queues.get_mut(key).expect("queue exists");
+        q.waiting.retain(|w| w.txn != txn);
+        q.granted.push(Request { txn, mode });
+        self.held.entry(txn).or_default().insert(key.clone());
+    }
+
+    /// Outgoing wait-for edges of `txn`, derived from the queues: the
+    /// transactions it cannot proceed past on the key it waits for.
+    fn edges_of(&self, txn: TxnId) -> Vec<TxnId> {
+        let mut out = Vec::new();
+        for q in self.queues.values() {
+            if let Some(u) = q.upgrading.iter().find(|u| u.txn == txn) {
+                for g in &q.granted {
+                    if g.txn != txn && !g.mode.compatible(u.mode) {
+                        out.push(g.txn);
+                    }
+                }
+            }
+            if let Some(pos) = q.waiting.iter().position(|w| w.txn == txn) {
+                let mode = q.waiting[pos].mode;
+                for g in &q.granted {
+                    if g.txn != txn && !g.mode.compatible(mode) {
+                        out.push(g.txn);
+                    }
+                }
+                for u in &q.upgrading {
+                    if u.txn != txn && !u.mode.compatible(mode) {
+                        out.push(u.txn);
+                    }
+                }
+                for w in q.waiting.iter().take(pos) {
+                    if w.txn != txn && !w.mode.compatible(mode) {
+                        out.push(w.txn);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Depth-first search for a cycle through `start` in the derived
+    /// wait-for graph. Returns the cycle path `start → ... → start`.
+    fn find_cycle(&self, start: TxnId) -> Option<Vec<TxnId>> {
+        let mut path = vec![start];
+        let mut visited = HashSet::new();
+        self.dfs(start, start, &mut path, &mut visited)
+            .then_some(path)
+    }
+
+    fn dfs(
+        &self,
+        start: TxnId,
+        at: TxnId,
+        path: &mut Vec<TxnId>,
+        visited: &mut HashSet<TxnId>,
+    ) -> bool {
+        for next in self.edges_of(at) {
+            if next == start {
+                path.push(start);
+                return true;
+            }
+            if visited.insert(next) {
+                path.push(next);
+                if self.dfs(start, next, path, visited) {
+                    return true;
+                }
+                path.pop();
+            }
+        }
+        false
+    }
+
+    fn remove_wait(&mut self, key: &LockKey, txn: TxnId) {
+        if let Some(q) = self.queues.get_mut(key) {
+            q.upgrading.retain(|u| u.txn != txn);
+            q.waiting.retain(|w| w.txn != txn);
+            if q.is_empty() {
+                self.queues.remove(key);
+            }
+        }
+    }
+}
+
+/// The lock manager. One per [`SharedDatabase`](crate::SharedDatabase);
+/// all sessions share it.
+pub struct LockManager {
+    state: Mutex<LmState>,
+    cv: Condvar,
+    stats: Stats,
+    timeout: Duration,
+}
+
+/// Safety valve: no correct schedule waits anywhere near this long; if
+/// a wait does, a [`TxnError::LockTimeout`] surfaces instead of a hang.
+const WAIT_TIMEOUT: Duration = Duration::from_secs(30);
+
+impl LockManager {
+    pub fn new(stats: Stats) -> LockManager {
+        LockManager {
+            state: Mutex::new(LmState::default()),
+            cv: Condvar::new(),
+            stats,
+            timeout: WAIT_TIMEOUT,
+        }
+    }
+
+    /// Same, with a custom wait timeout (tests).
+    pub fn with_timeout(stats: Stats, timeout: Duration) -> LockManager {
+        LockManager {
+            timeout,
+            ..LockManager::new(stats)
+        }
+    }
+
+    /// Acquire `mode` on `key` for `txn`, blocking until granted.
+    ///
+    /// Re-acquiring a covered mode is a no-op; requesting a stronger
+    /// mode upgrades in place. On deadlock the request is withdrawn and
+    /// [`TxnError::Deadlock`] returned — the transaction keeps all locks
+    /// it already holds and must be rolled back by the caller.
+    pub fn acquire(&self, txn: TxnId, key: &LockKey, mode: LockMode) -> Result<()> {
+        let mut st = self.state.lock().expect("lock manager poisoned");
+        let q = st.queues.entry(key.clone()).or_default();
+
+        let upgrade_target = match q.granted_mode(txn) {
+            Some(cur) if cur.covers(mode) => return Ok(()),
+            Some(cur) => Some(cur.lub(mode)),
+            None => None,
+        };
+
+        match upgrade_target {
+            Some(target) => {
+                if st.upgrade_grantable(key, txn, target) {
+                    st.apply_upgrade(key, txn, target);
+                    self.cv.notify_all();
+                    return Ok(());
+                }
+                st.queues
+                    .get_mut(key)
+                    .expect("queue exists")
+                    .upgrading
+                    .push(Request { txn, mode: target });
+            }
+            None => {
+                if st.fresh_grantable(key, txn, mode) {
+                    st.apply_fresh(key, txn, mode);
+                    return Ok(());
+                }
+                st.queues
+                    .get_mut(key)
+                    .expect("queue exists")
+                    .waiting
+                    .push_back(Request { txn, mode });
+            }
+        }
+
+        // The request will park: this is the only moment a new outgoing
+        // edge can appear in the wait-for graph, so checking here
+        // catches every cycle, and the requester is always in it.
+        if let Some(cycle) = st.find_cycle(txn) {
+            st.remove_wait(key, txn);
+            self.stats.inc_deadlock_aborted();
+            // Withdrawing a queued request can unblock waiters behind it.
+            self.cv.notify_all();
+            return Err(TxnError::Deadlock { victim: txn, cycle });
+        }
+
+        self.stats.inc_lock_wait();
+        let deadline = std::time::Instant::now() + self.timeout;
+        loop {
+            let granted = match upgrade_target {
+                Some(target) => {
+                    let ok = st.upgrade_grantable(key, txn, target);
+                    if ok {
+                        st.apply_upgrade(key, txn, target);
+                    }
+                    ok
+                }
+                None => {
+                    let ok = st.fresh_grantable(key, txn, mode);
+                    if ok {
+                        st.apply_fresh(key, txn, mode);
+                    }
+                    ok
+                }
+            };
+            if granted {
+                self.cv.notify_all();
+                return Ok(());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                st.remove_wait(key, txn);
+                self.cv.notify_all();
+                return Err(TxnError::LockTimeout { txn });
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("lock manager poisoned");
+            st = guard;
+        }
+    }
+
+    /// Release every lock `txn` holds (strict 2PL: called once, at
+    /// commit or abort) and wake all waiters.
+    pub fn release_all(&self, txn: TxnId) {
+        let mut st = self.state.lock().expect("lock manager poisoned");
+        if let Some(keys) = st.held.remove(&txn) {
+            for key in keys {
+                if let Some(q) = st.queues.get_mut(&key) {
+                    q.granted.retain(|g| g.txn != txn);
+                    if q.is_empty() {
+                        st.queues.remove(&key);
+                    }
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Number of granted locks `txn` currently holds (tests, debugging).
+    pub fn held_count(&self, txn: TxnId) -> usize {
+        let st = self.state.lock().expect("lock manager poisoned");
+        st.held.get(&txn).map_or(0, |k| k.len())
+    }
+
+    /// Number of requests currently parked (tests: deterministic
+    /// rendezvous by polling for an expected number of waiters).
+    pub fn waiter_count(&self) -> usize {
+        let st = self.state.lock().expect("lock manager poisoned");
+        st.queues
+            .values()
+            .map(|q| q.waiting.len() + q.upgrading.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatibility_matrix() {
+        // Rows/cols: IS IX S X — the matrix from the multi-granularity
+        // locking literature.
+        let modes = [IntentShared, IntentExclusive, Shared, Exclusive];
+        let expect = [
+            [true, true, true, false],
+            [true, true, false, false],
+            [true, false, true, false],
+            [false, false, false, false],
+        ];
+        for (i, &a) in modes.iter().enumerate() {
+            for (j, &b) in modes.iter().enumerate() {
+                assert_eq!(a.compatible(b), expect[i][j], "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lub_lattice() {
+        assert_eq!(IntentShared.lub(IntentExclusive), IntentExclusive);
+        assert_eq!(IntentShared.lub(Shared), Shared);
+        assert_eq!(IntentExclusive.lub(Shared), Exclusive);
+        assert_eq!(Shared.lub(Exclusive), Exclusive);
+        assert_eq!(Shared.lub(Shared), Shared);
+    }
+
+    #[test]
+    fn reacquire_covered_is_noop() {
+        let lm = LockManager::new(Stats::new());
+        let k = LockKey::table("T");
+        lm.acquire(1, &k, Exclusive).unwrap();
+        lm.acquire(1, &k, Shared).unwrap();
+        lm.acquire(1, &k, IntentShared).unwrap();
+        assert_eq!(lm.held_count(1), 1);
+        lm.release_all(1);
+        assert_eq!(lm.held_count(1), 0);
+    }
+
+    #[test]
+    fn object_locks_are_independent() {
+        use aim2_storage::tid::{PageId, SlotNo, Tid};
+        let lm = LockManager::new(Stats::new());
+        let t = LockKey::table("T");
+        let o1 = LockKey::object(
+            "T",
+            ObjectHandle(Tid {
+                page: PageId(0),
+                slot: SlotNo(1),
+            }),
+        );
+        let o2 = LockKey::object(
+            "T",
+            ObjectHandle(Tid {
+                page: PageId(0),
+                slot: SlotNo(2),
+            }),
+        );
+        // Two writers on different objects of the same table coexist.
+        lm.acquire(1, &t, IntentExclusive).unwrap();
+        lm.acquire(1, &o1, Exclusive).unwrap();
+        lm.acquire(2, &t, IntentExclusive).unwrap();
+        lm.acquire(2, &o2, Exclusive).unwrap();
+        lm.release_all(1);
+        lm.release_all(2);
+    }
+
+    #[test]
+    fn immediate_self_deadlock_on_cross_upgrade() {
+        // Single-threaded 2-cycle: T1 and T2 both hold S; T2 parks for
+        // X (upgrade); T1's own upgrade attempt then closes the cycle
+        // and T1 — the requester — is the victim.
+        let lm = LockManager::with_timeout(Stats::new(), Duration::from_millis(200));
+        let k = LockKey::table("T");
+        lm.acquire(1, &k, Shared).unwrap();
+        lm.acquire(2, &k, Shared).unwrap();
+        let lm = std::sync::Arc::new(lm);
+        let lm2 = lm.clone();
+        let h = std::thread::spawn(move || {
+            let k = LockKey::table("T");
+            lm2.acquire(2, &k, Exclusive)
+        });
+        while lm.waiter_count() == 0 {
+            std::thread::yield_now();
+        }
+        let err = lm.acquire(1, &k, Exclusive).unwrap_err();
+        assert!(matches!(err, TxnError::Deadlock { victim: 1, .. }), "{err}");
+        lm.release_all(1);
+        h.join().unwrap().unwrap();
+        lm.release_all(2);
+    }
+}

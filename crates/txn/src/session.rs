@@ -1,0 +1,611 @@
+//! Concurrent sessions over one shared database.
+//!
+//! AIM-II's run-time system served several application programs at once:
+//! set-oriented SQL requests and checked-out complex objects both went
+//! through one database process. [`SharedDatabase`] reproduces that
+//! integration point for threads: it owns the single [`Database`]
+//! behind a mutex (physical access is serialized — the prototype was a
+//! single database machine too) and hands out [`Session`]s, whose
+//! *logical* isolation comes from the [`LockManager`]:
+//!
+//! * a statement (`SELECT` / DML / DDL) locks whole **tables** — S for
+//!   reads, X for writes;
+//! * the check-out API ([`Session::checkout`],
+//!   [`Session::update_atoms`], ...) locks one **object** (root TID): IX
+//!   on the table plus X on the object, so writers on different objects
+//!   of one table run concurrently while a table reader still excludes
+//!   them.
+//!
+//! Transactions are strict 2PL with rollback from logical before-images
+//! (a table snapshot for statement writes, per-subtuple atom images for
+//! object writes) and a **group-committed** WAL sync at commit: every
+//! commit flushes its touched tables' pages — appending page
+//! before-images to the WAL — and then joins
+//! [`GroupCommit::sync_through`], where one leader's `fsync` covers all
+//! concurrently committing sessions.
+//!
+//! Two documented caveats keep the undo machinery honest and simple:
+//! a transaction may write a given table *either* through statements
+//! *or* through the object API, not both (mixing returns
+//! [`TxnError::State`]); and DDL is not undone by rollback.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use aim2::{Database, ExecResult};
+use aim2_exec::TableProvider;
+use aim2_lang::ast::{self, NamedValue, SelectItem, Source, Stmt};
+use aim2_model::{Atom, Date, Path, TableSchema, TableValue, Tuple};
+use aim2_storage::object::{ElemLoc, ObjectHandle};
+use aim2_storage::stats::Stats;
+use aim2_storage::wal::{GroupCommit, SharedWal};
+
+use crate::error::{Result, TxnError};
+use crate::lock::{LockKey, LockManager, LockMode, TxnId};
+
+// ====================================================================
+// Shared database
+// ====================================================================
+
+struct Shared {
+    db: Mutex<Database>,
+    locks: LockManager,
+    gc: GroupCommit,
+    stats: Stats,
+    next_txn: AtomicU64,
+}
+
+/// A database opened for concurrent use: wrap a [`Database`] once, then
+/// clone handles and open a [`Session`] per thread.
+#[derive(Clone)]
+pub struct SharedDatabase {
+    inner: Arc<Shared>,
+}
+
+impl SharedDatabase {
+    /// Take ownership of `db` and make it shareable.
+    pub fn new(db: Database) -> SharedDatabase {
+        let stats = db.stats().clone();
+        SharedDatabase {
+            inner: Arc::new(Shared {
+                locks: LockManager::new(stats.clone()),
+                gc: GroupCommit::new(stats.clone()),
+                stats,
+                next_txn: AtomicU64::new(1),
+                db: Mutex::new(db),
+            }),
+        }
+    }
+
+    /// Open a new session. Sessions are cheap; one per thread.
+    pub fn session(&self) -> Session {
+        Session {
+            shared: self.inner.clone(),
+            txn: None,
+        }
+    }
+
+    /// Run `f` with exclusive access to the raw database — for
+    /// administrative work (initial DDL, checkpoints) outside any
+    /// transaction. Skips the lock manager entirely: do not interleave
+    /// with writing sessions.
+    pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut db = self.inner.db.lock().expect("database mutex poisoned");
+        f(&mut db)
+    }
+
+    /// Checkpoint the database (quiesces through the database mutex).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.with_db(|db| db.checkpoint()).map_err(TxnError::Db)
+    }
+
+    /// The shared statistics block (lock waits, deadlock aborts, group
+    /// commit batches, and all storage counters).
+    pub fn stats(&self) -> Stats {
+        self.inner.stats.clone()
+    }
+
+    /// Unwrap back into the owned [`Database`]. Fails (returns `self`)
+    /// while sessions are still alive.
+    pub fn try_into_inner(self) -> std::result::Result<Database, SharedDatabase> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(shared) => Ok(shared.db.into_inner().expect("database mutex poisoned")),
+            Err(inner) => Err(SharedDatabase { inner }),
+        }
+    }
+}
+
+// ====================================================================
+// Undo log
+// ====================================================================
+
+/// Logical before-images, undone in reverse order on rollback.
+enum Undo {
+    /// Statement-level write: whole-table snapshot taken before the
+    /// transaction's first statement write to `table`.
+    TableSnapshot { table: String, tuples: Vec<Tuple> },
+    /// Object-level atom update: the atoms at `loc` before this
+    /// transaction first overwrote them. Undo is another in-place
+    /// update, so the object handle stays stable — a waiter blocked on
+    /// this object's lock still holds a valid handle after the abort.
+    Atoms {
+        table: String,
+        handle: ObjectHandle,
+        loc: ElemLoc,
+        atoms: Vec<Atom>,
+    },
+    /// Object-level delete: reinsert the saved tuple. The object comes
+    /// back under a *new* handle (root TIDs are not recycled).
+    Reinsert { table: String, tuple: Tuple },
+}
+
+/// How a transaction has written a table so far — statement writes use
+/// table-snapshot undo, object writes use per-subtuple undo; the two
+/// cannot be mixed on one table inside one transaction.
+#[derive(PartialEq, Clone, Copy)]
+enum WriteMode {
+    Statement,
+    Object,
+}
+
+/// (table, handle, loc-steps) identifying one atom-image undo site.
+type AtomImageKey = (String, ObjectHandle, Vec<(usize, usize)>);
+
+struct Txn {
+    id: TxnId,
+    undo: Vec<Undo>,
+    write_mode: BTreeMap<String, WriteMode>,
+    /// Sites whose atom before-image is already recorded — only the
+    /// first touch matters.
+    atom_images: HashSet<AtomImageKey>,
+    /// Tables whose pages must be flushed (with WAL logging) at commit.
+    touched: BTreeSet<String>,
+}
+
+// ====================================================================
+// Session
+// ====================================================================
+
+/// One client of a [`SharedDatabase`]: runs statements and checks out
+/// objects inside strict-2PL transactions.
+///
+/// A transaction starts implicitly at the first operation (or explicit
+/// [`Session::begin`]) and ends with [`Session::commit`] or
+/// [`Session::rollback`]. Dropping a session with an open transaction
+/// rolls it back.
+pub struct Session {
+    shared: Arc<Shared>,
+    txn: Option<Txn>,
+}
+
+impl Session {
+    // ---------------- transaction boundaries ----------------
+
+    /// Explicitly start a transaction. Errors if one is already open.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(TxnError::State("transaction already open".into()));
+        }
+        self.ensure_txn();
+        Ok(())
+    }
+
+    /// The open transaction's id, if any (tests, diagnostics).
+    pub fn txn_id(&self) -> Option<TxnId> {
+        self.txn.as_ref().map(|t| t.id)
+    }
+
+    fn ensure_txn(&mut self) -> TxnId {
+        if self.txn.is_none() {
+            let id = self.shared.next_txn.fetch_add(1, Ordering::Relaxed);
+            self.txn = Some(Txn {
+                id,
+                undo: Vec::new(),
+                write_mode: BTreeMap::new(),
+                atom_images: HashSet::new(),
+                touched: BTreeSet::new(),
+            });
+        }
+        self.txn.as_ref().expect("just ensured").id
+    }
+
+    /// Commit: append WAL before-images for every touched table's dirty
+    /// pages, group-commit the log sync, release all locks. (Pages
+    /// reach disk later through the WAL-safe eviction and checkpoint
+    /// paths — the log always hits stable storage first.)
+    pub fn commit(&mut self) -> Result<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| TxnError::State("commit without open transaction".into()))?;
+        let mut max_seq = None;
+        let mut wal: Option<SharedWal> = None;
+        let flush_res: aim2::Result<()> = (|| {
+            let mut db = self.shared.db.lock().expect("database mutex poisoned");
+            for table in &txn.touched {
+                if let Some(seq) = db.log_table_dirty(table)? {
+                    max_seq = Some(max_seq.map_or(seq, |m: u64| seq.max(m)));
+                }
+            }
+            wal = db.shared_wal();
+            Ok(())
+        })();
+        // The WAL fsync happens *outside* the database mutex: commits
+        // serialize their page writes but share the disk sync.
+        let sync_res = match (&wal, max_seq) {
+            (Some(wal), Some(seq)) => self
+                .shared
+                .gc
+                .sync_through(wal, seq)
+                .map_err(|e| TxnError::Db(aim2::DbError::Storage(e))),
+            _ => Ok(()),
+        };
+        self.shared.locks.release_all(txn.id);
+        flush_res.map_err(TxnError::Db)?;
+        sync_res
+    }
+
+    /// Roll back: apply the undo log in reverse, release all locks.
+    /// DDL executed inside the transaction is *not* undone.
+    pub fn rollback(&mut self) -> Result<()> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| TxnError::State("rollback without open transaction".into()))?;
+        let res: aim2::Result<()> = (|| {
+            let mut db = self.shared.db.lock().expect("database mutex poisoned");
+            for undo in txn.undo.iter().rev() {
+                match undo {
+                    Undo::TableSnapshot { table, tuples } => {
+                        db.restore_table(table, tuples.clone())?;
+                    }
+                    Undo::Atoms {
+                        table,
+                        handle,
+                        loc,
+                        atoms,
+                    } => {
+                        db.update_object_atoms(table, *handle, loc, atoms)?;
+                    }
+                    Undo::Reinsert { table, tuple } => {
+                        db.insert_tuple(table, tuple.clone())?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.shared.locks.release_all(txn.id);
+        res.map_err(TxnError::Db)
+    }
+
+    // ---------------- statement interface (table granularity) --------
+
+    /// Execute one statement inside the transaction. Read tables are
+    /// locked S, written tables X (in sorted order, so identical
+    /// statement mixes cannot deadlock against each other); the first
+    /// statement write to a table snapshots it for undo.
+    pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
+        let stmt = aim2_lang::parse_stmt(sql).map_err(|e| TxnError::Db(aim2::DbError::Parse(e)))?;
+        let (reads, writes) = stmt_tables(&stmt);
+        let id = self.ensure_txn();
+
+        for table in reads.union(&writes) {
+            let mode = if writes.contains(table) {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            self.shared
+                .locks
+                .acquire(id, &LockKey::table(table), mode)?;
+        }
+
+        let is_ddl = matches!(
+            stmt,
+            Stmt::CreateTable(_) | Stmt::CreateIndex(_) | Stmt::DropTable(_)
+        );
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        let txn = self.txn.as_mut().expect("txn ensured above");
+        for table in &writes {
+            if is_ddl {
+                // DDL is executed in place and not undone by rollback.
+                txn.touched.insert(table.clone());
+                continue;
+            }
+            match txn.write_mode.get(table) {
+                Some(WriteMode::Object) => {
+                    return Err(TxnError::State(format!(
+                        "table {table} already written through the object API \
+                         in this transaction; statement writes cannot be mixed in"
+                    )));
+                }
+                Some(WriteMode::Statement) => {}
+                None => {
+                    let tuples = db.snapshot_table(table).map_err(TxnError::Db)?;
+                    txn.undo.push(Undo::TableSnapshot {
+                        table: table.clone(),
+                        tuples,
+                    });
+                    txn.write_mode.insert(table.clone(), WriteMode::Statement);
+                }
+            }
+            txn.touched.insert(table.clone());
+        }
+        db.execute_stmt(&stmt).map_err(TxnError::Db)
+    }
+
+    /// Run a query (S table locks) and materialize the result.
+    pub fn query(&mut self, sql: &str) -> Result<(TableSchema, TableValue)> {
+        match self.execute(sql)?.into_table() {
+            Ok(t) => Ok(t),
+            Err(e) => Err(TxnError::Db(e)),
+        }
+    }
+
+    // ---------------- check-out interface (object granularity) -------
+
+    /// All object handles of an NF² table (IS lock: intent to read
+    /// individual objects below).
+    pub fn handles(&mut self, table: &str) -> Result<Vec<ObjectHandle>> {
+        let id = self.ensure_txn();
+        self.shared
+            .locks
+            .acquire(id, &LockKey::table(table), LockMode::IntentShared)?;
+        self.with_db(|db| db.handles(table))
+    }
+
+    /// Check an object out for reading: IS on the table, S on the
+    /// object, and the materialized tuple comes back.
+    pub fn read_object(&mut self, table: &str, handle: ObjectHandle) -> Result<Tuple> {
+        let id = self.ensure_txn();
+        self.shared
+            .locks
+            .acquire(id, &LockKey::table(table), LockMode::IntentShared)?;
+        self.shared
+            .locks
+            .acquire(id, &LockKey::object(table, handle), LockMode::Shared)?;
+        self.with_db(|db| db.read_object(table, handle))
+    }
+
+    /// Check an object out for writing: IX on the table, X on the
+    /// object. Returns the current tuple — the caller's local copy, as
+    /// in the paper's application-process workspaces.
+    pub fn checkout(&mut self, table: &str, handle: ObjectHandle) -> Result<Tuple> {
+        let id = self.ensure_txn();
+        self.lock_object_x(id, table, handle)?;
+        self.with_db(|db| db.read_object(table, handle))
+    }
+
+    /// Overwrite the atoms at `loc` of a checked-out object (takes the
+    /// IX+X locks itself if [`Session::checkout`] was skipped). The
+    /// first write to each subtuple records its before-image; an abort
+    /// restores it in place, so the handle survives rollback.
+    pub fn update_atoms(
+        &mut self,
+        table: &str,
+        handle: ObjectHandle,
+        loc: &ElemLoc,
+        atoms: &[Atom],
+    ) -> Result<()> {
+        let id = self.ensure_txn();
+        self.lock_object_x(id, table, handle)?;
+        self.note_object_write(table)?;
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        let txn = self.txn.as_mut().expect("txn ensured above");
+        let image_key = (table.to_string(), handle, loc.steps.clone());
+        if !txn.atom_images.contains(&image_key) {
+            let before = db
+                .read_object_atoms(table, handle, loc)
+                .map_err(TxnError::Db)?;
+            txn.undo.push(Undo::Atoms {
+                table: table.to_string(),
+                handle,
+                loc: loc.clone(),
+                atoms: before,
+            });
+            txn.atom_images.insert(image_key);
+        }
+        db.update_object_atoms(table, handle, loc, atoms)
+            .map_err(TxnError::Db)?;
+        txn.touched.insert(table.to_string());
+        Ok(())
+    }
+
+    /// Delete a checked-out object. Rollback reinserts it under a new
+    /// handle (root TIDs are never recycled).
+    pub fn delete_object(&mut self, table: &str, handle: ObjectHandle) -> Result<()> {
+        let id = self.ensure_txn();
+        self.lock_object_x(id, table, handle)?;
+        self.note_object_write(table)?;
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        let txn = self.txn.as_mut().expect("txn ensured above");
+        let tuple = db.read_object(table, handle).map_err(TxnError::Db)?;
+        db.delete_object(table, handle).map_err(TxnError::Db)?;
+        txn.undo.push(Undo::Reinsert {
+            table: table.to_string(),
+            tuple,
+        });
+        txn.touched.insert(table.to_string());
+        Ok(())
+    }
+
+    // ---------------- internals ----------------
+
+    fn lock_object_x(&mut self, id: TxnId, table: &str, handle: ObjectHandle) -> Result<()> {
+        self.shared
+            .locks
+            .acquire(id, &LockKey::table(table), LockMode::IntentExclusive)?;
+        self.shared
+            .locks
+            .acquire(id, &LockKey::object(table, handle), LockMode::Exclusive)
+    }
+
+    fn note_object_write(&mut self, table: &str) -> Result<()> {
+        let txn = self.txn.as_mut().expect("caller ensured txn");
+        match txn.write_mode.get(table) {
+            Some(WriteMode::Statement) => Err(TxnError::State(format!(
+                "table {table} already written through statements in this \
+                 transaction; object writes cannot be mixed in"
+            ))),
+            Some(WriteMode::Object) => Ok(()),
+            None => {
+                txn.write_mode.insert(table.to_string(), WriteMode::Object);
+                Ok(())
+            }
+        }
+    }
+
+    fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> aim2::Result<R>) -> Result<R> {
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        f(&mut db).map_err(TxnError::Db)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if self.txn.is_some() && !std::thread::panicking() {
+            let _ = self.rollback();
+        }
+    }
+}
+
+/// Queries evaluate against a session like against a raw database: the
+/// provider takes S table locks on the way through, so
+/// [`aim2_exec::Evaluator`] plans run with full transactional isolation.
+impl TableProvider for Session {
+    fn table_schema(&mut self, name: &str) -> aim2_exec::Result<TableSchema> {
+        let id = self.ensure_txn();
+        self.shared
+            .locks
+            .acquire(id, &LockKey::table(name), LockMode::Shared)
+            .map_err(exec_err)?;
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        TableProvider::table_schema(&mut *db, name)
+    }
+
+    fn scan_table(
+        &mut self,
+        name: &str,
+        asof: Option<Date>,
+        keep: Option<&dyn Fn(&Path) -> bool>,
+    ) -> aim2_exec::Result<TableValue> {
+        let id = self.ensure_txn();
+        self.shared
+            .locks
+            .acquire(id, &LockKey::table(name), LockMode::Shared)
+            .map_err(exec_err)?;
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        TableProvider::scan_table(&mut *db, name, asof, keep)
+    }
+}
+
+fn exec_err(e: TxnError) -> aim2_exec::ExecError {
+    aim2_exec::ExecError::Semantic(e.to_string())
+}
+
+// ====================================================================
+// Statement lock analysis
+// ====================================================================
+
+/// Stored tables a statement reads and writes (table granularity — the
+/// conservative statement-level lock set).
+fn stmt_tables(stmt: &Stmt) -> (BTreeSet<String>, BTreeSet<String>) {
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    match stmt {
+        Stmt::Query(q) | Stmt::Explain(q) => query_tables(q, &mut reads),
+        Stmt::CreateTable(ct) => {
+            writes.insert(ct.name.clone());
+        }
+        Stmt::CreateIndex(ci) => {
+            writes.insert(ci.table.clone());
+        }
+        Stmt::DropTable(name) => {
+            writes.insert(name.clone());
+        }
+        Stmt::Insert(ins) => {
+            if let Source::Table(t) = &ins.target {
+                writes.insert(t.clone());
+            }
+            // Partial inserts locate parents through bindings — those
+            // parents are modified, so their tables lock X.
+            bindings_tables(&ins.from, &mut writes);
+            if let Some(e) = &ins.where_ {
+                expr_tables(e, &mut reads);
+            }
+        }
+        Stmt::Update(u) => {
+            bindings_tables(&u.from, &mut writes);
+            if let Some(e) = &u.where_ {
+                expr_tables(e, &mut reads);
+            }
+        }
+        Stmt::Delete(d) => {
+            bindings_tables(&d.from, &mut writes);
+            if let Some(e) = &d.where_ {
+                expr_tables(e, &mut reads);
+            }
+        }
+    }
+    // A table both read and written locks X only.
+    for w in &writes {
+        reads.remove(w);
+    }
+    (reads, writes)
+}
+
+fn query_tables(q: &ast::Query, out: &mut BTreeSet<String>) {
+    bindings_tables(&q.from, out);
+    if let Some(e) = &q.where_ {
+        expr_tables(e, out);
+    }
+    for item in &q.select {
+        if let SelectItem::Named {
+            value: NamedValue::Subquery(sq),
+            ..
+        } = item
+        {
+            query_tables(sq, out);
+        }
+    }
+}
+
+fn bindings_tables(bindings: &[ast::Binding], out: &mut BTreeSet<String>) {
+    for b in bindings {
+        binding_table(b, out);
+    }
+}
+
+fn binding_table(b: &ast::Binding, out: &mut BTreeSet<String>) {
+    if let Source::Table(t) = &b.source {
+        out.insert(t.clone());
+    }
+}
+
+fn expr_tables(e: &ast::Expr, out: &mut BTreeSet<String>) {
+    use ast::Expr::*;
+    match e {
+        PathRef { .. } | Subscript { .. } | Lit(_) => {}
+        Cmp { lhs, rhs, .. } => {
+            expr_tables(lhs, out);
+            expr_tables(rhs, out);
+        }
+        And(a, b) | Or(a, b) => {
+            expr_tables(a, out);
+            expr_tables(b, out);
+        }
+        Not(a) => expr_tables(a, out),
+        Exists { binding, pred } => {
+            binding_table(binding, out);
+            if let Some(p) = pred {
+                expr_tables(p, out);
+            }
+        }
+        Forall { binding, pred } => {
+            binding_table(binding, out);
+            expr_tables(pred, out);
+        }
+        Contains { expr, .. } => expr_tables(expr, out),
+    }
+}

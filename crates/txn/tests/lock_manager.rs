@@ -1,0 +1,309 @@
+//! Lock manager isolation suite: upgrades, 2- and 3-cycle deadlocks,
+//! and FIFO fairness under contention.
+//!
+//! Every test is deterministic: threads rendezvous by polling
+//! [`LockManager::waiter_count`] (a parked request is observable state,
+//! not a timing guess), and the deadlock victim is always the requester
+//! whose acquire closes the cycle, so assertions never race.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use aim2_storage::stats::Stats;
+use aim2_storage::tid::{PageId, SlotNo, Tid};
+use aim2_txn::{LockKey, LockManager, LockMode, TxnError};
+
+use aim2_storage::object::ObjectHandle;
+
+fn manager() -> (Arc<LockManager>, Stats) {
+    let stats = Stats::new();
+    // Short timeout: a logic bug fails the test in seconds, not minutes.
+    let lm = Arc::new(LockManager::with_timeout(
+        stats.clone(),
+        Duration::from_secs(10),
+    ));
+    (lm, stats)
+}
+
+fn handle(slot: u16) -> ObjectHandle {
+    ObjectHandle(Tid {
+        page: PageId(0),
+        slot: SlotNo(slot),
+    })
+}
+
+/// Park-rendezvous: wait until exactly `n` requests are queued.
+fn await_waiters(lm: &LockManager, n: usize) {
+    let mut spins = 0u64;
+    while lm.waiter_count() < n {
+        std::thread::yield_now();
+        spins += 1;
+        assert!(spins < 200_000_000, "waiters never parked");
+    }
+}
+
+// ====================================================================
+// Upgrades
+// ====================================================================
+
+#[test]
+fn upgrade_waits_for_other_reader_then_succeeds() {
+    let (lm, stats) = manager();
+    let k = LockKey::table("T");
+    lm.acquire(1, &k, LockMode::Shared).unwrap();
+    lm.acquire(2, &k, LockMode::Shared).unwrap();
+
+    let lm2 = lm.clone();
+    let t = std::thread::spawn(move || {
+        // S → X upgrade must wait for txn 2's S, then win.
+        lm2.acquire(1, &LockKey::table("T"), LockMode::Exclusive)
+    });
+    await_waiters(&lm, 1);
+    assert!(stats.lock_waits() >= 1);
+
+    lm.release_all(2);
+    t.join().unwrap().unwrap();
+    // Txn 1 now holds X: a fresh S request must queue.
+    let lm3 = lm.clone();
+    let r = std::thread::spawn(move || lm3.acquire(3, &LockKey::table("T"), LockMode::Shared));
+    await_waiters(&lm, 1);
+    lm.release_all(1);
+    r.join().unwrap().unwrap();
+    lm.release_all(3);
+}
+
+#[test]
+fn upgrade_jumps_the_fresh_queue() {
+    let (lm, _) = manager();
+    let k = LockKey::table("T");
+    lm.acquire(1, &k, LockMode::Shared).unwrap();
+
+    // A fresh X request parks behind txn 1's S...
+    let lm2 = lm.clone();
+    let t = std::thread::spawn(move || lm2.acquire(2, &LockKey::table("T"), LockMode::Exclusive));
+    await_waiters(&lm, 1);
+
+    // ...but txn 1's own upgrade to X must NOT queue behind it — that
+    // would deadlock the upgrade against the fresh waiter forever.
+    lm.acquire(1, &k, LockMode::Exclusive).unwrap();
+
+    lm.release_all(1);
+    t.join().unwrap().unwrap();
+    lm.release_all(2);
+}
+
+#[test]
+fn intent_upgrade_is_compatible_in_place() {
+    let (lm, _) = manager();
+    let k = LockKey::table("T");
+    // Two object-writers both escalate IS → IX on the table; IX is
+    // self-compatible, so neither blocks.
+    lm.acquire(1, &k, LockMode::IntentShared).unwrap();
+    lm.acquire(2, &k, LockMode::IntentShared).unwrap();
+    lm.acquire(1, &k, LockMode::IntentExclusive).unwrap();
+    lm.acquire(2, &k, LockMode::IntentExclusive).unwrap();
+    lm.release_all(1);
+    lm.release_all(2);
+}
+
+// ====================================================================
+// Deadlocks
+// ====================================================================
+
+#[test]
+fn two_cycle_deadlock_victims_the_requester() {
+    let (lm, stats) = manager();
+    let a = LockKey::table("A");
+    let b = LockKey::table("B");
+    lm.acquire(1, &a, LockMode::Exclusive).unwrap();
+    lm.acquire(2, &b, LockMode::Exclusive).unwrap();
+
+    // Txn 2 parks on A (held by 1)...
+    let lm2 = lm.clone();
+    let t = std::thread::spawn(move || lm2.acquire(2, &LockKey::table("A"), LockMode::Exclusive));
+    await_waiters(&lm, 1);
+
+    // ...and txn 1's request for B closes the 2-cycle: 1 → 2 → 1.
+    // The requester (1) is the victim, deterministically.
+    let err = lm.acquire(1, &b, LockMode::Exclusive).unwrap_err();
+    match err {
+        TxnError::Deadlock { victim, cycle } => {
+            assert_eq!(victim, 1);
+            assert_eq!(cycle.first(), Some(&1));
+            assert_eq!(cycle.last(), Some(&1));
+            assert!(cycle.contains(&2), "cycle {cycle:?} must pass through 2");
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+    assert_eq!(stats.deadlocks_aborted(), 1);
+
+    // Victim rolls back: releasing its locks lets txn 2 finish.
+    lm.release_all(1);
+    t.join().unwrap().unwrap();
+    lm.release_all(2);
+}
+
+#[test]
+fn three_cycle_deadlock_detected() {
+    let (lm, stats) = manager();
+    let a = LockKey::table("A");
+    let b = LockKey::table("B");
+    let c = LockKey::table("C");
+    lm.acquire(1, &a, LockMode::Exclusive).unwrap();
+    lm.acquire(2, &b, LockMode::Exclusive).unwrap();
+    lm.acquire(3, &c, LockMode::Exclusive).unwrap();
+
+    // 1 parks on B, 2 parks on C — two edges of the triangle.
+    let lm1 = lm.clone();
+    let t1 = std::thread::spawn(move || lm1.acquire(1, &LockKey::table("B"), LockMode::Exclusive));
+    await_waiters(&lm, 1);
+    let lm2 = lm.clone();
+    let t2 = std::thread::spawn(move || lm2.acquire(2, &LockKey::table("C"), LockMode::Exclusive));
+    await_waiters(&lm, 2);
+
+    // 3 → A closes 3 → 1 → 2 → 3. Requester 3 is the victim.
+    let err = lm.acquire(3, &a, LockMode::Exclusive).unwrap_err();
+    match err {
+        TxnError::Deadlock { victim, cycle } => {
+            assert_eq!(victim, 3);
+            assert!(cycle.contains(&1) && cycle.contains(&2), "cycle {cycle:?}");
+        }
+        other => panic!("expected deadlock, got {other}"),
+    }
+    assert_eq!(stats.deadlocks_aborted(), 1);
+
+    // Unwind: victim releases C, txn 2 takes it, then 2's release
+    // unblocks 1.
+    lm.release_all(3);
+    t2.join().unwrap().unwrap();
+    lm.release_all(2);
+    t1.join().unwrap().unwrap();
+    lm.release_all(1);
+}
+
+#[test]
+fn object_granularity_deadlock() {
+    let (lm, _) = manager();
+    let t = LockKey::table("T");
+    let o1 = LockKey::object("T", handle(1));
+    let o2 = LockKey::object("T", handle(2));
+    // Classic transfer deadlock: both writers IX the table (compatible),
+    // then X opposite objects in opposite orders.
+    lm.acquire(1, &t, LockMode::IntentExclusive).unwrap();
+    lm.acquire(2, &t, LockMode::IntentExclusive).unwrap();
+    lm.acquire(1, &o1, LockMode::Exclusive).unwrap();
+    lm.acquire(2, &o2, LockMode::Exclusive).unwrap();
+
+    let lm2 = lm.clone();
+    let th = std::thread::spawn(move || {
+        lm2.acquire(2, &LockKey::object("T", handle(1)), LockMode::Exclusive)
+    });
+    await_waiters(&lm, 1);
+
+    let err = lm.acquire(1, &o2, LockMode::Exclusive).unwrap_err();
+    assert!(matches!(err, TxnError::Deadlock { victim: 1, .. }), "{err}");
+
+    lm.release_all(1);
+    th.join().unwrap().unwrap();
+    lm.release_all(2);
+}
+
+// ====================================================================
+// Fairness
+// ====================================================================
+
+#[test]
+fn waiting_writer_beats_later_readers() {
+    let (lm, _) = manager();
+    let k = LockKey::table("T");
+    lm.acquire(1, &k, LockMode::Shared).unwrap();
+
+    let (tx, rx) = mpsc::channel::<&'static str>();
+
+    // Writer parks first.
+    let lmw = lm.clone();
+    let txw = tx.clone();
+    let w = std::thread::spawn(move || {
+        lmw.acquire(10, &LockKey::table("T"), LockMode::Exclusive)
+            .unwrap();
+        txw.send("writer").unwrap();
+        lmw.release_all(10);
+    });
+    await_waiters(&lm, 1);
+
+    // Three readers arrive later: FIFO fairness queues them *behind*
+    // the writer even though they are compatible with the granted S.
+    let mut readers = Vec::new();
+    for i in 0..3u64 {
+        let lmr = lm.clone();
+        let txr = tx.clone();
+        readers.push(std::thread::spawn(move || {
+            lmr.acquire(20 + i, &LockKey::table("T"), LockMode::Shared)
+                .unwrap();
+            txr.send("reader").unwrap();
+            lmr.release_all(20 + i);
+        }));
+        await_waiters(&lm, 1 + i as usize + 1);
+    }
+
+    // Nobody proceeded yet — the writer blocks on txn 1, the readers on
+    // the writer.
+    assert!(rx.try_recv().is_err());
+
+    lm.release_all(1);
+    assert_eq!(
+        rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+        "writer",
+        "the earlier writer must be granted before later readers"
+    );
+    for r in readers {
+        r.join().unwrap();
+    }
+    w.join().unwrap();
+    assert_eq!(rx.try_iter().count(), 3);
+}
+
+#[test]
+fn readers_granted_together_after_writer() {
+    let (lm, _) = manager();
+    let k = LockKey::table("T");
+    lm.acquire(1, &k, LockMode::Exclusive).unwrap();
+
+    // Two readers queue behind the X in FIFO order; when it releases
+    // they are granted concurrently (both compatible).
+    let (granted_tx, granted_rx) = mpsc::channel::<u64>();
+    let mut joins = Vec::new();
+    let mut gos = Vec::new();
+    for i in 0..2u64 {
+        let lmr = lm.clone();
+        let gtx = granted_tx.clone();
+        let (go_tx, go_rx) = mpsc::channel::<()>();
+        gos.push(go_tx);
+        joins.push(std::thread::spawn(move || {
+            lmr.acquire(2 + i, &LockKey::table("T"), LockMode::Shared)
+                .unwrap();
+            gtx.send(2 + i).unwrap();
+            // Hold the S lock until the main thread has seen both
+            // grants coexist.
+            go_rx.recv().unwrap();
+            lmr.release_all(2 + i);
+        }));
+    }
+    await_waiters(&lm, 2);
+    lm.release_all(1);
+    // Both readers report granted while neither has released: the
+    // grants overlap.
+    let mut got = [
+        granted_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+        granted_rx.recv_timeout(Duration::from_secs(10)).unwrap(),
+    ];
+    got.sort_unstable();
+    assert_eq!(got, [2, 3]);
+    for go in gos {
+        go.send(()).unwrap();
+    }
+    for j in joins {
+        j.join().unwrap();
+    }
+}

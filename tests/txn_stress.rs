@@ -1,0 +1,342 @@
+//! Threaded transaction stress: concurrent transfers preserve a global
+//! sum invariant through commit, deadlock-abort, and crash + recovery,
+//! on every storage layout.
+//!
+//! The workload is a bank: `ACCOUNTS` holds `ACCOUNTS_N` accounts with
+//! `INITIAL` balance each; every transfer moves an amount between two
+//! accounts inside one transaction, so the total balance is invariant
+//! at every *committed* state. `WRITERS` writer threads run
+//! `TRANSFERS_PER_WRITER` transfers each — picking account pairs from a
+//! seeded LCG in naive (unordered) lock order, so real deadlocks occur
+//! and are retried — while `READERS` reader threads concurrently assert
+//! the invariant under S locks. A checkpoint then divides history:
+//! phase-B transfers commit on top, the database is dropped without a
+//! checkpoint (the crash), reopened, and recovery must roll the epoch
+//! back to exactly the checkpointed balances — the documented
+//! durability unit of the before-image WAL — with the invariant intact.
+//!
+//! NF² variants transfer through the object check-out API (IX table +
+//! X object locks, subtuple before-images); the flat variant uses
+//! statement-level read-then-update (S → X upgrades, whose cross-waits
+//! also deadlock and retry).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Barrier};
+
+use aim2::{Database, DbConfig};
+use aim2_model::{Atom, Value};
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::ElemLoc;
+use aim2_txn::{Session, SharedDatabase, TxnError};
+
+const WRITERS: usize = 8;
+const READERS: usize = 4;
+const TRANSFERS_PER_WRITER: usize = 12;
+const READS_PER_READER: usize = 10;
+const ACCOUNTS_N: i64 = 6;
+const INITIAL: i64 = 1000;
+const TOTAL: i64 = ACCOUNTS_N * INITIAL;
+const SEED: u64 = 0xA1_B2_C3_D4;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    Nf2(LayoutKind),
+    Flat,
+}
+
+impl Variant {
+    fn tag(self) -> &'static str {
+        match self {
+            Variant::Nf2(LayoutKind::Ss1) => "ss1",
+            Variant::Nf2(LayoutKind::Ss2) => "ss2",
+            Variant::Nf2(LayoutKind::Ss3) => "ss3",
+            Variant::Flat => "flat",
+        }
+    }
+}
+
+/// Tiny deterministic LCG (Numerical Recipes constants) — the stress
+/// schedule depends only on `SEED`, never on wall-clock or OS entropy.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aim2_txn_stress_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(dir: &Path) -> DbConfig {
+    DbConfig {
+        page_size: 1024,
+        buffer_frames: 8, // small pool: constant WAL-safe eviction traffic
+        default_layout: LayoutKind::Ss3,
+        data_dir: Some(dir.to_path_buf()),
+        fault: None,
+    }
+}
+
+fn setup(v: Variant, dir: &Path) -> SharedDatabase {
+    let mut db = Database::with_config(config(dir));
+    match v {
+        Variant::Nf2(layout) => {
+            let using = match layout {
+                LayoutKind::Ss1 => "SS1",
+                LayoutKind::Ss2 => "SS2",
+                LayoutKind::Ss3 => "SS3",
+            };
+            db.execute(&format!(
+                "CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER, \
+                 HIST {{ SEQ INTEGER }} ) USING {using}"
+            ))
+            .unwrap();
+            for i in 0..ACCOUNTS_N {
+                db.execute(&format!(
+                    "INSERT INTO ACCOUNTS VALUES ({i}, {INITIAL}, {{(0)}})"
+                ))
+                .unwrap();
+            }
+        }
+        Variant::Flat => {
+            // No nested attributes → flat (1NF) heap storage.
+            db.execute("CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER )")
+                .unwrap();
+            for i in 0..ACCOUNTS_N {
+                db.execute(&format!("INSERT INTO ACCOUNTS VALUES ({i}, {INITIAL})"))
+                    .unwrap();
+            }
+        }
+    }
+    // Checkpoint: every page is on disk, so concurrent-phase writes log
+    // before-images and recovery has a baseline.
+    db.checkpoint().unwrap();
+    SharedDatabase::new(db)
+}
+
+fn int_atom(v: &Value) -> i64 {
+    match v {
+        Value::Atom(Atom::Int(i)) => *i,
+        other => panic!("expected integer atom, got {other:?}"),
+    }
+}
+
+/// Balances by account number, read transactionally.
+fn balances(shared: &SharedDatabase) -> BTreeMap<i64, i64> {
+    let mut s = shared.session();
+    let (_, rows) = s.query("SELECT x.ANO, x.BAL FROM x IN ACCOUNTS").unwrap();
+    s.commit().unwrap();
+    rows.tuples
+        .iter()
+        .map(|t| (int_atom(&t.fields[0]), int_atom(&t.fields[1])))
+        .collect()
+}
+
+fn assert_invariant(shared: &SharedDatabase, ctx: &str) {
+    let b = balances(shared);
+    let sum: i64 = b.values().sum();
+    assert_eq!(sum, TOTAL, "sum invariant broken {ctx}: {b:?}");
+}
+
+/// One transfer attempt inside one transaction. Returns `Err` only for
+/// retryable aborts (deadlock victim); the session is already rolled
+/// back in that case.
+fn transfer(s: &mut Session, v: Variant, from: i64, to: i64, amount: i64) -> Result<(), TxnError> {
+    let attempt = |s: &mut Session| -> Result<(), TxnError> {
+        match v {
+            Variant::Nf2(_) => {
+                // Naive lock order (from, then to) — cycles happen.
+                let handles = s.handles("ACCOUNTS")?;
+                let hf = handles[from as usize];
+                let ht = handles[to as usize];
+                let tf = s.checkout("ACCOUNTS", hf)?;
+                let tt = s.checkout("ACCOUNTS", ht)?;
+                let bf = int_atom(&tf.fields[1]);
+                let bt = int_atom(&tt.fields[1]);
+                s.update_atoms(
+                    "ACCOUNTS",
+                    hf,
+                    &ElemLoc::object(),
+                    &[Atom::Int(from), Atom::Int(bf - amount)],
+                )?;
+                s.update_atoms(
+                    "ACCOUNTS",
+                    ht,
+                    &ElemLoc::object(),
+                    &[Atom::Int(to), Atom::Int(bt + amount)],
+                )?;
+            }
+            Variant::Flat => {
+                // Read under S, then write under the S → X upgrade —
+                // two concurrent transfers cross-wait and deadlock.
+                let (_, rows) = s.query(&format!(
+                    "SELECT x.ANO, x.BAL FROM x IN ACCOUNTS \
+                     WHERE x.ANO = {from} OR x.ANO = {to}"
+                ))?;
+                let by_ano: BTreeMap<i64, i64> = rows
+                    .tuples
+                    .iter()
+                    .map(|t| (int_atom(&t.fields[0]), int_atom(&t.fields[1])))
+                    .collect();
+                let bf = by_ano[&from];
+                let bt = by_ano[&to];
+                s.execute(&format!(
+                    "UPDATE x IN ACCOUNTS SET x.BAL = {} WHERE x.ANO = {from}",
+                    bf - amount
+                ))?;
+                s.execute(&format!(
+                    "UPDATE x IN ACCOUNTS SET x.BAL = {} WHERE x.ANO = {to}",
+                    bt + amount
+                ))?;
+            }
+        }
+        s.commit()
+    };
+    match attempt(s) {
+        Ok(()) => Ok(()),
+        Err(e) if e.is_retryable() => {
+            // Victim: roll back (ignore "no open transaction" if the
+            // abort happened at commit time) and report for retry.
+            if s.txn_id().is_some() {
+                s.rollback().expect("victim rollback must succeed");
+            }
+            Err(e)
+        }
+        Err(e) => panic!("non-retryable transfer failure: {e}"),
+    }
+}
+
+/// Run the concurrent phase: writers transfer, readers assert the sum
+/// under S locks. Returns the number of deadlock aborts writers saw.
+fn concurrent_phase(shared: &SharedDatabase, v: Variant, writers: usize, phase_seed: u64) -> u64 {
+    let barrier = Arc::new(Barrier::new(writers + READERS));
+    let mut joins = Vec::new();
+    for w in 0..writers {
+        let shared = shared.clone();
+        let barrier = barrier.clone();
+        joins.push(std::thread::spawn(move || -> u64 {
+            let mut rng = Lcg(phase_seed ^ (w as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15));
+            let mut aborts = 0u64;
+            barrier.wait();
+            for _ in 0..TRANSFERS_PER_WRITER {
+                let from = rng.range(ACCOUNTS_N as u64) as i64;
+                let mut to = rng.range(ACCOUNTS_N as u64) as i64;
+                if to == from {
+                    to = (to + 1) % ACCOUNTS_N;
+                }
+                let amount = 1 + rng.range(50) as i64;
+                loop {
+                    let mut s = shared.session();
+                    match transfer(&mut s, v, from, to, amount) {
+                        Ok(()) => break,
+                        Err(_) => aborts += 1, // deadlock victim: retry
+                    }
+                }
+            }
+            aborts
+        }));
+    }
+    let mut reader_joins = Vec::new();
+    for _ in 0..READERS {
+        let shared = shared.clone();
+        let barrier = barrier.clone();
+        reader_joins.push(std::thread::spawn(move || {
+            barrier.wait();
+            for i in 0..READS_PER_READER {
+                // An S table lock makes the sum atomic: transfers are
+                // never observed half-done.
+                assert_invariant(&shared, &format!("mid-flight read {i}"));
+            }
+        }));
+    }
+    let mut aborts = 0;
+    for j in joins {
+        aborts += j.join().expect("writer thread panicked");
+    }
+    for j in reader_joins {
+        j.join().expect("reader thread panicked");
+    }
+    aborts
+}
+
+fn stress_variant(v: Variant) {
+    let dir = temp_dir(v.tag());
+    let shared = setup(v, &dir);
+    let stats = shared.stats();
+
+    // Phase A: full concurrency.
+    let aborts = concurrent_phase(&shared, v, WRITERS, SEED);
+    assert_invariant(&shared, "after phase A");
+    assert_eq!(
+        stats.deadlocks_aborted(),
+        aborts,
+        "every deadlock abort surfaces exactly one retryable error"
+    );
+
+    // Durability point: checkpoint, then remember the exact balances.
+    shared.checkpoint().unwrap();
+    let checkpointed = balances(&shared);
+
+    // Phase B: more committed transfers on top of the checkpoint.
+    concurrent_phase(&shared, v, WRITERS / 2, SEED ^ 0xFF);
+    assert_invariant(&shared, "after phase B");
+
+    // Crash: drop the database without checkpointing. Committed phase-B
+    // work lives in buffer pages and WAL before-images only.
+    let db = shared
+        .try_into_inner()
+        .unwrap_or_else(|_| panic!("sessions still alive at crash point"));
+    drop(db);
+
+    // Recovery: the WAL rolls the epoch back to the checkpoint — the
+    // documented durability unit. The invariant holds there too, and
+    // the balances are exactly the checkpointed ones.
+    let recovered = SharedDatabase::new(Database::open(config(&dir)).unwrap());
+    let after = balances(&recovered);
+    assert_eq!(
+        after, checkpointed,
+        "recovery must restore the checkpointed balances"
+    );
+    assert_invariant(&recovered, "after crash recovery");
+
+    // The recovered database is fully usable: one more transfer commits
+    // and preserves the invariant.
+    let mut s = recovered.session();
+    while transfer(&mut s, v, 0, 1, 5).is_err() {}
+    assert_invariant(&recovered, "after post-recovery transfer");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stress_ss1() {
+    stress_variant(Variant::Nf2(LayoutKind::Ss1));
+}
+
+#[test]
+fn stress_ss2() {
+    stress_variant(Variant::Nf2(LayoutKind::Ss2));
+}
+
+#[test]
+fn stress_ss3() {
+    stress_variant(Variant::Nf2(LayoutKind::Ss3));
+}
+
+#[test]
+fn stress_flat() {
+    stress_variant(Variant::Flat);
+}
