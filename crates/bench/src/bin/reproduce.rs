@@ -47,6 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     clustering()?;
     object_move()?;
     durability()?;
+    integrity()?;
     println!("\nAll reproduction checks passed.");
     Ok(())
 }
@@ -785,6 +786,83 @@ fn durability() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.lock_waits() - lw0, 2);
     assert_eq!(stats.deadlocks_aborted() - da0, 1);
     assert_eq!(stats.group_commit_batches() - gc0, 2);
+
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(())
+}
+
+fn integrity() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Integrity — page checksums, integrity_check, quarantine, salvage");
+    let base = std::env::temp_dir().join(format!("aim2_repro_integ_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cfg = DbConfig {
+        page_size: 1024,
+        buffer_frames: 4,
+        data_dir: Some(base.join("db")),
+        ..DbConfig::default()
+    };
+
+    let mut db = Database::with_config(cfg.clone());
+    db.execute(DUR_DDL)?;
+    for t in fixtures::departments_value().tuples {
+        db.insert_tuple("DEPARTMENTS", t)?;
+    }
+    db.checkpoint()?;
+    let report = db.integrity_check()?;
+    assert!(report.is_clean());
+    print!("fresh checkpointed database:\n{report}");
+
+    // One bit of rot in a page of department 314's local address space.
+    let victim = db.handles("DEPARTMENTS")?[0];
+    let page = *db
+        .object_store_mut("DEPARTMENTS")?
+        .object_pages(victim)?
+        .last()
+        .unwrap();
+    drop(db);
+    let seg = std::fs::read_dir(base.join("db"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| {
+            p.extension().is_some_and(|x| x == "seg")
+                && p.file_name()
+                    .is_some_and(|n| n.to_string_lossy().contains("DEPARTMENTS"))
+        })
+        .expect("segment file");
+    let mut bytes = std::fs::read(&seg)?;
+    bytes[page.0 as usize * 1024 + 513] ^= 0x04;
+    std::fs::write(&seg, &bytes)?;
+    println!("\nflipped one bit in page {page} of the DEPARTMENTS segment");
+
+    let mut db = Database::open(cfg)?;
+    let report = db.integrity_check()?;
+    assert!(!report.is_clean());
+    print!("{report}");
+    println!("quarantined object(s): {}", db.quarantined().len());
+    let err = db.read_object("DEPARTMENTS", victim).unwrap_err();
+    println!("reading the damaged department: {err}");
+    let (_, v) = db.query("SELECT x.DNO FROM x IN DEPARTMENTS")?;
+    assert_eq!(v.len(), 2);
+    println!("scans keep serving the {} intact departments: OK", v.len());
+
+    let (mut fresh, carried) = db.salvage(base.join("salvaged"))?;
+    let report = fresh.integrity_check()?;
+    assert!(report.is_clean());
+    let (_, v) = fresh.query("SELECT x.DNO FROM x IN DEPARTMENTS")?;
+    assert_eq!(v.len(), carried);
+    println!("salvage carried {carried} object(s) into a fresh database; integrity: clean");
+    let s = db.stats();
+    println!(
+        "integrity stats: checksum-verifications={} corrupt-pages-detected={} \
+         objects-quarantined={} salvaged-objects={}",
+        s.checksum_verifications(),
+        s.corrupt_pages_detected(),
+        s.objects_quarantined(),
+        s.salvaged_objects(),
+    );
+    assert!(s.corrupt_pages_detected() >= 1);
+    assert_eq!(s.objects_quarantined(), 1);
+    assert_eq!(s.salvaged_objects() as usize, carried);
+    println!("checksums catch the rot, quarantine contains it, salvage recovers the rest: OK");
 
     let _ = std::fs::remove_dir_all(&base);
     Ok(())

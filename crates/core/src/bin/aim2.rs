@@ -167,6 +167,8 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
                  .stats               access counters (buffer, subtuples)\n\
                  .today [YYYY-MM-DD]  show/set the logical date (versions)\n\
                  .checkpoint          flush + write the catalog (file-backed)\n\
+                 .integrity           walk the database, quarantine corrupt objects\n\
+                 .salvage DIR         rebuild survivors into a fresh database at DIR\n\
                  .load demo           load the paper's Tables 1-8\n\
                  .quit                leave\n\
                  Statements (end with ;): SELECT, EXPLAIN SELECT, CREATE TABLE/LIST,\n\
@@ -199,6 +201,17 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
         ".checkpoint" => match db.checkpoint() {
             Ok(()) => println!("checkpointed"),
             Err(e) => eprintln!("{e}"),
+        },
+        ".integrity" => match db.integrity_check() {
+            Ok(report) => print!("{report}"),
+            Err(e) => eprintln!("{e}"),
+        },
+        ".salvage" => match parts.next().map(str::trim).filter(|d| !d.is_empty()) {
+            Some(dir) => match db.salvage(dir) {
+                Ok((_, carried)) => println!("salvaged {carried} object(s) into {dir}"),
+                Err(e) => eprintln!("{e}"),
+            },
+            None => eprintln!("usage: .salvage DIR"),
         },
         ".load" if parts.next().map(str::trim) == Some("demo") => match load_demo(db) {
             Ok(()) => println!("loaded the paper's DEPARTMENTS / 1NF tables / REPORTS"),

@@ -24,6 +24,7 @@ use aim2_storage::tid::Tid;
 use aim2_storage::wal::{SharedWal, Wal, WAL_FILE};
 use aim2_text::TextIndex;
 use aim2_time::VersionedTable;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -102,6 +103,11 @@ pub struct Database {
     /// Checkpoint epoch currently in progress. The on-disk catalog
     /// always records the previously committed epoch (`epoch - 1`).
     epoch: u32,
+    /// Objects [`Database::integrity_check`] found corrupt, keyed by
+    /// `(table, root TID)`. Reads of a quarantined object return
+    /// [`DbError::ObjectQuarantined`]; scans skip it; everything else
+    /// keeps serving. In-memory state — rebuilt by re-running the check.
+    quarantine: BTreeSet<(String, Tid)>,
 }
 
 /// One qualified DML target combination.
@@ -129,6 +135,7 @@ impl Database {
             last_plan: String::new(),
             wal: None,
             epoch: 1,
+            quarantine: BTreeSet::new(),
         }
     }
 
@@ -677,6 +684,7 @@ impl Database {
     /// Delete one whole object, maintaining indexes, text docs, and
     /// versions.
     pub fn delete_object(&mut self, table: &str, handle: ObjectHandle) -> Result<()> {
+        self.check_quarantine(table, handle.0)?;
         let entry = self.catalog.require_mut(table)?;
         let schema = entry.schema.clone();
         Self::unindex_all(entry, &schema, handle)?;
@@ -802,13 +810,18 @@ impl Database {
                 )));
             }
         }
+        let quarantined = self.quarantined_in(table);
         let entry = self.catalog.require_mut(table)?;
         let schema = entry.schema.clone();
-        // Materialize root rows with their identities.
+        // Materialize root rows with their identities (quarantined
+        // objects are not DML-addressable).
         let mut roots: Vec<(Option<ObjectHandle>, Option<Tid>, Tuple)> = Vec::new();
         match &mut entry.storage {
             TableStorage::Nf2(os) => {
                 for h in os.handles()? {
+                    if quarantined.contains(&h.0) {
+                        continue;
+                    }
                     roots.push((Some(h), None, os.read_object(&schema, h)?));
                 }
             }
@@ -1257,6 +1270,7 @@ impl TableProvider for RestrictedProvider<'_> {
         if name != self.table || asof.is_some() {
             return self.db.scan_table(name, asof, keep);
         }
+        let quarantined = self.db.quarantined_in(name);
         let entry = self
             .db
             .catalog
@@ -1273,6 +1287,9 @@ impl TableProvider for RestrictedProvider<'_> {
         };
         let mut tuples = Vec::with_capacity(self.handles.len());
         for h in &self.handles {
+            if quarantined.contains(&h.0) {
+                continue;
+            }
             let t = match keep {
                 Some(pred) => os.read_object_projected(&schema, *h, pred),
                 None => os.read_object(&schema, *h),
@@ -1318,11 +1335,34 @@ impl TableProvider for Database {
             return Ok(versions.table_asof(t));
         }
         let schema = entry.schema.clone();
+        let quarantined = self.quarantined_in(name);
+        let entry = self
+            .catalog
+            .get_mut(name)
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))?;
         match &mut entry.storage {
-            TableStorage::Flat(fs) => fs.scan(&schema).map_err(Into::into),
+            TableStorage::Flat(fs) if quarantined.is_empty() => {
+                fs.scan(&schema).map_err(Into::into)
+            }
+            TableStorage::Flat(fs) => {
+                let mut tuples = Vec::new();
+                for tid in fs.tids().to_vec() {
+                    if quarantined.contains(&tid) {
+                        continue; // containment: the rest of the table serves
+                    }
+                    tuples.push(fs.read(tid).map_err(aim2_exec::ExecError::Storage)?);
+                }
+                Ok(TableValue {
+                    kind: schema.kind,
+                    tuples,
+                })
+            }
             TableStorage::Nf2(os) => {
                 let mut tuples = Vec::new();
                 for h in os.handles().map_err(aim2_exec::ExecError::Storage)? {
+                    if quarantined.contains(&h.0) {
+                        continue; // containment: the rest of the table serves
+                    }
                     let t = match keep {
                         Some(pred) => os.read_object_projected(&schema, h, pred),
                         None => os.read_object(&schema, h),
@@ -1479,13 +1519,76 @@ impl Database {
         Ok(self.catalog.require_mut(table)?.nf2_mut()?.handles()?)
     }
 
+    /// Objects currently quarantined, as `(table, root TID)` pairs.
+    pub fn quarantined(&self) -> Vec<(String, Tid)> {
+        self.quarantine.iter().cloned().collect()
+    }
+
+    /// Whether one object is quarantined.
+    pub fn is_quarantined(&self, table: &str, object: Tid) -> bool {
+        self.quarantine.contains(&(table.to_string(), object))
+    }
+
+    /// Lift a table's quarantine entries (after salvage or repair).
+    pub fn clear_quarantine(&mut self, table: &str) {
+        self.quarantine.retain(|(t, _)| t != table);
+    }
+
+    pub(crate) fn quarantine_insert(&mut self, table: &str, object: Tid) -> bool {
+        let fresh = self.quarantine.insert((table.to_string(), object));
+        if fresh {
+            self.stats.inc_object_quarantined();
+        }
+        fresh
+    }
+
+    /// Quarantined root TIDs of one table.
+    pub(crate) fn quarantined_in(&self, table: &str) -> BTreeSet<Tid> {
+        self.quarantine
+            .iter()
+            .filter(|(t, _)| t == table)
+            .map(|(_, o)| *o)
+            .collect()
+    }
+
+    fn check_quarantine(&self, table: &str, object: Tid) -> Result<()> {
+        if self.is_quarantined(table, object) {
+            return Err(DbError::ObjectQuarantined {
+                table: table.to_string(),
+                object,
+            });
+        }
+        Ok(())
+    }
+
+    /// Auto-quarantine on corruption-class read failures: the first read
+    /// surfaces the storage error, every later one gets the typed
+    /// quarantine error without touching the damaged pages again.
+    fn note_read_error(&mut self, table: &str, object: Tid, e: &DbError) {
+        use aim2_storage::StorageError as SE;
+        if matches!(
+            e,
+            DbError::Storage(SE::Corrupt(_) | SE::CorruptPage { .. } | SE::CorruptData(_))
+        ) {
+            self.quarantine_insert(table, object);
+        }
+    }
+
     /// Read one whole object of an NF² table — the "check-out" read the
     /// paper's local address spaces (§4.1) enable, and the unit the
     /// transaction layer locks on.
     pub fn read_object(&mut self, table: &str, handle: ObjectHandle) -> Result<Tuple> {
+        self.check_quarantine(table, handle.0)?;
         let entry = self.catalog.require_mut(table)?;
         let schema = entry.schema.clone();
-        Ok(entry.nf2_mut()?.read_object(&schema, handle)?)
+        let out = entry
+            .nf2_mut()?
+            .read_object(&schema, handle)
+            .map_err(DbError::from);
+        if let Err(e) = &out {
+            self.note_read_error(table, handle.0, e);
+        }
+        out
     }
 
     /// Read just the atomic attributes at `loc` inside an object — the
@@ -1497,9 +1600,17 @@ impl Database {
         handle: ObjectHandle,
         loc: &ElemLoc,
     ) -> Result<Vec<Atom>> {
+        self.check_quarantine(table, handle.0)?;
         let entry = self.catalog.require_mut(table)?;
         let schema = entry.schema.clone();
-        Ok(entry.nf2_mut()?.read_atoms_at(&schema, handle, loc)?)
+        let out = entry
+            .nf2_mut()?
+            .read_atoms_at(&schema, handle, loc)
+            .map_err(DbError::from);
+        if let Err(e) = &out {
+            self.note_read_error(table, handle.0, e);
+        }
+        out
     }
 
     /// Update the atomic attributes of one (sub)tuple of an object, with
@@ -1512,6 +1623,7 @@ impl Database {
         loc: &ElemLoc,
         atoms: &[Atom],
     ) -> Result<()> {
+        self.check_quarantine(table, handle.0)?;
         self.mutate_object(table, handle, |schema, os| {
             os.update_atoms(schema, handle, loc, atoms)
                 .map_err(Into::into)
@@ -1521,12 +1633,16 @@ impl Database {
     /// The logical contents of a table (whole tuples, storage-agnostic)
     /// — the transaction layer's undo snapshot.
     pub fn snapshot_table(&mut self, table: &str) -> Result<Vec<Tuple>> {
+        let quarantined = self.quarantined_in(table);
         let entry = self.catalog.require_mut(table)?;
         let schema = entry.schema.clone();
         match &mut entry.storage {
             TableStorage::Nf2(os) => {
                 let mut out = Vec::new();
                 for h in os.handles()? {
+                    if quarantined.contains(&h.0) {
+                        continue; // unreadable; salvage is the way back
+                    }
                     out.push(os.read_object(&schema, h)?);
                 }
                 Ok(out)

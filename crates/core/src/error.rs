@@ -20,6 +20,14 @@ pub enum DbError {
     /// The data directory exists but holds no catalog file — it is not
     /// (yet) a database.
     NotADatabase(PathBuf),
+    /// The object was quarantined by [`integrity_check`]
+    /// (crate::Database::integrity_check) — its pages or metadata are
+    /// corrupt, and reads would return garbage. Other objects of the
+    /// same table keep serving.
+    ObjectQuarantined {
+        table: String,
+        object: aim2_storage::tid::Tid,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -39,6 +47,10 @@ impl fmt::Display for DbError {
                 "no database found in {} (missing catalog file)",
                 p.display()
             ),
+            DbError::ObjectQuarantined { table, object } => write!(
+                f,
+                "object {object} of table {table} is quarantined (corrupt; run salvage)"
+            ),
         }
     }
 }
@@ -51,7 +63,10 @@ impl std::error::Error for DbError {
             DbError::Storage(e) => Some(e),
             DbError::Index(e) => Some(e),
             DbError::Model(e) => Some(e),
-            DbError::Catalog(_) | DbError::DataDirMissing(_) | DbError::NotADatabase(_) => None,
+            DbError::Catalog(_)
+            | DbError::DataDirMissing(_)
+            | DbError::NotADatabase(_)
+            | DbError::ObjectQuarantined { .. } => None,
         }
     }
 }

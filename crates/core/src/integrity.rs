@@ -1,0 +1,216 @@
+//! Database-level integrity: the full-database walker and salvage.
+//!
+//! [`Database::integrity_check`] runs the storage-level walker
+//! ([`aim2_storage::check`]) over every table and index segment, adds
+//! the one check only this layer can do — index entries pointing at
+//! live root TIDs — and quarantines every object the report attributes
+//! damage to. [`Database::salvage`] then rebuilds a fresh database from
+//! whatever still reads cleanly: the disaster path when quarantine
+//! containment is not enough.
+
+use crate::catalog::{TableEntry, TableStorage};
+use crate::database::{Database, DbConfig};
+use crate::error::DbError;
+use crate::Result;
+use aim2_index::address::Scheme;
+use aim2_lang::ast::{self, Stmt};
+use aim2_model::Tuple;
+use aim2_storage::check::{self, CheckKind, Finding, IntegrityReport};
+use aim2_storage::object::{ObjectHandle, ObjectStore};
+use aim2_storage::page::PageRef;
+use aim2_storage::tid::Tid;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Root enumeration that survives a corrupt directory page: pages that
+/// fail to read are skipped (the walker has already reported them)
+/// instead of failing the whole listing as [`ObjectStore::handles`]
+/// does.
+fn robust_handles(os: &mut ObjectStore) -> Vec<ObjectHandle> {
+    let mut out = Vec::new();
+    for pid in os.dir_pages().to_vec() {
+        let slots = os.segment_mut().pool_mut().with_page(pid, |buf| {
+            PageRef::new(buf)
+                .live_records()
+                .map(|(s, _)| s)
+                .collect::<Vec<_>>()
+        });
+        if let Ok(slots) = slots {
+            out.extend(slots.into_iter().map(|s| ObjectHandle(Tid::new(pid, s))));
+        }
+    }
+    out
+}
+
+fn scheme_keyword(s: Scheme) -> &'static str {
+    match s {
+        Scheme::Hierarchical => "HIERARCHICAL",
+        Scheme::RootTid => "ROOTTID",
+        Scheme::DataTid => "DATATID",
+        Scheme::MdPath => "MDPATH",
+    }
+}
+
+impl Database {
+    /// Walk the whole database and report every integrity violation:
+    /// page checksums and slotted-page structure, MD-tree shape vs.
+    /// schema, Mini-TID resolution, page-list / free-space accounting,
+    /// entry-group order, and index entries pointing at live roots.
+    ///
+    /// Never fail-fast: damage is collected, and every object the
+    /// report can attribute damage to is **quarantined** — subsequent
+    /// reads of it return [`DbError::ObjectQuarantined`] while the rest
+    /// of the table keeps serving. Re-running the check rebuilds the
+    /// quarantine from the current on-disk state.
+    pub fn integrity_check(&mut self) -> Result<IntegrityReport> {
+        let mut report = IntegrityReport::new();
+        for name in self.table_names() {
+            let entry = self.catalog_mut().require_mut(&name)?;
+            let schema = entry.schema.clone();
+            let TableEntry {
+                storage, indexes, ..
+            } = entry;
+            match storage {
+                TableStorage::Nf2(os) => {
+                    check::check_object_store(os, &schema, &name, &mut report)?
+                }
+                TableStorage::Flat(fs) => check::check_flat_store(fs, &schema, &name, &mut report)?,
+            }
+            for ie in indexes.iter_mut() {
+                check::check_segment_pages(ie.index.segment_mut(), &name, &mut report)?;
+                let addrs = match ie.index.lookup_range(None, None) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        report.record(Finding {
+                            table: name.clone(),
+                            object: None,
+                            check: CheckKind::IndexLiveness,
+                            detail: format!("index {} unreadable: {e}", ie.name),
+                        });
+                        continue;
+                    }
+                };
+                let TableStorage::Nf2(os) = storage else {
+                    continue;
+                };
+                let live: BTreeSet<Tid> = robust_handles(os).into_iter().map(|h| h.0).collect();
+                for a in addrs {
+                    report.bump(CheckKind::IndexLiveness);
+                    if let Some(root) = a.root() {
+                        if !live.contains(&root) {
+                            report.record(Finding {
+                                table: name.clone(),
+                                object: None,
+                                check: CheckKind::IndexLiveness,
+                                detail: format!(
+                                    "index {} entry points at dead root {root}",
+                                    ie.name
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        for (table, object) in report.corrupt_objects() {
+            self.quarantine_insert(&table, object);
+        }
+        Ok(report)
+    }
+
+    /// Rebuild a fresh database under `dest_dir` from every object that
+    /// still reads cleanly. Quarantined and unreadable objects are
+    /// skipped; schemas, layouts, attribute indexes, and text indexes
+    /// are recreated from the catalog; the result is checkpointed.
+    /// Versioned tables salvage their *current* state only — history
+    /// lives in the catalog file, which salvage does not try to repair.
+    ///
+    /// Returns the new database and the number of objects carried over.
+    pub fn salvage(&mut self, dest_dir: impl AsRef<Path>) -> Result<(Database, usize)> {
+        let mut out = Database::with_config(DbConfig {
+            data_dir: Some(dest_dir.as_ref().to_path_buf()),
+            fault: None,
+            ..self.config().clone()
+        });
+        out.set_today(self.today());
+        let mut carried = 0usize;
+        for name in self.table_names() {
+            let quarantined = self.quarantined_in(&name);
+            let entry = self.catalog_mut().require_mut(&name)?;
+            let schema = entry.schema.clone();
+            let layout = entry.layout;
+            let versioned = entry.versions.is_some();
+            // Survivor rows first (so index recreation below sees them).
+            let mut survivors: Vec<Tuple> = Vec::new();
+            match &mut entry.storage {
+                TableStorage::Nf2(os) => {
+                    for h in robust_handles(os) {
+                        if quarantined.contains(&h.0) {
+                            continue;
+                        }
+                        if let Ok(t) = os.read_object(&schema, h) {
+                            survivors.push(t);
+                        }
+                    }
+                }
+                TableStorage::Flat(fs) => {
+                    for tid in fs.tids().to_vec() {
+                        if quarantined.contains(&tid) {
+                            continue;
+                        }
+                        if let Ok(t) = fs.read(tid) {
+                            survivors.push(t);
+                        }
+                    }
+                }
+            }
+            let index_defs: Vec<(String, String, Scheme)> = entry
+                .indexes
+                .iter()
+                .map(|ie| {
+                    (
+                        ie.name.clone(),
+                        ie.index.attr_path().to_string(),
+                        ie.index.scheme(),
+                    )
+                })
+                .collect();
+            let text_defs: Vec<(String, String)> = entry
+                .text_indexes
+                .iter()
+                .map(|t| (t.name.clone(), t.attr.to_string()))
+                .collect();
+            out.create_table(schema, layout, versioned)?;
+            for t in survivors {
+                out.insert_tuple(&name, t)?;
+                self.stats().inc_salvaged_object();
+                carried += 1;
+            }
+            for (iname, path, scheme) in index_defs {
+                out.execute_stmt(&Stmt::CreateIndex(ast::CreateIndex {
+                    name: iname,
+                    table: name.clone(),
+                    path: aim2_model::Path::parse(&path),
+                    text: false,
+                    using: Some(scheme_keyword(scheme).to_string()),
+                }))?;
+            }
+            for (tname, attr) in text_defs {
+                out.execute_stmt(&Stmt::CreateIndex(ast::CreateIndex {
+                    name: tname,
+                    table: name.clone(),
+                    path: aim2_model::Path::parse(&attr),
+                    text: true,
+                    using: None,
+                }))?;
+            }
+        }
+        out.checkpoint()?;
+        Ok((out, carried))
+    }
+}
+
+// Keep the unused-import lint honest when the error type is only named
+// in doc comments above.
+#[allow(unused_imports)]
+use DbError as _;

@@ -23,8 +23,10 @@
 pub mod catalog;
 pub mod database;
 pub mod error;
+pub mod integrity;
 pub mod persist;
 
+pub use aim2_storage::check::{CheckKind, Finding, IntegrityReport};
 pub use database::{Database, DbConfig, ExecResult};
 pub use error::DbError;
 

@@ -14,12 +14,20 @@
 //! per-frame pin counts are needed.
 
 use crate::disk::Disk;
+use crate::error::StorageError;
 use crate::stats::Stats;
 use crate::tid::PageId;
-use crate::wal::SharedWal;
+use crate::wal::{crc32, SharedWal};
 use crate::Result;
 use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
+
+/// Bytes reserved at the head of every raw disk page for the CRC-32 the
+/// pool stamps on write-back. Callers of [`BufferPool::with_page`] /
+/// [`BufferPool::with_page_mut`] see only the usable remainder, and
+/// [`BufferPool::page_size`] reports the usable size, so layout code
+/// above the pool never sees (or can clobber) the checksum.
+pub const CHECKSUM_LEN: usize = 4;
 
 struct Frame {
     pid: PageId,
@@ -106,9 +114,10 @@ impl BufferPool {
         self.lock().disk.sync()
     }
 
-    /// Page size of the underlying disk.
+    /// Usable page size: the underlying disk's page size minus the
+    /// checksum header the pool maintains.
     pub fn page_size(&self) -> usize {
-        self.lock().disk.page_size()
+        self.lock().disk.page_size() - CHECKSUM_LEN
     }
 
     /// Number of pages allocated on disk.
@@ -141,23 +150,23 @@ impl BufferPool {
         Ok(pid)
     }
 
-    /// Run `f` over the (read-only) contents of page `pid`.
+    /// Run `f` over the (read-only) usable contents of page `pid`.
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R> {
         let mut s = self.lock();
         let idx = s.fetch(pid)?;
         s.frames[idx].referenced = true;
-        Ok(f(&s.frames[idx].data))
+        Ok(f(&s.frames[idx].data[CHECKSUM_LEN..]))
     }
 
-    /// Run `f` over the mutable contents of page `pid`; the frame is
-    /// marked dirty.
+    /// Run `f` over the mutable usable contents of page `pid`; the frame
+    /// is marked dirty.
     pub fn with_page_mut<R>(&self, pid: PageId, f: impl FnOnce(&mut [u8]) -> R) -> Result<R> {
         let mut s = self.lock();
         let idx = s.fetch(pid)?;
         let frame = &mut s.frames[idx];
         frame.referenced = true;
         frame.dirty = true;
-        Ok(f(&mut frame.data))
+        Ok(f(&mut frame.data[CHECKSUM_LEN..]))
     }
 
     /// Write all dirty frames back to disk. With a WAL attached this is
@@ -201,7 +210,39 @@ impl BufferPool {
     }
 }
 
+/// Stamp the CRC-32 of the usable page contents into the raw page's
+/// checksum header. Called on every write-back path so on-disk pages
+/// always carry a checksum of their payload.
+fn stamp_checksum(raw: &mut [u8]) {
+    let crc = crc32(&raw[CHECKSUM_LEN..]);
+    raw[..CHECKSUM_LEN].copy_from_slice(&crc.to_le_bytes());
+}
+
 impl PoolState {
+    /// Verify the checksum of a raw page just read from disk. A stored
+    /// value of zero marks a never-written page (fresh allocations are
+    /// zeroed by the disk layer) and is skipped — the CRC of real page
+    /// content is zero only with probability 2^-32, in which case that
+    /// one page merely loses detection, never correctness.
+    fn verify_checksum(&self, pid: PageId, raw: &[u8]) -> Result<()> {
+        let stored = u32::from_le_bytes(raw[..CHECKSUM_LEN].try_into().expect("4-byte header"));
+        if stored == 0 {
+            return Ok(());
+        }
+        self.stats.inc_checksum_verification();
+        let found = crc32(&raw[CHECKSUM_LEN..]);
+        if found != stored {
+            self.stats.inc_corrupt_page_detected();
+            return Err(StorageError::CorruptPage {
+                seg: self.seg_name.clone(),
+                page: pid,
+                expected: stored,
+                found,
+            });
+        }
+        Ok(())
+    }
+
     fn flush_all(&mut self) -> Result<()> {
         if self.wal.is_some() {
             let dirty: Vec<PageId> = self
@@ -218,6 +259,7 @@ impl PoolState {
         }
         for i in 0..self.frames.len() {
             if self.frames[i].dirty {
+                stamp_checksum(&mut self.frames[i].data);
                 self.disk
                     .write_page(self.frames[i].pid, &self.frames[i].data)?;
                 self.frames[i].dirty = false;
@@ -260,6 +302,13 @@ impl PoolState {
         self.stats.inc_buf_miss();
         let idx = self.free_frame()?;
         self.disk.read_page(pid, &mut self.frames[idx].data)?;
+        if let Err(e) = self.verify_checksum(pid, &self.frames[idx].data) {
+            // Do not cache the corrupt frame: every read keeps hitting
+            // the verification (and keeps erroring) until repaired.
+            self.frames[idx].pid = PageId(u32::MAX);
+            self.frames[idx].referenced = false;
+            return Err(e);
+        }
         self.frames[idx].pid = pid;
         self.frames[idx].dirty = false;
         self.frames[idx].referenced = true;
@@ -298,6 +347,7 @@ impl PoolState {
                 self.log_before_image(pid)?;
                 self.wal_sync()?;
             }
+            stamp_checksum(&mut self.frames[idx].data);
             self.disk.write_page(pid, &self.frames[idx].data)?;
             self.frames[idx].dirty = false;
             self.stats.inc_page_write();
@@ -438,5 +488,74 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
         let _ = pool(0);
+    }
+
+    #[test]
+    fn usable_page_size_excludes_checksum() {
+        let bp = pool(2);
+        assert_eq!(bp.page_size(), 256 - CHECKSUM_LEN);
+        let p = bp.allocate_page().unwrap();
+        assert_eq!(bp.with_page(p, |b| b.len()).unwrap(), 256 - CHECKSUM_LEN);
+    }
+
+    #[test]
+    fn cold_reads_verify_checksums() {
+        let bp = pool(4);
+        let p = bp.allocate_page().unwrap();
+        bp.with_page_mut(p, |b| b[0] = 0xAB).unwrap();
+        bp.clear_cache().unwrap(); // flush stamps the CRC
+        let before = bp.stats().snapshot().checksum_verifications;
+        assert_eq!(bp.with_page(p, |b| b[0]).unwrap(), 0xAB);
+        assert_eq!(
+            bp.stats().snapshot().checksum_verifications,
+            before + 1,
+            "cold read of a written page must verify"
+        );
+        assert_eq!(bp.stats().snapshot().corrupt_pages_detected, 0);
+    }
+
+    #[test]
+    fn bit_flip_on_disk_is_detected_not_cached() {
+        use crate::disk::FileDisk;
+        let path = std::env::temp_dir().join(format!(
+            "aim2_buffer_crc_{}_{:?}.seg",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let disk = FileDisk::open(&path, 256).unwrap();
+            let bp = BufferPool::new(Box::new(disk), 2, Stats::new());
+            let p = bp.allocate_page().unwrap();
+            bp.with_page_mut(p, |b| b.iter_mut().for_each(|x| *x = 7))
+                .unwrap();
+            bp.flush_all().unwrap();
+        }
+        // Flip one payload bit behind the engine's back.
+        {
+            use std::io::{Read, Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)
+                .unwrap();
+            let mut byte = [0u8; 1];
+            f.seek(SeekFrom::Start(100)).unwrap();
+            f.read_exact(&mut byte).unwrap();
+            byte[0] ^= 0x10;
+            f.seek(SeekFrom::Start(100)).unwrap();
+            f.write_all(&byte).unwrap();
+        }
+        let disk = FileDisk::open(&path, 256).unwrap();
+        let bp = BufferPool::new(Box::new(disk), 2, Stats::new());
+        for _ in 0..2 {
+            // Erroring twice proves the corrupt frame was not cached.
+            match bp.with_page(PageId(0), |_| ()) {
+                Err(StorageError::CorruptPage { page, .. }) => assert_eq!(page, PageId(0)),
+                other => panic!("expected CorruptPage, got {other:?}"),
+            }
+        }
+        assert_eq!(bp.stats().snapshot().corrupt_pages_detected, 2);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,898 @@
+//! Integrity walker: structural verification of stored tables.
+//!
+//! The paper's storage design (§4.1) hangs everything off structural
+//! metadata — Mini Directory trees, local address spaces, page lists —
+//! so a single corrupt page can poison a whole complex object. The
+//! invariants are all *checkable*, though: every MD tree must mirror its
+//! schema, every Mini-TID must resolve inside the object's local address
+//! space, every page list must agree with the segment's free-space
+//! accounting. This module walks all of them and returns a structured
+//! [`IntegrityReport`] instead of failing fast, so one corrupt object
+//! never hides another — and so the database layer can quarantine
+//! exactly the damaged objects and salvage the rest.
+//!
+//! The walker is deliberately read-only: it never repairs, it only
+//! reports. Repair policy (quarantine, salvage) lives above, in the
+//! database layer.
+
+use crate::error::StorageError;
+use crate::flatstore::FlatStore;
+use crate::minidir::{LayoutKind, MdGroup, MdNode, MdNodeKind, RootMd};
+use crate::object::{ObjectHandle, ObjectStore, OWN_GROUP};
+use crate::page::PageRef;
+use crate::pagelist::PageList;
+use crate::segment::Segment;
+use crate::tid::{PageId, Tid};
+use crate::Result;
+use aim2_model::TableSchema;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The individual invariants the walker verifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CheckKind {
+    /// Page CRC-32 and slotted-page structure on a cold read.
+    PageChecksum,
+    /// MD-tree shape mirrors the table schema (node kinds, entry
+    /// groups, data-subtuple arity) for the object's layout.
+    MdShape,
+    /// Mini-TIDs (and flat-table TIDs) resolve to readable subtuples
+    /// inside the local address space.
+    MiniTid,
+    /// Page lists vs. segment extent, directory pages, and free-page
+    /// accounting: no page owned twice, no free page in use.
+    PageAccounting,
+    /// MD entry groups are well ordered: one D entry leading its group,
+    /// child slots ascending, no duplicate element entries.
+    OrderedSubtable,
+    /// Index entries point at live root TIDs (checked by the database
+    /// layer, which owns the indexes).
+    IndexLiveness,
+}
+
+impl CheckKind {
+    /// All checks, in report order.
+    pub const ALL: [CheckKind; 6] = [
+        CheckKind::PageChecksum,
+        CheckKind::MdShape,
+        CheckKind::MiniTid,
+        CheckKind::PageAccounting,
+        CheckKind::OrderedSubtable,
+        CheckKind::IndexLiveness,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::PageChecksum => "page-checksum",
+            CheckKind::MdShape => "md-shape",
+            CheckKind::MiniTid => "mini-tid",
+            CheckKind::PageAccounting => "page-accounting",
+            CheckKind::OrderedSubtable => "ordered-subtable",
+            CheckKind::IndexLiveness => "index-liveness",
+        }
+    }
+
+    fn index(self) -> usize {
+        CheckKind::ALL
+            .iter()
+            .position(|&k| k == self)
+            .expect("in ALL")
+    }
+}
+
+/// One detected integrity violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Table the violation belongs to.
+    pub table: String,
+    /// Root TID of the affected object / row, when attributable — the
+    /// quarantine unit. `None` for table-level damage.
+    pub object: Option<Tid>,
+    /// Which invariant failed.
+    pub check: CheckKind,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table={} object=", self.table)?;
+        match self.object {
+            Some(t) => write!(f, "{t}")?,
+            None => write!(f, "-")?,
+        }
+        write!(f, " check={}: {}", self.check.name(), self.detail)
+    }
+}
+
+/// Aggregated result of an integrity walk: how much was verified per
+/// check, and everything that failed. Never fail-fast — a report with
+/// findings is still a complete report over the readable remainder.
+#[derive(Debug, Clone, Default)]
+pub struct IntegrityReport {
+    checked: [u64; 6],
+    findings: Vec<Finding>,
+}
+
+impl IntegrityReport {
+    pub fn new() -> IntegrityReport {
+        IntegrityReport::default()
+    }
+
+    /// Count one verification of `check`.
+    pub fn bump(&mut self, check: CheckKind) {
+        self.checked[check.index()] += 1;
+    }
+
+    /// Number of verifications performed for `check`.
+    pub fn checked(&self, check: CheckKind) -> u64 {
+        self.checked[check.index()]
+    }
+
+    /// Record a violation.
+    pub fn record(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// All violations, in discovery order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// True when nothing failed.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The set of `(table, root TID)` pairs with attributable damage —
+    /// the database layer's quarantine input.
+    pub fn corrupt_objects(&self) -> BTreeSet<(String, Tid)> {
+        self.findings
+            .iter()
+            .filter_map(|f| f.object.map(|t| (f.table.clone(), t)))
+            .collect()
+    }
+}
+
+impl fmt::Display for IntegrityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            writeln!(f, "integrity: clean")?;
+        } else {
+            writeln!(f, "integrity: {} finding(s)", self.findings.len())?;
+        }
+        for k in CheckKind::ALL {
+            let hits = self.findings.iter().filter(|x| x.check == k).count();
+            writeln!(
+                f,
+                "  {}: checked={} findings={}",
+                k.name(),
+                self.checked(k),
+                hits
+            )?;
+        }
+        for x in &self.findings {
+            writeln!(f, "  ! {x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Finding context: the table and (optionally) object being walked.
+struct Cx<'a> {
+    table: &'a str,
+    object: Option<Tid>,
+}
+
+impl Cx<'_> {
+    fn record(&self, report: &mut IntegrityReport, check: CheckKind, detail: impl Into<String>) {
+        report.record(Finding {
+            table: self.table.to_string(),
+            object: self.object,
+            check,
+            detail: detail.into(),
+        });
+    }
+}
+
+/// Cold-sweep every page of `seg`: drop the cache so each page is
+/// re-read (and checksum-verified) from disk, then validate its slotted
+/// structure. All-zero pages (allocated but never written before a
+/// crash) are legitimately uninitialized and skipped. Returns the set
+/// of damaged pages so object walks can attribute them.
+pub fn check_segment_pages(
+    seg: &mut Segment,
+    table: &str,
+    report: &mut IntegrityReport,
+) -> Result<BTreeSet<PageId>> {
+    let cx = Cx {
+        table,
+        object: None,
+    };
+    let pool = seg.pool_mut();
+    pool.clear_cache()?;
+    let mut bad = BTreeSet::new();
+    for p in 0..pool.num_pages() {
+        let pid = PageId(p);
+        report.bump(CheckKind::PageChecksum);
+        let outcome = pool.with_page(pid, |buf| {
+            let r = PageRef::new(buf);
+            if r.slot_count() == 0 && r.dead_bytes() == 0 && buf[2..6].iter().all(|&b| b == 0) {
+                return Ok(()); // never-initialized page
+            }
+            r.validate()
+        });
+        let err = match outcome {
+            Ok(Ok(())) => continue,
+            Ok(Err(e)) => e, // structure invalid
+            Err(e) => e,     // checksum / I/O failure
+        };
+        bad.insert(pid);
+        cx.record(
+            report,
+            CheckKind::PageChecksum,
+            format!("page {pid}: {err}"),
+        );
+    }
+    Ok(bad)
+}
+
+/// Walk one NF² table's object store: pages, roots, MD trees, page
+/// accounting. Findings accumulate in `report`; the walk itself only
+/// errors on environmental failures (e.g. the cache flush).
+pub fn check_object_store(
+    store: &mut ObjectStore,
+    schema: &TableSchema,
+    table: &str,
+    report: &mut IntegrityReport,
+) -> Result<()> {
+    let bad_pages = check_segment_pages(store.segment_mut(), table, report)?;
+    // Enumerate roots page by page so one corrupt directory page cannot
+    // hide the objects on the others.
+    let mut handles: Vec<ObjectHandle> = Vec::new();
+    for pid in store.dir_pages().to_vec() {
+        let slots = store.segment_mut().pool_mut().with_page(pid, |buf| {
+            PageRef::new(buf)
+                .live_records()
+                .map(|(s, _)| s)
+                .collect::<Vec<_>>()
+        });
+        match slots {
+            Ok(slots) => handles.extend(slots.into_iter().map(|s| ObjectHandle(Tid::new(pid, s)))),
+            Err(e) => {
+                let cx = Cx {
+                    table,
+                    object: None,
+                };
+                cx.record(
+                    report,
+                    CheckKind::MdShape,
+                    format!("object directory page {pid} unreadable: {e}"),
+                );
+            }
+        }
+    }
+    let mut owner: BTreeMap<PageId, Tid> = BTreeMap::new();
+    for h in handles {
+        check_object(store, schema, table, h, &bad_pages, &mut owner, report);
+    }
+    // Segment-level free-page accounting.
+    report.bump(CheckKind::PageAccounting);
+    let cx = Cx {
+        table,
+        object: None,
+    };
+    let num_pages = store.segment_mut().num_pages();
+    let dir: BTreeSet<PageId> = store.dir_pages().iter().copied().collect();
+    let mut seen_free: BTreeSet<PageId> = BTreeSet::new();
+    for pid in store.free_pages().to_vec() {
+        if pid.0 >= num_pages {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("free list names page {pid} beyond the segment extent {num_pages}"),
+            );
+        }
+        if !seen_free.insert(pid) {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("page {pid} appears twice in the free list"),
+            );
+        }
+        if dir.contains(&pid) {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("directory page {pid} is also on the free list"),
+            );
+        }
+        if let Some(&owner_tid) = owner.get(&pid) {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("free page {pid} is in the page list of object {owner_tid}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn check_object(
+    store: &mut ObjectStore,
+    schema: &TableSchema,
+    table: &str,
+    h: ObjectHandle,
+    bad_pages: &BTreeSet<PageId>,
+    owner: &mut BTreeMap<PageId, Tid>,
+    report: &mut IntegrityReport,
+) {
+    let cx = Cx {
+        table,
+        object: Some(h.0),
+    };
+    report.bump(CheckKind::MdShape);
+    let root = match store.root_md(h) {
+        Ok(r) => r,
+        Err(e) => {
+            cx.record(
+                report,
+                CheckKind::MdShape,
+                format!("root MD subtuple unreadable: {e}"),
+            );
+            return;
+        }
+    };
+    if root.layout != store.layout() {
+        cx.record(
+            report,
+            CheckKind::MdShape,
+            format!(
+                "root MD carries layout {} but the store uses {}",
+                root.layout,
+                store.layout()
+            ),
+        );
+    }
+    check_page_list(store, &root, &cx, bad_pages, owner, report);
+    check_object_node(
+        store,
+        &root.page_list,
+        &root.node,
+        schema,
+        root.layout,
+        &cx,
+        report,
+    );
+}
+
+/// Page-list ↔ segment accounting for one object, and attribution of
+/// already-detected page damage to the objects whose local address
+/// space includes the damaged pages.
+fn check_page_list(
+    store: &mut ObjectStore,
+    root: &RootMd,
+    cx: &Cx<'_>,
+    bad_pages: &BTreeSet<PageId>,
+    owner: &mut BTreeMap<PageId, Tid>,
+    report: &mut IntegrityReport,
+) {
+    report.bump(CheckKind::PageAccounting);
+    let num_pages = store.segment_mut().num_pages();
+    let dir: BTreeSet<PageId> = store.dir_pages().iter().copied().collect();
+    let me = cx.object.expect("object context");
+    for (lpage, pid) in root.page_list.iter() {
+        if pid.0 >= num_pages {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("page list entry {lpage} names page {pid} beyond the segment extent"),
+            );
+            continue;
+        }
+        if dir.contains(&pid) {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("page list entry {lpage} names directory page {pid}"),
+            );
+        }
+        if let Some(prev) = owner.insert(pid, me) {
+            if prev != me {
+                cx.record(
+                    report,
+                    CheckKind::PageAccounting,
+                    format!("page {pid} is in this object's page list and in {prev}'s"),
+                );
+            }
+        }
+        if bad_pages.contains(&pid) {
+            cx.record(
+                report,
+                CheckKind::PageChecksum,
+                format!("local address space includes corrupt page {pid}"),
+            );
+        }
+    }
+}
+
+/// An object-shaped node (root or complex subobject): its own "DCC"
+/// group plus, per layout, subtable children / membership groups.
+fn check_object_node(
+    store: &mut ObjectStore,
+    pl: &PageList,
+    node: &MdNode,
+    schema: &TableSchema,
+    layout: LayoutKind,
+    cx: &Cx<'_>,
+    report: &mut IntegrityReport,
+) {
+    report.bump(CheckKind::MdShape);
+    let subs = schema.table_indices();
+    let Some(own) = node.groups.iter().find(|g| g.tag == OWN_GROUP) else {
+        cx.record(
+            report,
+            CheckKind::MdShape,
+            "MD node lacks its own entry group",
+        );
+        return;
+    };
+    check_entry_group(own, subs.len(), cx, report);
+    match own.data_entry() {
+        None => cx.record(report, CheckKind::MdShape, "own group lacks a D entry"),
+        Some(d) => check_data(store, pl, d, schema, cx, report),
+    }
+    match layout {
+        LayoutKind::Ss1 => {
+            if node.groups.len() != 1 {
+                cx.record(
+                    report,
+                    CheckKind::MdShape,
+                    format!(
+                        "SS1 object node has {} groups, expected 1",
+                        node.groups.len()
+                    ),
+                );
+            }
+            for (slot, &attr_idx) in subs.iter().enumerate() {
+                let sub = sub_schema(schema, attr_idx);
+                let Some(st_mt) = own.child_for(slot as u8) else {
+                    cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!("missing C entry for subtable slot {slot}"),
+                    );
+                    continue;
+                };
+                report.bump(CheckKind::MiniTid);
+                let st = match store.read_md_node_at(pl, st_mt) {
+                    Ok(n) => n,
+                    Err(e) => {
+                        cx.record(
+                            report,
+                            CheckKind::MiniTid,
+                            format!("subtable MD at {st_mt} unreadable: {e}"),
+                        );
+                        continue;
+                    }
+                };
+                if st.kind != MdNodeKind::Subtable || st.groups.len() != 1 {
+                    cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!("SS1 subtable node at {st_mt} has the wrong shape"),
+                    );
+                    continue;
+                }
+                check_member_list(&st.groups[0], sub.is_flat(), cx, report);
+                for e in &st.groups[0].entries {
+                    if sub.is_flat() {
+                        if e.is_data() {
+                            check_data(store, pl, e.tid, sub, cx, report);
+                        }
+                    } else if e.child_slot().is_some() {
+                        report.bump(CheckKind::MiniTid);
+                        match store.read_md_node_at(pl, e.tid) {
+                            Ok(child) if child.kind == MdNodeKind::Subobject => {
+                                check_object_node(store, pl, &child, sub, layout, cx, report)
+                            }
+                            Ok(_) => cx.record(
+                                report,
+                                CheckKind::MdShape,
+                                format!("element at {} is not a subobject node", e.tid),
+                            ),
+                            Err(err) => cx.record(
+                                report,
+                                CheckKind::MiniTid,
+                                format!("subobject MD at {} unreadable: {err}", e.tid),
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+        LayoutKind::Ss2 => {
+            for (slot, &attr_idx) in subs.iter().enumerate() {
+                let sub = sub_schema(schema, attr_idx);
+                let Some(membership) = node.groups.iter().find(|g| g.tag == slot as u16) else {
+                    cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!("missing membership group for subtable slot {slot}"),
+                    );
+                    continue;
+                };
+                check_member_list(membership, sub.is_flat(), cx, report);
+                for e in &membership.entries {
+                    if sub.is_flat() {
+                        if e.is_data() {
+                            check_data(store, pl, e.tid, sub, cx, report);
+                        }
+                    } else if e.child_slot().is_some() {
+                        report.bump(CheckKind::MiniTid);
+                        match store.read_md_node_at(pl, e.tid) {
+                            Ok(child) if child.kind == MdNodeKind::Subobject => {
+                                check_object_node(store, pl, &child, sub, layout, cx, report)
+                            }
+                            Ok(_) => cx.record(
+                                report,
+                                CheckKind::MdShape,
+                                format!("element at {} is not a subobject node", e.tid),
+                            ),
+                            Err(err) => cx.record(
+                                report,
+                                CheckKind::MiniTid,
+                                format!("subobject MD at {} unreadable: {err}", e.tid),
+                            ),
+                        }
+                    }
+                }
+            }
+            let expected = 1 + subs.len();
+            if node.groups.len() != expected {
+                cx.record(
+                    report,
+                    CheckKind::MdShape,
+                    format!(
+                        "SS2 object node has {} groups, expected {expected}",
+                        node.groups.len()
+                    ),
+                );
+            }
+        }
+        LayoutKind::Ss3 => {
+            for (slot, &attr_idx) in subs.iter().enumerate() {
+                let sub = sub_schema(schema, attr_idx);
+                match own.child_for(slot as u8) {
+                    None => cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!("missing C entry for subtable slot {slot}"),
+                    ),
+                    Some(st) => check_ss3_subtable(store, pl, st, sub, cx, report),
+                }
+            }
+        }
+    }
+}
+
+/// An SS3 subtable node: one entry group per element, each "DCC"-shaped.
+fn check_ss3_subtable(
+    store: &mut ObjectStore,
+    pl: &PageList,
+    mt: crate::tid::MiniTid,
+    schema: &TableSchema,
+    cx: &Cx<'_>,
+    report: &mut IntegrityReport,
+) {
+    report.bump(CheckKind::MiniTid);
+    let node = match store.read_md_node_at(pl, mt) {
+        Ok(n) => n,
+        Err(e) => {
+            cx.record(
+                report,
+                CheckKind::MiniTid,
+                format!("subtable MD at {mt} unreadable: {e}"),
+            );
+            return;
+        }
+    };
+    if node.kind != MdNodeKind::Subtable {
+        cx.record(
+            report,
+            CheckKind::MdShape,
+            format!("node at {mt} should be a subtable node"),
+        );
+        return;
+    }
+    let subs = schema.table_indices();
+    for group in &node.groups {
+        check_entry_group(group, subs.len(), cx, report);
+        match group.data_entry() {
+            None => cx.record(
+                report,
+                CheckKind::MdShape,
+                format!("element group in subtable at {mt} lacks a D entry"),
+            ),
+            Some(d) => check_data(store, pl, d, schema, cx, report),
+        }
+        for (slot, &attr_idx) in subs.iter().enumerate() {
+            let nested = sub_schema(schema, attr_idx);
+            match group.child_for(slot as u8) {
+                None => cx.record(
+                    report,
+                    CheckKind::MdShape,
+                    format!("element group lacks a C entry for subtable slot {slot}"),
+                ),
+                Some(st) => check_ss3_subtable(store, pl, st, nested, cx, report),
+            }
+        }
+    }
+}
+
+/// A data subtuple: the Mini-TID must resolve and the decoded atoms
+/// must match the schema level's atomic arity.
+fn check_data(
+    store: &mut ObjectStore,
+    pl: &PageList,
+    mt: crate::tid::MiniTid,
+    schema: &TableSchema,
+    cx: &Cx<'_>,
+    report: &mut IntegrityReport,
+) {
+    report.bump(CheckKind::MiniTid);
+    match store.read_data_atoms_at(pl, mt) {
+        Err(e) => cx.record(
+            report,
+            CheckKind::MiniTid,
+            format!("data subtuple at {mt} unreadable: {e}"),
+        ),
+        Ok(atoms) => {
+            let want = schema.atomic_indices().len();
+            if atoms.len() != want {
+                cx.record(
+                    report,
+                    CheckKind::MdShape,
+                    format!(
+                        "data subtuple at {mt} has {} atoms, schema expects {want}",
+                        atoms.len()
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// A "DCC"-shaped entry group (own groups, SS3 element groups): at most
+/// one D entry, leading the group; C slots strictly ascending; no
+/// duplicate targets. Entry order is list order (§4.1), so order damage
+/// is data damage.
+fn check_entry_group(g: &MdGroup, n_subs: usize, cx: &Cx<'_>, report: &mut IntegrityReport) {
+    report.bump(CheckKind::OrderedSubtable);
+    let d_count = g.entries.iter().filter(|e| e.is_data()).count();
+    if d_count > 1 {
+        cx.record(
+            report,
+            CheckKind::OrderedSubtable,
+            format!("entry group has {d_count} D entries"),
+        );
+    }
+    if d_count == 1 && !g.entries[0].is_data() {
+        cx.record(
+            report,
+            CheckKind::OrderedSubtable,
+            "D entry does not lead its group",
+        );
+    }
+    let slots: Vec<u8> = g.entries.iter().filter_map(|e| e.child_slot()).collect();
+    if slots.windows(2).any(|w| w[0] >= w[1]) {
+        cx.record(
+            report,
+            CheckKind::OrderedSubtable,
+            format!("C entry slots not strictly ascending: {slots:?}"),
+        );
+    }
+    if let Some(&max) = slots.iter().max() {
+        if max as usize >= n_subs {
+            cx.record(
+                report,
+                CheckKind::MdShape,
+                format!("C entry names subtable slot {max}, schema has {n_subs}"),
+            );
+        }
+    }
+    check_no_dup_targets(g, cx, report);
+}
+
+/// A membership / element list group (SS2 membership, SS1 subtable):
+/// entries must be homogeneous — all D for flat element types, all C
+/// otherwise — and duplicate-free (entry order is the list order).
+fn check_member_list(g: &MdGroup, flat: bool, cx: &Cx<'_>, report: &mut IntegrityReport) {
+    report.bump(CheckKind::OrderedSubtable);
+    let wrong = g.entries.iter().filter(|e| e.is_data() != flat).count();
+    if wrong > 0 {
+        cx.record(
+            report,
+            CheckKind::MdShape,
+            format!(
+                "membership list mixes entry kinds ({wrong} of {} unexpected)",
+                g.entries.len()
+            ),
+        );
+    }
+    check_no_dup_targets(g, cx, report);
+}
+
+fn check_no_dup_targets(g: &MdGroup, cx: &Cx<'_>, report: &mut IntegrityReport) {
+    let mut seen = BTreeSet::new();
+    for e in &g.entries {
+        if !seen.insert((e.tid.lpage, e.tid.slot)) {
+            cx.record(
+                report,
+                CheckKind::OrderedSubtable,
+                format!("duplicate entry target {}", e.tid),
+            );
+        }
+    }
+}
+
+/// Walk one flat (1NF) table: pages, then every TID resolves to a tuple
+/// of the schema's arity.
+pub fn check_flat_store(
+    store: &mut FlatStore,
+    schema: &TableSchema,
+    table: &str,
+    report: &mut IntegrityReport,
+) -> Result<()> {
+    check_segment_pages(store.segment_mut(), table, report)?;
+    // TID accounting: every registered row sits inside the segment
+    // extent, and no TID is registered twice.
+    report.bump(CheckKind::PageAccounting);
+    let num_pages = store.segment_mut().num_pages();
+    let mut seen = BTreeSet::new();
+    for tid in store.tids().to_vec() {
+        let cx = Cx {
+            table,
+            object: Some(tid),
+        };
+        if tid.page.0 >= num_pages {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("TID {tid} names a page beyond the segment extent {num_pages}"),
+            );
+        }
+        if !seen.insert(tid) {
+            cx.record(
+                report,
+                CheckKind::PageAccounting,
+                format!("TID {tid} registered twice"),
+            );
+        }
+    }
+    let want = schema.attrs.len();
+    for tid in store.tids().to_vec() {
+        let cx = Cx {
+            table,
+            object: Some(tid),
+        };
+        report.bump(CheckKind::MiniTid);
+        match store.read(tid) {
+            Err(e) => cx.record(
+                report,
+                CheckKind::MiniTid,
+                format!("tuple at {tid} unreadable: {e}"),
+            ),
+            Ok(t) => {
+                report.bump(CheckKind::MdShape);
+                if t.fields.len() != want {
+                    cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!(
+                            "tuple at {tid} has {} fields, schema expects {want}",
+                            t.fields.len()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// Small helper: the (validated-at-create-time) subtable schema of a
+// table-valued attribute. Corrupt *schemas* are the catalog's problem,
+// not the walker's, so this can stay infallible.
+fn sub_schema(schema: &TableSchema, attr_idx: usize) -> &TableSchema {
+    schema.attrs[attr_idx]
+        .kind
+        .as_table()
+        .expect("table-valued attribute")
+}
+
+#[allow(unused_imports)]
+use StorageError as _; // referenced by doc text
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::BufferPool;
+    use crate::disk::MemDisk;
+    use crate::segment::Segment;
+    use crate::stats::Stats;
+    use aim2_model::fixtures;
+
+    fn store(layout: LayoutKind) -> ObjectStore {
+        let pool = BufferPool::new(Box::new(MemDisk::new(512)), 16, Stats::new());
+        ObjectStore::new(Segment::new(pool), layout)
+    }
+
+    #[test]
+    fn clean_store_reports_clean_for_all_layouts() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        for layout in LayoutKind::ALL {
+            let mut st = store(layout);
+            for t in &value.tuples {
+                st.insert_object(&schema, t).unwrap();
+            }
+            let mut report = IntegrityReport::new();
+            check_object_store(&mut st, &schema, "DEPTS", &mut report).unwrap();
+            assert!(report.is_clean(), "{layout}: {report}");
+            assert!(report.checked(CheckKind::PageChecksum) > 0);
+            assert!(report.checked(CheckKind::MdShape) > 0);
+            assert!(report.checked(CheckKind::MiniTid) > 0);
+            assert!(report.checked(CheckKind::OrderedSubtable) > 0);
+            assert!(report.checked(CheckKind::PageAccounting) > 0);
+        }
+    }
+
+    #[test]
+    fn clean_flat_store_reports_clean() {
+        let schema = fixtures::departments_1nf_schema();
+        let value = fixtures::departments_1nf_value();
+        let pool = BufferPool::new(Box::new(MemDisk::new(512)), 16, Stats::new());
+        let mut fs = FlatStore::new(Segment::new(pool));
+        fs.load(&value).unwrap();
+        let mut report = IntegrityReport::new();
+        check_flat_store(&mut fs, &schema, "DEPTS1NF", &mut report).unwrap();
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(
+            report.checked(CheckKind::MiniTid),
+            value.tuples.len() as u64
+        );
+    }
+
+    #[test]
+    fn deleted_objects_leave_a_clean_store() {
+        let schema = fixtures::departments_schema();
+        let value = fixtures::departments_value();
+        let mut st = store(LayoutKind::Ss3);
+        let mut handles = Vec::new();
+        for t in &value.tuples {
+            handles.push(st.insert_object(&schema, t).unwrap());
+        }
+        st.delete_object(handles[0]).unwrap();
+        let mut report = IntegrityReport::new();
+        check_object_store(&mut st, &schema, "DEPTS", &mut report).unwrap();
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn report_display_is_stable() {
+        let mut report = IntegrityReport::new();
+        report.bump(CheckKind::PageChecksum);
+        report.record(Finding {
+            table: "T".into(),
+            object: None,
+            check: CheckKind::PageChecksum,
+            detail: "boom".into(),
+        });
+        let s = report.to_string();
+        assert!(s.contains("integrity: 1 finding(s)"));
+        assert!(s.contains("page-checksum: checked=1 findings=1"));
+        assert!(s.contains("table=T object=- check=page-checksum: boom"));
+    }
+}

@@ -18,6 +18,18 @@ pub enum StorageError {
     RecordTooLarge { len: usize, max: usize },
     /// A stored byte structure failed to decode (corruption or bug).
     Corrupt(String),
+    /// A page read from disk failed its CRC-32 verification: the page
+    /// was modified outside the engine (bit rot, partial overwrite).
+    /// `expected` is the stamped checksum, `found` the recomputed one.
+    CorruptPage {
+        seg: String,
+        page: PageId,
+        expected: u32,
+        found: u32,
+    },
+    /// A byte structure inside an otherwise readable page failed bounds
+    /// or shape validation (truncated slot directory, garbage offsets).
+    CorruptData(String),
     /// A checksummed structure (WAL frame) failed verification — a torn
     /// or corrupted write was *detected*, as opposed to silently read.
     ChecksumMismatch(String),
@@ -41,6 +53,16 @@ impl fmt::Display for StorageError {
                 write!(f, "record of {len} bytes exceeds page capacity {max}")
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt storage structure: {msg}"),
+            StorageError::CorruptPage {
+                seg,
+                page,
+                expected,
+                found,
+            } => write!(
+                f,
+                "corrupt page {page} in segment {seg}: stored checksum {expected:#010x}, computed {found:#010x}"
+            ),
+            StorageError::CorruptData(msg) => write!(f, "corrupt page data: {msg}"),
             StorageError::ChecksumMismatch(msg) => {
                 write!(f, "checksum mismatch (torn or corrupt write): {msg}")
             }

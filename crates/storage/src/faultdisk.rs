@@ -30,6 +30,10 @@ pub enum WriteOutcome {
     /// The write fails and nothing persists; the disk keeps running
     /// (transient) or has stopped (post-crash).
     Fail,
+    /// The write lands, but with bit `bit` of byte `byte` flipped — a
+    /// silent bit-rot event. The disk keeps running and reports success;
+    /// only checksums can tell.
+    Corrupted { byte: usize, bit: u8 },
 }
 
 #[derive(Debug)]
@@ -51,6 +55,9 @@ enum Plan {
     TearAt(u64),
     /// Write number `n` fails once; everything else succeeds.
     TransientAt(u64),
+    /// Write number `n` silently lands with one seed-derived bit
+    /// flipped; the disk keeps running and never reports the damage.
+    CorruptAt(u64),
 }
 
 /// Shared, clonable fault-decision state. One injector is typically
@@ -97,6 +104,13 @@ impl FaultInjector {
         FaultInjector::with_plan(0, Plan::TransientAt(n))
     }
 
+    /// The `n`-th write (1-based) silently lands with one `seed`-derived
+    /// bit flipped — deterministic bit rot. The disk keeps running and
+    /// reports success; detection is the checksum layer's job.
+    pub fn corrupt_at(n: u64, seed: u64) -> FaultInjector {
+        FaultInjector::with_plan(seed, Plan::CorruptAt(n))
+    }
+
     /// Total writes observed so far (including the failed ones).
     pub fn writes(&self) -> u64 {
         self.state.lock().unwrap().writes
@@ -139,6 +153,14 @@ impl FaultInjector {
             Plan::TearAt(_) => WriteOutcome::Full,
             Plan::TransientAt(k) if n == k => WriteOutcome::Fail,
             Plan::TransientAt(_) => WriteOutcome::Full,
+            Plan::CorruptAt(k) if n == k && len > 0 => {
+                let h = splitmix64(s.seed ^ n);
+                WriteOutcome::Corrupted {
+                    byte: (h % len as u64) as usize,
+                    bit: (splitmix64(h) % 8) as u8,
+                }
+            }
+            Plan::CorruptAt(_) => WriteOutcome::Full,
         }
     }
 
@@ -153,6 +175,9 @@ impl FaultInjector {
             WriteOutcome::Fail => Err(StorageError::Io(std::io::Error::other(
                 "fault injection: write failed",
             ))),
+            // Bit rot targets page-granular writes; stream writers (WAL,
+            // catalog) carry their own record checksums and pass through.
+            WriteOutcome::Corrupted { .. } => Ok(None),
         }
     }
 }
@@ -196,6 +221,10 @@ impl Disk for FaultDisk {
             WriteOutcome::Torn(_) | WriteOutcome::Fail => Err(StorageError::Io(
                 std::io::Error::other("fault injection: allocation failed, disk stopped"),
             )),
+            // An all-zero fresh page has no checksum to violate; rot on
+            // an allocation write is indistinguishable from rot on the
+            // page's first real write, which the plan can target instead.
+            WriteOutcome::Corrupted { .. } => self.inner.allocate(),
         }
     }
 
@@ -220,6 +249,12 @@ impl Disk for FaultDisk {
             WriteOutcome::Fail => Err(StorageError::Io(std::io::Error::other(
                 "fault injection: page write failed",
             ))),
+            WriteOutcome::Corrupted { byte, bit } => {
+                let mut rotted = buf.to_vec();
+                rotted[byte] ^= 1 << bit;
+                // The caller sees success: silent corruption.
+                self.inner.write_page(pid, &rotted)
+            }
         }
     }
 
@@ -292,6 +327,63 @@ mod tests {
         let mut buf2 = [0u8; 64];
         d2.read_page(p2, &mut buf2).unwrap();
         assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn corrupt_at_flips_exactly_one_bit_silently() {
+        let inj = FaultInjector::corrupt_at(2, 1234);
+        let mut d = faulted(&inj);
+        let p = d.allocate().unwrap();
+        d.write_page(p, &[0u8; 64]).unwrap(); // write #2 — rotted, but Ok
+        assert!(!inj.stopped(), "bit rot never stops the disk");
+        let mut buf = [0u8; 64];
+        d.read_page(p, &mut buf).unwrap();
+        let flipped: Vec<(usize, u8)> = buf
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b != 0)
+            .map(|(i, &b)| (i, b))
+            .collect();
+        assert_eq!(flipped.len(), 1, "exactly one byte differs");
+        assert_eq!(flipped[0].1.count_ones(), 1, "exactly one bit differs");
+        // The disk keeps serving writes afterwards.
+        d.write_page(p, &[3u8; 64]).unwrap();
+        d.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf, [3u8; 64]);
+    }
+
+    #[test]
+    fn corrupt_at_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let inj = FaultInjector::corrupt_at(2, seed);
+            let mut d = faulted(&inj);
+            let p = d.allocate().unwrap();
+            d.write_page(p, &[0u8; 64]).unwrap();
+            let mut buf = [0u8; 64];
+            d.read_page(p, &mut buf).unwrap();
+            buf
+        };
+        assert_eq!(run(7), run(7), "same seed, same flip");
+        assert_ne!(run(7), run(8), "different seed, different flip");
+    }
+
+    #[test]
+    fn corrupted_page_write_is_caught_by_pool_checksum() {
+        use crate::buffer::BufferPool;
+        use crate::stats::Stats;
+        // Write #2 is the pool's flush of the page; rot it, then a cold
+        // read must surface CorruptPage instead of garbage.
+        let inj = FaultInjector::corrupt_at(2, 99);
+        let disk = FaultDisk::new(Box::new(MemDisk::new(128)), inj);
+        let bp = BufferPool::new(Box::new(disk), 2, Stats::new());
+        let p = bp.allocate_page().unwrap();
+        bp.with_page_mut(p, |b| b.iter_mut().for_each(|x| *x = 0x55))
+            .unwrap();
+        bp.clear_cache().unwrap();
+        match bp.with_page(p, |_| ()) {
+            Err(StorageError::CorruptPage { page, .. }) => assert_eq!(page, p),
+            other => panic!("expected CorruptPage, got {other:?}"),
+        }
     }
 
     #[test]

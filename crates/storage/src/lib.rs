@@ -27,6 +27,7 @@
 //!   navigation, Figure 1).
 
 pub mod buffer;
+pub mod check;
 pub mod disk;
 pub mod error;
 pub mod faultdisk;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod tid;
 pub mod wal;
 
+pub use check::{CheckKind, Finding, IntegrityReport};
 pub use error::StorageError;
 pub use faultdisk::{FaultDisk, FaultInjector, WriteOutcome};
 pub use minidir::LayoutKind;

@@ -39,7 +39,7 @@ use aim2_model::{Atom, AttrKind, Path, TableSchema, TableValue, Tuple, Value};
 
 /// Group tag marking a node's *own* entry group (the paper's "DCC"-style
 /// group: own data pointer followed by child pointers).
-const OWN_GROUP: u16 = u16::MAX;
+pub(crate) const OWN_GROUP: u16 = u16::MAX;
 
 /// Navigation result of `ObjectStore::locate`: the subtable-node chain
 /// taken, the element group reached, and its schema level.
@@ -329,7 +329,10 @@ impl ObjectStore {
             let mut pos = 0;
             let nxt = MiniTid::decode(&payload, &mut pos)
                 .ok_or_else(|| StorageError::Corrupt("truncated local overflow header".into()))?;
-            out.extend_from_slice(&payload[pos..]);
+            let body = payload.get(pos..).ok_or_else(|| {
+                StorageError::CorruptData("local overflow record shorter than its header".into())
+            })?;
+            out.extend_from_slice(body);
             if nxt == MINITID_SENTINEL {
                 return Ok(());
             }
@@ -403,7 +406,12 @@ impl ObjectStore {
         let mut pos = 0;
         let next = MiniTid::decode(&payload, &mut pos)
             .ok_or_else(|| StorageError::Corrupt("bad local head header".into()))?;
-        let mut out = payload[pos..].to_vec();
+        let mut out = payload
+            .get(pos..)
+            .ok_or_else(|| {
+                StorageError::CorruptData("local head record shorter than its header".into())
+            })?
+            .to_vec();
         if next != MINITID_SENTINEL {
             self.read_ovfl_local(pl, next, &mut out)?;
         }
@@ -476,6 +484,16 @@ impl ObjectStore {
     fn read_data_atoms(&mut self, pl: &PageList, mt: MiniTid) -> Result<Vec<Atom>> {
         let payload = self.read_local_payload(pl, mt)?;
         Ok(decode_atoms(&payload)?)
+    }
+
+    /// Crate-internal accessors for the integrity walker (check.rs),
+    /// which navigates MD trees from outside this module.
+    pub(crate) fn read_md_node_at(&mut self, pl: &PageList, mt: MiniTid) -> Result<MdNode> {
+        self.read_md_node(pl, mt)
+    }
+
+    pub(crate) fn read_data_atoms_at(&mut self, pl: &PageList, mt: MiniTid) -> Result<Vec<Atom>> {
+        self.read_data_atoms(pl, mt)
     }
 
     // =================================================================

@@ -18,11 +18,31 @@
 //! * deleted / shrunk records leave dead bytes that [`Page::compact`]
 //!   reclaims without changing any slot number.
 
+use crate::error::StorageError;
 use crate::tid::SlotNo;
 
 const HEADER_LEN: usize = 6;
 const SLOT_LEN: usize = 4;
 const FREE_OFF: u16 = 0xFFFF;
+
+/// Validate that slot `slot`'s `(off, len)` names record bytes fully
+/// inside the record area of a `buf_len`-byte page whose slot array
+/// starts at `slot_area_start`. Returns the byte range when sane.
+/// Centralizing the bounds arithmetic here is what makes every reader
+/// below total over arbitrary (bit-rotted) page images.
+fn record_range(
+    off: u16,
+    len: u16,
+    buf_len: usize,
+    slot_area_start: usize,
+) -> Option<std::ops::Range<usize>> {
+    if off == FREE_OFF {
+        return None;
+    }
+    let start = off as usize;
+    let end = start.checked_add(len as usize)?;
+    (start >= HEADER_LEN && end <= slot_area_start && end <= buf_len).then_some(start..end)
+}
 
 /// Minimum record-area span a live slot owns, even for shorter records.
 /// A slot must always be able to take a segment forward record (1 flag
@@ -64,11 +84,18 @@ impl<'a> Page<'a> {
     }
 
     fn get_u16(&self, at: usize) -> u16 {
-        u16::from_le_bytes(self.buf[at..at + 2].try_into().unwrap())
+        // A truncated buffer reads as zero rather than panicking; the
+        // bounds checks downstream then reject whatever depends on it.
+        match self.buf.get(at..at + 2) {
+            Some(b) => u16::from_le_bytes(b.try_into().expect("2-byte slice")),
+            None => 0,
+        }
     }
 
     fn set_u16(&mut self, at: usize, v: u16) {
-        self.buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+        if let Some(b) = self.buf.get_mut(at..at + 2) {
+            b.copy_from_slice(&v.to_le_bytes());
+        }
     }
 
     /// Number of slots ever allocated (live + tombstoned).
@@ -92,33 +119,50 @@ impl<'a> Page<'a> {
         self.set_u16(4, v)
     }
 
-    fn slot_pos(&self, slot: u16) -> usize {
-        self.buf.len() - SLOT_LEN * (slot as usize + 1)
+    fn slot_pos(&self, slot: u16) -> Option<usize> {
+        self.buf.len().checked_sub(SLOT_LEN * (slot as usize + 1))
     }
 
     fn slot(&self, slot: u16) -> (u16, u16) {
-        let p = self.slot_pos(slot);
-        (self.get_u16(p), self.get_u16(p + 2))
+        match self.slot_pos(slot) {
+            // A slot the buffer cannot even hold reads as tombstoned.
+            None => (FREE_OFF, 0),
+            Some(p) => (self.get_u16(p), self.get_u16(p + 2)),
+        }
     }
 
     fn set_slot(&mut self, slot: u16, off: u16, len: u16) {
-        let p = self.slot_pos(slot);
-        self.set_u16(p, off);
-        self.set_u16(p + 2, len);
+        if let Some(p) = self.slot_pos(slot) {
+            self.set_u16(p, off);
+            self.set_u16(p + 2, len);
+        }
     }
 
     fn slot_area_start(&self) -> usize {
-        self.buf.len() - SLOT_LEN * self.slot_count() as usize
+        self.buf
+            .len()
+            .saturating_sub(SLOT_LEN * self.slot_count() as usize)
     }
 
     /// Contiguous free bytes between record area and slot array.
     fn contiguous_free(&self) -> usize {
-        self.slot_area_start() - self.free_start() as usize
+        self.slot_area_start()
+            .saturating_sub(self.free_start() as usize)
+    }
+
+    /// Byte range of `slot`'s record, if the slot is live and its
+    /// `(off, len)` stays inside the record area.
+    fn range_of(&self, slot: u16) -> Option<std::ops::Range<usize>> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        record_range(off, len, self.buf.len(), self.slot_area_start())
     }
 
     /// Whether `slot` currently holds a live record.
     pub fn is_live(&self, slot: SlotNo) -> bool {
-        slot.0 < self.slot_count() && self.slot(slot.0).0 != FREE_OFF
+        self.range_of(slot.0).is_some()
     }
 
     /// Bytes available for inserting one new record (accounting for a
@@ -176,11 +220,7 @@ impl<'a> Page<'a> {
 
     /// Read the record in `slot`; `None` if the slot is free/invalid.
     pub fn read(&self, slot: SlotNo) -> Option<&[u8]> {
-        if !self.is_live(slot) {
-            return None;
-        }
-        let (off, len) = self.slot(slot.0);
-        Some(&self.buf[off as usize..(off + len) as usize])
+        self.range_of(slot.0).map(|r| &self.buf[r])
     }
 
     /// Delete the record in `slot` (tombstoning the slot). Returns false
@@ -191,7 +231,7 @@ impl<'a> Page<'a> {
         }
         let (_, len) = self.slot(slot.0);
         self.set_slot(slot.0, FREE_OFF, 0);
-        self.set_dead(self.dead_bytes() + footprint(len));
+        self.set_dead(self.dead_bytes().saturating_add(footprint(len)));
         true
     }
 
@@ -207,9 +247,14 @@ impl<'a> Page<'a> {
         if new_span <= old_span {
             // Fits in the span the slot already owns (which is at least
             // the minimum footprint, so e.g. 3 → 6 bytes stays in place).
+            // On an intact page the span never crosses into the slot
+            // array; a corrupt header must not let the write escape.
+            if off as usize + new_span as usize > self.slot_area_start() {
+                return false;
+            }
             self.buf[off as usize..off as usize + data.len()].copy_from_slice(data);
             self.set_slot(slot.0, off, data.len() as u16);
-            self.set_dead(self.dead_bytes() + (old_span - new_span));
+            self.set_dead(self.dead_bytes().saturating_add(old_span - new_span));
             return true;
         }
         // Needs more space: the old record's span counts as reclaimable.
@@ -218,7 +263,7 @@ impl<'a> Page<'a> {
             return false;
         }
         self.set_slot(slot.0, FREE_OFF, 0);
-        self.set_dead(self.dead_bytes() + old_span);
+        self.set_dead(self.dead_bytes().saturating_add(old_span));
         if self.contiguous_free() < new_span as usize {
             self.compact();
         }
@@ -234,13 +279,18 @@ impl<'a> Page<'a> {
     pub fn compact(&mut self) {
         let mut live: Vec<(u16, u16, u16)> = (0..self.slot_count())
             .filter_map(|i| {
-                let (off, len) = self.slot(i);
-                (off != FREE_OFF).then_some((i, off, len))
+                // Slots whose ranges fail validation are treated as dead
+                // so a corrupt entry cannot drive copy_within off-page.
+                let r = self.range_of(i)?;
+                Some((i, r.start as u16, (r.end - r.start) as u16))
             })
             .collect();
         live.sort_by_key(|&(_, off, _)| off);
         let mut write = HEADER_LEN as u16;
         for (slot, off, len) in live {
+            if write as usize + len as usize > self.slot_area_start() {
+                break; // overlapping corrupt ranges; stop, don't clobber
+            }
             if off != write {
                 self.buf
                     .copy_within(off as usize..(off + len) as usize, write as usize);
@@ -255,8 +305,8 @@ impl<'a> Page<'a> {
     /// Iterate over live slots as `(SlotNo, record bytes)`.
     pub fn live_records(&self) -> impl Iterator<Item = (SlotNo, &[u8])> {
         (0..self.slot_count()).filter_map(move |i| {
-            let (off, len) = self.slot(i);
-            (off != FREE_OFF).then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
+            let r = self.range_of(i)?;
+            Some((SlotNo(i), &self.buf[r]))
         })
     }
 }
@@ -273,7 +323,10 @@ impl<'a> PageRef<'a> {
     }
 
     fn get_u16(&self, at: usize) -> u16 {
-        u16::from_le_bytes(self.buf[at..at + 2].try_into().unwrap())
+        match self.buf.get(at..at + 2) {
+            Some(b) => u16::from_le_bytes(b.try_into().expect("2-byte slice")),
+            None => 0,
+        }
     }
 
     /// Number of slots ever allocated.
@@ -291,28 +344,41 @@ impl<'a> PageRef<'a> {
     }
 
     fn slot(&self, slot: u16) -> (u16, u16) {
-        let p = self.buf.len() - SLOT_LEN * (slot as usize + 1);
-        (self.get_u16(p), self.get_u16(p + 2))
+        match self.buf.len().checked_sub(SLOT_LEN * (slot as usize + 1)) {
+            None => (FREE_OFF, 0),
+            Some(p) => (self.get_u16(p), self.get_u16(p + 2)),
+        }
+    }
+
+    fn slot_area_start(&self) -> usize {
+        self.buf
+            .len()
+            .saturating_sub(SLOT_LEN * self.slot_count() as usize)
+    }
+
+    fn range_of(&self, slot: u16) -> Option<std::ops::Range<usize>> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot(slot);
+        record_range(off, len, self.buf.len(), self.slot_area_start())
     }
 
     /// Whether `slot` holds a live record.
     pub fn is_live(&self, slot: SlotNo) -> bool {
-        slot.0 < self.slot_count() && self.slot(slot.0).0 != FREE_OFF
+        self.range_of(slot.0).is_some()
     }
 
     /// Read the record in `slot`.
     pub fn read(&self, slot: SlotNo) -> Option<&'a [u8]> {
-        if !self.is_live(slot) {
-            return None;
-        }
-        let (off, len) = self.slot(slot.0);
-        Some(&self.buf[off as usize..(off + len) as usize])
+        self.range_of(slot.0).map(|r| &self.buf[r])
     }
 
     /// Bytes available for one new record (mirrors [`Page::free_for_insert`]).
     pub fn free_for_insert(&self) -> usize {
-        let slot_area_start = self.buf.len() - SLOT_LEN * self.slot_count() as usize;
-        let contiguous = slot_area_start - self.free_start() as usize;
+        let contiguous = self
+            .slot_area_start()
+            .saturating_sub(self.free_start() as usize);
         let has_free_slot = (0..self.slot_count()).any(|i| self.slot(i).0 == FREE_OFF);
         let slot_cost = if has_free_slot { 0 } else { SLOT_LEN };
         let raw = (contiguous + self.dead_bytes() as usize).saturating_sub(slot_cost);
@@ -326,9 +392,58 @@ impl<'a> PageRef<'a> {
     /// Iterate live records.
     pub fn live_records(&self) -> impl Iterator<Item = (SlotNo, &'a [u8])> + '_ {
         (0..self.slot_count()).filter_map(move |i| {
-            let (off, len) = self.slot(i);
-            (off != FREE_OFF).then(|| (SlotNo(i), &self.buf[off as usize..(off + len) as usize]))
+            let r = self.range_of(i)?;
+            Some((SlotNo(i), &self.buf[r]))
         })
+    }
+
+    /// Structural validation for the integrity walker: every header
+    /// field and live slot must name bytes inside the page, live
+    /// records must not overlap each other or the slot array. Returns a
+    /// typed [`StorageError::CorruptData`] naming the first violation.
+    pub fn validate(&self) -> Result<(), StorageError> {
+        let corrupt = |msg: String| Err(StorageError::CorruptData(msg));
+        if self.buf.len() < HEADER_LEN + SLOT_LEN {
+            return corrupt(format!("page buffer of {} bytes too small", self.buf.len()));
+        }
+        let count = self.slot_count() as usize;
+        if HEADER_LEN + SLOT_LEN * count > self.buf.len() {
+            return corrupt(format!("slot count {count} overruns the page"));
+        }
+        let sas = self.slot_area_start();
+        let fs = self.free_start() as usize;
+        if fs < HEADER_LEN || fs > sas {
+            return corrupt(format!(
+                "free_start {fs} outside record area [{HEADER_LEN}, {sas}]"
+            ));
+        }
+        let mut live: Vec<(u16, usize, usize)> = Vec::new();
+        for i in 0..self.slot_count() {
+            let (off, len) = self.slot(i);
+            if off == FREE_OFF {
+                continue;
+            }
+            match record_range(off, len, self.buf.len(), sas) {
+                Some(r) => live.push((i, r.start, r.end)),
+                None => {
+                    return corrupt(format!(
+                        "slot {i} claims bytes {off}..{} outside the record area",
+                        off as usize + len as usize
+                    ))
+                }
+            }
+        }
+        live.sort_by_key(|&(_, start, _)| start);
+        for w in live.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b.1 < a.2 {
+                return corrupt(format!(
+                    "slots {} and {} overlap (bytes {}..{} vs {}..{})",
+                    a.0, b.0, a.1, a.2, b.1, b.2
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -504,6 +619,51 @@ mod tests {
             "forward stub must fit in the slot's reserved span"
         );
         assert_eq!(p.read(tiny), Some(&[9u8; MIN_RECORD_SPACE as usize][..]));
+    }
+
+    #[test]
+    fn garbage_page_images_never_panic() {
+        // Deterministic xorshift fuzz of the read paths; the exhaustive
+        // random-bytes sweep lives in tests/prop_decode.rs.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..200 {
+            let mut buf = fresh();
+            for b in buf.iter_mut() {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *b = x as u8;
+            }
+            let r = PageRef::new(&buf);
+            let _ = r.validate();
+            let _ = r.free_for_insert();
+            let _: Vec<_> = r.live_records().collect();
+            for i in 0..64 {
+                let _ = r.read(SlotNo(i));
+            }
+            let mut p = Page::new(&mut buf);
+            let _ = p.insert(b"probe");
+            let _ = p.update(SlotNo(0), b"probe");
+            let _ = p.delete(SlotNo(1));
+            p.compact();
+        }
+    }
+
+    #[test]
+    fn validate_accepts_real_pages_and_rejects_garbage() {
+        let mut buf = fresh();
+        let mut p = Page::init(&mut buf);
+        let a = p.insert(b"alpha").unwrap();
+        p.insert(b"beta").unwrap();
+        p.delete(a);
+        assert!(PageRef::new(&buf).validate().is_ok());
+        // Point a slot past the record area.
+        let sp = PAGE - SLOT_LEN;
+        buf[sp..sp + 2].copy_from_slice(&500u16.to_le_bytes());
+        match PageRef::new(&buf).validate() {
+            Err(StorageError::CorruptData(msg)) => assert!(msg.contains("slot 0")),
+            other => panic!("expected CorruptData, got {other:?}"),
+        }
     }
 
     #[test]

@@ -331,7 +331,10 @@ impl Segment {
             let mut pos = 0;
             let next = Tid::decode(&payload, &mut pos)
                 .ok_or_else(|| StorageError::Corrupt("truncated overflow header".into()))?;
-            out.extend_from_slice(&payload[pos..]);
+            let body = payload.get(pos..).ok_or_else(|| {
+                StorageError::CorruptData("overflow record shorter than its header".into())
+            })?;
+            out.extend_from_slice(body);
             if next == TID_SENTINEL {
                 return Ok(());
             }
@@ -422,7 +425,12 @@ impl Segment {
                 let mut pos = 0;
                 let next = Tid::decode(&payload, &mut pos)
                     .ok_or_else(|| StorageError::Corrupt("bad head header".into()))?;
-                let mut out = payload[pos..].to_vec();
+                let mut out = payload
+                    .get(pos..)
+                    .ok_or_else(|| {
+                        StorageError::CorruptData("head record shorter than its header".into())
+                    })?
+                    .to_vec();
                 if next != TID_SENTINEL {
                     self.read_ovfl_chain(next, &mut out)?;
                 }

@@ -54,6 +54,14 @@ struct Inner {
     /// Physical WAL syncs issued by the group committer (each batch
     /// makes every commit appended before it durable at once).
     group_commit_batches: AtomicU64,
+    /// Page checksums verified on cold buffer-pool reads.
+    checksum_verifications: AtomicU64,
+    /// Pages whose stamped CRC-32 did not match their contents.
+    corrupt_pages_detected: AtomicU64,
+    /// Objects quarantined by the integrity walker or a failed read.
+    objects_quarantined: AtomicU64,
+    /// Objects carried into a fresh database by `salvage()`.
+    salvaged_objects: AtomicU64,
 }
 
 macro_rules! counter {
@@ -96,6 +104,22 @@ impl Stats {
         group_commit_batches,
         group_commit_batches
     );
+    counter!(
+        inc_checksum_verification,
+        checksum_verifications,
+        checksum_verifications
+    );
+    counter!(
+        inc_corrupt_page_detected,
+        corrupt_pages_detected,
+        corrupt_pages_detected
+    );
+    counter!(
+        inc_object_quarantined,
+        objects_quarantined,
+        objects_quarantined
+    );
+    counter!(inc_salvaged_object, salvaged_objects, salvaged_objects);
 
     /// Total page accesses (hits + misses).
     pub fn page_accesses(&self) -> u64 {
@@ -119,6 +143,10 @@ impl Stats {
             &i.lock_waits,
             &i.deadlocks_aborted,
             &i.group_commit_batches,
+            &i.checksum_verifications,
+            &i.corrupt_pages_detected,
+            &i.objects_quarantined,
+            &i.salvaged_objects,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -140,6 +168,10 @@ impl Stats {
             lock_waits: self.lock_waits(),
             deadlocks_aborted: self.deadlocks_aborted(),
             group_commit_batches: self.group_commit_batches(),
+            checksum_verifications: self.checksum_verifications(),
+            corrupt_pages_detected: self.corrupt_pages_detected(),
+            objects_quarantined: self.objects_quarantined(),
+            salvaged_objects: self.salvaged_objects(),
         }
     }
 }
@@ -160,6 +192,10 @@ pub struct StatsSnapshot {
     pub lock_waits: u64,
     pub deadlocks_aborted: u64,
     pub group_commit_batches: u64,
+    pub checksum_verifications: u64,
+    pub corrupt_pages_detected: u64,
+    pub objects_quarantined: u64,
+    pub salvaged_objects: u64,
 }
 
 impl StatsSnapshot {
@@ -179,6 +215,10 @@ impl StatsSnapshot {
             lock_waits: later.lock_waits - self.lock_waits,
             deadlocks_aborted: later.deadlocks_aborted - self.deadlocks_aborted,
             group_commit_batches: later.group_commit_batches - self.group_commit_batches,
+            checksum_verifications: later.checksum_verifications - self.checksum_verifications,
+            corrupt_pages_detected: later.corrupt_pages_detected - self.corrupt_pages_detected,
+            objects_quarantined: later.objects_quarantined - self.objects_quarantined,
+            salvaged_objects: later.salvaged_objects - self.salvaged_objects,
         }
     }
 }
@@ -189,7 +229,8 @@ impl fmt::Display for StatsSnapshot {
             f,
             "hits={} misses={} pwrites={} sreads={} swrites={} ptr-rewrites={} obj-visits={} \
              wal-appends={} wal-replays={} torn-detected={} lock-waits={} deadlocks-aborted={} \
-             group-commit-batches={}",
+             group-commit-batches={} checksum-verifications={} corrupt-pages-detected={} \
+             objects-quarantined={} salvaged-objects={}",
             self.buf_hits,
             self.buf_misses,
             self.page_writes,
@@ -202,7 +243,11 @@ impl fmt::Display for StatsSnapshot {
             self.torn_pages_detected,
             self.lock_waits,
             self.deadlocks_aborted,
-            self.group_commit_batches
+            self.group_commit_batches,
+            self.checksum_verifications,
+            self.corrupt_pages_detected,
+            self.objects_quarantined,
+            self.salvaged_objects
         )
     }
 }

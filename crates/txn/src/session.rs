@@ -100,6 +100,16 @@ impl SharedDatabase {
         self.with_db(|db| db.checkpoint()).map_err(TxnError::Db)
     }
 
+    /// Run the full integrity walker (quiesces through the database
+    /// mutex) and quarantine every object it attributes damage to.
+    /// Sessions touching a quarantined object afterwards get
+    /// [`aim2::DbError::ObjectQuarantined`]; the rest of each table
+    /// keeps serving.
+    pub fn integrity_check(&self) -> Result<aim2::IntegrityReport> {
+        self.with_db(|db| db.integrity_check())
+            .map_err(TxnError::Db)
+    }
+
     /// The shared statistics block (lock waits, deadlock aborts, group
     /// commit batches, and all storage counters).
     pub fn stats(&self) -> Stats {

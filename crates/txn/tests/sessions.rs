@@ -294,3 +294,91 @@ fn group_commit_counts_batches() {
     assert!(stats.wal_appends() >= 1, "commits must log before-images");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn integrity_check_quarantines_but_table_keeps_serving() {
+    // Bit-rot one object's data page on disk; after the walker runs,
+    // that object is quarantined while its neighbours — and the rest of
+    // the table — keep serving through sessions.
+    let dir = std::env::temp_dir().join(format!("aim2_txn_quar_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = aim2::DbConfig {
+        data_dir: Some(dir.clone()),
+        page_size: 512,
+        ..Default::default()
+    };
+    let shared = SharedDatabase::new(Database::with_config(cfg));
+    let (h1, h2, victim_page) = shared.with_db(|db| {
+        db.execute("CREATE TABLE DOCS ( ID INTEGER, BODY STRING, PARTS { PNO INTEGER } )")
+            .unwrap();
+        // Large bodies force each object onto its own data page(s).
+        db.execute(&format!(
+            "INSERT INTO DOCS VALUES (1, '{}', {{(1)}})",
+            "A".repeat(300)
+        ))
+        .unwrap();
+        db.execute(&format!(
+            "INSERT INTO DOCS VALUES (2, '{}', {{(2)}})",
+            "B".repeat(300)
+        ))
+        .unwrap();
+        db.checkpoint().unwrap();
+        let handles = db.handles("DOCS").unwrap();
+        let os = db.object_store_mut("DOCS").unwrap();
+        let mut pages = |h| -> std::collections::BTreeSet<aim2_storage::PageId> {
+            os.root_md(h)
+                .unwrap()
+                .page_list
+                .iter()
+                .map(|(_, p)| p)
+                .collect()
+        };
+        let p1 = pages(handles[0]);
+        let p2 = pages(handles[1]);
+        let victim = *p2
+            .difference(&p1)
+            .next()
+            .expect("object 2 has its own page");
+        (handles[0], handles[1], victim)
+    });
+    // Flip one bit in the victim page, in place on disk.
+    let seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .find(|e| e.file_name().to_string_lossy().ends_with("_DOCS.seg"))
+        .expect("table segment file")
+        .path();
+    use std::io::{Read, Seek, SeekFrom, Write};
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&seg)
+        .unwrap();
+    let off = victim_page.0 as u64 * 512 + 100;
+    let mut b = [0u8; 1];
+    f.seek(SeekFrom::Start(off)).unwrap();
+    f.read_exact(&mut b).unwrap();
+    b[0] ^= 0x40;
+    f.seek(SeekFrom::Start(off)).unwrap();
+    f.write_all(&b).unwrap();
+    drop(f);
+
+    let report = shared.integrity_check().unwrap();
+    assert!(!report.is_clean(), "bit rot must be detected:\n{report}");
+
+    let mut s = shared.session();
+    match s.read_object("DOCS", h2) {
+        Err(TxnError::Db(aim2::DbError::ObjectQuarantined { table, object })) => {
+            assert_eq!(table, "DOCS");
+            assert_eq!(object, h2.0);
+        }
+        other => panic!("expected quarantine error, got {other:?}"),
+    }
+    // The neighbour object and table scans keep working.
+    let t = s.read_object("DOCS", h1).unwrap();
+    assert_eq!(t.fields[0], Value::Atom(Atom::Int(1)));
+    let (_, rows) = s.query("SELECT x.ID FROM x IN DOCS").unwrap();
+    assert_eq!(rows.len(), 1, "scan serves the surviving object only");
+    s.commit().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
