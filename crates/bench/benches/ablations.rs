@@ -38,11 +38,7 @@ fn projection_pushdown(c: &mut Criterion) {
         &schema,
         &value,
     );
-    let mut provider = StoreProvider {
-        name: "DEPARTMENTS".into(),
-        schema,
-        store,
-    };
+    let mut provider = StoreProvider::single("DEPARTMENTS", schema, store);
     let q = parse_query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE EXISTS e IN x.EQUIP : e.QU > 3")
         .unwrap();
     let mut group = c.benchmark_group("projection_pushdown");

@@ -1,0 +1,205 @@
+//! Emit `BENCH_QUERY.json` — materialized vs streaming execution across
+//! physical layouts.
+//!
+//! ```text
+//! cargo run --release -p aim2-bench --bin bench_query
+//! ```
+//!
+//! For each layout (SS1, SS2, SS3 and the flat 1NF heap) the harness
+//! runs a selective query (an EXISTS over a large table whose witness is
+//! the first object) and a full scan, once through the streaming cursor
+//! pipeline and once through the reference materializing evaluator
+//! (`Evaluator::materialize = true`). It records wall-clock latency plus
+//! the decode counters (`objects_decoded`, `atoms_decoded`,
+//! `cursor_early_exits`) that explain the latency — the streamed
+//! selective query touches a constant number of objects while the
+//! materialized one drains the table.
+
+use aim2_bench::{gen_departments, StoreProvider, WorkloadSpec};
+use aim2_exec::Evaluator;
+use aim2_lang::parser::parse_query;
+use aim2_model::value::build::a;
+use aim2_model::{fixtures, AtomType, TableKind, TableSchema, TableValue, Tuple};
+use aim2_storage::buffer::BufferPool;
+use aim2_storage::disk::MemDisk;
+use aim2_storage::flatstore::FlatStore;
+use aim2_storage::minidir::LayoutKind;
+use aim2_storage::object::ObjectStore;
+use aim2_storage::segment::Segment;
+use aim2_storage::stats::Stats;
+use std::time::Instant;
+
+const WARMUP: usize = 3;
+const ITERS: usize = 25;
+
+const SPEC: WorkloadSpec = WorkloadSpec {
+    departments: 60,
+    projects_per_dept: 4,
+    members_per_project: 6,
+    equip_per_dept: 3,
+    seed: 11,
+};
+
+const SELECTIVE: &str = "SELECT s.DNO FROM s IN SMALL WHERE EXISTS y IN BIG : y.DNO = 100";
+const FULL: &str = "SELECT * FROM BIG";
+
+fn small_schema() -> TableSchema {
+    TableSchema::relation("SMALL").with_atom("DNO", AtomType::Int)
+}
+
+fn small_value() -> TableValue {
+    TableValue {
+        kind: TableKind::Relation,
+        tuples: vec![Tuple::new(vec![a(1i64)])],
+    }
+}
+
+fn segment(stats: &Stats) -> Segment {
+    Segment::new(BufferPool::new(
+        Box::new(MemDisk::new(4096)),
+        256,
+        stats.clone(),
+    ))
+}
+
+fn nf2_provider(layout: LayoutKind, stats: &Stats) -> StoreProvider {
+    let mut big_schema = fixtures::departments_schema();
+    big_schema.name = "BIG".into();
+    let mut big = ObjectStore::new(segment(stats), layout);
+    for t in &gen_departments(&SPEC).tuples {
+        big.insert_object(&big_schema, t).unwrap();
+    }
+    let mut small = ObjectStore::new(segment(stats), layout);
+    for t in &small_value().tuples {
+        small.insert_object(&small_schema(), t).unwrap();
+    }
+    let mut p = StoreProvider::single("BIG", big_schema, big);
+    p.add_nf2("SMALL", small_schema(), small);
+    p
+}
+
+fn flat_provider(stats: &Stats) -> StoreProvider {
+    let mut big_schema = fixtures::departments_1nf_schema();
+    big_schema.name = "BIG".into();
+    let (flat, _, _) = aim2_bench::flatten_departments(&gen_departments(&SPEC));
+    let mut big = FlatStore::new(segment(stats));
+    big.load(&flat).unwrap();
+    let mut small = FlatStore::new(segment(stats));
+    small.load(&small_value()).unwrap();
+    let mut p = StoreProvider::default();
+    p.add_flat("BIG", big_schema, big);
+    p.add_flat("SMALL", small_schema(), small);
+    p
+}
+
+struct Measurement {
+    mode: &'static str,
+    latency_us: f64,
+    objects_decoded: u64,
+    atoms_decoded: u64,
+    early_exits: u64,
+}
+
+fn measure(
+    provider: &mut StoreProvider,
+    stats: &Stats,
+    src: &str,
+    materialize: bool,
+) -> Measurement {
+    let q = parse_query(src).unwrap();
+    let run = |provider: &mut StoreProvider| {
+        let mut ev = Evaluator::new(provider);
+        ev.materialize = materialize;
+        ev.eval_query(&q).unwrap()
+    };
+    for _ in 0..WARMUP {
+        run(provider);
+    }
+    // Counters for exactly one evaluation.
+    stats.reset();
+    run(provider);
+    let snap = stats.snapshot();
+    // Latency as the mean over ITERS runs.
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        run(provider);
+    }
+    let latency_us = t0.elapsed().as_secs_f64() * 1e6 / ITERS as f64;
+    Measurement {
+        mode: if materialize {
+            "materialized"
+        } else {
+            "streaming"
+        },
+        latency_us,
+        objects_decoded: snap.objects_decoded,
+        atoms_decoded: snap.atoms_decoded,
+        early_exits: snap.cursor_early_exits,
+    }
+}
+
+fn json_measurement(m: &Measurement) -> String {
+    format!(
+        "{{\"mode\": \"{}\", \"latency_us\": {:.1}, \"objects_decoded\": {}, \
+         \"atoms_decoded\": {}, \"cursor_early_exits\": {}}}",
+        m.mode, m.latency_us, m.objects_decoded, m.atoms_decoded, m.early_exits
+    )
+}
+
+type ProviderBuilder = Box<dyn Fn(&Stats) -> StoreProvider>;
+
+fn main() {
+    let layouts: Vec<(&str, ProviderBuilder)> = vec![
+        ("SS1", Box::new(|s| nf2_provider(LayoutKind::Ss1, s))),
+        ("SS2", Box::new(|s| nf2_provider(LayoutKind::Ss2, s))),
+        ("SS3", Box::new(|s| nf2_provider(LayoutKind::Ss3, s))),
+        ("flat", Box::new(flat_provider)),
+    ];
+    let queries = [("selective_exists", SELECTIVE), ("full_scan", FULL)];
+
+    let mut layout_objs = Vec::new();
+    for (name, build) in &layouts {
+        let stats = Stats::new();
+        let mut provider = build(&stats);
+        let mut query_objs = Vec::new();
+        for (qname, src) in &queries {
+            let streaming = measure(&mut provider, &stats, src, false);
+            let materialized = measure(&mut provider, &stats, src, true);
+            eprintln!(
+                "{name:<5} {qname:<17} streaming {:>8.1}us ({} obj) vs materialized {:>8.1}us ({} obj)",
+                streaming.latency_us,
+                streaming.objects_decoded,
+                materialized.latency_us,
+                materialized.objects_decoded
+            );
+            query_objs.push(format!(
+                "      {{\"query\": \"{}\", \"sql\": \"{}\", \"runs\": [\n        {},\n        {}\n      ]}}",
+                qname,
+                src.replace('"', "\\\""),
+                json_measurement(&streaming),
+                json_measurement(&materialized)
+            ));
+        }
+        layout_objs.push(format!(
+            "    {{\"layout\": \"{}\", \"queries\": [\n{}\n    ]}}",
+            name,
+            query_objs.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"query_streaming\",\n  \"workload\": {{\"departments\": {}, \
+         \"projects_per_dept\": {}, \"members_per_project\": {}, \"equip_per_dept\": {}, \
+         \"seed\": {}}},\n  \"iters\": {},\n  \"layouts\": [\n{}\n  ]\n}}\n",
+        SPEC.departments,
+        SPEC.projects_per_dept,
+        SPEC.members_per_project,
+        SPEC.equip_per_dept,
+        SPEC.seed,
+        ITERS,
+        layout_objs.join(",\n")
+    );
+    std::fs::write("BENCH_QUERY.json", &json).expect("write BENCH_QUERY.json");
+    eprintln!("wrote BENCH_QUERY.json");
+    println!("{json}");
+}

@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sec42_index_schemes()?;
     sec5_text(&mut db)?;
     sec5_asof()?;
+    streaming()?;
     clustering()?;
     object_move()?;
     durability()?;
@@ -525,6 +526,103 @@ fn sec5_asof() -> Result<(), Box<dyn std::error::Error>> {
         now.len()
     );
     println!("walk-through-time stays below the language interface, as in the paper: OK");
+    Ok(())
+}
+
+fn streaming() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Streaming execution — cursor pipeline with pushdown (§4.1 at query level)");
+    use aim2_bench::StoreProvider;
+    use aim2_exec::Evaluator;
+    use aim2_lang::parser::parse_query;
+    use aim2_storage::buffer::BufferPool;
+    use aim2_storage::disk::MemDisk;
+    use aim2_storage::segment::Segment;
+
+    // One SMALL row drives an EXISTS probe into 60 BIG departments whose
+    // witness is the very first object; the full scan is the baseline.
+    let spec = WorkloadSpec {
+        departments: 60,
+        projects_per_dept: 4,
+        members_per_project: 6,
+        equip_per_dept: 3,
+        seed: 11,
+    };
+    let selective =
+        parse_query("SELECT s.DNO FROM s IN SMALL WHERE EXISTS y IN BIG : y.DNO = 100")?;
+    let full = parse_query("SELECT * FROM BIG")?;
+    let mut big_schema = fixtures::departments_schema();
+    big_schema.name = "BIG".into();
+    let small_schema =
+        aim2_model::TableSchema::relation("SMALL").with_atom("DNO", aim2_model::AtomType::Int);
+    let small_value = aim2_model::TableValue {
+        kind: aim2_model::TableKind::Relation,
+        tuples: vec![aim2_model::Tuple::new(vec![aim2_model::value::build::a(
+            1i64,
+        )])],
+    };
+
+    println!(
+        "{:<8} {:>16} {:>16} {:>14} {:>14} {:>12}",
+        "layout", "full objects", "full atoms", "sel. objects", "sel. atoms", "early exits"
+    );
+    for layout in LayoutKind::ALL {
+        let stats = Stats::new();
+        let seg = || {
+            Segment::new(BufferPool::new(
+                Box::new(MemDisk::new(4096)),
+                256,
+                stats.clone(),
+            ))
+        };
+        let mut big = ObjectStore::new(seg(), layout);
+        for t in &gen_departments(&spec).tuples {
+            big.insert_object(&big_schema, t)?;
+        }
+        let mut small = ObjectStore::new(seg(), layout);
+        for t in &small_value.tuples {
+            small.insert_object(&small_schema, t)?;
+        }
+        let mut provider = StoreProvider::single("BIG", big_schema.clone(), big);
+        provider.add_nf2("SMALL", small_schema.clone(), small);
+
+        stats.reset();
+        Evaluator::new(&mut provider).eval_query(&full)?;
+        let f = stats.snapshot();
+        stats.reset();
+        Evaluator::new(&mut provider).eval_query(&selective)?;
+        let s = stats.snapshot();
+        assert!(s.objects_decoded < f.objects_decoded);
+        assert!(s.atoms_decoded < f.atoms_decoded);
+        assert!(s.cursor_early_exits >= 1);
+        println!(
+            "{:<8} {:>16} {:>16} {:>14} {:>14} {:>12}",
+            layout.to_string(),
+            f.objects_decoded,
+            f.atoms_decoded,
+            s.objects_decoded,
+            s.atoms_decoded,
+            s.cursor_early_exits
+        );
+    }
+    println!(
+        "\nthe EXISTS cursor closes at its first witness and projection pushdown\n\
+         reaches read_object_projected, so the selective query decodes a fraction\n\
+         of the objects AND atoms on every layout: OK"
+    );
+
+    // The physical plan is now a first-class artifact (EXPLAIN / .explain).
+    let mut db = paper_database()?;
+    db.execute("CREATE INDEX f ON DEPARTMENTS (PROJECTS.MEMBERS.FUNCTION)")?;
+    let plan = db.explain_query(&parse_query(
+        "SELECT x.DNO FROM x IN DEPARTMENTS
+         WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    )?)?;
+    println!("\nEXPLAIN of the paper's consultant query with index f in place:");
+    for line in plan.lines() {
+        println!("  {line}");
+    }
+    assert!(plan.contains("IndexScan"));
+    println!("the planner emits an inspectable operator tree, index use visible: OK");
     Ok(())
 }
 

@@ -155,50 +155,125 @@ pub fn loaded_store(
     (os, handles)
 }
 
-/// A [`aim2_exec::TableProvider`] over one `ObjectStore` — lets benches drive the
-/// full evaluator against real storage with projection pushdown on or
-/// off.
+/// Storage behind one [`StoreProvider`] table.
+pub enum StoreBacking {
+    /// NF² complex-object storage (SS1/SS2/SS3 layouts).
+    Nf2(ObjectStore),
+    /// Flat (1NF) heap storage.
+    Flat(aim2_storage::flatstore::FlatStore),
+}
+
+/// A [`aim2_exec::TableProvider`] over raw stores — lets benches drive
+/// the full cursor pipeline against real storage (NF² object stores or
+/// flat heaps) with projection pushdown on or off, and measure decode
+/// counters per layout.
+#[derive(Default)]
 pub struct StoreProvider {
-    pub name: String,
-    pub schema: TableSchema,
-    pub store: ObjectStore,
+    tables: Vec<(String, TableSchema, StoreBacking)>,
+}
+
+impl StoreProvider {
+    /// A provider over a single NF² table.
+    pub fn single(name: &str, schema: TableSchema, store: ObjectStore) -> StoreProvider {
+        let mut p = StoreProvider::default();
+        p.add_nf2(name, schema, store);
+        p
+    }
+
+    /// Register an NF² object store as table `name`.
+    pub fn add_nf2(&mut self, name: &str, schema: TableSchema, store: ObjectStore) -> &mut Self {
+        self.tables
+            .push((name.to_string(), schema, StoreBacking::Nf2(store)));
+        self
+    }
+
+    /// Register a flat heap as table `name`.
+    pub fn add_flat(
+        &mut self,
+        name: &str,
+        schema: TableSchema,
+        store: aim2_storage::flatstore::FlatStore,
+    ) -> &mut Self {
+        self.tables
+            .push((name.to_string(), schema, StoreBacking::Flat(store)));
+        self
+    }
+
+    fn entry(&mut self, name: &str) -> aim2_exec::Result<&mut (String, TableSchema, StoreBacking)> {
+        self.tables
+            .iter_mut()
+            .find(|(n, _, _)| n == name)
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))
+    }
 }
 
 impl aim2_exec::TableProvider for StoreProvider {
     fn table_schema(&mut self, name: &str) -> aim2_exec::Result<TableSchema> {
-        if name == self.name {
-            Ok(self.schema.clone())
-        } else {
-            Err(aim2_exec::ExecError::NoSuchTable(name.to_string()))
+        self.entry(name).map(|(_, s, _)| s.clone())
+    }
+
+    fn open_scan(
+        &mut self,
+        req: &aim2_exec::ScanRequest,
+    ) -> aim2_exec::Result<aim2_exec::ObjectCursor> {
+        if req.asof.is_some() {
+            return Err(aim2_exec::ExecError::Semantic(
+                "bench stores are not versioned".into(),
+            ));
+        }
+        let (_, _, backing) = self.entry(&req.table)?;
+        let keys: Vec<u64> = match backing {
+            StoreBacking::Nf2(os) => os
+                .handles()
+                .map_err(aim2_exec::ExecError::Storage)?
+                .into_iter()
+                .map(|h| h.0.to_u64())
+                .collect(),
+            StoreBacking::Flat(fs) => fs.tids().iter().map(|t| t.to_u64()).collect(),
+        };
+        Ok(aim2_exec::ObjectCursor::keyed(req, "full scan", keys))
+    }
+
+    fn next_row(&mut self, cur: &mut aim2_exec::ObjectCursor) -> aim2_exec::Result<Option<Tuple>> {
+        let Some(key) = cur.next_key() else {
+            return Ok(None);
+        };
+        let tid = aim2_storage::tid::Tid::from_u64(key);
+        let (_, schema, backing) = self
+            .tables
+            .iter_mut()
+            .find(|(n, _, _)| *n == cur.table)
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(cur.table.clone()))?;
+        match backing {
+            StoreBacking::Nf2(os) => {
+                let h = aim2_storage::object::ObjectHandle(tid);
+                let t = if cur.projection.is_some() {
+                    os.read_object_projected(schema, h, &|p| cur.keep(p))
+                } else {
+                    os.read_object(schema, h)
+                }
+                .map_err(aim2_exec::ExecError::Storage)?;
+                Ok(Some(t))
+            }
+            StoreBacking::Flat(fs) => fs
+                .read(tid)
+                .map(Some)
+                .map_err(aim2_exec::ExecError::Storage),
         }
     }
 
-    fn scan_table(
-        &mut self,
-        name: &str,
-        _asof: Option<aim2_model::Date>,
-        keep: Option<&dyn Fn(&aim2_model::Path) -> bool>,
-    ) -> aim2_exec::Result<aim2_model::TableValue> {
-        if name != self.name {
-            return Err(aim2_exec::ExecError::NoSuchTable(name.to_string()));
-        }
-        let mut tuples = Vec::new();
-        for h in self
-            .store
-            .handles()
-            .map_err(aim2_exec::ExecError::Storage)?
-        {
-            let t = match keep {
-                Some(pred) => self.store.read_object_projected(&self.schema, h, pred),
-                None => self.store.read_object(&self.schema, h),
+    fn close_scan(&mut self, cur: aim2_exec::ObjectCursor) {
+        // Same rule as the engine: a cursor abandoned after at least one
+        // pull but before exhaustion is an early exit (EXISTS found its
+        // witness, FORALL its counterexample).
+        if cur.pulled() > 0 && !cur.exhausted() {
+            if let Ok((_, _, backing)) = self.entry(&cur.table) {
+                match backing {
+                    StoreBacking::Nf2(os) => os.stats().inc_cursor_early_exit(),
+                    StoreBacking::Flat(fs) => fs.segment_mut().stats().inc_cursor_early_exit(),
+                }
             }
-            .map_err(aim2_exec::ExecError::Storage)?;
-            tuples.push(t);
         }
-        Ok(aim2_model::TableValue {
-            kind: self.schema.kind,
-            tuples,
-        })
     }
 }
 

@@ -8,8 +8,8 @@
 //! ```
 //!
 //! Statements end with `;`. Dot-commands:
-//! `.help`, `.tables`, `.schema NAME`, `.stats`, `.today YYYY-MM-DD`,
-//! `.checkpoint`, `.load demo`, `.quit`.
+//! `.help`, `.tables`, `.schema NAME`, `.stats`, `.explain QUERY`,
+//! `.today YYYY-MM-DD`, `.checkpoint`, `.load demo`, `.quit`.
 
 use aim2::{Database, DbConfig};
 use aim2_model::{fixtures, render, Date};
@@ -164,7 +164,8 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
             println!(
                 ".tables              list tables\n\
                  .schema NAME         show a table's structure\n\
-                 .stats               access counters (buffer, subtuples)\n\
+                 .stats               access counters (buffer, subtuples, cursors)\n\
+                 .explain QUERY       show the physical plan without running it\n\
                  .today [YYYY-MM-DD]  show/set the logical date (versions)\n\
                  .checkpoint          flush + write the catalog (file-backed)\n\
                  .integrity           walk the database, quarantine corrupt objects\n\
@@ -188,6 +189,18 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
             None => eprintln!("usage: .schema NAME"),
         },
         ".stats" => println!("{}", db.stats().snapshot()),
+        ".explain" => match parts.next().map(str::trim).filter(|q| !q.is_empty()) {
+            Some(query) => {
+                let query = query.trim_end_matches(';');
+                match db.execute(&format!("EXPLAIN {query}")) {
+                    Ok(aim2::database::ExecResult::Ok(plan)) => println!("{plan}"),
+                    Ok(_) => eprintln!("EXPLAIN returned no plan"),
+                    Err(aim2::DbError::Parse(e)) => eprintln!("{}", e.render(query)),
+                    Err(e) => eprintln!("{e}"),
+                }
+            }
+            None => eprintln!("usage: .explain SELECT ..."),
+        },
         ".today" => match parts.next() {
             Some(d) => match Date::parse_iso(d.trim()) {
                 Ok(d) => {

@@ -3,7 +3,7 @@
 use crate::catalog::{Catalog, IndexEntry, TableEntry, TableStorage, TextIndexEntry};
 use crate::error::DbError;
 use crate::Result;
-use aim2_exec::provider::TableProvider;
+use aim2_exec::provider::{ObjectCursor, ScanRequest, TableProvider};
 use aim2_exec::Evaluator;
 use aim2_index::address::Scheme;
 use aim2_index::NfIndex;
@@ -1068,103 +1068,44 @@ impl Database {
         &self.last_plan
     }
 
-    /// Describe the access path a query would take, without running it:
-    /// the chosen index restriction (if any) and, per stored-table
-    /// binding, which subtable paths partial retrieval will skip.
+    /// Describe the physical plan a query would take, without running
+    /// it: the operator tree, the access path the provider would choose
+    /// for the root scan, and — per scan — which subtable paths partial
+    /// retrieval will skip.
     pub fn explain_query(&mut self, q: &ast::Query) -> Result<String> {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        match self.pick_index_restriction(q)? {
-            Some((_, _, plan)) => {
-                let _ = writeln!(out, "access path: {plan}");
-            }
-            None => {
-                let _ = writeln!(out, "access path: full scan");
-            }
-        }
-        let refs = aim2_exec::analysis::referenced_paths(q);
-        for b in &q.from {
-            let Source::Table(table) = &b.source else {
-                continue;
-            };
-            let Ok(schema) = self.schema(table) else {
-                continue;
-            };
-            let Some(r) = refs.get(&b.var) else { continue };
-            let mut kept = Vec::new();
-            let mut pruned = Vec::new();
-            for (path, _) in schema.walk_subtables() {
-                if path.is_root() {
-                    continue;
-                }
-                if r.keep(&path) {
-                    kept.push(path.to_string());
-                } else {
-                    pruned.push(path.to_string());
-                }
-            }
-            let _ = writeln!(
-                out,
-                "{} IN {table}: reads [{}]{}",
-                b.var,
-                kept.join(", "),
-                if pruned.is_empty() {
-                    String::new()
-                } else {
-                    format!("; partial retrieval skips [{}]", pruned.join(", "))
-                }
-            );
-        }
-        Ok(out.trim_end().to_string())
+        let plan = Evaluator::new(self).plan_query(q)?;
+        Ok(plan.to_string().trim_end().to_string())
     }
 
-    /// Evaluate a query, using an attribute index to pre-restrict the
-    /// candidate objects when one applies (§4.2's point: hierarchical
-    /// index addresses identify the qualifying objects; the evaluator
-    /// then re-checks the full predicate on that superset).
+    /// Evaluate a query through the cursor pipeline, recording its
+    /// rendered physical plan in [`Database::last_plan`]. Index
+    /// pre-restriction happens inside [`TableProvider::open_scan`]
+    /// (§4.2's point: hierarchical index addresses identify candidate
+    /// objects; the evaluator re-checks the full predicate on that
+    /// superset).
     fn run_query(&mut self, q: &ast::Query) -> Result<(TableSchema, TableValue)> {
         self.last_plan = "full scan".to_string();
-        if let Some((table, handles, plan)) = self.pick_index_restriction(q)? {
-            self.last_plan = plan;
-            let mut provider = RestrictedProvider {
-                db: self,
-                table,
-                handles,
-            };
-            let out = Evaluator::new(&mut provider).eval_query(q)?;
-            return Ok(out);
+        let (out, plan) = {
+            let mut ev = Evaluator::new(self);
+            let out = ev.eval_query(q);
+            (out, ev.take_plan())
+        };
+        if let Some(p) = plan {
+            self.last_plan = p.to_string().trim_end().to_string();
         }
-        Ok(Evaluator::new(self).eval_query(q)?)
+        Ok(out?)
     }
 
-    /// If the query has a single stored-table binding whose WHERE
-    /// contains an indexed equality condition, return the candidate
-    /// handles from the index (a superset of the qualifying objects).
+    /// If a scan request carries conjuncts an index on its table can
+    /// answer, return the candidate handles (a superset of the
+    /// qualifying objects) and the access-path description.
     fn pick_index_restriction(
         &mut self,
-        q: &ast::Query,
-    ) -> Result<Option<(String, Vec<ObjectHandle>, String)>> {
-        // Exactly one stored-table binding (no ASOF), so every condition
-        // unambiguously constrains that table's objects.
-        let mut table_bindings = q
-            .from
-            .iter()
-            .filter(|b| matches!(b.source, Source::Table(_)));
-        let (Some(first), None) = (table_bindings.next(), table_bindings.next()) else {
-            return Ok(None);
-        };
-        if first.asof.is_some() {
-            return Ok(None);
-        }
-        let Source::Table(table) = &first.source else {
-            unreachable!()
-        };
-        let Some(where_) = &q.where_ else {
-            return Ok(None);
-        };
-        let conditions = aim2_exec::planner::indexable_conditions(where_);
-        let text_conditions = contains_conditions(where_, &first.var);
-        if conditions.is_empty() && text_conditions.is_empty() {
+        table: &str,
+        conjuncts: &[(Path, Atom)],
+        contains: &[(Path, String)],
+    ) -> Result<Option<(Vec<ObjectHandle>, String)>> {
+        if conjuncts.is_empty() && contains.is_empty() {
             return Ok(None);
         }
         let Some(entry) = self.catalog.get_mut(table) else {
@@ -1174,7 +1115,7 @@ impl Database {
             TableStorage::Nf2(os) => os.handles()?.len(),
             TableStorage::Flat(_) => return Ok(None),
         };
-        for (path, key) in &conditions {
+        for (path, key) in conjuncts {
             for ie in &mut entry.indexes {
                 if &ie.index.attr_path() == path {
                     let addrs = ie.index.lookup(key)?;
@@ -1192,14 +1133,14 @@ impl Database {
                         ie.name,
                         handles.len()
                     );
-                    return Ok(Some((table.clone(), handles, plan)));
+                    return Ok(Some((handles, plan)));
                 }
             }
         }
         // §5: "(the query) will be supported by the text index in case
         // that one has been created on TITLE" — a top-level CONTAINS
         // conjunct restricts candidates via the word-fragment index.
-        for (attr, mask) in &text_conditions {
+        for (attr, mask) in contains {
             let Some(tix) = entry.text_indexes.iter().find(|t| &t.attr == attr) else {
                 continue;
             };
@@ -1219,93 +1160,14 @@ impl Database {
                 tix.name,
                 handles.len()
             );
-            return Ok(Some((table.clone(), handles, plan)));
+            return Ok(Some((handles, plan)));
         }
         Ok(None)
     }
 }
 
-/// Top-level `var.attr CONTAINS 'mask'` conjuncts of a WHERE clause.
-fn contains_conditions(expr: &ast::Expr, root_var: &str) -> Vec<(Path, String)> {
-    fn rec(e: &ast::Expr, root_var: &str, out: &mut Vec<(Path, String)>) {
-        match e {
-            ast::Expr::And(a, b) => {
-                rec(a, root_var, out);
-                rec(b, root_var, out);
-            }
-            ast::Expr::Contains { expr, pattern } => {
-                if let ast::Expr::PathRef { var, path } = expr.as_ref() {
-                    if var == root_var && path.len() == 1 {
-                        out.push((path.clone(), pattern.clone()));
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-    let mut out = Vec::new();
-    rec(expr, root_var, &mut out);
-    out
-}
-
-/// Provider that restricts one table's scan to candidate objects chosen
-/// by an index (everything else delegates to the database).
-struct RestrictedProvider<'a> {
-    db: &'a mut Database,
-    table: String,
-    handles: Vec<ObjectHandle>,
-}
-
-impl TableProvider for RestrictedProvider<'_> {
-    fn table_schema(&mut self, name: &str) -> aim2_exec::Result<TableSchema> {
-        self.db.table_schema(name)
-    }
-
-    fn scan_table(
-        &mut self,
-        name: &str,
-        asof: Option<Date>,
-        keep: Option<&dyn Fn(&Path) -> bool>,
-    ) -> aim2_exec::Result<TableValue> {
-        if name != self.table || asof.is_some() {
-            return self.db.scan_table(name, asof, keep);
-        }
-        let quarantined = self.db.quarantined_in(name);
-        let entry = self
-            .db
-            .catalog
-            .get_mut(name)
-            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))?;
-        let schema = entry.schema.clone();
-        let os = match &mut entry.storage {
-            TableStorage::Nf2(os) => os,
-            TableStorage::Flat(_) => {
-                return Err(aim2_exec::ExecError::Semantic(
-                    "restricted scan over flat table".into(),
-                ))
-            }
-        };
-        let mut tuples = Vec::with_capacity(self.handles.len());
-        for h in &self.handles {
-            if quarantined.contains(&h.0) {
-                continue;
-            }
-            let t = match keep {
-                Some(pred) => os.read_object_projected(&schema, *h, pred),
-                None => os.read_object(&schema, *h),
-            }
-            .map_err(aim2_exec::ExecError::Storage)?;
-            tuples.push(t);
-        }
-        Ok(TableValue {
-            kind: schema.kind,
-            tuples,
-        })
-    }
-}
-
 // =====================================================================
-// The evaluator's table provider
+// The evaluator's table provider (cursor pipeline endpoint)
 // =====================================================================
 
 impl TableProvider for Database {
@@ -1316,65 +1178,105 @@ impl TableProvider for Database {
             .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))
     }
 
-    fn scan_table(
-        &mut self,
-        name: &str,
-        asof: Option<Date>,
-        keep: Option<&dyn Fn(&Path) -> bool>,
-    ) -> aim2_exec::Result<TableValue> {
+    fn open_scan(&mut self, req: &ScanRequest) -> aim2_exec::Result<ObjectCursor> {
+        let name = req.table.as_str();
         let entry = self
             .catalog
             .get_mut(name)
             .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))?;
-        if let Some(t) = asof {
+        if let Some(t) = req.asof {
+            // Version snapshots are reconstructed tables — the cursor
+            // buffers them (no page-level pull to push into).
             let versions = entry.versions.as_ref().ok_or_else(|| {
                 aim2_exec::ExecError::Semantic(format!(
                     "table {name} was not declared WITH VERSIONS"
                 ))
             })?;
-            return Ok(versions.table_asof(t));
+            let rows = versions.table_asof(t).tuples;
+            return Ok(ObjectCursor::buffered(
+                req,
+                "full scan (version snapshot)",
+                rows,
+            ));
         }
-        let schema = entry.schema.clone();
         let quarantined = self.quarantined_in(name);
+        match &mut self.catalog.get_mut(name).expect("checked above").storage {
+            TableStorage::Flat(fs) => {
+                let keys = fs
+                    .tids()
+                    .iter()
+                    .filter(|t| !quarantined.contains(t))
+                    .map(|t| t.to_u64())
+                    .collect();
+                Ok(ObjectCursor::keyed(req, "full scan", keys))
+            }
+            TableStorage::Nf2(_) => {
+                // Conjuncts pushed down with the request may be answered
+                // by an index: restrict the cursor to candidate objects.
+                if let Some((handles, plan)) = self
+                    .pick_index_restriction(name, &req.conjuncts, &req.contains)
+                    .map_err(|e| aim2_exec::ExecError::Semantic(e.to_string()))?
+                {
+                    let keys = handles
+                        .iter()
+                        .filter(|h| !quarantined.contains(&h.0))
+                        .map(|h| h.0.to_u64())
+                        .collect();
+                    return Ok(ObjectCursor::keyed(req, &plan, keys));
+                }
+                let entry = self.catalog.get_mut(name).expect("checked above");
+                let TableStorage::Nf2(os) = &mut entry.storage else {
+                    unreachable!()
+                };
+                let keys = os
+                    .handles()
+                    .map_err(aim2_exec::ExecError::Storage)?
+                    .into_iter()
+                    .filter(|h| !quarantined.contains(&h.0))
+                    .map(|h| h.0.to_u64())
+                    .collect();
+                Ok(ObjectCursor::keyed(req, "full scan", keys))
+            }
+        }
+    }
+
+    fn next_row(&mut self, cur: &mut ObjectCursor) -> aim2_exec::Result<Option<Tuple>> {
+        if cur.asof.is_some() {
+            return Ok(cur.next_buffered());
+        }
+        let Some(key) = cur.next_key() else {
+            return Ok(None);
+        };
+        let tid = Tid::from_u64(key);
         let entry = self
             .catalog
-            .get_mut(name)
-            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(name.to_string()))?;
+            .get_mut(cur.table.as_str())
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(cur.table.clone()))?;
+        let schema = entry.schema.clone();
         match &mut entry.storage {
-            TableStorage::Flat(fs) if quarantined.is_empty() => {
-                fs.scan(&schema).map_err(Into::into)
-            }
-            TableStorage::Flat(fs) => {
-                let mut tuples = Vec::new();
-                for tid in fs.tids().to_vec() {
-                    if quarantined.contains(&tid) {
-                        continue; // containment: the rest of the table serves
-                    }
-                    tuples.push(fs.read(tid).map_err(aim2_exec::ExecError::Storage)?);
-                }
-                Ok(TableValue {
-                    kind: schema.kind,
-                    tuples,
-                })
-            }
+            TableStorage::Flat(fs) => fs
+                .read(tid)
+                .map(Some)
+                .map_err(aim2_exec::ExecError::Storage),
             TableStorage::Nf2(os) => {
-                let mut tuples = Vec::new();
-                for h in os.handles().map_err(aim2_exec::ExecError::Storage)? {
-                    if quarantined.contains(&h.0) {
-                        continue; // containment: the rest of the table serves
-                    }
-                    let t = match keep {
-                        Some(pred) => os.read_object_projected(&schema, h, pred),
-                        None => os.read_object(&schema, h),
-                    }
-                    .map_err(aim2_exec::ExecError::Storage)?;
-                    tuples.push(t);
+                let h = ObjectHandle(tid);
+                let t = if cur.projection.is_some() {
+                    os.read_object_projected(&schema, h, &|p| cur.keep(p))
+                } else {
+                    os.read_object(&schema, h)
                 }
-                Ok(TableValue {
-                    kind: schema.kind,
-                    tuples,
-                })
+                .map_err(aim2_exec::ExecError::Storage)?;
+                Ok(Some(t))
             }
+        }
+    }
+
+    fn close_scan(&mut self, cur: ObjectCursor) {
+        // A cursor abandoned mid-scan is an early termination: rows
+        // after the exit point were never decoded. (A cursor closed
+        // without pulls — e.g. EXPLAIN's access-path probe — is not.)
+        if cur.pulled() > 0 && !cur.exhausted() {
+            self.stats.inc_cursor_early_exit();
         }
     }
 }

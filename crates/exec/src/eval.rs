@@ -1,4 +1,4 @@
-//! The reference evaluator.
+//! The streaming evaluator.
 //!
 //! Nested-loop evaluation of SELECT-FROM-WHERE: FROM bindings are
 //! enumerated left to right (later bindings may range over attributes of
@@ -6,11 +6,24 @@
 //! with a loop which runs over all tuples of the relation they are bound
 //! to", §3); WHERE filters each combination; SELECT items (including
 //! correlated subqueries) build each result tuple.
+//!
+//! Execution is a pull-based cursor pipeline: the outermost stored-table
+//! binding and stored-table quantifiers stream one row per
+//! [`TableProvider::next_row`] pull, with the pushdown contract
+//! (projection + indexable conjuncts) carried down in the
+//! [`ScanRequest`], so `EXISTS` and quantifier short-circuits stop
+//! pulling pages the moment they are decided. Inner join bindings
+//! materialize once into a per-query scan cache (a join partner is
+//! enumerated many times; re-decoding it per outer row would be worse
+//! than the paper's own design). Setting [`Evaluator::materialize`]
+//! restores the reference materialize-then-evaluate behavior — the
+//! oracle the equivalence suite compares against.
 
 use crate::analysis::{referenced_paths, Referenced};
 use crate::error::ExecError;
 use crate::infer::{infer_query_schema, SchemaEnv};
-use crate::provider::TableProvider;
+use crate::plan::{collect_subscripts, render_expr, PhysOp, PhysicalPlan};
+use crate::provider::{ObjectCursor, ScanRequest, TableProvider};
 use crate::value::{compare, resolve, EvalValue};
 use crate::Result;
 use aim2_lang::ast::{Binding, Expr, NamedValue, Query, SelectItem, Source};
@@ -46,15 +59,31 @@ type ScanKey = (String, Option<Date>, Option<String>);
 /// Query evaluator over a [`TableProvider`].
 pub struct Evaluator<'p, P: TableProvider> {
     provider: &'p mut P,
-    /// Per-query cache of stored-table scans, so a join binding does not
-    /// rescan per outer combination. Pruned (projected) scans are keyed
-    /// by the binding variable as well, so a partial materialization is
-    /// never served to a binding (e.g. in a subquery) that needs more of
-    /// the table.
+    /// Per-query cache of materialized stored-table scans, so a join
+    /// binding does not rescan per outer combination. Pruned
+    /// (projected) scans are keyed by the binding variable as well, so
+    /// a partial materialization is never served to a binding (e.g. in
+    /// a subquery) that needs more of the table.
     scan_cache: HashMap<ScanKey, (TableSchema, TableValue)>,
     /// Whether to push projection down into the provider (partial
     /// retrieval). On by default; benches toggle it to measure the gain.
     pub projection_pushdown: bool,
+    /// Reference materializing mode: drain every scan fully before
+    /// evaluating, with no pushdown and no early exits — the
+    /// pre-cursor behavior the equivalence suite compares against.
+    pub materialize: bool,
+    /// Referenced-path analysis of the current query (projection
+    /// pushdown contract), keyed by binding variable.
+    refs: HashMap<String, Referenced>,
+    /// Predicate pushdown for the current query's root binding:
+    /// the single stored-table binding the indexable/CONTAINS conjuncts
+    /// unambiguously constrain, if any.
+    pushed_var: Option<String>,
+    pushed_conjuncts: Vec<(Path, Atom)>,
+    pushed_contains: Vec<(Path, String)>,
+    /// The operator tree of the current query; scans record their
+    /// provider-chosen access path as their cursors open.
+    plan: Option<PhysicalPlan>,
 }
 
 impl<'p, P: TableProvider> Evaluator<'p, P> {
@@ -63,6 +92,12 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             provider,
             scan_cache: HashMap::new(),
             projection_pushdown: true,
+            materialize: false,
+            refs: HashMap::new(),
+            pushed_var: None,
+            pushed_conjuncts: Vec::new(),
+            pushed_contains: Vec::new(),
+            plan: None,
         }
     }
 
@@ -74,6 +109,10 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         frames: &[(String, TableSchema, Tuple)],
         e: &Expr,
     ) -> Result<bool> {
+        self.refs.clear();
+        self.pushed_var = None;
+        self.pushed_conjuncts.clear();
+        self.pushed_contains.clear();
         let mut env = Env {
             frames: frames
                 .iter()
@@ -87,27 +126,70 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         self.eval_pred(e, &mut env)
     }
 
+    /// The physical plan of the last evaluated query.
+    pub fn physical_plan(&self) -> Option<&PhysicalPlan> {
+        self.plan.as_ref()
+    }
+
+    /// Take ownership of the last query's physical plan.
+    pub fn take_plan(&mut self) -> Option<PhysicalPlan> {
+        self.plan.take()
+    }
+
+    /// Compute pushdown state and the operator tree for `q` without
+    /// executing it.
+    fn prepare(&mut self, q: &Query) {
+        self.scan_cache.clear();
+        self.refs = if self.projection_pushdown && !self.materialize {
+            referenced_paths(q)
+        } else {
+            HashMap::new()
+        };
+        self.pushed_var = None;
+        self.pushed_conjuncts.clear();
+        self.pushed_contains.clear();
+        if !self.materialize {
+            if let Some((var, conj, cont)) = compute_pushdown(q) {
+                self.pushed_var = Some(var);
+                self.pushed_conjuncts = conj;
+                self.pushed_contains = cont;
+            }
+        }
+        let plan = self.lower_plan(q);
+        self.plan = Some(plan);
+    }
+
+    /// Build the physical plan for `q`, opening (and immediately
+    /// closing) the root cursor so the plan records the access path the
+    /// provider would choose — EXPLAIN without execution.
+    pub fn plan_query(&mut self, q: &Query) -> Result<PhysicalPlan> {
+        self.prepare(q);
+        if let Some(b) = q.from.first() {
+            if matches!(b.source, Source::Table(_)) {
+                let (_, cur) = self.open_table_cursor(b, true, true)?;
+                self.provider.close_scan(cur);
+            }
+        }
+        Ok(self.plan.take().unwrap_or_default())
+    }
+
     /// Evaluate a whole query; returns the inferred result schema and
     /// the result table.
     pub fn eval_query(&mut self, q: &Query) -> Result<(TableSchema, TableValue)> {
-        self.scan_cache.clear();
         let schema = infer_query_schema(q, self.provider, &mut SchemaEnv::new(), "RESULT")?;
-        let keep_paths = if self.projection_pushdown {
-            Some(referenced_paths(q))
-        } else {
-            None
-        };
+        self.prepare(q);
         let mut env = Env::default();
-        let value = self.eval_query_env(q, &mut env, keep_paths.as_ref())?;
+        let value = self.eval_query_env(q, &mut env, true)?;
         Ok((schema, value))
     }
 
-    fn eval_query_env(
-        &mut self,
-        q: &Query,
-        env: &mut Env,
-        keep: Option<&HashMap<String, Referenced>>,
-    ) -> Result<TableValue> {
+    fn eval_query_env(&mut self, q: &Query, env: &mut Env, top: bool) -> Result<TableValue> {
+        // Projection pushdown and head streaming apply to the top-level
+        // query's bindings only; subquery scans materialize in full (a
+        // correlated subquery re-runs per outer row — its scan must be
+        // cacheable and unpruned).
+        let use_refs = top && self.projection_pushdown && !self.materialize;
+        let stream_head = top && !self.materialize;
         // `SELECT *` keeps the source's kind (a list stays a list).
         let star = q.select.iter().any(|i| matches!(i, SelectItem::Star));
         let mut kind = TableKind::Relation;
@@ -117,75 +199,157 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             ));
         }
         let mut tuples = Vec::new();
-        self.for_each_combination(q.from.as_slice(), env, keep, &mut |me, env| {
-            if let Some(w) = &q.where_ {
-                if !me.eval_pred(w, env)? {
-                    return Ok(());
-                }
-            }
-            let mut fields = Vec::with_capacity(q.select.len());
-            for item in &q.select {
-                match item {
-                    SelectItem::Star => {
-                        let f = env.lookup(&q.from[0].var).expect("bound");
-                        tuples.push(f.tuple.clone());
+        self.for_each_combination(
+            q.from.as_slice(),
+            env,
+            use_refs,
+            stream_head,
+            &mut |me, env| {
+                if let Some(w) = &q.where_ {
+                    if !me.eval_pred(w, env)? {
                         return Ok(());
                     }
-                    SelectItem::Expr(e) => {
-                        fields.push(me.eval_value(e, env)?.simplified().into_value()?);
-                    }
-                    SelectItem::Named { value, .. } => match value {
-                        NamedValue::Expr(e) => {
-                            fields.push(me.eval_value(e, env)?.simplified().into_value()?)
-                        }
-                        NamedValue::Subquery(sub) => {
-                            let tv = me.eval_query_env(sub, env, None)?;
-                            fields.push(Value::Table(tv));
-                        }
-                    },
                 }
-            }
-            tuples.push(Tuple::new(fields));
-            Ok(())
-        })?;
+                let mut fields = Vec::with_capacity(q.select.len());
+                for item in &q.select {
+                    match item {
+                        SelectItem::Star => {
+                            let f = env.lookup(&q.from[0].var).expect("bound");
+                            tuples.push(f.tuple.clone());
+                            return Ok(());
+                        }
+                        SelectItem::Expr(e) => {
+                            fields.push(me.eval_value(e, env)?.simplified().into_value()?);
+                        }
+                        SelectItem::Named { value, .. } => match value {
+                            NamedValue::Expr(e) => {
+                                fields.push(me.eval_value(e, env)?.simplified().into_value()?)
+                            }
+                            NamedValue::Subquery(sub) => {
+                                let tv = me.eval_query_env(sub, env, false)?;
+                                fields.push(Value::Table(tv));
+                            }
+                        },
+                    }
+                }
+                tuples.push(Tuple::new(fields));
+                Ok(())
+            },
+        )?;
         if star {
             // Kind follows the source table.
-            let (schema, _) = self.binding_table(&q.from[0], env, keep)?;
-            kind = schema.kind;
+            kind = self.binding_kind(&q.from[0], env)?;
         }
         Ok(TableValue { kind, tuples })
     }
 
-    /// The table a binding ranges over, in the current environment.
+    /// The kind (relation/list) of the table a binding ranges over.
+    fn binding_kind(&mut self, b: &Binding, env: &Env) -> Result<TableKind> {
+        match &b.source {
+            Source::Table(name) => Ok(self.provider.table_schema(name)?.kind),
+            Source::PathOf { var, path } => {
+                let frame = env
+                    .lookup(var)
+                    .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
+                match resolve(&frame.schema, &frame.tuple, path, var)? {
+                    (_, AttrKind::Table(sub)) => Ok(sub.kind),
+                    _ => Err(ExecError::Type(format!(
+                        "`{var}.{path}` is not table-valued"
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn parse_asof(b: &Binding) -> Result<Option<Date>> {
+        match &b.asof {
+            Some(s) => Date::parse_iso(s)
+                .map(Some)
+                .map_err(|e| ExecError::Semantic(format!("bad ASOF date '{s}': {e}"))),
+            None => Ok(None),
+        }
+    }
+
+    /// Open a cursor over a stored-table binding, carrying the pushdown
+    /// contract: the projection (when `use_refs`) and — for the root
+    /// binding the conjuncts constrain — the indexable/CONTAINS
+    /// conditions.
+    fn open_table_cursor(
+        &mut self,
+        b: &Binding,
+        use_refs: bool,
+        root: bool,
+    ) -> Result<(TableSchema, ObjectCursor)> {
+        let Source::Table(name) = &b.source else {
+            return Err(ExecError::Semantic("cursor over non-stored source".into()));
+        };
+        let asof = Self::parse_asof(b)?;
+        let schema = self.provider.table_schema(name)?;
+        let projection = if use_refs {
+            self.refs.get(&b.var).cloned()
+        } else {
+            None
+        };
+        let (conjuncts, contains) =
+            if root && asof.is_none() && self.pushed_var.as_deref() == Some(b.var.as_str()) {
+                (self.pushed_conjuncts.clone(), self.pushed_contains.clone())
+            } else {
+                (Vec::new(), Vec::new())
+            };
+        let req = ScanRequest {
+            table: name.clone(),
+            asof,
+            projection,
+            conjuncts,
+            contains,
+        };
+        let cur = self.provider.open_scan(&req)?;
+        if let Some(plan) = &mut self.plan {
+            plan.set_access_path(&b.var, &cur.access_path);
+        }
+        Ok((schema, cur))
+    }
+
+    /// The table a binding ranges over, fully materialized (and cached,
+    /// for stored tables) in the current environment.
     fn binding_table(
         &mut self,
         b: &Binding,
         env: &Env,
-        keep: Option<&HashMap<String, Referenced>>,
+        use_refs: bool,
     ) -> Result<(TableSchema, TableValue)> {
         match &b.source {
             Source::Table(name) => {
-                let asof =
-                    match &b.asof {
-                        Some(s) => Some(Date::parse_iso(s).map_err(|e| {
-                            ExecError::Semantic(format!("bad ASOF date '{s}': {e}"))
-                        })?),
-                        None => None,
-                    };
-                // Projection pushdown: tell the provider which subtable
-                // paths this query will touch via variable `b.var`.
-                let refs = keep.and_then(|k| k.get(&b.var)).cloned();
+                let asof = Self::parse_asof(b)?;
+                let refs = if use_refs {
+                    self.refs.get(&b.var).cloned()
+                } else {
+                    None
+                };
                 let key = (name.clone(), asof, refs.as_ref().map(|_| b.var.clone()));
                 if let Some(hit) = self.scan_cache.get(&key) {
                     return Ok(hit.clone());
                 }
+                let req = ScanRequest {
+                    table: name.clone(),
+                    asof,
+                    projection: refs,
+                    conjuncts: Vec::new(),
+                    contains: Vec::new(),
+                };
                 let schema = self.provider.table_schema(name)?;
-                let value = match refs {
-                    Some(refs) => {
-                        let pred = move |p: &Path| refs.keep(p);
-                        self.provider.scan_table(name, asof, Some(&pred))?
-                    }
-                    None => self.provider.scan_table(name, asof, None)?,
+                let mut cur = self.provider.open_scan(&req)?;
+                if let Some(plan) = &mut self.plan {
+                    plan.set_access_path(&b.var, &cur.access_path);
+                }
+                let mut tuples = Vec::with_capacity(cur.len());
+                while let Some(t) = self.provider.next_row(&mut cur)? {
+                    tuples.push(t);
+                }
+                self.provider.close_scan(cur);
+                let value = TableValue {
+                    kind: schema.kind,
+                    tuples,
                 };
                 self.scan_cache.insert(key, (schema.clone(), value.clone()));
                 Ok((schema, value))
@@ -211,31 +375,111 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
     }
 
     /// Enumerate all combinations of the bindings, invoking `f` per
-    /// combination.
+    /// combination. When `stream_head` is set, the first stored-table
+    /// binding is pulled through a cursor one row at a time instead of
+    /// materializing the table.
     fn for_each_combination(
         &mut self,
         bindings: &[Binding],
         env: &mut Env,
-        keep: Option<&HashMap<String, Referenced>>,
+        use_refs: bool,
+        stream_head: bool,
         f: &mut dyn FnMut(&mut Self, &mut Env) -> Result<()>,
     ) -> Result<()> {
         match bindings.split_first() {
             None => f(self, env),
             Some((b, rest)) => {
-                let (schema, value) = self.binding_table(b, env, keep)?;
+                if stream_head && matches!(b.source, Source::Table(_)) {
+                    let (schema, mut cur) = self.open_table_cursor(b, use_refs, true)?;
+                    let mut res = Ok(());
+                    loop {
+                        let t = match self.provider.next_row(&mut cur) {
+                            Ok(Some(t)) => t,
+                            Ok(None) => break,
+                            Err(e) => {
+                                res = Err(e);
+                                break;
+                            }
+                        };
+                        env.frames.push(Frame {
+                            var: b.var.clone(),
+                            schema: schema.clone(),
+                            tuple: t,
+                        });
+                        let r = self.for_each_combination(rest, env, use_refs, false, f);
+                        env.frames.pop();
+                        if let Err(e) = r {
+                            res = Err(e);
+                            break;
+                        }
+                    }
+                    self.provider.close_scan(cur);
+                    return res;
+                }
+                let (schema, value) = self.binding_table(b, env, use_refs)?;
                 for t in value.tuples {
                     env.frames.push(Frame {
                         var: b.var.clone(),
                         schema: schema.clone(),
                         tuple: t,
                     });
-                    let r = self.for_each_combination(rest, env, keep, f);
+                    let r = self.for_each_combination(rest, env, use_refs, false, f);
                     env.frames.pop();
                     r?;
                 }
                 Ok(())
             }
         }
+    }
+
+    /// Evaluate a quantifier over a stored table by streaming its
+    /// cursor: pulls stop at the first witness (EXISTS) or violation
+    /// (FORALL), and the provider counts the early exit.
+    fn stream_quantifier(
+        &mut self,
+        binding: &Binding,
+        env: &mut Env,
+        pred: Option<&Expr>,
+        exists: bool,
+    ) -> Result<bool> {
+        let use_refs = self.projection_pushdown;
+        let (schema, mut cur) = self.open_table_cursor(binding, use_refs, false)?;
+        // EXISTS starts false and flips on a witness; FORALL starts
+        // true and flips on a violation.
+        let mut res = Ok(!exists);
+        loop {
+            let t = match self.provider.next_row(&mut cur) {
+                Ok(Some(t)) => t,
+                Ok(None) => break,
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            };
+            env.frames.push(Frame {
+                var: binding.var.clone(),
+                schema: schema.clone(),
+                tuple: t,
+            });
+            let hit = match pred {
+                Some(p) => self.eval_pred(p, env),
+                None => Ok(true),
+            };
+            env.frames.pop();
+            match hit {
+                Ok(h) if h == exists => {
+                    res = Ok(exists);
+                    break; // decided: stop pulling
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    res = Err(e);
+                    break;
+                }
+            }
+        }
+        self.provider.close_scan(cur);
+        res
     }
 
     /// Evaluate a predicate to a boolean.
@@ -250,7 +494,10 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 compare(*op, l, r)
             }
             Expr::Exists { binding, pred } => {
-                let (schema, value) = self.binding_table(binding, env, None)?;
+                if !self.materialize && matches!(binding.source, Source::Table(_)) {
+                    return self.stream_quantifier(binding, env, pred.as_deref(), true);
+                }
+                let (schema, value) = self.binding_table(binding, env, false)?;
                 for t in value.tuples {
                     env.frames.push(Frame {
                         var: binding.var.clone(),
@@ -269,7 +516,10 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 Ok(false)
             }
             Expr::Forall { binding, pred } => {
-                let (schema, value) = self.binding_table(binding, env, None)?;
+                if !self.materialize && matches!(binding.source, Source::Table(_)) {
+                    return self.stream_quantifier(binding, env, Some(pred), false);
+                }
+                let (schema, value) = self.binding_table(binding, env, false)?;
                 for t in value.tuples {
                     env.frames.push(Frame {
                         var: binding.var.clone(),
@@ -372,6 +622,176 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             other => Ok(EvalValue::Atom(Atom::Bool(self.eval_pred(other, env)?))),
         }
     }
+
+    // =================================================================
+    // Plan lowering
+    // =================================================================
+
+    /// Lower `q` into its operator tree.
+    fn lower_plan(&mut self, q: &Query) -> PhysicalPlan {
+        let mut plan = PhysicalPlan::default();
+        let root = self.lower_into(&mut plan, q);
+        plan.root = root;
+        plan
+    }
+
+    fn lower_into(&mut self, plan: &mut PhysicalPlan, q: &Query) -> usize {
+        // Bindings chain with the outermost scan as the deepest leaf:
+        // later bindings (and then Filter, then Project) wrap it.
+        let mut chain: Option<usize> = None;
+        for b in &q.from {
+            let op = match &b.source {
+                Source::Table(name) => self.scan_op(b, name),
+                Source::PathOf { var, path } => PhysOp::NestEval {
+                    var: b.var.clone(),
+                    source: format!("{var}.{path}"),
+                },
+            };
+            let children: Vec<usize> = chain.take().into_iter().collect();
+            chain = Some(plan.push(op, children));
+        }
+        let mut top = chain;
+        if let Some(w) = &q.where_ {
+            let mut children: Vec<usize> = top.take().into_iter().collect();
+            self.lower_quantifier_scans(plan, w, &mut children);
+            let mut subs = Vec::new();
+            collect_subscripts(w, &mut subs);
+            for s in subs {
+                children.push(plan.push(PhysOp::OrderedSubscript { expr: s }, vec![]));
+            }
+            top = Some(plan.push(
+                PhysOp::Filter {
+                    pred: render_expr(w),
+                },
+                children,
+            ));
+        }
+        let mut items = Vec::new();
+        let mut children: Vec<usize> = top.take().into_iter().collect();
+        for item in &q.select {
+            match item {
+                SelectItem::Star => items.push("*".to_string()),
+                SelectItem::Expr(e) => {
+                    items.push(render_expr(e));
+                    let mut subs = Vec::new();
+                    collect_subscripts(e, &mut subs);
+                    for s in subs {
+                        children.push(plan.push(PhysOp::OrderedSubscript { expr: s }, vec![]));
+                    }
+                }
+                SelectItem::Named { name, value } => match value {
+                    NamedValue::Expr(e) => items.push(format!("{name} = {}", render_expr(e))),
+                    NamedValue::Subquery(sub) => {
+                        items.push(format!("{name} = (subquery)"));
+                        children.push(self.lower_into(plan, sub));
+                    }
+                },
+            }
+        }
+        plan.push(PhysOp::Project { items }, children)
+    }
+
+    /// A Scan operator with the pushdown contract it will be opened
+    /// with: pushed conjuncts (root binding only) and the kept/pruned
+    /// subtable split of the projection.
+    fn scan_op(&mut self, b: &Binding, name: &str) -> PhysOp {
+        let mut pushed = Vec::new();
+        if b.asof.is_none() && self.pushed_var.as_deref() == Some(b.var.as_str()) {
+            for (p, a) in &self.pushed_conjuncts {
+                pushed.push(format!("{p} = {a}"));
+            }
+            for (p, m) in &self.pushed_contains {
+                pushed.push(format!("{p} CONTAINS '{m}'"));
+            }
+        }
+        let mut kept = Vec::new();
+        let mut pruned = Vec::new();
+        if let Some(r) = self.refs.get(&b.var) {
+            if let Ok(schema) = self.provider.table_schema(name) {
+                for (path, _) in schema.walk_subtables() {
+                    if path.is_root() {
+                        continue;
+                    }
+                    if r.keep(&path) {
+                        kept.push(path.to_string());
+                    } else {
+                        pruned.push(path.to_string());
+                    }
+                }
+            }
+        }
+        PhysOp::Scan {
+            var: b.var.clone(),
+            table: name.to_string(),
+            asof: b.asof.clone(),
+            access_path: "full scan".to_string(),
+            pushed,
+            kept,
+            pruned,
+        }
+    }
+
+    /// Stored-table quantifier bindings inside a WHERE clause show up
+    /// as Scan children of the Filter (they open their own cursors).
+    fn lower_quantifier_scans(&mut self, plan: &mut PhysicalPlan, e: &Expr, out: &mut Vec<usize>) {
+        match e {
+            Expr::Exists { binding, pred } => {
+                if let Source::Table(name) = &binding.source {
+                    let op = self.scan_op(binding, &name.clone());
+                    out.push(plan.push(op, vec![]));
+                }
+                if let Some(p) = pred {
+                    self.lower_quantifier_scans(plan, p, out);
+                }
+            }
+            Expr::Forall { binding, pred } => {
+                if let Source::Table(name) = &binding.source {
+                    let op = self.scan_op(binding, &name.clone());
+                    out.push(plan.push(op, vec![]));
+                }
+                self.lower_quantifier_scans(plan, pred, out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                self.lower_quantifier_scans(plan, a, out);
+                self.lower_quantifier_scans(plan, b, out);
+            }
+            Expr::Not(x) => self.lower_quantifier_scans(plan, x, out),
+            Expr::Cmp { lhs, rhs, .. } => {
+                self.lower_quantifier_scans(plan, lhs, out);
+                self.lower_quantifier_scans(plan, rhs, out);
+            }
+            Expr::Contains { expr, .. } => self.lower_quantifier_scans(plan, expr, out),
+            Expr::Lit(_) | Expr::PathRef { .. } | Expr::Subscript { .. } => {}
+        }
+    }
+}
+
+/// Pushdown payload: target binding variable, indexable equality
+/// conjuncts, CONTAINS conjuncts.
+type Pushdown = (String, Vec<(Path, Atom)>, Vec<(Path, String)>);
+
+/// If the query has a single stored-table binding (no ASOF) and a WHERE
+/// clause, its indexable equality conjuncts and top-level CONTAINS
+/// conjuncts unambiguously constrain that binding's objects — the
+/// predicate pushdown the `ScanRequest` carries to the provider.
+fn compute_pushdown(q: &Query) -> Option<Pushdown> {
+    let mut table_bindings = q
+        .from
+        .iter()
+        .filter(|b| matches!(b.source, Source::Table(_)));
+    let (Some(first), None) = (table_bindings.next(), table_bindings.next()) else {
+        return None;
+    };
+    if first.asof.is_some() {
+        return None;
+    }
+    let where_ = q.where_.as_ref()?;
+    let conjuncts = crate::planner::indexable_conditions(where_);
+    let contains = crate::planner::contains_conditions(where_, &first.var);
+    if conjuncts.is_empty() && contains.is_empty() {
+        return None;
+    }
+    Some((first.var.clone(), conjuncts, contains))
 }
 
 #[cfg(test)]
@@ -715,5 +1135,43 @@ mod tests {
             Evaluator::new(&mut p).eval_query(&q),
             Err(ExecError::Semantic(_))
         ));
+    }
+
+    #[test]
+    fn materialize_mode_agrees_with_streaming() {
+        for src in [
+            "SELECT * FROM DEPARTMENTS",
+            "SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+            "SELECT x.DNO, x.MGRNO, y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS",
+        ] {
+            let q = parse_query(src).unwrap();
+            let mut p = MemProvider::with_paper_fixtures();
+            let streamed = Evaluator::new(&mut p).eval_query(&q).unwrap();
+            let mut ev = Evaluator::new(&mut p);
+            ev.materialize = true;
+            let reference = ev.eval_query(&q).unwrap();
+            assert_eq!(streamed.1, reference.1, "{src}");
+        }
+    }
+
+    #[test]
+    fn physical_plan_shows_operators() {
+        let q = parse_query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS, y IN x.PROJECTS \
+             WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+        )
+        .unwrap();
+        let mut p = MemProvider::with_paper_fixtures();
+        let mut ev = Evaluator::new(&mut p);
+        ev.eval_query(&q).unwrap();
+        let plan = ev.take_plan().expect("plan built");
+        let shown = plan.to_string();
+        assert!(shown.contains("Project [x.DNO]"), "{shown}");
+        assert!(shown.contains("Filter"), "{shown}");
+        assert!(shown.contains("NestEval y IN x.PROJECTS"), "{shown}");
+        assert!(shown.contains("Scan DEPARTMENTS as x"), "{shown}");
+        assert!(shown.contains("full scan"), "{shown}");
+        assert!(shown.contains("partial retrieval skips [EQUIP]"), "{shown}");
     }
 }

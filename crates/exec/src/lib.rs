@@ -25,13 +25,15 @@ pub mod analysis;
 pub mod error;
 pub mod eval;
 pub mod infer;
+pub mod plan;
 pub mod planner;
 pub mod provider;
 pub mod value;
 
 pub use error::ExecError;
 pub use eval::Evaluator;
-pub use provider::{MemProvider, TableProvider};
+pub use plan::{PhysOp, PhysicalPlan};
+pub use provider::{MemProvider, ObjectCursor, ScanRequest, TableProvider};
 
 /// Result alias for execution.
 pub type Result<T> = std::result::Result<T, ExecError>;

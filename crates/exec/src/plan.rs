@@ -1,0 +1,345 @@
+//! Inspectable physical plans.
+//!
+//! The evaluator lowers every query into a [`PhysicalPlan`] — an
+//! operator tree of Scan / IndexScan / Filter / Project / NestEval /
+//! OrderedSubscript nodes — before pulling a single row. The plan
+//! records the pushdown contract each scan was opened with (pushed
+//! conjuncts, kept and pruned subtable paths) and, once the cursor is
+//! open, the access path the provider actually chose ("full scan",
+//! "index f on …"). `Database::last_plan()` and the shell's `.explain`
+//! render it.
+
+use aim2_lang::ast::{Expr, Lit};
+use std::fmt;
+
+/// One physical operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOp {
+    /// Cursor scan of a stored table (sequential over the object
+    /// directory / heap).
+    Scan {
+        var: String,
+        table: String,
+        asof: Option<String>,
+        /// Chosen by the provider when the cursor opens.
+        access_path: String,
+        /// Indexable conjuncts handed down in the `ScanRequest`.
+        pushed: Vec<String>,
+        /// Subtable paths the projection keeps (decoded).
+        kept: Vec<String>,
+        /// Subtable paths partial retrieval skips (never decoded).
+        pruned: Vec<String>,
+    },
+    /// Scan pre-restricted by an index (same fields; the access path
+    /// names the index and candidate count).
+    IndexScan {
+        var: String,
+        table: String,
+        access_path: String,
+        pushed: Vec<String>,
+        kept: Vec<String>,
+        pruned: Vec<String>,
+    },
+    /// Residual predicate evaluation on each pulled combination.
+    Filter { pred: String },
+    /// Result-tuple construction from the SELECT items.
+    Project { items: Vec<String> },
+    /// Iteration over a table-valued attribute (`y IN x.PROJECTS`).
+    NestEval { var: String, source: String },
+    /// Positional access into an ordered subtable (`x.AUTHORS[1]`).
+    OrderedSubscript { expr: String },
+}
+
+/// A node and its children, stored in an arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    pub op: PhysOp,
+    pub children: Vec<usize>,
+}
+
+/// The operator tree for one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhysicalPlan {
+    pub nodes: Vec<PlanNode>,
+    pub root: usize,
+}
+
+impl PhysicalPlan {
+    /// Append a node, returning its index.
+    pub fn push(&mut self, op: PhysOp, children: Vec<usize>) -> usize {
+        self.nodes.push(PlanNode { op, children });
+        self.nodes.len() - 1
+    }
+
+    /// Record the access path the provider chose for `var`'s scan; an
+    /// index access path upgrades the node to an `IndexScan`.
+    pub fn set_access_path(&mut self, scan_var: &str, path: &str) {
+        for node in &mut self.nodes {
+            match &mut node.op {
+                PhysOp::Scan {
+                    var,
+                    table,
+                    access_path,
+                    pushed,
+                    kept,
+                    pruned,
+                    asof,
+                } if var == scan_var => {
+                    if path.starts_with("index") || path.starts_with("text index") {
+                        node.op = PhysOp::IndexScan {
+                            var: var.clone(),
+                            table: table.clone(),
+                            access_path: path.to_string(),
+                            pushed: std::mem::take(pushed),
+                            kept: std::mem::take(kept),
+                            pruned: std::mem::take(pruned),
+                        };
+                    } else {
+                        let _ = asof;
+                        *access_path = path.to_string();
+                    }
+                    return;
+                }
+                PhysOp::IndexScan {
+                    var, access_path, ..
+                } if var == scan_var => {
+                    *access_path = path.to_string();
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The access path of the first (root) scan, if any.
+    pub fn root_access_path(&self) -> Option<&str> {
+        self.nodes.iter().find_map(|n| match &n.op {
+            PhysOp::Scan { access_path, .. } | PhysOp::IndexScan { access_path, .. } => {
+                Some(access_path.as_str())
+            }
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nodes.is_empty() {
+            return write!(f, "(empty plan)");
+        }
+        fn rec(
+            plan: &PhysicalPlan,
+            idx: usize,
+            depth: usize,
+            f: &mut fmt::Formatter<'_>,
+        ) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            let node = &plan.nodes[idx];
+            match &node.op {
+                PhysOp::Scan {
+                    var,
+                    table,
+                    asof,
+                    access_path,
+                    pushed,
+                    kept,
+                    pruned,
+                } => {
+                    write!(f, "{pad}Scan {table} as {var}")?;
+                    if let Some(d) = asof {
+                        write!(f, " ASOF {d}")?;
+                    }
+                    write!(f, " — access path: {access_path}")?;
+                    write_scan_details(f, pushed, kept, pruned)?;
+                }
+                PhysOp::IndexScan {
+                    var,
+                    table,
+                    access_path,
+                    pushed,
+                    kept,
+                    pruned,
+                } => {
+                    write!(f, "{pad}IndexScan {table} as {var} — {access_path}")?;
+                    write_scan_details(f, pushed, kept, pruned)?;
+                }
+                PhysOp::Filter { pred } => write!(f, "{pad}Filter [{pred}]")?,
+                PhysOp::Project { items } => write!(f, "{pad}Project [{}]", items.join(", "))?,
+                PhysOp::NestEval { var, source } => write!(f, "{pad}NestEval {var} IN {source}")?,
+                PhysOp::OrderedSubscript { expr } => write!(f, "{pad}OrderedSubscript {expr}")?,
+            }
+            writeln!(f)?;
+            for &c in &node.children {
+                rec(plan, c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        fn write_scan_details(
+            f: &mut fmt::Formatter<'_>,
+            pushed: &[String],
+            kept: &[String],
+            pruned: &[String],
+        ) -> fmt::Result {
+            if !pushed.is_empty() {
+                write!(f, "; pushed [{}]", pushed.join(", "))?;
+            }
+            if !kept.is_empty() {
+                write!(f, "; reads [{}]", kept.join(", "))?;
+            }
+            if !pruned.is_empty() {
+                write!(f, "; partial retrieval skips [{}]", pruned.join(", "))?;
+            }
+            Ok(())
+        }
+        rec(self, self.root, 0, f)
+    }
+}
+
+/// Render an expression back to query-like text (for plan display).
+pub fn render_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(l) => render_lit(l),
+        Expr::PathRef { var, path } => {
+            if path.is_root() {
+                var.clone()
+            } else {
+                format!("{var}.{path}")
+            }
+        }
+        Expr::Subscript {
+            var,
+            path,
+            index,
+            rest,
+        } => {
+            let mut s = format!("{var}.{path}[{index}]");
+            if !rest.is_root() {
+                s.push('.');
+                s.push_str(&rest.to_string());
+            }
+            s
+        }
+        Expr::Cmp { op, lhs, rhs } => {
+            format!("{} {} {}", render_expr(lhs), op.symbol(), render_expr(rhs))
+        }
+        Expr::And(a, b) => format!("{} AND {}", render_expr(a), render_expr(b)),
+        Expr::Or(a, b) => format!("({} OR {})", render_expr(a), render_expr(b)),
+        Expr::Not(x) => format!("NOT ({})", render_expr(x)),
+        Expr::Exists { binding, pred } => {
+            let src = render_source(binding);
+            match pred {
+                Some(p) => format!("EXISTS {} IN {src} : {}", binding.var, render_expr(p)),
+                None => format!("EXISTS {} IN {src}", binding.var),
+            }
+        }
+        Expr::Forall { binding, pred } => {
+            format!(
+                "ALL {} IN {} : {}",
+                binding.var,
+                render_source(binding),
+                render_expr(pred)
+            )
+        }
+        Expr::Contains { expr, pattern } => {
+            format!("{} CONTAINS '{pattern}'", render_expr(expr))
+        }
+    }
+}
+
+fn render_source(b: &aim2_lang::ast::Binding) -> String {
+    match &b.source {
+        aim2_lang::ast::Source::Table(t) => t.clone(),
+        aim2_lang::ast::Source::PathOf { var, path } => format!("{var}.{path}"),
+    }
+}
+
+fn render_lit(l: &Lit) -> String {
+    match l {
+        Lit::Int(i) => i.to_string(),
+        Lit::Float(x) => x.to_string(),
+        Lit::Str(s) => format!("'{s}'"),
+        Lit::Bool(b) => b.to_string(),
+        Lit::Relation(_) => "{…}".to_string(),
+        Lit::List(_) => "<…>".to_string(),
+    }
+}
+
+/// Collect the subscript expressions of `e` (for OrderedSubscript
+/// plan nodes).
+pub fn collect_subscripts(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Subscript { .. } => out.push(render_expr(e)),
+        Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_subscripts(a, out);
+            collect_subscripts(b, out);
+        }
+        Expr::Not(x) => collect_subscripts(x, out),
+        Expr::Cmp { lhs, rhs, .. } => {
+            collect_subscripts(lhs, out);
+            collect_subscripts(rhs, out);
+        }
+        Expr::Exists { pred, .. } => {
+            if let Some(p) = pred {
+                collect_subscripts(p, out);
+            }
+        }
+        Expr::Forall { pred, .. } => collect_subscripts(pred, out),
+        Expr::Contains { expr, .. } => collect_subscripts(expr, out),
+        Expr::Lit(_) | Expr::PathRef { .. } => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_lang::parser::parse_query;
+
+    #[test]
+    fn renders_where_clause_back_to_text() {
+        let q = parse_query(
+            "SELECT x.DNO FROM x IN DEPARTMENTS \
+             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT' AND x.BUDGET >= 100",
+        )
+        .unwrap();
+        let s = render_expr(q.where_.as_ref().unwrap());
+        assert!(s.contains("EXISTS y IN x.EQUIP"));
+        assert!(s.contains("y.TYPE = 'PC/AT'"));
+        assert!(s.contains("x.BUDGET >= 100"));
+    }
+
+    #[test]
+    fn index_access_path_upgrades_scan() {
+        let mut plan = PhysicalPlan::default();
+        let scan = plan.push(
+            PhysOp::Scan {
+                var: "x".into(),
+                table: "T".into(),
+                asof: None,
+                access_path: "full scan".into(),
+                pushed: vec!["A = 1".into()],
+                kept: vec![],
+                pruned: vec![],
+            },
+            vec![],
+        );
+        plan.root = plan.push(
+            PhysOp::Project {
+                items: vec!["x.A".into()],
+            },
+            vec![scan],
+        );
+        plan.set_access_path("x", "index i on T(A) = 1: 1 candidate object(s) of 9");
+        assert!(matches!(plan.nodes[scan].op, PhysOp::IndexScan { .. }));
+        let shown = plan.to_string();
+        assert!(shown.contains("IndexScan T as x"));
+        assert!(shown.contains("1 candidate object(s) of 9"));
+    }
+
+    #[test]
+    fn subscripts_collected() {
+        let q = parse_query("SELECT x.REPNO FROM x IN REPORTS WHERE x.AUTHORS[1] = 'J'").unwrap();
+        let mut subs = Vec::new();
+        collect_subscripts(q.where_.as_ref().unwrap(), &mut subs);
+        assert_eq!(subs, vec!["x.AUTHORS[1]".to_string()]);
+    }
+}

@@ -438,6 +438,33 @@ pub fn indexable_conditions(expr: &aim2_lang::ast::Expr) -> Vec<(Path, Atom)> {
     out
 }
 
+/// Extract top-level `root_var.attr CONTAINS 'mask'` conjuncts from a
+/// WHERE clause — the conditions a text index on that attribute can
+/// pre-restrict (§5). Only single-component paths qualify (text indexes
+/// cover first-level text attributes).
+pub fn contains_conditions(expr: &aim2_lang::ast::Expr, root_var: &str) -> Vec<(Path, String)> {
+    use aim2_lang::ast::Expr;
+    let mut out = Vec::new();
+    fn rec(e: &Expr, root_var: &str, out: &mut Vec<(Path, String)>) {
+        match e {
+            Expr::And(a, b) => {
+                rec(a, root_var, out);
+                rec(b, root_var, out);
+            }
+            Expr::Contains { expr, pattern } => {
+                if let Expr::PathRef { var, path } = expr.as_ref() {
+                    if var == root_var && path.len() == 1 {
+                        out.push((path.clone(), pattern.clone()));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rec(expr, root_var, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,34 +1,201 @@
-//! Table access abstraction.
+//! Table access abstraction: the cursor pipeline's storage boundary.
 //!
-//! The evaluator fetches tables through a [`TableProvider`]; the database
-//! facade implements it over object stores (with projection pushdown),
-//! while [`MemProvider`] serves the executor's own tests and the algebra
-//! benches.
+//! The evaluator pulls rows through a [`TableProvider`]; the database
+//! facade implements it over object stores (with projection and
+//! predicate pushdown), while [`MemProvider`] serves the executor's own
+//! tests and the algebra benches.
+//!
+//! The contract is open/next/close:
+//!
+//! * [`TableProvider::open_scan`] receives a [`ScanRequest`] carrying
+//!   the *pushdown contract* — the needed-paths set (projection) and
+//!   the indexable/CONTAINS conjuncts the provider may use to
+//!   pre-restrict candidates — and returns an [`ObjectCursor`];
+//! * [`TableProvider::next_row`] decodes and returns one row per call,
+//!   so quantifiers can stop pulling the moment they are decided;
+//! * [`TableProvider::close_scan`] lets the provider account for early
+//!   exits (a cursor closed before exhaustion never decoded the rest).
 
+use crate::analysis::Referenced;
 use crate::error::ExecError;
 use crate::Result;
-use aim2_model::{Date, Path, TableSchema, TableValue};
+use aim2_model::{Date, TableSchema, TableValue, Tuple};
 use std::collections::HashMap;
+
+/// What the evaluator asks of a scan: the table, the version date, and
+/// the pushdown contract.
+#[derive(Debug, Clone, Default)]
+pub struct ScanRequest {
+    pub table: String,
+    pub asof: Option<Date>,
+    /// Needed-paths set (projection pushdown): when present, subtable
+    /// attributes whose path the set rejects may come back empty — the
+    /// evaluator only omits paths it will never touch, realizing the
+    /// paper's partial retrieval.
+    pub projection: Option<Referenced>,
+    /// Indexable equality conjuncts (`path = atom`) of the query's
+    /// WHERE, rooted at this binding. A provider with a matching index
+    /// may restrict the cursor to candidate objects (a superset of the
+    /// qualifying ones — the evaluator re-checks the full predicate).
+    pub conjuncts: Vec<(aim2_model::Path, aim2_model::Atom)>,
+    /// Top-level `attr CONTAINS 'mask'` conjuncts, for text indexes.
+    pub contains: Vec<(aim2_model::Path, String)>,
+}
+
+impl ScanRequest {
+    /// A full scan with nothing pushed down.
+    pub fn full(table: &str, asof: Option<Date>) -> ScanRequest {
+        ScanRequest {
+            table: table.to_string(),
+            asof,
+            ..ScanRequest::default()
+        }
+    }
+}
+
+/// Where a cursor's remaining rows come from.
+#[derive(Debug)]
+enum Rows {
+    /// Pre-materialized rows (ASOF snapshots, in-memory tables).
+    Buffered(Vec<Tuple>),
+    /// Opaque row keys the provider decodes one per pull (object
+    /// handles / TIDs packed into `u64`s, or plain indices).
+    Keys(Vec<u64>),
+}
+
+/// A scan in progress: passive state handed back to the provider on
+/// every [`TableProvider::next_row`] call. Holding the cursor does not
+/// borrow the provider, so the evaluator can interleave pulls from
+/// several cursors and run predicates between them.
+#[derive(Debug)]
+pub struct ObjectCursor {
+    pub table: String,
+    pub asof: Option<Date>,
+    /// The projection the scan was opened with (providers that decode
+    /// per pull re-apply it on every row).
+    pub projection: Option<Referenced>,
+    /// Human-readable access path ("full scan", "index f on …").
+    pub access_path: String,
+    rows: Rows,
+    pos: usize,
+}
+
+impl ObjectCursor {
+    /// A cursor over pre-materialized rows.
+    pub fn buffered(req: &ScanRequest, access_path: &str, rows: Vec<Tuple>) -> ObjectCursor {
+        ObjectCursor {
+            table: req.table.clone(),
+            asof: req.asof,
+            projection: req.projection.clone(),
+            access_path: access_path.to_string(),
+            rows: Rows::Buffered(rows),
+            pos: 0,
+        }
+    }
+
+    /// A cursor over opaque row keys, decoded one per pull.
+    pub fn keyed(req: &ScanRequest, access_path: &str, keys: Vec<u64>) -> ObjectCursor {
+        ObjectCursor {
+            table: req.table.clone(),
+            asof: req.asof,
+            projection: req.projection.clone(),
+            access_path: access_path.to_string(),
+            rows: Rows::Keys(keys),
+            pos: 0,
+        }
+    }
+
+    /// Total rows/keys the cursor was opened over.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            Rows::Buffered(v) => v.len(),
+            Rows::Keys(v) => v.len(),
+        }
+    }
+
+    /// True when the cursor was opened over nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows pulled so far.
+    pub fn pulled(&self) -> usize {
+        self.pos
+    }
+
+    /// True once every row has been pulled.
+    pub fn exhausted(&self) -> bool {
+        self.pos >= self.len()
+    }
+
+    /// Next pre-materialized row (providers using `buffered`).
+    pub fn next_buffered(&mut self) -> Option<Tuple> {
+        let Rows::Buffered(v) = &mut self.rows else {
+            return None;
+        };
+        let t = v.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Next opaque key (providers using `keyed`).
+    pub fn next_key(&mut self) -> Option<u64> {
+        let Rows::Keys(v) = &self.rows else {
+            return None;
+        };
+        let k = v.get(self.pos).copied();
+        if k.is_some() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    /// Projection predicate for one subtable path (true = decode it).
+    pub fn keep(&self, p: &aim2_model::Path) -> bool {
+        match &self.projection {
+            Some(r) => r.keep(p),
+            None => true,
+        }
+    }
+}
 
 /// What the evaluator needs from the storage layer.
 pub trait TableProvider {
     /// Schema of a stored table.
     fn table_schema(&mut self, name: &str) -> Result<TableSchema>;
 
-    /// Materialize a stored table, optionally as of a past date (§5) and
-    /// optionally *projected*: when `keep` is given, subtable attributes
-    /// whose path fails the predicate may be returned empty — the
-    /// evaluator only asks for paths it will never touch, realizing the
-    /// paper's partial retrieval.
-    fn scan_table(
-        &mut self,
-        name: &str,
-        asof: Option<Date>,
-        keep: Option<&dyn Fn(&Path) -> bool>,
-    ) -> Result<TableValue>;
+    /// Open a cursor over a stored table, honoring as much of the
+    /// request's pushdown contract as the backing storage supports.
+    fn open_scan(&mut self, req: &ScanRequest) -> Result<ObjectCursor>;
+
+    /// Pull the next row; `None` when exhausted.
+    fn next_row(&mut self, cur: &mut ObjectCursor) -> Result<Option<Tuple>>;
+
+    /// Close a cursor. Providers with stats count an early exit when
+    /// rows were pulled but the cursor is not exhausted.
+    fn close_scan(&mut self, cur: ObjectCursor) {
+        let _ = cur;
+    }
+
+    /// Drain a full scan into a `TableValue` — the materializing
+    /// convenience used by DML helpers and tests.
+    fn scan_all(&mut self, name: &str, asof: Option<Date>) -> Result<TableValue> {
+        let kind = self.table_schema(name)?.kind;
+        let mut cur = self.open_scan(&ScanRequest::full(name, asof))?;
+        let mut tuples = Vec::with_capacity(cur.len());
+        while let Some(t) = self.next_row(&mut cur)? {
+            tuples.push(t);
+        }
+        self.close_scan(cur);
+        Ok(TableValue { kind, tuples })
+    }
 }
 
-/// In-memory provider backed by `TableValue`s.
+/// In-memory provider backed by `TableValue`s. Rows are served borrowed
+/// per pull (one tuple clone per `next_row`), never by cloning whole
+/// tables.
 #[derive(Default)]
 pub struct MemProvider {
     tables: HashMap<String, (TableSchema, TableValue)>,
@@ -69,6 +236,25 @@ impl MemProvider {
         p.add(fx::reports_schema(), fx::reports_value());
         p
     }
+
+    /// The live rows (or the ASOF snapshot's rows) of `name`.
+    fn rows(&self, name: &str, asof: Option<Date>) -> Result<&[Tuple]> {
+        if let Some(t) = asof {
+            let snaps = self
+                .history
+                .get(name)
+                .ok_or_else(|| ExecError::Semantic(format!("table {name} is not versioned")))?;
+            let idx = snaps.partition_point(|(d, _)| *d <= t);
+            if idx == 0 {
+                return Ok(&[]);
+            }
+            return Ok(&snaps[idx - 1].1.tuples);
+        }
+        self.tables
+            .get(name)
+            .map(|(_, v)| v.tuples.as_slice())
+            .ok_or_else(|| ExecError::NoSuchTable(name.to_string()))
+    }
 }
 
 impl TableProvider for MemProvider {
@@ -79,30 +265,21 @@ impl TableProvider for MemProvider {
             .ok_or_else(|| ExecError::NoSuchTable(name.to_string()))
     }
 
-    fn scan_table(
-        &mut self,
-        name: &str,
-        asof: Option<Date>,
-        _keep: Option<&dyn Fn(&Path) -> bool>,
-    ) -> Result<TableValue> {
-        if let Some(t) = asof {
-            let snaps = self
-                .history
-                .get(name)
-                .ok_or_else(|| ExecError::Semantic(format!("table {name} is not versioned")))?;
-            let idx = snaps.partition_point(|(d, _)| *d <= t);
-            if idx == 0 {
-                return Ok(TableValue {
-                    kind: self.tables[name].1.kind,
-                    tuples: Vec::new(),
-                });
-            }
-            return Ok(snaps[idx - 1].1.clone());
-        }
-        self.tables
-            .get(name)
-            .map(|(_, v)| v.clone())
-            .ok_or_else(|| ExecError::NoSuchTable(name.to_string()))
+    fn open_scan(&mut self, req: &ScanRequest) -> Result<ObjectCursor> {
+        let n = self.rows(&req.table, req.asof)?.len();
+        Ok(ObjectCursor::keyed(
+            req,
+            "full scan",
+            (0..n as u64).collect(),
+        ))
+    }
+
+    fn next_row(&mut self, cur: &mut ObjectCursor) -> Result<Option<Tuple>> {
+        let Some(i) = cur.next_key() else {
+            return Ok(None);
+        };
+        let rows = self.rows(&cur.table, cur.asof)?;
+        Ok(rows.get(i as usize).cloned())
     }
 }
 
@@ -114,7 +291,7 @@ mod tests {
     fn fixtures_load() {
         let mut p = MemProvider::with_paper_fixtures();
         assert_eq!(p.table_schema("DEPARTMENTS").unwrap().depth(), 3);
-        assert_eq!(p.scan_table("REPORTS", None, None).unwrap().len(), 3);
+        assert_eq!(p.scan_all("REPORTS", None).unwrap().len(), 3);
         assert!(p.table_schema("NOPE").is_err());
     }
 
@@ -128,20 +305,25 @@ mod tests {
             old.clone(),
         );
         let got = p
-            .scan_table(
-                "DEPARTMENTS",
-                Some(Date::parse_iso("1984-01-15").unwrap()),
-                None,
-            )
+            .scan_all("DEPARTMENTS", Some(Date::parse_iso("1984-01-15").unwrap()))
             .unwrap();
         assert_eq!(got, old);
         let before = p
-            .scan_table(
-                "DEPARTMENTS",
-                Some(Date::parse_iso("1983-01-01").unwrap()),
-                None,
-            )
+            .scan_all("DEPARTMENTS", Some(Date::parse_iso("1983-01-01").unwrap()))
             .unwrap();
         assert!(before.is_empty());
+    }
+
+    #[test]
+    fn cursor_pulls_one_row_at_a_time() {
+        let mut p = MemProvider::with_paper_fixtures();
+        let mut cur = p.open_scan(&ScanRequest::full("REPORTS", None)).unwrap();
+        assert_eq!(cur.len(), 3);
+        assert!(p.next_row(&mut cur).unwrap().is_some());
+        assert_eq!(cur.pulled(), 1);
+        assert!(!cur.exhausted());
+        while p.next_row(&mut cur).unwrap().is_some() {}
+        assert!(cur.exhausted());
+        p.close_scan(cur);
     }
 }

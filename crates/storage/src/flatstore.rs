@@ -69,6 +69,8 @@ impl FlatStore {
     pub fn read(&mut self, tid: Tid) -> Result<Tuple> {
         let bytes = self.seg.read(tid)?;
         let atoms = decode_atoms(&bytes)?;
+        self.seg.stats().inc_object_decoded();
+        self.seg.stats().add_atoms_decoded(atoms.len() as u64);
         Ok(Tuple::new(atoms.into_iter().map(Value::Atom).collect()))
     }
 

@@ -483,7 +483,9 @@ impl ObjectStore {
 
     fn read_data_atoms(&mut self, pl: &PageList, mt: MiniTid) -> Result<Vec<Atom>> {
         let payload = self.read_local_payload(pl, mt)?;
-        Ok(decode_atoms(&payload)?)
+        let atoms = decode_atoms(&payload)?;
+        self.seg.stats().add_atoms_decoded(atoms.len() as u64);
+        Ok(atoms)
     }
 
     /// Crate-internal accessors for the integrity walker (check.rs),
@@ -746,6 +748,7 @@ impl ObjectStore {
     ) -> Result<Tuple> {
         let root = self.root_md(handle)?;
         self.seg.stats().inc_object_visit();
+        self.seg.stats().inc_object_decoded();
         let pl = root.page_list.clone();
         match root.layout {
             LayoutKind::Ss1 => self.assemble_ss1(&pl, &root.node, schema, &Path::root(), keep),

@@ -62,6 +62,15 @@ struct Inner {
     objects_quarantined: AtomicU64,
     /// Objects carried into a fresh database by `salvage()`.
     salvaged_objects: AtomicU64,
+    /// Complex objects (or flat tuples) fully or partially decoded into
+    /// model values by a cursor pull.
+    objects_decoded: AtomicU64,
+    /// Atoms decoded from data subtuples (the per-field cost partial
+    /// retrieval avoids).
+    atoms_decoded: AtomicU64,
+    /// Scans closed before exhaustion (EXISTS witnesses, quantifier
+    /// short-circuits): pages the pipeline never had to pull.
+    cursor_early_exits: AtomicU64,
 }
 
 macro_rules! counter {
@@ -120,6 +129,19 @@ impl Stats {
         objects_quarantined
     );
     counter!(inc_salvaged_object, salvaged_objects, salvaged_objects);
+    counter!(inc_object_decoded, objects_decoded, objects_decoded);
+    counter!(inc_atom_decoded, atoms_decoded, atoms_decoded);
+    counter!(
+        inc_cursor_early_exit,
+        cursor_early_exits,
+        cursor_early_exits
+    );
+
+    /// Bulk-add to `atoms_decoded` (one data subtuple decodes many
+    /// atoms at once).
+    pub fn add_atoms_decoded(&self, n: u64) {
+        self.inner.atoms_decoded.fetch_add(n, Ordering::Relaxed);
+    }
 
     /// Total page accesses (hits + misses).
     pub fn page_accesses(&self) -> u64 {
@@ -147,6 +169,9 @@ impl Stats {
             &i.corrupt_pages_detected,
             &i.objects_quarantined,
             &i.salvaged_objects,
+            &i.objects_decoded,
+            &i.atoms_decoded,
+            &i.cursor_early_exits,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -172,6 +197,9 @@ impl Stats {
             corrupt_pages_detected: self.corrupt_pages_detected(),
             objects_quarantined: self.objects_quarantined(),
             salvaged_objects: self.salvaged_objects(),
+            objects_decoded: self.objects_decoded(),
+            atoms_decoded: self.atoms_decoded(),
+            cursor_early_exits: self.cursor_early_exits(),
         }
     }
 }
@@ -196,6 +224,9 @@ pub struct StatsSnapshot {
     pub corrupt_pages_detected: u64,
     pub objects_quarantined: u64,
     pub salvaged_objects: u64,
+    pub objects_decoded: u64,
+    pub atoms_decoded: u64,
+    pub cursor_early_exits: u64,
 }
 
 impl StatsSnapshot {
@@ -219,6 +250,9 @@ impl StatsSnapshot {
             corrupt_pages_detected: later.corrupt_pages_detected - self.corrupt_pages_detected,
             objects_quarantined: later.objects_quarantined - self.objects_quarantined,
             salvaged_objects: later.salvaged_objects - self.salvaged_objects,
+            objects_decoded: later.objects_decoded - self.objects_decoded,
+            atoms_decoded: later.atoms_decoded - self.atoms_decoded,
+            cursor_early_exits: later.cursor_early_exits - self.cursor_early_exits,
         }
     }
 }
@@ -230,7 +264,8 @@ impl fmt::Display for StatsSnapshot {
             "hits={} misses={} pwrites={} sreads={} swrites={} ptr-rewrites={} obj-visits={} \
              wal-appends={} wal-replays={} torn-detected={} lock-waits={} deadlocks-aborted={} \
              group-commit-batches={} checksum-verifications={} corrupt-pages-detected={} \
-             objects-quarantined={} salvaged-objects={}",
+             objects-quarantined={} salvaged-objects={} objects-decoded={} atoms-decoded={} \
+             cursor-early-exits={}",
             self.buf_hits,
             self.buf_misses,
             self.page_writes,
@@ -247,7 +282,10 @@ impl fmt::Display for StatsSnapshot {
             self.checksum_verifications,
             self.corrupt_pages_detected,
             self.objects_quarantined,
-            self.salvaged_objects
+            self.salvaged_objects,
+            self.objects_decoded,
+            self.atoms_decoded,
+            self.cursor_early_exits
         )
     }
 }

@@ -50,6 +50,19 @@ impl Tid {
         Tid { page, slot }
     }
 
+    /// Pack into a `u64` (opaque cursor row key).
+    pub fn to_u64(self) -> u64 {
+        ((self.page.0 as u64) << 16) | self.slot.0 as u64
+    }
+
+    /// Inverse of [`Tid::to_u64`].
+    pub fn from_u64(v: u64) -> Tid {
+        Tid {
+            page: PageId((v >> 16) as u32),
+            slot: SlotNo((v & 0xFFFF) as u16),
+        }
+    }
+
     /// Serialize to 6 bytes (LE page, LE slot).
     pub fn encode(self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.page.0.to_le_bytes());

@@ -34,9 +34,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use aim2::{Database, ExecResult};
-use aim2_exec::TableProvider;
+use aim2_exec::{ObjectCursor, ScanRequest, TableProvider};
 use aim2_lang::ast::{self, NamedValue, SelectItem, Source, Stmt};
-use aim2_model::{Atom, Date, Path, TableSchema, TableValue, Tuple};
+use aim2_model::{Atom, TableSchema, TableValue, Tuple};
 use aim2_storage::object::{ElemLoc, ObjectHandle};
 use aim2_storage::stats::Stats;
 use aim2_storage::wal::{GroupCommit, SharedWal};
@@ -494,19 +494,32 @@ impl TableProvider for Session {
         TableProvider::table_schema(&mut *db, name)
     }
 
-    fn scan_table(
-        &mut self,
-        name: &str,
-        asof: Option<Date>,
-        keep: Option<&dyn Fn(&Path) -> bool>,
-    ) -> aim2_exec::Result<TableValue> {
+    fn open_scan(&mut self, req: &ScanRequest) -> aim2_exec::Result<ObjectCursor> {
         let id = self.ensure_txn();
         self.shared
             .locks
-            .acquire(id, &LockKey::table(name), LockMode::Shared)
+            .acquire(id, &LockKey::table(&req.table), LockMode::Shared)
             .map_err(exec_err)?;
         let mut db = self.shared.db.lock().expect("database mutex poisoned");
-        TableProvider::scan_table(&mut *db, name, asof, keep)
+        TableProvider::open_scan(&mut *db, req)
+    }
+
+    fn next_row(&mut self, cur: &mut ObjectCursor) -> aim2_exec::Result<Option<Tuple>> {
+        // Each pull re-takes the S lock (reentrant within the txn) and
+        // the db mutex — rows stream without holding the mutex across
+        // the evaluator's per-row work.
+        let id = self.ensure_txn();
+        self.shared
+            .locks
+            .acquire(id, &LockKey::table(&cur.table), LockMode::Shared)
+            .map_err(exec_err)?;
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        TableProvider::next_row(&mut *db, cur)
+    }
+
+    fn close_scan(&mut self, cur: ObjectCursor) {
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        TableProvider::close_scan(&mut *db, cur)
     }
 }
 
