@@ -49,6 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     object_move()?;
     durability()?;
     integrity()?;
+    observability()?;
     println!("\nAll reproduction checks passed.");
     Ok(())
 }
@@ -961,6 +962,100 @@ fn integrity() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(s.objects_quarantined(), 1);
     assert_eq!(s.salvaged_objects() as usize, carried);
     println!("checksums catch the rot, quarantine contains it, salvage recovers the rest: OK");
+
+    let _ = std::fs::remove_dir_all(&base);
+    Ok(())
+}
+
+fn observability() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Observability — EXPLAIN ANALYZE, metric sites, latency histograms");
+    let mut db = paper_database()?;
+    db.stats().reset();
+
+    // EXPLAIN ANALYZE of Example 5: the §4 access-count argument,
+    // redistributed over the operator tree (timing-free rendering is
+    // deterministic; wall times live in the interactive shell).
+    let (_, v, ap) = db.analyze(
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+         WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+    )?;
+    println!("EXPLAIN ANALYZE of Example 5 ({} row(s)):", v.len());
+    print!("{}", ap.render(false));
+    let delta = db.stats().snapshot();
+    let sums_match = ap.total_objects_decoded() == delta.objects_decoded
+        && ap.total_atoms_decoded() == delta.atoms_decoded;
+    assert!(sums_match);
+    println!("operator decode deltas sum to the query's Stats delta: {sums_match}");
+
+    // Buffer hit rate over a deterministic repeated-scan workload.
+    db.stats().reset();
+    for _ in 0..5 {
+        db.query("SELECT * FROM DEPARTMENTS")?;
+    }
+    let s = db.stats().snapshot();
+    let rate = s.buf_hits as f64 / (s.buf_hits + s.buf_misses) as f64;
+    println!(
+        "buffer traffic over 5 repeated full scans: hits={} misses={} (hit rate {:.1}%)",
+        s.buf_hits,
+        s.buf_misses,
+        rate * 100.0
+    );
+    assert!(rate > 0.5, "repeated scans must mostly hit the pool");
+
+    // WAL latency histograms on a file-backed commit path. Wall-clock
+    // values vary run to run, so the golden pins only their shape.
+    let base = std::env::temp_dir().join(format!("aim2_repro_obs_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let mut fdb = Database::with_config(DbConfig {
+        page_size: 1024,
+        buffer_frames: 2, // tiny pool: evictions exercise the write path
+        data_dir: Some(base.clone()),
+        ..DbConfig::default()
+    });
+    fdb.execute(DUR_DDL)?;
+    for t in fixtures::departments_value().tuples {
+        fdb.insert_tuple("DEPARTMENTS", t)?;
+    }
+    fdb.checkpoint()?;
+    // A post-checkpoint epoch: these mutations dirty committed pages, so
+    // evictions and the second checkpoint append before-images and fsync.
+    fdb.execute("UPDATE x IN DEPARTMENTS SET x.BUDGET = 1 WHERE x.DNO = 218")?;
+    fdb.execute("DELETE x FROM x IN DEPARTMENTS WHERE x.DNO = 314")?;
+    fdb.checkpoint()?;
+    for (name, hist) in [
+        (
+            "storage.page_write",
+            fdb.stats().histogram("storage.page_write"),
+        ),
+        ("wal.append", fdb.stats().histogram("wal.append")),
+        ("wal.fsync", fdb.stats().histogram("wal.fsync")),
+    ] {
+        println!(
+            "{name}: samples recorded: {}, p99 > 0: {}, p50 <= p99: {}",
+            hist.count > 0,
+            hist.p99() > 0,
+            hist.p50() <= hist.p99()
+        );
+        assert!(hist.count > 0, "{name} must see the durable workload");
+    }
+    let prom = fdb.metrics().to_prometheus();
+    println!(
+        "metrics exposition covers counters, gauges, and summaries: {}",
+        prom.contains("# TYPE aim2_buffer_hits counter")
+            && prom.contains("# TYPE aim2_buffer_hit_rate gauge")
+            && prom.contains("# TYPE aim2_wal_fsync_ns summary")
+    );
+
+    // The slow-query log with a zero threshold records everything.
+    db.set_slow_query_threshold(Some(std::time::Duration::ZERO));
+    db.query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET >= 300000")?;
+    let rec = db.slow_log().records().next_back().expect("recorded");
+    println!(
+        "slow-query log captured statement, plan, and span tree: {}",
+        rec.statement.contains("x.BUDGET >= 300000")
+            && rec.plan.contains("Scan DEPARTMENTS as x")
+            && rec.spans.iter().any(|sp| sp.name == "db.query")
+    );
 
     let _ = std::fs::remove_dir_all(&base);
     Ok(())

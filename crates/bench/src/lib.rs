@@ -266,14 +266,29 @@ impl aim2_exec::TableProvider for StoreProvider {
         // Same rule as the engine: a cursor abandoned after at least one
         // pull but before exhaustion is an early exit (EXISTS found its
         // witness, FORALL its counterexample).
-        if cur.pulled() > 0 && !cur.exhausted() {
-            if let Ok((_, _, backing)) = self.entry(&cur.table) {
-                match backing {
-                    StoreBacking::Nf2(os) => os.stats().inc_cursor_early_exit(),
-                    StoreBacking::Flat(fs) => fs.segment_mut().stats().inc_cursor_early_exit(),
-                }
+        if let Ok((_, _, backing)) = self.entry(&cur.table) {
+            let stats = match backing {
+                StoreBacking::Nf2(os) => os.stats(),
+                StoreBacking::Flat(fs) => fs.segment_mut().stats().clone(),
+            };
+            if cur.pulled() > 0 && !cur.exhausted() {
+                stats.inc_cursor_early_exit();
             }
+            stats.record_cursor_lifetime(cur.age_ns());
         }
+    }
+
+    fn decode_counters(&mut self) -> (u64, u64) {
+        let (mut objects, mut atoms) = (0, 0);
+        for (_, _, backing) in &mut self.tables {
+            let stats = match backing {
+                StoreBacking::Nf2(os) => os.stats(),
+                StoreBacking::Flat(fs) => fs.segment_mut().stats().clone(),
+            };
+            objects += stats.objects_decoded();
+            atoms += stats.atoms_decoded();
+        }
+        (objects, atoms)
     }
 }
 

@@ -8,8 +8,10 @@
 //! ```
 //!
 //! Statements end with `;`. Dot-commands:
-//! `.help`, `.tables`, `.schema NAME`, `.stats`, `.explain QUERY`,
-//! `.today YYYY-MM-DD`, `.checkpoint`, `.load demo`, `.quit`.
+//! `.help`, `.tables`, `.schema NAME`, `.stats [reset|verbose]`,
+//! `.explain QUERY`, `.analyze QUERY`, `.metrics [json|prom]`,
+//! `.slow [MILLIS|off]`, `.today YYYY-MM-DD`, `.checkpoint`,
+//! `.load demo`, `.quit`.
 
 use aim2::{Database, DbConfig};
 use aim2_model::{fixtures, render, Date};
@@ -164,8 +166,15 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
             println!(
                 ".tables              list tables\n\
                  .schema NAME         show a table's structure\n\
-                 .stats               access counters (buffer, subtuples, cursors)\n\
+                 .stats [reset|verbose]  access counters; `reset` zeroes them,\n\
+                                      `verbose` shows zero-valued groups too\n\
                  .explain QUERY       show the physical plan without running it\n\
+                 .analyze QUERY       run the query, show the plan annotated with\n\
+                                      per-operator rows, decode deltas, and times\n\
+                 .metrics [json|prom] engine metrics (counters, gauges, latency\n\
+                                      histograms); JSON or Prometheus text\n\
+                 .slow [MILLIS|off]   show the slow-query log; MILLIS sets the\n\
+                                      threshold, `off` disables and clears it\n\
                  .today [YYYY-MM-DD]  show/set the logical date (versions)\n\
                  .checkpoint          flush + write the catalog (file-backed)\n\
                  .integrity           walk the database, quarantine corrupt objects\n\
@@ -188,7 +197,17 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
             },
             None => eprintln!("usage: .schema NAME"),
         },
-        ".stats" => println!("{}", db.stats().snapshot()),
+        ".stats" => match parts.next().map(str::trim) {
+            Some("reset") => {
+                db.stats().reset();
+                println!("stats reset");
+            }
+            Some("verbose") => print!("{}", db.stats().snapshot().verbose()),
+            Some(other) if !other.is_empty() => {
+                eprintln!("usage: .stats [reset|verbose]");
+            }
+            _ => println!("{}", db.stats().snapshot()),
+        },
         ".explain" => match parts.next().map(str::trim).filter(|q| !q.is_empty()) {
             Some(query) => {
                 let query = query.trim_end_matches(';');
@@ -200,6 +219,47 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
                 }
             }
             None => eprintln!("usage: .explain SELECT ..."),
+        },
+        ".analyze" => match parts.next().map(str::trim).filter(|q| !q.is_empty()) {
+            Some(query) => match db.analyze(query.trim_end_matches(';')) {
+                Ok((schema, value, analyzed)) => {
+                    print!("{}", render::render_table(&schema, &value));
+                    println!("({} row(s))", value.len());
+                    print!("{analyzed}");
+                }
+                Err(aim2::DbError::Parse(e)) => eprintln!("{}", e.render(query)),
+                Err(e) => eprintln!("{e}"),
+            },
+            None => eprintln!("usage: .analyze SELECT ..."),
+        },
+        ".metrics" => match parts.next().map(str::trim) {
+            Some("json") => println!("{}", db.metrics().to_json()),
+            Some("prom") => print!("{}", db.metrics().to_prometheus()),
+            Some(other) if !other.is_empty() => eprintln!("usage: .metrics [json|prom]"),
+            _ => print!("{}", db.metrics()),
+        },
+        ".slow" => match parts.next().map(str::trim) {
+            Some("off") => {
+                db.set_slow_query_threshold(None);
+                db.slow_log_mut().clear();
+                println!("slow-query log disabled and cleared");
+            }
+            Some(ms) if !ms.is_empty() => match ms.parse::<u64>() {
+                Ok(ms) => {
+                    db.set_slow_query_threshold(Some(std::time::Duration::from_millis(ms)));
+                    println!("slow-query threshold = {ms}ms");
+                }
+                Err(_) => eprintln!("usage: .slow [MILLIS|off]"),
+            },
+            _ => {
+                if db.slow_log().is_empty() {
+                    println!("(slow-query log empty)");
+                } else {
+                    for rec in db.slow_log().records() {
+                        print!("{rec}");
+                    }
+                }
+            }
         },
         ".today" => match parts.next() {
             Some(d) => match Date::parse_iso(d.trim()) {

@@ -2,9 +2,10 @@
 
 use crate::catalog::{Catalog, IndexEntry, TableEntry, TableStorage, TextIndexEntry};
 use crate::error::DbError;
+use crate::slowlog::{SlowLog, SlowQueryRecord};
 use crate::Result;
 use aim2_exec::provider::{ObjectCursor, ScanRequest, TableProvider};
-use aim2_exec::Evaluator;
+use aim2_exec::{AnalyzedPlan, Evaluator};
 use aim2_index::address::Scheme;
 use aim2_index::NfIndex;
 use aim2_lang::ast::{self, AttrDecl, Binding, Source, Stmt};
@@ -12,6 +13,7 @@ use aim2_lang::parser::parse_stmt;
 use aim2_model::{
     Atom, AtomType, AttrKind, Date, Path, TableKind, TableSchema, TableValue, Tuple, Value,
 };
+use aim2_obs::MetricsSnapshot;
 use aim2_storage::buffer::BufferPool;
 use aim2_storage::disk::{Disk, FileDisk, MemDisk};
 use aim2_storage::faultdisk::{FaultDisk, FaultInjector};
@@ -27,6 +29,7 @@ use aim2_time::VersionedTable;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Database configuration.
 #[derive(Debug, Clone)]
@@ -44,6 +47,10 @@ pub struct DbConfig {
     /// file) is routed through this deterministic fault injector — the
     /// crash-consistency harness's handle on the database.
     pub fault: Option<FaultInjector>,
+    /// When set, queries running at least this long are recorded in the
+    /// slow-query log ([`Database::slow_log`]) with their plan, stats
+    /// delta, and span tree.
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for DbConfig {
@@ -54,6 +61,7 @@ impl Default for DbConfig {
             default_layout: LayoutKind::Ss3,
             data_dir: None,
             fault: None,
+            slow_query_threshold: None,
         }
     }
 }
@@ -108,6 +116,10 @@ pub struct Database {
     /// [`DbError::ObjectQuarantined`]; scans skip it; everything else
     /// keeps serving. In-memory state — rebuilt by re-running the check.
     quarantine: BTreeSet<(String, Tid)>,
+    /// Ring of queries that exceeded `slow_query_threshold`.
+    slow_log: SlowLog,
+    /// Statement text currently executing (slow-log attribution).
+    current_sql: String,
 }
 
 /// One qualified DML target combination.
@@ -136,6 +148,8 @@ impl Database {
             wal: None,
             epoch: 1,
             quarantine: BTreeSet::new(),
+            slow_log: SlowLog::default(),
+            current_sql: String::new(),
         }
     }
 
@@ -240,7 +254,10 @@ impl Database {
     /// Parse and execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<ExecResult> {
         let stmt = parse_stmt(sql)?;
-        self.execute_stmt(&stmt)
+        self.current_sql = sql.trim().to_string();
+        let out = self.execute_stmt(&stmt);
+        self.current_sql.clear();
+        out
     }
 
     /// Execute a pre-parsed statement.
@@ -1085,15 +1102,97 @@ impl Database {
     /// superset).
     fn run_query(&mut self, q: &ast::Query) -> Result<(TableSchema, TableValue)> {
         self.last_plan = "full scan".to_string();
-        let (out, plan) = {
-            let mut ev = Evaluator::new(self);
-            let out = ev.eval_query(q);
-            (out, ev.take_plan())
+        let threshold = self.config.slow_query_threshold;
+        let before = threshold.map(|_| self.stats.snapshot());
+        if threshold.is_some() {
+            aim2_obs::begin_capture();
+        }
+        let started = Instant::now();
+        let out = {
+            let _t = self.stats.time_query();
+            let (out, plan) = {
+                let mut ev = Evaluator::new(self);
+                let out = ev.eval_query(q);
+                (out, ev.take_plan())
+            };
+            if let Some(p) = plan {
+                self.last_plan = p.to_string().trim_end().to_string();
+            }
+            out
         };
-        if let Some(p) = plan {
-            self.last_plan = p.to_string().trim_end().to_string();
+        if let Some(threshold) = threshold {
+            let elapsed = started.elapsed();
+            let spans = aim2_obs::end_capture();
+            if elapsed >= threshold {
+                let delta = before
+                    .expect("snapshot taken with threshold")
+                    .delta(&self.stats.snapshot());
+                self.slow_log.push(SlowQueryRecord {
+                    statement: self.current_sql.clone(),
+                    plan: self.last_plan.clone(),
+                    elapsed,
+                    delta,
+                    spans,
+                });
+            }
         }
         Ok(out?)
+    }
+
+    /// Run a query with EXPLAIN ANALYZE instrumentation: the result
+    /// table plus the physical plan annotated with per-operator row
+    /// counts, decode deltas, and wall times. The timing-free rendering
+    /// also becomes [`Database::last_plan`].
+    pub fn analyze(&mut self, sql: &str) -> Result<(TableSchema, TableValue, AnalyzedPlan)> {
+        let stmt = parse_stmt(sql)?;
+        match &stmt {
+            Stmt::Query(q) | Stmt::Explain(q) => self.analyze_query(q),
+            _ => Err(DbError::Catalog("ANALYZE takes a query".into())),
+        }
+    }
+
+    /// [`Database::analyze`] for a pre-parsed query.
+    pub fn analyze_query(
+        &mut self,
+        q: &ast::Query,
+    ) -> Result<(TableSchema, TableValue, AnalyzedPlan)> {
+        let started = Instant::now();
+        let (out, analysis) = {
+            let _t = self.stats.time_query();
+            let mut ev = Evaluator::new(self);
+            ev.enable_analyze();
+            let out = ev.eval_query(q);
+            (out, ev.take_analysis())
+        };
+        let (schema, value) = out?;
+        let mut ap = analysis.unwrap_or_default();
+        ap.total_wall_ns = started.elapsed().as_nanos() as u64;
+        self.last_plan = ap.render(false).trim_end().to_string();
+        Ok((schema, value, ap))
+    }
+
+    /// Point-in-time engine metrics: every Stats counter, the derived
+    /// gauges, and the latency histograms — serializable to JSON and
+    /// Prometheus text (the shell's `.metrics`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.stats.metrics_snapshot()
+    }
+
+    /// The slow-query log (populated when
+    /// [`DbConfig::slow_query_threshold`] is set).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow_log
+    }
+
+    /// Mutable slow-query log (the shell's `.slow off` clears it).
+    pub fn slow_log_mut(&mut self) -> &mut SlowLog {
+        &mut self.slow_log
+    }
+
+    /// Change the slow-query threshold at run time (`None` disables
+    /// recording; existing records are kept).
+    pub fn set_slow_query_threshold(&mut self, t: Option<Duration>) {
+        self.config.slow_query_threshold = t;
     }
 
     /// If a scan request carries conjuncts an index on its table can
@@ -1278,6 +1377,11 @@ impl TableProvider for Database {
         if cur.pulled() > 0 && !cur.exhausted() {
             self.stats.inc_cursor_early_exit();
         }
+        self.stats.record_cursor_lifetime(cur.age_ns());
+    }
+
+    fn decode_counters(&mut self) -> (u64, u64) {
+        (self.stats.objects_decoded(), self.stats.atoms_decoded())
     }
 }
 

@@ -25,10 +25,14 @@ pub mod database;
 pub mod error;
 pub mod integrity;
 pub mod persist;
+pub mod slowlog;
 
+pub use aim2_exec::{AnalyzedPlan, OpMetrics};
+pub use aim2_obs::MetricsSnapshot;
 pub use aim2_storage::check::{CheckKind, Finding, IntegrityReport};
 pub use database::{Database, DbConfig, ExecResult};
 pub use error::DbError;
+pub use slowlog::{SlowLog, SlowQueryRecord, SLOW_LOG_CAPACITY};
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, DbError>;

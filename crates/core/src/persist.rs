@@ -197,6 +197,7 @@ impl Database {
     /// committing the current epoch. Requires a file-backed database
     /// (a `data_dir`).
     pub fn checkpoint(&mut self) -> Result<()> {
+        let _t = self.stats().time_checkpoint();
         let dir = self
             .config()
             .data_dir
@@ -367,6 +368,7 @@ impl Database {
         let cat_epoch = r.u32()?;
         // Recovery happens on the raw segment files, before any of them
         // is opened through a buffer pool.
+        let _recovery_timer = db.stats().time_recovery();
         match read_wal(dir.join(WAL_FILE), db.stats()).map_err(DbError::Storage)? {
             Some(c) if c.epoch == cat_epoch + 1 => {
                 // The crash hit mid-epoch: the catalog's epoch committed

@@ -1,0 +1,153 @@
+//! The slow-query log: a bounded ring of queries that ran over the
+//! configured threshold.
+//!
+//! When [`crate::DbConfig::slow_query_threshold`] is set, every query
+//! the facade runs is timed end-to-end; one that exceeds the threshold
+//! is recorded with its statement text, its rendered physical plan, the
+//! Stats counter deltas it caused, and the span tree captured while it
+//! ran. The log is a fixed-capacity ring ([`SLOW_LOG_CAPACITY`] by
+//! default): the newest record evicts the oldest, so a long session
+//! cannot grow it without bound. The shell's `.slow` renders it.
+
+use aim2_obs::{render_spans, SpanEvent};
+use aim2_storage::stats::StatsSnapshot;
+use std::collections::VecDeque;
+use std::fmt;
+use std::time::Duration;
+
+/// Default ring capacity of a [`SlowLog`].
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// One query that ran over the slow-query threshold.
+#[derive(Debug, Clone)]
+pub struct SlowQueryRecord {
+    /// The statement text as submitted (empty for pre-parsed queries).
+    pub statement: String,
+    /// The rendered physical plan (timing-free ANALYZE form when
+    /// analysis ran, the plain plan otherwise).
+    pub plan: String,
+    /// End-to-end execution time.
+    pub elapsed: Duration,
+    /// Stats counter deltas caused by this query.
+    pub delta: StatsSnapshot,
+    /// Span tree captured while the query ran.
+    pub spans: Vec<SpanEvent>,
+}
+
+impl fmt::Display for SlowQueryRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "[{:.1}ms] {}",
+            self.elapsed.as_secs_f64() * 1e3,
+            if self.statement.is_empty() {
+                "(pre-parsed query)"
+            } else {
+                &self.statement
+            }
+        )?;
+        for line in self.plan.lines() {
+            writeln!(f, "  {line}")?;
+        }
+        writeln!(f, "  stats delta: {}", self.delta)?;
+        if !self.spans.is_empty() {
+            for line in render_spans(&self.spans).lines() {
+                writeln!(f, "  | {line}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Bounded ring of [`SlowQueryRecord`]s.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    records: VecDeque<SlowQueryRecord>,
+}
+
+impl Default for SlowLog {
+    fn default() -> SlowLog {
+        SlowLog::with_capacity(SLOW_LOG_CAPACITY)
+    }
+}
+
+impl SlowLog {
+    /// An empty log holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity: capacity.max(1),
+            records: VecDeque::new(),
+        }
+    }
+
+    /// Append a record, evicting the oldest when full.
+    pub fn push(&mut self, rec: SlowQueryRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(rec);
+    }
+
+    /// Records, oldest first.
+    pub fn records(&self) -> impl DoubleEndedIterator<Item = &SlowQueryRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Maximum number of records the ring holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drop all records.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(n: usize) -> SlowQueryRecord {
+        SlowQueryRecord {
+            statement: format!("SELECT {n}"),
+            plan: "Project [x]".into(),
+            elapsed: Duration::from_millis(n as u64),
+            delta: StatsSnapshot::default(),
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut log = SlowLog::with_capacity(3);
+        for n in 0..5 {
+            log.push(rec(n));
+        }
+        assert_eq!(log.len(), 3);
+        let stmts: Vec<&str> = log.records().map(|r| r.statement.as_str()).collect();
+        assert_eq!(stmts, ["SELECT 2", "SELECT 3", "SELECT 4"]);
+    }
+
+    #[test]
+    fn display_includes_plan_and_delta() {
+        let mut log = SlowLog::default();
+        assert_eq!(log.capacity(), SLOW_LOG_CAPACITY);
+        log.push(rec(7));
+        let shown = log.records().next().unwrap().to_string();
+        assert!(shown.starts_with("[7.0ms] SELECT 7"));
+        assert!(shown.contains("  Project [x]"));
+        assert!(shown.contains("stats delta:"));
+    }
+}

@@ -1,0 +1,216 @@
+//! EXPLAIN ANALYZE: runtime metrics attributed to plan operators.
+//!
+//! The paper's §4 evaluation counts accesses per operation; an analyzed
+//! plan carries that argument per *operator*. While executing with
+//! analysis enabled, the evaluator attributes to each [`PhysicalPlan`]
+//! node the rows it produced, the `objects_decoded`/`atoms_decoded`
+//! deltas its storage pulls caused, and the wall time those pulls (or
+//! predicate/projection evaluations) took. The annotated tree renders
+//! next to the plain plan text, one bracketed metrics suffix per node.
+//!
+//! Column semantics:
+//!
+//! * `loops` — times the operator was (re)started: cursor opens for
+//!   scans, outer-row iterations for NestEval. Omitted when 1.
+//! * `in` / `out` — rows entering / surviving the operator. For scans,
+//!   `in` is the candidate count the cursor was opened over and `out`
+//!   the rows actually pulled (early exits leave `out < in`); for
+//!   Filter, combinations checked / passed; for Project, result tuples.
+//! * `objects` / `atoms` — decode-counter deltas attributed to the
+//!   operator's pulls. Summing `objects` over all operators equals the
+//!   query's total `objects_decoded` Stats delta (the acceptance
+//!   invariant `tests/observability.rs` pins).
+//! * `time` — wall clock attributed to the operator, shown only when
+//!   the renderer is asked for timing (goldens pin the timing-free
+//!   form).
+
+use crate::plan::PhysicalPlan;
+use std::fmt;
+
+/// Per-operator runtime metrics, indexed parallel to
+/// [`PhysicalPlan::nodes`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpMetrics {
+    /// Times the operator was started (cursor opens / re-iterations).
+    pub loops: u64,
+    /// Rows entering the operator.
+    pub rows_in: u64,
+    /// Rows leaving the operator.
+    pub rows_out: u64,
+    /// `objects_decoded` delta attributed to this operator.
+    pub objects_decoded: u64,
+    /// `atoms_decoded` delta attributed to this operator.
+    pub atoms_decoded: u64,
+    /// Wall time attributed to this operator, nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// A physical plan annotated with per-operator runtime metrics.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzedPlan {
+    pub plan: PhysicalPlan,
+    /// `ops[i]` belongs to `plan.nodes[i]`.
+    pub ops: Vec<OpMetrics>,
+    /// End-to-end wall time of the analyzed execution, nanoseconds.
+    pub total_wall_ns: u64,
+}
+
+impl AnalyzedPlan {
+    /// Sum of per-operator `objects_decoded` deltas.
+    pub fn total_objects_decoded(&self) -> u64 {
+        self.ops.iter().map(|m| m.objects_decoded).sum()
+    }
+
+    /// Sum of per-operator `atoms_decoded` deltas.
+    pub fn total_atoms_decoded(&self) -> u64 {
+        self.ops.iter().map(|m| m.atoms_decoded).sum()
+    }
+
+    /// Metrics of the node `var`'s scan feeds, if any (test helper).
+    pub fn scan_metrics(&self, var: &str) -> Option<&OpMetrics> {
+        use crate::plan::PhysOp;
+        self.plan
+            .nodes
+            .iter()
+            .enumerate()
+            .find_map(|(i, n)| match &n.op {
+                PhysOp::Scan { var: v, .. } | PhysOp::IndexScan { var: v, .. } if v == var => {
+                    self.ops.get(i)
+                }
+                _ => None,
+            })
+    }
+
+    /// The annotated plan tree. With `timing` false the output is fully
+    /// deterministic (rows and decode deltas only) — what golden files
+    /// pin; with `timing` true each line gains `time=` and the header
+    /// reports the total wall clock.
+    pub fn render(&self, timing: bool) -> String {
+        if self.plan.nodes.is_empty() {
+            return "(empty plan)\n".to_string();
+        }
+        let mut out = String::new();
+        if timing {
+            out.push_str(&format!(
+                "Analyzed plan (total time={:.1}µs, objects={}, atoms={}):\n",
+                self.total_wall_ns as f64 / 1e3,
+                self.total_objects_decoded(),
+                self.total_atoms_decoded()
+            ));
+        }
+        self.render_node(self.plan.root, 0, timing, &mut out);
+        out
+    }
+
+    fn render_node(&self, idx: usize, depth: usize, timing: bool, out: &mut String) {
+        let m = self.ops.get(idx).copied().unwrap_or_default();
+        let mut ann = String::new();
+        if m.loops > 1 {
+            ann.push_str(&format!("loops={} ", m.loops));
+        }
+        ann.push_str(&format!(
+            "in={} out={} objects={} atoms={}",
+            m.rows_in, m.rows_out, m.objects_decoded, m.atoms_decoded
+        ));
+        if timing {
+            ann.push_str(&format!(" time={:.1}µs", m.wall_ns as f64 / 1e3));
+        }
+        out.push_str(&format!(
+            "{}{} [{}]\n",
+            "  ".repeat(depth),
+            self.plan.node_label(idx),
+            ann
+        ));
+        for &c in &self.plan.nodes[idx].children {
+            self.render_node(c, depth + 1, timing, out);
+        }
+    }
+}
+
+impl fmt::Display for AnalyzedPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(true))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PhysOp;
+
+    fn sample() -> AnalyzedPlan {
+        let mut plan = PhysicalPlan::default();
+        let scan = plan.push(
+            PhysOp::Scan {
+                var: "x".into(),
+                table: "T".into(),
+                asof: None,
+                access_path: "full scan".into(),
+                pushed: vec![],
+                kept: vec![],
+                pruned: vec![],
+            },
+            vec![],
+        );
+        plan.root = plan.push(
+            PhysOp::Project {
+                items: vec!["x.A".into()],
+            },
+            vec![scan],
+        );
+        let mut ops = vec![OpMetrics::default(); plan.nodes.len()];
+        ops[scan] = OpMetrics {
+            loops: 1,
+            rows_in: 3,
+            rows_out: 3,
+            objects_decoded: 3,
+            atoms_decoded: 12,
+            wall_ns: 4200,
+        };
+        ops[plan.root] = OpMetrics {
+            loops: 1,
+            rows_in: 3,
+            rows_out: 3,
+            objects_decoded: 0,
+            atoms_decoded: 0,
+            wall_ns: 900,
+        };
+        AnalyzedPlan {
+            plan,
+            ops,
+            total_wall_ns: 6000,
+        }
+    }
+
+    #[test]
+    fn deterministic_render_has_no_timing() {
+        let a = sample();
+        let s = a.render(false);
+        assert_eq!(
+            s,
+            concat!(
+                "Project [x.A] [in=3 out=3 objects=0 atoms=0]\n",
+                "  Scan T as x — access path: full scan [in=3 out=3 objects=3 atoms=12]\n",
+            )
+        );
+        assert!(!s.contains("time="));
+    }
+
+    #[test]
+    fn timed_render_has_header_and_times() {
+        let a = sample();
+        let s = a.render(true);
+        assert!(s.starts_with("Analyzed plan (total time=6.0µs, objects=3, atoms=12):"));
+        assert!(s.contains("time=4.2µs"));
+        assert_eq!(s, a.to_string());
+    }
+
+    #[test]
+    fn totals_sum_over_operators() {
+        let a = sample();
+        assert_eq!(a.total_objects_decoded(), 3);
+        assert_eq!(a.total_atoms_decoded(), 12);
+        assert_eq!(a.scan_metrics("x").unwrap().rows_out, 3);
+        assert!(a.scan_metrics("nope").is_none());
+    }
+}

@@ -20,6 +20,7 @@
 //! oracle the equivalence suite compares against.
 
 use crate::analysis::{referenced_paths, Referenced};
+use crate::analyze::{AnalyzedPlan, OpMetrics};
 use crate::error::ExecError;
 use crate::infer::{infer_query_schema, SchemaEnv};
 use crate::plan::{collect_subscripts, render_expr, PhysOp, PhysicalPlan};
@@ -30,6 +31,7 @@ use aim2_lang::ast::{Binding, Expr, NamedValue, Query, SelectItem, Source};
 use aim2_model::{Atom, AttrKind, Date, Path, TableKind, TableSchema, TableValue, Tuple, Value};
 use aim2_text::Pattern;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// One bound tuple variable.
 #[derive(Debug, Clone)]
@@ -84,6 +86,19 @@ pub struct Evaluator<'p, P: TableProvider> {
     /// The operator tree of the current query; scans record their
     /// provider-chosen access path as their cursors open.
     plan: Option<PhysicalPlan>,
+    /// EXPLAIN ANALYZE mode: attribute rows, decode-counter deltas and
+    /// wall time to plan operators while executing.
+    analyze: bool,
+    /// Per-operator metrics, parallel to `plan.nodes` (empty when not
+    /// analyzing).
+    ops: Vec<OpMetrics>,
+    /// AST binding address → plan node, recorded during lowering. The
+    /// query is borrowed unmoved for the whole evaluation, so node
+    /// addresses are stable keys — and unlike variable names they stay
+    /// unambiguous when subqueries reuse a variable.
+    binding_nodes: HashMap<usize, usize>,
+    /// AST query address → (Filter node, Project node).
+    query_nodes: HashMap<usize, (Option<usize>, usize)>,
 }
 
 impl<'p, P: TableProvider> Evaluator<'p, P> {
@@ -98,7 +113,47 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             pushed_conjuncts: Vec::new(),
             pushed_contains: Vec::new(),
             plan: None,
+            analyze: false,
+            ops: Vec::new(),
+            binding_nodes: HashMap::new(),
+            query_nodes: HashMap::new(),
         }
+    }
+
+    /// Attribute runtime metrics (rows, decode deltas, wall time) to
+    /// plan operators while executing — EXPLAIN ANALYZE. Collect the
+    /// result with [`Evaluator::take_analysis`] after `eval_query`.
+    pub fn enable_analyze(&mut self) {
+        self.analyze = true;
+    }
+
+    /// The annotated plan of the last query evaluated with analysis
+    /// enabled (`total_wall_ns` is left for the caller, which owns the
+    /// end-to-end clock).
+    pub fn take_analysis(&mut self) -> Option<AnalyzedPlan> {
+        if !self.analyze {
+            return None;
+        }
+        let plan = self.plan.take()?;
+        let mut ops = std::mem::take(&mut self.ops);
+        ops.resize(plan.nodes.len(), OpMetrics::default());
+        Some(AnalyzedPlan {
+            plan,
+            ops,
+            total_wall_ns: 0,
+        })
+    }
+
+    /// Stable attribution key for a FROM/quantifier binding (the
+    /// monomorphic parameter forces `&Box<Binding>` callers through
+    /// deref coercion, so every site keys the same heap address).
+    fn baddr(b: &Binding) -> usize {
+        b as *const Binding as usize
+    }
+
+    /// Stable attribution key for a (sub)query.
+    fn qaddr(q: &Query) -> usize {
+        q as *const Query as usize
     }
 
     /// Evaluate a predicate against explicit variable bindings — the
@@ -155,8 +210,81 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 self.pushed_contains = cont;
             }
         }
+        self.binding_nodes.clear();
+        self.query_nodes.clear();
         let plan = self.lower_plan(q);
+        self.ops.clear();
+        if self.analyze {
+            self.ops = vec![OpMetrics::default(); plan.nodes.len()];
+        }
         self.plan = Some(plan);
+    }
+
+    /// Pull one row, attributing the pull's decode-counter deltas and
+    /// wall time to the cursor's plan node when analyzing. Every
+    /// evaluator pull goes through here, so summing the per-operator
+    /// `objects` deltas always reproduces the query's total Stats
+    /// delta. (Deltas use saturating subtraction: the counters are
+    /// process-shared, so a concurrent session can only over-attribute,
+    /// never underflow.)
+    fn pull_row(&mut self, cur: &mut ObjectCursor) -> Result<Option<Tuple>> {
+        if !self.analyze {
+            return self.provider.next_row(cur);
+        }
+        let t0 = Instant::now();
+        let (obj0, atom0) = self.provider.decode_counters();
+        let row = self.provider.next_row(cur);
+        let (obj1, atom1) = self.provider.decode_counters();
+        let node = cur
+            .plan_node
+            .unwrap_or_else(|| self.plan.as_ref().map_or(0, |p| p.root));
+        if let Some(m) = self.ops.get_mut(node) {
+            m.objects_decoded += obj1.saturating_sub(obj0);
+            m.atoms_decoded += atom1.saturating_sub(atom0);
+            m.wall_ns += t0.elapsed().as_nanos() as u64;
+            if matches!(row, Ok(Some(_))) {
+                m.rows_out += 1;
+            }
+        }
+        row
+    }
+
+    /// Note a cursor open against its plan node: one more loop, and the
+    /// candidate set it was opened over flows in.
+    fn note_open(&mut self, node: Option<usize>, candidates: usize) {
+        if !self.analyze {
+            return;
+        }
+        if let Some(m) = node.and_then(|i| self.ops.get_mut(i)) {
+            m.loops += 1;
+            m.rows_in += candidates as u64;
+        }
+    }
+
+    /// Note one result tuple flowing through a Project node.
+    fn note_project(&mut self, node: Option<usize>, t0: Option<Instant>) {
+        if let Some(m) = node.and_then(|i| self.ops.get_mut(i)) {
+            m.rows_in += 1;
+            m.rows_out += 1;
+            if let Some(t0) = t0 {
+                m.wall_ns += t0.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    /// Note an ordered-list subscript evaluation against its
+    /// OrderedSubscript plan node (matched by rendered expression).
+    fn note_subscript(&mut self, e: &Expr) {
+        let rendered = render_expr(e);
+        let idx = self.plan.as_ref().and_then(|p| {
+            p.nodes.iter().position(
+                |n| matches!(&n.op, PhysOp::OrderedSubscript { expr } if *expr == rendered),
+            )
+        });
+        if let Some(m) = idx.and_then(|i| self.ops.get_mut(i)) {
+            m.rows_in += 1;
+            m.rows_out += 1;
+        }
     }
 
     /// Build the physical plan for `q`, opening (and immediately
@@ -198,6 +326,13 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 "`SELECT *` requires exactly one item and one binding".into(),
             ));
         }
+        // EXPLAIN ANALYZE attribution for this (sub)query's Filter and
+        // Project nodes. Wall times are inclusive: a Filter's clock
+        // covers the quantifier pulls its predicate triggers, which the
+        // child Scan nodes also account — standard ANALYZE semantics.
+        let qn = self.query_nodes.get(&Self::qaddr(q)).copied();
+        let filter_node = qn.and_then(|(f, _)| f);
+        let project_node = qn.map(|(_, p)| p);
         let mut tuples = Vec::new();
         self.for_each_combination(
             q.from.as_slice(),
@@ -206,16 +341,29 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             stream_head,
             &mut |me, env| {
                 if let Some(w) = &q.where_ {
-                    if !me.eval_pred(w, env)? {
+                    let t0 = me.analyze.then(Instant::now);
+                    let pass = me.eval_pred(w, env)?;
+                    if let Some(m) = filter_node.and_then(|i| me.ops.get_mut(i)) {
+                        m.rows_in += 1;
+                        if pass {
+                            m.rows_out += 1;
+                        }
+                        if let Some(t0) = t0 {
+                            m.wall_ns += t0.elapsed().as_nanos() as u64;
+                        }
+                    }
+                    if !pass {
                         return Ok(());
                     }
                 }
+                let t0 = me.analyze.then(Instant::now);
                 let mut fields = Vec::with_capacity(q.select.len());
                 for item in &q.select {
                     match item {
                         SelectItem::Star => {
                             let f = env.lookup(&q.from[0].var).expect("bound");
                             tuples.push(f.tuple.clone());
+                            me.note_project(project_node, t0);
                             return Ok(());
                         }
                         SelectItem::Expr(e) => {
@@ -233,6 +381,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                     }
                 }
                 tuples.push(Tuple::new(fields));
+                me.note_project(project_node, t0);
                 Ok(())
             },
         )?;
@@ -303,10 +452,12 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             conjuncts,
             contains,
         };
-        let cur = self.provider.open_scan(&req)?;
+        let mut cur = self.provider.open_scan(&req)?;
         if let Some(plan) = &mut self.plan {
             plan.set_access_path(&b.var, &cur.access_path);
         }
+        cur.plan_node = self.binding_nodes.get(&Self::baddr(b)).copied();
+        self.note_open(cur.plan_node, cur.len());
         Ok((schema, cur))
     }
 
@@ -342,8 +493,10 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 if let Some(plan) = &mut self.plan {
                     plan.set_access_path(&b.var, &cur.access_path);
                 }
+                cur.plan_node = self.binding_nodes.get(&Self::baddr(b)).copied();
+                self.note_open(cur.plan_node, cur.len());
                 let mut tuples = Vec::with_capacity(cur.len());
-                while let Some(t) = self.provider.next_row(&mut cur)? {
+                while let Some(t) = self.pull_row(&mut cur)? {
                     tuples.push(t);
                 }
                 self.provider.close_scan(cur);
@@ -393,7 +546,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                     let (schema, mut cur) = self.open_table_cursor(b, use_refs, true)?;
                     let mut res = Ok(());
                     loop {
-                        let t = match self.provider.next_row(&mut cur) {
+                        let t = match self.pull_row(&mut cur) {
                             Ok(Some(t)) => t,
                             Ok(None) => break,
                             Err(e) => {
@@ -417,6 +570,19 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                     return res;
                 }
                 let (schema, value) = self.binding_table(b, env, use_refs)?;
+                // A PathOf binding is a NestEval operator: it restarts
+                // per outer row, passing the inner table's rows through.
+                if self.analyze && matches!(b.source, Source::PathOf { .. }) {
+                    if let Some(m) = self
+                        .binding_nodes
+                        .get(&Self::baddr(b))
+                        .and_then(|&i| self.ops.get_mut(i))
+                    {
+                        m.loops += 1;
+                        m.rows_in += value.tuples.len() as u64;
+                        m.rows_out += value.tuples.len() as u64;
+                    }
+                }
                 for t in value.tuples {
                     env.frames.push(Frame {
                         var: b.var.clone(),
@@ -448,7 +614,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         // true and flips on a violation.
         let mut res = Ok(!exists);
         loop {
-            let t = match self.provider.next_row(&mut cur) {
+            let t = match self.pull_row(&mut cur) {
                 Ok(Some(t)) => t,
                 Ok(None) => break,
                 Err(e) => {
@@ -589,6 +755,9 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 index,
                 rest,
             } => {
+                if self.analyze {
+                    self.note_subscript(e);
+                }
                 let frame = env
                     .lookup(var)
                     .ok_or_else(|| ExecError::UnknownVar(var.clone()))?;
@@ -648,9 +817,12 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 },
             };
             let children: Vec<usize> = chain.take().into_iter().collect();
-            chain = Some(plan.push(op, children));
+            let idx = plan.push(op, children);
+            self.binding_nodes.insert(Self::baddr(b), idx);
+            chain = Some(idx);
         }
         let mut top = chain;
+        let mut filter_node = None;
         if let Some(w) = &q.where_ {
             let mut children: Vec<usize> = top.take().into_iter().collect();
             self.lower_quantifier_scans(plan, w, &mut children);
@@ -659,12 +831,14 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             for s in subs {
                 children.push(plan.push(PhysOp::OrderedSubscript { expr: s }, vec![]));
             }
-            top = Some(plan.push(
+            let idx = plan.push(
                 PhysOp::Filter {
                     pred: render_expr(w),
                 },
                 children,
-            ));
+            );
+            filter_node = Some(idx);
+            top = Some(idx);
         }
         let mut items = Vec::new();
         let mut children: Vec<usize> = top.take().into_iter().collect();
@@ -688,7 +862,10 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 },
             }
         }
-        plan.push(PhysOp::Project { items }, children)
+        let project = plan.push(PhysOp::Project { items }, children);
+        self.query_nodes
+            .insert(Self::qaddr(q), (filter_node, project));
+        project
     }
 
     /// A Scan operator with the pushdown contract it will be opened
@@ -738,7 +915,9 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             Expr::Exists { binding, pred } => {
                 if let Source::Table(name) = &binding.source {
                     let op = self.scan_op(binding, &name.clone());
-                    out.push(plan.push(op, vec![]));
+                    let idx = plan.push(op, vec![]);
+                    self.binding_nodes.insert(Self::baddr(binding), idx);
+                    out.push(idx);
                 }
                 if let Some(p) = pred {
                     self.lower_quantifier_scans(plan, p, out);
@@ -747,7 +926,9 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             Expr::Forall { binding, pred } => {
                 if let Source::Table(name) = &binding.source {
                     let op = self.scan_op(binding, &name.clone());
-                    out.push(plan.push(op, vec![]));
+                    let idx = plan.push(op, vec![]);
+                    self.binding_nodes.insert(Self::baddr(binding), idx);
+                    out.push(idx);
                 }
                 self.lower_quantifier_scans(plan, pred, out);
             }

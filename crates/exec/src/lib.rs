@@ -22,6 +22,7 @@
 
 pub mod algebra;
 pub mod analysis;
+pub mod analyze;
 pub mod error;
 pub mod eval;
 pub mod infer;
@@ -30,6 +31,7 @@ pub mod planner;
 pub mod provider;
 pub mod value;
 
+pub use analyze::{AnalyzedPlan, OpMetrics};
 pub use error::ExecError;
 pub use eval::Evaluator;
 pub use plan::{PhysOp, PhysicalPlan};

@@ -111,6 +111,66 @@ impl PhysicalPlan {
         }
     }
 
+    /// One node's display line, without indentation — shared by the
+    /// plain `Display` tree and the EXPLAIN ANALYZE annotated tree.
+    pub fn node_label(&self, idx: usize) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        fn scan_details(s: &mut String, pushed: &[String], kept: &[String], pruned: &[String]) {
+            if !pushed.is_empty() {
+                let _ = write!(s, "; pushed [{}]", pushed.join(", "));
+            }
+            if !kept.is_empty() {
+                let _ = write!(s, "; reads [{}]", kept.join(", "));
+            }
+            if !pruned.is_empty() {
+                let _ = write!(s, "; partial retrieval skips [{}]", pruned.join(", "));
+            }
+        }
+        match &self.nodes[idx].op {
+            PhysOp::Scan {
+                var,
+                table,
+                asof,
+                access_path,
+                pushed,
+                kept,
+                pruned,
+            } => {
+                let _ = write!(s, "Scan {table} as {var}");
+                if let Some(d) = asof {
+                    let _ = write!(s, " ASOF {d}");
+                }
+                let _ = write!(s, " — access path: {access_path}");
+                scan_details(&mut s, pushed, kept, pruned);
+            }
+            PhysOp::IndexScan {
+                var,
+                table,
+                access_path,
+                pushed,
+                kept,
+                pruned,
+            } => {
+                let _ = write!(s, "IndexScan {table} as {var} — {access_path}");
+                scan_details(&mut s, pushed, kept, pruned);
+            }
+            PhysOp::Filter { pred } => {
+                let _ = write!(s, "Filter [{pred}]");
+            }
+            PhysOp::Project { items } => {
+                let _ = write!(s, "Project [{}]", items.join(", "));
+            }
+            PhysOp::NestEval { var, source } => {
+                let _ = write!(s, "NestEval {var} IN {source}");
+            }
+            PhysOp::OrderedSubscript { expr } => {
+                let _ = write!(s, "OrderedSubscript {expr}");
+            }
+        }
+        s
+    }
+
     /// The access path of the first (root) scan, if any.
     pub fn root_access_path(&self) -> Option<&str> {
         self.nodes.iter().find_map(|n| match &n.op {
@@ -133,61 +193,9 @@ impl fmt::Display for PhysicalPlan {
             depth: usize,
             f: &mut fmt::Formatter<'_>,
         ) -> fmt::Result {
-            let pad = "  ".repeat(depth);
-            let node = &plan.nodes[idx];
-            match &node.op {
-                PhysOp::Scan {
-                    var,
-                    table,
-                    asof,
-                    access_path,
-                    pushed,
-                    kept,
-                    pruned,
-                } => {
-                    write!(f, "{pad}Scan {table} as {var}")?;
-                    if let Some(d) = asof {
-                        write!(f, " ASOF {d}")?;
-                    }
-                    write!(f, " — access path: {access_path}")?;
-                    write_scan_details(f, pushed, kept, pruned)?;
-                }
-                PhysOp::IndexScan {
-                    var,
-                    table,
-                    access_path,
-                    pushed,
-                    kept,
-                    pruned,
-                } => {
-                    write!(f, "{pad}IndexScan {table} as {var} — {access_path}")?;
-                    write_scan_details(f, pushed, kept, pruned)?;
-                }
-                PhysOp::Filter { pred } => write!(f, "{pad}Filter [{pred}]")?,
-                PhysOp::Project { items } => write!(f, "{pad}Project [{}]", items.join(", "))?,
-                PhysOp::NestEval { var, source } => write!(f, "{pad}NestEval {var} IN {source}")?,
-                PhysOp::OrderedSubscript { expr } => write!(f, "{pad}OrderedSubscript {expr}")?,
-            }
-            writeln!(f)?;
-            for &c in &node.children {
+            writeln!(f, "{}{}", "  ".repeat(depth), plan.node_label(idx))?;
+            for &c in &plan.nodes[idx].children {
                 rec(plan, c, depth + 1, f)?;
-            }
-            Ok(())
-        }
-        fn write_scan_details(
-            f: &mut fmt::Formatter<'_>,
-            pushed: &[String],
-            kept: &[String],
-            pruned: &[String],
-        ) -> fmt::Result {
-            if !pushed.is_empty() {
-                write!(f, "; pushed [{}]", pushed.join(", "))?;
-            }
-            if !kept.is_empty() {
-                write!(f, "; reads [{}]", kept.join(", "))?;
-            }
-            if !pruned.is_empty() {
-                write!(f, "; partial retrieval skips [{}]", pruned.join(", "))?;
             }
             Ok(())
         }

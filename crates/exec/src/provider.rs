@@ -21,6 +21,7 @@ use crate::error::ExecError;
 use crate::Result;
 use aim2_model::{Date, TableSchema, TableValue, Tuple};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// What the evaluator asks of a scan: the table, the version date, and
 /// the pushdown contract.
@@ -76,8 +77,12 @@ pub struct ObjectCursor {
     pub projection: Option<Referenced>,
     /// Human-readable access path ("full scan", "index f on …").
     pub access_path: String,
+    /// The plan node this cursor feeds (EXPLAIN ANALYZE attribution);
+    /// set by the evaluator after opening.
+    pub plan_node: Option<usize>,
     rows: Rows,
     pos: usize,
+    opened: Instant,
 }
 
 impl ObjectCursor {
@@ -88,8 +93,10 @@ impl ObjectCursor {
             asof: req.asof,
             projection: req.projection.clone(),
             access_path: access_path.to_string(),
+            plan_node: None,
             rows: Rows::Buffered(rows),
             pos: 0,
+            opened: Instant::now(),
         }
     }
 
@@ -100,8 +107,10 @@ impl ObjectCursor {
             asof: req.asof,
             projection: req.projection.clone(),
             access_path: access_path.to_string(),
+            plan_node: None,
             rows: Rows::Keys(keys),
             pos: 0,
+            opened: Instant::now(),
         }
     }
 
@@ -152,6 +161,12 @@ impl ObjectCursor {
         k
     }
 
+    /// Nanoseconds since the cursor was opened (cursor lifetime at
+    /// close time).
+    pub fn age_ns(&self) -> u64 {
+        self.opened.elapsed().as_nanos() as u64
+    }
+
     /// Projection predicate for one subtable path (true = decode it).
     pub fn keep(&self, p: &aim2_model::Path) -> bool {
         match &self.projection {
@@ -177,6 +192,14 @@ pub trait TableProvider {
     /// rows were pulled but the cursor is not exhausted.
     fn close_scan(&mut self, cur: ObjectCursor) {
         let _ = cur;
+    }
+
+    /// Current `(objects_decoded, atoms_decoded)` totals, for EXPLAIN
+    /// ANALYZE per-operator deltas. Providers without decode accounting
+    /// report zeros (the analyzed plan then shows no decode columns
+    /// moving, which is accurate: nothing was decoded from storage).
+    fn decode_counters(&mut self) -> (u64, u64) {
+        (0, 0)
     }
 
     /// Drain a full scan into a `TableValue` — the materializing

@@ -1,0 +1,159 @@
+//! Thread-local span capture for slow-query trees.
+//!
+//! [`Timer`](crate::Timer) guards always record into their histogram;
+//! when the current thread has armed a capture with [`begin_capture`],
+//! each completed span additionally pushes a [`SpanEvent`]. The engine
+//! arms a capture around query execution and keeps the events only if
+//! the query crossed the slow-query threshold. Query evaluation is
+//! single-threaded, so a thread-local is both cheap and correct; spans
+//! on other threads (e.g. a group-commit leader fsyncing on a peer's
+//! behalf) simply don't appear in this query's tree.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One completed span inside an armed capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    pub name: &'static str,
+    /// Nesting depth below the capture root (0 = outermost).
+    pub depth: usize,
+    /// Start offset from `begin_capture`, nanoseconds.
+    pub start_ns: u64,
+    pub dur_ns: u64,
+}
+
+#[derive(Default)]
+struct CaptureState {
+    origin: Option<Instant>,
+    depth: usize,
+    events: Vec<SpanEvent>,
+}
+
+thread_local! {
+    static CAPTURE: RefCell<CaptureState> = RefCell::new(CaptureState::default());
+}
+
+/// Arm span capture on this thread, discarding any previous capture.
+pub fn begin_capture() {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.origin = Some(Instant::now());
+        c.depth = 0;
+        c.events.clear();
+    });
+}
+
+/// Disarm capture and return the collected spans in completion order
+/// (children before their parent, as each span ends).
+pub fn end_capture() -> Vec<SpanEvent> {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.origin = None;
+        c.depth = 0;
+        std::mem::take(&mut c.events)
+    })
+}
+
+/// Called by `Timer::new`. Returns whether a capture is armed so the
+/// matching `exit` can skip the thread-local entirely when idle.
+pub(crate) fn enter() -> bool {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.origin.is_some() {
+            c.depth += 1;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+pub(crate) fn exit(name: &'static str, start: Instant, dur_ns: u64) {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        let Some(origin) = c.origin else { return };
+        c.depth = c.depth.saturating_sub(1);
+        let depth = c.depth;
+        let start_ns = start
+            .checked_duration_since(origin)
+            .map_or(0, |d| d.as_nanos() as u64);
+        c.events.push(SpanEvent {
+            name,
+            depth,
+            start_ns,
+            dur_ns,
+        });
+    });
+}
+
+/// Render captured spans as an indented tree in start order.
+pub fn render_spans(events: &[SpanEvent]) -> String {
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.start_ns, e.depth));
+    let mut out = String::new();
+    for e in sorted {
+        out.push_str(&format!(
+            "{}{} {:.1}µs (+{:.1}µs)\n",
+            "  ".repeat(e.depth),
+            e.name,
+            e.dur_ns as f64 / 1e3,
+            e.start_ns as f64 / 1e3,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    #[test]
+    fn capture_collects_nested_spans() {
+        let m = Metrics::default();
+        begin_capture();
+        {
+            let _outer = m.span("outer");
+            let _inner = m.span("inner");
+        }
+        let events = end_capture();
+        let names: Vec<_> = events.iter().map(|e| (e.name, e.depth)).collect();
+        // Inner drops first; it is one level deeper.
+        assert_eq!(names, vec![("inner", 1), ("outer", 0)]);
+        assert!(events.iter().all(|e| e.start_ns <= e.start_ns + e.dur_ns));
+    }
+
+    #[test]
+    fn idle_thread_collects_nothing() {
+        let m = Metrics::default();
+        {
+            let _t = m.span("quiet");
+        }
+        begin_capture();
+        assert!(end_capture().is_empty());
+        assert_eq!(m.histogram("quiet").count(), 1);
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let events = vec![
+            SpanEvent {
+                name: "child",
+                depth: 1,
+                start_ns: 500,
+                dur_ns: 100,
+            },
+            SpanEvent {
+                name: "root",
+                depth: 0,
+                start_ns: 0,
+                dur_ns: 1000,
+            },
+        ];
+        let s = render_spans(&events);
+        let lines: Vec<_> = s.lines().collect();
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[1].starts_with("  child"));
+    }
+}

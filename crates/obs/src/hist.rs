@@ -1,0 +1,334 @@
+//! Fixed-bucket log2 latency histogram.
+//!
+//! Values (nanoseconds by convention, but any u64) land in bucket
+//! `floor(log2(v))`, so bucket `i` covers `[2^i, 2^(i+1))` and bucket 0
+//! additionally holds zero. 64 buckets cover the full u64 range with no
+//! allocation and no configuration; recording is a handful of relaxed
+//! atomic adds, cheap enough for per-page-I/O call sites.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Number of buckets: one per power of two over the u64 range.
+pub const BUCKETS: usize = 64;
+
+struct Inner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Shared, lock-free histogram handle. Cloning shares the buckets.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    inner: Arc<Inner>,
+}
+
+/// Bucket index for a value: `floor(log2(v))`, with 0 and 1 both in
+/// bucket 0.
+pub fn bucket_of(v: u64) -> usize {
+    (63 - (v | 1).leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 1),
+        63 => (1 << 63, u64::MAX),
+        _ => (1 << i, (1 << (i + 1)) - 1),
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, v: u64) {
+        let i = &self.inner;
+        i.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+        i.count.fetch_add(1, Relaxed);
+        i.sum.fetch_add(v, Relaxed);
+        i.min.fetch_min(v, Relaxed);
+        i.max.fetch_max(v, Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Relaxed)
+    }
+
+    /// Fold another histogram's observations into this one.
+    pub fn merge(&self, other: &Histogram) {
+        self.snapshot_merge(&other.snapshot());
+    }
+
+    fn snapshot_merge(&self, s: &HistSnapshot) {
+        if s.count == 0 {
+            return;
+        }
+        let i = &self.inner;
+        for (b, &n) in s.buckets.iter().enumerate() {
+            if n > 0 {
+                i.buckets[b].fetch_add(n, Relaxed);
+            }
+        }
+        i.count.fetch_add(s.count, Relaxed);
+        i.sum.fetch_add(s.sum, Relaxed);
+        i.min.fetch_min(s.min, Relaxed);
+        i.max.fetch_max(s.max, Relaxed);
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let i = &self.inner;
+        let count = i.count.load(Relaxed);
+        HistSnapshot {
+            count,
+            sum: i.sum.load(Relaxed),
+            min: if count == 0 { 0 } else { i.min.load(Relaxed) },
+            max: i.max.load(Relaxed),
+            buckets: std::array::from_fn(|b| i.buckets[b].load(Relaxed)),
+        }
+    }
+
+    /// Reset every bucket and aggregate to the empty state.
+    pub fn reset(&self) {
+        let i = &self.inner;
+        for b in &i.buckets {
+            b.store(0, Relaxed);
+        }
+        i.count.store(0, Relaxed);
+        i.sum.store(0, Relaxed);
+        i.min.store(u64::MAX, Relaxed);
+        i.max.store(0, Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// 0 when `count == 0`.
+    pub min: u64,
+    pub max: u64,
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// The value at quantile `q` in `[0, 1]`: the upper bound of the
+    /// bucket holding the rank-`ceil(q·count)` observation, clamped to
+    /// the observed `[min, max]` so a coarse bucket can never report a
+    /// quantile outside the recorded range.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let (_, hi) = bucket_bounds(i);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Bucket-wise sum of two snapshots (associative, commutative).
+    pub fn merged(&self, other: &HistSnapshot) -> HistSnapshot {
+        if self.count == 0 {
+            return other.clone();
+        }
+        if other.count == 0 {
+            return self.clone();
+        }
+        HistSnapshot {
+            count: self.count + other.count,
+            // Matches the live histogram's atomic adds, which wrap.
+            sum: self.sum.wrapping_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets: std::array::from_fn(|i| self.buckets[i] + other.buckets[i]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(7), 2);
+        assert_eq!(bucket_of(8), 3);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        // Every bucket's bounds round-trip through bucket_of.
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_of(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "hi of bucket {i}");
+        }
+        // Bounds tile the u64 range with no gaps.
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo);
+        }
+    }
+
+    #[test]
+    fn record_and_aggregates() {
+        let h = Histogram::new();
+        for v in [3, 100, 250, 9] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 362);
+        assert_eq!(s.min, 3);
+        assert_eq!(s.max, 250);
+        assert_eq!(s.buckets[bucket_of(3)], 1);
+        assert_eq!(s.buckets[bucket_of(100)], 1);
+    }
+
+    #[test]
+    fn empty_snapshot_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!((s.count, s.min, s.max, s.p99()), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 5, 900]);
+        let b = mk(&[12, 12, 7000]);
+        let c = mk(&[2]);
+        assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        assert_eq!(a.merged(&b), b.merged(&a));
+        let e = HistSnapshot::default();
+        assert_eq!(a.merged(&e), a);
+        assert_eq!(e.merged(&a), a);
+    }
+
+    #[test]
+    fn live_merge_matches_snapshot_merge() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [4, 4, 99] {
+            a.record(v);
+        }
+        for v in [1, 1 << 40] {
+            b.record(v);
+        }
+        let want = a.snapshot().merged(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(a.snapshot(), want);
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let h = Histogram::new();
+        for v in [1u64, 3, 3, 8, 20, 500, 500, 100_000, 4_000_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let qs: Vec<u64> = (0..=20).map(|i| s.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be non-decreasing: {qs:?}");
+        }
+        assert_eq!(s.quantile(1.0), s.max);
+        assert!(s.p50() <= s.p95() && s.p95() <= s.p99());
+    }
+
+    #[test]
+    fn quantile_clamped_to_min_max() {
+        let h = Histogram::new();
+        // All in one bucket whose upper bound (2047) exceeds max.
+        for v in [1030u64, 1040, 1050] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = s.quantile(q);
+            assert!(v >= s.min && v <= s.max, "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        assert_eq!(h.snapshot(), HistSnapshot::default());
+        h.record(7);
+        assert_eq!(h.snapshot().min, 7);
+    }
+}

@@ -1,0 +1,35 @@
+//! Observability primitives for the AIM-II engine.
+//!
+//! The paper's §4 evaluation argues entirely in *access counts*; the
+//! engine's `Stats` block reproduces those counters but says nothing
+//! about latency distributions or which operator spent them. This crate
+//! supplies the missing pieces, with no external dependencies:
+//!
+//! * [`Histogram`] — a fixed-size log2-bucket latency histogram with
+//!   lock-free `record`, `merge`, and p50/p95/p99/max quantiles.
+//! * [`Timer`] — a drop-guard span that records its elapsed time into a
+//!   histogram and, when a thread-local capture is armed
+//!   ([`begin_capture`]/[`end_capture`]), also emits a [`SpanEvent`]
+//!   for slow-query span trees.
+//! * [`Metrics`] — a shared name → histogram/gauge registry.
+//! * [`MetricsSnapshot`] — a point-in-time view serializable to JSON
+//!   and Prometheus-style exposition text.
+
+pub mod capture;
+pub mod hist;
+pub mod metrics;
+pub mod snapshot;
+
+pub use capture::{begin_capture, end_capture, render_spans, SpanEvent};
+pub use hist::{HistSnapshot, Histogram, BUCKETS};
+pub use metrics::{Gauge, GaugeGuard, Metrics, Timer};
+pub use snapshot::MetricsSnapshot;
+
+/// Start a [`Timer`] span over a [`Metrics`] registry:
+/// `span!(metrics, "wal.fsync")`.
+#[macro_export]
+macro_rules! span {
+    ($metrics:expr, $name:literal) => {
+        $metrics.span($name)
+    };
+}

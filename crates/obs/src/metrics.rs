@@ -1,0 +1,197 @@
+//! Shared metrics registry: named histograms, gauges, and span timers.
+
+use crate::capture;
+use crate::hist::{HistSnapshot, Histogram};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Default)]
+struct Registry {
+    hists: Mutex<BTreeMap<String, Histogram>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+}
+
+/// A process-shareable registry of named instruments. Cloning shares
+/// the underlying maps; `histogram`/`gauge` get-or-create, so callers
+/// can cache the returned handles and skip the map lock on hot paths.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    inner: Arc<Registry>,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shared histogram named `name` (created empty on first use).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.hists.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Shared gauge named `name` (created at 0 on first use).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().unwrap();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Start a span: records elapsed nanoseconds into `histogram(name)`
+    /// on drop, and into the thread's capture if one is armed.
+    pub fn span(&self, name: &'static str) -> Timer {
+        Timer::start(self.histogram(name), name)
+    }
+
+    /// Snapshot every histogram, sorted by name.
+    pub fn histograms(&self) -> Vec<(String, HistSnapshot)> {
+        self.inner
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Current gauge values, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        self.inner
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Reset every histogram to empty (gauges keep their level — they
+    /// track live state such as queue depth, not accumulation).
+    pub fn reset_histograms(&self) {
+        for h in self.inner.hists.lock().unwrap().values() {
+            h.reset();
+        }
+    }
+}
+
+/// A shared signed level (queue depth, live cursors, …).
+#[derive(Clone, Default, Debug)]
+pub struct Gauge {
+    v: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Relaxed);
+    }
+
+    pub fn dec(&self) {
+        self.v.fetch_sub(1, Relaxed);
+    }
+
+    pub fn set(&self, v: i64) {
+        self.v.store(v, Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.v.load(Relaxed)
+    }
+
+    /// Increment now, decrement when the guard drops.
+    pub fn scope(&self) -> GaugeGuard {
+        self.inc();
+        GaugeGuard { g: self.clone() }
+    }
+}
+
+/// RAII decrement for [`Gauge::scope`].
+pub struct GaugeGuard {
+    g: Gauge,
+}
+
+impl Drop for GaugeGuard {
+    fn drop(&mut self) {
+        self.g.dec();
+    }
+}
+
+/// A drop-guard span. On drop it records elapsed nanoseconds into its
+/// histogram and, if this thread armed a capture when the span began,
+/// emits a [`crate::SpanEvent`].
+pub struct Timer {
+    hist: Histogram,
+    name: &'static str,
+    start: Instant,
+    captured: bool,
+}
+
+impl Timer {
+    pub fn start(hist: Histogram, name: &'static str) -> Timer {
+        Timer {
+            hist,
+            name,
+            start: Instant::now(),
+            captured: capture::enter(),
+        }
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        let dur_ns = self.start.elapsed().as_nanos() as u64;
+        self.hist.record(dur_ns);
+        if self.captured {
+            capture::exit(self.name, self.start, dur_ns);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_handles_share_state() {
+        let m = Metrics::new();
+        let a = m.histogram("x");
+        let b = m.histogram("x");
+        a.record(5);
+        assert_eq!(b.count(), 1);
+        assert_eq!(m.histograms().len(), 1);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let m = Metrics::new();
+        {
+            let _t = crate::span!(m, "work");
+        }
+        let hists = m.histograms();
+        assert_eq!(hists[0].0, "work");
+        assert_eq!(hists[0].1.count, 1);
+    }
+
+    #[test]
+    fn gauge_scope_balances() {
+        let m = Metrics::new();
+        let g = m.gauge("depth");
+        {
+            let _a = g.scope();
+            let _b = g.scope();
+            assert_eq!(g.get(), 2);
+        }
+        assert_eq!(g.get(), 0);
+        assert_eq!(m.gauge_values(), vec![("depth".to_string(), 0)]);
+    }
+
+    #[test]
+    fn reset_histograms_keeps_gauges() {
+        let m = Metrics::new();
+        m.histogram("h").record(9);
+        m.gauge("g").set(3);
+        m.reset_histograms();
+        assert_eq!(m.histogram("h").count(), 0);
+        assert_eq!(m.gauge("g").get(), 3);
+    }
+}

@@ -1,0 +1,173 @@
+//! Point-in-time metrics exposition: JSON and Prometheus-style text.
+
+use crate::hist::HistSnapshot;
+use std::fmt;
+
+/// Everything the engine knows about itself at one instant: monotonic
+/// counters, instantaneous gauges, and latency histograms. The engine
+/// assembles one of these (`Database::metrics()`); this type only
+/// renders it.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, f64)>,
+    pub histograms: Vec<(String, HistSnapshot)>,
+}
+
+/// `buffer.page_read` → `buffer_page_read` (Prometheus label charset).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+impl MetricsSnapshot {
+    /// Hand-rolled JSON object (the environment has no serde); names
+    /// are engine-controlled identifiers, so no string escaping is
+    /// needed beyond what the fixed grammar provides.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            s.push_str(&format!("{sep}\n    \"{k}\": {v}"));
+        }
+        s.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            s.push_str(&format!("{sep}\n    \"{k}\": {}", fmt_f64(*v)));
+        }
+        s.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            s.push_str(&format!(
+                "{sep}\n    \"{k}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \
+                 \"max_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99()
+            ));
+        }
+        s.push_str("\n  }\n}\n");
+        s
+    }
+
+    /// Prometheus-style exposition text: counters and gauges as-is,
+    /// histograms as summaries with quantile labels.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        for (k, v) in &self.counters {
+            let n = prom_name(k);
+            s.push_str(&format!("# TYPE aim2_{n} counter\naim2_{n} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let n = prom_name(k);
+            s.push_str(&format!(
+                "# TYPE aim2_{n} gauge\naim2_{n} {}\n",
+                fmt_f64(*v)
+            ));
+        }
+        for (k, h) in &self.histograms {
+            let n = format!("{}_ns", prom_name(k));
+            s.push_str(&format!("# TYPE aim2_{n} summary\n"));
+            for (q, v) in [("0.5", h.p50()), ("0.95", h.p95()), ("0.99", h.p99())] {
+                s.push_str(&format!("aim2_{n}{{quantile=\"{q}\"}} {v}\n"));
+            }
+            s.push_str(&format!("aim2_{n}_sum {}\n", h.sum));
+            s.push_str(&format!("aim2_{n}_count {}\n", h.count));
+        }
+        s
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    /// Human-oriented table: counters, then gauges, then histogram
+    /// quantiles in microseconds.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let us = |ns: u64| ns as f64 / 1e3;
+        for (k, v) in &self.counters {
+            if *v != 0 {
+                writeln!(f, "{k:<34} {v}")?;
+            }
+        }
+        for (k, v) in &self.gauges {
+            writeln!(f, "{k:<34} {}", fmt_f64(*v))?;
+        }
+        for (k, h) in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{k:<34} n={} p50={:.1}µs p95={:.1}µs p99={:.1}µs max={:.1}µs",
+                h.count,
+                us(h.p50()),
+                us(h.p95()),
+                us(h.p99()),
+                us(h.max)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn sample() -> MetricsSnapshot {
+        let h = Histogram::new();
+        h.record(1_000);
+        h.record(2_000);
+        MetricsSnapshot {
+            counters: vec![("buffer.hits".into(), 7)],
+            gauges: vec![("buffer.hit_rate".into(), 0.875)],
+            histograms: vec![("wal.fsync".into(), h.snapshot())],
+        }
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json();
+        assert!(j.contains("\"buffer.hits\": 7"));
+        assert!(j.contains("\"buffer.hit_rate\": 0.875000"));
+        assert!(j.contains("\"wal.fsync\": {\"count\": 2"));
+        // Balanced braces — cheap well-formedness check.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+    }
+
+    #[test]
+    fn prometheus_shape() {
+        let p = sample().to_prometheus();
+        assert!(p.contains("# TYPE aim2_buffer_hits counter"));
+        assert!(p.contains("aim2_buffer_hits 7"));
+        assert!(p.contains("# TYPE aim2_wal_fsync_ns summary"));
+        assert!(p.contains("aim2_wal_fsync_ns{quantile=\"0.99\"}"));
+        assert!(p.contains("aim2_wal_fsync_ns_count 2"));
+    }
+
+    #[test]
+    fn display_suppresses_zero_counters() {
+        let mut s = sample();
+        s.counters.push(("buffer.misses".into(), 0));
+        let text = s.to_string();
+        assert!(text.contains("buffer.hits"));
+        assert!(!text.contains("buffer.misses"));
+    }
+}

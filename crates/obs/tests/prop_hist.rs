@@ -1,0 +1,70 @@
+//! Property tests for the log2 histogram (vendored proptest shim).
+
+use aim2_obs::hist::bucket_of;
+use aim2_obs::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Every quantile of a recorded distribution lies inside the
+    // observed [min, max] — the log2 buckets are coarse, but the
+    // report must never invent values outside the recorded range.
+    #[test]
+    fn quantiles_within_min_max(seed in 0u64..1_000_000) {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let n = (next() % 200 + 1) as usize;
+        let h = Histogram::new();
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for _ in 0..n {
+            // Spread values across many orders of magnitude.
+            let v = next() >> (next() % 56);
+            h.record(v);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, n as u64);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+        for i in 0..=100u32 {
+            let q = s.quantile(f64::from(i) / 100.0);
+            prop_assert!(q >= lo && q <= hi, "q{} = {} outside [{}, {}]", i, q, lo, hi);
+        }
+    }
+
+    // Merging must agree with recording everything into one histogram.
+    #[test]
+    fn merge_equals_union(seed in 0u64..1_000_000) {
+        let mut x = seed.wrapping_mul(0xA24B_AED4_963E_E407).wrapping_add(9);
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let union = Histogram::new();
+        for i in 0..((seed % 64) + 2) {
+            let v = next() >> (next() % 48);
+            if i % 2 == 0 { a.record(v) } else { b.record(v) }
+            union.record(v);
+        }
+        prop_assert_eq!(a.snapshot().merged(&b.snapshot()), union.snapshot());
+    }
+
+    // bucket_of is monotone non-decreasing in its argument.
+    #[test]
+    fn bucket_of_monotone(v in 0u64..u64::MAX) {
+        prop_assert!(bucket_of(v) <= bucket_of(v.saturating_add(1)));
+        prop_assert!(bucket_of(v / 2) <= bucket_of(v));
+    }
+}

@@ -260,6 +260,7 @@ impl PoolState {
         for i in 0..self.frames.len() {
             if self.frames[i].dirty {
                 stamp_checksum(&mut self.frames[i].data);
+                let _t = self.stats.time_page_write();
                 self.disk
                     .write_page(self.frames[i].pid, &self.frames[i].data)?;
                 self.frames[i].dirty = false;
@@ -277,7 +278,10 @@ impl PoolState {
             return Ok(());
         }
         let mut before = vec![0u8; self.disk.page_size()];
-        self.disk.read_page(pid, &mut before)?;
+        {
+            let _t = self.stats.time_page_read();
+            self.disk.read_page(pid, &mut before)?;
+        }
         if let Some(wal) = &self.wal {
             wal.lock()
                 .expect("wal mutex poisoned")
@@ -301,7 +305,10 @@ impl PoolState {
         }
         self.stats.inc_buf_miss();
         let idx = self.free_frame()?;
-        self.disk.read_page(pid, &mut self.frames[idx].data)?;
+        {
+            let _t = self.stats.time_page_read();
+            self.disk.read_page(pid, &mut self.frames[idx].data)?;
+        }
         if let Err(e) = self.verify_checksum(pid, &self.frames[idx].data) {
             // Do not cache the corrupt frame: every read keeps hitting
             // the verification (and keeps erroring) until repaired.
@@ -348,7 +355,10 @@ impl PoolState {
                 self.wal_sync()?;
             }
             stamp_checksum(&mut self.frames[idx].data);
-            self.disk.write_page(pid, &self.frames[idx].data)?;
+            {
+                let _t = self.stats.time_page_write();
+                self.disk.write_page(pid, &self.frames[idx].data)?;
+            }
             self.frames[idx].dirty = false;
             self.stats.inc_page_write();
         }

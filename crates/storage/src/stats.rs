@@ -1,4 +1,4 @@
-//! Access counters.
+//! Access counters and latency instruments.
 //!
 //! The paper's Section 4 arguments are all *access-count* arguments:
 //! clustering keeps a complex object on "a relatively small page set",
@@ -7,11 +7,18 @@
 //! accessed more than once". [`Stats`] makes every one of those effects
 //! measurable; benches and the `reproduce` binary report them.
 //!
+//! Alongside the counters, the block owns an [`obs::Metrics`] registry
+//! with pre-resolved histogram handles for the engine's latency sites
+//! (page I/O, WAL append/fsync, lock waits, commits, cursor lifetimes,
+//! checkpoint/recovery, whole queries) — every component that already
+//! holds a `Stats` clone gets span timers with no extra plumbing.
+//!
 //! The block is shared across threads (sessions, the lock manager, the
 //! group committer all increment it concurrently), so the counters are
 //! relaxed atomics behind an `Arc` — `Stats` is `Send + Sync` and stays
 //! cheaply clonable.
 
+use aim2_obs::{Gauge, HistSnapshot, Histogram, Metrics, MetricsSnapshot, Timer};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -25,6 +32,12 @@ pub struct Stats {
 
 #[derive(Default)]
 struct Inner {
+    c: Counters,
+    obs: ObsHandles,
+}
+
+#[derive(Default)]
+struct Counters {
     /// Buffer pool hits (page found in memory).
     buf_hits: AtomicU64,
     /// Buffer pool misses (page read from disk).
@@ -73,15 +86,63 @@ struct Inner {
     cursor_early_exits: AtomicU64,
 }
 
+/// Pre-resolved instrument handles: one registry lookup at construction
+/// time, then lock-free recording on every hot path.
+struct ObsHandles {
+    metrics: Metrics,
+    page_read: Histogram,
+    page_write: Histogram,
+    wal_append: Histogram,
+    wal_fsync: Histogram,
+    lock_wait: Histogram,
+    commit: Histogram,
+    cursor_lifetime: Histogram,
+    checkpoint: Histogram,
+    recovery: Histogram,
+    query: Histogram,
+    lock_queue: Gauge,
+}
+
+impl Default for ObsHandles {
+    fn default() -> Self {
+        let metrics = Metrics::new();
+        ObsHandles {
+            page_read: metrics.histogram("storage.page_read"),
+            page_write: metrics.histogram("storage.page_write"),
+            wal_append: metrics.histogram("wal.append"),
+            wal_fsync: metrics.histogram("wal.fsync"),
+            lock_wait: metrics.histogram("txn.lock_wait"),
+            commit: metrics.histogram("txn.commit"),
+            cursor_lifetime: metrics.histogram("exec.cursor_lifetime"),
+            checkpoint: metrics.histogram("db.checkpoint"),
+            recovery: metrics.histogram("db.recovery"),
+            query: metrics.histogram("db.query"),
+            lock_queue: metrics.gauge("txn.lock_queue_depth"),
+            metrics,
+        }
+    }
+}
+
 macro_rules! counter {
     ($inc:ident, $get:ident, $field:ident) => {
         #[doc = concat!("Increment the `", stringify!($field), "` counter.")]
         pub fn $inc(&self) {
-            self.inner.$field.fetch_add(1, Ordering::Relaxed);
+            self.inner.c.$field.fetch_add(1, Ordering::Relaxed);
         }
         #[doc = concat!("Current value of the `", stringify!($field), "` counter.")]
         pub fn $get(&self) -> u64 {
-            self.inner.$field.load(Ordering::Relaxed)
+            self.inner.c.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+macro_rules! span_timer {
+    ($fn_name:ident, $field:ident, $name:literal) => {
+        #[doc = concat!(
+                            "Start a span recording into the `", $name, "` histogram on drop."
+                        )]
+        pub fn $fn_name(&self) -> Timer {
+            Timer::start(self.inner.obs.$field.clone(), $name)
         }
     };
 }
@@ -137,10 +198,35 @@ impl Stats {
         cursor_early_exits
     );
 
+    span_timer!(time_page_read, page_read, "storage.page_read");
+    span_timer!(time_page_write, page_write, "storage.page_write");
+    span_timer!(time_wal_append, wal_append, "wal.append");
+    span_timer!(time_wal_fsync, wal_fsync, "wal.fsync");
+    span_timer!(time_lock_wait, lock_wait, "txn.lock_wait");
+    span_timer!(time_commit, commit, "txn.commit");
+    span_timer!(time_checkpoint, checkpoint, "db.checkpoint");
+    span_timer!(time_recovery, recovery, "db.recovery");
+    span_timer!(time_query, query, "db.query");
+
+    /// The shared metrics registry backing the span timers.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.obs.metrics
+    }
+
+    /// Depth of the lock manager's wait queue (blocked requests).
+    pub fn lock_queue(&self) -> &Gauge {
+        &self.inner.obs.lock_queue
+    }
+
+    /// Record how long a cursor stayed open, nanoseconds.
+    pub fn record_cursor_lifetime(&self, ns: u64) {
+        self.inner.obs.cursor_lifetime.record(ns);
+    }
+
     /// Bulk-add to `atoms_decoded` (one data subtuple decodes many
     /// atoms at once).
     pub fn add_atoms_decoded(&self, n: u64) {
-        self.inner.atoms_decoded.fetch_add(n, Ordering::Relaxed);
+        self.inner.c.atoms_decoded.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Total page accesses (hits + misses).
@@ -148,9 +234,11 @@ impl Stats {
         self.buf_hits() + self.buf_misses()
     }
 
-    /// Reset all counters to zero (shared across clones).
+    /// Reset all counters to zero (shared across clones). Latency
+    /// histograms are left intact; use [`Metrics::reset_histograms`]
+    /// via [`Stats::metrics`] to clear those too.
     pub fn reset(&self) {
-        let i = &self.inner;
+        let i = &self.inner.c;
         for c in [
             &i.buf_hits,
             &i.buf_misses,
@@ -200,6 +288,42 @@ impl Stats {
             objects_decoded: self.objects_decoded(),
             atoms_decoded: self.atoms_decoded(),
             cursor_early_exits: self.cursor_early_exits(),
+        }
+    }
+
+    /// Latency histogram snapshot for `name` (e.g. `"wal.fsync"`).
+    pub fn histogram(&self, name: &str) -> HistSnapshot {
+        self.inner.obs.metrics.histogram(name).snapshot()
+    }
+
+    /// Point-in-time exposition snapshot: every counter (namespaced by
+    /// group), derived gauges (buffer hit rate, lock queue depth), and
+    /// every latency histogram.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let snap = self.snapshot();
+        let mut counters = Vec::new();
+        for (group, items) in snap.groups() {
+            for (name, v) in items {
+                counters.push((format!("{group}.{}", name.replace('-', "_")), v));
+            }
+        }
+        let accesses = snap.buf_hits + snap.buf_misses;
+        let hit_rate = if accesses == 0 {
+            0.0
+        } else {
+            snap.buf_hits as f64 / accesses as f64
+        };
+        let gauges = vec![
+            ("buffer.hit_rate".to_string(), hit_rate),
+            (
+                "txn.lock_queue_depth".to_string(),
+                self.inner.obs.lock_queue.get() as f64,
+            ),
+        ];
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms: self.inner.obs.metrics.histograms(),
         }
     }
 }
@@ -255,38 +379,102 @@ impl StatsSnapshot {
             cursor_early_exits: later.cursor_early_exits - self.cursor_early_exits,
         }
     }
+
+    /// Counters in stable display order, grouped by subsystem.
+    pub fn groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 6] {
+        [
+            (
+                "buffer",
+                vec![
+                    ("hits", self.buf_hits),
+                    ("misses", self.buf_misses),
+                    ("page-writes", self.page_writes),
+                ],
+            ),
+            (
+                "storage",
+                vec![
+                    ("subtuple-reads", self.subtuple_reads),
+                    ("subtuple-writes", self.subtuple_writes),
+                    ("ptr-rewrites", self.pointer_rewrites),
+                    ("obj-visits", self.object_visits),
+                    ("objects-decoded", self.objects_decoded),
+                    ("atoms-decoded", self.atoms_decoded),
+                ],
+            ),
+            (
+                "wal",
+                vec![
+                    ("appends", self.wal_appends),
+                    ("replays", self.wal_replays),
+                    ("torn-detected", self.torn_pages_detected),
+                    ("group-commit-batches", self.group_commit_batches),
+                ],
+            ),
+            (
+                "txn",
+                vec![
+                    ("lock-waits", self.lock_waits),
+                    ("deadlocks-aborted", self.deadlocks_aborted),
+                ],
+            ),
+            (
+                "integrity",
+                vec![
+                    ("checksum-verifications", self.checksum_verifications),
+                    ("corrupt-pages", self.corrupt_pages_detected),
+                    ("quarantined", self.objects_quarantined),
+                    ("salvaged", self.salvaged_objects),
+                ],
+            ),
+            ("cursor", vec![("early-exits", self.cursor_early_exits)]),
+        ]
+    }
+
+    /// Multi-line view showing every counter, zeros included.
+    pub fn verbose(&self) -> VerboseStats {
+        VerboseStats(*self)
+    }
 }
 
 impl fmt::Display for StatsSnapshot {
+    /// Compact single-line view: counters grouped by subsystem in a
+    /// stable order, zero-valued counters (and empty groups)
+    /// suppressed. Use [`StatsSnapshot::verbose`] for the full dump.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "hits={} misses={} pwrites={} sreads={} swrites={} ptr-rewrites={} obj-visits={} \
-             wal-appends={} wal-replays={} torn-detected={} lock-waits={} deadlocks-aborted={} \
-             group-commit-batches={} checksum-verifications={} corrupt-pages-detected={} \
-             objects-quarantined={} salvaged-objects={} objects-decoded={} atoms-decoded={} \
-             cursor-early-exits={}",
-            self.buf_hits,
-            self.buf_misses,
-            self.page_writes,
-            self.subtuple_reads,
-            self.subtuple_writes,
-            self.pointer_rewrites,
-            self.object_visits,
-            self.wal_appends,
-            self.wal_replays,
-            self.torn_pages_detected,
-            self.lock_waits,
-            self.deadlocks_aborted,
-            self.group_commit_batches,
-            self.checksum_verifications,
-            self.corrupt_pages_detected,
-            self.objects_quarantined,
-            self.salvaged_objects,
-            self.objects_decoded,
-            self.atoms_decoded,
-            self.cursor_early_exits
-        )
+        let mut any = false;
+        for (group, items) in self.groups() {
+            let live: Vec<String> = items
+                .iter()
+                .filter(|(_, v)| *v != 0)
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            if any {
+                write!(f, " ")?;
+            }
+            write!(f, "{group}[{}]", live.join(" "))?;
+            any = true;
+        }
+        if !any {
+            write!(f, "(no activity)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Verbose wrapper: one line per subsystem group, all counters shown.
+pub struct VerboseStats(StatsSnapshot);
+
+impl fmt::Display for VerboseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (group, items) in self.0.groups() {
+            let all: Vec<String> = items.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            writeln!(f, "{group:<10} {}", all.join(" "))?;
+        }
+        Ok(())
     }
 }
 
@@ -350,5 +538,75 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(s.lock_waits(), 4000);
+    }
+
+    #[test]
+    fn display_groups_and_suppresses_zeros() {
+        let s = Stats::new();
+        assert_eq!(s.snapshot().to_string(), "(no activity)");
+        s.inc_buf_hit();
+        s.inc_buf_hit();
+        s.inc_object_decoded();
+        s.inc_cursor_early_exit();
+        let line = s.snapshot().to_string();
+        assert_eq!(
+            line,
+            "buffer[hits=2] storage[objects-decoded=1] cursor[early-exits=1]"
+        );
+        // Verbose shows everything, zeros included, one group per line.
+        let v = s.snapshot().verbose().to_string();
+        assert!(v.contains("misses=0"));
+        assert!(v.lines().count() == 6);
+    }
+
+    #[test]
+    fn span_timers_feed_histograms() {
+        let s = Stats::new();
+        {
+            let _t = s.time_wal_fsync();
+        }
+        {
+            let _t = s.time_page_read();
+        }
+        assert_eq!(s.histogram("wal.fsync").count, 1);
+        assert_eq!(s.histogram("storage.page_read").count, 1);
+        assert_eq!(s.histogram("storage.page_write").count, 0);
+        // Clones share the registry.
+        let s2 = s.clone();
+        assert_eq!(s2.histogram("wal.fsync").count, 1);
+    }
+
+    #[test]
+    fn metrics_snapshot_names_and_gauges() {
+        let s = Stats::new();
+        s.inc_buf_hit();
+        s.inc_buf_hit();
+        s.inc_buf_hit();
+        s.inc_buf_miss();
+        s.record_cursor_lifetime(1500);
+        let m = s.metrics_snapshot();
+        let counter = |name: &str| {
+            m.counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert_eq!(counter("buffer.hits"), 3);
+        assert_eq!(counter("buffer.misses"), 1);
+        assert_eq!(counter("storage.objects_decoded"), 0);
+        let hit_rate = m
+            .gauges
+            .iter()
+            .find(|(k, _)| k == "buffer.hit_rate")
+            .unwrap()
+            .1;
+        assert!((hit_rate - 0.75).abs() < 1e-9);
+        let (_, fsync) = m
+            .histograms
+            .iter()
+            .find(|(k, _)| k == "exec.cursor_lifetime")
+            .unwrap();
+        assert_eq!(fsync.count, 1);
     }
 }

@@ -121,6 +121,7 @@ impl Wal {
     /// before the page write it protects reaches disk.
     pub fn append_before_image(&mut self, seg: &str, pid: PageId, data: &[u8]) -> Result<()> {
         debug_assert_eq!(data.len(), self.page_size);
+        let _t = self.stats.time_wal_append();
         let mut frame = Vec::with_capacity(2 + seg.len() + 8 + data.len() + 4);
         frame.extend_from_slice(&(seg.len() as u16).to_le_bytes());
         frame.extend_from_slice(seg.as_bytes());
@@ -151,6 +152,7 @@ impl Wal {
     /// No-op when nothing was appended since the last sync.
     pub fn sync(&mut self) -> Result<()> {
         if self.unsynced {
+            let _t = self.stats.time_wal_fsync();
             self.file.sync_data()?;
             self.unsynced = false;
         }

@@ -357,6 +357,10 @@ impl LockManager {
         }
 
         self.stats.inc_lock_wait();
+        // Both guards cover every exit below (grant, timeout, poison):
+        // the timer records wait latency, the gauge tracks queue depth.
+        let _wait_timer = self.stats.time_lock_wait();
+        let _queued = self.stats.lock_queue().scope();
         let deadline = std::time::Instant::now() + self.timeout;
         loop {
             let granted = match upgrade_target {

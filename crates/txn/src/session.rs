@@ -229,6 +229,7 @@ impl Session {
             .txn
             .take()
             .ok_or_else(|| TxnError::State("commit without open transaction".into()))?;
+        let _t = self.shared.stats.time_commit();
         let mut max_seq = None;
         let mut wal: Option<SharedWal> = None;
         let flush_res: aim2::Result<()> = (|| {
@@ -520,6 +521,13 @@ impl TableProvider for Session {
     fn close_scan(&mut self, cur: ObjectCursor) {
         let mut db = self.shared.db.lock().expect("database mutex poisoned");
         TableProvider::close_scan(&mut *db, cur)
+    }
+
+    fn decode_counters(&mut self) -> (u64, u64) {
+        (
+            self.shared.stats.objects_decoded(),
+            self.shared.stats.atoms_decoded(),
+        )
     }
 }
 

@@ -1,0 +1,294 @@
+//! Observability suite: EXPLAIN ANALYZE attribution, the metrics
+//! exposition layer, the slow-query log, and the grouped stats display.
+//!
+//! The load-bearing assertion is the ANALYZE sum invariant: for every
+//! paper-example query, the per-operator `objects_decoded` deltas sum
+//! exactly to the query's total Stats delta — analysis redistributes
+//! the paper's §4 access counts over the operator tree without losing
+//! or inventing any. Golden re-bless: `BLESS=1 cargo test --test
+//! observability`.
+
+use aim2::{Database, DbConfig};
+use aim2_model::fixtures;
+use std::time::Duration;
+
+fn paper_db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute_script(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } );
+         CREATE TABLE DEPARTMENTS-1NF ( DNO INTEGER, MGRNO INTEGER, BUDGET INTEGER );
+         CREATE TABLE PROJECTS-1NF ( PNO INTEGER, PNAME STRING, DNO INTEGER );
+         CREATE TABLE MEMBERS-1NF ( EMPNO INTEGER, PNO INTEGER, DNO INTEGER, FUNCTION STRING );
+         CREATE TABLE EQUIP-1NF ( DNO INTEGER, QU INTEGER, TYPE STRING );
+         CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING );
+         CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                                DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } )",
+    )
+    .unwrap();
+    for (table, value) in [
+        ("DEPARTMENTS", fixtures::departments_value()),
+        ("DEPARTMENTS-1NF", fixtures::departments_1nf_value()),
+        ("PROJECTS-1NF", fixtures::projects_1nf_value()),
+        ("MEMBERS-1NF", fixtures::members_1nf_value()),
+        ("EQUIP-1NF", fixtures::equip_1nf_value()),
+        ("EMPLOYEES-1NF", fixtures::employees_1nf_value()),
+        ("REPORTS", fixtures::reports_value()),
+    ] {
+        for t in value.tuples {
+            db.insert_tuple(table, t).unwrap();
+        }
+    }
+    db
+}
+
+/// The paper's example queries (§3 Examples 1–8, §4.2, §5 text search)
+/// that run against the unversioned fixture database.
+const PAPER_QUERIES: &[&str] = &[
+    "SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP FROM x IN DEPARTMENTS",
+    "SELECT * FROM DEPARTMENTS",
+    "SELECT x.DNO, x.MGRNO,
+        PROJECTS = (SELECT y.PNO, y.PNAME,
+            MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS)
+            FROM y IN x.PROJECTS),
+        x.BUDGET,
+        EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+     FROM x IN DEPARTMENTS",
+    "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+     FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+    "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+     FROM x IN DEPARTMENTS-1NF, y IN PROJECTS-1NF, z IN MEMBERS-1NF
+     WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO",
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+     WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT x.DNO, x.MGRNO,
+        EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION
+                     FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF
+                     WHERE z.EMPNO = u.EMPNO)
+     FROM x IN DEPARTMENTS",
+    "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
+    "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS
+     WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS
+     WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'",
+];
+
+// =====================================================================
+// EXPLAIN ANALYZE
+// =====================================================================
+
+/// The acceptance invariant: on every paper-example query, the sum of
+/// per-operator `objects_decoded`/`atoms_decoded` deltas equals the
+/// query's total Stats delta, and the analyzed execution returns the
+/// same result table (with the same decode totals) as plain execution.
+#[test]
+fn analyze_matches_plain_execution_on_paper_queries() {
+    for sql in PAPER_QUERIES {
+        // Plain execution on a fresh database.
+        let mut plain = paper_db();
+        let before = plain.stats().snapshot();
+        let (_, expected) = plain.query(sql).unwrap();
+        let plain_delta = before.delta(&plain.stats().snapshot());
+
+        // Analyzed execution on an identically fresh database.
+        let mut analyzed = paper_db();
+        let before = analyzed.stats().snapshot();
+        let (_, got, ap) = analyzed.analyze(sql).unwrap();
+        let delta = before.delta(&analyzed.stats().snapshot());
+
+        assert!(
+            got.semantically_eq(&expected),
+            "analyze changed the result of {sql}"
+        );
+        assert_eq!(
+            ap.total_objects_decoded(),
+            delta.objects_decoded,
+            "per-operator objects_decoded must sum to the Stats delta for {sql}\n{}",
+            ap.render(false)
+        );
+        assert_eq!(
+            ap.total_atoms_decoded(),
+            delta.atoms_decoded,
+            "per-operator atoms_decoded must sum to the Stats delta for {sql}"
+        );
+        assert_eq!(
+            delta.objects_decoded, plain_delta.objects_decoded,
+            "analysis must not change what gets decoded for {sql}"
+        );
+        // Every node renders with an annotation.
+        let rendered = ap.render(false);
+        assert_eq!(
+            rendered.lines().count(),
+            ap.plan.nodes.len(),
+            "one annotated line per operator for {sql}"
+        );
+        assert!(rendered.lines().all(|l| l.contains("objects=")));
+    }
+}
+
+/// Golden file of the annotated plan for the paper's Example 5 (EXISTS
+/// over a subtable) on SS3 storage: operator shapes, row counts, and
+/// decode deltas are pinned exactly. `BLESS=1` rewrites it.
+#[test]
+fn analyze_example5_golden() {
+    let mut db = paper_db();
+    let (_, v, ap) = db
+        .analyze(
+            "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+             WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+        )
+        .unwrap();
+    assert_eq!(v.len(), 2, "departments 218 and 314 qualify");
+    let got = ap.render(false);
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/analyze_example5.txt");
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &got).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}; run with BLESS=1", path.display()));
+    assert_eq!(
+        got,
+        want,
+        "annotated plan drifted from {}.\n\
+         If the change is intentional, re-bless with BLESS=1.",
+        path.display()
+    );
+}
+
+/// Timed rendering carries the total header and per-operator times;
+/// `Database::last_plan` keeps the timing-free form.
+#[test]
+fn analyze_rendering_and_last_plan() {
+    let mut db = paper_db();
+    let (_, _, ap) = db.analyze("SELECT * FROM DEPARTMENTS").unwrap();
+    let timed = ap.to_string();
+    assert!(timed.starts_with("Analyzed plan (total time="));
+    assert!(timed.contains(" time="));
+    assert_eq!(db.last_plan(), ap.render(false).trim_end());
+    assert!(!db.last_plan().contains("time="));
+}
+
+// =====================================================================
+// Metrics exposition
+// =====================================================================
+
+#[test]
+fn metrics_snapshot_json_and_prometheus_shape() {
+    let mut db = paper_db();
+    db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    let m = db.metrics();
+
+    let json = m.to_json();
+    for key in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"storage.objects_decoded\"",
+        "\"buffer.hit_rate\"",
+        "\"db.query\"",
+        "\"p99_ns\"",
+    ] {
+        assert!(json.contains(key), "JSON missing {key}:\n{json}");
+    }
+
+    let prom = m.to_prometheus();
+    for line in [
+        "# TYPE aim2_storage_objects_decoded counter",
+        "# TYPE aim2_buffer_hit_rate gauge",
+        "# TYPE aim2_db_query_ns summary",
+        "aim2_db_query_ns{quantile=\"0.99\"}",
+        "aim2_db_query_ns_count",
+    ] {
+        assert!(prom.contains(line), "prometheus missing {line}:\n{prom}");
+    }
+
+    // Running a query must have fed the db.query histogram.
+    let h = db.stats().histogram("db.query");
+    assert!(h.count >= 1);
+    assert!(h.p99() >= h.p50());
+}
+
+#[test]
+fn cursor_lifetime_histogram_fed_by_scans() {
+    let mut db = paper_db();
+    db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert!(db.stats().histogram("exec.cursor_lifetime").count >= 1);
+}
+
+// =====================================================================
+// Slow-query log
+// =====================================================================
+
+#[test]
+fn slow_log_records_over_threshold_and_caps_at_ring_size() {
+    let mut db = paper_db();
+    // Threshold zero: everything is slow.
+    db.set_slow_query_threshold(Some(Duration::ZERO));
+    for _ in 0..(aim2::SLOW_LOG_CAPACITY + 8) {
+        db.query("SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.BUDGET >= 300000")
+            .unwrap();
+    }
+    assert_eq!(db.slow_log().len(), aim2::SLOW_LOG_CAPACITY);
+    let rec = db.slow_log().records().next_back().unwrap();
+    assert!(rec.statement.contains("SELECT x.DNO"));
+    assert!(rec.plan.contains("Scan DEPARTMENTS as x"));
+    assert!(rec.delta.objects_decoded > 0, "delta captured");
+    assert!(
+        rec.spans.iter().any(|s| s.name == "db.query"),
+        "span tree captured: {:?}",
+        rec.spans
+    );
+    // The record renders with its plan and stats delta.
+    let shown = rec.to_string();
+    assert!(shown.contains("stats delta:"));
+
+    // An unreachable threshold records nothing further.
+    db.slow_log_mut().clear();
+    db.set_slow_query_threshold(Some(Duration::from_secs(3600)));
+    db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert!(db.slow_log().is_empty());
+}
+
+#[test]
+fn slow_log_disabled_by_default() {
+    let mut db = paper_db();
+    assert!(DbConfig::default().slow_query_threshold.is_none());
+    db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert!(db.slow_log().is_empty());
+}
+
+// =====================================================================
+// Grouped stats display
+// =====================================================================
+
+#[test]
+fn stats_display_grouped_and_zero_suppressed() {
+    let mut db = paper_db();
+    db.query("SELECT * FROM DEPARTMENTS").unwrap();
+    let snap = db.stats().snapshot();
+    let shown = snap.to_string();
+    assert!(shown.contains("buffer["), "grouped display: {shown}");
+    assert!(shown.contains("objects-decoded="));
+    assert!(!shown.contains("=0"), "zero counters suppressed: {shown}");
+    // Verbose shows all six groups, including all-zero ones.
+    let verbose = snap.verbose().to_string();
+    assert_eq!(verbose.lines().count(), 6);
+    for group in ["buffer", "storage", "wal", "txn", "integrity", "cursor"] {
+        assert!(verbose.contains(group), "verbose missing {group}");
+    }
+    // Reset zeroes counters but keeps latency histograms.
+    let queries_before = db.stats().histogram("db.query").count;
+    db.stats().reset();
+    assert_eq!(db.stats().snapshot().to_string(), "(no activity)");
+    assert_eq!(db.stats().histogram("db.query").count, queries_before);
+}

@@ -87,6 +87,7 @@ fn config(dir: &Path) -> DbConfig {
         default_layout: LayoutKind::Ss3,
         data_dir: Some(dir.to_path_buf()),
         fault: None,
+        slow_query_threshold: None,
     }
 }
 
