@@ -1,0 +1,229 @@
+//! Emit `BENCH_MVCC.json` — snapshot readers vs strict-2PL readers
+//! under concurrent writers.
+//!
+//! ```text
+//! cargo run --release -p aim2-bench --bin bench_mvcc
+//! ```
+//!
+//! The workload is the paper's own access pattern (§4.1): application
+//! threads reading complex objects out of one NF² `ACCOUNTS` table
+//! while writer threads check objects out and patch atoms in place.
+//! Each read transaction walks every object of the table
+//! ([`aim2_txn::Session::handles`] + [`aim2_txn::Session::read_object`]);
+//! each writer transaction checks out and updates a batch of objects,
+//! holding its object X locks until commit. Each cell runs the same
+//! duration in two modes:
+//!
+//! * `2pl` — readers open ordinary transactions: IS on the table plus
+//!   an S lock **per object**, so every walk queues behind whichever
+//!   objects the writers currently hold X — reader throughput flatlines
+//!   no matter how many reader threads exist;
+//! * `mvcc` — readers open read-only snapshot transactions
+//!   ([`aim2_txn::Session::begin_read_only`]) and never touch the lock
+//!   manager at all: the walk runs against the pinned epoch versions.
+//!
+//! Per cell the harness records completed read transactions, reads/sec,
+//! and the `txn.lock_wait` / `txn.snapshot_reads` counter deltas that
+//! explain the separation. The summary pins the headline ratio:
+//! 32-thread snapshot readers vs 32-thread 2PL readers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use aim2::Database;
+use aim2_model::Atom;
+use aim2_storage::object::ElemLoc;
+use aim2_txn::{Session, SharedDatabase};
+
+const ACCOUNTS: i64 = 16;
+const READER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+const WRITERS: usize = 2;
+/// Object updates per writer transaction: the object X locks are held
+/// across all of them, the way a real batch write holds its locks to
+/// commit.
+const UPDATES_PER_TXN: i64 = 8;
+const CELL_MS: u64 = 150;
+
+fn setup() -> SharedDatabase {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER, HIST { SEQ INTEGER } ) USING SS3")
+        .unwrap();
+    for a in 0..ACCOUNTS {
+        db.execute(&format!("INSERT INTO ACCOUNTS VALUES ({a}, 1000, {{(0)}})"))
+            .unwrap();
+    }
+    SharedDatabase::new(db)
+}
+
+/// One read transaction: walk every object of the table.
+fn read_walk(s: &mut Session) -> bool {
+    let Ok(handles) = s.handles("ACCOUNTS") else {
+        return false;
+    };
+    for h in handles {
+        if s.read_object("ACCOUNTS", h).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+struct Cell {
+    mode: &'static str,
+    readers: usize,
+    reads: u64,
+    elapsed: Duration,
+    lock_waits: u64,
+    snapshot_reads: u64,
+}
+
+impl Cell {
+    fn reads_per_sec(&self) -> f64 {
+        self.reads as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Run one (mode, reader-count) cell for [`CELL_MS`] and count the read
+/// transactions that completed.
+fn run_cell(mode: &'static str, readers: usize) -> Cell {
+    let shared = setup();
+    let stats = shared.stats();
+    let lock_waits_before = stats.lock_waits();
+    let snapshot_reads_before = stats.snapshot_reads();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(readers + WRITERS + 1));
+    let mut joins = Vec::new();
+
+    for w in 0..WRITERS {
+        let shared = shared.clone();
+        let stop = stop.clone();
+        let barrier = barrier.clone();
+        joins.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                let mut s = shared.session();
+                let batch: Result<(), aim2_txn::TxnError> = (|| {
+                    let handles = s.handles("ACCOUNTS")?;
+                    for _ in 0..UPDATES_PER_TXN {
+                        let account = ((w as i64 + WRITERS as i64 * i) % ACCOUNTS) as usize;
+                        i += 1;
+                        let h = handles[account];
+                        s.checkout("ACCOUNTS", h)?;
+                        s.update_atoms(
+                            "ACCOUNTS",
+                            h,
+                            &ElemLoc::object(),
+                            &[Atom::Int(account as i64), Atom::Int(1000 + (i % 7))],
+                        )?;
+                    }
+                    Ok(())
+                })();
+                match batch {
+                    Ok(()) => s.commit().unwrap(),
+                    // Deadlock victim: roll back and move on.
+                    Err(_) => {
+                        let _ = s.rollback();
+                    }
+                }
+            }
+        }));
+    }
+
+    for _ in 0..readers {
+        let shared = shared.clone();
+        let stop = stop.clone();
+        let reads = reads.clone();
+        let barrier = barrier.clone();
+        joins.push(std::thread::spawn(move || {
+            barrier.wait();
+            let mut s = shared.session();
+            while !stop.load(Ordering::Relaxed) {
+                if mode == "mvcc" {
+                    s.begin_read_only().unwrap();
+                }
+                if read_walk(&mut s) && s.commit().is_ok() {
+                    reads.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let _ = s.rollback();
+                }
+            }
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_millis(CELL_MS));
+    stop.store(true, Ordering::Relaxed);
+    for j in joins {
+        j.join().expect("bench thread panicked");
+    }
+    let elapsed = started.elapsed();
+
+    Cell {
+        mode,
+        readers,
+        reads: reads.load(Ordering::Relaxed),
+        elapsed,
+        lock_waits: stats.lock_waits() - lock_waits_before,
+        snapshot_reads: stats.snapshot_reads() - snapshot_reads_before,
+    }
+}
+
+fn main() {
+    let mut cells = Vec::new();
+    for mode in ["2pl", "mvcc"] {
+        for &readers in &READER_COUNTS {
+            let cell = run_cell(mode, readers);
+            eprintln!(
+                "{mode:>4} readers={readers:<2} reads/s={:>10.0} lock_waits={} snapshot_reads={}",
+                cell.reads_per_sec(),
+                cell.lock_waits,
+                cell.snapshot_reads
+            );
+            cells.push(cell);
+        }
+    }
+
+    let rate = |mode: &str, readers: usize| {
+        cells
+            .iter()
+            .find(|c| c.mode == mode && c.readers == readers)
+            .map(Cell::reads_per_sec)
+            .unwrap_or(0.0)
+    };
+    let speedup_32 = rate("mvcc", 32) / rate("2pl", 32).max(1e-9);
+    let mvcc_scaling = rate("mvcc", 32) / rate("mvcc", 1).max(1e-9);
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"mvcc_snapshot_reads\",\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"accounts\": {ACCOUNTS}, \"writers\": {WRITERS}, \"updates_per_txn\": {UPDATES_PER_TXN}, \"cell_ms\": {CELL_MS}, \"read\": \"object walk: handles + read_object per object\"}},\n"
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"readers\": {}, \"reads\": {}, \"reads_per_sec\": {:.1}, \"lock_waits\": {}, \"snapshot_reads\": {}}}{}\n",
+            c.mode,
+            c.readers,
+            c.reads,
+            c.reads_per_sec(),
+            c.lock_waits,
+            c.snapshot_reads,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"mvcc_over_2pl_at_32_readers\": {speedup_32:.1}, \"mvcc_scaling_1_to_32\": {mvcc_scaling:.1}}}\n"
+    ));
+    out.push_str("}\n");
+
+    std::fs::write("BENCH_MVCC.json", &out).expect("write BENCH_MVCC.json");
+    println!("{out}");
+    eprintln!("wrote BENCH_MVCC.json (mvcc/2pl at 32 readers: {speedup_32:.1}x)");
+}

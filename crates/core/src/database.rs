@@ -1663,6 +1663,36 @@ impl Database {
         }
     }
 
+    /// Like [`Database::snapshot_table`], but each tuple is paired with
+    /// its storage key (root TID packed to `u64`) in scan order — the
+    /// whole-table state a committing transaction publishes to the MVCC
+    /// epoch store, keyed so later object-granularity commits can patch
+    /// individual rows instead of re-snapshotting.
+    pub fn snapshot_table_keyed(&mut self, table: &str) -> Result<Vec<(u64, Tuple)>> {
+        let quarantined = self.quarantined_in(table);
+        let entry = self.catalog.require_mut(table)?;
+        let schema = entry.schema.clone();
+        match &mut entry.storage {
+            TableStorage::Nf2(os) => {
+                let mut out = Vec::new();
+                for h in os.handles()? {
+                    if quarantined.contains(&h.0) {
+                        continue; // unreadable; salvage is the way back
+                    }
+                    out.push((h.0.to_u64(), os.read_object(&schema, h)?));
+                }
+                Ok(out)
+            }
+            TableStorage::Flat(fs) => {
+                let mut out = Vec::new();
+                for tid in fs.tids().to_vec() {
+                    out.push((tid.to_u64(), fs.read(tid)?));
+                }
+                Ok(out)
+            }
+        }
+    }
+
     /// Replace a table's contents with a previous [`Database::snapshot_table`]
     /// — transaction rollback. Every current row/object is deleted and
     /// the snapshot reinserted through the regular maintenance paths, so

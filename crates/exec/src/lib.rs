@@ -35,7 +35,7 @@ pub use analyze::{AnalyzedPlan, OpMetrics};
 pub use error::ExecError;
 pub use eval::Evaluator;
 pub use plan::{PhysOp, PhysicalPlan};
-pub use provider::{MemProvider, ObjectCursor, ScanRequest, TableProvider};
+pub use provider::{MemProvider, ObjectCursor, ScanRequest, SharedRows, TableProvider};
 
 /// Result alias for execution.
 pub type Result<T> = std::result::Result<T, ExecError>;

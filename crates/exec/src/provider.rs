@@ -21,7 +21,14 @@ use crate::error::ExecError;
 use crate::Result;
 use aim2_model::{Date, TableSchema, TableValue, Tuple};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
+
+/// One immutable, shareable row set: `(row key, row)` pairs in scan
+/// order. MVCC snapshot providers hand the same `Arc` to every cursor
+/// opened over one epoch version, so a scan borrows the committed state
+/// without copying it and without holding any storage-side latch.
+pub type SharedRows = Arc<Vec<(u64, Arc<Tuple>)>>;
 
 /// What the evaluator asks of a scan: the table, the version date, and
 /// the pushdown contract.
@@ -62,6 +69,11 @@ enum Rows {
     /// Opaque row keys the provider decodes one per pull (object
     /// handles / TIDs packed into `u64`s, or plain indices).
     Keys(Vec<u64>),
+    /// An epoch version's rows shared by reference (MVCC snapshot
+    /// scans): pulls clone one tuple at a time and never re-enter the
+    /// provider's storage, so concurrent snapshot readers share the
+    /// version without synchronizing.
+    Shared(SharedRows),
 }
 
 /// A scan in progress: passive state handed back to the provider on
@@ -80,6 +92,9 @@ pub struct ObjectCursor {
     /// The plan node this cursor feeds (EXPLAIN ANALYZE attribution);
     /// set by the evaluator after opening.
     pub plan_node: Option<usize>,
+    /// The commit epoch this cursor reads at, when it was opened from a
+    /// pinned MVCC snapshot.
+    pub snapshot_epoch: Option<u64>,
     rows: Rows,
     pos: usize,
     opened: Instant,
@@ -94,6 +109,7 @@ impl ObjectCursor {
             projection: req.projection.clone(),
             access_path: access_path.to_string(),
             plan_node: None,
+            snapshot_epoch: None,
             rows: Rows::Buffered(rows),
             pos: 0,
             opened: Instant::now(),
@@ -108,7 +124,31 @@ impl ObjectCursor {
             projection: req.projection.clone(),
             access_path: access_path.to_string(),
             plan_node: None,
+            snapshot_epoch: None,
             rows: Rows::Keys(keys),
+            pos: 0,
+            opened: Instant::now(),
+        }
+    }
+
+    /// A cursor over an epoch version's shared rows (MVCC snapshot
+    /// scans): the version is borrowed by `Arc`, pulls never re-enter
+    /// storage, and the epoch is threaded through for EXPLAIN and
+    /// assertion sites.
+    pub fn shared(
+        req: &ScanRequest,
+        access_path: &str,
+        epoch: u64,
+        rows: SharedRows,
+    ) -> ObjectCursor {
+        ObjectCursor {
+            table: req.table.clone(),
+            asof: req.asof,
+            projection: req.projection.clone(),
+            access_path: access_path.to_string(),
+            plan_node: None,
+            snapshot_epoch: Some(epoch),
+            rows: Rows::Shared(rows),
             pos: 0,
             opened: Instant::now(),
         }
@@ -119,6 +159,7 @@ impl ObjectCursor {
         match &self.rows {
             Rows::Buffered(v) => v.len(),
             Rows::Keys(v) => v.len(),
+            Rows::Shared(v) => v.len(),
         }
     }
 
@@ -159,6 +200,24 @@ impl ObjectCursor {
             self.pos += 1;
         }
         k
+    }
+
+    /// Next row from a shared epoch version (providers using `shared`).
+    pub fn next_shared(&mut self) -> Option<Tuple> {
+        let Rows::Shared(v) = &self.rows else {
+            return None;
+        };
+        let t = v.get(self.pos).map(|(_, t)| Tuple::clone(t));
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// True when pulls are served from cursor-local state (buffered or
+    /// shared rows) and never need to re-enter the provider's storage.
+    pub fn is_local(&self) -> bool {
+        !matches!(self.rows, Rows::Keys(_))
     }
 
     /// Nanoseconds since the cursor was opened (cursor lifetime at

@@ -84,6 +84,14 @@ struct Counters {
     /// Scans closed before exhaustion (EXISTS witnesses, quantifier
     /// short-circuits): pages the pipeline never had to pull.
     cursor_early_exits: AtomicU64,
+    /// Table/object reads served from a pinned MVCC snapshot (zero
+    /// lock-manager traffic).
+    snapshot_reads: AtomicU64,
+    /// Epoch versions published by committing writers (one per table a
+    /// commit touched, plus rollback/checkpoint refreshes).
+    mvcc_versions_published: AtomicU64,
+    /// Superseded epoch versions reclaimed by the snapshot GC.
+    mvcc_gc_reclaimed: AtomicU64,
 }
 
 /// Pre-resolved instrument handles: one registry lookup at construction
@@ -100,7 +108,10 @@ struct ObsHandles {
     checkpoint: Histogram,
     recovery: Histogram,
     query: Histogram,
+    snapshot_age: Histogram,
+    mvcc_publish: Histogram,
     lock_queue: Gauge,
+    versions_retained: Gauge,
 }
 
 impl Default for ObsHandles {
@@ -117,7 +128,10 @@ impl Default for ObsHandles {
             checkpoint: metrics.histogram("db.checkpoint"),
             recovery: metrics.histogram("db.recovery"),
             query: metrics.histogram("db.query"),
+            snapshot_age: metrics.histogram("txn.snapshot_age"),
+            mvcc_publish: metrics.histogram("mvcc.publish"),
             lock_queue: metrics.gauge("txn.lock_queue_depth"),
+            versions_retained: metrics.gauge("mvcc.versions_retained"),
             metrics,
         }
     }
@@ -197,6 +211,12 @@ impl Stats {
         cursor_early_exits,
         cursor_early_exits
     );
+    counter!(inc_snapshot_read, snapshot_reads, snapshot_reads);
+    counter!(
+        inc_mvcc_version_published,
+        mvcc_versions_published,
+        mvcc_versions_published
+    );
 
     span_timer!(time_page_read, page_read, "storage.page_read");
     span_timer!(time_page_write, page_write, "storage.page_write");
@@ -207,6 +227,30 @@ impl Stats {
     span_timer!(time_checkpoint, checkpoint, "db.checkpoint");
     span_timer!(time_recovery, recovery, "db.recovery");
     span_timer!(time_query, query, "db.query");
+    span_timer!(time_mvcc_publish, mvcc_publish, "mvcc.publish");
+
+    /// Bulk-add to `mvcc_gc_reclaimed` (one GC pass reclaims a batch of
+    /// superseded versions).
+    pub fn add_mvcc_gc_reclaimed(&self, n: u64) {
+        self.inner.c.mvcc_gc_reclaimed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the `mvcc_gc_reclaimed` counter.
+    pub fn mvcc_gc_reclaimed(&self) -> u64 {
+        self.inner.c.mvcc_gc_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// How long a read-only snapshot stayed pinned, nanoseconds
+    /// (recorded when the pin is released).
+    pub fn record_snapshot_age(&self, ns: u64) {
+        self.inner.obs.snapshot_age.record(ns);
+    }
+
+    /// Epoch versions currently retained by the snapshot store (latest
+    /// per table plus whatever pinned readers still need).
+    pub fn versions_retained(&self) -> &Gauge {
+        &self.inner.obs.versions_retained
+    }
 
     /// The shared metrics registry backing the span timers.
     pub fn metrics(&self) -> &Metrics {
@@ -260,6 +304,9 @@ impl Stats {
             &i.objects_decoded,
             &i.atoms_decoded,
             &i.cursor_early_exits,
+            &i.snapshot_reads,
+            &i.mvcc_versions_published,
+            &i.mvcc_gc_reclaimed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -288,6 +335,9 @@ impl Stats {
             objects_decoded: self.objects_decoded(),
             atoms_decoded: self.atoms_decoded(),
             cursor_early_exits: self.cursor_early_exits(),
+            snapshot_reads: self.snapshot_reads(),
+            mvcc_versions_published: self.mvcc_versions_published(),
+            mvcc_gc_reclaimed: self.mvcc_gc_reclaimed(),
         }
     }
 
@@ -318,6 +368,10 @@ impl Stats {
             (
                 "txn.lock_queue_depth".to_string(),
                 self.inner.obs.lock_queue.get() as f64,
+            ),
+            (
+                "mvcc.versions_retained".to_string(),
+                self.inner.obs.versions_retained.get() as f64,
             ),
         ];
         MetricsSnapshot {
@@ -351,6 +405,9 @@ pub struct StatsSnapshot {
     pub objects_decoded: u64,
     pub atoms_decoded: u64,
     pub cursor_early_exits: u64,
+    pub snapshot_reads: u64,
+    pub mvcc_versions_published: u64,
+    pub mvcc_gc_reclaimed: u64,
 }
 
 impl StatsSnapshot {
@@ -377,11 +434,14 @@ impl StatsSnapshot {
             objects_decoded: later.objects_decoded - self.objects_decoded,
             atoms_decoded: later.atoms_decoded - self.atoms_decoded,
             cursor_early_exits: later.cursor_early_exits - self.cursor_early_exits,
+            snapshot_reads: later.snapshot_reads - self.snapshot_reads,
+            mvcc_versions_published: later.mvcc_versions_published - self.mvcc_versions_published,
+            mvcc_gc_reclaimed: later.mvcc_gc_reclaimed - self.mvcc_gc_reclaimed,
         }
     }
 
     /// Counters in stable display order, grouped by subsystem.
-    pub fn groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 6] {
+    pub fn groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 7] {
         [
             (
                 "buffer",
@@ -416,6 +476,14 @@ impl StatsSnapshot {
                 vec![
                     ("lock-waits", self.lock_waits),
                     ("deadlocks-aborted", self.deadlocks_aborted),
+                    ("snapshot-reads", self.snapshot_reads),
+                ],
+            ),
+            (
+                "mvcc",
+                vec![
+                    ("versions-published", self.mvcc_versions_published),
+                    ("gc-reclaimed", self.mvcc_gc_reclaimed),
                 ],
             ),
             (
@@ -556,7 +624,7 @@ mod tests {
         // Verbose shows everything, zeros included, one group per line.
         let v = s.snapshot().verbose().to_string();
         assert!(v.contains("misses=0"));
-        assert!(v.lines().count() == 6);
+        assert!(v.lines().count() == 7);
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Commit-epoch version store: the MVCC generalization of §5's ASOF
+//! versioning.
+//!
+//! Where [`crate::VersionedTable`] keys history by *date* for the ASOF
+//! clause, the [`EpochStore`] keys whole-table states by *commit
+//! epoch* — a process-local logical clock that ticks once per
+//! publishing event (a commit, a rollback refresh, a checkpoint
+//! resync). Each published version is an immutable
+//! [`TableVersion`] shared by `Arc`: committing writers build the next
+//! version by patching the previous one (object-mode commits) or by
+//! re-snapshotting the table (statement/DDL commits), and readers that
+//! pinned an older epoch keep resolving against the exact versions
+//! that were current when they began — completely lock-free, per the
+//! "read operations completely lock-free" doctrine.
+//!
+//! The store itself is a passive data structure; `aim2-txn`'s
+//! `SnapshotManager` wraps it with the epoch clock, pin refcounts and
+//! GC policy.
+
+use aim2_model::{TableSchema, Tuple};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One immutable whole-table state at one commit epoch: the schema and
+/// the rows in scan order, each row keyed by its storage key (packed
+/// TID / object handle) so successor versions can be built by patching.
+#[derive(Debug)]
+pub struct TableVersion {
+    pub schema: TableSchema,
+    /// `(storage key, row)` pairs in the table's scan order. Shared as
+    /// one `Arc` so every cursor opened over this version borrows the
+    /// same vector.
+    pub rows: Arc<Vec<(u64, Arc<Tuple>)>>,
+}
+
+impl TableVersion {
+    /// A version from freshly snapshotted `(key, row)` pairs.
+    pub fn new(schema: TableSchema, rows: Vec<(u64, Tuple)>) -> TableVersion {
+        TableVersion {
+            schema,
+            rows: Arc::new(rows.into_iter().map(|(k, t)| (k, Arc::new(t))).collect()),
+        }
+    }
+
+    /// Successor version: this version's rows with `updates` replacing
+    /// rows by key and `deletes` removing them. Keys in `updates` that
+    /// the base does not contain are appended (scan order puts new rows
+    /// last, matching the heap's enumeration of fresh handles).
+    pub fn patched(
+        &self,
+        updates: &BTreeMap<u64, Tuple>,
+        deletes: &std::collections::BTreeSet<u64>,
+    ) -> TableVersion {
+        let mut rows: Vec<(u64, Arc<Tuple>)> = Vec::with_capacity(self.rows.len());
+        let mut pending: BTreeMap<u64, &Tuple> = updates.iter().map(|(k, t)| (*k, t)).collect();
+        for (k, t) in self.rows.iter() {
+            if deletes.contains(k) {
+                continue;
+            }
+            match pending.remove(k) {
+                Some(newer) => rows.push((*k, Arc::new(newer.clone()))),
+                None => rows.push((*k, Arc::clone(t))),
+            }
+        }
+        for (k, t) in pending {
+            rows.push((k, Arc::new(t.clone())));
+        }
+        TableVersion {
+            schema: self.schema.clone(),
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// Rename storage keys in place of a successor version (rollback of
+    /// a delete reinserts the before-image under a fresh handle; the
+    /// row's content is unchanged but future patches key on the new
+    /// handle).
+    pub fn rekeyed(&self, renames: &BTreeMap<u64, u64>) -> TableVersion {
+        let rows = self
+            .rows
+            .iter()
+            .map(|(k, t)| (*renames.get(k).unwrap_or(k), Arc::clone(t)))
+            .collect();
+        TableVersion {
+            schema: self.schema.clone(),
+            rows: Arc::new(rows),
+        }
+    }
+}
+
+/// The versions of one table, epoch-ascending. `None` marks the table
+/// as dropped at that epoch (readers pinned before the drop keep
+/// resolving the earlier state).
+type VersionList = Vec<(u64, Option<Arc<TableVersion>>)>;
+
+/// Epoch-keyed version lists for every table in the database.
+#[derive(Debug, Default)]
+pub struct EpochStore {
+    tables: BTreeMap<String, VersionList>,
+}
+
+impl EpochStore {
+    /// An empty store.
+    pub fn new() -> EpochStore {
+        EpochStore::default()
+    }
+
+    /// Publish `version` (or a drop tombstone) for `table` at `epoch`.
+    /// Epochs must be published non-decreasing per table; an equal
+    /// epoch replaces the prior publication (last write wins within one
+    /// publishing event).
+    pub fn publish(&mut self, table: &str, epoch: u64, version: Option<Arc<TableVersion>>) {
+        let list = self.tables.entry(table.to_string()).or_default();
+        if let Some(last) = list.last_mut() {
+            debug_assert!(last.0 <= epoch, "epochs must be published in order");
+            if last.0 == epoch {
+                last.1 = version;
+                return;
+            }
+        }
+        list.push((epoch, version));
+    }
+
+    /// The state of `table` visible at `epoch`: the latest version
+    /// published at or before it. `None` when the table did not exist
+    /// (or was dropped) at that epoch.
+    pub fn resolve(&self, table: &str, epoch: u64) -> Option<Arc<TableVersion>> {
+        let list = self.tables.get(table)?;
+        let idx = list.partition_point(|(e, _)| *e <= epoch);
+        if idx == 0 {
+            return None;
+        }
+        list[idx - 1].1.clone()
+    }
+
+    /// The most recently published state of `table` (drop tombstones
+    /// resolve to `None`).
+    pub fn latest(&self, table: &str) -> Option<Arc<TableVersion>> {
+        self.tables.get(table)?.last()?.1.clone()
+    }
+
+    /// Names of tables visible at `epoch`, in catalog order.
+    pub fn tables_at(&self, epoch: u64) -> Vec<String> {
+        self.tables
+            .keys()
+            .filter(|t| self.resolve(t, epoch).is_some())
+            .cloned()
+            .collect()
+    }
+
+    /// Reclaim versions no pinned reader can reach: for every table,
+    /// drop all versions superseded before `min_pinned` (the oldest
+    /// epoch any reader still holds). The version a reader at
+    /// `min_pinned` resolves — the latest published at or before it —
+    /// and everything after it survive. Returns how many versions were
+    /// reclaimed.
+    pub fn gc(&mut self, min_pinned: u64) -> u64 {
+        let mut reclaimed = 0;
+        self.tables.retain(|_, list| {
+            let keep_from = list.partition_point(|(e, _)| *e <= min_pinned).max(1) - 1;
+            reclaimed += keep_from as u64;
+            list.drain(..keep_from);
+            // A table whose only surviving version is a tombstone is
+            // fully dead: no reachable epoch resolves it.
+            if list.len() == 1 && list[0].1.is_none() && list[0].0 <= min_pinned {
+                reclaimed += 1;
+                return false;
+            }
+            true
+        });
+        reclaimed
+    }
+
+    /// Total versions currently retained across all tables.
+    pub fn versions_retained(&self) -> u64 {
+        self.tables.values().map(|l| l.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_model::{Atom, AtomType, Value};
+
+    fn schema() -> TableSchema {
+        TableSchema::relation("T").with_atom("A", AtomType::Int)
+    }
+
+    fn row(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Atom(Atom::Int(v))])
+    }
+
+    fn version(vals: &[(u64, i64)]) -> Arc<TableVersion> {
+        Arc::new(TableVersion::new(
+            schema(),
+            vals.iter().map(|(k, v)| (*k, row(*v))).collect(),
+        ))
+    }
+
+    fn sum(v: &TableVersion) -> i64 {
+        v.rows
+            .iter()
+            .map(|(_, t)| match t.field(0).unwrap() {
+                Value::Atom(a) => a.as_int().unwrap(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn resolve_picks_latest_at_or_before_epoch() {
+        let mut s = EpochStore::new();
+        s.publish("T", 0, Some(version(&[(1, 10)])));
+        s.publish("T", 2, Some(version(&[(1, 20)])));
+        assert_eq!(sum(&s.resolve("T", 0).unwrap()), 10);
+        assert_eq!(sum(&s.resolve("T", 1).unwrap()), 10);
+        assert_eq!(sum(&s.resolve("T", 2).unwrap()), 20);
+        assert_eq!(sum(&s.resolve("T", 9).unwrap()), 20);
+        assert!(s.resolve("U", 9).is_none());
+    }
+
+    #[test]
+    fn drop_tombstone_hides_table_from_later_epochs() {
+        let mut s = EpochStore::new();
+        s.publish("T", 1, Some(version(&[(1, 10)])));
+        s.publish("T", 3, None);
+        assert!(s.resolve("T", 2).is_some());
+        assert!(s.resolve("T", 3).is_none());
+        assert!(s.latest("T").is_none());
+        assert_eq!(s.tables_at(2), vec!["T".to_string()]);
+        assert!(s.tables_at(3).is_empty());
+    }
+
+    #[test]
+    fn patched_applies_updates_deletes_appends_in_order() {
+        let base = version(&[(1, 10), (2, 20), (3, 30)]);
+        let updates: BTreeMap<u64, Tuple> = [(2, row(25)), (9, row(90))].into_iter().collect();
+        let deletes = [3u64].into_iter().collect();
+        let next = base.patched(&updates, &deletes);
+        let keys: Vec<u64> = next.rows.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 2, 9]);
+        assert_eq!(sum(&next), 10 + 25 + 90);
+        // The base is untouched.
+        assert_eq!(sum(&base), 60);
+    }
+
+    #[test]
+    fn rekeyed_preserves_order_and_content() {
+        let base = version(&[(1, 10), (2, 20)]);
+        let renames: BTreeMap<u64, u64> = [(2u64, 7u64)].into_iter().collect();
+        let next = base.rekeyed(&renames);
+        let keys: Vec<u64> = next.rows.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![1, 7]);
+        assert_eq!(sum(&next), 30);
+    }
+
+    #[test]
+    fn gc_keeps_resolvable_versions() {
+        let mut s = EpochStore::new();
+        s.publish("T", 0, Some(version(&[(1, 1)])));
+        s.publish("T", 2, Some(version(&[(1, 2)])));
+        s.publish("T", 4, Some(version(&[(1, 3)])));
+        assert_eq!(s.versions_retained(), 3);
+        // A reader pinned at 3 resolves epoch 2's version; only epoch
+        // 0's is unreachable.
+        assert_eq!(s.gc(3), 1);
+        assert_eq!(sum(&s.resolve("T", 3).unwrap()), 2);
+        assert_eq!(sum(&s.resolve("T", 4).unwrap()), 3);
+        // Everyone at the tip: only the latest survives.
+        assert_eq!(s.gc(4), 1);
+        assert_eq!(s.versions_retained(), 1);
+        assert_eq!(sum(&s.resolve("T", 4).unwrap()), 3);
+    }
+
+    #[test]
+    fn gc_reclaims_fully_dead_dropped_tables() {
+        let mut s = EpochStore::new();
+        s.publish("T", 1, Some(version(&[(1, 1)])));
+        s.publish("T", 2, None);
+        // A reader pinned at 1 still needs the pre-drop state.
+        assert_eq!(s.gc(1), 0);
+        assert!(s.resolve("T", 1).is_some());
+        // Once every pin is past the drop, the table vanishes entirely.
+        assert_eq!(s.gc(2), 2);
+        assert_eq!(s.versions_retained(), 0);
+        assert!(s.resolve("T", 2).is_none());
+    }
+}

@@ -21,9 +21,11 @@
 //! what the paper actually exposes — are identical.
 
 pub mod chain;
+pub mod epoch;
 pub mod subtuple;
 pub mod versioned;
 
 pub use chain::VersionChain;
+pub use epoch::{EpochStore, TableVersion};
 pub use subtuple::SubtupleVersions;
 pub use versioned::VersionedTable;

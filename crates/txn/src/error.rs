@@ -24,6 +24,10 @@ pub enum TxnError {
     /// The session has no open transaction for an operation that needs
     /// one (commit/abort), or has one where it must not (nested begin).
     State(String),
+    /// A write was attempted inside a read-only snapshot transaction.
+    /// The snapshot stays pinned and readable; the caller can keep
+    /// reading or commit and open a writing transaction.
+    ReadOnly(String),
     /// An error from the database below (execution, storage, ...). The
     /// transaction is still open; the caller decides whether to roll
     /// back or continue.
@@ -42,6 +46,7 @@ impl fmt::Display for TxnError {
             }
             TxnError::LockTimeout { txn } => write!(f, "lock wait timeout: txn {txn}"),
             TxnError::State(m) => write!(f, "transaction state error: {m}"),
+            TxnError::ReadOnly(m) => write!(f, "read-only transaction: {m}"),
             TxnError::Db(e) => write!(f, "{e}"),
         }
     }

@@ -34,7 +34,9 @@
 pub mod error;
 pub mod lock;
 pub mod session;
+pub mod snapshot;
 
 pub use error::{Result, TxnError};
 pub use lock::{LockKey, LockManager, LockMode, TxnId};
 pub use session::{Session, SharedDatabase};
+pub use snapshot::SnapshotManager;

@@ -1,0 +1,215 @@
+//! Snapshot-consistency property suite.
+//!
+//! A seed drives a random mixed workload over one [`SharedDatabase`]:
+//! two writer sessions (one per table, so writers never block each
+//! other and the schedule stays single-threaded-deterministic), two
+//! read-only snapshot sessions, random commits, aborts and
+//! administrative whole-table refresh publishes.
+//! An in-memory model tracks the committed state at every commit
+//! boundary.
+//!
+//! The property: **every sum a read-only session observes equals the
+//! committed sum at exactly one commit boundary — the one its snapshot
+//! pinned** — for the entire life of the transaction, no matter how
+//! many commits, aborts or refreshes land in between; and the reader
+//! acquires zero locks doing it. At the end, a fresh snapshot must
+//! agree with the model account by account.
+//!
+//! Failing seeds land in `proptest-regressions/prop_snapshot.txt` and
+//! replay first on every run.
+
+use std::collections::BTreeMap;
+
+use aim2::Database;
+use aim2_txn::{Session, SharedDatabase};
+use proptest::prelude::*;
+use proptest::TestRng;
+
+const TABLES: [&str; 2] = ["ALPHA", "BETA"];
+const ACCOUNTS: i64 = 4;
+
+/// Committed balances per table, account → balance.
+type Model = BTreeMap<&'static str, BTreeMap<i64, i64>>;
+
+fn setup() -> (SharedDatabase, Model) {
+    let shared = SharedDatabase::new(Database::in_memory());
+    let mut model: Model = BTreeMap::new();
+    shared.with_db(|db| {
+        for (ti, table) in TABLES.iter().enumerate() {
+            db.execute(&format!("CREATE TABLE {table} ( ANO INTEGER, BAL INTEGER )"))
+                .unwrap();
+            let accounts = model.entry(table).or_default();
+            for a in 0..ACCOUNTS {
+                let bal = 100 * (ti as i64 + 1) + a;
+                db.execute(&format!("INSERT INTO {table} VALUES ({a}, {bal})"))
+                    .unwrap();
+                accounts.insert(a, bal);
+            }
+        }
+    });
+    (shared, model)
+}
+
+fn model_sum(model: &Model) -> i64 {
+    model.values().flat_map(|t| t.values()).sum()
+}
+
+/// Sum of both tables as `s`'s open snapshot sees them.
+fn observed_sum(s: &mut Session) -> i64 {
+    TABLES
+        .iter()
+        .map(|table| {
+            let (_, rows) = s
+                .query(&format!("SELECT x.BAL FROM x IN {table}"))
+                .unwrap();
+            rows.tuples
+                .iter()
+                .map(|t| t.field(0).unwrap().as_atom().unwrap().as_int().unwrap())
+                .sum::<i64>()
+        })
+        .sum()
+}
+
+/// One writer: owns `table`, stages at most one uncommitted balance
+/// write at a time.
+struct Writer {
+    session: Session,
+    table: &'static str,
+    /// The staged (account, balance) of the open transaction.
+    staged: Option<(i64, i64)>,
+}
+
+/// One reader: a pinned snapshot and the boundary sum it must keep
+/// observing.
+struct Reader {
+    session: Session,
+    expected: Option<i64>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn snapshot_sums_land_on_commit_boundaries(seed in 0u64..1_000_000) {
+        let mut rng = TestRng::from_seed(seed);
+        let (shared, mut model) = setup();
+
+        let mut writers: Vec<Writer> = TABLES
+            .iter()
+            .map(|&table| Writer { session: shared.session(), table, staged: None })
+            .collect();
+        let mut readers: Vec<Reader> = (0..2)
+            .map(|_| Reader { session: shared.session(), expected: None })
+            .collect();
+        // Every boundary sum that ever existed, for the final check
+        // that observations never invent a sum.
+        let mut boundary_sums = vec![model_sum(&model)];
+
+        for _ in 0..60 {
+            match rng.below(10) {
+                // -------- writer steps --------
+                0..=4 => {
+                    let wi = rng.below(writers.len());
+                    let w = &mut writers[wi];
+                    match w.staged.take() {
+                        None => {
+                            // begin (implicitly) + stage one update
+                            let account = rng.below(ACCOUNTS as usize) as i64;
+                            let bal = rng.below(1000) as i64;
+                            w.session
+                                .execute(&format!(
+                                    "UPDATE x IN {} SET x.BAL = {bal} WHERE x.ANO = {account}",
+                                    w.table
+                                ))
+                                .unwrap();
+                            w.staged = Some((account, bal));
+                        }
+                        Some((account, bal)) => {
+                            if rng.below(3) == 0 {
+                                w.session.rollback().unwrap();
+                            } else {
+                                w.session.commit().unwrap();
+                                model.get_mut(w.table).unwrap().insert(account, bal);
+                                boundary_sums.push(model_sum(&model));
+                            }
+                        }
+                    }
+                }
+                // -------- reader steps --------
+                5..=8 => {
+                    let ri = rng.below(readers.len());
+                    let r = &mut readers[ri];
+                    match r.expected {
+                        None => {
+                            r.session.begin_read_only().unwrap();
+                            // Pin lands on the current boundary.
+                            r.expected = Some(model_sum(&model));
+                            let got = observed_sum(&mut r.session);
+                            prop_assert_eq!(got, r.expected.unwrap(),
+                                "fresh snapshot off its boundary (seed {})", seed);
+                        }
+                        Some(expected) => {
+                            let got = observed_sum(&mut r.session);
+                            prop_assert_eq!(got, expected,
+                                "snapshot drifted off its boundary (seed {})", seed);
+                            prop_assert_eq!(r.session.lock_acquisitions(), 0,
+                                "read-only session took a lock (seed {})", seed);
+                            if rng.below(2) == 0 {
+                                r.session.commit().unwrap();
+                                r.expected = None;
+                            }
+                        }
+                    }
+                }
+                // -------- administrative refresh (no writer in flight) ----
+                // `with_db` republishes every table as a fresh epoch (the
+                // same refresh a checkpoint performs); pinned snapshots
+                // must ride it out unchanged.
+                _ => {
+                    if writers.iter().all(|w| w.staged.is_none()) {
+                        shared.with_db(|_| {});
+                    }
+                }
+            }
+        }
+
+        // Drain: abort in-flight writers, close remaining readers
+        // (asserting their pin one last time).
+        for w in &mut writers {
+            if w.staged.take().is_some() {
+                w.session.rollback().unwrap();
+            }
+        }
+        for r in &mut readers {
+            if let Some(expected) = r.expected.take() {
+                let got = observed_sum(&mut r.session);
+                prop_assert_eq!(got, expected, "drain read off boundary (seed {})", seed);
+                prop_assert!(boundary_sums.contains(&got),
+                    "observed sum {} is no commit boundary (seed {})", got, seed);
+                r.session.commit().unwrap();
+            }
+        }
+
+        // A fresh snapshot agrees with the model account by account.
+        let mut s = shared.session();
+        s.begin_read_only().unwrap();
+        for table in TABLES {
+            let (_, rows) = s
+                .query(&format!("SELECT x.ANO, x.BAL FROM x IN {table}"))
+                .unwrap();
+            let got: BTreeMap<i64, i64> = rows
+                .tuples
+                .iter()
+                .map(|t| {
+                    (
+                        t.field(0).unwrap().as_atom().unwrap().as_int().unwrap(),
+                        t.field(1).unwrap().as_atom().unwrap().as_int().unwrap(),
+                    )
+                })
+                .collect();
+            prop_assert_eq!(&got, &model[table], "final state diverged on {} (seed {})", table, seed);
+        }
+        prop_assert_eq!(s.lock_acquisitions(), 0);
+        s.commit().unwrap();
+    }
+}

@@ -1,0 +1,459 @@
+//! Deterministic-interleaving harness for MVCC snapshot reads.
+//!
+//! Each schedule names 2–4 actors; every actor is a worker thread that
+//! owns one [`Session`] and executes steps strictly in the order the
+//! scheduler (the test body) hands them over. A step that must block in
+//! the lock manager is issued with [`Sched::step_async`] and the
+//! scheduler then **waits until the requester is provably parked**
+//! (polling [`SharedDatabase::lock_waiters`]) before taking the next
+//! step, so every run exercises the exact same interleaving.
+//!
+//! The schedules pin the snapshot visibility rules: read-only sessions
+//! never see uncommitted writes (no dirty reads), re-read the same
+//! state for the life of the transaction (repeatable reads), never see
+//! a committed transaction's effects split across tables, and acquire
+//! **zero** locks while doing so. Writers stay under strict 2PL among
+//! themselves — the write-skew-shaped schedule ends in a deadlock
+//! victim, not an anomaly — and GC never reclaims a version a live pin
+//! can still reach.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use aim2::Database;
+use aim2_txn::{Session, SharedDatabase, TxnError};
+
+// ====================================================================
+// Harness
+// ====================================================================
+
+type Step = Box<dyn FnOnce(&mut Session) + Send>;
+
+struct Actor {
+    name: &'static str,
+    tx: Option<mpsc::Sender<Step>>,
+    ack: mpsc::Receiver<()>,
+    /// Steps sent whose ack has not been collected yet.
+    pending: usize,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// A scheduler over named single-session worker threads.
+struct Sched {
+    shared: SharedDatabase,
+    actors: Vec<Actor>,
+}
+
+const STEP_TIMEOUT: Duration = Duration::from_secs(20);
+
+impl Sched {
+    fn new(shared: SharedDatabase, names: &[&'static str]) -> Sched {
+        let actors = names
+            .iter()
+            .map(|&name| {
+                let (tx, rx) = mpsc::channel::<Step>();
+                let (ack_tx, ack) = mpsc::channel::<()>();
+                let mut session = shared.session();
+                let handle = thread::Builder::new()
+                    .name(format!("actor-{name}"))
+                    .spawn(move || {
+                        while let Ok(step) = rx.recv() {
+                            step(&mut session);
+                            let _ = ack_tx.send(());
+                        }
+                    })
+                    .expect("spawn actor");
+                Actor {
+                    name,
+                    tx: Some(tx),
+                    ack,
+                    pending: 0,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        Sched { shared, actors }
+    }
+
+    fn actor(&mut self, name: &str) -> &mut Actor {
+        self.actors
+            .iter_mut()
+            .find(|a| a.name == name)
+            .unwrap_or_else(|| panic!("no actor named {name}"))
+    }
+
+    /// Run `f` on `name`'s session and wait for it to finish.
+    fn step(&mut self, name: &str, f: impl FnOnce(&mut Session) + Send + 'static) {
+        self.step_async(name, f);
+        self.finish(name);
+    }
+
+    /// Hand `f` to `name` without waiting — for steps that are meant to
+    /// park in the lock manager. Follow with [`Self::await_blocked`],
+    /// and collect the eventual completion with [`Self::finish`].
+    fn step_async(&mut self, name: &str, f: impl FnOnce(&mut Session) + Send + 'static) {
+        let a = self.actor(name);
+        a.pending += 1;
+        a.tx.as_ref()
+            .expect("actor already shut down")
+            .send(Box::new(f))
+            .unwrap_or_else(|_| panic!("actor {name} died (step panicked?)"));
+    }
+
+    /// Wait until `n` transactions are parked in lock wait queues.
+    fn await_blocked(&self, n: usize) {
+        let deadline = Instant::now() + STEP_TIMEOUT;
+        while self.shared.lock_waiters() < n {
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for {n} parked waiter(s)"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Collect the acks of every step issued to `name` so far. Panics
+    /// (with the actor's own panic surfaced at `shutdown`) on timeout.
+    fn finish(&mut self, name: &str) {
+        let a = self.actor(name);
+        while a.pending > 0 {
+            match a.ack.recv_timeout(STEP_TIMEOUT) {
+                Ok(()) => a.pending -= 1,
+                Err(e) => panic!("actor {name} never finished its step: {e}"),
+            }
+        }
+    }
+
+    /// Stop every actor and propagate any panic raised inside a step.
+    fn shutdown(mut self) {
+        for a in &mut self.actors {
+            a.tx = None; // close the channel; worker loop exits
+        }
+        for a in &mut self.actors {
+            if let Some(h) = a.handle.take() {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+// ====================================================================
+// Fixtures
+// ====================================================================
+
+fn bank() -> SharedDatabase {
+    let shared = SharedDatabase::new(Database::in_memory());
+    shared.with_db(|db| {
+        db.execute("CREATE TABLE SAVINGS ( ANO INTEGER, BAL INTEGER )")
+            .unwrap();
+        db.execute("CREATE TABLE CHECKING ( ANO INTEGER, BAL INTEGER )")
+            .unwrap();
+        db.execute("INSERT INTO SAVINGS VALUES (1, 100)").unwrap();
+        db.execute("INSERT INTO CHECKING VALUES (1, 0)").unwrap();
+    });
+    shared
+}
+
+/// Sum of `BAL` over `table`, read through `s`'s open transaction.
+fn bal(s: &mut Session, table: &str) -> i64 {
+    let (_, rows) = s
+        .query(&format!("SELECT x.BAL FROM x IN {table}"))
+        .unwrap();
+    rows.tuples
+        .iter()
+        .map(|t| t.field(0).unwrap().as_atom().unwrap().as_int().unwrap())
+        .sum()
+}
+
+// ====================================================================
+// Schedules
+// ====================================================================
+
+/// R pins its snapshot before W writes: R must not see W's uncommitted
+/// in-place heap mutation (no dirty read), must keep seeing its pinned
+/// state after W commits (repeatable read), and must do all of it with
+/// zero lock acquisitions.
+#[test]
+fn schedule_no_dirty_read_and_repeatable_read() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["r", "w"]);
+
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 100);
+    });
+    sched.step("w", |s| {
+        s.begin().unwrap();
+        s.execute("UPDATE x IN SAVINGS SET x.BAL = 40 WHERE x.ANO = 1")
+            .unwrap();
+    });
+    // W's X-locked, uncommitted write is invisible and non-blocking.
+    sched.step("r", |s| {
+        assert_eq!(bal(s, "SAVINGS"), 100, "dirty read");
+    });
+    sched.step("w", |s| s.commit().unwrap());
+    // ... and stays invisible after W commits: the pin holds.
+    sched.step("r", |s| {
+        assert_eq!(bal(s, "SAVINGS"), 100, "repeatable read broken");
+        assert_eq!(s.lock_acquisitions(), 0, "read-only session took a lock");
+        s.commit().unwrap();
+    });
+    // A snapshot pinned after the commit sees the new state.
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 40);
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}
+
+/// An aborted writer is never visible: not while running, not after
+/// rollback, not to snapshots pinned at any point around it.
+#[test]
+fn schedule_abort_invisible() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["r", "w"]);
+
+    sched.step("w", |s| {
+        s.begin().unwrap();
+        s.execute("UPDATE x IN SAVINGS SET x.BAL = 1 WHERE x.ANO = 1")
+            .unwrap();
+    });
+    // Snapshot pinned *while* W holds its uncommitted write.
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 100);
+    });
+    sched.step("w", |s| s.rollback().unwrap());
+    sched.step("r", |s| {
+        assert_eq!(bal(s, "SAVINGS"), 100);
+        assert_eq!(s.lock_acquisitions(), 0);
+        s.commit().unwrap();
+    });
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 100, "rollback leaked");
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}
+
+/// A transfer across two tables commits atomically: every snapshot sees
+/// either both legs or neither, never money in flight.
+#[test]
+fn schedule_cross_table_atomicity() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["r1", "r2", "w"]);
+
+    sched.step("r1", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS") + bal(s, "CHECKING"), 100);
+    });
+    sched.step("w", |s| {
+        s.begin().unwrap();
+        s.execute("UPDATE x IN SAVINGS SET x.BAL = 90 WHERE x.ANO = 1")
+            .unwrap();
+    });
+    // Between the two legs of the transfer: pinned reader still sees
+    // the old world, money conserved.
+    sched.step("r1", |s| {
+        assert_eq!(bal(s, "SAVINGS"), 100);
+        assert_eq!(bal(s, "CHECKING"), 0);
+    });
+    sched.step("w", |s| {
+        s.execute("UPDATE x IN CHECKING SET x.BAL = 10 WHERE x.ANO = 1")
+            .unwrap();
+        s.commit().unwrap();
+    });
+    // r1 stays on its pin; r2 pins the post-commit world. Both conserve.
+    sched.step("r1", |s| {
+        assert_eq!(bal(s, "SAVINGS") + bal(s, "CHECKING"), 100);
+        assert_eq!(bal(s, "SAVINGS"), 100, "saw half a commit");
+        assert_eq!(s.lock_acquisitions(), 0);
+        s.commit().unwrap();
+    });
+    sched.step("r2", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 90);
+        assert_eq!(bal(s, "CHECKING"), 10);
+        assert_eq!(s.lock_acquisitions(), 0);
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}
+
+/// Write-skew-shaped schedule: both writers read both tables (S locks),
+/// then each tries to write the table the other read. Strict 2PL turns
+/// the would-be anomaly into a deadlock with a deterministic victim
+/// (the second requester), and the surviving writer's retry-free commit
+/// keeps the invariant.
+#[test]
+fn schedule_write_skew_becomes_deadlock() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["w1", "w2"]);
+
+    sched.step("w1", |s| {
+        s.begin().unwrap();
+        assert_eq!(bal(s, "SAVINGS") + bal(s, "CHECKING"), 100);
+    });
+    sched.step("w2", |s| {
+        s.begin().unwrap();
+        assert_eq!(bal(s, "SAVINGS") + bal(s, "CHECKING"), 100);
+    });
+    // w1 wants X on CHECKING, but w2 holds S on it → parks.
+    sched.step_async("w1", |s| {
+        s.execute("UPDATE x IN CHECKING SET x.BAL = 100 WHERE x.ANO = 1")
+            .unwrap();
+    });
+    sched.await_blocked(1);
+    // w2 wants X on SAVINGS, held S by the parked w1 → cycle. The
+    // requester is the victim, deterministically.
+    sched.step("w2", |s| {
+        let err = s
+            .execute("UPDATE x IN SAVINGS SET x.BAL = 0 WHERE x.ANO = 1")
+            .unwrap_err();
+        assert!(
+            matches!(err, TxnError::Deadlock { .. }),
+            "expected deadlock, got {err}"
+        );
+        s.rollback().unwrap();
+    });
+    // w2's rollback released its S locks; w1 unparks and commits.
+    sched.finish("w1");
+    sched.step("w1", |s| s.commit().unwrap());
+    sched.step("w2", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 100);
+        assert_eq!(bal(s, "CHECKING"), 100);
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}
+
+/// A pinned snapshot keeps its versions alive across later commits; the
+/// unpin triggers the GC pass that reclaims them.
+#[test]
+fn schedule_gc_keeps_pinned_versions() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["r", "w"]);
+    let stats = shared.stats();
+
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 100);
+    });
+    // Three commits supersede SAVINGS three times while r's pin holds.
+    for v in [70, 80, 90] {
+        sched.step("w", move |s| {
+            s.begin().unwrap();
+            s.execute(&format!("UPDATE x IN SAVINGS SET x.BAL = {v} WHERE x.ANO = 1"))
+                .unwrap();
+            s.commit().unwrap();
+        });
+    }
+    let reclaimed_while_pinned = stats.mvcc_gc_reclaimed();
+    let retained_while_pinned = stats.versions_retained().get();
+    // The pinned epoch plus the chain above it must all be retained.
+    assert!(
+        retained_while_pinned >= 4,
+        "pin did not hold its version chain: {retained_while_pinned} retained"
+    );
+    sched.step("r", |s| {
+        assert_eq!(bal(s, "SAVINGS"), 100, "GC stole a pinned version");
+        assert_eq!(s.lock_acquisitions(), 0);
+        s.commit().unwrap();
+    });
+    // The unpin ran a GC pass: the superseded versions are gone.
+    assert!(
+        stats.mvcc_gc_reclaimed() > reclaimed_while_pinned,
+        "unpin did not reclaim superseded versions"
+    );
+    assert!(stats.versions_retained().get() < retained_while_pinned);
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 90);
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}
+
+/// A read-only session sails past a writer that is itself parked behind
+/// another writer's X lock — the reader touches no lock queue at all.
+#[test]
+fn schedule_reader_unaffected_by_blocked_writer() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["r", "w1", "w2"]);
+
+    sched.step("w1", |s| {
+        s.begin().unwrap();
+        s.execute("UPDATE x IN SAVINGS SET x.BAL = 55 WHERE x.ANO = 1")
+            .unwrap();
+    });
+    sched.step_async("w2", |s| {
+        s.begin().unwrap();
+        s.execute("UPDATE x IN SAVINGS SET x.BAL = 66 WHERE x.ANO = 1")
+            .unwrap();
+    });
+    sched.await_blocked(1);
+    // Both writers are live (one running, one parked) — the reader
+    // still completes instantly with the last committed state.
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 100);
+        assert_eq!(s.lock_acquisitions(), 0, "reader joined a lock queue");
+        s.commit().unwrap();
+    });
+    sched.step("w1", |s| s.commit().unwrap());
+    sched.finish("w2");
+    sched.step("w2", |s| s.commit().unwrap());
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 66, "w2's write lost");
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}
+
+/// A session that commits a write then reopens read-only sees its own
+/// commit: the publish advanced the epoch before `commit` returned.
+#[test]
+fn schedule_read_your_own_commit() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["a"]);
+
+    sched.step("a", |s| {
+        s.begin().unwrap();
+        s.execute("UPDATE x IN SAVINGS SET x.BAL = 7 WHERE x.ANO = 1")
+            .unwrap();
+        s.commit().unwrap();
+        s.begin_read_only().unwrap();
+        assert_eq!(bal(s, "SAVINGS"), 7, "own commit invisible");
+        assert_eq!(s.lock_acquisitions(), 0);
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}
+
+/// Writes inside a read-only transaction are rejected without
+/// disturbing the pinned snapshot.
+#[test]
+fn schedule_read_only_rejects_writes() {
+    let shared = bank();
+    let mut sched = Sched::new(shared.clone(), &["r"]);
+
+    sched.step("r", |s| {
+        s.begin_read_only().unwrap();
+        let err = s
+            .execute("UPDATE x IN SAVINGS SET x.BAL = 0 WHERE x.ANO = 1")
+            .unwrap_err();
+        assert!(matches!(err, TxnError::ReadOnly(_)), "got {err}");
+        // The snapshot survives the refusal.
+        assert_eq!(bal(s, "SAVINGS"), 100);
+        assert_eq!(s.lock_acquisitions(), 0);
+        s.commit().unwrap();
+    });
+    sched.shutdown();
+}

@@ -191,6 +191,62 @@ fn versioned_queries_stream_identically() {
     assert_equivalent(&mut db, "SELECT * FROM SNAP ASOF '1984-06-01'");
 }
 
+/// Regression: an `ASOF` read of a strictly-past date inside a 2PL
+/// transaction used to queue behind writers for a table S lock — for
+/// state that is immutable history and cannot conflict with any writer.
+/// It now routes through the snapshot machinery (no lock acquisitions)
+/// and completes even while another transaction holds the table X lock.
+/// An `ASOF` at the current date is *not* immutable (today's version
+/// slot still accretes writes) and must keep taking the lock path.
+#[test]
+fn asof_historical_reads_bypass_locks_inside_transactions() {
+    use aim2_txn::SharedDatabase;
+
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE SNAP ( K INTEGER, V INTEGER ) WITH VERSIONS")
+        .unwrap();
+    db.set_today(aim2_model::Date::parse_iso("1984-01-01").unwrap());
+    db.execute("INSERT INTO SNAP VALUES (1, 10)").unwrap();
+    db.set_today(aim2_model::Date::parse_iso("1985-01-01").unwrap());
+    db.execute("UPDATE s IN SNAP SET s.V = 20 WHERE s.K = 1")
+        .unwrap();
+    let shared = SharedDatabase::new(db);
+
+    // A writer parks an uncommitted update on SNAP: table X lock held.
+    let mut w = shared.session();
+    w.execute("UPDATE s IN SNAP SET s.V = 30 WHERE s.K = 1")
+        .unwrap();
+
+    // A second 2PL transaction reads yesterday's state: must neither
+    // block behind the X lock nor touch the lock manager at all.
+    let mut r = shared.session();
+    r.begin().unwrap();
+    let (_, rows) = r.query("SELECT * FROM SNAP ASOF '1984-06-01'").unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(
+        rows.tuples[0].fields[1],
+        aim2_model::Value::Atom(aim2_model::Atom::Int(10)),
+        "historical read must see the 1984 version"
+    );
+    assert_eq!(
+        r.lock_acquisitions(),
+        0,
+        "strictly-past ASOF read took the lock path"
+    );
+    r.commit().unwrap();
+    w.commit().unwrap();
+
+    // ASOF at the current date still locks: today's slot is mutable.
+    let mut r2 = shared.session();
+    r2.begin().unwrap();
+    r2.query("SELECT * FROM SNAP ASOF '1985-01-01'").unwrap();
+    assert!(
+        r2.lock_acquisitions() > 0,
+        "same-day ASOF must keep 2PL locking"
+    );
+    r2.commit().unwrap();
+}
+
 #[test]
 fn exists_over_stored_table_stops_at_first_witness() {
     // SMALL has one row; BIG has 60 objects. The EXISTS quantifier over

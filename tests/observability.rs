@@ -280,10 +280,18 @@ fn stats_display_grouped_and_zero_suppressed() {
     assert!(shown.contains("buffer["), "grouped display: {shown}");
     assert!(shown.contains("objects-decoded="));
     assert!(!shown.contains("=0"), "zero counters suppressed: {shown}");
-    // Verbose shows all six groups, including all-zero ones.
+    // Verbose shows all seven groups, including all-zero ones.
     let verbose = snap.verbose().to_string();
-    assert_eq!(verbose.lines().count(), 6);
-    for group in ["buffer", "storage", "wal", "txn", "integrity", "cursor"] {
+    assert_eq!(verbose.lines().count(), 7);
+    for group in [
+        "buffer",
+        "storage",
+        "wal",
+        "txn",
+        "integrity",
+        "cursor",
+        "mvcc",
+    ] {
         assert!(verbose.contains(group), "verbose missing {group}");
     }
     // Reset zeroes counters but keeps latency histograms.
