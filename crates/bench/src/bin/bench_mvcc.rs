@@ -47,8 +47,10 @@ const CELL_MS: u64 = 150;
 
 fn setup() -> SharedDatabase {
     let mut db = Database::in_memory();
-    db.execute("CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER, HIST { SEQ INTEGER } ) USING SS3")
-        .unwrap();
+    db.execute(
+        "CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER, HIST { SEQ INTEGER } ) USING SS3",
+    )
+    .unwrap();
     for a in 0..ACCOUNTS {
         db.execute(&format!("INSERT INTO ACCOUNTS VALUES ({a}, 1000, {{(0)}})"))
             .unwrap();

@@ -1,0 +1,229 @@
+//! Emit `BENCH_SERVER.json` — the network service layer under
+//! concurrent clients.
+//!
+//! ```text
+//! cargo run --release -p aim2-bench --bin bench_server
+//! ```
+//!
+//! One `aim2-server` on a loopback socket serves the paper fixture;
+//! N client connections (1 → 64) each loop a read-only snapshot
+//! transaction over the §3/§5 paper query suite, reassembling every
+//! streamed result. Per cell the harness records completed queries,
+//! throughput, exact p50/p95/p99 per-query latency (connect-to-last-
+//! frame, measured client-side), and the engine's `txn.lock_wait`
+//! delta — which must stay **zero**: every network read runs on an
+//! MVCC snapshot and never touches the lock manager.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::{Duration, Instant};
+
+use aim2::Database;
+use aim2_model::fixtures;
+use aim2_net::{Client, Server, ServerConfig};
+use aim2_txn::SharedDatabase;
+
+const CONN_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+const CELL_MS: u64 = 250;
+const FETCH: u32 = 64;
+
+/// The §3/§5 example corpus — the same statements the equivalence
+/// suites pin, here exercised for throughput.
+const PAPER_QUERIES: &[&str] = &[
+    "SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP FROM x IN DEPARTMENTS",
+    "SELECT * FROM DEPARTMENTS",
+    "SELECT x.DNO, x.MGRNO,
+        PROJECTS = (SELECT y.PNO, y.PNAME,
+            MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS)
+            FROM y IN x.PROJECTS),
+        x.BUDGET,
+        EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+     FROM x IN DEPARTMENTS",
+    "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+     FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+     WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
+    "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS
+     WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'",
+];
+
+fn paper_db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute_script(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } );
+         CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING );
+         CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                                DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } )",
+    )
+    .unwrap();
+    for (table, value) in [
+        ("DEPARTMENTS", fixtures::departments_value()),
+        ("EMPLOYEES-1NF", fixtures::employees_1nf_value()),
+        ("REPORTS", fixtures::reports_value()),
+    ] {
+        for t in value.tuples {
+            db.insert_tuple(table, t).unwrap();
+        }
+    }
+    db
+}
+
+struct Cell {
+    conns: usize,
+    queries: u64,
+    elapsed: Duration,
+    p50_ns: u64,
+    p95_ns: u64,
+    p99_ns: u64,
+    lock_waits: u64,
+    snapshot_reads: u64,
+}
+
+impl Cell {
+    fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn run_cell(conns: usize) -> Cell {
+    let shared = SharedDatabase::new(paper_db());
+    let stats = shared.stats();
+    let lock_waits_before = stats.lock_waits();
+    let snapshot_reads_before = stats.snapshot_reads();
+    let mut handle = Server::start(
+        shared,
+        ServerConfig {
+            max_conns: 2 * CONN_COUNTS[CONN_COUNTS.len() - 1],
+            max_inflight: 2 * CONN_COUNTS[CONN_COUNTS.len() - 1],
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    let addr = handle.local_addr();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(conns + 1));
+    let latencies = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let mut joins = Vec::new();
+    for _ in 0..conns {
+        let stop = stop.clone();
+        let barrier = barrier.clone();
+        let latencies = latencies.clone();
+        joins.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr, "bench_server").expect("connect");
+            let mut local = Vec::new();
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                client.begin(true).expect("begin read-only");
+                for sql in PAPER_QUERIES {
+                    let t = Instant::now();
+                    client.query_fetch(sql, FETCH).expect("query");
+                    local.push(t.elapsed().as_nanos() as u64);
+                }
+                client.commit().expect("commit");
+            }
+            let _ = client.goodbye();
+            latencies.lock().unwrap().extend(local);
+        }));
+    }
+
+    barrier.wait();
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_millis(CELL_MS));
+    stop.store(true, Ordering::Relaxed);
+    for j in joins {
+        j.join().expect("bench client panicked");
+    }
+    let elapsed = started.elapsed();
+    handle.shutdown();
+
+    let mut lat = Arc::try_unwrap(latencies)
+        .expect("latency vec still shared")
+        .into_inner()
+        .unwrap();
+    lat.sort_unstable();
+    Cell {
+        conns,
+        queries: lat.len() as u64,
+        elapsed,
+        p50_ns: percentile(&lat, 0.50),
+        p95_ns: percentile(&lat, 0.95),
+        p99_ns: percentile(&lat, 0.99),
+        lock_waits: stats.lock_waits() - lock_waits_before,
+        snapshot_reads: stats.snapshot_reads() - snapshot_reads_before,
+    }
+}
+
+fn main() {
+    let mut cells = Vec::new();
+    for &conns in &CONN_COUNTS {
+        let cell = run_cell(conns);
+        eprintln!(
+            "conns={conns:<3} queries/s={:>9.0} p50={:>7}ns p95={:>8}ns p99={:>8}ns lock_waits={}",
+            cell.queries_per_sec(),
+            cell.p50_ns,
+            cell.p95_ns,
+            cell.p99_ns,
+            cell.lock_waits,
+        );
+        cells.push(cell);
+    }
+
+    let rate = |conns: usize| {
+        cells
+            .iter()
+            .find(|c| c.conns == conns)
+            .map(Cell::queries_per_sec)
+            .unwrap_or(0.0)
+    };
+    let scaling_1_to_64 = rate(64) / rate(1).max(1e-9);
+    let total_lock_waits: u64 = cells.iter().map(|c| c.lock_waits).sum();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"server_read_scaling\",\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"queries\": {}, \"fetch\": {FETCH}, \"cell_ms\": {CELL_MS}, \"txn\": \"begin_read_only; paper suite; commit\"}},\n",
+        PAPER_QUERIES.len()
+    ));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"conns\": {}, \"queries\": {}, \"queries_per_sec\": {:.1}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"lock_waits\": {}, \"snapshot_reads\": {}}}{}\n",
+            c.conns,
+            c.queries,
+            c.queries_per_sec(),
+            c.p50_ns,
+            c.p95_ns,
+            c.p99_ns,
+            c.lock_waits,
+            c.snapshot_reads,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"summary\": {{\"throughput_scaling_1_to_64\": {scaling_1_to_64:.1}, \"reader_lock_waits\": {total_lock_waits}}}\n"
+    ));
+    out.push_str("}\n");
+
+    std::fs::write("BENCH_SERVER.json", &out).expect("write BENCH_SERVER.json");
+    println!("{out}");
+    eprintln!("wrote BENCH_SERVER.json (1→64 conn scaling: {scaling_1_to_64:.1}x, reader lock waits: {total_lock_waits})");
+}

@@ -15,6 +15,10 @@ use aim2_index::address::Scheme;
 use aim2_index::index::NfIndex;
 use aim2_index::tname::{Resolved, TupleName};
 use aim2_model::{fixtures, render, Atom, Date, Path};
+use aim2_net::{
+    write_frame, Client, ErrorCode, NetError, QueryOutcome, Request, Response, Server,
+    ServerConfig, PROTOCOL_VERSION,
+};
 use aim2_storage::faultdisk::FaultInjector;
 use aim2_storage::ims::{Cursor, ImsStore};
 use aim2_storage::lorie::LorieStore;
@@ -51,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     integrity()?;
     observability()?;
     mvcc()?;
+    network()?;
     println!("\nAll reproduction checks passed.");
     Ok(())
 }
@@ -1126,5 +1131,189 @@ fn mvcc() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.mvcc_versions_published() - vp0, 1);
     assert_eq!(stats.mvcc_gc_reclaimed() - gc0, 1);
     assert_eq!(stats.versions_retained().get(), 1);
+    Ok(())
+}
+
+fn network() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Network service — streamed queries and typed errors over TCP");
+
+    // Two identical in-memory databases: one behind `aim2-server`, one
+    // queried in-process. Every statement must agree byte-for-byte.
+    let build = || -> Result<Database, Box<dyn std::error::Error>> {
+        let mut db = Database::in_memory();
+        db.execute(
+            "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+               PROJECTS { PNO INTEGER, PNAME STRING,
+                          MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+               BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } )",
+        )?;
+        for t in fixtures::departments_value().tuples {
+            db.insert_tuple("DEPARTMENTS", t)?;
+        }
+        Ok(db)
+    };
+    let mut local = build()?;
+    let shared = SharedDatabase::new(build()?);
+    let stats = shared.stats();
+    let base = stats.snapshot();
+    let mut handle = Server::start(
+        shared,
+        ServerConfig {
+            max_conns: 8,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = handle.local_addr();
+
+    let queries = [
+        "SELECT * FROM DEPARTMENTS",
+        "SELECT x.DNO, x.MGRNO,
+            PROJECTS = (SELECT y.PNO, y.PNAME,
+                MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS)
+                FROM y IN x.PROJECTS),
+            x.BUDGET,
+            EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+         FROM x IN DEPARTMENTS",
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+         WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+    ];
+    let mut client = Client::connect(addr, "reproduce")?;
+    let mut agree = 0;
+    for sql in &queries {
+        // fetch=2 forces every result to stream across several
+        // suspended-portal round trips before reassembly.
+        let over_tcp = match client.query_fetch(sql, 2)? {
+            QueryOutcome::Table(schema, value) => (schema, value),
+            other => panic!("expected a table over TCP, got {other:?}"),
+        };
+        let in_process = local.query(sql)?;
+        assert_eq!(over_tcp, in_process, "TCP and in-process disagree: {sql}");
+        agree += 1;
+    }
+    println!(
+        "TCP results equal in-process results (fetch=2, multi-frame streams): {agree}/{} queries",
+        queries.len()
+    );
+
+    // A read-only transaction over the wire runs on an MVCC snapshot:
+    // its queries never touch the lock manager.
+    let lw0 = stats.lock_waits();
+    client.begin(true)?;
+    client.query_fetch(queries[0], 2)?;
+    client.commit()?;
+    println!(
+        "read-only txn over TCP: snapshot reads = {}, lock-wait delta = {}",
+        stats.snapshot_reads() - base.snapshot_reads,
+        stats.lock_waits() - lw0
+    );
+    assert_eq!(
+        stats.lock_waits() - lw0,
+        0,
+        "network readers must be lock-free"
+    );
+
+    // Hostile frames draw typed Protocol errors, never a crash: a
+    // header claiming ~3.9 GiB, and a Hello with one payload bit
+    // flipped so the CRC cannot match.
+    use std::io::Write as _;
+    let expect_protocol_error =
+        |raw: &mut std::net::TcpStream| -> Result<(), Box<dyn std::error::Error>> {
+            let payload = aim2_net::read_frame(raw, aim2_net::DEFAULT_MAX_FRAME)?
+                .expect("server must answer before closing");
+            match Response::decode(&payload)? {
+                Response::Error { code, .. } => {
+                    assert_eq!(code, ErrorCode::Protocol as u32);
+                    Ok(())
+                }
+                other => panic!("expected Protocol error, got {other:?}"),
+            }
+        };
+    let mut raw = std::net::TcpStream::connect(addr)?;
+    let mut header = Vec::new();
+    header.extend_from_slice(&0xEEEE_EEEEu32.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    raw.write_all(&header)?;
+    expect_protocol_error(&mut raw)?;
+    let mut raw = std::net::TcpStream::connect(addr)?;
+    let mut framed = Vec::new();
+    write_frame(
+        &mut framed,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: "corrupted".to_string(),
+        }
+        .encode(),
+    )?;
+    let last = framed.len() - 1;
+    framed[last] ^= 0x01;
+    raw.write_all(&framed)?;
+    expect_protocol_error(&mut raw)?;
+    println!("oversized frame and corrupt CRC both answered with typed Protocol errors");
+
+    // The `net` counter group saw exactly this section's traffic.
+    let d = base.delta(&stats.snapshot());
+    println!(
+        "net counters: queries={} rows-streamed={} rejected-frames={} frames-moved={}",
+        d.net_queries,
+        d.net_rows_streamed,
+        d.net_rejected,
+        d.net_frames_in > 0 && d.net_frames_out > 0
+    );
+    assert_eq!(d.net_queries, queries.len() as u64 + 1);
+    assert_eq!(d.net_rejected, 2, "both hostile frames count as rejected");
+
+    // Graceful shutdown notifies the idle connection before closing.
+    handle.shutdown();
+    let notified = match client.recv() {
+        Ok(Response::Error { code, .. }) => code == ErrorCode::Shutdown as u32,
+        Err(NetError::Closed) => true,
+        other => panic!("expected Shutdown notice or clean close, got {other:?}"),
+    };
+    println!("graceful shutdown notified the idle client: {notified}");
+
+    // Admission control: a 2-connection server turns the third away
+    // with a retryable typed error, and admits it once a slot frees.
+    let shared = SharedDatabase::new(build()?);
+    let mut handle = Server::start(
+        shared,
+        ServerConfig {
+            max_conns: 2,
+            ..ServerConfig::default()
+        },
+    )?;
+    let addr = handle.local_addr();
+    let c1 = Client::connect(addr, "repro-1")?;
+    let _c2 = Client::connect(addr, "repro-2")?;
+    let turned_away = match Client::connect(addr, "repro-3") {
+        Ok(_) => panic!("third connection must be rejected"),
+        Err(NetError::Server {
+            code, retryable, ..
+        }) => code == ErrorCode::Admission && retryable,
+        Err(other) => panic!("expected a typed Admission error, got {other:?}"),
+    };
+    println!("third connection rejected with retryable Admission error: {turned_away}");
+    assert!(turned_away);
+    c1.goodbye()?;
+    let mut readmitted = None;
+    for _ in 0..100 {
+        match Client::connect(addr, "repro-3") {
+            Ok(c) => {
+                readmitted = Some(c);
+                break;
+            }
+            Err(NetError::Server {
+                retryable: true, ..
+            }) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(other) => panic!("unexpected error while retrying: {other:?}"),
+        }
+    }
+    println!(
+        "after one client said goodbye, the retry was admitted: {}",
+        readmitted.is_some()
+    );
+    assert!(readmitted.is_some(), "freed slot must admit the retry");
+    handle.shutdown();
     Ok(())
 }

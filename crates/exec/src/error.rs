@@ -24,6 +24,11 @@ pub enum ExecError {
     Storage(aim2_storage::StorageError),
     /// Index-level failure surfaced through the planner.
     Index(aim2_index::IndexError),
+    /// Evaluation aborted because the result consumer went away (e.g. a
+    /// network client cancelled a half-streamed query). Raised by
+    /// [`crate::eval::RowSink`] implementations, never by the evaluator
+    /// itself.
+    Cancelled,
 }
 
 impl fmt::Display for ExecError {
@@ -43,6 +48,7 @@ impl fmt::Display for ExecError {
             ExecError::Model(e) => write!(f, "model error: {e}"),
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::Index(e) => write!(f, "index error: {e}"),
+            ExecError::Cancelled => write!(f, "query cancelled by consumer"),
         }
     }
 }

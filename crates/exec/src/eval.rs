@@ -33,6 +33,19 @@ use aim2_text::Pattern;
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Row-at-a-time consumer for [`Evaluator::eval_query_streamed`].
+///
+/// `on_start` is called exactly once with the inferred result schema
+/// and kind before any row; `on_row` is called per result row in
+/// production order. Returning an error from either aborts evaluation
+/// immediately — cursors close through the normal unwind path — which
+/// is how a slow or departed consumer (e.g. a network client that
+/// cancelled) stops a query without draining it.
+pub trait RowSink {
+    fn on_start(&mut self, schema: &TableSchema, kind: TableKind) -> Result<()>;
+    fn on_row(&mut self, row: Tuple) -> Result<()>;
+}
+
 /// One bound tuple variable.
 #[derive(Debug, Clone)]
 struct Frame {
@@ -311,21 +324,67 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         Ok((schema, value))
     }
 
+    /// Evaluate a whole query, delivering rows to `sink` as they are
+    /// produced instead of materializing a result table. The sink sees
+    /// `on_start` (inferred schema + result kind) exactly once, then
+    /// `on_row` per result row in production order; a sink error aborts
+    /// evaluation and propagates (this is how a network peer cancels a
+    /// half-streamed query).
+    pub fn eval_query_streamed(&mut self, q: &Query, sink: &mut dyn RowSink) -> Result<()> {
+        let schema = infer_query_schema(q, self.provider, &mut SchemaEnv::new(), "RESULT")?;
+        self.prepare(q);
+        let mut env = Env::default();
+        let kind = self.query_kind(q, &env)?;
+        sink.on_start(&schema, kind)?;
+        self.eval_query_rows(q, &mut env, true, &mut |row| sink.on_row(row))
+    }
+
+    /// The kind of a query's result: `SELECT *` keeps the source's kind
+    /// (a list stays a list), everything else builds a relation. Also
+    /// enforces the `SELECT *` shape rule. Only consults bindings bound
+    /// *outside* `q` (its own first binding cannot be in scope for
+    /// itself), so this is stable whether asked before or after the
+    /// enumeration loop.
+    fn query_kind(&mut self, q: &Query, env: &Env) -> Result<TableKind> {
+        let star = q.select.iter().any(|i| matches!(i, SelectItem::Star));
+        if star && (q.select.len() != 1 || q.from.len() != 1) {
+            return Err(ExecError::Semantic(
+                "`SELECT *` requires exactly one item and one binding".into(),
+            ));
+        }
+        if star {
+            self.binding_kind(&q.from[0], env)
+        } else {
+            Ok(TableKind::Relation)
+        }
+    }
+
     fn eval_query_env(&mut self, q: &Query, env: &mut Env, top: bool) -> Result<TableValue> {
+        let kind = self.query_kind(q, env)?;
+        let mut tuples = Vec::new();
+        self.eval_query_rows(q, env, top, &mut |row| {
+            tuples.push(row);
+            Ok(())
+        })?;
+        Ok(TableValue { kind, tuples })
+    }
+
+    /// Core enumeration: run `q`'s binding loops and hand each result
+    /// row to `out`. Shared by the materializing path ([`Self::eval_query`],
+    /// subqueries) and the streaming path ([`Self::eval_query_streamed`]).
+    fn eval_query_rows(
+        &mut self,
+        q: &Query,
+        env: &mut Env,
+        top: bool,
+        out: &mut dyn FnMut(Tuple) -> Result<()>,
+    ) -> Result<()> {
         // Projection pushdown and head streaming apply to the top-level
         // query's bindings only; subquery scans materialize in full (a
         // correlated subquery re-runs per outer row — its scan must be
         // cacheable and unpruned).
         let use_refs = top && self.projection_pushdown && !self.materialize;
         let stream_head = top && !self.materialize;
-        // `SELECT *` keeps the source's kind (a list stays a list).
-        let star = q.select.iter().any(|i| matches!(i, SelectItem::Star));
-        let mut kind = TableKind::Relation;
-        if star && (q.select.len() != 1 || q.from.len() != 1) {
-            return Err(ExecError::Semantic(
-                "`SELECT *` requires exactly one item and one binding".into(),
-            ));
-        }
         // EXPLAIN ANALYZE attribution for this (sub)query's Filter and
         // Project nodes. Wall times are inclusive: a Filter's clock
         // covers the quantifier pulls its predicate triggers, which the
@@ -333,7 +392,6 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         let qn = self.query_nodes.get(&Self::qaddr(q)).copied();
         let filter_node = qn.and_then(|(f, _)| f);
         let project_node = qn.map(|(_, p)| p);
-        let mut tuples = Vec::new();
         self.for_each_combination(
             q.from.as_slice(),
             env,
@@ -362,7 +420,8 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                     match item {
                         SelectItem::Star => {
                             let f = env.lookup(&q.from[0].var).expect("bound");
-                            tuples.push(f.tuple.clone());
+                            let row = f.tuple.clone();
+                            out(row)?;
                             me.note_project(project_node, t0);
                             return Ok(());
                         }
@@ -380,16 +439,11 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                         },
                     }
                 }
-                tuples.push(Tuple::new(fields));
+                out(Tuple::new(fields))?;
                 me.note_project(project_node, t0);
                 Ok(())
             },
-        )?;
-        if star {
-            // Kind follows the source table.
-            kind = self.binding_kind(&q.from[0], env)?;
-        }
-        Ok(TableValue { kind, tuples })
+        )
     }
 
     /// The kind (relation/list) of the table a binding ranges over.

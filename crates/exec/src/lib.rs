@@ -33,7 +33,7 @@ pub mod value;
 
 pub use analyze::{AnalyzedPlan, OpMetrics};
 pub use error::ExecError;
-pub use eval::Evaluator;
+pub use eval::{Evaluator, RowSink};
 pub use plan::{PhysOp, PhysicalPlan};
 pub use provider::{MemProvider, ObjectCursor, ScanRequest, SharedRows, TableProvider};
 

@@ -181,7 +181,11 @@ pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value, ModelError> {
                     .unwrap(),
             ) as usize;
             *pos += 4;
-            let mut tuples = Vec::with_capacity(n);
+            // Clamp the pre-allocation by what the buffer could possibly
+            // hold (every tuple costs at least its 2-byte arity header):
+            // a corrupt or hostile count must not reserve gigabytes
+            // before the first element decode fails.
+            let mut tuples = Vec::with_capacity(n.min(buf.len().saturating_sub(*pos) / 2));
             for _ in 0..n {
                 tuples.push(decode_tuple(buf, pos)?);
             }
@@ -209,11 +213,130 @@ pub fn decode_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple, ModelError> {
             .unwrap(),
     ) as usize;
     *pos += 2;
-    let mut fields = Vec::with_capacity(n);
+    // Same allocation clamp as `decode_value`: a field costs at least
+    // one tag byte, so the arity can never exceed the remaining bytes.
+    let mut fields = Vec::with_capacity(n.min(buf.len().saturating_sub(*pos)));
     for _ in 0..n {
         fields.push(decode_value(buf, pos)?);
     }
     Ok(Tuple::new(fields))
+}
+
+// ---------------------------------------------------------------------
+// Self-describing encoding of schemas (wire protocol, reusable by any
+// layer that ships a TableSchema between processes).
+// ---------------------------------------------------------------------
+
+use crate::schema::{AttrDef, AttrKind, TableSchema};
+use crate::AtomType;
+
+const TAG_ATTR_ATOMIC: u8 = 0x00;
+const TAG_ATTR_TABLE: u8 = 0x01;
+
+fn atom_type_tag(t: AtomType) -> u8 {
+    match t {
+        AtomType::Int => 0,
+        AtomType::Double => 1,
+        AtomType::Str => 2,
+        AtomType::Text => 3,
+        AtomType::Bool => 4,
+        AtomType::Date => 5,
+    }
+}
+
+fn atom_type_from_tag(b: u8) -> Result<AtomType, ModelError> {
+    Ok(match b {
+        0 => AtomType::Int,
+        1 => AtomType::Double,
+        2 => AtomType::Str,
+        3 => AtomType::Text,
+        4 => AtomType::Bool,
+        5 => AtomType::Date,
+        t => return Err(ModelError::Decode(format!("unknown atom-type tag {t}"))),
+    })
+}
+
+/// Append the recursive encoding of a (possibly nested) table schema:
+/// name, kind, and per attribute either an atomic type or a sub-schema.
+pub fn encode_schema(schema: &TableSchema, out: &mut Vec<u8>) {
+    encode_str(&schema.name, out);
+    out.push(match schema.kind {
+        TableKind::Relation => TAG_TABLE_REL,
+        TableKind::List => TAG_TABLE_LIST,
+    });
+    out.extend_from_slice(&(schema.attrs.len() as u16).to_le_bytes());
+    for attr in &schema.attrs {
+        match &attr.kind {
+            AttrKind::Atomic(t) => {
+                out.push(TAG_ATTR_ATOMIC);
+                encode_str(&attr.name, out);
+                out.push(atom_type_tag(*t));
+            }
+            AttrKind::Table(sub) => {
+                out.push(TAG_ATTR_TABLE);
+                encode_str(&attr.name, out);
+                encode_schema(sub, out);
+            }
+        }
+    }
+}
+
+/// Decode a schema produced by [`encode_schema`]. Structurally validated
+/// through [`TableSchema::new`] (non-empty, unique attribute names), so
+/// a hostile byte string can yield an error but never an invalid schema.
+pub fn decode_schema(buf: &[u8], pos: &mut usize) -> Result<TableSchema, ModelError> {
+    let err = |m: &str| ModelError::Decode(m.to_string());
+    let name = decode_str(buf, pos)?;
+    let kind = match buf.get(*pos) {
+        Some(&TAG_TABLE_REL) => TableKind::Relation,
+        Some(&TAG_TABLE_LIST) => TableKind::List,
+        _ => return Err(err("bad table-kind tag in schema")),
+    };
+    *pos += 1;
+    let n = u16::from_le_bytes(
+        buf.get(*pos..*pos + 2)
+            .ok_or_else(|| err("truncated schema attr count"))?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    *pos += 2;
+    let mut attrs = Vec::with_capacity(n.min(buf.len().saturating_sub(*pos)));
+    for _ in 0..n {
+        let tag = *buf.get(*pos).ok_or_else(|| err("truncated attr tag"))?;
+        *pos += 1;
+        let attr_name = decode_str(buf, pos)?;
+        match tag {
+            TAG_ATTR_ATOMIC => {
+                let t = *buf.get(*pos).ok_or_else(|| err("truncated atom type"))?;
+                *pos += 1;
+                attrs.push(AttrDef::atomic(attr_name, atom_type_from_tag(t)?));
+            }
+            TAG_ATTR_TABLE => {
+                attrs.push(AttrDef::table(attr_name, decode_schema(buf, pos)?));
+            }
+            t => return Err(ModelError::Decode(format!("unknown attr tag {t}"))),
+        }
+    }
+    TableSchema::new(name, kind, attrs)
+}
+
+/// Decode a string encoded by `encode_str` (u32 LE length + UTF-8).
+fn decode_str(buf: &[u8], pos: &mut usize) -> Result<String, ModelError> {
+    let err = |m: &str| ModelError::Decode(m.to_string());
+    let lb: [u8; 4] = buf
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| err("truncated string length"))?
+        .try_into()
+        .unwrap();
+    *pos += 4;
+    let len = u32::from_le_bytes(lb) as usize;
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or_else(|| err("truncated string body"))?;
+    *pos += len;
+    Ok(std::str::from_utf8(bytes)
+        .map_err(|_| err("invalid UTF-8 in string"))?
+        .to_string())
 }
 
 #[cfg(test)]
@@ -318,6 +441,61 @@ mod tests {
             back.tuples[0].fields[1].as_table().unwrap().kind,
             crate::TableKind::List
         );
+    }
+
+    #[test]
+    fn schema_roundtrip_nested() {
+        let sub = TableSchema::new(
+            "AUTHORS",
+            TableKind::List,
+            vec![AttrDef::atomic("NAME", AtomType::Str)],
+        )
+        .unwrap();
+        let schema = TableSchema::new(
+            "REPORTS",
+            TableKind::Relation,
+            vec![
+                AttrDef::atomic("RNO", AtomType::Int),
+                AttrDef::table("AUTHORS", sub),
+                AttrDef::atomic("BODY", AtomType::Text),
+                AttrDef::atomic("ISSUED", AtomType::Date),
+                AttrDef::atomic("FINAL", AtomType::Bool),
+                AttrDef::atomic("SCORE", AtomType::Double),
+            ],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        encode_schema(&schema, &mut buf);
+        let mut pos = 0;
+        let back = decode_schema(&buf, &mut pos).unwrap();
+        assert_eq!(back, schema);
+        assert_eq!(pos, buf.len());
+        // Every strict prefix errors rather than panicking.
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(decode_schema(&buf[..cut], &mut pos).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A table value claiming u32::MAX tuples in a 9-byte buffer must
+        // fail on the missing bytes, not reserve gigabytes up front.
+        let mut buf = vec![TAG_TABLE_REL];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut pos = 0;
+        assert!(decode_value(&buf, &mut pos).is_err());
+        // Same for a tuple claiming u16::MAX fields.
+        let buf = u16::MAX.to_le_bytes().to_vec();
+        let mut pos = 0;
+        assert!(decode_tuple(&buf, &mut pos).is_err());
+        // And a schema claiming u16::MAX attributes.
+        let mut buf = Vec::new();
+        encode_str("T", &mut buf);
+        buf.push(TAG_TABLE_REL);
+        buf.extend_from_slice(&u16::MAX.to_le_bytes());
+        let mut pos = 0;
+        assert!(decode_schema(&buf, &mut pos).is_err());
     }
 
     #[test]

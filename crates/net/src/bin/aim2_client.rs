@@ -1,0 +1,134 @@
+//! `aim2-client` — interactive shell speaking the wire protocol.
+//!
+//! ```text
+//! cargo run -p aim2-net --bin aim2-client -- 127.0.0.1:4884
+//! ```
+//!
+//! The same statement/dot-command feel as the embedded `aim2` shell,
+//! but every statement travels over TCP. Dot-commands:
+//! `.begin [ro]`, `.commit`, `.rollback`, `.metrics [json|prom]`,
+//! `.stats`, `.integrity`, `.fetch N`, `.quit`.
+
+use std::io::{BufRead, Write};
+
+use aim2_model::render;
+use aim2_net::{Client, MetricsFormat, QueryOutcome};
+
+fn main() {
+    let mut addr = "127.0.0.1:4884".to_string();
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--help" | "-h" => {
+                println!("usage: aim2-client [ADDR]   (default 127.0.0.1:4884)");
+                return;
+            }
+            other => addr = other.to_string(),
+        }
+    }
+
+    let mut client =
+        match Client::connect(&addr, &format!("aim2-client/{}", env!("CARGO_PKG_VERSION"))) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("cannot connect to {addr}: {e}");
+                std::process::exit(1);
+            }
+        };
+    eprintln!("connected to {} ({})", addr, client.server_banner());
+    eprintln!("statements end with ;  — .help for commands");
+
+    let mut fetch: u32 = 0;
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            eprint!("aim2> ");
+        } else {
+            eprint!("  ..> ");
+        }
+        let _ = std::io::stderr().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !dot_command(&mut client, &mut fetch, trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        if trimmed.ends_with(';') {
+            let stmt = std::mem::take(&mut buffer);
+            run_statement(&mut client, fetch, stmt.trim().trim_end_matches(';'));
+        }
+    }
+    let _ = client.goodbye();
+}
+
+fn run_statement(client: &mut Client, fetch: u32, sql: &str) {
+    if sql.is_empty() {
+        return;
+    }
+    match client.query_fetch(sql, fetch) {
+        Ok(QueryOutcome::Table(schema, value)) => {
+            print!("{}", render::render_table(&schema, &value));
+            println!("({} row(s))", value.tuples.len());
+        }
+        Ok(QueryOutcome::Count(n)) => println!("({n} affected)"),
+        Ok(QueryOutcome::Ok(msg)) => println!("{msg}"),
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+/// Returns false to quit.
+fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
+    let mut parts = cmd.splitn(2, ' ');
+    let report = |r: Result<String, aim2_net::NetError>| match r {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("error: {e}"),
+    };
+    match parts.next().unwrap_or("") {
+        ".quit" | ".exit" | ".q" => return false,
+        ".help" => println!(
+            ".begin [ro]          open a transaction (ro = read-only snapshot)\n\
+             .commit              commit the open transaction\n\
+             .rollback            abort the open transaction\n\
+             .metrics [json|prom] server metrics exposition\n\
+             .stats               grouped engine counters\n\
+             .integrity           run the server-side integrity walker\n\
+             .fetch N             rows per frame for streamed results (0 = server default)\n\
+             .quit                leave"
+        ),
+        ".begin" => {
+            let ro = parts.next().map(str::trim) == Some("ro");
+            report(client.begin(ro));
+        }
+        ".commit" => report(client.commit()),
+        ".rollback" => report(client.rollback()),
+        ".metrics" => {
+            let format = match parts.next().map(str::trim) {
+                Some("prom") => MetricsFormat::Prometheus,
+                _ => MetricsFormat::Json,
+            };
+            report(client.metrics(format));
+        }
+        ".stats" => report(client.stats()),
+        ".integrity" => report(client.integrity_check()),
+        ".fetch" => match parts.next().and_then(|n| n.trim().parse::<u32>().ok()) {
+            Some(n) => {
+                *fetch = n;
+                println!("fetch = {n}");
+            }
+            None => eprintln!("usage: .fetch N"),
+        },
+        other => eprintln!("unknown command {other}; try .help"),
+    }
+    true
+}

@@ -1,0 +1,157 @@
+//! `aim2-server` — serve an AIM-II database over TCP.
+//!
+//! ```text
+//! cargo run -p aim2-net --bin aim2-server -- --listen 127.0.0.1:4884
+//! cargo run -p aim2-net --bin aim2-server -- --data DIR --demo
+//! ```
+//!
+//! Runs until stdin closes or a `quit` line arrives, then drains
+//! in-flight work and shuts down gracefully. Every connection gets its
+//! own session: read-only transactions (and bare queries) run on MVCC
+//! snapshots, writers go through strict 2PL — exactly the semantics of
+//! the embedded engine.
+
+use std::io::BufRead;
+
+use aim2::{Database, DbConfig};
+use aim2_model::fixtures;
+use aim2_net::{Server, ServerConfig};
+use aim2_txn::SharedDatabase;
+
+fn main() {
+    let mut cfg = ServerConfig {
+        addr: "127.0.0.1:4884".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut demo = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--listen" => cfg.addr = expect(args.next(), "--listen ADDR"),
+            "--data" => data_dir = Some(expect(args.next(), "--data DIR").into()),
+            "--max-conns" => cfg.max_conns = parse(args.next(), "--max-conns N"),
+            "--max-inflight" => cfg.max_inflight = parse(args.next(), "--max-inflight N"),
+            "--demo" => demo = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: aim2-server [--listen ADDR] [--data DIR] [--demo]\n\
+                     \x20                  [--max-conns N] [--max-inflight N]\n\
+                     --listen ADDR     bind address (default 127.0.0.1:4884)\n\
+                     --data DIR        file-backed database (reopens if present)\n\
+                     --demo            load the paper's Tables 1-8\n\
+                     --max-conns N     connection admission limit (default 64)\n\
+                     --max-inflight N  concurrent statement limit (default 64)\n\
+                     Type 'quit' (or close stdin) to shut down gracefully."
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut db = match &data_dir {
+        Some(dir) if dir.join(aim2::persist::CATALOG_FILE).exists() => {
+            let cfg = DbConfig {
+                data_dir: data_dir.clone(),
+                ..DbConfig::default()
+            };
+            match Database::open(cfg) {
+                Ok(db) => {
+                    eprintln!("reopened database in {}", dir.display());
+                    db
+                }
+                Err(e) => {
+                    eprintln!("cannot open {}: {e}", dir.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some(_) => Database::with_config(DbConfig {
+            data_dir: data_dir.clone(),
+            ..DbConfig::default()
+        }),
+        None => Database::in_memory(),
+    };
+    if demo {
+        if let Err(e) = load_demo(&mut db) {
+            eprintln!("cannot load demo tables: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("loaded the paper's demo tables");
+    }
+
+    let shared = SharedDatabase::new(db);
+    let mut handle = match Server::start(shared, cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("aim2-server listening on {}", handle.local_addr());
+
+    // Serve until stdin closes or says quit — dependency-free stand-in
+    // for signal handling.
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if matches!(l.trim(), "quit" | "exit" | "q") => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    eprintln!(
+        "shutting down ({} connection(s) open)",
+        handle.active_connections()
+    );
+    handle.shutdown();
+    eprintln!("bye");
+}
+
+fn expect(v: Option<String>, what: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("missing value: {what}");
+        std::process::exit(2);
+    })
+}
+
+fn parse(v: Option<String>, what: &str) -> usize {
+    expect(v, what).parse().unwrap_or_else(|_| {
+        eprintln!("bad number: {what}");
+        std::process::exit(2);
+    })
+}
+
+fn load_demo(db: &mut Database) -> aim2::Result<()> {
+    db.execute_script(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } );
+         CREATE TABLE DEPARTMENTS-1NF ( DNO INTEGER, MGRNO INTEGER, BUDGET INTEGER );
+         CREATE TABLE PROJECTS-1NF ( PNO INTEGER, PNAME STRING, DNO INTEGER );
+         CREATE TABLE MEMBERS-1NF ( EMPNO INTEGER, PNO INTEGER, DNO INTEGER, FUNCTION STRING );
+         CREATE TABLE EQUIP-1NF ( DNO INTEGER, QU INTEGER, TYPE STRING );
+         CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING );
+         CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                                DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } )",
+    )?;
+    for (table, value) in [
+        ("DEPARTMENTS", fixtures::departments_value()),
+        ("DEPARTMENTS-1NF", fixtures::departments_1nf_value()),
+        ("PROJECTS-1NF", fixtures::projects_1nf_value()),
+        ("MEMBERS-1NF", fixtures::members_1nf_value()),
+        ("EQUIP-1NF", fixtures::equip_1nf_value()),
+        ("EMPLOYEES-1NF", fixtures::employees_1nf_value()),
+        ("REPORTS", fixtures::reports_value()),
+    ] {
+        for t in value.tuples {
+            db.insert_tuple(table, t)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,226 @@
+//! Client library: a blocking connection to an `aim2-server`.
+//!
+//! [`Client::connect`] performs the `Hello` handshake (surfacing a
+//! version mismatch or an admission rejection as a typed error), then
+//! [`Client::query`] drives the request/response protocol, transparently
+//! issuing `FetchMore` until a streamed result completes. The low-level
+//! [`Client::send`]/[`Client::recv`] pair stays public for callers that
+//! want to drive suspended portals themselves (e.g. to `CancelQuery`
+//! mid-stream).
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use aim2_model::{TableSchema, TableValue};
+
+use crate::error::{ErrorCode, NetError};
+use crate::proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
+use crate::wire::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// What a statement produced, mirroring the engine's `ExecResult` with
+/// the streamed frames reassembled into a whole table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// A query result: schema plus every row, in stream order.
+    Table(TableSchema, TableValue),
+    /// DML affected-row count.
+    Count(u64),
+    /// DDL / transaction-verb status line.
+    Ok(String),
+}
+
+/// A connected, handshaken session with the server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+    server: String,
+}
+
+impl Client {
+    /// Connect and shake hands. `client_name` identifies this client in
+    /// the `Hello` (useful in server logs); version mismatch, admission
+    /// rejection, or garbage both decode into typed [`NetError`]s.
+    pub fn connect(addr: impl ToSocketAddrs, client_name: &str) -> Result<Client, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+            server: String::new(),
+        };
+        client.send(&Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: client_name.to_string(),
+        })?;
+        match client.recv()? {
+            Response::HelloOk { version, server } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(NetError::Version {
+                        ours: PROTOCOL_VERSION,
+                        theirs: version,
+                    });
+                }
+                client.server = server;
+                Ok(client)
+            }
+            Response::Error {
+                code,
+                retryable,
+                message,
+            } => Err(server_error(code, retryable, message)),
+            other => Err(NetError::Protocol(format!(
+                "expected HelloOk, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The server's identification banner from the handshake.
+    pub fn server_banner(&self) -> &str {
+        &self.server
+    }
+
+    /// Send one request frame.
+    pub fn send(&mut self, req: &Request) -> Result<(), NetError> {
+        write_frame(&mut self.stream, &req.encode())?;
+        Ok(())
+    }
+
+    /// Receive one response frame. A clean hangup is [`NetError::Closed`].
+    pub fn recv(&mut self) -> Result<Response, NetError> {
+        let payload = read_frame(&mut self.stream, self.max_frame)?.ok_or(NetError::Closed)?;
+        Response::decode(&payload)
+    }
+
+    /// Run one statement, assembling a streamed result transparently
+    /// (server default batch size).
+    pub fn query(&mut self, sql: &str) -> Result<QueryOutcome, NetError> {
+        self.query_fetch(sql, 0)
+    }
+
+    /// Run one statement with an explicit per-frame row budget
+    /// (`fetch = 0` lets the server choose). Issues `FetchMore` after
+    /// every suspended frame until the stream completes.
+    pub fn query_fetch(&mut self, sql: &str, fetch: u32) -> Result<QueryOutcome, NetError> {
+        self.send(&Request::Query {
+            fetch,
+            sql: sql.to_string(),
+        })?;
+        match self.recv()? {
+            Response::Ok { message } => Ok(QueryOutcome::Ok(message)),
+            Response::Count { n } => Ok(QueryOutcome::Count(n)),
+            Response::Error {
+                code,
+                retryable,
+                message,
+            } => Err(server_error(code, retryable, message)),
+            Response::RowHeader { kind, schema } => {
+                let mut tuples = Vec::new();
+                loop {
+                    match self.recv()? {
+                        Response::Rows { done, rows } => {
+                            tuples.extend(rows);
+                            if done {
+                                return Ok(QueryOutcome::Table(
+                                    schema,
+                                    TableValue { kind, tuples },
+                                ));
+                            }
+                            self.send(&Request::FetchMore)?;
+                        }
+                        Response::Error {
+                            code,
+                            retryable,
+                            message,
+                        } => return Err(server_error(code, retryable, message)),
+                        other => {
+                            return Err(NetError::Protocol(format!(
+                                "expected Rows mid-stream, got {other:?}"
+                            )))
+                        }
+                    }
+                }
+            }
+            other => Err(NetError::Protocol(format!(
+                "unexpected response to Query: {other:?}"
+            ))),
+        }
+    }
+
+    /// Open an explicit transaction. `read_only = true` pins an MVCC
+    /// snapshot: every query in it runs lock-free.
+    pub fn begin(&mut self, read_only: bool) -> Result<String, NetError> {
+        self.simple(&Request::Begin { read_only })
+    }
+
+    pub fn commit(&mut self) -> Result<String, NetError> {
+        self.simple(&Request::Commit)
+    }
+
+    pub fn rollback(&mut self) -> Result<String, NetError> {
+        self.simple(&Request::Rollback)
+    }
+
+    /// Fetch the server's metrics registry in the requested exposition.
+    pub fn metrics(&mut self, format: MetricsFormat) -> Result<String, NetError> {
+        self.info(&Request::Metrics { format })
+    }
+
+    /// Fetch the grouped engine counters (the shell's `.stats verbose`).
+    pub fn stats(&mut self) -> Result<String, NetError> {
+        self.info(&Request::Stats)
+    }
+
+    /// Run the server-side integrity walker and return its report.
+    pub fn integrity_check(&mut self) -> Result<String, NetError> {
+        self.info(&Request::IntegrityCheck)
+    }
+
+    /// Orderly hang-up; consumes the client.
+    pub fn goodbye(mut self) -> Result<(), NetError> {
+        self.send(&Request::Goodbye)?;
+        match self.recv() {
+            Ok(Response::Ok { .. }) | Err(NetError::Closed) => Ok(()),
+            Ok(other) => Err(NetError::Protocol(format!(
+                "unexpected response to Goodbye: {other:?}"
+            ))),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn simple(&mut self, req: &Request) -> Result<String, NetError> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Ok { message } => Ok(message),
+            Response::Error {
+                code,
+                retryable,
+                message,
+            } => Err(server_error(code, retryable, message)),
+            other => Err(NetError::Protocol(format!(
+                "unexpected response to {req:?}: {other:?}"
+            ))),
+        }
+    }
+
+    fn info(&mut self, req: &Request) -> Result<String, NetError> {
+        self.send(req)?;
+        match self.recv()? {
+            Response::Info { text } => Ok(text),
+            Response::Error {
+                code,
+                retryable,
+                message,
+            } => Err(server_error(code, retryable, message)),
+            other => Err(NetError::Protocol(format!(
+                "unexpected response to {req:?}: {other:?}"
+            ))),
+        }
+    }
+}
+
+fn server_error(code: u32, retryable: bool, message: String) -> NetError {
+    NetError::Server {
+        code: ErrorCode::from_u32(code).unwrap_or(ErrorCode::Internal),
+        retryable,
+        message,
+    }
+}

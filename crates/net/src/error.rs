@@ -1,0 +1,164 @@
+//! Typed errors for the network layer.
+//!
+//! Two families: [`NetError`] is what client/server code sees locally
+//! (I/O failures, protocol violations, server-reported errors), and
+//! [`ErrorCode`] is the numeric error class carried inside an `Error`
+//! response frame so clients can react (retry, re-handshake, give up)
+//! without parsing message text.
+
+use std::fmt;
+use std::io;
+
+use crate::wire::FrameError;
+
+/// Numeric error class carried on the wire in `Response::Error`.
+///
+/// The mapping from engine errors is centralized in the server
+/// (`server::error_response`); codes are stable protocol surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum ErrorCode {
+    /// Malformed frame, bad tag, failed handshake, protocol misuse.
+    Protocol = 1,
+    /// SQL failed to parse.
+    Parse = 2,
+    /// Semantic/catalog error (unknown table, type mismatch, ...).
+    Semantic = 3,
+    /// Storage-layer failure (I/O, checksum, page corruption).
+    Storage = 4,
+    /// Transaction-state misuse (commit without begin, nested begin, ...).
+    Txn = 5,
+    /// Deadlock victim or lock timeout — retryable.
+    Deadlock = 6,
+    /// Write attempted inside a read-only (snapshot) transaction.
+    ReadOnly = 7,
+    /// Target object is quarantined by the integrity layer.
+    Quarantined = 8,
+    /// Admission control rejected the request (server full) — retryable.
+    Admission = 9,
+    /// Query was cancelled by a `CancelQuery` from this connection.
+    Cancelled = 10,
+    /// Server is shutting down.
+    Shutdown = 11,
+    /// Anything else; indicates a server-side bug worth reporting.
+    Internal = 12,
+}
+
+impl ErrorCode {
+    pub fn from_u32(v: u32) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            1 => Protocol,
+            2 => Parse,
+            3 => Semantic,
+            4 => Storage,
+            5 => Txn,
+            6 => Deadlock,
+            7 => ReadOnly,
+            8 => Quarantined,
+            9 => Admission,
+            10 => Cancelled,
+            11 => Shutdown,
+            12 => Internal,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Parse => "parse",
+            ErrorCode::Semantic => "semantic",
+            ErrorCode::Storage => "storage",
+            ErrorCode::Txn => "txn",
+            ErrorCode::Deadlock => "deadlock",
+            ErrorCode::ReadOnly => "read-only",
+            ErrorCode::Quarantined => "quarantined",
+            ErrorCode::Admission => "admission",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors surfaced by the client library and server internals.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// Frame-level failure (oversized, bad CRC, truncated stream).
+    Frame(FrameError),
+    /// Well-framed payload that doesn't decode to a valid message.
+    Decode(String),
+    /// Peer sent a message that is invalid in the current state
+    /// (e.g. `Rows` before `RowHeader`, response with a request tag).
+    Protocol(String),
+    /// Protocol version mismatch discovered during the handshake.
+    Version { ours: u32, theirs: u32 },
+    /// Server-reported error, decoded from an `Error` response frame.
+    Server {
+        code: ErrorCode,
+        retryable: bool,
+        message: String,
+    },
+    /// Connection closed mid-conversation.
+    Closed,
+}
+
+impl NetError {
+    /// True when the operation may succeed if simply retried
+    /// (deadlock victim, admission control).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NetError::Server {
+                retryable: true,
+                ..
+            }
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Frame(e) => write!(f, "frame error: {e}"),
+            NetError::Decode(m) => write!(f, "decode error: {m}"),
+            NetError::Protocol(m) => write!(f, "protocol error: {m}"),
+            NetError::Version { ours, theirs } => {
+                write!(f, "protocol version mismatch: ours {ours}, peer {theirs}")
+            }
+            NetError::Server {
+                code,
+                retryable,
+                message,
+            } => {
+                write!(f, "server error [{code}")?;
+                if *retryable {
+                    write!(f, ", retryable")?;
+                }
+                write!(f, "]: {message}")
+            }
+            NetError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<FrameError> for NetError {
+    fn from(e: FrameError) -> Self {
+        NetError::Frame(e)
+    }
+}

@@ -1,0 +1,21 @@
+//! Network service layer for the AIM-II reproduction.
+//!
+//! The paper's prototype was driven through a single-user application
+//! interface; this crate is the multi-user counterpart: a
+//! thread-per-connection TCP server (`aim2-server`) speaking a
+//! length-prefixed, CRC-guarded binary protocol, and a client library +
+//! CLI (`aim2-client`). Results stream as typed row frames driven by
+//! the evaluator's row callbacks, so large results never materialize
+//! server-side. See DESIGN.md §7g for the wire format.
+
+pub mod client;
+pub mod error;
+pub mod proto;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, QueryOutcome};
+pub use error::{ErrorCode, NetError};
+pub use proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use wire::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};

@@ -1,0 +1,477 @@
+//! Typed request/response messages and their byte encoding.
+//!
+//! One message per frame payload: a tag byte followed by a
+//! tag-specific body. Requests use tags `0x01..=0x0B`, responses
+//! `0x81..=0x87` — disjoint ranges, so a peer that confuses the two
+//! directions fails decoding immediately. Row data rides the model
+//! crate's self-describing tuple encoding and schemas ride
+//! [`aim2_model::encode::encode_schema`], so nested NF² results cross
+//! the wire without a parallel serialization scheme.
+//!
+//! Decoders are total: any byte string either decodes to a message
+//! that consumed the entire payload, or returns [`NetError::Decode`].
+//! They never panic and never allocate more than the payload could
+//! possibly describe (see the proptest suite in `tests/prop_wire.rs`).
+
+use aim2_model::encode::{decode_schema, decode_tuple, encode_schema, encode_tuple};
+use aim2_model::{TableKind, TableSchema, Tuple};
+
+use crate::error::NetError;
+
+/// Wire protocol version. The server rejects a `Hello` carrying any
+/// other value; bump on every incompatible change to this module.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+const REQ_HELLO: u8 = 0x01;
+const REQ_QUERY: u8 = 0x02;
+const REQ_FETCH_MORE: u8 = 0x03;
+const REQ_CANCEL_QUERY: u8 = 0x04;
+const REQ_BEGIN: u8 = 0x05;
+const REQ_COMMIT: u8 = 0x06;
+const REQ_ROLLBACK: u8 = 0x07;
+const REQ_METRICS: u8 = 0x08;
+const REQ_STATS: u8 = 0x09;
+const REQ_INTEGRITY_CHECK: u8 = 0x0a;
+const REQ_GOODBYE: u8 = 0x0b;
+
+const RESP_HELLO_OK: u8 = 0x81;
+const RESP_OK: u8 = 0x82;
+const RESP_COUNT: u8 = 0x83;
+const RESP_ROW_HEADER: u8 = 0x84;
+const RESP_ROWS: u8 = 0x85;
+const RESP_ERROR: u8 = 0x86;
+const RESP_INFO: u8 = 0x87;
+
+/// Requested exposition format for the `Metrics` admin verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    Json,
+    Prometheus,
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Mandatory first message on a connection.
+    Hello {
+        version: u32,
+        client: String,
+    },
+    /// Run one statement. `fetch` is the maximum number of rows per
+    /// `Rows` frame; after each non-final frame the server waits for
+    /// `FetchMore` or `CancelQuery` (suspended-portal backpressure).
+    Query {
+        fetch: u32,
+        sql: String,
+    },
+    /// Resume a suspended result stream.
+    FetchMore,
+    /// Abandon a suspended result stream.
+    CancelQuery,
+    /// Open an explicit transaction on this connection's session.
+    /// Read-only transactions map onto MVCC snapshot reads and take
+    /// zero locks.
+    Begin {
+        read_only: bool,
+    },
+    Commit,
+    Rollback,
+    /// Admin: metrics registry snapshot in the requested exposition.
+    Metrics {
+        format: MetricsFormat,
+    },
+    /// Admin: grouped engine counters (the shell's `.stats verbose`).
+    Stats,
+    /// Admin: run the integrity walker and return its report.
+    IntegrityCheck,
+    /// Orderly hang-up; the server rolls back any open transaction.
+    Goodbye,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    HelloOk {
+        version: u32,
+        server: String,
+    },
+    /// Statement succeeded with a status string (DDL, DML, txn verbs).
+    Ok {
+        message: String,
+    },
+    /// Statement succeeded with an affected-row count.
+    Count {
+        n: u64,
+    },
+    /// First frame of a streamed result: the result's schema and kind.
+    /// `Rows` frames follow.
+    RowHeader {
+        kind: TableKind,
+        schema: TableSchema,
+    },
+    /// A batch of rows. `done == false` means the portal is suspended:
+    /// the server sends nothing further until `FetchMore`/`CancelQuery`.
+    Rows {
+        done: bool,
+        rows: Vec<Tuple>,
+    },
+    /// Typed failure; `code` is an [`crate::ErrorCode`] discriminant.
+    Error {
+        code: u32,
+        retryable: bool,
+        message: String,
+    },
+    /// Freeform admin payload (metrics/stats/integrity text).
+    Info {
+        text: String,
+    },
+}
+
+// --- encoding helpers -------------------------------------------------
+
+fn put_str(s: &str, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn get_u8(buf: &[u8], pos: &mut usize, what: &str) -> Result<u8, NetError> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| NetError::Decode(format!("truncated {what}")))?;
+    *pos += 1;
+    Ok(b)
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize, what: &str) -> Result<u32, NetError> {
+    let b: [u8; 4] = buf
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| NetError::Decode(format!("truncated {what}")))?
+        .try_into()
+        .unwrap();
+    *pos += 4;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize, what: &str) -> Result<u64, NetError> {
+    let b: [u8; 8] = buf
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| NetError::Decode(format!("truncated {what}")))?
+        .try_into()
+        .unwrap();
+    *pos += 8;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_str(buf: &[u8], pos: &mut usize, what: &str) -> Result<String, NetError> {
+    let len = get_u32(buf, pos, what)? as usize;
+    let bytes = buf
+        .get(*pos..*pos + len)
+        .ok_or_else(|| NetError::Decode(format!("truncated {what} body")))?;
+    *pos += len;
+    std::str::from_utf8(bytes)
+        .map(|s| s.to_string())
+        .map_err(|_| NetError::Decode(format!("invalid UTF-8 in {what}")))
+}
+
+fn get_bool(buf: &[u8], pos: &mut usize, what: &str) -> Result<bool, NetError> {
+    match get_u8(buf, pos, what)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        b => Err(NetError::Decode(format!("bad bool {b} in {what}"))),
+    }
+}
+
+/// Reject payloads with trailing garbage — a well-formed message must
+/// account for every byte it arrived with.
+fn finish<T>(msg: T, buf: &[u8], pos: usize) -> Result<T, NetError> {
+    if pos == buf.len() {
+        Ok(msg)
+    } else {
+        Err(NetError::Decode(format!(
+            "{} trailing bytes after message",
+            buf.len() - pos
+        )))
+    }
+}
+
+impl Request {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Request::Hello { version, client } => {
+                out.push(REQ_HELLO);
+                out.extend_from_slice(&version.to_le_bytes());
+                put_str(client, &mut out);
+            }
+            Request::Query { fetch, sql } => {
+                out.push(REQ_QUERY);
+                out.extend_from_slice(&fetch.to_le_bytes());
+                put_str(sql, &mut out);
+            }
+            Request::FetchMore => out.push(REQ_FETCH_MORE),
+            Request::CancelQuery => out.push(REQ_CANCEL_QUERY),
+            Request::Begin { read_only } => {
+                out.push(REQ_BEGIN);
+                out.push(u8::from(*read_only));
+            }
+            Request::Commit => out.push(REQ_COMMIT),
+            Request::Rollback => out.push(REQ_ROLLBACK),
+            Request::Metrics { format } => {
+                out.push(REQ_METRICS);
+                out.push(match format {
+                    MetricsFormat::Json => 0,
+                    MetricsFormat::Prometheus => 1,
+                });
+            }
+            Request::Stats => out.push(REQ_STATS),
+            Request::IntegrityCheck => out.push(REQ_INTEGRITY_CHECK),
+            Request::Goodbye => out.push(REQ_GOODBYE),
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Request, NetError> {
+        let mut pos = 0;
+        let tag = get_u8(buf, &mut pos, "request tag")?;
+        let msg = match tag {
+            REQ_HELLO => Request::Hello {
+                version: get_u32(buf, &mut pos, "hello version")?,
+                client: get_str(buf, &mut pos, "hello client")?,
+            },
+            REQ_QUERY => Request::Query {
+                fetch: get_u32(buf, &mut pos, "query fetch")?,
+                sql: get_str(buf, &mut pos, "query sql")?,
+            },
+            REQ_FETCH_MORE => Request::FetchMore,
+            REQ_CANCEL_QUERY => Request::CancelQuery,
+            REQ_BEGIN => Request::Begin {
+                read_only: get_bool(buf, &mut pos, "begin read_only")?,
+            },
+            REQ_COMMIT => Request::Commit,
+            REQ_ROLLBACK => Request::Rollback,
+            REQ_METRICS => Request::Metrics {
+                format: match get_u8(buf, &mut pos, "metrics format")? {
+                    0 => MetricsFormat::Json,
+                    1 => MetricsFormat::Prometheus,
+                    b => return Err(NetError::Decode(format!("bad metrics format {b}"))),
+                },
+            },
+            REQ_STATS => Request::Stats,
+            REQ_INTEGRITY_CHECK => Request::IntegrityCheck,
+            REQ_GOODBYE => Request::Goodbye,
+            t => return Err(NetError::Decode(format!("unknown request tag {t:#04x}"))),
+        };
+        finish(msg, buf, pos)
+    }
+}
+
+impl Response {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Response::HelloOk { version, server } => {
+                out.push(RESP_HELLO_OK);
+                out.extend_from_slice(&version.to_le_bytes());
+                put_str(server, &mut out);
+            }
+            Response::Ok { message } => {
+                out.push(RESP_OK);
+                put_str(message, &mut out);
+            }
+            Response::Count { n } => {
+                out.push(RESP_COUNT);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Response::RowHeader { kind, schema } => {
+                out.push(RESP_ROW_HEADER);
+                out.push(match kind {
+                    TableKind::Relation => 0,
+                    TableKind::List => 1,
+                });
+                encode_schema(schema, &mut out);
+            }
+            Response::Rows { done, rows } => {
+                out.push(RESP_ROWS);
+                out.push(u8::from(*done));
+                out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for row in rows {
+                    encode_tuple(row, &mut out);
+                }
+            }
+            Response::Error {
+                code,
+                retryable,
+                message,
+            } => {
+                out.push(RESP_ERROR);
+                out.extend_from_slice(&code.to_le_bytes());
+                out.push(u8::from(*retryable));
+                put_str(message, &mut out);
+            }
+            Response::Info { text } => {
+                out.push(RESP_INFO);
+                put_str(text, &mut out);
+            }
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Response, NetError> {
+        let mut pos = 0;
+        let tag = get_u8(buf, &mut pos, "response tag")?;
+        let msg = match tag {
+            RESP_HELLO_OK => Response::HelloOk {
+                version: get_u32(buf, &mut pos, "hello version")?,
+                server: get_str(buf, &mut pos, "hello server")?,
+            },
+            RESP_OK => Response::Ok {
+                message: get_str(buf, &mut pos, "ok message")?,
+            },
+            RESP_COUNT => Response::Count {
+                n: get_u64(buf, &mut pos, "count")?,
+            },
+            RESP_ROW_HEADER => {
+                let kind = match get_u8(buf, &mut pos, "row-header kind")? {
+                    0 => TableKind::Relation,
+                    1 => TableKind::List,
+                    b => return Err(NetError::Decode(format!("bad table kind {b}"))),
+                };
+                let schema = decode_schema(buf, &mut pos)
+                    .map_err(|e| NetError::Decode(format!("row-header schema: {e}")))?;
+                Response::RowHeader { kind, schema }
+            }
+            RESP_ROWS => {
+                let done = get_bool(buf, &mut pos, "rows done")?;
+                let n = get_u32(buf, &mut pos, "row count")? as usize;
+                // Each tuple costs at least its 2-byte arity header, so
+                // clamp the pre-allocation by the remaining payload.
+                let mut rows = Vec::with_capacity(n.min(buf.len().saturating_sub(pos) / 2));
+                for _ in 0..n {
+                    rows.push(
+                        decode_tuple(buf, &mut pos)
+                            .map_err(|e| NetError::Decode(format!("row: {e}")))?,
+                    );
+                }
+                Response::Rows { done, rows }
+            }
+            RESP_ERROR => Response::Error {
+                code: get_u32(buf, &mut pos, "error code")?,
+                retryable: get_bool(buf, &mut pos, "error retryable")?,
+                message: get_str(buf, &mut pos, "error message")?,
+            },
+            RESP_INFO => Response::Info {
+                text: get_str(buf, &mut pos, "info text")?,
+            },
+            t => return Err(NetError::Decode(format!("unknown response tag {t:#04x}"))),
+        };
+        finish(msg, buf, pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aim2_model::{Atom, AtomType, AttrDef, Value};
+
+    fn roundtrip_req(r: Request) {
+        assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+    }
+
+    fn roundtrip_resp(r: Response) {
+        assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_req(Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: "aim2-client/0.1".into(),
+        });
+        roundtrip_req(Request::Query {
+            fetch: 128,
+            sql: "SELECT [DNO, BUDGET] FROM d IN DEPARTMENTS".into(),
+        });
+        roundtrip_req(Request::FetchMore);
+        roundtrip_req(Request::CancelQuery);
+        roundtrip_req(Request::Begin { read_only: true });
+        roundtrip_req(Request::Begin { read_only: false });
+        roundtrip_req(Request::Commit);
+        roundtrip_req(Request::Rollback);
+        roundtrip_req(Request::Metrics {
+            format: MetricsFormat::Json,
+        });
+        roundtrip_req(Request::Metrics {
+            format: MetricsFormat::Prometheus,
+        });
+        roundtrip_req(Request::Stats);
+        roundtrip_req(Request::IntegrityCheck);
+        roundtrip_req(Request::Goodbye);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        let schema = TableSchema::new(
+            "RESULT",
+            TableKind::Relation,
+            vec![
+                AttrDef::atomic("DNO", AtomType::Int),
+                AttrDef::atomic("DNAME", AtomType::Str),
+            ],
+        )
+        .unwrap();
+        roundtrip_resp(Response::HelloOk {
+            version: PROTOCOL_VERSION,
+            server: "aim2-server/0.1".into(),
+        });
+        roundtrip_resp(Response::Ok {
+            message: "CREATE TABLE".into(),
+        });
+        roundtrip_resp(Response::Count { n: u64::MAX });
+        roundtrip_resp(Response::RowHeader {
+            kind: TableKind::List,
+            schema,
+        });
+        roundtrip_resp(Response::Rows {
+            done: false,
+            rows: vec![
+                Tuple::new(vec![
+                    Value::Atom(Atom::Int(314)),
+                    Value::Atom(Atom::Str("CGA".into())),
+                ]),
+                Tuple::new(vec![
+                    Value::Atom(Atom::Int(315)),
+                    Value::Atom(Atom::Str("DBS".into())),
+                ]),
+            ],
+        });
+        roundtrip_resp(Response::Rows {
+            done: true,
+            rows: vec![],
+        });
+        roundtrip_resp(Response::Error {
+            code: 6,
+            retryable: true,
+            message: "deadlock victim".into(),
+        });
+        roundtrip_resp(Response::Info { text: "{}".into() });
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = Request::Commit.encode();
+        bytes.push(0x00);
+        assert!(Request::decode(&bytes).is_err());
+        let mut bytes = Response::Count { n: 4 }.encode();
+        bytes.push(0x00);
+        assert!(Response::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_and_unknown_tags_rejected() {
+        assert!(Request::decode(&[]).is_err());
+        assert!(Response::decode(&[]).is_err());
+        assert!(Request::decode(&[0x7f]).is_err());
+        assert!(Response::decode(&[0x01]).is_err()); // request tag to response decoder
+        assert!(Request::decode(&[0x81]).is_err()); // response tag to request decoder
+    }
+}

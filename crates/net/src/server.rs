@@ -1,0 +1,804 @@
+//! `aim2-server`: a thread-per-connection TCP front end over
+//! [`SharedDatabase`].
+//!
+//! Each accepted connection gets its own OS thread and its own
+//! [`Session`], so the engine's existing isolation story (strict 2PL
+//! for writers, MVCC snapshots for read-only transactions) applies to
+//! network clients unchanged. Query results stream: a producer thread
+//! drives [`Session::query_streamed`] into a bounded channel while the
+//! connection thread packs rows into `Rows` frames — after every
+//! non-final frame it *stops* and waits for `FetchMore`, so a slow or
+//! suspended client parks the producer on the full channel instead of
+//! growing a server-side buffer (backpressure all the way down to the
+//! cursor pipeline).
+//!
+//! Statements outside an explicit transaction autocommit; bare queries
+//! run as implicit *read-only snapshot* transactions, so the pure-read
+//! network workload takes zero table locks.
+//!
+//! Admission control: at most `max_conns` concurrent connections (the
+//! excess get a retryable `Admission` error at accept) and at most
+//! `max_inflight` statements executing at once across all connections.
+//! Graceful shutdown: the accept loop stops, idle connections are told
+//! `Shutdown` at their next read, suspended portals abort, and every
+//! connection thread is joined; dropping each `Session` rolls back
+//! whatever transaction it still held.
+
+use std::io::{ErrorKind, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use aim2::{DbError, ExecResult};
+use aim2_exec::{ExecError, RowSink};
+use aim2_model::{TableKind, TableSchema, Tuple};
+use aim2_storage::stats::Stats;
+use aim2_txn::{Session, SharedDatabase, TxnError};
+
+use crate::error::ErrorCode;
+use crate::proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
+use crate::wire::{write_frame, FrameError, DEFAULT_MAX_FRAME, HEADER_LEN};
+
+// Sessions cross into per-query producer threads; keep that a compile
+// error if it ever stops being true.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+};
+
+/// How often blocked reads wake up to check the shutdown flag.
+const IDLE_TICK: Duration = Duration::from_millis(50);
+
+/// Rows per `Rows` frame when the client asks for `fetch = 0`.
+const DEFAULT_FETCH: usize = 1024;
+
+/// Server tuning knobs. `Default` suits tests and the loopback
+/// `reproduce` section; the `aim2-server` binary exposes them as flags.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Maximum concurrent connections; the excess are rejected at
+    /// accept time with a retryable `Admission` error.
+    pub max_conns: usize,
+    /// Maximum statements executing at once across all connections.
+    pub max_inflight: usize,
+    /// Hard per-frame size limit, both directions.
+    pub max_frame: usize,
+    /// Server identification string returned in the handshake.
+    pub server_name: String,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_conns: 64,
+            max_inflight: 64,
+            max_frame: DEFAULT_MAX_FRAME,
+            server_name: format!("aim2-server/{}", env!("CARGO_PKG_VERSION")),
+        }
+    }
+}
+
+/// The server factory; see [`Server::start`].
+pub struct Server;
+
+/// Shared across the accept loop and every connection thread.
+struct Inner {
+    shared: SharedDatabase,
+    stats: Stats,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    active_conns: AtomicUsize,
+    inflight: AtomicUsize,
+}
+
+/// Running server: owns the accept thread and all connection threads.
+/// [`ServerHandle::shutdown`] (or drop) stops everything and joins.
+pub struct ServerHandle {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind, spawn the accept loop, and return immediately.
+    pub fn start(shared: SharedDatabase, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = shared.stats();
+        let inner = Arc::new(Inner {
+            shared,
+            stats,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+        });
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let inner = inner.clone();
+            let conns = conns.clone();
+            std::thread::spawn(move || accept_loop(listener, inner, conns))
+        };
+        Ok(ServerHandle {
+            inner,
+            addr,
+            accept: Some(accept),
+            conns,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port for tests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of currently connected clients.
+    pub fn active_connections(&self) -> usize {
+        self.inner.active_conns.load(Ordering::SeqCst)
+    }
+
+    /// Graceful shutdown: stop accepting, tell every connection
+    /// `Shutdown` at its next read (aborting suspended portals), join
+    /// all threads. Sessions with open transactions roll back on drop.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conns mutex poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Admission control at the door: over capacity, the client gets
+        // a typed, retryable error instead of a hung or reset socket.
+        // The rejector consumes the client's Hello first — closing with
+        // the Hello still unread would RST the connection and could
+        // discard the error frame before the client sees it.
+        if inner.active_conns.load(Ordering::SeqCst) >= inner.cfg.max_conns {
+            inner.stats.inc_net_rejected();
+            let max_conns = inner.cfg.max_conns;
+            let max_frame = inner.cfg.max_frame;
+            let handle = std::thread::spawn(move || {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let _ = crate::wire::read_frame(&mut &stream, max_frame);
+                let resp = Response::Error {
+                    code: ErrorCode::Admission as u32,
+                    retryable: true,
+                    message: format!("server full ({max_conns} connections)"),
+                };
+                let _ = write_frame(&mut &stream, &resp.encode());
+            });
+            conns.lock().expect("conns mutex poisoned").push(handle);
+            continue;
+        }
+        inner.active_conns.fetch_add(1, Ordering::SeqCst);
+        inner.stats.metrics().gauge("net.connections").inc();
+        let handle = {
+            let inner = inner.clone();
+            std::thread::spawn(move || {
+                let _ = Conn::new(&inner, stream).run();
+                inner.active_conns.fetch_sub(1, Ordering::SeqCst);
+                inner.stats.metrics().gauge("net.connections").dec();
+            })
+        };
+        let mut guard = conns.lock().expect("conns mutex poisoned");
+        guard.retain(|h| !h.is_finished());
+        guard.push(handle);
+    }
+}
+
+/// Outcome of one blocked read on the request socket.
+enum IdleRead {
+    Frame(Vec<u8>),
+    /// Peer hung up cleanly between frames.
+    Eof,
+    /// The server's shutdown flag was raised while we waited.
+    Shutdown,
+}
+
+/// Read one frame, waking every [`IDLE_TICK`] to check `shutdown`.
+/// Requires the stream's read timeout to be set to [`IDLE_TICK`].
+/// Mirrors [`crate::wire::read_frame`] — the limit check happens before
+/// any payload allocation.
+fn read_frame_idle(
+    stream: &TcpStream,
+    max_frame: usize,
+    shutdown: &AtomicBool,
+) -> Result<IdleRead, FrameError> {
+    let mut r = stream;
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(IdleRead::Eof),
+            Ok(0) => return Err(mid_frame_eof()),
+            Ok(n) => filled += n,
+            Err(e) if retryable_io(&e) => {
+                if filled == 0 && shutdown.load(Ordering::SeqCst) {
+                    return Ok(IdleRead::Shutdown);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let expect = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > max_frame {
+        // Never read (or allocate) the oversized payload; the caller
+        // reports the typed error and drops the connection.
+        return Err(FrameError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut payload[filled..]) {
+            Ok(0) => return Err(mid_frame_eof()),
+            Ok(n) => filled += n,
+            // Keep draining a started frame even during shutdown:
+            // losing framing sync would turn a clean goodbye into a
+            // protocol error.
+            Err(e) if retryable_io(&e) => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let got = aim2_storage::wal::crc32(&payload);
+    if got != expect {
+        return Err(FrameError::Checksum { expect, got });
+    }
+    Ok(IdleRead::Frame(payload))
+}
+
+fn retryable_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+    )
+}
+
+fn mid_frame_eof() -> FrameError {
+    FrameError::Io(std::io::Error::new(
+        ErrorKind::UnexpectedEof,
+        "connection closed mid-frame",
+    ))
+}
+
+/// Messages from the per-query producer thread to the frame packer.
+enum StreamMsg {
+    Start(TableSchema, TableKind),
+    Row(Tuple),
+}
+
+/// [`RowSink`] that feeds the bounded stream channel. A closed channel
+/// (consumer cancelled or died) surfaces as [`ExecError::Cancelled`],
+/// unwinding the evaluation through its normal cursor-closing path.
+struct ChanSink {
+    tx: SyncSender<StreamMsg>,
+}
+
+impl RowSink for ChanSink {
+    fn on_start(&mut self, schema: &TableSchema, kind: TableKind) -> aim2_exec::Result<()> {
+        self.tx
+            .send(StreamMsg::Start(schema.clone(), kind))
+            .map_err(|_| ExecError::Cancelled)
+    }
+
+    fn on_row(&mut self, row: Tuple) -> aim2_exec::Result<()> {
+        self.tx
+            .send(StreamMsg::Row(row))
+            .map_err(|_| ExecError::Cancelled)
+    }
+}
+
+/// Why a connection's request loop ended.
+enum ConnExit {
+    /// Peer said goodbye or hung up.
+    Closed,
+    /// Protocol/framing violation — reported, then dropped.
+    Dropped,
+    /// Server shutdown.
+    Shutdown,
+}
+
+/// How a streamed query's portal ended.
+enum PortalEnd {
+    /// Producer drained its channel; `tail` holds the unsent remainder.
+    Complete,
+    /// Client sent `CancelQuery` at a suspension point.
+    Cancelled,
+    /// Server shutdown hit a suspension point.
+    Shutdown,
+    /// Client sent something other than `FetchMore`/`CancelQuery` at a
+    /// suspension point, or the socket failed.
+    Protocol(String),
+}
+
+/// Everything `pack_rows` learned while draining the portal.
+struct PortalState {
+    end: PortalEnd,
+    /// Rows received after the last full frame — the caller flushes
+    /// them in the terminal `done: true` frame.
+    tail: Vec<Tuple>,
+}
+
+struct Conn<'a> {
+    inner: &'a Inner,
+    stream: TcpStream,
+    session: Session,
+}
+
+impl<'a> Conn<'a> {
+    fn new(inner: &'a Inner, stream: TcpStream) -> Conn<'a> {
+        let _ = stream.set_read_timeout(Some(IDLE_TICK));
+        let _ = stream.set_nodelay(true);
+        Conn {
+            session: inner.shared.session(),
+            inner,
+            stream,
+        }
+    }
+
+    fn send(&mut self, resp: &Response) -> Result<(), FrameError> {
+        write_frame(&mut &self.stream, &resp.encode())?;
+        self.inner.stats.inc_net_frame_out();
+        Ok(())
+    }
+
+    /// Send a response where a write failure just means the peer left.
+    fn send_or_close(&mut self, resp: &Response) -> Result<(), ConnExit> {
+        self.send(resp).map_err(|_| ConnExit::Closed)
+    }
+
+    fn recv(&mut self) -> Result<IdleRead, FrameError> {
+        let r = read_frame_idle(&self.stream, self.inner.cfg.max_frame, &self.inner.shutdown)?;
+        if matches!(r, IdleRead::Frame(_)) {
+            self.inner.stats.inc_net_frame_in();
+        }
+        Ok(r)
+    }
+
+    /// Report a protocol violation (best effort) and drop the
+    /// connection. Counted under `net.rejected`: the peer is either
+    /// hostile or desynced, and the only safe move is to hang up.
+    fn proto_fail(&mut self, message: String) -> ConnExit {
+        self.inner.stats.inc_net_rejected();
+        let _ = self.send(&Response::Error {
+            code: ErrorCode::Protocol as u32,
+            retryable: false,
+            message,
+        });
+        ConnExit::Dropped
+    }
+
+    fn shutdown_exit(&mut self) -> ConnExit {
+        let _ = self.send(&Response::Error {
+            code: ErrorCode::Shutdown as u32,
+            retryable: false,
+            message: "server shutting down".to_string(),
+        });
+        ConnExit::Shutdown
+    }
+
+    fn run(mut self) -> ConnExit {
+        // Handshake: the first frame must be a version-matched Hello.
+        match self.handshake() {
+            Ok(true) => {}
+            Ok(false) => return ConnExit::Closed,
+            Err(exit) => return exit,
+        }
+        loop {
+            let req = match self.recv() {
+                Ok(IdleRead::Frame(payload)) => match Request::decode(&payload) {
+                    Ok(req) => req,
+                    Err(e) => return self.proto_fail(e.to_string()),
+                },
+                Ok(IdleRead::Eof) => return ConnExit::Closed,
+                Ok(IdleRead::Shutdown) => return self.shutdown_exit(),
+                Err(e) => return self.proto_fail(format!("bad frame: {e}")),
+            };
+            let r = match req {
+                Request::Hello { .. } => Err(self.proto_fail("duplicate Hello".to_string())),
+                Request::Query { fetch, sql } => self.handle_query(fetch, &sql),
+                Request::FetchMore | Request::CancelQuery => {
+                    // Legal only at a portal suspension point, which
+                    // the query handler consumes itself.
+                    self.send_or_close(&Response::Error {
+                        code: ErrorCode::Protocol as u32,
+                        retryable: false,
+                        message: "no suspended query on this connection".to_string(),
+                    })
+                }
+                Request::Begin { read_only } => {
+                    let (r, msg) = if read_only {
+                        (self.session.begin_read_only(), "BEGIN READ ONLY")
+                    } else {
+                        (self.session.begin(), "BEGIN")
+                    };
+                    let resp = match r {
+                        Ok(()) => Response::Ok {
+                            message: msg.to_string(),
+                        },
+                        Err(e) => error_response(&e),
+                    };
+                    self.send_or_close(&resp)
+                }
+                Request::Commit => {
+                    let resp = match self.session.commit() {
+                        Ok(()) => Response::Ok {
+                            message: "COMMIT".to_string(),
+                        },
+                        Err(e) => error_response(&e),
+                    };
+                    self.send_or_close(&resp)
+                }
+                Request::Rollback => {
+                    let resp = match self.session.rollback() {
+                        Ok(()) => Response::Ok {
+                            message: "ROLLBACK".to_string(),
+                        },
+                        Err(e) => error_response(&e),
+                    };
+                    self.send_or_close(&resp)
+                }
+                Request::Metrics { format } => {
+                    let _t = self.inner.stats.metrics().span("net.admin");
+                    let snap = self.inner.shared.metrics();
+                    let text = match format {
+                        MetricsFormat::Json => snap.to_json(),
+                        MetricsFormat::Prometheus => snap.to_prometheus(),
+                    };
+                    self.send_or_close(&Response::Info { text })
+                }
+                Request::Stats => {
+                    let _t = self.inner.stats.metrics().span("net.admin");
+                    let text = self.inner.shared.stats_snapshot().verbose().to_string();
+                    self.send_or_close(&Response::Info { text })
+                }
+                Request::IntegrityCheck => {
+                    let _t = self.inner.stats.metrics().span("net.admin");
+                    let resp = match self.inner.shared.integrity_check() {
+                        Ok(report) => Response::Info {
+                            text: report.to_string(),
+                        },
+                        Err(e) => error_response(&e),
+                    };
+                    self.send_or_close(&resp)
+                }
+                Request::Goodbye => {
+                    let _ = self.send(&Response::Ok {
+                        message: "bye".to_string(),
+                    });
+                    return ConnExit::Closed;
+                }
+            };
+            if let Err(exit) = r {
+                return exit;
+            }
+        }
+    }
+
+    /// Returns `Ok(true)` on a successful handshake, `Ok(false)` on a
+    /// clean hangup before any frame.
+    fn handshake(&mut self) -> Result<bool, ConnExit> {
+        let payload = match self.recv() {
+            Ok(IdleRead::Frame(p)) => p,
+            Ok(IdleRead::Eof) => return Ok(false),
+            Ok(IdleRead::Shutdown) => return Err(self.shutdown_exit()),
+            Err(e) => return Err(self.proto_fail(format!("bad frame: {e}"))),
+        };
+        match Request::decode(&payload) {
+            Ok(Request::Hello { version, client: _ }) => {
+                if version != PROTOCOL_VERSION {
+                    return Err(self.proto_fail(format!(
+                        "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
+                         client sent {version}"
+                    )));
+                }
+                let resp = Response::HelloOk {
+                    version: PROTOCOL_VERSION,
+                    server: self.inner.cfg.server_name.clone(),
+                };
+                if self.send(&resp).is_err() {
+                    return Ok(false);
+                }
+                Ok(true)
+            }
+            Ok(_) => Err(self.proto_fail("first message must be Hello".to_string())),
+            Err(e) => Err(self.proto_fail(e.to_string())),
+        }
+    }
+
+    /// One `Query` request end to end: admission, implicit-transaction
+    /// handling, streaming with `FetchMore`/`CancelQuery` suspension.
+    fn handle_query(&mut self, fetch: u32, sql: &str) -> Result<(), ConnExit> {
+        // In-flight admission: bounded concurrency, typed retryable
+        // rejection instead of unbounded engine queueing.
+        let inflight = &self.inner.inflight;
+        if inflight.fetch_add(1, Ordering::SeqCst) >= self.inner.cfg.max_inflight {
+            inflight.fetch_sub(1, Ordering::SeqCst);
+            self.inner.stats.inc_net_rejected();
+            return self.send_or_close(&Response::Error {
+                code: ErrorCode::Admission as u32,
+                retryable: true,
+                message: format!(
+                    "too many statements in flight (limit {})",
+                    self.inner.cfg.max_inflight
+                ),
+            });
+        }
+        let r = self.handle_query_admitted(fetch, sql);
+        self.inner.inflight.fetch_sub(1, Ordering::SeqCst);
+        r
+    }
+
+    fn handle_query_admitted(&mut self, fetch: u32, sql: &str) -> Result<(), ConnExit> {
+        self.inner.stats.inc_net_query();
+        let _t = self.inner.stats.metrics().span("net.query");
+        // Statements outside an explicit transaction autocommit; pure
+        // queries run as implicit read-only snapshots — the MVCC path,
+        // zero lock acquisitions, consistent for the whole stream even
+        // while suspended.
+        let implicit = self.session.txn_id().is_none();
+        if implicit {
+            let is_query = match aim2_lang::parse_stmt(sql) {
+                Ok(stmt) => matches!(stmt, aim2_lang::ast::Stmt::Query(_)),
+                Err(e) => {
+                    // Refused before touching the engine.
+                    return self.send_or_close(&Response::Error {
+                        code: ErrorCode::Parse as u32,
+                        retryable: false,
+                        message: e.to_string(),
+                    });
+                }
+            };
+            let begun = if is_query {
+                self.session.begin_read_only()
+            } else {
+                self.session.begin()
+            };
+            if let Err(e) = begun {
+                return self.send_or_close(&error_response(&e));
+            }
+        }
+        let r = self.stream_query(fetch, sql, implicit);
+        // Whatever happened, an implicit transaction never outlives its
+        // statement (stream_query commits/rolls back on every normal
+        // path; this covers early protocol exits).
+        if implicit && self.session.txn_id().is_some() {
+            let _ = self.session.rollback();
+        }
+        r
+    }
+
+    /// Run one statement through the streaming pipeline and write its
+    /// response frames. `implicit` marks a per-statement transaction
+    /// this function must settle (commit before acking DML, release on
+    /// query completion, roll back on error).
+    fn stream_query(&mut self, fetch: u32, sql: &str, implicit: bool) -> Result<(), ConnExit> {
+        let fetch = if fetch == 0 {
+            DEFAULT_FETCH
+        } else {
+            fetch as usize
+        };
+        // Bounded handoff: the producer gets one frame of headroom,
+        // then parks until the consumer drains — server memory per
+        // query is O(fetch), independent of result size.
+        let (tx, rx) = mpsc::sync_channel::<StreamMsg>(fetch);
+        let session = &mut self.session;
+        let stats = self.inner.stats.clone();
+        let stream = &self.stream;
+        let max_frame = self.inner.cfg.max_frame;
+        let shutdown = &self.inner.shutdown;
+        let (portal, produced) = std::thread::scope(|s| {
+            let producer = s.spawn(move || {
+                let mut sink = ChanSink { tx };
+                session.query_streamed(sql, &mut sink)
+            });
+            let portal = pack_rows(rx, stream, &stats, fetch, max_frame, shutdown);
+            // pack_rows dropped the receiver on its way out, so a
+            // still-running producer unblocks into `Cancelled` instead
+            // of deadlocking the scope join.
+            let produced = producer
+                .join()
+                .unwrap_or_else(|_| Err(TxnError::State("query worker panicked".to_string())));
+            (portal, produced)
+        });
+        match portal.end {
+            PortalEnd::Complete => {}
+            PortalEnd::Cancelled => {
+                if implicit {
+                    let _ = self.session.rollback();
+                }
+                return self.send_or_close(&Response::Error {
+                    code: ErrorCode::Cancelled as u32,
+                    retryable: false,
+                    message: "query cancelled".to_string(),
+                });
+            }
+            PortalEnd::Shutdown => return Err(self.shutdown_exit()),
+            PortalEnd::Protocol(msg) => return Err(self.proto_fail(msg)),
+        }
+        let resp = match produced {
+            Ok(None) => {
+                // Streamed query: header and full frames are out; the
+                // terminal frame carries the tail. Releasing the
+                // implicit snapshot first — an RO commit cannot fail in
+                // a way the client could act on.
+                if implicit {
+                    let _ = self.session.commit();
+                }
+                self.inner
+                    .stats
+                    .add_net_rows_streamed(portal.tail.len() as u64);
+                Response::Rows {
+                    done: true,
+                    rows: portal.tail,
+                }
+            }
+            Ok(Some(res)) => {
+                // DML/DDL: make it durable before acknowledging.
+                if implicit {
+                    if let Err(e) = self.session.commit() {
+                        return self.send_or_close(&error_response(&e));
+                    }
+                }
+                match res {
+                    ExecResult::Count(n) => Response::Count { n: n as u64 },
+                    ExecResult::Ok(message) => Response::Ok { message },
+                    ExecResult::Table(schema, value) => {
+                        // Unreachable today (queries stream), kept total
+                        // so a future materialized path still answers.
+                        let header = Response::RowHeader {
+                            kind: value.kind,
+                            schema,
+                        };
+                        self.send_or_close(&header)?;
+                        self.inner
+                            .stats
+                            .add_net_rows_streamed(value.tuples.len() as u64);
+                        Response::Rows {
+                            done: true,
+                            rows: value.tuples,
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                if implicit {
+                    let _ = self.session.rollback();
+                }
+                // After a RowHeader the error is still sent as a typed
+                // frame; the client treats a mid-stream Error as
+                // terminal for the whole result.
+                error_response(&e)
+            }
+        };
+        self.send_or_close(&resp)
+    }
+}
+
+/// Drain the stream channel into full `Rows` frames of `fetch` rows,
+/// suspending for `FetchMore` after every one. Rows short of a full
+/// frame stay in `tail` — the caller flushes them in the terminal
+/// `done: true` frame once the producer's verdict is known (so an
+/// errored query never fakes a complete result). Always drops `rx`
+/// before returning.
+fn pack_rows(
+    rx: Receiver<StreamMsg>,
+    stream: &TcpStream,
+    stats: &Stats,
+    fetch: usize,
+    max_frame: usize,
+    shutdown: &AtomicBool,
+) -> PortalState {
+    let mut tail: Vec<Tuple> = Vec::new();
+    let finish = |end: PortalEnd, tail: Vec<Tuple>| PortalState { end, tail };
+    loop {
+        match rx.recv() {
+            Ok(StreamMsg::Start(schema, kind)) => {
+                let frame = Response::RowHeader { kind, schema };
+                if write_frame(&mut &*stream, &frame.encode()).is_err() {
+                    drop(rx);
+                    return finish(PortalEnd::Protocol("socket write failed".to_string()), tail);
+                }
+                stats.inc_net_frame_out();
+            }
+            Ok(StreamMsg::Row(row)) => {
+                tail.push(row);
+                if tail.len() < fetch {
+                    continue;
+                }
+                stats.add_net_rows_streamed(tail.len() as u64);
+                let frame = Response::Rows {
+                    done: false,
+                    rows: std::mem::take(&mut tail),
+                };
+                if write_frame(&mut &*stream, &frame.encode()).is_err() {
+                    drop(rx);
+                    return finish(PortalEnd::Protocol("socket write failed".to_string()), tail);
+                }
+                stats.inc_net_frame_out();
+                // Suspension point: nothing more goes out until the
+                // client speaks. The producer keeps filling the bounded
+                // channel and then parks — that is the backpressure.
+                let verdict = match read_frame_idle(stream, max_frame, shutdown) {
+                    Ok(IdleRead::Frame(payload)) => {
+                        stats.inc_net_frame_in();
+                        match Request::decode(&payload) {
+                            Ok(Request::FetchMore) => None,
+                            Ok(Request::CancelQuery) => Some(PortalEnd::Cancelled),
+                            Ok(other) => Some(PortalEnd::Protocol(format!(
+                                "expected FetchMore or CancelQuery, got {other:?}"
+                            ))),
+                            Err(e) => Some(PortalEnd::Protocol(e.to_string())),
+                        }
+                    }
+                    Ok(IdleRead::Eof) => Some(PortalEnd::Protocol(
+                        "client hung up with a suspended query".to_string(),
+                    )),
+                    Ok(IdleRead::Shutdown) => Some(PortalEnd::Shutdown),
+                    Err(e) => Some(PortalEnd::Protocol(e.to_string())),
+                };
+                if let Some(end) = verdict {
+                    drop(rx);
+                    return finish(end, tail);
+                }
+            }
+            Err(_) => break, // producer finished (ok or error)
+        }
+    }
+    finish(PortalEnd::Complete, tail)
+}
+
+/// Map an engine error onto the wire's typed error response.
+fn error_response(e: &TxnError) -> Response {
+    let code = match e {
+        TxnError::Deadlock { .. } | TxnError::LockTimeout { .. } => ErrorCode::Deadlock,
+        TxnError::ReadOnly(_) => ErrorCode::ReadOnly,
+        TxnError::State(_) => ErrorCode::Txn,
+        TxnError::Db(DbError::Parse(_)) => ErrorCode::Parse,
+        TxnError::Db(DbError::Exec(ExecError::Cancelled)) => ErrorCode::Cancelled,
+        TxnError::Db(DbError::Exec(_) | DbError::Catalog(_)) => ErrorCode::Semantic,
+        TxnError::Db(DbError::ObjectQuarantined { .. }) => ErrorCode::Quarantined,
+        TxnError::Db(DbError::Storage(_) | DbError::Index(_) | DbError::Model(_)) => {
+            ErrorCode::Storage
+        }
+        TxnError::Db(DbError::DataDirMissing(_) | DbError::NotADatabase(_)) => ErrorCode::Internal,
+    };
+    Response::Error {
+        code: code as u32,
+        retryable: e.is_retryable(),
+        message: e.to_string(),
+    }
+}

@@ -1,0 +1,191 @@
+//! Frame layer: length-prefixed, CRC-guarded byte frames over any
+//! `Read`/`Write` pair.
+//!
+//! ```text
+//! +----------------+----------------+=================+
+//! | payload_len u32 | crc32 u32      | payload bytes   |
+//! | little-endian   | of the payload | payload_len long|
+//! +----------------+----------------+=================+
+//! ```
+//!
+//! The reader enforces a hard frame-size limit *before* allocating: an
+//! oversized length prefix yields [`FrameError::TooLarge`] without
+//! reading (or reserving) the payload, so a hostile peer can never
+//! drive an unbounded allocation. A CRC mismatch yields
+//! [`FrameError::Checksum`]. Both are grounds for the server to send a
+//! typed error response and close the connection — once framing is in
+//! doubt, resynchronization is not attempted.
+
+use std::fmt;
+use std::io::{self, ErrorKind, Read, Write};
+
+use aim2_storage::wal::crc32;
+
+/// Default hard cap on payload size (16 MiB) — generous for any real
+/// request (SQL text, one row batch), small enough that a garbage
+/// length prefix cannot hurt.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Size of the fixed frame header (length + CRC).
+pub const HEADER_LEN: usize = 8;
+
+/// Frame-level failures. `Io` covers socket errors and EOF.
+#[derive(Debug)]
+pub enum FrameError {
+    Io(io::Error),
+    /// Length prefix exceeds the negotiated maximum. Carries the
+    /// claimed length and the limit; the payload was never read.
+    TooLarge {
+        len: usize,
+        max: usize,
+    },
+    /// Payload arrived but its CRC-32 does not match the header.
+    Checksum {
+        expect: u32,
+        got: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds limit {max}")
+            }
+            FrameError::Checksum { expect, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header {expect:#010x}, payload {got:#010x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame. The payload is caller-encoded message bytes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut header = [0u8; HEADER_LEN];
+    header[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..].copy_from_slice(&crc32(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read one frame, enforcing `max_frame`. Returns `Ok(None)` on a clean
+/// EOF at a frame boundary (peer hung up between messages); any EOF
+/// mid-frame is an error.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+    let expect = u32::from_le_bytes(header[4..].try_into().unwrap());
+    if len > max_frame {
+        return Err(FrameError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let got = crc32(&payload);
+    if got != expect {
+        return Err(FrameError::Checksum { expect, got });
+    }
+    Ok(Some(payload))
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+}
+
+/// Like `read_exact`, but distinguishes "no bytes at all" (clean EOF)
+/// from "some bytes then EOF" (truncated frame, an error).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frames").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(),
+            b"hello frames"
+        );
+        assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_rejected_without_reading_payload() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        // Note: no payload bytes present at all — the reader must fail
+        // on the length check, not on missing bytes.
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, 1024),
+            Err(FrameError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"precious payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        let mut r = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME),
+            Err(FrameError::Checksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_header_and_payload_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").unwrap();
+        for cut in 1..buf.len() {
+            let mut r = Cursor::new(&buf[..cut]);
+            assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Corruption armor at the wire layer, mirroring the storage crate's
+//! `prop_decode` suite: every network decoder, fed arbitrary bytes,
+//! returns a message or a typed error — it never panics, never
+//! overruns, never allocates beyond what the payload could describe. A
+//! hostile peer can desync a connection (which the server then drops),
+//! but can never take the process down.
+
+use std::io::Cursor;
+
+use aim2_model::encode::decode_schema;
+use aim2_net::{read_frame, write_frame, Request, Response};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::decode(&bytes);
+    }
+
+    #[test]
+    fn response_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn schema_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut pos = 0;
+        let _ = decode_schema(&bytes, &mut pos);
+        prop_assert!(pos <= bytes.len());
+    }
+
+    // The frame reader over arbitrary bytes: any prefix of a stream
+    // either yields a frame (when a valid header + CRC line up, which
+    // random bytes essentially never do), a typed error, or clean EOF.
+    // The size limit must hold even when the length prefix is hostile.
+    #[test]
+    fn frame_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = Cursor::new(&bytes);
+        let _ = read_frame(&mut r, 64);
+    }
+
+    // Round-trip: any payload that fits the limit survives framing, and
+    // a one-byte corruption anywhere in the stream is always detected
+    // (length mismatch, CRC mismatch, or truncation — never a wrong
+    // payload silently accepted as this payload).
+    #[test]
+    fn frame_roundtrip_and_corruption_detected(
+        payload in prop::collection::vec(any::<u8>(), 0..128),
+        flip in 0usize..136,
+        bit in 0u8..8,
+    ) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = Cursor::new(&buf);
+        let back = read_frame(&mut r, 128).unwrap().unwrap();
+        prop_assert_eq!(&back, &payload);
+
+        let flip = flip % buf.len();
+        let mut evil = buf.clone();
+        evil[flip] ^= 1 << bit;
+        let mut r = Cursor::new(&evil);
+        if let Ok(Some(got)) = read_frame(&mut r, 128) {
+            prop_assert_ne!(got, payload);
+        }
+    }
+
+    // Request/Response encodings are canonical: encode → decode → encode
+    // is the identity on bytes (exercised through the SQL-bearing
+    // variants, whose string fields carry arbitrary content).
+    #[test]
+    fn query_roundtrip_canonical(fetch in any::<u32>(), sql in ".*") {
+        let req = Request::Query { fetch, sql };
+        let bytes = req.encode();
+        let back = Request::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn error_roundtrip_canonical(
+        code in any::<u32>(),
+        retryable in any::<bool>(),
+        message in ".*",
+    ) {
+        let resp = Response::Error { code, retryable, message };
+        let bytes = resp.encode();
+        let back = Response::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode(), bytes);
+    }
+}

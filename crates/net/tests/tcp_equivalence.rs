@@ -1,0 +1,497 @@
+//! End-to-end equivalence: every paper/misc query answered over TCP
+//! must be byte-identical to the in-process answer — including nested
+//! NF² results crossing the wire, multi-frame streamed results under a
+//! tiny fetch size, ASOF version reads, and ≥ 8 concurrent clients.
+//! Plus the protocol's failure modes: cancellation mid-stream,
+//! admission rejection, oversized/garbage frames, version mismatch, and
+//! graceful shutdown — all typed errors and clean closes, never hangs
+//! or panics.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use aim2::Database;
+use aim2_model::fixtures;
+use aim2_net::{
+    write_frame, Client, ErrorCode, MetricsFormat, NetError, QueryOutcome, Request, Response,
+    Server, ServerConfig, PROTOCOL_VERSION,
+};
+use aim2_txn::SharedDatabase;
+
+/// The §3/§5 example corpus plus misc corner cases (mirrors the root
+/// equivalence suite) — everything here must survive the wire.
+const QUERIES: &[&str] = &[
+    "SELECT x.DNO, x.MGRNO, x.PROJECTS, x.BUDGET, x.EQUIP FROM x IN DEPARTMENTS",
+    "SELECT * FROM DEPARTMENTS",
+    "SELECT x.DNO, x.MGRNO,
+        PROJECTS = (SELECT y.PNO, y.PNAME,
+            MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN y.MEMBERS)
+            FROM y IN x.PROJECTS),
+        x.BUDGET,
+        EQUIP = (SELECT v.QU, v.TYPE FROM v IN x.EQUIP)
+     FROM x IN DEPARTMENTS",
+    "SELECT x.DNO, x.MGRNO,
+        PROJECTS = (SELECT y.PNO, y.PNAME,
+            MEMBERS = (SELECT z.EMPNO, z.FUNCTION FROM z IN MEMBERS-1NF
+                       WHERE z.PNO = y.PNO AND z.DNO = y.DNO)
+            FROM y IN PROJECTS-1NF WHERE y.DNO = x.DNO),
+        x.BUDGET,
+        EQUIP = (SELECT v.QU, v.TYPE FROM v IN EQUIP-1NF WHERE v.DNO = x.DNO)
+     FROM x IN DEPARTMENTS-1NF",
+    "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+     FROM x IN DEPARTMENTS, y IN x.PROJECTS, z IN y.MEMBERS",
+    "SELECT x.DNO, x.MGRNO, y.PNO, y.PNAME, z.EMPNO, z.FUNCTION
+     FROM x IN DEPARTMENTS-1NF, y IN PROJECTS-1NF, z IN MEMBERS-1NF
+     WHERE x.DNO = y.DNO AND y.PNO = z.PNO AND y.DNO = z.DNO",
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+    "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+     WHERE ALL y IN x.PROJECTS : ALL z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT x.DNO, x.MGRNO,
+        EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION
+                     FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF
+                     WHERE z.EMPNO = u.EMPNO)
+     FROM x IN DEPARTMENTS",
+    "SELECT x.DNO, m.LNAME, m.SEX,
+        EMPLOYEES = (SELECT z.EMPNO, u.LNAME, u.FNAME, u.SEX, z.FUNCTION
+                     FROM y IN x.PROJECTS, z IN y.MEMBERS, u IN EMPLOYEES-1NF
+                     WHERE z.EMPNO = u.EMPNO)
+     FROM x IN DEPARTMENTS, m IN EMPLOYEES-1NF
+     WHERE x.MGRNO = m.EMPNO",
+    "SELECT x.AUTHORS, x.TITLE FROM x IN REPORTS WHERE x.AUTHORS[1] = 'Jones A.'",
+    "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.PROJECTS EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS
+     WHERE EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE EXISTS y IN x.PROJECTS : y.PNO = 17 AND
+           EXISTS z IN y.MEMBERS : z.FUNCTION = 'Consultant'",
+    "SELECT x.REPNO, x.AUTHORS, x.TITLE FROM x IN REPORTS
+     WHERE x.TITLE CONTAINS '*comput*' AND EXISTS y IN x.AUTHORS : y.NAME = 'Jones A.'",
+    "SELECT x.DNO, PS = (SELECT * FROM y IN x.PROJECTS) FROM x IN DEPARTMENTS
+     WHERE x.DNO = 314",
+    "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE (EXISTS e IN x.EQUIP : e.TYPE = '4361')
+        OR (EXISTS y IN x.PROJECTS : y.PNO = 17)",
+    "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.DNO = 999",
+    "SELECT x.DNO FROM x IN DEPARTMENTS WHERE x.DNO < x.MGRNO",
+    "SELECT y.PNO FROM x IN DEPARTMENTS, y IN x.PROJECTS
+     WHERE EXISTS z IN y.MEMBERS : z.EMPNO > x.MGRNO",
+    "SELECT x.DNO, HAS = (SELECT o.BUDGET FROM o IN DEPARTMENTS
+                          WHERE o.DNO = x.DNO AND
+                                EXISTS e IN o.EQUIP : e.TYPE = 'PC/AT')
+     FROM x IN DEPARTMENTS",
+    "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE EXISTS o IN DEPARTMENTS : o.MGRNO = x.DNO OR o.DNO = x.DNO",
+    "SELECT x.DNO FROM x IN DEPARTMENTS
+     WHERE ALL o IN DEPARTMENTS-1NF : o.BUDGET > 0",
+    // ASOF version reads over the wire, nested and bare.
+    "SELECT now.K, OLD = (SELECT old.V FROM old IN SNAP ASOF '1984-06-01'
+                          WHERE old.K = now.K)
+     FROM now IN SNAP",
+    "SELECT * FROM SNAP ASOF '1984-06-01'",
+    "SELECT * FROM SNAP",
+];
+
+/// The paper fixture plus a versioned SNAP table for the ASOF queries.
+fn paper_db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute_script(
+        "CREATE TABLE DEPARTMENTS ( DNO INTEGER, MGRNO INTEGER,
+           PROJECTS { PNO INTEGER, PNAME STRING,
+                      MEMBERS { EMPNO INTEGER, FUNCTION STRING } },
+           BUDGET INTEGER, EQUIP { QU INTEGER, TYPE STRING } );
+         CREATE TABLE DEPARTMENTS-1NF ( DNO INTEGER, MGRNO INTEGER, BUDGET INTEGER );
+         CREATE TABLE PROJECTS-1NF ( PNO INTEGER, PNAME STRING, DNO INTEGER );
+         CREATE TABLE MEMBERS-1NF ( EMPNO INTEGER, PNO INTEGER, DNO INTEGER, FUNCTION STRING );
+         CREATE TABLE EQUIP-1NF ( DNO INTEGER, QU INTEGER, TYPE STRING );
+         CREATE TABLE EMPLOYEES-1NF ( EMPNO INTEGER, LNAME STRING, FNAME STRING, SEX STRING );
+         CREATE TABLE REPORTS ( REPNO STRING, AUTHORS < NAME STRING >, TITLE TEXT,
+                                DESCRIPTORS { WORD STRING, WEIGHT DOUBLE } );
+         CREATE TABLE SNAP ( K INTEGER, V INTEGER ) WITH VERSIONS",
+    )
+    .unwrap();
+    for (table, value) in [
+        ("DEPARTMENTS", fixtures::departments_value()),
+        ("DEPARTMENTS-1NF", fixtures::departments_1nf_value()),
+        ("PROJECTS-1NF", fixtures::projects_1nf_value()),
+        ("MEMBERS-1NF", fixtures::members_1nf_value()),
+        ("EQUIP-1NF", fixtures::equip_1nf_value()),
+        ("EMPLOYEES-1NF", fixtures::employees_1nf_value()),
+        ("REPORTS", fixtures::reports_value()),
+    ] {
+        for t in value.tuples {
+            db.insert_tuple(table, t).unwrap();
+        }
+    }
+    db.set_today(aim2_model::Date::parse_iso("1984-01-01").unwrap());
+    db.execute("INSERT INTO SNAP VALUES (1, 10)").unwrap();
+    db.execute("INSERT INTO SNAP VALUES (2, 200)").unwrap();
+    db.set_today(aim2_model::Date::parse_iso("1985-01-01").unwrap());
+    db.execute("UPDATE s IN SNAP SET s.V = 20 WHERE s.K = 1")
+        .unwrap();
+    db
+}
+
+fn start_server(cfg: ServerConfig) -> aim2_net::ServerHandle {
+    Server::start(SharedDatabase::new(paper_db()), cfg).unwrap()
+}
+
+fn connect(handle: &aim2_net::ServerHandle) -> Client {
+    Client::connect(handle.local_addr(), "tcp_equivalence").unwrap()
+}
+
+/// Every corpus query over TCP — with fetch = 2 so any result beyond
+/// two rows crosses in multiple frames with a suspension in between —
+/// must equal the in-process evaluation on an identically-built DB.
+#[test]
+fn tcp_matches_in_process_for_all_queries() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    let mut local = paper_db();
+    for sql in QUERIES {
+        let (schema, value) = local.query(sql).unwrap_or_else(|e| panic!("{sql}\n→ {e}"));
+        match client.query_fetch(sql, 2) {
+            Ok(QueryOutcome::Table(net_schema, net_value)) => {
+                assert_eq!(net_schema, schema, "schema mismatch over TCP for: {sql}");
+                assert_eq!(net_value, value, "result mismatch over TCP for: {sql}");
+            }
+            other => panic!("expected a table for {sql}, got {other:?}"),
+        }
+    }
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// A multi-row result under fetch = 1 visibly suspends: the raw frame
+/// sequence is RowHeader, then (Rows done:false, FetchMore)*, then a
+/// final Rows done:true.
+#[test]
+fn streamed_results_suspend_between_frames() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    client
+        .send(&Request::Query {
+            fetch: 1,
+            sql: "SELECT * FROM DEPARTMENTS".to_string(),
+        })
+        .unwrap();
+    let Response::RowHeader { .. } = client.recv().unwrap() else {
+        panic!("expected RowHeader first");
+    };
+    let mut rows = 0;
+    let mut frames = 0;
+    loop {
+        match client.recv().unwrap() {
+            Response::Rows { done, rows: batch } => {
+                frames += 1;
+                assert!(batch.len() <= 1, "fetch budget exceeded");
+                rows += batch.len();
+                if done {
+                    break;
+                }
+                client.send(&Request::FetchMore).unwrap();
+            }
+            other => panic!("expected Rows, got {other:?}"),
+        }
+    }
+    assert_eq!(rows, 3, "the paper's DEPARTMENTS has three departments");
+    assert!(frames >= 3, "one-row frames must arrive one at a time");
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// ≥ 8 concurrent clients each replay the whole corpus; every answer
+/// must match the in-process one computed up front.
+#[test]
+fn concurrent_clients_agree() {
+    let handle = start_server(ServerConfig::default());
+    let mut local = paper_db();
+    let expected: Vec<_> = QUERIES
+        .iter()
+        .map(|sql| local.query(sql).unwrap())
+        .collect();
+    std::thread::scope(|s| {
+        for worker in 0..8 {
+            let handle = &handle;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = connect(handle);
+                // Stagger the walk so different clients stream
+                // different queries at the same moment.
+                for i in 0..QUERIES.len() {
+                    let at = (i + worker * 3) % QUERIES.len();
+                    let got = client.query_fetch(QUERIES[at], 4).unwrap();
+                    let (schema, value) = &expected[at];
+                    assert_eq!(
+                        got,
+                        QueryOutcome::Table(schema.clone(), value.clone()),
+                        "client {worker} diverged on: {}",
+                        QUERIES[at]
+                    );
+                }
+                client.goodbye().unwrap();
+            });
+        }
+    });
+}
+
+/// Explicit read-only transactions over TCP pin an MVCC snapshot and
+/// take zero locks; writes inside them are refused with the typed code.
+#[test]
+fn read_only_transactions_over_tcp() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    client.begin(true).unwrap();
+    let QueryOutcome::Table(_, v) = client.query("SELECT * FROM DEPARTMENTS").unwrap() else {
+        panic!("expected table");
+    };
+    assert_eq!(v.tuples.len(), 3);
+    let err = client
+        .query("INSERT INTO DEPARTMENTS-1NF VALUES (1, 2, 3)")
+        .unwrap_err();
+    match err {
+        NetError::Server { code, .. } => assert_eq!(code, ErrorCode::ReadOnly),
+        other => panic!("expected a ReadOnly server error, got {other}"),
+    }
+    // The transaction survives the refused write; reads still answer.
+    client.query("SELECT x.DNO FROM x IN DEPARTMENTS").unwrap();
+    client.commit().unwrap();
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// DML autocommits over the wire and is visible to later queries; a
+/// parse error comes back typed without disturbing the session.
+#[test]
+fn autocommit_dml_and_parse_errors() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    match client
+        .query("INSERT INTO DEPARTMENTS-1NF VALUES (900, 901, 1000)")
+        .unwrap()
+    {
+        QueryOutcome::Count(1) => {}
+        other => panic!("expected Count(1), got {other:?}"),
+    }
+    let err = client.query("SELEKT garbage FROM").unwrap_err();
+    match err {
+        NetError::Server { code, .. } => assert_eq!(code, ErrorCode::Parse),
+        other => panic!("expected a Parse server error, got {other}"),
+    }
+    let QueryOutcome::Table(_, v) = client
+        .query("SELECT x.DNO FROM x IN DEPARTMENTS-1NF WHERE x.DNO = 900")
+        .unwrap()
+    else {
+        panic!("expected table");
+    };
+    assert_eq!(v.tuples.len(), 1, "autocommitted insert must be visible");
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// `CancelQuery` at a suspension point abandons the stream with a typed
+/// `Cancelled` error, and the connection keeps working afterwards.
+#[test]
+fn cancel_mid_stream_keeps_connection_alive() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    client
+        .send(&Request::Query {
+            fetch: 1,
+            sql: "SELECT * FROM DEPARTMENTS".to_string(),
+        })
+        .unwrap();
+    let Response::RowHeader { .. } = client.recv().unwrap() else {
+        panic!("expected RowHeader");
+    };
+    let Response::Rows { done: false, .. } = client.recv().unwrap() else {
+        panic!("expected a suspended Rows frame");
+    };
+    client.send(&Request::CancelQuery).unwrap();
+    match client.recv().unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Cancelled as u32),
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    // Same connection, next query: full answer.
+    let QueryOutcome::Table(_, v) = client.query("SELECT * FROM DEPARTMENTS").unwrap() else {
+        panic!("expected table");
+    };
+    assert_eq!(v.tuples.len(), 3);
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// Admission control: over `max_conns`, a new client is rejected with a
+/// retryable typed error; after a slot frees, it gets in.
+#[test]
+fn admission_control_rejects_excess_connections() {
+    let mut handle = start_server(ServerConfig {
+        max_conns: 2,
+        ..ServerConfig::default()
+    });
+    let c1 = connect(&handle);
+    let c2 = connect(&handle);
+    let err = match Client::connect(handle.local_addr(), "third") {
+        Ok(_) => panic!("third connection must be rejected"),
+        Err(e) => e,
+    };
+    match err {
+        NetError::Server {
+            code, retryable, ..
+        } => {
+            assert_eq!(code, ErrorCode::Admission);
+            assert!(retryable, "admission rejection must be retryable");
+        }
+        other => panic!("expected an Admission error, got {other}"),
+    }
+    c1.goodbye().unwrap();
+    // The slot is released once the server reaps the connection; poll
+    // briefly rather than racing the reaper.
+    let mut admitted = None;
+    for _ in 0..100 {
+        match Client::connect(handle.local_addr(), "retry") {
+            Ok(c) => {
+                admitted = Some(c);
+                break;
+            }
+            Err(e) if e.is_retryable() => std::thread::sleep(std::time::Duration::from_millis(10)),
+            Err(e) => panic!("unexpected error while retrying: {e}"),
+        }
+    }
+    admitted
+        .expect("freed slot never admitted a new client")
+        .goodbye()
+        .unwrap();
+    c2.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// An oversized length prefix is refused before any allocation with a
+/// typed Protocol error, then the connection closes cleanly.
+#[test]
+fn oversized_frame_rejected_and_closed() {
+    let mut handle = start_server(ServerConfig {
+        max_frame: 1024,
+        ..ServerConfig::default()
+    });
+    let mut raw = TcpStream::connect(handle.local_addr()).unwrap();
+    // Claim a ~3.9 GiB payload; send nothing further.
+    let mut header = Vec::new();
+    header.extend_from_slice(&0xEEEE_EEEEu32.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    raw.write_all(&header).unwrap();
+    let payload = aim2_net::read_frame(&mut raw, aim2_net::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("server must answer before closing");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol as u32),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    // Clean close follows the error frame.
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no trailing bytes after the error frame");
+    handle.shutdown();
+}
+
+/// A frame with a corrupted CRC is refused with a typed Protocol error.
+#[test]
+fn corrupt_frame_rejected() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(handle.local_addr()).unwrap();
+    let mut framed = Vec::new();
+    write_frame(
+        &mut framed,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: "evil".to_string(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    let last = framed.len() - 1;
+    framed[last] ^= 0x01;
+    raw.write_all(&framed).unwrap();
+    let payload = aim2_net::read_frame(&mut raw, aim2_net::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("server must answer before closing");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Protocol as u32),
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// A client speaking a future protocol version is turned away in the
+/// handshake with a typed error.
+#[test]
+fn version_mismatch_refused() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(handle.local_addr()).unwrap();
+    write_frame(
+        &mut raw,
+        &Request::Hello {
+            version: PROTOCOL_VERSION + 1,
+            client: "from the future".to_string(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    let payload = aim2_net::read_frame(&mut raw, aim2_net::DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("server must answer before closing");
+    match Response::decode(&payload).unwrap() {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Protocol as u32);
+            assert!(message.contains("version"), "unhelpful message: {message}");
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// Admin verbs answer over the wire: metrics in both expositions,
+/// grouped stats including the net group, and the integrity report.
+#[test]
+fn admin_verbs_answer() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    client.query("SELECT * FROM DEPARTMENTS").unwrap();
+    let json = client.metrics(MetricsFormat::Json).unwrap();
+    assert!(json.contains("net.query"), "histogram missing: {json}");
+    assert!(json.contains("net.connections"), "gauge missing: {json}");
+    let prom = client.metrics(MetricsFormat::Prometheus).unwrap();
+    assert!(prom.contains("net_query"), "prom exposition: {prom}");
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.contains("net"),
+        "stats missing the net group: {stats}"
+    );
+    let report = client.integrity_check().unwrap();
+    assert!(
+        report.contains("integrity"),
+        "unexpected integrity report: {report}"
+    );
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// Graceful shutdown with an idle client: the client's next read gets a
+/// typed Shutdown error (or a clean close), never a hang.
+#[test]
+fn graceful_shutdown_notifies_idle_connections() {
+    let mut handle = start_server(ServerConfig::default());
+    let mut client = connect(&handle);
+    // shutdown() joins the connection thread, which wakes at its next
+    // idle tick, sends the Shutdown notice, and exits — the frame is
+    // buffered on our socket by the time shutdown() returns.
+    handle.shutdown();
+    match client.recv() {
+        Ok(Response::Error { code, .. }) => {
+            assert_eq!(code, ErrorCode::Shutdown as u32);
+        }
+        Err(NetError::Closed) => {}
+        other => panic!("expected Shutdown or clean close, got {other:?}"),
+    }
+}

@@ -18,7 +18,8 @@
 //! relaxed atomics behind an `Arc` — `Stats` is `Send + Sync` and stays
 //! cheaply clonable.
 
-use aim2_obs::{Gauge, HistSnapshot, Histogram, Metrics, MetricsSnapshot, Timer};
+pub use aim2_obs::MetricsSnapshot;
+use aim2_obs::{Gauge, HistSnapshot, Histogram, Metrics, Timer};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -92,6 +93,17 @@ struct Counters {
     mvcc_versions_published: AtomicU64,
     /// Superseded epoch versions reclaimed by the snapshot GC.
     mvcc_gc_reclaimed: AtomicU64,
+    /// Well-formed frames decoded from client connections.
+    net_frames_in: AtomicU64,
+    /// Frames written to client connections.
+    net_frames_out: AtomicU64,
+    /// Statements received over the wire (Query requests admitted).
+    net_queries: AtomicU64,
+    /// Result rows streamed to clients across all connections.
+    net_rows_streamed: AtomicU64,
+    /// Connections or queries refused by admission control, plus
+    /// connections dropped for framing/protocol violations.
+    net_rejected: AtomicU64,
 }
 
 /// Pre-resolved instrument handles: one registry lookup at construction
@@ -217,6 +229,10 @@ impl Stats {
         mvcc_versions_published,
         mvcc_versions_published
     );
+    counter!(inc_net_frame_in, net_frames_in, net_frames_in);
+    counter!(inc_net_frame_out, net_frames_out, net_frames_out);
+    counter!(inc_net_query, net_queries, net_queries);
+    counter!(inc_net_rejected, net_rejected, net_rejected);
 
     span_timer!(time_page_read, page_read, "storage.page_read");
     span_timer!(time_page_write, page_write, "storage.page_write");
@@ -232,12 +248,29 @@ impl Stats {
     /// Bulk-add to `mvcc_gc_reclaimed` (one GC pass reclaims a batch of
     /// superseded versions).
     pub fn add_mvcc_gc_reclaimed(&self, n: u64) {
-        self.inner.c.mvcc_gc_reclaimed.fetch_add(n, Ordering::Relaxed);
+        self.inner
+            .c
+            .mvcc_gc_reclaimed
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value of the `mvcc_gc_reclaimed` counter.
     pub fn mvcc_gc_reclaimed(&self) -> u64 {
         self.inner.c.mvcc_gc_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Bulk-add to `net_rows_streamed` (the server counts one `Rows`
+    /// frame's worth at a time).
+    pub fn add_net_rows_streamed(&self, n: u64) {
+        self.inner
+            .c
+            .net_rows_streamed
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the `net_rows_streamed` counter.
+    pub fn net_rows_streamed(&self) -> u64 {
+        self.inner.c.net_rows_streamed.load(Ordering::Relaxed)
     }
 
     /// How long a read-only snapshot stayed pinned, nanoseconds
@@ -307,6 +340,11 @@ impl Stats {
             &i.snapshot_reads,
             &i.mvcc_versions_published,
             &i.mvcc_gc_reclaimed,
+            &i.net_frames_in,
+            &i.net_frames_out,
+            &i.net_queries,
+            &i.net_rows_streamed,
+            &i.net_rejected,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -338,6 +376,11 @@ impl Stats {
             snapshot_reads: self.snapshot_reads(),
             mvcc_versions_published: self.mvcc_versions_published(),
             mvcc_gc_reclaimed: self.mvcc_gc_reclaimed(),
+            net_frames_in: self.net_frames_in(),
+            net_frames_out: self.net_frames_out(),
+            net_queries: self.net_queries(),
+            net_rows_streamed: self.net_rows_streamed(),
+            net_rejected: self.net_rejected(),
         }
     }
 
@@ -363,17 +406,18 @@ impl Stats {
         } else {
             snap.buf_hits as f64 / accesses as f64
         };
-        let gauges = vec![
-            ("buffer.hit_rate".to_string(), hit_rate),
-            (
-                "txn.lock_queue_depth".to_string(),
-                self.inner.obs.lock_queue.get() as f64,
-            ),
-            (
-                "mvcc.versions_retained".to_string(),
-                self.inner.obs.versions_retained.get() as f64,
-            ),
-        ];
+        // The derived hit-rate gauge, then every registry gauge — new
+        // subsystems (e.g. net.connections) show up without this method
+        // learning their names.
+        let mut gauges = vec![("buffer.hit_rate".to_string(), hit_rate)];
+        gauges.extend(
+            self.inner
+                .obs
+                .metrics
+                .gauge_values()
+                .into_iter()
+                .map(|(k, v)| (k, v as f64)),
+        );
         MetricsSnapshot {
             counters,
             gauges,
@@ -408,6 +452,11 @@ pub struct StatsSnapshot {
     pub snapshot_reads: u64,
     pub mvcc_versions_published: u64,
     pub mvcc_gc_reclaimed: u64,
+    pub net_frames_in: u64,
+    pub net_frames_out: u64,
+    pub net_queries: u64,
+    pub net_rows_streamed: u64,
+    pub net_rejected: u64,
 }
 
 impl StatsSnapshot {
@@ -437,11 +486,16 @@ impl StatsSnapshot {
             snapshot_reads: later.snapshot_reads - self.snapshot_reads,
             mvcc_versions_published: later.mvcc_versions_published - self.mvcc_versions_published,
             mvcc_gc_reclaimed: later.mvcc_gc_reclaimed - self.mvcc_gc_reclaimed,
+            net_frames_in: later.net_frames_in - self.net_frames_in,
+            net_frames_out: later.net_frames_out - self.net_frames_out,
+            net_queries: later.net_queries - self.net_queries,
+            net_rows_streamed: later.net_rows_streamed - self.net_rows_streamed,
+            net_rejected: later.net_rejected - self.net_rejected,
         }
     }
 
     /// Counters in stable display order, grouped by subsystem.
-    pub fn groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 7] {
+    pub fn groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 8] {
         [
             (
                 "buffer",
@@ -496,6 +550,16 @@ impl StatsSnapshot {
                 ],
             ),
             ("cursor", vec![("early-exits", self.cursor_early_exits)]),
+            (
+                "net",
+                vec![
+                    ("frames-in", self.net_frames_in),
+                    ("frames-out", self.net_frames_out),
+                    ("queries", self.net_queries),
+                    ("rows-streamed", self.net_rows_streamed),
+                    ("rejected", self.net_rejected),
+                ],
+            ),
         ]
     }
 
@@ -624,7 +688,7 @@ mod tests {
         // Verbose shows everything, zeros included, one group per line.
         let v = s.snapshot().verbose().to_string();
         assert!(v.contains("misses=0"));
-        assert!(v.lines().count() == 7);
+        assert!(v.lines().count() == 8);
     }
 
     #[test]

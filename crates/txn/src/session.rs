@@ -157,6 +157,20 @@ impl SharedDatabase {
         self.inner.stats.clone()
     }
 
+    /// Point-in-time metrics exposition — every counter, gauge and
+    /// latency histogram — straight off the shared stats block. Unlike
+    /// [`SharedDatabase::with_db`] admin paths this takes no mutex, so
+    /// a server's metrics endpoint can poll it under load.
+    pub fn metrics(&self) -> aim2_storage::stats::MetricsSnapshot {
+        self.inner.stats.metrics_snapshot()
+    }
+
+    /// Immutable copy of the engine counters, for grouped display and
+    /// delta computations (the server's `Stats` admin verb). Lock-free.
+    pub fn stats_snapshot(&self) -> aim2_storage::stats::StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
     /// Unwrap back into the owned [`Database`]. Fails (returns `self`)
     /// while sessions are still alive.
     pub fn try_into_inner(self) -> std::result::Result<Database, SharedDatabase> {
@@ -612,6 +626,57 @@ impl Session {
         }
     }
 
+    /// Evaluate `sql`, streaming query rows into `sink` as they are
+    /// produced instead of materializing a result table — the network
+    /// server's row path. Returns `Ok(None)` when the statement was a
+    /// query (the result went to the sink); any other statement runs
+    /// exactly like [`Session::execute`] and returns `Ok(Some(result))`.
+    ///
+    /// Locking matches [`Session::execute`]: in a read-only snapshot
+    /// transaction every scan resolves lock-free against the pinned
+    /// epoch; otherwise the statement's whole S lock set is acquired up
+    /// front in sorted order (so streaming cannot introduce lock orders
+    /// plain execution wouldn't), and per-row pulls re-take the database
+    /// mutex briefly rather than holding it across the stream — a
+    /// suspended consumer parks the session holding table locks, never
+    /// the engine mutex.
+    pub fn query_streamed(
+        &mut self,
+        sql: &str,
+        sink: &mut dyn aim2_exec::RowSink,
+    ) -> Result<Option<ExecResult>> {
+        let stmt = aim2_lang::parse_stmt(sql).map_err(|e| TxnError::Db(aim2::DbError::Parse(e)))?;
+        if !matches!(stmt, Stmt::Query(_)) {
+            return self.execute(sql).map(Some);
+        }
+        if !self.is_read_only() {
+            let (mut reads, _writes, asof_reads) = stmt_tables(&stmt);
+            if !asof_reads.is_empty() {
+                // Same ASOF routing as `execute`: strictly-historical
+                // dates read immutable states and skip the S lock.
+                let today = self.with_db(|db| Ok(db.today()))?;
+                for (table, date) in &asof_reads {
+                    let historical = Date::parse_iso(date).map(|d| d < today).unwrap_or(false);
+                    if !historical {
+                        reads.insert(table.clone());
+                    }
+                }
+            }
+            let id = self.ensure_txn();
+            for table in reads {
+                self.acquire(id, &LockKey::table(&table), LockMode::Shared)?;
+            }
+        }
+        let Stmt::Query(q) = &stmt else {
+            unreachable!()
+        };
+        let _t = self.shared.stats.time_query();
+        Evaluator::new(self)
+            .eval_query_streamed(q, sink)
+            .map_err(|e| TxnError::Db(aim2::DbError::from(e)))?;
+        Ok(None)
+    }
+
     /// Evaluate a statement against the pinned snapshot: queries run
     /// the full cursor pipeline with this session as the provider (so
     /// every scan resolves at the pinned epoch, lock-free); anything
@@ -785,9 +850,10 @@ impl Session {
 
     /// The pinned-epoch version of `table` for a read-only read.
     fn resolve_snapshot(&self, table: &str, epoch: u64) -> Result<Arc<TableVersion>> {
-        self.shared.snapshots.resolve(table, epoch).ok_or_else(|| {
-            TxnError::Db(aim2::DbError::Catalog(format!("no such table: {table}")))
-        })
+        self.shared
+            .snapshots
+            .resolve(table, epoch)
+            .ok_or_else(|| TxnError::Db(aim2::DbError::Catalog(format!("no such table: {table}"))))
     }
 
     fn note_object_write(&mut self, table: &str) -> Result<()> {
@@ -1030,11 +1096,7 @@ fn stmt_tables(
     (reads, writes, asof)
 }
 
-fn query_tables(
-    q: &ast::Query,
-    out: &mut BTreeSet<String>,
-    asof: &mut BTreeSet<(String, String)>,
-) {
+fn query_tables(q: &ast::Query, out: &mut BTreeSet<String>, asof: &mut BTreeSet<(String, String)>) {
     bindings_tables(&q.from, out, asof);
     if let Some(e) = &q.where_ {
         expr_tables(e, out, asof);

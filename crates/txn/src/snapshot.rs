@@ -134,12 +134,15 @@ impl SnapshotManager {
         let mut updates: Vec<(String, Published)> = Vec::new();
         let names = db.table_names();
         for name in &names {
-            let Ok(schema) = db.schema(name) else { continue };
-            match db.snapshot_table_keyed(name) {
-                Ok(rows) => {
-                    updates.push((name.clone(), Some(Arc::new(TableVersion::new(schema, rows)))));
-                }
-                Err(_) => {} // keep the previous version
+            let Ok(schema) = db.schema(name) else {
+                continue;
+            };
+            // An unreadable table keeps its previous version.
+            if let Ok(rows) = db.snapshot_table_keyed(name) {
+                updates.push((
+                    name.clone(),
+                    Some(Arc::new(TableVersion::new(schema, rows))),
+                ));
             }
         }
         let known = self.tables_at(self.current_epoch());

@@ -36,8 +36,10 @@ fn setup() -> (SharedDatabase, Model) {
     let mut model: Model = BTreeMap::new();
     shared.with_db(|db| {
         for (ti, table) in TABLES.iter().enumerate() {
-            db.execute(&format!("CREATE TABLE {table} ( ANO INTEGER, BAL INTEGER )"))
-                .unwrap();
+            db.execute(&format!(
+                "CREATE TABLE {table} ( ANO INTEGER, BAL INTEGER )"
+            ))
+            .unwrap();
             let accounts = model.entry(table).or_default();
             for a in 0..ACCOUNTS {
                 let bal = 100 * (ti as i64 + 1) + a;
@@ -59,9 +61,7 @@ fn observed_sum(s: &mut Session) -> i64 {
     TABLES
         .iter()
         .map(|table| {
-            let (_, rows) = s
-                .query(&format!("SELECT x.BAL FROM x IN {table}"))
-                .unwrap();
+            let (_, rows) = s.query(&format!("SELECT x.BAL FROM x IN {table}")).unwrap();
             rows.tuples
                 .iter()
                 .map(|t| t.field(0).unwrap().as_atom().unwrap().as_int().unwrap())

@@ -159,9 +159,7 @@ fn bank() -> SharedDatabase {
 
 /// Sum of `BAL` over `table`, read through `s`'s open transaction.
 fn bal(s: &mut Session, table: &str) -> i64 {
-    let (_, rows) = s
-        .query(&format!("SELECT x.BAL FROM x IN {table}"))
-        .unwrap();
+    let (_, rows) = s.query(&format!("SELECT x.BAL FROM x IN {table}")).unwrap();
     rows.tuples
         .iter()
         .map(|t| t.field(0).unwrap().as_atom().unwrap().as_int().unwrap())
@@ -349,8 +347,10 @@ fn schedule_gc_keeps_pinned_versions() {
     for v in [70, 80, 90] {
         sched.step("w", move |s| {
             s.begin().unwrap();
-            s.execute(&format!("UPDATE x IN SAVINGS SET x.BAL = {v} WHERE x.ANO = 1"))
-                .unwrap();
+            s.execute(&format!(
+                "UPDATE x IN SAVINGS SET x.BAL = {v} WHERE x.ANO = 1"
+            ))
+            .unwrap();
             s.commit().unwrap();
         });
     }

@@ -280,9 +280,9 @@ fn stats_display_grouped_and_zero_suppressed() {
     assert!(shown.contains("buffer["), "grouped display: {shown}");
     assert!(shown.contains("objects-decoded="));
     assert!(!shown.contains("=0"), "zero counters suppressed: {shown}");
-    // Verbose shows all seven groups, including all-zero ones.
+    // Verbose shows all eight groups, including all-zero ones.
     let verbose = snap.verbose().to_string();
-    assert_eq!(verbose.lines().count(), 7);
+    assert_eq!(verbose.lines().count(), 8);
     for group in [
         "buffer",
         "storage",
@@ -291,6 +291,7 @@ fn stats_display_grouped_and_zero_suppressed() {
         "integrity",
         "cursor",
         "mvcc",
+        "net",
     ] {
         assert!(verbose.contains(group), "verbose missing {group}");
     }
