@@ -46,7 +46,11 @@ use aim2_storage::StorageError;
 use aim2_time::{VersionChain, VersionedTable};
 use std::io::{Seek, SeekFrom, Write};
 
-const MAGIC: &[u8; 8] = b"AIM2CAT2";
+const MAGIC: &[u8; 8] = b"AIM2CAT3";
+/// Previous catalog format, still readable: identical except that
+/// segment entries carry no page-count (extent) field, so recovery
+/// cannot truncate stale post-checkpoint pages for such files.
+const MAGIC_V2: &[u8; 8] = b"AIM2CAT2";
 
 /// The catalog file name inside the data directory.
 pub const CATALOG_FILE: &str = "catalog.aim2";
@@ -192,6 +196,30 @@ pub fn schema_to_ddl(schema: &TableSchema, layout: LayoutKind, versioned: bool) 
     out
 }
 
+/// Shrink segment file `name` to its checkpoint-committed extent of
+/// `pages` raw disk pages. Pages beyond that extent were allocated in
+/// an epoch that never committed; the WAL holds no before-image for
+/// them (allocation was their entire history), so truncation is their
+/// undo. Missing files and already-short files are left alone — the
+/// former are recreated empty on open, the latter are impossible for a
+/// committed checkpoint and resolve to the extent the file does have.
+fn truncate_segment(dir: &std::path::Path, name: &str, pages: u32, page_size: usize) -> Result<()> {
+    let path = dir.join(name);
+    let want = pages as u64 * page_size as u64;
+    match std::fs::metadata(&path) {
+        Ok(m) if m.len() > want => {
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(StorageError::Io)?;
+            f.set_len(want).map_err(StorageError::Io)?;
+            f.sync_data().map_err(StorageError::Io)?;
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
 impl Database {
     /// Flush all buffer pools and write the catalog file, atomically
     /// committing the current epoch. Requires a file-backed database
@@ -225,6 +253,17 @@ impl Database {
                     .as_deref()
                     .ok_or_else(|| DbError::Catalog("table segment has no file".into()))?,
             );
+            // Committed extent of the segment file, in raw disk pages.
+            // Recovery truncates the file back to this length: pages
+            // allocated after the checkpoint carry no WAL before-image
+            // (they are "fresh"), so cutting them off *is* their undo.
+            // Without it a crashed epoch leaves stale, never-initialized
+            // page images that a reopened segment would try to use.
+            let seg_pages = match &mut entry.storage {
+                TableStorage::Flat(fs) => fs.segment_mut().num_pages(),
+                TableStorage::Nf2(os) => os.segment_mut().num_pages(),
+            };
+            put_u32(&mut out, seg_pages);
             match &entry.storage {
                 TableStorage::Flat(fs) => {
                     out.push(0);
@@ -273,7 +312,7 @@ impl Database {
             }
             // Attribute indexes.
             put_u32(&mut out, entry.indexes.len() as u32);
-            for ie in &entry.indexes {
+            for ie in &mut entry.indexes {
                 put_str(&mut out, &ie.name);
                 put_str(&mut out, &ie.index.attr_path().to_string());
                 out.push(scheme_code(ie.index.scheme()));
@@ -283,6 +322,8 @@ impl Database {
                         .as_deref()
                         .ok_or_else(|| DbError::Catalog("index segment has no file".into()))?,
                 );
+                // Committed extent (see the table segment note above).
+                put_u32(&mut out, ie.index.segment_mut().num_pages());
                 let (root, order) = ie.index.tree_root();
                 put_tid(&mut out, root);
                 put_u32(&mut out, order as u32);
@@ -362,9 +403,14 @@ impl Database {
         };
         let mut db = Database::with_config(config);
         let mut r = Reader::new(&bytes);
-        if r.bytes(8)? != MAGIC {
-            return Err(Reader::err("bad magic"));
-        }
+        let magic = r.bytes(8)?;
+        // Legacy catalogs lack per-segment extents; everything else is
+        // identical, so read them with extent truncation disabled.
+        let has_extents = match magic {
+            m if m == MAGIC => true,
+            m if m == MAGIC_V2 => false,
+            _ => return Err(Reader::err("bad magic")),
+        };
         let cat_epoch = r.u32()?;
         // Recovery happens on the raw segment files, before any of them
         // is opened through a buffer pool.
@@ -406,10 +452,19 @@ impl Database {
         let seg_counter = r.u32()?;
         let ntables = r.u32()?;
         let mut referenced = std::collections::HashSet::new();
+        let raw_page_size = db.config().page_size;
         for _ in 0..ntables {
             let ddl = r.str()?;
             let seg_file = r.str()?;
             referenced.insert(seg_file.clone());
+            if has_extents {
+                // Drop pages allocated after the committed checkpoint:
+                // they have no before-image in the WAL (allocation is
+                // their only history), so truncation is their undo. A
+                // reopened segment must never see their stale,
+                // never-initialized on-disk images.
+                truncate_segment(&dir, &seg_file, r.u32()?, raw_page_size)?;
+            }
             let Stmt::CreateTable(ct) = parse_stmt(&ddl)? else {
                 return Err(Reader::err("catalog DDL is not CREATE TABLE"));
             };
@@ -481,6 +536,9 @@ impl Database {
                 let scheme = scheme_from(r.u8()?)?;
                 let iseg_file = r.str()?;
                 referenced.insert(iseg_file.clone());
+                if has_extents {
+                    truncate_segment(&dir, &iseg_file, r.u32()?, raw_page_size)?;
+                }
                 let root = r.tid()?;
                 let order = r.u32()? as usize;
                 let iseg = db.open_segment_pub(&iseg_file)?;

@@ -29,6 +29,11 @@ pub enum ExecError {
     /// [`crate::eval::RowSink`] implementations, never by the evaluator
     /// itself.
     Cancelled,
+    /// The statement's [`crate::Deadline`] passed. Raised at the
+    /// evaluator's cursor-pull choke point; retryable from the caller's
+    /// point of view (the statement may succeed with a longer budget or
+    /// on a less loaded server).
+    DeadlineExceeded,
 }
 
 impl fmt::Display for ExecError {
@@ -49,6 +54,7 @@ impl fmt::Display for ExecError {
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::Index(e) => write!(f, "index error: {e}"),
             ExecError::Cancelled => write!(f, "query cancelled by consumer"),
+            ExecError::DeadlineExceeded => write!(f, "statement deadline exceeded"),
         }
     }
 }

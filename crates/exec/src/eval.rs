@@ -112,6 +112,9 @@ pub struct Evaluator<'p, P: TableProvider> {
     binding_nodes: HashMap<usize, usize>,
     /// AST query address → (Filter node, Project node).
     query_nodes: HashMap<usize, (Option<usize>, usize)>,
+    /// Wall-clock budget for the current statement, checked at the
+    /// cursor-pull choke point. `None` means no deadline.
+    deadline: Option<crate::deadline::Deadline>,
 }
 
 impl<'p, P: TableProvider> Evaluator<'p, P> {
@@ -130,7 +133,15 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             ops: Vec::new(),
             binding_nodes: HashMap::new(),
             query_nodes: HashMap::new(),
+            deadline: None,
         }
+    }
+
+    /// Bound the statement's total wall time: once the deadline passes,
+    /// the next cursor pull raises [`ExecError::DeadlineExceeded`] and
+    /// evaluation unwinds through the normal cursor-closing path.
+    pub fn set_deadline(&mut self, deadline: Option<crate::deadline::Deadline>) {
+        self.deadline = deadline;
     }
 
     /// Attribute runtime metrics (rows, decode deltas, wall time) to
@@ -241,6 +252,11 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
     /// process-shared, so a concurrent session can only over-attribute,
     /// never underflow.)
     fn pull_row(&mut self, cur: &mut ObjectCursor) -> Result<Option<Tuple>> {
+        if let Some(d) = self.deadline {
+            if d.expired() {
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
         if !self.analyze {
             return self.provider.next_row(cur);
         }

@@ -23,6 +23,7 @@
 pub mod algebra;
 pub mod analysis;
 pub mod analyze;
+pub mod deadline;
 pub mod error;
 pub mod eval;
 pub mod infer;
@@ -32,6 +33,7 @@ pub mod provider;
 pub mod value;
 
 pub use analyze::{AnalyzedPlan, OpMetrics};
+pub use deadline::Deadline;
 pub use error::ExecError;
 pub use eval::{Evaluator, RowSink};
 pub use plan::{PhysOp, PhysicalPlan};

@@ -7,7 +7,12 @@
 //! The same statement/dot-command feel as the embedded `aim2` shell,
 //! but every statement travels over TCP. Dot-commands:
 //! `.begin [ro]`, `.commit`, `.rollback`, `.metrics [json|prom]`,
-//! `.stats`, `.integrity`, `.fetch N`, `.quit`.
+//! `.stats`, `.integrity`, `.ping`, `.checkpoint`, `.fetch N`, `.quit`.
+//!
+//! Server errors print with their retryability and any `retry after
+//! N ms` backoff hint. On connection loss the shell reconnects
+//! automatically (with a notice — any open transaction was rolled back
+//! server-side) instead of exiting.
 
 use std::io::{BufRead, Write};
 
@@ -76,7 +81,11 @@ fn run_statement(client: &mut Client, fetch: u32, sql: &str) {
     if sql.is_empty() {
         return;
     }
-    match client.query_fetch(sql, fetch) {
+    let was_in_txn = client.in_transaction();
+    let before = client.reconnects();
+    let r = client.query_fetch(sql, fetch);
+    note_reconnect(client, before, was_in_txn);
+    match r {
         Ok(QueryOutcome::Table(schema, value)) => {
             print!("{}", render::render_table(&schema, &value));
             println!("({} row(s))", value.tuples.len());
@@ -87,6 +96,17 @@ fn run_statement(client: &mut Client, fetch: u32, sql: &str) {
     }
 }
 
+/// If the client auto-reconnected during the last call, say so — and
+/// warn when that silently ended an explicit transaction.
+fn note_reconnect(client: &Client, before: u64, was_in_txn: bool) {
+    if client.reconnects() > before {
+        eprintln!("(connection lost; reconnected to the server)");
+        if was_in_txn {
+            eprintln!("(the open transaction was rolled back server-side)");
+        }
+    }
+}
+
 /// Returns false to quit.
 fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
     let mut parts = cmd.splitn(2, ' ');
@@ -94,6 +114,8 @@ fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
         Ok(text) => println!("{text}"),
         Err(e) => eprintln!("error: {e}"),
     };
+    let was_in_txn = client.in_transaction();
+    let before = client.reconnects();
     match parts.next().unwrap_or("") {
         ".quit" | ".exit" | ".q" => return false,
         ".help" => println!(
@@ -103,7 +125,10 @@ fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
              .metrics [json|prom] server metrics exposition\n\
              .stats               grouped engine counters\n\
              .integrity           run the server-side integrity walker\n\
+             .ping                keepalive round-trip (resets the idle-reap clock)\n\
+             .checkpoint          force a server-side checkpoint (durability floor)\n\
              .fetch N             rows per frame for streamed results (0 = server default)\n\
+             .timeout MILLIS      per-statement deadline (0 = none; server may cap)\n\
              .quit                leave"
         ),
         ".begin" => {
@@ -121,6 +146,11 @@ fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
         }
         ".stats" => report(client.stats()),
         ".integrity" => report(client.integrity_check()),
+        ".ping" => match client.ping() {
+            Ok(()) => println!("pong"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".checkpoint" => report(client.checkpoint()),
         ".fetch" => match parts.next().and_then(|n| n.trim().parse::<u32>().ok()) {
             Some(n) => {
                 *fetch = n;
@@ -128,7 +158,15 @@ fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
             }
             None => eprintln!("usage: .fetch N"),
         },
+        ".timeout" => match parts.next().and_then(|n| n.trim().parse::<u32>().ok()) {
+            Some(ms) => {
+                client.set_statement_timeout_ms(ms);
+                println!("statement timeout = {ms}ms");
+            }
+            None => eprintln!("usage: .timeout MILLIS"),
+        },
         other => eprintln!("unknown command {other}; try .help"),
     }
+    note_reconnect(client, before, was_in_txn);
     true
 }

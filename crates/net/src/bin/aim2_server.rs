@@ -32,16 +32,27 @@ fn main() {
             "--data" => data_dir = Some(expect(args.next(), "--data DIR").into()),
             "--max-conns" => cfg.max_conns = parse(args.next(), "--max-conns N"),
             "--max-inflight" => cfg.max_inflight = parse(args.next(), "--max-inflight N"),
+            "--statement-timeout-ms" => {
+                let ms = parse(args.next(), "--statement-timeout-ms MS") as u64;
+                cfg.statement_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
+            "--idle-timeout-ms" => {
+                let ms = parse(args.next(), "--idle-timeout-ms MS") as u64;
+                cfg.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+            }
             "--demo" => demo = true,
             "--help" | "-h" => {
                 println!(
                     "usage: aim2-server [--listen ADDR] [--data DIR] [--demo]\n\
                      \x20                  [--max-conns N] [--max-inflight N]\n\
+                     \x20                  [--statement-timeout-ms MS] [--idle-timeout-ms MS]\n\
                      --listen ADDR     bind address (default 127.0.0.1:4884)\n\
                      --data DIR        file-backed database (reopens if present)\n\
                      --demo            load the paper's Tables 1-8\n\
                      --max-conns N     connection admission limit (default 64)\n\
                      --max-inflight N  concurrent statement limit (default 64)\n\
+                     --statement-timeout-ms MS  default per-statement deadline (0 = none)\n\
+                     --idle-timeout-ms MS       reap idle connections after MS (0 = never)\n\
                      Type 'quit' (or close stdin) to shut down gracefully."
                 );
                 return;

@@ -1,0 +1,416 @@
+//! Deterministic fault-injection TCP proxy for chaos tests.
+//!
+//! [`ChaosProxy`] sits between a client and an `aim2-server`, forwards
+//! traffic **frame by frame** (it parses the `[len][crc][payload]`
+//! envelope, so faults land on whole protocol messages rather than
+//! arbitrary byte boundaries), and injects faults from a seeded LCG:
+//! the same seed always produces the same fault schedule, so a failing
+//! chaos run replays exactly.
+//!
+//! Faults are configured per direction as per-mille probabilities in
+//! [`FaultPlan`]:
+//!
+//! * **drop** — swallow the frame entirely (the peer never sees it);
+//! * **delay** — hold the frame for a bounded pause before forwarding;
+//! * **corrupt** — flip one payload bit but *recompute nothing*, so the
+//!   receiver's CRC check must catch it;
+//! * **truncate** — forward only a prefix of the frame, then sever the
+//!   link (mid-frame connection loss);
+//! * **black-hole** — stop forwarding in this direction forever while
+//!   keeping the socket open (the peer's read must time out).
+//!
+//! [`ChaosProxy::sever_all`] hard-closes every live link (both
+//! sockets), simulating a network partition; the listener keeps
+//! accepting, so reconnecting clients get a fresh link. Scripted
+//! determinism beyond probabilities comes from
+//! [`FaultPlan::drop_nth_response`]: drop exactly the Nth
+//! server→client frame on a link — the tool for "the commit applied
+//! but the ack was lost" scenarios.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::wire::HEADER_LEN;
+
+/// Per-direction fault probabilities, in per-mille (0–1000).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Swallow the frame.
+    pub drop_per_mille: u32,
+    /// Hold the frame for `delay` before forwarding.
+    pub delay_per_mille: u32,
+    pub delay: Duration,
+    /// Flip one payload bit (CRC left stale — the receiver must reject).
+    pub corrupt_per_mille: u32,
+    /// Forward a prefix of the frame, then sever the link.
+    pub truncate_per_mille: u32,
+    /// Stop forwarding this direction forever, socket left open.
+    pub black_hole_per_mille: u32,
+    /// Scripted fault: drop exactly the Nth frame (1-based) in this
+    /// direction on each link, independent of the probabilities.
+    pub drop_nth_response: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Forward everything untouched.
+    pub fn clean() -> FaultPlan {
+        FaultPlan::default()
+    }
+}
+
+/// Splitmix-style step; distinct streams per link/direction come from
+/// hashing the link id into the seed.
+fn lcg_next(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    // xorshift the high bits down so per-mille sampling sees mixing.
+    let x = *state;
+    (x ^ (x >> 31)).wrapping_mul(0x2545F4914F6CDD1D)
+}
+
+fn roll(state: &mut u64, per_mille: u32) -> bool {
+    per_mille > 0 && (lcg_next(state) % 1000) < u64::from(per_mille)
+}
+
+/// What a fault decision did to one frame, for the chaos log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fault {
+    Drop,
+    Delay,
+    Corrupt,
+    Truncate,
+    BlackHole,
+}
+
+struct Link {
+    client: TcpStream,
+    server: TcpStream,
+}
+
+struct ProxyInner {
+    listener: TcpListener,
+    upstream: SocketAddr,
+    seed: u64,
+    c2s: FaultPlan,
+    s2c: FaultPlan,
+    shutdown: AtomicBool,
+    faults: AtomicU64,
+    next_link: AtomicU64,
+    links: Mutex<HashMap<u64, Link>>,
+    /// Human-readable record of every fault injected, in order.
+    log: Mutex<Vec<String>>,
+}
+
+/// A running fault-injection proxy. Dropping the handle shuts it down.
+pub struct ChaosProxy {
+    inner: Arc<ProxyInner>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start a proxy on an ephemeral localhost port, forwarding to
+    /// `upstream`. `seed` pins the fault schedule; `c2s`/`s2c` are the
+    /// client→server and server→client fault plans.
+    pub fn start(
+        upstream: SocketAddr,
+        seed: u64,
+        c2s: FaultPlan,
+        s2c: FaultPlan,
+    ) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let inner = Arc::new(ProxyInner {
+            listener,
+            upstream,
+            seed,
+            c2s,
+            s2c,
+            shutdown: AtomicBool::new(false),
+            faults: AtomicU64::new(0),
+            next_link: AtomicU64::new(1),
+            links: Mutex::new(HashMap::new()),
+            log: Mutex::new(Vec::new()),
+        });
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("chaos-accept".to_string())
+                .spawn(move || accept_loop(inner))?
+        };
+        Ok(ChaosProxy {
+            inner,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.listener.local_addr().expect("proxy addr")
+    }
+
+    /// Total faults injected so far, across all links and directions.
+    pub fn faults_injected(&self) -> u64 {
+        self.inner.faults.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the fault log (one line per injected fault).
+    pub fn fault_log(&self) -> Vec<String> {
+        self.inner.log.lock().unwrap().clone()
+    }
+
+    /// Hard-close every live link in both directions — a partition.
+    /// The listener keeps accepting, so reconnects establish new links.
+    pub fn sever_all(&self) {
+        let links = self.inner.links.lock().unwrap();
+        for link in links.values() {
+            let _ = link.client.shutdown(Shutdown::Both);
+            let _ = link.server.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stop accepting and close everything.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        if let Ok(addr) = self.inner.listener.local_addr() {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        }
+        self.sever_all();
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn accept_loop(inner: Arc<ProxyInner>) {
+    loop {
+        let (client, _) = match inner.listener.accept() {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let server = match TcpStream::connect(inner.upstream) {
+            Ok(s) => s,
+            Err(_) => continue, // upstream down (crash test mid-restart)
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        let id = inner.next_link.fetch_add(1, Ordering::SeqCst);
+        {
+            let mut links = inner.links.lock().unwrap();
+            links.insert(
+                id,
+                Link {
+                    client: client.try_clone().expect("clone client"),
+                    server: server.try_clone().expect("clone server"),
+                },
+            );
+        }
+        spawn_pump(
+            Arc::clone(&inner),
+            id,
+            client.try_clone().unwrap(),
+            server.try_clone().unwrap(),
+            true,
+        );
+        spawn_pump(Arc::clone(&inner), id, server, client, false);
+    }
+}
+
+fn spawn_pump(inner: Arc<ProxyInner>, link: u64, from: TcpStream, to: TcpStream, c2s: bool) {
+    let dir = if c2s { "c2s" } else { "s2c" };
+    let _ = std::thread::Builder::new()
+        .name(format!("chaos-{dir}-{link}"))
+        .spawn(move || pump(inner, link, from, to, c2s));
+}
+
+/// Forward frames `from` → `to`, injecting faults per the direction's
+/// plan. Exits on EOF, I/O error, or a truncate fault; cleans up the
+/// link entry when the client→server side exits.
+fn pump(inner: Arc<ProxyInner>, link: u64, mut from: TcpStream, mut to: TcpStream, c2s: bool) {
+    let plan = if c2s { &inner.c2s } else { &inner.s2c };
+    let dir = if c2s { "c2s" } else { "s2c" };
+    // Distinct deterministic stream per link/direction.
+    let mut rng = inner
+        .seed
+        .wrapping_add(link.wrapping_mul(0x9E3779B97F4A7C15))
+        .wrapping_add(if c2s { 0 } else { 0x517C_C1B7_2722_0A95 });
+    let mut frame_no: u64 = 0;
+    let mut black_holed = false;
+    while let Ok(Some(frame)) = read_raw_frame(&mut from) {
+        frame_no += 1;
+        if black_holed {
+            continue; // keep draining so the sender never blocks
+        }
+        let fault = decide(plan, &mut rng, frame_no);
+        match fault {
+            None => {
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Some(Fault::Drop) => {
+                inner.note(link, dir, frame_no, "drop");
+            }
+            Some(Fault::Delay) => {
+                inner.note(link, dir, frame_no, "delay");
+                std::thread::sleep(plan.delay);
+                if to.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            Some(Fault::Corrupt) => {
+                inner.note(link, dir, frame_no, "corrupt");
+                let mut bad = frame.clone();
+                if bad.len() > HEADER_LEN {
+                    // Flip one payload bit; CRC goes stale on purpose.
+                    let idx = HEADER_LEN + (lcg_next(&mut rng) as usize % (bad.len() - HEADER_LEN));
+                    bad[idx] ^= 1 << (lcg_next(&mut rng) % 8);
+                }
+                if to.write_all(&bad).is_err() {
+                    break;
+                }
+            }
+            Some(Fault::Truncate) => {
+                inner.note(link, dir, frame_no, "truncate+sever");
+                let keep = (frame.len() / 2).max(1);
+                let _ = to.write_all(&frame[..keep]);
+                let _ = to.shutdown(Shutdown::Both);
+                let _ = from.shutdown(Shutdown::Both);
+                break;
+            }
+            Some(Fault::BlackHole) => {
+                inner.note(link, dir, frame_no, "black-hole");
+                black_holed = true;
+            }
+        }
+    }
+    if c2s {
+        // One side tearing down is enough to retire the link.
+        let _ = to.shutdown(Shutdown::Both);
+        inner.links.lock().unwrap().remove(&link);
+    }
+}
+
+fn decide(plan: &FaultPlan, rng: &mut u64, frame_no: u64) -> Option<Fault> {
+    if plan.drop_nth_response == Some(frame_no) {
+        return Some(Fault::Drop);
+    }
+    if roll(rng, plan.drop_per_mille) {
+        return Some(Fault::Drop);
+    }
+    if roll(rng, plan.delay_per_mille) {
+        return Some(Fault::Delay);
+    }
+    if roll(rng, plan.corrupt_per_mille) {
+        return Some(Fault::Corrupt);
+    }
+    if roll(rng, plan.truncate_per_mille) {
+        return Some(Fault::Truncate);
+    }
+    if roll(rng, plan.black_hole_per_mille) {
+        return Some(Fault::BlackHole);
+    }
+    None
+}
+
+impl ProxyInner {
+    fn note(&self, link: u64, dir: &str, frame_no: u64, what: &str) {
+        self.faults.fetch_add(1, Ordering::SeqCst);
+        self.log.lock().unwrap().push(format!(
+            "link={link} dir={dir} frame={frame_no} fault={what}"
+        ));
+    }
+}
+
+/// Read one whole wire frame (header + payload) as raw bytes, without
+/// validating the CRC — the proxy forwards bytes, the endpoints judge
+/// them. Returns `Ok(None)` on clean EOF at a frame boundary.
+fn read_raw_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0;
+    while filled < HEADER_LEN {
+        let n = stream.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof mid-header",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    // A proxy should never buffer unbounded garbage; 64 MiB is far
+    // above any legitimate frame.
+    if len > 64 << 20 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large for proxy",
+        ));
+    }
+    let mut frame = vec![0u8; HEADER_LEN + len];
+    frame[..HEADER_LEN].copy_from_slice(&header);
+    let mut off = HEADER_LEN;
+    while off < frame.len() {
+        let n = stream.read(&mut frame[off..])?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof mid-frame",
+            ));
+        }
+        off += n;
+    }
+    Ok(Some(frame))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        for _ in 0..100 {
+            assert_eq!(lcg_next(&mut a), lcg_next(&mut b));
+        }
+        let mut c = 43u64;
+        assert_ne!(lcg_next(&mut a), lcg_next(&mut c));
+    }
+
+    #[test]
+    fn scripted_drop_fires_on_exact_frame() {
+        let plan = FaultPlan {
+            drop_nth_response: Some(3),
+            ..FaultPlan::clean()
+        };
+        let mut rng = 1u64;
+        assert_eq!(decide(&plan, &mut rng, 1), None);
+        assert_eq!(decide(&plan, &mut rng, 2), None);
+        assert_eq!(decide(&plan, &mut rng, 3), Some(Fault::Drop));
+        assert_eq!(decide(&plan, &mut rng, 4), None);
+    }
+}

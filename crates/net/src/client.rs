@@ -1,4 +1,5 @@
-//! Client library: a blocking connection to an `aim2-server`.
+//! Client library: a blocking connection to an `aim2-server` that
+//! stays useful when the network misbehaves.
 //!
 //! [`Client::connect`] performs the `Hello` handshake (surfacing a
 //! version mismatch or an admission rejection as a typed error), then
@@ -7,12 +8,29 @@
 //! [`Client::send`]/[`Client::recv`] pair stays public for callers that
 //! want to drive suspended portals themselves (e.g. to `CancelQuery`
 //! mid-stream).
+//!
+//! ## Failure behavior
+//!
+//! Every read is bounded by [`ClientConfig::read_timeout`] and every
+//! dial by [`ClientConfig::connect_timeout`], so a black-holed server
+//! can never hang the caller. A [`RetryPolicy`] governs automatic
+//! recovery: retryable server errors (deadlock victim, admission shed,
+//! deadline expiry) and connection losses are retried with exponential
+//! backoff and deterministic jitter, honoring the server's
+//! `retry_after_ms` hint — but **only for provably safe work**:
+//! handshakes and implicit read-only statements (a bare `SELECT` /
+//! `EXPLAIN` outside any explicit transaction). DML and statements
+//! inside an explicit transaction are never silently replayed; a
+//! connection loss there still triggers a reconnect + re-handshake so
+//! the session stays usable, but the error is surfaced to the caller,
+//! who alone can decide whether the in-doubt work committed.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use aim2_model::{TableSchema, TableValue};
 
-use crate::error::{ErrorCode, NetError};
+use crate::error::NetError;
 use crate::proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
 use crate::wire::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 
@@ -28,48 +46,177 @@ pub enum QueryOutcome {
     Ok(String),
 }
 
+/// Exponential backoff with deterministic jitter, budget-capped.
+///
+/// `max_attempts` bounds how many times one operation is tried in
+/// total; `budget` bounds the wall time an operation may spend across
+/// its attempts and backoff sleeps. Jitter derives from `seed` through
+/// a fixed LCG, so a chaos test that pins the seed replays the exact
+/// same backoff schedule.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total tries per operation, the first attempt included.
+    pub max_attempts: u32,
+    /// First backoff; doubles per attempt up to `max_backoff`.
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+    /// Wall-clock cap for one operation across all attempts.
+    pub budget: Duration,
+    /// Jitter seed; same seed, same schedule.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            budget: Duration::from_secs(10),
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Never retry anything — every failure surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential,
+    /// clamped to `max_backoff`, jittered into `[half, full]` so a
+    /// thundering herd decorrelates without a shared clock.
+    fn backoff(&self, attempt: u32, jitter: &mut u64) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << shift)
+            .min(self.max_backoff);
+        *jitter = jitter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let full = exp.as_millis() as u64;
+        let half = full / 2;
+        let j = if full > half {
+            (*jitter >> 33) % (full - half + 1)
+        } else {
+            0
+        };
+        Duration::from_millis(half + j)
+    }
+}
+
+/// Connection tuning; `Default` suits tests and interactive use.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Identifies this client in the `Hello` (useful in server logs).
+    pub client_name: String,
+    /// Bound on each dial; `None` blocks on the OS default.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each frame read. Bounded by default so a black-holed
+    /// server surfaces as a typed [`NetError::Timeout`] instead of a
+    /// hung client; `None` restores unbounded reads.
+    pub read_timeout: Option<Duration>,
+    /// Automatic retry/reconnect behavior.
+    pub retry: RetryPolicy,
+    /// Hard per-frame size limit.
+    pub max_frame: usize,
+    /// Per-statement deadline sent with every `Query` (milliseconds;
+    /// 0 = the server's default).
+    pub statement_timeout_ms: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            client_name: format!("aim2-net/{}", env!("CARGO_PKG_VERSION")),
+            connect_timeout: Some(Duration::from_secs(5)),
+            read_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
+            max_frame: DEFAULT_MAX_FRAME,
+            statement_timeout_ms: 0,
+        }
+    }
+}
+
 /// A connected, handshaken session with the server.
 pub struct Client {
     stream: TcpStream,
-    max_frame: usize,
+    cfg: ClientConfig,
+    /// Resolved dial targets, kept for automatic reconnects.
+    addrs: Vec<SocketAddr>,
     server: String,
+    /// Whether an explicit transaction is open on this session — the
+    /// gate that disables statement auto-retry.
+    in_txn: bool,
+    /// Wire retries performed (statement re-sends after a failure).
+    retries: u64,
+    /// Successful automatic reconnect + re-handshake cycles.
+    reconnects: u64,
+    jitter: u64,
 }
 
 impl Client {
-    /// Connect and shake hands. `client_name` identifies this client in
-    /// the `Hello` (useful in server logs); version mismatch, admission
-    /// rejection, or garbage both decode into typed [`NetError`]s.
+    /// Connect with default tuning (bounded dial and read timeouts,
+    /// default retry policy). `client_name` identifies this client in
+    /// the `Hello`; version mismatch, admission rejection, or garbage
+    /// all decode into typed [`NetError`]s.
     pub fn connect(addr: impl ToSocketAddrs, client_name: &str) -> Result<Client, NetError> {
-        let stream = TcpStream::connect(addr)?;
-        let _ = stream.set_nodelay(true);
-        let mut client = Client {
-            stream,
-            max_frame: DEFAULT_MAX_FRAME,
-            server: String::new(),
-        };
-        client.send(&Request::Hello {
-            version: PROTOCOL_VERSION,
-            client: client_name.to_string(),
-        })?;
-        match client.recv()? {
-            Response::HelloOk { version, server } => {
-                if version != PROTOCOL_VERSION {
-                    return Err(NetError::Version {
-                        ours: PROTOCOL_VERSION,
-                        theirs: version,
-                    });
+        Client::connect_with(
+            addr,
+            ClientConfig {
+                client_name: client_name.to_string(),
+                ..ClientConfig::default()
+            },
+        )
+    }
+
+    /// Connect with explicit tuning. The handshake is always safe to
+    /// retry, so dial failures and retryable rejections (admission
+    /// shed) back off and retry within the policy's budget.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Client, NetError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(NetError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "address resolved to nothing",
+            )));
+        }
+        let mut jitter = cfg.retry.seed;
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match dial_and_handshake(&addrs, &cfg) {
+                Ok((stream, server)) => {
+                    return Ok(Client {
+                        stream,
+                        cfg,
+                        addrs,
+                        server,
+                        in_txn: false,
+                        retries: 0,
+                        reconnects: 0,
+                        jitter,
+                    })
                 }
-                client.server = server;
-                Ok(client)
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= cfg.retry.max_attempts
+                        || !(e.is_retryable() || e.is_connection_loss())
+                    {
+                        return Err(e);
+                    }
+                    let sleep = retry_sleep(&cfg.retry, &e, attempt, &mut jitter);
+                    if started.elapsed() + sleep > cfg.retry.budget {
+                        return Err(e);
+                    }
+                    std::thread::sleep(sleep);
+                }
             }
-            Response::Error {
-                code,
-                retryable,
-                message,
-            } => Err(server_error(code, retryable, message)),
-            other => Err(NetError::Protocol(format!(
-                "expected HelloOk, got {other:?}"
-            ))),
         }
     }
 
@@ -78,16 +225,86 @@ impl Client {
         &self.server
     }
 
+    /// Wire retries this client has performed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Automatic reconnect + re-handshake cycles performed.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Whether an explicit transaction is open (as far as this client
+    /// knows — a reconnect resets it, since the server rolled back).
+    pub fn in_transaction(&self) -> bool {
+        self.in_txn
+    }
+
+    /// Set the per-statement deadline sent with every subsequent query
+    /// (0 = no client-imposed deadline; the server may still cap it).
+    pub fn set_statement_timeout_ms(&mut self, ms: u32) {
+        self.cfg.statement_timeout_ms = ms;
+    }
+
     /// Send one request frame.
     pub fn send(&mut self, req: &Request) -> Result<(), NetError> {
         write_frame(&mut self.stream, &req.encode())?;
         Ok(())
     }
 
-    /// Receive one response frame. A clean hangup is [`NetError::Closed`].
+    /// Receive one response frame. A clean hangup is [`NetError::Closed`];
+    /// an expired read timeout is [`NetError::Timeout`] (the stream is
+    /// desynced afterwards and needs a reconnect).
     pub fn recv(&mut self) -> Result<Response, NetError> {
-        let payload = read_frame(&mut self.stream, self.max_frame)?.ok_or(NetError::Closed)?;
-        Response::decode(&payload)
+        match read_frame(&mut self.stream, self.cfg.max_frame) {
+            Ok(Some(payload)) => Response::decode(&payload),
+            Ok(None) => Err(NetError::Closed),
+            Err(crate::wire::FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(NetError::Timeout)
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Tear down and re-establish the connection, re-running the
+    /// handshake. The handshake carries no user work, so it retries
+    /// under the client's [`RetryPolicy`] — on a network hostile
+    /// enough to break the old connection, the first redial often
+    /// fails too. Any open transaction was rolled back by the server
+    /// when the old connection died, so `in_txn` resets.
+    pub fn reconnect(&mut self) -> Result<(), NetError> {
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            match dial_and_handshake(&self.addrs, &self.cfg) {
+                Ok((stream, server)) => {
+                    self.stream = stream;
+                    self.server = server;
+                    self.in_txn = false;
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= self.cfg.retry.max_attempts
+                        || !(e.is_retryable() || e.is_connection_loss())
+                    {
+                        return Err(e);
+                    }
+                    let sleep = retry_sleep(&self.cfg.retry, &e, attempt, &mut self.jitter);
+                    if started.elapsed() + sleep > self.cfg.retry.budget {
+                        return Err(e);
+                    }
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
     }
 
     /// Run one statement, assembling a streamed result transparently
@@ -99,9 +316,55 @@ impl Client {
     /// Run one statement with an explicit per-frame row budget
     /// (`fetch = 0` lets the server choose). Issues `FetchMore` after
     /// every suspended frame until the stream completes.
+    ///
+    /// Failures retry under the client's [`RetryPolicy`] when — and
+    /// only when — the statement is provably safe to replay: an
+    /// implicit read-only statement outside any explicit transaction.
+    /// Connection losses always attempt a reconnect (so the session
+    /// stays usable) but unsafe statements surface the loss instead of
+    /// replaying.
     pub fn query_fetch(&mut self, sql: &str, fetch: u32) -> Result<QueryOutcome, NetError> {
+        let safe = self.statement_is_safe(sql);
+        let started = Instant::now();
+        let mut attempt = 0u32;
+        loop {
+            let r = self.query_once(sql, fetch, attempt);
+            let Err(e) = r else { return r };
+            let lost = e.is_connection_loss();
+            if lost {
+                // Reconnect even when we won't replay: the next
+                // statement deserves a working session either way.
+                self.in_txn = false;
+                if self.reconnect().is_err() {
+                    return Err(e);
+                }
+            }
+            attempt += 1;
+            if !safe || !(lost || e.is_retryable()) || attempt >= self.cfg.retry.max_attempts {
+                return Err(e);
+            }
+            let sleep = retry_sleep(&self.cfg.retry, &e, attempt, &mut self.jitter);
+            if started.elapsed() + sleep > self.cfg.retry.budget {
+                return Err(e);
+            }
+            std::thread::sleep(sleep);
+            self.retries += 1;
+        }
+    }
+
+    /// One send/stream/reassemble pass, no retries. Mid-stream
+    /// connection loss maps to [`NetError::ConnectionLost`] carrying
+    /// how many rows had already arrived intact.
+    fn query_once(
+        &mut self,
+        sql: &str,
+        fetch: u32,
+        attempt: u32,
+    ) -> Result<QueryOutcome, NetError> {
         self.send(&Request::Query {
             fetch,
+            timeout_ms: self.cfg.statement_timeout_ms,
+            attempt,
             sql: sql.to_string(),
         })?;
         match self.recv()? {
@@ -110,12 +373,27 @@ impl Client {
             Response::Error {
                 code,
                 retryable,
+                retry_after_ms,
                 message,
-            } => Err(server_error(code, retryable, message)),
+            } => Err(NetError::from_wire(
+                code,
+                retryable,
+                retry_after_ms,
+                message,
+            )),
             Response::RowHeader { kind, schema } => {
                 let mut tuples = Vec::new();
                 loop {
-                    match self.recv()? {
+                    let resp = match self.recv() {
+                        Ok(resp) => resp,
+                        Err(e) if e.is_connection_loss() => {
+                            return Err(NetError::ConnectionLost {
+                                rows_seen: tuples.len() as u64,
+                            })
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    match resp {
                         Response::Rows { done, rows } => {
                             tuples.extend(rows);
                             if done {
@@ -124,13 +402,28 @@ impl Client {
                                     TableValue { kind, tuples },
                                 ));
                             }
-                            self.send(&Request::FetchMore)?;
+                            if let Err(e) = self.send(&Request::FetchMore) {
+                                if e.is_connection_loss() {
+                                    return Err(NetError::ConnectionLost {
+                                        rows_seen: tuples.len() as u64,
+                                    });
+                                }
+                                return Err(e);
+                            }
                         }
                         Response::Error {
                             code,
                             retryable,
+                            retry_after_ms,
                             message,
-                        } => return Err(server_error(code, retryable, message)),
+                        } => {
+                            return Err(NetError::from_wire(
+                                code,
+                                retryable,
+                                retry_after_ms,
+                                message,
+                            ))
+                        }
                         other => {
                             return Err(NetError::Protocol(format!(
                                 "expected Rows mid-stream, got {other:?}"
@@ -145,18 +438,72 @@ impl Client {
         }
     }
 
+    /// Replay safety: only an implicit read-only statement may be
+    /// auto-retried. Anything inside an explicit transaction, anything
+    /// that writes, and anything we cannot parse is unsafe — in-doubt
+    /// DML must never silently double-apply.
+    fn statement_is_safe(&self, sql: &str) -> bool {
+        if self.in_txn {
+            return false;
+        }
+        matches!(
+            aim2_lang::parse_stmt(sql),
+            Ok(aim2_lang::ast::Stmt::Query(_)) | Ok(aim2_lang::ast::Stmt::Explain(_))
+        )
+    }
+
     /// Open an explicit transaction. `read_only = true` pins an MVCC
     /// snapshot: every query in it runs lock-free.
     pub fn begin(&mut self, read_only: bool) -> Result<String, NetError> {
-        self.simple(&Request::Begin { read_only })
+        let r = self.simple(&Request::Begin { read_only });
+        if r.is_ok() {
+            self.in_txn = true;
+        }
+        r
     }
 
     pub fn commit(&mut self) -> Result<String, NetError> {
-        self.simple(&Request::Commit)
+        let r = self.simple(&Request::Commit);
+        // Either outcome settles the transaction client-side: on a
+        // server-reported error the transaction state is unknown at
+        // best (deadlock victims are already rolled back), and on a
+        // connection loss the server rolls back on session drop.
+        self.in_txn = false;
+        r
     }
 
     pub fn rollback(&mut self) -> Result<String, NetError> {
-        self.simple(&Request::Rollback)
+        let r = self.simple(&Request::Rollback);
+        self.in_txn = false;
+        r
+    }
+
+    /// Keepalive: proves the connection end to end and resets the
+    /// server's idle-reaping clock.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Response::Pong => Ok(()),
+            Response::Error {
+                code,
+                retryable,
+                retry_after_ms,
+                message,
+            } => Err(NetError::from_wire(
+                code,
+                retryable,
+                retry_after_ms,
+                message,
+            )),
+            other => Err(NetError::Protocol(format!(
+                "unexpected response to Ping: {other:?}"
+            ))),
+        }
+    }
+
+    /// Force a server-side checkpoint — the WAL's durability floor.
+    pub fn checkpoint(&mut self) -> Result<String, NetError> {
+        self.simple(&Request::Checkpoint)
     }
 
     /// Fetch the server's metrics registry in the requested exposition.
@@ -187,14 +534,35 @@ impl Client {
     }
 
     fn simple(&mut self, req: &Request) -> Result<String, NetError> {
+        let r = self.simple_once(req);
+        if let Err(e) = &r {
+            if e.is_connection_loss() {
+                // Keep the session usable for the *next* statement;
+                // the failed verb itself is never replayed (a commit
+                // in flight when the wire died is in-doubt, and only
+                // the caller can resolve it).
+                self.in_txn = false;
+                let _ = self.reconnect();
+            }
+        }
+        r
+    }
+
+    fn simple_once(&mut self, req: &Request) -> Result<String, NetError> {
         self.send(req)?;
         match self.recv()? {
             Response::Ok { message } => Ok(message),
             Response::Error {
                 code,
                 retryable,
+                retry_after_ms,
                 message,
-            } => Err(server_error(code, retryable, message)),
+            } => Err(NetError::from_wire(
+                code,
+                retryable,
+                retry_after_ms,
+                message,
+            )),
             other => Err(NetError::Protocol(format!(
                 "unexpected response to {req:?}: {other:?}"
             ))),
@@ -208,8 +576,14 @@ impl Client {
             Response::Error {
                 code,
                 retryable,
+                retry_after_ms,
                 message,
-            } => Err(server_error(code, retryable, message)),
+            } => Err(NetError::from_wire(
+                code,
+                retryable,
+                retry_after_ms,
+                message,
+            )),
             other => Err(NetError::Protocol(format!(
                 "unexpected response to {req:?}: {other:?}"
             ))),
@@ -217,10 +591,132 @@ impl Client {
     }
 }
 
-fn server_error(code: u32, retryable: bool, message: String) -> NetError {
-    NetError::Server {
-        code: ErrorCode::from_u32(code).unwrap_or(ErrorCode::Internal),
-        retryable,
-        message,
+/// Dial the first reachable address (bounded by `connect_timeout`),
+/// apply socket options, and run the `Hello` handshake.
+fn dial_and_handshake(
+    addrs: &[SocketAddr],
+    cfg: &ClientConfig,
+) -> Result<(TcpStream, String), NetError> {
+    let mut last: Option<std::io::Error> = None;
+    let mut stream = None;
+    for a in addrs {
+        let dialed = match cfg.connect_timeout {
+            Some(t) => TcpStream::connect_timeout(a, t),
+            None => TcpStream::connect(a),
+        };
+        match dialed {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    let mut stream = match stream {
+        Some(s) => s,
+        None => {
+            return Err(NetError::Io(last.unwrap_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no address to dial")
+            })))
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(cfg.read_timeout);
+    write_frame(
+        &mut stream,
+        &Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: cfg.client_name.clone(),
+        }
+        .encode(),
+    )?;
+    let payload = match read_frame(&mut stream, cfg.max_frame) {
+        Ok(Some(p)) => p,
+        Ok(None) => return Err(NetError::Closed),
+        Err(crate::wire::FrameError::Io(e))
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            return Err(NetError::Timeout)
+        }
+        Err(e) => return Err(e.into()),
+    };
+    match Response::decode(&payload)? {
+        Response::HelloOk { version, server } => {
+            if version != PROTOCOL_VERSION {
+                return Err(NetError::Version {
+                    ours: PROTOCOL_VERSION,
+                    theirs: version,
+                });
+            }
+            Ok((stream, server))
+        }
+        Response::Error {
+            code,
+            retryable,
+            retry_after_ms,
+            message,
+        } => Err(NetError::from_wire(
+            code,
+            retryable,
+            retry_after_ms,
+            message,
+        )),
+        other => Err(NetError::Protocol(format!(
+            "expected HelloOk, got {other:?}"
+        ))),
+    }
+}
+
+/// How long to sleep before the next retry: the server's shed hint
+/// when it sent one, the policy's jittered exponential backoff
+/// otherwise.
+fn retry_sleep(policy: &RetryPolicy, e: &NetError, attempt: u32, jitter: &mut u64) -> Duration {
+    if let NetError::Server { retry_after_ms, .. } = e {
+        if *retry_after_ms > 0 {
+            return Duration::from_millis(u64::from(*retry_after_ms));
+        }
+    }
+    policy.backoff(attempt, jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        let mut j1 = p.seed;
+        let mut j2 = p.seed;
+        for attempt in 1..8 {
+            let a = p.backoff(attempt, &mut j1);
+            let b = p.backoff(attempt, &mut j2);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert!(a <= p.max_backoff);
+        }
+        // Different seeds decorrelate at least one step of the schedule.
+        let mut j3 = p.seed ^ 0xdead_beef;
+        let diverged = (1..8).any(|n| {
+            let mut j1 = p.seed;
+            for _ in 1..n {
+                p.backoff(n, &mut j1);
+                p.backoff(n, &mut j3);
+            }
+            p.backoff(n, &mut j1) != p.backoff(n, &mut j3)
+        });
+        assert!(diverged);
+    }
+
+    #[test]
+    fn shed_hint_wins_over_backoff() {
+        let p = RetryPolicy::default();
+        let mut j = p.seed;
+        let e = NetError::from_wire(9, true, 333, "full".into());
+        assert_eq!(retry_sleep(&p, &e, 1, &mut j), Duration::from_millis(333));
+        let no_hint = NetError::from_wire(6, true, 0, "deadlock".into());
+        assert!(retry_sleep(&p, &no_hint, 1, &mut j) <= p.max_backoff);
     }
 }

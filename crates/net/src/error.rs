@@ -34,7 +34,8 @@ pub enum ErrorCode {
     ReadOnly = 7,
     /// Target object is quarantined by the integrity layer.
     Quarantined = 8,
-    /// Admission control rejected the request (server full) — retryable.
+    /// Admission control shed the request (server full) — retryable,
+    /// usually with a `retry_after_ms` hint.
     Admission = 9,
     /// Query was cancelled by a `CancelQuery` from this connection.
     Cancelled = 10,
@@ -42,9 +43,39 @@ pub enum ErrorCode {
     Shutdown = 11,
     /// Anything else; indicates a server-side bug worth reporting.
     Internal = 12,
+    /// The statement's deadline expired mid-evaluation — retryable
+    /// (possibly with a longer budget).
+    DeadlineExceeded = 13,
+    /// The server degraded to read-only serving after a corruption-class
+    /// storage fault; reads keep answering, writes are refused until an
+    /// operator intervenes.
+    Degraded = 14,
+    /// The connection sat idle past the server's idle timeout and was
+    /// reaped — reconnect and carry on.
+    IdleTimeout = 15,
 }
 
 impl ErrorCode {
+    /// Every defined code, in discriminant order — the taxonomy tests
+    /// iterate this to prove the wire round-trip is total.
+    pub const ALL: [ErrorCode; 15] = [
+        ErrorCode::Protocol,
+        ErrorCode::Parse,
+        ErrorCode::Semantic,
+        ErrorCode::Storage,
+        ErrorCode::Txn,
+        ErrorCode::Deadlock,
+        ErrorCode::ReadOnly,
+        ErrorCode::Quarantined,
+        ErrorCode::Admission,
+        ErrorCode::Cancelled,
+        ErrorCode::Shutdown,
+        ErrorCode::Internal,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::Degraded,
+        ErrorCode::IdleTimeout,
+    ];
+
     pub fn from_u32(v: u32) -> Option<ErrorCode> {
         use ErrorCode::*;
         Some(match v {
@@ -60,6 +91,9 @@ impl ErrorCode {
             10 => Cancelled,
             11 => Shutdown,
             12 => Internal,
+            13 => DeadlineExceeded,
+            14 => Degraded,
+            15 => IdleTimeout,
             _ => return None,
         })
     }
@@ -80,6 +114,9 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Cancelled => "cancelled",
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::Internal => "internal",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
+            ErrorCode::Degraded => "degraded",
+            ErrorCode::IdleTimeout => "idle-timeout",
         };
         f.write_str(s)
     }
@@ -100,18 +137,43 @@ pub enum NetError {
     /// Protocol version mismatch discovered during the handshake.
     Version { ours: u32, theirs: u32 },
     /// Server-reported error, decoded from an `Error` response frame.
+    /// `retry_after_ms` is the server's backoff hint when it shed the
+    /// request (0 = no hint).
     Server {
         code: ErrorCode,
         retryable: bool,
+        retry_after_ms: u32,
         message: String,
     },
     /// Connection closed mid-conversation.
     Closed,
+    /// A read exceeded the client's configured read timeout. The
+    /// stream may still deliver the stale response later, so the
+    /// connection is desynced and must be re-established.
+    Timeout,
+    /// The connection died in the middle of fetching a streamed result;
+    /// `rows_seen` rows had already arrived intact. The client library
+    /// re-establishes the connection when a retry policy allows, but
+    /// only provably safe statements are replayed.
+    ConnectionLost { rows_seen: u64 },
 }
 
 impl NetError {
+    /// Build the client-side view of a wire `Error` frame. Centralized
+    /// so both ends agree on the `is_retryable` verdict by
+    /// construction: the bit travels on the wire and is echoed here
+    /// untouched.
+    pub fn from_wire(code: u32, retryable: bool, retry_after_ms: u32, message: String) -> NetError {
+        NetError::Server {
+            code: ErrorCode::from_u32(code).unwrap_or(ErrorCode::Internal),
+            retryable,
+            retry_after_ms,
+            message,
+        }
+    }
+
     /// True when the operation may succeed if simply retried
-    /// (deadlock victim, admission control).
+    /// (deadlock victim, admission shed, deadline expiry).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -119,6 +181,24 @@ impl NetError {
                 retryable: true,
                 ..
             }
+        )
+    }
+
+    /// True when the failure consumed the connection: socket errors,
+    /// clean closes, timeouts, mid-stream loss — and desync-class
+    /// failures (bad frames, undecodable payloads, out-of-state
+    /// messages), where the stream can no longer be trusted and a
+    /// reconnect + re-handshake is the only way to resynchronize.
+    pub fn is_connection_loss(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(_)
+                | NetError::Frame(_)
+                | NetError::Decode(_)
+                | NetError::Protocol(_)
+                | NetError::Closed
+                | NetError::Timeout
+                | NetError::ConnectionLost { .. }
         )
     }
 }
@@ -136,15 +216,23 @@ impl fmt::Display for NetError {
             NetError::Server {
                 code,
                 retryable,
+                retry_after_ms,
                 message,
             } => {
                 write!(f, "server error [{code}")?;
                 if *retryable {
                     write!(f, ", retryable")?;
                 }
+                if *retry_after_ms > 0 {
+                    write!(f, ", retry after {retry_after_ms}ms")?;
+                }
                 write!(f, "]: {message}")
             }
             NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "read timed out"),
+            NetError::ConnectionLost { rows_seen } => {
+                write!(f, "connection lost mid-stream after {rows_seen} row(s)")
+            }
         }
     }
 }

@@ -8,13 +8,15 @@
 //! the evaluator's row callbacks, so large results never materialize
 //! server-side. See DESIGN.md §7g for the wire format.
 
+pub mod chaos;
 pub mod client;
 pub mod error;
 pub mod proto;
 pub mod server;
 pub mod wire;
 
-pub use client::{Client, QueryOutcome};
+pub use chaos::{ChaosProxy, FaultPlan};
+pub use client::{Client, ClientConfig, QueryOutcome, RetryPolicy};
 pub use error::{ErrorCode, NetError};
 pub use proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerHandle};

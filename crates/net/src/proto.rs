@@ -1,8 +1,8 @@
 //! Typed request/response messages and their byte encoding.
 //!
 //! One message per frame payload: a tag byte followed by a
-//! tag-specific body. Requests use tags `0x01..=0x0B`, responses
-//! `0x81..=0x87` — disjoint ranges, so a peer that confuses the two
+//! tag-specific body. Requests use tags `0x01..=0x0D`, responses
+//! `0x81..=0x88` — disjoint ranges, so a peer that confuses the two
 //! directions fails decoding immediately. Row data rides the model
 //! crate's self-describing tuple encoding and schemas ride
 //! [`aim2_model::encode::encode_schema`], so nested NF² results cross
@@ -20,7 +20,9 @@ use crate::error::NetError;
 
 /// Wire protocol version. The server rejects a `Hello` carrying any
 /// other value; bump on every incompatible change to this module.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2: `Query` gained `timeout_ms`/`attempt`, `Error` gained
+/// `retry_after_ms`, and the `Ping`/`Pong`/`Checkpoint` verbs arrived.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 const REQ_HELLO: u8 = 0x01;
 const REQ_QUERY: u8 = 0x02;
@@ -33,6 +35,8 @@ const REQ_METRICS: u8 = 0x08;
 const REQ_STATS: u8 = 0x09;
 const REQ_INTEGRITY_CHECK: u8 = 0x0a;
 const REQ_GOODBYE: u8 = 0x0b;
+const REQ_PING: u8 = 0x0c;
+const REQ_CHECKPOINT: u8 = 0x0d;
 
 const RESP_HELLO_OK: u8 = 0x81;
 const RESP_OK: u8 = 0x82;
@@ -41,6 +45,7 @@ const RESP_ROW_HEADER: u8 = 0x84;
 const RESP_ROWS: u8 = 0x85;
 const RESP_ERROR: u8 = 0x86;
 const RESP_INFO: u8 = 0x87;
+const RESP_PONG: u8 = 0x88;
 
 /// Requested exposition format for the `Metrics` admin verb.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,8 +65,13 @@ pub enum Request {
     /// Run one statement. `fetch` is the maximum number of rows per
     /// `Rows` frame; after each non-final frame the server waits for
     /// `FetchMore` or `CancelQuery` (suspended-portal backpressure).
+    /// `timeout_ms` bounds the statement's total wall time (0 = the
+    /// server's default); `attempt` is 0 on a first send and counts up
+    /// on client retries, letting the server account retried work.
     Query {
         fetch: u32,
+        timeout_ms: u32,
+        attempt: u32,
         sql: String,
     },
     /// Resume a suspended result stream.
@@ -86,6 +96,13 @@ pub enum Request {
     IntegrityCheck,
     /// Orderly hang-up; the server rolls back any open transaction.
     Goodbye,
+    /// Keepalive: resets the server's idle-reaping clock and proves the
+    /// connection is alive end to end. Answered with `Pong`.
+    Ping,
+    /// Admin: force a checkpoint — the WAL's durability floor. What is
+    /// checkpointed survives a crash; what is not rolls back to the
+    /// previous checkpoint on recovery.
+    Checkpoint,
 }
 
 /// Server → client messages.
@@ -116,15 +133,20 @@ pub enum Response {
         rows: Vec<Tuple>,
     },
     /// Typed failure; `code` is an [`crate::ErrorCode`] discriminant.
+    /// `retry_after_ms` is a backoff hint attached to load-shedding
+    /// rejections (0 = no hint).
     Error {
         code: u32,
         retryable: bool,
+        retry_after_ms: u32,
         message: String,
     },
     /// Freeform admin payload (metrics/stats/integrity text).
     Info {
         text: String,
     },
+    /// Keepalive answer.
+    Pong,
 }
 
 // --- encoding helpers -------------------------------------------------
@@ -203,9 +225,16 @@ impl Request {
                 out.extend_from_slice(&version.to_le_bytes());
                 put_str(client, &mut out);
             }
-            Request::Query { fetch, sql } => {
+            Request::Query {
+                fetch,
+                timeout_ms,
+                attempt,
+                sql,
+            } => {
                 out.push(REQ_QUERY);
                 out.extend_from_slice(&fetch.to_le_bytes());
+                out.extend_from_slice(&timeout_ms.to_le_bytes());
+                out.extend_from_slice(&attempt.to_le_bytes());
                 put_str(sql, &mut out);
             }
             Request::FetchMore => out.push(REQ_FETCH_MORE),
@@ -226,6 +255,8 @@ impl Request {
             Request::Stats => out.push(REQ_STATS),
             Request::IntegrityCheck => out.push(REQ_INTEGRITY_CHECK),
             Request::Goodbye => out.push(REQ_GOODBYE),
+            Request::Ping => out.push(REQ_PING),
+            Request::Checkpoint => out.push(REQ_CHECKPOINT),
         }
         out
     }
@@ -240,6 +271,8 @@ impl Request {
             },
             REQ_QUERY => Request::Query {
                 fetch: get_u32(buf, &mut pos, "query fetch")?,
+                timeout_ms: get_u32(buf, &mut pos, "query timeout")?,
+                attempt: get_u32(buf, &mut pos, "query attempt")?,
                 sql: get_str(buf, &mut pos, "query sql")?,
             },
             REQ_FETCH_MORE => Request::FetchMore,
@@ -259,6 +292,8 @@ impl Request {
             REQ_STATS => Request::Stats,
             REQ_INTEGRITY_CHECK => Request::IntegrityCheck,
             REQ_GOODBYE => Request::Goodbye,
+            REQ_PING => Request::Ping,
+            REQ_CHECKPOINT => Request::Checkpoint,
             t => return Err(NetError::Decode(format!("unknown request tag {t:#04x}"))),
         };
         finish(msg, buf, pos)
@@ -301,17 +336,20 @@ impl Response {
             Response::Error {
                 code,
                 retryable,
+                retry_after_ms,
                 message,
             } => {
                 out.push(RESP_ERROR);
                 out.extend_from_slice(&code.to_le_bytes());
                 out.push(u8::from(*retryable));
+                out.extend_from_slice(&retry_after_ms.to_le_bytes());
                 put_str(message, &mut out);
             }
             Response::Info { text } => {
                 out.push(RESP_INFO);
                 put_str(text, &mut out);
             }
+            Response::Pong => out.push(RESP_PONG),
         }
         out
     }
@@ -357,11 +395,13 @@ impl Response {
             RESP_ERROR => Response::Error {
                 code: get_u32(buf, &mut pos, "error code")?,
                 retryable: get_bool(buf, &mut pos, "error retryable")?,
+                retry_after_ms: get_u32(buf, &mut pos, "error retry-after")?,
                 message: get_str(buf, &mut pos, "error message")?,
             },
             RESP_INFO => Response::Info {
                 text: get_str(buf, &mut pos, "info text")?,
             },
+            RESP_PONG => Response::Pong,
             t => return Err(NetError::Decode(format!("unknown response tag {t:#04x}"))),
         };
         finish(msg, buf, pos)
@@ -389,7 +429,15 @@ mod tests {
         });
         roundtrip_req(Request::Query {
             fetch: 128,
+            timeout_ms: 0,
+            attempt: 0,
             sql: "SELECT [DNO, BUDGET] FROM d IN DEPARTMENTS".into(),
+        });
+        roundtrip_req(Request::Query {
+            fetch: 0,
+            timeout_ms: 2_500,
+            attempt: 3,
+            sql: "SELECT [DNO] FROM d IN DEPARTMENTS".into(),
         });
         roundtrip_req(Request::FetchMore);
         roundtrip_req(Request::CancelQuery);
@@ -406,6 +454,8 @@ mod tests {
         roundtrip_req(Request::Stats);
         roundtrip_req(Request::IntegrityCheck);
         roundtrip_req(Request::Goodbye);
+        roundtrip_req(Request::Ping);
+        roundtrip_req(Request::Checkpoint);
     }
 
     #[test]
@@ -451,9 +501,17 @@ mod tests {
         roundtrip_resp(Response::Error {
             code: 6,
             retryable: true,
+            retry_after_ms: 0,
             message: "deadlock victim".into(),
         });
+        roundtrip_resp(Response::Error {
+            code: 9,
+            retryable: true,
+            retry_after_ms: 250,
+            message: "server full".into(),
+        });
         roundtrip_resp(Response::Info { text: "{}".into() });
+        roundtrip_resp(Response::Pong);
     }
 
     #[test]

@@ -16,9 +16,20 @@
 //! run as implicit *read-only snapshot* transactions, so the pure-read
 //! network workload takes zero table locks.
 //!
-//! Admission control: at most `max_conns` concurrent connections (the
-//! excess get a retryable `Admission` error at accept) and at most
-//! `max_inflight` statements executing at once across all connections.
+//! Admission control is watermark-based load shedding: at most
+//! `max_conns` concurrent connections and `max_inflight` statements
+//! executing at once across all connections — the excess get a typed,
+//! retryable `Admission` error carrying a `retry_after_ms` backoff
+//! hint instead of queueing unboundedly. Statements can carry a
+//! deadline (`timeout_ms` on the Query frame, or the server default):
+//! the evaluator checks it at its cursor-pull choke point, so an
+//! expired statement unwinds as a retryable `DeadlineExceeded` with
+//! the connection surviving. Connections idle past `idle_timeout` are
+//! reaped (a `Ping` keepalive resets the clock), and a corruption-class
+//! storage fault degrades the server to read-only serving: MVCC
+//! snapshot reads keep answering while writes are refused with a typed
+//! `Degraded` error.
+//!
 //! Graceful shutdown: the accept loop stops, idle connections are told
 //! `Shutdown` at their next read, suspended portals abort, and every
 //! connection thread is joined; dropping each `Session` rolls back
@@ -30,12 +41,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use aim2::{DbError, ExecResult};
-use aim2_exec::{ExecError, RowSink};
+use aim2_exec::{Deadline, ExecError, RowSink};
 use aim2_model::{TableKind, TableSchema, Tuple};
 use aim2_storage::stats::Stats;
+use aim2_storage::StorageError;
 use aim2_txn::{Session, SharedDatabase, TxnError};
 
 use crate::error::ErrorCode;
@@ -70,6 +82,17 @@ pub struct ServerConfig {
     pub max_frame: usize,
     /// Server identification string returned in the handshake.
     pub server_name: String,
+    /// Default per-statement deadline applied when a `Query` arrives
+    /// with `timeout_ms = 0`. `None` leaves such statements unbounded.
+    pub statement_timeout: Option<Duration>,
+    /// Connections with no traffic for this long are reaped with a
+    /// retryable `IdleTimeout` error (a `Ping` resets the clock).
+    /// `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Base backoff hint attached to load-shedding rejections; the
+    /// actual `retry_after_ms` scales with how far past the watermark
+    /// the server is.
+    pub shed_retry_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +103,9 @@ impl Default for ServerConfig {
             max_inflight: 64,
             max_frame: DEFAULT_MAX_FRAME,
             server_name: format!("aim2-server/{}", env!("CARGO_PKG_VERSION")),
+            statement_timeout: None,
+            idle_timeout: Some(Duration::from_secs(300)),
+            shed_retry_after: Duration::from_millis(50),
         }
     }
 }
@@ -95,6 +121,53 @@ struct Inner {
     shutdown: AtomicBool,
     active_conns: AtomicUsize,
     inflight: AtomicUsize,
+    /// Set when the storage layer reported a corruption-class fault:
+    /// the server keeps serving MVCC snapshot reads but refuses new
+    /// write work until an operator intervenes (restart after repair).
+    degraded: AtomicBool,
+}
+
+impl Inner {
+    /// Flip into degraded read-only serving. Idempotent; observable as
+    /// the `net.degraded` gauge and refused writes.
+    fn enter_degraded(&self, why: &str) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            self.stats.metrics().gauge("net.degraded").set(1);
+            eprintln!("aim2-server: degrading to read-only serving: {why}");
+        }
+    }
+
+    /// Classify an engine error; corruption-class faults degrade the
+    /// server to read-only serving (reads stay up on MVCC snapshots).
+    fn note_engine_error(&self, e: &TxnError) {
+        let corruption = matches!(
+            e,
+            TxnError::Db(
+                DbError::ObjectQuarantined { .. }
+                    | DbError::Storage(
+                        StorageError::CorruptPage { .. }
+                            | StorageError::Corrupt(_)
+                            | StorageError::CorruptData(_)
+                            | StorageError::ChecksumMismatch(_)
+                    )
+            )
+        );
+        if corruption {
+            self.enter_degraded(&e.to_string());
+        }
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The load-shedding hint: base backoff scaled by how far past the
+    /// watermark we are, capped so a hostile spike cannot push clients
+    /// into multi-minute sleeps.
+    fn shed_hint_ms(&self, excess: usize) -> u32 {
+        let base = self.cfg.shed_retry_after.as_millis() as u64;
+        (base * excess.max(1) as u64).min(5_000) as u32
+    }
 }
 
 /// Running server: owns the accept thread and all connection threads.
@@ -119,6 +192,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             active_conns: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
+            degraded: AtomicBool::new(false),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -144,6 +218,12 @@ impl ServerHandle {
     /// Number of currently connected clients.
     pub fn active_connections(&self) -> usize {
         self.inner.active_conns.load(Ordering::SeqCst)
+    }
+
+    /// Whether a corruption-class storage fault degraded the server to
+    /// read-only serving.
+    pub fn degraded(&self) -> bool {
+        self.inner.is_degraded()
     }
 
     /// Graceful shutdown: stop accepting, tell every connection
@@ -183,8 +263,11 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>, conns: Arc<Mutex<Vec<Jo
         // The rejector consumes the client's Hello first — closing with
         // the Hello still unread would RST the connection and could
         // discard the error frame before the client sees it.
-        if inner.active_conns.load(Ordering::SeqCst) >= inner.cfg.max_conns {
+        let active = inner.active_conns.load(Ordering::SeqCst);
+        if active >= inner.cfg.max_conns {
             inner.stats.inc_net_rejected();
+            inner.stats.inc_net_load_shed();
+            let retry_after_ms = inner.shed_hint_ms(active - inner.cfg.max_conns + 1);
             let max_conns = inner.cfg.max_conns;
             let max_frame = inner.cfg.max_frame;
             let handle = std::thread::spawn(move || {
@@ -193,6 +276,7 @@ fn accept_loop(listener: TcpListener, inner: Arc<Inner>, conns: Arc<Mutex<Vec<Jo
                 let resp = Response::Error {
                     code: ErrorCode::Admission as u32,
                     retryable: true,
+                    retry_after_ms,
                     message: format!("server full ({max_conns} connections)"),
                 };
                 let _ = write_frame(&mut &stream, &resp.encode());
@@ -223,16 +307,22 @@ enum IdleRead {
     Eof,
     /// The server's shutdown flag was raised while we waited.
     Shutdown,
+    /// No frame started before the connection's idle deadline passed.
+    IdleTimeout,
 }
 
 /// Read one frame, waking every [`IDLE_TICK`] to check `shutdown`.
 /// Requires the stream's read timeout to be set to [`IDLE_TICK`].
 /// Mirrors [`crate::wire::read_frame`] — the limit check happens before
 /// any payload allocation.
+/// `idle_deadline` is the idle-reaping cutoff: if no frame has *started*
+/// by then, the read gives up with [`IdleRead::IdleTimeout`]. A frame
+/// in progress is always drained — reaping mid-frame would desync.
 fn read_frame_idle(
     stream: &TcpStream,
     max_frame: usize,
     shutdown: &AtomicBool,
+    idle_deadline: Option<Instant>,
 ) -> Result<IdleRead, FrameError> {
     let mut r = stream;
     let mut header = [0u8; HEADER_LEN];
@@ -243,8 +333,13 @@ fn read_frame_idle(
             Ok(0) => return Err(mid_frame_eof()),
             Ok(n) => filled += n,
             Err(e) if retryable_io(&e) => {
-                if filled == 0 && shutdown.load(Ordering::SeqCst) {
-                    return Ok(IdleRead::Shutdown);
+                if filled == 0 {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(IdleRead::Shutdown);
+                    }
+                    if idle_deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Ok(IdleRead::IdleTimeout);
+                    }
                 }
             }
             Err(e) => return Err(FrameError::Io(e)),
@@ -381,7 +476,13 @@ impl<'a> Conn<'a> {
     }
 
     fn recv(&mut self) -> Result<IdleRead, FrameError> {
-        let r = read_frame_idle(&self.stream, self.inner.cfg.max_frame, &self.inner.shutdown)?;
+        let idle_deadline = self.inner.cfg.idle_timeout.map(|t| Instant::now() + t);
+        let r = read_frame_idle(
+            &self.stream,
+            self.inner.cfg.max_frame,
+            &self.inner.shutdown,
+            idle_deadline,
+        )?;
         if matches!(r, IdleRead::Frame(_)) {
             self.inner.stats.inc_net_frame_in();
         }
@@ -396,7 +497,24 @@ impl<'a> Conn<'a> {
         let _ = self.send(&Response::Error {
             code: ErrorCode::Protocol as u32,
             retryable: false,
+            retry_after_ms: 0,
             message,
+        });
+        ConnExit::Dropped
+    }
+
+    /// A frame-level failure drops the connection like any protocol
+    /// violation, but a CRC mismatch is *transport corruption*, not a
+    /// client bug — mark it retryable so the client reconnects and
+    /// retries safe work instead of giving up.
+    fn frame_fail(&mut self, e: &FrameError) -> ConnExit {
+        self.inner.stats.inc_net_rejected();
+        let retryable = matches!(e, FrameError::Checksum { .. });
+        let _ = self.send(&Response::Error {
+            code: ErrorCode::Protocol as u32,
+            retryable,
+            retry_after_ms: 0,
+            message: format!("bad frame: {e}"),
         });
         ConnExit::Dropped
     }
@@ -405,9 +523,38 @@ impl<'a> Conn<'a> {
         let _ = self.send(&Response::Error {
             code: ErrorCode::Shutdown as u32,
             retryable: false,
+            retry_after_ms: 0,
             message: "server shutting down".to_string(),
         });
         ConnExit::Shutdown
+    }
+
+    /// Reap an idle connection: tell the peer why (retryable — it can
+    /// reconnect and carry on) and hang up.
+    fn idle_exit(&mut self) -> ConnExit {
+        let idle = self
+            .inner
+            .cfg
+            .idle_timeout
+            .map(|t| t.as_secs())
+            .unwrap_or_default();
+        let _ = self.send(&Response::Error {
+            code: ErrorCode::IdleTimeout as u32,
+            retryable: true,
+            retry_after_ms: 0,
+            message: format!("connection idle past {idle}s; reaped"),
+        });
+        ConnExit::Dropped
+    }
+
+    /// Map an engine error onto the wire, first letting the server
+    /// classify it (corruption-class faults degrade to read-only).
+    fn engine_error(&self, e: &TxnError) -> Response {
+        self.inner.note_engine_error(e);
+        if matches!(e, TxnError::Db(DbError::Exec(ExecError::DeadlineExceeded))) {
+            self.inner.stats.inc_net_deadline_exceeded();
+        }
+        error_response(e)
     }
 
     fn run(mut self) -> ConnExit {
@@ -425,40 +572,65 @@ impl<'a> Conn<'a> {
                 },
                 Ok(IdleRead::Eof) => return ConnExit::Closed,
                 Ok(IdleRead::Shutdown) => return self.shutdown_exit(),
-                Err(e) => return self.proto_fail(format!("bad frame: {e}")),
+                Ok(IdleRead::IdleTimeout) => return self.idle_exit(),
+                Err(e) => return self.frame_fail(&e),
             };
             let r = match req {
                 Request::Hello { .. } => Err(self.proto_fail("duplicate Hello".to_string())),
-                Request::Query { fetch, sql } => self.handle_query(fetch, &sql),
+                Request::Query {
+                    fetch,
+                    timeout_ms,
+                    attempt,
+                    sql,
+                } => self.handle_query(fetch, timeout_ms, attempt, &sql),
                 Request::FetchMore | Request::CancelQuery => {
                     // Legal only at a portal suspension point, which
                     // the query handler consumes itself.
                     self.send_or_close(&Response::Error {
                         code: ErrorCode::Protocol as u32,
                         retryable: false,
+                        retry_after_ms: 0,
                         message: "no suspended query on this connection".to_string(),
                     })
                 }
-                Request::Begin { read_only } => {
-                    let (r, msg) = if read_only {
-                        (self.session.begin_read_only(), "BEGIN READ ONLY")
-                    } else {
-                        (self.session.begin(), "BEGIN")
-                    };
-                    let resp = match r {
+                Request::Ping => {
+                    self.inner.stats.inc_net_ping();
+                    self.send_or_close(&Response::Pong)
+                }
+                Request::Checkpoint => {
+                    let _t = self.inner.stats.metrics().span("net.admin");
+                    let resp = match self.inner.shared.checkpoint() {
                         Ok(()) => Response::Ok {
-                            message: msg.to_string(),
+                            message: "CHECKPOINT".to_string(),
                         },
-                        Err(e) => error_response(&e),
+                        Err(e) => self.engine_error(&e),
                     };
                     self.send_or_close(&resp)
+                }
+                Request::Begin { read_only } => {
+                    if !read_only && self.inner.is_degraded() {
+                        self.send_or_close(&degraded_response())
+                    } else {
+                        let (r, msg) = if read_only {
+                            (self.session.begin_read_only(), "BEGIN READ ONLY")
+                        } else {
+                            (self.session.begin(), "BEGIN")
+                        };
+                        let resp = match r {
+                            Ok(()) => Response::Ok {
+                                message: msg.to_string(),
+                            },
+                            Err(e) => self.engine_error(&e),
+                        };
+                        self.send_or_close(&resp)
+                    }
                 }
                 Request::Commit => {
                     let resp = match self.session.commit() {
                         Ok(()) => Response::Ok {
                             message: "COMMIT".to_string(),
                         },
-                        Err(e) => error_response(&e),
+                        Err(e) => self.engine_error(&e),
                     };
                     self.send_or_close(&resp)
                 }
@@ -467,7 +639,7 @@ impl<'a> Conn<'a> {
                         Ok(()) => Response::Ok {
                             message: "ROLLBACK".to_string(),
                         },
-                        Err(e) => error_response(&e),
+                        Err(e) => self.engine_error(&e),
                     };
                     self.send_or_close(&resp)
                 }
@@ -488,10 +660,18 @@ impl<'a> Conn<'a> {
                 Request::IntegrityCheck => {
                     let _t = self.inner.stats.metrics().span("net.admin");
                     let resp = match self.inner.shared.integrity_check() {
-                        Ok(report) => Response::Info {
-                            text: report.to_string(),
-                        },
-                        Err(e) => error_response(&e),
+                        Ok(report) => {
+                            if !report.is_clean() {
+                                self.inner.enter_degraded(&format!(
+                                    "integrity check found {} violation(s)",
+                                    report.findings().len()
+                                ));
+                            }
+                            Response::Info {
+                                text: report.to_string(),
+                            }
+                        }
+                        Err(e) => self.engine_error(&e),
                     };
                     self.send_or_close(&resp)
                 }
@@ -515,7 +695,8 @@ impl<'a> Conn<'a> {
             Ok(IdleRead::Frame(p)) => p,
             Ok(IdleRead::Eof) => return Ok(false),
             Ok(IdleRead::Shutdown) => return Err(self.shutdown_exit()),
-            Err(e) => return Err(self.proto_fail(format!("bad frame: {e}"))),
+            Ok(IdleRead::IdleTimeout) => return Err(self.idle_exit()),
+            Err(e) => return Err(self.frame_fail(&e)),
         };
         match Request::decode(&payload) {
             Ok(Request::Hello { version, client: _ }) => {
@@ -541,29 +722,60 @@ impl<'a> Conn<'a> {
 
     /// One `Query` request end to end: admission, implicit-transaction
     /// handling, streaming with `FetchMore`/`CancelQuery` suspension.
-    fn handle_query(&mut self, fetch: u32, sql: &str) -> Result<(), ConnExit> {
-        // In-flight admission: bounded concurrency, typed retryable
-        // rejection instead of unbounded engine queueing.
+    fn handle_query(
+        &mut self,
+        fetch: u32,
+        timeout_ms: u32,
+        attempt: u32,
+        sql: &str,
+    ) -> Result<(), ConnExit> {
+        if attempt > 0 {
+            // The client marked this statement as a retry of earlier
+            // work — account it on arrival (before admission, so a
+            // retry storm against a shedding server stays observable).
+            self.inner.stats.inc_net_retry();
+        }
+        // Watermark load shedding: past `max_inflight` the statement is
+        // refused immediately with a typed retryable error and a
+        // backoff hint scaled by the overload — bounded concurrency,
+        // never unbounded engine queueing.
         let inflight = &self.inner.inflight;
-        if inflight.fetch_add(1, Ordering::SeqCst) >= self.inner.cfg.max_inflight {
+        let current = inflight.fetch_add(1, Ordering::SeqCst);
+        if current >= self.inner.cfg.max_inflight {
             inflight.fetch_sub(1, Ordering::SeqCst);
-            self.inner.stats.inc_net_rejected();
+            self.inner.stats.inc_net_load_shed();
+            let excess = current - self.inner.cfg.max_inflight + 1;
             return self.send_or_close(&Response::Error {
                 code: ErrorCode::Admission as u32,
                 retryable: true,
+                retry_after_ms: self.inner.shed_hint_ms(excess),
                 message: format!(
                     "too many statements in flight (limit {})",
                     self.inner.cfg.max_inflight
                 ),
             });
         }
-        let r = self.handle_query_admitted(fetch, sql);
+        let r = self.handle_query_admitted(fetch, timeout_ms, sql);
         self.inner.inflight.fetch_sub(1, Ordering::SeqCst);
         r
     }
 
-    fn handle_query_admitted(&mut self, fetch: u32, sql: &str) -> Result<(), ConnExit> {
+    fn handle_query_admitted(
+        &mut self,
+        fetch: u32,
+        timeout_ms: u32,
+        sql: &str,
+    ) -> Result<(), ConnExit> {
         self.inner.stats.inc_net_query();
+        // The deadline clock starts at admission and covers the whole
+        // statement, including time spent suspended awaiting FetchMore.
+        let deadline = if timeout_ms > 0 {
+            Some(Deadline::after(Duration::from_millis(u64::from(
+                timeout_ms,
+            ))))
+        } else {
+            self.inner.cfg.statement_timeout.map(Deadline::after)
+        };
         let _t = self.inner.stats.metrics().span("net.query");
         // Statements outside an explicit transaction autocommit; pure
         // queries run as implicit read-only snapshots — the MVCC path,
@@ -572,26 +784,35 @@ impl<'a> Conn<'a> {
         let implicit = self.session.txn_id().is_none();
         if implicit {
             let is_query = match aim2_lang::parse_stmt(sql) {
-                Ok(stmt) => matches!(stmt, aim2_lang::ast::Stmt::Query(_)),
+                Ok(stmt) => matches!(
+                    stmt,
+                    aim2_lang::ast::Stmt::Query(_) | aim2_lang::ast::Stmt::Explain(_)
+                ),
                 Err(e) => {
                     // Refused before touching the engine.
                     return self.send_or_close(&Response::Error {
                         code: ErrorCode::Parse as u32,
                         retryable: false,
+                        retry_after_ms: 0,
                         message: e.to_string(),
                     });
                 }
             };
+            if !is_query && self.inner.is_degraded() {
+                // Read-only degradation: MVCC snapshot reads keep
+                // answering, new write work is refused typed.
+                return self.send_or_close(&degraded_response());
+            }
             let begun = if is_query {
                 self.session.begin_read_only()
             } else {
                 self.session.begin()
             };
             if let Err(e) = begun {
-                return self.send_or_close(&error_response(&e));
+                return self.send_or_close(&self.engine_error(&e));
             }
         }
-        let r = self.stream_query(fetch, sql, implicit);
+        let r = self.stream_query(fetch, sql, implicit, deadline);
         // Whatever happened, an implicit transaction never outlives its
         // statement (stream_query commits/rolls back on every normal
         // path; this covers early protocol exits).
@@ -605,7 +826,13 @@ impl<'a> Conn<'a> {
     /// response frames. `implicit` marks a per-statement transaction
     /// this function must settle (commit before acking DML, release on
     /// query completion, roll back on error).
-    fn stream_query(&mut self, fetch: u32, sql: &str, implicit: bool) -> Result<(), ConnExit> {
+    fn stream_query(
+        &mut self,
+        fetch: u32,
+        sql: &str,
+        implicit: bool,
+        deadline: Option<Deadline>,
+    ) -> Result<(), ConnExit> {
         let fetch = if fetch == 0 {
             DEFAULT_FETCH
         } else {
@@ -623,9 +850,17 @@ impl<'a> Conn<'a> {
         let (portal, produced) = std::thread::scope(|s| {
             let producer = s.spawn(move || {
                 let mut sink = ChanSink { tx };
-                session.query_streamed(sql, &mut sink)
+                session.query_streamed_deadline(sql, &mut sink, deadline)
             });
-            let portal = pack_rows(rx, stream, &stats, fetch, max_frame, shutdown);
+            let portal = pack_rows(
+                rx,
+                stream,
+                &stats,
+                fetch,
+                max_frame,
+                shutdown,
+                self.inner.cfg.idle_timeout,
+            );
             // pack_rows dropped the receiver on its way out, so a
             // still-running producer unblocks into `Cancelled` instead
             // of deadlocking the scope join.
@@ -643,6 +878,7 @@ impl<'a> Conn<'a> {
                 return self.send_or_close(&Response::Error {
                     code: ErrorCode::Cancelled as u32,
                     retryable: false,
+                    retry_after_ms: 0,
                     message: "query cancelled".to_string(),
                 });
             }
@@ -670,7 +906,7 @@ impl<'a> Conn<'a> {
                 // DML/DDL: make it durable before acknowledging.
                 if implicit {
                     if let Err(e) = self.session.commit() {
-                        return self.send_or_close(&error_response(&e));
+                        return self.send_or_close(&self.engine_error(&e));
                     }
                 }
                 match res {
@@ -701,7 +937,7 @@ impl<'a> Conn<'a> {
                 // After a RowHeader the error is still sent as a typed
                 // frame; the client treats a mid-stream Error as
                 // terminal for the whole result.
-                error_response(&e)
+                self.engine_error(&e)
             }
         };
         self.send_or_close(&resp)
@@ -721,6 +957,7 @@ fn pack_rows(
     fetch: usize,
     max_frame: usize,
     shutdown: &AtomicBool,
+    idle_timeout: Option<Duration>,
 ) -> PortalState {
     let mut tail: Vec<Tuple> = Vec::new();
     let finish = |end: PortalEnd, tail: Vec<Tuple>| PortalState { end, tail };
@@ -752,7 +989,11 @@ fn pack_rows(
                 // Suspension point: nothing more goes out until the
                 // client speaks. The producer keeps filling the bounded
                 // channel and then parks — that is the backpressure.
-                let verdict = match read_frame_idle(stream, max_frame, shutdown) {
+                // A suspended portal holds session state (and, outside
+                // snapshots, table locks) — idle reaping applies here
+                // too, so a vanished client cannot pin them forever.
+                let idle_deadline = idle_timeout.map(|t| Instant::now() + t);
+                let verdict = match read_frame_idle(stream, max_frame, shutdown, idle_deadline) {
                     Ok(IdleRead::Frame(payload)) => {
                         stats.inc_net_frame_in();
                         match Request::decode(&payload) {
@@ -768,6 +1009,9 @@ fn pack_rows(
                         "client hung up with a suspended query".to_string(),
                     )),
                     Ok(IdleRead::Shutdown) => Some(PortalEnd::Shutdown),
+                    Ok(IdleRead::IdleTimeout) => Some(PortalEnd::Protocol(
+                        "client idle with a suspended query; reaped".to_string(),
+                    )),
                     Err(e) => Some(PortalEnd::Protocol(e.to_string())),
                 };
                 if let Some(end) = verdict {
@@ -789,6 +1033,7 @@ fn error_response(e: &TxnError) -> Response {
         TxnError::State(_) => ErrorCode::Txn,
         TxnError::Db(DbError::Parse(_)) => ErrorCode::Parse,
         TxnError::Db(DbError::Exec(ExecError::Cancelled)) => ErrorCode::Cancelled,
+        TxnError::Db(DbError::Exec(ExecError::DeadlineExceeded)) => ErrorCode::DeadlineExceeded,
         TxnError::Db(DbError::Exec(_) | DbError::Catalog(_)) => ErrorCode::Semantic,
         TxnError::Db(DbError::ObjectQuarantined { .. }) => ErrorCode::Quarantined,
         TxnError::Db(DbError::Storage(_) | DbError::Index(_) | DbError::Model(_)) => {
@@ -799,6 +1044,19 @@ fn error_response(e: &TxnError) -> Response {
     Response::Error {
         code: code as u32,
         retryable: e.is_retryable(),
+        retry_after_ms: 0,
         message: e.to_string(),
+    }
+}
+
+/// The refusal every new write gets while the server serves degraded.
+fn degraded_response() -> Response {
+    Response::Error {
+        code: ErrorCode::Degraded as u32,
+        retryable: false,
+        retry_after_ms: 0,
+        message: "server degraded to read-only after a storage fault; \
+                  reads keep answering, writes are refused"
+            .to_string(),
     }
 }

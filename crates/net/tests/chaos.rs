@@ -1,0 +1,287 @@
+//! Chaos suite: the deterministic fault-injection TCP proxy
+//! ([`ChaosProxy`]) between real clients and a real server, alone and
+//! composed with the storage layer's disk [`FaultInjector`]. Seeds are
+//! pinned, so every fault schedule — which frames drop, which bits
+//! flip, which links sever — replays identically run to run.
+//!
+//! Invariants proved here:
+//! * retrying read-only clients **converge** through frame drops,
+//!   delays, corruption, and truncation — every query eventually
+//!   answers correctly, no client hangs;
+//! * a **lost DML ack** never causes a silent double-apply: the client
+//!   reconnects but refuses to replay, and the row count proves the
+//!   write landed exactly once;
+//! * network chaos **composes** with injected disk faults: typed
+//!   storage errors surface per-statement, the connection survives,
+//!   and the surviving rows are exactly the acknowledged ones;
+//! * a full **partition** (every link severed) heals: clients
+//!   reconnect through the proxy and continue.
+
+use std::time::Duration;
+
+use aim2::{Database, DbConfig};
+use aim2_net::{
+    ChaosProxy, Client, ClientConfig, FaultPlan, QueryOutcome, RetryPolicy, Server, ServerConfig,
+    ServerHandle,
+};
+use aim2_storage::faultdisk::FaultInjector;
+use aim2_txn::SharedDatabase;
+
+/// Pinned chaos seed — bump only deliberately; CI logs the fault
+/// schedule it produces.
+const SEED: u64 = 0xC0_FFEE_2026;
+
+fn nums_db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE NUMS ( K INTEGER, V INTEGER )")
+        .unwrap();
+    for i in 0..6 {
+        db.execute(&format!("INSERT INTO NUMS VALUES ({i}, {})", i * 10))
+            .unwrap();
+    }
+    db
+}
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    Server::start(SharedDatabase::new(nums_db()), cfg).unwrap()
+}
+
+/// A patient client tuned for a hostile network: short bounded reads
+/// (fault detection), many cheap retries.
+fn chaos_client(addr: std::net::SocketAddr, name: &str, seed: u64) -> Client {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            client_name: name.to_string(),
+            connect_timeout: Some(Duration::from_secs(2)),
+            read_timeout: Some(Duration::from_millis(400)),
+            retry: RetryPolicy {
+                max_attempts: 12,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(50),
+                budget: Duration::from_secs(60),
+                seed,
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Frame drops, delays, bit flips, and truncate-then-sever in both
+/// directions: concurrent read-only clients retry through all of it
+/// and every query converges to the right answer. Zero hung clients —
+/// the whole test is bounded by read timeouts and retry budgets.
+#[test]
+fn retrying_readers_converge_through_chaotic_network() {
+    let mut handle = start(ServerConfig::default());
+    let plan = |scale: u32| FaultPlan {
+        drop_per_mille: 25 * scale,
+        delay_per_mille: 25 * scale,
+        delay: Duration::from_millis(20),
+        corrupt_per_mille: 20 * scale,
+        truncate_per_mille: 15 * scale,
+        black_hole_per_mille: 0,
+        drop_nth_response: None,
+    };
+    let proxy = ChaosProxy::start(handle.local_addr(), SEED, plan(1), plan(1)).unwrap();
+    let addr = proxy.addr();
+
+    const CLIENTS: usize = 4;
+    const QUERIES: usize = 20;
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut client = chaos_client(addr, &format!("chaos-{w}"), SEED ^ w as u64);
+                let mut ok = 0usize;
+                for i in 0..QUERIES {
+                    let k = i % 6;
+                    match client.query(&format!("SELECT x.K, x.V FROM x IN NUMS WHERE x.K = {k}")) {
+                        Ok(QueryOutcome::Table(_, v)) => {
+                            assert_eq!(v.tuples.len(), 1, "worker {w} query {i}");
+                            ok += 1;
+                        }
+                        Ok(other) => panic!("worker {w}: unexpected outcome {other:?}"),
+                        Err(e) => panic!("worker {w} query {i} never converged: {e}"),
+                    }
+                }
+                (ok, client.retries(), client.reconnects())
+            })
+        })
+        .collect();
+    let mut total_ok = 0;
+    let mut total_recovery = 0;
+    for h in workers {
+        let (ok, retries, reconnects) = h.join().expect("no chaos worker may die");
+        total_ok += ok;
+        total_recovery += retries + reconnects;
+    }
+    assert_eq!(total_ok, CLIENTS * QUERIES, "every query must converge");
+    assert!(
+        proxy.faults_injected() > 0,
+        "the pinned seed must actually inject faults"
+    );
+    // The clients demonstrably recovered through them.
+    assert!(
+        total_recovery > 0,
+        "faults were injected but nobody retried/reconnected?"
+    );
+    eprintln!(
+        "chaos log ({} faults): {:?}",
+        proxy.faults_injected(),
+        proxy.fault_log()
+    );
+    proxy.shutdown();
+    handle.shutdown();
+}
+
+/// The classic in-doubt scenario: the server applies an INSERT but the
+/// ack frame is dropped. The client sees a connection-class failure,
+/// reconnects — and must NOT replay the DML. The table ends up with
+/// exactly one copy of the row.
+#[test]
+fn lost_dml_ack_is_never_replayed() {
+    let mut handle = start(ServerConfig::default());
+    // Link frame numbering (s2c): 1 = HelloOk, 2 = the INSERT's ack.
+    let s2c = FaultPlan {
+        drop_nth_response: Some(2),
+        ..FaultPlan::clean()
+    };
+    let proxy = ChaosProxy::start(handle.local_addr(), SEED, FaultPlan::clean(), s2c).unwrap();
+
+    let mut client = chaos_client(proxy.addr(), "lost-ack", SEED);
+    let err = client
+        .query("INSERT INTO NUMS VALUES (77, 770)")
+        .expect_err("the dropped ack must surface as an error");
+    assert!(
+        err.is_connection_loss() || err.is_retryable(),
+        "typed connection-class failure expected, got {err:?}"
+    );
+    assert_eq!(client.retries(), 0, "DML must never be auto-replayed");
+    assert!(
+        proxy.fault_log().iter().any(|l| l.contains("drop")),
+        "the scripted drop must have fired: {:?}",
+        proxy.fault_log()
+    );
+
+    // Ground truth via a direct (un-proxied) connection: the insert
+    // applied exactly once — present, not duplicated.
+    let mut direct = Client::connect(handle.local_addr(), "verifier").unwrap();
+    match direct
+        .query("SELECT x.K, x.V FROM x IN NUMS WHERE x.K = 77")
+        .unwrap()
+    {
+        QueryOutcome::Table(_, v) => {
+            assert_eq!(
+                v.tuples.len(),
+                1,
+                "exactly-once: lost ack ≠ lost or doubled write"
+            );
+        }
+        other => panic!("expected a table, got {other:?}"),
+    }
+    direct.goodbye().unwrap();
+    proxy.shutdown();
+    handle.shutdown();
+}
+
+/// Network chaos composed with disk fault injection: a delay-chaotic
+/// proxy in front, a disk whose 25th write fails transiently behind.
+/// Every INSERT either acks and its row survives, or fails typed and
+/// its row is absent — acknowledged work is exactly the surviving work,
+/// and one session rides through both fault domains.
+#[test]
+fn network_chaos_composes_with_disk_faults() {
+    let dir = std::env::temp_dir().join(format!("aim2_chaosdisk_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::with_config(DbConfig {
+        data_dir: Some(dir.clone()),
+        fault: Some(FaultInjector::transient_at(25)),
+        ..DbConfig::default()
+    });
+    let mut setup = Database::in_memory(); // schema text reused below
+    setup.execute("CREATE TABLE T ( K INTEGER )").unwrap();
+    drop(setup);
+
+    let shared = SharedDatabase::new(db);
+    let mut handle = Server::start(shared, ServerConfig::default()).unwrap();
+    // Delay-only chaos: adds latency jitter without losing frames, so
+    // DML acks are reliable and the exactly-the-acknowledged-rows
+    // invariant is exact.
+    let plan = FaultPlan {
+        delay_per_mille: 150,
+        delay: Duration::from_millis(10),
+        ..FaultPlan::clean()
+    };
+    let proxy = ChaosProxy::start(handle.local_addr(), SEED, plan.clone(), plan).unwrap();
+
+    let mut client = chaos_client(proxy.addr(), "disk-chaos", SEED);
+    client.query("CREATE TABLE T ( K INTEGER )").unwrap();
+    let mut acked = Vec::new();
+    let mut failed = 0;
+    for k in 0..20 {
+        match client.query(&format!("INSERT INTO T VALUES ({k})")) {
+            Ok(_) => acked.push(k),
+            Err(e) => {
+                // Typed engine error; the connection must survive it.
+                assert!(
+                    !e.is_connection_loss(),
+                    "disk fault must not kill the link: {e}"
+                );
+                failed += 1;
+            }
+        }
+    }
+    match client.query("SELECT * FROM T").unwrap() {
+        QueryOutcome::Table(_, v) => {
+            assert_eq!(
+                v.tuples.len(),
+                acked.len(),
+                "surviving rows must be exactly the acknowledged ones ({failed} failed typed)"
+            );
+        }
+        other => panic!("expected a table, got {other:?}"),
+    }
+    assert!(
+        proxy.faults_injected() > 0,
+        "delay chaos must have fired under the pinned seed"
+    );
+    client.goodbye().unwrap();
+    proxy.shutdown();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A full partition (every live link severed at once) heals: the
+/// client's next statement reconnects through the proxy and succeeds.
+#[test]
+fn partition_heals_via_reconnect() {
+    let mut handle = start(ServerConfig::default());
+    let proxy = ChaosProxy::start(
+        handle.local_addr(),
+        SEED,
+        FaultPlan::clean(),
+        FaultPlan::clean(),
+    )
+    .unwrap();
+    let mut client = chaos_client(proxy.addr(), "partition", SEED);
+    match client.query("SELECT * FROM NUMS").unwrap() {
+        QueryOutcome::Table(_, v) => assert_eq!(v.tuples.len(), 6),
+        other => panic!("{other:?}"),
+    }
+
+    proxy.sever_all();
+
+    // Safe read: connection loss → reconnect → replay → answer.
+    match client.query("SELECT * FROM NUMS").unwrap() {
+        QueryOutcome::Table(_, v) => assert_eq!(v.tuples.len(), 6),
+        other => panic!("{other:?}"),
+    }
+    assert!(
+        client.reconnects() >= 1,
+        "the heal must be a real reconnect"
+    );
+    client.goodbye().unwrap();
+    proxy.shutdown();
+    handle.shutdown();
+}

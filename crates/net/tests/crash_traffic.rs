@@ -1,0 +1,396 @@
+//! Crash-under-traffic: SIGKILL a real `aim2-server` process while 8
+//! concurrent clients run a mixed transfer workload against it, restart
+//! it on the same data directory and port, and prove:
+//!
+//! * **recovery** — the restarted server opens the WAL-recovered
+//!   database and serves (recovery rolls back to the last checkpoint,
+//!   which is this engine's durability floor);
+//! * **invariants** — the account balances still sum to the initial
+//!   total (transfers preserve sums, and recovery lands on a
+//!   transaction-consistent state), and no `(WID, SEQ)` ledger entry is
+//!   ever duplicated — the client library never silently replays DML,
+//!   and the writers' in-doubt resolution (query your own ledger row)
+//!   never double-applies;
+//! * **liveness** — every client reconnects and finishes its workload
+//!   against the restarted server; no client hangs (all reads are
+//!   bounded, all retries budgeted, the whole test is deadline-boxed).
+//!
+//! Everything is driven through the public wire surface: the spawned
+//! server binary, the client library, and the `Checkpoint` verb.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use aim2_model::{Atom, Value};
+use aim2_net::{Client, ClientConfig, NetError, QueryOutcome, RetryPolicy};
+
+const WRITERS: usize = 8;
+const ACCOUNTS: i64 = 16;
+const INITIAL_BAL: i64 = 1_000;
+/// Transfers per writer per phase (pre-crash target; post-restart each
+/// writer runs the same count again).
+const TRANSFERS: usize = 12;
+/// Whole-test deadline — nothing below may hang past this.
+const TEST_DEADLINE: Duration = Duration::from_secs(120);
+
+/// A spawned `aim2-server` child with its stdin held open (the server
+/// exits when stdin closes) and its stderr drained.
+struct ServerProc {
+    child: Child,
+    /// Keep the write end alive; dropping it asks the server to quit.
+    stdin: Option<std::process::ChildStdin>,
+    addr: std::net::SocketAddr,
+}
+
+impl ServerProc {
+    fn spawn(data_dir: &std::path::Path, listen: &str) -> ServerProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_aim2-server"))
+            .arg("--listen")
+            .arg(listen)
+            .arg("--data")
+            .arg(data_dir)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn aim2-server");
+        let stdin = child.stdin.take();
+        let stderr = child.stderr.take().expect("child stderr");
+        let mut reader = BufReader::new(stderr);
+        let addr = {
+            let deadline = Instant::now() + Duration::from_secs(20);
+            let mut addr = None;
+            let mut line = String::new();
+            while Instant::now() < deadline {
+                line.clear();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        if let Some(rest) = line.trim().strip_prefix("aim2-server listening on ") {
+                            addr = Some(rest.parse().expect("parse listen addr"));
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            addr.expect("server never reported its listen address")
+        };
+        // Keep draining stderr so the child never blocks on a full pipe.
+        std::thread::spawn(move || {
+            let mut sink = String::new();
+            while let Ok(n) = reader.read_line(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+                sink.clear();
+            }
+        });
+        ServerProc { child, stdin, addr }
+    }
+
+    /// SIGKILL — no shutdown handshake, no WAL flush courtesy.
+    fn kill(mut self) {
+        self.child.kill().expect("SIGKILL server");
+        let _ = self.child.wait();
+    }
+
+    fn graceful_stop(mut self) {
+        if let Some(mut stdin) = self.stdin.take() {
+            let _ = stdin.write_all(b"quit\n");
+        }
+        let _ = self.child.wait();
+    }
+}
+
+fn connect(addr: std::net::SocketAddr, name: &str, seed: u64) -> Result<Client, NetError> {
+    Client::connect_with(
+        addr,
+        ClientConfig {
+            client_name: name.to_string(),
+            connect_timeout: Some(Duration::from_millis(500)),
+            read_timeout: Some(Duration::from_secs(5)),
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(100),
+                budget: Duration::from_secs(10),
+                seed,
+            },
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// Bounded reconnect helper: keep dialing until the server answers or
+/// the deadline passes (it does go down for real mid-test).
+fn connect_until(addr: std::net::SocketAddr, name: &str, seed: u64, deadline: Instant) -> Client {
+    loop {
+        match connect(addr, name, seed) {
+            Ok(c) => return c,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("{name}: server never came back: {e}"),
+        }
+    }
+}
+
+fn int_at(t: &aim2_model::Tuple, i: usize) -> i64 {
+    match t.fields.get(i) {
+        Some(Value::Atom(Atom::Int(v))) => *v,
+        other => panic!("expected Int at {i}, got {other:?}"),
+    }
+}
+
+/// Single-row integer query helper (the language has no aggregates;
+/// sums happen client-side).
+fn one_int(client: &mut Client, sql: &str) -> Result<Option<i64>, NetError> {
+    match client.query(sql)? {
+        QueryOutcome::Table(_, v) => Ok(v.tuples.first().map(|t| int_at(t, 0))),
+        other => panic!("expected a table for {sql}, got {other:?}"),
+    }
+}
+
+/// One transfer attempt as an explicit transaction:
+/// move `amount` from account `a` to `b`, recording `(wid, seq)` in the
+/// ledger inside the same transaction. Returns Ok(true) on commit.
+fn try_transfer(
+    client: &mut Client,
+    wid: usize,
+    seq: usize,
+    a: i64,
+    b: i64,
+    amount: i64,
+) -> Result<bool, NetError> {
+    client.begin(false)?;
+    let run = (|| -> Result<(), NetError> {
+        let bal_a = one_int(
+            client,
+            &format!("SELECT x.BAL FROM x IN ACCOUNTS WHERE x.ANO = {a}"),
+        )?
+        .expect("account a exists");
+        let bal_b = one_int(
+            client,
+            &format!("SELECT x.BAL FROM x IN ACCOUNTS WHERE x.ANO = {b}"),
+        )?
+        .expect("account b exists");
+        client.query(&format!(
+            "UPDATE x IN ACCOUNTS SET x.BAL = {} WHERE x.ANO = {a}",
+            bal_a - amount
+        ))?;
+        client.query(&format!(
+            "UPDATE x IN ACCOUNTS SET x.BAL = {} WHERE x.ANO = {b}",
+            bal_b + amount
+        ))?;
+        client.query(&format!("INSERT INTO LEDGER VALUES ({wid}, {seq})"))?;
+        Ok(())
+    })();
+    match run {
+        Ok(()) => {
+            client.commit()?;
+            Ok(true)
+        }
+        Err(e) => {
+            // Roll back cleanly when the session survived; connection
+            // losses already dropped the txn server-side.
+            if !e.is_connection_loss() {
+                let _ = client.rollback();
+            }
+            Err(e)
+        }
+    }
+}
+
+/// Whether this writer's `(wid, seq)` ledger row is present — the
+/// in-doubt commit resolution after a connection loss.
+fn ledger_has(client: &mut Client, wid: usize, seq: usize) -> Result<bool, NetError> {
+    Ok(one_int(
+        client,
+        &format!("SELECT x.SEQ FROM x IN LEDGER WHERE x.WID = {wid} AND x.SEQ = {seq}"),
+    )?
+    .is_some())
+}
+
+/// Run one writer's workload: `count` transfers starting at `seq0`,
+/// surviving crashes, reconnects, deadlocks, and lost acks. Never
+/// hangs: every wait is bounded by `deadline`.
+fn writer_workload(
+    addr: std::net::SocketAddr,
+    wid: usize,
+    seq0: usize,
+    count: usize,
+    deadline: Instant,
+) {
+    let seed = 0xD1CE_u64 + wid as u64;
+    let mut client = connect_until(addr, &format!("writer-{wid}"), seed, deadline);
+    for seq in seq0..seq0 + count {
+        // Deterministic but varied account pairing per (wid, seq).
+        let a = ((wid * 7 + seq * 3) as i64) % ACCOUNTS;
+        let b = ((wid * 11 + seq * 5 + 1) as i64) % ACCOUNTS;
+        let (a, b) = if a == b {
+            (a, (b + 1) % ACCOUNTS)
+        } else {
+            (a, b)
+        };
+        loop {
+            assert!(
+                Instant::now() < deadline,
+                "writer {wid} seq {seq}: test deadline exceeded (hung workload?)"
+            );
+            match try_transfer(&mut client, wid, seq, a, b, 1 + (seq as i64 % 5)) {
+                Ok(true) => break,
+                Ok(false) => unreachable!(),
+                Err(e) if e.is_connection_loss() => {
+                    // The server may be down (crash window) — reconnect
+                    // with patience, then resolve the in-doubt commit:
+                    // only move on if OUR ledger row exists.
+                    client = connect_until(addr, &format!("writer-{wid}"), seed, deadline);
+                    match ledger_has(&mut client, wid, seq) {
+                        Ok(true) => break,     // committed before the loss
+                        Ok(false) => continue, // retry the whole txn
+                        Err(_) => continue,    // server flapping; retry
+                    }
+                }
+                Err(e) if e.is_retryable() => {
+                    // Deadlock victim / shed: transaction already rolled
+                    // back server-side; small pause, retry.
+                    std::thread::sleep(Duration::from_millis(5));
+                    let _ = e;
+                    continue;
+                }
+                Err(e) => panic!("writer {wid} seq {seq}: non-retryable {e}"),
+            }
+        }
+    }
+    let _ = client.goodbye();
+}
+
+/// Full sweep of the invariants via one verifier connection.
+fn verify_invariants(addr: std::net::SocketAddr, deadline: Instant, expect_ledger_max: usize) {
+    let mut client = connect_until(addr, "verifier", 0xFACADE, deadline);
+    // Sum invariant, computed client-side.
+    let sum: i64 = match client.query("SELECT * FROM ACCOUNTS").unwrap() {
+        QueryOutcome::Table(_, v) => {
+            assert_eq!(v.tuples.len() as i64, ACCOUNTS, "no account may vanish");
+            v.tuples.iter().map(|t| int_at(t, 1)).sum()
+        }
+        other => panic!("expected accounts table, got {other:?}"),
+    };
+    assert_eq!(
+        sum,
+        ACCOUNTS * INITIAL_BAL,
+        "transfers must preserve the total balance through crash recovery"
+    );
+    // Ledger: every (WID, SEQ) at most once — DML never double-applied.
+    match client.query("SELECT * FROM LEDGER").unwrap() {
+        QueryOutcome::Table(_, v) => {
+            let mut seen = std::collections::HashSet::new();
+            for t in &v.tuples {
+                let key = (int_at(t, 0), int_at(t, 1));
+                assert!(
+                    seen.insert(key),
+                    "ledger entry {key:?} applied more than once"
+                );
+            }
+            assert!(
+                seen.len() <= expect_ledger_max,
+                "more ledger entries ({}) than transfers ever attempted ({expect_ledger_max})",
+                seen.len()
+            );
+        }
+        other => panic!("expected ledger table, got {other:?}"),
+    }
+    client.goodbye().unwrap();
+}
+
+#[test]
+fn crash_under_traffic_recovers_and_clients_converge() {
+    let deadline = Instant::now() + TEST_DEADLINE;
+    let dir = std::env::temp_dir().join(format!("aim2_crash_traffic_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // ---- Phase 0: seed the database through a first server process.
+    let server = ServerProc::spawn(&dir, "127.0.0.1:0");
+    let addr = server.addr;
+    {
+        let mut admin = connect_until(addr, "seeder", 1, deadline);
+        admin
+            .query("CREATE TABLE ACCOUNTS ( ANO INTEGER, BAL INTEGER )")
+            .unwrap();
+        admin
+            .query("CREATE TABLE LEDGER ( WID INTEGER, SEQ INTEGER )")
+            .unwrap();
+        for ano in 0..ACCOUNTS {
+            admin
+                .query(&format!(
+                    "INSERT INTO ACCOUNTS VALUES ({ano}, {INITIAL_BAL})"
+                ))
+                .unwrap();
+        }
+        // Checkpoint: the seeded state is the durability floor recovery
+        // must never fall below.
+        admin.checkpoint().unwrap();
+        admin.goodbye().unwrap();
+    }
+
+    // ---- Phase 1: 8 writers transfer concurrently; the server is
+    // SIGKILLed mid-traffic and restarted on the same dir and port.
+    let crashed = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|wid| std::thread::spawn(move || writer_workload(addr, wid, 0, TRANSFERS, deadline)))
+        .collect();
+
+    // Let traffic build, then pull the plug — mid-commit for somebody.
+    std::thread::sleep(Duration::from_millis(400));
+    server.kill();
+    crashed.store(true, Ordering::SeqCst);
+    // Brief outage, then restart on the same port over the same data.
+    std::thread::sleep(Duration::from_millis(300));
+    let server = ServerProc::spawn(&dir, &addr.to_string());
+    assert_eq!(server.addr, addr, "restart must reuse the advertised port");
+
+    // Liveness: every writer finishes against the restarted server.
+    for (wid, h) in workers.into_iter().enumerate() {
+        h.join()
+            .unwrap_or_else(|_| panic!("writer {wid} died (hang or panic)"));
+    }
+    assert!(crashed.load(Ordering::SeqCst));
+
+    // ---- Phase 2: invariants after crash + recovery + convergence.
+    verify_invariants(addr, deadline, WRITERS * TRANSFERS);
+
+    // ---- Phase 3: the recovered server is fully usable — another
+    // round of traffic, a checkpoint, a graceful stop, and a clean
+    // reopen that still satisfies every invariant.
+    let workers: Vec<_> = (0..WRITERS)
+        .map(|wid| {
+            std::thread::spawn(move || {
+                writer_workload(addr, wid, TRANSFERS, TRANSFERS / 2, deadline)
+            })
+        })
+        .collect();
+    for (wid, h) in workers.into_iter().enumerate() {
+        h.join()
+            .unwrap_or_else(|_| panic!("post-restart writer {wid} died"));
+    }
+    {
+        let mut admin = connect_until(addr, "checkpointer", 2, deadline);
+        admin.checkpoint().unwrap();
+        admin.goodbye().unwrap();
+    }
+    server.graceful_stop();
+
+    let server = ServerProc::spawn(&dir, "127.0.0.1:0");
+    verify_invariants(
+        server.addr,
+        deadline,
+        WRITERS * TRANSFERS + WRITERS * (TRANSFERS / 2),
+    );
+    server.graceful_stop();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,124 @@
+//! The wire error taxonomy is total and canonical: every defined
+//! [`ErrorCode`], crossed with both retryable verdicts and with/without
+//! a backoff hint, survives the full frame path (encode → frame →
+//! unframe → decode → re-encode) byte-identically, and the client's
+//! [`NetError::is_retryable`] agrees with what the server put on the
+//! wire — the retryability verdict is carried, not re-derived, so the
+//! two ends can never disagree.
+
+use std::io::Cursor;
+
+use aim2_net::{read_frame, write_frame, ErrorCode, NetError, Response, DEFAULT_MAX_FRAME};
+use proptest::prelude::*;
+
+/// Exhaustive (not sampled): all 15 codes × retryable × hint × message
+/// shapes round-trip canonically through a real frame.
+#[test]
+fn every_code_roundtrips_canonically_through_frames() {
+    for code in ErrorCode::ALL {
+        for retryable in [false, true] {
+            for retry_after_ms in [0u32, 50, u32::MAX] {
+                for message in ["", "m", "statement deadline exceeded"] {
+                    let resp = Response::Error {
+                        code: code as u32,
+                        retryable,
+                        retry_after_ms,
+                        message: message.to_string(),
+                    };
+                    let bytes = resp.encode();
+
+                    let mut framed = Vec::new();
+                    write_frame(&mut framed, &bytes).unwrap();
+                    let mut r = Cursor::new(&framed);
+                    let unframed = read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().unwrap();
+                    assert_eq!(unframed, bytes, "framing must be transparent");
+
+                    let back = Response::decode(&unframed).unwrap();
+                    assert_eq!(
+                        back.encode(),
+                        bytes,
+                        "canonical: {code} re-encodes identically"
+                    );
+
+                    // Both socket ends agree on retryability: the
+                    // client view echoes the wire bit.
+                    let Response::Error {
+                        code: c,
+                        retryable: r,
+                        retry_after_ms: h,
+                        message: m,
+                    } = back
+                    else {
+                        panic!("decoded to a different variant");
+                    };
+                    assert_eq!(c, code as u32);
+                    let client_view = NetError::from_wire(c, r, h, m);
+                    assert_eq!(
+                        client_view.is_retryable(),
+                        retryable,
+                        "client and server must agree on retryability for {code}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// `ErrorCode::from_u32` is the exact inverse of the discriminants,
+/// and rejects everything else.
+#[test]
+fn code_numbering_is_stable_and_total() {
+    for code in ErrorCode::ALL {
+        assert_eq!(ErrorCode::from_u32(code as u32), Some(code));
+    }
+    assert_eq!(ErrorCode::from_u32(0), None);
+    assert_eq!(ErrorCode::from_u32(ErrorCode::ALL.len() as u32 + 1), None);
+    assert_eq!(ErrorCode::from_u32(u32::MAX), None);
+    // The ALL table covers the whole numbering with no gaps.
+    for (i, code) in ErrorCode::ALL.iter().enumerate() {
+        assert_eq!(*code as u32, i as u32 + 1, "codes are dense from 1");
+    }
+}
+
+/// An unknown code off the wire degrades to `Internal` client-side
+/// (never a panic, never a dropped retryable bit).
+#[test]
+fn unknown_codes_degrade_to_internal() {
+    let e = NetError::from_wire(9999, true, 123, "future error".to_string());
+    let NetError::Server {
+        code,
+        retryable,
+        retry_after_ms,
+        ..
+    } = &e
+    else {
+        panic!("expected Server variant");
+    };
+    assert_eq!(*code, ErrorCode::Internal);
+    assert!(*retryable, "the wire bit survives an unknown code");
+    assert_eq!(*retry_after_ms, 123);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Sampled wider than the exhaustive sweep: arbitrary codes (valid
+    // or not), hints, and unicode messages keep the encoding canonical
+    // and the retryable bit faithful end to end.
+    #[test]
+    fn arbitrary_error_frames_are_canonical_and_faithful(
+        code in any::<u32>(),
+        retryable in any::<bool>(),
+        retry_after_ms in any::<u32>(),
+        message in ".*",
+    ) {
+        let resp = Response::Error { code, retryable, retry_after_ms, message };
+        let bytes = resp.encode();
+        let back = Response::decode(&bytes).unwrap();
+        prop_assert_eq!(back.encode(), bytes);
+        let Response::Error { code: c, retryable: r, retry_after_ms: h, message: m } = back else {
+            return Err(TestCaseError::fail("wrong variant"));
+        };
+        prop_assert_eq!(NetError::from_wire(c, r, h, m).is_retryable(), retryable);
+    }
+}

@@ -70,8 +70,13 @@ proptest! {
     // is the identity on bytes (exercised through the SQL-bearing
     // variants, whose string fields carry arbitrary content).
     #[test]
-    fn query_roundtrip_canonical(fetch in any::<u32>(), sql in ".*") {
-        let req = Request::Query { fetch, sql };
+    fn query_roundtrip_canonical(
+        fetch in any::<u32>(),
+        timeout_ms in any::<u32>(),
+        attempt in any::<u32>(),
+        sql in ".*",
+    ) {
+        let req = Request::Query { fetch, timeout_ms, attempt, sql };
         let bytes = req.encode();
         let back = Request::decode(&bytes).unwrap();
         prop_assert_eq!(back.encode(), bytes);
@@ -81,9 +86,10 @@ proptest! {
     fn error_roundtrip_canonical(
         code in any::<u32>(),
         retryable in any::<bool>(),
+        retry_after_ms in any::<u32>(),
         message in ".*",
     ) {
-        let resp = Response::Error { code, retryable, message };
+        let resp = Response::Error { code, retryable, retry_after_ms, message };
         let bytes = resp.encode();
         let back = Response::decode(&bytes).unwrap();
         prop_assert_eq!(back.encode(), bytes);

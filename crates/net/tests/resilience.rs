@@ -1,0 +1,441 @@
+//! Server/client resilience: per-statement deadlines, keepalive,
+//! idle-connection reaping, watermark load shedding with backoff
+//! hints, retry budgets, and graceful degradation to read-only serving
+//! after a corruption-class storage fault. Every scenario asserts
+//! *typed* failures and surviving connections — never hangs, never
+//! process exits — and that the `net.*` resilience counters are
+//! visible through the wire `Stats`/`Metrics` verbs.
+
+use std::time::Duration;
+
+use aim2::{Database, DbConfig};
+use aim2_net::{
+    Client, ClientConfig, ErrorCode, NetError, QueryOutcome, Request, Response, RetryPolicy,
+    Server, ServerConfig, ServerHandle,
+};
+use aim2_txn::SharedDatabase;
+
+fn small_db() -> Database {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE NUMS ( K INTEGER, V INTEGER )")
+        .unwrap();
+    for i in 0..8 {
+        db.execute(&format!("INSERT INTO NUMS VALUES ({i}, {})", i * 10))
+            .unwrap();
+    }
+    db
+}
+
+fn start(cfg: ServerConfig) -> ServerHandle {
+    Server::start(SharedDatabase::new(small_db()), cfg).unwrap()
+}
+
+/// A client that never retries and never waits long — failures must be
+/// typed and immediate for the assertions below.
+fn no_retry(handle: &ServerHandle) -> Client {
+    Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            client_name: "resilience".to_string(),
+            read_timeout: Some(Duration::from_secs(10)),
+            retry: RetryPolicy::none(),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Pull the named counter out of the wire `Stats` exposition
+/// (`group key=value ...` lines, one group per line).
+fn stat(client: &mut Client, key: &str) -> u64 {
+    let text = client.stats().unwrap();
+    for token in text.split_whitespace() {
+        if let Some(v) = token.strip_prefix(&format!("{key}=")) {
+            return v.parse().unwrap();
+        }
+    }
+    panic!("counter {key} not in stats exposition:\n{text}");
+}
+
+/// A client-supplied deadline expires while the portal is suspended:
+/// the stream ends with a typed, retryable `DeadlineExceeded` error
+/// frame — and the *connection* survives to serve the next statement.
+#[test]
+fn deadline_expires_mid_stream_typed_and_connection_survives() {
+    let handle = start(ServerConfig::default());
+    let mut client = no_retry(&handle);
+
+    client
+        .send(&Request::Query {
+            fetch: 1,
+            timeout_ms: 120,
+            attempt: 0,
+            sql: "SELECT * FROM NUMS".to_string(),
+        })
+        .unwrap();
+    let Response::RowHeader { .. } = client.recv().unwrap() else {
+        panic!("expected RowHeader first");
+    };
+    // Sit on the suspended portal until the deadline is long gone —
+    // the clock covers suspension time, not just compute.
+    std::thread::sleep(Duration::from_millis(250));
+    loop {
+        match client.recv().unwrap() {
+            Response::Rows { done, .. } => {
+                assert!(!done, "statement must not outlive its deadline");
+                client.send(&Request::FetchMore).unwrap();
+            }
+            Response::Error {
+                code,
+                retryable,
+                retry_after_ms: _,
+                message,
+            } => {
+                assert_eq!(code, ErrorCode::DeadlineExceeded as u32, "{message}");
+                assert!(retryable, "deadline expiry must be retryable");
+                break;
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+
+    // The connection is still a working session.
+    client.ping().unwrap();
+    match client
+        .query("SELECT x.K FROM x IN NUMS WHERE x.K = 3")
+        .unwrap()
+    {
+        QueryOutcome::Table(_, v) => assert_eq!(v.tuples.len(), 1),
+        other => panic!("expected a table, got {other:?}"),
+    }
+    assert!(stat(&mut client, "deadline-exceeded") >= 1);
+    client.goodbye().unwrap();
+}
+
+/// With no client-supplied timeout, the server's configured default
+/// statement deadline applies.
+#[test]
+fn server_default_statement_timeout_applies() {
+    let handle = start(ServerConfig {
+        statement_timeout: Some(Duration::from_millis(100)),
+        ..ServerConfig::default()
+    });
+    let mut client = no_retry(&handle);
+    client
+        .send(&Request::Query {
+            fetch: 1,
+            timeout_ms: 0,
+            attempt: 0,
+            sql: "SELECT * FROM NUMS".to_string(),
+        })
+        .unwrap();
+    let Response::RowHeader { .. } = client.recv().unwrap() else {
+        panic!("expected RowHeader");
+    };
+    std::thread::sleep(Duration::from_millis(220));
+    loop {
+        match client.recv().unwrap() {
+            Response::Rows { done, .. } => {
+                assert!(!done);
+                client.send(&Request::FetchMore).unwrap();
+            }
+            Response::Error {
+                code, retryable, ..
+            } => {
+                assert_eq!(code, ErrorCode::DeadlineExceeded as u32);
+                assert!(retryable);
+                break;
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    client.goodbye().unwrap();
+}
+
+/// `Ping` answers `Pong`, counts on the metrics registry, and resets
+/// the idle clock: a connection that pings inside the idle window
+/// stays alive past several windows.
+#[test]
+fn ping_keepalive_defeats_idle_reaping() {
+    let handle = start(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..ServerConfig::default()
+    });
+    let mut client = no_retry(&handle);
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(150));
+        client.ping().unwrap();
+    }
+    assert!(stat(&mut client, "pings") >= 5);
+    client.goodbye().unwrap();
+}
+
+/// A connection that goes quiet past the idle timeout is reaped: the
+/// server sends a typed, retryable `IdleTimeout` error and closes.
+#[test]
+fn idle_connection_is_reaped_with_typed_error() {
+    let handle = start(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    });
+    let mut client = no_retry(&handle);
+    client.ping().unwrap();
+    std::thread::sleep(Duration::from_millis(600));
+    match client.recv() {
+        Ok(Response::Error {
+            code, retryable, ..
+        }) => {
+            assert_eq!(code, ErrorCode::IdleTimeout as u32);
+            assert!(retryable, "idle reap should invite a reconnect");
+        }
+        other => panic!("expected IdleTimeout error frame, got {other:?}"),
+    }
+    // And then the socket closes.
+    assert!(matches!(client.recv(), Err(e) if e.is_connection_loss()));
+}
+
+/// Past the inflight watermark every statement is shed with a
+/// retryable `Admission` error carrying a `retry_after_ms` hint, and
+/// the shed counter is visible over the wire.
+#[test]
+fn load_shedding_returns_retry_after_hint() {
+    let handle = start(ServerConfig {
+        max_inflight: 0, // every statement is over the watermark
+        ..ServerConfig::default()
+    });
+    let mut client = no_retry(&handle);
+    let err = client.query("SELECT * FROM NUMS").unwrap_err();
+    match &err {
+        NetError::Server {
+            code,
+            retryable,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(*code, ErrorCode::Admission);
+            assert!(*retryable);
+            assert!(*retry_after_ms > 0, "shed must carry a backoff hint");
+        }
+        other => panic!("expected Admission shed, got {other:?}"),
+    }
+    assert!(err.is_retryable());
+    // Admin verbs are not statements and still answer.
+    assert!(stat(&mut client, "load-shed") >= 1);
+    client.goodbye().unwrap();
+}
+
+/// A retrying client gives up after its budgeted attempts against a
+/// permanently shedding server, having sent its attempt counter on the
+/// wire (the server-side `net.retries` counter sees it).
+#[test]
+fn retry_budget_exhausts_against_persistent_shedding() {
+    let handle = start(ServerConfig {
+        max_inflight: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            client_name: "budgeted".to_string(),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(20),
+                budget: Duration::from_secs(5),
+                seed: 7,
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let err = client.query("SELECT * FROM NUMS").unwrap_err();
+    assert!(
+        matches!(
+            &err,
+            NetError::Server {
+                code: ErrorCode::Admission,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+    assert_eq!(client.retries(), 2, "3 attempts = 2 retries");
+    assert!(stat(&mut client, "retries") >= 2, "server saw the attempts");
+    client.goodbye().unwrap();
+}
+
+/// DML is never auto-retried, even on a retryable error: the shed
+/// surfaces immediately with zero retries.
+#[test]
+fn dml_is_never_auto_retried() {
+    let handle = start(ServerConfig {
+        max_inflight: 0,
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            client_name: "dml".to_string(),
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    let err = client
+        .query("INSERT INTO NUMS VALUES (99, 990)")
+        .unwrap_err();
+    assert!(err.is_retryable(), "the *error* is retryable...");
+    assert_eq!(client.retries(), 0, "...but DML must not be replayed");
+
+    // Same for a read inside an explicit transaction: the txn gate
+    // makes it unsafe regardless of the statement's shape.
+    // (Begin is shed too under max_inflight = 0? No — Begin is a verb,
+    // not a statement; it is admitted. The query inside sheds.)
+    client.begin(true).unwrap();
+    let err = client.query("SELECT * FROM NUMS").unwrap_err();
+    assert!(err.is_retryable());
+    assert_eq!(client.retries(), 0, "in-txn reads must not be replayed");
+    let _ = client.rollback();
+    client.goodbye().unwrap();
+}
+
+/// Corruption-class storage fault → the server degrades to read-only
+/// serving: the integrity verb reports the damage and flips the
+/// degraded flag; reads keep answering; writes (and read-write BEGIN)
+/// are refused with a typed, non-retryable `Degraded` error.
+#[test]
+fn degrades_to_read_only_after_storage_corruption() {
+    use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+
+    let dir = std::env::temp_dir().join(format!("aim2_degrade_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    const PAGE: usize = 1024;
+    let cfg = DbConfig {
+        page_size: PAGE,
+        buffer_frames: 4,
+        data_dir: Some(dir.clone()),
+        ..DbConfig::default()
+    };
+
+    // Build a checkpointed two-table database, then corrupt only BAD's
+    // segment on disk.
+    {
+        let mut db = Database::with_config(cfg.clone());
+        db.execute("CREATE TABLE GOOD ( K INTEGER, V INTEGER )")
+            .unwrap();
+        db.execute("CREATE TABLE BAD ( K INTEGER, V INTEGER )")
+            .unwrap();
+        for i in 0..40 {
+            db.execute(&format!("INSERT INTO GOOD VALUES ({i}, {})", i * 10))
+                .unwrap();
+            db.execute(&format!("INSERT INTO BAD VALUES ({i}, {})", i * 10))
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+    }
+    let bad_seg = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with("_BAD.seg"))
+        })
+        .expect("BAD segment file");
+    let len = std::fs::metadata(&bad_seg).unwrap().len();
+    let mut f = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&bad_seg)
+        .unwrap();
+    // One mid-page bit flip per page: stamped pages must fail their
+    // checksum; flipping every page guarantees at least one is stamped.
+    let mut page = 0;
+    while (page * PAGE as u64) < len {
+        let off = page * PAGE as u64 + (PAGE as u64 / 2);
+        let mut b = [0u8; 1];
+        f.seek(SeekFrom::Start(off)).unwrap();
+        f.read_exact(&mut b).unwrap();
+        b[0] ^= 0x10;
+        f.seek(SeekFrom::Start(off)).unwrap();
+        f.write_all(&b).unwrap();
+        page += 1;
+    }
+    drop(f);
+
+    let db = Database::open(cfg).unwrap();
+    let handle = Server::start(SharedDatabase::new(db), ServerConfig::default()).unwrap();
+    let mut client = no_retry(&handle);
+
+    // The integrity walker finds the rot and flips the server into
+    // degraded read-only mode.
+    let report = client.integrity_check().unwrap();
+    assert!(
+        handle.degraded(),
+        "integrity violations must degrade the server; report:\n{report}"
+    );
+
+    // Reads still answer.
+    match client.query("SELECT x.K, x.V FROM x IN GOOD WHERE x.K = 7") {
+        Ok(QueryOutcome::Table(_, v)) => assert_eq!(v.tuples.len(), 1),
+        other => panic!("reads must survive degradation, got {other:?}"),
+    }
+
+    // Writes are refused, typed and non-retryable.
+    let err = client
+        .query("INSERT INTO GOOD VALUES (99, 990)")
+        .unwrap_err();
+    match &err {
+        NetError::Server {
+            code, retryable, ..
+        } => {
+            assert_eq!(*code, ErrorCode::Degraded);
+            assert!(!*retryable, "degraded is not retryable without an operator");
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+
+    // Read-write BEGIN is refused; read-only BEGIN still works.
+    let err = client.begin(false).unwrap_err();
+    assert!(matches!(
+        &err,
+        NetError::Server {
+            code: ErrorCode::Degraded,
+            ..
+        }
+    ));
+    client.begin(true).unwrap();
+    match client.query("SELECT * FROM GOOD") {
+        Ok(QueryOutcome::Table(_, v)) => assert_eq!(v.tuples.len(), 40),
+        other => panic!("snapshot read under degradation failed: {other:?}"),
+    }
+    client.commit().unwrap();
+    client.goodbye().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Client-side bounded reads: a server that accepts but never answers
+/// surfaces as a typed `Timeout`, not a hung client.
+#[test]
+fn black_holed_read_times_out_typed() {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Accept and hold the socket open without ever responding.
+    let hold = std::thread::spawn(move || {
+        let (_s, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(2));
+    });
+    let err = match Client::connect_with(
+        addr,
+        ClientConfig {
+            client_name: "blackhole".to_string(),
+            read_timeout: Some(Duration::from_millis(200)),
+            retry: RetryPolicy::none(),
+            ..ClientConfig::default()
+        },
+    ) {
+        Ok(_) => panic!("handshake cannot succeed against a mute server"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, NetError::Timeout), "got {err:?}");
+    hold.join().unwrap();
+}

@@ -173,6 +173,8 @@ fn streamed_results_suspend_between_frames() {
     client
         .send(&Request::Query {
             fetch: 1,
+            timeout_ms: 0,
+            attempt: 0,
             sql: "SELECT * FROM DEPARTMENTS".to_string(),
         })
         .unwrap();
@@ -299,6 +301,8 @@ fn cancel_mid_stream_keeps_connection_alive() {
     client
         .send(&Request::Query {
             fetch: 1,
+            timeout_ms: 0,
+            attempt: 0,
             sql: "SELECT * FROM DEPARTMENTS".to_string(),
         })
         .unwrap();

@@ -144,6 +144,14 @@ impl<'a> Page<'a> {
             .saturating_sub(SLOT_LEN * self.slot_count() as usize)
     }
 
+    /// Whether the header can be written through safely. A `free_start`
+    /// inside the header means this buffer was never [`Page::init`]-ed
+    /// (an all-zero image reads as 0) or is corrupt — inserting through
+    /// it would clobber the header itself. Mutators refuse instead.
+    fn header_writable(&self) -> bool {
+        self.free_start() as usize >= HEADER_LEN
+    }
+
     /// Contiguous free bytes between record area and slot array.
     fn contiguous_free(&self) -> usize {
         self.slot_area_start()
@@ -168,6 +176,9 @@ impl<'a> Page<'a> {
     /// Bytes available for inserting one new record (accounting for a
     /// possibly needed new slot entry and reclaimable dead space).
     pub fn free_for_insert(&self) -> usize {
+        if !self.header_writable() {
+            return 0; // uninitialized/corrupt image: unusable for inserts
+        }
         let slot_cost = if self.first_free_slot().is_some() {
             0
         } else {
@@ -189,7 +200,7 @@ impl<'a> Page<'a> {
 
     /// Insert a record; `None` if it does not fit even after compaction.
     pub fn insert(&mut self, data: &[u8]) -> Option<SlotNo> {
-        if data.len() > u16::MAX as usize {
+        if data.len() > u16::MAX as usize || !self.header_writable() {
             return None;
         }
         let reuse = self.first_free_slot();
@@ -239,7 +250,7 @@ impl<'a> Page<'a> {
     /// cannot fit in this page (record left unchanged — the caller
     /// forwards it to another page, keeping the TID stable).
     pub fn update(&mut self, slot: SlotNo, data: &[u8]) -> bool {
-        if !self.is_live(slot) || data.len() > u16::MAX as usize {
+        if !self.is_live(slot) || data.len() > u16::MAX as usize || !self.header_writable() {
             return false;
         }
         let (off, len) = self.slot(slot.0);
@@ -376,6 +387,9 @@ impl<'a> PageRef<'a> {
 
     /// Bytes available for one new record (mirrors [`Page::free_for_insert`]).
     pub fn free_for_insert(&self) -> usize {
+        if (self.free_start() as usize) < HEADER_LEN {
+            return 0; // uninitialized/corrupt image: unusable for inserts
+        }
         let contiguous = self
             .slot_area_start()
             .saturating_sub(self.free_start() as usize);

@@ -104,6 +104,16 @@ struct Counters {
     /// Connections or queries refused by admission control, plus
     /// connections dropped for framing/protocol violations.
     net_rejected: AtomicU64,
+    /// Statements shed by the load-shedding watermark (connection or
+    /// in-flight limits) with a `retry_after_ms` hint.
+    net_load_shed: AtomicU64,
+    /// Statements that arrived marked as client retries (`attempt > 0`
+    /// on the Query frame).
+    net_retries: AtomicU64,
+    /// Statements that expired their deadline mid-evaluation.
+    net_deadline_exceeded: AtomicU64,
+    /// Keepalive pings answered.
+    net_pings: AtomicU64,
 }
 
 /// Pre-resolved instrument handles: one registry lookup at construction
@@ -233,6 +243,14 @@ impl Stats {
     counter!(inc_net_frame_out, net_frames_out, net_frames_out);
     counter!(inc_net_query, net_queries, net_queries);
     counter!(inc_net_rejected, net_rejected, net_rejected);
+    counter!(inc_net_load_shed, net_load_shed, net_load_shed);
+    counter!(inc_net_retry, net_retries, net_retries);
+    counter!(
+        inc_net_deadline_exceeded,
+        net_deadline_exceeded,
+        net_deadline_exceeded
+    );
+    counter!(inc_net_ping, net_pings, net_pings);
 
     span_timer!(time_page_read, page_read, "storage.page_read");
     span_timer!(time_page_write, page_write, "storage.page_write");
@@ -345,6 +363,10 @@ impl Stats {
             &i.net_queries,
             &i.net_rows_streamed,
             &i.net_rejected,
+            &i.net_load_shed,
+            &i.net_retries,
+            &i.net_deadline_exceeded,
+            &i.net_pings,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -381,6 +403,10 @@ impl Stats {
             net_queries: self.net_queries(),
             net_rows_streamed: self.net_rows_streamed(),
             net_rejected: self.net_rejected(),
+            net_load_shed: self.net_load_shed(),
+            net_retries: self.net_retries(),
+            net_deadline_exceeded: self.net_deadline_exceeded(),
+            net_pings: self.net_pings(),
         }
     }
 
@@ -457,6 +483,10 @@ pub struct StatsSnapshot {
     pub net_queries: u64,
     pub net_rows_streamed: u64,
     pub net_rejected: u64,
+    pub net_load_shed: u64,
+    pub net_retries: u64,
+    pub net_deadline_exceeded: u64,
+    pub net_pings: u64,
 }
 
 impl StatsSnapshot {
@@ -491,6 +521,10 @@ impl StatsSnapshot {
             net_queries: later.net_queries - self.net_queries,
             net_rows_streamed: later.net_rows_streamed - self.net_rows_streamed,
             net_rejected: later.net_rejected - self.net_rejected,
+            net_load_shed: later.net_load_shed - self.net_load_shed,
+            net_retries: later.net_retries - self.net_retries,
+            net_deadline_exceeded: later.net_deadline_exceeded - self.net_deadline_exceeded,
+            net_pings: later.net_pings - self.net_pings,
         }
     }
 
@@ -558,6 +592,10 @@ impl StatsSnapshot {
                     ("queries", self.net_queries),
                     ("rows-streamed", self.net_rows_streamed),
                     ("rejected", self.net_rejected),
+                    ("load-shed", self.net_load_shed),
+                    ("retries", self.net_retries),
+                    ("deadline-exceeded", self.net_deadline_exceeded),
+                    ("pings", self.net_pings),
                 ],
             ),
         ]

@@ -69,11 +69,14 @@ impl From<aim2::DbError> for TxnError {
 
 impl TxnError {
     /// True for errors where the canonical reaction is "roll back and
-    /// retry the whole transaction" (deadlock victim, lock timeout).
+    /// retry the whole transaction" (deadlock victim, lock timeout,
+    /// statement deadline expiry).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            TxnError::Deadlock { .. } | TxnError::LockTimeout { .. }
+            TxnError::Deadlock { .. }
+                | TxnError::LockTimeout { .. }
+                | TxnError::Db(aim2::DbError::Exec(aim2_exec::ExecError::DeadlineExceeded))
         )
     }
 }

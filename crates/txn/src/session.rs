@@ -645,6 +645,21 @@ impl Session {
         sql: &str,
         sink: &mut dyn aim2_exec::RowSink,
     ) -> Result<Option<ExecResult>> {
+        self.query_streamed_deadline(sql, sink, None)
+    }
+
+    /// [`Session::query_streamed`] with a per-statement wall-clock
+    /// budget. The deadline is checked at the evaluator's cursor-pull
+    /// choke point, so it also covers time a streamed result spends
+    /// suspended waiting for the consumer; expiry surfaces as a
+    /// retryable `DeadlineExceeded` and the statement unwinds through
+    /// the normal rollback path.
+    pub fn query_streamed_deadline(
+        &mut self,
+        sql: &str,
+        sink: &mut dyn aim2_exec::RowSink,
+        deadline: Option<aim2_exec::Deadline>,
+    ) -> Result<Option<ExecResult>> {
         let stmt = aim2_lang::parse_stmt(sql).map_err(|e| TxnError::Db(aim2::DbError::Parse(e)))?;
         if !matches!(stmt, Stmt::Query(_)) {
             return self.execute(sql).map(Some);
@@ -671,8 +686,9 @@ impl Session {
             unreachable!()
         };
         let _t = self.shared.stats.time_query();
-        Evaluator::new(self)
-            .eval_query_streamed(q, sink)
+        let mut ev = Evaluator::new(self);
+        ev.set_deadline(deadline);
+        ev.eval_query_streamed(q, sink)
             .map_err(|e| TxnError::Db(aim2::DbError::from(e)))?;
         Ok(None)
     }

@@ -303,3 +303,49 @@ fn transient_write_error_is_survivable() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn stale_fresh_pages_truncated_on_recovery() {
+    // Regression: a crash mid-epoch leaves pages that were allocated
+    // *after* the checkpoint on disk as zero-filled images (the
+    // allocation extends the file immediately; the content only ever
+    // lived in the pool). Such pages have no WAL before-image — their
+    // undo is truncation. Without it, the reopened segment mistakes
+    // the zero image for a page with free space, inserts through its
+    // insane header, and the table is permanently corrupt (colliding
+    // slots, BadTid on the first read-back).
+    let dir = temp_dir("stale_fresh");
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = config(&dir, LayoutKind::Ss3, None);
+    {
+        let mut db = Database::with_config(cfg.clone());
+        db.execute("CREATE TABLE T ( A INTEGER, B INTEGER )")
+            .unwrap();
+        db.checkpoint().unwrap();
+        // Grow the (checkpoint-empty) table: fresh pages only.
+        for i in 0..64 {
+            db.execute(&format!("INSERT INTO T VALUES ( {i}, {i} )"))
+                .unwrap();
+        }
+        // Log before-images as a committing transaction would (a no-op
+        // for fresh pages), then power-cut without flushing.
+        db.log_table_dirty("T").unwrap();
+        std::mem::forget(db);
+    }
+    let mut db = Database::open(cfg.clone()).expect("recovery");
+    let (_, rows) = db.query("SELECT * FROM T").unwrap();
+    assert_eq!(rows.tuples.len(), 0, "uncommitted epoch rolled back");
+    // The recovered table must be fully usable again.
+    for i in 0..8 {
+        db.execute(&format!("INSERT INTO T VALUES ( {i}, {i} )"))
+            .unwrap();
+    }
+    let (_, rows) = db.query("SELECT * FROM T").unwrap();
+    assert_eq!(rows.tuples.len(), 8, "recovered table takes new rows");
+    db.checkpoint().unwrap();
+    drop(db);
+    let mut db = Database::open(cfg).unwrap();
+    let (_, rows) = db.query("SELECT * FROM T").unwrap();
+    assert_eq!(rows.tuples.len(), 8, "state survives the next checkpoint");
+    let _ = std::fs::remove_dir_all(&dir);
+}
