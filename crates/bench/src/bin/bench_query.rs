@@ -14,6 +14,15 @@
 //! `cursor_early_exits`) that explain the latency — the streamed
 //! selective query touches a constant number of objects while the
 //! materialized one drains the table.
+//!
+//! A second section (`"columnar"`) measures the tiered cold store: the
+//! same selective equality scan over a 100 000-row flat heap, once
+//! against the hot row heap and once after `compact_table` froze the
+//! rows into dictionary-encoded columnar blocks. Zone maps prune every
+//! block but the one holding the key, so the columnar run decodes two
+//! orders of magnitude fewer atoms; the JSON records the pruning
+//! counters (`blocks_pruned`, `blocks_decoded`, `values_scanned`) that
+//! prove it.
 
 use aim2_bench::{gen_departments, StoreProvider, WorkloadSpec};
 use aim2_exec::Evaluator;
@@ -148,6 +157,98 @@ fn json_measurement(m: &Measurement) -> String {
 
 type ProviderBuilder = Box<dyn Fn(&Stats) -> StoreProvider>;
 
+// ====================================================================
+// Columnar cold-store section
+// ====================================================================
+
+const COLD_ROWS: i64 = 100_000;
+/// A key deep in the heap: zone maps leave exactly one block live.
+const COLD_KEY: i64 = 99_500;
+
+struct ColdMeasurement {
+    mode: &'static str,
+    latency_us: f64,
+    objects_decoded: u64,
+    atoms_decoded: u64,
+    blocks_pruned: u64,
+    blocks_decoded: u64,
+    values_scanned: u64,
+}
+
+fn measure_cold(db: &mut aim2::Database, sql: &str, mode: &'static str) -> ColdMeasurement {
+    // Counters come from the *first* run, while the block decode cache
+    // is still cold — so `blocks_decoded` records the real decode work
+    // (warmup would serve the one live block from cache and hide it).
+    db.stats().reset();
+    db.execute(sql).unwrap();
+    let snap = db.stats().snapshot();
+    for _ in 0..WARMUP {
+        db.execute(sql).unwrap();
+    }
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        db.execute(sql).unwrap();
+    }
+    ColdMeasurement {
+        mode,
+        latency_us: t0.elapsed().as_secs_f64() * 1e6 / ITERS as f64,
+        objects_decoded: snap.objects_decoded,
+        atoms_decoded: snap.atoms_decoded,
+        blocks_pruned: snap.colstore_blocks_pruned,
+        blocks_decoded: snap.colstore_blocks_decoded,
+        values_scanned: snap.colstore_values_scanned,
+    }
+}
+
+fn json_cold(m: &ColdMeasurement) -> String {
+    format!(
+        "{{\"mode\": \"{}\", \"latency_us\": {:.1}, \"objects_decoded\": {}, \
+         \"atoms_decoded\": {}, \"blocks_pruned\": {}, \"blocks_decoded\": {}, \
+         \"values_scanned\": {}}}",
+        m.mode,
+        m.latency_us,
+        m.objects_decoded,
+        m.atoms_decoded,
+        m.blocks_pruned,
+        m.blocks_decoded,
+        m.values_scanned
+    )
+}
+
+fn columnar_section() -> String {
+    let mut db = aim2::Database::in_memory();
+    db.execute("CREATE TABLE BIG ( K INTEGER, V INTEGER, W INTEGER, X INTEGER )")
+        .unwrap();
+    for i in 0..COLD_ROWS {
+        db.insert_tuple(
+            "BIG",
+            Tuple::new(vec![a(i), a(i % 997), a(i % 31), a(i % 7)]),
+        )
+        .unwrap();
+    }
+    let sql = format!("SELECT b.V FROM b IN BIG WHERE b.K = {COLD_KEY}");
+    let row = measure_cold(&mut db, &sql, "row_heap");
+    let (blocks, frozen) = db.compact_table("BIG").unwrap();
+    let col = measure_cold(&mut db, &sql, "columnar");
+    eprintln!(
+        "columnar: {frozen} rows -> {blocks} blocks; row {:.1}us ({} atoms) vs \
+         columnar {:.1}us ({} atoms, {} blocks pruned, {} decoded)",
+        row.latency_us,
+        row.atoms_decoded,
+        col.latency_us,
+        col.atoms_decoded,
+        col.blocks_pruned,
+        col.blocks_decoded
+    );
+    format!(
+        "  \"columnar\": {{\n    \"rows\": {COLD_ROWS},\n    \"blocks\": {blocks},\n    \
+         \"sql\": \"{}\",\n    \"runs\": [\n      {},\n      {}\n    ]\n  }}",
+        sql.replace('"', "\\\""),
+        json_cold(&row),
+        json_cold(&col)
+    )
+}
+
 fn main() {
     let layouts: Vec<(&str, ProviderBuilder)> = vec![
         ("SS1", Box::new(|s| nf2_provider(LayoutKind::Ss1, s))),
@@ -187,17 +288,20 @@ fn main() {
         ));
     }
 
+    let columnar = columnar_section();
+
     let json = format!(
         "{{\n  \"bench\": \"query_streaming\",\n  \"workload\": {{\"departments\": {}, \
          \"projects_per_dept\": {}, \"members_per_project\": {}, \"equip_per_dept\": {}, \
-         \"seed\": {}}},\n  \"iters\": {},\n  \"layouts\": [\n{}\n  ]\n}}\n",
+         \"seed\": {}}},\n  \"iters\": {},\n  \"layouts\": [\n{}\n  ],\n{}\n}}\n",
         SPEC.departments,
         SPEC.projects_per_dept,
         SPEC.members_per_project,
         SPEC.equip_per_dept,
         SPEC.seed,
         ITERS,
-        layout_objs.join(",\n")
+        layout_objs.join(",\n"),
+        columnar
     );
     std::fs::write("BENCH_QUERY.json", &json).expect("write BENCH_QUERY.json");
     eprintln!("wrote BENCH_QUERY.json");

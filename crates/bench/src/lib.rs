@@ -262,6 +262,37 @@ impl aim2_exec::TableProvider for StoreProvider {
         }
     }
 
+    fn next_batch(
+        &mut self,
+        cur: &mut aim2_exec::ObjectCursor,
+        max_rows: usize,
+    ) -> aim2_exec::Result<Option<aim2_exec::ColumnBatch>> {
+        // Flat heaps batch a run of TIDs against one table lookup —
+        // the bench-side analogue of the engine's columnar pull. NF²
+        // stores keep the row path (projection pushdown happens per
+        // object there).
+        let (_, _, backing) = self
+            .tables
+            .iter_mut()
+            .find(|(n, _, _)| *n == cur.table)
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(cur.table.clone()))?;
+        let StoreBacking::Flat(fs) = backing else {
+            return aim2_exec::row_batch(self, cur, max_rows);
+        };
+        let keys = cur.take_keys(max_rows.max(1), |_| true);
+        if keys.is_empty() {
+            return Ok(None);
+        }
+        let mut rows = Vec::with_capacity(keys.len());
+        for key in keys {
+            rows.push(
+                fs.read(aim2_storage::tid::Tid::from_u64(key))
+                    .map_err(aim2_exec::ExecError::Storage)?,
+            );
+        }
+        Ok(Some(aim2_exec::ColumnBatch::from_rows(rows)))
+    }
+
     fn close_scan(&mut self, cur: aim2_exec::ObjectCursor) {
         // Same rule as the engine: a cursor abandoned after at least one
         // pull but before exhaustion is an early exit (EXISTS found its

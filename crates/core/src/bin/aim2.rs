@@ -11,6 +11,7 @@
 //! `.help`, `.tables`, `.schema NAME`, `.stats [reset|verbose]`,
 //! `.explain QUERY`, `.analyze QUERY`, `.metrics [json|prom]`,
 //! `.slow [MILLIS|off]`, `.today YYYY-MM-DD`, `.checkpoint`,
+//! `.compact TABLE`, `.tiers`, `.integrity`, `.salvage DIR`,
 //! `.load demo`, `.quit`.
 
 use aim2::{Database, DbConfig};
@@ -177,6 +178,9 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
                                       threshold, `off` disables and clears it\n\
                  .today [YYYY-MM-DD]  show/set the logical date (versions)\n\
                  .checkpoint          flush + write the catalog (file-backed)\n\
+                 .compact TABLE       freeze a flat table's rows into columnar\n\
+                                      cold blocks (dictionary + zone maps)\n\
+                 .tiers               per-table hot rows / cold blocks / cold rows\n\
                  .integrity           walk the database, quarantine corrupt objects\n\
                  .salvage DIR         rebuild survivors into a fresh database at DIR\n\
                  .load demo           load the paper's Tables 1-8\n\
@@ -273,6 +277,27 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
         },
         ".checkpoint" => match db.checkpoint() {
             Ok(()) => println!("checkpointed"),
+            Err(e) => eprintln!("{e}"),
+        },
+        ".compact" => match parts.next().map(str::trim).filter(|t| !t.is_empty()) {
+            Some(table) => match db.compact_table(table) {
+                Ok((blocks, rows)) => {
+                    println!("compacted {table}: {rows} row(s) frozen into {blocks} block(s)")
+                }
+                Err(e) => eprintln!("{e}"),
+            },
+            None => eprintln!("usage: .compact TABLE"),
+        },
+        ".tiers" => match db.table_tiers() {
+            Ok(tiers) => {
+                println!(
+                    "{:<24} {:>8} {:>12} {:>10}",
+                    "table", "hot", "cold blocks", "cold rows"
+                );
+                for (name, hot, blocks, rows) in tiers {
+                    println!("{name:<24} {hot:>8} {blocks:>12} {rows:>10}");
+                }
+            }
             Err(e) => eprintln!("{e}"),
         },
         ".integrity" => match db.integrity_check() {

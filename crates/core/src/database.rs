@@ -4,7 +4,7 @@ use crate::catalog::{Catalog, IndexEntry, TableEntry, TableStorage, TextIndexEnt
 use crate::error::DbError;
 use crate::slowlog::{SlowLog, SlowQueryRecord};
 use crate::Result;
-use aim2_exec::provider::{ObjectCursor, ScanRequest, TableProvider};
+use aim2_exec::provider::{row_batch, ColumnBatch, ObjectCursor, ScanRequest, TableProvider};
 use aim2_exec::{AnalyzedPlan, Evaluator};
 use aim2_index::address::Scheme;
 use aim2_index::NfIndex;
@@ -15,6 +15,9 @@ use aim2_model::{
 };
 use aim2_obs::MetricsSnapshot;
 use aim2_storage::buffer::BufferPool;
+use aim2_storage::colstore::{
+    cold_key, split_cold_key, zone_may_contain, zone_may_intersect, DecodedBlock, BLOCK_ROWS,
+};
 use aim2_storage::disk::{Disk, FileDisk, MemDisk};
 use aim2_storage::faultdisk::{FaultDisk, FaultInjector};
 use aim2_storage::flatstore::FlatStore;
@@ -420,6 +423,21 @@ impl Database {
                 }
             }
             TableStorage::Flat(fs) => {
+                // Cold rows register under their packed cold key, hot
+                // rows under their TID doc id.
+                for ord in 0..fs.cold_blocks().len() {
+                    for row in 0..fs.cold_blocks()[ord].rows {
+                        let t = fs.materialize_cold_row(ord, row)?;
+                        let atoms: Vec<Atom> = t
+                            .fields
+                            .iter()
+                            .filter_map(|v| v.as_atom().cloned())
+                            .collect();
+                        if let Some(text) = text_of(&schema, attr, &atoms) {
+                            index.add_document(cold_key(ord, row), &text);
+                        }
+                    }
+                }
                 for tid in fs.tids().to_vec() {
                     let t = fs.read(tid)?;
                     let atoms: Vec<Atom> = t
@@ -470,6 +488,19 @@ impl Database {
                 }
             }
             TableStorage::Flat(fs) => {
+                for ord in 0..fs.cold_blocks().len() {
+                    for row in 0..fs.cold_blocks()[ord].rows {
+                        if hits.contains(&cold_key(ord, row)) {
+                            let t = fs.materialize_cold_row(ord, row)?;
+                            out.push(
+                                t.fields
+                                    .iter()
+                                    .filter_map(|v| v.as_atom().cloned())
+                                    .collect(),
+                            );
+                        }
+                    }
+                }
                 for tid in fs.tids().to_vec() {
                     if hits.contains(&doc_id(tid)) {
                         let t = fs.read(tid)?;
@@ -564,8 +595,9 @@ impl Database {
     }
 
     fn update_stmt(&mut self, up: &ast::Update) -> Result<ExecResult> {
-        let matches = self.collect_matches(&up.from, up.where_.as_ref())?;
         let root_table = root_table_name(&up.from)?;
+        self.melt_if_cold(&root_table)?;
+        let matches = self.collect_matches(&up.from, up.where_.as_ref())?;
         let mut count = 0;
         for m in &matches {
             // Group SET items per target variable so multiple assignments
@@ -632,8 +664,9 @@ impl Database {
     }
 
     fn delete_stmt(&mut self, del: &ast::Delete) -> Result<ExecResult> {
-        let matches = self.collect_matches(&del.from, del.where_.as_ref())?;
         let root_table = root_table_name(&del.from)?;
+        self.melt_if_cold(&root_table)?;
+        let matches = self.collect_matches(&del.from, del.where_.as_ref())?;
         let root_var = &del.from[0].var;
         let mut count = 0;
         if &del.var == root_var {
@@ -1299,15 +1332,79 @@ impl TableProvider for Database {
             ));
         }
         let quarantined = self.quarantined_in(name);
+        let schema = self
+            .catalog
+            .get(name)
+            .expect("checked above")
+            .schema
+            .clone();
         match &mut self.catalog.get_mut(name).expect("checked above").storage {
             TableStorage::Flat(fs) => {
-                let keys = fs
+                if fs.cold_blocks().is_empty() {
+                    let keys = fs
+                        .tids()
+                        .iter()
+                        .filter(|t| !quarantined.contains(t))
+                        .map(|t| t.to_u64())
+                        .collect();
+                    return Ok(ObjectCursor::keyed(req, "full scan", keys));
+                }
+                // Tiered table: cold rows come first (they are the
+                // oldest), then the hot heap, so every execution mode
+                // sees insertion order. Pushed single-attribute
+                // conjuncts check each block's zone maps *before* any
+                // decode: a block whose min/max cannot satisfy them is
+                // skipped wholesale.
+                let eqs: Vec<(usize, &Atom)> = req
+                    .conjuncts
+                    .iter()
+                    .filter_map(|(p, a)| match p.segments() {
+                        [one] => schema.attr_index(one).map(|i| (i, a)),
+                        _ => None,
+                    })
+                    .collect();
+                let ranges: Vec<(usize, _)> = req
+                    .ranges
+                    .iter()
+                    .filter_map(|(p, r)| match p.segments() {
+                        [one] => schema.attr_index(one).map(|i| (i, r)),
+                        _ => None,
+                    })
+                    .collect();
+                let total = fs.cold_blocks().len();
+                let mut pruned = 0usize;
+                let mut keys: Vec<u64> = Vec::new();
+                for (ord, meta) in fs.cold_blocks().iter().enumerate() {
+                    if quarantined.contains(&meta.tid) {
+                        continue;
+                    }
+                    let keep = eqs
+                        .iter()
+                        .all(|(i, a)| meta.zones.get(*i).is_none_or(|z| zone_may_contain(z, a)))
+                        && ranges.iter().all(|(i, r)| {
+                            meta.zones
+                                .get(*i)
+                                .is_none_or(|z| zone_may_intersect(z, r.lo.as_ref(), r.hi.as_ref()))
+                        });
+                    if !keep {
+                        pruned += 1;
+                        self.stats.inc_colstore_block_pruned();
+                        continue;
+                    }
+                    keys.extend((0..meta.rows).map(|row| cold_key(ord, row)));
+                }
+                let hot: Vec<u64> = fs
                     .tids()
                     .iter()
                     .filter(|t| !quarantined.contains(t))
                     .map(|t| t.to_u64())
                     .collect();
-                Ok(ObjectCursor::keyed(req, "full scan", keys))
+                let path = format!(
+                    "columnar scan: {total} cold blocks ({pruned} pruned by zone maps) + {} hot rows",
+                    hot.len()
+                );
+                keys.extend(hot);
+                Ok(ObjectCursor::keyed(req, &path, keys))
             }
             TableStorage::Nf2(_) => {
                 // Conjuncts pushed down with the request may be answered
@@ -1346,6 +1443,10 @@ impl TableProvider for Database {
         let Some(key) = cur.next_key() else {
             return Ok(None);
         };
+        if let Some((block, row)) = split_cold_key(key) {
+            let table = cur.table.clone();
+            return self.read_cold(&table, block, row);
+        }
         let tid = Tid::from_u64(key);
         let entry = self
             .catalog
@@ -1380,8 +1481,99 @@ impl TableProvider for Database {
         self.stats.record_cursor_lifetime(cur.age_ns());
     }
 
+    fn next_batch(
+        &mut self,
+        cur: &mut ObjectCursor,
+        max_rows: usize,
+    ) -> aim2_exec::Result<Option<ColumnBatch>> {
+        if cur.is_local() {
+            return row_batch(self, cur, max_rows);
+        }
+        let Some(first) = cur.peek_key() else {
+            return Ok(None);
+        };
+        let Some((block, _)) = split_cold_key(first) else {
+            // Hot run. Cold keys sort first within a cursor, so from
+            // here on everything is heap rows — the transposing
+            // adapter serves them.
+            return row_batch(self, cur, max_rows);
+        };
+        // Cold run: drain this block's keys and serve them straight
+        // from the decoded columns — one block decode amortized over
+        // the whole batch.
+        let keys = cur.take_keys(
+            max_rows.max(1),
+            |k| matches!(split_cold_key(k), Some((b, _)) if b == block),
+        );
+        let table = cur.table.clone();
+        let decoded = self.read_cold_decoded(&table, block)?;
+        let schema = self
+            .catalog
+            .get(&table)
+            .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(table.clone()))?
+            .schema
+            .clone();
+        // Equality short-circuit: a pushed `attr = lit` whose literal
+        // is absent from the block's dictionary rules out every row of
+        // the block without touching a single code.
+        for (p, a) in &cur.conjuncts {
+            let [one] = p.segments() else { continue };
+            let Some(i) = schema.attr_index(one) else {
+                continue;
+            };
+            if decoded
+                .columns
+                .get(i)
+                .is_some_and(|c| c.code_of(a).is_none())
+            {
+                return Ok(Some(ColumnBatch {
+                    columns: vec![Vec::new(); decoded.columns.len()],
+                    len: 0,
+                }));
+            }
+        }
+        let rows: Vec<usize> = keys
+            .iter()
+            .filter_map(|&k| split_cold_key(k))
+            .map(|(_, r)| r as usize)
+            .collect();
+        let mut columns: Vec<Vec<Value>> =
+            vec![Vec::with_capacity(rows.len()); decoded.columns.len()];
+        for &r in &rows {
+            for (c, col) in decoded.columns.iter().enumerate() {
+                let a = col.atom(r).cloned().ok_or_else(|| {
+                    aim2_exec::ExecError::Storage(aim2_storage::StorageError::Corrupt(
+                        "cold block code out of range".into(),
+                    ))
+                })?;
+                columns[c].push(Value::Atom(a));
+            }
+        }
+        // Decode accounting parity with the row path: one object and
+        // `arity` atoms per materialized row.
+        self.stats.add_objects_decoded(rows.len() as u64);
+        self.stats
+            .add_atoms_decoded((rows.len() * decoded.columns.len()) as u64);
+        Ok(Some(ColumnBatch {
+            columns,
+            len: rows.len(),
+        }))
+    }
+
     fn decode_counters(&mut self) -> (u64, u64) {
         (self.stats.objects_decoded(), self.stats.atoms_decoded())
+    }
+
+    fn colstore_counters(&mut self) -> (u64, u64, u64) {
+        (
+            self.stats.colstore_blocks_pruned(),
+            self.stats.colstore_blocks_decoded(),
+            self.stats.colstore_values_scanned(),
+        )
+    }
+
+    fn note_values_scanned(&mut self, n: u64) {
+        self.stats.add_colstore_values_scanned(n);
     }
 }
 
@@ -1655,6 +1847,14 @@ impl Database {
             }
             TableStorage::Flat(fs) => {
                 let mut out = Vec::new();
+                for (ord, meta) in fs.cold_blocks().to_vec().iter().enumerate() {
+                    if quarantined.contains(&meta.tid) {
+                        continue; // unreadable; salvage is the way back
+                    }
+                    for row in 0..meta.rows {
+                        out.push(fs.materialize_cold_row(ord, row)?);
+                    }
+                }
                 for tid in fs.tids().to_vec() {
                     out.push(fs.read(tid)?);
                 }
@@ -1685,6 +1885,14 @@ impl Database {
             }
             TableStorage::Flat(fs) => {
                 let mut out = Vec::new();
+                for (ord, meta) in fs.cold_blocks().to_vec().iter().enumerate() {
+                    if quarantined.contains(&meta.tid) {
+                        continue; // unreadable; salvage is the way back
+                    }
+                    for row in 0..meta.rows {
+                        out.push((cold_key(ord, row), fs.materialize_cold_row(ord, row)?));
+                    }
+                }
                 for tid in fs.tids().to_vec() {
                     out.push((tid.to_u64(), fs.read(tid)?));
                 }
@@ -1701,6 +1909,9 @@ impl Database {
     /// re-record under the current date, overwriting the aborted same-date
     /// entries.
     pub fn restore_table(&mut self, table: &str, tuples: Vec<Tuple>) -> Result<()> {
+        // Rollback rewrites the heap row-wise; thaw any cold tier first
+        // so the delete loop below sees every live row.
+        self.melt_if_cold(table)?;
         let entry = self.catalog.require_mut(table)?;
         match &mut entry.storage {
             TableStorage::Nf2(os) => {
@@ -1738,6 +1949,206 @@ impl Database {
         let key = self.insert_tuple(table, old)?;
         key.handle()
             .ok_or_else(|| DbError::Catalog("restore_object on a flat table".into()))
+    }
+
+    // =================================================================
+    // Tiered cold store (columnar blocks)
+    // =================================================================
+
+    /// Freeze a flat table's hot heap rows into immutable columnar cold
+    /// blocks of up to [`BLOCK_ROWS`] rows each. The blocks ride the
+    /// table's own segment (same buffer pool, WAL, checkpoint), the
+    /// per-column zone maps land in the catalog, and text indexes are
+    /// rebuilt over the hot+cold union. Returns `(blocks built, rows
+    /// frozen)`. Refused for NF² and versioned tables — version
+    /// recording rewrites rows, which cold blocks cannot do in place.
+    pub fn compact_table(&mut self, table: &str) -> Result<(usize, u64)> {
+        let entry = self.catalog.require_mut(table)?;
+        if entry.versions.is_some() {
+            return Err(DbError::Catalog(format!(
+                "cannot compact versioned table {table}"
+            )));
+        }
+        let TableStorage::Flat(fs) = &mut entry.storage else {
+            return Err(DbError::Catalog(format!(
+                "compact targets flat (1NF) tables; {table} is NF²"
+            )));
+        };
+        let (blocks, rows) = {
+            let _t = self.stats.time_colstore_compact();
+            fs.freeze(BLOCK_ROWS)?
+        };
+        if blocks > 0 {
+            self.rebuild_flat_text_indexes(table)?;
+            self.log_table_dirty(table)?;
+        }
+        Ok((blocks, rows))
+    }
+
+    /// Per-table tier occupancy: `(table, hot rows/objects, cold
+    /// blocks, cold rows)`. NF² tables report their object count as hot
+    /// and an empty cold tier.
+    pub fn table_tiers(&mut self) -> Result<Vec<(String, usize, usize, u64)>> {
+        let mut out = Vec::new();
+        for name in self.catalog.table_names() {
+            let entry = self.catalog.require_mut(&name)?;
+            let row = match &mut entry.storage {
+                TableStorage::Flat(fs) => (
+                    name.clone(),
+                    fs.len(),
+                    fs.cold_blocks().len(),
+                    fs.cold_row_count(),
+                ),
+                TableStorage::Nf2(os) => (name.clone(), os.handles()?.len(), 0, 0),
+            };
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Thaw a table's cold tier before row-wise DML ("melt on write"):
+    /// cold blocks are immutable, so updates and deletes first return
+    /// every frozen row to the heap. No-op for hot-only and NF² tables.
+    fn melt_if_cold(&mut self, table: &str) -> Result<()> {
+        let Some(entry) = self.catalog.get_mut(table) else {
+            return Ok(()); // DML reports the missing table itself
+        };
+        let TableStorage::Flat(fs) = &mut entry.storage else {
+            return Ok(());
+        };
+        if fs.cold_blocks().is_empty() {
+            return Ok(());
+        }
+        fs.melt()?;
+        self.clear_quarantine(table);
+        self.rebuild_flat_text_indexes(table)?;
+        self.log_table_dirty(table)?;
+        Ok(())
+    }
+
+    /// Recompute every text index of a flat table from its current
+    /// hot+cold contents. Cold rows register under their packed cold
+    /// key, hot rows under their TID doc id; tier moves invalidate
+    /// both, so compaction and melting rebuild rather than patch.
+    fn rebuild_flat_text_indexes(&mut self, table: &str) -> Result<()> {
+        let entry = self.catalog.require_mut(table)?;
+        if entry.text_indexes.is_empty() {
+            return Ok(());
+        }
+        let schema = entry.schema.clone();
+        let TableStorage::Flat(fs) = &mut entry.storage else {
+            return Ok(());
+        };
+        let mut docs: Vec<(u64, Vec<Atom>)> = Vec::new();
+        for ord in 0..fs.cold_blocks().len() {
+            for row in 0..fs.cold_blocks()[ord].rows {
+                let t = fs.materialize_cold_row(ord, row)?;
+                docs.push((
+                    cold_key(ord, row),
+                    t.fields
+                        .iter()
+                        .filter_map(|v| v.as_atom().cloned())
+                        .collect(),
+                ));
+            }
+        }
+        for tid in fs.tids().to_vec() {
+            let t = fs.read(tid)?;
+            docs.push((
+                doc_id(tid),
+                t.fields
+                    .iter()
+                    .filter_map(|v| v.as_atom().cloned())
+                    .collect(),
+            ));
+        }
+        for tix in &mut entry.text_indexes {
+            tix.index = TextIndex::new();
+            for (id, atoms) in &docs {
+                if let Some(text) = text_of(&schema, &tix.attr, atoms) {
+                    tix.index.add_document(*id, &text);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialize one cold row for the cursor pipeline, quarantining
+    /// the block on corruption-class failures — a cold block is one
+    /// record, damaged as a unit, so its home TID is the quarantine
+    /// key and later scans skip the whole block.
+    fn read_cold(
+        &mut self,
+        table: &str,
+        block: usize,
+        row: u32,
+    ) -> aim2_exec::Result<Option<Tuple>> {
+        let (out, block_tid) = {
+            let entry = self
+                .catalog
+                .get_mut(table)
+                .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(table.to_string()))?;
+            let TableStorage::Flat(fs) = &mut entry.storage else {
+                return Err(aim2_exec::ExecError::Semantic(format!(
+                    "cold row key on non-flat table {table}"
+                )));
+            };
+            let tid = fs.cold_blocks().get(block).map(|m| m.tid);
+            (fs.materialize_cold_row(block, row), tid)
+        };
+        match out {
+            Ok(t) => Ok(Some(t)),
+            Err(e) => {
+                self.quarantine_cold_error(table, block_tid, &e);
+                Err(aim2_exec::ExecError::Storage(e))
+            }
+        }
+    }
+
+    /// Decode one whole cold block for a batch pull (same quarantine
+    /// policy as [`Database::read_cold`]).
+    fn read_cold_decoded(
+        &mut self,
+        table: &str,
+        block: usize,
+    ) -> aim2_exec::Result<Arc<DecodedBlock>> {
+        let (out, block_tid) = {
+            let entry = self
+                .catalog
+                .get_mut(table)
+                .ok_or_else(|| aim2_exec::ExecError::NoSuchTable(table.to_string()))?;
+            let TableStorage::Flat(fs) = &mut entry.storage else {
+                return Err(aim2_exec::ExecError::Semantic(format!(
+                    "cold row key on non-flat table {table}"
+                )));
+            };
+            let tid = fs.cold_blocks().get(block).map(|m| m.tid);
+            (fs.read_cold_block(block), tid)
+        };
+        out.map_err(|e| {
+            self.quarantine_cold_error(table, block_tid, &e);
+            aim2_exec::ExecError::Storage(e)
+        })
+    }
+
+    /// Auto-quarantine a cold block on corruption-class decode
+    /// failures. Unlike [`Database::note_read_error`] this includes
+    /// checksum mismatches: the block CRC guards the whole record.
+    fn quarantine_cold_error(
+        &mut self,
+        table: &str,
+        block_tid: Option<Tid>,
+        e: &aim2_storage::StorageError,
+    ) {
+        use aim2_storage::StorageError as SE;
+        if matches!(
+            e,
+            SE::Corrupt(_) | SE::CorruptPage { .. } | SE::CorruptData(_) | SE::ChecksumMismatch(_)
+        ) {
+            if let Some(tid) = block_tid {
+                self.quarantine_insert(table, tid);
+            }
+        }
     }
 
     /// The version store of a versioned table (walk-through-time lives

@@ -154,6 +154,20 @@ impl Database {
                     }
                 }
                 TableStorage::Flat(fs) => {
+                    // Cold rows first — they are the oldest. A block
+                    // that fails to decode (or sits in quarantine) is
+                    // skipped as a unit; readable blocks contribute
+                    // every row.
+                    for (ord, meta) in fs.cold_blocks().to_vec().iter().enumerate() {
+                        if quarantined.contains(&meta.tid) {
+                            continue;
+                        }
+                        for row in 0..meta.rows {
+                            if let Ok(t) = fs.materialize_cold_row(ord, row) {
+                                survivors.push(t);
+                            }
+                        }
+                    }
                     for tid in fs.tids().to_vec() {
                         if quarantined.contains(&tid) {
                             continue;

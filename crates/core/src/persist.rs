@@ -35,8 +35,9 @@ use aim2_index::address::Scheme;
 use aim2_index::NfIndex;
 use aim2_lang::ast::Stmt;
 use aim2_lang::parser::parse_stmt;
-use aim2_model::encode::{decode_tuple, encode_tuple};
+use aim2_model::encode::{decode_atom, decode_tuple, encode_atom, encode_tuple};
 use aim2_model::{AttrKind, Date, Path, TableKind, TableSchema};
+use aim2_storage::colstore::ColdBlockMeta;
 use aim2_storage::flatstore::FlatStore;
 use aim2_storage::minidir::LayoutKind;
 use aim2_storage::object::{ObjectHandle, ObjectStore};
@@ -46,10 +47,14 @@ use aim2_storage::StorageError;
 use aim2_time::{VersionChain, VersionedTable};
 use std::io::{Seek, SeekFrom, Write};
 
-const MAGIC: &[u8; 8] = b"AIM2CAT3";
-/// Previous catalog format, still readable: identical except that
-/// segment entries carry no page-count (extent) field, so recovery
-/// cannot truncate stale post-checkpoint pages for such files.
+const MAGIC: &[u8; 8] = b"AIM2CAT4";
+/// Previous catalog format, still readable: identical except that flat
+/// table entries carry no cold-block directory (every table reopens
+/// hot-only).
+const MAGIC_V3: &[u8; 8] = b"AIM2CAT3";
+/// Two formats back, still readable: additionally, segment entries
+/// carry no page-count (extent) field, so recovery cannot truncate
+/// stale post-checkpoint pages for such files.
 const MAGIC_V2: &[u8; 8] = b"AIM2CAT2";
 
 /// The catalog file name inside the data directory.
@@ -117,6 +122,10 @@ impl<'a> Reader<'a> {
         let b = self.bytes(Tid::ENCODED_LEN)?;
         let mut pos = 0;
         Tid::decode(b, &mut pos).ok_or_else(|| Self::err("bad TID"))
+    }
+
+    fn atom(&mut self) -> Result<aim2_model::Atom> {
+        decode_atom(self.buf, &mut self.pos).map_err(DbError::Model)
     }
 
     fn done(&self) -> bool {
@@ -271,6 +280,20 @@ impl Database {
                     for t in fs.tids() {
                         put_tid(&mut out, *t);
                     }
+                    // Cold-block directory (v4): each block's home TID,
+                    // row count, and per-column zone maps. The block
+                    // payloads themselves live in the table segment and
+                    // are checkpointed with its pages.
+                    put_u32(&mut out, fs.cold_blocks().len() as u32);
+                    for b in fs.cold_blocks() {
+                        put_tid(&mut out, b.tid);
+                        put_u32(&mut out, b.rows);
+                        put_u32(&mut out, b.zones.len() as u32);
+                        for (lo, hi) in &b.zones {
+                            encode_atom(lo, &mut out);
+                            encode_atom(hi, &mut out);
+                        }
+                    }
                 }
                 TableStorage::Nf2(os) => {
                     out.push(1);
@@ -404,11 +427,13 @@ impl Database {
         let mut db = Database::with_config(config);
         let mut r = Reader::new(&bytes);
         let magic = r.bytes(8)?;
-        // Legacy catalogs lack per-segment extents; everything else is
-        // identical, so read them with extent truncation disabled.
-        let has_extents = match magic {
-            m if m == MAGIC => true,
-            m if m == MAGIC_V2 => false,
+        // Legacy catalogs lack the cold-block directory (v3) and
+        // per-segment extents (v2); everything else is identical, so
+        // read them with the missing sections skipped.
+        let (has_extents, has_cold) = match magic {
+            m if m == MAGIC => (true, true),
+            m if m == MAGIC_V3 => (true, false),
+            m if m == MAGIC_V2 => (false, false),
             _ => return Err(Reader::err("bad magic")),
         };
         let cat_epoch = r.u32()?;
@@ -477,7 +502,25 @@ impl Database {
                     for _ in 0..n {
                         tids.push(r.tid()?);
                     }
-                    TableStorage::Flat(FlatStore::reopen(seg, tids))
+                    let mut fs = FlatStore::reopen(seg, tids);
+                    if has_cold {
+                        let nblocks = r.u32()? as usize;
+                        let mut cold = Vec::with_capacity(nblocks);
+                        for _ in 0..nblocks {
+                            let tid = r.tid()?;
+                            let rows = r.u32()?;
+                            let ncols = r.u32()? as usize;
+                            let mut zones = Vec::with_capacity(ncols);
+                            for _ in 0..ncols {
+                                let lo = r.atom()?;
+                                let hi = r.atom()?;
+                                zones.push((lo, hi));
+                            }
+                            cold.push(ColdBlockMeta { tid, rows, zones });
+                        }
+                        fs.set_cold(cold);
+                    }
+                    TableStorage::Flat(fs)
                 }
                 1 => {
                     let n = r.u32()? as usize;

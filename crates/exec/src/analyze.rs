@@ -41,6 +41,14 @@ pub struct OpMetrics {
     pub objects_decoded: u64,
     /// `atoms_decoded` delta attributed to this operator.
     pub atoms_decoded: u64,
+    /// Cold blocks zone-map pruning skipped before any decode
+    /// (ColumnarScan attribution; zero elsewhere).
+    pub blocks_pruned: u64,
+    /// Cold blocks actually decoded by this operator's pulls.
+    pub blocks_decoded: u64,
+    /// Column values tested by vectorized filters on this operator's
+    /// batches.
+    pub values_scanned: u64,
     /// Wall time attributed to this operator, nanoseconds.
     pub wall_ns: u64,
 }
@@ -74,7 +82,11 @@ impl AnalyzedPlan {
             .iter()
             .enumerate()
             .find_map(|(i, n)| match &n.op {
-                PhysOp::Scan { var: v, .. } | PhysOp::IndexScan { var: v, .. } if v == var => {
+                PhysOp::Scan { var: v, .. }
+                | PhysOp::IndexScan { var: v, .. }
+                | PhysOp::ColumnarScan { var: v, .. }
+                    if v == var =>
+                {
                     self.ops.get(i)
                 }
                 _ => None,
@@ -112,6 +124,17 @@ impl AnalyzedPlan {
             "in={} out={} objects={} atoms={}",
             m.rows_in, m.rows_out, m.objects_decoded, m.atoms_decoded
         ));
+        // Cold-store columns appear only when the operator touched the
+        // cold tier, so goldens for row-only plans are unchanged.
+        if m.blocks_pruned > 0 || m.blocks_decoded > 0 {
+            ann.push_str(&format!(
+                " blocks_pruned={} blocks_decoded={}",
+                m.blocks_pruned, m.blocks_decoded
+            ));
+        }
+        if m.values_scanned > 0 {
+            ann.push_str(&format!(" values={}", m.values_scanned));
+        }
         if timing {
             ann.push_str(&format!(" time={:.1}µs", m.wall_ns as f64 / 1e3));
         }
@@ -166,6 +189,7 @@ mod tests {
             objects_decoded: 3,
             atoms_decoded: 12,
             wall_ns: 4200,
+            ..OpMetrics::default()
         };
         ops[plan.root] = OpMetrics {
             loops: 1,
@@ -174,6 +198,7 @@ mod tests {
             objects_decoded: 0,
             atoms_decoded: 0,
             wall_ns: 900,
+            ..OpMetrics::default()
         };
         AnalyzedPlan {
             plan,

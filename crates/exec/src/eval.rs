@@ -24,7 +24,7 @@ use crate::analyze::{AnalyzedPlan, OpMetrics};
 use crate::error::ExecError;
 use crate::infer::{infer_query_schema, SchemaEnv};
 use crate::plan::{collect_subscripts, render_expr, PhysOp, PhysicalPlan};
-use crate::provider::{ObjectCursor, ScanRequest, TableProvider};
+use crate::provider::{ColumnBatch, ObjectCursor, RangePred, ScanRequest, TableProvider};
 use crate::value::{compare, resolve, EvalValue};
 use crate::Result;
 use aim2_lang::ast::{Binding, Expr, NamedValue, Query, SelectItem, Source};
@@ -44,6 +44,69 @@ use std::time::Instant;
 pub trait RowSink {
     fn on_start(&mut self, schema: &TableSchema, kind: TableKind) -> Result<()>;
     fn on_row(&mut self, row: Tuple) -> Result<()>;
+}
+
+/// Rows per batch the head-scan pipeline pulls (matches the cold
+/// store's block size, so a cold block becomes exactly one batch).
+const BATCH_ROWS: usize = 1024;
+
+/// Vectorized filter for the head scan: *exact* top-level conjuncts of
+/// the WHERE (single-attribute equality / range / CONTAINS on the head
+/// variable), applied column-at-a-time to each batch before rows fan
+/// out into the nested-loop pipeline. Exactness matters: a dropped row
+/// never reaches the re-checking Filter, so only conjuncts that are
+/// unconditionally required may appear here. Anything the filter is
+/// unsure about (non-atom value, type mismatch) is kept and left to
+/// the row-wise predicate, which also owns error reporting.
+struct VecFilter {
+    var: String,
+    eqs: Vec<(String, Atom)>,
+    ranges: Vec<(String, RangePred)>,
+    contains: Vec<(String, Pattern)>,
+}
+
+impl VecFilter {
+    /// Test one column value against an equality key: `Some(false)`
+    /// only when the row provably fails the conjunct.
+    fn eq_keeps(v: &Value, key: &Atom) -> bool {
+        match v {
+            Value::Atom(a) => !matches!(
+                a.partial_cmp_same(key),
+                Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Greater)
+            ),
+            Value::Table(_) => true,
+        }
+    }
+
+    fn range_keeps(v: &Value, pred: &RangePred) -> bool {
+        use std::cmp::Ordering::{Equal, Greater, Less};
+        let Value::Atom(a) = v else { return true };
+        if let Some((lo, inclusive)) = &pred.lo {
+            match a.partial_cmp_same(lo) {
+                Some(Less) => return false,
+                Some(Equal) if !inclusive => return false,
+                _ => {}
+            }
+        }
+        if let Some((hi, inclusive)) = &pred.hi {
+            match a.partial_cmp_same(hi) {
+                Some(Greater) => return false,
+                Some(Equal) if !inclusive => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+
+    fn contains_keeps(v: &Value, p: &Pattern) -> bool {
+        match v {
+            Value::Atom(a) => match a.as_str() {
+                Some(text) => aim2_text::tokenize(text).iter().any(|w| p.matches(w)),
+                None => true,
+            },
+            Value::Table(_) => true,
+        }
+    }
 }
 
 /// One bound tuple variable.
@@ -96,6 +159,10 @@ pub struct Evaluator<'p, P: TableProvider> {
     pushed_var: Option<String>,
     pushed_conjuncts: Vec<(Path, Atom)>,
     pushed_contains: Vec<(Path, String)>,
+    pushed_ranges: Vec<(Path, RangePred)>,
+    /// Vectorized filter for the current query's head scan, when its
+    /// WHERE has exact single-attribute conjuncts on the head variable.
+    vec_filter: Option<VecFilter>,
     /// The operator tree of the current query; scans record their
     /// provider-chosen access path as their cursors open.
     plan: Option<PhysicalPlan>,
@@ -128,6 +195,8 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             pushed_var: None,
             pushed_conjuncts: Vec::new(),
             pushed_contains: Vec::new(),
+            pushed_ranges: Vec::new(),
+            vec_filter: None,
             plan: None,
             analyze: false,
             ops: Vec::new(),
@@ -192,6 +261,8 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         self.pushed_var = None;
         self.pushed_conjuncts.clear();
         self.pushed_contains.clear();
+        self.pushed_ranges.clear();
+        self.vec_filter = None;
         let mut env = Env {
             frames: frames
                 .iter()
@@ -227,11 +298,35 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         self.pushed_var = None;
         self.pushed_conjuncts.clear();
         self.pushed_contains.clear();
+        self.pushed_ranges.clear();
+        self.vec_filter = None;
         if !self.materialize {
-            if let Some((var, conj, cont)) = compute_pushdown(q) {
+            if let Some((var, conj, cont, ranges)) = compute_pushdown(q) {
                 self.pushed_var = Some(var);
                 self.pushed_conjuncts = conj;
                 self.pushed_contains = cont;
+                self.pushed_ranges = ranges;
+            }
+            if let (Some(b), Some(w)) = (q.from.first(), q.where_.as_ref()) {
+                if matches!(b.source, Source::Table(_)) {
+                    let eqs = crate::planner::eq_conditions(w, &b.var);
+                    let ranges = crate::planner::range_conditions(w, &b.var);
+                    let contains = crate::planner::contains_conditions(w, &b.var);
+                    if !(eqs.is_empty() && ranges.is_empty() && contains.is_empty()) {
+                        self.vec_filter = Some(VecFilter {
+                            var: b.var.clone(),
+                            eqs: eqs.into_iter().map(|(p, a)| (p.to_string(), a)).collect(),
+                            ranges: ranges
+                                .into_iter()
+                                .map(|(p, r)| (p.to_string(), r))
+                                .collect(),
+                            contains: contains
+                                .into_iter()
+                                .map(|(p, m)| (p.to_string(), Pattern::parse(&m)))
+                                .collect(),
+                        });
+                    }
+                }
             }
         }
         self.binding_nodes.clear();
@@ -276,6 +371,45 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             }
         }
         row
+    }
+
+    /// Pull one batch, attributing decode and cold-store counter deltas
+    /// to the cursor's plan node when analyzing. Counters are sampled
+    /// **once per batch**, not per row — the per-operator sum invariant
+    /// over decode counters holds exactly, at batch granularity.
+    fn pull_batch(
+        &mut self,
+        cur: &mut ObjectCursor,
+        max_rows: usize,
+    ) -> Result<Option<ColumnBatch>> {
+        if let Some(d) = self.deadline {
+            if d.expired() {
+                return Err(ExecError::DeadlineExceeded);
+            }
+        }
+        if !self.analyze {
+            return self.provider.next_batch(cur, max_rows);
+        }
+        let t0 = Instant::now();
+        let (obj0, atom0) = self.provider.decode_counters();
+        let (_, dec0, val0) = self.provider.colstore_counters();
+        let batch = self.provider.next_batch(cur, max_rows);
+        let (obj1, atom1) = self.provider.decode_counters();
+        let (_, dec1, val1) = self.provider.colstore_counters();
+        let node = cur
+            .plan_node
+            .unwrap_or_else(|| self.plan.as_ref().map_or(0, |p| p.root));
+        if let Some(m) = self.ops.get_mut(node) {
+            m.objects_decoded += obj1.saturating_sub(obj0);
+            m.atoms_decoded += atom1.saturating_sub(atom0);
+            m.blocks_decoded += dec1.saturating_sub(dec0);
+            m.values_scanned += val1.saturating_sub(val0);
+            m.wall_ns += t0.elapsed().as_nanos() as u64;
+            if let Ok(Some(b)) = &batch {
+                m.rows_out += b.len as u64;
+            }
+        }
+        batch
     }
 
     /// Note a cursor open against its plan node: one more loop, and the
@@ -509,11 +643,15 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
         } else {
             None
         };
-        let (conjuncts, contains) =
+        let (conjuncts, contains, ranges) =
             if root && asof.is_none() && self.pushed_var.as_deref() == Some(b.var.as_str()) {
-                (self.pushed_conjuncts.clone(), self.pushed_contains.clone())
+                (
+                    self.pushed_conjuncts.clone(),
+                    self.pushed_contains.clone(),
+                    self.pushed_ranges.clone(),
+                )
             } else {
-                (Vec::new(), Vec::new())
+                (Vec::new(), Vec::new(), Vec::new())
             };
         let req = ScanRequest {
             table: name.clone(),
@@ -521,12 +659,26 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             projection,
             conjuncts,
             contains,
+            ranges,
         };
+        // Zone-map pruning happens while the scan opens (block skips
+        // are decided before any decode), so sample the pruning counter
+        // around the open and attribute the delta to the scan node.
+        let pruned0 = self.analyze.then(|| self.provider.colstore_counters().0);
         let mut cur = self.provider.open_scan(&req)?;
         if let Some(plan) = &mut self.plan {
             plan.set_access_path(&b.var, &cur.access_path);
         }
         cur.plan_node = self.binding_nodes.get(&Self::baddr(b)).copied();
+        if let Some(p0) = pruned0 {
+            let p1 = self.provider.colstore_counters().0;
+            let node = cur
+                .plan_node
+                .unwrap_or_else(|| self.plan.as_ref().map_or(0, |p| p.root));
+            if let Some(m) = self.ops.get_mut(node) {
+                m.blocks_pruned += p1.saturating_sub(p0);
+            }
+        }
         self.note_open(cur.plan_node, cur.len());
         Ok((schema, cur))
     }
@@ -557,6 +709,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                     projection: refs,
                     conjuncts: Vec::new(),
                     contains: Vec::new(),
+                    ranges: Vec::new(),
                 };
                 let schema = self.provider.table_schema(name)?;
                 let mut cur = self.provider.open_scan(&req)?;
@@ -614,26 +767,42 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             Some((b, rest)) => {
                 if stream_head && matches!(b.source, Source::Table(_)) {
                     let (schema, mut cur) = self.open_table_cursor(b, use_refs, true)?;
+                    // Batch-at-a-time: pull column batches, run the
+                    // vectorized filter (when the WHERE gave us exact
+                    // head conjuncts), then fan the survivors into the
+                    // nested-loop pipeline row-wise. Quantifier early
+                    // exits still abort between batches, so a decided
+                    // query prefetches at most one batch too many.
+                    let vf = self.vec_filter.take().filter(|v| v.var == b.var);
                     let mut res = Ok(());
-                    loop {
-                        let t = match self.pull_row(&mut cur) {
-                            Ok(Some(t)) => t,
+                    'scan: loop {
+                        let batch = match self.pull_batch(&mut cur, BATCH_ROWS) {
+                            Ok(Some(batch)) => batch,
                             Ok(None) => break,
                             Err(e) => {
                                 res = Err(e);
                                 break;
                             }
                         };
-                        env.frames.push(Frame {
-                            var: b.var.clone(),
-                            schema: schema.clone(),
-                            tuple: t,
-                        });
-                        let r = self.for_each_combination(rest, env, use_refs, false, f);
-                        env.frames.pop();
-                        if let Err(e) = r {
-                            res = Err(e);
-                            break;
+                        let rows = match self.apply_vec_filter(vf.as_ref(), &schema, batch, &cur) {
+                            Ok(rows) => rows,
+                            Err(e) => {
+                                res = Err(e);
+                                break;
+                            }
+                        };
+                        for t in rows {
+                            env.frames.push(Frame {
+                                var: b.var.clone(),
+                                schema: schema.clone(),
+                                tuple: t,
+                            });
+                            let r = self.for_each_combination(rest, env, use_refs, false, f);
+                            env.frames.pop();
+                            if let Err(e) = r {
+                                res = Err(e);
+                                break 'scan;
+                            }
                         }
                     }
                     self.provider.close_scan(cur);
@@ -666,6 +835,77 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
                 Ok(())
             }
         }
+    }
+
+    /// Run the vectorized filter over one head batch and hand back the
+    /// surviving rows. Values actually tested are credited to the
+    /// provider's `colstore.values_scanned` counter and, when
+    /// analyzing, to the scan operator. With no filter (or a batch
+    /// whose shape doesn't match the schema — e.g. a provider that
+    /// projects columns away) the batch passes through untouched.
+    fn apply_vec_filter(
+        &mut self,
+        vf: Option<&VecFilter>,
+        schema: &TableSchema,
+        batch: ColumnBatch,
+        cur: &ObjectCursor,
+    ) -> Result<Vec<Tuple>> {
+        let Some(vf) = vf else {
+            return Ok(batch.into_rows());
+        };
+        if batch.columns.len() != schema.attrs.len() || batch.is_empty() {
+            return Ok(batch.into_rows());
+        }
+        let mut mask = vec![true; batch.len];
+        let mut tested: u64 = 0;
+        for (attr, key) in &vf.eqs {
+            let Some(c) = schema.attr_index(attr) else {
+                continue;
+            };
+            let col = &batch.columns[c];
+            for (r, keep) in mask.iter_mut().enumerate() {
+                if *keep {
+                    tested += 1;
+                    *keep = VecFilter::eq_keeps(&col[r], key);
+                }
+            }
+        }
+        for (attr, pred) in &vf.ranges {
+            let Some(c) = schema.attr_index(attr) else {
+                continue;
+            };
+            let col = &batch.columns[c];
+            for (r, keep) in mask.iter_mut().enumerate() {
+                if *keep {
+                    tested += 1;
+                    *keep = VecFilter::range_keeps(&col[r], pred);
+                }
+            }
+        }
+        for (attr, pattern) in &vf.contains {
+            let Some(c) = schema.attr_index(attr) else {
+                continue;
+            };
+            let col = &batch.columns[c];
+            for (r, keep) in mask.iter_mut().enumerate() {
+                if *keep {
+                    tested += 1;
+                    *keep = VecFilter::contains_keeps(&col[r], pattern);
+                }
+            }
+        }
+        self.provider.note_values_scanned(tested);
+        if self.analyze {
+            let node = cur
+                .plan_node
+                .unwrap_or_else(|| self.plan.as_ref().map_or(0, |p| p.root));
+            if let Some(m) = self.ops.get_mut(node) {
+                m.values_scanned += tested;
+            }
+        }
+        let mut batch = batch;
+        batch.retain(&mask);
+        Ok(batch.into_rows())
     }
 
     /// Evaluate a quantifier over a stored table by streaming its
@@ -950,6 +1190,14 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
             for (p, m) in &self.pushed_contains {
                 pushed.push(format!("{p} CONTAINS '{m}'"));
             }
+            for (p, r) in &self.pushed_ranges {
+                if let Some((a, inc)) = &r.lo {
+                    pushed.push(format!("{p} >{} {a}", if *inc { "=" } else { "" }));
+                }
+                if let Some((a, inc)) = &r.hi {
+                    pushed.push(format!("{p} <{} {a}", if *inc { "=" } else { "" }));
+                }
+            }
         }
         let mut kept = Vec::new();
         let mut pruned = Vec::new();
@@ -1018,13 +1266,19 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
 }
 
 /// Pushdown payload: target binding variable, indexable equality
-/// conjuncts, CONTAINS conjuncts.
-type Pushdown = (String, Vec<(Path, Atom)>, Vec<(Path, String)>);
+/// conjuncts, CONTAINS conjuncts, range conjuncts.
+type Pushdown = (
+    String,
+    Vec<(Path, Atom)>,
+    Vec<(Path, String)>,
+    Vec<(Path, RangePred)>,
+);
 
 /// If the query has a single stored-table binding (no ASOF) and a WHERE
-/// clause, its indexable equality conjuncts and top-level CONTAINS
-/// conjuncts unambiguously constrain that binding's objects — the
-/// predicate pushdown the `ScanRequest` carries to the provider.
+/// clause, its indexable equality conjuncts, top-level CONTAINS
+/// conjuncts and top-level range conjuncts unambiguously constrain that
+/// binding's objects — the predicate pushdown the `ScanRequest` carries
+/// to the provider.
 fn compute_pushdown(q: &Query) -> Option<Pushdown> {
     let mut table_bindings = q
         .from
@@ -1039,10 +1293,11 @@ fn compute_pushdown(q: &Query) -> Option<Pushdown> {
     let where_ = q.where_.as_ref()?;
     let conjuncts = crate::planner::indexable_conditions(where_);
     let contains = crate::planner::contains_conditions(where_, &first.var);
-    if conjuncts.is_empty() && contains.is_empty() {
+    let ranges = crate::planner::range_conditions(where_, &first.var);
+    if conjuncts.is_empty() && contains.is_empty() && ranges.is_empty() {
         return None;
     }
-    Some((first.var.clone(), conjuncts, contains))
+    Some((first.var.clone(), conjuncts, contains, ranges))
 }
 
 #[cfg(test)]

@@ -37,7 +37,9 @@ pub use deadline::Deadline;
 pub use error::ExecError;
 pub use eval::{Evaluator, RowSink};
 pub use plan::{PhysOp, PhysicalPlan};
-pub use provider::{MemProvider, ObjectCursor, ScanRequest, SharedRows, TableProvider};
+pub use provider::{
+    row_batch, ColumnBatch, MemProvider, ObjectCursor, ScanRequest, SharedRows, TableProvider,
+};
 
 /// Result alias for execution.
 pub type Result<T> = std::result::Result<T, ExecError>;

@@ -40,6 +40,17 @@ pub enum PhysOp {
         kept: Vec<String>,
         pruned: Vec<String>,
     },
+    /// Batch-at-a-time scan over a tiered table: cold columnar blocks
+    /// (zone-map pruned before decode, dictionary-filtered per batch)
+    /// followed by the hot heap remainder.
+    ColumnarScan {
+        var: String,
+        table: String,
+        access_path: String,
+        pushed: Vec<String>,
+        kept: Vec<String>,
+        pruned: Vec<String>,
+    },
     /// Residual predicate evaluation on each pulled combination.
     Filter { pred: String },
     /// Result-tuple construction from the SELECT items.
@@ -94,6 +105,15 @@ impl PhysicalPlan {
                             kept: std::mem::take(kept),
                             pruned: std::mem::take(pruned),
                         };
+                    } else if path.starts_with("columnar") {
+                        node.op = PhysOp::ColumnarScan {
+                            var: var.clone(),
+                            table: table.clone(),
+                            access_path: path.to_string(),
+                            pushed: std::mem::take(pushed),
+                            kept: std::mem::take(kept),
+                            pruned: std::mem::take(pruned),
+                        };
                     } else {
                         let _ = asof;
                         *access_path = path.to_string();
@@ -101,6 +121,9 @@ impl PhysicalPlan {
                     return;
                 }
                 PhysOp::IndexScan {
+                    var, access_path, ..
+                }
+                | PhysOp::ColumnarScan {
                     var, access_path, ..
                 } if var == scan_var => {
                     *access_path = path.to_string();
@@ -155,6 +178,17 @@ impl PhysicalPlan {
                 let _ = write!(s, "IndexScan {table} as {var} — {access_path}");
                 scan_details(&mut s, pushed, kept, pruned);
             }
+            PhysOp::ColumnarScan {
+                var,
+                table,
+                access_path,
+                pushed,
+                kept,
+                pruned,
+            } => {
+                let _ = write!(s, "ColumnarScan {table} as {var} — {access_path}");
+                scan_details(&mut s, pushed, kept, pruned);
+            }
             PhysOp::Filter { pred } => {
                 let _ = write!(s, "Filter [{pred}]");
             }
@@ -174,9 +208,9 @@ impl PhysicalPlan {
     /// The access path of the first (root) scan, if any.
     pub fn root_access_path(&self) -> Option<&str> {
         self.nodes.iter().find_map(|n| match &n.op {
-            PhysOp::Scan { access_path, .. } | PhysOp::IndexScan { access_path, .. } => {
-                Some(access_path.as_str())
-            }
+            PhysOp::Scan { access_path, .. }
+            | PhysOp::IndexScan { access_path, .. }
+            | PhysOp::ColumnarScan { access_path, .. } => Some(access_path.as_str()),
             _ => None,
         })
     }
@@ -341,6 +375,42 @@ mod tests {
         let shown = plan.to_string();
         assert!(shown.contains("IndexScan T as x"));
         assert!(shown.contains("1 candidate object(s) of 9"));
+    }
+
+    #[test]
+    fn columnar_access_path_upgrades_scan() {
+        let mut plan = PhysicalPlan::default();
+        let scan = plan.push(
+            PhysOp::Scan {
+                var: "x".into(),
+                table: "T".into(),
+                asof: None,
+                access_path: "full scan".into(),
+                pushed: vec!["K = 7".into()],
+                kept: vec![],
+                pruned: vec![],
+            },
+            vec![],
+        );
+        plan.root = plan.push(
+            PhysOp::Project {
+                items: vec!["x.V".into()],
+            },
+            vec![scan],
+        );
+        plan.set_access_path(
+            "x",
+            "columnar scan: 8 cold blocks (7 pruned by zone maps) + 3 hot rows",
+        );
+        assert!(matches!(plan.nodes[scan].op, PhysOp::ColumnarScan { .. }));
+        let shown = plan.to_string();
+        assert!(shown.contains("ColumnarScan T as x"), "{shown}");
+        assert!(shown.contains("7 pruned by zone maps"), "{shown}");
+        assert!(shown.contains("pushed [K = 7]"), "{shown}");
+        assert_eq!(
+            plan.root_access_path().unwrap(),
+            "columnar scan: 8 cold blocks (7 pruned by zone maps) + 3 hot rows"
+        );
     }
 
     #[test]

@@ -465,6 +465,112 @@ pub fn contains_conditions(expr: &aim2_lang::ast::Expr, root_var: &str) -> Vec<(
     out
 }
 
+/// Extract top-level `root_var.attr = literal` conjuncts with
+/// single-component paths from a WHERE clause. Unlike
+/// [`indexable_conditions`] (which walks EXISTS chains for index
+/// candidate selection), these are *exact* conjunctive requirements on
+/// the root row itself — safe for a vectorized filter to drop
+/// non-matching rows outright.
+pub fn eq_conditions(expr: &aim2_lang::ast::Expr, root_var: &str) -> Vec<(Path, Atom)> {
+    use aim2_lang::ast::{CmpOp, Expr};
+    let mut out = Vec::new();
+    fn rec(e: &Expr, root_var: &str, out: &mut Vec<(Path, Atom)>) {
+        match e {
+            Expr::And(a, b) => {
+                rec(a, root_var, out);
+                rec(b, root_var, out);
+            }
+            Expr::Cmp {
+                op: CmpOp::Eq,
+                lhs,
+                rhs,
+            } => {
+                if let (Expr::PathRef { var, path }, Expr::Lit(l)) = (lhs.as_ref(), rhs.as_ref()) {
+                    if var == root_var && path.len() == 1 {
+                        if let Ok(atom) = crate::value::lit_atom(l) {
+                            out.push((path.clone(), atom));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rec(expr, root_var, &mut out);
+    out
+}
+
+/// Extract top-level range conjuncts (`root_var.attr < lit`, `>= lit`,
+/// …) with single-component paths from a WHERE clause, merged per
+/// attribute into one [`RangePred`]. Same exactness guarantee as
+/// [`eq_conditions`]; zone maps use these to skip whole blocks.
+pub fn range_conditions(
+    expr: &aim2_lang::ast::Expr,
+    root_var: &str,
+) -> Vec<(Path, crate::provider::RangePred)> {
+    use crate::provider::RangePred;
+    use aim2_lang::ast::{CmpOp, Expr};
+    let mut out: Vec<(Path, RangePred)> = Vec::new();
+    fn tighten(out: &mut Vec<(Path, RangePred)>, path: &Path, atom: Atom, op: CmpOp) {
+        let pred = match out.iter_mut().find(|(p, _)| p == path) {
+            Some((_, pred)) => pred,
+            None => {
+                out.push((path.clone(), RangePred::default()));
+                &mut out.last_mut().unwrap().1
+            }
+        };
+        // Conjunctive semantics: a later bound on the same side only
+        // narrows (comparisons against an incompatible type simply add
+        // an unsatisfiable bound — the evaluator still re-checks).
+        let narrower = |cur: &Option<(Atom, bool)>, cand: &Atom, inc: bool, upper: bool| match cur {
+            None => true,
+            Some((have, have_inc)) => match cand.partial_cmp_same(have) {
+                Some(std::cmp::Ordering::Less) => upper,
+                Some(std::cmp::Ordering::Greater) => !upper,
+                Some(std::cmp::Ordering::Equal) => !inc && *have_inc,
+                None => false,
+            },
+        };
+        match op {
+            CmpOp::Gt | CmpOp::Ge => {
+                let inc = op == CmpOp::Ge;
+                if narrower(&pred.lo, &atom, inc, false) {
+                    pred.lo = Some((atom, inc));
+                }
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                let inc = op == CmpOp::Le;
+                if narrower(&pred.hi, &atom, inc, true) {
+                    pred.hi = Some((atom, inc));
+                }
+            }
+            _ => {}
+        }
+    }
+    fn rec(e: &Expr, root_var: &str, out: &mut Vec<(Path, RangePred)>) {
+        match e {
+            Expr::And(a, b) => {
+                rec(a, root_var, out);
+                rec(b, root_var, out);
+            }
+            Expr::Cmp { op, lhs, rhs }
+                if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) =>
+            {
+                if let (Expr::PathRef { var, path }, Expr::Lit(l)) = (lhs.as_ref(), rhs.as_ref()) {
+                    if var == root_var && path.len() == 1 {
+                        if let Ok(atom) = crate::value::lit_atom(l) {
+                            tighten(out, path, atom, *op);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    rec(expr, root_var, &mut out);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

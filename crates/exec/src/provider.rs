@@ -48,6 +48,19 @@ pub struct ScanRequest {
     pub conjuncts: Vec<(aim2_model::Path, aim2_model::Atom)>,
     /// Top-level `attr CONTAINS 'mask'` conjuncts, for text indexes.
     pub contains: Vec<(aim2_model::Path, String)>,
+    /// Top-level range conjuncts (`path < atom`, `path >= atom`, …) of
+    /// the query's WHERE, rooted at this binding. Providers with zone
+    /// maps may skip blocks whose min/max cannot intersect the range
+    /// (a superset restriction — the evaluator re-checks).
+    pub ranges: Vec<(aim2_model::Path, RangePred)>,
+}
+
+/// One conjunctive range over a single attribute: optional lower and
+/// upper bounds, each with an inclusivity flag.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RangePred {
+    pub lo: Option<(aim2_model::Atom, bool)>,
+    pub hi: Option<(aim2_model::Atom, bool)>,
 }
 
 impl ScanRequest {
@@ -58,6 +71,63 @@ impl ScanRequest {
             asof,
             ..ScanRequest::default()
         }
+    }
+}
+
+/// One batch of rows in column-major form: `columns[c][r]` is column
+/// `c` of the batch's row `r`. The unit of the batch-at-a-time cursor
+/// protocol — vectorized filters test one column vector at a time
+/// instead of re-walking every tuple.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColumnBatch {
+    pub columns: Vec<Vec<aim2_model::Value>>,
+    pub len: usize,
+}
+
+impl ColumnBatch {
+    /// Transpose row-major tuples into a batch.
+    pub fn from_rows(rows: Vec<Tuple>) -> ColumnBatch {
+        let len = rows.len();
+        let ncols = rows.first().map(|t| t.fields.len()).unwrap_or(0);
+        let mut columns: Vec<Vec<aim2_model::Value>> =
+            (0..ncols).map(|_| Vec::with_capacity(len)).collect();
+        for t in rows {
+            for (c, v) in t.fields.into_iter().enumerate() {
+                columns[c].push(v);
+            }
+        }
+        ColumnBatch { columns, len }
+    }
+
+    /// Transpose back into row-major tuples.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        let mut rows: Vec<Vec<aim2_model::Value>> = (0..self.len)
+            .map(|_| Vec::with_capacity(self.columns.len()))
+            .collect();
+        for col in self.columns {
+            for (r, v) in col.into_iter().enumerate() {
+                rows[r].push(v);
+            }
+        }
+        rows.into_iter().map(Tuple::new).collect()
+    }
+
+    /// Keep only the rows whose index the mask marks `true`.
+    pub fn retain(&mut self, mask: &[bool]) {
+        for col in &mut self.columns {
+            let mut i = 0;
+            col.retain(|_| {
+                let keep = mask[i];
+                i += 1;
+                keep
+            });
+        }
+        self.len = mask.iter().filter(|&&k| k).count();
+    }
+
+    /// True when the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
     }
 }
 
@@ -95,6 +165,10 @@ pub struct ObjectCursor {
     /// The commit epoch this cursor reads at, when it was opened from a
     /// pinned MVCC snapshot.
     pub snapshot_epoch: Option<u64>,
+    /// The equality conjuncts the scan was opened with (columnar
+    /// providers re-check a block's dictionary against them per batch:
+    /// a literal missing from the dictionary rules out every row).
+    pub conjuncts: Vec<(aim2_model::Path, aim2_model::Atom)>,
     rows: Rows,
     pos: usize,
     opened: Instant,
@@ -110,6 +184,7 @@ impl ObjectCursor {
             access_path: access_path.to_string(),
             plan_node: None,
             snapshot_epoch: None,
+            conjuncts: req.conjuncts.clone(),
             rows: Rows::Buffered(rows),
             pos: 0,
             opened: Instant::now(),
@@ -125,6 +200,7 @@ impl ObjectCursor {
             access_path: access_path.to_string(),
             plan_node: None,
             snapshot_epoch: None,
+            conjuncts: req.conjuncts.clone(),
             rows: Rows::Keys(keys),
             pos: 0,
             opened: Instant::now(),
@@ -148,6 +224,7 @@ impl ObjectCursor {
             access_path: access_path.to_string(),
             plan_node: None,
             snapshot_epoch: Some(epoch),
+            conjuncts: req.conjuncts.clone(),
             rows: Rows::Shared(rows),
             pos: 0,
             opened: Instant::now(),
@@ -202,6 +279,34 @@ impl ObjectCursor {
         k
     }
 
+    /// The next opaque key without consuming it (batch dispatch peeks
+    /// to decide whether the cursor sits on a cold block or a hot row).
+    pub fn peek_key(&self) -> Option<u64> {
+        let Rows::Keys(v) = &self.rows else {
+            return None;
+        };
+        v.get(self.pos).copied()
+    }
+
+    /// Consume up to `max` consecutive keys for which `take` holds
+    /// (batch pulls drain a run of same-tier keys in one call).
+    pub fn take_keys(&mut self, max: usize, take: impl Fn(u64) -> bool) -> Vec<u64> {
+        let Rows::Keys(v) = &self.rows else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        while out.len() < max {
+            match v.get(self.pos) {
+                Some(&k) if take(k) => {
+                    out.push(k);
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
     /// Next row from a shared epoch version (providers using `shared`).
     pub fn next_shared(&mut self) -> Option<Tuple> {
         let Rows::Shared(v) = &self.rows else {
@@ -253,12 +358,39 @@ pub trait TableProvider {
         let _ = cur;
     }
 
+    /// Pull the next batch of up to `max_rows` rows in column-major
+    /// form; `None` when exhausted. `max_rows` is a hint: a columnar
+    /// provider returns whatever remains of the current cold block,
+    /// which may be fewer. The default adapter transposes
+    /// [`TableProvider::next_row`] pulls, so every provider is
+    /// batch-capable from day one.
+    fn next_batch(
+        &mut self,
+        cur: &mut ObjectCursor,
+        max_rows: usize,
+    ) -> Result<Option<ColumnBatch>> {
+        row_batch(self, cur, max_rows)
+    }
+
     /// Current `(objects_decoded, atoms_decoded)` totals, for EXPLAIN
     /// ANALYZE per-operator deltas. Providers without decode accounting
     /// report zeros (the analyzed plan then shows no decode columns
     /// moving, which is accurate: nothing was decoded from storage).
     fn decode_counters(&mut self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Current `(blocks_pruned, blocks_decoded, values_scanned)`
+    /// cold-store totals, for ColumnarScan attribution. Providers
+    /// without a cold tier report zeros.
+    fn colstore_counters(&mut self) -> (u64, u64, u64) {
+        (0, 0, 0)
+    }
+
+    /// Credit `n` values tested by a vectorized filter to the
+    /// provider's stats (no-op for stats-less providers).
+    fn note_values_scanned(&mut self, n: u64) {
+        let _ = n;
     }
 
     /// Drain a full scan into a `TableValue` — the materializing
@@ -273,6 +405,29 @@ pub trait TableProvider {
         self.close_scan(cur);
         Ok(TableValue { kind, tuples })
     }
+}
+
+/// The row-at-a-time batch adapter: transpose up to `max_rows`
+/// [`TableProvider::next_row`] pulls into one [`ColumnBatch`]. Free
+/// and generic so providers overriding
+/// [`TableProvider::next_batch`] can still fall back to it for cursor
+/// shapes they don't accelerate.
+pub fn row_batch<P: TableProvider + ?Sized>(
+    p: &mut P,
+    cur: &mut ObjectCursor,
+    max_rows: usize,
+) -> Result<Option<ColumnBatch>> {
+    let mut rows = Vec::new();
+    while rows.len() < max_rows.max(1) {
+        match p.next_row(cur)? {
+            Some(t) => rows.push(t),
+            None => break,
+        }
+    }
+    if rows.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(ColumnBatch::from_rows(rows)))
 }
 
 /// In-memory provider backed by `TableValue`s. Rows are served borrowed
@@ -363,6 +518,23 @@ impl TableProvider for MemProvider {
         let rows = self.rows(&cur.table, cur.asof)?;
         Ok(rows.get(i as usize).cloned())
     }
+
+    fn next_batch(
+        &mut self,
+        cur: &mut ObjectCursor,
+        max_rows: usize,
+    ) -> Result<Option<ColumnBatch>> {
+        let keys = cur.take_keys(max_rows.max(1), |_| true);
+        if keys.is_empty() {
+            return Ok(None);
+        }
+        let rows = self.rows(&cur.table, cur.asof)?;
+        let batch: Vec<Tuple> = keys
+            .iter()
+            .filter_map(|&i| rows.get(i as usize).cloned())
+            .collect();
+        Ok(Some(ColumnBatch::from_rows(batch)))
+    }
 }
 
 #[cfg(test)]
@@ -394,6 +566,61 @@ mod tests {
             .scan_all("DEPARTMENTS", Some(Date::parse_iso("1983-01-01").unwrap()))
             .unwrap();
         assert!(before.is_empty());
+    }
+
+    #[test]
+    fn batch_pulls_match_row_pulls() {
+        let mut p = MemProvider::with_paper_fixtures();
+        let rows = p.scan_all("MEMBERS-1NF", None).unwrap().tuples;
+        // Explicit override path.
+        let mut cur = p
+            .open_scan(&ScanRequest::full("MEMBERS-1NF", None))
+            .unwrap();
+        let mut batched = Vec::new();
+        while let Some(b) = p.next_batch(&mut cur, 4).unwrap() {
+            assert!(b.len <= 4);
+            assert_eq!(b.columns.iter().map(Vec::len).max(), Some(b.len));
+            batched.extend(b.into_rows());
+        }
+        assert!(cur.exhausted());
+        p.close_scan(cur);
+        assert_eq!(batched, rows);
+        // Generic row-at-a-time adapter gives the same transposition.
+        let mut cur = p
+            .open_scan(&ScanRequest::full("MEMBERS-1NF", None))
+            .unwrap();
+        let mut adapted = Vec::new();
+        while let Some(b) = row_batch(&mut p, &mut cur, 4).unwrap() {
+            adapted.extend(b.into_rows());
+        }
+        assert_eq!(adapted, rows);
+    }
+
+    #[test]
+    fn column_batch_retain_filters_all_columns() {
+        let rows = vec![
+            Tuple::new(vec![
+                aim2_model::value::build::a(1),
+                aim2_model::value::build::a("x"),
+            ]),
+            Tuple::new(vec![
+                aim2_model::value::build::a(2),
+                aim2_model::value::build::a("y"),
+            ]),
+            Tuple::new(vec![
+                aim2_model::value::build::a(3),
+                aim2_model::value::build::a("z"),
+            ]),
+        ];
+        let mut b = ColumnBatch::from_rows(rows.clone());
+        b.retain(&[true, false, true]);
+        assert_eq!(b.len, 2);
+        let kept = b.into_rows();
+        assert_eq!(kept, vec![rows[0].clone(), rows[2].clone()]);
+        // Empty batch round-trips too.
+        let empty = ColumnBatch::from_rows(Vec::new());
+        assert!(empty.is_empty());
+        assert!(empty.into_rows().is_empty());
     }
 
     #[test]

@@ -163,6 +163,43 @@ fn tcp_matches_in_process_for_all_queries() {
     handle.shutdown();
 }
 
+/// The corpus again, but the served database had every flat table
+/// frozen into columnar cold blocks first: the batch-at-a-time cold
+/// path feeds the streamed wire protocol, and every answer must still
+/// equal the in-process evaluation on a never-compacted twin.
+#[test]
+fn tcp_matches_in_process_on_compacted_tables() {
+    let mut served = paper_db();
+    for t in [
+        "DEPARTMENTS-1NF",
+        "PROJECTS-1NF",
+        "MEMBERS-1NF",
+        "EQUIP-1NF",
+        "EMPLOYEES-1NF",
+    ] {
+        let (blocks, _) = served.compact_table(t).unwrap();
+        assert!(blocks >= 1, "{t} must actually freeze");
+    }
+    let mut handle = Server::start(SharedDatabase::new(served), ServerConfig::default()).unwrap();
+    let mut client = connect(&handle);
+    let mut local = paper_db();
+    for sql in QUERIES {
+        let (schema, value) = local.query(sql).unwrap_or_else(|e| panic!("{sql}\n→ {e}"));
+        match client.query_fetch(sql, 2) {
+            Ok(QueryOutcome::Table(net_schema, net_value)) => {
+                assert_eq!(net_schema, schema, "schema mismatch over TCP for: {sql}");
+                assert_eq!(
+                    net_value, value,
+                    "columnar result mismatch over TCP for: {sql}"
+                );
+            }
+            other => panic!("expected a table for {sql}, got {other:?}"),
+        }
+    }
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
 /// A multi-row result under fetch = 1 visibly suspends: the raw frame
 /// sequence is RowHeader, then (Rows done:false, FetchMore)*, then a
 /// final Rows done:true.

@@ -15,6 +15,7 @@
 //! reports. Repair policy (quarantine, salvage) lives above, in the
 //! database layer.
 
+use crate::colstore::decode_block;
 use crate::error::StorageError;
 use crate::flatstore::FlatStore;
 use crate::minidir::{LayoutKind, MdGroup, MdNode, MdNodeKind, RootMd};
@@ -794,6 +795,69 @@ pub fn check_flat_store(
                             "tuple at {tid} has {} fields, schema expects {want}",
                             t.fields.len()
                         ),
+                    );
+                }
+            }
+        }
+    }
+    // Cold tier: every block record must read, its payload CRC must
+    // verify, and the decoded shape must agree with the catalog's
+    // block directory (row count, column count, zone maps). The block's
+    // home TID is the attributable object — quarantining it takes the
+    // whole block out of service, which matches its damage unit.
+    for (ord, meta) in store.cold_blocks().to_vec().iter().enumerate() {
+        let cx = Cx {
+            table,
+            object: Some(meta.tid),
+        };
+        report.bump(CheckKind::PageChecksum);
+        let bytes = match store.segment_mut().read(meta.tid) {
+            Ok(b) => b,
+            Err(e) => {
+                cx.record(
+                    report,
+                    CheckKind::PageChecksum,
+                    format!("cold block {ord} unreadable: {e}"),
+                );
+                continue;
+            }
+        };
+        match decode_block(&bytes) {
+            Err(StorageError::ChecksumMismatch(msg)) => cx.record(
+                report,
+                CheckKind::PageChecksum,
+                format!("cold block {ord} CRC mismatch: {msg}"),
+            ),
+            Err(e) => cx.record(
+                report,
+                CheckKind::MdShape,
+                format!("cold block {ord} undecodable: {e}"),
+            ),
+            Ok((block, zones)) => {
+                report.bump(CheckKind::MdShape);
+                if block.rows != meta.rows {
+                    cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!(
+                            "cold block {ord} holds {} rows, directory says {}",
+                            block.rows, meta.rows
+                        ),
+                    );
+                } else if block.columns.len() != want {
+                    cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!(
+                            "cold block {ord} has {} columns, schema expects {want}",
+                            block.columns.len()
+                        ),
+                    );
+                } else if zones != meta.zones {
+                    cx.record(
+                        report,
+                        CheckKind::MdShape,
+                        format!("cold block {ord} zone maps diverge from the directory"),
                     );
                 }
             }

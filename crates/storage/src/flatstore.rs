@@ -5,16 +5,27 @@
 //! addressed by TID. This is the degenerate case the extended NF² model
 //! integrates — and the storage used for the paper's Tables 1–4 and 8.
 
+use crate::colstore::{build_block, decode_block, ColdBlockMeta, DecodedBlock};
 use crate::segment::Segment;
 use crate::tid::Tid;
 use crate::Result;
 use aim2_model::encode::{decode_atoms, encode_atoms};
 use aim2_model::{Atom, TableSchema, TableValue, Tuple, Value};
+use std::sync::Arc;
 
-/// Heap storage for one flat table.
+/// Heap storage for one flat table, with an optional columnar cold
+/// tier: hot tuples live one-per-record in the slotted-page heap;
+/// frozen tuples live in immutable [`colstore`](crate::colstore)
+/// blocks in the *same* segment, so both tiers share the buffer pool,
+/// WAL and checkpoint machinery.
 pub struct FlatStore {
     seg: Segment,
     tids: Vec<Tid>,
+    cold: Vec<ColdBlockMeta>,
+    /// One-block decode cache: scans walk cold rows in block order, so
+    /// a single slot turns per-row materialization into one decode per
+    /// block.
+    cold_cache: Option<(usize, Arc<DecodedBlock>)>,
 }
 
 impl FlatStore {
@@ -23,13 +34,36 @@ impl FlatStore {
         FlatStore {
             seg,
             tids: Vec::new(),
+            cold: Vec::new(),
+            cold_cache: None,
         }
     }
 
     /// Re-attach to an existing store (database restart) with the
     /// persisted TID list.
     pub fn reopen(seg: Segment, tids: Vec<Tid>) -> FlatStore {
-        FlatStore { seg, tids }
+        FlatStore {
+            seg,
+            tids,
+            cold: Vec::new(),
+            cold_cache: None,
+        }
+    }
+
+    /// Attach the persisted cold-block directory (database restart).
+    pub fn set_cold(&mut self, cold: Vec<ColdBlockMeta>) {
+        self.cold = cold;
+        self.cold_cache = None;
+    }
+
+    /// The cold-block directory.
+    pub fn cold_blocks(&self) -> &[ColdBlockMeta] {
+        &self.cold
+    }
+
+    /// Total rows frozen in cold blocks.
+    pub fn cold_row_count(&self) -> u64 {
+        self.cold.iter().map(|b| b.rows as u64).sum()
     }
 
     /// The underlying segment (stats / buffer control).
@@ -37,14 +71,15 @@ impl FlatStore {
         &mut self.seg
     }
 
-    /// Number of live tuples.
+    /// Number of live *hot* tuples (heap tier only; see
+    /// [`FlatStore::cold_row_count`]).
     pub fn len(&self) -> usize {
         self.tids.len()
     }
 
-    /// True if no tuples are stored.
+    /// True if neither tier stores a tuple.
     pub fn is_empty(&self) -> bool {
-        self.tids.is_empty()
+        self.tids.is_empty() && self.cold.is_empty()
     }
 
     /// Insert one tuple (all fields must be atoms); returns its TID.
@@ -93,9 +128,127 @@ impl FlatStore {
         &self.tids
     }
 
-    /// Scan the whole table into a `TableValue` conforming to `schema`.
+    /// Freeze every hot row into columnar cold blocks of up to
+    /// `block_rows` rows each. Hot rows are read in insertion order,
+    /// encoded into blocks (one segment record per block), then the
+    /// heap records are deleted — so cold blocks always hold the
+    /// *oldest* rows and a cold-then-hot scan preserves insertion
+    /// order. Returns `(blocks built, rows frozen)`.
+    pub fn freeze(&mut self, block_rows: usize) -> Result<(usize, u64)> {
+        let block_rows = block_rows.max(1);
+        let hot = self.tids.clone();
+        if hot.is_empty() {
+            return Ok((0, 0));
+        }
+        let mut built = 0usize;
+        let mut frozen = 0u64;
+        for chunk in hot.chunks(block_rows) {
+            let mut rows = Vec::with_capacity(chunk.len());
+            for &tid in chunk {
+                let bytes = self.seg.read(tid)?;
+                let atoms = decode_atoms(&bytes)?;
+                rows.push(Tuple::new(atoms.into_iter().map(Value::Atom).collect()));
+            }
+            let (payload, zones) = build_block(&rows)?;
+            let near = self.cold.last().map(|b| b.tid.page);
+            let tid = self.seg.insert(&payload, near)?;
+            for &t in chunk {
+                self.seg.delete(t)?;
+            }
+            self.cold.push(ColdBlockMeta {
+                tid,
+                rows: rows.len() as u32,
+                zones,
+            });
+            self.seg.stats().inc_colstore_block_built();
+            built += 1;
+            frozen += rows.len() as u64;
+        }
+        self.tids.clear();
+        self.seg.stats().add_colstore_rows_compacted(frozen);
+        Ok((built, frozen))
+    }
+
+    /// Decode cold block `ord` (through the one-block cache).
+    pub fn read_cold_block(&mut self, ord: usize) -> Result<Arc<DecodedBlock>> {
+        if let Some((cached, block)) = &self.cold_cache {
+            if *cached == ord {
+                return Ok(Arc::clone(block));
+            }
+        }
+        let meta = self
+            .cold
+            .get(ord)
+            .ok_or_else(|| crate::StorageError::Corrupt(format!("no cold block {ord}")))?;
+        let tid = meta.tid;
+        let expect_rows = meta.rows;
+        let bytes = self.seg.read(tid)?;
+        let (block, _zones) = decode_block(&bytes)?;
+        if block.rows != expect_rows {
+            return Err(crate::StorageError::Corrupt(format!(
+                "cold block {ord} holds {} rows, directory says {expect_rows}",
+                block.rows
+            )));
+        }
+        self.seg.stats().inc_colstore_block_decoded();
+        let block = Arc::new(block);
+        self.cold_cache = Some((ord, Arc::clone(&block)));
+        Ok(block)
+    }
+
+    /// Materialize one cold row as a tuple. Decode accounting matches
+    /// [`FlatStore::read`] — one object and `arity` atoms per
+    /// materialized row — so row-vs-columnar comparisons count the
+    /// same work.
+    pub fn materialize_cold_row(&mut self, ord: usize, row: u32) -> Result<Tuple> {
+        let block = self.read_cold_block(ord)?;
+        let tuple = block.row(row as usize)?;
+        self.seg.stats().inc_object_decoded();
+        self.seg
+            .stats()
+            .add_atoms_decoded(tuple.fields.len() as u64);
+        Ok(tuple)
+    }
+
+    /// Thaw the cold tier back into the hot heap (row-wise writes are
+    /// about to land). Rows return in their original insertion order,
+    /// *before* any existing hot rows' TIDs — cold rows are older.
+    pub fn melt(&mut self) -> Result<u64> {
+        if self.cold.is_empty() {
+            return Ok(0);
+        }
+        let mut thawed: Vec<Tuple> = Vec::new();
+        for ord in 0..self.cold.len() {
+            let block = self.read_cold_block(ord)?;
+            for r in 0..block.rows as usize {
+                thawed.push(block.row(r)?);
+            }
+        }
+        let cold = std::mem::take(&mut self.cold);
+        self.cold_cache = None;
+        for meta in &cold {
+            self.seg.delete(meta.tid)?;
+        }
+        let hot = std::mem::take(&mut self.tids);
+        let count = thawed.len() as u64;
+        for t in &thawed {
+            self.insert(t)?;
+        }
+        self.tids.extend(hot);
+        Ok(count)
+    }
+
+    /// Scan the whole table into a `TableValue` conforming to `schema`
+    /// — cold rows first (they are older), then the hot heap, so the
+    /// result is in insertion order.
     pub fn scan(&mut self, schema: &TableSchema) -> Result<TableValue> {
-        let mut tuples = Vec::with_capacity(self.tids.len());
+        let mut tuples = Vec::with_capacity(self.tids.len() + self.cold_row_count() as usize);
+        for ord in 0..self.cold.len() {
+            let block = self.read_cold_block(ord)?;
+            for r in 0..block.rows {
+                tuples.push(self.materialize_cold_row(ord, r)?);
+            }
+        }
         for &tid in &self.tids.clone() {
             tuples.push(self.read(tid)?);
         }
@@ -178,6 +331,79 @@ mod tests {
         let mut fs = store();
         let nested = tup(vec![a(1), aim2_model::value::build::rel(vec![])]);
         assert!(fs.insert(&nested).is_err());
+    }
+
+    #[test]
+    fn freeze_scan_melt_roundtrip() {
+        let mut fs = store();
+        let schema = fixtures::departments_1nf_schema();
+        for i in 0..100i64 {
+            fs.insert(&tup(vec![a(i), a(format!("row{i}"))])).unwrap();
+        }
+        let before = fs.scan(&schema).unwrap();
+        // Block size 32 → boundary exactly at batch size on the fourth
+        // chunk of 4 (100 = 3×32 + 4).
+        let (blocks, rows) = fs.freeze(32).unwrap();
+        assert_eq!((blocks, rows), (4, 100));
+        assert_eq!(fs.len(), 0);
+        assert_eq!(fs.cold_row_count(), 100);
+        assert_eq!(fs.cold_blocks()[3].rows, 4);
+        assert_eq!(fs.scan(&schema).unwrap(), before);
+        // Zone maps cover the frozen key ranges.
+        assert_eq!(fs.cold_blocks()[0].zones[0], (Atom::Int(0), Atom::Int(31)));
+        // New inserts stay hot; scan returns cold-then-hot order.
+        fs.insert(&tup(vec![a(100), a("row100")])).unwrap();
+        let mixed = fs.scan(&schema).unwrap();
+        assert_eq!(mixed.tuples.len(), 101);
+        assert_eq!(mixed.tuples[100].fields[0].as_atom(), Some(&Atom::Int(100)));
+        // Melt restores a pure heap with identical contents and order.
+        assert_eq!(fs.melt().unwrap(), 100);
+        assert!(fs.cold_blocks().is_empty());
+        assert_eq!(fs.len(), 101);
+        assert_eq!(fs.scan(&schema).unwrap(), mixed);
+    }
+
+    #[test]
+    fn freeze_block_boundary_exact() {
+        let mut fs = store();
+        let schema = fixtures::departments_1nf_schema();
+        for i in 0..64i64 {
+            fs.insert(&tup(vec![a(i), a("x")])).unwrap();
+        }
+        let (blocks, rows) = fs.freeze(32).unwrap();
+        assert_eq!((blocks, rows), (2, 64));
+        assert_eq!(fs.cold_blocks()[1].rows, 32);
+        assert_eq!(fs.scan(&schema).unwrap().tuples.len(), 64);
+    }
+
+    #[test]
+    fn freeze_empty_table_is_noop() {
+        let mut fs = store();
+        assert_eq!(fs.freeze(crate::colstore::BLOCK_ROWS).unwrap(), (0, 0));
+        assert!(fs.cold_blocks().is_empty());
+        assert_eq!(fs.melt().unwrap(), 0);
+    }
+
+    #[test]
+    fn materialize_counts_like_row_reads() {
+        let mut fs = store();
+        for i in 0..10i64 {
+            fs.insert(&tup(vec![a(i), a("x"), a(true)])).unwrap();
+        }
+        fs.freeze(4).unwrap();
+        let stats = fs.segment_mut().stats().clone();
+        let before = stats.snapshot();
+        let t = fs.materialize_cold_row(1, 2).unwrap();
+        assert_eq!(t.fields[0].as_atom(), Some(&Atom::Int(6)));
+        let after = stats.snapshot();
+        assert_eq!(after.objects_decoded - before.objects_decoded, 1);
+        assert_eq!(after.atoms_decoded - before.atoms_decoded, 3);
+        // Same block again: served from the one-block cache.
+        fs.materialize_cold_row(1, 3).unwrap();
+        assert_eq!(
+            stats.snapshot().colstore_blocks_decoded,
+            after.colstore_blocks_decoded
+        );
     }
 
     #[test]

@@ -20,7 +20,9 @@
 //!   update / delete of complex objects and arbitrary parts of them, plus
 //!   page-level object move ("check-out") that rewrites no pointers;
 //! * [`flatstore`]: flat 1NF tables as the degenerate case (one data
-//!   subtuple per tuple, no Mini Directory at all);
+//!   subtuple per tuple, no Mini Directory at all), with a tiered
+//!   [`colstore`] cold tier — immutable dictionary-encoded columnar
+//!   blocks with zone maps, frozen out of the hot heap by compaction;
 //! * two baselines the paper compares against: [`lorie`] (complex objects
 //!   chained with hidden child/sibling/father/root pointers on top of
 //!   flat tables, /LP83/) and [`ims`] (segment hierarchies with GN / GNP
@@ -28,6 +30,7 @@
 
 pub mod buffer;
 pub mod check;
+pub mod colstore;
 pub mod disk;
 pub mod error;
 pub mod faultdisk;
@@ -44,6 +47,7 @@ pub mod tid;
 pub mod wal;
 
 pub use check::{CheckKind, Finding, IntegrityReport};
+pub use colstore::{cold_key, split_cold_key, ColdBlockMeta, DecodedBlock, COLD_KEY_BIT};
 pub use error::StorageError;
 pub use faultdisk::{FaultDisk, FaultInjector, WriteOutcome};
 pub use minidir::LayoutKind;

@@ -85,6 +85,16 @@ struct Counters {
     /// Scans closed before exhaustion (EXISTS witnesses, quantifier
     /// short-circuits): pages the pipeline never had to pull.
     cursor_early_exits: AtomicU64,
+    /// Columnar blocks built by `compact_table` freezes.
+    colstore_blocks_built: AtomicU64,
+    /// Columnar blocks skipped by zone maps before any decode.
+    colstore_blocks_pruned: AtomicU64,
+    /// Columnar blocks read and dictionary-decoded.
+    colstore_blocks_decoded: AtomicU64,
+    /// Column cells consulted by vectorized/dictionary filters.
+    colstore_values_scanned: AtomicU64,
+    /// Heap rows frozen into columnar blocks.
+    colstore_rows_compacted: AtomicU64,
     /// Table/object reads served from a pinned MVCC snapshot (zero
     /// lock-manager traffic).
     snapshot_reads: AtomicU64,
@@ -132,6 +142,7 @@ struct ObsHandles {
     query: Histogram,
     snapshot_age: Histogram,
     mvcc_publish: Histogram,
+    colstore_compact: Histogram,
     lock_queue: Gauge,
     versions_retained: Gauge,
 }
@@ -152,6 +163,7 @@ impl Default for ObsHandles {
             query: metrics.histogram("db.query"),
             snapshot_age: metrics.histogram("txn.snapshot_age"),
             mvcc_publish: metrics.histogram("mvcc.publish"),
+            colstore_compact: metrics.histogram("colstore.compact"),
             lock_queue: metrics.gauge("txn.lock_queue_depth"),
             versions_retained: metrics.gauge("mvcc.versions_retained"),
             metrics,
@@ -235,6 +247,21 @@ impl Stats {
     );
     counter!(inc_snapshot_read, snapshot_reads, snapshot_reads);
     counter!(
+        inc_colstore_block_built,
+        colstore_blocks_built,
+        colstore_blocks_built
+    );
+    counter!(
+        inc_colstore_block_pruned,
+        colstore_blocks_pruned,
+        colstore_blocks_pruned
+    );
+    counter!(
+        inc_colstore_block_decoded,
+        colstore_blocks_decoded,
+        colstore_blocks_decoded
+    );
+    counter!(
         inc_mvcc_version_published,
         mvcc_versions_published,
         mvcc_versions_published
@@ -262,6 +289,35 @@ impl Stats {
     span_timer!(time_recovery, recovery, "db.recovery");
     span_timer!(time_query, query, "db.query");
     span_timer!(time_mvcc_publish, mvcc_publish, "mvcc.publish");
+    span_timer!(time_colstore_compact, colstore_compact, "colstore.compact");
+
+    /// Bulk-add to `colstore_values_scanned` (one vectorized filter
+    /// pass consults a whole column of codes at once).
+    pub fn add_colstore_values_scanned(&self, n: u64) {
+        self.inner
+            .c
+            .colstore_values_scanned
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the `colstore_values_scanned` counter.
+    pub fn colstore_values_scanned(&self) -> u64 {
+        self.inner.c.colstore_values_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Bulk-add to `colstore_rows_compacted` (one freeze moves a batch
+    /// of heap rows into blocks).
+    pub fn add_colstore_rows_compacted(&self, n: u64) {
+        self.inner
+            .c
+            .colstore_rows_compacted
+            .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of the `colstore_rows_compacted` counter.
+    pub fn colstore_rows_compacted(&self) -> u64 {
+        self.inner.c.colstore_rows_compacted.load(Ordering::Relaxed)
+    }
 
     /// Bulk-add to `mvcc_gc_reclaimed` (one GC pass reclaims a batch of
     /// superseded versions).
@@ -324,6 +380,12 @@ impl Stats {
         self.inner.c.atoms_decoded.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Bulk-add to `objects_decoded` (one cold batch materializes many
+    /// rows at once).
+    pub fn add_objects_decoded(&self, n: u64) {
+        self.inner.c.objects_decoded.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Total page accesses (hits + misses).
     pub fn page_accesses(&self) -> u64 {
         self.buf_hits() + self.buf_misses()
@@ -355,6 +417,11 @@ impl Stats {
             &i.objects_decoded,
             &i.atoms_decoded,
             &i.cursor_early_exits,
+            &i.colstore_blocks_built,
+            &i.colstore_blocks_pruned,
+            &i.colstore_blocks_decoded,
+            &i.colstore_values_scanned,
+            &i.colstore_rows_compacted,
             &i.snapshot_reads,
             &i.mvcc_versions_published,
             &i.mvcc_gc_reclaimed,
@@ -395,6 +462,11 @@ impl Stats {
             objects_decoded: self.objects_decoded(),
             atoms_decoded: self.atoms_decoded(),
             cursor_early_exits: self.cursor_early_exits(),
+            colstore_blocks_built: self.colstore_blocks_built(),
+            colstore_blocks_pruned: self.colstore_blocks_pruned(),
+            colstore_blocks_decoded: self.colstore_blocks_decoded(),
+            colstore_values_scanned: self.colstore_values_scanned(),
+            colstore_rows_compacted: self.colstore_rows_compacted(),
             snapshot_reads: self.snapshot_reads(),
             mvcc_versions_published: self.mvcc_versions_published(),
             mvcc_gc_reclaimed: self.mvcc_gc_reclaimed(),
@@ -475,6 +547,11 @@ pub struct StatsSnapshot {
     pub objects_decoded: u64,
     pub atoms_decoded: u64,
     pub cursor_early_exits: u64,
+    pub colstore_blocks_built: u64,
+    pub colstore_blocks_pruned: u64,
+    pub colstore_blocks_decoded: u64,
+    pub colstore_values_scanned: u64,
+    pub colstore_rows_compacted: u64,
     pub snapshot_reads: u64,
     pub mvcc_versions_published: u64,
     pub mvcc_gc_reclaimed: u64,
@@ -513,6 +590,11 @@ impl StatsSnapshot {
             objects_decoded: later.objects_decoded - self.objects_decoded,
             atoms_decoded: later.atoms_decoded - self.atoms_decoded,
             cursor_early_exits: later.cursor_early_exits - self.cursor_early_exits,
+            colstore_blocks_built: later.colstore_blocks_built - self.colstore_blocks_built,
+            colstore_blocks_pruned: later.colstore_blocks_pruned - self.colstore_blocks_pruned,
+            colstore_blocks_decoded: later.colstore_blocks_decoded - self.colstore_blocks_decoded,
+            colstore_values_scanned: later.colstore_values_scanned - self.colstore_values_scanned,
+            colstore_rows_compacted: later.colstore_rows_compacted - self.colstore_rows_compacted,
             snapshot_reads: later.snapshot_reads - self.snapshot_reads,
             mvcc_versions_published: later.mvcc_versions_published - self.mvcc_versions_published,
             mvcc_gc_reclaimed: later.mvcc_gc_reclaimed - self.mvcc_gc_reclaimed,
@@ -529,7 +611,7 @@ impl StatsSnapshot {
     }
 
     /// Counters in stable display order, grouped by subsystem.
-    pub fn groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 8] {
+    pub fn groups(&self) -> [(&'static str, Vec<(&'static str, u64)>); 9] {
         [
             (
                 "buffer",
@@ -584,6 +666,16 @@ impl StatsSnapshot {
                 ],
             ),
             ("cursor", vec![("early-exits", self.cursor_early_exits)]),
+            (
+                "colstore",
+                vec![
+                    ("blocks-built", self.colstore_blocks_built),
+                    ("blocks-pruned", self.colstore_blocks_pruned),
+                    ("blocks-decoded", self.colstore_blocks_decoded),
+                    ("values-scanned", self.colstore_values_scanned),
+                    ("rows-compacted", self.colstore_rows_compacted),
+                ],
+            ),
             (
                 "net",
                 vec![
@@ -726,7 +818,7 @@ mod tests {
         // Verbose shows everything, zeros included, one group per line.
         let v = s.snapshot().verbose().to_string();
         assert!(v.contains("misses=0"));
-        assert!(v.lines().count() == 8);
+        assert!(v.lines().count() == 9);
     }
 
     #[test]

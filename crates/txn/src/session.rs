@@ -151,6 +151,22 @@ impl SharedDatabase {
             .map_err(TxnError::Db)
     }
 
+    /// Freeze a flat table's hot rows into immutable columnar cold
+    /// blocks (quiesces through the database mutex, like
+    /// [`SharedDatabase::checkpoint`]). The snapshot store is resynced
+    /// afterwards, so read-only sessions opened later see the tiered
+    /// table under its new cold-row keys. Returns `(blocks, rows)`.
+    pub fn compact_table(&self, table: &str) -> Result<(usize, u64)> {
+        self.with_db(|db| db.compact_table(table))
+            .map_err(TxnError::Db)
+    }
+
+    /// Per-table tiering report: `(table, hot rows, cold blocks, cold
+    /// rows)` — NF² tables report their object count as "hot".
+    pub fn tiers(&self) -> Result<Vec<(String, usize, usize, u64)>> {
+        self.with_db(|db| db.table_tiers()).map_err(TxnError::Db)
+    }
+
     /// The shared statistics block (lock waits, deadlock aborts, group
     /// commit batches, and all storage counters).
     pub fn stats(&self) -> Stats {
@@ -975,6 +991,27 @@ impl TableProvider for Session {
         TableProvider::next_row(&mut *db, cur)
     }
 
+    fn next_batch(
+        &mut self,
+        cur: &mut ObjectCursor,
+        max_rows: usize,
+    ) -> aim2_exec::Result<Option<aim2_exec::ColumnBatch>> {
+        // Snapshot and ASOF cursors already hold their rows: batch them
+        // session-locally, same as `next_row` but amortized.
+        if cur.is_local() {
+            return aim2_exec::row_batch(self, cur, max_rows);
+        }
+        // Keyed cursors delegate to the database's columnar batch path
+        // (cold blocks decode once per batch); the lock and mutex
+        // discipline matches `next_row` — reentrant S lock, mutex held
+        // only for the pull itself.
+        let id = self.ensure_txn();
+        self.acquire(id, &LockKey::table(&cur.table), LockMode::Shared)
+            .map_err(exec_err)?;
+        let mut db = self.shared.db.lock().expect("database mutex poisoned");
+        TableProvider::next_batch(&mut *db, cur, max_rows)
+    }
+
     fn close_scan(&mut self, cur: ObjectCursor) {
         // Close-time accounting only needs the shared stats block, so
         // no cursor class pays for the database mutex here.
@@ -989,6 +1026,18 @@ impl TableProvider for Session {
             self.shared.stats.objects_decoded(),
             self.shared.stats.atoms_decoded(),
         )
+    }
+
+    fn colstore_counters(&mut self) -> (u64, u64, u64) {
+        (
+            self.shared.stats.colstore_blocks_pruned(),
+            self.shared.stats.colstore_blocks_decoded(),
+            self.shared.stats.colstore_values_scanned(),
+        )
+    }
+
+    fn note_values_scanned(&mut self, n: u64) {
+        self.shared.stats.add_colstore_values_scanned(n);
     }
 }
 

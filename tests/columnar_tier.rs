@@ -1,0 +1,295 @@
+//! Tiered columnar cold store: `compact_table` semantics, tier-spanning
+//! reads, melt-on-write, persistence across reopen, and the transaction
+//! layer's admin wiring.
+//!
+//! The invariant under test everywhere: compaction is a *physical*
+//! reorganization — every query answer, text search, snapshot, and
+//! integrity walk must be indistinguishable (up to row order) from the
+//! hot-heap answer.
+
+use aim2::{Database, DbConfig};
+use aim2_model::value::build::a;
+use aim2_model::{Atom, Tuple, Value};
+use aim2_txn::SharedDatabase;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aim2_tier_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn nums_db(rows: i64) -> Database {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE NUMS ( K INTEGER, V INTEGER )")
+        .unwrap();
+    for i in 0..rows {
+        db.insert_tuple("NUMS", Tuple::new(vec![a(i), a(i * 3)]))
+            .unwrap();
+    }
+    db
+}
+
+fn sorted_rows(db: &mut Database, sql: &str) -> Vec<Tuple> {
+    let (_, v) = db.query(sql).unwrap();
+    let mut rows = v.tuples;
+    rows.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+    rows
+}
+
+// =====================================================================
+// compact_table semantics
+// =====================================================================
+
+#[test]
+fn compact_empty_table_is_a_noop() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE EMPTY ( K INTEGER )").unwrap();
+    assert_eq!(db.compact_table("EMPTY").unwrap(), (0, 0));
+    let tiers = db.table_tiers().unwrap();
+    assert_eq!(tiers, vec![("EMPTY".to_string(), 0, 0, 0)]);
+    assert_eq!(db.query("SELECT * FROM EMPTY").unwrap().1.len(), 0);
+}
+
+#[test]
+fn compact_refuses_nf2_and_versioned_tables() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE NEST ( DNO INTEGER, SUB { X INTEGER } )")
+        .unwrap();
+    let e = db.compact_table("NEST").unwrap_err().to_string();
+    assert!(e.contains("NF²"), "{e}");
+    db.execute("CREATE TABLE HIST ( K INTEGER ) WITH VERSIONS")
+        .unwrap();
+    let e = db.compact_table("HIST").unwrap_err().to_string();
+    assert!(e.contains("versioned"), "{e}");
+}
+
+/// Exact multiples of the block size leave zero hot rows and no
+/// partial block; one extra row spills into a final short block.
+#[test]
+fn block_boundary_at_batch_size() {
+    let block = aim2_storage::colstore::BLOCK_ROWS as i64;
+
+    let mut db = nums_db(2 * block);
+    assert_eq!(db.compact_table("NUMS").unwrap(), (2, 2 * block as u64));
+    let tiers = db.table_tiers().unwrap();
+    assert_eq!(tiers, vec![("NUMS".to_string(), 0, 2, 2 * block as u64)]);
+    assert_eq!(
+        db.query("SELECT * FROM NUMS").unwrap().1.len(),
+        2 * block as usize
+    );
+    // A query whose matches straddle the block boundary sees both sides.
+    let (_, v) = db
+        .query(&format!(
+            "SELECT x.K FROM x IN NUMS WHERE x.K >= {} AND x.K <= {}",
+            block - 2,
+            block + 1
+        ))
+        .unwrap();
+    assert_eq!(v.len(), 4);
+
+    let mut db = nums_db(block + 1);
+    assert_eq!(db.compact_table("NUMS").unwrap(), (2, block as u64 + 1));
+}
+
+/// A column with one distinct value dictionary-encodes to a single
+/// entry; an equality probe for a value inside the zone range but
+/// absent from the dictionary short-circuits without materializing a
+/// single row.
+#[test]
+fn single_distinct_dictionary_short_circuits() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE FLAGS ( LO INTEGER, HI INTEGER )")
+        .unwrap();
+    // LO alternates 10/30 (zone [10,30], two dict entries); HI constant.
+    for i in 0..3000i64 {
+        db.insert_tuple(
+            "FLAGS",
+            Tuple::new(vec![a(if i % 2 == 0 { 10i64 } else { 30 }), a(7i64)]),
+        )
+        .unwrap();
+    }
+    db.compact_table("FLAGS").unwrap();
+
+    // 20 sits inside every zone but in no dictionary: blocks are NOT
+    // pruned, yet no row is ever materialized.
+    db.stats().reset();
+    let (_, v) = db
+        .query("SELECT x.HI FROM x IN FLAGS WHERE x.LO = 20")
+        .unwrap();
+    assert_eq!(v.len(), 0);
+    let snap = db.stats().snapshot();
+    assert_eq!(snap.colstore_blocks_pruned, 0, "zones cannot exclude 20");
+    assert_eq!(snap.objects_decoded, 0, "dictionary miss short-circuits");
+
+    // The present values still come back exactly.
+    let (_, v) = db
+        .query("SELECT x.HI FROM x IN FLAGS WHERE x.LO = 30")
+        .unwrap();
+    assert_eq!(v.len(), 1500);
+}
+
+// =====================================================================
+// Tier-spanning reads
+// =====================================================================
+
+/// Rows inserted after compaction stay hot; queries and text search
+/// see the union of both tiers.
+#[test]
+fn queries_span_hot_and_cold_tiers() {
+    let mut plain = nums_db(2500);
+    let mut db = nums_db(2000);
+    db.compact_table("NUMS").unwrap();
+    for i in 2000..2500i64 {
+        db.insert_tuple("NUMS", Tuple::new(vec![a(i), a(i * 3)]))
+            .unwrap();
+    }
+    let tiers = db.table_tiers().unwrap();
+    assert_eq!(tiers[0].1, 500, "late inserts stay hot");
+    assert!(tiers[0].2 >= 1, "frozen blocks remain");
+
+    assert_eq!(
+        sorted_rows(&mut db, "SELECT * FROM NUMS"),
+        sorted_rows(&mut plain, "SELECT * FROM NUMS"),
+    );
+}
+
+#[test]
+fn text_index_covers_cold_rows() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE NOTES ( ID INTEGER, BODY TEXT )")
+        .unwrap();
+    for i in 0..100i64 {
+        let body = if i == 37 {
+            "database machines and columnar storage".to_string()
+        } else {
+            format!("note number {i}")
+        };
+        db.insert_tuple(
+            "NOTES",
+            Tuple::new(vec![a(i), Value::Atom(Atom::Text(body))]),
+        )
+        .unwrap();
+    }
+    db.execute("CREATE TEXT INDEX NOTES_T ON NOTES (BODY)")
+        .unwrap();
+    db.compact_table("NOTES").unwrap();
+    let (_, v) = db
+        .query("SELECT x.ID FROM x IN NOTES WHERE x.BODY CONTAINS '*columnar*'")
+        .unwrap();
+    assert_eq!(v.len(), 1);
+    assert_eq!(v.tuples[0].fields[0], Value::Atom(Atom::Int(37)));
+    // And an index created over an already-cold table works too.
+    db.execute("CREATE TEXT INDEX NOTES_T2 ON NOTES (BODY)")
+        .unwrap();
+    let (_, v) = db
+        .query("SELECT x.ID FROM x IN NOTES WHERE x.BODY CONTAINS '*machine*'")
+        .unwrap();
+    assert_eq!(v.len(), 1);
+}
+
+// =====================================================================
+// Melt-on-write
+// =====================================================================
+
+/// DML against a tiered table melts the cold blocks back into the hot
+/// heap first; answers match a never-compacted table exactly.
+#[test]
+fn update_and_delete_melt_cold_blocks() {
+    let mut plain = nums_db(1500);
+    let mut tiered = nums_db(1500);
+    tiered.compact_table("NUMS").unwrap();
+
+    for db in [&mut plain, &mut tiered] {
+        db.execute("UPDATE x IN NUMS SET x.V = 0 WHERE x.K < 10")
+            .unwrap();
+        db.execute("DELETE x FROM x IN NUMS WHERE x.K >= 1400")
+            .unwrap();
+    }
+    let tiers = tiered.table_tiers().unwrap();
+    assert_eq!((tiers[0].2, tiers[0].3), (0, 0), "cold tier melted");
+    assert_eq!(
+        sorted_rows(&mut plain, "SELECT * FROM NUMS"),
+        sorted_rows(&mut tiered, "SELECT * FROM NUMS"),
+    );
+}
+
+// =====================================================================
+// Persistence
+// =====================================================================
+
+/// Compaction survives checkpoint + reopen: the cold directory comes
+/// back from the catalog, block payloads from the segment pages, and
+/// both the integrity walker and queries accept the reopened tiers.
+#[test]
+fn compaction_persists_across_reopen() {
+    let dir = temp_dir("reopen");
+    let cfg = DbConfig {
+        data_dir: Some(dir.clone()),
+        ..DbConfig::default()
+    };
+    let expected;
+    {
+        let mut db = Database::with_config(cfg.clone());
+        db.execute("CREATE TABLE NUMS ( K INTEGER, V INTEGER )")
+            .unwrap();
+        for i in 0..3000i64 {
+            db.insert_tuple("NUMS", Tuple::new(vec![a(i), a(i * 3)]))
+                .unwrap();
+        }
+        let (blocks, rows) = db.compact_table("NUMS").unwrap();
+        assert!(blocks >= 2);
+        assert_eq!(rows, 3000);
+        expected = sorted_rows(&mut db, "SELECT * FROM NUMS");
+        db.checkpoint().unwrap();
+    }
+    let mut db = Database::open(cfg).unwrap();
+    let tiers = db.table_tiers().unwrap();
+    assert_eq!(tiers[0].1, 0, "no hot rows after reopen");
+    assert!(tiers[0].2 >= 2, "cold blocks reopened");
+    assert_eq!(tiers[0].3, 3000);
+    assert_eq!(sorted_rows(&mut db, "SELECT * FROM NUMS"), expected);
+    let report = db.integrity_check().unwrap();
+    assert!(report.is_clean(), "{report}");
+    // Zone pruning still applies to reopened block metadata.
+    db.stats().reset();
+    db.query("SELECT x.V FROM x IN NUMS WHERE x.K = 2999")
+        .unwrap();
+    assert!(db.stats().snapshot().colstore_blocks_pruned >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// =====================================================================
+// Transaction layer
+// =====================================================================
+
+/// `SharedDatabase::compact_table` quiesces and resyncs snapshots:
+/// sessions opened after the compaction read the same rows lock-free,
+/// and 2PL sessions batch through the cold tier transparently.
+#[test]
+fn shared_database_compact_and_tiers() {
+    let mut db = nums_db(2048);
+    let expected = sorted_rows(&mut db, "SELECT * FROM NUMS");
+    let shared = SharedDatabase::new(db);
+
+    let (blocks, rows) = shared.compact_table("NUMS").unwrap();
+    assert_eq!((blocks, rows), (2, 2048));
+    let tiers = shared.tiers().unwrap();
+    assert_eq!(tiers, vec![("NUMS".to_string(), 0, 2, 2048)]);
+
+    // A 2PL session's scan pulls cold batches through the lock path.
+    let mut session = shared.session();
+    let got = session.query("SELECT * FROM NUMS").unwrap().1;
+    assert_eq!(got.len(), 2048);
+    session.commit().unwrap();
+
+    // A read-only snapshot session sees the identical post-compaction
+    // state with zero lock acquisitions.
+    let mut ro = shared.session();
+    ro.begin_read_only().unwrap();
+    let mut got = ro.query("SELECT * FROM NUMS").unwrap().1.tuples;
+    got.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+    assert_eq!(got, expected);
+    assert_eq!(ro.lock_acquisitions(), 0);
+    ro.commit().unwrap();
+}

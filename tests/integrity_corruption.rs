@@ -298,6 +298,108 @@ fn bit_rot_sweep_flat() {
     sweep("flat", Variant::Flat);
 }
 
+/// Bit-rot over the tiered cold store: after `compact_table` froze the
+/// heap into columnar blocks, a flip anywhere in the table's segment —
+/// block payload pages included — must be **detected** (page checksum
+/// or block CRC), **contained** (the block's home TID is quarantined;
+/// the table keeps serving its other blocks and hot rows), and
+/// **salvageable** (the survivors rebuild into a clean database).
+#[test]
+fn corrupt_cold_block_sweep() {
+    let dir = temp_dir("coldrot");
+    let committed;
+    {
+        let mut db = Database::with_config(config(&dir, LayoutKind::Ss3));
+        db.execute("CREATE TABLE COLD ( K INTEGER, V INTEGER )")
+            .unwrap();
+        for i in 0..1100i64 {
+            db.execute(&format!("INSERT INTO COLD VALUES ({i}, {})", i * 3))
+                .unwrap();
+        }
+        let (blocks, rows) = db.compact_table("COLD").unwrap();
+        assert_eq!((blocks, rows), (2, 1100));
+        // A hot tail on top of the frozen blocks.
+        for i in 1100..1160i64 {
+            db.execute(&format!("INSERT INTO COLD VALUES ({i}, {})", i * 3))
+                .unwrap();
+        }
+        db.checkpoint().unwrap();
+        committed = db.query("SELECT * FROM COLD").unwrap().1;
+        assert!(db.integrity_check().unwrap().is_clean());
+    }
+
+    let seg = seg_files(&dir)
+        .into_iter()
+        .find(|p| p.file_name().unwrap().to_string_lossy().contains("COLD"))
+        .expect("COLD segment file");
+    let len = std::fs::metadata(&seg).unwrap().len() as usize;
+    let mut detected = 0usize;
+    let mut contained_scans = 0usize;
+    let mut quarantines = 0usize;
+    for p in 0..len / PAGE {
+        let off = (p * PAGE) as u64 + 7 + (p as u64 * 131) % 900;
+        let bit = (p % 8) as u8;
+        let raw = std::fs::read(&seg).unwrap();
+        let stamped = raw[p * PAGE..p * PAGE + 4] != [0, 0, 0, 0];
+        flip_bit(&seg, off, bit);
+
+        let mut db = Database::open(config(&dir, LayoutKind::Ss3))
+            .unwrap_or_else(|e| panic!("open after cold flip must succeed: {e}"));
+        let report = db
+            .integrity_check()
+            .unwrap_or_else(|e| panic!("walker must not die on cold rot: {e}"));
+        if stamped {
+            assert!(
+                !report.is_clean(),
+                "page {p}: stamped page flip must be detected"
+            );
+            detected += 1;
+        }
+        quarantines += usize::from(!db.quarantined().is_empty());
+        // Containment: the table serves its survivors (quarantined
+        // blocks skipped) or fails typed — never panics, never invents.
+        match db.query("SELECT * FROM COLD") {
+            Ok((_, rows)) => {
+                assert!(rows.len() <= committed.len(), "phantom rows under rot");
+                assert!(is_subset_of(&rows, &committed), "rot fabricated a row");
+                contained_scans += 1;
+            }
+            Err(e) => {
+                let _ = e.to_string();
+            }
+        }
+        // Recovery: a sample of flips goes through full salvage.
+        if p % 8 == 0 {
+            let salvage_dir = temp_dir("coldrot_salv");
+            let (mut fresh, _) = db
+                .salvage(&salvage_dir)
+                .unwrap_or_else(|e| panic!("salvage must succeed under cold rot: {e}"));
+            assert!(fresh.integrity_check().unwrap().is_clean());
+            let (_, rows) = fresh.query("SELECT * FROM COLD").unwrap();
+            assert!(is_subset_of(&rows, &committed), "salvage invented rows");
+            drop(fresh);
+            let _ = std::fs::remove_dir_all(&salvage_dir);
+        }
+        drop(db);
+        flip_bit(&seg, off, bit);
+    }
+    assert!(detected > 0, "sweep never hit a stamped cold page");
+    assert!(
+        contained_scans > 0,
+        "no flip left the table serving survivors"
+    );
+    assert!(quarantines > 0, "no flip was ever quarantined");
+    // Healed: clean report, full contents, tiers intact.
+    let mut db = Database::open(config(&dir, LayoutKind::Ss3)).unwrap();
+    assert!(db.integrity_check().unwrap().is_clean());
+    let (_, rows) = db.query("SELECT * FROM COLD").unwrap();
+    assert!(rows.semantically_eq(&committed));
+    let tiers = db.table_tiers().unwrap();
+    let cold = tiers.iter().find(|t| t.0 == "COLD").unwrap();
+    assert_eq!((cold.2, cold.3), (2, 1100), "tiers survive the sweep");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn salvage_roundtrips_an_uncorrupted_database() {
     let dir = temp_dir("salv_rt");

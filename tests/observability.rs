@@ -10,6 +10,7 @@
 
 use aim2::{Database, DbConfig};
 use aim2_model::fixtures;
+use aim2_model::value::build::a;
 use std::time::Duration;
 
 fn paper_db() -> Database {
@@ -259,6 +260,52 @@ fn slow_log_records_over_threshold_and_caps_at_ring_size() {
     assert!(db.slow_log().is_empty());
 }
 
+// =====================================================================
+// Columnar cold-store attribution
+// =====================================================================
+
+/// After `compact_table`, a selective scan plans as ColumnarScan; the
+/// analyzed plan carries the pruning counters, and the decode sum
+/// invariant stays exact — per-batch sampling must attribute the same
+/// totals the Stats delta records.
+#[test]
+fn analyze_columnar_scan_attribution_and_sum_invariant() {
+    let mut db = Database::in_memory();
+    db.execute("CREATE TABLE NUMS ( K INTEGER, V INTEGER )")
+        .unwrap();
+    for i in 0..5000i64 {
+        db.insert_tuple("NUMS", aim2_model::Tuple::new(vec![a(i), a(i * 7)]))
+            .unwrap();
+    }
+    let (blocks, rows) = db.compact_table("NUMS").unwrap();
+    assert!(blocks >= 4, "5000 rows at 1024/block: {blocks}");
+    assert_eq!(rows, 5000);
+
+    let sql = "SELECT x.V FROM x IN NUMS WHERE x.K = 4999";
+    let before = db.stats().snapshot();
+    let (_, v, ap) = db.analyze(sql).unwrap();
+    let delta = before.delta(&db.stats().snapshot());
+    assert_eq!(v.len(), 1);
+
+    let rendered = ap.render(false);
+    assert!(
+        rendered.contains("ColumnarScan NUMS as x"),
+        "plan must show the columnar operator:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("blocks_pruned=") && rendered.contains("blocks_decoded="),
+        "pruning counters attributed:\n{rendered}"
+    );
+    assert!(
+        delta.colstore_blocks_pruned >= 3,
+        "zone maps prune all but the key's block: {}",
+        delta.colstore_blocks_pruned
+    );
+    // The sum invariant must survive batch-sampled attribution.
+    assert_eq!(ap.total_objects_decoded(), delta.objects_decoded);
+    assert_eq!(ap.total_atoms_decoded(), delta.atoms_decoded);
+}
+
 #[test]
 fn slow_log_disabled_by_default() {
     let mut db = paper_db();
@@ -280,9 +327,9 @@ fn stats_display_grouped_and_zero_suppressed() {
     assert!(shown.contains("buffer["), "grouped display: {shown}");
     assert!(shown.contains("objects-decoded="));
     assert!(!shown.contains("=0"), "zero counters suppressed: {shown}");
-    // Verbose shows all eight groups, including all-zero ones.
+    // Verbose shows all nine groups, including all-zero ones.
     let verbose = snap.verbose().to_string();
-    assert_eq!(verbose.lines().count(), 8);
+    assert_eq!(verbose.lines().count(), 9);
     for group in [
         "buffer",
         "storage",
@@ -292,6 +339,7 @@ fn stats_display_grouped_and_zero_suppressed() {
         "cursor",
         "mvcc",
         "net",
+        "colstore",
     ] {
         assert!(verbose.contains(group), "verbose missing {group}");
     }
