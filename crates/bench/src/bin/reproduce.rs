@@ -16,8 +16,8 @@ use aim2_index::index::NfIndex;
 use aim2_index::tname::{Resolved, TupleName};
 use aim2_model::{fixtures, render, Atom, Date, Path};
 use aim2_net::{
-    write_frame, Client, ErrorCode, NetError, QueryOutcome, Request, Response, Server,
-    ServerConfig, PROTOCOL_VERSION,
+    write_frame, Client, ClientConfig, ErrorCode, NetError, QueryOutcome, Request, Response,
+    Server, ServerConfig, TraceFormat, PROTOCOL_VERSION,
 };
 use aim2_storage::faultdisk::FaultInjector;
 use aim2_storage::ims::{Cursor, ImsStore};
@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     observability()?;
     mvcc()?;
     network()?;
+    tracing()?;
     println!("\nAll reproduction checks passed.");
     Ok(())
 }
@@ -1314,6 +1315,104 @@ fn network() -> Result<(), Box<dyn std::error::Error>> {
         readmitted.is_some()
     );
     assert!(readmitted.is_some(), "freed slot must admit the retry");
+    handle.shutdown();
+    Ok(())
+}
+
+fn tracing() -> Result<(), Box<dyn std::error::Error>> {
+    heading("Tracing — request-scoped span trees in the flight recorder");
+
+    // Embedded: with tracing on, every statement leaves a span tree
+    // whose stage self-times decompose the root `db.query` span.
+    let mut db = paper_database()?;
+    db.set_tracing(true);
+    db.query(
+        "SELECT x.DNO, x.MGRNO, x.BUDGET FROM x IN DEPARTMENTS
+         WHERE EXISTS y IN x.EQUIP : y.TYPE = 'PC/AT'",
+    )?;
+    let last = db
+        .stats()
+        .recorder()
+        .last()
+        .expect("traced query must be recorded");
+    assert!(
+        last.stage_total_ns() <= last.total_ns,
+        "stage self-times must sum within the root span"
+    );
+    assert!(last.objects_decoded > 0, "paper query decodes objects");
+    println!(
+        "embedded trace (shell `.trace last`): root={}, stages sum within root, \
+         decoded objects={} atoms={}",
+        last.root, last.objects_decoded, last.atoms_decoded
+    );
+
+    // Over TCP: the *client* mints the 64-bit id, protocol v3 carries
+    // it on the Query frame, and the server threads it through
+    // admission → parse → execution → row streaming before parking the
+    // finished tree in its per-database flight recorder. The client
+    // then pulls that very trace back by id over the wire.
+    let shared = SharedDatabase::new(paper_database()?);
+    let stats = shared.stats();
+    let mut handle = Server::start(shared, ServerConfig::default())?;
+    let mut client = Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            client_name: "reproduce-trace".to_string(),
+            trace: true,
+            ..ClientConfig::default()
+        },
+    )?;
+    for sql in [
+        "SELECT * FROM DEPARTMENTS",
+        "SELECT x.DNO, x.BUDGET FROM x IN DEPARTMENTS WHERE x.BUDGET > 300000",
+        "SELECT r.REPNO, r.TITLE FROM r IN REPORTS",
+    ] {
+        client.query_fetch(sql, 2)?;
+    }
+    let minted = client
+        .last_client_trace()
+        .expect("client records every attempt")
+        .trace_id;
+    assert_ne!(minted, 0, "traced statements mint a nonzero id");
+    let text = client.trace_by_id(minted, TraceFormat::Text)?;
+    assert!(
+        text.contains(&format!("{minted:#018x}")),
+        "same trace id on both ends"
+    );
+    let server_side = stats
+        .recorder()
+        .find(minted)
+        .expect("server retains the client-minted trace");
+    println!(
+        "server-side trace fetched over the wire by the client-minted id: \
+         root={}, stages present: {}",
+        server_side.root,
+        server_side
+            .stages
+            .iter()
+            .map(|(s, _)| *s)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The Trace-verb round trip above happens-after the server finished
+    // recording, so the recorder is now fully settled for export.
+    for t in stats.recorder().recent() {
+        assert!(
+            t.stage_total_ns() <= t.total_ns,
+            "every recorded trace obeys the sum-within-root invariant"
+        );
+    }
+    let jsonl = stats.recorder().to_jsonl();
+    assert!(jsonl.lines().count() >= 3, "all three queries were traced");
+    std::fs::write("traces.jsonl", &jsonl)?;
+    println!(
+        "flight recorder exported: traces.jsonl ({} traces, {} lines)",
+        stats.recorder().recorded(),
+        jsonl.lines().count()
+    );
+
+    client.goodbye()?;
     handle.shutdown();
     Ok(())
 }

@@ -176,6 +176,9 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
                                       histograms); JSON or Prometheus text\n\
                  .slow [MILLIS|off]   show the slow-query log; MILLIS sets the\n\
                                       threshold, `off` disables and clears it\n\
+                 .trace [on|off|last|slow|ID] per-query span traces: `on` mints a\n\
+                                      trace per query, `last`/`slow`/hex ID render\n\
+                                      recorded traces from the flight recorder\n\
                  .today [YYYY-MM-DD]  show/set the logical date (versions)\n\
                  .checkpoint          flush + write the catalog (file-backed)\n\
                  .compact TABLE       freeze a flat table's rows into columnar\n\
@@ -264,6 +267,40 @@ fn dot_command(db: &mut Database, cmd: &str) -> bool {
                     }
                 }
             }
+        },
+        ".trace" => match parts.next().map(str::trim) {
+            Some("on") => {
+                db.set_tracing(true);
+                println!("tracing on: every query records a span tree (see .trace last)");
+            }
+            Some("off") => {
+                db.set_tracing(false);
+                println!("tracing off");
+            }
+            Some("slow") => {
+                let slow = db.stats().recorder().slow();
+                if slow.is_empty() {
+                    println!("(no slow traces recorded)");
+                }
+                for t in slow {
+                    print!("{}", t.render_text());
+                }
+            }
+            Some(id) if !id.is_empty() && id != "last" => {
+                let parsed = u64::from_str_radix(id.trim_start_matches("0x"), 16)
+                    .or_else(|_| id.parse::<u64>());
+                match parsed {
+                    Ok(id) => match db.stats().recorder().find(id) {
+                        Some(t) => print!("{}", t.render_text()),
+                        None => println!("no trace {id:#018x} retained"),
+                    },
+                    Err(_) => eprintln!("usage: .trace [on|off|last|slow|ID]"),
+                }
+            }
+            _ => match db.stats().recorder().last() {
+                Some(t) => print!("{}", t.render_text()),
+                None => println!("(no traces recorded; try `.trace on`)"),
+            },
         },
         ".today" => match parts.next() {
             Some(d) => match Date::parse_iso(d.trim()) {

@@ -54,6 +54,12 @@ pub struct DbConfig {
     /// slow-query log ([`Database::slow_log`]) with their plan, stats
     /// delta, and span tree.
     pub slow_query_threshold: Option<Duration>,
+    /// When true, every query mints a sampled trace context and records
+    /// its completed span tree in the flight recorder
+    /// (`stats().recorder()`); the shell's `.trace` renders it.
+    pub trace_queries: bool,
+    /// Capacity of the flight-recorder ring holding completed traces.
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for DbConfig {
@@ -65,6 +71,8 @@ impl Default for DbConfig {
             data_dir: None,
             fault: None,
             slow_query_threshold: None,
+            trace_queries: false,
+            flight_recorder_capacity: aim2_obs::DEFAULT_FLIGHT_CAPACITY,
         }
     }
 }
@@ -141,10 +149,11 @@ impl Database {
 
     /// A database with explicit configuration.
     pub fn with_config(config: DbConfig) -> Database {
+        let stats = Stats::with_flight_capacity(config.flight_recorder_capacity);
         Database {
             config,
             catalog: Catalog::new(),
-            stats: Stats::new(),
+            stats,
             today: Date::from_ymd(1986, 5, 28).expect("valid date"), // SIGMOD '86
             seg_counter: 0,
             last_plan: String::new(),
@@ -1136,9 +1145,15 @@ impl Database {
     fn run_query(&mut self, q: &ast::Query) -> Result<(TableSchema, TableValue)> {
         self.last_plan = "full scan".to_string();
         let threshold = self.config.slow_query_threshold;
-        let before = threshold.map(|_| self.stats.snapshot());
-        if threshold.is_some() {
+        let trace = self
+            .config
+            .trace_queries
+            .then(aim2_obs::TraceContext::sampled);
+        let capture = trace.is_some() || threshold.is_some();
+        let before = capture.then(|| self.stats.snapshot());
+        if capture {
             aim2_obs::begin_capture();
+            aim2_obs::set_trace_context(trace);
         }
         let started = Instant::now();
         let out = {
@@ -1153,19 +1168,33 @@ impl Database {
             }
             out
         };
-        if let Some(threshold) = threshold {
+        if capture {
             let elapsed = started.elapsed();
             let spans = aim2_obs::end_capture();
-            if elapsed >= threshold {
-                let delta = before
-                    .expect("snapshot taken with threshold")
-                    .delta(&self.stats.snapshot());
+            aim2_obs::set_trace_context(None);
+            let delta = before
+                .expect("snapshot taken while capturing")
+                .delta(&self.stats.snapshot());
+            let slow = threshold.is_some_and(|t| elapsed >= t);
+            if let Some(ctx) = trace {
+                let mut t = aim2_obs::Trace::from_spans(
+                    ctx,
+                    self.current_sql.as_str(),
+                    spans.clone(),
+                    delta.objects_decoded,
+                    delta.atoms_decoded,
+                );
+                t.slow = slow;
+                self.stats.recorder().record(t);
+            }
+            if slow {
                 self.slow_log.push(SlowQueryRecord {
                     statement: self.current_sql.clone(),
                     plan: self.last_plan.clone(),
                     elapsed,
                     delta,
                     spans,
+                    trace_id: trace.map_or(0, |c| c.trace_id),
                 });
             }
         }
@@ -1226,6 +1255,18 @@ impl Database {
     /// recording; existing records are kept).
     pub fn set_slow_query_threshold(&mut self, t: Option<Duration>) {
         self.config.slow_query_threshold = t;
+    }
+
+    /// Toggle per-query tracing at run time (see
+    /// [`DbConfig::trace_queries`]). Completed traces land in
+    /// `stats().recorder()`; the shell's `.trace` renders them.
+    pub fn set_tracing(&mut self, on: bool) {
+        self.config.trace_queries = on;
+    }
+
+    /// Whether queries currently mint trace contexts.
+    pub fn tracing(&self) -> bool {
+        self.config.trace_queries
     }
 
     /// If a scan request carries conjuncts an index on its table can

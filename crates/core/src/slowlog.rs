@@ -32,6 +32,9 @@ pub struct SlowQueryRecord {
     pub delta: StatsSnapshot,
     /// Span tree captured while the query ran.
     pub spans: Vec<SpanEvent>,
+    /// Trace id active while the query ran (0 = untraced), linking the
+    /// slow-log entry to the flight recorder's full span tree.
+    pub trace_id: u64,
 }
 
 impl fmt::Display for SlowQueryRecord {
@@ -46,6 +49,9 @@ impl fmt::Display for SlowQueryRecord {
                 &self.statement
             }
         )?;
+        if self.trace_id != 0 {
+            writeln!(f, "  trace: {:#018x}", self.trace_id)?;
+        }
         for line in self.plan.lines() {
             writeln!(f, "  {line}")?;
         }
@@ -126,6 +132,7 @@ mod tests {
             elapsed: Duration::from_millis(n as u64),
             delta: StatsSnapshot::default(),
             spans: Vec::new(),
+            trace_id: 0,
         }
     }
 
@@ -149,5 +156,16 @@ mod tests {
         assert!(shown.starts_with("[7.0ms] SELECT 7"));
         assert!(shown.contains("  Project [x]"));
         assert!(shown.contains("stats delta:"));
+        assert!(!shown.contains("trace:"), "untraced records stay silent");
+    }
+
+    #[test]
+    fn display_links_trace_id_when_present() {
+        let shown = SlowQueryRecord {
+            trace_id: 0xabcd,
+            ..rec(3)
+        }
+        .to_string();
+        assert!(shown.contains("trace: 0x000000000000abcd"));
     }
 }

@@ -349,6 +349,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
     fn pull_row(&mut self, cur: &mut ObjectCursor) -> Result<Option<Tuple>> {
         if let Some(d) = self.deadline {
             if d.expired() {
+                aim2_obs::note_event("deadline.exceeded");
                 return Err(ExecError::DeadlineExceeded);
             }
         }
@@ -384,6 +385,7 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
     ) -> Result<Option<ColumnBatch>> {
         if let Some(d) = self.deadline {
             if d.expired() {
+                aim2_obs::note_event("deadline.exceeded");
                 return Err(ExecError::DeadlineExceeded);
             }
         }
@@ -482,7 +484,10 @@ impl<'p, P: TableProvider> Evaluator<'p, P> {
     /// half-streamed query).
     pub fn eval_query_streamed(&mut self, q: &Query, sink: &mut dyn RowSink) -> Result<()> {
         let schema = infer_query_schema(q, self.provider, &mut SchemaEnv::new(), "RESULT")?;
-        self.prepare(q);
+        {
+            let _plan = aim2_obs::capture_span("exec.plan");
+            self.prepare(q);
+        }
         let mut env = Env::default();
         let kind = self.query_kind(q, &env)?;
         sink.on_start(&schema, kind)?;

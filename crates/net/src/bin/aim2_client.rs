@@ -17,7 +17,7 @@
 use std::io::{BufRead, Write};
 
 use aim2_model::render;
-use aim2_net::{Client, MetricsFormat, QueryOutcome};
+use aim2_net::{Client, MetricsFormat, QueryOutcome, TraceFormat};
 
 fn main() {
     let mut addr = "127.0.0.1:4884".to_string();
@@ -129,6 +129,10 @@ fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
              .checkpoint          force a server-side checkpoint (durability floor)\n\
              .fetch N             rows per frame for streamed results (0 = server default)\n\
              .timeout MILLIS      per-statement deadline (0 = none; server may cap)\n\
+             .trace [on|off|last|slow|ID|client] end-to-end traces: `on` samples\n\
+                                  every statement; `last`/`slow`/hex ID fetch the\n\
+                                  server's span tree; `client` shows this side's\n\
+                                  retry/backoff record of the last statement\n\
              .quit                leave"
         ),
         ".begin" => {
@@ -164,6 +168,30 @@ fn dot_command(client: &mut Client, fetch: &mut u32, cmd: &str) -> bool {
                 println!("statement timeout = {ms}ms");
             }
             None => eprintln!("usage: .timeout MILLIS"),
+        },
+        ".trace" => match parts.next().map(str::trim) {
+            Some("on") => {
+                client.set_tracing(true);
+                println!("tracing on: every statement carries a sampled trace id");
+            }
+            Some("off") => {
+                client.set_tracing(false);
+                println!("tracing off");
+            }
+            Some("slow") => report(client.trace_slow(TraceFormat::Text)),
+            Some("client") => match client.last_client_trace() {
+                Some(t) => print!("{}", t.render_text()),
+                None => println!("(no statement run yet)"),
+            },
+            Some(id) if !id.is_empty() && id != "last" => {
+                let parsed = u64::from_str_radix(id.trim_start_matches("0x"), 16)
+                    .or_else(|_| id.parse::<u64>());
+                match parsed {
+                    Ok(id) => report(client.trace_by_id(id, TraceFormat::Text)),
+                    Err(_) => eprintln!("usage: .trace [on|off|last|slow|ID|client]"),
+                }
+            }
+            _ => report(client.trace_last(TraceFormat::Text)),
         },
         other => eprintln!("unknown command {other}; try .help"),
     }

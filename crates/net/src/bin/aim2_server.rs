@@ -40,12 +40,17 @@ fn main() {
                 let ms = parse(args.next(), "--idle-timeout-ms MS") as u64;
                 cfg.idle_timeout = (ms > 0).then(|| std::time::Duration::from_millis(ms));
             }
+            "--slow-trace-ms" => {
+                let ms = parse(args.next(), "--slow-trace-ms MS") as u64;
+                cfg.slow_trace = std::time::Duration::from_millis(ms);
+            }
             "--demo" => demo = true,
             "--help" | "-h" => {
                 println!(
                     "usage: aim2-server [--listen ADDR] [--data DIR] [--demo]\n\
                      \x20                  [--max-conns N] [--max-inflight N]\n\
                      \x20                  [--statement-timeout-ms MS] [--idle-timeout-ms MS]\n\
+                     \x20                  [--slow-trace-ms MS]\n\
                      --listen ADDR     bind address (default 127.0.0.1:4884)\n\
                      --data DIR        file-backed database (reopens if present)\n\
                      --demo            load the paper's Tables 1-8\n\
@@ -53,6 +58,8 @@ fn main() {
                      --max-inflight N  concurrent statement limit (default 64)\n\
                      --statement-timeout-ms MS  default per-statement deadline (0 = none)\n\
                      --idle-timeout-ms MS       reap idle connections after MS (0 = never)\n\
+                     --slow-trace-ms MS         retain traces slower than MS in the slow\n\
+                     \x20                           ring regardless of sampling (default 100)\n\
                      Type 'quit' (or close stdin) to shut down gracefully."
                 );
                 return;

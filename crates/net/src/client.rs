@@ -30,9 +30,75 @@ use std::time::{Duration, Instant};
 
 use aim2_model::{TableSchema, TableValue};
 
-use crate::error::NetError;
-use crate::proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
+use crate::error::{ErrorCode, NetError};
+use crate::proto::{
+    MetricsFormat, Request, Response, TraceContext, TraceFormat, TraceQuery, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_V2,
+};
 use crate::wire::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+
+/// One try of a statement as seen by the client's retry loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptRecord {
+    /// 0-based try number, matching the `attempt` field sent on the wire.
+    pub attempt: u32,
+    /// Server error code when the failure was a wire `Error` frame;
+    /// `None` on success or on transport-level failures.
+    pub code: Option<ErrorCode>,
+    /// Whether the failure was judged retryable (server verdict, or a
+    /// connection loss the client recovered from).
+    pub retryable: bool,
+    /// Backoff slept *after* this attempt before the next one; 0 on the
+    /// final (successful or terminal) attempt.
+    pub backoff_ms: u64,
+    /// Short description of the failure; empty on success.
+    pub error: String,
+}
+
+/// Client-side record of one statement: the trace id sent to the server
+/// (0 when tracing was off) plus the outcome of every attempt the retry
+/// loop made. Pairs with the server-side span tree fetched via
+/// [`Client::trace_by_id`] to give both halves of a slow or flaky query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientTrace {
+    /// Trace id carried on every attempt's `Query` frame (same id on
+    /// retries: the attempts are one logical request).
+    pub trace_id: u64,
+    pub statement: String,
+    /// Every try, in order; the last entry is the one that settled it.
+    pub attempts: Vec<AttemptRecord>,
+    /// Wall time across all attempts and backoff sleeps.
+    pub total_ms: u64,
+    pub ok: bool,
+}
+
+impl ClientTrace {
+    /// Deterministic one-trace rendering for the shell's `.trace` verb.
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "client trace {:#018x} {} {}ms  {}\n",
+            self.trace_id,
+            if self.ok { "ok" } else { "failed" },
+            self.total_ms,
+            self.statement
+        );
+        for a in &self.attempts {
+            if a.error.is_empty() {
+                out.push_str(&format!("  attempt {}: ok\n", a.attempt));
+            } else {
+                out.push_str(&format!(
+                    "  attempt {}: {}{} (retryable={}, backoff={}ms)\n",
+                    a.attempt,
+                    a.code.map(|c| format!("[{c:?}] ")).unwrap_or_default(),
+                    a.error,
+                    a.retryable,
+                    a.backoff_ms
+                ));
+            }
+        }
+        out
+    }
+}
 
 /// What a statement produced, mirroring the engine's `ExecResult` with
 /// the streamed frames reassembled into a whole table.
@@ -128,6 +194,12 @@ pub struct ClientConfig {
     /// Per-statement deadline sent with every `Query` (milliseconds;
     /// 0 = the server's default).
     pub statement_timeout_ms: u32,
+    /// When true, every statement mints a sampled [`TraceContext`] that
+    /// the server threads through execution and records in its flight
+    /// recorder; the client keeps a matching [`ClientTrace`] of its
+    /// retry attempts. Off by default: untraced statements are
+    /// byte-identical to protocol v2 frames.
+    pub trace: bool,
 }
 
 impl Default for ClientConfig {
@@ -139,6 +211,7 @@ impl Default for ClientConfig {
             retry: RetryPolicy::default(),
             max_frame: DEFAULT_MAX_FRAME,
             statement_timeout_ms: 0,
+            trace: false,
         }
     }
 }
@@ -150,6 +223,9 @@ pub struct Client {
     /// Resolved dial targets, kept for automatic reconnects.
     addrs: Vec<SocketAddr>,
     server: String,
+    /// Protocol version the server echoed in `HelloOk`; trace-carrying
+    /// frames are only sent to a v3 peer.
+    peer_version: u32,
     /// Whether an explicit transaction is open on this session — the
     /// gate that disables statement auto-retry.
     in_txn: bool,
@@ -158,6 +234,9 @@ pub struct Client {
     /// Successful automatic reconnect + re-handshake cycles.
     reconnects: u64,
     jitter: u64,
+    /// Retry-loop record of the most recent statement (always kept;
+    /// `trace_id` is 0 when tracing was off).
+    last_trace: Option<ClientTrace>,
 }
 
 impl Client {
@@ -191,16 +270,18 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             match dial_and_handshake(&addrs, &cfg) {
-                Ok((stream, server)) => {
+                Ok((stream, server, peer_version)) => {
                     return Ok(Client {
                         stream,
                         cfg,
                         addrs,
                         server,
+                        peer_version,
                         in_txn: false,
                         retries: 0,
                         reconnects: 0,
                         jitter,
+                        last_trace: None,
                     })
                 }
                 Err(e) => {
@@ -247,6 +328,57 @@ impl Client {
         self.cfg.statement_timeout_ms = ms;
     }
 
+    /// Toggle per-statement tracing (see [`ClientConfig::trace`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.cfg.trace = on;
+    }
+
+    /// Whether statements currently mint trace contexts.
+    pub fn tracing(&self) -> bool {
+        self.cfg.trace
+    }
+
+    /// The client-side retry record of the most recent statement.
+    pub fn last_client_trace(&self) -> Option<&ClientTrace> {
+        self.last_trace.as_ref()
+    }
+
+    /// Fetch the server's most recently completed trace.
+    pub fn trace_last(&mut self, format: TraceFormat) -> Result<String, NetError> {
+        self.info(&Request::Trace {
+            query: TraceQuery::Last,
+            format,
+        })
+    }
+
+    /// Fetch the server's retained slow traces (slowest-ring order).
+    pub fn trace_slow(&mut self, format: TraceFormat) -> Result<String, NetError> {
+        self.info(&Request::Trace {
+            query: TraceQuery::Slow,
+            format,
+        })
+    }
+
+    /// Fetch one server-side trace by id — typically the id this client
+    /// minted, read back from [`Client::last_client_trace`].
+    pub fn trace_by_id(&mut self, id: u64, format: TraceFormat) -> Result<String, NetError> {
+        self.info(&Request::Trace {
+            query: TraceQuery::Id(id),
+            format,
+        })
+    }
+
+    /// Protocol version negotiated with the server.
+    pub fn peer_version(&self) -> u32 {
+        self.peer_version
+    }
+
+    /// A fresh sampled context when tracing is on and the peer speaks
+    /// v3, `None` otherwise (a v2 server can't decode traced frames).
+    fn mint_trace(&self) -> Option<TraceContext> {
+        (self.cfg.trace && self.peer_version >= PROTOCOL_VERSION).then(TraceContext::sampled)
+    }
+
     /// Send one request frame.
     pub fn send(&mut self, req: &Request) -> Result<(), NetError> {
         write_frame(&mut self.stream, &req.encode())?;
@@ -283,9 +415,10 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             match dial_and_handshake(&self.addrs, &self.cfg) {
-                Ok((stream, server)) => {
+                Ok((stream, server, peer_version)) => {
                     self.stream = stream;
                     self.server = server;
+                    self.peer_version = peer_version;
                     self.in_txn = false;
                     self.reconnects += 1;
                     return Ok(());
@@ -324,32 +457,59 @@ impl Client {
     /// stays usable) but unsafe statements surface the loss instead of
     /// replaying.
     pub fn query_fetch(&mut self, sql: &str, fetch: u32) -> Result<QueryOutcome, NetError> {
+        let trace = self.mint_trace();
         let safe = self.statement_is_safe(sql);
         let started = Instant::now();
         let mut attempt = 0u32;
-        loop {
-            let r = self.query_once(sql, fetch, attempt);
-            let Err(e) = r else { return r };
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let result = loop {
+            let r = self.query_once(sql, fetch, attempt, trace);
+            let e = match r {
+                Ok(v) => {
+                    attempts.push(AttemptRecord {
+                        attempt,
+                        code: None,
+                        retryable: false,
+                        backoff_ms: 0,
+                        error: String::new(),
+                    });
+                    break Ok(v);
+                }
+                Err(e) => e,
+            };
             let lost = e.is_connection_loss();
             if lost {
                 // Reconnect even when we won't replay: the next
                 // statement deserves a working session either way.
                 self.in_txn = false;
                 if self.reconnect().is_err() {
-                    return Err(e);
+                    attempts.push(attempt_record(attempt, &e, Duration::ZERO));
+                    break Err(e);
                 }
             }
+            let this_attempt = attempt;
             attempt += 1;
             if !safe || !(lost || e.is_retryable()) || attempt >= self.cfg.retry.max_attempts {
-                return Err(e);
+                attempts.push(attempt_record(this_attempt, &e, Duration::ZERO));
+                break Err(e);
             }
             let sleep = retry_sleep(&self.cfg.retry, &e, attempt, &mut self.jitter);
             if started.elapsed() + sleep > self.cfg.retry.budget {
-                return Err(e);
+                attempts.push(attempt_record(this_attempt, &e, Duration::ZERO));
+                break Err(e);
             }
+            attempts.push(attempt_record(this_attempt, &e, sleep));
             std::thread::sleep(sleep);
             self.retries += 1;
-        }
+        };
+        self.last_trace = Some(ClientTrace {
+            trace_id: trace.map_or(0, |t| t.trace_id),
+            statement: sql.to_string(),
+            attempts,
+            total_ms: started.elapsed().as_millis() as u64,
+            ok: result.is_ok(),
+        });
+        result
     }
 
     /// One send/stream/reassemble pass, no retries. Mid-stream
@@ -360,11 +520,13 @@ impl Client {
         sql: &str,
         fetch: u32,
         attempt: u32,
+        trace: Option<TraceContext>,
     ) -> Result<QueryOutcome, NetError> {
         self.send(&Request::Query {
             fetch,
             timeout_ms: self.cfg.statement_timeout_ms,
             attempt,
+            trace,
             sql: sql.to_string(),
         })?;
         match self.recv()? {
@@ -402,7 +564,7 @@ impl Client {
                                     TableValue { kind, tuples },
                                 ));
                             }
-                            if let Err(e) = self.send(&Request::FetchMore) {
+                            if let Err(e) = self.send(&Request::FetchMore { trace }) {
                                 if e.is_connection_loss() {
                                     return Err(NetError::ConnectionLost {
                                         rows_seen: tuples.len() as u64,
@@ -455,7 +617,8 @@ impl Client {
     /// Open an explicit transaction. `read_only = true` pins an MVCC
     /// snapshot: every query in it runs lock-free.
     pub fn begin(&mut self, read_only: bool) -> Result<String, NetError> {
-        let r = self.simple(&Request::Begin { read_only });
+        let trace = self.mint_trace();
+        let r = self.simple(&Request::Begin { read_only, trace });
         if r.is_ok() {
             self.in_txn = true;
         }
@@ -463,7 +626,8 @@ impl Client {
     }
 
     pub fn commit(&mut self) -> Result<String, NetError> {
-        let r = self.simple(&Request::Commit);
+        let trace = self.mint_trace();
+        let r = self.simple(&Request::Commit { trace });
         // Either outcome settles the transaction client-side: on a
         // server-reported error the transaction state is unknown at
         // best (deadlock victims are already rolled back), and on a
@@ -596,7 +760,7 @@ impl Client {
 fn dial_and_handshake(
     addrs: &[SocketAddr],
     cfg: &ClientConfig,
-) -> Result<(TcpStream, String), NetError> {
+) -> Result<(TcpStream, String, u32), NetError> {
     let mut last: Option<std::io::Error> = None;
     let mut stream = None;
     for a in addrs {
@@ -645,13 +809,15 @@ fn dial_and_handshake(
     };
     match Response::decode(&payload)? {
         Response::HelloOk { version, server } => {
-            if version != PROTOCOL_VERSION {
+            // v2 servers are fine: this client only adds trace-carrying
+            // frames, which it won't send to a peer that didn't offer v3.
+            if version != PROTOCOL_VERSION && version != PROTOCOL_VERSION_V2 {
                 return Err(NetError::Version {
                     ours: PROTOCOL_VERSION,
                     theirs: version,
                 });
             }
-            Ok((stream, server))
+            Ok((stream, server, version))
         }
         Response::Error {
             code,
@@ -667,6 +833,23 @@ fn dial_and_handshake(
         other => Err(NetError::Protocol(format!(
             "expected HelloOk, got {other:?}"
         ))),
+    }
+}
+
+/// Snapshot one failed try for the [`ClientTrace`] attempt log.
+fn attempt_record(attempt: u32, e: &NetError, backoff: Duration) -> AttemptRecord {
+    let (code, retryable) = match e {
+        NetError::Server {
+            code, retryable, ..
+        } => (Some(*code), *retryable),
+        _ => (None, e.is_connection_loss()),
+    };
+    AttemptRecord {
+        attempt,
+        code,
+        retryable,
+        backoff_ms: backoff.as_millis() as u64,
+        error: e.to_string(),
     }
 }
 

@@ -16,8 +16,11 @@ pub mod server;
 pub mod wire;
 
 pub use chaos::{ChaosProxy, FaultPlan};
-pub use client::{Client, ClientConfig, QueryOutcome, RetryPolicy};
+pub use client::{AttemptRecord, Client, ClientConfig, ClientTrace, QueryOutcome, RetryPolicy};
 pub use error::{ErrorCode, NetError};
-pub use proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
+pub use proto::{
+    MetricsFormat, Request, Response, TraceContext, TraceFormat, TraceQuery, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_V2,
+};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use wire::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};

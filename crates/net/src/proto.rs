@@ -1,7 +1,7 @@
 //! Typed request/response messages and their byte encoding.
 //!
 //! One message per frame payload: a tag byte followed by a
-//! tag-specific body. Requests use tags `0x01..=0x0D`, responses
+//! tag-specific body. Requests use tags `0x01..=0x12`, responses
 //! `0x81..=0x88` — disjoint ranges, so a peer that confuses the two
 //! directions fails decoding immediately. Row data rides the model
 //! crate's self-describing tuple encoding and schemas ride
@@ -12,17 +12,32 @@
 //! that consumed the entire payload, or returns [`NetError::Decode`].
 //! They never panic and never allocate more than the payload could
 //! possibly describe (see the proptest suite in `tests/prop_wire.rs`).
+//!
+//! **Trace propagation (v3).** `Query`/`Begin`/`Commit`/`FetchMore`
+//! optionally carry a [`TraceContext`]. Each traced verb has a second
+//! tag byte: the legacy tag encodes `trace: None`, the traced tag
+//! prefixes the body with the 9-byte context. Every message therefore
+//! has exactly one encoding (the proptests' canonical-form invariant
+//! survives), and a v2 peer's frames decode unchanged as `trace: None`.
 
 use aim2_model::encode::{decode_schema, decode_tuple, encode_schema, encode_tuple};
 use aim2_model::{TableKind, TableSchema, Tuple};
+pub use aim2_obs::TraceContext;
 
 use crate::error::NetError;
 
-/// Wire protocol version. The server rejects a `Hello` carrying any
-/// other value; bump on every incompatible change to this module.
+/// Current wire protocol version; the server also accepts
+/// [`PROTOCOL_VERSION_V2`] and echoes whichever the client offered.
+/// Bump on every incompatible change to this module.
 /// v2: `Query` gained `timeout_ms`/`attempt`, `Error` gained
 /// `retry_after_ms`, and the `Ping`/`Pong`/`Checkpoint` verbs arrived.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// v3: `Query`/`Begin`/`Commit`/`FetchMore` may carry a trace context
+/// (dual-tag encoding) and the `Trace` admin verb arrived.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// Previous protocol version, still accepted by the server: v2 clients
+/// simply never send traced tags or the `Trace` verb.
+pub const PROTOCOL_VERSION_V2: u32 = 2;
 
 const REQ_HELLO: u8 = 0x01;
 const REQ_QUERY: u8 = 0x02;
@@ -37,6 +52,13 @@ const REQ_INTEGRITY_CHECK: u8 = 0x0a;
 const REQ_GOODBYE: u8 = 0x0b;
 const REQ_PING: u8 = 0x0c;
 const REQ_CHECKPOINT: u8 = 0x0d;
+// v3: traced twins of the verbs that accept a trace context, plus the
+// Trace admin verb.
+const REQ_QUERY_TRACED: u8 = 0x0e;
+const REQ_BEGIN_TRACED: u8 = 0x0f;
+const REQ_COMMIT_TRACED: u8 = 0x10;
+const REQ_FETCH_MORE_TRACED: u8 = 0x11;
+const REQ_TRACE: u8 = 0x12;
 
 const RESP_HELLO_OK: u8 = 0x81;
 const RESP_OK: u8 = 0x82;
@@ -54,6 +76,26 @@ pub enum MetricsFormat {
     Prometheus,
 }
 
+/// Which trace the `Trace` admin verb asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceQuery {
+    /// The most recently completed trace.
+    Last,
+    /// Every trace retained by the always-sample-slow policy.
+    Slow,
+    /// A specific trace by id.
+    Id(u64),
+}
+
+/// Rendering the `Trace` verb's reply uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Deterministic indented text (the shell's default).
+    Text,
+    /// One JSON object per trace per line.
+    Jsonl,
+}
+
 /// Client → server messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -68,14 +110,20 @@ pub enum Request {
     /// `timeout_ms` bounds the statement's total wall time (0 = the
     /// server's default); `attempt` is 0 on a first send and counts up
     /// on client retries, letting the server account retried work.
+    /// `trace` (v3) is the client-minted trace context the server
+    /// threads through execution.
     Query {
         fetch: u32,
         timeout_ms: u32,
         attempt: u32,
+        trace: Option<TraceContext>,
         sql: String,
     },
-    /// Resume a suspended result stream.
-    FetchMore,
+    /// Resume a suspended result stream (`trace` continues the
+    /// originating query's context).
+    FetchMore {
+        trace: Option<TraceContext>,
+    },
     /// Abandon a suspended result stream.
     CancelQuery,
     /// Open an explicit transaction on this connection's session.
@@ -83,12 +131,20 @@ pub enum Request {
     /// zero locks.
     Begin {
         read_only: bool,
+        trace: Option<TraceContext>,
     },
-    Commit,
+    Commit {
+        trace: Option<TraceContext>,
+    },
     Rollback,
     /// Admin: metrics registry snapshot in the requested exposition.
     Metrics {
         format: MetricsFormat,
+    },
+    /// Admin (v3): fetch retained traces from the flight recorder.
+    Trace {
+        query: TraceQuery,
+        format: TraceFormat,
     },
     /// Admin: grouped engine counters (the shell's `.stats verbose`).
     Stats,
@@ -203,6 +259,18 @@ fn get_bool(buf: &[u8], pos: &mut usize, what: &str) -> Result<bool, NetError> {
     }
 }
 
+fn put_trace(t: &TraceContext, out: &mut Vec<u8>) {
+    out.extend_from_slice(&t.trace_id.to_le_bytes());
+    out.push(u8::from(t.sampled));
+}
+
+fn get_trace(buf: &[u8], pos: &mut usize, what: &str) -> Result<TraceContext, NetError> {
+    Ok(TraceContext {
+        trace_id: get_u64(buf, pos, what)?,
+        sampled: get_bool(buf, pos, what)?,
+    })
+}
+
 /// Reject payloads with trailing garbage — a well-formed message must
 /// account for every byte it arrived with.
 fn finish<T>(msg: T, buf: &[u8], pos: usize) -> Result<T, NetError> {
@@ -229,27 +297,67 @@ impl Request {
                 fetch,
                 timeout_ms,
                 attempt,
+                trace,
                 sql,
             } => {
-                out.push(REQ_QUERY);
+                match trace {
+                    None => out.push(REQ_QUERY),
+                    Some(t) => {
+                        out.push(REQ_QUERY_TRACED);
+                        put_trace(t, &mut out);
+                    }
+                }
                 out.extend_from_slice(&fetch.to_le_bytes());
                 out.extend_from_slice(&timeout_ms.to_le_bytes());
                 out.extend_from_slice(&attempt.to_le_bytes());
                 put_str(sql, &mut out);
             }
-            Request::FetchMore => out.push(REQ_FETCH_MORE),
+            Request::FetchMore { trace } => match trace {
+                None => out.push(REQ_FETCH_MORE),
+                Some(t) => {
+                    out.push(REQ_FETCH_MORE_TRACED);
+                    put_trace(t, &mut out);
+                }
+            },
             Request::CancelQuery => out.push(REQ_CANCEL_QUERY),
-            Request::Begin { read_only } => {
-                out.push(REQ_BEGIN);
+            Request::Begin { read_only, trace } => {
+                match trace {
+                    None => out.push(REQ_BEGIN),
+                    Some(t) => {
+                        out.push(REQ_BEGIN_TRACED);
+                        put_trace(t, &mut out);
+                    }
+                }
                 out.push(u8::from(*read_only));
             }
-            Request::Commit => out.push(REQ_COMMIT),
+            Request::Commit { trace } => match trace {
+                None => out.push(REQ_COMMIT),
+                Some(t) => {
+                    out.push(REQ_COMMIT_TRACED);
+                    put_trace(t, &mut out);
+                }
+            },
             Request::Rollback => out.push(REQ_ROLLBACK),
             Request::Metrics { format } => {
                 out.push(REQ_METRICS);
                 out.push(match format {
                     MetricsFormat::Json => 0,
                     MetricsFormat::Prometheus => 1,
+                });
+            }
+            Request::Trace { query, format } => {
+                out.push(REQ_TRACE);
+                match query {
+                    TraceQuery::Last => out.push(0),
+                    TraceQuery::Slow => out.push(1),
+                    TraceQuery::Id(id) => {
+                        out.push(2);
+                        out.extend_from_slice(&id.to_le_bytes());
+                    }
+                }
+                out.push(match format {
+                    TraceFormat::Text => 0,
+                    TraceFormat::Jsonl => 1,
                 });
             }
             Request::Stats => out.push(REQ_STATS),
@@ -269,18 +377,40 @@ impl Request {
                 version: get_u32(buf, &mut pos, "hello version")?,
                 client: get_str(buf, &mut pos, "hello client")?,
             },
-            REQ_QUERY => Request::Query {
-                fetch: get_u32(buf, &mut pos, "query fetch")?,
-                timeout_ms: get_u32(buf, &mut pos, "query timeout")?,
-                attempt: get_u32(buf, &mut pos, "query attempt")?,
-                sql: get_str(buf, &mut pos, "query sql")?,
+            REQ_QUERY | REQ_QUERY_TRACED => {
+                let trace = if tag == REQ_QUERY_TRACED {
+                    Some(get_trace(buf, &mut pos, "query trace")?)
+                } else {
+                    None
+                };
+                Request::Query {
+                    trace,
+                    fetch: get_u32(buf, &mut pos, "query fetch")?,
+                    timeout_ms: get_u32(buf, &mut pos, "query timeout")?,
+                    attempt: get_u32(buf, &mut pos, "query attempt")?,
+                    sql: get_str(buf, &mut pos, "query sql")?,
+                }
+            }
+            REQ_FETCH_MORE => Request::FetchMore { trace: None },
+            REQ_FETCH_MORE_TRACED => Request::FetchMore {
+                trace: Some(get_trace(buf, &mut pos, "fetch-more trace")?),
             },
-            REQ_FETCH_MORE => Request::FetchMore,
             REQ_CANCEL_QUERY => Request::CancelQuery,
-            REQ_BEGIN => Request::Begin {
-                read_only: get_bool(buf, &mut pos, "begin read_only")?,
+            REQ_BEGIN | REQ_BEGIN_TRACED => {
+                let trace = if tag == REQ_BEGIN_TRACED {
+                    Some(get_trace(buf, &mut pos, "begin trace")?)
+                } else {
+                    None
+                };
+                Request::Begin {
+                    trace,
+                    read_only: get_bool(buf, &mut pos, "begin read_only")?,
+                }
+            }
+            REQ_COMMIT => Request::Commit { trace: None },
+            REQ_COMMIT_TRACED => Request::Commit {
+                trace: Some(get_trace(buf, &mut pos, "commit trace")?),
             },
-            REQ_COMMIT => Request::Commit,
             REQ_ROLLBACK => Request::Rollback,
             REQ_METRICS => Request::Metrics {
                 format: match get_u8(buf, &mut pos, "metrics format")? {
@@ -294,6 +424,20 @@ impl Request {
             REQ_GOODBYE => Request::Goodbye,
             REQ_PING => Request::Ping,
             REQ_CHECKPOINT => Request::Checkpoint,
+            REQ_TRACE => {
+                let query = match get_u8(buf, &mut pos, "trace selector")? {
+                    0 => TraceQuery::Last,
+                    1 => TraceQuery::Slow,
+                    2 => TraceQuery::Id(get_u64(buf, &mut pos, "trace id")?),
+                    b => return Err(NetError::Decode(format!("bad trace selector {b}"))),
+                };
+                let format = match get_u8(buf, &mut pos, "trace format")? {
+                    0 => TraceFormat::Text,
+                    1 => TraceFormat::Jsonl,
+                    b => return Err(NetError::Decode(format!("bad trace format {b}"))),
+                };
+                Request::Trace { query, format }
+            }
             t => return Err(NetError::Decode(format!("unknown request tag {t:#04x}"))),
         };
         finish(msg, buf, pos)
@@ -431,19 +575,52 @@ mod tests {
             fetch: 128,
             timeout_ms: 0,
             attempt: 0,
+            trace: None,
             sql: "SELECT [DNO, BUDGET] FROM d IN DEPARTMENTS".into(),
         });
         roundtrip_req(Request::Query {
             fetch: 0,
             timeout_ms: 2_500,
             attempt: 3,
+            trace: None,
             sql: "SELECT [DNO] FROM d IN DEPARTMENTS".into(),
         });
-        roundtrip_req(Request::FetchMore);
+        roundtrip_req(Request::Query {
+            fetch: 64,
+            timeout_ms: 100,
+            attempt: 1,
+            trace: Some(TraceContext {
+                trace_id: 0xdead_beef_cafe_f00d,
+                sampled: true,
+            }),
+            sql: "SELECT [DNO] FROM d IN DEPARTMENTS".into(),
+        });
+        roundtrip_req(Request::FetchMore { trace: None });
+        roundtrip_req(Request::FetchMore {
+            trace: Some(TraceContext {
+                trace_id: 1,
+                sampled: false,
+            }),
+        });
         roundtrip_req(Request::CancelQuery);
-        roundtrip_req(Request::Begin { read_only: true });
-        roundtrip_req(Request::Begin { read_only: false });
-        roundtrip_req(Request::Commit);
+        roundtrip_req(Request::Begin {
+            read_only: true,
+            trace: None,
+        });
+        roundtrip_req(Request::Begin {
+            read_only: false,
+            trace: Some(TraceContext {
+                trace_id: u64::MAX,
+                sampled: true,
+            }),
+        });
+        roundtrip_req(Request::Commit { trace: None });
+        roundtrip_req(Request::Commit {
+            trace: Some(TraceContext {
+                trace_id: 7,
+                sampled: true,
+            }),
+        });
         roundtrip_req(Request::Rollback);
         roundtrip_req(Request::Metrics {
             format: MetricsFormat::Json,
@@ -456,6 +633,45 @@ mod tests {
         roundtrip_req(Request::Goodbye);
         roundtrip_req(Request::Ping);
         roundtrip_req(Request::Checkpoint);
+        for query in [TraceQuery::Last, TraceQuery::Slow, TraceQuery::Id(0x5eed)] {
+            for format in [TraceFormat::Text, TraceFormat::Jsonl] {
+                roundtrip_req(Request::Trace { query, format });
+            }
+        }
+    }
+
+    #[test]
+    fn v2_frames_decode_as_untraced() {
+        // A v2 peer only ever sends legacy tags; those bytes must keep
+        // decoding to the same logical requests (trace: None) and the
+        // legacy tags must stay byte-identical on the wire.
+        let q = Request::Query {
+            fetch: 8,
+            timeout_ms: 0,
+            attempt: 0,
+            trace: None,
+            sql: "SELECT [DNO] FROM d IN DEPARTMENTS".into(),
+        };
+        assert_eq!(q.encode()[0], 0x02, "untraced Query keeps the v2 tag");
+        assert_eq!(Request::FetchMore { trace: None }.encode(), vec![0x03]);
+        assert_eq!(Request::Commit { trace: None }.encode(), vec![0x06]);
+        assert_eq!(
+            Request::Begin {
+                read_only: true,
+                trace: None
+            }
+            .encode(),
+            vec![0x05, 0x01]
+        );
+        // Traced twins use the new tags, so each value has exactly one
+        // encoding.
+        let traced = Request::Commit {
+            trace: Some(TraceContext {
+                trace_id: 2,
+                sampled: true,
+            }),
+        };
+        assert_eq!(traced.encode()[0], 0x10);
     }
 
     #[test]
@@ -516,7 +732,7 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut bytes = Request::Commit.encode();
+        let mut bytes = Request::Commit { trace: None }.encode();
         bytes.push(0x00);
         assert!(Request::decode(&bytes).is_err());
         let mut bytes = Response::Count { n: 4 }.encode();

@@ -37,7 +37,7 @@
 
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -46,12 +46,16 @@ use std::time::{Duration, Instant};
 use aim2::{DbError, ExecResult};
 use aim2_exec::{Deadline, ExecError, RowSink};
 use aim2_model::{TableKind, TableSchema, Tuple};
+use aim2_obs::{LabeledCounter, LabeledCounterFamily, SpanEvent, Trace, TraceContext};
 use aim2_storage::stats::Stats;
 use aim2_storage::StorageError;
 use aim2_txn::{Session, SharedDatabase, TxnError};
 
 use crate::error::ErrorCode;
-use crate::proto::{MetricsFormat, Request, Response, PROTOCOL_VERSION};
+use crate::proto::{
+    MetricsFormat, Request, Response, TraceFormat, TraceQuery, PROTOCOL_VERSION,
+    PROTOCOL_VERSION_V2,
+};
 use crate::wire::{write_frame, FrameError, DEFAULT_MAX_FRAME, HEADER_LEN};
 
 // Sessions cross into per-query producer threads; keep that a compile
@@ -66,6 +70,10 @@ const IDLE_TICK: Duration = Duration::from_millis(50);
 
 /// Rows per `Rows` frame when the client asks for `fetch = 0`.
 const DEFAULT_FETCH: usize = 1024;
+
+/// Cardinality bound on the per-connection counter families; further
+/// connections accumulate into the overflow bucket.
+const MAX_CONN_SERIES: usize = 64;
 
 /// Server tuning knobs. `Default` suits tests and the loopback
 /// `reproduce` section; the `aim2-server` binary exposes them as flags.
@@ -93,6 +101,10 @@ pub struct ServerConfig {
     /// actual `retry_after_ms` scales with how far past the watermark
     /// the server is.
     pub shed_retry_after: Duration,
+    /// Traced statements at least this slow are flagged `slow` and
+    /// retained by the flight recorder's always-sample-slow policy even
+    /// when their sampling flag was off.
+    pub slow_trace: Duration,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +118,7 @@ impl Default for ServerConfig {
             statement_timeout: None,
             idle_timeout: Some(Duration::from_secs(300)),
             shed_retry_after: Duration::from_millis(50),
+            slow_trace: Duration::from_millis(100),
         }
     }
 }
@@ -125,6 +138,12 @@ struct Inner {
     /// the server keeps serving MVCC snapshot reads but refuses new
     /// write work until an operator intervenes (restart after repair).
     degraded: AtomicBool,
+    /// Monotonic connection id; labels the per-connection counters.
+    next_conn_id: AtomicU64,
+    /// `net.queries` keyed by connection id (bounded cardinality).
+    queries_by_conn: LabeledCounterFamily,
+    /// `net.rows_streamed` keyed by connection id.
+    rows_by_conn: LabeledCounterFamily,
 }
 
 impl Inner {
@@ -193,6 +212,9 @@ impl Server {
             active_conns: AtomicUsize::new(0),
             inflight: AtomicUsize::new(0),
             degraded: AtomicBool::new(false),
+            next_conn_id: AtomicU64::new(1),
+            queries_by_conn: LabeledCounterFamily::new("net.queries", "conn", MAX_CONN_SERIES),
+            rows_by_conn: LabeledCounterFamily::new("net.rows_streamed", "conn", MAX_CONN_SERIES),
         });
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -445,22 +467,29 @@ struct PortalState {
     /// Rows received after the last full frame — the caller flushes
     /// them in the terminal `done: true` frame.
     tail: Vec<Tuple>,
+    /// Rows already written out in full `Rows` frames.
+    streamed: u64,
 }
 
 struct Conn<'a> {
     inner: &'a Inner,
     stream: TcpStream,
     session: Session,
+    /// This connection's id rendered as the label value for the
+    /// per-connection counter families.
+    conn_label: String,
 }
 
 impl<'a> Conn<'a> {
     fn new(inner: &'a Inner, stream: TcpStream) -> Conn<'a> {
         let _ = stream.set_read_timeout(Some(IDLE_TICK));
         let _ = stream.set_nodelay(true);
+        let id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
         Conn {
             session: inner.shared.session(),
             inner,
             stream,
+            conn_label: id.to_string(),
         }
     }
 
@@ -581,9 +610,10 @@ impl<'a> Conn<'a> {
                     fetch,
                     timeout_ms,
                     attempt,
+                    trace,
                     sql,
-                } => self.handle_query(fetch, timeout_ms, attempt, &sql),
-                Request::FetchMore | Request::CancelQuery => {
+                } => self.handle_query(fetch, timeout_ms, attempt, trace, &sql),
+                Request::FetchMore { .. } | Request::CancelQuery => {
                     // Legal only at a portal suspension point, which
                     // the query handler consumes itself.
                     self.send_or_close(&Response::Error {
@@ -607,31 +637,40 @@ impl<'a> Conn<'a> {
                     };
                     self.send_or_close(&resp)
                 }
-                Request::Begin { read_only } => {
+                Request::Begin { read_only, trace } => {
                     if !read_only && self.inner.is_degraded() {
                         self.send_or_close(&degraded_response())
                     } else {
-                        let (r, msg) = if read_only {
-                            (self.session.begin_read_only(), "BEGIN READ ONLY")
+                        let msg = if read_only {
+                            "BEGIN READ ONLY"
                         } else {
-                            (self.session.begin(), "BEGIN")
+                            "BEGIN"
                         };
-                        let resp = match r {
-                            Ok(()) => Response::Ok {
-                                message: msg.to_string(),
-                            },
-                            Err(e) => self.engine_error(&e),
-                        };
+                        let resp = self.traced_verb(trace, msg, "net.begin", |conn| {
+                            let r = if read_only {
+                                conn.session.begin_read_only()
+                            } else {
+                                conn.session.begin()
+                            };
+                            match r {
+                                Ok(()) => Response::Ok {
+                                    message: msg.to_string(),
+                                },
+                                Err(e) => conn.engine_error(&e),
+                            }
+                        });
                         self.send_or_close(&resp)
                     }
                 }
-                Request::Commit => {
-                    let resp = match self.session.commit() {
-                        Ok(()) => Response::Ok {
-                            message: "COMMIT".to_string(),
-                        },
-                        Err(e) => self.engine_error(&e),
-                    };
+                Request::Commit { trace } => {
+                    let resp = self.traced_verb(trace, "COMMIT", "net.commit", |conn| {
+                        match conn.session.commit() {
+                            Ok(()) => Response::Ok {
+                                message: "COMMIT".to_string(),
+                            },
+                            Err(e) => conn.engine_error(&e),
+                        }
+                    });
                     self.send_or_close(&resp)
                 }
                 Request::Rollback => {
@@ -645,11 +684,26 @@ impl<'a> Conn<'a> {
                 }
                 Request::Metrics { format } => {
                     let _t = self.inner.stats.metrics().span("net.admin");
-                    let snap = self.inner.shared.metrics();
+                    let mut snap = self.inner.shared.metrics();
+                    for fam in [&self.inner.queries_by_conn, &self.inner.rows_by_conn] {
+                        snap.labeled.extend(fam.snapshot().into_iter().map(
+                            |(label_value, value)| LabeledCounter {
+                                family: fam.family().to_string(),
+                                label_key: fam.label_key().to_string(),
+                                label_value,
+                                value,
+                            },
+                        ));
+                    }
                     let text = match format {
                         MetricsFormat::Json => snap.to_json(),
                         MetricsFormat::Prometheus => snap.to_prometheus(),
                     };
+                    self.send_or_close(&Response::Info { text })
+                }
+                Request::Trace { query, format } => {
+                    let _t = self.inner.stats.metrics().span("net.admin");
+                    let text = render_trace_query(self.inner.stats.recorder(), query, format);
                     self.send_or_close(&Response::Info { text })
                 }
                 Request::Stats => {
@@ -700,14 +754,18 @@ impl<'a> Conn<'a> {
         };
         match Request::decode(&payload) {
             Ok(Request::Hello { version, client: _ }) => {
-                if version != PROTOCOL_VERSION {
+                // v2 clients are still served: they never send traced
+                // tags or the Trace verb, so nothing else changes. The
+                // reply echoes the client's version so it knows which
+                // dialect the conversation is in.
+                if version != PROTOCOL_VERSION && version != PROTOCOL_VERSION_V2 {
                     return Err(self.proto_fail(format!(
-                        "protocol version mismatch: server speaks {PROTOCOL_VERSION}, \
-                         client sent {version}"
+                        "protocol version mismatch: server speaks {PROTOCOL_VERSION} \
+                         (and {PROTOCOL_VERSION_V2}), client sent {version}"
                     )));
                 }
                 let resp = Response::HelloOk {
-                    version: PROTOCOL_VERSION,
+                    version,
                     server: self.inner.cfg.server_name.clone(),
                 };
                 if self.send(&resp).is_err() {
@@ -720,13 +778,62 @@ impl<'a> Conn<'a> {
         }
     }
 
+    /// Run a short transaction verb (Begin/Commit), capturing a trace
+    /// for it when the frame carried a context.
+    fn traced_verb(
+        &mut self,
+        trace: Option<TraceContext>,
+        statement: &str,
+        root: &'static str,
+        f: impl FnOnce(&mut Self) -> Response,
+    ) -> Response {
+        let Some(ctx) = trace else { return f(self) };
+        let started = Instant::now();
+        aim2_obs::begin_capture_at(started);
+        aim2_obs::set_trace_context(Some(ctx));
+        let resp = {
+            let _root = aim2_obs::capture_span(root);
+            f(self)
+        };
+        aim2_obs::set_trace_context(None);
+        self.finish_trace(ctx, statement, started, (0, 0));
+        resp
+    }
+
+    /// Close out a traced request: fold the captured spans into a
+    /// [`Trace`], flag it slow past the configured threshold, and
+    /// record it when sampled or slow (always-sample-slow policy).
+    fn finish_trace(
+        &self,
+        ctx: TraceContext,
+        statement: &str,
+        started: Instant,
+        decoded_before: (u64, u64),
+    ) {
+        let spans = aim2_obs::end_capture();
+        let mut trace = Trace::from_spans(
+            ctx,
+            statement,
+            spans,
+            self.inner.stats.objects_decoded() - decoded_before.0,
+            self.inner.stats.atoms_decoded() - decoded_before.1,
+        );
+        trace.slow = started.elapsed() >= self.inner.cfg.slow_trace;
+        if ctx.sampled || trace.slow {
+            self.inner.stats.recorder().record(trace);
+        }
+    }
+
     /// One `Query` request end to end: admission, implicit-transaction
     /// handling, streaming with `FetchMore`/`CancelQuery` suspension.
+    /// With a trace context the whole request runs under an armed span
+    /// capture whose root is the `net.query` timer.
     fn handle_query(
         &mut self,
         fetch: u32,
         timeout_ms: u32,
         attempt: u32,
+        trace: Option<TraceContext>,
         sql: &str,
     ) -> Result<(), ConnExit> {
         if attempt > 0 {
@@ -735,12 +842,48 @@ impl<'a> Conn<'a> {
             // retry storm against a shedding server stays observable).
             self.inner.stats.inc_net_retry();
         }
-        // Watermark load shedding: past `max_inflight` the statement is
-        // refused immediately with a typed retryable error and a
-        // backoff hint scaled by the overload — bounded concurrency,
-        // never unbounded engine queueing.
+        self.inner.queries_by_conn.add(&self.conn_label, 1);
+        let Some(ctx) = trace else {
+            return self.admit_query(fetch, timeout_ms, sql, false);
+        };
+        let decoded_before = (
+            self.inner.stats.objects_decoded(),
+            self.inner.stats.atoms_decoded(),
+        );
+        let started = Instant::now();
+        aim2_obs::begin_capture_at(started);
+        aim2_obs::set_trace_context(Some(ctx));
+        if attempt > 0 {
+            aim2_obs::note_event("retry.attempt");
+        }
+        let r = {
+            // The timer doubles as the trace's root span, so the
+            // histogram sample and the span tree measure the same
+            // interval (admission included).
+            let _root = self.inner.stats.metrics().span("net.query");
+            self.admit_query(fetch, timeout_ms, sql, true)
+        };
+        aim2_obs::set_trace_context(None);
+        self.finish_trace(ctx, sql, started, decoded_before);
+        r
+    }
+
+    /// Watermark load shedding: past `max_inflight` the statement is
+    /// refused immediately with a typed retryable error and a backoff
+    /// hint scaled by the overload — bounded concurrency, never
+    /// unbounded engine queueing.
+    fn admit_query(
+        &mut self,
+        fetch: u32,
+        timeout_ms: u32,
+        sql: &str,
+        traced: bool,
+    ) -> Result<(), ConnExit> {
         let inflight = &self.inner.inflight;
-        let current = inflight.fetch_add(1, Ordering::SeqCst);
+        let current = {
+            let _a = aim2_obs::capture_span("net.admission");
+            inflight.fetch_add(1, Ordering::SeqCst)
+        };
         if current >= self.inner.cfg.max_inflight {
             inflight.fetch_sub(1, Ordering::SeqCst);
             self.inner.stats.inc_net_load_shed();
@@ -755,7 +898,7 @@ impl<'a> Conn<'a> {
                 ),
             });
         }
-        let r = self.handle_query_admitted(fetch, timeout_ms, sql);
+        let r = self.handle_query_admitted(fetch, timeout_ms, sql, traced);
         self.inner.inflight.fetch_sub(1, Ordering::SeqCst);
         r
     }
@@ -765,6 +908,7 @@ impl<'a> Conn<'a> {
         fetch: u32,
         timeout_ms: u32,
         sql: &str,
+        traced: bool,
     ) -> Result<(), ConnExit> {
         self.inner.stats.inc_net_query();
         // The deadline clock starts at admission and covers the whole
@@ -776,14 +920,21 @@ impl<'a> Conn<'a> {
         } else {
             self.inner.cfg.statement_timeout.map(Deadline::after)
         };
-        let _t = self.inner.stats.metrics().span("net.query");
+        // On a traced request the root `net.query` span already opened
+        // in `handle_query`; opening the timer twice would record the
+        // statement into the histogram twice.
+        let _t = (!traced).then(|| self.inner.stats.metrics().span("net.query"));
         // Statements outside an explicit transaction autocommit; pure
         // queries run as implicit read-only snapshots — the MVCC path,
         // zero lock acquisitions, consistent for the whole stream even
         // while suspended.
         let implicit = self.session.txn_id().is_none();
         if implicit {
-            let is_query = match aim2_lang::parse_stmt(sql) {
+            let parsed = {
+                let _p = aim2_obs::capture_span("net.parse");
+                aim2_lang::parse_stmt(sql)
+            };
+            let is_query = match parsed {
                 Ok(stmt) => matches!(
                     stmt,
                     aim2_lang::ast::Stmt::Query(_) | aim2_lang::ast::Stmt::Explain(_)
@@ -812,7 +963,7 @@ impl<'a> Conn<'a> {
                 return self.send_or_close(&self.engine_error(&e));
             }
         }
-        let r = self.stream_query(fetch, sql, implicit, deadline);
+        let r = self.stream_query(fetch, sql, implicit, deadline, traced);
         // Whatever happened, an implicit transaction never outlives its
         // statement (stream_query commits/rolls back on every normal
         // path; this covers early protocol exits).
@@ -832,6 +983,7 @@ impl<'a> Conn<'a> {
         sql: &str,
         implicit: bool,
         deadline: Option<Deadline>,
+        traced: bool,
     ) -> Result<(), ConnExit> {
         let fetch = if fetch == 0 {
             DEFAULT_FETCH
@@ -847,28 +999,61 @@ impl<'a> Conn<'a> {
         let stream = &self.stream;
         let max_frame = self.inner.cfg.max_frame;
         let shutdown = &self.inner.shutdown;
-        let (portal, produced) = std::thread::scope(|s| {
-            let producer = s.spawn(move || {
-                let mut sink = ChanSink { tx };
-                session.query_streamed_deadline(sql, &mut sink, deadline)
+        // Cross-thread trace assembly: the producer arms its own
+        // capture at the *same origin* as this thread's, so both sets
+        // of spans share one timeline; its events are absorbed below,
+        // nested inside `net.row_stream`. That containment is what
+        // keeps stage self-times summing within the root even though
+        // producer and packer run concurrently.
+        let trace_arm = if traced {
+            aim2_obs::capture_origin().zip(aim2_obs::current_trace_context())
+        } else {
+            None
+        };
+        let (portal, produced) = {
+            let _rs = aim2_obs::capture_span("net.row_stream");
+            let (portal, produced, producer_spans) = std::thread::scope(|s| {
+                let producer = s.spawn(move || {
+                    if let Some((origin, ctx)) = trace_arm {
+                        aim2_obs::begin_capture_at(origin);
+                        aim2_obs::set_trace_context(Some(ctx));
+                    }
+                    let mut sink = ChanSink { tx };
+                    let r = session.query_streamed_deadline(sql, &mut sink, deadline);
+                    let spans: Vec<SpanEvent> = if trace_arm.is_some() {
+                        aim2_obs::set_trace_context(None);
+                        aim2_obs::end_capture()
+                    } else {
+                        Vec::new()
+                    };
+                    (r, spans)
+                });
+                let portal = pack_rows(
+                    rx,
+                    stream,
+                    &stats,
+                    fetch,
+                    max_frame,
+                    shutdown,
+                    self.inner.cfg.idle_timeout,
+                );
+                // pack_rows dropped the receiver on its way out, so a
+                // still-running producer unblocks into `Cancelled`
+                // instead of deadlocking the scope join.
+                let (produced, spans) = producer.join().unwrap_or_else(|_| {
+                    (
+                        Err(TxnError::State("query worker panicked".to_string())),
+                        Vec::new(),
+                    )
+                });
+                (portal, produced, spans)
             });
-            let portal = pack_rows(
-                rx,
-                stream,
-                &stats,
-                fetch,
-                max_frame,
-                shutdown,
-                self.inner.cfg.idle_timeout,
-            );
-            // pack_rows dropped the receiver on its way out, so a
-            // still-running producer unblocks into `Cancelled` instead
-            // of deadlocking the scope join.
-            let produced = producer
-                .join()
-                .unwrap_or_else(|_| Err(TxnError::State("query worker panicked".to_string())));
+            aim2_obs::absorb_events(producer_spans, 0);
             (portal, produced)
-        });
+        };
+        self.inner
+            .rows_by_conn
+            .add(&self.conn_label, portal.streamed);
         match portal.end {
             PortalEnd::Complete => {}
             PortalEnd::Cancelled => {
@@ -897,6 +1082,9 @@ impl<'a> Conn<'a> {
                 self.inner
                     .stats
                     .add_net_rows_streamed(portal.tail.len() as u64);
+                self.inner
+                    .rows_by_conn
+                    .add(&self.conn_label, portal.tail.len() as u64);
                 Response::Rows {
                     done: true,
                     rows: portal.tail,
@@ -923,6 +1111,9 @@ impl<'a> Conn<'a> {
                         self.inner
                             .stats
                             .add_net_rows_streamed(value.tuples.len() as u64);
+                        self.inner
+                            .rows_by_conn
+                            .add(&self.conn_label, value.tuples.len() as u64);
                         Response::Rows {
                             done: true,
                             rows: value.tuples,
@@ -960,14 +1151,18 @@ fn pack_rows(
     idle_timeout: Option<Duration>,
 ) -> PortalState {
     let mut tail: Vec<Tuple> = Vec::new();
-    let finish = |end: PortalEnd, tail: Vec<Tuple>| PortalState { end, tail };
+    let mut streamed: u64 = 0;
     loop {
         match rx.recv() {
             Ok(StreamMsg::Start(schema, kind)) => {
                 let frame = Response::RowHeader { kind, schema };
                 if write_frame(&mut &*stream, &frame.encode()).is_err() {
                     drop(rx);
-                    return finish(PortalEnd::Protocol("socket write failed".to_string()), tail);
+                    return PortalState {
+                        end: PortalEnd::Protocol("socket write failed".to_string()),
+                        tail,
+                        streamed,
+                    };
                 }
                 stats.inc_net_frame_out();
             }
@@ -977,13 +1172,18 @@ fn pack_rows(
                     continue;
                 }
                 stats.add_net_rows_streamed(tail.len() as u64);
+                streamed += tail.len() as u64;
                 let frame = Response::Rows {
                     done: false,
                     rows: std::mem::take(&mut tail),
                 };
                 if write_frame(&mut &*stream, &frame.encode()).is_err() {
                     drop(rx);
-                    return finish(PortalEnd::Protocol("socket write failed".to_string()), tail);
+                    return PortalState {
+                        end: PortalEnd::Protocol("socket write failed".to_string()),
+                        tail,
+                        streamed,
+                    };
                 }
                 stats.inc_net_frame_out();
                 // Suspension point: nothing more goes out until the
@@ -997,7 +1197,7 @@ fn pack_rows(
                     Ok(IdleRead::Frame(payload)) => {
                         stats.inc_net_frame_in();
                         match Request::decode(&payload) {
-                            Ok(Request::FetchMore) => None,
+                            Ok(Request::FetchMore { .. }) => None,
                             Ok(Request::CancelQuery) => Some(PortalEnd::Cancelled),
                             Ok(other) => Some(PortalEnd::Protocol(format!(
                                 "expected FetchMore or CancelQuery, got {other:?}"
@@ -1016,13 +1216,57 @@ fn pack_rows(
                 };
                 if let Some(end) = verdict {
                     drop(rx);
-                    return finish(end, tail);
+                    return PortalState {
+                        end,
+                        tail,
+                        streamed,
+                    };
                 }
             }
             Err(_) => break, // producer finished (ok or error)
         }
     }
-    finish(PortalEnd::Complete, tail)
+    PortalState {
+        end: PortalEnd::Complete,
+        tail,
+        streamed,
+    }
+}
+
+/// Answer a `Trace` verb from the flight recorder in the requested
+/// rendering. Always returns text (possibly a "no trace" notice) — an
+/// empty recorder is an answer, not an error.
+fn render_trace_query(
+    rec: &aim2_obs::FlightRecorder,
+    query: TraceQuery,
+    format: TraceFormat,
+) -> String {
+    let render = |traces: Vec<std::sync::Arc<Trace>>| match format {
+        TraceFormat::Text => traces
+            .iter()
+            .map(|t| t.render_text())
+            .collect::<Vec<_>>()
+            .join("\n"),
+        TraceFormat::Jsonl => traces.iter().map(|t| t.to_json() + "\n").collect(),
+    };
+    match query {
+        TraceQuery::Last => match rec.last() {
+            Some(t) => render(vec![t]),
+            None => "no traces recorded\n".to_string(),
+        },
+        TraceQuery::Slow => {
+            let slow = rec.slow();
+            if slow.is_empty() {
+                "no slow traces recorded\n".to_string()
+            } else {
+                render(slow)
+            }
+        }
+        TraceQuery::Id(id) => match rec.find(id) {
+            Some(t) => render(vec![t]),
+            None => format!("no trace {id:#018x} retained\n"),
+        },
+    }
 }
 
 /// Map an engine error onto the wire's typed error response.

@@ -74,9 +74,15 @@ proptest! {
         fetch in any::<u32>(),
         timeout_ms in any::<u32>(),
         attempt in any::<u32>(),
+        traced in any::<bool>(),
+        trace_id in any::<u64>(),
+        sampled in any::<bool>(),
         sql in ".*",
     ) {
-        let req = Request::Query { fetch, timeout_ms, attempt, sql };
+        // Traced and untraced forms each have exactly one encoding
+        // (legacy tag ↔ trace: None, v3 tag ↔ trace: Some).
+        let trace = traced.then_some(aim2_net::TraceContext { trace_id, sampled });
+        let req = Request::Query { fetch, timeout_ms, attempt, trace, sql };
         let bytes = req.encode();
         let back = Request::decode(&bytes).unwrap();
         prop_assert_eq!(back.encode(), bytes);

@@ -70,6 +70,7 @@ fn deadline_expires_mid_stream_typed_and_connection_survives() {
             fetch: 1,
             timeout_ms: 120,
             attempt: 0,
+            trace: None,
             sql: "SELECT * FROM NUMS".to_string(),
         })
         .unwrap();
@@ -83,7 +84,7 @@ fn deadline_expires_mid_stream_typed_and_connection_survives() {
         match client.recv().unwrap() {
             Response::Rows { done, .. } => {
                 assert!(!done, "statement must not outlive its deadline");
-                client.send(&Request::FetchMore).unwrap();
+                client.send(&Request::FetchMore { trace: None }).unwrap();
             }
             Response::Error {
                 code,
@@ -126,6 +127,7 @@ fn server_default_statement_timeout_applies() {
             fetch: 1,
             timeout_ms: 0,
             attempt: 0,
+            trace: None,
             sql: "SELECT * FROM NUMS".to_string(),
         })
         .unwrap();
@@ -137,7 +139,7 @@ fn server_default_statement_timeout_applies() {
         match client.recv().unwrap() {
             Response::Rows { done, .. } => {
                 assert!(!done);
-                client.send(&Request::FetchMore).unwrap();
+                client.send(&Request::FetchMore { trace: None }).unwrap();
             }
             Response::Error {
                 code, retryable, ..

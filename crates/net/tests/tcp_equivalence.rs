@@ -212,6 +212,7 @@ fn streamed_results_suspend_between_frames() {
             fetch: 1,
             timeout_ms: 0,
             attempt: 0,
+            trace: None,
             sql: "SELECT * FROM DEPARTMENTS".to_string(),
         })
         .unwrap();
@@ -229,7 +230,7 @@ fn streamed_results_suspend_between_frames() {
                 if done {
                     break;
                 }
-                client.send(&Request::FetchMore).unwrap();
+                client.send(&Request::FetchMore { trace: None }).unwrap();
             }
             other => panic!("expected Rows, got {other:?}"),
         }
@@ -340,6 +341,7 @@ fn cancel_mid_stream_keeps_connection_alive() {
             fetch: 1,
             timeout_ms: 0,
             attempt: 0,
+            trace: None,
             sql: "SELECT * FROM DEPARTMENTS".to_string(),
         })
         .unwrap();

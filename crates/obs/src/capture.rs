@@ -36,12 +36,95 @@ thread_local! {
 
 /// Arm span capture on this thread, discarding any previous capture.
 pub fn begin_capture() {
+    begin_capture_at(Instant::now());
+}
+
+/// Arm span capture with an explicit origin instant. Two threads armed
+/// with the *same* origin produce spans on one shared timeline, so a
+/// producer thread's events can later be [`absorb_events`]-merged into
+/// the connection thread's capture and nest correctly.
+pub fn begin_capture_at(origin: Instant) {
     CAPTURE.with(|c| {
         let mut c = c.borrow_mut();
-        c.origin = Some(Instant::now());
+        c.origin = Some(origin);
         c.depth = 0;
         c.events.clear();
     });
+}
+
+/// Whether a capture is armed on this thread.
+pub fn capture_armed() -> bool {
+    CAPTURE.with(|c| c.borrow().origin.is_some())
+}
+
+/// The armed capture's origin instant, if any — hand this to a worker
+/// thread's [`begin_capture_at`] so both captures share a timeline.
+pub fn capture_origin() -> Option<Instant> {
+    CAPTURE.with(|c| c.borrow().origin)
+}
+
+/// Merge spans captured on another thread (same origin) into this
+/// thread's armed capture, re-parenting them `depth_offset` levels
+/// below this thread's current nesting. No-op when capture is idle.
+pub fn absorb_events(events: Vec<SpanEvent>, depth_offset: usize) {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.origin.is_none() {
+            return;
+        }
+        let base = c.depth + depth_offset;
+        c.events.extend(events.into_iter().map(|mut e| {
+            e.depth += base;
+            e
+        }));
+    });
+}
+
+/// Record an instantaneous point event (zero duration) at the current
+/// nesting depth — used for retry/deadline markers. No-op when idle.
+pub fn note_event(name: &'static str) {
+    CAPTURE.with(|c| {
+        let mut c = c.borrow_mut();
+        let Some(origin) = c.origin else { return };
+        let start_ns = Instant::now()
+            .checked_duration_since(origin)
+            .map_or(0, |d| d.as_nanos() as u64);
+        let depth = c.depth;
+        c.events.push(SpanEvent {
+            name,
+            depth,
+            start_ns,
+            dur_ns: 0,
+        });
+    });
+}
+
+/// A capture-only span guard: contributes a [`SpanEvent`] to an armed
+/// capture without touching any histogram. Used for structural spans
+/// (`net.admission`, `net.row_stream`, …) that exist purely to
+/// attribute trace time. Free when capture is idle.
+pub struct CaptureSpan {
+    name: &'static str,
+    start: Instant,
+    armed: bool,
+}
+
+/// Open a [`CaptureSpan`]; it closes (and records) on drop.
+pub fn capture_span(name: &'static str) -> CaptureSpan {
+    CaptureSpan {
+        name,
+        start: Instant::now(),
+        armed: enter(),
+    }
+}
+
+impl Drop for CaptureSpan {
+    fn drop(&mut self) {
+        if self.armed {
+            let dur_ns = self.start.elapsed().as_nanos() as u64;
+            exit(self.name, self.start, dur_ns);
+        }
+    }
 }
 
 /// Disarm capture and return the collected spans in completion order
@@ -133,6 +216,53 @@ mod tests {
         begin_capture();
         assert!(end_capture().is_empty());
         assert_eq!(m.histogram("quiet").count(), 1);
+    }
+
+    #[test]
+    fn absorb_renests_worker_spans_under_local_root() {
+        let m = Metrics::default();
+        let origin = Instant::now();
+        begin_capture_at(origin);
+        let worker = std::thread::spawn(move || {
+            begin_capture_at(origin);
+            {
+                let m = Metrics::default();
+                let _s = m.span("worker.span");
+            }
+            end_capture()
+        })
+        .join()
+        .unwrap();
+        {
+            let _root = m.span("root");
+            absorb_events(worker, 1);
+        }
+        let events = end_capture();
+        let names: Vec<_> = events.iter().map(|e| (e.name, e.depth)).collect();
+        assert!(names.contains(&("worker.span", 2)), "got {names:?}");
+        assert!(names.contains(&("root", 0)));
+    }
+
+    #[test]
+    fn note_event_and_capture_span_respect_arming() {
+        note_event("ignored.idle");
+        {
+            let _s = capture_span("ignored.idle.span");
+        }
+        begin_capture();
+        assert!(capture_armed());
+        assert!(capture_origin().is_some());
+        {
+            let _s = capture_span("outer");
+            note_event("point");
+        }
+        let events = end_capture();
+        let names: Vec<_> = events.iter().map(|e| (e.name, e.depth, e.dur_ns)).collect();
+        assert_eq!(names.len(), 2, "idle-thread events must not leak in");
+        assert!(names
+            .iter()
+            .any(|(n, d, dur)| *n == "point" && *d == 1 && *dur == 0));
+        assert!(names.iter().any(|(n, d, _)| *n == "outer" && *d == 0));
     }
 
     #[test]

@@ -14,16 +14,29 @@
 //! * [`Metrics`] — a shared name → histogram/gauge registry.
 //! * [`MetricsSnapshot`] — a point-in-time view serializable to JSON
 //!   and Prometheus-style exposition text.
+//! * [`TraceContext`] / [`Trace`] / [`FlightRecorder`] — request-scoped
+//!   tracing: wire-propagated trace ids, span trees with per-stage
+//!   self-time attribution, and a bounded ring of completed traces.
+//! * [`LabeledCounterFamily`] — counters keyed by one label with
+//!   bounded cardinality (overflow bucket past the cap).
 
 pub mod capture;
 pub mod hist;
 pub mod metrics;
 pub mod snapshot;
+pub mod trace;
 
-pub use capture::{begin_capture, end_capture, render_spans, SpanEvent};
+pub use capture::{
+    absorb_events, begin_capture, begin_capture_at, capture_armed, capture_origin, capture_span,
+    end_capture, note_event, render_spans, CaptureSpan, SpanEvent,
+};
 pub use hist::{HistSnapshot, Histogram, BUCKETS};
-pub use metrics::{Gauge, GaugeGuard, Metrics, Timer};
-pub use snapshot::MetricsSnapshot;
+pub use metrics::{Gauge, GaugeGuard, LabeledCounterFamily, Metrics, Timer, OVERFLOW_LABEL};
+pub use snapshot::{LabeledCounter, MetricsSnapshot};
+pub use trace::{
+    current_trace_context, mint_trace_id, set_trace_context, stage_of, FlightRecorder, Trace,
+    TraceContext, DEFAULT_FLIGHT_CAPACITY,
+};
 
 /// Start a [`Timer`] span over a [`Metrics`] registry:
 /// `span!(metrics, "wal.fsync")`.

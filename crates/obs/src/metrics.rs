@@ -75,6 +75,72 @@ impl Metrics {
     }
 }
 
+/// Label value the capped series spill into once a
+/// [`LabeledCounterFamily`] reaches its cardinality bound.
+pub const OVERFLOW_LABEL: &str = "overflow";
+
+/// A counter family keyed by one label (e.g. `net.queries` by
+/// connection id) with **bounded cardinality**: once `max_series`
+/// distinct label values exist, further values accumulate into a single
+/// [`OVERFLOW_LABEL`] series instead of growing the map — a hostile or
+/// churny client population cannot balloon the scrape.
+#[derive(Clone)]
+pub struct LabeledCounterFamily {
+    inner: Arc<LabeledInner>,
+}
+
+struct LabeledInner {
+    family: String,
+    label_key: String,
+    max_series: usize,
+    series: Mutex<BTreeMap<String, u64>>,
+}
+
+impl LabeledCounterFamily {
+    pub fn new(family: &str, label_key: &str, max_series: usize) -> Self {
+        LabeledCounterFamily {
+            inner: Arc::new(LabeledInner {
+                family: family.to_string(),
+                label_key: label_key.to_string(),
+                max_series: max_series.max(1),
+                series: Mutex::new(BTreeMap::new()),
+            }),
+        }
+    }
+
+    /// Family name, e.g. `net.queries`.
+    pub fn family(&self) -> &str {
+        &self.inner.family
+    }
+
+    /// Label key, e.g. `conn`.
+    pub fn label_key(&self) -> &str {
+        &self.inner.label_key
+    }
+
+    /// Add `n` to the series for `label_value`, spilling into the
+    /// overflow bucket at the cardinality bound.
+    pub fn add(&self, label_value: &str, n: u64) {
+        let mut map = self.inner.series.lock().unwrap();
+        if !map.contains_key(label_value) && map.len() >= self.inner.max_series {
+            *map.entry(OVERFLOW_LABEL.to_string()).or_default() += n;
+            return;
+        }
+        *map.entry(label_value.to_string()).or_default() += n;
+    }
+
+    /// Current (label value, count) pairs, sorted by label value.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.inner
+            .series
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
 /// A shared signed level (queue depth, live cursors, …).
 #[derive(Clone, Default, Debug)]
 pub struct Gauge {
@@ -183,6 +249,27 @@ mod tests {
         }
         assert_eq!(g.get(), 0);
         assert_eq!(m.gauge_values(), vec![("depth".to_string(), 0)]);
+    }
+
+    #[test]
+    fn labeled_family_caps_cardinality_with_overflow() {
+        let fam = LabeledCounterFamily::new("net.queries", "conn", 2);
+        fam.add("1", 5);
+        fam.add("2", 3);
+        fam.add("3", 7); // over the bound — spills
+        fam.add("1", 1); // existing series still accumulates
+        fam.add("4", 2); // also spills
+        assert_eq!(fam.family(), "net.queries");
+        assert_eq!(fam.label_key(), "conn");
+        let snap = fam.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                ("1".to_string(), 6),
+                ("2".to_string(), 3),
+                (OVERFLOW_LABEL.to_string(), 9),
+            ]
+        );
     }
 
     #[test]

@@ -1,0 +1,591 @@
+//! Request-scoped tracing: trace contexts, span-tree traces with
+//! per-stage latency attribution, and the bounded flight recorder that
+//! retains completed traces for later inspection.
+//!
+//! A trace begins life as a 64-bit id minted by whoever issued the
+//! request (the network client or the shell). The id travels with the
+//! request — over the wire on protocol-v3 frames — and the serving side
+//! arms a span capture ([`crate::begin_capture_at`]) for its lifetime.
+//! When the request completes, the captured [`SpanEvent`] tree is
+//! folded into a [`Trace`]: the raw spans, plus a *stage summary* that
+//! attributes each span's **self time** (its duration minus its direct
+//! children's) to a coarse stage tag (`admission`, `parse`, `plan`,
+//! `lock_wait`, `wal_fsync`, `exec`, `row_stream`, `cold_decode`, …).
+//! Self-time attribution makes the invariant structural: the stage
+//! durations of a well-nested capture always sum to *within* the root
+//! span, never over it.
+//!
+//! Completed traces land in a [`FlightRecorder`]: a bounded ring with a
+//! lock-free (atomic fetch-add) write head and per-slot mutexes, so
+//! concurrent recorders never contend except on slot reuse. The
+//! recorder additionally retains the *first* few traces ever recorded
+//! (head retention — the startup pathology survives ring wrap) and a
+//! separate bounded ring of traces flagged slow (always-sample-slow:
+//! a slow request is kept even if its sampling flag was off and even
+//! after the main ring evicts it).
+
+use crate::capture::SpanEvent;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The request-scoped identity a trace travels under: the minted id and
+/// whether the issuer asked for the full span tree to be recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Issuer-minted 64-bit id; zero never names a real trace.
+    pub trace_id: u64,
+    /// Record the completed trace in the flight recorder. Unsampled
+    /// traces still capture spans so the always-sample-slow policy can
+    /// promote them if the request turns out slow.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// A fresh sampled context with a newly minted id.
+    pub fn sampled() -> TraceContext {
+        TraceContext {
+            trace_id: mint_trace_id(),
+            sampled: true,
+        }
+    }
+}
+
+/// Mint a 64-bit trace id: wall-clock nanoseconds folded with a
+/// process-wide counter through a splitmix-style mixer. Never zero.
+pub fn mint_trace_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0x9e37_79b9);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let n = COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    let mut x = nanos ^ n.rotate_left(17) ^ (std::process::id() as u64) << 32;
+    // splitmix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x.max(1)
+}
+
+std::thread_local! {
+    static TRACE_CTX: std::cell::Cell<Option<TraceContext>> = const { std::cell::Cell::new(None) };
+}
+
+/// Install the trace context for this thread (the serving side sets it
+/// for the request's lifetime so deep layers — the slow-query log, the
+/// deadline event sites — can stamp the id without plumbing).
+pub fn set_trace_context(ctx: Option<TraceContext>) {
+    TRACE_CTX.with(|c| c.set(ctx));
+}
+
+/// The trace context installed on this thread, if any.
+pub fn current_trace_context() -> Option<TraceContext> {
+    TRACE_CTX.with(|c| c.get())
+}
+
+/// Map a span name onto its coarse stage tag. Unknown spans fall into
+/// `"other"` — they still count toward the stage sum, so adding a new
+/// timer site never breaks the sum-within-root invariant.
+pub fn stage_of(name: &str) -> &'static str {
+    match name {
+        "net.admission" => "admission",
+        "net.parse" => "parse",
+        "exec.plan" => "plan",
+        "txn.lock_wait" => "lock_wait",
+        "wal.fsync" => "wal_fsync",
+        "wal.append" => "wal_append",
+        "db.query" => "exec",
+        "net.row_stream" => "row_stream",
+        "colstore.decode" => "cold_decode",
+        "txn.commit" => "commit",
+        "deadline.exceeded" => "deadline",
+        n if n.starts_with("retry") || n.starts_with("client.retry") => "retry",
+        _ => "other",
+    }
+}
+
+/// Stage tags in stable display order (tags absent from a trace are
+/// simply not shown).
+pub const STAGE_ORDER: &[&str] = &[
+    "admission",
+    "parse",
+    "plan",
+    "lock_wait",
+    "exec",
+    "cold_decode",
+    "row_stream",
+    "wal_append",
+    "wal_fsync",
+    "commit",
+    "retry",
+    "deadline",
+    "other",
+];
+
+/// A completed request trace: the raw span tree plus derived stage
+/// attribution and the decode work the request performed.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    pub trace_id: u64,
+    /// Whether the issuer asked for recording (slow promotion can land
+    /// unsampled traces in the recorder too).
+    pub sampled: bool,
+    /// The statement (or verb) the trace covers.
+    pub statement: String,
+    /// Name of the root (depth-0) span, e.g. `net.query`.
+    pub root: String,
+    /// Root span duration, nanoseconds.
+    pub total_ns: u64,
+    /// Raw captured spans (completion order, as captured).
+    pub spans: Vec<SpanEvent>,
+    /// Self-time per stage tag, [`STAGE_ORDER`] order, zero stages
+    /// omitted. The root span's own self time is excluded, so the sum
+    /// is always ≤ `total_ns` for a well-nested capture.
+    pub stages: Vec<(&'static str, u64)>,
+    /// Objects decoded while the request ran (Stats delta).
+    pub objects_decoded: u64,
+    /// Atoms decoded while the request ran (Stats delta).
+    pub atoms_decoded: u64,
+    /// Flagged slow by the recording side's threshold.
+    pub slow: bool,
+}
+
+/// `events` sorted into start order, the shape [`Trace`] derives from.
+fn sorted_indices(events: &[SpanEvent]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..events.len()).collect();
+    idx.sort_by_key(|&i| (events[i].start_ns, events[i].depth));
+    idx
+}
+
+/// Per-span self time: each span's duration minus the durations of its
+/// direct children (well-nested by construction of the capture).
+fn self_times(events: &[SpanEvent]) -> Vec<u64> {
+    let order = sorted_indices(events);
+    let mut child_sum = vec![0u64; events.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &i in &order {
+        while let Some(&top) = stack.last() {
+            if events[top].depth >= events[i].depth {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        if let Some(&parent) = stack.last() {
+            child_sum[parent] += events[i].dur_ns;
+        }
+        stack.push(i);
+    }
+    events
+        .iter()
+        .zip(child_sum)
+        .map(|(e, c)| e.dur_ns.saturating_sub(c))
+        .collect()
+}
+
+impl Trace {
+    /// Fold a captured span tree into a trace. The root is the
+    /// earliest depth-0 span; its own self time is excluded from the
+    /// stage summary (it is the untracked overhead inside the root).
+    pub fn from_spans(
+        ctx: TraceContext,
+        statement: impl Into<String>,
+        spans: Vec<SpanEvent>,
+        objects_decoded: u64,
+        atoms_decoded: u64,
+    ) -> Trace {
+        let order = sorted_indices(&spans);
+        let root_idx = order
+            .iter()
+            .copied()
+            .find(|&i| spans[i].depth == 0)
+            .unwrap_or(0);
+        let (root, total_ns) = spans
+            .get(root_idx)
+            .map(|r| (r.name.to_string(), r.dur_ns))
+            .unwrap_or_default();
+        let selfs = self_times(&spans);
+        let mut by_stage: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        for (i, e) in spans.iter().enumerate() {
+            if i == root_idx && !spans.is_empty() {
+                continue; // root self time = untracked overhead
+            }
+            *by_stage.entry(stage_of(e.name)).or_default() += selfs[i];
+        }
+        let stages = STAGE_ORDER
+            .iter()
+            .filter_map(|&s| by_stage.get(s).map(|&ns| (s, ns)))
+            .filter(|(s, ns)| *ns > 0 || *s == "deadline" || *s == "retry")
+            .collect();
+        Trace {
+            trace_id: ctx.trace_id,
+            sampled: ctx.sampled,
+            statement: statement.into(),
+            root,
+            total_ns,
+            spans,
+            stages,
+            objects_decoded,
+            atoms_decoded,
+            slow: false,
+        }
+    }
+
+    /// Sum of the stage self-times — always ≤ [`Trace::total_ns`] for a
+    /// well-nested capture (that is the trace-completeness invariant).
+    pub fn stage_total_ns(&self) -> u64 {
+        self.stages.iter().map(|(_, ns)| ns).sum()
+    }
+
+    /// Deterministic text rendering: header, stage summary, decode
+    /// counters, then the indented span tree in start order.
+    pub fn render_text(&self) -> String {
+        let us = |ns: u64| ns as f64 / 1e3;
+        let mut out = format!(
+            "trace {:#018x}{}{} {:.1}µs  {}\n",
+            self.trace_id,
+            if self.sampled { "" } else { " (unsampled)" },
+            if self.slow { " [slow]" } else { "" },
+            us(self.total_ns),
+            if self.statement.is_empty() {
+                "(no statement)"
+            } else {
+                &self.statement
+            }
+        );
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|(s, ns)| format!("{s}={:.1}µs", us(*ns)))
+            .collect();
+        out.push_str(&format!("  stages: {}\n", stages.join(" ")));
+        out.push_str(&format!(
+            "  decoded: objects={} atoms={}\n",
+            self.objects_decoded, self.atoms_decoded
+        ));
+        for line in crate::capture::render_spans(&self.spans).lines() {
+            out.push_str("  | ");
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// One JSON object on one line (JSONL element). Hand-rolled — the
+    /// environment has no serde; the statement is string-escaped.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"trace_id\":\"{:#018x}\",\"sampled\":{},\"slow\":{},\"statement\":\"{}\",\
+             \"root\":\"{}\",\"total_ns\":{},\"objects_decoded\":{},\"atoms_decoded\":{},\
+             \"stages\":{{",
+            self.trace_id,
+            self.sampled,
+            self.slow,
+            escape_json(&self.statement),
+            escape_json(&self.root),
+            self.total_ns,
+            self.objects_decoded,
+            self.atoms_decoded,
+        );
+        for (i, (stage, ns)) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{stage}\":{ns}"));
+        }
+        s.push_str("},\"spans\":[");
+        let order = sorted_indices(&self.spans);
+        for (i, &idx) in order.iter().enumerate() {
+            let e = &self.spans[idx];
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"depth\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                e.name, e.depth, e.start_ns, e.dur_ns
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Default main-ring capacity of a [`FlightRecorder`].
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+/// How many of the first-ever traces the head-retention list keeps.
+const HEAD_KEEP: usize = 8;
+/// Bounded retention of slow-flagged traces.
+const SLOW_KEEP: usize = 16;
+
+struct RecorderInner {
+    /// The main ring. The write index is a lock-free atomic counter;
+    /// each slot has its own mutex, so two concurrent recorders only
+    /// contend when the ring wraps onto the same slot.
+    slots: Vec<Mutex<Option<Arc<Trace>>>>,
+    head: AtomicU64,
+    /// The first [`HEAD_KEEP`] traces ever recorded (head retention).
+    first: Mutex<Vec<Arc<Trace>>>,
+    /// Slow-flagged traces, newest-last, bounded by [`SLOW_KEEP`].
+    slow: Mutex<VecDeque<Arc<Trace>>>,
+    last: Mutex<Option<Arc<Trace>>>,
+}
+
+/// Bounded, shareable ring of completed [`Trace`]s. Clones share state.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<RecorderInner>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder whose main ring holds `capacity` traces.
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            inner: Arc::new(RecorderInner {
+                slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+                head: AtomicU64::new(0),
+                first: Mutex::new(Vec::new()),
+                slow: Mutex::new(VecDeque::new()),
+                last: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Main-ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Total traces recorded over the recorder's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.inner.head.load(Ordering::Relaxed)
+    }
+
+    /// Record a completed trace. Slow traces are additionally retained
+    /// in the slow ring regardless of main-ring eviction.
+    pub fn record(&self, trace: Trace) {
+        let slow = trace.slow;
+        let t = Arc::new(trace);
+        let n = self.inner.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (n % self.inner.slots.len() as u64) as usize;
+        *self.inner.slots[slot].lock().unwrap() = Some(t.clone());
+        *self.inner.last.lock().unwrap() = Some(t.clone());
+        if (n as usize) < HEAD_KEEP {
+            self.inner.first.lock().unwrap().push(t.clone());
+        }
+        if slow {
+            let mut s = self.inner.slow.lock().unwrap();
+            if s.len() == SLOW_KEEP {
+                s.pop_front();
+            }
+            s.push_back(t);
+        }
+    }
+
+    /// The most recently recorded trace.
+    pub fn last(&self) -> Option<Arc<Trace>> {
+        self.inner.last.lock().unwrap().clone()
+    }
+
+    /// Slow-flagged traces, oldest first.
+    pub fn slow(&self) -> Vec<Arc<Trace>> {
+        self.inner.slow.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Look a trace up by id: the main ring, then head retention, then
+    /// the slow ring.
+    pub fn find(&self, trace_id: u64) -> Option<Arc<Trace>> {
+        for slot in &self.inner.slots {
+            if let Some(t) = slot.lock().unwrap().as_ref() {
+                if t.trace_id == trace_id {
+                    return Some(t.clone());
+                }
+            }
+        }
+        if let Some(t) = self
+            .inner
+            .first
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+        {
+            return Some(t.clone());
+        }
+        self.inner
+            .slow
+            .lock()
+            .unwrap()
+            .iter()
+            .find(|t| t.trace_id == trace_id)
+            .cloned()
+    }
+
+    /// The main ring's live traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<Trace>> {
+        let head = self.inner.head.load(Ordering::Relaxed);
+        let cap = self.inner.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        (start..head)
+            .filter_map(|n| {
+                let slot = (n % cap) as usize;
+                self.inner.slots[slot].lock().unwrap().clone()
+            })
+            .collect()
+    }
+
+    /// Every retained trace as JSONL, oldest first: head retention,
+    /// then the main ring, then any slow traces both already missed
+    /// (deduplicated by id).
+    pub fn to_jsonl(&self) -> String {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut out = String::new();
+        let firsts: Vec<Arc<Trace>> = self.inner.first.lock().unwrap().clone();
+        for t in firsts.into_iter().chain(self.recent()).chain(self.slow()) {
+            if seen.insert(t.trace_id) {
+                out.push_str(&t.to_json());
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str, depth: usize, start_ns: u64, dur_ns: u64) -> SpanEvent {
+        SpanEvent {
+            name,
+            depth,
+            start_ns,
+            dur_ns,
+        }
+    }
+
+    fn sample_trace(id: u64, slow: bool) -> Trace {
+        let spans = vec![
+            ev("txn.lock_wait", 2, 100, 200),
+            ev("db.query", 1, 50, 800),
+            ev("net.parse", 1, 10, 30),
+            ev("net.query", 0, 0, 1000),
+        ];
+        let mut t = Trace::from_spans(
+            TraceContext {
+                trace_id: id,
+                sampled: true,
+            },
+            "SELECT 1",
+            spans,
+            7,
+            21,
+        );
+        t.slow = slow;
+        t
+    }
+
+    #[test]
+    fn stages_are_self_times_and_sum_within_root() {
+        let t = sample_trace(0xabc, false);
+        assert_eq!(t.root, "net.query");
+        assert_eq!(t.total_ns, 1000);
+        let stage = |s: &str| t.stages.iter().find(|(k, _)| *k == s).map(|(_, v)| *v);
+        // db.query self time excludes its lock_wait child.
+        assert_eq!(stage("exec"), Some(600));
+        assert_eq!(stage("lock_wait"), Some(200));
+        assert_eq!(stage("parse"), Some(30));
+        // Root self time is excluded, so the sum stays within the root.
+        assert!(t.stage_total_ns() <= t.total_ns);
+        assert_eq!(t.stage_total_ns(), 830);
+    }
+
+    #[test]
+    fn render_and_json_shapes() {
+        let t = sample_trace(0x1234, true);
+        let text = t.render_text();
+        assert!(text.starts_with("trace 0x0000000000001234 [slow]"));
+        assert!(text.contains("stages: parse="));
+        assert!(text.contains("decoded: objects=7 atoms=21"));
+        assert!(text.contains("| net.query"));
+        let json = t.to_json();
+        assert!(json.contains("\"trace_id\":\"0x0000000000001234\""));
+        assert!(json.contains("\"exec\":600"));
+        assert!(json.contains("\"spans\":["));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Statements with quotes and newlines stay valid JSON.
+        let mut t2 = sample_trace(1, false);
+        t2.statement = "SELECT 'a\"b'\nFROM t".into();
+        assert!(t2.to_json().contains("SELECT 'a\\\"b'\\nFROM t"));
+    }
+
+    #[test]
+    fn recorder_ring_head_and_slow_retention() {
+        let r = FlightRecorder::with_capacity(4);
+        for i in 1..=20u64 {
+            r.record(sample_trace(i, i == 3));
+        }
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.recorded(), 20);
+        assert_eq!(r.last().unwrap().trace_id, 20);
+        // Ring holds the newest four.
+        let recent: Vec<u64> = r.recent().iter().map(|t| t.trace_id).collect();
+        assert_eq!(recent, vec![17, 18, 19, 20]);
+        // Head retention keeps the first traces past eviction; slow
+        // retention keeps the slow one.
+        assert!(r.find(1).is_some(), "head-retained");
+        assert_eq!(r.slow().len(), 1);
+        assert!(r.find(3).is_some(), "slow-retained");
+        assert!(r.find(12).is_none(), "evicted mid-ring trace is gone");
+        let jsonl = r.to_jsonl();
+        assert!(jsonl.lines().count() >= 5);
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn thread_local_context_roundtrip() {
+        assert!(current_trace_context().is_none());
+        let ctx = TraceContext {
+            trace_id: 9,
+            sampled: true,
+        };
+        set_trace_context(Some(ctx));
+        assert_eq!(current_trace_context(), Some(ctx));
+        set_trace_context(None);
+        assert!(current_trace_context().is_none());
+    }
+}

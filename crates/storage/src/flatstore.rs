@@ -176,6 +176,7 @@ impl FlatStore {
                 return Ok(Arc::clone(block));
             }
         }
+        let _decode_span = aim2_obs::capture_span("colstore.decode");
         let meta = self
             .cold
             .get(ord)

@@ -19,7 +19,7 @@
 //! cheaply clonable.
 
 pub use aim2_obs::MetricsSnapshot;
-use aim2_obs::{Gauge, HistSnapshot, Histogram, Metrics, Timer};
+use aim2_obs::{FlightRecorder, Gauge, HistSnapshot, Histogram, Metrics, Timer};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -145,6 +145,10 @@ struct ObsHandles {
     colstore_compact: Histogram,
     lock_queue: Gauge,
     versions_retained: Gauge,
+    /// Per-database ring of completed request traces. Lives here so
+    /// every holder of a `Stats` clone — the `Database` facade, the
+    /// network server, tests — shares one recorder per database.
+    recorder: FlightRecorder,
 }
 
 impl Default for ObsHandles {
@@ -166,7 +170,17 @@ impl Default for ObsHandles {
             colstore_compact: metrics.histogram("colstore.compact"),
             lock_queue: metrics.gauge("txn.lock_queue_depth"),
             versions_retained: metrics.gauge("mvcc.versions_retained"),
+            recorder: FlightRecorder::default(),
             metrics,
+        }
+    }
+}
+
+impl ObsHandles {
+    fn with_flight_capacity(capacity: usize) -> Self {
+        ObsHandles {
+            recorder: FlightRecorder::with_capacity(capacity),
+            ..ObsHandles::default()
         }
     }
 }
@@ -199,6 +213,16 @@ impl Stats {
     /// A fresh, zeroed counter block.
     pub fn new() -> Stats {
         Stats::default()
+    }
+
+    /// A fresh block whose flight recorder holds `capacity` traces.
+    pub fn with_flight_capacity(capacity: usize) -> Stats {
+        Stats {
+            inner: Arc::new(Inner {
+                c: Counters::default(),
+                obs: ObsHandles::with_flight_capacity(capacity),
+            }),
+        }
     }
 
     counter!(inc_buf_hit, buf_hits, buf_hits);
@@ -364,6 +388,11 @@ impl Stats {
         &self.inner.obs.metrics
     }
 
+    /// The per-database flight recorder of completed request traces.
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.inner.obs.recorder
+    }
+
     /// Depth of the lock manager's wait queue (blocked requests).
     pub fn lock_queue(&self) -> &Gauge {
         &self.inner.obs.lock_queue
@@ -520,6 +549,7 @@ impl Stats {
             counters,
             gauges,
             histograms: self.inner.obs.metrics.histograms(),
+            labeled: Vec::new(),
         }
     }
 }

@@ -40,7 +40,7 @@ fn config(dir: &Path, layout: LayoutKind, fault: Option<FaultInjector>) -> DbCon
         default_layout: layout,
         data_dir: Some(dir.to_path_buf()),
         fault,
-        slow_query_threshold: None,
+        ..DbConfig::default()
     }
 }
 

@@ -68,7 +68,7 @@ fn config(dir: &Path, layout: LayoutKind) -> DbConfig {
         default_layout: layout,
         data_dir: Some(dir.to_path_buf()),
         fault: None,
-        slow_query_threshold: None,
+        ..DbConfig::default()
     }
 }
 

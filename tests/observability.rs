@@ -11,6 +11,11 @@
 use aim2::{Database, DbConfig};
 use aim2_model::fixtures;
 use aim2_model::value::build::a;
+use aim2_net::{
+    ChaosProxy, Client, ClientConfig, ErrorCode, FaultPlan, RetryPolicy, Server, ServerConfig,
+    TraceFormat, PROTOCOL_VERSION,
+};
+use aim2_txn::SharedDatabase;
 use std::time::Duration;
 
 fn paper_db() -> Database {
@@ -312,6 +317,231 @@ fn slow_log_disabled_by_default() {
     assert!(DbConfig::default().slow_query_threshold.is_none());
     db.query("SELECT * FROM DEPARTMENTS").unwrap();
     assert!(db.slow_log().is_empty());
+}
+
+// =====================================================================
+// End-to-end tracing
+// =====================================================================
+
+/// The trace-completeness invariant, over the wire: for every paper
+/// query run through a real TCP server with tracing on, the server
+/// retains a span tree whose stage self-times sum to within the root
+/// span, whose decode counters equal the Stats delta the query caused,
+/// and whose trace id is the one the client minted — visible from both
+/// ends (the client's attempt record and the wire `Trace` verb).
+#[test]
+fn tcp_trace_spans_sum_within_root_and_match_stats_delta() {
+    let shared = SharedDatabase::new(paper_db());
+    let stats = shared.stats();
+    let mut handle = Server::start(shared, ServerConfig::default()).unwrap();
+    let mut client = Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            client_name: "trace-invariant".into(),
+            trace: true,
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(client.peer_version(), PROTOCOL_VERSION);
+
+    for sql in PAPER_QUERIES {
+        let before = (stats.objects_decoded(), stats.atoms_decoded());
+        client.query(sql).unwrap_or_else(|e| panic!("{sql}\n→ {e}"));
+        let after = (stats.objects_decoded(), stats.atoms_decoded());
+
+        let ct = client
+            .last_client_trace()
+            .expect("traced statements leave a client-side record")
+            .clone();
+        assert_ne!(ct.trace_id, 0, "traced statements mint a nonzero id");
+        assert!(ct.ok, "clean run: {sql}");
+        assert_eq!(ct.attempts.len(), 1, "no retries on a clean network");
+
+        // The same trace is fetchable over the wire in both expositions.
+        // (The round-trip also orders us after the conn thread's record:
+        // the final row frame races the server-side finish.)
+        let text = client.trace_by_id(ct.trace_id, TraceFormat::Text).unwrap();
+        assert!(
+            text.contains(&format!("{:#018x}", ct.trace_id)),
+            "Trace verb must render the id: {text}"
+        );
+        assert!(text.contains("stages:") && text.contains("decoded: objects="));
+        let jsonl = client.trace_by_id(ct.trace_id, TraceFormat::Jsonl).unwrap();
+        assert!(jsonl.contains("\"spans\":[") && jsonl.ends_with('\n'));
+
+        let trace = stats
+            .recorder()
+            .find(ct.trace_id)
+            .unwrap_or_else(|| panic!("server must retain trace {:#x} for {sql}", ct.trace_id));
+        assert_eq!(trace.trace_id, ct.trace_id, "same id on both ends");
+        assert_eq!(trace.root, "net.query");
+
+        // Completeness: the stage self-times decompose the root span.
+        assert!(
+            trace.stage_total_ns() <= trace.total_ns,
+            "stages sum past the root ({} > {}) for {sql}:\n{}",
+            trace.stage_total_ns(),
+            trace.total_ns,
+            trace.render_text()
+        );
+        for stage in ["admission", "parse", "exec", "row_stream"] {
+            assert!(
+                trace.stages.iter().any(|(s, _)| *s == stage),
+                "stage {stage} missing for {sql}:\n{}",
+                trace.render_text()
+            );
+        }
+
+        // The decode counters attributed to the trace are exactly the
+        // Stats delta the query caused.
+        assert_eq!(
+            trace.objects_decoded,
+            after.0 - before.0,
+            "objects_decoded must equal the Stats delta for {sql}"
+        );
+        assert_eq!(
+            trace.atoms_decoded,
+            after.1 - before.1,
+            "atoms_decoded must equal the Stats delta for {sql}"
+        );
+    }
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// Untraced (v2-shaped) statements must leave no flight-recorder entry:
+/// the trace machinery is strictly opt-in.
+#[test]
+fn untraced_statements_record_no_traces() {
+    let shared = SharedDatabase::new(paper_db());
+    let stats = shared.stats();
+    let mut handle = Server::start(shared, ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.local_addr(), "untraced").unwrap();
+    client.query("SELECT * FROM DEPARTMENTS").unwrap();
+    assert_eq!(stats.recorder().recorded(), 0, "opt-in means none recorded");
+    assert_eq!(client.last_client_trace().unwrap().trace_id, 0);
+    client.goodbye().unwrap();
+    handle.shutdown();
+}
+
+/// Chaos trace test: a traced query through a fault-injecting proxy
+/// that deterministically drops the query's first response frame on
+/// every link. The client retries with backoff; its trace must record
+/// every attempt — connection-class failures with nonzero backoff — and
+/// the server must have executed each attempt under the same trace id,
+/// tagging retries with a `retry.attempt` event. A second, proxy-free
+/// scenario sheds at admission so the attempt records carry a typed
+/// retryable error code and the server's backoff hint.
+#[test]
+fn chaos_trace_records_every_attempt_with_backoff() {
+    let shared = SharedDatabase::new(paper_db());
+    let stats = shared.stats();
+    let mut handle = Server::start(shared, ServerConfig::default()).unwrap();
+
+    // Every link drops its 2nd server→client frame: HelloOk survives,
+    // the query's RowHeader vanishes, and the Rows frame that follows
+    // arrives out of order — an immediate, deterministic
+    // connection-class failure on every attempt.
+    let s2c = FaultPlan {
+        drop_nth_response: Some(2),
+        ..FaultPlan::clean()
+    };
+    let proxy = ChaosProxy::start(handle.local_addr(), 0xc0ffee, FaultPlan::clean(), s2c).unwrap();
+    let mut client = Client::connect_with(
+        proxy.addr(),
+        ClientConfig {
+            client_name: "chaos-trace".into(),
+            trace: true,
+            read_timeout: Some(Duration::from_secs(2)),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(4),
+                max_backoff: Duration::from_millis(40),
+                budget: Duration::from_secs(30),
+                seed: 0x5eed,
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+
+    let err = client
+        .query("SELECT x.DNO FROM x IN DEPARTMENTS")
+        .expect_err("every attempt's response frame is dropped");
+    assert!(err.is_connection_loss() || err.is_retryable());
+
+    let ct = client.last_client_trace().unwrap().clone();
+    assert_ne!(ct.trace_id, 0);
+    assert!(!ct.ok);
+    assert_eq!(ct.attempts.len(), 3, "one record per attempt: {ct:?}");
+    for (i, a) in ct.attempts.iter().enumerate() {
+        assert_eq!(a.attempt as usize, i);
+        assert!(a.retryable, "drops are connection-class: {a:?}");
+        assert!(!a.error.is_empty());
+        if i + 1 < ct.attempts.len() {
+            assert!(a.backoff_ms > 0, "backoff recorded before retry: {a:?}");
+        } else {
+            assert_eq!(a.backoff_ms, 0, "no backoff after the final attempt");
+        }
+    }
+
+    // Server side: each attempt executed under the same trace id, and
+    // the retries carry the retry.attempt tag.
+    drop(client);
+    proxy.shutdown();
+    handle.shutdown();
+    let mine: Vec<_> = stats
+        .recorder()
+        .recent()
+        .into_iter()
+        .filter(|t| t.trace_id == ct.trace_id)
+        .collect();
+    assert_eq!(mine.len(), 3, "server executed (and traced) each attempt");
+    assert!(
+        mine.iter()
+            .any(|t| t.spans.iter().any(|s| s.name == "retry.attempt")),
+        "retried attempts must be tagged"
+    );
+
+    // Admission shedding: typed retryable code + the server's hint.
+    let mut handle = Server::start(
+        SharedDatabase::new(paper_db()),
+        ServerConfig {
+            max_inflight: 0,
+            shed_retry_after: Duration::from_millis(7),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect_with(
+        handle.local_addr(),
+        ClientConfig {
+            client_name: "shed-trace".into(),
+            trace: true,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                budget: Duration::from_secs(30),
+                ..RetryPolicy::default()
+            },
+            ..ClientConfig::default()
+        },
+    )
+    .unwrap();
+    client
+        .query("SELECT * FROM DEPARTMENTS")
+        .expect_err("a zero-inflight server sheds everything");
+    let ct = client.last_client_trace().unwrap().clone();
+    assert_eq!(ct.attempts.len(), 2);
+    assert_eq!(ct.attempts[0].code, Some(ErrorCode::Admission));
+    assert!(ct.attempts[0].retryable);
+    assert!(
+        ct.attempts[0].backoff_ms >= 7,
+        "the server's retry_after hint governs the recorded backoff: {:?}",
+        ct.attempts[0]
+    );
+    drop(client);
+    handle.shutdown();
 }
 
 // =====================================================================

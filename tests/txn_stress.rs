@@ -86,8 +86,7 @@ fn config(dir: &Path) -> DbConfig {
         buffer_frames: 8, // small pool: constant WAL-safe eviction traffic
         default_layout: LayoutKind::Ss3,
         data_dir: Some(dir.to_path_buf()),
-        fault: None,
-        slow_query_threshold: None,
+        ..DbConfig::default()
     }
 }
 
